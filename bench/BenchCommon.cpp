@@ -1,0 +1,119 @@
+//===- bench/BenchCommon.cpp ----------------------------------*- C++ -*-===//
+
+#include "BenchCommon.h"
+
+#include "support/Support.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ars {
+namespace bench {
+
+Context::Context(int Argc, char **Argv) {
+  Suite = workloads::allWorkloads();
+  for (int A = 1; A < Argc; ++A) {
+    const char *Arg = Argv[A];
+    if (std::strncmp(Arg, "--scale=", 8) == 0) {
+      ScalePct = std::atoi(Arg + 8);
+      if (ScalePct < 1)
+        ScalePct = 1;
+    } else if (std::strcmp(Arg, "--quick") == 0) {
+      ScalePct = 15;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", Arg);
+      std::fprintf(stderr, "usage: %s [--scale=<pct>] [--quick]\n", Argv[0]);
+      std::exit(2);
+    }
+  }
+}
+
+const harness::Program &Context::program(const std::string &Name) {
+  auto It = Programs.find(Name);
+  if (It != Programs.end())
+    return It->second;
+  const workloads::Workload *W = workloads::workloadByName(Name);
+  if (!W) {
+    std::fprintf(stderr, "unknown workload %s\n", Name.c_str());
+    std::exit(1);
+  }
+  harness::BuildResult R = harness::buildProgram(W->Source);
+  if (!R.Ok) {
+    std::fprintf(stderr, "build failed for %s: %s\n", Name.c_str(),
+                 R.Error.c_str());
+    std::exit(1);
+  }
+  return Programs.emplace(Name, std::move(R.P)).first->second;
+}
+
+int64_t Context::scaleOf(const workloads::Workload &W) const {
+  int64_t Scaled = W.DefaultScale * ScalePct / 100;
+  return Scaled < 1 ? 1 : Scaled;
+}
+
+const harness::ExperimentResult &Context::baseline(const std::string &Name) {
+  auto It = Baselines.find(Name);
+  if (It != Baselines.end())
+    return It->second;
+  const workloads::Workload *W = workloads::workloadByName(Name);
+  harness::ExperimentResult R =
+      harness::runBaseline(program(Name), scaleOf(*W));
+  if (!R.Stats.Ok) {
+    std::fprintf(stderr, "baseline run failed for %s: %s\n", Name.c_str(),
+                 R.Stats.Error.c_str());
+    std::exit(1);
+  }
+  return Baselines.emplace(Name, std::move(R)).first->second;
+}
+
+harness::ExperimentResult
+Context::runConfig(const std::string &Name,
+                   const harness::RunConfig &Config) {
+  const workloads::Workload *W = workloads::workloadByName(Name);
+  harness::ExperimentResult R =
+      harness::runExperiment(program(Name), scaleOf(*W), Config);
+  if (!R.Stats.Ok) {
+    std::fprintf(stderr, "run failed for %s: %s\n", Name.c_str(),
+                 R.Stats.Error.c_str());
+    std::exit(1);
+  }
+  return R;
+}
+
+double Context::overheadPct(const std::string &Name,
+                            const harness::ExperimentResult &R) {
+  return harness::overheadPct(baseline(Name), R);
+}
+
+const instr::Instrumentation &callEdgeClient() {
+  static instr::CallEdgeInstrumentation Client;
+  return Client;
+}
+
+const instr::Instrumentation &fieldAccessClient() {
+  static instr::FieldAccessInstrumentation Client;
+  return Client;
+}
+
+std::vector<const instr::Instrumentation *> bothClients() {
+  return {&callEdgeClient(), &fieldAccessClient()};
+}
+
+void printBanner(const char *Title, const char *PaperRef) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", Title);
+  std::printf("Reproduces: %s\n", PaperRef);
+  std::printf("Arnold & Ryder, \"A Framework for Reducing the Cost of\n"
+              "Instrumented Code\", PLDI 2001.\n");
+  std::printf("Overheads are simulated-cycle ratios vs. the yieldpoint-\n"
+              "only baseline; shapes, not absolute values, are compared.\n");
+  std::printf("==========================================================\n");
+}
+
+double meanOf(const std::vector<double> &Values) {
+  return support::mean(Values);
+}
+
+} // namespace bench
+} // namespace ars

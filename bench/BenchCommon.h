@@ -1,0 +1,82 @@
+//===- bench/BenchCommon.h - Shared experiment-bench plumbing -*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the per-table bench binaries: command-line scale
+/// handling, cached compiled workloads, cached baseline runs, the standard
+/// client set, and the paper-style banner.
+///
+/// Every bench prints the rows of one table or figure from the paper's
+/// evaluation.  Absolute numbers come from the deterministic cycle model,
+/// so they differ from the paper's wall-clock measurements; the *shape*
+/// (which rows are expensive, who wins, where accuracy degrades) is the
+/// reproduction target.  EXPERIMENTS.md records both side by side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_BENCH_BENCHCOMMON_H
+#define ARS_BENCH_BENCHCOMMON_H
+
+#include "harness/Experiment.h"
+#include "instr/Clients.h"
+#include "support/TablePrinter.h"
+#include "workloads/Workloads.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ars {
+namespace bench {
+
+/// Compiled workloads plus cached baseline runs.
+class Context {
+public:
+  /// Parses --scale=<pct> (percent of each workload's default scale,
+  /// default 100) and --quick (= --scale=15).
+  Context(int Argc, char **Argv);
+
+  const std::vector<workloads::Workload> &suite() const { return Suite; }
+
+  /// Compiled program for \p Name (built on first use).
+  const harness::Program &program(const std::string &Name);
+
+  /// Effective scale argument for \p W.
+  int64_t scaleOf(const workloads::Workload &W) const;
+
+  /// Cached baseline (yieldpoints-only) run.
+  const harness::ExperimentResult &baseline(const std::string &Name);
+
+  /// Runs one configuration of workload \p Name.
+  harness::ExperimentResult runConfig(const std::string &Name,
+                                      const harness::RunConfig &Config);
+
+  /// Overhead of \p R over the cached baseline of \p Name, in percent.
+  double overheadPct(const std::string &Name,
+                     const harness::ExperimentResult &R);
+
+private:
+  std::vector<workloads::Workload> Suite;
+  int ScalePct = 100;
+  std::map<std::string, harness::Program> Programs;
+  std::map<std::string, harness::ExperimentResult> Baselines;
+};
+
+/// The paper's two instrumentations with default costs (call-edge 250
+/// cycles — stack examination + hashtable update, keeping the paper's
+/// ~50x probe-to-check ratio; field-access 6 cycles — two loads,
+/// increment, store).
+const instr::Instrumentation &callEdgeClient();
+const instr::Instrumentation &fieldAccessClient();
+std::vector<const instr::Instrumentation *> bothClients();
+
+/// Prints the standard banner naming the experiment and the paper
+/// reference.
+void printBanner(const char *Title, const char *PaperRef);
+
+/// Arithmetic mean helper for the "Average" row.
+double meanOf(const std::vector<double> &Values);
+
+} // namespace bench
+} // namespace ars
+
+#endif // ARS_BENCH_BENCHCOMMON_H

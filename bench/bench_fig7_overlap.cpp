@@ -1,0 +1,69 @@
+//===- bench/bench_fig7_overlap.cpp ---------------------------*- C++ -*-===//
+///
+/// Figure 7: the javac call-edge profile, sampled at interval 1000,
+/// rendered as per-edge sample-percentage bars against the perfect
+/// profile, plus the resulting overlap percentage (the paper's instance
+/// shows 93.8%, "a very accurate profile").
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "profile/Overlap.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace ars;
+
+int main(int Argc, char **Argv) {
+  bench::Context Ctx(Argc, Argv);
+  bench::printBanner("Figure 7: javac call-edge profile overlap",
+                     "Figure 7 (section 4.4)");
+
+  const char *Name = "javac";
+  harness::RunConfig Perfect;
+  Perfect.Transform.M = sampling::Mode::Exhaustive;
+  Perfect.Clients = {&bench::callEdgeClient()};
+  auto PerfectRun = Ctx.runConfig(Name, Perfect);
+
+  harness::RunConfig Sampled;
+  Sampled.Transform.M = sampling::Mode::FullDuplication;
+  Sampled.Clients = {&bench::callEdgeClient()};
+  Sampled.Engine.SampleInterval = 1000;
+  auto SampledRun = Ctx.runConfig(Name, Sampled);
+
+  double Overlap = profile::overlapPercent(PerfectRun.Profiles.CallEdges,
+                                           SampledRun.Profiles.CallEdges);
+  auto Bars = profile::overlapBars(PerfectRun.Profiles.CallEdges,
+                                   SampledRun.Profiles.CallEdges,
+                                   /*TopK=*/40);
+
+  const harness::Program &P = Ctx.program(Name);
+  std::printf("\nTop call edges (perfect %% | sampled %%):\n");
+  for (const profile::OverlapBar &Bar : Bars) {
+    const char *Caller = Bar.Edge.Caller >= 0
+                             ? P.M.functionAt(Bar.Edge.Caller).Name.c_str()
+                             : "<entry>";
+    const char *Callee = P.M.functionAt(Bar.Edge.Callee).Name.c_str();
+    int PerfectBar =
+        static_cast<int>(std::min(Bar.PerfectPct, 50.0) * 1.2);
+    int SampledBar =
+        static_cast<int>(std::min(Bar.SampledPct, 50.0) * 1.2);
+    std::printf("%-22s->%-14s %6.2f |%-*s\n", Caller, Callee,
+                Bar.PerfectPct, PerfectBar + 1,
+                std::string(static_cast<size_t>(PerfectBar), '#').c_str());
+    std::printf("%-22s  %-14s %6.2f |%-*s\n", "", "(sampled)",
+                Bar.SampledPct, SampledBar + 1,
+                std::string(static_cast<size_t>(SampledBar), 'o').c_str());
+  }
+
+  std::printf("\nOverlap percentage (interval 1000): %.1f%%\n", Overlap);
+  std::printf("Samples taken: %llu; perfect events: %llu\n",
+              static_cast<unsigned long long>(SampledRun.samplesTaken()),
+              static_cast<unsigned long long>(
+                  PerfectRun.Profiles.CallEdges.total()));
+  std::printf("\nPaper shape: the paper's javac instance overlaps 93.8%%; "
+              "sampled bars hug the perfect bars on the hot edges.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+//===- bench/bench_fig8_yieldpoint.cpp ------------------------*- C++ -*-===//
+///
+/// Figure 8: the Jalapeno-specific yieldpoint optimization (section 4.5).
+/// Yieldpoints are removed from the checking code — the counter check
+/// subsumes the yield test — and kept in the duplicated code.
+///
+/// Table (A): framework-only overhead per benchmark (paper avg 1.4%,
+/// vs 4.9% without the optimization).
+/// Table (B): total sampling overhead (both instrumentations) averaged
+/// over all benchmarks per interval (paper converges to ~1.5%).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace ars;
+
+int main(int Argc, char **Argv) {
+  bench::Context Ctx(Argc, Argv);
+  bench::printBanner("Figure 8: yieldpoint-optimized framework",
+                     "Figure 8, tables (A) and (B) (section 4.5)");
+
+  // Table (A): framework-only overhead with the optimization.
+  support::TablePrinter A({"Benchmark", "Framework Overhead (%)",
+                           "Without Opt (%)"});
+  std::vector<double> OptOverheads, PlainOverheads;
+  for (const workloads::Workload &W : Ctx.suite()) {
+    harness::RunConfig Opt;
+    Opt.Transform.M = sampling::Mode::FullDuplication;
+    Opt.Transform.YieldpointOpt = true;
+    double OptPct = Ctx.overheadPct(W.Name, Ctx.runConfig(W.Name, Opt));
+
+    harness::RunConfig Plain;
+    Plain.Transform.M = sampling::Mode::FullDuplication;
+    double PlainPct = Ctx.overheadPct(W.Name, Ctx.runConfig(W.Name, Plain));
+
+    A.beginRow();
+    A.cell(W.Name);
+    A.cellPercent(OptPct);
+    A.cellPercent(PlainPct);
+    OptOverheads.push_back(OptPct);
+    PlainOverheads.push_back(PlainPct);
+  }
+  A.beginRow();
+  A.cell("Average");
+  A.cellPercent(bench::meanOf(OptOverheads));
+  A.cellPercent(bench::meanOf(PlainOverheads));
+  std::printf("\nTable (A): framework only, no samples taken\n");
+  A.print();
+
+  // Table (B): total sampling overhead per interval, averaged.
+  std::printf("\nTable (B): total sampled-instrumentation overhead\n");
+  support::TablePrinter B({"Sample Interval", "Total Overhead (%)"});
+  for (int64_t Interval : {int64_t(1), int64_t(10), int64_t(100),
+                           int64_t(1000), int64_t(10000), int64_t(100000)}) {
+    double Sum = 0.0;
+    for (const workloads::Workload &W : Ctx.suite()) {
+      harness::RunConfig C;
+      C.Transform.M = sampling::Mode::FullDuplication;
+      C.Transform.YieldpointOpt = true;
+      C.Clients = bench::bothClients();
+      C.Engine.SampleInterval = Interval;
+      Sum += Ctx.overheadPct(W.Name, Ctx.runConfig(W.Name, C));
+    }
+    B.beginRow();
+    B.cellInt(Interval);
+    B.cellPercent(Sum / static_cast<double>(Ctx.suite().size()));
+  }
+  B.print();
+
+  std::printf("\nPaper shape: framework overhead drops from ~4.9%% to "
+              "~1.4%%; total overhead converges to ~1.5%% at large "
+              "intervals (vs ~5%% unoptimized), enabling 'overhead so "
+              "small it is hardly visible above the noise'.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+//===- bench/bench_micro_framework.cpp ------------------------*- C++ -*-===//
+///
+/// Host-level google-benchmark microbenchmarks for the framework
+/// primitives: MiniJ compilation, lowering, each transform variant's
+/// throughput, and interpreter dispatch.  These measure the cost of the
+/// *toolchain*, complementing the simulated-cycle experiment benches.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "instr/Clients.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace ars;
+
+const workloads::Workload &compressWorkload() {
+  return *workloads::workloadByName("compress");
+}
+
+const harness::Program &compiledCompress() {
+  static harness::Program P = [] {
+    harness::BuildResult R =
+        harness::buildProgram(compressWorkload().Source);
+    if (!R.Ok)
+      std::abort();
+    return std::move(R.P);
+  }();
+  return P;
+}
+
+instr::CallEdgeInstrumentation CallEdges;
+instr::FieldAccessInstrumentation FieldAccesses;
+
+void BM_CompileMiniJ(benchmark::State &State) {
+  for (auto _ : State) {
+    harness::BuildResult R =
+        harness::buildProgram(compressWorkload().Source);
+    benchmark::DoNotOptimize(R.P.Funcs.data());
+  }
+}
+BENCHMARK(BM_CompileMiniJ);
+
+void transformBench(benchmark::State &State, sampling::Mode M) {
+  const harness::Program &P = compiledCompress();
+  sampling::Options Opts;
+  Opts.M = M;
+  for (auto _ : State) {
+    harness::InstrumentedProgram IP =
+        harness::instrumentProgram(P, {&CallEdges, &FieldAccesses}, Opts);
+    benchmark::DoNotOptimize(IP.Funcs.data());
+  }
+}
+
+void BM_TransformBaseline(benchmark::State &State) {
+  transformBench(State, sampling::Mode::Baseline);
+}
+BENCHMARK(BM_TransformBaseline);
+
+void BM_TransformExhaustive(benchmark::State &State) {
+  transformBench(State, sampling::Mode::Exhaustive);
+}
+BENCHMARK(BM_TransformExhaustive);
+
+void BM_TransformFullDuplication(benchmark::State &State) {
+  transformBench(State, sampling::Mode::FullDuplication);
+}
+BENCHMARK(BM_TransformFullDuplication);
+
+void BM_TransformPartialDuplication(benchmark::State &State) {
+  transformBench(State, sampling::Mode::PartialDuplication);
+}
+BENCHMARK(BM_TransformPartialDuplication);
+
+void BM_TransformNoDuplication(benchmark::State &State) {
+  transformBench(State, sampling::Mode::NoDuplication);
+}
+BENCHMARK(BM_TransformNoDuplication);
+
+void BM_InterpretBaseline(benchmark::State &State) {
+  const harness::Program &P = compiledCompress();
+  uint64_t Instructions = 0;
+  for (auto _ : State) {
+    harness::ExperimentResult R = harness::runBaseline(P, 1);
+    benchmark::DoNotOptimize(R.Stats.Cycles);
+    Instructions += R.Stats.Instructions;
+  }
+  State.counters["ir_insts_per_sec"] = benchmark::Counter(
+      static_cast<double>(Instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpretBaseline);
+
+void BM_InterpretFullDuplicationSampling(benchmark::State &State) {
+  const harness::Program &P = compiledCompress();
+  harness::RunConfig C;
+  C.Transform.M = sampling::Mode::FullDuplication;
+  C.Clients = {&CallEdges, &FieldAccesses};
+  C.Engine.SampleInterval = 1000;
+  for (auto _ : State) {
+    harness::ExperimentResult R = harness::runExperiment(P, 1, C);
+    benchmark::DoNotOptimize(R.Stats.Cycles);
+  }
+}
+BENCHMARK(BM_InterpretFullDuplicationSampling);
+
+} // namespace
+
+BENCHMARK_MAIN();

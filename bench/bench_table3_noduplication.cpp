@@ -1,0 +1,56 @@
+//===- bench/bench_table3_noduplication.cpp -------------------*- C++ -*-===//
+///
+/// Table 3: framework (checking) overhead of No-Duplication — every
+/// instrumentation operation guarded by its own check, no samples taken.
+/// Paper averages: call-edge 1.3% (checks only at method entries, a big
+/// win), field-access 51.1% (the check costs as much as the probe body,
+/// "making the insertion of checks completely ineffective").
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace ars;
+
+int main(int Argc, char **Argv) {
+  bench::Context Ctx(Argc, Argv);
+  bench::printBanner("Table 3: No-Duplication checking overhead",
+                     "Table 3 (section 4.3)");
+
+  support::TablePrinter T({"Benchmark", "Call-edge (%)", "Field-access (%)"});
+  std::vector<double> CallOverheads, FieldOverheads;
+
+  for (const workloads::Workload &W : Ctx.suite()) {
+    harness::RunConfig Call;
+    Call.Transform.M = sampling::Mode::NoDuplication;
+    Call.Clients = {&bench::callEdgeClient()};
+    Call.Engine.SampleInterval = 0; // guards never fire: checking cost only
+    double CallPct = Ctx.overheadPct(W.Name, Ctx.runConfig(W.Name, Call));
+
+    harness::RunConfig Field;
+    Field.Transform.M = sampling::Mode::NoDuplication;
+    Field.Clients = {&bench::fieldAccessClient()};
+    Field.Engine.SampleInterval = 0;
+    double FieldPct = Ctx.overheadPct(W.Name, Ctx.runConfig(W.Name, Field));
+
+    T.beginRow();
+    T.cell(W.Name);
+    T.cellPercent(CallPct);
+    T.cellPercent(FieldPct);
+    CallOverheads.push_back(CallPct);
+    FieldOverheads.push_back(FieldPct);
+  }
+
+  T.beginRow();
+  T.cell("Average");
+  T.cellPercent(bench::meanOf(CallOverheads));
+  T.cellPercent(bench::meanOf(FieldOverheads));
+  T.print();
+  std::printf("\nPaper shape: call-edge avg 1.3%% (matches Table 2's "
+              "method-entry column); field-access avg 51.1%%, close to "
+              "Table 1's exhaustive cost because a guard costs about as "
+              "much as the probe it guards.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+//===- bench/bench_table4_sampling.cpp ------------------------*- C++ -*-===//
+///
+/// Table 4: overhead and accuracy of sampled instrumentation (call-edge +
+/// field-access applied together) across sample intervals
+/// {1, 10, 100, 1000, 10000, 100000}, for Full-Duplication and
+/// No-Duplication.  "Sampled Instrum." excludes the framework overhead
+/// (it is measured against the never-sampling framework run); "Total"
+/// includes everything.  Accuracy is overlap vs. the exhaustive profile.
+///
+/// Paper shape: at interval 1000 accuracy stays 93-98% while total
+/// overhead is 6.3% (Full) vs 57.2%-dominated-by-checking (No-Dup);
+/// accuracy degrades at 100000 for lack of samples.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "profile/Overlap.h"
+
+#include <cstdio>
+
+using namespace ars;
+
+namespace {
+
+struct Row {
+  int64_t Interval;
+  double NumSamples;
+  double SampledInstrumPct;
+  double TotalPct;
+  double CallAcc;
+  double FieldAcc;
+};
+
+void printRows(const char *Mode, const std::vector<Row> &Rows) {
+  std::printf("\n--- %s ---\n", Mode);
+  support::TablePrinter T({"Sample Interval", "Num Samples",
+                           "Sampled Instrum. (%)", "Total (%)",
+                           "Call-Edge Acc (%)", "Field-Access Acc (%)"});
+  for (const Row &R : Rows) {
+    T.beginRow();
+    T.cellInt(R.Interval);
+    T.cellCount(R.NumSamples);
+    T.cellPercent(R.SampledInstrumPct);
+    T.cellPercent(R.TotalPct);
+    T.cellPercent(R.CallAcc);
+    T.cellPercent(R.FieldAcc);
+  }
+  T.print();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bench::Context Ctx(Argc, Argv);
+  bench::printBanner(
+      "Table 4: sampled instrumentation overhead and accuracy",
+      "Table 4 (section 4.4)");
+
+  const std::vector<int64_t> Intervals = {1, 10, 100, 1000, 10000, 100000};
+
+  for (sampling::Mode Mode : {sampling::Mode::FullDuplication,
+                              sampling::Mode::NoDuplication}) {
+    std::vector<Row> Rows(Intervals.size());
+    for (size_t I = 0; I != Intervals.size(); ++I)
+      Rows[I].Interval = Intervals[I];
+
+    for (const workloads::Workload &W : Ctx.suite()) {
+      // Perfect profile for accuracy comparison.
+      harness::RunConfig Perfect;
+      Perfect.Transform.M = sampling::Mode::Exhaustive;
+      Perfect.Clients = bench::bothClients();
+      auto PerfectRun = Ctx.runConfig(W.Name, Perfect);
+
+      // Framework-only run: sampled-instrumentation overhead excludes it.
+      harness::RunConfig FrameworkOnly;
+      FrameworkOnly.Transform.M = Mode;
+      FrameworkOnly.Clients = bench::bothClients();
+      FrameworkOnly.Engine.SampleInterval = 0;
+      auto FrameworkRun = Ctx.runConfig(W.Name, FrameworkOnly);
+
+      for (size_t I = 0; I != Intervals.size(); ++I) {
+        harness::RunConfig C;
+        C.Transform.M = Mode;
+        C.Clients = bench::bothClients();
+        C.Engine.SampleInterval = Intervals[I];
+        auto R = Ctx.runConfig(W.Name, C);
+
+        Rows[I].NumSamples +=
+            static_cast<double>(R.samplesTaken()) /
+            static_cast<double>(Ctx.suite().size());
+        Rows[I].SampledInstrumPct +=
+            harness::overheadPct(FrameworkRun, R) /
+            static_cast<double>(Ctx.suite().size());
+        Rows[I].TotalPct += Ctx.overheadPct(W.Name, R) /
+                            static_cast<double>(Ctx.suite().size());
+        Rows[I].CallAcc +=
+            profile::overlapPercent(PerfectRun.Profiles.CallEdges,
+                                    R.Profiles.CallEdges) /
+            static_cast<double>(Ctx.suite().size());
+        Rows[I].FieldAcc +=
+            profile::overlapPercent(PerfectRun.Profiles.FieldAccesses,
+                                    R.Profiles.FieldAccesses) /
+            static_cast<double>(Ctx.suite().size());
+      }
+    }
+    printRows(sampling::modeName(Mode), Rows);
+  }
+
+  std::printf("\nPaper shape: interval 1 approaches the exhaustive cost; "
+              "intervals 100-10000 give high accuracy at low added "
+              "overhead; No-Duplication's total stays high (its checking "
+              "cost dominates); accuracy decays at 100000.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+//===- bench/bench_table5_triggers.cpp ------------------------*- C++ -*-===//
+///
+/// Table 5: accuracy of field-access profiles when samples are driven by
+/// a time-based trigger (the simulated threadswitch bit) vs. the
+/// counter-based trigger, using Full-Duplication.  The counter interval is
+/// chosen to match the timer's sample count, as the paper matched interval
+/// 30000 to its 10ms timer.  Paper averages: time-based 63%, counter-based
+/// 84% — timer samples are misattributed to whatever check follows a
+/// long-latency region.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "profile/Overlap.h"
+
+#include <cstdio>
+
+using namespace ars;
+
+int main(int Argc, char **Argv) {
+  bench::Context Ctx(Argc, Argv);
+  bench::printBanner("Table 5: time-based vs counter-based trigger accuracy",
+                     "Table 5 (section 4.6)");
+
+  support::TablePrinter T({"Benchmark", "Time-based (%)",
+                           "Counter-based (%)", "Samples (timer/counter)"});
+  std::vector<double> TimeAcc, CounterAcc;
+
+  for (const workloads::Workload &W : Ctx.suite()) {
+    harness::RunConfig Perfect;
+    Perfect.Transform.M = sampling::Mode::Exhaustive;
+    Perfect.Clients = {&bench::fieldAccessClient()};
+    auto PerfectRun = Ctx.runConfig(W.Name, Perfect);
+
+    harness::RunConfig Timer;
+    Timer.Transform.M = sampling::Mode::FullDuplication;
+    Timer.Clients = {&bench::fieldAccessClient()};
+    Timer.Engine.Trigger = runtime::TriggerKind::Timer;
+    Timer.Engine.TimerPeriodCycles = 40000;
+    auto TimerRun = Ctx.runConfig(W.Name, Timer);
+    double TimerOverlap = profile::overlapPercent(
+        PerfectRun.Profiles.FieldAccesses, TimerRun.Profiles.FieldAccesses);
+
+    // Match the counter interval to the timer's sample count, as the
+    // paper did ("approximately the same number of samples").
+    uint64_t Samples = TimerRun.Stats.SamplesTaken;
+    int64_t MatchedInterval =
+        Samples > 0 ? static_cast<int64_t>(TimerRun.Stats.CheckExecs /
+                                           Samples)
+                    : 30000;
+    if (MatchedInterval < 1)
+      MatchedInterval = 1;
+    harness::RunConfig Counter;
+    Counter.Transform.M = sampling::Mode::FullDuplication;
+    Counter.Clients = {&bench::fieldAccessClient()};
+    Counter.Engine.SampleInterval = MatchedInterval;
+    auto CounterRun = Ctx.runConfig(W.Name, Counter);
+    double CounterOverlap = profile::overlapPercent(
+        PerfectRun.Profiles.FieldAccesses,
+        CounterRun.Profiles.FieldAccesses);
+
+    T.beginRow();
+    T.cell(W.Name);
+    T.cellPercent(TimerOverlap);
+    T.cellPercent(CounterOverlap);
+    T.cell(support::formatString(
+        "%llu/%llu", static_cast<unsigned long long>(Samples),
+        static_cast<unsigned long long>(CounterRun.Stats.SamplesTaken)));
+    TimeAcc.push_back(TimerOverlap);
+    CounterAcc.push_back(CounterOverlap);
+  }
+
+  T.beginRow();
+  T.cell("Average");
+  T.cellPercent(bench::meanOf(TimeAcc));
+  T.cellPercent(bench::meanOf(CounterAcc));
+  T.cell("");
+  T.print();
+  std::printf("\nPaper shape: counter-based (84%% avg) beats time-based "
+              "(63%% avg); the gap is widest on workloads with "
+              "long-latency regions (volano).\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+//===- examples/custom_instrumentation.cpp - Writing a client -*- C++ -*-===//
+///
+/// Shows the property the paper emphasizes: "implementors of
+/// instrumentation techniques ... can concentrate on developing new
+/// techniques quickly and correctly, rather than focusing on minimizing
+/// overhead."  We use the two extension clients that ship with the
+/// library — basic-block counting and call-argument value profiling — and
+/// run them simultaneously with the paper's two instrumentations under a
+/// single Full-Duplication transform ("multiple types of instrumentation
+/// ... while recompiling the method only once").
+///
+/// It also demonstrates sparse instrumentation with Partial-Duplication:
+/// when only a few blocks carry probes, most duplicated code is removed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "instr/Clients.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace ars;
+
+int main() {
+  const workloads::Workload *W = workloads::workloadByName("jess");
+  harness::BuildResult Build = harness::buildProgram(W->Source);
+  if (!Build.Ok) {
+    std::fprintf(stderr, "build failed: %s\n", Build.Error.c_str());
+    return 1;
+  }
+  const harness::Program &P = Build.P;
+  const int64_t Scale = W->DefaultScale;
+
+  // Four clients at once, one recompilation.
+  instr::CallEdgeInstrumentation CallEdges;
+  instr::FieldAccessInstrumentation FieldAccesses;
+  instr::BlockCountInstrumentation BlockCounts;
+  instr::ValueProfileInstrumentation Values;
+
+  harness::ExperimentResult Baseline = harness::runBaseline(P, Scale);
+
+  harness::RunConfig C;
+  C.Transform.M = sampling::Mode::FullDuplication;
+  C.Clients = {&CallEdges, &FieldAccesses, &BlockCounts, &Values};
+  C.Engine.SampleInterval = 500;
+  harness::ExperimentResult R = harness::runExperiment(P, Scale, C);
+  if (!R.Stats.Ok) {
+    std::fprintf(stderr, "run failed: %s\n", R.Stats.Error.c_str());
+    return 1;
+  }
+
+  std::printf("four instrumentations at once under one transform:\n");
+  std::printf("  overhead            : %.2f%% (checks are shared, so it "
+              "does not grow per client)\n",
+              harness::overheadPct(Baseline, R));
+  std::printf("  call edges profiled : %llu\n",
+              static_cast<unsigned long long>(R.Profiles.CallEdges.total()));
+  std::printf("  field accesses      : %llu\n",
+              static_cast<unsigned long long>(
+                  R.Profiles.FieldAccesses.total()));
+  std::printf("  block count events  : %llu\n",
+              static_cast<unsigned long long>(
+                  R.Profiles.BlockCounts.total()));
+  std::printf("  value samples       : %llu across %zu sites\n",
+              static_cast<unsigned long long>(R.Profiles.Values.total()),
+              R.Profiles.Values.sites().size());
+
+  // A top value table: can an optimizer specialize on the hot argument?
+  for (const auto &[Site, Table] : R.Profiles.Values.sites()) {
+    uint64_t Best = 0, Total = 0;
+    int64_t BestValue = 0;
+    for (const auto &[Value, Count] : Table) {
+      Total += Count;
+      if (Count > Best) {
+        Best = Count;
+        BestValue = Value;
+      }
+    }
+    if (Total < 50)
+      continue;
+    std::printf("  site %llx: hottest arg value %lld (%.0f%% of %llu "
+                "samples)\n",
+                static_cast<unsigned long long>(Site),
+                static_cast<long long>(BestValue),
+                100.0 * static_cast<double>(Best) /
+                    static_cast<double>(Total),
+                static_cast<unsigned long long>(Total));
+  }
+
+  // Sparse instrumentation: value profiling only, Partial-Duplication.
+  sampling::Options Sparse;
+  Sparse.M = sampling::Mode::PartialDuplication;
+  harness::InstrumentedProgram Partial =
+      harness::instrumentProgram(P, {&Values}, Sparse);
+  sampling::Options FullOpts;
+  FullOpts.M = sampling::Mode::FullDuplication;
+  harness::InstrumentedProgram Full =
+      harness::instrumentProgram(P, {&Values}, FullOpts);
+
+  int Kept = 0, Removed = 0;
+  for (const sampling::TransformResult &T : Partial.Transforms) {
+    Kept += T.Stats.DupBlocksKept;
+    Removed += T.Stats.DupBlocksRemoved;
+  }
+  std::printf("\nsparse client under Partial-Duplication:\n");
+  std::printf("  duplicated blocks kept/removed : %d/%d\n", Kept, Removed);
+  std::printf("  code size: original %d, Partial %d, Full %d insts\n",
+              Partial.CodeSizeBefore, Partial.CodeSizeAfter,
+              Full.CodeSizeAfter);
+  return 0;
+}

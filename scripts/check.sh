@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, test, and regenerate every
+# table/figure of the paper.  Usage: scripts/check.sh [--quick]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE_ARG=""
+if [[ "${1:-}" == "--quick" ]]; then
+  SCALE_ARG="--quick"
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/bench_table* build/bench/bench_fig* \
+         build/bench/bench_ablation_variants; do
+  "$b" ${SCALE_ARG}
+done
+build/bench/bench_micro_framework --benchmark_min_time=0.05

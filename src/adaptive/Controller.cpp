@@ -1,0 +1,140 @@
+//===- adaptive/Controller.cpp --------------------------------*- C++ -*-===//
+
+#include "adaptive/Controller.h"
+
+#include "instr/Clients.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ars {
+namespace adaptive {
+
+double AdaptiveOutcome::profilingOverheadPct() const {
+  return support::percentOver(static_cast<double>(BaselineCycles),
+                              static_cast<double>(ProfiledRunCycles));
+}
+
+double AdaptiveOutcome::speedupPct() const {
+  return -support::percentOver(static_cast<double>(BaselineCycles),
+                               static_cast<double>(DeployedCycles));
+}
+
+double AdaptiveOutcome::selectionAgreement() const {
+  if (OracleFunctions.empty())
+    return HotFunctions.empty() ? 1.0 : 0.0;
+  size_t Agree = 0;
+  for (int F : OracleFunctions)
+    if (std::find(HotFunctions.begin(), HotFunctions.end(), F) !=
+        HotFunctions.end())
+      ++Agree;
+  return static_cast<double>(Agree) /
+         static_cast<double>(OracleFunctions.size());
+}
+
+std::vector<int> selectHotFunctions(const profile::CallEdgeProfile &P,
+                                    double ThresholdPct, int MaxCount) {
+  std::map<int, uint64_t> EntriesPerFunc;
+  for (const auto &[Key, Count] : P.counts())
+    EntriesPerFunc[Key.Callee] += Count;
+
+  std::vector<std::pair<int, uint64_t>> Ranked(EntriesPerFunc.begin(),
+                                               EntriesPerFunc.end());
+  std::stable_sort(Ranked.begin(), Ranked.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.second > B.second;
+                   });
+
+  std::vector<int> Hot;
+  double Total = static_cast<double>(P.total());
+  for (const auto &[Func, Count] : Ranked) {
+    if (MaxCount >= 0 && static_cast<int>(Hot.size()) >= MaxCount)
+      break;
+    if (Total <= 0 ||
+        100.0 * static_cast<double>(Count) / Total < ThresholdPct)
+      break;
+    Hot.push_back(Func);
+  }
+  return Hot;
+}
+
+AdaptiveOutcome runAdaptiveScenario(const harness::Program &P,
+                                    int64_t ScaleArg,
+                                    const ControllerConfig &Config) {
+  AdaptiveOutcome Out;
+  instr::CallEdgeInstrumentation CallEdges;
+
+  // Baseline: what users see before the controller does anything.
+  harness::ExperimentResult Base = harness::runBaseline(P, ScaleArg);
+  if (!Base.Stats.Ok) {
+    Out.Error = Base.Stats.Error;
+    return Out;
+  }
+  Out.BaselineCycles = Base.Stats.Cycles;
+
+  // Profiled run with the sampling framework.
+  harness::RunConfig Sampled;
+  Sampled.Transform.M = sampling::Mode::FullDuplication;
+  Sampled.Clients = {&CallEdges};
+  Sampled.Engine.SampleInterval = Config.SampleInterval;
+  harness::ExperimentResult Profiled =
+      harness::runExperiment(P, ScaleArg, Sampled);
+  if (!Profiled.Stats.Ok) {
+    Out.Error = Profiled.Stats.Error;
+    return Out;
+  }
+  Out.ProfiledRunCycles = Profiled.Stats.Cycles;
+  Out.HotFunctions = selectHotFunctions(
+      Profiled.Profiles.CallEdges, Config.HotThresholdPct,
+      Config.MaxOptimized);
+
+  // The oracle selection from a (much more expensive) exhaustive profile.
+  harness::RunConfig Exhaustive;
+  Exhaustive.Transform.M = sampling::Mode::Exhaustive;
+  Exhaustive.Clients = {&CallEdges};
+  harness::ExperimentResult Perfect =
+      harness::runExperiment(P, ScaleArg, Exhaustive);
+  if (!Perfect.Stats.Ok) {
+    Out.Error = Perfect.Stats.Error;
+    return Out;
+  }
+  Out.ExhaustiveRunCycles = Perfect.Stats.Cycles;
+  Out.OracleFunctions = selectHotFunctions(
+      Perfect.Profiles.CallEdges, Config.HotThresholdPct,
+      Config.MaxOptimized);
+  {
+    std::map<int, uint64_t> PerFunc;
+    for (const auto &[Key, Count] : Perfect.Profiles.CallEdges.counts())
+      PerFunc[Key.Callee] += Count;
+    double Total =
+        static_cast<double>(Perfect.Profiles.CallEdges.total());
+    for (const auto &[Func, Count] : PerFunc)
+      Out.OracleShares[Func] =
+          Total > 0 ? 100.0 * static_cast<double>(Count) / Total : 0.0;
+  }
+
+  // Deploy: re-run with the chosen functions "recompiled".
+  harness::RunConfig Deployed;
+  Deployed.Transform.M = sampling::Mode::Baseline;
+  Deployed.Engine.OptimizedCostPct = Config.OptimizedCostPct;
+  Deployed.Engine.OptimizedFuncs.assign(P.Funcs.size(), 0);
+  for (int F : Out.HotFunctions)
+    Deployed.Engine.OptimizedFuncs[static_cast<size_t>(F)] = 1;
+  harness::ExperimentResult Final =
+      harness::runExperiment(P, ScaleArg, Deployed);
+  if (!Final.Stats.Ok) {
+    Out.Error = Final.Stats.Error;
+    return Out;
+  }
+  if (Final.Stats.MainResult != Base.Stats.MainResult) {
+    Out.Error = "optimized run changed the program result";
+    return Out;
+  }
+  Out.DeployedCycles = Final.Stats.Cycles;
+  Out.Ok = true;
+  return Out;
+}
+
+} // namespace adaptive
+} // namespace ars

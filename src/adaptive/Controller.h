@@ -1,0 +1,87 @@
+//===- adaptive/Controller.h - Selective-optimization controller -*- C++-*-===//
+///
+/// \file
+/// The consumer the paper builds its framework for: an adaptive
+/// optimization controller (in the style of the Jalapeno adaptive system,
+/// the paper's reference [5]) that uses sampled profiles collected online
+/// to pick recompilation candidates.
+///
+/// The controller models invocation-level adaptation:
+///
+///  1. a profiled run executes the program under the sampling framework
+///     with call-edge instrumentation;
+///  2. functions above a hotness threshold (fraction of profiled entries)
+///     are selected for "recompilation";
+///  3. a deployed run executes with those functions under an optimized
+///     cost scale (the simulation of higher-opt-level code).
+///
+/// The interesting measurements — produced by runAdaptiveScenario and
+/// exercised in the tests and the adaptive_jit example — are (a) the
+/// speedup of the deployed run, (b) how close the sampled selection is to
+/// the selection an exhaustive profile would have made, and (c) how much
+/// cheaper the sampled profiling phase was.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_ADAPTIVE_CONTROLLER_H
+#define ARS_ADAPTIVE_CONTROLLER_H
+
+#include "harness/Experiment.h"
+
+#include <map>
+#include <vector>
+
+namespace ars {
+namespace adaptive {
+
+/// Controller tuning.
+struct ControllerConfig {
+  /// Sampling configuration of the profiled run.
+  int64_t SampleInterval = 1000;
+  /// A function is hot when it receives at least this percentage of the
+  /// profiled method entries.
+  double HotThresholdPct = 5.0;
+  /// Upper bound on recompilations (the paper: optimizing everything does
+  /// not pay off for short-running programs).
+  int MaxOptimized = 4;
+  /// Cost scale of recompiled code, in percent of the baseline model.
+  uint32_t OptimizedCostPct = 70;
+};
+
+/// What the controller decided and what it bought.
+struct AdaptiveOutcome {
+  bool Ok = false;
+  std::string Error;
+
+  std::vector<int> HotFunctions;      ///< chosen from the sampled profile
+  std::vector<int> OracleFunctions;   ///< chosen from an exhaustive profile
+  /// Per-function entry share (percent) in the exhaustive profile; lets
+  /// callers judge sampled picks without rank-tie artifacts.
+  std::map<int, double> OracleShares;
+  uint64_t BaselineCycles = 0;        ///< uninstrumented, unoptimized
+  uint64_t ProfiledRunCycles = 0;     ///< sampling-framework run
+  uint64_t ExhaustiveRunCycles = 0;   ///< exhaustive-instrumentation run
+  uint64_t DeployedCycles = 0;        ///< optimized re-run
+
+  /// Percent overhead of the profiling phase relative to baseline.
+  double profilingOverheadPct() const;
+  /// Percent speedup of the deployed run relative to baseline.
+  double speedupPct() const;
+  /// |sampled selection ∩ oracle selection| / |oracle selection|.
+  double selectionAgreement() const;
+};
+
+/// Picks hot functions from a call-edge profile: functions whose entry
+/// share is at least \p ThresholdPct, best first, at most \p MaxCount.
+std::vector<int> selectHotFunctions(const profile::CallEdgeProfile &P,
+                                    double ThresholdPct, int MaxCount);
+
+/// Runs the full profile -> select -> recompile -> deploy scenario.
+AdaptiveOutcome runAdaptiveScenario(const harness::Program &P,
+                                    int64_t ScaleArg,
+                                    const ControllerConfig &Config);
+
+} // namespace adaptive
+} // namespace ars
+
+#endif // ARS_ADAPTIVE_CONTROLLER_H

@@ -1,0 +1,74 @@
+//===- analysis/Backedges.cpp ---------------------------------*- C++ -*-===//
+
+#include "analysis/Backedges.h"
+
+#include <algorithm>
+
+namespace ars {
+namespace analysis {
+
+bool BackedgeInfo::isBackedge(int From, int To) const {
+  Edge Probe{From, To};
+  return std::binary_search(Backedges.begin(), Backedges.end(), Probe);
+}
+
+BackedgeInfo findBackedges(const CFG &Graph, const DominatorTree &DT) {
+  BackedgeInfo Info;
+  // An edge u->v is retreating iff it closes a DFS cycle.  With reverse
+  // postorder numbering, retreating edges are exactly those with
+  // rpo(v) <= rpo(u) that also have v on the DFS stack; the standard
+  // shortcut (rpo(v) <= rpo(u)) over-approximates on cross edges between
+  // siblings... it does not: cross edges go from higher rpo to lower rpo
+  // as well.  So we classify precisely: u->v is a natural-loop backedge iff
+  // v dominates u; u->v is retreating iff v is a DFS ancestor of u.  We
+  // detect retreating edges with an explicit DFS ancestry pass.
+  int N = Graph.numBlocks();
+  std::vector<char> OnStack(N, 0), Visited(N, 0);
+  std::vector<std::pair<int, size_t>> Stack;
+  std::vector<Edge> Retreating;
+  if (N > 0) {
+    int Entry = Graph.entry();
+    Visited[Entry] = 1;
+    OnStack[Entry] = 1;
+    Stack.emplace_back(Entry, 0);
+    while (!Stack.empty()) {
+      auto &[Block, NextSucc] = Stack.back();
+      const auto &Succs = Graph.successors(Block);
+      if (NextSucc < Succs.size()) {
+        int S = Succs[NextSucc++];
+        if (OnStack[S]) {
+          Retreating.push_back(Edge{Block, S});
+          continue;
+        }
+        if (!Visited[S]) {
+          Visited[S] = 1;
+          OnStack[S] = 1;
+          Stack.emplace_back(S, 0);
+        }
+        continue;
+      }
+      OnStack[Block] = 0;
+      Stack.pop_back();
+    }
+  }
+
+  for (const Edge &E : Retreating) {
+    Info.Backedges.push_back(E);
+    if (!DT.dominates(E.To, E.From))
+      Info.Reducible = false;
+  }
+  std::sort(Info.Backedges.begin(), Info.Backedges.end());
+  Info.Backedges.erase(
+      std::unique(Info.Backedges.begin(), Info.Backedges.end()),
+      Info.Backedges.end());
+  return Info;
+}
+
+BackedgeInfo findBackedges(const ir::IRFunction &F) {
+  CFG Graph(F);
+  DominatorTree DT(Graph);
+  return findBackedges(Graph, DT);
+}
+
+} // namespace analysis
+} // namespace ars

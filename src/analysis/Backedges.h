@@ -1,0 +1,56 @@
+//===- analysis/Backedges.h - Backedge identification ---------*- C++ -*-===//
+///
+/// \file
+/// Identifies the backedges on which the sampling framework places its
+/// checks (paper section 2: "checks are placed on all method entries and
+/// backward branches").  A backedge is an edge u->v whose target dominates
+/// its source (a natural-loop backedge).  Retreating edges whose target
+/// does NOT dominate the source make the CFG irreducible; the framework
+/// treats them as backedges too, which keeps Property 1's bounded-work
+/// guarantee at the cost of (at most) extra checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_ANALYSIS_BACKEDGES_H
+#define ARS_ANALYSIS_BACKEDGES_H
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+
+#include <vector>
+
+namespace ars {
+namespace analysis {
+
+/// One CFG edge.
+struct Edge {
+  int From = -1;
+  int To = -1;
+
+  bool operator==(const Edge &Other) const {
+    return From == Other.From && To == Other.To;
+  }
+  bool operator<(const Edge &Other) const {
+    return From != Other.From ? From < Other.From : To < Other.To;
+  }
+};
+
+/// Backedge analysis result.
+struct BackedgeInfo {
+  std::vector<Edge> Backedges; ///< sorted, deduplicated
+  bool Reducible = true;       ///< false if any retreating edge is not a
+                               ///< natural-loop backedge
+
+  bool isBackedge(int From, int To) const;
+};
+
+/// Computes backedges of \p F.  Unreachable blocks contribute nothing.
+BackedgeInfo findBackedges(const ir::IRFunction &F);
+
+/// Variant reusing existing analyses.
+BackedgeInfo findBackedges(const CFG &Graph, const DominatorTree &DT);
+
+} // namespace analysis
+} // namespace ars
+
+#endif // ARS_ANALYSIS_BACKEDGES_H

@@ -1,0 +1,55 @@
+//===- analysis/CFG.cpp ---------------------------------------*- C++ -*-===//
+
+#include "analysis/CFG.h"
+
+#include <cassert>
+
+namespace ars {
+namespace analysis {
+
+CFG::CFG(const ir::IRFunction &F) : Entry(F.Entry) {
+  int N = F.numBlocks();
+  Succs.resize(N);
+  Preds.resize(N);
+  for (int B = 0; B != N; ++B) {
+    int Targets[2];
+    int Count = 0;
+    ir::terminatorTargets(F.Blocks[B].terminator(), Targets, &Count);
+    for (int T = 0; T != Count; ++T) {
+      // Two-way terminators may name the same target twice; keep duplicates
+      // out of the adjacency so analyses see a simple graph.
+      if (T == 1 && Targets[1] == Targets[0])
+        continue;
+      Succs[B].push_back(Targets[T]);
+      Preds[Targets[T]].push_back(B);
+    }
+  }
+
+  // Iterative DFS computing postorder, then reverse it.
+  RpoNumber.assign(N, -1);
+  std::vector<int> Postorder;
+  std::vector<char> Visited(N, 0);
+  // Stack of (block, next successor index).
+  std::vector<std::pair<int, size_t>> Stack;
+  Visited[Entry] = 1;
+  Stack.emplace_back(Entry, 0);
+  while (!Stack.empty()) {
+    auto &[Block, NextSucc] = Stack.back();
+    if (NextSucc < Succs[Block].size()) {
+      int S = Succs[Block][NextSucc++];
+      if (!Visited[S]) {
+        Visited[S] = 1;
+        Stack.emplace_back(S, 0);
+      }
+      continue;
+    }
+    Postorder.push_back(Block);
+    Stack.pop_back();
+  }
+  Rpo.assign(Postorder.rbegin(), Postorder.rend());
+  for (size_t I = 0; I != Rpo.size(); ++I)
+    RpoNumber[Rpo[I]] = static_cast<int>(I);
+}
+
+} // namespace analysis
+} // namespace ars

@@ -1,0 +1,52 @@
+//===- analysis/CFG.h - Successor/predecessor views & DFS -----*- C++ -*-===//
+///
+/// \file
+/// Derived control-flow-graph structure over an ir::IRFunction: successor
+/// and predecessor lists, reachability, and depth-first numbering in
+/// reverse postorder (the traversal order every other analysis builds on).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_ANALYSIS_CFG_H
+#define ARS_ANALYSIS_CFG_H
+
+#include "ir/IR.h"
+
+#include <vector>
+
+namespace ars {
+namespace analysis {
+
+/// Successor and predecessor adjacency for one function, plus DFS orders.
+class CFG {
+public:
+  explicit CFG(const ir::IRFunction &F);
+
+  int numBlocks() const { return static_cast<int>(Succs.size()); }
+  int entry() const { return Entry; }
+  const std::vector<int> &successors(int Block) const { return Succs[Block]; }
+  const std::vector<int> &predecessors(int Block) const {
+    return Preds[Block];
+  }
+
+  /// True if \p Block is reachable from the entry block.
+  bool isReachable(int Block) const { return RpoNumber[Block] >= 0; }
+
+  /// Reverse postorder position of \p Block, or -1 if unreachable.
+  int rpoNumber(int Block) const { return RpoNumber[Block]; }
+
+  /// Reachable blocks in reverse postorder (entry first).
+  const std::vector<int> &reversePostorder() const { return Rpo; }
+
+private:
+  int Entry = 0;
+  std::vector<std::vector<int>> Succs;
+  std::vector<std::vector<int>> Preds;
+  std::vector<int> Rpo;
+  std::vector<int> RpoNumber;
+};
+
+} // namespace analysis
+} // namespace ars
+
+#endif // ARS_ANALYSIS_CFG_H

@@ -1,0 +1,67 @@
+//===- analysis/Dominators.cpp --------------------------------*- C++ -*-===//
+//
+// Implements: K. Cooper, T. Harvey, K. Kennedy, "A Simple, Fast Dominance
+// Algorithm".
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <cassert>
+
+namespace ars {
+namespace analysis {
+
+DominatorTree::DominatorTree(const CFG &Graph) : Graph(Graph) {
+  int N = Graph.numBlocks();
+  Idom.assign(N, -1);
+  if (N == 0)
+    return;
+  Idom[Graph.entry()] = Graph.entry();
+
+  auto intersect = [&](int A, int B) {
+    while (A != B) {
+      while (Graph.rpoNumber(A) > Graph.rpoNumber(B))
+        A = Idom[A];
+      while (Graph.rpoNumber(B) > Graph.rpoNumber(A))
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int Block : Graph.reversePostorder()) {
+      if (Block == Graph.entry())
+        continue;
+      int NewIdom = -1;
+      for (int Pred : Graph.predecessors(Block)) {
+        if (Idom[Pred] < 0)
+          continue; // not yet processed / unreachable
+        NewIdom = NewIdom < 0 ? Pred : intersect(Pred, NewIdom);
+      }
+      assert(NewIdom >= 0 && "reachable block with no processed preds");
+      if (Idom[Block] != NewIdom) {
+        Idom[Block] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(int A, int B) const {
+  assert(Idom[A] >= 0 && Idom[B] >= 0 && "query on unreachable block");
+  // Walk up from B; A dominates B iff we meet A before the entry fixpoint.
+  int Cur = B;
+  while (true) {
+    if (Cur == A)
+      return true;
+    if (Cur == Graph.entry())
+      return A == Graph.entry();
+    Cur = Idom[Cur];
+  }
+}
+
+} // namespace analysis
+} // namespace ars

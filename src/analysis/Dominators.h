@@ -1,0 +1,38 @@
+//===- analysis/Dominators.h - Dominator tree -----------------*- C++ -*-===//
+///
+/// \file
+/// Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm on
+/// reverse postorder.  Used to identify backedges (an edge u->v is a
+/// natural-loop backedge iff v dominates u) and to check CFG reducibility.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_ANALYSIS_DOMINATORS_H
+#define ARS_ANALYSIS_DOMINATORS_H
+
+#include "analysis/CFG.h"
+
+namespace ars {
+namespace analysis {
+
+/// Immediate-dominator table for the reachable blocks of one function.
+class DominatorTree {
+public:
+  explicit DominatorTree(const CFG &Graph);
+
+  /// Immediate dominator of \p Block; the entry block is its own idom;
+  /// -1 for unreachable blocks.
+  int idom(int Block) const { return Idom[Block]; }
+
+  /// True if \p A dominates \p B (reflexive).  Both must be reachable.
+  bool dominates(int A, int B) const;
+
+private:
+  const CFG &Graph;
+  std::vector<int> Idom;
+};
+
+} // namespace analysis
+} // namespace ars
+
+#endif // ARS_ANALYSIS_DOMINATORS_H

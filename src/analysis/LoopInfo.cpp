@@ -1,0 +1,73 @@
+//===- analysis/LoopInfo.cpp ----------------------------------*- C++ -*-===//
+
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ars {
+namespace analysis {
+
+bool Loop::contains(int Block) const {
+  return std::binary_search(Blocks.begin(), Blocks.end(), Block);
+}
+
+LoopInfo::LoopInfo(const ir::IRFunction &F) {
+  CFG Graph(F);
+  DominatorTree DT(Graph);
+  BackedgeInfo BI = findBackedges(Graph, DT);
+  build(Graph, BI);
+}
+
+LoopInfo::LoopInfo(const CFG &Graph, const BackedgeInfo &BI) {
+  build(Graph, BI);
+}
+
+void LoopInfo::build(const CFG &Graph, const BackedgeInfo &BI) {
+  NumBlocks = Graph.numBlocks();
+  std::map<int, Loop> ByHeader;
+  for (const Edge &E : BI.Backedges) {
+    Loop &L = ByHeader[E.To];
+    L.Header = E.To;
+    L.Latches.push_back(E.From);
+    // Reverse reachability from the latch, stopping at the header.
+    std::vector<char> InLoop(NumBlocks, 0);
+    InLoop[E.To] = 1;
+    std::vector<int> Work;
+    if (!InLoop[E.From]) {
+      InLoop[E.From] = 1;
+      Work.push_back(E.From);
+    }
+    while (!Work.empty()) {
+      int B = Work.back();
+      Work.pop_back();
+      for (int P : Graph.predecessors(B))
+        if (!InLoop[P]) {
+          InLoop[P] = 1;
+          Work.push_back(P);
+        }
+    }
+    for (int B = 0; B != NumBlocks; ++B)
+      if (InLoop[B])
+        L.Blocks.push_back(B);
+  }
+  for (auto &[Header, L] : ByHeader) {
+    (void)Header;
+    std::sort(L.Blocks.begin(), L.Blocks.end());
+    L.Blocks.erase(std::unique(L.Blocks.begin(), L.Blocks.end()),
+                   L.Blocks.end());
+    std::sort(L.Latches.begin(), L.Latches.end());
+    Loops.push_back(std::move(L));
+  }
+}
+
+int LoopInfo::loopDepth(int Block) const {
+  int Depth = 0;
+  for (const Loop &L : Loops)
+    if (L.contains(Block))
+      ++Depth;
+  return Depth;
+}
+
+} // namespace analysis
+} // namespace ars

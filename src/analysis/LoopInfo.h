@@ -1,0 +1,52 @@
+//===- analysis/LoopInfo.h - Natural loop discovery -----------*- C++ -*-===//
+///
+/// \file
+/// Natural loops built from backedges: for a backedge u->h, the loop is h
+/// plus every block that reaches u without passing through h.  Used by
+/// tests and by workload-shape diagnostics (loop trip densities drive the
+/// backedge-check overhead column of Table 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_ANALYSIS_LOOPINFO_H
+#define ARS_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Backedges.h"
+
+#include <vector>
+
+namespace ars {
+namespace analysis {
+
+/// One natural loop.
+struct Loop {
+  int Header = -1;
+  std::vector<int> Blocks; ///< sorted, includes Header
+  std::vector<int> Latches; ///< sources of backedges into Header
+
+  bool contains(int Block) const;
+};
+
+/// All natural loops of a function.  Loops sharing a header are merged
+/// (standard natural-loop convention).
+class LoopInfo {
+public:
+  explicit LoopInfo(const ir::IRFunction &F);
+  LoopInfo(const CFG &Graph, const BackedgeInfo &BI);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// Innermost loop depth of \p Block (0 = not in any loop).
+  int loopDepth(int Block) const;
+
+private:
+  void build(const CFG &Graph, const BackedgeInfo &BI);
+
+  std::vector<Loop> Loops;
+  int NumBlocks = 0;
+};
+
+} // namespace analysis
+} // namespace ars
+
+#endif // ARS_ANALYSIS_LOOPINFO_H

@@ -1,0 +1,388 @@
+//===- bytecode/Assembler.cpp ---------------------------------*- C++ -*-===//
+
+#include "bytecode/Assembler.h"
+
+#include "bytecode/Builder.h"
+#include "bytecode/Verifier.h"
+#include "support/Support.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <vector>
+
+using ars::support::formatString;
+
+namespace ars {
+namespace bytecode {
+
+namespace {
+
+/// Splits a line into whitespace-separated tokens, treating the characters
+/// ( ) , : -> { } ; as their own tokens and '#' as a comment starter.
+std::vector<std::string> tokenizeLine(const std::string &Line) {
+  std::vector<std::string> Toks;
+  size_t I = 0;
+  while (I < Line.size()) {
+    char C = Line[I];
+    if (C == '#')
+      break;
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (C == '-' && I + 1 < Line.size() && Line[I + 1] == '>') {
+      Toks.push_back("->");
+      I += 2;
+      continue;
+    }
+    if (std::strchr("(),:{};", C)) {
+      Toks.push_back(std::string(1, C));
+      ++I;
+      continue;
+    }
+    size_t Begin = I;
+    while (I < Line.size() &&
+           !std::isspace(static_cast<unsigned char>(Line[I])) &&
+           !std::strchr("(),:{};#", Line[I]) &&
+           !(Line[I] == '-' && I + 1 < Line.size() && Line[I + 1] == '>' &&
+             I != Begin))
+      ++I;
+    Toks.push_back(Line.substr(Begin, I - Begin));
+  }
+  return Toks;
+}
+
+/// True for integer literals (optionally negative) and float literals.
+bool isNumber(const std::string &Tok) {
+  if (Tok.empty())
+    return false;
+  size_t Start = Tok[0] == '-' ? 1 : 0;
+  if (Start == Tok.size())
+    return false;
+  for (size_t I = Start; I != Tok.size(); ++I)
+    if (!std::isdigit(static_cast<unsigned char>(Tok[I])) && Tok[I] != '.')
+      return false;
+  return true;
+}
+
+class Assembler {
+public:
+  explicit Assembler(const std::string &Source) : Source(Source) {}
+  AssembleResult run();
+
+private:
+  const std::string &Source;
+  AssembleResult Result;
+  int LineNo = 0;
+  std::map<std::string, int> ClassIds;
+  std::map<std::string, int> GlobalIds;
+  std::map<std::string, int> FieldIds; ///< "Class.field" -> module field id
+  std::map<std::string, int> FuncIds;
+  /// Call/spawn fixups: (function, code offset, callee name).
+  std::vector<std::pair<std::pair<int, int>, std::string>> CallFixups;
+
+  bool fail(const std::string &Message) {
+    if (Result.Error.empty())
+      Result.Error = formatString("line %d: %s", LineNo, Message.c_str());
+    return false;
+  }
+
+  bool parseType(const std::string &Tok, Type *Out) {
+    if (Tok == "int") {
+      *Out = Type::I64;
+      return true;
+    }
+    if (Tok == "float") {
+      *Out = Type::F64;
+      return true;
+    }
+    if (Tok == "ref") {
+      *Out = Type::Ref;
+      return true;
+    }
+    if (Tok == "void") {
+      *Out = Type::Void;
+      return true;
+    }
+    return fail("unknown type '" + Tok + "'");
+  }
+
+  bool parseClass(const std::vector<std::string> &Toks);
+  bool parseGlobal(const std::vector<std::string> &Toks);
+  /// Parses the function header and then consumes body lines from \p Lines
+  /// starting at \p Next until "end".
+  bool parseFunc(const std::vector<std::string> &Toks,
+                 const std::vector<std::string> &Lines, size_t *Next);
+};
+
+bool Assembler::parseClass(const std::vector<std::string> &Toks) {
+  // class NAME { type name ; ... }
+  if (Toks.size() < 4 || Toks[2] != "{" || Toks.back() != "}")
+    return fail("malformed class declaration");
+  const std::string &Name = Toks[1];
+  if (ClassIds.count(Name))
+    return fail("duplicate class '" + Name + "'");
+  int ClassId = Result.M.addClass(Name);
+  ClassIds[Name] = ClassId;
+  size_t I = 3;
+  while (I < Toks.size() - 1) {
+    Type Ty;
+    if (!parseType(Toks[I], &Ty))
+      return false;
+    if (I + 1 >= Toks.size() - 1)
+      return fail("field name missing");
+    const std::string &Field = Toks[I + 1];
+    int FieldId = Result.M.addField(ClassId, Field, Ty);
+    FieldIds[Name + "." + Field] = FieldId;
+    I += 2;
+    if (I < Toks.size() - 1 && Toks[I] == ";")
+      ++I;
+  }
+  return true;
+}
+
+bool Assembler::parseGlobal(const std::vector<std::string> &Toks) {
+  // global type name
+  if (Toks.size() != 3)
+    return fail("malformed global declaration");
+  Type Ty;
+  if (!parseType(Toks[1], &Ty))
+    return false;
+  if (GlobalIds.count(Toks[2]))
+    return fail("duplicate global '" + Toks[2] + "'");
+  GlobalIds[Toks[2]] = Result.M.addGlobal(Toks[2], Ty);
+  return true;
+}
+
+bool Assembler::parseFunc(const std::vector<std::string> &Toks,
+                          const std::vector<std::string> &Lines,
+                          size_t *Next) {
+  // func NAME ( types ) -> type [locals ( types )]
+  size_t I = 1;
+  if (I >= Toks.size())
+    return fail("function name missing");
+  std::string Name = Toks[I++];
+  if (FuncIds.count(Name))
+    return fail("duplicate function '" + Name + "'");
+  if (I >= Toks.size() || Toks[I] != "(")
+    return fail("expected '(' after function name");
+  ++I;
+  std::vector<Type> Params;
+  while (I < Toks.size() && Toks[I] != ")") {
+    if (Toks[I] == ",") {
+      ++I;
+      continue;
+    }
+    Type Ty;
+    if (!parseType(Toks[I], &Ty))
+      return false;
+    Params.push_back(Ty);
+    ++I;
+  }
+  if (I >= Toks.size())
+    return fail("unterminated parameter list");
+  ++I; // ')'
+  if (I + 1 >= Toks.size() || Toks[I] != "->")
+    return fail("expected '-> type'");
+  Type Ret;
+  if (!parseType(Toks[I + 1], &Ret))
+    return false;
+  I += 2;
+
+  int FuncId = Result.M.addFunction(Name, Params, Ret);
+  FuncIds[Name] = FuncId;
+  FunctionDef &Func = Result.M.functionAt(FuncId);
+  Builder B(Func);
+
+  if (I < Toks.size()) {
+    if (Toks[I] != "locals")
+      return fail("unexpected token '" + Toks[I] + "'");
+    ++I;
+    if (I >= Toks.size() || Toks[I] != "(")
+      return fail("expected '(' after locals");
+    ++I;
+    while (I < Toks.size() && Toks[I] != ")") {
+      if (Toks[I] == ",") {
+        ++I;
+        continue;
+      }
+      Type Ty;
+      if (!parseType(Toks[I], &Ty))
+        return false;
+      B.addLocal(Ty);
+      ++I;
+    }
+    if (I >= Toks.size())
+      return fail("unterminated locals list");
+  }
+
+  std::map<std::string, Label> Labels;
+  auto labelOf = [&](const std::string &LabelName) {
+    auto It = Labels.find(LabelName);
+    if (It == Labels.end())
+      It = Labels.emplace(LabelName, B.makeLabel()).first;
+    return It->second;
+  };
+
+  // Body lines until "end".
+  while (*Next < Lines.size()) {
+    LineNo = static_cast<int>(*Next) + 1;
+    std::vector<std::string> T = tokenizeLine(Lines[(*Next)++]);
+    if (T.empty())
+      continue;
+    if (T[0] == "end") {
+      if (!B.finish())
+        return fail("branch to an undefined label");
+      return true;
+    }
+    // Label line: NAME :
+    if (T.size() == 2 && T[1] == ":") {
+      B.bind(labelOf(T[0]));
+      continue;
+    }
+
+    const std::string &Op = T[0];
+    auto intOperand = [&](int64_t *Out) {
+      if (T.size() < 2 || !isNumber(T[1]))
+        return fail("'" + Op + "' needs an integer operand");
+      *Out = std::atoll(T[1].c_str());
+      return true;
+    };
+
+    // Mnemonic table for operand-free opcodes.
+    static const std::map<std::string, Opcode> Simple = {
+        {"add", Opcode::Add},       {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul},       {"div", Opcode::Div},
+        {"rem", Opcode::Rem},       {"neg", Opcode::Neg},
+        {"and", Opcode::And},       {"or", Opcode::Or},
+        {"xor", Opcode::Xor},       {"shl", Opcode::Shl},
+        {"shr", Opcode::Shr},       {"fadd", Opcode::FAdd},
+        {"fsub", Opcode::FSub},     {"fmul", Opcode::FMul},
+        {"fdiv", Opcode::FDiv},     {"fneg", Opcode::FNeg},
+        {"f2i", Opcode::F2I},       {"i2f", Opcode::I2F},
+        {"cmpeq", Opcode::CmpEq},   {"cmpne", Opcode::CmpNe},
+        {"cmplt", Opcode::CmpLt},   {"cmple", Opcode::CmpLe},
+        {"cmpgt", Opcode::CmpGt},   {"cmpge", Opcode::CmpGe},
+        {"fcmplt", Opcode::FCmpLt}, {"fcmple", Opcode::FCmpLe},
+        {"fcmpeq", Opcode::FCmpEq}, {"ret", Opcode::Ret},
+        {"retval", Opcode::RetVal}, {"newarray", Opcode::NewArray},
+        {"aload", Opcode::ALoad},   {"astore", Opcode::AStore},
+        {"alen", Opcode::ALen},     {"dup", Opcode::Dup},
+        {"pop", Opcode::Pop},       {"swap", Opcode::Swap},
+        {"print", Opcode::Print},   {"nop", Opcode::Nop}};
+
+    auto SimpleIt = Simple.find(Op);
+    if (SimpleIt != Simple.end()) {
+      B.emit(SimpleIt->second);
+      continue;
+    }
+    if (Op == "iconst" || Op == "load" || Op == "store" ||
+        Op == "iowait") {
+      int64_t V = 0;
+      if (!intOperand(&V))
+        return false;
+      B.emit(Op == "iconst"  ? Opcode::IConst
+             : Op == "load"  ? Opcode::Load
+             : Op == "store" ? Opcode::Store
+                             : Opcode::IOWait,
+             V);
+      continue;
+    }
+    if (Op == "fconst") {
+      if (T.size() < 2 || !isNumber(T[1]))
+        return fail("fconst needs a float operand");
+      B.emitFConst(std::atof(T[1].c_str()));
+      continue;
+    }
+    if (Op == "br" || Op == "brif") {
+      if (T.size() < 2)
+        return fail("branch needs a label");
+      B.emitBranch(Op == "br" ? Opcode::Br : Opcode::BrIf, labelOf(T[1]));
+      continue;
+    }
+    if (Op == "call" || Op == "spawn") {
+      if (T.size() < 2)
+        return fail("call needs a function name");
+      CallFixups.push_back({{FuncId, B.offset()}, T[1]});
+      // Emit with a placeholder callee id; fixed up after all functions
+      // are known (forward references allowed).
+      Func.Code.emplace_back(Op == "call" ? Opcode::Call : Opcode::Spawn,
+                             -1);
+      continue;
+    }
+    if (Op == "new") {
+      if (T.size() < 2 || !ClassIds.count(T[1]))
+        return fail("new needs a known class name");
+      B.emit(Opcode::New, ClassIds[T[1]]);
+      continue;
+    }
+    if (Op == "getfield" || Op == "putfield") {
+      if (T.size() < 2 || !FieldIds.count(T[1]))
+        return fail("'" + Op + "' needs a known Class.field");
+      B.emit(Op == "getfield" ? Opcode::GetField : Opcode::PutField,
+             FieldIds[T[1]]);
+      continue;
+    }
+    if (Op == "getglobal" || Op == "putglobal") {
+      if (T.size() < 2 || !GlobalIds.count(T[1]))
+        return fail("'" + Op + "' needs a known global name");
+      B.emit(Op == "getglobal" ? Opcode::GetGlobal : Opcode::PutGlobal,
+             GlobalIds[T[1]]);
+      continue;
+    }
+    return fail("unknown mnemonic '" + Op + "'");
+  }
+  return fail("missing 'end'");
+}
+
+AssembleResult Assembler::run() {
+  std::vector<std::string> Lines = support::splitString(Source, '\n');
+  size_t Next = 0;
+  while (Next < Lines.size()) {
+    LineNo = static_cast<int>(Next) + 1;
+    std::vector<std::string> Toks = tokenizeLine(Lines[Next++]);
+    if (Toks.empty())
+      continue;
+    bool Ok = false;
+    if (Toks[0] == "class")
+      Ok = parseClass(Toks);
+    else if (Toks[0] == "global")
+      Ok = parseGlobal(Toks);
+    else if (Toks[0] == "func")
+      Ok = parseFunc(Toks, Lines, &Next);
+    else
+      Ok = fail("expected class/global/func, found '" + Toks[0] + "'");
+    if (!Ok)
+      return Result;
+  }
+
+  // Resolve forward call references.
+  for (const auto &[Where, Callee] : CallFixups) {
+    auto It = FuncIds.find(Callee);
+    if (It == FuncIds.end()) {
+      fail("call to unknown function '" + Callee + "'");
+      return Result;
+    }
+    Result.M.functionAt(Where.first).Code[Where.second].A = It->second;
+  }
+
+  VerifyResult VR = verifyModule(Result.M);
+  if (!VR.Ok) {
+    Result.Error = "verifier: " + VR.Error;
+    return Result;
+  }
+  Result.Ok = true;
+  return Result;
+}
+
+} // namespace
+
+AssembleResult assemble(const std::string &Source) {
+  Assembler A(Source);
+  return A.run();
+}
+
+} // namespace bytecode
+} // namespace ars

@@ -1,0 +1,54 @@
+//===- bytecode/Assembler.h - Textual bytecode assembler ------*- C++ -*-===//
+///
+/// \file
+/// Assembles a line-oriented textual bytecode format (.bca) into a Module.
+/// The format exists for tests and tooling that need control the MiniJ
+/// frontend does not give — notably irreducible control flow, which the
+/// sampling framework must handle conservatively (retreating edges are
+/// treated as backedges).
+///
+/// Format:
+///
+///   # comment
+///   class Point { int x; float y; }
+///   global int counter
+///   func main(int) -> int locals(int, float)
+///     L0:
+///       iconst 0
+///       store 1
+///       load 1
+///       brif L1
+///       ret_or_other...
+///     L1:
+///       ...
+///   end
+///
+/// Operands: integers for immediates/slots, label names for branches,
+/// `Class.field` for field ops, bare names for globals/calls/new.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_BYTECODE_ASSEMBLER_H
+#define ARS_BYTECODE_ASSEMBLER_H
+
+#include "bytecode/Module.h"
+
+#include <string>
+
+namespace ars {
+namespace bytecode {
+
+/// Assembly outcome.
+struct AssembleResult {
+  bool Ok = false;
+  std::string Error;
+  Module M;
+};
+
+/// Assembles \p Source; the result is verified before being returned.
+AssembleResult assemble(const std::string &Source);
+
+} // namespace bytecode
+} // namespace ars
+
+#endif // ARS_BYTECODE_ASSEMBLER_H

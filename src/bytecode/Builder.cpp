@@ -1,0 +1,56 @@
+//===- bytecode/Builder.cpp -----------------------------------*- C++ -*-===//
+
+#include "bytecode/Builder.h"
+
+#include <cassert>
+
+namespace ars {
+namespace bytecode {
+
+Label Builder::makeLabel() {
+  Label L;
+  L.Id = static_cast<int>(LabelOffsets.size());
+  LabelOffsets.push_back(-1);
+  return L;
+}
+
+void Builder::bind(Label L) {
+  assert(L.Id >= 0 && L.Id < static_cast<int>(LabelOffsets.size()) &&
+         "label was not created by this builder");
+  assert(LabelOffsets[L.Id] == -1 && "label bound twice");
+  LabelOffsets[L.Id] = offset();
+}
+
+void Builder::emit(Opcode Op, int64_t A) {
+  assert(!isBranch(Op) && "use emitBranch for branches");
+  Func.Code.emplace_back(Op, A);
+}
+
+void Builder::emitFConst(double Value) {
+  Func.Code.push_back(Inst::makeFConst(Value));
+}
+
+void Builder::emitBranch(Opcode Op, Label L) {
+  assert(isBranch(Op) && "emitBranch requires Br or BrIf");
+  Fixups.emplace_back(offset(), L.Id);
+  Func.Code.emplace_back(Op, -1);
+}
+
+int Builder::addLocal(Type Ty) {
+  Func.LocalTypes.push_back(Ty);
+  return Func.NumLocals++;
+}
+
+bool Builder::finish() {
+  for (auto [Offset, LabelId] : Fixups) {
+    int Target = LabelOffsets[LabelId];
+    if (Target < 0)
+      return false;
+    Func.Code[Offset].A = Target;
+  }
+  Fixups.clear();
+  return true;
+}
+
+} // namespace bytecode
+} // namespace ars

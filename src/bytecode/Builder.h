@@ -1,0 +1,60 @@
+//===- bytecode/Builder.h - Label-based bytecode emission -----*- C++ -*-===//
+///
+/// \file
+/// Emits bytecode into a FunctionDef with forward-reference labels.  Used by
+/// the MiniJ code generator, by tests that hand-construct control flow, and
+/// by the property-based random program generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_BYTECODE_BUILDER_H
+#define ARS_BYTECODE_BUILDER_H
+
+#include "bytecode/Module.h"
+
+#include <vector>
+
+namespace ars {
+namespace bytecode {
+
+/// An opaque branch target handle.
+struct Label {
+  int Id = -1;
+};
+
+/// Streams instructions into \p Func.Code, resolving labels on finish().
+class Builder {
+public:
+  explicit Builder(FunctionDef &Func) : Func(Func) {}
+
+  /// Creates a fresh, unbound label.
+  Label makeLabel();
+  /// Binds \p L to the next emitted instruction.
+  void bind(Label L);
+
+  /// Emits a non-branch instruction.
+  void emit(Opcode Op, int64_t A = 0);
+  void emitFConst(double Value);
+  /// Emits a branch to \p L (Br or BrIf).
+  void emitBranch(Opcode Op, Label L);
+
+  /// Allocates a new local slot of type \p Ty; returns the slot index.
+  int addLocal(Type Ty);
+
+  /// Current instruction offset (useful for tests).
+  int offset() const { return static_cast<int>(Func.Code.size()); }
+
+  /// Patches all label references.  Every used label must have been bound.
+  /// Returns false (and leaves the code unusable) if one was not.
+  bool finish();
+
+private:
+  FunctionDef &Func;
+  std::vector<int> LabelOffsets;          ///< -1 while unbound
+  std::vector<std::pair<int, int>> Fixups; ///< (instr offset, label id)
+};
+
+} // namespace bytecode
+} // namespace ars
+
+#endif // ARS_BYTECODE_BUILDER_H

@@ -1,0 +1,90 @@
+//===- bytecode/Disassembler.cpp ------------------------------*- C++ -*-===//
+
+#include "bytecode/Disassembler.h"
+
+#include "support/Support.h"
+
+using ars::support::formatString;
+
+namespace ars {
+namespace bytecode {
+
+std::string disassembleInst(const Module &M, const Inst &I) {
+  switch (I.Op) {
+  case Opcode::FConst:
+    return formatString("fconst %g", I.F);
+  case Opcode::Call:
+  case Opcode::Spawn: {
+    const char *Name = I.A >= 0 && I.A < M.numFunctions()
+                           ? M.functionAt(static_cast<int>(I.A)).Name.c_str()
+                           : "<bad>";
+    return formatString("%s %s(#%lld)", opcodeName(I.Op), Name,
+                        static_cast<long long>(I.A));
+  }
+  case Opcode::New: {
+    const char *Name = I.A >= 0 && I.A < M.numClasses()
+                           ? M.classAt(static_cast<int>(I.A)).Name.c_str()
+                           : "<bad>";
+    return formatString("new %s", Name);
+  }
+  case Opcode::GetField:
+  case Opcode::PutField:
+    return formatString("%s %s", opcodeName(I.Op),
+                        M.fieldIdName(static_cast<int>(I.A)).c_str());
+  case Opcode::GetGlobal:
+  case Opcode::PutGlobal: {
+    const char *Name = I.A >= 0 && I.A < M.numGlobals()
+                           ? M.globalAt(static_cast<int>(I.A)).Name.c_str()
+                           : "<bad>";
+    return formatString("%s %s", opcodeName(I.Op), Name);
+  }
+  case Opcode::Br:
+  case Opcode::BrIf:
+  case Opcode::Load:
+  case Opcode::Store:
+  case Opcode::IConst:
+  case Opcode::IOWait:
+    return formatString("%s %lld", opcodeName(I.Op),
+                        static_cast<long long>(I.A));
+  default:
+    return opcodeName(I.Op);
+  }
+}
+
+std::string disassembleFunction(const Module &M, const FunctionDef &Func) {
+  std::string Out = formatString("func %s #%d (", Func.Name.c_str(),
+                                 Func.FuncId);
+  for (size_t P = 0; P != Func.Params.size(); ++P) {
+    if (P)
+      Out += ", ";
+    Out += typeName(Func.Params[P]);
+  }
+  Out += formatString(") -> %s, locals=%d\n", typeName(Func.Ret),
+                      Func.NumLocals);
+  for (size_t Pc = 0; Pc != Func.Code.size(); ++Pc)
+    Out += formatString("  %4zu: %s\n", Pc,
+                        disassembleInst(M, Func.Code[Pc]).c_str());
+  return Out;
+}
+
+std::string disassembleModule(const Module &M) {
+  std::string Out;
+  for (const ClassDef &C : M.classes()) {
+    Out += formatString("class %s #%d {", C.Name.c_str(), C.ClassId);
+    for (size_t F = 0; F != C.Fields.size(); ++F) {
+      if (F)
+        Out += ", ";
+      Out += formatString("%s %s", typeName(C.Fields[F].Ty),
+                          C.Fields[F].Name.c_str());
+    }
+    Out += "}\n";
+  }
+  for (const FieldDef &G : M.globals())
+    Out += formatString("global %s %s\n", typeName(G.Ty), G.Name.c_str());
+  for (const FunctionDef &F : M.functions())
+    Out += disassembleFunction(M, F);
+  return Out;
+}
+
+} // namespace bytecode
+} // namespace ars

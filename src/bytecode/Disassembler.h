@@ -1,0 +1,31 @@
+//===- bytecode/Disassembler.h - Bytecode pretty printing -----*- C++ -*-===//
+///
+/// \file
+/// Renders bytecode functions and modules as human-readable text for tests,
+/// examples and debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_BYTECODE_DISASSEMBLER_H
+#define ARS_BYTECODE_DISASSEMBLER_H
+
+#include "bytecode/Module.h"
+
+#include <string>
+
+namespace ars {
+namespace bytecode {
+
+/// Renders one instruction, resolving callee/class/field names via \p M.
+std::string disassembleInst(const Module &M, const Inst &I);
+
+/// Renders a function with offsets, signature and locals.
+std::string disassembleFunction(const Module &M, const FunctionDef &Func);
+
+/// Renders the whole module.
+std::string disassembleModule(const Module &M);
+
+} // namespace bytecode
+} // namespace ars
+
+#endif // ARS_BYTECODE_DISASSEMBLER_H

@@ -1,0 +1,118 @@
+//===- bytecode/Module.cpp ------------------------------------*- C++ -*-===//
+
+#include "bytecode/Module.h"
+
+#include <cassert>
+
+namespace ars {
+namespace bytecode {
+
+const char *typeName(Type T) {
+  switch (T) {
+  case Type::Void: return "void";
+  case Type::I64:  return "int";
+  case Type::F64:  return "float";
+  case Type::Ref:  return "ref";
+  }
+  return "<bad type>";
+}
+
+int ClassDef::fieldIndexByName(const std::string &Name) const {
+  for (size_t I = 0; I != Fields.size(); ++I)
+    if (Fields[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int Module::addClass(const std::string &Name) {
+  ClassDef C;
+  C.Name = Name;
+  C.ClassId = static_cast<int>(Classes.size());
+  Classes.push_back(std::move(C));
+  return Classes.back().ClassId;
+}
+
+int Module::addField(int ClassId, const std::string &Name, Type Ty) {
+  assert(ClassId >= 0 && ClassId < numClasses() && "bad class id");
+  FieldDef F;
+  F.Name = Name;
+  F.Ty = Ty;
+  F.FieldId = NextFieldId++;
+  Classes[ClassId].Fields.push_back(F);
+  return F.FieldId;
+}
+
+int Module::addGlobal(const std::string &Name, Type Ty) {
+  FieldDef G;
+  G.Name = Name;
+  G.Ty = Ty;
+  G.FieldId = NextFieldId++;
+  Globals.push_back(G);
+  return static_cast<int>(Globals.size()) - 1;
+}
+
+int Module::addFunction(const std::string &Name, std::vector<Type> Params,
+                        Type Ret) {
+  FunctionDef F;
+  F.Name = Name;
+  F.FuncId = static_cast<int>(Functions.size());
+  F.Params = std::move(Params);
+  F.Ret = Ret;
+  F.NumLocals = static_cast<int>(F.Params.size());
+  F.LocalTypes = F.Params;
+  Functions.push_back(std::move(F));
+  return Functions.back().FuncId;
+}
+
+ClassDef &Module::classAt(int Id) {
+  assert(Id >= 0 && Id < numClasses() && "bad class id");
+  return Classes[Id];
+}
+
+const ClassDef &Module::classAt(int Id) const {
+  assert(Id >= 0 && Id < numClasses() && "bad class id");
+  return Classes[Id];
+}
+
+FunctionDef &Module::functionAt(int Id) {
+  assert(Id >= 0 && Id < numFunctions() && "bad function id");
+  return Functions[Id];
+}
+
+const FunctionDef &Module::functionAt(int Id) const {
+  assert(Id >= 0 && Id < numFunctions() && "bad function id");
+  return Functions[Id];
+}
+
+const FieldDef &Module::globalAt(int Id) const {
+  assert(Id >= 0 && Id < numGlobals() && "bad global id");
+  return Globals[Id];
+}
+
+const FunctionDef *Module::functionByName(const std::string &Name) const {
+  for (const FunctionDef &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+FunctionDef *Module::functionByName(const std::string &Name) {
+  for (FunctionDef &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+std::string Module::fieldIdName(int FieldId) const {
+  for (const ClassDef &C : Classes)
+    for (const FieldDef &F : C.Fields)
+      if (F.FieldId == FieldId)
+        return C.Name + "." + F.Name;
+  for (const FieldDef &G : Globals)
+    if (G.FieldId == FieldId)
+      return "global." + G.Name;
+  return "<unknown field>";
+}
+
+} // namespace bytecode
+} // namespace ars

@@ -1,0 +1,110 @@
+//===- bytecode/Module.h - Bytecode program container ---------*- C++ -*-===//
+///
+/// \file
+/// A Module groups classes (field layouts), globals and functions.  Field
+/// identifiers are module-global: every (class, field) pair and every global
+/// variable receives a unique FieldId so the field-access instrumentation
+/// can keep one counter per field exactly like the paper's implementation
+/// ("a counter is maintained for each field of all classes").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_BYTECODE_MODULE_H
+#define ARS_BYTECODE_MODULE_H
+
+#include "bytecode/Opcode.h"
+
+#include <string>
+#include <vector>
+
+namespace ars {
+namespace bytecode {
+
+/// Value categories tracked by the verifier and the frontend.
+enum class Type : uint8_t { Void, I64, F64, Ref };
+
+/// Human-readable name of \p T.
+const char *typeName(Type T);
+
+/// One field of a class, or one global variable.
+struct FieldDef {
+  std::string Name;
+  Type Ty = Type::I64;
+  int FieldId = -1; ///< module-global field identifier
+};
+
+/// A class is a named field layout (MiniJ classes are plain records; calls
+/// are free functions, which is all the call-edge instrumentation needs).
+struct ClassDef {
+  std::string Name;
+  int ClassId = -1;
+  std::vector<FieldDef> Fields;
+
+  /// Returns the index within Fields of \p Name, or -1.
+  int fieldIndexByName(const std::string &Name) const;
+};
+
+/// A function: signature, local slot count and straight-line code with
+/// branches by instruction index.
+struct FunctionDef {
+  std::string Name;
+  int FuncId = -1;
+  std::vector<Type> Params; ///< locals [0, Params.size()) on entry
+  Type Ret = Type::Void;
+  int NumLocals = 0; ///< total local slots, including parameters
+  /// Declared type of each local slot (size == NumLocals).  Slots are
+  /// monomorphic; the verifier enforces loads/stores against these.
+  std::vector<Type> LocalTypes;
+  std::vector<Inst> Code;
+};
+
+/// A whole program.
+class Module {
+public:
+  /// Creates a class and returns its id.
+  int addClass(const std::string &Name);
+  /// Appends a field to class \p ClassId; returns the module-global FieldId.
+  int addField(int ClassId, const std::string &Name, Type Ty);
+  /// Adds a global variable; returns its GlobalId (also a FieldId for
+  /// profiling purposes; globals are fields of an implicit class).
+  int addGlobal(const std::string &Name, Type Ty);
+  /// Creates an empty function and returns its id.
+  int addFunction(const std::string &Name, std::vector<Type> Params,
+                  Type Ret);
+
+  int numClasses() const { return static_cast<int>(Classes.size()); }
+  int numFunctions() const { return static_cast<int>(Functions.size()); }
+  int numGlobals() const { return static_cast<int>(Globals.size()); }
+  /// Total number of distinct FieldIds handed out (class fields + globals).
+  int numFieldIds() const { return NextFieldId; }
+
+  ClassDef &classAt(int Id);
+  const ClassDef &classAt(int Id) const;
+  FunctionDef &functionAt(int Id);
+  const FunctionDef &functionAt(int Id) const;
+  const FieldDef &globalAt(int Id) const;
+
+  /// Returns the function with \p Name or nullptr.
+  const FunctionDef *functionByName(const std::string &Name) const;
+  FunctionDef *functionByName(const std::string &Name);
+
+  /// Field name for a module-global \p FieldId ("Class.field" or
+  /// "global.name"); used in profile dumps.
+  std::string fieldIdName(int FieldId) const;
+
+  const std::vector<ClassDef> &classes() const { return Classes; }
+  const std::vector<FunctionDef> &functions() const { return Functions; }
+  std::vector<FunctionDef> &functions() { return Functions; }
+  const std::vector<FieldDef> &globals() const { return Globals; }
+
+private:
+  std::vector<ClassDef> Classes;
+  std::vector<FunctionDef> Functions;
+  std::vector<FieldDef> Globals;
+  int NextFieldId = 0;
+};
+
+} // namespace bytecode
+} // namespace ars
+
+#endif // ARS_BYTECODE_MODULE_H

@@ -1,0 +1,74 @@
+//===- bytecode/Opcode.cpp ------------------------------------*- C++ -*-===//
+
+#include "bytecode/Opcode.h"
+
+namespace ars {
+namespace bytecode {
+
+const char *opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:       return "nop";
+  case Opcode::IConst:    return "iconst";
+  case Opcode::FConst:    return "fconst";
+  case Opcode::Load:      return "load";
+  case Opcode::Store:     return "store";
+  case Opcode::Add:       return "add";
+  case Opcode::Sub:       return "sub";
+  case Opcode::Mul:       return "mul";
+  case Opcode::Div:       return "div";
+  case Opcode::Rem:       return "rem";
+  case Opcode::Neg:       return "neg";
+  case Opcode::And:       return "and";
+  case Opcode::Or:        return "or";
+  case Opcode::Xor:       return "xor";
+  case Opcode::Shl:       return "shl";
+  case Opcode::Shr:       return "shr";
+  case Opcode::FAdd:      return "fadd";
+  case Opcode::FSub:      return "fsub";
+  case Opcode::FMul:      return "fmul";
+  case Opcode::FDiv:      return "fdiv";
+  case Opcode::FNeg:      return "fneg";
+  case Opcode::F2I:       return "f2i";
+  case Opcode::I2F:       return "i2f";
+  case Opcode::CmpEq:     return "cmpeq";
+  case Opcode::CmpNe:     return "cmpne";
+  case Opcode::CmpLt:     return "cmplt";
+  case Opcode::CmpLe:     return "cmple";
+  case Opcode::CmpGt:     return "cmpgt";
+  case Opcode::CmpGe:     return "cmpge";
+  case Opcode::FCmpLt:    return "fcmplt";
+  case Opcode::FCmpLe:    return "fcmple";
+  case Opcode::FCmpEq:    return "fcmpeq";
+  case Opcode::Br:        return "br";
+  case Opcode::BrIf:      return "brif";
+  case Opcode::Ret:       return "ret";
+  case Opcode::RetVal:    return "retval";
+  case Opcode::Call:      return "call";
+  case Opcode::Spawn:     return "spawn";
+  case Opcode::New:       return "new";
+  case Opcode::GetField:  return "getfield";
+  case Opcode::PutField:  return "putfield";
+  case Opcode::GetGlobal: return "getglobal";
+  case Opcode::PutGlobal: return "putglobal";
+  case Opcode::NewArray:  return "newarray";
+  case Opcode::ALoad:     return "aload";
+  case Opcode::AStore:    return "astore";
+  case Opcode::ALen:      return "alen";
+  case Opcode::Dup:       return "dup";
+  case Opcode::Pop:       return "pop";
+  case Opcode::Swap:      return "swap";
+  case Opcode::IOWait:    return "iowait";
+  case Opcode::Print:     return "print";
+  }
+  return "<bad opcode>";
+}
+
+bool isTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::BrIf || Op == Opcode::Ret ||
+         Op == Opcode::RetVal;
+}
+
+bool isBranch(Opcode Op) { return Op == Opcode::Br || Op == Opcode::BrIf; }
+
+} // namespace bytecode
+} // namespace ars

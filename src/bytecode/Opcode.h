@@ -1,0 +1,127 @@
+//===- bytecode/Opcode.h - Stack bytecode instruction set -----*- C++ -*-===//
+///
+/// \file
+/// The stack-machine bytecode instruction set produced by the MiniJ frontend
+/// and consumed by the lowering pass.  It plays the role Java bytecode plays
+/// in the paper: a simple, verifiable input language whose get_field /
+/// put_field and call instructions define the instrumentation points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_BYTECODE_OPCODE_H
+#define ARS_BYTECODE_OPCODE_H
+
+#include <cstdint>
+
+namespace ars {
+namespace bytecode {
+
+/// Every bytecode operation.  Stack effects are documented as
+/// "pops -> pushes".
+enum class Opcode : uint8_t {
+  Nop,        ///< nothing
+  IConst,     ///< A = immediate          ; -> i
+  FConst,     ///< F = immediate          ; -> f
+  Load,       ///< A = local index        ; -> v
+  Store,      ///< A = local index        ; v ->
+
+  // Integer arithmetic (i, i -> i) unless noted.
+  Add,
+  Sub,
+  Mul,
+  Div,        ///< traps on divide by zero
+  Rem,        ///< traps on divide by zero
+  Neg,        ///< i -> i
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+
+  // Float arithmetic (f, f -> f) unless noted.
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FNeg,       ///< f -> f
+  F2I,        ///< f -> i (truncation)
+  I2F,        ///< i -> f
+
+  // Integer comparisons (i, i -> i producing 0/1).
+  CmpEq,
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  // Float comparisons (f, f -> i producing 0/1).
+  FCmpLt,
+  FCmpLe,
+  FCmpEq,
+
+  // Control flow.  Targets are bytecode offsets (instruction indices).
+  Br,         ///< A = target
+  BrIf,       ///< A = target             ; i -> (branch if nonzero)
+  Ret,        ///< return void
+  RetVal,     ///< v -> return value
+
+  // Calls.  A = callee function id; arguments are popped right-to-left.
+  Call,       ///< args... -> [retval]
+  Spawn,      ///< args... ->  (starts a new green thread running callee)
+
+  // Objects and fields.  Field ids are module-global (see Module).
+  New,        ///< A = class id           ; -> ref
+  GetField,   ///< A = field id           ; ref -> v
+  PutField,   ///< A = field id           ; ref, v ->
+  GetGlobal,  ///< A = global id          ; -> v
+  PutGlobal,  ///< A = global id          ; v ->
+
+  // Arrays of i64 cells.
+  NewArray,   ///< i(len) -> ref
+  ALoad,      ///< ref, i(index) -> v
+  AStore,     ///< ref, i(index), v ->
+  ALen,       ///< ref -> i
+
+  // Stack shuffling.
+  Dup,        ///< v -> v, v
+  Pop,        ///< v ->
+  Swap,       ///< a, b -> b, a
+
+  // Long-latency operation: consumes A simulated cycles doing nothing.
+  // Models the I/O-like instruction sequences the paper discusses when
+  // explaining timer-trigger sample misattribution (section 2.1).
+  IOWait,     ///< A = cycle cost
+
+  // Debug/test aid: appends the popped value to the engine trace.
+  Print,      ///< v ->
+};
+
+/// Human-readable mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// True if \p Op ends a basic block (Br, BrIf, Ret, RetVal).
+bool isTerminator(Opcode Op);
+
+/// True if \p Op carries a branch target in its A field.
+bool isBranch(Opcode Op);
+
+/// A single bytecode instruction.  The meaning of A/B/F depends on the
+/// opcode; unused fields are zero.
+struct Inst {
+  Opcode Op = Opcode::Nop;
+  int64_t A = 0;  ///< immediate / local index / target / id
+  double F = 0.0; ///< float immediate for FConst
+
+  Inst() = default;
+  explicit Inst(Opcode Op, int64_t A = 0) : Op(Op), A(A) {}
+  static Inst makeFConst(double Value) {
+    Inst I(Opcode::FConst);
+    I.F = Value;
+    return I;
+  }
+};
+
+} // namespace bytecode
+} // namespace ars
+
+#endif // ARS_BYTECODE_OPCODE_H

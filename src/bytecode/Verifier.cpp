@@ -1,0 +1,357 @@
+//===- bytecode/Verifier.cpp ----------------------------------*- C++ -*-===//
+
+#include "bytecode/Verifier.h"
+
+#include "support/Support.h"
+
+#include <cassert>
+#include <deque>
+#include <optional>
+#include <vector>
+
+using ars::support::formatString;
+
+namespace ars {
+namespace bytecode {
+
+namespace {
+
+/// Abstract stack: a vector of value types.
+using AbsStack = std::vector<Type>;
+
+/// Per-function verification engine.
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Module &M, const FunctionDef &Func)
+      : M(M), Func(Func) {}
+
+  VerifyResult run();
+
+private:
+  const Module &M;
+  const FunctionDef &Func;
+  /// Stack state at entry of each instruction; nullopt = not yet reached.
+  std::vector<std::optional<AbsStack>> InState;
+  std::deque<int> Worklist;
+  VerifyResult Result;
+
+  bool fail(int Pc, const std::string &Message) {
+    Result.Ok = false;
+    Result.Error = formatString("%s @%d: %s", Func.Name.c_str(), Pc,
+                                Message.c_str());
+    return false;
+  }
+
+  /// Looks up the type of a module-global field id; Void if unknown.
+  Type fieldType(int FieldId) const {
+    for (const ClassDef &C : M.classes())
+      for (const FieldDef &F : C.Fields)
+        if (F.FieldId == FieldId)
+          return F.Ty;
+    return Type::Void;
+  }
+
+  bool mergeInto(int Pc, const AbsStack &Stack);
+  bool step(int Pc);
+  bool pop(AbsStack &S, Type Want, int Pc, const char *What);
+  bool popAny(AbsStack &S, Type *Got, int Pc);
+};
+
+bool FunctionVerifier::pop(AbsStack &S, Type Want, int Pc, const char *What) {
+  if (S.empty())
+    return fail(Pc, formatString("stack underflow popping %s", What));
+  Type Got = S.back();
+  S.pop_back();
+  if (Got != Want)
+    return fail(Pc, formatString("expected %s for %s, found %s",
+                                 typeName(Want), What, typeName(Got)));
+  return true;
+}
+
+bool FunctionVerifier::popAny(AbsStack &S, Type *Got, int Pc) {
+  if (S.empty())
+    return fail(Pc, "stack underflow");
+  *Got = S.back();
+  S.pop_back();
+  return true;
+}
+
+bool FunctionVerifier::mergeInto(int Pc, const AbsStack &Stack) {
+  if (Pc < 0 || Pc >= static_cast<int>(Func.Code.size()))
+    return fail(Pc, "branch target or fallthrough out of range");
+  if (!InState[Pc]) {
+    InState[Pc] = Stack;
+    Worklist.push_back(Pc);
+    return true;
+  }
+  const AbsStack &Existing = *InState[Pc];
+  if (Existing.size() != Stack.size())
+    return fail(Pc, formatString("inconsistent stack depth at join "
+                                 "(%zu vs %zu)",
+                                 Existing.size(), Stack.size()));
+  for (size_t I = 0; I != Stack.size(); ++I)
+    if (Existing[I] != Stack[I])
+      return fail(Pc, formatString("inconsistent stack type at join slot "
+                                   "%zu (%s vs %s)",
+                                   I, typeName(Existing[I]),
+                                   typeName(Stack[I])));
+  return true;
+}
+
+bool FunctionVerifier::step(int Pc) {
+  assert(InState[Pc] && "stepping unreached instruction");
+  AbsStack S = *InState[Pc];
+  const Inst &I = Func.Code[Pc];
+  if (static_cast<int>(S.size()) > Result.MaxStack)
+    Result.MaxStack = static_cast<int>(S.size());
+
+  Type T = Type::Void;
+  switch (I.Op) {
+  case Opcode::Nop:
+    break;
+  case Opcode::IConst:
+    S.push_back(Type::I64);
+    break;
+  case Opcode::FConst:
+    S.push_back(Type::F64);
+    break;
+  case Opcode::Load: {
+    if (I.A < 0 || I.A >= Func.NumLocals)
+      return fail(Pc, "local index out of range");
+    Type LT = Func.LocalTypes[static_cast<size_t>(I.A)];
+    if (LT == Type::Void)
+      return fail(Pc, "load from void-typed local");
+    S.push_back(LT);
+    break;
+  }
+  case Opcode::Store: {
+    if (I.A < 0 || I.A >= Func.NumLocals)
+      return fail(Pc, "local index out of range");
+    Type LT = Func.LocalTypes[static_cast<size_t>(I.A)];
+    if (!pop(S, LT, Pc, "stored value"))
+      return false;
+    break;
+  }
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+    if (!pop(S, Type::I64, Pc, "rhs") || !pop(S, Type::I64, Pc, "lhs"))
+      return false;
+    S.push_back(Type::I64);
+    break;
+  case Opcode::Neg:
+    if (!pop(S, Type::I64, Pc, "operand"))
+      return false;
+    S.push_back(Type::I64);
+    break;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+    if (!pop(S, Type::F64, Pc, "rhs") || !pop(S, Type::F64, Pc, "lhs"))
+      return false;
+    S.push_back(Type::F64);
+    break;
+  case Opcode::FNeg:
+    if (!pop(S, Type::F64, Pc, "operand"))
+      return false;
+    S.push_back(Type::F64);
+    break;
+  case Opcode::F2I:
+    if (!pop(S, Type::F64, Pc, "operand"))
+      return false;
+    S.push_back(Type::I64);
+    break;
+  case Opcode::I2F:
+    if (!pop(S, Type::I64, Pc, "operand"))
+      return false;
+    S.push_back(Type::F64);
+    break;
+  case Opcode::FCmpLt:
+  case Opcode::FCmpLe:
+  case Opcode::FCmpEq:
+    if (!pop(S, Type::F64, Pc, "rhs") || !pop(S, Type::F64, Pc, "lhs"))
+      return false;
+    S.push_back(Type::I64);
+    break;
+  case Opcode::Br:
+    return mergeInto(static_cast<int>(I.A), S);
+  case Opcode::BrIf:
+    if (!pop(S, Type::I64, Pc, "condition"))
+      return false;
+    if (!mergeInto(static_cast<int>(I.A), S))
+      return false;
+    return mergeInto(Pc + 1, S);
+  case Opcode::Ret:
+    if (Func.Ret != Type::Void)
+      return fail(Pc, "ret in non-void function");
+    return true;
+  case Opcode::RetVal:
+    if (Func.Ret == Type::Void)
+      return fail(Pc, "retval in void function");
+    if (!pop(S, Func.Ret, Pc, "return value"))
+      return false;
+    return true;
+  case Opcode::Call:
+  case Opcode::Spawn: {
+    if (I.A < 0 || I.A >= M.numFunctions())
+      return fail(Pc, "callee id out of range");
+    const FunctionDef &Callee = M.functionAt(static_cast<int>(I.A));
+    for (size_t P = Callee.Params.size(); P-- > 0;)
+      if (!pop(S, Callee.Params[P], Pc, "argument"))
+        return false;
+    if (I.Op == Opcode::Call && Callee.Ret != Type::Void)
+      S.push_back(Callee.Ret);
+    break;
+  }
+  case Opcode::New:
+    if (I.A < 0 || I.A >= M.numClasses())
+      return fail(Pc, "class id out of range");
+    S.push_back(Type::Ref);
+    break;
+  case Opcode::GetField: {
+    Type FT = fieldType(static_cast<int>(I.A));
+    if (FT == Type::Void)
+      return fail(Pc, "unknown field id");
+    if (!pop(S, Type::Ref, Pc, "object"))
+      return false;
+    S.push_back(FT);
+    break;
+  }
+  case Opcode::PutField: {
+    Type FT = fieldType(static_cast<int>(I.A));
+    if (FT == Type::Void)
+      return fail(Pc, "unknown field id");
+    if (!pop(S, FT, Pc, "value") || !pop(S, Type::Ref, Pc, "object"))
+      return false;
+    break;
+  }
+  case Opcode::GetGlobal:
+    if (I.A < 0 || I.A >= M.numGlobals())
+      return fail(Pc, "global id out of range");
+    S.push_back(M.globalAt(static_cast<int>(I.A)).Ty);
+    break;
+  case Opcode::PutGlobal:
+    if (I.A < 0 || I.A >= M.numGlobals())
+      return fail(Pc, "global id out of range");
+    if (!pop(S, M.globalAt(static_cast<int>(I.A)).Ty, Pc, "value"))
+      return false;
+    break;
+  case Opcode::NewArray:
+    if (!pop(S, Type::I64, Pc, "length"))
+      return false;
+    S.push_back(Type::Ref);
+    break;
+  case Opcode::ALoad:
+    if (!pop(S, Type::I64, Pc, "index") || !pop(S, Type::Ref, Pc, "array"))
+      return false;
+    S.push_back(Type::I64);
+    break;
+  case Opcode::AStore:
+    if (!pop(S, Type::I64, Pc, "value") || !pop(S, Type::I64, Pc, "index") ||
+        !pop(S, Type::Ref, Pc, "array"))
+      return false;
+    break;
+  case Opcode::ALen:
+    if (!pop(S, Type::Ref, Pc, "array"))
+      return false;
+    S.push_back(Type::I64);
+    break;
+  case Opcode::Dup:
+    if (!popAny(S, &T, Pc))
+      return false;
+    S.push_back(T);
+    S.push_back(T);
+    break;
+  case Opcode::Pop:
+    if (!popAny(S, &T, Pc))
+      return false;
+    break;
+  case Opcode::Swap: {
+    Type T2 = Type::Void;
+    if (!popAny(S, &T, Pc) || !popAny(S, &T2, Pc))
+      return false;
+    S.push_back(T);
+    S.push_back(T2);
+    break;
+  }
+  case Opcode::IOWait:
+    if (I.A < 0)
+      return fail(Pc, "negative iowait cost");
+    break;
+  case Opcode::Print:
+    if (!popAny(S, &T, Pc))
+      return false;
+    break;
+  }
+
+  if (static_cast<int>(S.size()) > Result.MaxStack)
+    Result.MaxStack = static_cast<int>(S.size());
+  return mergeInto(Pc + 1, S);
+}
+
+VerifyResult FunctionVerifier::run() {
+  Result.Ok = true;
+  auto failAndReturn = [&](int Pc, const char *Message) {
+    fail(Pc, Message);
+    return Result;
+  };
+
+  if (Func.Code.empty())
+    return failAndReturn(0, "empty function body");
+  if (Func.NumLocals < static_cast<int>(Func.Params.size()))
+    return failAndReturn(0, "fewer locals than parameters");
+  if (Func.LocalTypes.size() != static_cast<size_t>(Func.NumLocals))
+    return failAndReturn(0, "LocalTypes size does not match NumLocals");
+  if (!isTerminator(Func.Code.back().Op))
+    return failAndReturn(static_cast<int>(Func.Code.size()) - 1,
+                         "function does not end with a terminator");
+  for (size_t P = 0; P != Func.Params.size(); ++P)
+    if (Func.LocalTypes[P] != Func.Params[P])
+      return failAndReturn(0, "parameter slot type mismatch");
+
+  InState.assign(Func.Code.size(), std::nullopt);
+  InState[0] = AbsStack();
+  Worklist.push_back(0);
+  while (!Worklist.empty()) {
+    int Pc = Worklist.front();
+    Worklist.pop_front();
+    if (!step(Pc))
+      return Result;
+  }
+  return Result;
+}
+
+} // namespace
+
+VerifyResult verifyFunction(const Module &M, const FunctionDef &Func) {
+  FunctionVerifier V(M, Func);
+  return V.run();
+}
+
+VerifyResult verifyModule(const Module &M) {
+  for (const FunctionDef &F : M.functions()) {
+    VerifyResult R = verifyFunction(M, F);
+    if (!R.Ok)
+      return R;
+  }
+  VerifyResult Ok;
+  Ok.Ok = true;
+  return Ok;
+}
+
+} // namespace bytecode
+} // namespace ars

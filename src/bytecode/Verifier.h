@@ -1,0 +1,39 @@
+//===- bytecode/Verifier.h - Bytecode well-formedness checks --*- C++ -*-===//
+///
+/// \file
+/// Abstract-interpretation verifier for bytecode functions: checks branch
+/// targets, local slot bounds, stack discipline (consistent depth and types
+/// at every join), and call signatures.  Also computes each function's
+/// maximum operand stack depth, which the lowering pass uses to assign
+/// stack-slot registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_BYTECODE_VERIFIER_H
+#define ARS_BYTECODE_VERIFIER_H
+
+#include "bytecode/Module.h"
+
+#include <string>
+
+namespace ars {
+namespace bytecode {
+
+/// Result of verifying one function.
+struct VerifyResult {
+  bool Ok = false;
+  std::string Error;  ///< first problem found, empty when Ok
+  int MaxStack = 0;   ///< maximum operand stack depth
+};
+
+/// Verifies \p Func against \p M.
+VerifyResult verifyFunction(const Module &M, const FunctionDef &Func);
+
+/// Verifies every function; returns the first failure (with the function
+/// name prepended) or an Ok result.
+VerifyResult verifyModule(const Module &M);
+
+} // namespace bytecode
+} // namespace ars
+
+#endif // ARS_BYTECODE_VERIFIER_H

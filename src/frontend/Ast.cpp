@@ -1,0 +1,24 @@
+//===- frontend/Ast.cpp ---------------------------------------*- C++ -*-===//
+
+#include "frontend/Ast.h"
+
+#include "support/Support.h"
+
+namespace ars {
+namespace frontend {
+
+std::string semaTypeName(const SemaType &T) {
+  switch (T.K) {
+  case SemaType::Kind::Int:     return "int";
+  case SemaType::Kind::Float:   return "float";
+  case SemaType::Kind::Void:    return "void";
+  case SemaType::Kind::Array:   return "int[]";
+  case SemaType::Kind::Class:
+    return support::formatString("class#%d", T.ClassId);
+  case SemaType::Kind::Invalid: return "<invalid>";
+  }
+  return "<bad type>";
+}
+
+} // namespace frontend
+} // namespace ars

@@ -1,0 +1,167 @@
+//===- frontend/Ast.h - MiniJ abstract syntax ----------------*- C++ -*-===//
+///
+/// \file
+/// Compact tagged-node AST for MiniJ.  Sema annotates nodes in place
+/// (resolved types, local slots, function/field ids) so the code generator
+/// is a single traversal with no extra symbol lookups.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_FRONTEND_AST_H
+#define ARS_FRONTEND_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ars {
+namespace frontend {
+
+/// Syntactic type annotation.
+struct TypeSpec {
+  enum class Base : uint8_t { Int, Float, Void, Named, IntArray };
+  Base B = Base::Int;
+  std::string ClassName; ///< for Named
+
+  static TypeSpec makeInt() { return TypeSpec(); }
+  static TypeSpec make(Base B) {
+    TypeSpec T;
+    T.B = B;
+    return T;
+  }
+};
+
+/// Resolved semantic type.
+struct SemaType {
+  enum class Kind : uint8_t { Int, Float, Void, Array, Class, Invalid };
+  Kind K = Kind::Invalid;
+  int ClassId = -1;
+
+  static SemaType makeInt() { return {Kind::Int, -1}; }
+  static SemaType makeFloat() { return {Kind::Float, -1}; }
+  static SemaType makeVoid() { return {Kind::Void, -1}; }
+  static SemaType makeArray() { return {Kind::Array, -1}; }
+  static SemaType makeClass(int Id) { return {Kind::Class, Id}; }
+
+  bool operator==(const SemaType &O) const {
+    return K == O.K && (K != Kind::Class || ClassId == O.ClassId);
+  }
+  bool operator!=(const SemaType &O) const { return !(*this == O); }
+  bool isNumeric() const { return K == Kind::Int || K == Kind::Float; }
+};
+
+/// Name of \p T for diagnostics.
+std::string semaTypeName(const SemaType &T);
+
+/// Builtin pseudo-functions resolved by Sema.
+enum class Builtin : uint8_t {
+  None,
+  Print,    ///< print(x)
+  IOWait,   ///< iowait(<int literal>)
+  Len,      ///< len(array)
+  CastInt,  ///< int(x)
+  CastFloat ///< float(x)
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression node.
+struct Expr {
+  enum class Kind : uint8_t {
+    IntLit,
+    FloatLit,
+    VarRef,   ///< Name
+    Binary,   ///< Op, Kids[0], Kids[1]
+    Unary,    ///< Op ("-" or "!"), Kids[0]
+    Call,     ///< Name(Kids...)  — user function or builtin
+    Index,    ///< Kids[0][Kids[1]]
+    Field,    ///< Kids[0].Name
+    NewObject,///< new Name
+    NewArray  ///< new int[Kids[0]]
+  };
+  Kind K = Kind::IntLit;
+  int Line = 0;
+  int64_t IntVal = 0;
+  double FloatVal = 0.0;
+  std::string Name;
+  std::string Op;
+  std::vector<ExprPtr> Kids;
+
+  // Sema annotations.
+  SemaType Ty;
+  int Slot = -1;     ///< VarRef: local slot (or -1 when global)
+  int GlobalId = -1; ///< VarRef: global index
+  int FuncId = -1;   ///< Call: callee
+  Builtin BI = Builtin::None;
+  int FieldId = -1;  ///< Field: module field id
+  int ClassId = -1;  ///< NewObject
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Statement node.
+struct Stmt {
+  enum class Kind : uint8_t {
+    Block,    ///< Stmts
+    VarDecl,  ///< DeclTy Name = E?
+    Assign,   ///< Lhs = E
+    ExprStmt, ///< E
+    If,       ///< if (E) Body else Else
+    While,    ///< while (E) Body
+    For,      ///< for (Init; E; Step) Body
+    Return,   ///< return E?
+    Break,
+    Continue,
+    Spawn     ///< spawn Name(Args)
+  };
+  Kind K = Kind::Block;
+  int Line = 0;
+  TypeSpec DeclTy;
+  std::string Name; ///< VarDecl name / Spawn callee
+  ExprPtr Lhs;
+  ExprPtr E;
+  StmtPtr Init, Step;
+  StmtPtr Body, Else;
+  std::vector<StmtPtr> Stmts;
+  std::vector<ExprPtr> Args;
+
+  // Sema annotations.
+  int Slot = -1;   ///< VarDecl local slot
+  int FuncId = -1; ///< Spawn callee
+};
+
+/// Top-level declarations.
+struct ClassDecl {
+  std::string Name;
+  std::vector<std::pair<TypeSpec, std::string>> Fields;
+  int Line = 0;
+};
+
+struct GlobalDecl {
+  TypeSpec Ty;
+  std::string Name;
+  int Line = 0;
+};
+
+struct FuncDecl {
+  TypeSpec Ret;
+  std::string Name;
+  std::vector<std::pair<TypeSpec, std::string>> Params;
+  StmtPtr Body;
+  int Line = 0;
+};
+
+/// A parsed compilation unit.
+struct Program {
+  std::vector<ClassDecl> Classes;
+  std::vector<GlobalDecl> Globals;
+  std::vector<FuncDecl> Funcs;
+};
+
+} // namespace frontend
+} // namespace ars
+
+#endif // ARS_FRONTEND_AST_H

@@ -1,0 +1,363 @@
+//===- frontend/CodeGen.cpp -----------------------------------*- C++ -*-===//
+
+#include "frontend/CodeGen.h"
+
+#include "bytecode/Builder.h"
+#include "support/Support.h"
+
+#include <cassert>
+
+using ars::support::formatString;
+
+namespace ars {
+namespace frontend {
+
+namespace {
+
+using bytecode::Builder;
+using bytecode::Label;
+using bytecode::Opcode;
+
+class FuncEmitter {
+public:
+  FuncEmitter(const FuncDecl &Decl, bytecode::FunctionDef &Func)
+      : Decl(Decl), Func(Func), B(Func) {}
+
+  bool run(std::string *Error);
+
+private:
+  const FuncDecl &Decl;
+  bytecode::FunctionDef &Func;
+  Builder B;
+  /// Innermost-first stack of (continueTarget, breakTarget).
+  std::vector<std::pair<Label, Label>> Loops;
+
+  void emitExpr(const Expr &E);
+  void emitCondNegated(const Expr &E, Label Target); ///< jump if false
+  void emitStmt(const Stmt &S);
+};
+
+void FuncEmitter::emitExpr(const Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    B.emit(Opcode::IConst, E.IntVal);
+    return;
+  case Expr::Kind::FloatLit:
+    B.emitFConst(E.FloatVal);
+    return;
+  case Expr::Kind::VarRef:
+    if (E.Slot >= 0)
+      B.emit(Opcode::Load, E.Slot);
+    else
+      B.emit(Opcode::GetGlobal, E.GlobalId);
+    return;
+  case Expr::Kind::Binary: {
+    const Expr &L = *E.Kids[0];
+    const Expr &R = *E.Kids[1];
+    if (E.Op == "&&") {
+      Label EvalRhs = B.makeLabel(), End = B.makeLabel();
+      emitExpr(L);
+      B.emitBranch(Opcode::BrIf, EvalRhs);
+      B.emit(Opcode::IConst, 0);
+      B.emitBranch(Opcode::Br, End);
+      B.bind(EvalRhs);
+      emitExpr(R);
+      B.emit(Opcode::IConst, 0);
+      B.emit(Opcode::CmpNe);
+      B.bind(End);
+      return;
+    }
+    if (E.Op == "||") {
+      Label IsTrue = B.makeLabel(), End = B.makeLabel();
+      emitExpr(L);
+      B.emitBranch(Opcode::BrIf, IsTrue);
+      emitExpr(R);
+      B.emit(Opcode::IConst, 0);
+      B.emit(Opcode::CmpNe);
+      B.emitBranch(Opcode::Br, End);
+      B.bind(IsTrue);
+      B.emit(Opcode::IConst, 1);
+      B.bind(End);
+      return;
+    }
+
+    emitExpr(L);
+    emitExpr(R);
+    bool IsFloat = L.Ty.K == SemaType::Kind::Float;
+    if (!IsFloat) {
+      Opcode Op = Opcode::Nop;
+      if (E.Op == "+") Op = Opcode::Add;
+      else if (E.Op == "-") Op = Opcode::Sub;
+      else if (E.Op == "*") Op = Opcode::Mul;
+      else if (E.Op == "/") Op = Opcode::Div;
+      else if (E.Op == "%") Op = Opcode::Rem;
+      else if (E.Op == "&") Op = Opcode::And;
+      else if (E.Op == "|") Op = Opcode::Or;
+      else if (E.Op == "^") Op = Opcode::Xor;
+      else if (E.Op == "<<") Op = Opcode::Shl;
+      else if (E.Op == ">>") Op = Opcode::Shr;
+      else if (E.Op == "==") Op = Opcode::CmpEq;
+      else if (E.Op == "!=") Op = Opcode::CmpNe;
+      else if (E.Op == "<") Op = Opcode::CmpLt;
+      else if (E.Op == "<=") Op = Opcode::CmpLe;
+      else if (E.Op == ">") Op = Opcode::CmpGt;
+      else if (E.Op == ">=") Op = Opcode::CmpGe;
+      assert(Op != Opcode::Nop && "unhandled int binary operator");
+      B.emit(Op);
+      return;
+    }
+    // Float: arithmetic is direct; >, >= swap operands; != negates ==.
+    if (E.Op == "+") { B.emit(Opcode::FAdd); return; }
+    if (E.Op == "-") { B.emit(Opcode::FSub); return; }
+    if (E.Op == "*") { B.emit(Opcode::FMul); return; }
+    if (E.Op == "/") { B.emit(Opcode::FDiv); return; }
+    if (E.Op == "<") { B.emit(Opcode::FCmpLt); return; }
+    if (E.Op == "<=") { B.emit(Opcode::FCmpLe); return; }
+    if (E.Op == "==") { B.emit(Opcode::FCmpEq); return; }
+    if (E.Op == "!=") {
+      B.emit(Opcode::FCmpEq);
+      B.emit(Opcode::IConst, 0);
+      B.emit(Opcode::CmpEq);
+      return;
+    }
+    if (E.Op == ">") {
+      B.emit(Opcode::Swap);
+      B.emit(Opcode::FCmpLt);
+      return;
+    }
+    assert(E.Op == ">=" && "unhandled float binary operator");
+    B.emit(Opcode::Swap);
+    B.emit(Opcode::FCmpLe);
+    return;
+  }
+  case Expr::Kind::Unary:
+    if (E.Op == "!") {
+      emitExpr(*E.Kids[0]);
+      B.emit(Opcode::IConst, 0);
+      B.emit(Opcode::CmpEq);
+      return;
+    }
+    emitExpr(*E.Kids[0]);
+    B.emit(E.Kids[0]->Ty.K == SemaType::Kind::Float ? Opcode::FNeg
+                                                    : Opcode::Neg);
+    return;
+  case Expr::Kind::Call: {
+    switch (E.BI) {
+    case Builtin::Print:
+      emitExpr(*E.Kids[0]);
+      B.emit(Opcode::Print);
+      return;
+    case Builtin::IOWait:
+      B.emit(Opcode::IOWait, E.Kids[0]->IntVal);
+      return;
+    case Builtin::Len:
+      emitExpr(*E.Kids[0]);
+      B.emit(Opcode::ALen);
+      return;
+    case Builtin::CastInt:
+      emitExpr(*E.Kids[0]);
+      if (E.Kids[0]->Ty.K == SemaType::Kind::Float)
+        B.emit(Opcode::F2I);
+      return;
+    case Builtin::CastFloat:
+      emitExpr(*E.Kids[0]);
+      if (E.Kids[0]->Ty.K == SemaType::Kind::Int)
+        B.emit(Opcode::I2F);
+      return;
+    case Builtin::None:
+      break;
+    }
+    for (const ExprPtr &Arg : E.Kids)
+      emitExpr(*Arg);
+    B.emit(Opcode::Call, E.FuncId);
+    return;
+  }
+  case Expr::Kind::Index:
+    emitExpr(*E.Kids[0]);
+    emitExpr(*E.Kids[1]);
+    B.emit(Opcode::ALoad);
+    return;
+  case Expr::Kind::Field:
+    emitExpr(*E.Kids[0]);
+    B.emit(Opcode::GetField, E.FieldId);
+    return;
+  case Expr::Kind::NewObject:
+    B.emit(Opcode::New, E.ClassId);
+    return;
+  case Expr::Kind::NewArray:
+    emitExpr(*E.Kids[0]);
+    B.emit(Opcode::NewArray);
+    return;
+  }
+}
+
+void FuncEmitter::emitCondNegated(const Expr &E, Label Target) {
+  emitExpr(E);
+  B.emit(Opcode::IConst, 0);
+  B.emit(Opcode::CmpEq);
+  B.emitBranch(Opcode::BrIf, Target);
+}
+
+void FuncEmitter::emitStmt(const Stmt &S) {
+  switch (S.K) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &Child : S.Stmts)
+      emitStmt(*Child);
+    return;
+  case Stmt::Kind::VarDecl:
+    if (S.E) {
+      emitExpr(*S.E);
+      B.emit(Opcode::Store, S.Slot);
+    }
+    return;
+  case Stmt::Kind::Assign: {
+    const Expr &L = *S.Lhs;
+    switch (L.K) {
+    case Expr::Kind::VarRef:
+      emitExpr(*S.E);
+      if (L.Slot >= 0)
+        B.emit(Opcode::Store, L.Slot);
+      else
+        B.emit(Opcode::PutGlobal, L.GlobalId);
+      return;
+    case Expr::Kind::Index:
+      emitExpr(*L.Kids[0]);
+      emitExpr(*L.Kids[1]);
+      emitExpr(*S.E);
+      B.emit(Opcode::AStore);
+      return;
+    case Expr::Kind::Field:
+      emitExpr(*L.Kids[0]);
+      emitExpr(*S.E);
+      B.emit(Opcode::PutField, L.FieldId);
+      return;
+    default:
+      assert(false && "non-lvalue survived the parser");
+      return;
+    }
+  }
+  case Stmt::Kind::ExprStmt:
+    emitExpr(*S.E);
+    if (S.E->Ty.K != SemaType::Kind::Void)
+      B.emit(Opcode::Pop);
+    return;
+  case Stmt::Kind::If: {
+    Label Then = B.makeLabel(), End = B.makeLabel();
+    emitExpr(*S.E);
+    B.emitBranch(Opcode::BrIf, Then);
+    if (S.Else)
+      emitStmt(*S.Else);
+    B.emitBranch(Opcode::Br, End);
+    B.bind(Then);
+    emitStmt(*S.Body);
+    B.bind(End);
+    return;
+  }
+  case Stmt::Kind::While: {
+    Label Cond = B.makeLabel(), End = B.makeLabel();
+    B.bind(Cond);
+    emitCondNegated(*S.E, End);
+    Loops.emplace_back(Cond, End);
+    emitStmt(*S.Body);
+    Loops.pop_back();
+    B.emitBranch(Opcode::Br, Cond);
+    B.bind(End);
+    return;
+  }
+  case Stmt::Kind::For: {
+    Label Cond = B.makeLabel(), Cont = B.makeLabel(), End = B.makeLabel();
+    if (S.Init)
+      emitStmt(*S.Init);
+    B.bind(Cond);
+    if (S.E)
+      emitCondNegated(*S.E, End);
+    Loops.emplace_back(Cont, End);
+    emitStmt(*S.Body);
+    Loops.pop_back();
+    B.bind(Cont);
+    if (S.Step)
+      emitStmt(*S.Step);
+    B.emitBranch(Opcode::Br, Cond);
+    B.bind(End);
+    return;
+  }
+  case Stmt::Kind::Return:
+    if (S.E) {
+      emitExpr(*S.E);
+      B.emit(Opcode::RetVal);
+    } else {
+      B.emit(Opcode::Ret);
+    }
+    return;
+  case Stmt::Kind::Break:
+    assert(!Loops.empty() && "break outside loop survived sema");
+    B.emitBranch(Opcode::Br, Loops.back().second);
+    return;
+  case Stmt::Kind::Continue:
+    assert(!Loops.empty() && "continue outside loop survived sema");
+    B.emitBranch(Opcode::Br, Loops.back().first);
+    return;
+  case Stmt::Kind::Spawn:
+    for (const ExprPtr &Arg : S.Args)
+      emitExpr(*Arg);
+    B.emit(Opcode::Spawn, S.FuncId);
+    return;
+  }
+}
+
+bool FuncEmitter::run(std::string *Error) {
+  emitStmt(*Decl.Body);
+
+  // Fallback terminator so every path ends the function even without an
+  // explicit return (dead when the body always returns).
+  switch (Func.Ret) {
+  case bytecode::Type::Void:
+    B.emit(Opcode::Ret);
+    break;
+  case bytecode::Type::I64:
+    B.emit(Opcode::IConst, 0);
+    B.emit(Opcode::RetVal);
+    break;
+  case bytecode::Type::F64:
+    B.emitFConst(0.0);
+    B.emit(Opcode::RetVal);
+    break;
+  case bytecode::Type::Ref:
+    // No null literal exists; synthesize an empty array as the dead-path
+    // placeholder value.
+    B.emit(Opcode::IConst, 0);
+    B.emit(Opcode::NewArray);
+    B.emit(Opcode::RetVal);
+    break;
+  }
+
+  if (!B.finish()) {
+    *Error = formatString("%s: unbound label", Decl.Name.c_str());
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+CodeGenResult
+generate(const Program &Prog,
+         const std::vector<std::vector<bytecode::Type>> &LocalLayouts,
+         bytecode::Module &M) {
+  CodeGenResult Result;
+  assert(LocalLayouts.size() == Prog.Funcs.size() &&
+         "layout table does not match function count");
+  for (size_t I = 0; I != Prog.Funcs.size(); ++I) {
+    bytecode::FunctionDef &Func = M.functionAt(static_cast<int>(I));
+    Func.LocalTypes = LocalLayouts[I];
+    Func.NumLocals = static_cast<int>(LocalLayouts[I].size());
+    FuncEmitter Emitter(Prog.Funcs[I], Func);
+    if (!Emitter.run(&Result.Error))
+      return Result;
+  }
+  Result.Ok = true;
+  return Result;
+}
+
+} // namespace frontend
+} // namespace ars

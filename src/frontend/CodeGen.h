@@ -1,0 +1,38 @@
+//===- frontend/CodeGen.h - MiniJ bytecode emission -----------*- C++ -*-===//
+///
+/// \file
+/// Emits verified bytecode from the Sema-annotated AST.  Straightforward
+/// one-pass stack-machine codegen: every expression leaves exactly one
+/// value, conditions branch with BrIf, && and || short-circuit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_FRONTEND_CODEGEN_H
+#define ARS_FRONTEND_CODEGEN_H
+
+#include "bytecode/Module.h"
+#include "frontend/Ast.h"
+#include "frontend/Sema.h"
+
+#include <string>
+
+namespace ars {
+namespace frontend {
+
+/// Code generation outcome.
+struct CodeGenResult {
+  bool Ok = false;
+  std::string Error;
+};
+
+/// Fills in the function bodies of \p M from the analyzed \p Prog.
+/// \p LocalLayouts comes from SemaResult.
+CodeGenResult
+generate(const Program &Prog,
+         const std::vector<std::vector<bytecode::Type>> &LocalLayouts,
+         bytecode::Module &M);
+
+} // namespace frontend
+} // namespace ars
+
+#endif // ARS_FRONTEND_CODEGEN_H

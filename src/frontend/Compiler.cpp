@@ -1,0 +1,46 @@
+//===- frontend/Compiler.cpp ----------------------------------*- C++ -*-===//
+
+#include "frontend/Compiler.h"
+
+#include "bytecode/Verifier.h"
+#include "frontend/CodeGen.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+
+namespace ars {
+namespace frontend {
+
+CompileResult compile(const std::string &Source) {
+  CompileResult Result;
+
+  ParseResult Parsed = parseProgram(Source);
+  if (!Parsed.Ok) {
+    Result.Error = "parse error: " + Parsed.Error;
+    return Result;
+  }
+
+  SemaResult Sema = analyze(Parsed.Prog);
+  if (!Sema.Ok) {
+    Result.Error = "sema error: " + Sema.Error;
+    return Result;
+  }
+
+  CodeGenResult Gen = generate(Parsed.Prog, Sema.LocalLayouts, Sema.M);
+  if (!Gen.Ok) {
+    Result.Error = "codegen error: " + Gen.Error;
+    return Result;
+  }
+
+  bytecode::VerifyResult Verified = bytecode::verifyModule(Sema.M);
+  if (!Verified.Ok) {
+    Result.Error = "verifier rejected generated code: " + Verified.Error;
+    return Result;
+  }
+
+  Result.M = std::move(Sema.M);
+  Result.Ok = true;
+  return Result;
+}
+
+} // namespace frontend
+} // namespace ars

@@ -1,0 +1,31 @@
+//===- frontend/Compiler.h - Source-to-bytecode driver --------*- C++ -*-===//
+///
+/// \file
+/// One-call MiniJ compilation: parse, analyze, generate, verify.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_FRONTEND_COMPILER_H
+#define ARS_FRONTEND_COMPILER_H
+
+#include "bytecode/Module.h"
+
+#include <string>
+
+namespace ars {
+namespace frontend {
+
+/// Compilation outcome.
+struct CompileResult {
+  bool Ok = false;
+  std::string Error;
+  bytecode::Module M;
+};
+
+/// Compiles MiniJ \p Source to a verified bytecode module.
+CompileResult compile(const std::string &Source);
+
+} // namespace frontend
+} // namespace ars
+
+#endif // ARS_FRONTEND_COMPILER_H

@@ -1,0 +1,256 @@
+//===- frontend/Lexer.cpp -------------------------------------*- C++ -*-===//
+
+#include "frontend/Lexer.h"
+
+#include "support/Support.h"
+
+#include <cctype>
+#include <map>
+
+namespace ars {
+namespace frontend {
+
+namespace {
+
+const std::map<std::string, TokKind> &keywordMap() {
+  static const std::map<std::string, TokKind> Keywords = {
+      {"class", TokKind::KwClass},     {"global", TokKind::KwGlobal},
+      {"if", TokKind::KwIf},           {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},     {"for", TokKind::KwFor},
+      {"return", TokKind::KwReturn},   {"break", TokKind::KwBreak},
+      {"continue", TokKind::KwContinue}, {"spawn", TokKind::KwSpawn},
+      {"new", TokKind::KwNew},         {"int", TokKind::KwInt},
+      {"float", TokKind::KwFloat},     {"void", TokKind::KwVoid}};
+  return Keywords;
+}
+
+} // namespace
+
+std::vector<Token> tokenize(const std::string &Source) {
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  int Line = 1;
+  size_t Len = Source.size();
+
+  auto error = [&](const std::string &Message) {
+    Token T;
+    T.Kind = TokKind::Error;
+    T.Text = support::formatString("line %d: %s", Line, Message.c_str());
+    T.Line = Line;
+    Toks.push_back(T);
+  };
+  auto push = [&](TokKind Kind) {
+    Token T;
+    T.Kind = Kind;
+    T.Line = Line;
+    Toks.push_back(T);
+  };
+
+  while (Pos < Len) {
+    char C = Source[Pos];
+    if (C == '\n') {
+      ++Line;
+      ++Pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    // Comments: // to end of line.
+    if (C == '/' && Pos + 1 < Len && Source[Pos + 1] == '/') {
+      while (Pos < Len && Source[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Begin = Pos;
+      while (Pos < Len && (std::isalnum(static_cast<unsigned char>(
+                               Source[Pos])) ||
+                           Source[Pos] == '_'))
+        ++Pos;
+      std::string Word = Source.substr(Begin, Pos - Begin);
+      auto It = keywordMap().find(Word);
+      Token T;
+      T.Line = Line;
+      if (It != keywordMap().end()) {
+        T.Kind = It->second;
+      } else {
+        T.Kind = TokKind::Ident;
+        T.Text = std::move(Word);
+      }
+      Toks.push_back(std::move(T));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Begin = Pos;
+      bool IsFloat = false;
+      while (Pos < Len &&
+             std::isdigit(static_cast<unsigned char>(Source[Pos])))
+        ++Pos;
+      if (Pos + 1 < Len && Source[Pos] == '.' &&
+          std::isdigit(static_cast<unsigned char>(Source[Pos + 1]))) {
+        IsFloat = true;
+        ++Pos;
+        while (Pos < Len &&
+               std::isdigit(static_cast<unsigned char>(Source[Pos])))
+          ++Pos;
+      }
+      std::string Num = Source.substr(Begin, Pos - Begin);
+      Token T;
+      T.Line = Line;
+      if (IsFloat) {
+        T.Kind = TokKind::FloatLit;
+        T.FloatVal = std::stod(Num);
+      } else {
+        T.Kind = TokKind::IntLit;
+        T.IntVal = std::stoll(Num);
+      }
+      Toks.push_back(std::move(T));
+      continue;
+    }
+
+    auto twoChar = [&](char Next) {
+      return Pos + 1 < Len && Source[Pos + 1] == Next;
+    };
+    switch (C) {
+    case '(': push(TokKind::LParen); ++Pos; break;
+    case ')': push(TokKind::RParen); ++Pos; break;
+    case '{': push(TokKind::LBrace); ++Pos; break;
+    case '}': push(TokKind::RBrace); ++Pos; break;
+    case '[': push(TokKind::LBracket); ++Pos; break;
+    case ']': push(TokKind::RBracket); ++Pos; break;
+    case ';': push(TokKind::Semi); ++Pos; break;
+    case ',': push(TokKind::Comma); ++Pos; break;
+    case '.': push(TokKind::Dot); ++Pos; break;
+    case '+': push(TokKind::Plus); ++Pos; break;
+    case '-': push(TokKind::Minus); ++Pos; break;
+    case '*': push(TokKind::Star); ++Pos; break;
+    case '/': push(TokKind::Slash); ++Pos; break;
+    case '%': push(TokKind::Percent); ++Pos; break;
+    case '^': push(TokKind::Caret); ++Pos; break;
+    case '=':
+      if (twoChar('=')) {
+        push(TokKind::EqEq);
+        Pos += 2;
+      } else {
+        push(TokKind::Assign);
+        ++Pos;
+      }
+      break;
+    case '!':
+      if (twoChar('=')) {
+        push(TokKind::NotEq);
+        Pos += 2;
+      } else {
+        push(TokKind::Not);
+        ++Pos;
+      }
+      break;
+    case '<':
+      if (twoChar('=')) {
+        push(TokKind::Le);
+        Pos += 2;
+      } else if (twoChar('<')) {
+        push(TokKind::Shl);
+        Pos += 2;
+      } else {
+        push(TokKind::Lt);
+        ++Pos;
+      }
+      break;
+    case '>':
+      if (twoChar('=')) {
+        push(TokKind::Ge);
+        Pos += 2;
+      } else if (twoChar('>')) {
+        push(TokKind::Shr);
+        Pos += 2;
+      } else {
+        push(TokKind::Gt);
+        ++Pos;
+      }
+      break;
+    case '&':
+      if (twoChar('&')) {
+        push(TokKind::AndAnd);
+        Pos += 2;
+      } else {
+        push(TokKind::Amp);
+        ++Pos;
+      }
+      break;
+    case '|':
+      if (twoChar('|')) {
+        push(TokKind::OrOr);
+        Pos += 2;
+      } else {
+        push(TokKind::Pipe);
+        ++Pos;
+      }
+      break;
+    default:
+      error(support::formatString("unexpected character '%c'", C));
+      return Toks;
+    }
+  }
+  push(TokKind::End);
+  return Toks;
+}
+
+const char *tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::End:        return "end of input";
+  case TokKind::Error:      return "error";
+  case TokKind::Ident:      return "identifier";
+  case TokKind::IntLit:     return "integer literal";
+  case TokKind::FloatLit:   return "float literal";
+  case TokKind::KwClass:    return "'class'";
+  case TokKind::KwGlobal:   return "'global'";
+  case TokKind::KwIf:       return "'if'";
+  case TokKind::KwElse:     return "'else'";
+  case TokKind::KwWhile:    return "'while'";
+  case TokKind::KwFor:      return "'for'";
+  case TokKind::KwReturn:   return "'return'";
+  case TokKind::KwBreak:    return "'break'";
+  case TokKind::KwContinue: return "'continue'";
+  case TokKind::KwSpawn:    return "'spawn'";
+  case TokKind::KwNew:      return "'new'";
+  case TokKind::KwInt:      return "'int'";
+  case TokKind::KwFloat:    return "'float'";
+  case TokKind::KwVoid:     return "'void'";
+  case TokKind::LParen:     return "'('";
+  case TokKind::RParen:     return "')'";
+  case TokKind::LBrace:     return "'{'";
+  case TokKind::RBrace:     return "'}'";
+  case TokKind::LBracket:   return "'['";
+  case TokKind::RBracket:   return "']'";
+  case TokKind::Semi:       return "';'";
+  case TokKind::Comma:      return "','";
+  case TokKind::Dot:        return "'.'";
+  case TokKind::Assign:     return "'='";
+  case TokKind::Plus:       return "'+'";
+  case TokKind::Minus:      return "'-'";
+  case TokKind::Star:       return "'*'";
+  case TokKind::Slash:      return "'/'";
+  case TokKind::Percent:    return "'%'";
+  case TokKind::Not:        return "'!'";
+  case TokKind::Lt:         return "'<'";
+  case TokKind::Le:         return "'<='";
+  case TokKind::Gt:         return "'>'";
+  case TokKind::Ge:         return "'>='";
+  case TokKind::EqEq:       return "'=='";
+  case TokKind::NotEq:      return "'!='";
+  case TokKind::AndAnd:     return "'&&'";
+  case TokKind::OrOr:       return "'||'";
+  case TokKind::Amp:        return "'&'";
+  case TokKind::Pipe:       return "'|'";
+  case TokKind::Caret:      return "'^'";
+  case TokKind::Shl:        return "'<<'";
+  case TokKind::Shr:        return "'>>'";
+  }
+  return "<bad token>";
+}
+
+} // namespace frontend
+} // namespace ars

@@ -1,0 +1,94 @@
+//===- frontend/Lexer.h - MiniJ tokenizer ---------------------*- C++ -*-===//
+///
+/// \file
+/// Tokenizer for MiniJ, the small Java-like language the workloads are
+/// written in.  MiniJ plays the role Java plays in the paper: a frontend
+/// producing verifiable bytecode with classes, fields, calls and loops —
+/// exactly the events the two instrumentations profile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_FRONTEND_LEXER_H
+#define ARS_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ars {
+namespace frontend {
+
+/// Token kinds.  Punctuation tokens are named after their spelling.
+enum class TokKind : uint8_t {
+  End,
+  Error,
+  Ident,
+  IntLit,
+  FloatLit,
+  // Keywords.
+  KwClass,
+  KwGlobal,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwSpawn,
+  KwNew,
+  KwInt,
+  KwFloat,
+  KwVoid,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Assign,  // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Not,     // !
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  AndAnd,
+  OrOr,
+  Amp,     // &
+  Pipe,    // |
+  Caret,   // ^
+  Shl,     // <<
+  Shr      // >>
+};
+
+/// One token.
+struct Token {
+  TokKind Kind = TokKind::End;
+  std::string Text;    ///< identifier spelling / error message
+  int64_t IntVal = 0;
+  double FloatVal = 0.0;
+  int Line = 0;
+};
+
+/// Tokenizes \p Source.  The result always ends with an End token; lexical
+/// errors produce a single Error token whose Text describes the problem.
+std::vector<Token> tokenize(const std::string &Source);
+
+/// Spelling of \p Kind for diagnostics.
+const char *tokKindName(TokKind Kind);
+
+} // namespace frontend
+} // namespace ars
+
+#endif // ARS_FRONTEND_LEXER_H

@@ -1,0 +1,625 @@
+//===- frontend/Parser.cpp ------------------------------------*- C++ -*-===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+#include "support/Support.h"
+
+#include <cassert>
+
+using ars::support::formatString;
+
+namespace ars {
+namespace frontend {
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Toks) : Toks(std::move(Toks)) {}
+
+  ParseResult run();
+
+private:
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  ParseResult Result;
+  bool Failed = false;
+
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &peek(size_t Ahead = 1) const {
+    size_t P = Pos + Ahead;
+    return P < Toks.size() ? Toks[P] : Toks.back();
+  }
+  void advance() {
+    if (Pos + 1 < Toks.size())
+      ++Pos;
+  }
+
+  bool fail(const std::string &Message) {
+    if (!Failed) {
+      Failed = true;
+      Result.Error =
+          formatString("line %d: %s", cur().Line, Message.c_str());
+    }
+    return false;
+  }
+
+  bool expect(TokKind Kind) {
+    if (cur().Kind != Kind)
+      return fail(formatString("expected %s, found %s", tokKindName(Kind),
+                               tokKindName(cur().Kind)));
+    advance();
+    return true;
+  }
+
+  bool accept(TokKind Kind) {
+    if (cur().Kind != Kind)
+      return false;
+    advance();
+    return true;
+  }
+
+  /// True if the current token can begin a type.
+  bool atTypeStart() const {
+    TokKind K = cur().Kind;
+    return K == TokKind::KwInt || K == TokKind::KwFloat ||
+           K == TokKind::KwVoid || K == TokKind::Ident;
+  }
+
+  bool parseType(TypeSpec *Out);
+  bool parseClass();
+  bool parseGlobal();
+  bool parseFunc();
+  StmtPtr parseBlock();
+  StmtPtr parseStmt();
+  StmtPtr parseSimpleStmt(); ///< varDecl / assign / exprStmt, no ';'
+  ExprPtr parseExpr();
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  bool parseArgs(std::vector<ExprPtr> *Args);
+
+  ExprPtr makeExpr(Expr::Kind K) {
+    auto E = std::make_unique<Expr>();
+    E->K = K;
+    E->Line = cur().Line;
+    return E;
+  }
+  StmtPtr makeStmt(Stmt::Kind K) {
+    auto S = std::make_unique<Stmt>();
+    S->K = K;
+    S->Line = cur().Line;
+    return S;
+  }
+};
+
+bool Parser::parseType(TypeSpec *Out) {
+  switch (cur().Kind) {
+  case TokKind::KwInt:
+    advance();
+    if (cur().Kind == TokKind::LBracket && peek().Kind == TokKind::RBracket) {
+      advance();
+      advance();
+      *Out = TypeSpec::make(TypeSpec::Base::IntArray);
+      return true;
+    }
+    *Out = TypeSpec::make(TypeSpec::Base::Int);
+    return true;
+  case TokKind::KwFloat:
+    advance();
+    *Out = TypeSpec::make(TypeSpec::Base::Float);
+    return true;
+  case TokKind::KwVoid:
+    advance();
+    *Out = TypeSpec::make(TypeSpec::Base::Void);
+    return true;
+  case TokKind::Ident: {
+    TypeSpec T = TypeSpec::make(TypeSpec::Base::Named);
+    T.ClassName = cur().Text;
+    advance();
+    *Out = T;
+    return true;
+  }
+  default:
+    return fail("expected a type");
+  }
+}
+
+bool Parser::parseClass() {
+  advance(); // 'class'
+  if (cur().Kind != TokKind::Ident)
+    return fail("expected class name");
+  ClassDecl C;
+  C.Name = cur().Text;
+  C.Line = cur().Line;
+  advance();
+  if (!expect(TokKind::LBrace))
+    return false;
+  while (!accept(TokKind::RBrace)) {
+    if (cur().Kind == TokKind::End)
+      return fail("unterminated class body");
+    TypeSpec Ty;
+    if (!parseType(&Ty))
+      return false;
+    if (cur().Kind != TokKind::Ident)
+      return fail("expected field name");
+    C.Fields.emplace_back(Ty, cur().Text);
+    advance();
+    if (!expect(TokKind::Semi))
+      return false;
+  }
+  Result.Prog.Classes.push_back(std::move(C));
+  return true;
+}
+
+bool Parser::parseGlobal() {
+  advance(); // 'global'
+  GlobalDecl G;
+  G.Line = cur().Line;
+  if (!parseType(&G.Ty))
+    return false;
+  if (cur().Kind != TokKind::Ident)
+    return fail("expected global name");
+  G.Name = cur().Text;
+  advance();
+  if (!expect(TokKind::Semi))
+    return false;
+  Result.Prog.Globals.push_back(std::move(G));
+  return true;
+}
+
+bool Parser::parseFunc() {
+  FuncDecl F;
+  F.Line = cur().Line;
+  if (!parseType(&F.Ret))
+    return false;
+  if (cur().Kind != TokKind::Ident)
+    return fail("expected function name");
+  F.Name = cur().Text;
+  advance();
+  if (!expect(TokKind::LParen))
+    return false;
+  if (!accept(TokKind::RParen)) {
+    while (true) {
+      TypeSpec Ty;
+      if (!parseType(&Ty))
+        return false;
+      if (cur().Kind != TokKind::Ident)
+        return fail("expected parameter name");
+      F.Params.emplace_back(Ty, cur().Text);
+      advance();
+      if (accept(TokKind::RParen))
+        break;
+      if (!expect(TokKind::Comma))
+        return false;
+    }
+  }
+  F.Body = parseBlock();
+  if (!F.Body)
+    return false;
+  Result.Prog.Funcs.push_back(std::move(F));
+  return true;
+}
+
+StmtPtr Parser::parseBlock() {
+  if (cur().Kind != TokKind::LBrace) {
+    fail("expected '{'");
+    return nullptr;
+  }
+  StmtPtr Block = makeStmt(Stmt::Kind::Block);
+  advance();
+  while (!accept(TokKind::RBrace)) {
+    if (cur().Kind == TokKind::End) {
+      fail("unterminated block");
+      return nullptr;
+    }
+    StmtPtr S = parseStmt();
+    if (!S)
+      return nullptr;
+    Block->Stmts.push_back(std::move(S));
+  }
+  return Block;
+}
+
+StmtPtr Parser::parseStmt() {
+  switch (cur().Kind) {
+  case TokKind::LBrace:
+    return parseBlock();
+  case TokKind::KwIf: {
+    StmtPtr S = makeStmt(Stmt::Kind::If);
+    advance();
+    if (!expect(TokKind::LParen))
+      return nullptr;
+    S->E = parseExpr();
+    if (!S->E || !expect(TokKind::RParen))
+      return nullptr;
+    S->Body = parseStmt();
+    if (!S->Body)
+      return nullptr;
+    if (accept(TokKind::KwElse)) {
+      S->Else = parseStmt();
+      if (!S->Else)
+        return nullptr;
+    }
+    return S;
+  }
+  case TokKind::KwWhile: {
+    StmtPtr S = makeStmt(Stmt::Kind::While);
+    advance();
+    if (!expect(TokKind::LParen))
+      return nullptr;
+    S->E = parseExpr();
+    if (!S->E || !expect(TokKind::RParen))
+      return nullptr;
+    S->Body = parseStmt();
+    return S->Body ? std::move(S) : nullptr;
+  }
+  case TokKind::KwFor: {
+    StmtPtr S = makeStmt(Stmt::Kind::For);
+    advance();
+    if (!expect(TokKind::LParen))
+      return nullptr;
+    if (!accept(TokKind::Semi)) {
+      S->Init = parseSimpleStmt();
+      if (!S->Init || !expect(TokKind::Semi))
+        return nullptr;
+    }
+    if (!accept(TokKind::Semi)) {
+      S->E = parseExpr();
+      if (!S->E || !expect(TokKind::Semi))
+        return nullptr;
+    }
+    if (!accept(TokKind::RParen)) {
+      S->Step = parseSimpleStmt();
+      if (!S->Step || !expect(TokKind::RParen))
+        return nullptr;
+    }
+    S->Body = parseStmt();
+    return S->Body ? std::move(S) : nullptr;
+  }
+  case TokKind::KwReturn: {
+    StmtPtr S = makeStmt(Stmt::Kind::Return);
+    advance();
+    if (!accept(TokKind::Semi)) {
+      S->E = parseExpr();
+      if (!S->E || !expect(TokKind::Semi))
+        return nullptr;
+    }
+    return S;
+  }
+  case TokKind::KwBreak: {
+    StmtPtr S = makeStmt(Stmt::Kind::Break);
+    advance();
+    return expect(TokKind::Semi) ? std::move(S) : nullptr;
+  }
+  case TokKind::KwContinue: {
+    StmtPtr S = makeStmt(Stmt::Kind::Continue);
+    advance();
+    return expect(TokKind::Semi) ? std::move(S) : nullptr;
+  }
+  case TokKind::KwSpawn: {
+    StmtPtr S = makeStmt(Stmt::Kind::Spawn);
+    advance();
+    if (cur().Kind != TokKind::Ident) {
+      fail("expected function name after 'spawn'");
+      return nullptr;
+    }
+    S->Name = cur().Text;
+    advance();
+    if (!expect(TokKind::LParen) || !parseArgs(&S->Args) ||
+        !expect(TokKind::Semi))
+      return nullptr;
+    return S;
+  }
+  default: {
+    StmtPtr S = parseSimpleStmt();
+    if (!S || !expect(TokKind::Semi))
+      return nullptr;
+    return S;
+  }
+  }
+}
+
+StmtPtr Parser::parseSimpleStmt() {
+  // Variable declaration?  Distinguish "int x", "int[] x", "Point p" from
+  // expressions such as "int(x)" or "p.f = 1".
+  bool IsDecl = false;
+  if (cur().Kind == TokKind::KwInt || cur().Kind == TokKind::KwFloat) {
+    IsDecl = peek().Kind == TokKind::Ident ||
+             (peek().Kind == TokKind::LBracket &&
+              peek(2).Kind == TokKind::RBracket);
+  } else if (cur().Kind == TokKind::Ident) {
+    IsDecl = peek().Kind == TokKind::Ident;
+  }
+
+  if (IsDecl) {
+    StmtPtr S = makeStmt(Stmt::Kind::VarDecl);
+    if (!parseType(&S->DeclTy))
+      return nullptr;
+    if (cur().Kind != TokKind::Ident) {
+      fail("expected variable name");
+      return nullptr;
+    }
+    S->Name = cur().Text;
+    advance();
+    if (accept(TokKind::Assign)) {
+      S->E = parseExpr();
+      if (!S->E)
+        return nullptr;
+    }
+    return S;
+  }
+
+  ExprPtr E = parseExpr();
+  if (!E)
+    return nullptr;
+  if (accept(TokKind::Assign)) {
+    if (E->K != Expr::Kind::VarRef && E->K != Expr::Kind::Index &&
+        E->K != Expr::Kind::Field) {
+      fail("left side of '=' is not assignable");
+      return nullptr;
+    }
+    StmtPtr S = makeStmt(Stmt::Kind::Assign);
+    S->Lhs = std::move(E);
+    S->E = parseExpr();
+    return S->E ? std::move(S) : nullptr;
+  }
+  StmtPtr S = makeStmt(Stmt::Kind::ExprStmt);
+  S->E = std::move(E);
+  return S;
+}
+
+bool Parser::parseArgs(std::vector<ExprPtr> *Args) {
+  if (accept(TokKind::RParen))
+    return true;
+  while (true) {
+    ExprPtr A = parseExpr();
+    if (!A)
+      return false;
+    Args->push_back(std::move(A));
+    if (accept(TokKind::RParen))
+      return true;
+    if (!expect(TokKind::Comma))
+      return false;
+  }
+}
+
+namespace {
+
+/// Binary operator precedence; higher binds tighter.  -1 = not binary.
+int precedenceOf(TokKind K) {
+  switch (K) {
+  case TokKind::OrOr:    return 1;
+  case TokKind::AndAnd:  return 2;
+  case TokKind::Pipe:    return 3;
+  case TokKind::Caret:   return 4;
+  case TokKind::Amp:     return 5;
+  case TokKind::EqEq:
+  case TokKind::NotEq:   return 6;
+  case TokKind::Lt:
+  case TokKind::Le:
+  case TokKind::Gt:
+  case TokKind::Ge:      return 7;
+  case TokKind::Shl:
+  case TokKind::Shr:     return 8;
+  case TokKind::Plus:
+  case TokKind::Minus:   return 9;
+  case TokKind::Star:
+  case TokKind::Slash:
+  case TokKind::Percent: return 10;
+  default:               return -1;
+  }
+}
+
+const char *binaryOpSpelling(TokKind K) {
+  switch (K) {
+  case TokKind::OrOr:    return "||";
+  case TokKind::AndAnd:  return "&&";
+  case TokKind::Pipe:    return "|";
+  case TokKind::Caret:   return "^";
+  case TokKind::Amp:     return "&";
+  case TokKind::EqEq:    return "==";
+  case TokKind::NotEq:   return "!=";
+  case TokKind::Lt:      return "<";
+  case TokKind::Le:      return "<=";
+  case TokKind::Gt:      return ">";
+  case TokKind::Ge:      return ">=";
+  case TokKind::Shl:     return "<<";
+  case TokKind::Shr:     return ">>";
+  case TokKind::Plus:    return "+";
+  case TokKind::Minus:   return "-";
+  case TokKind::Star:    return "*";
+  case TokKind::Slash:   return "/";
+  case TokKind::Percent: return "%";
+  default:               return "?";
+  }
+}
+
+} // namespace
+
+ExprPtr Parser::parseExpr() { return parseBinary(1); }
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr Lhs = parseUnary();
+  if (!Lhs)
+    return nullptr;
+  while (true) {
+    int Prec = precedenceOf(cur().Kind);
+    if (Prec < MinPrec)
+      return Lhs;
+    TokKind OpKind = cur().Kind;
+    ExprPtr Node = makeExpr(Expr::Kind::Binary);
+    Node->Op = binaryOpSpelling(OpKind);
+    advance();
+    ExprPtr Rhs = parseBinary(Prec + 1); // all operators left-associative
+    if (!Rhs)
+      return nullptr;
+    Node->Kids.push_back(std::move(Lhs));
+    Node->Kids.push_back(std::move(Rhs));
+    Lhs = std::move(Node);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  if (cur().Kind == TokKind::Minus || cur().Kind == TokKind::Not) {
+    ExprPtr Node = makeExpr(Expr::Kind::Unary);
+    Node->Op = cur().Kind == TokKind::Minus ? "-" : "!";
+    advance();
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    Node->Kids.push_back(std::move(Operand));
+    return Node;
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  if (!E)
+    return nullptr;
+  while (true) {
+    if (accept(TokKind::LBracket)) {
+      ExprPtr Node = makeExpr(Expr::Kind::Index);
+      ExprPtr Idx = parseExpr();
+      if (!Idx || !expect(TokKind::RBracket))
+        return nullptr;
+      Node->Kids.push_back(std::move(E));
+      Node->Kids.push_back(std::move(Idx));
+      E = std::move(Node);
+      continue;
+    }
+    if (accept(TokKind::Dot)) {
+      if (cur().Kind != TokKind::Ident) {
+        fail("expected field name after '.'");
+        return nullptr;
+      }
+      ExprPtr Node = makeExpr(Expr::Kind::Field);
+      Node->Name = cur().Text;
+      advance();
+      Node->Kids.push_back(std::move(E));
+      E = std::move(Node);
+      continue;
+    }
+    return E;
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  switch (cur().Kind) {
+  case TokKind::IntLit: {
+    ExprPtr E = makeExpr(Expr::Kind::IntLit);
+    E->IntVal = cur().IntVal;
+    advance();
+    return E;
+  }
+  case TokKind::FloatLit: {
+    ExprPtr E = makeExpr(Expr::Kind::FloatLit);
+    E->FloatVal = cur().FloatVal;
+    advance();
+    return E;
+  }
+  case TokKind::LParen: {
+    advance();
+    ExprPtr E = parseExpr();
+    if (!E || !expect(TokKind::RParen))
+      return nullptr;
+    return E;
+  }
+  case TokKind::KwInt:
+  case TokKind::KwFloat: {
+    // Cast: int(e) / float(e).
+    ExprPtr E = makeExpr(Expr::Kind::Call);
+    E->Name = cur().Kind == TokKind::KwInt ? "int" : "float";
+    advance();
+    if (!expect(TokKind::LParen) || !parseArgs(&E->Kids))
+      return nullptr;
+    return E;
+  }
+  case TokKind::KwNew: {
+    advance();
+    if (cur().Kind == TokKind::KwInt) {
+      advance();
+      if (!expect(TokKind::LBracket))
+        return nullptr;
+      ExprPtr E = makeExpr(Expr::Kind::NewArray);
+      ExprPtr Len = parseExpr();
+      if (!Len || !expect(TokKind::RBracket))
+        return nullptr;
+      E->Kids.push_back(std::move(Len));
+      return E;
+    }
+    if (cur().Kind != TokKind::Ident) {
+      fail("expected class name or int[] after 'new'");
+      return nullptr;
+    }
+    ExprPtr E = makeExpr(Expr::Kind::NewObject);
+    E->Name = cur().Text;
+    advance();
+    // Allow optional empty parens: new Point().
+    if (accept(TokKind::LParen) && !expect(TokKind::RParen))
+      return nullptr;
+    return E;
+  }
+  case TokKind::Ident: {
+    if (peek().Kind == TokKind::LParen) {
+      ExprPtr E = makeExpr(Expr::Kind::Call);
+      E->Name = cur().Text;
+      advance();
+      advance(); // '('
+      if (!parseArgs(&E->Kids))
+        return nullptr;
+      return E;
+    }
+    ExprPtr E = makeExpr(Expr::Kind::VarRef);
+    E->Name = cur().Text;
+    advance();
+    return E;
+  }
+  case TokKind::Error:
+    fail(cur().Text);
+    return nullptr;
+  default:
+    fail(formatString("unexpected %s in expression",
+                      tokKindName(cur().Kind)));
+    return nullptr;
+  }
+}
+
+ParseResult Parser::run() {
+  while (cur().Kind != TokKind::End) {
+    bool Ok = false;
+    switch (cur().Kind) {
+    case TokKind::KwClass:
+      Ok = parseClass();
+      break;
+    case TokKind::KwGlobal:
+      Ok = parseGlobal();
+      break;
+    case TokKind::Error:
+      fail(cur().Text);
+      break;
+    default:
+      Ok = parseFunc();
+      break;
+    }
+    if (!Ok || Failed) {
+      Result.Ok = false;
+      return std::move(Result);
+    }
+  }
+  Result.Ok = true;
+  return std::move(Result);
+}
+
+} // namespace
+
+ParseResult parseProgram(const std::string &Source) {
+  Parser P(tokenize(Source));
+  return P.run();
+}
+
+} // namespace frontend
+} // namespace ars

@@ -1,0 +1,44 @@
+//===- frontend/Parser.h - MiniJ recursive-descent parser -----*- C++ -*-===//
+///
+/// \file
+/// Recursive-descent parser producing the MiniJ AST.  Grammar sketch:
+///
+///   program   := (classDecl | globalDecl | funcDecl)*
+///   classDecl := 'class' ID '{' (type ID ';')* '}'
+///   globalDecl:= 'global' type ID ';'
+///   funcDecl  := type ID '(' (type ID),* ')' block
+///   type      := 'int' ('[' ']')? | 'float' | 'void' | ID
+///   stmt      := block | varDecl ';' | 'if' ... | 'while' ... | 'for' ...
+///              | 'return' expr? ';' | 'break' ';' | 'continue' ';'
+///              | 'spawn' ID '(' args ')' ';' | assignOrExpr ';'
+///   expr      := '||' < '&&' < '|' < '^' < '&' < ==/!= < relational
+///              < shifts < +/- < * / % < unary < postfix < primary
+///
+/// Casts are spelled like calls: int(x), float(x).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_FRONTEND_PARSER_H
+#define ARS_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+
+#include <string>
+
+namespace ars {
+namespace frontend {
+
+/// Parse result: a program, or an error description.
+struct ParseResult {
+  bool Ok = false;
+  std::string Error;
+  Program Prog;
+};
+
+/// Parses \p Source.
+ParseResult parseProgram(const std::string &Source);
+
+} // namespace frontend
+} // namespace ars
+
+#endif // ARS_FRONTEND_PARSER_H

@@ -1,0 +1,561 @@
+//===- frontend/Sema.cpp --------------------------------------*- C++ -*-===//
+
+#include "frontend/Sema.h"
+
+#include "support/Support.h"
+
+#include <cassert>
+#include <map>
+
+using ars::support::formatString;
+
+namespace ars {
+namespace frontend {
+
+bytecode::Type toBytecodeType(const SemaType &T) {
+  switch (T.K) {
+  case SemaType::Kind::Int:   return bytecode::Type::I64;
+  case SemaType::Kind::Float: return bytecode::Type::F64;
+  case SemaType::Kind::Void:  return bytecode::Type::Void;
+  case SemaType::Kind::Array:
+  case SemaType::Kind::Class: return bytecode::Type::Ref;
+  case SemaType::Kind::Invalid:
+    break;
+  }
+  return bytecode::Type::Void;
+}
+
+namespace {
+
+class Analyzer {
+public:
+  explicit Analyzer(Program &Prog) : Prog(Prog) {}
+  SemaResult run();
+
+private:
+  Program &Prog;
+  SemaResult Result;
+  bool Failed = false;
+
+  std::map<std::string, int> ClassIds;
+  std::map<std::string, int> GlobalIds;
+  std::map<std::string, int> FuncIds;
+
+  // Current function state.
+  FuncDecl *CurFunc = nullptr;
+  SemaType CurRet;
+  std::vector<bytecode::Type> *CurLocals = nullptr;
+  /// Scope stack: (name, slot, type); scopes are marked by sentinel depth.
+  struct Local {
+    std::string Name;
+    int Slot;
+    SemaType Ty;
+  };
+  std::vector<Local> Scope;
+  std::vector<size_t> ScopeMarks;
+  int LoopDepth = 0;
+
+  bool fail(int Line, const std::string &Message) {
+    if (!Failed) {
+      Failed = true;
+      Result.Error = formatString("line %d: %s", Line, Message.c_str());
+    }
+    return false;
+  }
+
+  bool resolveType(const TypeSpec &Spec, int Line, SemaType *Out);
+  int declareLocal(const std::string &Name, SemaType Ty);
+  const Local *lookupLocal(const std::string &Name) const;
+
+  bool checkFunc(FuncDecl &F);
+  bool checkStmt(Stmt &S);
+  bool checkExpr(Expr &E);
+  bool checkCall(Expr &E);
+  bool checkCondition(Expr &E);
+};
+
+bool Analyzer::resolveType(const TypeSpec &Spec, int Line, SemaType *Out) {
+  switch (Spec.B) {
+  case TypeSpec::Base::Int:
+    *Out = SemaType::makeInt();
+    return true;
+  case TypeSpec::Base::Float:
+    *Out = SemaType::makeFloat();
+    return true;
+  case TypeSpec::Base::Void:
+    *Out = SemaType::makeVoid();
+    return true;
+  case TypeSpec::Base::IntArray:
+    *Out = SemaType::makeArray();
+    return true;
+  case TypeSpec::Base::Named: {
+    auto It = ClassIds.find(Spec.ClassName);
+    if (It == ClassIds.end())
+      return fail(Line, formatString("unknown class '%s'",
+                                     Spec.ClassName.c_str()));
+    *Out = SemaType::makeClass(It->second);
+    return true;
+  }
+  }
+  return false;
+}
+
+int Analyzer::declareLocal(const std::string &Name, SemaType Ty) {
+  int Slot = static_cast<int>(CurLocals->size());
+  CurLocals->push_back(toBytecodeType(Ty));
+  Scope.push_back({Name, Slot, Ty});
+  return Slot;
+}
+
+const Analyzer::Local *Analyzer::lookupLocal(const std::string &Name) const {
+  for (size_t I = Scope.size(); I-- > 0;)
+    if (Scope[I].Name == Name)
+      return &Scope[I];
+  return nullptr;
+}
+
+bool Analyzer::checkCondition(Expr &E) {
+  if (!checkExpr(E))
+    return false;
+  if (E.Ty.K != SemaType::Kind::Int)
+    return fail(E.Line, "condition must be int");
+  return true;
+}
+
+bool Analyzer::checkCall(Expr &E) {
+  // Builtins first.
+  if (E.Name == "print" || E.Name == "iowait" || E.Name == "len" ||
+      E.Name == "int" || E.Name == "float") {
+    if (E.Kids.size() != 1)
+      return fail(E.Line, formatString("%s takes one argument",
+                                       E.Name.c_str()));
+    if (!checkExpr(*E.Kids[0]))
+      return false;
+    const SemaType &Arg = E.Kids[0]->Ty;
+    if (E.Name == "print") {
+      E.BI = Builtin::Print;
+      E.Ty = SemaType::makeVoid();
+      return true;
+    }
+    if (E.Name == "iowait") {
+      if (E.Kids[0]->K != Expr::Kind::IntLit)
+        return fail(E.Line, "iowait requires an integer literal");
+      E.BI = Builtin::IOWait;
+      E.Ty = SemaType::makeVoid();
+      return true;
+    }
+    if (E.Name == "len") {
+      if (Arg.K != SemaType::Kind::Array)
+        return fail(E.Line, "len requires an array");
+      E.BI = Builtin::Len;
+      E.Ty = SemaType::makeInt();
+      return true;
+    }
+    if (!Arg.isNumeric())
+      return fail(E.Line, "cast requires a numeric operand");
+    E.BI = E.Name == "int" ? Builtin::CastInt : Builtin::CastFloat;
+    E.Ty = E.Name == "int" ? SemaType::makeInt() : SemaType::makeFloat();
+    return true;
+  }
+
+  auto It = FuncIds.find(E.Name);
+  if (It == FuncIds.end())
+    return fail(E.Line, formatString("unknown function '%s'",
+                                     E.Name.c_str()));
+  E.FuncId = It->second;
+  const bytecode::FunctionDef &Callee = Result.M.functionAt(E.FuncId);
+  const FuncDecl &Decl = Prog.Funcs[static_cast<size_t>(E.FuncId)];
+  if (E.Kids.size() != Callee.Params.size())
+    return fail(E.Line, formatString("'%s' expects %zu arguments, got %zu",
+                                     E.Name.c_str(), Callee.Params.size(),
+                                     E.Kids.size()));
+  for (size_t A = 0; A != E.Kids.size(); ++A) {
+    if (!checkExpr(*E.Kids[A]))
+      return false;
+    SemaType Want;
+    if (!resolveType(Decl.Params[A].first, E.Line, &Want))
+      return false;
+    if (E.Kids[A]->Ty != Want)
+      return fail(E.Line,
+                  formatString("argument %zu of '%s': expected %s, got %s",
+                               A + 1, E.Name.c_str(),
+                               semaTypeName(Want).c_str(),
+                               semaTypeName(E.Kids[A]->Ty).c_str()));
+  }
+  SemaType Ret;
+  if (!resolveType(Decl.Ret, E.Line, &Ret))
+    return false;
+  E.Ty = Ret;
+  return true;
+}
+
+bool Analyzer::checkExpr(Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    E.Ty = SemaType::makeInt();
+    return true;
+  case Expr::Kind::FloatLit:
+    E.Ty = SemaType::makeFloat();
+    return true;
+  case Expr::Kind::VarRef: {
+    if (const Local *L = lookupLocal(E.Name)) {
+      E.Slot = L->Slot;
+      E.Ty = L->Ty;
+      return true;
+    }
+    auto It = GlobalIds.find(E.Name);
+    if (It != GlobalIds.end()) {
+      E.GlobalId = It->second;
+      const bytecode::FieldDef &G = Result.M.globalAt(It->second);
+      // Recover the SemaType from the global declaration.
+      for (const GlobalDecl &GD : Prog.Globals)
+        if (GD.Name == E.Name)
+          return resolveType(GD.Ty, E.Line, &E.Ty);
+      (void)G;
+      return fail(E.Line, "global lookup inconsistency");
+    }
+    return fail(E.Line, formatString("unknown variable '%s'",
+                                     E.Name.c_str()));
+  }
+  case Expr::Kind::Binary: {
+    Expr &L = *E.Kids[0];
+    Expr &R = *E.Kids[1];
+    if (E.Op == "&&" || E.Op == "||") {
+      if (!checkCondition(L) || !checkCondition(R))
+        return false;
+      E.Ty = SemaType::makeInt();
+      return true;
+    }
+    if (!checkExpr(L) || !checkExpr(R))
+      return false;
+    bool Comparison = E.Op == "==" || E.Op == "!=" || E.Op == "<" ||
+                      E.Op == "<=" || E.Op == ">" || E.Op == ">=";
+    if (Comparison) {
+      if (L.Ty != R.Ty || !L.Ty.isNumeric())
+        return fail(E.Line, "comparison operands must both be int or both "
+                            "float");
+      E.Ty = SemaType::makeInt();
+      return true;
+    }
+    bool FloatOk = E.Op == "+" || E.Op == "-" || E.Op == "*" || E.Op == "/";
+    if (L.Ty != R.Ty)
+      return fail(E.Line, formatString("operands of '%s' have different "
+                                       "types (%s vs %s)",
+                                       E.Op.c_str(),
+                                       semaTypeName(L.Ty).c_str(),
+                                       semaTypeName(R.Ty).c_str()));
+    if (L.Ty.K == SemaType::Kind::Float && !FloatOk)
+      return fail(E.Line, formatString("operator '%s' is int-only",
+                                       E.Op.c_str()));
+    if (!L.Ty.isNumeric())
+      return fail(E.Line, formatString("operator '%s' needs numeric "
+                                       "operands",
+                                       E.Op.c_str()));
+    E.Ty = L.Ty;
+    return true;
+  }
+  case Expr::Kind::Unary: {
+    if (E.Op == "!") {
+      if (!checkCondition(*E.Kids[0]))
+        return false;
+      E.Ty = SemaType::makeInt();
+      return true;
+    }
+    if (!checkExpr(*E.Kids[0]))
+      return false;
+    if (!E.Kids[0]->Ty.isNumeric())
+      return fail(E.Line, "unary '-' needs a numeric operand");
+    E.Ty = E.Kids[0]->Ty;
+    return true;
+  }
+  case Expr::Kind::Call:
+    return checkCall(E);
+  case Expr::Kind::Index: {
+    if (!checkExpr(*E.Kids[0]) || !checkExpr(*E.Kids[1]))
+      return false;
+    if (E.Kids[0]->Ty.K != SemaType::Kind::Array)
+      return fail(E.Line, "indexing a non-array");
+    if (E.Kids[1]->Ty.K != SemaType::Kind::Int)
+      return fail(E.Line, "array index must be int");
+    E.Ty = SemaType::makeInt();
+    return true;
+  }
+  case Expr::Kind::Field: {
+    if (!checkExpr(*E.Kids[0]))
+      return false;
+    if (E.Kids[0]->Ty.K != SemaType::Kind::Class)
+      return fail(E.Line, "field access on a non-object");
+    const bytecode::ClassDef &C =
+        Result.M.classAt(E.Kids[0]->Ty.ClassId);
+    int Index = C.fieldIndexByName(E.Name);
+    if (Index < 0)
+      return fail(E.Line, formatString("class '%s' has no field '%s'",
+                                       C.Name.c_str(), E.Name.c_str()));
+    E.FieldId = C.Fields[static_cast<size_t>(Index)].FieldId;
+    // Recover the field's SemaType from the declaration.
+    const ClassDecl &CD = Prog.Classes[static_cast<size_t>(
+        E.Kids[0]->Ty.ClassId)];
+    return resolveType(CD.Fields[static_cast<size_t>(Index)].first, E.Line,
+                       &E.Ty);
+  }
+  case Expr::Kind::NewObject: {
+    auto It = ClassIds.find(E.Name);
+    if (It == ClassIds.end())
+      return fail(E.Line, formatString("unknown class '%s'",
+                                       E.Name.c_str()));
+    E.ClassId = It->second;
+    E.Ty = SemaType::makeClass(It->second);
+    return true;
+  }
+  case Expr::Kind::NewArray: {
+    if (!checkExpr(*E.Kids[0]))
+      return false;
+    if (E.Kids[0]->Ty.K != SemaType::Kind::Int)
+      return fail(E.Line, "array length must be int");
+    E.Ty = SemaType::makeArray();
+    return true;
+  }
+  }
+  return false;
+}
+
+bool Analyzer::checkStmt(Stmt &S) {
+  switch (S.K) {
+  case Stmt::Kind::Block: {
+    ScopeMarks.push_back(Scope.size());
+    for (StmtPtr &Child : S.Stmts)
+      if (!checkStmt(*Child))
+        return false;
+    Scope.resize(ScopeMarks.back());
+    ScopeMarks.pop_back();
+    return true;
+  }
+  case Stmt::Kind::VarDecl: {
+    SemaType Ty;
+    if (!resolveType(S.DeclTy, S.Line, &Ty))
+      return false;
+    if (Ty.K == SemaType::Kind::Void)
+      return fail(S.Line, "variables cannot be void");
+    if (S.E) {
+      if (!checkExpr(*S.E))
+        return false;
+      if (S.E->Ty != Ty)
+        return fail(S.Line,
+                    formatString("cannot initialize %s with %s",
+                                 semaTypeName(Ty).c_str(),
+                                 semaTypeName(S.E->Ty).c_str()));
+    }
+    // Shadowing within the same scope is rejected; outer shadowing is fine.
+    size_t ScopeBegin = ScopeMarks.empty() ? 0 : ScopeMarks.back();
+    for (size_t I = ScopeBegin; I != Scope.size(); ++I)
+      if (Scope[I].Name == S.Name)
+        return fail(S.Line, formatString("redeclaration of '%s'",
+                                         S.Name.c_str()));
+    S.Slot = declareLocal(S.Name, Ty);
+    return true;
+  }
+  case Stmt::Kind::Assign: {
+    if (!checkExpr(*S.Lhs) || !checkExpr(*S.E))
+      return false;
+    if (S.Lhs->Ty != S.E->Ty)
+      return fail(S.Line, formatString("cannot assign %s to %s",
+                                       semaTypeName(S.E->Ty).c_str(),
+                                       semaTypeName(S.Lhs->Ty).c_str()));
+    return true;
+  }
+  case Stmt::Kind::ExprStmt:
+    return checkExpr(*S.E);
+  case Stmt::Kind::If: {
+    if (!checkCondition(*S.E) || !checkStmt(*S.Body))
+      return false;
+    return !S.Else || checkStmt(*S.Else);
+  }
+  case Stmt::Kind::While: {
+    if (!checkCondition(*S.E))
+      return false;
+    ++LoopDepth;
+    bool Ok = checkStmt(*S.Body);
+    --LoopDepth;
+    return Ok;
+  }
+  case Stmt::Kind::For: {
+    ScopeMarks.push_back(Scope.size());
+    if (S.Init && !checkStmt(*S.Init))
+      return false;
+    if (S.E && !checkCondition(*S.E))
+      return false;
+    if (S.Step && !checkStmt(*S.Step))
+      return false;
+    ++LoopDepth;
+    bool Ok = checkStmt(*S.Body);
+    --LoopDepth;
+    Scope.resize(ScopeMarks.back());
+    ScopeMarks.pop_back();
+    return Ok;
+  }
+  case Stmt::Kind::Return: {
+    if (!S.E) {
+      if (CurRet.K != SemaType::Kind::Void)
+        return fail(S.Line, "missing return value");
+      return true;
+    }
+    if (CurRet.K == SemaType::Kind::Void)
+      return fail(S.Line, "void function returns a value");
+    if (!checkExpr(*S.E))
+      return false;
+    if (S.E->Ty != CurRet)
+      return fail(S.Line, formatString("return type mismatch: expected %s, "
+                                       "got %s",
+                                       semaTypeName(CurRet).c_str(),
+                                       semaTypeName(S.E->Ty).c_str()));
+    return true;
+  }
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+    if (LoopDepth == 0)
+      return fail(S.Line, "break/continue outside a loop");
+    return true;
+  case Stmt::Kind::Spawn: {
+    auto It = FuncIds.find(S.Name);
+    if (It == FuncIds.end())
+      return fail(S.Line, formatString("unknown function '%s'",
+                                       S.Name.c_str()));
+    S.FuncId = It->second;
+    const FuncDecl &Decl = Prog.Funcs[static_cast<size_t>(S.FuncId)];
+    if (S.Args.size() != Decl.Params.size())
+      return fail(S.Line, "spawn argument count mismatch");
+    for (size_t A = 0; A != S.Args.size(); ++A) {
+      if (!checkExpr(*S.Args[A]))
+        return false;
+      SemaType Want;
+      if (!resolveType(Decl.Params[A].first, S.Line, &Want))
+        return false;
+      if (S.Args[A]->Ty != Want)
+        return fail(S.Line, "spawn argument type mismatch");
+    }
+    return true;
+  }
+  }
+  return false;
+}
+
+bool Analyzer::checkFunc(FuncDecl &F) {
+  CurFunc = &F;
+  if (!resolveType(F.Ret, F.Line, &CurRet))
+    return false;
+  Scope.clear();
+  ScopeMarks.clear();
+  LoopDepth = 0;
+
+  size_t Index = static_cast<size_t>(&F - Prog.Funcs.data());
+  CurLocals = &Result.LocalLayouts[Index];
+  CurLocals->clear();
+  for (auto &[Ty, Name] : F.Params) {
+    SemaType PTy;
+    if (!resolveType(Ty, F.Line, &PTy))
+      return false;
+    if (PTy.K == SemaType::Kind::Void)
+      return fail(F.Line, "void parameter");
+    declareLocal(Name, PTy);
+  }
+  // The body's top-level statements share the parameter scope, so a
+  // declaration there cannot shadow a parameter.
+  assert(F.Body->K == Stmt::Kind::Block && "function body is not a block");
+  for (StmtPtr &Child : F.Body->Stmts)
+    if (!checkStmt(*Child))
+      return false;
+  return true;
+}
+
+SemaResult Analyzer::run() {
+  Result.Ok = true;
+
+  // Pass 1: class names.
+  for (ClassDecl &C : Prog.Classes) {
+    if (ClassIds.count(C.Name)) {
+      fail(C.Line, formatString("duplicate class '%s'", C.Name.c_str()));
+      break;
+    }
+    ClassIds[C.Name] = Result.M.addClass(C.Name);
+  }
+  // Pass 2: class fields (may reference any class).
+  if (!Failed) {
+    for (ClassDecl &C : Prog.Classes) {
+      int ClassId = ClassIds[C.Name];
+      for (auto &[Ty, Name] : C.Fields) {
+        SemaType FTy;
+        if (!resolveType(Ty, C.Line, &FTy))
+          break;
+        if (FTy.K == SemaType::Kind::Void) {
+          fail(C.Line, "void field");
+          break;
+        }
+        Result.M.addField(ClassId, Name, toBytecodeType(FTy));
+      }
+      if (Failed)
+        break;
+    }
+  }
+  // Pass 3: globals.
+  if (!Failed) {
+    for (GlobalDecl &G : Prog.Globals) {
+      SemaType GTy;
+      if (!resolveType(G.Ty, G.Line, &GTy))
+        break;
+      if (GTy.K == SemaType::Kind::Void) {
+        fail(G.Line, "void global");
+        break;
+      }
+      if (GlobalIds.count(G.Name)) {
+        fail(G.Line, formatString("duplicate global '%s'", G.Name.c_str()));
+        break;
+      }
+      GlobalIds[G.Name] = Result.M.addGlobal(G.Name, toBytecodeType(GTy));
+    }
+  }
+  // Pass 4: function signatures.
+  if (!Failed) {
+    for (FuncDecl &F : Prog.Funcs) {
+      if (FuncIds.count(F.Name)) {
+        fail(F.Line, formatString("duplicate function '%s'",
+                                  F.Name.c_str()));
+        break;
+      }
+      std::vector<bytecode::Type> Params;
+      SemaType Tmp;
+      for (auto &[Ty, Name] : F.Params) {
+        (void)Name;
+        if (!resolveType(Ty, F.Line, &Tmp))
+          break;
+        Params.push_back(toBytecodeType(Tmp));
+      }
+      if (Failed)
+        break;
+      if (!resolveType(F.Ret, F.Line, &Tmp))
+        break;
+      FuncIds[F.Name] =
+          Result.M.addFunction(F.Name, std::move(Params),
+                               toBytecodeType(Tmp));
+    }
+  }
+  // Pass 5: bodies.
+  if (!Failed) {
+    Result.LocalLayouts.resize(Prog.Funcs.size());
+    for (FuncDecl &F : Prog.Funcs)
+      if (!checkFunc(F))
+        break;
+  }
+
+  Result.Ok = !Failed;
+  return std::move(Result);
+}
+
+} // namespace
+
+SemaResult analyze(Program &Prog) {
+  Analyzer A(Prog);
+  return A.run();
+}
+
+} // namespace frontend
+} // namespace ars

@@ -1,0 +1,41 @@
+//===- frontend/Sema.h - MiniJ semantic analysis --------------*- C++ -*-===//
+///
+/// \file
+/// Type checker and symbol resolver.  Builds the bytecode Module skeleton
+/// (classes, globals, function signatures), annotates the AST in place with
+/// resolved slots/ids/types, and records each function's local-slot layout
+/// for the code generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_FRONTEND_SEMA_H
+#define ARS_FRONTEND_SEMA_H
+
+#include "bytecode/Module.h"
+#include "frontend/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace ars {
+namespace frontend {
+
+/// Sema output.
+struct SemaResult {
+  bool Ok = false;
+  std::string Error;
+  bytecode::Module M; ///< classes, globals and signatures (bodies empty)
+  /// Per-function local slot types, including parameters, in slot order.
+  std::vector<std::vector<bytecode::Type>> LocalLayouts;
+};
+
+/// Checks \p Prog, annotating its nodes.
+SemaResult analyze(Program &Prog);
+
+/// Lowers a resolved SemaType to its bytecode value category.
+bytecode::Type toBytecodeType(const SemaType &T);
+
+} // namespace frontend
+} // namespace ars
+
+#endif // ARS_FRONTEND_SEMA_H

@@ -1,0 +1,46 @@
+//===- harness/Experiment.cpp ---------------------------------*- C++ -*-===//
+
+#include "harness/Experiment.h"
+
+#include "support/Support.h"
+
+#include <cassert>
+
+namespace ars {
+namespace harness {
+
+ExperimentResult runExperiment(const Program &P, int64_t ScaleArg,
+                               const RunConfig &C) {
+  ExperimentResult Result;
+
+  sampling::Options Opts = C.Transform;
+  InstrumentedProgram IP = instrumentProgram(P, C.Clients, Opts);
+  Result.CodeSizeBefore = IP.CodeSizeBefore;
+  Result.CodeSizeAfter = IP.CodeSizeAfter;
+  Result.TransformMs = IP.TransformMs;
+
+  runtime::EngineConfig EC = C.Engine;
+  EC.BurstLength = Opts.BurstLength; // keep runtime and transform in sync
+  runtime::ExecutionEngine Engine(P.M, IP.Funcs, IP.Registry, EC);
+
+  const bytecode::FunctionDef *Main = P.M.functionByName("main");
+  assert(Main && "workload has no main function");
+  Result.Stats = Engine.run(Main->FuncId, {ScaleArg});
+  Result.Profiles = Engine.profiles();
+  return Result;
+}
+
+ExperimentResult runBaseline(const Program &P, int64_t ScaleArg) {
+  RunConfig C;
+  C.Transform.M = sampling::Mode::Baseline;
+  return runExperiment(P, ScaleArg, C);
+}
+
+double overheadPct(const ExperimentResult &Baseline,
+                   const ExperimentResult &Measured) {
+  return support::percentOver(static_cast<double>(Baseline.Stats.Cycles),
+                              static_cast<double>(Measured.Stats.Cycles));
+}
+
+} // namespace harness
+} // namespace ars

@@ -1,0 +1,59 @@
+//===- harness/Experiment.h - Experiment driver ---------------*- C++ -*-===//
+///
+/// \file
+/// Runs one (workload, transform, trigger) configuration and reports the
+/// numbers the paper's tables are made of: simulated cycles, overhead
+/// against a baseline run, sample counts, and the collected profiles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_HARNESS_EXPERIMENT_H
+#define ARS_HARNESS_EXPERIMENT_H
+
+#include "harness/Pipeline.h"
+#include "profile/Profiles.h"
+#include "runtime/Engine.h"
+
+namespace ars {
+namespace harness {
+
+/// Full configuration of one run.
+struct RunConfig {
+  sampling::Options Transform;
+  runtime::EngineConfig Engine;
+  std::vector<const instr::Instrumentation *> Clients;
+};
+
+/// What one run produced.
+struct ExperimentResult {
+  runtime::RunStats Stats;
+  profile::ProfileBundle Profiles;
+  int CodeSizeBefore = 0;
+  int CodeSizeAfter = 0;
+  double TransformMs = 0.0;
+  /// Total checks+guarded-probe checks executed (No-Duplication counts its
+  /// guards here so Table 4's "Num Samples" can be read off uniformly).
+  uint64_t checksExecuted() const {
+    return Stats.CheckExecs + Stats.GuardedProbeExecs;
+  }
+  uint64_t samplesTaken() const {
+    return Stats.SamplesTaken + Stats.GuardedProbesTaken;
+  }
+};
+
+/// Instruments \p P per \p C, runs entry function "main" with the single
+/// integer argument \p ScaleArg, and returns stats + profiles.
+ExperimentResult runExperiment(const Program &P, int64_t ScaleArg,
+                               const RunConfig &C);
+
+/// Convenience: a baseline (uninstrumented, yieldpoints-only) run.
+ExperimentResult runBaseline(const Program &P, int64_t ScaleArg);
+
+/// Overhead of \p Measured relative to \p Baseline in percent.
+double overheadPct(const ExperimentResult &Baseline,
+                   const ExperimentResult &Measured);
+
+} // namespace harness
+} // namespace ars
+
+#endif // ARS_HARNESS_EXPERIMENT_H

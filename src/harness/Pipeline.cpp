@@ -1,0 +1,73 @@
+//===- harness/Pipeline.cpp -----------------------------------*- C++ -*-===//
+
+#include "harness/Pipeline.h"
+
+#include "frontend/Compiler.h"
+#include "ir/IRVerifier.h"
+#include "lowering/Cleanup.h"
+#include "lowering/Lowering.h"
+#include "opt/Passes.h"
+#include "support/Support.h"
+
+namespace ars {
+namespace harness {
+
+BuildResult buildProgram(const std::string &Source) {
+  return buildProgram(Source, BuildOptions());
+}
+
+BuildResult buildProgram(const std::string &Source,
+                         const BuildOptions &Options) {
+  BuildResult Result;
+  support::HostTimer Timer;
+
+  frontend::CompileResult Compiled = frontend::compile(Source);
+  if (!Compiled.Ok) {
+    Result.Error = Compiled.Error;
+    return Result;
+  }
+
+  lowering::LowerModuleResult Lowered = lowering::lowerModule(Compiled.M);
+  if (!Lowered.Ok) {
+    Result.Error = "lowering failed: " + Lowered.Error;
+    return Result;
+  }
+  for (ir::IRFunction &F : Lowered.Funcs) {
+    lowering::cleanupFunction(F);
+    if (Options.Optimize)
+      opt::optimizeFunction(F);
+    std::string Bad = ir::verifyFunction(F);
+    if (!Bad.empty()) {
+      Result.Error = "IR verifier: " + Bad;
+      return Result;
+    }
+  }
+
+  Result.P.M = std::move(Compiled.M);
+  Result.P.Funcs = std::move(Lowered.Funcs);
+  Result.P.CompileMs = Timer.elapsedMs();
+  Result.Ok = true;
+  return Result;
+}
+
+InstrumentedProgram
+instrumentProgram(const Program &P,
+                  const std::vector<const instr::Instrumentation *> &Clients,
+                  const sampling::Options &Opts) {
+  InstrumentedProgram Out;
+  support::HostTimer Timer;
+  Out.Funcs = P.Funcs; // fresh copy; the transform mutates in place
+  for (ir::IRFunction &F : Out.Funcs) {
+    Out.CodeSizeBefore += F.codeSize();
+    instr::FunctionPlan Plan =
+        instr::planFunction(F, P.M, Clients, Out.Registry);
+    Out.Transforms.push_back(
+        sampling::transformFunction(F, Plan, Opts));
+    Out.CodeSizeAfter += F.codeSize();
+  }
+  Out.TransformMs = Timer.elapsedMs();
+  return Out;
+}
+
+} // namespace harness
+} // namespace ars

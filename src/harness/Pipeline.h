@@ -1,0 +1,73 @@
+//===- harness/Pipeline.h - Source -> baseline IR -> variants -*- C++ -*-===//
+///
+/// \file
+/// The compilation pipeline the experiments share: MiniJ source is
+/// compiled to bytecode, lowered to cleaned CFG IR (the "baseline
+/// compiler"), and then instrumented/transformed per experiment
+/// configuration.  Instrumentation produces a fresh copy of the IR each
+/// time, so one Program serves many configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_HARNESS_PIPELINE_H
+#define ARS_HARNESS_PIPELINE_H
+
+#include "bytecode/Module.h"
+#include "instr/Instrumentation.h"
+#include "ir/IR.h"
+#include "sampling/Transform.h"
+
+#include <string>
+#include <vector>
+
+namespace ars {
+namespace harness {
+
+/// A compiled, pre-transform program.
+struct Program {
+  bytecode::Module M;
+  std::vector<ir::IRFunction> Funcs; ///< cleaned baseline IR, by FuncId
+  double CompileMs = 0.0;            ///< host time: parse+sema+gen+lower
+};
+
+/// Compilation outcome.
+struct BuildResult {
+  bool Ok = false;
+  std::string Error;
+  Program P;
+};
+
+/// Pipeline knobs.
+struct BuildOptions {
+  /// Run the optimizing-compiler passes (opt/Passes.h) after lowering —
+  /// the paper's "compiled at level O2" configuration.  Off by default so
+  /// the calibrated workload signatures stay put; the optimizer's own
+  /// tests and the arsc --optimize flag exercise it.
+  bool Optimize = false;
+};
+
+/// Compiles MiniJ \p Source through lowering and cleanup.
+BuildResult buildProgram(const std::string &Source);
+BuildResult buildProgram(const std::string &Source,
+                         const BuildOptions &Options);
+
+/// A transformed program ready to execute.
+struct InstrumentedProgram {
+  std::vector<ir::IRFunction> Funcs;
+  instr::ProbeRegistry Registry;
+  std::vector<sampling::TransformResult> Transforms; ///< per function
+  double TransformMs = 0.0; ///< host time spent planning + transforming
+  int CodeSizeBefore = 0;
+  int CodeSizeAfter = 0;
+};
+
+/// Plans probes with \p Clients and applies \p Opts to every function.
+InstrumentedProgram
+instrumentProgram(const Program &P,
+                  const std::vector<const instr::Instrumentation *> &Clients,
+                  const sampling::Options &Opts);
+
+} // namespace harness
+} // namespace ars
+
+#endif // ARS_HARNESS_PIPELINE_H

@@ -1,0 +1,252 @@
+//===- instr/Clients.cpp --------------------------------------*- C++ -*-===//
+
+#include "instr/Clients.h"
+
+#include "analysis/Backedges.h"
+#include "bytecode/Module.h"
+
+#include <algorithm>
+
+namespace ars {
+namespace instr {
+
+using ir::IRInst;
+using ir::IROp;
+
+void CallEdgeInstrumentation::plan(const ir::IRFunction &F,
+                                   const bytecode::Module &M,
+                                   ProbeRegistry &Registry,
+                                   FunctionPlan &Plan) const {
+  (void)M;
+  ProbeEntry P;
+  P.Kind = ProbeKind::CallEdge;
+  P.CostCycles = CostCycles;
+  P.FuncId = F.FuncId;
+  int Id = Registry.add(P);
+
+  ProbeAnchor Anchor;
+  Anchor.Kind = AnchorKind::MethodEntry;
+  Anchor.Block = F.Entry;
+  Anchor.InstIdx = 0;
+  Anchor.ProbeId = Id;
+  Plan.Anchors.push_back(Anchor);
+}
+
+void FieldAccessInstrumentation::plan(const ir::IRFunction &F,
+                                      const bytecode::Module &M,
+                                      ProbeRegistry &Registry,
+                                      FunctionPlan &Plan) const {
+  for (const ir::BasicBlock &BB : F.Blocks) {
+    for (size_t I = 0; I != BB.Insts.size(); ++I) {
+      const IRInst &Inst = BB.Insts[I];
+      int FieldId = -1;
+      switch (Inst.Op) {
+      case IROp::GetField:
+      case IROp::PutField:
+        FieldId = static_cast<int>(Inst.Imm);
+        break;
+      case IROp::GetGlobal:
+      case IROp::PutGlobal:
+        FieldId = M.globalAt(static_cast<int>(Inst.Imm)).FieldId;
+        break;
+      default:
+        continue;
+      }
+      ProbeEntry P;
+      P.Kind = ProbeKind::FieldAccess;
+      P.CostCycles = CostCycles;
+      P.FuncId = F.FuncId;
+      P.Payload = FieldId;
+      int Id = Registry.add(P);
+
+      ProbeAnchor Anchor;
+      Anchor.Kind = AnchorKind::BeforeInst;
+      Anchor.Block = BB.Id;
+      Anchor.InstIdx = static_cast<int>(I);
+      Anchor.ProbeId = Id;
+      Plan.Anchors.push_back(Anchor);
+    }
+  }
+}
+
+void BlockCountInstrumentation::plan(const ir::IRFunction &F,
+                                     const bytecode::Module &M,
+                                     ProbeRegistry &Registry,
+                                     FunctionPlan &Plan) const {
+  (void)M;
+  int Step = Stride < 1 ? 1 : Stride;
+  for (const ir::BasicBlock &BB : F.Blocks) {
+    if (BB.Id % Step != 0)
+      continue;
+    ProbeEntry P;
+    P.Kind = ProbeKind::BlockCount;
+    P.CostCycles = CostCycles;
+    P.FuncId = F.FuncId;
+    P.Payload = BB.Id;
+    int Id = Registry.add(P);
+
+    ProbeAnchor Anchor;
+    Anchor.Kind = AnchorKind::BeforeInst;
+    Anchor.Block = BB.Id;
+    Anchor.InstIdx = 0;
+    Anchor.ProbeId = Id;
+    Plan.Anchors.push_back(Anchor);
+  }
+}
+
+void EdgeCountInstrumentation::plan(const ir::IRFunction &F,
+                                    const bytecode::Module &M,
+                                    ProbeRegistry &Registry,
+                                    FunctionPlan &Plan) const {
+  (void)M;
+  analysis::CFG Graph(F);
+  for (int B = 0; B != Graph.numBlocks(); ++B) {
+    if (!Graph.isReachable(B))
+      continue;
+    for (int S : Graph.successors(B)) {
+      ProbeEntry P;
+      P.Kind = ProbeKind::EdgeCount;
+      P.CostCycles = CostCycles;
+      P.FuncId = F.FuncId;
+      P.Payload = B;
+      P.Payload2 = S;
+      int Id = Registry.add(P);
+
+      ProbeAnchor Anchor;
+      Anchor.Kind = AnchorKind::OnEdge;
+      Anchor.Block = B;
+      Anchor.InstIdx = S;
+      Anchor.ProbeId = Id;
+      Plan.Anchors.push_back(Anchor);
+    }
+  }
+}
+
+void PathProfileInstrumentation::plan(const ir::IRFunction &F,
+                                      const bytecode::Module &M,
+                                      ProbeRegistry &Registry,
+                                      FunctionPlan &Plan) const {
+  (void)M;
+  analysis::CFG Graph(F);
+  analysis::DominatorTree DT(Graph);
+  analysis::BackedgeInfo BI = analysis::findBackedges(Graph, DT);
+  int N = Graph.numBlocks();
+
+  // DAG successors: CFG successors minus backedges.
+  auto dagSuccs = [&](int B) {
+    std::vector<int> Out;
+    for (int S : Graph.successors(B))
+      if (!BI.isBackedge(B, S))
+        Out.push_back(S);
+    return Out;
+  };
+
+  // NumPaths in reverse topological order.  Reverse postorder is a
+  // topological order of the DAG, so walk it backwards.
+  std::vector<int64_t> NumPaths(N, 0);
+  const std::vector<int> &Rpo = Graph.reversePostorder();
+  for (auto It = Rpo.rbegin(); It != Rpo.rend(); ++It) {
+    int B = *It;
+    std::vector<int> Succs = dagSuccs(B);
+    if (Succs.empty()) {
+      NumPaths[B] = 1;
+      continue;
+    }
+    int64_t Sum = 0;
+    for (int S : Succs)
+      Sum += NumPaths[S];
+    NumPaths[B] = std::min<int64_t>(Sum, MaxPaths);
+  }
+  if (!Graph.isReachable(F.Entry) || NumPaths[F.Entry] >= MaxPaths)
+    return; // too many static paths; skip this function
+
+  auto addProbe = [&](ProbeKind Kind, int Payload) {
+    ProbeEntry P;
+    P.Kind = Kind;
+    P.CostCycles = CostCycles;
+    P.FuncId = F.FuncId;
+    P.Payload = Payload;
+    return Registry.add(P);
+  };
+
+  // Reset at method entry.
+  ProbeAnchor Reset;
+  Reset.Kind = AnchorKind::MethodEntry;
+  Reset.Block = F.Entry;
+  Reset.InstIdx = 0;
+  Reset.ProbeId = addProbe(ProbeKind::PathReset, 0);
+  Plan.Anchors.push_back(Reset);
+
+  // Increments on DAG edges (Ball-Larus edge values).
+  for (int B : Rpo) {
+    int64_t Running = 0;
+    for (int S : dagSuccs(B)) {
+      if (Running > 0) {
+        ProbeAnchor A;
+        A.Kind = AnchorKind::OnEdge;
+        A.Block = B;
+        A.InstIdx = S;
+        A.ProbeId =
+            addProbe(ProbeKind::PathAdd, static_cast<int>(Running));
+        Plan.Anchors.push_back(A);
+      }
+      Running += NumPaths[S];
+    }
+  }
+
+  // Record-and-reset on backedges...
+  for (const analysis::Edge &E : BI.Backedges) {
+    ProbeAnchor A;
+    A.Kind = AnchorKind::OnEdge;
+    A.Block = E.From;
+    A.InstIdx = E.To;
+    A.ProbeId = addProbe(ProbeKind::PathEnd, 0);
+    Plan.Anchors.push_back(A);
+  }
+  // ... and before every return.
+  for (const ir::BasicBlock &BB : F.Blocks) {
+    const IRInst &Term = BB.terminator();
+    if (Term.Op != IROp::Ret && Term.Op != IROp::RetVal)
+      continue;
+    if (!Graph.isReachable(BB.Id))
+      continue;
+    ProbeAnchor A;
+    A.Kind = AnchorKind::BeforeInst;
+    A.Block = BB.Id;
+    A.InstIdx = static_cast<int>(BB.Insts.size()) - 1;
+    A.ProbeId = addProbe(ProbeKind::PathEnd, 0);
+    Plan.Anchors.push_back(A);
+  }
+}
+
+void ValueProfileInstrumentation::plan(const ir::IRFunction &F,
+                                       const bytecode::Module &M,
+                                       ProbeRegistry &Registry,
+                                       FunctionPlan &Plan) const {
+  (void)M;
+  for (const ir::BasicBlock &BB : F.Blocks) {
+    for (size_t I = 0; I != BB.Insts.size(); ++I) {
+      const IRInst &Inst = BB.Insts[I];
+      if (Inst.Op != IROp::Call || Inst.Args.empty())
+        continue;
+      ProbeEntry P;
+      P.Kind = ProbeKind::Value;
+      P.CostCycles = CostCycles;
+      P.FuncId = F.FuncId;
+      P.SiteId = (static_cast<uint64_t>(F.FuncId) << 32) |
+                 static_cast<uint32_t>(Inst.Aux);
+      P.ValueReg = Inst.Args[0];
+      int Id = Registry.add(P);
+
+      ProbeAnchor Anchor;
+      Anchor.Kind = AnchorKind::BeforeInst;
+      Anchor.Block = BB.Id;
+      Anchor.InstIdx = static_cast<int>(I);
+      Anchor.ProbeId = Id;
+      Plan.Anchors.push_back(Anchor);
+    }
+  }
+}
+
+} // namespace instr
+} // namespace ars

@@ -1,0 +1,22 @@
+//===- instr/Instrumentation.cpp ------------------------------*- C++ -*-===//
+
+#include "instr/Instrumentation.h"
+
+namespace ars {
+namespace instr {
+
+Instrumentation::~Instrumentation() = default;
+
+FunctionPlan
+planFunction(const ir::IRFunction &F, const bytecode::Module &M,
+             const std::vector<const Instrumentation *> &Clients,
+             ProbeRegistry &Registry) {
+  FunctionPlan Plan;
+  Plan.FuncId = F.FuncId;
+  for (const Instrumentation *Client : Clients)
+    Client->plan(F, M, Registry, Plan);
+  return Plan;
+}
+
+} // namespace instr
+} // namespace ars

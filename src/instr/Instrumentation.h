@@ -1,0 +1,55 @@
+//===- instr/Instrumentation.h - Client interface -------------*- C++ -*-===//
+///
+/// \file
+/// The interface instrumentation clients implement.  A client inspects one
+/// function's IR and decides where its probes go; the sampling framework
+/// decides *when* those probes run.  This mirrors the paper's separation of
+/// concerns: "implementors of instrumentation techniques ... concentrate on
+/// developing new techniques quickly and correctly, rather than focusing on
+/// minimizing overhead".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_INSTR_INSTRUMENTATION_H
+#define ARS_INSTR_INSTRUMENTATION_H
+
+#include "instr/Probe.h"
+#include "ir/IR.h"
+
+#include <memory>
+#include <vector>
+
+namespace ars {
+namespace bytecode {
+class Module;
+}
+
+namespace instr {
+
+/// Base class for instrumentation clients.
+class Instrumentation {
+public:
+  virtual ~Instrumentation();
+
+  /// Client name, for reports.
+  virtual const char *name() const = 0;
+
+  /// Plans probes for \p F: registers them in \p Registry and anchors them
+  /// in \p Plan (whose FuncId is already set).  \p M provides symbol
+  /// information such as the global-to-field-id map.
+  virtual void plan(const ir::IRFunction &F, const bytecode::Module &M,
+                    ProbeRegistry &Registry, FunctionPlan &Plan) const = 0;
+};
+
+/// Convenience: runs every client in \p Clients over \p F, producing one
+/// merged plan (the paper: "multiple types of instrumentation can be used
+/// simultaneously ... while recompiling the method only once").
+FunctionPlan
+planFunction(const ir::IRFunction &F, const bytecode::Module &M,
+             const std::vector<const Instrumentation *> &Clients,
+             ProbeRegistry &Registry);
+
+} // namespace instr
+} // namespace ars
+
+#endif // ARS_INSTR_INSTRUMENTATION_H

@@ -1,0 +1,22 @@
+//===- instr/Probe.cpp ----------------------------------------*- C++ -*-===//
+
+#include "instr/Probe.h"
+
+#include <cassert>
+
+namespace ars {
+namespace instr {
+
+int ProbeRegistry::add(ProbeEntry Entry) {
+  Entry.Id = static_cast<int>(Entries.size());
+  Entries.push_back(Entry);
+  return Entries.back().Id;
+}
+
+const ProbeEntry &ProbeRegistry::entry(int Id) const {
+  assert(Id >= 0 && Id < size() && "bad probe id");
+  return Entries[Id];
+}
+
+} // namespace instr
+} // namespace ars

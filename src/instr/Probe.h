@@ -1,0 +1,95 @@
+//===- instr/Probe.h - Probe registry and placement plans -----*- C++ -*-===//
+///
+/// \file
+/// A probe is one instrumentation operation.  Instrumentation clients
+/// register probes (what to do, what it costs) in a ProbeRegistry and
+/// anchor them to pre-transform IR locations in a FunctionPlan.  The
+/// sampling transforms then plant Probe / GuardedProbe instructions at the
+/// anchors — in duplicated code (Full/Partial-Duplication), guarded in
+/// place (No-Duplication), or unguarded in place (Exhaustive).
+///
+/// Keeping the probe *semantics* in a small closed enum (rather than
+/// std::function) lets the execution engine dispatch probes with a switch
+/// and, more importantly, keeps the framework/instrumentation layering of
+/// the paper: "overhead is controlled entirely by the framework", and the
+/// framework never needs to know what a probe does beyond its cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_INSTR_PROBE_H
+#define ARS_INSTR_PROBE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ars {
+namespace instr {
+
+/// What a probe does when executed.
+enum class ProbeKind : uint8_t {
+  CallEdge,    ///< record (caller, call-site, callee) for the current frame
+  FieldAccess, ///< increment the counter of field Payload
+  BlockCount,  ///< increment the counter of (FuncId, Payload)
+  Value,       ///< record the value of register ValueReg at site SiteId
+  EdgeCount,   ///< increment the counter of edge (FuncId, Payload, Payload2)
+  PathReset,   ///< zero the frame's Ball-Larus path register
+  PathAdd,     ///< add Payload to the frame's path register
+  PathEnd      ///< record (FuncId, path register) and zero the register
+};
+
+/// One registered probe.
+struct ProbeEntry {
+  int Id = -1;
+  ProbeKind Kind = ProbeKind::BlockCount;
+  uint32_t CostCycles = 1; ///< simulated cost of executing the probe body
+  int FuncId = -1;         ///< function the probe is planted in
+  int Payload = -1;        ///< field id / block id / edge source / path inc
+  int Payload2 = -1;       ///< edge target
+  uint64_t SiteId = 0;     ///< value-profile site identifier
+  int ValueReg = -1;       ///< register profiled by Value probes
+};
+
+/// Owns all probes of one compiled program.
+class ProbeRegistry {
+public:
+  /// Registers \p Entry (its Id field is assigned); returns the id.
+  int add(ProbeEntry Entry);
+
+  const ProbeEntry &entry(int Id) const;
+  int size() const { return static_cast<int>(Entries.size()); }
+  const std::vector<ProbeEntry> &entries() const { return Entries; }
+
+private:
+  std::vector<ProbeEntry> Entries;
+};
+
+/// Where a probe attaches, in pre-transform IR coordinates.
+enum class AnchorKind : uint8_t {
+  MethodEntry, ///< top of the entry block
+  BeforeInst,  ///< immediately before Blocks[Block].Insts[InstIdx]
+  OnEdge       ///< on the CFG edge Block -> InstIdx (target block id).
+               ///< The transform splits the edge; on a backedge the probe
+               ///< lands on the duplicated code's exit transfer, exactly
+               ///< where the paper says backedge-associated events go.
+};
+
+/// One probe anchor.
+struct ProbeAnchor {
+  AnchorKind Kind = AnchorKind::MethodEntry;
+  int Block = -1;
+  int InstIdx = -1; ///< instruction index, or edge-target block for OnEdge
+  int ProbeId = -1;
+};
+
+/// All probe anchors for one function.
+struct FunctionPlan {
+  int FuncId = -1;
+  std::vector<ProbeAnchor> Anchors;
+
+  bool empty() const { return Anchors.empty(); }
+};
+
+} // namespace instr
+} // namespace ars
+
+#endif // ARS_INSTR_PROBE_H

@@ -1,0 +1,151 @@
+//===- ir/IR.cpp ----------------------------------------------*- C++ -*-===//
+
+#include "ir/IR.h"
+
+#include <cassert>
+
+namespace ars {
+namespace ir {
+
+const char *irOpName(IROp Op) {
+  switch (Op) {
+  case IROp::Nop:           return "nop";
+  case IROp::MovImm:        return "movimm";
+  case IROp::MovFImm:       return "movfimm";
+  case IROp::Mov:           return "mov";
+  case IROp::Add:           return "add";
+  case IROp::Sub:           return "sub";
+  case IROp::Mul:           return "mul";
+  case IROp::Div:           return "div";
+  case IROp::Rem:           return "rem";
+  case IROp::Neg:           return "neg";
+  case IROp::And:           return "and";
+  case IROp::Or:            return "or";
+  case IROp::Xor:           return "xor";
+  case IROp::Shl:           return "shl";
+  case IROp::Shr:           return "shr";
+  case IROp::FAdd:          return "fadd";
+  case IROp::FSub:          return "fsub";
+  case IROp::FMul:          return "fmul";
+  case IROp::FDiv:          return "fdiv";
+  case IROp::FNeg:          return "fneg";
+  case IROp::F2I:           return "f2i";
+  case IROp::I2F:           return "i2f";
+  case IROp::CmpEq:         return "cmpeq";
+  case IROp::CmpNe:         return "cmpne";
+  case IROp::CmpLt:         return "cmplt";
+  case IROp::CmpLe:         return "cmple";
+  case IROp::CmpGt:         return "cmpgt";
+  case IROp::CmpGe:         return "cmpge";
+  case IROp::FCmpLt:        return "fcmplt";
+  case IROp::FCmpLe:        return "fcmple";
+  case IROp::FCmpEq:        return "fcmpeq";
+  case IROp::Call:          return "call";
+  case IROp::Spawn:         return "spawn";
+  case IROp::New:           return "new";
+  case IROp::GetField:      return "getfield";
+  case IROp::PutField:      return "putfield";
+  case IROp::GetGlobal:     return "getglobal";
+  case IROp::PutGlobal:     return "putglobal";
+  case IROp::NewArray:      return "newarray";
+  case IROp::ALoad:         return "aload";
+  case IROp::AStore:        return "astore";
+  case IROp::ALen:          return "alen";
+  case IROp::IOWait:        return "iowait";
+  case IROp::Print:         return "print";
+  case IROp::Jump:          return "jump";
+  case IROp::Branch:        return "branch";
+  case IROp::Ret:           return "ret";
+  case IROp::RetVal:        return "retval";
+  case IROp::Yieldpoint:    return "yieldpoint";
+  case IROp::SampleCheck:   return "samplecheck";
+  case IROp::Probe:         return "probe";
+  case IROp::GuardedProbe:  return "guardedprobe";
+  case IROp::BurstTransfer: return "bursttransfer";
+  }
+  return "<bad irop>";
+}
+
+bool isTerminator(IROp Op) {
+  return Op == IROp::Jump || Op == IROp::Branch || Op == IROp::Ret ||
+         Op == IROp::RetVal || Op == IROp::SampleCheck ||
+         Op == IROp::BurstTransfer;
+}
+
+int IRFunction::addBlock() {
+  BasicBlock BB;
+  BB.Id = numBlocks();
+  Blocks.push_back(std::move(BB));
+  return Blocks.back().Id;
+}
+
+int IRFunction::codeSize() const {
+  int Size = 0;
+  for (const BasicBlock &BB : Blocks)
+    Size += static_cast<int>(BB.Insts.size());
+  return Size;
+}
+
+void terminatorTargets(const IRInst &Term, int Targets[2], int *Count) {
+  assert(isTerminator(Term.Op) && "not a terminator");
+  switch (Term.Op) {
+  case IROp::Jump:
+    Targets[0] = static_cast<int>(Term.Imm);
+    *Count = 1;
+    return;
+  case IROp::Branch:
+  case IROp::SampleCheck:
+  case IROp::BurstTransfer:
+    Targets[0] = static_cast<int>(Term.Imm);
+    Targets[1] = Term.Aux;
+    *Count = 2;
+    return;
+  case IROp::Ret:
+  case IROp::RetVal:
+    *Count = 0;
+    return;
+  default:
+    *Count = 0;
+    return;
+  }
+}
+
+void remapTerminatorTargets(IRInst &Term, const std::vector<int> &NewId) {
+  assert(isTerminator(Term.Op) && "not a terminator");
+  switch (Term.Op) {
+  case IROp::Jump:
+    Term.Imm = NewId[static_cast<size_t>(Term.Imm)];
+    return;
+  case IROp::Branch:
+  case IROp::SampleCheck:
+  case IROp::BurstTransfer:
+    Term.Imm = NewId[static_cast<size_t>(Term.Imm)];
+    Term.Aux = NewId[static_cast<size_t>(Term.Aux)];
+    return;
+  default:
+    return;
+  }
+}
+
+void retargetTerminator(IRInst &Term, int From, int To) {
+  assert(isTerminator(Term.Op) && "not a terminator");
+  switch (Term.Op) {
+  case IROp::Jump:
+    if (Term.Imm == From)
+      Term.Imm = To;
+    return;
+  case IROp::Branch:
+  case IROp::SampleCheck:
+  case IROp::BurstTransfer:
+    if (Term.Imm == From)
+      Term.Imm = To;
+    if (Term.Aux == From)
+      Term.Aux = To;
+    return;
+  default:
+    return;
+  }
+}
+
+} // namespace ir
+} // namespace ars

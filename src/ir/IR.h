@@ -1,0 +1,172 @@
+//===- ir/IR.h - Register-based CFG intermediate representation -*- C++ -*-===//
+///
+/// \file
+/// The three-address CFG IR that the sampling framework transforms and the
+/// execution engine interprets.  It plays the role of Jalapeno's low-level
+/// IR (LIR): the paper performs code duplication "in the last phase of the
+/// LIR", i.e. on exactly this kind of representation.
+///
+/// Besides ordinary operations, the IR has four framework pseudo-ops:
+///
+///  * Yieldpoint      - thread-scheduler poll (Jalapeno places these on all
+///                      method entries and backedges; so do we).
+///  * SampleCheck     - the counter-based check: a terminator that jumps to
+///                      duplicated code when the sample condition is true.
+///  * Probe           - unconditional instrumentation operation.
+///  * GuardedProbe    - instrumentation operation guarded by its own check
+///                      (the No-Duplication variant).
+///  * BurstTransfer   - counted backedge inside duplicated code used for
+///                      N-consecutive-iteration sampling (paper section 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_IR_IR_H
+#define ARS_IR_IR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ars {
+namespace ir {
+
+/// IR operations.  Register operands are A/B/C, destination is Dst,
+/// integer payload is Imm, float payload FImm, secondary payload Aux.
+enum class IROp : uint8_t {
+  Nop,
+  MovImm,    ///< Dst = Imm
+  MovFImm,   ///< Dst = FImm
+  Mov,       ///< Dst = A
+
+  Add,       ///< Dst = A + B (and so on for the integer group)
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Neg,       ///< Dst = -A
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FNeg,      ///< Dst = -A
+  F2I,       ///< Dst = (int)A
+  I2F,       ///< Dst = (float)A
+
+  CmpEq,     ///< Dst = A == B (0/1), and so on
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  FCmpLt,
+  FCmpLe,
+  FCmpEq,
+
+  Call,      ///< Dst (or -1) = call function Imm with Args; Aux = site id
+  Spawn,     ///< start green thread running function Imm with Args
+
+  New,       ///< Dst = new object of class Imm
+  GetField,  ///< Dst = A.fields[Imm]   (Imm = module-global field id)
+  PutField,  ///< A.fields[Imm] = B
+  GetGlobal, ///< Dst = globals[Imm]    (Imm = global index)
+  PutGlobal, ///< globals[Imm] = A
+  NewArray,  ///< Dst = new array of length A
+  ALoad,     ///< Dst = A[B]
+  AStore,    ///< A[B] = C
+  ALen,      ///< Dst = length(A)
+
+  IOWait,    ///< burn Imm simulated cycles
+  Print,     ///< append A to the engine trace
+
+  // Terminators.
+  Jump,      ///< goto block Imm
+  Branch,    ///< if A != 0 goto block Imm else goto block Aux
+  Ret,       ///< return void
+  RetVal,    ///< return A
+
+  // Framework pseudo-ops.
+  Yieldpoint,   ///< thread-switch poll
+  SampleCheck,  ///< terminator: if sample condition, goto Imm (duplicated
+                ///< code) else goto Aux; see EngineConfig for the condition
+  Probe,        ///< run probe Imm unconditionally
+  GuardedProbe, ///< if sample condition, run probe Imm (No-Duplication)
+  BurstTransfer ///< terminator: stay in duplicated code (goto Imm) while the
+                ///< frame burst counter is positive, else goto Aux
+};
+
+/// Mnemonic for \p Op.
+const char *irOpName(IROp Op);
+
+/// True if \p Op must end a basic block.
+bool isTerminator(IROp Op);
+
+/// One IR instruction.
+struct IRInst {
+  IROp Op = IROp::Nop;
+  int Dst = -1; ///< destination register, -1 if none
+  int A = -1;   ///< register operands
+  int B = -1;
+  int C = -1;
+  int64_t Imm = 0;
+  double FImm = 0.0;
+  int Aux = 0;  ///< second branch target / call-site id / probe payload
+  std::vector<int> Args; ///< call arguments (registers)
+
+  IRInst() = default;
+  explicit IRInst(IROp Op) : Op(Op) {}
+};
+
+/// A basic block: a straight-line instruction list ending in a terminator.
+struct BasicBlock {
+  int Id = -1;
+  std::vector<IRInst> Insts;
+
+  const IRInst &terminator() const { return Insts.back(); }
+  IRInst &terminator() { return Insts.back(); }
+};
+
+/// A function in CFG form.  Registers [0, NumParams) hold the arguments on
+/// entry; Entry names the entry block (transforms prepend check blocks, so
+/// it is not always block 0).
+struct IRFunction {
+  std::string Name;
+  int FuncId = -1;
+  int NumParams = 0;
+  int NumRegs = 0;
+  int Entry = 0;
+  /// Return value presence (void functions use Ret, others RetVal).
+  bool ReturnsValue = false;
+  std::vector<BasicBlock> Blocks;
+
+  int numBlocks() const { return static_cast<int>(Blocks.size()); }
+
+  /// Appends an empty block and returns its id.
+  int addBlock();
+
+  /// Total instruction count (the "space" metric for Table 2).
+  int codeSize() const;
+};
+
+/// Successor block ids of \p Term (0, 1 or 2 entries, taken-target first
+/// for two-way terminators).
+void terminatorTargets(const IRInst &Term, int Targets[2], int *Count);
+
+/// Retargets every successor of \p Term equal to \p From to \p To.
+void retargetTerminator(IRInst &Term, int From, int To);
+
+/// Rewrites every successor slot of \p Term through \p NewId (indexed by
+/// old block id).  Unlike repeated retargetTerminator calls, this cannot
+/// collide when a slot's new id equals another slot's old id — use it for
+/// whole-function renumbering.
+void remapTerminatorTargets(IRInst &Term, const std::vector<int> &NewId);
+
+} // namespace ir
+} // namespace ars
+
+#endif // ARS_IR_IR_H

@@ -1,0 +1,129 @@
+//===- ir/IRPrinter.cpp ---------------------------------------*- C++ -*-===//
+
+#include "ir/IRPrinter.h"
+
+#include "support/Support.h"
+
+using ars::support::formatString;
+
+namespace ars {
+namespace ir {
+
+std::string printInst(const IRInst &I) {
+  std::string Out = irOpName(I.Op);
+  auto reg = [](int R) { return formatString("r%d", R); };
+
+  switch (I.Op) {
+  case IROp::MovImm:
+    return formatString("%s = %lld", reg(I.Dst).c_str(),
+                        static_cast<long long>(I.Imm));
+  case IROp::MovFImm:
+    return formatString("%s = %g", reg(I.Dst).c_str(), I.FImm);
+  case IROp::Mov:
+  case IROp::Neg:
+  case IROp::FNeg:
+  case IROp::F2I:
+  case IROp::I2F:
+  case IROp::ALen:
+  case IROp::NewArray:
+    return formatString("%s = %s %s", reg(I.Dst).c_str(), irOpName(I.Op),
+                        reg(I.A).c_str());
+  case IROp::Add:
+  case IROp::Sub:
+  case IROp::Mul:
+  case IROp::Div:
+  case IROp::Rem:
+  case IROp::And:
+  case IROp::Or:
+  case IROp::Xor:
+  case IROp::Shl:
+  case IROp::Shr:
+  case IROp::FAdd:
+  case IROp::FSub:
+  case IROp::FMul:
+  case IROp::FDiv:
+  case IROp::CmpEq:
+  case IROp::CmpNe:
+  case IROp::CmpLt:
+  case IROp::CmpLe:
+  case IROp::CmpGt:
+  case IROp::CmpGe:
+  case IROp::FCmpLt:
+  case IROp::FCmpLe:
+  case IROp::FCmpEq:
+  case IROp::ALoad:
+    return formatString("%s = %s %s, %s", reg(I.Dst).c_str(), irOpName(I.Op),
+                        reg(I.A).c_str(), reg(I.B).c_str());
+  case IROp::AStore:
+    return formatString("astore %s[%s] = %s", reg(I.A).c_str(),
+                        reg(I.B).c_str(), reg(I.C).c_str());
+  case IROp::Call:
+  case IROp::Spawn: {
+    Out = I.Dst >= 0 ? formatString("%s = %s #%lld(", reg(I.Dst).c_str(),
+                                    irOpName(I.Op),
+                                    static_cast<long long>(I.Imm))
+                     : formatString("%s #%lld(", irOpName(I.Op),
+                                    static_cast<long long>(I.Imm));
+    for (size_t A = 0; A != I.Args.size(); ++A) {
+      if (A)
+        Out += ", ";
+      Out += reg(I.Args[A]);
+    }
+    Out += formatString(") site=%d", I.Aux);
+    return Out;
+  }
+  case IROp::New:
+    return formatString("%s = new #%lld", reg(I.Dst).c_str(),
+                        static_cast<long long>(I.Imm));
+  case IROp::GetField:
+    return formatString("%s = getfield %s.[%lld]", reg(I.Dst).c_str(),
+                        reg(I.A).c_str(), static_cast<long long>(I.Imm));
+  case IROp::PutField:
+    return formatString("putfield %s.[%lld] = %s", reg(I.A).c_str(),
+                        static_cast<long long>(I.Imm), reg(I.B).c_str());
+  case IROp::GetGlobal:
+    return formatString("%s = getglobal [%lld]", reg(I.Dst).c_str(),
+                        static_cast<long long>(I.Imm));
+  case IROp::PutGlobal:
+    return formatString("putglobal [%lld] = %s",
+                        static_cast<long long>(I.Imm), reg(I.A).c_str());
+  case IROp::IOWait:
+    return formatString("iowait %lld", static_cast<long long>(I.Imm));
+  case IROp::Print:
+    return formatString("print %s", reg(I.A).c_str());
+  case IROp::Jump:
+    return formatString("jump bb%lld", static_cast<long long>(I.Imm));
+  case IROp::Branch:
+    return formatString("branch %s ? bb%lld : bb%d", reg(I.A).c_str(),
+                        static_cast<long long>(I.Imm), I.Aux);
+  case IROp::RetVal:
+    return formatString("retval %s", reg(I.A).c_str());
+  case IROp::SampleCheck:
+    return formatString("samplecheck dup=bb%lld cont=bb%d",
+                        static_cast<long long>(I.Imm), I.Aux);
+  case IROp::BurstTransfer:
+    return formatString("bursttransfer dup=bb%lld check=bb%d",
+                        static_cast<long long>(I.Imm), I.Aux);
+  case IROp::Probe:
+    return formatString("probe #%lld", static_cast<long long>(I.Imm));
+  case IROp::GuardedProbe:
+    return formatString("guardedprobe #%lld", static_cast<long long>(I.Imm));
+  default:
+    return Out;
+  }
+}
+
+std::string printFunction(const IRFunction &F) {
+  std::string Out =
+      formatString("irfunc %s #%d params=%d regs=%d entry=bb%d\n",
+                   F.Name.c_str(), F.FuncId, F.NumParams, F.NumRegs, F.Entry);
+  for (const BasicBlock &BB : F.Blocks) {
+    Out += formatString("bb%d:\n", BB.Id);
+    for (const IRInst &I : BB.Insts)
+      Out += "  " + printInst(I) + "\n";
+  }
+  return Out;
+}
+
+} // namespace ir
+} // namespace ars

@@ -1,0 +1,28 @@
+//===- ir/IRPrinter.h - IR pretty printing --------------------*- C++ -*-===//
+///
+/// \file
+/// Text rendering of IR functions for tests and the CFG-dumping examples
+/// (the textual analogue of the paper's Figures 2, 5 and 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_IR_IRPRINTER_H
+#define ARS_IR_IRPRINTER_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace ars {
+namespace ir {
+
+/// Renders a single instruction.
+std::string printInst(const IRInst &I);
+
+/// Renders \p F with block labels and successor annotations.
+std::string printFunction(const IRFunction &F);
+
+} // namespace ir
+} // namespace ars
+
+#endif // ARS_IR_IRPRINTER_H

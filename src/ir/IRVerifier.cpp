@@ -1,0 +1,66 @@
+//===- ir/IRVerifier.cpp --------------------------------------*- C++ -*-===//
+
+#include "ir/IRVerifier.h"
+
+#include "support/Support.h"
+
+using ars::support::formatString;
+
+namespace ars {
+namespace ir {
+
+namespace {
+
+/// Collects the registers read and written by \p I.
+void collectRegs(const IRInst &I, std::vector<int> &Regs) {
+  if (I.Dst >= 0 || I.Dst < -1)
+    Regs.push_back(I.Dst);
+  for (int R : {I.A, I.B, I.C})
+    if (R != -1)
+      Regs.push_back(R);
+  for (int R : I.Args)
+    Regs.push_back(R);
+}
+
+} // namespace
+
+std::string verifyFunction(const IRFunction &F) {
+  if (F.Blocks.empty())
+    return formatString("%s: no blocks", F.Name.c_str());
+  if (F.Entry < 0 || F.Entry >= F.numBlocks())
+    return formatString("%s: entry block %d out of range", F.Name.c_str(),
+                        F.Entry);
+  for (int B = 0; B != F.numBlocks(); ++B) {
+    const BasicBlock &BB = F.Blocks[B];
+    if (BB.Id != B)
+      return formatString("%s bb%d: stale block id %d", F.Name.c_str(), B,
+                          BB.Id);
+    if (BB.Insts.empty())
+      return formatString("%s bb%d: empty block", F.Name.c_str(), B);
+    for (size_t I = 0; I != BB.Insts.size(); ++I) {
+      const IRInst &Inst = BB.Insts[I];
+      bool Last = I + 1 == BB.Insts.size();
+      if (isTerminator(Inst.Op) != Last)
+        return formatString("%s bb%d@%zu: %s terminator placement",
+                            F.Name.c_str(), B, I,
+                            Last ? "missing" : "misplaced");
+      std::vector<int> Regs;
+      collectRegs(Inst, Regs);
+      for (int R : Regs)
+        if (R < 0 || R >= F.NumRegs)
+          return formatString("%s bb%d@%zu: register r%d out of range",
+                              F.Name.c_str(), B, I, R);
+    }
+    int Targets[2];
+    int Count = 0;
+    terminatorTargets(BB.terminator(), Targets, &Count);
+    for (int T = 0; T != Count; ++T)
+      if (Targets[T] < 0 || Targets[T] >= F.numBlocks())
+        return formatString("%s bb%d: branch target bb%d out of range",
+                            F.Name.c_str(), B, Targets[T]);
+  }
+  return std::string();
+}
+
+} // namespace ir
+} // namespace ars

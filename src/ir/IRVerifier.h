@@ -1,0 +1,28 @@
+//===- ir/IRVerifier.h - IR structural invariants -------------*- C++ -*-===//
+///
+/// \file
+/// Checks the structural invariants every pass must preserve: exactly one
+/// terminator per block (at the end), targets in range, register indices in
+/// range, entry block present.  Run after lowering and after every sampling
+/// transform in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_IR_IRVERIFIER_H
+#define ARS_IR_IRVERIFIER_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace ars {
+namespace ir {
+
+/// Returns an empty string when \p F is well-formed, otherwise the first
+/// problem found.
+std::string verifyFunction(const IRFunction &F);
+
+} // namespace ir
+} // namespace ars
+
+#endif // ARS_IR_IRVERIFIER_H

@@ -1,0 +1,103 @@
+//===- lowering/Cleanup.cpp -----------------------------------*- C++ -*-===//
+
+#include "lowering/Cleanup.h"
+
+#include <cassert>
+#include <vector>
+
+namespace ars {
+namespace lowering {
+
+using ir::BasicBlock;
+using ir::IRFunction;
+using ir::IRInst;
+using ir::IROp;
+
+int removeUnreachableBlocks(IRFunction &F) {
+  int N = F.numBlocks();
+  std::vector<char> Reachable(N, 0);
+  std::vector<int> Work;
+  Reachable[F.Entry] = 1;
+  Work.push_back(F.Entry);
+  while (!Work.empty()) {
+    int B = Work.back();
+    Work.pop_back();
+    int Targets[2];
+    int Count = 0;
+    ir::terminatorTargets(F.Blocks[B].terminator(), Targets, &Count);
+    for (int T = 0; T != Count; ++T)
+      if (!Reachable[Targets[T]]) {
+        Reachable[Targets[T]] = 1;
+        Work.push_back(Targets[T]);
+      }
+  }
+
+  std::vector<int> NewId(N, -1);
+  int Next = 0;
+  for (int B = 0; B != N; ++B)
+    if (Reachable[B])
+      NewId[B] = Next++;
+  if (Next == N)
+    return 0;
+
+  std::vector<BasicBlock> Kept;
+  Kept.reserve(Next);
+  for (int B = 0; B != N; ++B) {
+    if (!Reachable[B])
+      continue;
+    BasicBlock BB = std::move(F.Blocks[B]);
+    BB.Id = NewId[B];
+    ir::remapTerminatorTargets(BB.terminator(), NewId);
+    Kept.push_back(std::move(BB));
+  }
+  F.Blocks = std::move(Kept);
+  F.Entry = NewId[F.Entry];
+  return N - Next;
+}
+
+int threadTrivialJumps(IRFunction &F) {
+  int N = F.numBlocks();
+  // Resolve each trivial block to its final destination, with cycle guard.
+  std::vector<int> FinalTarget(N, -1);
+  auto resolve = [&](int B) {
+    std::vector<char> Seen(N, 0);
+    int Cur = B;
+    while (true) {
+      const BasicBlock &BB = F.Blocks[Cur];
+      if (BB.Insts.size() != 1 || BB.terminator().Op != IROp::Jump)
+        return Cur;
+      if (Seen[Cur])
+        return Cur; // cycle of empty blocks; leave alone
+      Seen[Cur] = 1;
+      Cur = static_cast<int>(BB.terminator().Imm);
+    }
+  };
+  for (int B = 0; B != N; ++B)
+    FinalTarget[B] = resolve(B);
+
+  int Redirected = 0;
+  for (BasicBlock &BB : F.Blocks) {
+    IRInst &Term = BB.terminator();
+    int Targets[2];
+    int Count = 0;
+    ir::terminatorTargets(Term, Targets, &Count);
+    for (int T = 0; T != Count; ++T) {
+      int Final = FinalTarget[Targets[T]];
+      if (Final != Targets[T]) {
+        // Retarget only this slot; retargetTerminator would rewrite both
+        // slots if they matched, which is what we want anyway.
+        ir::retargetTerminator(Term, Targets[T], Final);
+        ++Redirected;
+      }
+    }
+  }
+  return Redirected;
+}
+
+void cleanupFunction(IRFunction &F) {
+  threadTrivialJumps(F);
+  removeUnreachableBlocks(F);
+}
+
+} // namespace lowering
+} // namespace ars

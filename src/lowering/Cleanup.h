@@ -1,0 +1,35 @@
+//===- lowering/Cleanup.h - CFG cleanups run before sampling --*- C++ -*-===//
+///
+/// \file
+/// Two conservative cleanups run after lowering and before the sampling
+/// transforms: unreachable-block removal and jump threading of
+/// trivial (jump-only) blocks.  Keeping the pre-transform CFG small keeps
+/// both the duplicated-code size and the interpreter's dispatch cost down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_LOWERING_CLEANUP_H
+#define ARS_LOWERING_CLEANUP_H
+
+#include "ir/IR.h"
+
+namespace ars {
+namespace lowering {
+
+/// Removes blocks not reachable from entry and renumbers the rest.
+/// Returns the number of blocks removed.
+int removeUnreachableBlocks(ir::IRFunction &F);
+
+/// Redirects edges into blocks that contain only a single Jump to that
+/// jump's target (iterated to a fixpoint, cycles of empty blocks are left
+/// alone).  Returns the number of edges redirected.  Does not delete
+/// blocks; run removeUnreachableBlocks afterwards.
+int threadTrivialJumps(ir::IRFunction &F);
+
+/// Runs both cleanups in the canonical order.
+void cleanupFunction(ir::IRFunction &F);
+
+} // namespace lowering
+} // namespace ars
+
+#endif // ARS_LOWERING_CLEANUP_H

@@ -1,0 +1,510 @@
+//===- lowering/Lowering.cpp ----------------------------------*- C++ -*-===//
+
+#include "lowering/Lowering.h"
+
+#include "bytecode/Verifier.h"
+#include "support/Support.h"
+
+#include <cassert>
+#include <deque>
+#include <map>
+
+using ars::support::formatString;
+
+namespace ars {
+namespace lowering {
+
+namespace {
+
+using bytecode::FunctionDef;
+using bytecode::Inst;
+using bytecode::Module;
+using bytecode::Opcode;
+using ir::IRInst;
+using ir::IROp;
+
+/// Maps simple one-to-one bytecode ops to IR ops; returns Nop for ops that
+/// need special handling.
+IROp binaryOpFor(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:    return IROp::Add;
+  case Opcode::Sub:    return IROp::Sub;
+  case Opcode::Mul:    return IROp::Mul;
+  case Opcode::Div:    return IROp::Div;
+  case Opcode::Rem:    return IROp::Rem;
+  case Opcode::And:    return IROp::And;
+  case Opcode::Or:     return IROp::Or;
+  case Opcode::Xor:    return IROp::Xor;
+  case Opcode::Shl:    return IROp::Shl;
+  case Opcode::Shr:    return IROp::Shr;
+  case Opcode::FAdd:   return IROp::FAdd;
+  case Opcode::FSub:   return IROp::FSub;
+  case Opcode::FMul:   return IROp::FMul;
+  case Opcode::FDiv:   return IROp::FDiv;
+  case Opcode::CmpEq:  return IROp::CmpEq;
+  case Opcode::CmpNe:  return IROp::CmpNe;
+  case Opcode::CmpLt:  return IROp::CmpLt;
+  case Opcode::CmpLe:  return IROp::CmpLe;
+  case Opcode::CmpGt:  return IROp::CmpGt;
+  case Opcode::CmpGe:  return IROp::CmpGe;
+  case Opcode::FCmpLt: return IROp::FCmpLt;
+  case Opcode::FCmpLe: return IROp::FCmpLe;
+  case Opcode::FCmpEq: return IROp::FCmpEq;
+  default:             return IROp::Nop;
+  }
+}
+
+IROp unaryOpFor(Opcode Op) {
+  switch (Op) {
+  case Opcode::Neg:  return IROp::Neg;
+  case Opcode::FNeg: return IROp::FNeg;
+  case Opcode::F2I:  return IROp::F2I;
+  case Opcode::I2F:  return IROp::I2F;
+  default:           return IROp::Nop;
+  }
+}
+
+class FunctionLowerer {
+public:
+  FunctionLowerer(const Module &M, const FunctionDef &Func)
+      : M(M), Func(Func) {}
+
+  LowerResult run();
+
+private:
+  const Module &M;
+  const FunctionDef &Func;
+
+  /// Stack depth at entry of each bytecode offset (-1 = unreached).
+  std::vector<int> DepthAt;
+  /// Bytecode offset -> IR block id for leaders.
+  std::map<int, int> BlockOf;
+
+  /// Register holding operand-stack slot \p Slot.
+  int stackReg(int Slot) const { return Func.NumLocals + Slot; }
+
+  bool computeDepths(std::string *Error);
+  void findLeaders();
+};
+
+bool FunctionLowerer::computeDepths(std::string *Error) {
+  // The verifier has already validated types; this pass only tracks depth,
+  // which is what register assignment needs.
+  DepthAt.assign(Func.Code.size(), -1);
+  std::deque<int> Work;
+  DepthAt[0] = 0;
+  Work.push_back(0);
+
+  auto depthDelta = [&](const Inst &I, int DepthIn, int *DepthOut) -> bool {
+    int D = DepthIn;
+    switch (I.Op) {
+    case Opcode::Nop:
+      break;
+    case Opcode::IConst:
+    case Opcode::FConst:
+    case Opcode::Load:
+    case Opcode::New:
+    case Opcode::GetGlobal:
+      D += 1;
+      break;
+    case Opcode::Store:
+    case Opcode::Pop:
+    case Opcode::Print:
+    case Opcode::PutGlobal:
+    case Opcode::BrIf:
+      D -= 1;
+      break;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv:
+    case Opcode::CmpEq:
+    case Opcode::CmpNe:
+    case Opcode::CmpLt:
+    case Opcode::CmpLe:
+    case Opcode::CmpGt:
+    case Opcode::CmpGe:
+    case Opcode::FCmpLt:
+    case Opcode::FCmpLe:
+    case Opcode::FCmpEq:
+    case Opcode::ALoad:
+      D -= 1; // two pops, one push
+      break;
+    case Opcode::Neg:
+    case Opcode::FNeg:
+    case Opcode::F2I:
+    case Opcode::I2F:
+    case Opcode::ALen:
+    case Opcode::NewArray:
+    case Opcode::GetField:
+    case Opcode::Dup: // handled below (+1)
+      if (I.Op == Opcode::Dup)
+        D += 1;
+      break;
+    case Opcode::PutField:
+      D -= 2;
+      break;
+    case Opcode::AStore:
+      D -= 3;
+      break;
+    case Opcode::Swap:
+    case Opcode::IOWait:
+    case Opcode::Br:
+      break;
+    case Opcode::Ret:
+    case Opcode::RetVal:
+      break;
+    case Opcode::Call:
+    case Opcode::Spawn: {
+      const FunctionDef &Callee = M.functionAt(static_cast<int>(I.A));
+      D -= static_cast<int>(Callee.Params.size());
+      if (I.Op == Opcode::Call && Callee.Ret != bytecode::Type::Void)
+        D += 1;
+      break;
+    }
+    }
+    if (D < 0) {
+      *Error = formatString("%s: negative stack depth", Func.Name.c_str());
+      return false;
+    }
+    *DepthOut = D;
+    return true;
+  };
+
+  auto mergeInto = [&](int Pc, int Depth) -> bool {
+    if (Pc < 0 || Pc >= static_cast<int>(Func.Code.size())) {
+      *Error = formatString("%s: pc out of range", Func.Name.c_str());
+      return false;
+    }
+    if (DepthAt[Pc] < 0) {
+      DepthAt[Pc] = Depth;
+      Work.push_back(Pc);
+      return true;
+    }
+    if (DepthAt[Pc] != Depth) {
+      *Error = formatString("%s: depth mismatch at join", Func.Name.c_str());
+      return false;
+    }
+    return true;
+  };
+
+  while (!Work.empty()) {
+    int Pc = Work.front();
+    Work.pop_front();
+    const Inst &I = Func.Code[Pc];
+    int DepthOut = 0;
+    if (!depthDelta(I, DepthAt[Pc], &DepthOut))
+      return false;
+    switch (I.Op) {
+    case Opcode::Ret:
+    case Opcode::RetVal:
+      break;
+    case Opcode::Br:
+      if (!mergeInto(static_cast<int>(I.A), DepthOut))
+        return false;
+      break;
+    case Opcode::BrIf:
+      if (!mergeInto(static_cast<int>(I.A), DepthOut) ||
+          !mergeInto(Pc + 1, DepthOut))
+        return false;
+      break;
+    default:
+      if (!mergeInto(Pc + 1, DepthOut))
+        return false;
+      break;
+    }
+  }
+  return true;
+}
+
+void FunctionLowerer::findLeaders() {
+  auto addLeader = [&](int Pc) {
+    if (Pc >= 0 && Pc < static_cast<int>(Func.Code.size()) && DepthAt[Pc] >= 0)
+      BlockOf.emplace(Pc, -1);
+  };
+  addLeader(0);
+  for (size_t Pc = 0; Pc != Func.Code.size(); ++Pc) {
+    if (DepthAt[Pc] < 0)
+      continue;
+    const Inst &I = Func.Code[Pc];
+    if (bytecode::isBranch(I.Op))
+      addLeader(static_cast<int>(I.A));
+    if (bytecode::isTerminator(I.Op))
+      addLeader(static_cast<int>(Pc) + 1);
+  }
+  int NextId = 0;
+  for (auto &[Pc, Id] : BlockOf) {
+    (void)Pc;
+    Id = NextId++;
+  }
+}
+
+LowerResult FunctionLowerer::run() {
+  LowerResult Result;
+  bytecode::VerifyResult VR = bytecode::verifyFunction(M, Func);
+  if (!VR.Ok) {
+    Result.Error = "verify failed: " + VR.Error;
+    return Result;
+  }
+  if (!computeDepths(&Result.Error))
+    return Result;
+  findLeaders();
+
+  ir::IRFunction &F = Result.Func;
+  F.Name = Func.Name;
+  F.FuncId = Func.FuncId;
+  F.NumParams = static_cast<int>(Func.Params.size());
+  F.NumRegs = Func.NumLocals + VR.MaxStack;
+  // Guard against zero-register functions for engine simplicity.
+  if (F.NumRegs == 0)
+    F.NumRegs = 1;
+  F.ReturnsValue = Func.Ret != bytecode::Type::Void;
+  for (size_t I = 0; I != BlockOf.size(); ++I)
+    F.addBlock();
+
+  auto blockIdAt = [&](int Pc) {
+    auto It = BlockOf.find(Pc);
+    assert(It != BlockOf.end() && "no block at pc");
+    return It->second;
+  };
+
+  for (auto It = BlockOf.begin(); It != BlockOf.end(); ++It) {
+    int StartPc = It->first;
+    auto NextIt = std::next(It);
+    int EndPc = NextIt == BlockOf.end() ? static_cast<int>(Func.Code.size())
+                                        : NextIt->first;
+    ir::BasicBlock &BB = F.Blocks[It->second];
+    int Depth = DepthAt[StartPc];
+    bool Terminated = false;
+
+    for (int Pc = StartPc; Pc != EndPc && !Terminated; ++Pc) {
+      if (DepthAt[Pc] < 0)
+        continue; // unreachable padding inside a block cannot occur, but
+                  // guard anyway
+      const Inst &I = Func.Code[Pc];
+      IRInst Out;
+      switch (I.Op) {
+      case Opcode::Nop:
+        continue;
+      case Opcode::IConst:
+        Out.Op = IROp::MovImm;
+        Out.Dst = stackReg(Depth);
+        Out.Imm = I.A;
+        ++Depth;
+        break;
+      case Opcode::FConst:
+        Out.Op = IROp::MovFImm;
+        Out.Dst = stackReg(Depth);
+        Out.FImm = I.F;
+        ++Depth;
+        break;
+      case Opcode::Load:
+        Out.Op = IROp::Mov;
+        Out.Dst = stackReg(Depth);
+        Out.A = static_cast<int>(I.A);
+        ++Depth;
+        break;
+      case Opcode::Store:
+        Out.Op = IROp::Mov;
+        Out.Dst = static_cast<int>(I.A);
+        Out.A = stackReg(Depth - 1);
+        --Depth;
+        break;
+      case Opcode::Dup:
+        Out.Op = IROp::Mov;
+        Out.Dst = stackReg(Depth);
+        Out.A = stackReg(Depth - 1);
+        ++Depth;
+        break;
+      case Opcode::Pop:
+        --Depth;
+        continue;
+      case Opcode::Swap: {
+        // Three moves through a scratch register would need an extra reg;
+        // instead emit the triangle with the slot above the stack top,
+        // which is guaranteed free only if MaxStack allows it.  Swap is
+        // rare (frontend never emits it), so spend one extra register.
+        if (F.NumRegs < Func.NumLocals + VR.MaxStack + 1)
+          F.NumRegs = Func.NumLocals + VR.MaxStack + 1;
+        int Tmp = Func.NumLocals + VR.MaxStack;
+        IRInst M1(IROp::Mov), M2(IROp::Mov), M3(IROp::Mov);
+        M1.Dst = Tmp;
+        M1.A = stackReg(Depth - 1);
+        M2.Dst = stackReg(Depth - 1);
+        M2.A = stackReg(Depth - 2);
+        M3.Dst = stackReg(Depth - 2);
+        M3.A = Tmp;
+        BB.Insts.push_back(M1);
+        BB.Insts.push_back(M2);
+        BB.Insts.push_back(M3);
+        continue;
+      }
+      case Opcode::Neg:
+      case Opcode::FNeg:
+      case Opcode::F2I:
+      case Opcode::I2F:
+        Out.Op = unaryOpFor(I.Op);
+        Out.Dst = stackReg(Depth - 1);
+        Out.A = stackReg(Depth - 1);
+        break;
+      case Opcode::IOWait:
+        Out.Op = IROp::IOWait;
+        Out.Imm = I.A;
+        break;
+      case Opcode::Print:
+        Out.Op = IROp::Print;
+        Out.A = stackReg(Depth - 1);
+        --Depth;
+        break;
+      case Opcode::New:
+        Out.Op = IROp::New;
+        Out.Dst = stackReg(Depth);
+        Out.Imm = I.A;
+        ++Depth;
+        break;
+      case Opcode::GetField:
+        Out.Op = IROp::GetField;
+        Out.Dst = stackReg(Depth - 1);
+        Out.A = stackReg(Depth - 1);
+        Out.Imm = I.A;
+        break;
+      case Opcode::PutField:
+        Out.Op = IROp::PutField;
+        Out.A = stackReg(Depth - 2);
+        Out.B = stackReg(Depth - 1);
+        Out.Imm = I.A;
+        Depth -= 2;
+        break;
+      case Opcode::GetGlobal:
+        Out.Op = IROp::GetGlobal;
+        Out.Dst = stackReg(Depth);
+        Out.Imm = I.A;
+        ++Depth;
+        break;
+      case Opcode::PutGlobal:
+        Out.Op = IROp::PutGlobal;
+        Out.A = stackReg(Depth - 1);
+        Out.Imm = I.A;
+        --Depth;
+        break;
+      case Opcode::NewArray:
+        Out.Op = IROp::NewArray;
+        Out.Dst = stackReg(Depth - 1);
+        Out.A = stackReg(Depth - 1);
+        break;
+      case Opcode::ALoad:
+        Out.Op = IROp::ALoad;
+        Out.Dst = stackReg(Depth - 2);
+        Out.A = stackReg(Depth - 2);
+        Out.B = stackReg(Depth - 1);
+        --Depth;
+        break;
+      case Opcode::AStore:
+        Out.Op = IROp::AStore;
+        Out.A = stackReg(Depth - 3);
+        Out.B = stackReg(Depth - 2);
+        Out.C = stackReg(Depth - 1);
+        Depth -= 3;
+        break;
+      case Opcode::ALen:
+        Out.Op = IROp::ALen;
+        Out.Dst = stackReg(Depth - 1);
+        Out.A = stackReg(Depth - 1);
+        break;
+      case Opcode::Call:
+      case Opcode::Spawn: {
+        const FunctionDef &Callee = M.functionAt(static_cast<int>(I.A));
+        int Argc = static_cast<int>(Callee.Params.size());
+        Out.Op = I.Op == Opcode::Call ? IROp::Call : IROp::Spawn;
+        Out.Imm = I.A;
+        Out.Aux = Pc; // stable call-site id: the bytecode offset
+        for (int A = 0; A != Argc; ++A)
+          Out.Args.push_back(stackReg(Depth - Argc + A));
+        Depth -= Argc;
+        if (I.Op == Opcode::Call && Callee.Ret != bytecode::Type::Void) {
+          Out.Dst = stackReg(Depth);
+          ++Depth;
+        }
+        break;
+      }
+      case Opcode::Br:
+        Out.Op = IROp::Jump;
+        Out.Imm = blockIdAt(static_cast<int>(I.A));
+        Terminated = true;
+        break;
+      case Opcode::BrIf:
+        Out.Op = IROp::Branch;
+        Out.A = stackReg(Depth - 1);
+        --Depth;
+        Out.Imm = blockIdAt(static_cast<int>(I.A));
+        Out.Aux = blockIdAt(Pc + 1);
+        Terminated = true;
+        break;
+      case Opcode::Ret:
+        Out.Op = IROp::Ret;
+        Terminated = true;
+        break;
+      case Opcode::RetVal:
+        Out.Op = IROp::RetVal;
+        Out.A = stackReg(Depth - 1);
+        --Depth;
+        Terminated = true;
+        break;
+      default:
+        Out.Op = binaryOpFor(I.Op);
+        assert(Out.Op != IROp::Nop && "unhandled opcode in lowering");
+        Out.Dst = stackReg(Depth - 2);
+        Out.A = stackReg(Depth - 2);
+        Out.B = stackReg(Depth - 1);
+        --Depth;
+        break;
+      }
+      BB.Insts.push_back(std::move(Out));
+    }
+
+    // Fall-through block boundary: synthesize the jump.
+    if (!Terminated) {
+      IRInst J(IROp::Jump);
+      assert(NextIt != BlockOf.end() && "fallthrough off function end");
+      J.Imm = NextIt->second;
+      BB.Insts.push_back(J);
+    }
+  }
+
+  Result.Ok = true;
+  return Result;
+}
+
+} // namespace
+
+LowerResult lowerFunction(const Module &M, const FunctionDef &Func) {
+  FunctionLowerer L(M, Func);
+  return L.run();
+}
+
+LowerModuleResult lowerModule(const Module &M) {
+  LowerModuleResult Result;
+  for (const FunctionDef &F : M.functions()) {
+    LowerResult R = lowerFunction(M, F);
+    if (!R.Ok) {
+      Result.Error = R.Error;
+      return Result;
+    }
+    Result.Funcs.push_back(std::move(R.Func));
+  }
+  Result.Ok = true;
+  return Result;
+}
+
+} // namespace lowering
+} // namespace ars

@@ -1,0 +1,49 @@
+//===- lowering/Lowering.h - Bytecode to IR translation -------*- C++ -*-===//
+///
+/// \file
+/// The "baseline compiler": translates verified stack bytecode into the
+/// register CFG IR using the classic abstract-stack technique (the operand
+/// stack slot at depth d becomes register NumLocals + d; the verifier
+/// guarantees depths agree at joins).  Call instructions record their
+/// bytecode offset as a stable call-site id, which survives duplication and
+/// is what the call-edge profile keys on ("the call-site within the caller
+/// method, specified by a bytecode offset").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_LOWERING_LOWERING_H
+#define ARS_LOWERING_LOWERING_H
+
+#include "bytecode/Module.h"
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace ars {
+namespace lowering {
+
+/// Result of lowering one function.
+struct LowerResult {
+  bool Ok = false;
+  std::string Error;
+  ir::IRFunction Func;
+};
+
+/// Lowers \p Func (which must verify against \p M) to IR.
+LowerResult lowerFunction(const bytecode::Module &M,
+                          const bytecode::FunctionDef &Func);
+
+/// Lowers every function in \p M; stops at the first error.
+struct LowerModuleResult {
+  bool Ok = false;
+  std::string Error;
+  std::vector<ir::IRFunction> Funcs; ///< indexed by FuncId
+};
+
+LowerModuleResult lowerModule(const bytecode::Module &M);
+
+} // namespace lowering
+} // namespace ars
+
+#endif // ARS_LOWERING_LOWERING_H

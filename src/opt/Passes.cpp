@@ -1,0 +1,316 @@
+//===- opt/Passes.cpp -----------------------------------------*- C++ -*-===//
+
+#include "opt/Passes.h"
+
+#include "analysis/CFG.h"
+#include "lowering/Cleanup.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iterator>
+#include <map>
+#include <vector>
+
+namespace ars {
+namespace opt {
+
+using ir::BasicBlock;
+using ir::IRFunction;
+using ir::IRInst;
+using ir::IROp;
+
+namespace {
+
+/// True if \p Op computes an integer value from integer operands with no
+/// side effects and no possibility of trapping.
+bool isPureIntArith(IROp Op) {
+  switch (Op) {
+  case IROp::Add:
+  case IROp::Sub:
+  case IROp::Mul:
+  case IROp::Neg:
+  case IROp::And:
+  case IROp::Or:
+  case IROp::Xor:
+  case IROp::Shl:
+  case IROp::Shr:
+  case IROp::CmpEq:
+  case IROp::CmpNe:
+  case IROp::CmpLt:
+  case IROp::CmpLe:
+  case IROp::CmpGt:
+  case IROp::CmpGe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True if removing \p I is safe when its destination is dead: no side
+/// effects, no traps, no control flow.  Division stays (traps), memory
+/// stays (null/bounds traps), calls/allocation/prints/pseudo-ops stay.
+bool isRemovableWhenDead(const IRInst &I) {
+  switch (I.Op) {
+  case IROp::Nop:
+  case IROp::MovImm:
+  case IROp::MovFImm:
+  case IROp::Mov:
+  case IROp::FAdd:
+  case IROp::FSub:
+  case IROp::FMul:
+  case IROp::FDiv: // IEEE: no trap in this VM (double arithmetic)
+  case IROp::FNeg:
+  case IROp::F2I:
+  case IROp::I2F:
+  case IROp::FCmpLt:
+  case IROp::FCmpLe:
+  case IROp::FCmpEq:
+    return true;
+  default:
+    return isPureIntArith(I.Op);
+  }
+}
+
+/// Applies the integer operation to constants.
+int64_t evalIntOp(IROp Op, int64_t A, int64_t B) {
+  switch (Op) {
+  case IROp::Add:   return A + B;
+  case IROp::Sub:   return A - B;
+  case IROp::Mul:   return A * B;
+  case IROp::Neg:   return -A;
+  case IROp::And:   return A & B;
+  case IROp::Or:    return A | B;
+  case IROp::Xor:   return A ^ B;
+  case IROp::Shl:   return A << (B & 63);
+  case IROp::Shr:   return A >> (B & 63);
+  case IROp::CmpEq: return A == B;
+  case IROp::CmpNe: return A != B;
+  case IROp::CmpLt: return A < B;
+  case IROp::CmpLe: return A <= B;
+  case IROp::CmpGt: return A > B;
+  case IROp::CmpGe: return A >= B;
+  default:
+    assert(false && "not a foldable op");
+    return 0;
+  }
+}
+
+/// Registers read by \p I (excluding the destination).
+void forEachUse(const IRInst &I, const std::vector<int> *Args,
+                void (*Fn)(int, void *), void *Ctx) {
+  (void)Args;
+  for (int R : {I.A, I.B, I.C})
+    if (R >= 0)
+      Fn(R, Ctx);
+  for (int R : I.Args)
+    Fn(R, Ctx);
+}
+
+} // namespace
+
+int foldConstants(IRFunction &F, OptStats &Stats) {
+  int Changed = 0;
+  for (BasicBlock &BB : F.Blocks) {
+    std::map<int, int64_t> Known;
+    for (IRInst &I : BB.Insts) {
+      if (I.Op == IROp::MovImm) {
+        Known[I.Dst] = I.Imm;
+        continue;
+      }
+      if (I.Op == IROp::Mov) {
+        auto It = Known.find(I.A);
+        if (It != Known.end()) {
+          int Dst = I.Dst;
+          I = IRInst(IROp::MovImm);
+          I.Dst = Dst;
+          I.Imm = It->second;
+          Known[Dst] = I.Imm;
+          ++Stats.ConstantsFolded;
+          ++Changed;
+        } else {
+          Known.erase(I.Dst);
+        }
+        continue;
+      }
+      if (isPureIntArith(I.Op)) {
+        bool Unary = I.Op == IROp::Neg;
+        auto AIt = Known.find(I.A);
+        bool BothKnown =
+            AIt != Known.end() &&
+            (Unary || Known.find(I.B) != Known.end());
+        if (BothKnown) {
+          int64_t B = Unary ? 0 : Known[I.B];
+          int64_t Value = evalIntOp(I.Op, AIt->second, B);
+          int Dst = I.Dst;
+          I = IRInst(IROp::MovImm);
+          I.Dst = Dst;
+          I.Imm = Value;
+          Known[Dst] = Value;
+          ++Stats.ConstantsFolded;
+          ++Changed;
+          continue;
+        }
+      }
+      // A constant branch becomes a jump.
+      if (I.Op == IROp::Branch) {
+        auto It = Known.find(I.A);
+        if (It != Known.end()) {
+          int Target = It->second != 0 ? static_cast<int>(I.Imm) : I.Aux;
+          I = IRInst(IROp::Jump);
+          I.Imm = Target;
+          ++Stats.BranchesFolded;
+          ++Changed;
+        }
+        continue;
+      }
+      if (I.Dst >= 0)
+        Known.erase(I.Dst);
+    }
+  }
+  return Changed;
+}
+
+int propagateCopies(IRFunction &F, OptStats &Stats) {
+  int Changed = 0;
+  for (BasicBlock &BB : F.Blocks) {
+    std::map<int, int> CopyOf; // reg -> original source reg
+    auto resolve = [&](int R) {
+      auto It = CopyOf.find(R);
+      return It == CopyOf.end() ? R : It->second;
+    };
+    auto invalidate = [&](int Dst) {
+      CopyOf.erase(Dst);
+      // Any mapping whose source was just clobbered is stale.
+      for (auto It = CopyOf.begin(); It != CopyOf.end();)
+        It = It->second == Dst ? CopyOf.erase(It) : std::next(It);
+    };
+
+    for (IRInst &I : BB.Insts) {
+      auto rewrite = [&](int &R) {
+        if (R < 0)
+          return;
+        int Src = resolve(R);
+        if (Src != R) {
+          R = Src;
+          ++Stats.CopiesPropagated;
+          ++Changed;
+        }
+      };
+      rewrite(I.A);
+      rewrite(I.B);
+      rewrite(I.C);
+      for (int &R : I.Args)
+        rewrite(R);
+
+      if (I.Op == IROp::Mov) {
+        invalidate(I.Dst);
+        if (I.A != I.Dst)
+          CopyOf[I.Dst] = I.A;
+        continue;
+      }
+      if (I.Dst >= 0)
+        invalidate(I.Dst);
+    }
+  }
+  return Changed;
+}
+
+int removeDeadCode(IRFunction &F, OptStats &Stats) {
+  int N = F.numBlocks();
+  analysis::CFG Graph(F);
+
+  // Backward liveness: LiveOut[b] = union of LiveIn[succ].
+  std::vector<std::vector<char>> LiveIn(
+      static_cast<size_t>(N), std::vector<char>(F.NumRegs, 0));
+
+  auto computeLiveIn = [&](int B, std::vector<char> &Out) {
+    // Start from the union of successors' live-ins.
+    std::fill(Out.begin(), Out.end(), 0);
+    for (int S : Graph.successors(B))
+      for (int R = 0; R != F.NumRegs; ++R)
+        Out[R] |= LiveIn[S][R];
+    // Walk the block backwards.
+    const BasicBlock &BB = F.Blocks[B];
+    for (auto It = BB.Insts.rbegin(); It != BB.Insts.rend(); ++It) {
+      const IRInst &I = *It;
+      if (I.Dst >= 0)
+        Out[I.Dst] = 0;
+      struct Ctx {
+        std::vector<char> *Out;
+      } C{&Out};
+      forEachUse(
+          I, nullptr,
+          [](int R, void *P) { (*static_cast<Ctx *>(P)->Out)[R] = 1; }, &C);
+    }
+  };
+
+  bool Converged = false;
+  int Guard = 0;
+  while (!Converged && Guard++ < N + 8) {
+    Converged = true;
+    for (auto It = Graph.reversePostorder().rbegin();
+         It != Graph.reversePostorder().rend(); ++It) {
+      std::vector<char> NewIn(F.NumRegs, 0);
+      computeLiveIn(*It, NewIn);
+      if (NewIn != LiveIn[*It]) {
+        LiveIn[*It] = std::move(NewIn);
+        Converged = false;
+      }
+    }
+  }
+
+  // Sweep: walk each block backwards with the live-out set, dropping pure
+  // instructions whose destination is dead.
+  int Removed = 0;
+  for (int B = 0; B != N; ++B) {
+    if (!Graph.isReachable(B))
+      continue;
+    std::vector<char> Live(F.NumRegs, 0);
+    for (int S : Graph.successors(B))
+      for (int R = 0; R != F.NumRegs; ++R)
+        Live[R] |= LiveIn[S][R];
+
+    BasicBlock &BB = F.Blocks[B];
+    std::vector<IRInst> Kept;
+    Kept.reserve(BB.Insts.size());
+    for (auto It = BB.Insts.rbegin(); It != BB.Insts.rend(); ++It) {
+      IRInst &I = *It;
+      bool Dead = I.Dst >= 0 && !Live[I.Dst] && isRemovableWhenDead(I);
+      if (Dead) {
+        ++Removed;
+        continue;
+      }
+      if (I.Dst >= 0)
+        Live[I.Dst] = 0;
+      struct Ctx {
+        std::vector<char> *Live;
+      } C{&Live};
+      forEachUse(
+          I, nullptr,
+          [](int R, void *P) { (*static_cast<Ctx *>(P)->Live)[R] = 1; }, &C);
+      Kept.push_back(std::move(I));
+    }
+    std::reverse(Kept.begin(), Kept.end());
+    BB.Insts = std::move(Kept);
+  }
+  Stats.DeadInstsRemoved += Removed;
+  return Removed;
+}
+
+OptStats optimizeFunction(IRFunction &F) {
+  OptStats Stats;
+  for (int Round = 0; Round != 8; ++Round) {
+    ++Stats.Iterations;
+    int Changed = 0;
+    Changed += foldConstants(F, Stats);
+    Changed += propagateCopies(F, Stats);
+    Changed += removeDeadCode(F, Stats);
+    lowering::cleanupFunction(F);
+    if (!Changed)
+      break;
+  }
+  return Stats;
+}
+
+} // namespace opt
+} // namespace ars

@@ -1,0 +1,60 @@
+//===- opt/Passes.h - The optimizing-compiler substrate -------*- C++ -*-===//
+///
+/// \file
+/// Classic scalar optimizations over the CFG IR — the stand-in for the
+/// Jalapeno optimizing compiler the paper compiles everything with
+/// ("compiled prior to execution at level O2").  The sampling transforms
+/// run *after* optimization, exactly as the paper performs duplication in
+/// the last phase of the LIR.
+///
+/// Passes (applied to a bounded fixpoint by optimizeFunction):
+///   * block-local constant folding and propagation (+ branch folding),
+///   * block-local copy propagation,
+///   * global dead-code elimination via backward liveness,
+///   * CFG cleanup (jump threading + unreachable-block removal).
+///
+/// All passes are conservative about effects: calls, stores, allocation,
+/// traps (division, memory access), prints and framework pseudo-ops are
+/// never removed or reordered.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_OPT_PASSES_H
+#define ARS_OPT_PASSES_H
+
+#include "ir/IR.h"
+
+namespace ars {
+namespace opt {
+
+/// What the optimizer did to one function.
+struct OptStats {
+  int ConstantsFolded = 0;
+  int BranchesFolded = 0;
+  int CopiesPropagated = 0;
+  int DeadInstsRemoved = 0;
+  int Iterations = 0;
+
+  int total() const {
+    return ConstantsFolded + BranchesFolded + CopiesPropagated +
+           DeadInstsRemoved;
+  }
+};
+
+/// Block-local constant folding/propagation; folds constant branches.
+int foldConstants(ir::IRFunction &F, OptStats &Stats);
+
+/// Block-local copy propagation (rewrites uses of Mov destinations).
+int propagateCopies(ir::IRFunction &F, OptStats &Stats);
+
+/// Removes pure instructions whose destination is dead (global backward
+/// liveness).
+int removeDeadCode(ir::IRFunction &F, OptStats &Stats);
+
+/// Runs all passes to a fixpoint (bounded) followed by CFG cleanup.
+OptStats optimizeFunction(ir::IRFunction &F);
+
+} // namespace opt
+} // namespace ars
+
+#endif // ARS_OPT_PASSES_H

@@ -1,0 +1,64 @@
+//===- profile/Overlap.cpp ------------------------------------*- C++ -*-===//
+
+#include "profile/Overlap.h"
+
+namespace ars {
+namespace profile {
+
+double overlapPercent(const CallEdgeProfile &Perfect,
+                      const CallEdgeProfile &Sampled) {
+  return overlapPercentMaps(Perfect.counts(), Sampled.counts(),
+                            static_cast<double>(Perfect.total()),
+                            static_cast<double>(Sampled.total()));
+}
+
+double overlapPercent(const FieldAccessProfile &Perfect,
+                      const FieldAccessProfile &Sampled) {
+  if (Perfect.total() == 0 || Sampled.total() == 0)
+    return 0.0;
+  double Overlap = 0.0;
+  size_t N = std::min(Perfect.counts().size(), Sampled.counts().size());
+  for (size_t F = 0; F != N; ++F) {
+    double PPct = 100.0 * static_cast<double>(Perfect.counts()[F]) /
+                  static_cast<double>(Perfect.total());
+    double SPct = 100.0 * static_cast<double>(Sampled.counts()[F]) /
+                  static_cast<double>(Sampled.total());
+    Overlap += std::min(PPct, SPct);
+  }
+  return Overlap;
+}
+
+double overlapPercent(const BlockCountProfile &Perfect,
+                      const BlockCountProfile &Sampled) {
+  return overlapPercentMaps(Perfect.counts(), Sampled.counts(),
+                            static_cast<double>(Perfect.total()),
+                            static_cast<double>(Sampled.total()));
+}
+
+std::vector<OverlapBar> overlapBars(const CallEdgeProfile &Perfect,
+                                    const CallEdgeProfile &Sampled,
+                                    int TopK) {
+  std::vector<OverlapBar> Bars;
+  double PTotal = static_cast<double>(Perfect.total());
+  double STotal = static_cast<double>(Sampled.total());
+  for (const auto &[Key, Count] : Perfect.counts()) {
+    OverlapBar Bar;
+    Bar.Edge = Key;
+    Bar.PerfectPct = PTotal > 0 ? 100.0 * static_cast<double>(Count) / PTotal
+                                : 0.0;
+    auto It = Sampled.counts().find(Key);
+    if (It != Sampled.counts().end() && STotal > 0)
+      Bar.SampledPct = 100.0 * static_cast<double>(It->second) / STotal;
+    Bars.push_back(Bar);
+  }
+  std::stable_sort(Bars.begin(), Bars.end(),
+                   [](const OverlapBar &A, const OverlapBar &B) {
+                     return A.PerfectPct > B.PerfectPct;
+                   });
+  if (TopK >= 0 && static_cast<size_t>(TopK) < Bars.size())
+    Bars.resize(static_cast<size_t>(TopK));
+  return Bars;
+}
+
+} // namespace profile
+} // namespace ars

@@ -1,0 +1,77 @@
+//===- profile/Overlap.h - The paper's accuracy metric --------*- C++ -*-===//
+///
+/// \file
+/// The overlap-percentage metric of section 4.4: each profile entry's
+/// sample-percentage is its count divided by the profile total; the overlap
+/// of two profiles is the sum over entries of the minimum of the two
+/// sample-percentages.  Identical distributions overlap 100%.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_PROFILE_OVERLAP_H
+#define ARS_PROFILE_OVERLAP_H
+
+#include "profile/Profiles.h"
+
+#include <algorithm>
+
+namespace ars {
+namespace profile {
+
+/// Overlap of two generic key->count maps.
+template <typename MapT>
+double overlapPercentMaps(const MapT &Perfect, const MapT &Sampled,
+                          double PerfectTotal, double SampledTotal) {
+  if (PerfectTotal <= 0 || SampledTotal <= 0)
+    return 0.0;
+  double Overlap = 0.0;
+  auto PIt = Perfect.begin();
+  auto SIt = Sampled.begin();
+  while (PIt != Perfect.end() && SIt != Sampled.end()) {
+    if (PIt->first < SIt->first) {
+      ++PIt;
+      continue;
+    }
+    if (SIt->first < PIt->first) {
+      ++SIt;
+      continue;
+    }
+    double PPct = 100.0 * static_cast<double>(PIt->second) / PerfectTotal;
+    double SPct = 100.0 * static_cast<double>(SIt->second) / SampledTotal;
+    Overlap += std::min(PPct, SPct);
+    ++PIt;
+    ++SIt;
+  }
+  return Overlap;
+}
+
+/// Overlap of two call-edge profiles.
+double overlapPercent(const CallEdgeProfile &Perfect,
+                      const CallEdgeProfile &Sampled);
+
+/// Overlap of two field-access profiles.
+double overlapPercent(const FieldAccessProfile &Perfect,
+                      const FieldAccessProfile &Sampled);
+
+/// Overlap of two block-count profiles.
+double overlapPercent(const BlockCountProfile &Perfect,
+                      const BlockCountProfile &Sampled);
+
+/// One bar of the Figure 7 rendering: an edge with its perfect and sampled
+/// sample-percentages.
+struct OverlapBar {
+  CallEdgeKey Edge;
+  double PerfectPct = 0.0;
+  double SampledPct = 0.0;
+};
+
+/// The Figure 7 data: the top \p TopK edges by perfect sample-percentage,
+/// in descending order.
+std::vector<OverlapBar> overlapBars(const CallEdgeProfile &Perfect,
+                                    const CallEdgeProfile &Sampled,
+                                    int TopK);
+
+} // namespace profile
+} // namespace ars
+
+#endif // ARS_PROFILE_OVERLAP_H

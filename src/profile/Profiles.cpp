@@ -1,0 +1,81 @@
+//===- profile/Profiles.cpp -----------------------------------*- C++ -*-===//
+
+#include "profile/Profiles.h"
+
+#include "bytecode/Module.h"
+#include "support/Support.h"
+
+#include <algorithm>
+
+using ars::support::formatString;
+
+namespace ars {
+namespace profile {
+
+void ValueProfile::record(uint64_t SiteId, int64_t Value, uint64_t Count) {
+  Total += Count;
+  auto &Table = Sites[SiteId];
+  auto It = Table.find(Value);
+  if (It != Table.end()) {
+    It->second += Count;
+    return;
+  }
+  if (Table.size() >= MaxValuesPerSite) {
+    Overflow[SiteId] += Count;
+    return;
+  }
+  Table.emplace(Value, Count);
+}
+
+uint64_t ValueProfile::overflow(uint64_t SiteId) const {
+  auto It = Overflow.find(SiteId);
+  return It == Overflow.end() ? 0 : It->second;
+}
+
+std::string dumpCallEdges(const bytecode::Module &M,
+                          const CallEdgeProfile &P, int TopK) {
+  std::vector<std::pair<CallEdgeKey, uint64_t>> Edges(P.counts().begin(),
+                                                      P.counts().end());
+  std::stable_sort(Edges.begin(), Edges.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.second > B.second;
+                   });
+  if (TopK >= 0 && static_cast<size_t>(TopK) < Edges.size())
+    Edges.resize(static_cast<size_t>(TopK));
+
+  std::string Out;
+  for (const auto &[Key, Count] : Edges) {
+    const char *Caller =
+        Key.Caller >= 0 ? M.functionAt(Key.Caller).Name.c_str() : "<entry>";
+    const char *Callee =
+        Key.Callee >= 0 ? M.functionAt(Key.Callee).Name.c_str() : "<bad>";
+    double Pct = P.total()
+                     ? 100.0 * static_cast<double>(Count) /
+                           static_cast<double>(P.total())
+                     : 0.0;
+    Out += formatString("%s@%d -> %s : %llu (%.2f%%)\n", Caller, Key.Site,
+                        Callee, static_cast<unsigned long long>(Count), Pct);
+  }
+  return Out;
+}
+
+std::string dumpFieldAccesses(const bytecode::Module &M,
+                              const FieldAccessProfile &P) {
+  std::string Out;
+  for (size_t F = 0; F != P.counts().size(); ++F) {
+    uint64_t Count = P.counts()[F];
+    if (!Count)
+      continue;
+    double Pct = P.total()
+                     ? 100.0 * static_cast<double>(Count) /
+                           static_cast<double>(P.total())
+                     : 0.0;
+    Out += formatString("%s : %llu (%.2f%%)\n",
+                        M.fieldIdName(static_cast<int>(F)).c_str(),
+                        static_cast<unsigned long long>(Count), Pct);
+  }
+  return Out;
+}
+
+} // namespace profile
+} // namespace ars

@@ -1,0 +1,220 @@
+//===- profile/Profiles.h - Profile data structures -----------*- C++ -*-===//
+///
+/// \file
+/// The profiles the paper's two instrumentations collect, plus the two
+/// extension clients:
+///
+///  * CallEdgeProfile    - one counter per (caller, call-site, callee)
+///                         triple (paper section 4.2, example 1).
+///  * FieldAccessProfile - one counter per field of all classes (example 2).
+///  * BlockCountProfile  - basic-block execution counts (extension).
+///  * ValueProfile       - per-site top-value tables (extension, after
+///                         Calder et al.).
+///
+/// ProfileBundle aggregates all four; the execution engine owns one bundle
+/// per run and probes write into it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_PROFILE_PROFILES_H
+#define ARS_PROFILE_PROFILES_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace ars {
+namespace bytecode {
+class Module;
+}
+
+namespace profile {
+
+/// Key identifying one call edge.
+struct CallEdgeKey {
+  int Caller = -1; ///< caller function id (-1 = thread/program entry)
+  int Site = -1;   ///< bytecode offset of the call in the caller
+  int Callee = -1; ///< callee function id
+
+  bool operator<(const CallEdgeKey &O) const {
+    if (Caller != O.Caller)
+      return Caller < O.Caller;
+    if (Site != O.Site)
+      return Site < O.Site;
+    return Callee < O.Callee;
+  }
+  bool operator==(const CallEdgeKey &O) const {
+    return Caller == O.Caller && Site == O.Site && Callee == O.Callee;
+  }
+};
+
+/// Counter per call edge.
+class CallEdgeProfile {
+public:
+  void record(const CallEdgeKey &Key, uint64_t Count = 1) {
+    Counts[Key] += Count;
+    Total += Count;
+  }
+
+  uint64_t total() const { return Total; }
+  const std::map<CallEdgeKey, uint64_t> &counts() const { return Counts; }
+  bool empty() const { return Counts.empty(); }
+  void clear() {
+    Counts.clear();
+    Total = 0;
+  }
+
+private:
+  std::map<CallEdgeKey, uint64_t> Counts;
+  uint64_t Total = 0;
+};
+
+/// Counter per module-global field id.
+class FieldAccessProfile {
+public:
+  void resize(int NumFieldIds) { Counts.assign(NumFieldIds, 0); }
+  void record(int FieldId, uint64_t Count = 1) {
+    Counts[FieldId] += Count;
+    Total += Count;
+  }
+
+  uint64_t total() const { return Total; }
+  const std::vector<uint64_t> &counts() const { return Counts; }
+  void clear() {
+    Counts.assign(Counts.size(), 0);
+    Total = 0;
+  }
+
+private:
+  std::vector<uint64_t> Counts;
+  uint64_t Total = 0;
+};
+
+/// Execution count per (function, block).
+class BlockCountProfile {
+public:
+  void record(int FuncId, int Block, uint64_t Count = 1) {
+    Counts[{FuncId, Block}] += Count;
+    Total += Count;
+  }
+
+  uint64_t total() const { return Total; }
+  const std::map<std::pair<int, int>, uint64_t> &counts() const {
+    return Counts;
+  }
+  void clear() {
+    Counts.clear();
+    Total = 0;
+  }
+
+private:
+  std::map<std::pair<int, int>, uint64_t> Counts;
+  uint64_t Total = 0;
+};
+
+/// Execution count per CFG edge (function, from-block, to-block) —
+/// intraprocedural edge profiling, one of the section 2 client types.
+class EdgeCountProfile {
+public:
+  using Key = std::tuple<int, int, int>;
+
+  void record(int FuncId, int From, int To, uint64_t Count = 1) {
+    Counts[{FuncId, From, To}] += Count;
+    Total += Count;
+  }
+
+  uint64_t total() const { return Total; }
+  const std::map<Key, uint64_t> &counts() const { return Counts; }
+  void clear() {
+    Counts.clear();
+    Total = 0;
+  }
+
+private:
+  std::map<Key, uint64_t> Counts;
+  uint64_t Total = 0;
+};
+
+/// Ball-Larus style path profile: count per (function, path number).
+/// Paths are delimited by method entry, backedges and returns.
+class PathProfile {
+public:
+  using Key = std::pair<int, int64_t>;
+
+  void record(int FuncId, int64_t PathNumber, uint64_t Count = 1) {
+    Counts[{FuncId, PathNumber}] += Count;
+    Total += Count;
+  }
+
+  uint64_t total() const { return Total; }
+  const std::map<Key, uint64_t> &counts() const { return Counts; }
+  void clear() {
+    Counts.clear();
+    Total = 0;
+  }
+
+private:
+  std::map<Key, uint64_t> Counts;
+  uint64_t Total = 0;
+};
+
+/// Per-site value histogram, capped at MaxValuesPerSite distinct values
+/// (further values fold into an "other" bucket).
+class ValueProfile {
+public:
+  static constexpr size_t MaxValuesPerSite = 32;
+
+  void record(uint64_t SiteId, int64_t Value, uint64_t Count = 1);
+
+  uint64_t total() const { return Total; }
+  const std::map<uint64_t, std::map<int64_t, uint64_t>> &sites() const {
+    return Sites;
+  }
+  /// Dropped-to-"other" event count for \p SiteId.
+  uint64_t overflow(uint64_t SiteId) const;
+  void clear() {
+    Sites.clear();
+    Overflow.clear();
+    Total = 0;
+  }
+
+private:
+  std::map<uint64_t, std::map<int64_t, uint64_t>> Sites;
+  std::map<uint64_t, uint64_t> Overflow;
+  uint64_t Total = 0;
+};
+
+/// Everything one run collects.
+struct ProfileBundle {
+  CallEdgeProfile CallEdges;
+  FieldAccessProfile FieldAccesses;
+  BlockCountProfile BlockCounts;
+  ValueProfile Values;
+  EdgeCountProfile Edges;
+  PathProfile Paths;
+
+  void clear() {
+    CallEdges.clear();
+    FieldAccesses.clear();
+    BlockCounts.clear();
+    Values.clear();
+    Edges.clear();
+    Paths.clear();
+  }
+};
+
+/// Text dump of the top \p TopK call edges with names from \p M.
+std::string dumpCallEdges(const bytecode::Module &M,
+                          const CallEdgeProfile &P, int TopK);
+
+/// Text dump of nonzero field counters with names from \p M.
+std::string dumpFieldAccesses(const bytecode::Module &M,
+                              const FieldAccessProfile &P);
+
+} // namespace profile
+} // namespace ars
+
+#endif // ARS_PROFILE_PROFILES_H

@@ -1,0 +1,69 @@
+//===- runtime/CostModel.cpp ----------------------------------*- C++ -*-===//
+
+#include "runtime/CostModel.h"
+
+namespace ars {
+namespace runtime {
+
+uint32_t CostModel::costOf(const ir::IRInst &I) const {
+  using ir::IROp;
+  switch (I.Op) {
+  case IROp::Nop:
+    return 0;
+  case IROp::Jump:
+    return Jump;
+  case IROp::Mul:
+    return Mul;
+  case IROp::Div:
+  case IROp::Rem:
+    return DivRem;
+  case IROp::FAdd:
+  case IROp::FSub:
+  case IROp::FMul:
+  case IROp::FNeg:
+  case IROp::F2I:
+  case IROp::I2F:
+  case IROp::FCmpLt:
+  case IROp::FCmpLe:
+  case IROp::FCmpEq:
+    return FloatOp;
+  case IROp::FDiv:
+    return FDiv;
+  case IROp::GetField:
+  case IROp::PutField:
+  case IROp::GetGlobal:
+  case IROp::PutGlobal:
+  case IROp::ALoad:
+  case IROp::AStore:
+  case IROp::ALen:
+    return Memory;
+  case IROp::New:
+  case IROp::NewArray:
+    return Alloc;
+  case IROp::Call:
+    return CallOverhead;
+  case IROp::Spawn:
+    return SpawnOverhead;
+  case IROp::Ret:
+  case IROp::RetVal:
+    return RetOverhead;
+  case IROp::IOWait:
+    return static_cast<uint32_t>(I.Imm);
+  case IROp::Print:
+    return Print;
+  case IROp::Yieldpoint:
+    return Yieldpoint;
+  case IROp::SampleCheck:
+  case IROp::GuardedProbe:
+    return Check; // taken-path extras are charged by the engine
+  case IROp::Probe:
+    return 0; // the probe body cost comes from its registry entry
+  case IROp::BurstTransfer:
+    return BurstTransfer;
+  default:
+    return Simple;
+  }
+}
+
+} // namespace runtime
+} // namespace ars

@@ -1,0 +1,60 @@
+//===- runtime/CostModel.h - Deterministic cycle costs --------*- C++ -*-===//
+///
+/// \file
+/// The simulated-cycle cost model.  Overheads in the paper are ratios of
+/// execution times; in this reproduction they are ratios of deterministic
+/// cycle counts, so only *relative* costs matter.  The defaults encode the
+/// relations the paper states explicitly:
+///
+///  * a counter-based check performs "a memory load, compare, branch,
+///    decrement, and store" (section 4.3) — Check = 5;
+///  * the field-access probe body ("two loads, an increment, and a store",
+///    section 4.3) costs about the same as a check — the clients default
+///    to 6;
+///  * a yieldpoint is "similar, but slightly different" to a check
+///    (section 4.5) — Yieldpoint = 4;
+///  * jumping into duplicated code "will most likely incur one or more
+///    instruction cache misses" (section 4.4) — CheckTakenExtra = 20.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_RUNTIME_COSTMODEL_H
+#define ARS_RUNTIME_COSTMODEL_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+
+namespace ars {
+namespace runtime {
+
+/// Per-operation simulated cycle costs.
+struct CostModel {
+  uint32_t Simple = 1;   ///< moves, integer ALU, compares, branches
+  uint32_t Jump = 0;     ///< unconditional jumps: block layout makes them
+                         ///< fall-throughs, so they are free by default
+  uint32_t Mul = 3;
+  uint32_t DivRem = 20;
+  uint32_t FloatOp = 3;
+  uint32_t FDiv = 20;
+  uint32_t Memory = 3;   ///< field/global/array accesses
+  uint32_t Alloc = 30;
+  uint32_t CallOverhead = 10;
+  uint32_t SpawnOverhead = 50;
+  uint32_t RetOverhead = 5;
+  uint32_t Yieldpoint = 4;
+  uint32_t Check = 5;           ///< counter check, not-taken path
+  uint32_t CheckTakenExtra = 20;///< extra when jumping to duplicated code
+  uint32_t BurstTransfer = 2;
+  uint32_t Print = 5;
+
+  /// Static cost of \p I.  Probe bodies and the taken path of checks are
+  /// charged separately by the engine (Probe/GuardedProbe return the
+  /// check-or-zero part here).
+  uint32_t costOf(const ir::IRInst &I) const;
+};
+
+} // namespace runtime
+} // namespace ars
+
+#endif // ARS_RUNTIME_COSTMODEL_H

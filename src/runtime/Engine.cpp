@@ -1,0 +1,541 @@
+//===- runtime/Engine.cpp -------------------------------------*- C++ -*-===//
+
+#include "runtime/Engine.h"
+
+#include "support/Support.h"
+
+#include <cassert>
+
+using ars::support::formatString;
+
+namespace ars {
+namespace runtime {
+
+using ir::IRInst;
+using ir::IROp;
+
+ExecutionEngine::ExecutionEngine(const bytecode::Module &M,
+                                 const std::vector<ir::IRFunction> &Funcs,
+                                 const instr::ProbeRegistry &Probes,
+                                 EngineConfig Config)
+    : M(M), Funcs(Funcs), Probes(Probes), Config(Config),
+      TheHeap(Config.MaxHeapCells), Rng(Config.RandomSeed) {
+  // Precompute field-id -> object offset (fields are laid out in
+  // declaration order within their class).
+  FieldOffset.assign(static_cast<size_t>(M.numFieldIds()), -1);
+  for (const bytecode::ClassDef &C : M.classes())
+    for (size_t F = 0; F != C.Fields.size(); ++F)
+      FieldOffset[static_cast<size_t>(C.Fields[F].FieldId)] =
+          static_cast<int>(F);
+  Globals.assign(static_cast<size_t>(M.numGlobals()), Cell());
+  Profiles.FieldAccesses.resize(M.numFieldIds());
+}
+
+ExecutionEngine::~ExecutionEngine() = default;
+
+bool ExecutionEngine::fail(const std::string &Message) {
+  if (Stats.Ok) {
+    Stats.Ok = false;
+    Stats.Error = Message;
+  }
+  return false;
+}
+
+int64_t ExecutionEngine::nextResetValue() {
+  int64_t Interval = Config.SampleInterval;
+  if (Config.RandomJitterPct == 0)
+    return Interval;
+  int64_t Spread = Interval * static_cast<int64_t>(Config.RandomJitterPct) /
+                   100;
+  if (Spread <= 0)
+    return Interval;
+  int64_t Value = Rng.nextInRange(Interval - Spread, Interval + Spread);
+  return Value < 1 ? 1 : Value;
+}
+
+bool ExecutionEngine::sampleConditionFires(Thread &T) {
+  if (Config.Trigger == TriggerKind::Timer) {
+    if (!SampleBit)
+      return false;
+    SampleBit = false;
+    return true;
+  }
+  if (Config.SampleInterval <= 0)
+    return false;
+  int64_t &Counter = Config.PerThreadCounters ? T.Counter : GlobalCounter;
+  if (--Counter > 0)
+    return false;
+  Counter = nextResetValue();
+  return true;
+}
+
+void ExecutionEngine::runProbeBody(const instr::ProbeEntry &P, Thread &T) {
+  ++Stats.ProbeBodiesRun;
+  switch (P.Kind) {
+  case instr::ProbeKind::CallEdge: {
+    const Frame &Fr = T.Frames.back();
+    profile::CallEdgeKey Key;
+    Key.Caller = Fr.CallerFuncId;
+    Key.Site = Fr.CallSite;
+    Key.Callee = Fr.Func->FuncId;
+    Profiles.CallEdges.record(Key);
+    return;
+  }
+  case instr::ProbeKind::FieldAccess:
+    Profiles.FieldAccesses.record(P.Payload);
+    return;
+  case instr::ProbeKind::BlockCount:
+    Profiles.BlockCounts.record(P.FuncId, P.Payload);
+    return;
+  case instr::ProbeKind::Value: {
+    const Frame &Fr = T.Frames.back();
+    Profiles.Values.record(P.SiteId, T.Regs[Fr.RegBase + P.ValueReg].I);
+    return;
+  }
+  case instr::ProbeKind::EdgeCount:
+    Profiles.Edges.record(P.FuncId, P.Payload, P.Payload2);
+    return;
+  case instr::ProbeKind::PathReset:
+    T.Frames.back().PathSum = 0;
+    return;
+  case instr::ProbeKind::PathAdd:
+    T.Frames.back().PathSum += P.Payload;
+    return;
+  case instr::ProbeKind::PathEnd: {
+    Frame &Fr = T.Frames.back();
+    Profiles.Paths.record(P.FuncId, Fr.PathSum);
+    Fr.PathSum = 0;
+    return;
+  }
+  }
+}
+
+bool ExecutionEngine::pushFrame(Thread &T, int FuncId,
+                                const ir::IRInst *CallInst,
+                                int CallerFuncId) {
+  if (FuncId < 0 || FuncId >= static_cast<int>(Funcs.size()))
+    return fail(formatString("call to bad function id %d", FuncId));
+  if (T.Frames.size() >= Config.MaxCallDepth)
+    return fail("call stack overflow");
+  const ir::IRFunction &Callee = Funcs[FuncId];
+
+  Frame Fr;
+  Fr.Func = &Callee;
+  Fr.Block = Callee.Entry;
+  Fr.Pc = 0;
+  Fr.RegBase = T.Regs.size();
+  Fr.CallerFuncId = CallerFuncId;
+  Fr.CallSite = CallInst ? CallInst->Aux : -1;
+  Fr.Optimized =
+      static_cast<size_t>(FuncId) < Config.OptimizedFuncs.size() &&
+      Config.OptimizedFuncs[static_cast<size_t>(FuncId)];
+  T.Regs.resize(T.Regs.size() + static_cast<size_t>(Callee.NumRegs));
+
+  if (CallInst) {
+    // Copy argument cells from the caller frame (which is still
+    // T.Frames.back() at this point).
+    const Frame &Caller = T.Frames.back();
+    assert(static_cast<int>(CallInst->Args.size()) == Callee.NumParams &&
+           "argument count mismatch survived the verifier");
+    for (size_t A = 0; A != CallInst->Args.size(); ++A)
+      T.Regs[Fr.RegBase + A] = T.Regs[Caller.RegBase + CallInst->Args[A]];
+  }
+  T.Frames.push_back(Fr);
+  ++Stats.Entries;
+  return true;
+}
+
+bool ExecutionEngine::stepThread(Thread &T) {
+  const CostModel &Costs = Config.Costs;
+  bool MultiThreaded = Threads.size() > 1;
+
+  while (true) {
+    if (T.Frames.empty()) {
+      T.Done = true;
+      return true;
+    }
+    Frame &Fr = T.Frames.back();
+    const ir::BasicBlock &BB = Fr.Func->Blocks[Fr.Block];
+    assert(Fr.Pc < static_cast<int>(BB.Insts.size()) && "pc ran off block");
+    const IRInst &I = BB.Insts[Fr.Pc];
+    Cell *R = T.Regs.data() + Fr.RegBase;
+
+    ++Stats.Instructions;
+    uint32_t Cost = Costs.costOf(I);
+    if (Fr.Optimized)
+      Cost = Cost * Config.OptimizedCostPct / 100;
+    Stats.Cycles += Cost;
+    if (Stats.Cycles > Config.MaxCycles)
+      return fail("cycle budget exhausted (runaway program?)");
+    if (Config.Trigger == TriggerKind::Timer &&
+        Stats.Cycles >= NextTimerFire) {
+      SampleBit = true;
+      // A long-latency instruction can straddle several periods; count
+      // each elapsed period as a fire (the bit itself stays one bit, as
+      // in hardware).
+      do {
+        ++Stats.TimerFires;
+        NextTimerFire += Config.TimerPeriodCycles;
+      } while (Stats.Cycles >= NextTimerFire);
+    }
+
+    switch (I.Op) {
+    case IROp::Nop:
+      break;
+    case IROp::MovImm:
+      R[I.Dst].I = I.Imm;
+      break;
+    case IROp::MovFImm:
+      R[I.Dst].F = I.FImm;
+      break;
+    case IROp::Mov:
+      R[I.Dst] = R[I.A];
+      break;
+    case IROp::Add:
+      R[I.Dst].I = R[I.A].I + R[I.B].I;
+      break;
+    case IROp::Sub:
+      R[I.Dst].I = R[I.A].I - R[I.B].I;
+      break;
+    case IROp::Mul:
+      R[I.Dst].I = R[I.A].I * R[I.B].I;
+      break;
+    case IROp::Div:
+      if (R[I.B].I == 0)
+        return fail(formatString("division by zero in %s",
+                                 Fr.Func->Name.c_str()));
+      R[I.Dst].I = R[I.A].I / R[I.B].I;
+      break;
+    case IROp::Rem:
+      if (R[I.B].I == 0)
+        return fail(formatString("remainder by zero in %s",
+                                 Fr.Func->Name.c_str()));
+      R[I.Dst].I = R[I.A].I % R[I.B].I;
+      break;
+    case IROp::Neg:
+      R[I.Dst].I = -R[I.A].I;
+      break;
+    case IROp::And:
+      R[I.Dst].I = R[I.A].I & R[I.B].I;
+      break;
+    case IROp::Or:
+      R[I.Dst].I = R[I.A].I | R[I.B].I;
+      break;
+    case IROp::Xor:
+      R[I.Dst].I = R[I.A].I ^ R[I.B].I;
+      break;
+    case IROp::Shl:
+      R[I.Dst].I = R[I.A].I << (R[I.B].I & 63);
+      break;
+    case IROp::Shr:
+      R[I.Dst].I = R[I.A].I >> (R[I.B].I & 63);
+      break;
+    case IROp::FAdd:
+      R[I.Dst].F = R[I.A].F + R[I.B].F;
+      break;
+    case IROp::FSub:
+      R[I.Dst].F = R[I.A].F - R[I.B].F;
+      break;
+    case IROp::FMul:
+      R[I.Dst].F = R[I.A].F * R[I.B].F;
+      break;
+    case IROp::FDiv:
+      R[I.Dst].F = R[I.A].F / R[I.B].F;
+      break;
+    case IROp::FNeg:
+      R[I.Dst].F = -R[I.A].F;
+      break;
+    case IROp::F2I:
+      R[I.Dst].I = static_cast<int64_t>(R[I.A].F);
+      break;
+    case IROp::I2F:
+      R[I.Dst].F = static_cast<double>(R[I.A].I);
+      break;
+    case IROp::CmpEq:
+      R[I.Dst].I = R[I.A].I == R[I.B].I;
+      break;
+    case IROp::CmpNe:
+      R[I.Dst].I = R[I.A].I != R[I.B].I;
+      break;
+    case IROp::CmpLt:
+      R[I.Dst].I = R[I.A].I < R[I.B].I;
+      break;
+    case IROp::CmpLe:
+      R[I.Dst].I = R[I.A].I <= R[I.B].I;
+      break;
+    case IROp::CmpGt:
+      R[I.Dst].I = R[I.A].I > R[I.B].I;
+      break;
+    case IROp::CmpGe:
+      R[I.Dst].I = R[I.A].I >= R[I.B].I;
+      break;
+    case IROp::FCmpLt:
+      R[I.Dst].I = R[I.A].F < R[I.B].F;
+      break;
+    case IROp::FCmpLe:
+      R[I.Dst].I = R[I.A].F <= R[I.B].F;
+      break;
+    case IROp::FCmpEq:
+      R[I.Dst].I = R[I.A].F == R[I.B].F;
+      break;
+
+    case IROp::New: {
+      int ClassId = static_cast<int>(I.Imm);
+      int NumFields =
+          static_cast<int>(M.classAt(ClassId).Fields.size());
+      int64_t Ref = TheHeap.allocObject(ClassId, NumFields);
+      if (!Ref)
+        return fail("heap exhausted");
+      R[I.Dst].I = Ref;
+      break;
+    }
+    case IROp::GetField: {
+      int64_t Ref = R[I.A].I;
+      if (!TheHeap.valid(Ref))
+        return fail(formatString("null or bad reference in %s",
+                                 Fr.Func->Name.c_str()));
+      int Offset = FieldOffset[static_cast<size_t>(I.Imm)];
+      R[I.Dst] = TheHeap.cell(Ref, Offset);
+      break;
+    }
+    case IROp::PutField: {
+      int64_t Ref = R[I.A].I;
+      if (!TheHeap.valid(Ref))
+        return fail(formatString("null or bad reference in %s",
+                                 Fr.Func->Name.c_str()));
+      int Offset = FieldOffset[static_cast<size_t>(I.Imm)];
+      TheHeap.cell(Ref, Offset) = R[I.B];
+      break;
+    }
+    case IROp::GetGlobal:
+      R[I.Dst] = Globals[static_cast<size_t>(I.Imm)];
+      break;
+    case IROp::PutGlobal:
+      Globals[static_cast<size_t>(I.Imm)] = R[I.A];
+      break;
+    case IROp::NewArray: {
+      int64_t Ref = TheHeap.allocArray(R[I.A].I);
+      if (!Ref)
+        return fail("heap exhausted or negative array length");
+      R[I.Dst].I = Ref;
+      break;
+    }
+    case IROp::ALoad: {
+      int64_t Ref = R[I.A].I;
+      int64_t Idx = R[I.B].I;
+      if (!TheHeap.valid(Ref) || Idx < 0 || Idx >= TheHeap.length(Ref))
+        return fail(formatString("array access out of bounds in %s",
+                                 Fr.Func->Name.c_str()));
+      R[I.Dst] = TheHeap.cell(Ref, Idx);
+      break;
+    }
+    case IROp::AStore: {
+      int64_t Ref = R[I.A].I;
+      int64_t Idx = R[I.B].I;
+      if (!TheHeap.valid(Ref) || Idx < 0 || Idx >= TheHeap.length(Ref))
+        return fail(formatString("array access out of bounds in %s",
+                                 Fr.Func->Name.c_str()));
+      TheHeap.cell(Ref, Idx) = R[I.C];
+      break;
+    }
+    case IROp::ALen: {
+      int64_t Ref = R[I.A].I;
+      if (!TheHeap.valid(Ref))
+        return fail("null or bad reference");
+      R[I.Dst].I = TheHeap.length(Ref);
+      break;
+    }
+    case IROp::IOWait:
+      break; // the cost model already charged Imm cycles
+    case IROp::Print:
+      if (Stats.Trace.size() < Config.MaxTraceEntries)
+        Stats.Trace.push_back(R[I.A].I);
+      break;
+
+    case IROp::Call: {
+      int64_t RetSlot =
+          I.Dst >= 0 ? static_cast<int64_t>(Fr.RegBase) + I.Dst : -1;
+      ++Fr.Pc; // resume after the call on return
+      if (!pushFrame(T, static_cast<int>(I.Imm), &I, Fr.Func->FuncId))
+        return false;
+      T.Frames.back().RetSlot = RetSlot;
+      continue; // Fr is invalidated; restart dispatch
+    }
+    case IROp::Spawn: {
+      Thread NewThread;
+      NewThread.Counter = Config.SampleInterval > 0 ? nextResetValue() : 0;
+      // Build the spawned frame manually so argument cells come from the
+      // spawning thread's registers.
+      const ir::IRFunction &Callee = Funcs[static_cast<int>(I.Imm)];
+      if (static_cast<int>(I.Args.size()) != Callee.NumParams)
+        return fail("spawn argument count mismatch");
+      Frame SF;
+      SF.Func = &Callee;
+      SF.Block = Callee.Entry;
+      SF.Pc = 0;
+      SF.RegBase = 0;
+      SF.CallerFuncId = Fr.Func->FuncId;
+      SF.CallSite = I.Aux;
+      SF.Optimized =
+          static_cast<size_t>(I.Imm) < Config.OptimizedFuncs.size() &&
+          Config.OptimizedFuncs[static_cast<size_t>(I.Imm)];
+      NewThread.Regs.resize(static_cast<size_t>(Callee.NumRegs));
+      for (size_t A = 0; A != I.Args.size(); ++A)
+        NewThread.Regs[A] = R[I.Args[A]];
+      NewThread.Frames.push_back(SF);
+      Threads.push_back(std::move(NewThread));
+      ++Stats.ThreadsSpawned;
+      ++Stats.Entries;
+      MultiThreaded = true;
+      break;
+    }
+    case IROp::Ret:
+    case IROp::RetVal: {
+      Cell Result;
+      if (I.Op == IROp::RetVal)
+        Result = R[I.A];
+      int64_t RetSlot = Fr.RetSlot;
+      size_t RegBase = Fr.RegBase;
+      T.Frames.pop_back();
+      T.Regs.resize(RegBase);
+      if (T.Frames.empty()) {
+        if (I.Op == IROp::RetVal && &T == &Threads[0])
+          Stats.MainResult = Result.I;
+        T.Done = true;
+        return true;
+      }
+      if (I.Op == IROp::RetVal && RetSlot >= 0)
+        T.Regs[static_cast<size_t>(RetSlot)] = Result;
+      continue;
+    }
+
+    case IROp::Jump:
+      Fr.Block = static_cast<int>(I.Imm);
+      Fr.Pc = 0;
+      continue;
+    case IROp::Branch:
+      Fr.Block = R[I.A].I != 0 ? static_cast<int>(I.Imm) : I.Aux;
+      Fr.Pc = 0;
+      continue;
+
+    case IROp::Yieldpoint:
+      ++Stats.YieldpointExecs;
+      if (MultiThreaded &&
+          Stats.Cycles - LastSwitchCycles >= Config.YieldQuantumCycles) {
+        ++Fr.Pc;
+        return true; // scheduler rotates threads
+      }
+      break;
+
+    case IROp::SampleCheck: {
+      ++Stats.CheckExecs;
+      bool Fires = sampleConditionFires(T);
+      if (Fires) {
+        ++Stats.SamplesTaken;
+        Stats.Cycles += Costs.CheckTakenExtra;
+        if (Config.BurstLength > 0)
+          T.BurstRemaining = Config.BurstLength;
+        Fr.Block = static_cast<int>(I.Imm);
+      } else {
+        Fr.Block = I.Aux;
+      }
+      Fr.Pc = 0;
+      // The check subsumes the yield test (always safe; required when the
+      // yieldpoint optimization removed checking-code yieldpoints).
+      if (MultiThreaded &&
+          Stats.Cycles - LastSwitchCycles >= Config.YieldQuantumCycles)
+        return true;
+      continue;
+    }
+    case IROp::Probe: {
+      const instr::ProbeEntry &P = Probes.entry(static_cast<int>(I.Imm));
+      Stats.Cycles += P.CostCycles;
+      runProbeBody(P, T);
+      break;
+    }
+    case IROp::GuardedProbe: {
+      ++Stats.GuardedProbeExecs;
+      if (sampleConditionFires(T)) {
+        ++Stats.GuardedProbesTaken;
+        const instr::ProbeEntry &P = Probes.entry(static_cast<int>(I.Imm));
+        Stats.Cycles += P.CostCycles;
+        runProbeBody(P, T);
+      }
+      break;
+    }
+    case IROp::BurstTransfer:
+      ++Stats.BurstIterations;
+      Fr.Block = --T.BurstRemaining > 0 ? static_cast<int>(I.Imm) : I.Aux;
+      Fr.Pc = 0;
+      continue;
+    }
+
+    ++Fr.Pc;
+  }
+}
+
+RunStats ExecutionEngine::run(int EntryFunc,
+                              const std::vector<int64_t> &Args) {
+  Stats = RunStats();
+  Stats.Ok = true;
+  Profiles.clear();
+  Profiles.FieldAccesses.resize(M.numFieldIds());
+  Globals.assign(Globals.size(), Cell());
+  Threads.clear();
+  Rng = support::Xorshift64(Config.RandomSeed);
+  GlobalCounter = Config.SampleInterval > 0 ? Config.SampleInterval : 0;
+  SampleBit = false;
+  NextTimerFire = Config.TimerPeriodCycles;
+  LastSwitchCycles = 0;
+  CurThread = 0;
+
+  if (EntryFunc < 0 || EntryFunc >= static_cast<int>(Funcs.size())) {
+    fail("bad entry function");
+    return Stats;
+  }
+  const ir::IRFunction &Main = Funcs[EntryFunc];
+  if (static_cast<int>(Args.size()) != Main.NumParams) {
+    fail("entry argument count mismatch");
+    return Stats;
+  }
+
+  Thread MainThread;
+  MainThread.Counter = Config.SampleInterval > 0 ? Config.SampleInterval : 0;
+  Frame MF;
+  MF.Func = &Main;
+  MF.Block = Main.Entry;
+  MF.Pc = 0;
+  MF.RegBase = 0;
+  MF.Optimized =
+      static_cast<size_t>(EntryFunc) < Config.OptimizedFuncs.size() &&
+      Config.OptimizedFuncs[static_cast<size_t>(EntryFunc)];
+  MainThread.Regs.resize(static_cast<size_t>(Main.NumRegs));
+  for (size_t A = 0; A != Args.size(); ++A)
+    MainThread.Regs[A].I = Args[A];
+  MainThread.Frames.push_back(MF);
+  Threads.push_back(std::move(MainThread));
+  ++Stats.Entries;
+
+  while (Stats.Ok) {
+    // Round-robin over live threads.
+    size_t Alive = 0;
+    for (const Thread &T : Threads)
+      if (!T.Done)
+        ++Alive;
+    if (Alive == 0)
+      break;
+    while (Threads[CurThread].Done)
+      CurThread = (CurThread + 1) % Threads.size();
+    Thread &T = Threads[CurThread];
+    if (!stepThread(T))
+      break;
+    LastSwitchCycles = Stats.Cycles;
+    if (!T.Done)
+      ++Stats.ThreadSwitches;
+    CurThread = (CurThread + 1) % Threads.size();
+  }
+  return Stats;
+}
+
+} // namespace runtime
+} // namespace ars

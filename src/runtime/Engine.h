@@ -1,0 +1,183 @@
+//===- runtime/Engine.h - Deterministic execution engine ------*- C++ -*-===//
+///
+/// \file
+/// The interpreter standing in for the Jalapeno JVM: it runs transformed IR
+/// under a deterministic cycle cost model, implements the framework's
+/// runtime halves — the global (or per-thread) sample counter, the
+/// timer-based trigger, green threads with yieldpoint scheduling, probes
+/// writing into a ProfileBundle — and reports the counters the experiments
+/// and the Property-1 dynamic checks are built from.
+///
+/// Determinism: given the same program, config and arguments, a run
+/// produces bit-identical cycle counts and profiles (the paper's
+/// "running a deterministic application twice will result in identical
+/// profiles"); this is a unit test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_RUNTIME_ENGINE_H
+#define ARS_RUNTIME_ENGINE_H
+
+#include "bytecode/Module.h"
+#include "instr/Probe.h"
+#include "ir/IR.h"
+#include "profile/Profiles.h"
+#include "runtime/CostModel.h"
+#include "runtime/Heap.h"
+#include "support/Support.h"
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ars {
+namespace runtime {
+
+/// How checks decide the sample condition (paper section 2.1/2.2).
+enum class TriggerKind : uint8_t {
+  Counter, ///< compiler-inserted counter-based sampling
+  Timer    ///< a bit set every TimerPeriodCycles, polled by the next check
+};
+
+/// Engine configuration.
+struct EngineConfig {
+  TriggerKind Trigger = TriggerKind::Counter;
+
+  /// Counter reset value; a sample fires when the counter reaches zero.
+  /// 0 means "never sample" (the framework-overhead configurations).
+  /// 1 means every check fires (the perfect-profile configuration).
+  int64_t SampleInterval = 0;
+
+  /// Period of the simulated timer interrupt (TriggerKind::Timer), the
+  /// analog of Jalapeno's 10ms threadswitch bit.
+  uint64_t TimerPeriodCycles = 300000;
+
+  /// Use one sample counter per thread instead of a global one
+  /// (section 2.2's answer to multiprocessor counter contention).
+  bool PerThreadCounters = false;
+
+  /// When nonzero, the counter reset value is drawn uniformly from
+  /// interval +/- (interval * pct / 100), deterministically seeded —
+  /// the DCPI-style perturbation discussed at the end of section 4.4.
+  uint32_t RandomJitterPct = 0;
+  uint64_t RandomSeed = 0x415253; // "ARS"
+
+  /// Burst length for BurstTransfer (must match the transform option).
+  int BurstLength = 0;
+
+  /// Thread scheduler time slice, polled at yieldpoints.
+  uint64_t YieldQuantumCycles = 200000;
+
+  /// Functions marked as recompiled at a higher optimization level by an
+  /// adaptive controller (indexed by FuncId; empty = none).  Their
+  /// instructions cost OptimizedCostPct percent of the normal model —
+  /// the simulation of the paper's "selective optimization" context.
+  std::vector<char> OptimizedFuncs;
+  uint32_t OptimizedCostPct = 70;
+
+  /// Safety rails.
+  uint64_t MaxCycles = 200000000000ULL;
+  size_t MaxHeapCells = size_t(1) << 28;
+  size_t MaxTraceEntries = 65536;
+  size_t MaxCallDepth = 100000;
+
+  CostModel Costs;
+};
+
+/// Everything a run reports.
+struct RunStats {
+  bool Ok = false;
+  std::string Error;
+
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  uint64_t Entries = 0;          ///< frames pushed (main + calls + spawns)
+  uint64_t YieldpointExecs = 0;
+  uint64_t ThreadSwitches = 0;
+  uint64_t CheckExecs = 0;       ///< SampleCheck executions
+  uint64_t SamplesTaken = 0;     ///< checks whose sample condition was true
+  uint64_t GuardedProbeExecs = 0;
+  uint64_t GuardedProbesTaken = 0;
+  uint64_t ProbeBodiesRun = 0;   ///< probe bodies executed (incl. guarded)
+  uint64_t BurstIterations = 0;
+  uint64_t TimerFires = 0;
+  uint64_t ThreadsSpawned = 0;
+
+  int64_t MainResult = 0;
+  std::vector<int64_t> Trace; ///< values printed by Print
+};
+
+/// Interprets one compiled program.
+class ExecutionEngine {
+public:
+  /// \p Funcs must be indexed by FuncId and outlive the engine.
+  ExecutionEngine(const bytecode::Module &M,
+                  const std::vector<ir::IRFunction> &Funcs,
+                  const instr::ProbeRegistry &Probes, EngineConfig Config);
+  ~ExecutionEngine();
+
+  /// Runs \p EntryFunc with integer \p Args to completion of all threads.
+  RunStats run(int EntryFunc, const std::vector<int64_t> &Args);
+
+  /// Profiles collected by the most recent run.
+  const profile::ProfileBundle &profiles() const { return Profiles; }
+
+private:
+  struct Frame {
+    const ir::IRFunction *Func = nullptr;
+    int Block = 0;
+    int Pc = 0;
+    size_t RegBase = 0;
+    int CallerFuncId = -1; ///< for call-edge probes
+    int CallSite = -1;
+    int64_t RetSlot = -1;  ///< absolute register receiving the return value
+    bool Optimized = false; ///< runs under the optimized cost scale
+    int64_t PathSum = 0;   ///< Ball-Larus path register
+  };
+
+  struct Thread {
+    std::vector<Frame> Frames;
+    std::vector<Cell> Regs;
+    int64_t Counter = 0;      ///< per-thread sample counter
+    int64_t BurstRemaining = 0;
+    bool Done = false;
+  };
+
+  const bytecode::Module &M;
+  const std::vector<ir::IRFunction> &Funcs;
+  const instr::ProbeRegistry &Probes;
+  EngineConfig Config;
+
+  profile::ProfileBundle Profiles;
+  Heap TheHeap;
+  std::vector<Cell> Globals;
+  std::vector<int> FieldOffset; ///< module field id -> offset in object
+  /// Deque, not vector: stepThread holds references into the current
+  /// thread while Spawn appends new ones, and deque push_back never
+  /// invalidates references to existing elements.
+  std::deque<Thread> Threads;
+  size_t CurThread = 0;
+
+  RunStats Stats;
+  support::Xorshift64 Rng;
+  int64_t GlobalCounter = 0;
+  bool SampleBit = false;
+  uint64_t NextTimerFire = 0;
+  uint64_t LastSwitchCycles = 0;
+
+  bool fail(const std::string &Message);
+  int64_t nextResetValue();
+  bool sampleConditionFires(Thread &T);
+  void runProbeBody(const instr::ProbeEntry &P, Thread &T);
+  /// Runs \p T until it blocks on a yield, finishes, or the run fails.
+  /// Returns false when the whole run must stop.
+  bool stepThread(Thread &T);
+  bool pushFrame(Thread &T, int FuncId, const ir::IRInst *CallInst,
+                 int CallerFuncId);
+};
+
+} // namespace runtime
+} // namespace ars
+
+#endif // ARS_RUNTIME_ENGINE_H

@@ -1,0 +1,33 @@
+//===- runtime/Heap.cpp ---------------------------------------*- C++ -*-===//
+
+#include "runtime/Heap.h"
+
+namespace ars {
+namespace runtime {
+
+int64_t Heap::allocObject(int ClassId, int NumFields) {
+  if (NumFields < 0 || Pool.size() + static_cast<size_t>(NumFields) > MaxCells)
+    return 0;
+  Header H;
+  H.ClassId = ClassId;
+  H.Begin = Pool.size();
+  H.Len = NumFields;
+  Pool.resize(Pool.size() + static_cast<size_t>(NumFields));
+  Headers.push_back(H);
+  return static_cast<int64_t>(Headers.size());
+}
+
+int64_t Heap::allocArray(int64_t Len) {
+  if (Len < 0 || Pool.size() + static_cast<size_t>(Len) > MaxCells)
+    return 0;
+  Header H;
+  H.ClassId = -1;
+  H.Begin = Pool.size();
+  H.Len = Len;
+  Pool.resize(Pool.size() + static_cast<size_t>(Len));
+  Headers.push_back(H);
+  return static_cast<int64_t>(Headers.size());
+}
+
+} // namespace runtime
+} // namespace ars

@@ -1,0 +1,79 @@
+//===- runtime/Heap.h - Simulated object heap -----------------*- C++ -*-===//
+///
+/// \file
+/// A simple bump heap of objects and i64 arrays.  References are opaque
+/// nonzero handles (0 is null).  There is no collector: workloads are sized
+/// to run within the configured cell budget, and the engine reports an
+/// error if allocation exceeds it (which tests exercise).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_RUNTIME_HEAP_H
+#define ARS_RUNTIME_HEAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ars {
+namespace runtime {
+
+/// One 64-bit slot (integers, references, or a double).
+struct Cell {
+  int64_t I = 0;
+  double F = 0.0;
+};
+
+/// Object-and-array heap.
+class Heap {
+public:
+  explicit Heap(size_t MaxCells) : MaxCells(MaxCells) {}
+
+  /// Allocates an object with \p NumFields zeroed fields; returns its
+  /// handle, or 0 if the cell budget is exhausted.
+  int64_t allocObject(int ClassId, int NumFields);
+
+  /// Allocates a zeroed array of \p Len cells; 0 on failure or Len < 0.
+  int64_t allocArray(int64_t Len);
+
+  /// True if \p Ref names a live object or array.
+  bool valid(int64_t Ref) const {
+    return Ref > 0 && static_cast<size_t>(Ref) <= Headers.size();
+  }
+
+  /// Number of cells (fields or elements) behind \p Ref.
+  int64_t length(int64_t Ref) const { return header(Ref).Len; }
+
+  /// Class id of \p Ref (-1 for arrays).
+  int classId(int64_t Ref) const { return header(Ref).ClassId; }
+
+  /// Cell access; \p Index must be within bounds (checked by the engine).
+  Cell &cell(int64_t Ref, int64_t Index) {
+    return Pool[header(Ref).Begin + static_cast<size_t>(Index)];
+  }
+  const Cell &cell(int64_t Ref, int64_t Index) const {
+    return Pool[header(Ref).Begin + static_cast<size_t>(Index)];
+  }
+
+  size_t cellsUsed() const { return Pool.size(); }
+
+private:
+  struct Header {
+    int ClassId = -1;
+    size_t Begin = 0;
+    int64_t Len = 0;
+  };
+
+  const Header &header(int64_t Ref) const {
+    return Headers[static_cast<size_t>(Ref) - 1];
+  }
+
+  size_t MaxCells;
+  std::vector<Cell> Pool;
+  std::vector<Header> Headers;
+};
+
+} // namespace runtime
+} // namespace ars
+
+#endif // ARS_RUNTIME_HEAP_H

@@ -1,0 +1,261 @@
+//===- sampling/CheckPlacement.cpp ----------------------------*- C++ -*-===//
+
+#include "sampling/CheckPlacement.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ars {
+namespace sampling {
+
+using ir::BasicBlock;
+using ir::IRInst;
+using ir::IROp;
+
+TransformContext::TransformContext(ir::IRFunction &F,
+                                   const instr::FunctionPlan &Plan,
+                                   const Options &Opts)
+    : F(F), Plan(Plan), Opts(Opts) {
+  N = F.numBlocks();
+  BI = analysis::findBackedges(F);
+  Result.Roles.assign(N, BlockRole::Checking);
+  Result.Stats.OrigBlocks = N;
+  Result.Stats.OrigSize = F.codeSize();
+  Result.Stats.Backedges = static_cast<int>(BI.Backedges.size());
+  Result.Stats.Reducible = BI.Reducible;
+}
+
+int TransformContext::newBlock(BlockRole Role) {
+  int Id = F.addBlock();
+  Result.Roles.push_back(Role);
+  assert(Result.Roles.size() == F.Blocks.size() && "role map out of sync");
+  return Id;
+}
+
+void duplicateBlocks(TransformContext &Ctx) {
+  ir::IRFunction &F = Ctx.F;
+  int N = Ctx.N;
+  for (int B = 0; B != N; ++B) {
+    int Id = Ctx.newBlock(BlockRole::Duplicated);
+    // Copy after newBlock: addBlock may reallocate the vector.
+    BasicBlock &Dup = F.Blocks[Id];
+    const BasicBlock &Orig = F.Blocks[B];
+    Dup.Insts = Orig.Insts;
+    IRInst &Term = Dup.terminator();
+    int Targets[2];
+    int Count = 0;
+    ir::terminatorTargets(Term, Targets, &Count);
+    // Shift each distinct target once (retargetTerminator rewrites every
+    // matching slot, so handle duplicated slots by retargeting the first
+    // occurrence only — both slots share the value, so one call suffices).
+    if (Count >= 1)
+      ir::retargetTerminator(Term, Targets[0], Targets[0] + N);
+    if (Count == 2 && Targets[1] != Targets[0])
+      ir::retargetTerminator(Term, Targets[1], Targets[1] + N);
+  }
+}
+
+std::vector<ir::IRInst> plantProbes(TransformContext &Ctx, int BlockOffset,
+                                    ir::IROp ProbeOp) {
+  return plantProbes(Ctx, Ctx.Plan, BlockOffset, ProbeOp);
+}
+
+std::vector<ir::IRInst> plantProbes(TransformContext &Ctx,
+                                    const instr::FunctionPlan &Plan,
+                                    int BlockOffset, ir::IROp ProbeOp) {
+  assert((ProbeOp == IROp::Probe || ProbeOp == IROp::GuardedProbe) &&
+         "probes must be planted as Probe or GuardedProbe");
+  std::vector<IRInst> EntryProbes;
+
+  // Group BeforeInst anchors per block and insert back-to-front so indices
+  // stay valid.
+  std::vector<instr::ProbeAnchor> Before;
+  for (const instr::ProbeAnchor &A : Plan.Anchors) {
+    if (A.Kind == instr::AnchorKind::MethodEntry) {
+      IRInst P(ProbeOp);
+      P.Imm = A.ProbeId;
+      EntryProbes.push_back(P);
+      continue;
+    }
+    assert(A.Kind == instr::AnchorKind::BeforeInst &&
+           "OnEdge anchors must be rewritten before the transform runs");
+    Before.push_back(A);
+  }
+  std::stable_sort(Before.begin(), Before.end(),
+                   [](const instr::ProbeAnchor &A,
+                      const instr::ProbeAnchor &B) {
+                     if (A.Block != B.Block)
+                       return A.Block < B.Block;
+                     return A.InstIdx > B.InstIdx; // descending within block
+                   });
+  for (const instr::ProbeAnchor &A : Before) {
+    BasicBlock &BB = Ctx.F.Blocks[A.Block + BlockOffset];
+    assert(A.InstIdx >= 0 &&
+           A.InstIdx <= static_cast<int>(BB.Insts.size()) &&
+           "anchor index out of range");
+    IRInst P(ProbeOp);
+    P.Imm = A.ProbeId;
+    BB.Insts.insert(BB.Insts.begin() + A.InstIdx, P);
+    if (ProbeOp == IROp::Probe)
+      ++Ctx.Result.Stats.Probes;
+    else
+      ++Ctx.Result.Stats.GuardedProbes;
+  }
+  return EntryProbes;
+}
+
+std::vector<char> instrumentedBlocks(const TransformContext &Ctx,
+                                     const instr::FunctionPlan &Plan) {
+  std::vector<char> Marked(Ctx.N, 0);
+  for (const instr::ProbeAnchor &A : Plan.Anchors) {
+    if (A.Kind == instr::AnchorKind::MethodEntry)
+      continue; // entry probes live in the DupPreEntry block, not a node
+    assert(A.Block >= 0 && A.Block < Ctx.N && "anchor outside original CFG");
+    Marked[A.Block] = 1;
+  }
+  return Marked;
+}
+
+void buildPreEntry(TransformContext &Ctx, int DupEntryTarget,
+                   bool WithYieldpoint, bool WithCheck,
+                   std::vector<ir::IRInst> ExtraLeading) {
+  if (!WithYieldpoint && !WithCheck && ExtraLeading.empty())
+    return;
+  int OldEntry = Ctx.F.Entry;
+  int E = Ctx.newBlock(BlockRole::PreEntry);
+  BasicBlock &BB = Ctx.F.Blocks[E];
+  BB.Insts = std::move(ExtraLeading);
+  if (WithYieldpoint)
+    BB.Insts.push_back(IRInst(IROp::Yieldpoint));
+  if (WithCheck) {
+    IRInst Check(IROp::SampleCheck);
+    Check.Imm = DupEntryTarget >= 0 ? DupEntryTarget : OldEntry;
+    Check.Aux = OldEntry;
+    BB.Insts.push_back(Check);
+    ++Ctx.Result.Stats.EntryChecks;
+  } else {
+    IRInst Jump(IROp::Jump);
+    Jump.Imm = OldEntry;
+    BB.Insts.push_back(Jump);
+  }
+  Ctx.F.Entry = E;
+}
+
+void splitCheckingBackedges(TransformContext &Ctx, bool WithYieldpoint,
+                            bool WithChecks,
+                            const std::vector<char> *DupHeaderKept) {
+  Ctx.BackedgeReturn.clear();
+  for (const analysis::Edge &E : Ctx.BI.Backedges) {
+    bool Check = WithChecks;
+    if (Check && DupHeaderKept && !(*DupHeaderKept)[E.To])
+      Check = false; // Partial-Duplication removed this check's target
+    if (!Check && !WithYieldpoint) {
+      Ctx.BackedgeReturn.push_back(E.To);
+      continue; // nothing to place on this backedge
+    }
+
+    int C = Ctx.newBlock(BlockRole::Check);
+    BasicBlock &BB = Ctx.F.Blocks[C];
+    if (WithYieldpoint)
+      BB.Insts.push_back(IRInst(IROp::Yieldpoint));
+    if (Check) {
+      IRInst CheckInst(IROp::SampleCheck);
+      CheckInst.Imm = Ctx.Opts.DuplicateCode ? E.To + Ctx.N : E.To;
+      CheckInst.Aux = E.To;
+      BB.Insts.push_back(CheckInst);
+      ++Ctx.Result.Stats.BackedgeChecks;
+    } else {
+      IRInst Jump(IROp::Jump);
+      Jump.Imm = E.To;
+      BB.Insts.push_back(Jump);
+    }
+    ir::retargetTerminator(Ctx.F.Blocks[E.From].terminator(), E.To, C);
+    Ctx.BackedgeReturn.push_back(C);
+  }
+}
+
+void redirectDupBackedges(TransformContext &Ctx,
+                          const std::vector<char> *DupHeaderKept) {
+  assert(Ctx.BackedgeReturn.size() == Ctx.BI.Backedges.size() &&
+         "splitCheckingBackedges must run first");
+  bool DupYieldpoints = Ctx.Opts.InsertYieldpoints && Ctx.Opts.YieldpointOpt;
+  for (size_t I = 0; I != Ctx.BI.Backedges.size(); ++I) {
+    const analysis::Edge &E = Ctx.BI.Backedges[I];
+    int DupFrom = E.From + Ctx.N;
+    int DupTo = E.To + Ctx.N;
+    int Return = Ctx.BackedgeReturn[I];
+    bool HeaderKept = !DupHeaderKept || (*DupHeaderKept)[E.To];
+    bool WantBurst = Ctx.Opts.BurstLength > 0 && HeaderKept;
+
+    if (!DupYieldpoints && !WantBurst) {
+      // The edge carries nothing: return to checking code directly.
+      ir::retargetTerminator(Ctx.F.Blocks[DupFrom].terminator(), DupTo,
+                             Return);
+      continue;
+    }
+    int T = Ctx.newBlock(BlockRole::Transfer);
+    BasicBlock &BB = Ctx.F.Blocks[T];
+    if (DupYieldpoints)
+      BB.Insts.push_back(IRInst(IROp::Yieldpoint));
+    if (WantBurst) {
+      IRInst Burst(IROp::BurstTransfer);
+      Burst.Imm = DupTo;  // stay in duplicated code while the burst lasts
+      Burst.Aux = Return; // then return to the checking code
+      BB.Insts.push_back(Burst);
+    } else {
+      IRInst Jump(IROp::Jump);
+      Jump.Imm = Return;
+      BB.Insts.push_back(Jump);
+    }
+    ir::retargetTerminator(Ctx.F.Blocks[DupFrom].terminator(), DupTo, T);
+  }
+}
+
+void compactReachable(TransformContext &Ctx) {
+  ir::IRFunction &F = Ctx.F;
+  int Total = F.numBlocks();
+  std::vector<char> Reachable(Total, 0);
+  std::vector<int> Work;
+  Reachable[F.Entry] = 1;
+  Work.push_back(F.Entry);
+  while (!Work.empty()) {
+    int B = Work.back();
+    Work.pop_back();
+    int Targets[2];
+    int Count = 0;
+    ir::terminatorTargets(F.Blocks[B].terminator(), Targets, &Count);
+    for (int T = 0; T != Count; ++T)
+      if (!Reachable[Targets[T]]) {
+        Reachable[Targets[T]] = 1;
+        Work.push_back(Targets[T]);
+      }
+  }
+
+  std::vector<int> NewId(Total, -1);
+  int Next = 0;
+  for (int B = 0; B != Total; ++B)
+    if (Reachable[B])
+      NewId[B] = Next++;
+  if (Next == Total)
+    return;
+
+  std::vector<BasicBlock> Kept;
+  std::vector<BlockRole> KeptRoles;
+  Kept.reserve(Next);
+  KeptRoles.reserve(Next);
+  for (int B = 0; B != Total; ++B) {
+    if (!Reachable[B])
+      continue;
+    BasicBlock BB = std::move(F.Blocks[B]);
+    BB.Id = NewId[B];
+    ir::remapTerminatorTargets(BB.terminator(), NewId);
+    Kept.push_back(std::move(BB));
+    KeptRoles.push_back(Ctx.Result.Roles[B]);
+  }
+  F.Blocks = std::move(Kept);
+  F.Entry = NewId[F.Entry];
+  Ctx.Result.Roles = std::move(KeptRoles);
+}
+
+} // namespace sampling
+} // namespace ars

@@ -1,0 +1,122 @@
+//===- sampling/CheckPlacement.h - Shared transform machinery -*- C++ -*-===//
+///
+/// \file
+/// Internal helpers shared by the transform variants: block duplication,
+/// probe planting, pre-entry block construction, backedge splitting with
+/// yieldpoints/checks, and role-aware unreachable-block compaction.
+/// Private to the sampling library; not part of the public API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_SAMPLING_CHECKPLACEMENT_H
+#define ARS_SAMPLING_CHECKPLACEMENT_H
+
+#include "analysis/Backedges.h"
+#include "sampling/Transform.h"
+
+namespace ars {
+namespace sampling {
+
+/// Mutable state threaded through one function's transformation.
+struct TransformContext {
+  ir::IRFunction &F;
+  const instr::FunctionPlan &Plan;
+  const Options &Opts;
+  TransformResult Result;
+  analysis::BackedgeInfo BI; ///< backedges of the original code
+  int N = 0;                 ///< original block count
+
+  TransformContext(ir::IRFunction &F, const instr::FunctionPlan &Plan,
+                   const Options &Opts);
+
+  /// Appends an empty block with \p Role; returns its id.
+  int newBlock(BlockRole Role);
+
+  /// For each BI.Backedges[i], the block a duplicated-code backedge must
+  /// return to: the backedge's check block when one was created (so that,
+  /// at sample interval 1, execution re-enters duplicated code immediately
+  /// and the whole run is profiled — the paper's perfect-profile
+  /// configuration), else the checking-code header.  Filled by
+  /// splitCheckingBackedges; defaults to the headers.
+  std::vector<int> BackedgeReturn;
+};
+
+/// Appends a copy of blocks [0, N) as blocks [N, 2N) with branch targets
+/// shifted by N, rolls marked Duplicated.
+void duplicateBlocks(TransformContext &Ctx);
+
+/// Plants BeforeInst probes of \p Plan into blocks, offsetting anchor
+/// block ids by \p BlockOffset, as \p ProbeOp (Probe or GuardedProbe).
+/// MethodEntry probes are NOT planted; they are returned so the caller can
+/// place them in the right prologue block.
+std::vector<ir::IRInst> plantProbes(TransformContext &Ctx,
+                                    const instr::FunctionPlan &Plan,
+                                    int BlockOffset, ir::IROp ProbeOp);
+
+/// Overload planting the context's own plan.
+std::vector<ir::IRInst> plantProbes(TransformContext &Ctx, int BlockOffset,
+                                    ir::IROp ProbeOp);
+
+/// Returns the set of original block ids that carry BeforeInst anchors in
+/// \p Plan (used by Partial-Duplication to mark instrumented nodes).
+std::vector<char> instrumentedBlocks(const TransformContext &Ctx,
+                                     const instr::FunctionPlan &Plan);
+
+/// Builds the checking-code prologue: an optional yieldpoint and an
+/// optional entry check (SampleCheck to \p DupEntryTarget).  Sets F.Entry.
+/// No block is created when both parts are absent.  \p ExtraLeading
+/// instructions (e.g. exhaustive method-entry probes) are placed first.
+void buildPreEntry(TransformContext &Ctx, int DupEntryTarget,
+                   bool WithYieldpoint, bool WithCheck,
+                   std::vector<ir::IRInst> ExtraLeading);
+
+/// Splits every backedge (u, v) of the checking code with a new block
+/// containing an optional yieldpoint and either a check (SampleCheck to
+/// dup(v) = v + N, or a self-target when code is not duplicated) or a
+/// plain jump.  Partial-Duplication passes \p DupHeaderKept to suppress
+/// checks whose duplicated target was removed.  Fills Ctx.BackedgeReturn.
+/// Must run before redirectDupBackedges.
+void splitCheckingBackedges(TransformContext &Ctx, bool WithYieldpoint,
+                            bool WithChecks,
+                            const std::vector<char> *DupHeaderKept);
+
+/// Redirects every duplicated-code backedge dup(u) -> dup(v) back to
+/// checking code at Ctx.BackedgeReturn[i] — through a new Transfer block
+/// when the edge needs content (a relocated yieldpoint under the
+/// yieldpoint optimization, or the counted BurstTransfer of the
+/// N-iteration extension), else by direct retargeting.  When
+/// \p DupHeaderKept says the duplicated header was removed
+/// (Partial-Duplication), the burst re-entry degrades to a plain return.
+void redirectDupBackedges(TransformContext &Ctx,
+                          const std::vector<char> *DupHeaderKept = nullptr);
+
+/// Removes blocks unreachable from F.Entry, renumbering blocks and keeping
+/// Result.Roles aligned.  Used instead of lowering::removeUnreachableBlocks
+/// so the role map survives.
+void compactReachable(TransformContext &Ctx);
+
+// Variant entry points (implemented one per file, dispatched by
+// transformFunction).
+TransformResult runBaseline(ir::IRFunction &F,
+                            const instr::FunctionPlan &Plan,
+                            const Options &Opts);
+TransformResult runExhaustive(ir::IRFunction &F,
+                              const instr::FunctionPlan &Plan,
+                              const Options &Opts);
+TransformResult runFullDuplication(ir::IRFunction &F,
+                                   const instr::FunctionPlan &Plan,
+                                   const Options &Opts);
+TransformResult runPartialDuplication(ir::IRFunction &F,
+                                      const instr::FunctionPlan &Plan,
+                                      const Options &Opts);
+TransformResult runNoDuplication(ir::IRFunction &F,
+                                 const instr::FunctionPlan &Plan,
+                                 const Options &Opts);
+TransformResult runCombined(ir::IRFunction &F,
+                            const instr::FunctionPlan &Plan,
+                            const Options &Opts);
+
+} // namespace sampling
+} // namespace ars
+
+#endif // ARS_SAMPLING_CHECKPLACEMENT_H

@@ -1,0 +1,48 @@
+//===- sampling/Exhaustive.cpp - Baseline and exhaustive modes -*- C++ -*-===//
+///
+/// \file
+/// Baseline: yieldpoints only — the reference configuration every overhead
+/// in the paper is measured against.  Exhaustive: probes planted unguarded
+/// in the original code (Table 1's expensive configuration; also how
+/// perfect profiles are collected).
+///
+//===----------------------------------------------------------------------===//
+
+#include "sampling/CheckPlacement.h"
+
+namespace ars {
+namespace sampling {
+
+using ir::IRInst;
+using ir::IROp;
+
+TransformResult runBaseline(ir::IRFunction &F,
+                            const instr::FunctionPlan &Plan,
+                            const Options &Opts) {
+  TransformContext Ctx(F, Plan, Opts);
+  splitCheckingBackedges(Ctx, Opts.InsertYieldpoints, /*WithChecks=*/false,
+                         nullptr);
+  buildPreEntry(Ctx, /*DupEntryTarget=*/-1, Opts.InsertYieldpoints,
+                /*WithCheck=*/false, {});
+  Ctx.Result.Stats.FinalBlocks = F.numBlocks();
+  Ctx.Result.Stats.FinalSize = F.codeSize();
+  return Ctx.Result;
+}
+
+TransformResult runExhaustive(ir::IRFunction &F,
+                              const instr::FunctionPlan &Plan,
+                              const Options &Opts) {
+  TransformContext Ctx(F, Plan, Opts);
+  std::vector<IRInst> EntryProbes = plantProbes(Ctx, 0, IROp::Probe);
+  Ctx.Result.Stats.Probes += static_cast<int>(EntryProbes.size());
+  splitCheckingBackedges(Ctx, Opts.InsertYieldpoints, /*WithChecks=*/false,
+                         nullptr);
+  buildPreEntry(Ctx, /*DupEntryTarget=*/-1, Opts.InsertYieldpoints,
+                /*WithCheck=*/false, std::move(EntryProbes));
+  Ctx.Result.Stats.FinalBlocks = F.numBlocks();
+  Ctx.Result.Stats.FinalSize = F.codeSize();
+  return Ctx.Result;
+}
+
+} // namespace sampling
+} // namespace ars

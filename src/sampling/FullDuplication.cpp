@@ -1,0 +1,75 @@
+//===- sampling/FullDuplication.cpp - Section 2 algorithm -----*- C++ -*-===//
+///
+/// \file
+/// Full-Duplication: duplicate every block, plant all probes in the
+/// duplicated code, redirect duplicated backedges back to checking code,
+/// and place counter-based checks on method entries and backedges of the
+/// checking code.  Guarantees Property 1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sampling/CheckPlacement.h"
+
+#include <cassert>
+
+namespace ars {
+namespace sampling {
+
+using ir::IRInst;
+using ir::IROp;
+
+TransformResult runFullDuplication(ir::IRFunction &F,
+                                   const instr::FunctionPlan &Plan,
+                                   const Options &Opts) {
+  TransformContext Ctx(F, Plan, Opts);
+  int OrigEntry = F.Entry;
+  bool Yieldpoints = Opts.InsertYieldpoints;
+  bool CheckingYieldpoints = Yieldpoints && !Opts.YieldpointOpt;
+  bool DupYieldpoints = Yieldpoints && Opts.YieldpointOpt;
+
+  std::vector<IRInst> EntryProbes;
+  int DupEntryTarget = -1;
+
+  if (Opts.DuplicateCode) {
+    duplicateBlocks(Ctx);
+    EntryProbes = plantProbes(Ctx, Ctx.N, IROp::Probe);
+    splitCheckingBackedges(Ctx, CheckingYieldpoints, Opts.BackedgeChecks,
+                           nullptr);
+    redirectDupBackedges(Ctx);
+
+    // The duplicated-code prologue: entry probes (executed once per entry
+    // sample, even when the duplicated entry block is a loop header) and,
+    // under the yieldpoint optimization, the relocated entry yieldpoint.
+    DupEntryTarget = OrigEntry + Ctx.N;
+    if (!EntryProbes.empty() || DupYieldpoints) {
+      int DE = Ctx.newBlock(BlockRole::DupPreEntry);
+      ir::BasicBlock &BB = Ctx.F.Blocks[DE];
+      if (DupYieldpoints)
+        BB.Insts.push_back(IRInst(IROp::Yieldpoint));
+      Ctx.Result.Stats.Probes += static_cast<int>(EntryProbes.size());
+      for (IRInst &P : EntryProbes)
+        BB.Insts.push_back(std::move(P));
+      IRInst Jump(IROp::Jump);
+      Jump.Imm = OrigEntry + Ctx.N;
+      BB.Insts.push_back(Jump);
+      DupEntryTarget = DE;
+    }
+  } else {
+    // Table 2 breakdown configuration: checks only, no duplicated code.
+    // The plan must be empty — this configuration cannot sample.
+    assert(Plan.empty() && "checks-only configuration cannot carry probes");
+    splitCheckingBackedges(Ctx, CheckingYieldpoints, Opts.BackedgeChecks,
+                           nullptr);
+  }
+
+  buildPreEntry(Ctx, DupEntryTarget, CheckingYieldpoints, Opts.EntryChecks,
+                {});
+
+  Ctx.Result.Stats.DupBlocksKept = Opts.DuplicateCode ? Ctx.N : 0;
+  Ctx.Result.Stats.FinalBlocks = F.numBlocks();
+  Ctx.Result.Stats.FinalSize = F.codeSize();
+  return Ctx.Result;
+}
+
+} // namespace sampling
+} // namespace ars

@@ -1,0 +1,37 @@
+//===- sampling/NoDuplication.cpp - Section 3.2 algorithm -----*- C++ -*-===//
+///
+/// \file
+/// No-Duplication: nothing is duplicated; every instrumentation operation
+/// is guarded by its own counter-based check (GuardedProbe).  Property 1
+/// does not hold — the number of checks executed tracks the number of
+/// instrumentation operations, which may exceed or undercut the number of
+/// entries + backedges depending on instrumentation density (the effect
+/// Table 3 measures).
+///
+//===----------------------------------------------------------------------===//
+
+#include "sampling/CheckPlacement.h"
+
+namespace ars {
+namespace sampling {
+
+using ir::IRInst;
+using ir::IROp;
+
+TransformResult runNoDuplication(ir::IRFunction &F,
+                                 const instr::FunctionPlan &Plan,
+                                 const Options &Opts) {
+  TransformContext Ctx(F, Plan, Opts);
+  std::vector<IRInst> EntryProbes = plantProbes(Ctx, 0, IROp::GuardedProbe);
+  Ctx.Result.Stats.GuardedProbes += static_cast<int>(EntryProbes.size());
+  splitCheckingBackedges(Ctx, Opts.InsertYieldpoints, /*WithChecks=*/false,
+                         nullptr);
+  buildPreEntry(Ctx, /*DupEntryTarget=*/-1, Opts.InsertYieldpoints,
+                /*WithCheck=*/false, std::move(EntryProbes));
+  Ctx.Result.Stats.FinalBlocks = F.numBlocks();
+  Ctx.Result.Stats.FinalSize = F.codeSize();
+  return Ctx.Result;
+}
+
+} // namespace sampling
+} // namespace ars

@@ -1,0 +1,247 @@
+//===- sampling/PartialDuplication.cpp - Section 3.1 algorithm -*- C++ -*-===//
+///
+/// \file
+/// Partial-Duplication removes as many non-instrumented blocks from the
+/// duplicated code as possible without violating Property 1.  On the
+/// duplicated-code DAG (backedges removed):
+///
+///  * a bottom-node is a non-instrumented node from which no instrumented
+///    node is reachable — removable because once it runs, no further
+///    instrumentation happens before returning to checking code;
+///  * a top-node is a non-instrumented node such that no path from entry
+///    to it contains an instrumented node — removable with two
+///    adjustments (paper 3.1): (1) checking-code checks that branch to a
+///    top-node are removed, and (2) every DAG edge from a removed top-node
+///    to a kept node gets a check on the corresponding checking-code edge.
+///
+/// Edges from kept duplicated nodes to removed bottom-nodes return to the
+/// corresponding checking-code block.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sampling/CheckPlacement.h"
+
+#include <cassert>
+#include <map>
+
+namespace ars {
+namespace sampling {
+
+using ir::IRInst;
+using ir::IROp;
+
+namespace {
+
+/// DAG successors of original block \p B: CFG successors minus backedges.
+void dagSuccessors(const TransformContext &Ctx, const analysis::CFG &Graph,
+                   int B, std::vector<int> &Out) {
+  Out.clear();
+  for (int S : Graph.successors(B))
+    if (!Ctx.BI.isBackedge(B, S))
+      Out.push_back(S);
+}
+
+} // namespace
+
+namespace {
+
+/// Shared implementation of Partial-Duplication and the Combined mode:
+/// \p Plan is duplicated (its dense probes drive top/bottom-node
+/// analysis); \p Sparse, when given, is planted as guarded probes in the
+/// checking code (a sample executing duplicated code skips the guards for
+/// that stretch, a negligible 1/interval undercount of sparse events).
+TransformResult runPartialImpl(ir::IRFunction &F,
+                               const instr::FunctionPlan &Plan,
+                               const instr::FunctionPlan *Sparse,
+                               const Options &Opts) {
+  TransformContext Ctx(F, Plan, Opts);
+  assert(Opts.DuplicateCode && "Partial-Duplication always duplicates");
+  int OrigEntry = F.Entry;
+  int N = Ctx.N;
+  bool Yieldpoints = Opts.InsertYieldpoints;
+  bool CheckingYieldpoints = Yieldpoints && !Opts.YieldpointOpt;
+  bool DupYieldpoints = Yieldpoints && Opts.YieldpointOpt;
+
+  // The DAG is computed on original indices; duplicated node b+N mirrors b.
+  analysis::CFG Graph(F); // original code only, captured before mutation
+  std::vector<char> Instrumented = instrumentedBlocks(Ctx, Plan);
+
+  // Method-entry instrumentation makes the entry node instrumented, as it
+  // would be in the paper (the probes execute at the top of the method).
+  // This keeps the dynamic check count of Partial-Duplication bounded by
+  // Full-Duplication's: otherwise a retained entry check plus boundary
+  // checks could both fire on one path.
+  bool HasEntryProbes = false;
+  for (const instr::ProbeAnchor &A : Plan.Anchors)
+    if (A.Kind == instr::AnchorKind::MethodEntry)
+      HasEntryProbes = true;
+  if (HasEntryProbes)
+    Instrumented[OrigEntry] = 1;
+
+  // Tainted = instrumented or reachable from an instrumented node (DAG).
+  std::vector<char> Tainted(N, 0);
+  std::vector<int> Work;
+  for (int B = 0; B != N; ++B)
+    if (Instrumented[B]) {
+      Tainted[B] = 1;
+      Work.push_back(B);
+    }
+  std::vector<int> Succs;
+  while (!Work.empty()) {
+    int B = Work.back();
+    Work.pop_back();
+    dagSuccessors(Ctx, Graph, B, Succs);
+    for (int S : Succs)
+      if (!Tainted[S]) {
+        Tainted[S] = 1;
+        Work.push_back(S);
+      }
+  }
+
+  // ReachesI = instrumented or reaches an instrumented node (DAG).
+  std::vector<char> ReachesI(N, 0);
+  for (int B = 0; B != N; ++B)
+    if (Instrumented[B]) {
+      ReachesI[B] = 1;
+      Work.push_back(B);
+    }
+  // Reverse edges: walk predecessors via the forward adjacency.
+  while (!Work.empty()) {
+    int B = Work.back();
+    Work.pop_back();
+    for (int P : Graph.predecessors(B)) {
+      if (Ctx.BI.isBackedge(P, B))
+        continue;
+      if (!ReachesI[P]) {
+        ReachesI[P] = 1;
+        Work.push_back(P);
+      }
+    }
+  }
+
+  // Kept = tainted AND reaches instrumentation... no: kept = not removable.
+  // Top = !Tainted, Bottom = !ReachesI; removed = Top or Bottom.
+  std::vector<char> Kept(N, 0), Top(N, 0);
+  for (int B = 0; B != N; ++B) {
+    Top[B] = !Tainted[B];
+    bool Bottom = !ReachesI[B];
+    Kept[B] = !(Top[B] || Bottom);
+    assert((!Instrumented[B] || Kept[B]) && "instrumented node removed");
+  }
+
+  // From here the structure mirrors Full-Duplication, minus removed nodes.
+  duplicateBlocks(Ctx);
+  std::vector<IRInst> EntryProbes = plantProbes(Ctx, N, IROp::Probe);
+  if (Sparse && !Sparse->empty()) {
+    std::vector<IRInst> GuardedEntry =
+        plantProbes(Ctx, *Sparse, /*BlockOffset=*/0, IROp::GuardedProbe);
+    assert(GuardedEntry.empty() && "entry probes belong to the dense plan");
+    (void)GuardedEntry;
+  }
+  splitCheckingBackedges(Ctx, CheckingYieldpoints, Opts.BackedgeChecks,
+                         &Kept);
+  redirectDupBackedges(Ctx, &Kept);
+
+  // Kept duplicated blocks whose DAG successor was removed (necessarily a
+  // bottom-node) return to the checking code instead.
+  for (int B = 0; B != N; ++B) {
+    if (!Kept[B])
+      continue;
+    dagSuccessors(Ctx, Graph, B, Succs);
+    for (int S : Succs) {
+      if (Kept[S])
+        continue;
+      assert(!Top[S] && "edge from kept duplicated node to a top-node");
+      ir::retargetTerminator(Ctx.F.Blocks[B + N].terminator(), S + N, S);
+    }
+  }
+
+  // Adjustment 2: checks on checking-code edges from removed top-nodes
+  // into kept nodes.
+  for (int B = 0; B != N; ++B) {
+    if (Kept[B] || !Top[B])
+      continue;
+    dagSuccessors(Ctx, Graph, B, Succs);
+    for (int S : Succs) {
+      if (!Kept[S])
+        continue;
+      int C = Ctx.newBlock(BlockRole::Check);
+      ir::BasicBlock &BB = Ctx.F.Blocks[C];
+      IRInst Check(IROp::SampleCheck);
+      Check.Imm = S + N;
+      Check.Aux = S;
+      BB.Insts.push_back(Check);
+      ++Ctx.Result.Stats.BoundaryChecks;
+      ir::retargetTerminator(Ctx.F.Blocks[B].terminator(), S, C);
+    }
+  }
+
+  // Duplicated-code prologue for entry probes.  When the duplicated entry
+  // was removed, the prologue runs the entry probes and immediately
+  // returns to checking code.
+  int DupEntryTarget = -1;
+  bool EntryKept = Kept[OrigEntry] != 0;
+  if (!EntryProbes.empty() || (DupYieldpoints && EntryKept)) {
+    int DE = Ctx.newBlock(BlockRole::DupPreEntry);
+    ir::BasicBlock &BB = Ctx.F.Blocks[DE];
+    if (DupYieldpoints)
+      BB.Insts.push_back(IRInst(IROp::Yieldpoint));
+    Ctx.Result.Stats.Probes += static_cast<int>(EntryProbes.size());
+    for (IRInst &P : EntryProbes)
+      BB.Insts.push_back(std::move(P));
+    IRInst Jump(IROp::Jump);
+    Jump.Imm = EntryKept ? OrigEntry + N : OrigEntry;
+    BB.Insts.push_back(Jump);
+    DupEntryTarget = DE;
+  } else if (EntryKept) {
+    DupEntryTarget = OrigEntry + N;
+  }
+
+  // Adjustment 1: the entry check is removed when it would branch to a
+  // removed top-node (and there are no entry probes to run).
+  bool WantEntryCheck = Opts.EntryChecks && DupEntryTarget >= 0;
+  buildPreEntry(Ctx, DupEntryTarget, CheckingYieldpoints, WantEntryCheck, {});
+
+  // Physically drop removed duplicated blocks (now unreachable).
+  compactReachable(Ctx);
+
+  int KeptCount = 0;
+  for (int B = 0; B != N; ++B)
+    KeptCount += Kept[B] ? 1 : 0;
+  Ctx.Result.Stats.DupBlocksKept = KeptCount;
+  Ctx.Result.Stats.DupBlocksRemoved = N - KeptCount;
+  Ctx.Result.Stats.FinalBlocks = F.numBlocks();
+  Ctx.Result.Stats.FinalSize = F.codeSize();
+  return Ctx.Result;
+}
+
+} // namespace
+
+TransformResult runPartialDuplication(ir::IRFunction &F,
+                                      const instr::FunctionPlan &Plan,
+                                      const Options &Opts) {
+  return runPartialImpl(F, Plan, /*Sparse=*/nullptr, Opts);
+}
+
+TransformResult runCombined(ir::IRFunction &F,
+                            const instr::FunctionPlan &Plan,
+                            const Options &Opts) {
+  // Split the plan: blocks carrying at least CombineThreshold probes are
+  // dense (worth duplicating); the rest are guarded in place.
+  std::map<int, int> ProbesPerBlock;
+  for (const instr::ProbeAnchor &A : Plan.Anchors)
+    if (A.Kind == instr::AnchorKind::BeforeInst)
+      ++ProbesPerBlock[A.Block];
+
+  instr::FunctionPlan Dense, Sparse;
+  Dense.FuncId = Sparse.FuncId = Plan.FuncId;
+  for (const instr::ProbeAnchor &A : Plan.Anchors) {
+    bool IsDense = A.Kind == instr::AnchorKind::MethodEntry ||
+                   ProbesPerBlock[A.Block] >= Opts.CombineThreshold;
+    (IsDense ? Dense : Sparse).Anchors.push_back(A);
+  }
+  return runPartialImpl(F, Dense, &Sparse, Opts);
+}
+
+} // namespace sampling
+} // namespace ars

@@ -1,0 +1,165 @@
+//===- sampling/Property1.cpp ---------------------------------*- C++ -*-===//
+
+#include "sampling/Property1.h"
+
+#include "support/Support.h"
+
+#include <vector>
+
+using ars::support::formatString;
+
+namespace ars {
+namespace sampling {
+
+using ir::BasicBlock;
+using ir::IRInst;
+using ir::IROp;
+
+int countOps(const ir::IRFunction &F, IROp Op) {
+  int Count = 0;
+  for (const BasicBlock &BB : F.Blocks)
+    for (const IRInst &I : BB.Insts)
+      if (I.Op == Op)
+        ++Count;
+  return Count;
+}
+
+namespace {
+
+bool isDupRole(BlockRole R) {
+  return R == BlockRole::Duplicated || R == BlockRole::DupPreEntry;
+}
+
+/// Cycle detection over the duplicated-code subgraph.  BurstTransfer edges
+/// back into duplicated code are the deliberate counted backedges of the
+/// N-iteration extension and are excluded.
+bool dupCodeHasCycle(const ir::IRFunction &F,
+                     const std::vector<BlockRole> &Roles) {
+  int N = F.numBlocks();
+  // Colors: 0 = unvisited, 1 = on stack, 2 = done.
+  std::vector<char> Color(N, 0);
+  for (int Start = 0; Start != N; ++Start) {
+    if (!isDupRole(Roles[Start]) || Color[Start])
+      continue;
+    std::vector<std::pair<int, int>> Stack; // (block, next target index)
+    Color[Start] = 1;
+    Stack.emplace_back(Start, 0);
+    while (!Stack.empty()) {
+      int B = Stack.back().first;
+      int Targets[2];
+      int Count = 0;
+      ir::terminatorTargets(F.Blocks[B].terminator(), Targets, &Count);
+      bool Pushed = false;
+      while (Stack.back().second < Count) {
+        int T = Targets[Stack.back().second++];
+        // Follow only edges that stay inside duplicated code.  Edges into
+        // Transfer blocks exit the duplicated code (their BurstTransfer
+        // re-entry is the intentional counted backedge of the N-iteration
+        // extension and is not traversed because Transfer blocks are never
+        // visited here).
+        if (!isDupRole(Roles[T]))
+          continue;
+        if (Color[T] == 1)
+          return true;
+        if (Color[T] == 0) {
+          Color[T] = 1;
+          Stack.emplace_back(T, 0);
+          Pushed = true;
+          break;
+        }
+      }
+      if (!Pushed && Stack.back().second >= Count) {
+        Color[B] = 2;
+        Stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+std::string checkProperty1Static(const ir::IRFunction &F,
+                                 const TransformResult &Result,
+                                 const Options &Opts) {
+  const std::vector<BlockRole> &Roles = Result.Roles;
+  if (Roles.size() != static_cast<size_t>(F.numBlocks()))
+    return formatString("%s: role map size %zu != block count %d",
+                        F.Name.c_str(), Roles.size(), F.numBlocks());
+
+  bool Dup = Opts.M == Mode::FullDuplication ||
+             Opts.M == Mode::PartialDuplication ||
+             Opts.M == Mode::Combined;
+
+  for (const BasicBlock &BB : F.Blocks) {
+    BlockRole Role = Roles[BB.Id];
+    int Checks = 0, Yields = 0;
+    for (const IRInst &I : BB.Insts) {
+      switch (I.Op) {
+      case IROp::SampleCheck: {
+        ++Checks;
+        if (Role != BlockRole::Check && Role != BlockRole::PreEntry)
+          return formatString("%s bb%d: check outside a check/entry block",
+                              F.Name.c_str(), BB.Id);
+        if (Dup && Opts.DuplicateCode) {
+          int Taken = static_cast<int>(I.Imm);
+          if (!isDupRole(Roles[Taken]))
+            return formatString("%s bb%d: check taken-target bb%d is not "
+                                "duplicated code",
+                                F.Name.c_str(), BB.Id, Taken);
+          if (Roles[I.Aux] != BlockRole::Checking)
+            return formatString("%s bb%d: check continue-target bb%d is "
+                                "not checking code",
+                                F.Name.c_str(), BB.Id, I.Aux);
+        }
+        break;
+      }
+      case IROp::Probe:
+        if (Dup && !isDupRole(Role))
+          return formatString("%s bb%d: probe outside duplicated code",
+                              F.Name.c_str(), BB.Id);
+        if (Opts.M == Mode::NoDuplication)
+          return formatString("%s bb%d: unguarded probe under "
+                              "No-Duplication",
+                              F.Name.c_str(), BB.Id);
+        break;
+      case IROp::GuardedProbe:
+        if (Opts.M != Mode::NoDuplication && Opts.M != Mode::Combined)
+          return formatString("%s bb%d: guarded probe outside "
+                              "No-Duplication/Combined",
+                              F.Name.c_str(), BB.Id);
+        if (Opts.M == Mode::Combined && isDupRole(Role))
+          return formatString("%s bb%d: guarded probe inside duplicated "
+                              "code",
+                              F.Name.c_str(), BB.Id);
+        break;
+      case IROp::Yieldpoint:
+        ++Yields;
+        if (Opts.YieldpointOpt && Dup &&
+            (Role == BlockRole::Checking || Role == BlockRole::Check ||
+             Role == BlockRole::PreEntry))
+          return formatString("%s bb%d: yieldpoint left in checking code "
+                              "despite the yieldpoint optimization",
+                              F.Name.c_str(), BB.Id);
+        break;
+      default:
+        break;
+      }
+    }
+    if (Checks > 1)
+      return formatString("%s bb%d: multiple checks in one block",
+                          F.Name.c_str(), BB.Id);
+    if (Yields > 1)
+      return formatString("%s bb%d: multiple yieldpoints in one block",
+                          F.Name.c_str(), BB.Id);
+  }
+
+  if (Dup && dupCodeHasCycle(F, Roles))
+    return formatString("%s: duplicated code contains a backedge",
+                        F.Name.c_str());
+
+  return std::string();
+}
+
+} // namespace sampling
+} // namespace ars

@@ -1,0 +1,36 @@
+//===- sampling/Property1.h - Structural framework invariants -*- C++ -*-===//
+///
+/// \file
+/// Static checker for the structural invariants behind Property 1 (paper
+/// section 2): checks appear only at method entries and on backedges;
+/// instrumentation lives only in duplicated code; duplicated code has no
+/// internal backedges (so a sample does a bounded amount of work).  The
+/// dynamic half of Property 1 — checks executed <= entries + backedges
+/// executed — is validated by the test suite using engine counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_SAMPLING_PROPERTY1_H
+#define ARS_SAMPLING_PROPERTY1_H
+
+#include "sampling/Transform.h"
+
+#include <string>
+
+namespace ars {
+namespace sampling {
+
+/// Returns an empty string if \p F (transformed with \p Opts, producing
+/// \p Result) satisfies the structural invariants, else a description of
+/// the first violation.
+std::string checkProperty1Static(const ir::IRFunction &F,
+                                 const TransformResult &Result,
+                                 const Options &Opts);
+
+/// Counts occurrences of \p Op in \p F (test/diagnostic helper).
+int countOps(const ir::IRFunction &F, ir::IROp Op);
+
+} // namespace sampling
+} // namespace ars
+
+#endif // ARS_SAMPLING_PROPERTY1_H

@@ -1,0 +1,92 @@
+//===- sampling/Transform.cpp - Mode dispatch -----------------*- C++ -*-===//
+
+#include "sampling/Transform.h"
+
+#include "sampling/CheckPlacement.h"
+
+#include <map>
+#include <utility>
+
+namespace ars {
+namespace sampling {
+
+const char *modeName(Mode M) {
+  switch (M) {
+  case Mode::Baseline:           return "baseline";
+  case Mode::Exhaustive:         return "exhaustive";
+  case Mode::FullDuplication:    return "full-duplication";
+  case Mode::PartialDuplication: return "partial-duplication";
+  case Mode::NoDuplication:      return "no-duplication";
+  case Mode::Combined:           return "combined";
+  }
+  return "<bad mode>";
+}
+
+namespace {
+
+/// Splits every CFG edge carrying an OnEdge anchor with a fresh block
+/// (containing only a jump) and rewrites the anchors as BeforeInst anchors
+/// into that block.  Run before any transform, so edge probes flow through
+/// the ordinary machinery: the split block is duplicated like any other,
+/// and when the edge is a backedge the duplicated copy sits exactly on the
+/// duplicated-code exit transfer — where the paper attaches
+/// backedge-associated instrumentation.
+void splitAnchoredEdges(ir::IRFunction &F, instr::FunctionPlan &Plan) {
+  // (From, To) -> split block id, created lazily in anchor order.
+  std::map<std::pair<int, int>, int> SplitBlocks;
+  for (instr::ProbeAnchor &A : Plan.Anchors) {
+    if (A.Kind != instr::AnchorKind::OnEdge)
+      continue;
+    int From = A.Block;
+    int To = A.InstIdx;
+    auto It = SplitBlocks.find({From, To});
+    if (It == SplitBlocks.end()) {
+      int E = F.addBlock();
+      ir::IRInst Jump(ir::IROp::Jump);
+      Jump.Imm = To;
+      F.Blocks[E].Insts.push_back(Jump);
+      ir::retargetTerminator(F.Blocks[From].terminator(), To, E);
+      It = SplitBlocks.emplace(std::make_pair(From, To), E).first;
+    }
+    A.Kind = instr::AnchorKind::BeforeInst;
+    A.Block = It->second;
+    A.InstIdx = 0;
+  }
+}
+
+bool hasEdgeAnchors(const instr::FunctionPlan &Plan) {
+  for (const instr::ProbeAnchor &A : Plan.Anchors)
+    if (A.Kind == instr::AnchorKind::OnEdge)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TransformResult transformFunction(ir::IRFunction &F,
+                                  const instr::FunctionPlan &Plan,
+                                  const Options &Opts) {
+  if (hasEdgeAnchors(Plan)) {
+    instr::FunctionPlan Rewritten = Plan;
+    splitAnchoredEdges(F, Rewritten);
+    return transformFunction(F, Rewritten, Opts);
+  }
+  switch (Opts.M) {
+  case Mode::Baseline:
+    return runBaseline(F, Plan, Opts);
+  case Mode::Exhaustive:
+    return runExhaustive(F, Plan, Opts);
+  case Mode::FullDuplication:
+    return runFullDuplication(F, Plan, Opts);
+  case Mode::PartialDuplication:
+    return runPartialDuplication(F, Plan, Opts);
+  case Mode::NoDuplication:
+    return runNoDuplication(F, Plan, Opts);
+  case Mode::Combined:
+    return runCombined(F, Plan, Opts);
+  }
+  return TransformResult();
+}
+
+} // namespace sampling
+} // namespace ars

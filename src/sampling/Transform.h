@@ -1,0 +1,134 @@
+//===- sampling/Transform.h - The instrumentation sampling core -*- C++ -*-===//
+///
+/// \file
+/// Public entry point of the paper's contribution: the transformation that
+/// turns an instrumented method with high overhead into a modified method
+/// with low overhead (paper section 2).  Five modes:
+///
+///  * Baseline          - no instrumentation; yieldpoints only.  The
+///                        reference all overheads are measured against.
+///  * Exhaustive        - probes planted unguarded in the original code
+///                        (the expensive configuration of Table 1, also
+///                        used to collect perfect profiles).
+///  * FullDuplication   - the paper's main algorithm: all blocks
+///                        duplicated, checks on method entries + backedges,
+///                        probes in the duplicated code (section 2).
+///  * PartialDuplication- Full-Duplication minus top- and bottom-nodes of
+///                        the duplicated-code DAG (section 3.1).
+///  * NoDuplication     - every probe guarded by its own check
+///                        (section 3.2).
+///
+/// Options toggles reproduce the paper's special configurations: the
+/// entry/backedge check breakdown of Table 2, the yieldpoint optimization
+/// of section 4.5, and the N-consecutive-iteration burst sampling sketched
+/// in section 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_SAMPLING_TRANSFORM_H
+#define ARS_SAMPLING_TRANSFORM_H
+
+#include "instr/Probe.h"
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ars {
+namespace sampling {
+
+/// Which transformation to apply.
+enum class Mode : uint8_t {
+  Baseline,
+  Exhaustive,
+  FullDuplication,
+  PartialDuplication,
+  NoDuplication,
+  /// Section 3.2's combination: blocks dense in instrumentation are
+  /// duplicated (Partial-Duplication), sparse probes are guarded in place
+  /// (No-Duplication) — "allowing some code to be duplicated, while
+  /// executing some additional checks at runtime".
+  Combined
+};
+
+const char *modeName(Mode M);
+
+/// Transformation knobs.
+struct Options {
+  Mode M = Mode::Baseline;
+
+  /// Insert scheduler yieldpoints on method entries and backedges (on by
+  /// default, as in Jalapeno).
+  bool InsertYieldpoints = true;
+
+  /// The Jalapeno-specific optimization (section 4.5): remove yieldpoints
+  /// from the checking code — the counter check subsumes the yield test —
+  /// and keep them in the duplicated code.  Only meaningful for
+  /// Full/Partial-Duplication.
+  bool YieldpointOpt = false;
+
+  /// Table 2 breakdown switches: insert only one kind of check.
+  bool EntryChecks = true;
+  bool BackedgeChecks = true;
+
+  /// Table 2 breakdown also measures checks without duplicating any code
+  /// (that configuration cannot sample; see the paper's footnote 2).
+  bool DuplicateCode = true;
+
+  /// N-consecutive-iteration sampling (section 2): when positive, a taken
+  /// sample stays in duplicated code for this many loop iterations via a
+  /// counted backedge (BurstTransfer) instead of returning after one.
+  int BurstLength = 0;
+
+  /// Combined mode: a block whose BeforeInst probe count is at least this
+  /// threshold is treated as dense (duplicated); sparser probes are
+  /// guarded in place.  Method-entry probes always go to the duplicated
+  /// side.
+  int CombineThreshold = 3;
+};
+
+/// What the transform did (per function).
+struct TransformStats {
+  int OrigBlocks = 0;
+  int FinalBlocks = 0;
+  int OrigSize = 0;  ///< instruction count before
+  int FinalSize = 0; ///< instruction count after
+  int EntryChecks = 0;
+  int BackedgeChecks = 0;
+  int BoundaryChecks = 0; ///< Partial-Duplication top-boundary checks
+  int Probes = 0;
+  int GuardedProbes = 0;
+  int DupBlocksKept = 0;
+  int DupBlocksRemoved = 0;
+  int Backedges = 0;
+  bool Reducible = true;
+};
+
+/// Role of each final block, used by the Property-1 checker and tests.
+enum class BlockRole : uint8_t {
+  Checking,    ///< original code (possibly minus yieldpoints)
+  Duplicated,  ///< copy carrying the instrumentation
+  Check,       ///< backedge or boundary check block
+  Transfer,    ///< duplicated-code backedge exit back to checking code
+  PreEntry,    ///< checking-code method prologue (yieldpoint/entry check)
+  DupPreEntry  ///< duplicated-code method prologue (entry probes)
+};
+
+/// Transform result: statistics plus the per-block role map (indexed by
+/// final block id; kept consistent through internal compaction).
+struct TransformResult {
+  TransformStats Stats;
+  std::vector<BlockRole> Roles;
+};
+
+/// Applies \p Opts.M to \p F in place.  \p Plan anchors the probes in
+/// pre-transform coordinates (ignored by Baseline).  Probe costs are paid
+/// at execution time, so the transform only plants probe ids.
+TransformResult transformFunction(ir::IRFunction &F,
+                                  const instr::FunctionPlan &Plan,
+                                  const Options &Opts);
+
+} // namespace sampling
+} // namespace ars
+
+#endif // ARS_SAMPLING_TRANSFORM_H

@@ -1,0 +1,57 @@
+//===- support/Support.cpp ------------------------------------*- C++ -*-===//
+
+#include "support/Support.h"
+
+#include <cstdio>
+
+namespace ars {
+namespace support {
+
+std::string formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}
+
+std::vector<std::string> splitString(const std::string &Text, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Begin = 0;
+  while (true) {
+    size_t End = Text.find(Sep, Begin);
+    if (End == std::string::npos) {
+      Parts.push_back(Text.substr(Begin));
+      return Parts;
+    }
+    Parts.push_back(Text.substr(Begin, End - Begin));
+    Begin = End + 1;
+  }
+}
+
+double percentOver(double Base, double Measured) {
+  if (Base == 0.0)
+    return 0.0;
+  return (Measured - Base) / Base * 100.0;
+}
+
+double mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+} // namespace support
+} // namespace ars

@@ -1,0 +1,98 @@
+//===- support/Support.h - Small shared utilities -------------*- C++ -*-===//
+//
+// Part of the Arnold-Ryder instrumentation sampling reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic PRNG, printf-style string formatting, a host wall-clock
+/// timer (used only for compile-time measurement, never in simulated-cycle
+/// paths), and tiny numeric helpers shared by every module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_SUPPORT_SUPPORT_H
+#define ARS_SUPPORT_SUPPORT_H
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ars {
+namespace support {
+
+/// A small, fast, fully deterministic xorshift64* generator.
+///
+/// Used for randomized sample-interval perturbation (paper section 4.4) and
+/// for property-based test input generation.  Never seeded from the clock.
+class Xorshift64 {
+public:
+  explicit Xorshift64(uint64_t Seed = 0x9E3779B97F4A7C15ULL)
+      : State(Seed ? Seed : 1) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound).
+  /// \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+  /// Returns a value uniformly distributed in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(nextBelow(
+                    static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return nextBelow(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits \p Text on \p Sep, keeping empty fields.
+std::vector<std::string> splitString(const std::string &Text, char Sep);
+
+/// Percentage change of \p Measured relative to \p Base
+/// (e.g. base 100, measured 106 -> 6.0).  Returns 0 for a zero base.
+double percentOver(double Base, double Measured);
+
+/// Wall-clock stopwatch for host-side measurements (compile-time columns of
+/// Table 2).  Simulated-cycle measurements never use this class.
+class HostTimer {
+public:
+  HostTimer() : Start(std::chrono::steady_clock::now()) {}
+
+  /// Elapsed time in milliseconds since construction or the last reset().
+  double elapsedMs() const {
+    auto Now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(Now - Start).count();
+  }
+
+  void reset() { Start = std::chrono::steady_clock::now(); }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// Arithmetic mean of \p Values; 0 for an empty vector.
+double mean(const std::vector<double> &Values);
+
+/// Geometric mean of 1+v/100 style overhead percentages is deliberately not
+/// provided: the paper reports arithmetic averages, and we match it.
+
+} // namespace support
+} // namespace ars
+
+#endif // ARS_SUPPORT_SUPPORT_H

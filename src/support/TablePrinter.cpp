@@ -1,0 +1,80 @@
+//===- support/TablePrinter.cpp -------------------------------*- C++ -*-===//
+
+#include "support/TablePrinter.h"
+
+#include "support/Support.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace ars {
+namespace support {
+
+TablePrinter::TablePrinter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {}
+
+void TablePrinter::beginRow() { Rows.emplace_back(); }
+
+void TablePrinter::cell(const std::string &Text) {
+  assert(!Rows.empty() && "cell() before beginRow()");
+  assert(Rows.back().size() < Headers.size() && "row has too many cells");
+  Rows.back().push_back(Text);
+}
+
+void TablePrinter::cell(const char *Text) { cell(std::string(Text)); }
+
+void TablePrinter::cellPercent(double Value) {
+  cell(formatString("%.1f", Value));
+}
+
+void TablePrinter::cellDouble(double Value, int Decimals) {
+  cell(formatString("%.*f", Decimals, Value));
+}
+
+void TablePrinter::cellInt(int64_t Value) {
+  cell(formatString("%lld", static_cast<long long>(Value)));
+}
+
+void TablePrinter::cellCount(double Value) {
+  if (Value >= 1e5)
+    cell(formatString("%.1e", Value));
+  else
+    cell(formatString("%.0f", Value));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<size_t> Widths(Headers.size(), 0);
+  for (size_t I = 0; I != Headers.size(); ++I)
+    Widths[I] = Headers[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  auto renderRow = [&](const std::vector<std::string> &Cells) {
+    std::string Line = "|";
+    for (size_t I = 0; I != Headers.size(); ++I) {
+      std::string Text = I < Cells.size() ? Cells[I] : std::string();
+      Line += " " + Text + std::string(Widths[I] - Text.size(), ' ') + " |";
+    }
+    Line += "\n";
+    return Line;
+  };
+
+  std::string Out = renderRow(Headers);
+  std::string Sep = "|";
+  for (size_t I = 0; I != Headers.size(); ++I)
+    Sep += std::string(Widths[I] + 2, '-') + "|";
+  Out += Sep + "\n";
+  for (const auto &Row : Rows)
+    Out += renderRow(Row);
+  return Out;
+}
+
+void TablePrinter::print() const {
+  std::string Text = render();
+  std::fputs(Text.c_str(), stdout);
+}
+
+} // namespace support
+} // namespace ars

@@ -1,0 +1,54 @@
+//===- support/TablePrinter.h - Paper-style table rendering ----*- C++ -*-===//
+///
+/// \file
+/// Fixed-width text tables used by the bench harness to print rows shaped
+/// like the tables in the paper.  Cells are strings; convenience overloads
+/// format numbers the way the paper prints them (one decimal for overhead
+/// percentages, integers for counts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_SUPPORT_TABLEPRINTER_H
+#define ARS_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace ars {
+namespace support {
+
+/// Builds and renders a fixed-width text table.
+class TablePrinter {
+public:
+  /// \p Headers names the columns; column widths adapt to contents.
+  explicit TablePrinter(std::vector<std::string> Headers);
+
+  /// Starts a new row.  Cells are appended with the cell() overloads and the
+  /// row is complete when it has as many cells as there are headers.
+  void beginRow();
+
+  void cell(const std::string &Text);
+  void cell(const char *Text);
+  /// Formats with one decimal place (the paper's overhead style).
+  void cellPercent(double Value);
+  /// Formats with \p Decimals decimal places.
+  void cellDouble(double Value, int Decimals = 2);
+  void cellInt(int64_t Value);
+  /// Formats large counts in the paper's style, e.g. "1.1e+07".
+  void cellCount(double Value);
+
+  /// Renders the full table (header, separator, rows) as one string.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace support
+} // namespace ars
+
+#endif // ARS_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,800 @@
+//===- workloads/Workloads.cpp --------------------------------*- C++ -*-===//
+
+#include "workloads/Workloads.h"
+
+namespace ars {
+namespace workloads {
+
+namespace {
+
+// _201_compress analogue: LZW-style hashing over a buffer.  Tight array
+// loops with a very field-dense coder state -> high backedge-check
+// overhead, very high field-access instrumentation overhead, moderate
+// calls.
+const char *CompressSrc = R"(
+class CState { int hash; int prev; int code; int checksum; }
+global int gseed;
+global int gpassstats;
+
+int grand() {
+  gseed = (gseed * 1103515245 + 12345) & 2147483647;
+  return gseed;
+}
+
+int emit(CState st, int c) {
+  st.hash = ((st.hash << 4) + c) & 65535;
+  st.prev = st.code;
+  st.code = (st.hash ^ st.prev) & 4095;
+  st.checksum = (st.checksum + st.code) & 1048575;
+  return st.code;
+}
+
+int main(int n) {
+  CState st = new CState;
+  int[] table = new int[4096];
+  int[] data = new int[2048];
+  gseed = 12345;
+  for (int i = 0; i < 2048; i = i + 1) { data[i] = grand() & 255; }
+  int acc = 0;
+  for (int pass = 0; pass < n * 4; pass = pass + 1) {
+    gpassstats = (gpassstats + pass) & 1048575;
+    gpassstats = (gpassstats ^ st.hash) & 1048575;
+    gpassstats = (gpassstats + st.checksum) & 1048575;
+    gpassstats = (gpassstats * 3 + 1) & 1048575;
+    gpassstats = (gpassstats ^ (gpassstats >> 4)) & 1048575;
+    gpassstats = (gpassstats + st.code) & 1048575;
+    gpassstats = (gpassstats * 9 + 7) & 1048575;
+    gpassstats = (gpassstats ^ (gpassstats >> 2)) & 1048575;
+    gpassstats = (gpassstats + st.prev) & 1048575;
+    gpassstats = (gpassstats ^ st.hash) & 1048575;
+    gpassstats = (gpassstats + 13) & 1048575;
+    gpassstats = (gpassstats ^ (gpassstats << 1)) & 1048575;
+    for (int i = 0; i < 2048; i = i + 1) {
+      int c = data[i];
+      st.hash = ((st.hash << 4) + c) & 65535;
+      st.prev = (st.hash ^ st.prev) & 4095;
+      st.code = (st.code + st.prev) & 4095;
+      st.checksum = (st.checksum + st.code) & 1048575;
+      table[st.code] = table[st.code] + 1;
+      st.hash = (st.hash + st.checksum) & 65535;
+      if ((i & 1) == 0) { st.code = emit(st, c); }
+      if ((i & 7) == 0) { data[i] = grand() & 255; }
+      acc = (acc + st.checksum) & 1048575;
+    }
+    iowait(50000);
+  }
+  return acc + st.checksum + (gpassstats & 15);
+}
+)";
+
+// _202_jess analogue: forward-chaining rule matcher.  Many tiny calls per
+// fact (match/bind), field-dense working memory.
+const char *JessSrc = R"(
+class Fact { int kind; int a; int b; int active; }
+class Binding { int count; int sum; }
+
+int matches(Fact f, int kind, int lo) {
+  if (f.active == 0) { return 0; }
+  if (f.kind != kind) { return 0; }
+  if (f.a < lo) { return 0; }
+  return 1;
+}
+
+int fire(Fact f, Binding bind) {
+  bind.count = bind.count + 1;
+  bind.sum = (bind.sum + f.a * 3 + f.b) & 1048575;
+  f.b = (f.b + 1) & 65535;
+  return bind.count;
+}
+
+int main(int n) {
+  int nf = 64;
+  Fact f0 = new Fact;
+  Binding bind = new Binding;
+  int[] kinds = new int[64];
+  int[] avals = new int[64];
+  int seed = 99;
+  for (int i = 0; i < nf; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    kinds[i] = seed & 7;
+    avals[i] = (seed >> 3) & 255;
+  }
+  int acc = 0;
+  for (int round = 0; round < n * 18; round = round + 1) {
+    for (int i = 0; i < nf; i = i + 1) {
+      f0.kind = kinds[i];
+      f0.a = avals[i];
+      f0.active = 1;
+      f0.b = (f0.b + f0.a) & 65535;
+      bind.sum = (bind.sum + f0.kind) & 1048575;
+      bind.count = (bind.count + f0.b) & 1048575;
+      bind.sum = (bind.sum ^ f0.a) & 1048575;
+      for (int w = 0; w < 4; w = w + 1) {
+        bind.sum = (bind.sum + kinds[(i + w) & 63] * 3) & 1048575;
+        f0.b = (f0.b ^ avals[(i + w) & 63]) & 65535;
+      }
+      for (int rule = 0; rule < 2; rule = rule + 1) {
+        if (matches(f0, rule, 32)) {
+          acc = (acc + fire(f0, bind)) & 1048575;
+        }
+      }
+    }
+  }
+  return acc + bind.sum;
+}
+)";
+
+// _209_db analogue: in-memory database: shell sort plus linear scans over
+// packed records.  Long compare loops, few calls, few field accesses ->
+// the suite's low-overhead row.
+const char *DbSrc = R"(
+global int hits;
+global int probes;
+
+int near(int k, int probe) {
+  int d = k - probe;
+  if (d < 0) { d = -d; }
+  if (d < 8) { return 1; }
+  return 0;
+}
+
+int scan(int[] keys, int nrec, int probe) {
+  int found = 0;
+  probes = probes + 1;
+  // Unrolled by 4, as a record-comparison loop would be.
+  for (int i = 0; i < nrec; i = i + 4) {
+    int k = keys[i];
+    if ((i & 255) == 0) {
+      found = found + near(k, probe);
+      if (near(k, probe)) { hits = hits + 1; }
+    } else {
+      int d = k - probe;
+      if (d < 0) { d = -d; }
+      if (d < 8) { found = found + 1; }
+    }
+    int d1 = keys[i + 1] - probe;
+    if (d1 < 0) { d1 = -d1; }
+    if (d1 < 8) { found = found + 1; }
+    int d2 = keys[i + 2] - probe;
+    if (d2 < 0) { d2 = -d2; }
+    if (d2 < 8) { found = found + 1; }
+    int d3 = keys[i + 3] - probe;
+    if (d3 < 0) { d3 = -d3; }
+    if (d3 < 8) { found = found + 1; }
+    if ((i & 7) == 0) { probes = (probes + k) & 1048575; }
+  }
+  return found;
+}
+
+int main(int n) {
+  int nrec = 512;
+  int[] keys = new int[512];
+  int seed = 4242;
+  for (int i = 0; i < nrec; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    keys[i] = seed & 65535;
+  }
+  // Shell sort.
+  int gap = nrec / 2;
+  while (gap > 0) {
+    for (int i = gap; i < nrec; i = i + 1) {
+      int tmp = keys[i];
+      int j = i;
+      while (j >= gap && keys[j - gap] > tmp) {
+        keys[j] = keys[j - gap];
+        j = j - gap;
+      }
+      keys[j] = tmp;
+    }
+    gap = gap / 2;
+  }
+  int acc = 0;
+  hits = 0;
+  probes = 0;
+  for (int q = 0; q < n * 30; q = q + 1) {
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    acc = (acc + scan(keys, nrec, seed & 65535)) & 1048575;
+    hits = (hits + acc) & 1048575;
+    probes = (probes ^ hits) & 1048575;
+    hits = (hits + probes) & 1048575;
+    probes = (probes * 5 + q) & 1048575;
+    hits = (hits ^ (probes >> 3)) & 1048575;
+    probes = (probes + hits) & 1048575;
+    hits = (hits + 7) & 1048575;
+    probes = (probes ^ hits) & 1048575;
+    iowait(1800);
+  }
+  return acc + keys[0] + keys[511] + (probes & 255);
+}
+)";
+
+// _213_javac analogue: recursive-descent expression compiler over a
+// synthetic token stream.  Deep recursion, call-dominated, few loops.
+const char *JavacSrc = R"(
+class Parser { int pos; int depth; int emitted; int folded; int regs; }
+
+int tokenAt(int[] toks, Parser p) {
+  if (p.pos >= len(toks)) { return 0; }
+  return toks[p.pos];
+}
+
+int emitOp(Parser p, int op, int v) {
+  int e = (op * 2654435 + v) & 2147483647;
+  e = e / 97;
+  e = (e ^ (e >> 7)) & 1048575;
+  int spill = (e * 48271 + op) & 2147483647;
+  spill = spill / 113;
+  spill = (spill ^ (spill >> 6)) & 1048575;
+  spill = spill / 41;
+  p.emitted = p.emitted + 1;
+  p.regs = (p.regs + 1 + (spill & 1)) & 255;
+  return e;
+}
+
+int foldConst(Parser p, int a, int b, int op) {
+  p.folded = p.folded + 1;
+  if (op == 1) { return (a + b) & 1048575; }
+  if (op == 2) { return (a - b) & 1048575; }
+  return (a * b) & 1048575;
+}
+
+int typeCheck(int v) {
+  int t = (v * 48271) & 2147483647;
+  t = t / 127;
+  return (t ^ (t >> 9)) & 7;
+}
+
+int parseExpr(int[] toks, Parser p) {
+  int v = parseTerm(toks, p);
+  int t = 0;
+  if (p.pos < len(toks)) { t = toks[p.pos]; }
+  while (t == 1 || t == 2) {
+    p.pos = p.pos + 1;
+    int r = parseTerm(toks, p);
+    if (v < 256 && r < 256) { v = foldConst(p, v, r, t); }
+    else { if (t == 1) { v = (v + r) & 1048575; } else { v = (v - r) & 1048575; } }
+    v = (v + emitOp(p, t, v)) & 1048575;
+    t = 0;
+    if (p.pos < len(toks)) { t = toks[p.pos]; }
+  }
+  return v;
+}
+
+int parseTerm(int[] toks, Parser p) {
+  int v = parseUnary(toks, p);
+  int t = 0;
+  if (p.pos < len(toks)) { t = toks[p.pos]; }
+  while (t == 3) {
+    p.pos = p.pos + 1;
+    int r = parseUnary(toks, p);
+    if (v < 256 && r < 256) { v = foldConst(p, v, r, t); }
+    else { v = (v * r) & 1048575; }
+    v = (v + emitOp(p, t, v)) & 1048575;
+    t = 0;
+    if (p.pos < len(toks)) { t = toks[p.pos]; }
+  }
+  return v;
+}
+
+int parseUnary(int[] toks, Parser p) {
+  int t = tokenAt(toks, p);
+  if (t == 2) {
+    p.pos = p.pos + 1;
+    int v = parseUnary(toks, p);
+    return (1048576 - v) & 1048575;
+  }
+  return parsePrimary(toks, p);
+}
+
+int parsePrimary(int[] toks, Parser p) {
+  int t = 0;
+  if (p.pos < len(toks)) { t = toks[p.pos]; }
+  p.pos = p.pos + 1;
+  // Inline "instruction selection": hash the token into machine words.
+  int e = (t * 2654435 + p.pos) & 2147483647;
+  e = e / 97;
+  e = (e ^ (e >> 7)) & 1048575;
+  e = e / 31;
+  int e2 = (e * 31 + t) & 2147483647;
+  e2 = e2 / 89;
+  e2 = (e2 ^ (e2 >> 5)) & 1048575;
+  e2 = e2 / 29;
+  int e3 = (e2 * 17 + e) & 2147483647;
+  e3 = e3 / 61;
+  e3 = (e3 ^ (e3 >> 3)) & 1048575;
+  int fold = (e + e2 + e3) & 7;
+  if (t == 4) {
+    p.depth = p.depth + 1;
+    int v = parseExpr(toks, p);
+    p.pos = p.pos + 1;
+    p.depth = p.depth - 1;
+    return (v + typeCheck(v) + fold) & 1048575;
+  }
+  int c = (t & 255) + fold;
+  return c & 1048575;
+}
+
+int parseStmt(int[] toks, Parser p) {
+  int v = parseExpr(toks, p);
+  v = (v + emitOp(p, 7, v)) & 1048575;
+  // Statement separator.
+  if (tokenAt(toks, p) == 8) { p.pos = p.pos + 1; }
+  return v;
+}
+
+int main(int n) {
+  int ntok = 512;
+  int[] toks = new int[512];
+  int acc = 0;
+  Parser p = new Parser;
+  int seed = 7;
+  // Generate one synthetic "source file": numbers, operators, statement
+  // separators (8) and parenthesized groups encoded as 4 ... 5.
+  int i = 0;
+  int opens = 0;
+  while (i < ntok - 2) {
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    int r = seed & 15;
+    if (r < 7) { toks[i] = 10 + r; }          // number
+    else { if (r < 10) { toks[i] = 1; }       // +
+    else { if (r < 12) { toks[i] = 3; }       // *
+    else { if (r == 12 && opens > 0) { toks[i] = 5; opens = opens - 1; } // )
+    else { if (r == 13 && opens < 4) { toks[i] = 4; opens = opens + 1; } // (
+    else { if (r == 14) { toks[i] = 8; }      // ;
+    else { toks[i] = 2; } } } } } }           // -
+    i = i + 1;
+  }
+  toks[ntok - 2] = 8;
+  toks[ntok - 1] = 8;
+  // Recompile the file over and over (the paper runs the optimizing
+  // compiler on a subset of itself; recompilation dominates).
+  for (int round = 0; round < n * 9; round = round + 1) {
+    p.pos = 0;
+    while (p.pos < ntok - 2) {
+      acc = (acc + parseStmt(toks, p)) & 1048575;
+    }
+    iowait(6000);
+  }
+  return acc + p.emitted + p.folded;
+}
+)";
+
+// _222_mpegaudio analogue: fixed-point subband filter.  Very tight numeric
+// loops (highest backedge-check overhead) with field-dense filter state.
+const char *MpegSrc = R"(
+class Filter { int z0; int z1; int z2; int acc; }
+global int energy;
+global int framestats;
+
+int filterStep(Filter flt, int s) {
+  flt.z2 = flt.z1;
+  flt.z1 = flt.z0;
+  flt.z0 = s + ((flt.z1 * 3 - flt.z2) >> 2);
+  flt.acc = (flt.acc + flt.z0) & 16777215;
+  flt.acc = (flt.acc ^ flt.z1) & 16777215;
+  flt.z2 = (flt.z2 + (s & 255)) & 16777215;
+  return flt.z0;
+}
+
+int subEnergy(Filter flt) {
+  int e = (flt.z0 + flt.z1 * 2 + flt.z2) & 16777215;
+  return (e + flt.acc) & 16777215;
+}
+
+int main(int n) {
+  int nsamp = 1024;
+  int[] pcm = new int[1024];
+  int[] coef = new int[32];
+  Filter flt = new Filter;
+  int seed = 31337;
+  for (int i = 0; i < nsamp; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    pcm[i] = (seed & 4095) - 2048;
+  }
+  for (int i = 0; i < 32; i = i + 1) {
+    coef[i] = ((i * 37) & 255) - 128;
+  }
+  energy = 0;
+  for (int frame = 0; frame < n * 24; frame = frame + 1) {
+    framestats = (framestats + energy) & 1048575;
+    framestats = (framestats ^ flt.z0) & 1048575;
+    framestats = (framestats + flt.z1) & 1048575;
+    framestats = (framestats * 5 + 1) & 1048575;
+    framestats = (framestats ^ frame) & 1048575;
+    framestats = (framestats + flt.z2) & 1048575;
+    framestats = (framestats * 11 + 3) & 1048575;
+    framestats = (framestats ^ (framestats >> 6)) & 1048575;
+    framestats = (framestats + energy) & 1048575;
+    framestats = (framestats + 29) & 1048575;
+    for (int i = 0; i < nsamp; i = i + 1) {
+      int s = pcm[i];
+      if ((i & 1) == 0) {
+        s = filterStep(flt, s);
+      } else {
+        flt.z2 = flt.z1;
+        flt.z1 = flt.z0;
+        flt.z0 = s + ((flt.z1 * 3 - flt.z2) >> 2);
+        flt.acc = (flt.acc + flt.z0) & 16777215;
+        flt.acc = (flt.acc ^ flt.z1) & 16777215;
+        flt.z2 = (flt.z2 + (s & 255)) & 16777215;
+      }
+      if ((i & 7) == 0) { energy = (energy + subEnergy(flt)) & 1048575; }
+    }
+    int sub = 0;
+    for (int b = 0; b < 32; b = b + 1) {
+      sub = (sub + coef[b] * flt.acc) & 16777215;
+    }
+    energy = (energy + sub) & 1048575;
+    iowait(25000);
+  }
+  return energy + flt.acc + (framestats & 15);
+}
+)";
+
+// _227_mtrt analogue: ray/sphere intersection with float vector math.
+// Call-heavy (dot/sub/intersect per object) with float-field access.
+const char *MtrtSrc = R"(
+class Vec { float x; float y; float z; }
+class Sphere { float cx; float cy; float cz; float r2; }
+global int hitcount;
+
+float dot(Vec a, Vec b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+int intersect(Vec orig, Vec dir, Sphere s) {
+  Vec oc = new Vec;
+  oc.x = orig.x - s.cx;
+  oc.y = orig.y - s.cy;
+  oc.z = orig.z - s.cz;
+  float b = dot(oc, dir);
+  float c = oc.x * oc.x + oc.y * oc.y + oc.z * oc.z - s.r2;
+  float disc = b * b - c;
+  float atten = 1.0 / (1.0 + c * 0.25);
+  float spec = atten * atten * 0.5 + b * 0.125;
+  float glow = spec * atten + disc * 0.0625;
+  if (disc + glow * 0.0 > 0.0) { return 1; }
+  return 0;
+}
+
+int main(int n) {
+  int nspheres = 12;
+  Vec orig = new Vec;
+  Vec dir = new Vec;
+  Sphere s = new Sphere;
+  int[] sx = new int[12];
+  int[] sy = new int[12];
+  int[] sz = new int[12];
+  int seed = 555;
+  for (int i = 0; i < nspheres; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    sx[i] = (seed & 63) - 32;
+    sy[i] = ((seed >> 6) & 63) - 32;
+    sz[i] = ((seed >> 12) & 63) + 8;
+  }
+  hitcount = 0;
+  for (int ray = 0; ray < n * 320; ray = ray + 1) {
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    dir.x = float((seed & 255) - 128) / 128.0;
+    dir.y = float(((seed >> 8) & 255) - 128) / 128.0;
+    dir.z = 1.0;
+    orig.x = 0.0;
+    orig.y = 0.0;
+    orig.z = 0.0;
+    for (int i = 0; i < nspheres; i = i + 1) {
+      s.cx = float(sx[i]);
+      s.cy = float(sy[i]);
+      s.cz = float(sz[i]);
+      s.r2 = 9.0;
+      if (intersect(orig, dir, s)) {
+        hitcount = hitcount + 1;
+      }
+    }
+  }
+  return hitcount;
+}
+)";
+
+// _228_jack analogue: scanner/lexer generation pass.  Field-dense scanner
+// state updated per character, moderate calls.
+const char *JackSrc = R"(
+class Scanner { int state; int line; int col; int toks; int check; int prev; }
+global int passlog;
+
+int classify(int c) {
+  if (c < 32) { return 0; }
+  if (c < 64) { return 1; }
+  if (c < 96) { return 2; }
+  return 3;
+}
+
+int main(int n) {
+  Scanner sc = new Scanner;
+  int nsrc = 2048;
+  int[] src = new int[2048];
+  int seed = 1001;
+  for (int i = 0; i < nsrc; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    src[i] = seed & 127;
+  }
+  for (int pass = 0; pass < n * 10; pass = pass + 1) {
+    passlog = (passlog + sc.toks) & 1048575;
+    passlog = (passlog ^ sc.check) & 1048575;
+    passlog = (passlog + sc.line) & 1048575;
+    passlog = (passlog * 7 + pass) & 1048575;
+    passlog = (passlog ^ (passlog >> 3)) & 1048575;
+    passlog = (passlog + sc.state) & 1048575;
+    passlog = (passlog * 13 + 5) & 1048575;
+    passlog = (passlog ^ (passlog >> 7)) & 1048575;
+    passlog = (passlog + sc.prev) & 1048575;
+    passlog = (passlog ^ sc.col) & 1048575;
+    passlog = (passlog + 17) & 1048575;
+    passlog = (passlog ^ (passlog << 2)) & 1048575;
+    sc.state = 0;
+    for (int i = 0; i < nsrc; i = i + 1) {
+      int c = src[i];
+      int cls = 0;
+      if ((i & 3) == 0) { cls = classify(c); }
+      else { if (c < 64) { cls = c >> 5; } else { cls = 3; } }
+      sc.prev = sc.state;
+      sc.state = ((sc.state << 2) ^ cls) & 1023;
+      sc.col = sc.col + 1;
+      if (cls == 0) { sc.line = sc.line + 1; sc.col = 0; }
+      if (sc.state > 512) { sc.toks = sc.toks + 1; }
+      sc.check = (sc.check + sc.state + sc.prev) & 1048575;
+      sc.check = (sc.check ^ sc.col) & 1048575;
+      sc.check = (sc.check + sc.toks) & 1048575;
+      sc.col = (sc.col + sc.prev) & 65535;
+      sc.prev = (sc.prev ^ c) & 65535;
+    }
+    iowait(35000);
+  }
+  return sc.check + sc.toks + sc.line + (passlog & 15);
+}
+)";
+
+// opt-compiler analogue: a peephole optimizer over array-encoded IR,
+// calling per-instruction helpers.  The suite's most call-dominated
+// workload.
+const char *OptSrc = R"(
+class OptState { int folded; int visited; }
+global int roundlog;
+
+int isConstOp(int op) { return op == 1; }
+int isMulOp(int op)   { return op == 3; }
+
+int foldPair(int opa, int va, int opb, int vb) {
+  if (opa == 1 && opb == 1) {
+    return (va + vb) & 65535;
+  }
+  return -1;
+}
+
+int strengthReduce(int op, int v) {
+  if (op == 3 && (v == 2 || v == 4 || v == 8)) {
+    return 4;
+  }
+  return op;
+}
+
+int visit(int[] ops, int[] vals, int i, OptState st) {
+  int op = ops[i];
+  int v = vals[i];
+  st.visited = st.visited + 1;
+  int r = op;
+  if ((i & 1) == 0) { r = strengthReduce(op, v); }
+  if (r != op) { ops[i] = r; st.folded = st.folded + 1; }
+  if (i + 1 < len(ops)) {
+    int f = foldPair(op, v, ops[i + 1], vals[i + 1]);
+    if (f >= 0) { vals[i] = f; st.folded = st.folded + 1; }
+  }
+  if (op == 1) { st.visited = (st.visited + v) & 1048575; }
+  st.folded = (st.folded + st.visited) & 1048575;
+  st.visited = (st.visited ^ op) & 1048575;
+  st.folded = (st.folded ^ st.visited) & 1048575;
+  st.visited = (st.visited + v) & 1048575;
+  st.folded = (st.folded + (op & 3)) & 1048575;
+  int lattice = (op * 2654435 + v) & 2147483647;
+  lattice = lattice / 101;
+  lattice = (lattice ^ (lattice >> 4)) & 1048575;
+  lattice = lattice / 41;
+  return ops[i] + vals[i] + (lattice & 1);
+}
+
+int main(int n) {
+  int ncode = 512;
+  int[] ops = new int[512];
+  int[] vals = new int[512];
+  OptState st = new OptState;
+  int seed = 2020;
+  int acc = 0;
+  for (int round = 0; round < n * 22; round = round + 1) {
+    roundlog = (roundlog + st.folded) & 1048575;
+    roundlog = (roundlog ^ st.visited) & 1048575;
+    roundlog = (roundlog * 3 + round) & 1048575;
+    roundlog = (roundlog ^ (roundlog >> 5)) & 1048575;
+    roundlog = (roundlog + acc) & 1048575;
+    roundlog = (roundlog * 17 + 11) & 1048575;
+    roundlog = (roundlog ^ (roundlog >> 8)) & 1048575;
+    roundlog = (roundlog + st.visited) & 1048575;
+    roundlog = (roundlog ^ st.folded) & 1048575;
+    roundlog = (roundlog + 23) & 1048575;
+    for (int i = 0; i < ncode; i = i + 1) {
+      seed = (seed * 1103515245 + 12345) & 2147483647;
+      ops[i] = 1 + (seed & 3);
+      vals[i] = (seed >> 2) & 255;
+    }
+    for (int i = 0; i < ncode; i = i + 1) {
+      acc = (acc + visit(ops, vals, i, st)) & 1048575;
+    }
+    iowait(32000);
+  }
+  return acc + st.folded + st.visited + (roundlog & 15);
+}
+)";
+
+// pBOB analogue: business-object transaction processing.  Mixed calls and
+// object-field updates at moderate density.
+const char *PbobSrc = R"(
+class Account { int balance; int txns; }
+class Order { int qty; int price; int status; }
+global int ledger;
+
+int priceOf(int item) {
+  return ((item * 73) & 255) + 1;
+}
+
+int process(Account acct, Order ord, int item) {
+  ord.qty = (item & 7) + 1;
+  int price = ((item * 73) & 255) + 1;
+  if ((item & 3) == 0) { price = priceOf(item); }
+  ord.price = price;
+  int total = ord.qty * ord.price;
+  // Tax/discount arithmetic pads the transaction body.
+  int tax = (total * 7) / 100;
+  int discount = 0;
+  if (total > 900) { discount = total / 10; }
+  total = total + tax - discount;
+  int risk = (item * 31 + total) & 1023;
+  if (risk > 1000) { total = total + 1; }
+  int audit = total;
+  audit = (audit * 13 + 1) % 97;
+  audit = (audit * 13 + 2) % 97;
+  audit = (audit * 13 + 3) % 97;
+  audit = (audit * 13 + 4) % 97;
+  audit = (audit * 13 + 5) % 97;
+  audit = (audit * 13 + 6) % 97;
+  if (audit == 13) { total = total + 1; }
+  if (acct.balance < total) {
+    ord.status = 2;
+    acct.balance = acct.balance + 997;
+    return 0;
+  }
+  acct.balance = acct.balance - total;
+  acct.txns = acct.txns + 1;
+  ord.status = 1;
+  return total;
+}
+
+int main(int n) {
+  Account acct = new Account;
+  Order ord = new Order;
+  int[] items = new int[256];
+  int seed = 808;
+  for (int i = 0; i < 256; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    items[i] = seed & 1023;
+  }
+  acct.balance = 10000;
+  int acc = 0;
+  for (int round = 0; round < n * 35; round = round + 1) {
+    ledger = (ledger + acct.balance) & 1048575;
+    ledger = (ledger ^ acct.txns) & 1048575;
+    ledger = (ledger * 3 + round) & 1048575;
+    ledger = (ledger ^ (ledger >> 6)) & 1048575;
+    ledger = (ledger + acc) & 1048575;
+    ledger = (ledger * 7 + 19) & 1048575;
+    ledger = (ledger ^ (ledger >> 5)) & 1048575;
+    ledger = (ledger + acct.balance) & 1048575;
+    ledger = (ledger ^ acct.txns) & 1048575;
+    ledger = (ledger + 31) & 1048575;
+    for (int i = 0; i < 256; i = i + 1) {
+      int got = process(acct, ord, items[i]);
+      acc = (acc + got) & 1048575;
+      if ((i & 31) == 31) {
+        iowait(60);
+      }
+    }
+    iowait(20000);
+  }
+  return acc + acct.txns + (ledger & 15);
+}
+)";
+
+// Volano analogue: multi-threaded chat rooms.  Spawned connection threads
+// exchange messages through per-room buffers; long-latency iowait models
+// the network (low field density, the timer-bias workload).  Shared
+// global counters are only ever increased by commutative amounts, so the
+// checksum is schedule-independent.
+const char *VolanoSrc = R"(
+global int delivered;
+global int doneThreads;
+
+int route(int msg, int conn) {
+  return (msg * 31 + conn) & 1048575;
+}
+
+void connection(int conn, int rounds) {
+  int[] outbox = new int[64];
+  int seed = 17 + conn * 101;
+  int sent = 0;
+  for (int r = 0; r < rounds; r = r + 1) {
+    for (int m = 0; m < 64; m = m + 4) {
+      seed = (seed * 1103515245 + 12345) & 2147483647;
+      int msg = route(seed & 65535, conn);
+      outbox[m] = msg & 1048575;
+      outbox[m + 1] = (msg + 1) & 1048575;
+      seed = (seed * 1103515245 + 12345) & 2147483647;
+      outbox[m + 2] = (seed & 65535) * 31 & 1048575;
+      outbox[m + 3] = (seed >> 8) & 1048575;
+      sent = sent + 4;
+      delivered = delivered + 2;
+    }
+    iowait(4000);
+    int sum = 0;
+    for (int m = 0; m < 64; m = m + 4) {
+      sum = (sum + outbox[m] + outbox[m + 1] + outbox[m + 2]
+             + outbox[m + 3]) & 1048575;
+    }
+    delivered = (delivered + sum) & 1048575;
+  }
+  doneThreads = doneThreads + 1;
+}
+
+int main(int n) {
+  delivered = 0;
+  doneThreads = 0;
+  int conns = 4;
+  for (int c = 0; c < conns; c = c + 1) {
+    spawn connection(c, n * 16);
+  }
+  while (doneThreads < conns) {
+    iowait(400);
+  }
+  return delivered;
+}
+)";
+
+const std::vector<Workload> &suite() {
+  static const std::vector<Workload> Suite = {
+      {"compress", CompressSrc, 72, 1,
+       "tight array loops, field-dense coder state"},
+      {"jess", JessSrc, 72, 1, "tiny-call rule matching, field-dense"},
+      {"db", DbSrc, 72, 1, "long compare scans, few calls/fields"},
+      {"javac", JavacSrc, 72, 1, "recursive-descent parsing, call-heavy"},
+      {"mpegaudio", MpegSrc, 72, 1,
+       "fixed-point filter, tightest loops, field-dense"},
+      {"mtrt", MtrtSrc, 72, 1, "float vector math, call-heavy"},
+      {"jack", JackSrc, 72, 1, "scanner state machine, field-dense"},
+      {"opt-compiler", OptSrc, 72, 1,
+       "peephole optimizer, most call-dominated"},
+      {"pBOB", PbobSrc, 72, 1, "transaction objects, mixed density"},
+      {"volano", VolanoSrc, 72, 1,
+       "multi-threaded chat with long-latency waits"},
+  };
+  return Suite;
+}
+
+} // namespace
+
+const std::vector<Workload> &allWorkloads() { return suite(); }
+
+const Workload *workloadByName(const std::string &Name) {
+  for (const Workload &W : suite())
+    if (Name == W.Name)
+      return &W;
+  return nullptr;
+}
+
+} // namespace workloads
+} // namespace ars

@@ -1,0 +1,45 @@
+//===- workloads/Workloads.h - The benchmark suite ------------*- C++ -*-===//
+///
+/// \file
+/// Ten MiniJ workloads mirroring the paper's suite (SPECjvm98 with input
+/// size 10, the Jalapeno optimizing compiler on a subset of itself, Volano
+/// and pBOB).  Each is a synthetic program calibrated to the execution
+/// signature that drives that benchmark's row in the paper's tables:
+/// call density (call-edge instrumentation overhead), field-access density
+/// (field-access instrumentation overhead), loop tightness (backedge check
+/// overhead) and long-latency operations (timer-trigger misattribution).
+///
+/// Every workload defines `int main(int n)` where n scales the amount of
+/// work, and returns a checksum that must be invariant across every
+/// transformation mode (semantic-preservation tests rely on this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_WORKLOADS_WORKLOADS_H
+#define ARS_WORKLOADS_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+namespace ars {
+namespace workloads {
+
+/// One benchmark program.
+struct Workload {
+  const char *Name;
+  const char *Source;       ///< MiniJ source text
+  long long DefaultScale;   ///< scale for paper-style bench runs
+  long long SmokeScale;     ///< tiny scale for unit tests
+  const char *Profile;      ///< one-line execution-signature description
+};
+
+/// The full suite, in the paper's order.
+const std::vector<Workload> &allWorkloads();
+
+/// Lookup by name; nullptr if unknown.
+const Workload *workloadByName(const std::string &Name);
+
+} // namespace workloads
+} // namespace ars
+
+#endif // ARS_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,207 @@
+//===- tests/RandomProgram.h - Random MiniJ program generator -*- C++ -*-===//
+///
+/// \file
+/// Generates random, guaranteed-terminating MiniJ programs for
+/// property-based testing of the whole pipeline: every generated program
+/// compiles, verifies, runs within a bounded cycle budget, and must behave
+/// identically under every sampling transform.
+///
+/// Construction rules that guarantee safety:
+///  * loops are counted for-loops with small constant bounds;
+///  * divisions and remainders always add 1 + masked value to the divisor;
+///  * array indices are masked by the (power-of-two) array length;
+///  * the call graph is acyclic (functions only call lower-numbered
+///    functions), and helpers never call from inside their loops, so the
+///    total call count stays polynomial;
+///  * objects and arrays are allocated once in main and shared through
+///    globals, so the heap stays bounded;
+///  * every value is masked, so no signed overflow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_TESTS_RANDOMPROGRAM_H
+#define ARS_TESTS_RANDOMPROGRAM_H
+
+#include "support/Support.h"
+
+#include <string>
+#include <vector>
+
+namespace ars {
+namespace testutil {
+
+/// Random program generator with a fixed seed.
+class RandomProgramGenerator {
+public:
+  explicit RandomProgramGenerator(uint64_t Seed) : Rng(Seed) {}
+
+  /// Generates a full program with 2-5 helper functions, one class, one
+  /// global, and a main(int n) driving everything.
+  std::string generate();
+
+private:
+  support::Xorshift64 Rng;
+  int TmpCounter = 0;
+  int FuncCount = 0;
+  bool InHelper = false;
+  /// Remaining helper-call statements for the function being generated.
+  /// Helpers get 2, main gets 6: with an acyclic call graph this bounds
+  /// the dynamic call count by 2^helpers per main-level call.
+  int CallBudget = 0;
+
+  std::string freshVar() {
+    return "v" + std::to_string(TmpCounter++);
+  }
+
+  /// An int expression over the in-scope int variables \p Vars.
+  std::string intExpr(const std::vector<std::string> &Vars, int Depth);
+
+  /// A statement block body.  \p Mutable variables may be assigned;
+  /// \p ReadOnly ones (loop induction variables and main's n, whose
+  /// mutation could unbound a loop) are only read.  \p AllowCalls permits
+  /// helper calls (disabled inside helper loops to keep the dynamic call
+  /// count polynomial).
+  std::string stmts(std::vector<std::string> Mutable,
+                    std::vector<std::string> ReadOnly, int Depth,
+                    int Budget, bool AllowCalls);
+
+  std::string helperCall(const std::vector<std::string> &Vars);
+};
+
+inline std::string
+RandomProgramGenerator::intExpr(const std::vector<std::string> &Vars,
+                                int Depth) {
+  if (Depth <= 0 || Rng.chance(1, 3))
+    return Rng.chance(1, 2)
+               ? Vars[Rng.nextBelow(Vars.size())]
+               : std::to_string(Rng.nextInRange(0, 255));
+  const char *Ops[] = {"+", "-", "*", "&", "|", "^"};
+  std::string L = intExpr(Vars, Depth - 1);
+  std::string R = intExpr(Vars, Depth - 1);
+  if (Rng.chance(1, 6)) // guarded division
+    return "((" + L + ") / (1 + ((" + R + ") & 7)))";
+  if (Rng.chance(1, 8)) // guarded remainder
+    return "((" + L + ") % (2 + ((" + R + ") & 15)))";
+  const char *Op = Ops[Rng.nextBelow(6)];
+  return "(((" + L + ") " + Op + " (" + R + ")) & 65535)";
+}
+
+inline std::string
+RandomProgramGenerator::helperCall(const std::vector<std::string> &Vars) {
+  if (FuncCount == 0)
+    return intExpr(Vars, 1);
+  int Callee = static_cast<int>(Rng.nextBelow(FuncCount));
+  return "f" + std::to_string(Callee) + "(" + intExpr(Vars, 1) + ", " +
+         intExpr(Vars, 1) + ")";
+}
+
+inline std::string RandomProgramGenerator::stmts(
+    std::vector<std::string> Mutable, std::vector<std::string> ReadOnly,
+    int Depth, int Budget, bool AllowCalls) {
+  std::string Out;
+  std::vector<std::string> Vars = Mutable; // readable set
+  Vars.insert(Vars.end(), ReadOnly.begin(), ReadOnly.end());
+  int Count = static_cast<int>(Rng.nextInRange(2, 5));
+  for (int S = 0; S != Count && Budget > 0; ++S, --Budget) {
+    switch (Rng.nextBelow(Depth > 0 ? 8 : 5)) {
+    case 0: { // new local
+      std::string V = freshVar();
+      Out += "int " + V + " = " + intExpr(Vars, 2) + ";\n";
+      Mutable.push_back(V);
+      Vars.push_back(V);
+      break;
+    }
+    case 1: // assignment (never to a read-only variable)
+      Out += Mutable[Rng.nextBelow(Mutable.size())] + " = " +
+             intExpr(Vars, 2) + ";\n";
+      break;
+    case 2: // field update on the shared object
+      Out += "gst.a = ((gst.a + " + intExpr(Vars, 1) + ") & 65535);\n";
+      break;
+    case 3: // array update on the shared buffer (masked index)
+      Out += "gbuf[(" + intExpr(Vars, 1) + ") & 15] = " + intExpr(Vars, 1) +
+             ";\n";
+      break;
+    case 4: // call a helper (or plain arithmetic when calls are barred)
+      if (AllowCalls && CallBudget > 0) {
+        --CallBudget;
+        Out += Mutable[Rng.nextBelow(Mutable.size())] + " = ((" +
+               helperCall(Vars) + ") & 65535);\n";
+      } else {
+        Out += Mutable[Rng.nextBelow(Mutable.size())] + " = ((" +
+               intExpr(Vars, 2) + ") & 65535);\n";
+      }
+      break;
+    case 5: { // if/else
+      Out += "if ((" + intExpr(Vars, 1) + ") " +
+             (Rng.chance(1, 2) ? "<" : ">") + " (" + intExpr(Vars, 1) +
+             ")) {\n" +
+             stmts(Mutable, ReadOnly, Depth - 1, Budget / 2, AllowCalls) +
+             "} else {\n" +
+             stmts(Mutable, ReadOnly, Depth - 1, Budget / 2, AllowCalls) +
+             "}\n";
+      break;
+    }
+    case 6: { // bounded for loop; the induction variable is read-only
+      std::string I = freshVar();
+      std::vector<std::string> InnerRO = ReadOnly;
+      InnerRO.push_back(I);
+      // Calls inside helper loops are barred: a chain of helpers each
+      // multiplying the call count by its loop trips would blow up.
+      Out += "for (int " + I + " = 0; " + I + " < " +
+             std::to_string(Rng.nextInRange(2, 9)) + "; " + I + " = " + I +
+             " + 1) {\n" +
+             stmts(Mutable, InnerRO, Depth - 1, Budget / 2,
+                   AllowCalls && !InHelper) +
+             "}\n";
+      break;
+    }
+    case 7: // global + array read mix
+      Out += "g = ((g ^ gbuf[(" + intExpr(Vars, 1) + ") & 15] ^ gst.b) & "
+             "65535);\n";
+      break;
+    }
+  }
+  // Fold locals into the global so every path affects the checksum.
+  Out += "g = ((g + " + Vars[Rng.nextBelow(Vars.size())] + ") & 65535);\n";
+  return Out;
+}
+
+inline std::string RandomProgramGenerator::generate() {
+  TmpCounter = 0;
+  FuncCount = 0;
+  std::string Out = "class S { int a; int b; }\nglobal int g;\n"
+                    "global S gst;\nglobal int[] gbuf;\n";
+
+  int Helpers = static_cast<int>(Rng.nextInRange(2, 5));
+  for (int F = 0; F != Helpers; ++F) {
+    InHelper = true;
+    CallBudget = 2;
+    Out += "int f" + std::to_string(F) + "(int p0, int p1) {\n";
+    Out += "gst.a = ((gst.a + p0) & 65535);\n";
+    Out += "gst.b = ((gst.b ^ p1) & 65535);\n";
+    Out += stmts({"p0", "p1"}, {}, /*Depth=*/2, /*Budget=*/6,
+                 /*AllowCalls=*/true);
+    Out += "return ((gst.a + gst.b + g) & 65535);\n}\n";
+    InHelper = false;
+    FuncCount = F + 1;
+  }
+
+  CallBudget = 6;
+  Out += "int main(int n) {\n";
+  Out += "gst = new S;\ngbuf = new int[16];\ng = 0;\n";
+  Out += "int acc = 0;\n";
+  Out += "for (int it = 0; it < n; it = it + 1) {\n";
+  Out += "gst.a = (gst.a + it) & 65535;\n";
+  Out += stmts({"acc"}, {"it", "n"}, /*Depth=*/3, /*Budget=*/10,
+               /*AllowCalls=*/true);
+  Out += "acc = ((acc + g + gst.a) & 65535);\n";
+  Out += "}\n";
+  Out += "return acc + g;\n}\n";
+  return Out;
+}
+
+} // namespace testutil
+} // namespace ars
+
+#endif // ARS_TESTS_RANDOMPROGRAM_H

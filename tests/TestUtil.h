@@ -1,0 +1,40 @@
+//===- tests/TestUtil.h - Shared test helpers -----------------*- C++ -*-===//
+
+#ifndef ARS_TESTS_TESTUTIL_H
+#define ARS_TESTS_TESTUTIL_H
+
+#include "harness/Experiment.h"
+#include "harness/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace ars {
+namespace testutil {
+
+/// Builds a MiniJ program, failing the test on any pipeline error.
+inline harness::Program build(const char *Source) {
+  harness::BuildResult R = harness::buildProgram(Source);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return std::move(R.P);
+}
+
+/// Runs main(Scale) under \p Config and returns the full result, failing
+/// the test if the engine reports an error.
+inline harness::ExperimentResult
+run(const harness::Program &P, int64_t Scale,
+    const harness::RunConfig &Config = harness::RunConfig()) {
+  harness::ExperimentResult R = harness::runExperiment(P, Scale, Config);
+  EXPECT_TRUE(R.Stats.Ok) << R.Stats.Error;
+  return R;
+}
+
+/// Shorthand: build + baseline-run + return main's result.
+inline int64_t evalMain(const char *Source, int64_t Scale = 0) {
+  harness::Program P = build(Source);
+  return run(P, Scale).Stats.MainResult;
+}
+
+} // namespace testutil
+} // namespace ars
+
+#endif // ARS_TESTS_TESTUTIL_H

@@ -1,0 +1,174 @@
+//===- tests/test_analysis.cpp - analysis/ unit tests ---------*- C++ -*-===//
+
+#include "analysis/Backedges.h"
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ars;
+using analysis::BackedgeInfo;
+using analysis::CFG;
+using analysis::DominatorTree;
+using analysis::LoopInfo;
+
+/// Builds an IRFunction whose block B jumps/branches to the given targets.
+/// One target -> Jump; two -> Branch on register 0; zero -> Ret.
+ir::IRFunction makeGraph(const std::vector<std::vector<int>> &Succs) {
+  ir::IRFunction F;
+  F.Name = "g";
+  F.NumRegs = 1;
+  for (size_t B = 0; B != Succs.size(); ++B)
+    F.addBlock();
+  for (size_t B = 0; B != Succs.size(); ++B) {
+    const auto &S = Succs[B];
+    ir::IRInst T(ir::IROp::Ret);
+    if (S.size() == 1) {
+      T = ir::IRInst(ir::IROp::Jump);
+      T.Imm = S[0];
+    } else if (S.size() == 2) {
+      T = ir::IRInst(ir::IROp::Branch);
+      T.A = 0;
+      T.Imm = S[0];
+      T.Aux = S[1];
+    }
+    F.Blocks[B].Insts.push_back(T);
+  }
+  return F;
+}
+
+TEST(CFGTest, SuccsPredsAndRpo) {
+  // Diamond: 0 -> {1,2} -> 3.
+  ir::IRFunction F = makeGraph({{1, 2}, {3}, {3}, {}});
+  CFG G(F);
+  EXPECT_EQ(G.successors(0), (std::vector<int>{1, 2}));
+  EXPECT_EQ(G.predecessors(3), (std::vector<int>{1, 2}));
+  EXPECT_EQ(G.rpoNumber(0), 0);
+  EXPECT_GT(G.rpoNumber(3), G.rpoNumber(1));
+  EXPECT_GT(G.rpoNumber(3), G.rpoNumber(2));
+}
+
+TEST(CFGTest, UnreachableBlocksMarked) {
+  ir::IRFunction F = makeGraph({{1}, {}, {1}}); // 2 unreachable
+  CFG G(F);
+  EXPECT_TRUE(G.isReachable(1));
+  EXPECT_FALSE(G.isReachable(2));
+  EXPECT_EQ(G.rpoNumber(2), -1);
+}
+
+TEST(CFGTest, DuplicateBranchTargetsDeduped) {
+  ir::IRFunction F = makeGraph({{1, 1}, {}});
+  CFG G(F);
+  EXPECT_EQ(G.successors(0).size(), 1u);
+  EXPECT_EQ(G.predecessors(1).size(), 1u);
+}
+
+TEST(Dominators, DiamondJoin) {
+  ir::IRFunction F = makeGraph({{1, 2}, {3}, {3}, {}});
+  CFG G(F);
+  DominatorTree DT(G);
+  EXPECT_EQ(DT.idom(3), 0) << "join dominated by the fork, not a side";
+  EXPECT_TRUE(DT.dominates(0, 3));
+  EXPECT_FALSE(DT.dominates(1, 3));
+  EXPECT_TRUE(DT.dominates(2, 2));
+}
+
+TEST(Dominators, LinearChain) {
+  ir::IRFunction F = makeGraph({{1}, {2}, {}});
+  CFG G(F);
+  DominatorTree DT(G);
+  EXPECT_EQ(DT.idom(1), 0);
+  EXPECT_EQ(DT.idom(2), 1);
+  EXPECT_TRUE(DT.dominates(1, 2));
+}
+
+TEST(Backedges, SimpleLoop) {
+  // 0 -> 1; 1 -> {2(body), 3(exit)}; 2 -> 1 (backedge).
+  ir::IRFunction F = makeGraph({{1}, {2, 3}, {1}, {}});
+  BackedgeInfo BI = analysis::findBackedges(F);
+  ASSERT_EQ(BI.Backedges.size(), 1u);
+  EXPECT_EQ(BI.Backedges[0].From, 2);
+  EXPECT_EQ(BI.Backedges[0].To, 1);
+  EXPECT_TRUE(BI.Reducible);
+  EXPECT_TRUE(BI.isBackedge(2, 1));
+  EXPECT_FALSE(BI.isBackedge(0, 1));
+}
+
+TEST(Backedges, SelfLoop) {
+  ir::IRFunction F = makeGraph({{1}, {1, 2}, {}});
+  BackedgeInfo BI = analysis::findBackedges(F);
+  ASSERT_EQ(BI.Backedges.size(), 1u);
+  EXPECT_EQ(BI.Backedges[0].From, 1);
+  EXPECT_EQ(BI.Backedges[0].To, 1);
+  EXPECT_TRUE(BI.Reducible);
+}
+
+TEST(Backedges, NestedLoops) {
+  // 0->1(outer hdr)->2(inner hdr)->3(inner latch)->2, 3->4? build:
+  // 0->1; 1->2; 2->{3}; 3->{2,4}; 4->{1,5}; 5->{}.
+  ir::IRFunction F = makeGraph({{1}, {2}, {3}, {2, 4}, {1, 5}, {}});
+  BackedgeInfo BI = analysis::findBackedges(F);
+  ASSERT_EQ(BI.Backedges.size(), 2u);
+  EXPECT_TRUE(BI.isBackedge(3, 2));
+  EXPECT_TRUE(BI.isBackedge(4, 1));
+  EXPECT_TRUE(BI.Reducible);
+}
+
+TEST(Backedges, IrreducibleFlagged) {
+  // Classic irreducible: 0 -> {1, 2}; 1 -> 2; 2 -> 1; 1 -> exit.
+  ir::IRFunction F = makeGraph({{1, 2}, {2, 3}, {1}, {}});
+  BackedgeInfo BI = analysis::findBackedges(F);
+  EXPECT_FALSE(BI.Reducible);
+  EXPECT_GE(BI.Backedges.size(), 1u)
+      << "retreating edges still treated as backedges";
+}
+
+TEST(LoopInfoTest, BodyAndLatches) {
+  // while loop with a body diamond:
+  // 0->1(hdr); 1->{2,5}; 2->{3,4}; 3->{4}... make 3 and 4 join then latch.
+  // 0->1; 1->{2,6}; 2->{3,4}; 3->5; 4->5; 5->1; 6->{}.
+  ir::IRFunction F =
+      makeGraph({{1}, {2, 6}, {3, 4}, {5}, {5}, {1}, {}});
+  LoopInfo LI(F);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const analysis::Loop &L = LI.loops()[0];
+  EXPECT_EQ(L.Header, 1);
+  EXPECT_EQ(L.Latches, (std::vector<int>{5}));
+  EXPECT_EQ(L.Blocks, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(LI.loopDepth(3), 1);
+  EXPECT_EQ(LI.loopDepth(6), 0);
+  EXPECT_EQ(LI.loopDepth(0), 0);
+}
+
+TEST(LoopInfoTest, NestedDepths) {
+  ir::IRFunction F = makeGraph({{1}, {2}, {3}, {2, 4}, {1, 5}, {}});
+  LoopInfo LI(F);
+  ASSERT_EQ(LI.loops().size(), 2u);
+  EXPECT_EQ(LI.loopDepth(3), 2) << "inner latch is in both loops";
+  EXPECT_EQ(LI.loopDepth(4), 1);
+  EXPECT_EQ(LI.loopDepth(5), 0);
+}
+
+TEST(LoopInfoTest, TwoLatchesMerge) {
+  // Two backedges into one header form one natural loop.
+  ir::IRFunction F = makeGraph({{1}, {2, 3}, {1}, {1, 4}, {}});
+  LoopInfo LI(F);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  EXPECT_EQ(LI.loops()[0].Latches, (std::vector<int>{2, 3}));
+}
+
+TEST(CFGTest, EntryFieldRespected) {
+  ir::IRFunction F = makeGraph({{}, {0}});
+  F.Entry = 1;
+  CFG G(F);
+  EXPECT_EQ(G.entry(), 1);
+  EXPECT_EQ(G.rpoNumber(1), 0);
+  EXPECT_TRUE(G.isReachable(0));
+  DominatorTree DT(G);
+  EXPECT_TRUE(DT.dominates(1, 0));
+}
+
+} // namespace

@@ -1,0 +1,269 @@
+//===- tests/test_assembler.cpp - .bca assembler tests --------*- C++ -*-===//
+///
+/// Assembler round trips, error reporting, and — the reason the assembler
+/// exists — irreducible control flow pushed through the whole framework
+/// (the MiniJ frontend only emits reducible CFGs).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Backedges.h"
+#include "bytecode/Assembler.h"
+#include "bytecode/Disassembler.h"
+#include "instr/Clients.h"
+#include "ir/IRVerifier.h"
+#include "lowering/Cleanup.h"
+#include "lowering/Lowering.h"
+#include "runtime/Engine.h"
+#include "sampling/Property1.h"
+#include "sampling/Transform.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ars;
+
+/// Runs an assembled module's main(Arg) and returns the stats.
+runtime::RunStats runAssembled(const bytecode::Module &M,
+                               std::vector<ir::IRFunction> Funcs,
+                               int64_t Arg,
+                               runtime::EngineConfig Config = {}) {
+  instr::ProbeRegistry Registry;
+  runtime::ExecutionEngine Engine(M, Funcs, Registry, Config);
+  return Engine.run(M.functionByName("main")->FuncId, {Arg});
+}
+
+TEST(Assembler, AssemblesArithmetic) {
+  auto R = bytecode::assemble(R"(
+    # doubles its argument and adds one
+    func main(int) -> int
+      load 0
+      iconst 2
+      mul
+      iconst 1
+      add
+      retval
+    end
+  )");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  auto L = lowering::lowerModule(R.M);
+  ASSERT_TRUE(L.Ok) << L.Error;
+  EXPECT_EQ(runAssembled(R.M, std::move(L.Funcs), 20).MainResult, 41);
+}
+
+TEST(Assembler, ClassesGlobalsAndCalls) {
+  auto R = bytecode::assemble(R"(
+    class Pair { int a; int b; }
+    global int total
+
+    func bump(int) -> int locals(ref)
+      new Pair
+      store 1
+      load 1
+      load 0
+      putfield Pair.a
+      load 1
+      getfield Pair.a
+      getglobal total
+      add
+      putglobal total
+      getglobal total
+      retval
+    end
+
+    func main(int) -> int locals(int)
+      iconst 0
+      store 1
+    loop:
+      load 1
+      load 0
+      cmpge
+      brif done
+      load 1
+      call bump
+      pop
+      load 1
+      iconst 1
+      add
+      store 1
+      br loop
+    done:
+      getglobal total
+      retval
+    end
+  )");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  auto L = lowering::lowerModule(R.M);
+  ASSERT_TRUE(L.Ok) << L.Error;
+  // total = 0 + 1 + ... + 9 = 45
+  EXPECT_EQ(runAssembled(R.M, std::move(L.Funcs), 10).MainResult, 45);
+}
+
+TEST(Assembler, ForwardCallReferences) {
+  auto R = bytecode::assemble(R"(
+    func main(int) -> int
+      load 0
+      call later
+      retval
+    end
+    func later(int) -> int
+      load 0
+      iconst 3
+      add
+      retval
+    end
+  )");
+  ASSERT_TRUE(R.Ok) << R.Error;
+}
+
+TEST(Assembler, ReportsErrors) {
+  EXPECT_FALSE(bytecode::assemble("func main(int) -> int\n  retval\n").Ok)
+      << "missing end";
+  EXPECT_FALSE(
+      bytecode::assemble("func f() -> void\n  bogus\n  ret\nend").Ok);
+  EXPECT_FALSE(
+      bytecode::assemble("func f() -> void\n  br nowhere\n  ret\nend").Ok);
+  EXPECT_FALSE(
+      bytecode::assemble("func f() -> void\n  call ghost\n  ret\nend").Ok);
+  auto Underflow = bytecode::assemble("func f() -> void\n  pop\n  ret\nend");
+  EXPECT_FALSE(Underflow.Ok) << "verifier runs on assembled code";
+  EXPECT_NE(Underflow.Error.find("verifier"), std::string::npos);
+}
+
+TEST(Assembler, DisassemblerRoundTripNames) {
+  auto R = bytecode::assemble(R"(
+    class C { int v; }
+    global int g
+    func main(int) -> int locals(ref)
+      new C
+      store 1
+      load 1
+      iconst 5
+      putfield C.v
+      load 1
+      getfield C.v
+      retval
+    end
+  )");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  std::string Text = bytecode::disassembleModule(R.M);
+  EXPECT_NE(Text.find("putfield C.v"), std::string::npos);
+  EXPECT_NE(Text.find("class C"), std::string::npos);
+  EXPECT_NE(Text.find("global int g"), std::string::npos);
+}
+
+/// An irreducible loop: entry branches into the middle of a cycle
+/// (A <-> B) depending on the argument, so neither header dominates the
+/// other.  The cycle runs down a counter, bouncing between A and B.
+const char *IrreducibleSrc = R"(
+  global int steps
+  func main(int) -> int locals(int)
+    load 0
+    store 1
+    load 0
+    iconst 1
+    and
+    brif enterB
+    br enterA
+  enterA:
+  A:
+    getglobal steps
+    iconst 1
+    add
+    putglobal steps
+    load 1
+    iconst 1
+    sub
+    store 1
+    load 1
+    iconst 0
+    cmple
+    brif done
+    br B
+  enterB:
+    br B
+  B:
+    getglobal steps
+    iconst 2
+    add
+    putglobal steps
+    load 1
+    iconst 1
+    sub
+    store 1
+    load 1
+    iconst 0
+    cmple
+    brif done
+    br A
+  done:
+    getglobal steps
+    retval
+  end
+)";
+
+TEST(Irreducible, FlaggedByAnalysis) {
+  auto R = bytecode::assemble(IrreducibleSrc);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  auto L = lowering::lowerModule(R.M);
+  ASSERT_TRUE(L.Ok) << L.Error;
+  lowering::cleanupFunction(L.Funcs[0]);
+  analysis::BackedgeInfo BI = analysis::findBackedges(L.Funcs[0]);
+  EXPECT_FALSE(BI.Reducible);
+  EXPECT_GE(BI.Backedges.size(), 1u)
+      << "retreating edges conservatively treated as backedges";
+}
+
+TEST(Irreducible, TransformsPreserveSemantics) {
+  auto R = bytecode::assemble(IrreducibleSrc);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  auto L = lowering::lowerModule(R.M);
+  ASSERT_TRUE(L.Ok) << L.Error;
+  for (ir::IRFunction &F : L.Funcs)
+    lowering::cleanupFunction(F);
+
+  // Baseline result.
+  sampling::Options Base;
+  Base.M = sampling::Mode::Baseline;
+  std::vector<ir::IRFunction> BaseFuncs = L.Funcs;
+  instr::FunctionPlan Empty;
+  Empty.FuncId = 0;
+  sampling::transformFunction(BaseFuncs[0], Empty, Base);
+  int64_t Expected = runAssembled(R.M, BaseFuncs, 101).MainResult;
+  EXPECT_GT(Expected, 0);
+
+  instr::FieldAccessInstrumentation FieldAccesses;
+  instr::CallEdgeInstrumentation CallEdges;
+  for (sampling::Mode M :
+       {sampling::Mode::Exhaustive, sampling::Mode::FullDuplication,
+        sampling::Mode::PartialDuplication,
+        sampling::Mode::NoDuplication}) {
+    for (int64_t Interval : {int64_t(1), int64_t(7)}) {
+      std::vector<ir::IRFunction> Funcs = L.Funcs;
+      instr::ProbeRegistry Registry;
+      sampling::Options Opts;
+      Opts.M = M;
+      instr::FunctionPlan Plan = instr::planFunction(
+          Funcs[0], R.M, {&FieldAccesses, &CallEdges}, Registry);
+      sampling::TransformResult TR =
+          sampling::transformFunction(Funcs[0], Plan, Opts);
+      EXPECT_TRUE(ir::verifyFunction(Funcs[0]).empty())
+          << sampling::modeName(M);
+      std::string Bad =
+          sampling::checkProperty1Static(Funcs[0], TR, Opts);
+      EXPECT_TRUE(Bad.empty()) << sampling::modeName(M) << ": " << Bad;
+
+      runtime::EngineConfig Config;
+      Config.SampleInterval = Interval;
+      instr::ProbeRegistry &Probes = Registry;
+      runtime::ExecutionEngine Engine(R.M, Funcs, Probes, Config);
+      runtime::RunStats Stats =
+          Engine.run(R.M.functionByName("main")->FuncId, {101});
+      ASSERT_TRUE(Stats.Ok) << sampling::modeName(M) << ": " << Stats.Error;
+      EXPECT_EQ(Stats.MainResult, Expected)
+          << sampling::modeName(M) << " interval " << Interval;
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,259 @@
+//===- tests/test_bytecode.cpp - bytecode/ unit tests ---------*- C++ -*-===//
+
+#include "bytecode/Builder.h"
+#include "bytecode/Disassembler.h"
+#include "bytecode/Module.h"
+#include "bytecode/Verifier.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ars::bytecode;
+
+/// Builds a module with one class (two fields), one global, and returns it.
+Module makeSymbols() {
+  Module M;
+  int C = M.addClass("Point");
+  M.addField(C, "x", Type::I64);
+  M.addField(C, "y", Type::F64);
+  M.addGlobal("counter", Type::I64);
+  return M;
+}
+
+TEST(Module, FieldIdsAreModuleGlobal) {
+  Module M;
+  int A = M.addClass("A");
+  int B = M.addClass("B");
+  int F0 = M.addField(A, "x", Type::I64);
+  int F1 = M.addField(B, "y", Type::I64);
+  int G = M.addGlobal("g", Type::I64);
+  EXPECT_EQ(F0, 0);
+  EXPECT_EQ(F1, 1);
+  EXPECT_EQ(M.globalAt(G).FieldId, 2);
+  EXPECT_EQ(M.numFieldIds(), 3);
+  EXPECT_EQ(M.fieldIdName(0), "A.x");
+  EXPECT_EQ(M.fieldIdName(1), "B.y");
+  EXPECT_EQ(M.fieldIdName(2), "global.g");
+}
+
+TEST(Module, FunctionLookup) {
+  Module M;
+  int F = M.addFunction("foo", {Type::I64}, Type::I64);
+  EXPECT_EQ(M.functionByName("foo")->FuncId, F);
+  EXPECT_EQ(M.functionByName("bar"), nullptr);
+  EXPECT_EQ(M.functionAt(F).NumLocals, 1);
+  EXPECT_EQ(M.functionAt(F).LocalTypes.size(), 1u);
+}
+
+TEST(Builder, LabelsResolveForwardAndBackward) {
+  Module M;
+  int F = M.addFunction("f", {Type::I64}, Type::I64);
+  FunctionDef &Func = M.functionAt(F);
+  Builder B(Func);
+  Label Loop = B.makeLabel();
+  Label Exit = B.makeLabel();
+  B.bind(Loop);
+  B.emit(Opcode::Load, 0);
+  B.emitBranch(Opcode::BrIf, Exit); // forward
+  B.emit(Opcode::IConst, 1);
+  B.emit(Opcode::Store, 0);
+  B.emitBranch(Opcode::Br, Loop); // backward
+  B.bind(Exit);
+  B.emit(Opcode::Load, 0);
+  B.emit(Opcode::RetVal);
+  ASSERT_TRUE(B.finish());
+  EXPECT_EQ(Func.Code[1].A, 5) << "forward branch patched to Exit";
+  EXPECT_EQ(Func.Code[4].A, 0) << "backward branch to Loop";
+}
+
+TEST(Builder, UnboundLabelFailsFinish) {
+  Module M;
+  int F = M.addFunction("f", {}, Type::Void);
+  FunctionDef &Func = M.functionAt(F);
+  Builder B(Func);
+  Label L = B.makeLabel();
+  B.emitBranch(Opcode::Br, L);
+  B.emit(Opcode::Ret);
+  EXPECT_FALSE(B.finish());
+}
+
+TEST(Verifier, AcceptsStraightLineArith) {
+  Module M = makeSymbols();
+  int F = M.addFunction("f", {Type::I64, Type::I64}, Type::I64);
+  FunctionDef &Func = M.functionAt(F);
+  Builder B(Func);
+  B.emit(Opcode::Load, 0);
+  B.emit(Opcode::Load, 1);
+  B.emit(Opcode::Add);
+  B.emit(Opcode::RetVal);
+  ASSERT_TRUE(B.finish());
+  VerifyResult R = verifyFunction(M, Func);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.MaxStack, 2);
+}
+
+TEST(Verifier, RejectsStackUnderflow) {
+  Module M;
+  int F = M.addFunction("f", {}, Type::Void);
+  FunctionDef &Func = M.functionAt(F);
+  Builder B(Func);
+  B.emit(Opcode::Pop);
+  B.emit(Opcode::Ret);
+  ASSERT_TRUE(B.finish());
+  EXPECT_FALSE(verifyFunction(M, Func).Ok);
+}
+
+TEST(Verifier, RejectsTypeMismatch) {
+  Module M;
+  int F = M.addFunction("f", {}, Type::Void);
+  FunctionDef &Func = M.functionAt(F);
+  Builder B(Func);
+  B.emit(Opcode::IConst, 1);
+  B.emitFConst(2.0);
+  B.emit(Opcode::Add); // int + float
+  B.emit(Opcode::Pop);
+  B.emit(Opcode::Ret);
+  ASSERT_TRUE(B.finish());
+  VerifyResult R = verifyFunction(M, Func);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("expected int"), std::string::npos) << R.Error;
+}
+
+TEST(Verifier, RejectsInconsistentJoinDepth) {
+  Module M;
+  int F = M.addFunction("f", {Type::I64}, Type::Void);
+  FunctionDef &Func = M.functionAt(F);
+  Builder B(Func);
+  Label Join = B.makeLabel();
+  B.emit(Opcode::Load, 0);
+  B.emitBranch(Opcode::BrIf, Join); // join with depth 0
+  B.emit(Opcode::IConst, 5);        // depth 1 on fallthrough
+  B.bind(Join);
+  B.emit(Opcode::Ret);
+  ASSERT_TRUE(B.finish());
+  VerifyResult R = verifyFunction(M, Func);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("depth"), std::string::npos) << R.Error;
+}
+
+TEST(Verifier, RejectsBadBranchTarget) {
+  Module M;
+  int F = M.addFunction("f", {}, Type::Void);
+  FunctionDef &Func = M.functionAt(F);
+  Func.Code.emplace_back(Opcode::Br, 99);
+  EXPECT_FALSE(verifyFunction(M, Func).Ok);
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Module M;
+  int F = M.addFunction("f", {}, Type::Void);
+  FunctionDef &Func = M.functionAt(F);
+  Func.Code.emplace_back(Opcode::Nop);
+  EXPECT_FALSE(verifyFunction(M, Func).Ok);
+}
+
+TEST(Verifier, RejectsLocalTypeViolation) {
+  Module M;
+  int F = M.addFunction("f", {Type::I64}, Type::Void);
+  FunctionDef &Func = M.functionAt(F);
+  Builder B(Func);
+  B.emitFConst(1.5);
+  B.emit(Opcode::Store, 0); // float into int slot
+  B.emit(Opcode::Ret);
+  ASSERT_TRUE(B.finish());
+  EXPECT_FALSE(verifyFunction(M, Func).Ok);
+}
+
+TEST(Verifier, ChecksCallSignature) {
+  Module M;
+  int Callee = M.addFunction("callee", {Type::I64, Type::F64}, Type::I64);
+  (void)Callee;
+  int F = M.addFunction("caller", {}, Type::Void);
+  FunctionDef &Func = M.functionAt(F);
+  Builder B(Func);
+  B.emit(Opcode::IConst, 1);
+  B.emit(Opcode::IConst, 2); // wrong: second arg must be float
+  B.emit(Opcode::Call, 0);
+  B.emit(Opcode::Pop);
+  B.emit(Opcode::Ret);
+  ASSERT_TRUE(B.finish());
+  EXPECT_FALSE(verifyFunction(M, Func).Ok);
+}
+
+TEST(Verifier, FieldOpsTypeThroughModule) {
+  Module M = makeSymbols();
+  int F = M.addFunction("f", {}, Type::F64);
+  FunctionDef &Func = M.functionAt(F);
+  Builder B(Func);
+  B.emit(Opcode::New, 0);
+  B.emit(Opcode::GetField, 1); // Point.y : float
+  B.emit(Opcode::RetVal);
+  ASSERT_TRUE(B.finish());
+  VerifyResult R = verifyFunction(M, Func);
+  EXPECT_TRUE(R.Ok) << R.Error;
+}
+
+TEST(Verifier, LoopWithConsistentState) {
+  Module M;
+  int F = M.addFunction("f", {Type::I64}, Type::I64);
+  FunctionDef &Func = M.functionAt(F);
+  Builder B(Func);
+  int Acc = B.addLocal(Type::I64);
+  Label Head = B.makeLabel(), Out = B.makeLabel();
+  B.bind(Head);
+  B.emit(Opcode::Load, 0);
+  B.emit(Opcode::IConst, 0);
+  B.emit(Opcode::CmpLe);
+  B.emitBranch(Opcode::BrIf, Out);
+  B.emit(Opcode::Load, Acc);
+  B.emit(Opcode::Load, 0);
+  B.emit(Opcode::Add);
+  B.emit(Opcode::Store, Acc);
+  B.emit(Opcode::Load, 0);
+  B.emit(Opcode::IConst, 1);
+  B.emit(Opcode::Sub);
+  B.emit(Opcode::Store, 0);
+  B.emitBranch(Opcode::Br, Head);
+  B.bind(Out);
+  B.emit(Opcode::Load, Acc);
+  B.emit(Opcode::RetVal);
+  ASSERT_TRUE(B.finish());
+  VerifyResult R = verifyFunction(M, Func);
+  EXPECT_TRUE(R.Ok) << R.Error;
+}
+
+TEST(Disassembler, ResolvesNames) {
+  Module M = makeSymbols();
+  int F = M.addFunction("f", {}, Type::Void);
+  FunctionDef &Func = M.functionAt(F);
+  Builder B(Func);
+  B.emit(Opcode::New, 0);
+  B.emit(Opcode::IConst, 3);
+  B.emit(Opcode::PutField, 0);
+  B.emit(Opcode::Ret);
+  ASSERT_TRUE(B.finish());
+  std::string Text = disassembleModule(M);
+  EXPECT_NE(Text.find("class Point"), std::string::npos);
+  EXPECT_NE(Text.find("putfield Point.x"), std::string::npos);
+  EXPECT_NE(Text.find("global int counter"), std::string::npos);
+  EXPECT_NE(Text.find("func f"), std::string::npos);
+}
+
+TEST(Disassembler, CallShowsCalleeName) {
+  Module M;
+  M.addFunction("target", {}, Type::Void);
+  Inst Call(Opcode::Call, 0);
+  EXPECT_NE(disassembleInst(M, Call).find("target"), std::string::npos);
+}
+
+TEST(OpcodeInfo, TerminatorsAndBranches) {
+  EXPECT_TRUE(isTerminator(Opcode::Ret));
+  EXPECT_TRUE(isTerminator(Opcode::Br));
+  EXPECT_TRUE(isBranch(Opcode::BrIf));
+  EXPECT_FALSE(isBranch(Opcode::Ret));
+  EXPECT_FALSE(isTerminator(Opcode::Add));
+  EXPECT_STREQ(opcodeName(Opcode::GetField), "getfield");
+}
+
+} // namespace

@@ -1,0 +1,226 @@
+//===- tests/test_engine.cpp - runtime/ unit tests ------------*- C++ -*-===//
+
+#include "runtime/Engine.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ars;
+using ars::testutil::build;
+using ars::testutil::run;
+
+harness::ExperimentResult runSrc(const char *Src, int64_t Scale = 0,
+                                 harness::RunConfig Config = {}) {
+  harness::Program P = build(Src);
+  return harness::runExperiment(P, Scale, Config);
+}
+
+TEST(Engine, TrapsDivisionByZero) {
+  auto R = runSrc("int main(int n) { return 1 / n; }", 0);
+  EXPECT_FALSE(R.Stats.Ok);
+  EXPECT_NE(R.Stats.Error.find("division by zero"), std::string::npos);
+}
+
+TEST(Engine, TrapsRemainderByZero) {
+  auto R = runSrc("int main(int n) { return 1 % n; }", 0);
+  EXPECT_FALSE(R.Stats.Ok);
+}
+
+TEST(Engine, TrapsNullFieldAccess) {
+  auto R = runSrc(R"(
+    class C { int v; C other; }
+    int main(int n) {
+      C c = new C;
+      return c.other.v;
+    }
+  )");
+  EXPECT_FALSE(R.Stats.Ok);
+  EXPECT_NE(R.Stats.Error.find("reference"), std::string::npos);
+}
+
+TEST(Engine, TrapsArrayOutOfBounds) {
+  auto R = runSrc("int main(int n) { int[] a = new int[4]; return a[n]; }",
+                  4);
+  EXPECT_FALSE(R.Stats.Ok);
+  auto R2 = runSrc("int main(int n) { int[] a = new int[4]; return a[n]; }",
+                   -1);
+  EXPECT_FALSE(R2.Stats.Ok);
+}
+
+TEST(Engine, TrapsNegativeArrayLength) {
+  auto R = runSrc("int main(int n) { int[] a = new int[n]; return len(a); }",
+                  -5);
+  EXPECT_FALSE(R.Stats.Ok);
+}
+
+TEST(Engine, HeapBudgetEnforced) {
+  harness::RunConfig C;
+  C.Engine.MaxHeapCells = 64;
+  auto R = runSrc(R"(
+    int main(int n) {
+      for (int i = 0; i < n; i = i + 1) { int[] a = new int[16]; a[0] = i; }
+      return 0;
+    }
+  )",
+                  100, C);
+  EXPECT_FALSE(R.Stats.Ok);
+  EXPECT_NE(R.Stats.Error.find("heap"), std::string::npos);
+}
+
+TEST(Engine, CallDepthGuard) {
+  harness::RunConfig C;
+  C.Engine.MaxCallDepth = 50;
+  auto R = runSrc(R"(
+    int rec(int n) { return rec(n + 1); }
+    int main(int n) { return rec(0); }
+  )",
+                  0, C);
+  EXPECT_FALSE(R.Stats.Ok);
+  EXPECT_NE(R.Stats.Error.find("stack overflow"), std::string::npos);
+}
+
+TEST(Engine, CycleBudgetGuard) {
+  harness::RunConfig C;
+  C.Engine.MaxCycles = 10000;
+  auto R = runSrc("int main(int n) { while (1) { n = n + 1; } return n; }",
+                  0, C);
+  EXPECT_FALSE(R.Stats.Ok);
+  EXPECT_NE(R.Stats.Error.find("cycle budget"), std::string::npos);
+}
+
+TEST(Engine, TraceCapturesPrints) {
+  auto R = runSrc(R"(
+    int main(int n) {
+      for (int i = 0; i < n; i = i + 1) { print(i * 10); }
+      return 0;
+    }
+  )",
+                  3);
+  ASSERT_TRUE(R.Stats.Ok) << R.Stats.Error;
+  EXPECT_EQ(R.Stats.Trace, (std::vector<int64_t>{0, 10, 20}));
+}
+
+TEST(Engine, CyclesAndInstructionsAdvance) {
+  auto R = runSrc("int main(int n) { return n + 1; }", 1);
+  ASSERT_TRUE(R.Stats.Ok);
+  EXPECT_GT(R.Stats.Cycles, 0u);
+  EXPECT_GT(R.Stats.Instructions, 0u);
+  EXPECT_EQ(R.Stats.Entries, 1u);
+}
+
+TEST(Engine, IOWaitChargesExactCycles) {
+  auto A = runSrc("int main(int n) { iowait(1000); return 0; }");
+  auto B = runSrc("int main(int n) { iowait(9000); return 0; }");
+  ASSERT_TRUE(A.Stats.Ok && B.Stats.Ok);
+  EXPECT_EQ(B.Stats.Cycles - A.Stats.Cycles, 8000u);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  const char *Src = R"(
+    global int seed;
+    int grand() {
+      seed = (seed * 1103515245 + 12345) & 2147483647;
+      return seed;
+    }
+    int main(int n) {
+      seed = 7;
+      int acc = 0;
+      for (int i = 0; i < n; i = i + 1) { acc = (acc + grand()) & 65535; }
+      return acc;
+    }
+  )";
+  harness::Program P = build(Src);
+  auto R1 = run(P, 500);
+  auto R2 = run(P, 500);
+  EXPECT_EQ(R1.Stats.MainResult, R2.Stats.MainResult);
+  EXPECT_EQ(R1.Stats.Cycles, R2.Stats.Cycles);
+  EXPECT_EQ(R1.Stats.Instructions, R2.Stats.Instructions);
+}
+
+TEST(Engine, SpawnRunsThreadsToCompletion) {
+  const char *Src = R"(
+    global int total;
+    global int done;
+    void worker(int k) {
+      int acc = 0;
+      for (int i = 0; i < 1000; i = i + 1) { acc = acc + k; }
+      total = total + acc;
+      done = done + 1;
+    }
+    int main(int n) {
+      total = 0;
+      done = 0;
+      for (int t = 1; t <= n; t = t + 1) { spawn worker(t); }
+      while (done < n) { iowait(100); }
+      return total;
+    }
+  )";
+  auto R = runSrc(Src, 3);
+  ASSERT_TRUE(R.Stats.Ok) << R.Stats.Error;
+  EXPECT_EQ(R.Stats.MainResult, 1000 * (1 + 2 + 3));
+  EXPECT_EQ(R.Stats.ThreadsSpawned, 3u);
+  EXPECT_GT(R.Stats.ThreadSwitches, 0u);
+}
+
+TEST(Engine, SpawnedThreadsInterleaveDeterministically) {
+  const char *Src = R"(
+    global int done;
+    void worker(int k) {
+      for (int i = 0; i < 2000; i = i + 1) { k = k + 1; }
+      done = done + 1;
+    }
+    int main(int n) {
+      done = 0;
+      spawn worker(1);
+      spawn worker(2);
+      while (done < 2) { iowait(50); }
+      return done;
+    }
+  )";
+  harness::Program P = build(Src);
+  harness::RunConfig C;
+  C.Engine.YieldQuantumCycles = 500; // force frequent switching
+  auto R1 = harness::runExperiment(P, 0, C);
+  auto R2 = harness::runExperiment(P, 0, C);
+  ASSERT_TRUE(R1.Stats.Ok) << R1.Stats.Error;
+  EXPECT_EQ(R1.Stats.Cycles, R2.Stats.Cycles);
+  EXPECT_EQ(R1.Stats.ThreadSwitches, R2.Stats.ThreadSwitches);
+  EXPECT_GT(R1.Stats.ThreadSwitches, 2u);
+}
+
+TEST(Engine, YieldpointsCountedInBaseline) {
+  // Baseline places yieldpoints on the method entry and each backedge:
+  // one entry + n iterations.
+  auto R = runSrc(R"(
+    int main(int n) {
+      int acc = 0;
+      for (int i = 0; i < n; i = i + 1) { acc = acc + i; }
+      return acc;
+    }
+  )",
+                  100);
+  ASSERT_TRUE(R.Stats.Ok);
+  EXPECT_EQ(R.Stats.YieldpointExecs, 101u);
+}
+
+TEST(Engine, TimerFiresAtConfiguredPeriod) {
+  harness::RunConfig C;
+  C.Engine.Trigger = runtime::TriggerKind::Timer;
+  C.Engine.TimerPeriodCycles = 1000;
+  auto R = runSrc("int main(int n) { iowait(10000); return 0; }", 0, C);
+  ASSERT_TRUE(R.Stats.Ok);
+  // ~10 fires during the wait (plus prologue rounding).
+  EXPECT_GE(R.Stats.TimerFires, 9u);
+  EXPECT_LE(R.Stats.TimerFires, 12u);
+}
+
+TEST(Engine, MainResultFromVoidMainIsZero) {
+  auto R = runSrc("void main(int n) { int x = n; x = x + 1; }", 5);
+  ASSERT_TRUE(R.Stats.Ok);
+  EXPECT_EQ(R.Stats.MainResult, 0);
+}
+
+} // namespace

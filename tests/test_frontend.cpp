@@ -1,0 +1,228 @@
+//===- tests/test_frontend.cpp - MiniJ frontend tests ---------*- C++ -*-===//
+
+#include "frontend/Compiler.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ars;
+using ars::testutil::evalMain;
+
+TEST(Lexer, TokensAndKeywords) {
+  auto Toks = frontend::tokenize("class x { int y; } // comment\n<= >> &&");
+  ASSERT_GE(Toks.size(), 10u);
+  EXPECT_EQ(Toks[0].Kind, frontend::TokKind::KwClass);
+  EXPECT_EQ(Toks[1].Kind, frontend::TokKind::Ident);
+  EXPECT_EQ(Toks[1].Text, "x");
+  EXPECT_EQ(Toks.back().Kind, frontend::TokKind::End);
+}
+
+TEST(Lexer, NumbersIntAndFloat) {
+  auto Toks = frontend::tokenize("42 3.5");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Kind, frontend::TokKind::IntLit);
+  EXPECT_EQ(Toks[0].IntVal, 42);
+  EXPECT_EQ(Toks[1].Kind, frontend::TokKind::FloatLit);
+  EXPECT_DOUBLE_EQ(Toks[1].FloatVal, 3.5);
+}
+
+TEST(Lexer, ErrorTokenCarriesLine) {
+  auto Toks = frontend::tokenize("int x\n@");
+  EXPECT_EQ(Toks.back().Kind, frontend::TokKind::Error);
+  EXPECT_NE(Toks.back().Text.find("line 2"), std::string::npos);
+}
+
+TEST(Parser, RejectsBadSyntax) {
+  EXPECT_FALSE(frontend::parseProgram("int main( {").Ok);
+  EXPECT_FALSE(frontend::parseProgram("int main() { return 1 }").Ok);
+  EXPECT_FALSE(frontend::parseProgram("class C { int }").Ok);
+  EXPECT_FALSE(frontend::parseProgram("int main() { 1 = 2; }").Ok);
+}
+
+TEST(Parser, AcceptsRepresentativeProgram) {
+  auto R = frontend::parseProgram(R"(
+    class P { int x; float f; }
+    global int g;
+    int helper(int a) { return a * 2; }
+    int main(int n) {
+      P p = new P;
+      int[] arr = new int[8];
+      for (int i = 0; i < n; i = i + 1) {
+        if (i % 2 == 0 && i > 0) { arr[i % 8] = helper(i); }
+        else { continue; }
+      }
+      while (n > 0) { n = n - 1; break; }
+      p.x = arr[0];
+      return p.x + g;
+    }
+  )");
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Prog.Classes.size(), 1u);
+  EXPECT_EQ(R.Prog.Funcs.size(), 2u);
+}
+
+TEST(Sema, RejectsUnknownSymbols) {
+  EXPECT_FALSE(frontend::compile("int main(int n) { return q; }").Ok);
+  EXPECT_FALSE(frontend::compile("int main(int n) { return f(n); }").Ok);
+  EXPECT_FALSE(
+      frontend::compile("int main(int n) { Zed z = new Zed; return 0; }")
+          .Ok);
+}
+
+TEST(Sema, RejectsTypeErrors) {
+  EXPECT_FALSE(
+      frontend::compile("int main(int n) { float f = 1.0; return n + f; }")
+          .Ok);
+  EXPECT_FALSE(
+      frontend::compile("int main(int n) { if (1.5) { } return 0; }").Ok);
+  EXPECT_FALSE(
+      frontend::compile("float main(int n) { return 1; }").Ok);
+  EXPECT_FALSE(frontend::compile("int main(int n) { break; return 0; }").Ok);
+  EXPECT_FALSE(
+      frontend::compile("int main(int n) { int n = 3; return n; }").Ok)
+      << "redeclaring a parameter in the same scope";
+}
+
+TEST(Sema, RejectsBadCalls) {
+  const char *Src = R"(
+    int f(int a, int b) { return a + b; }
+    int main(int n) { return f(n); }
+  )";
+  EXPECT_FALSE(frontend::compile(Src).Ok);
+  EXPECT_FALSE(
+      frontend::compile("int main(int n) { iowait(n); return 0; }").Ok)
+      << "iowait requires a literal";
+}
+
+TEST(Sema, AllowsOuterScopeShadowing) {
+  const char *Src = R"(
+    int main(int n) {
+      int x = 1;
+      if (n > 0) { int x = 2; n = x; }
+      return x + n;
+    }
+  )";
+  EXPECT_TRUE(frontend::compile(Src).Ok);
+}
+
+TEST(Eval, Arithmetic) {
+  EXPECT_EQ(evalMain("int main(int n) { return 2 + 3 * 4; }"), 14);
+  EXPECT_EQ(evalMain("int main(int n) { return (2 + 3) * 4; }"), 20);
+  EXPECT_EQ(evalMain("int main(int n) { return 17 % 5; }"), 2);
+  EXPECT_EQ(evalMain("int main(int n) { return 17 / 5; }"), 3);
+  EXPECT_EQ(evalMain("int main(int n) { return -7 + 2; }"), -5);
+  EXPECT_EQ(evalMain("int main(int n) { return 1 << 5; }"), 32);
+  EXPECT_EQ(evalMain("int main(int n) { return 6 ^ 3; }"), 5);
+  EXPECT_EQ(evalMain("int main(int n) { return 6 & 3; }"), 2);
+  EXPECT_EQ(evalMain("int main(int n) { return 6 | 1; }"), 7);
+}
+
+TEST(Eval, Comparisons) {
+  EXPECT_EQ(evalMain("int main(int n) { return 3 < 4; }"), 1);
+  EXPECT_EQ(evalMain("int main(int n) { return 4 <= 3; }"), 0);
+  EXPECT_EQ(evalMain("int main(int n) { return 3 == 3; }"), 1);
+  EXPECT_EQ(evalMain("int main(int n) { return 3 != 3; }"), 0);
+  EXPECT_EQ(evalMain("int main(int n) { return 5 > 2; }"), 1);
+  EXPECT_EQ(evalMain("int main(int n) { return 5 >= 6; }"), 0);
+}
+
+TEST(Eval, FloatOpsAndCasts) {
+  EXPECT_EQ(evalMain("int main(int n) { return int(2.5 * 2.0); }"), 5);
+  EXPECT_EQ(evalMain("int main(int n) { return int(float(7) / 2.0); }"), 3);
+  EXPECT_EQ(evalMain("int main(int n) { return 2.5 > 2.0; }"), 1);
+  EXPECT_EQ(evalMain("int main(int n) { return 2.5 >= 2.5; }"), 1);
+  EXPECT_EQ(evalMain("int main(int n) { return 2.5 != 2.5; }"), 0);
+  EXPECT_EQ(evalMain("int main(int n) { return int(-(1.5) * 2.0); }"), -3);
+}
+
+TEST(Eval, ShortCircuit) {
+  // The right side would divide by zero if evaluated.
+  EXPECT_EQ(evalMain("int main(int n) { return 0 && (1 / n); }", 0), 0);
+  EXPECT_EQ(evalMain("int main(int n) { return 1 || (1 / n); }", 0), 1);
+  EXPECT_EQ(evalMain("int main(int n) { return !0; }"), 1);
+  EXPECT_EQ(evalMain("int main(int n) { return !5; }"), 0);
+  EXPECT_EQ(evalMain("int main(int n) { return 2 && 3; }"), 1)
+      << "&& normalizes to 0/1";
+}
+
+TEST(Eval, ControlFlow) {
+  const char *Loop = R"(
+    int main(int n) {
+      int acc = 0;
+      for (int i = 0; i < n; i = i + 1) {
+        if (i == 5) { continue; }
+        if (i == 8) { break; }
+        acc = acc + i;
+      }
+      return acc;
+    }
+  )";
+  EXPECT_EQ(evalMain(Loop, 100), 0 + 1 + 2 + 3 + 4 + 6 + 7);
+
+  const char *WhileLoop = R"(
+    int main(int n) {
+      int acc = 1;
+      while (n > 0) { acc = acc * 2; n = n - 1; }
+      return acc;
+    }
+  )";
+  EXPECT_EQ(evalMain(WhileLoop, 10), 1024);
+}
+
+TEST(Eval, Recursion) {
+  const char *Fib = R"(
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main(int n) { return fib(n); }
+  )";
+  EXPECT_EQ(evalMain(Fib, 15), 610);
+}
+
+TEST(Eval, ObjectsAndArrays) {
+  const char *Src = R"(
+    class Node { int value; Node next; }
+    int main(int n) {
+      Node head = new Node;
+      head.value = 1;
+      Node second = new Node;
+      second.value = 2;
+      head.next = second;
+      int[] a = new int[4];
+      a[0] = head.value;
+      a[1] = head.next.value;
+      a[2] = len(a);
+      return a[0] + a[1] * 10 + a[2] * 100;
+    }
+  )";
+  EXPECT_EQ(evalMain(Src), 1 + 20 + 400);
+}
+
+TEST(Eval, GlobalsPersistAcrossCalls) {
+  const char *Src = R"(
+    global int g;
+    void bump() { g = g + 1; }
+    int main(int n) {
+      g = 0;
+      for (int i = 0; i < n; i = i + 1) { bump(); }
+      return g;
+    }
+  )";
+  EXPECT_EQ(evalMain(Src, 37), 37);
+}
+
+TEST(Eval, ImplicitReturnOnVoidAndFallback) {
+  const char *Src = R"(
+    void noop(int n) { if (n > 0) { return; } }
+    int main(int n) { noop(n); return 9; }
+  )";
+  EXPECT_EQ(evalMain(Src, 1), 9);
+}
+
+} // namespace

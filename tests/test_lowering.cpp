@@ -1,0 +1,193 @@
+//===- tests/test_lowering.cpp - lowering/ unit tests ---------*- C++ -*-===//
+
+#include "bytecode/Builder.h"
+#include "ir/IRPrinter.h"
+#include "ir/IRVerifier.h"
+#include "lowering/Cleanup.h"
+#include "lowering/Lowering.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ars;
+using namespace ars::bytecode;
+
+TEST(Lowering, StraightLineFunction) {
+  Module M;
+  int F = M.addFunction("f", {Type::I64, Type::I64}, Type::I64);
+  Builder B(M.functionAt(F));
+  B.emit(Opcode::Load, 0);
+  B.emit(Opcode::Load, 1);
+  B.emit(Opcode::Add);
+  B.emit(Opcode::RetVal);
+  ASSERT_TRUE(B.finish());
+
+  auto R = lowering::lowerFunction(M, M.functionAt(F));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Func.numBlocks(), 1);
+  EXPECT_TRUE(ir::verifyFunction(R.Func).empty());
+  // locals 0,1 = params; stack base = 2.
+  const ir::BasicBlock &BB = R.Func.Blocks[0];
+  ASSERT_EQ(BB.Insts.size(), 4u);
+  EXPECT_EQ(BB.Insts[0].Op, ir::IROp::Mov);
+  EXPECT_EQ(BB.Insts[0].Dst, 2);
+  EXPECT_EQ(BB.Insts[2].Op, ir::IROp::Add);
+  EXPECT_EQ(BB.Insts[2].Dst, 2);
+  EXPECT_EQ(BB.Insts[3].Op, ir::IROp::RetVal);
+}
+
+TEST(Lowering, BranchesSplitBlocks) {
+  Module M;
+  int F = M.addFunction("f", {Type::I64}, Type::I64);
+  Builder B(M.functionAt(F));
+  Label Else = B.makeLabel(), End = B.makeLabel();
+  B.emit(Opcode::Load, 0);
+  B.emitBranch(Opcode::BrIf, Else);
+  B.emit(Opcode::IConst, 10);
+  B.emitBranch(Opcode::Br, End);
+  B.bind(Else);
+  B.emit(Opcode::IConst, 20);
+  B.bind(End);
+  B.emit(Opcode::RetVal);
+  ASSERT_TRUE(B.finish());
+
+  auto R = lowering::lowerFunction(M, M.functionAt(F));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Func.numBlocks(), 4);
+  EXPECT_TRUE(ir::verifyFunction(R.Func).empty());
+  // Both join paths must deposit the value in the same stack register.
+  int Reg = -1;
+  for (const ir::BasicBlock &BB : R.Func.Blocks)
+    for (const ir::IRInst &I : BB.Insts)
+      if (I.Op == ir::IROp::MovImm) {
+        if (Reg < 0)
+          Reg = I.Dst;
+        EXPECT_EQ(I.Dst, Reg);
+      }
+}
+
+TEST(Lowering, CallSiteIdsAreBytecodeOffsets) {
+  Module M;
+  int Callee = M.addFunction("callee", {Type::I64}, Type::I64);
+  (void)Callee;
+  int F = M.addFunction("caller", {Type::I64}, Type::I64);
+  Builder B(M.functionAt(F));
+  B.emit(Opcode::Load, 0);
+  B.emit(Opcode::Call, 0); // offset 1
+  B.emit(Opcode::Load, 0);
+  B.emit(Opcode::Call, 0); // offset 3
+  B.emit(Opcode::Add);
+  B.emit(Opcode::RetVal);
+  ASSERT_TRUE(B.finish());
+
+  auto R = lowering::lowerFunction(M, M.functionAt(F));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  std::vector<int> Sites;
+  for (const ir::BasicBlock &BB : R.Func.Blocks)
+    for (const ir::IRInst &I : BB.Insts)
+      if (I.Op == ir::IROp::Call)
+        Sites.push_back(I.Aux);
+  ASSERT_EQ(Sites.size(), 2u);
+  EXPECT_EQ(Sites[0], 1);
+  EXPECT_EQ(Sites[1], 3);
+}
+
+TEST(Lowering, RejectsUnverifiableInput) {
+  Module M;
+  int F = M.addFunction("f", {}, Type::Void);
+  M.functionAt(F).Code.emplace_back(Opcode::Pop);
+  M.functionAt(F).Code.emplace_back(Opcode::Ret);
+  auto R = lowering::lowerFunction(M, M.functionAt(F));
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Cleanup, RemovesUnreachableBlocks) {
+  ir::IRFunction F;
+  F.Name = "f";
+  F.NumRegs = 1;
+  int B0 = F.addBlock(), B1 = F.addBlock(), B2 = F.addBlock();
+  (void)B1;
+  ir::IRInst J(ir::IROp::Jump);
+  J.Imm = B2;
+  F.Blocks[B0].Insts.push_back(J);
+  F.Blocks[B1].Insts.push_back(ir::IRInst(ir::IROp::Ret)); // unreachable
+  F.Blocks[B2].Insts.push_back(ir::IRInst(ir::IROp::Ret));
+  EXPECT_EQ(lowering::removeUnreachableBlocks(F), 1);
+  EXPECT_EQ(F.numBlocks(), 2);
+  EXPECT_TRUE(ir::verifyFunction(F).empty());
+  EXPECT_EQ(F.Blocks[0].terminator().Imm, 1) << "target renumbered";
+}
+
+TEST(Cleanup, ThreadsTrivialJumpChains) {
+  ir::IRFunction F;
+  F.Name = "f";
+  F.NumRegs = 1;
+  int B0 = F.addBlock(), B1 = F.addBlock(), B2 = F.addBlock(),
+      B3 = F.addBlock();
+  auto jumpTo = [&](int From, int To) {
+    ir::IRInst J(ir::IROp::Jump);
+    J.Imm = To;
+    F.Blocks[From].Insts.push_back(J);
+  };
+  jumpTo(B0, B1); // B1 and B2 are trivial hops
+  jumpTo(B1, B2);
+  jumpTo(B2, B3);
+  F.Blocks[B3].Insts.push_back(ir::IRInst(ir::IROp::Ret));
+  EXPECT_GT(lowering::threadTrivialJumps(F), 0);
+  EXPECT_EQ(F.Blocks[B0].terminator().Imm, B3);
+  lowering::cleanupFunction(F);
+  EXPECT_EQ(F.numBlocks(), 2);
+}
+
+TEST(Cleanup, LeavesEmptyLoopAlone) {
+  // A self-loop of a trivial jump must not hang the threading pass.
+  ir::IRFunction F;
+  F.Name = "f";
+  F.NumRegs = 1;
+  int B0 = F.addBlock(), B1 = F.addBlock();
+  ir::IRInst J0(ir::IROp::Jump);
+  J0.Imm = B1;
+  F.Blocks[B0].Insts.push_back(J0);
+  ir::IRInst J1(ir::IROp::Jump);
+  J1.Imm = B1; // self loop
+  F.Blocks[B1].Insts.push_back(J1);
+  lowering::threadTrivialJumps(F);
+  EXPECT_TRUE(ir::verifyFunction(F).empty());
+}
+
+TEST(Lowering, WholePipelineVerifies) {
+  harness::Program P = ars::testutil::build(R"(
+    class C { int v; }
+    int work(C c, int[] a, int i) {
+      c.v = c.v + a[i % len(a)];
+      return c.v;
+    }
+    int main(int n) {
+      C c = new C;
+      int[] a = new int[16];
+      for (int i = 0; i < 16; i = i + 1) { a[i] = i * i; }
+      int acc = 0;
+      for (int i = 0; i < n; i = i + 1) { acc = acc + work(c, a, i); }
+      return acc;
+    }
+  )");
+  for (const ir::IRFunction &F : P.Funcs)
+    EXPECT_TRUE(ir::verifyFunction(F).empty()) << ir::printFunction(F);
+  EXPECT_GT(ars::testutil::run(P, 10).Stats.MainResult, 0);
+}
+
+TEST(IRPrinter, MentionsBlocksAndOps) {
+  harness::Program P = ars::testutil::build(
+      "int main(int n) { int a = 0; while (n > 0) { a = a + n; n = n - 1; } "
+      "return a; }");
+  std::string Text = ir::printFunction(P.Funcs[0]);
+  EXPECT_NE(Text.find("irfunc main"), std::string::npos);
+  EXPECT_NE(Text.find("bb0:"), std::string::npos);
+  EXPECT_NE(Text.find("branch"), std::string::npos);
+  EXPECT_NE(Text.find("retval"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+//===- tests/test_opt.cpp - optimizer pass tests --------------*- C++ -*-===//
+
+#include "ir/IRPrinter.h"
+#include "ir/IRVerifier.h"
+#include "opt/Passes.h"
+#include "sampling/Property1.h"
+#include "instr/Clients.h"
+#include "workloads/Workloads.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ars;
+using ars::testutil::build;
+
+/// Builds with the optimizer enabled.
+harness::Program buildOptimized(const char *Source) {
+  harness::BuildOptions Options;
+  Options.Optimize = true;
+  harness::BuildResult R = harness::buildProgram(Source, Options);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return std::move(R.P);
+}
+
+TEST(ConstFold, FoldsArithmeticChains) {
+  // (2 + 3) * 4 folds down to a single constant return.
+  harness::Program P = buildOptimized(
+      "int main(int n) { int a = 2 + 3; int b = a * 4; return b; }");
+  const ir::IRFunction &Main = P.Funcs[0];
+  int Arith = 0;
+  for (const ir::BasicBlock &BB : Main.Blocks)
+    for (const ir::IRInst &I : BB.Insts)
+      if (I.Op == ir::IROp::Add || I.Op == ir::IROp::Mul)
+        ++Arith;
+  EXPECT_EQ(Arith, 0) << ir::printFunction(Main);
+  EXPECT_EQ(ars::testutil::run(P, 0).Stats.MainResult, 20);
+}
+
+TEST(ConstFold, FoldsConstantBranches) {
+  harness::Program Plain = build(
+      "int main(int n) { if (1 < 2) { return 7; } return 9; }");
+  harness::Program Opt = buildOptimized(
+      "int main(int n) { if (1 < 2) { return 7; } return 9; }");
+  EXPECT_LT(Opt.Funcs[0].codeSize(), Plain.Funcs[0].codeSize());
+  EXPECT_EQ(ars::testutil::run(Opt, 0).Stats.MainResult, 7);
+  int Branches = 0;
+  for (const ir::BasicBlock &BB : Opt.Funcs[0].Blocks)
+    for (const ir::IRInst &I : BB.Insts)
+      if (I.Op == ir::IROp::Branch)
+        ++Branches;
+  EXPECT_EQ(Branches, 0);
+}
+
+TEST(CopyProp, ShrinksStackShuffles) {
+  const char *Src = R"(
+    int main(int n) {
+      int a = n;
+      int b = a;
+      int c = b;
+      return c + b + a;
+    }
+  )";
+  harness::Program Plain = build(Src);
+  harness::Program Opt = buildOptimized(Src);
+  EXPECT_LT(Opt.Funcs[0].codeSize(), Plain.Funcs[0].codeSize());
+  EXPECT_EQ(ars::testutil::run(Opt, 5).Stats.MainResult, 15);
+}
+
+TEST(DeadCode, KeepsTrapsAndEffects) {
+  // The unused division must survive (it traps on n == 0), and the unused
+  // call must survive (it writes the global).
+  const char *Src = R"(
+    global int g;
+    int bump() { g = g + 1; return g; }
+    int main(int n) {
+      int dead1 = 100 / n;
+      int dead2 = bump();
+      int dead3 = n * 2;
+      return g;
+    }
+  )";
+  harness::Program Opt = buildOptimized(Src);
+  auto Ok = harness::runExperiment(Opt, 5, {});
+  EXPECT_EQ(Ok.Stats.MainResult, 1) << "bump() must still run";
+  auto Trap = harness::runExperiment(Opt, 0, {});
+  EXPECT_FALSE(Trap.Stats.Ok) << "division by zero must still trap";
+}
+
+TEST(DeadCode, RemovesPureDeadArithmetic) {
+  const char *Src = R"(
+    int main(int n) {
+      int dead = (n * 3 + 7) & 1023;
+      dead = dead ^ 55;
+      return n;
+    }
+  )";
+  harness::Program Plain = build(Src);
+  harness::Program Opt = buildOptimized(Src);
+  EXPECT_LT(Opt.Funcs[0].codeSize(), Plain.Funcs[0].codeSize());
+  EXPECT_EQ(ars::testutil::run(Opt, 9).Stats.MainResult, 9);
+}
+
+TEST(Optimizer, ReportsStats) {
+  harness::Program P = build(
+      "int main(int n) { int a = 1 + 2; int b = a; return b + n; }");
+  opt::OptStats Stats = opt::optimizeFunction(P.Funcs[0]);
+  EXPECT_GT(Stats.total(), 0);
+  EXPECT_GE(Stats.Iterations, 1);
+  EXPECT_TRUE(ir::verifyFunction(P.Funcs[0]).empty());
+}
+
+class OptimizedWorkloadTest
+    : public ::testing::TestWithParam<workloads::Workload> {};
+
+TEST_P(OptimizedWorkloadTest, OptimizationPreservesSemantics) {
+  const workloads::Workload &W = GetParam();
+  harness::Program Plain = build(W.Source);
+  harness::Program Opt = buildOptimized(W.Source);
+  auto RPlain = harness::runBaseline(Plain, W.SmokeScale);
+  auto ROpt = harness::runBaseline(Opt, W.SmokeScale);
+  ASSERT_TRUE(RPlain.Stats.Ok && ROpt.Stats.Ok)
+      << RPlain.Stats.Error << ROpt.Stats.Error;
+  EXPECT_EQ(RPlain.Stats.MainResult, ROpt.Stats.MainResult) << W.Name;
+  // The lowering's stack shuffles make plenty of dead copies; optimized
+  // code must be no bigger and generally cheaper.
+  int PlainSize = 0, OptSize = 0;
+  for (const ir::IRFunction &F : Plain.Funcs)
+    PlainSize += F.codeSize();
+  for (const ir::IRFunction &F : Opt.Funcs)
+    OptSize += F.codeSize();
+  EXPECT_LE(OptSize, PlainSize) << W.Name;
+  EXPECT_LE(ROpt.Stats.Cycles, RPlain.Stats.Cycles) << W.Name;
+}
+
+TEST_P(OptimizedWorkloadTest, SamplingOnOptimizedCode) {
+  // The paper duplicates code late in the optimizing compiler; here the
+  // whole framework runs over optimized IR and must preserve semantics
+  // and the structural invariants.
+  const workloads::Workload &W = GetParam();
+  harness::Program Opt = buildOptimized(W.Source);
+  auto Base = harness::runBaseline(Opt, W.SmokeScale);
+  ASSERT_TRUE(Base.Stats.Ok);
+
+  instr::CallEdgeInstrumentation CallEdges;
+  instr::FieldAccessInstrumentation FieldAccesses;
+  harness::RunConfig C;
+  C.Transform.M = sampling::Mode::FullDuplication;
+  C.Engine.SampleInterval = 73;
+  C.Clients = {&CallEdges, &FieldAccesses};
+  auto R = harness::runExperiment(Opt, W.SmokeScale, C);
+  ASSERT_TRUE(R.Stats.Ok) << W.Name << ": " << R.Stats.Error;
+  EXPECT_EQ(R.Stats.MainResult, Base.Stats.MainResult) << W.Name;
+
+  sampling::Options Opts;
+  Opts.M = sampling::Mode::FullDuplication;
+  harness::InstrumentedProgram IP =
+      harness::instrumentProgram(Opt, {&CallEdges, &FieldAccesses}, Opts);
+  for (size_t F = 0; F != IP.Funcs.size(); ++F) {
+    std::string Bad = sampling::checkProperty1Static(IP.Funcs[F],
+                                                     IP.Transforms[F], Opts);
+    EXPECT_TRUE(Bad.empty()) << W.Name << ": " << Bad;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, OptimizedWorkloadTest,
+    ::testing::ValuesIn(workloads::allWorkloads()),
+    [](const ::testing::TestParamInfo<workloads::Workload> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+} // namespace

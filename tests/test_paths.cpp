@@ -1,0 +1,237 @@
+//===- tests/test_paths.cpp - edge & path profiling clients ---*- C++ -*-===//
+///
+/// The section 2 "applicability" claims made executable: intraprocedural
+/// edge profiling and Ball-Larus style path profiling inserted as-is into
+/// the framework, including the rule that backedge-associated events
+/// attach to the duplicated-code exit transfer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "instr/Clients.h"
+#include "profile/Overlap.h"
+#include "ir/IRVerifier.h"
+#include "sampling/Property1.h"
+#include "workloads/Workloads.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ars;
+using ars::testutil::build;
+
+instr::EdgeCountInstrumentation EdgeCounts;
+instr::PathProfileInstrumentation PathProfiles;
+instr::BlockCountInstrumentation BlockCounts(4, /*Stride=*/1);
+
+const char *DiamondLoopSrc = R"(
+  int main(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      if ((i & 1) == 0) { acc = acc + i; }
+      else { acc = acc + 2 * i; }
+      if (acc > 100000) { acc = acc - 100000; }
+    }
+    return acc;
+  }
+)";
+
+TEST(EdgeProfiling, FlowConservation) {
+  // Exhaustive edge counts must satisfy flow conservation against
+  // exhaustive block counts: for every non-entry block, the sum of
+  // incoming edge counts equals the block's execution count.
+  harness::Program P = build(DiamondLoopSrc);
+  harness::RunConfig C;
+  C.Transform.M = sampling::Mode::Exhaustive;
+  C.Clients = {&EdgeCounts, &BlockCounts};
+  auto R = harness::runExperiment(P, 500, C);
+  ASSERT_TRUE(R.Stats.Ok) << R.Stats.Error;
+  ASSERT_GT(R.Profiles.Edges.total(), 0u);
+
+  std::map<std::pair<int, int>, uint64_t> Incoming;
+  for (const auto &[Key, Count] : R.Profiles.Edges.counts())
+    Incoming[{std::get<0>(Key), std::get<2>(Key)}] += Count;
+  const ir::IRFunction &Main =
+      P.Funcs[P.M.functionByName("main")->FuncId];
+  for (const auto &[Key, Count] : R.Profiles.BlockCounts.counts()) {
+    auto [FuncId, Block] = Key;
+    if (FuncId == Main.FuncId && Block == Main.Entry)
+      continue; // entry also executes once without an incoming edge
+    auto It = Incoming.find({FuncId, Block});
+    uint64_t In = It == Incoming.end() ? 0 : It->second;
+    EXPECT_EQ(In, Count) << "func " << FuncId << " block " << Block;
+  }
+}
+
+TEST(EdgeProfiling, SampledMatchesExhaustiveAtIntervalOne) {
+  harness::Program P = build(DiamondLoopSrc);
+  harness::RunConfig Perfect;
+  Perfect.Transform.M = sampling::Mode::Exhaustive;
+  Perfect.Clients = {&EdgeCounts};
+  auto PR = harness::runExperiment(P, 300, Perfect);
+
+  harness::RunConfig Sampled = Perfect;
+  Sampled.Transform.M = sampling::Mode::FullDuplication;
+  Sampled.Engine.SampleInterval = 1;
+  auto SR = harness::runExperiment(P, 300, Sampled);
+  ASSERT_TRUE(PR.Stats.Ok && SR.Stats.Ok);
+  EXPECT_EQ(PR.Profiles.Edges.counts(), SR.Profiles.Edges.counts());
+  EXPECT_EQ(PR.Stats.MainResult, SR.Stats.MainResult);
+}
+
+TEST(PathProfiling, PathEndsEqualEntriesPlusBackedges) {
+  harness::Program P = build(DiamondLoopSrc);
+  auto Base = harness::runBaseline(P, 400);
+  harness::RunConfig C;
+  C.Transform.M = sampling::Mode::Exhaustive;
+  C.Clients = {&PathProfiles};
+  auto R = harness::runExperiment(P, 400, C);
+  ASSERT_TRUE(R.Stats.Ok) << R.Stats.Error;
+  // A path ends at every return and every backedge traversal; together
+  // with method entries those are exactly the baseline yieldpoint count.
+  EXPECT_EQ(R.Profiles.Paths.total(), Base.Stats.YieldpointExecs);
+}
+
+TEST(PathProfiling, DistinguishesLoopBodyPaths) {
+  harness::Program P = build(DiamondLoopSrc);
+  harness::RunConfig C;
+  C.Transform.M = sampling::Mode::Exhaustive;
+  C.Clients = {&PathProfiles};
+  auto R = harness::runExperiment(P, 400, C);
+  ASSERT_TRUE(R.Stats.Ok);
+  // The loop body has two if-arms and a rare third branch: at least two
+  // distinct hot path ids in main must appear with roughly equal counts.
+  const ir::IRFunction &Main = P.Funcs[P.M.functionByName("main")->FuncId];
+  std::vector<uint64_t> MainPaths;
+  for (const auto &[Key, Count] : R.Profiles.Paths.counts())
+    if (Key.first == Main.FuncId && Count > 10)
+      MainPaths.push_back(Count);
+  ASSERT_GE(MainPaths.size(), 2u);
+  double Ratio = static_cast<double>(MainPaths[0]) /
+                 static_cast<double>(MainPaths[1]);
+  EXPECT_GT(Ratio, 0.8);
+  EXPECT_LT(Ratio, 1.25);
+}
+
+TEST(PathProfiling, SampledEqualsExhaustiveAtIntervalOne) {
+  harness::Program P = build(DiamondLoopSrc);
+  harness::RunConfig Perfect;
+  Perfect.Transform.M = sampling::Mode::Exhaustive;
+  Perfect.Clients = {&PathProfiles};
+  auto PR = harness::runExperiment(P, 300, Perfect);
+
+  harness::RunConfig Sampled = Perfect;
+  Sampled.Transform.M = sampling::Mode::FullDuplication;
+  Sampled.Engine.SampleInterval = 1;
+  auto SR = harness::runExperiment(P, 300, Sampled);
+  ASSERT_TRUE(PR.Stats.Ok && SR.Stats.Ok);
+  EXPECT_EQ(PR.Profiles.Paths.counts(), SR.Profiles.Paths.counts());
+}
+
+double pathOverlap(const harness::ExperimentResult &Perfect,
+                   const harness::ExperimentResult &Sampled) {
+  return profile::overlapPercentMaps(
+      Perfect.Profiles.Paths.counts(), Sampled.Profiles.Paths.counts(),
+      static_cast<double>(Perfect.Profiles.Paths.total()),
+      static_cast<double>(Sampled.Profiles.Paths.total()));
+}
+
+TEST(PathProfiling, SampledPathsProportional) {
+  harness::Program P = build(DiamondLoopSrc);
+  harness::RunConfig Perfect;
+  Perfect.Transform.M = sampling::Mode::Exhaustive;
+  Perfect.Clients = {&PathProfiles};
+  auto PR = harness::runExperiment(P, 2000, Perfect);
+
+  harness::RunConfig Sampled = Perfect;
+  Sampled.Transform.M = sampling::Mode::FullDuplication;
+  // The loop body alternates with period 2, so the interval must be odd
+  // (see PeriodicityAliasing below — the paper's section 4.4 concern).
+  Sampled.Engine.SampleInterval = 19;
+  auto SR = harness::runExperiment(P, 2000, Sampled);
+  ASSERT_TRUE(PR.Stats.Ok && SR.Stats.Ok);
+  EXPECT_GT(pathOverlap(PR, SR), 85.0);
+}
+
+TEST(PathProfiling, PeriodicityAliasingAndTheJitterCure) {
+  // The paper, section 4.4: "it is possible for program behavior to
+  // correlate with our deterministic sampling mechanism, resulting in an
+  // inaccurate profile ... adding a small random factor to the sample
+  // interval (as done in [DCPI]) could be used to reduce the probability
+  // of this worst case".  The diamond loop alternates its path with
+  // period 2, so an even interval samples one path only; jitter fixes it.
+  harness::Program P = build(DiamondLoopSrc);
+  harness::RunConfig Perfect;
+  Perfect.Transform.M = sampling::Mode::Exhaustive;
+  Perfect.Clients = {&PathProfiles};
+  auto PR = harness::runExperiment(P, 2000, Perfect);
+
+  harness::RunConfig Aliased = Perfect;
+  Aliased.Transform.M = sampling::Mode::FullDuplication;
+  Aliased.Engine.SampleInterval = 20;
+  auto AR = harness::runExperiment(P, 2000, Aliased);
+  ASSERT_TRUE(AR.Stats.Ok);
+  EXPECT_LT(pathOverlap(PR, AR), 60.0)
+      << "even interval should alias with the period-2 loop";
+
+  harness::RunConfig Jittered = Aliased;
+  Jittered.Engine.RandomJitterPct = 25;
+  auto JR = harness::runExperiment(P, 2000, Jittered);
+  ASSERT_TRUE(JR.Stats.Ok);
+  EXPECT_GT(pathOverlap(PR, JR), 80.0)
+      << "randomized intervals should break the correlation";
+}
+
+class PathWorkloadTest
+    : public ::testing::TestWithParam<workloads::Workload> {};
+
+TEST_P(PathWorkloadTest, EdgeAndPathClientsPreserveSemantics) {
+  const workloads::Workload &W = GetParam();
+  harness::Program P = build(W.Source);
+  auto Base = harness::runBaseline(P, W.SmokeScale);
+  ASSERT_TRUE(Base.Stats.Ok);
+
+  for (sampling::Mode M :
+       {sampling::Mode::Exhaustive, sampling::Mode::FullDuplication,
+        sampling::Mode::PartialDuplication,
+        sampling::Mode::NoDuplication}) {
+    harness::RunConfig C;
+    C.Transform.M = M;
+    C.Engine.SampleInterval = 31;
+    C.Clients = {&EdgeCounts, &PathProfiles};
+    auto R = harness::runExperiment(P, W.SmokeScale, C);
+    ASSERT_TRUE(R.Stats.Ok)
+        << W.Name << "/" << sampling::modeName(M) << ": " << R.Stats.Error;
+    EXPECT_EQ(R.Stats.MainResult, Base.Stats.MainResult)
+        << W.Name << "/" << sampling::modeName(M);
+  }
+}
+
+TEST_P(PathWorkloadTest, StructuralInvariantsWithEdgeProbes) {
+  const workloads::Workload &W = GetParam();
+  harness::Program P = build(W.Source);
+  sampling::Options Opts;
+  Opts.M = sampling::Mode::FullDuplication;
+  harness::InstrumentedProgram IP = harness::instrumentProgram(
+      P, {&EdgeCounts, &PathProfiles}, Opts);
+  for (size_t F = 0; F != IP.Funcs.size(); ++F) {
+    EXPECT_TRUE(ir::verifyFunction(IP.Funcs[F]).empty()) << W.Name;
+    std::string Bad = sampling::checkProperty1Static(IP.Funcs[F],
+                                                     IP.Transforms[F], Opts);
+    EXPECT_TRUE(Bad.empty()) << W.Name << ": " << Bad;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, PathWorkloadTest, ::testing::ValuesIn(workloads::allWorkloads()),
+    [](const ::testing::TestParamInfo<workloads::Workload> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+} // namespace

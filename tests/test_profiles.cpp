@@ -1,0 +1,156 @@
+//===- tests/test_profiles.cpp - profile/ unit tests ----------*- C++ -*-===//
+
+#include "bytecode/Module.h"
+#include "profile/Overlap.h"
+#include "profile/Profiles.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ars::profile;
+
+CallEdgeKey edge(int Caller, int Site, int Callee) {
+  CallEdgeKey K;
+  K.Caller = Caller;
+  K.Site = Site;
+  K.Callee = Callee;
+  return K;
+}
+
+TEST(CallEdgeProfileTest, RecordsAndTotals) {
+  CallEdgeProfile P;
+  P.record(edge(0, 1, 2));
+  P.record(edge(0, 1, 2), 4);
+  P.record(edge(1, 7, 3));
+  EXPECT_EQ(P.total(), 6u);
+  EXPECT_EQ(P.counts().at(edge(0, 1, 2)), 5u);
+  EXPECT_EQ(P.counts().size(), 2u);
+  P.clear();
+  EXPECT_EQ(P.total(), 0u);
+  EXPECT_TRUE(P.empty());
+}
+
+TEST(FieldAccessProfileTest, PerFieldCounters) {
+  FieldAccessProfile P;
+  P.resize(4);
+  P.record(2, 10);
+  P.record(0);
+  EXPECT_EQ(P.total(), 11u);
+  EXPECT_EQ(P.counts()[2], 10u);
+  EXPECT_EQ(P.counts()[3], 0u);
+}
+
+TEST(OverlapTest, IdenticalProfilesAre100) {
+  CallEdgeProfile A;
+  A.record(edge(0, 0, 1), 30);
+  A.record(edge(0, 2, 2), 70);
+  EXPECT_DOUBLE_EQ(overlapPercent(A, A), 100.0);
+}
+
+TEST(OverlapTest, DisjointProfilesAreZero) {
+  CallEdgeProfile A, B;
+  A.record(edge(0, 0, 1), 10);
+  B.record(edge(5, 5, 5), 10);
+  EXPECT_DOUBLE_EQ(overlapPercent(A, B), 0.0);
+}
+
+TEST(OverlapTest, ScaleInvariant) {
+  // Overlap compares sample-percentages, not raw counts: a sampled profile
+  // with 1/1000 of the events but the same distribution overlaps 100%.
+  FieldAccessProfile Perfect, Sampled;
+  Perfect.resize(2);
+  Sampled.resize(2);
+  Perfect.record(0, 30000);
+  Perfect.record(1, 70000);
+  Sampled.record(0, 30);
+  Sampled.record(1, 70);
+  EXPECT_DOUBLE_EQ(overlapPercent(Perfect, Sampled), 100.0);
+}
+
+TEST(OverlapTest, PartialOverlapValue) {
+  FieldAccessProfile A, B;
+  A.resize(2);
+  B.resize(2);
+  A.record(0, 50);
+  A.record(1, 50);
+  B.record(0, 100); // all mass on field 0
+  // min(50,100)% + min(50,0)% = 50%.
+  EXPECT_DOUBLE_EQ(overlapPercent(A, B), 50.0);
+}
+
+TEST(OverlapTest, EmptyProfilesGiveZero) {
+  CallEdgeProfile A, B;
+  A.record(edge(0, 0, 1), 10);
+  EXPECT_DOUBLE_EQ(overlapPercent(A, B), 0.0);
+  EXPECT_DOUBLE_EQ(overlapPercent(B, A), 0.0);
+}
+
+TEST(OverlapBarsTest, SortedAndCapped) {
+  CallEdgeProfile Perfect, Sampled;
+  Perfect.record(edge(0, 0, 1), 60);
+  Perfect.record(edge(0, 1, 2), 30);
+  Perfect.record(edge(0, 2, 3), 10);
+  Sampled.record(edge(0, 0, 1), 5);
+  Sampled.record(edge(0, 2, 3), 5);
+  auto Bars = overlapBars(Perfect, Sampled, 2);
+  ASSERT_EQ(Bars.size(), 2u);
+  EXPECT_DOUBLE_EQ(Bars[0].PerfectPct, 60.0);
+  EXPECT_DOUBLE_EQ(Bars[0].SampledPct, 50.0);
+  EXPECT_DOUBLE_EQ(Bars[1].PerfectPct, 30.0);
+  EXPECT_DOUBLE_EQ(Bars[1].SampledPct, 0.0);
+}
+
+TEST(BlockCountProfileTest, OverlapViaMaps) {
+  BlockCountProfile A, B;
+  A.record(0, 1, 10);
+  A.record(0, 2, 10);
+  B.record(0, 1, 10);
+  B.record(0, 2, 10);
+  EXPECT_DOUBLE_EQ(overlapPercent(A, B), 100.0);
+  B.record(3, 3, 20);
+  EXPECT_NEAR(overlapPercent(A, B), 50.0, 1e-9);
+}
+
+TEST(ValueProfileTest, CapsDistinctValuesPerSite) {
+  ValueProfile P;
+  for (int64_t V = 0; V != 100; ++V)
+    P.record(/*SiteId=*/7, V);
+  EXPECT_EQ(P.sites().at(7).size(), ValueProfile::MaxValuesPerSite);
+  EXPECT_EQ(P.overflow(7),
+            100 - static_cast<uint64_t>(ValueProfile::MaxValuesPerSite));
+  EXPECT_EQ(P.total(), 100u);
+  // Existing values keep counting after the cap.
+  P.record(7, 0, 5);
+  EXPECT_EQ(P.sites().at(7).at(0), 6u);
+}
+
+TEST(Dumps, ContainResolvedNames) {
+  ars::bytecode::Module M;
+  int C = M.addClass("Point");
+  M.addField(C, "x", ars::bytecode::Type::I64);
+  M.addFunction("caller", {}, ars::bytecode::Type::Void);
+  M.addFunction("callee", {}, ars::bytecode::Type::Void);
+
+  CallEdgeProfile CE;
+  CE.record(edge(0, 3, 1), 12);
+  std::string Text = dumpCallEdges(M, CE, 10);
+  EXPECT_NE(Text.find("caller@3 -> callee"), std::string::npos);
+  EXPECT_NE(Text.find("12"), std::string::npos);
+
+  FieldAccessProfile FA;
+  FA.resize(M.numFieldIds());
+  FA.record(0, 9);
+  std::string FText = dumpFieldAccesses(M, FA);
+  EXPECT_NE(FText.find("Point.x : 9"), std::string::npos);
+}
+
+TEST(Dumps, EntryCallerRendered) {
+  ars::bytecode::Module M;
+  M.addFunction("main", {}, ars::bytecode::Type::Void);
+  CallEdgeProfile CE;
+  CE.record(edge(-1, -1, 0), 1);
+  EXPECT_NE(dumpCallEdges(M, CE, 10).find("<entry>"), std::string::npos);
+}
+
+} // namespace

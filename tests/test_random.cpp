@@ -1,0 +1,156 @@
+//===- tests/test_random.cpp - Property-based pipeline tests --*- C++ -*-===//
+///
+/// Property-based testing over randomly generated MiniJ programs: every
+/// generated program must compile and verify; every sampling transform
+/// must preserve its result exactly at several intervals; the structural
+/// Property-1 invariants must hold; and profiles collected at interval 1
+/// must equal the exhaustive profiles.
+///
+//===----------------------------------------------------------------------===//
+
+#include "instr/Clients.h"
+#include "ir/IRVerifier.h"
+#include "profile/Overlap.h"
+#include "sampling/Property1.h"
+
+#include "RandomProgram.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ars;
+using ars::testutil::build;
+using ars::testutil::RandomProgramGenerator;
+
+instr::CallEdgeInstrumentation CallEdges;
+instr::FieldAccessInstrumentation FieldAccesses;
+instr::BlockCountInstrumentation BlockCounts(4, /*Stride=*/2);
+
+class RandomProgramTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramTest, CompilesVerifiesAndRuns) {
+  RandomProgramGenerator Gen(GetParam());
+  std::string Source = Gen.generate();
+  harness::BuildResult R = harness::buildProgram(Source);
+  ASSERT_TRUE(R.Ok) << R.Error << "\nsource:\n" << Source;
+  for (const ir::IRFunction &F : R.P.Funcs)
+    EXPECT_TRUE(ir::verifyFunction(F).empty());
+  auto Run = harness::runBaseline(R.P, 10);
+  ASSERT_TRUE(Run.Stats.Ok) << Run.Stats.Error << "\nsource:\n" << Source;
+  EXPECT_GT(Run.Stats.Cycles, 0u);
+}
+
+TEST_P(RandomProgramTest, AllTransformsPreserveSemantics) {
+  RandomProgramGenerator Gen(GetParam());
+  std::string Source = Gen.generate();
+  harness::Program P = build(Source.c_str());
+  auto Base = harness::runBaseline(P, 12);
+  ASSERT_TRUE(Base.Stats.Ok) << Base.Stats.Error;
+
+  struct Case {
+    sampling::Mode M;
+    int64_t Interval;
+    bool YieldOpt;
+    int Burst;
+  };
+  const Case Cases[] = {
+      {sampling::Mode::Exhaustive, 0, false, 0},
+      {sampling::Mode::FullDuplication, 1, false, 0},
+      {sampling::Mode::FullDuplication, 7, false, 0},
+      {sampling::Mode::FullDuplication, 7, true, 0},
+      {sampling::Mode::FullDuplication, 13, false, 4},
+      {sampling::Mode::PartialDuplication, 7, false, 0},
+      {sampling::Mode::NoDuplication, 7, false, 0},
+  };
+  for (const Case &C : Cases) {
+    harness::RunConfig RC;
+    RC.Transform.M = C.M;
+    RC.Transform.YieldpointOpt = C.YieldOpt;
+    RC.Transform.BurstLength = C.Burst;
+    RC.Engine.SampleInterval = C.Interval;
+    RC.Clients = {&CallEdges, &FieldAccesses, &BlockCounts};
+    auto R = harness::runExperiment(P, 12, RC);
+    ASSERT_TRUE(R.Stats.Ok)
+        << sampling::modeName(C.M) << ": " << R.Stats.Error << "\nsource:\n"
+        << Source;
+    EXPECT_EQ(R.Stats.MainResult, Base.Stats.MainResult)
+        << sampling::modeName(C.M) << " interval " << C.Interval
+        << " yopt " << C.YieldOpt << " burst " << C.Burst << "\nsource:\n"
+        << Source;
+  }
+}
+
+TEST_P(RandomProgramTest, StructuralInvariantsAcrossModes) {
+  RandomProgramGenerator Gen(GetParam());
+  std::string Source = Gen.generate();
+  harness::Program P = build(Source.c_str());
+  for (sampling::Mode M :
+       {sampling::Mode::FullDuplication, sampling::Mode::PartialDuplication,
+        sampling::Mode::NoDuplication, sampling::Mode::Exhaustive}) {
+    sampling::Options Opts;
+    Opts.M = M;
+    harness::InstrumentedProgram IP = harness::instrumentProgram(
+        P, {&CallEdges, &FieldAccesses, &BlockCounts}, Opts);
+    for (size_t F = 0; F != IP.Funcs.size(); ++F) {
+      EXPECT_TRUE(ir::verifyFunction(IP.Funcs[F]).empty())
+          << sampling::modeName(M);
+      std::string Bad = sampling::checkProperty1Static(
+          IP.Funcs[F], IP.Transforms[F], Opts);
+      EXPECT_TRUE(Bad.empty()) << sampling::modeName(M) << ": " << Bad;
+    }
+  }
+}
+
+TEST_P(RandomProgramTest, IntervalOneMatchesExhaustiveProfiles) {
+  RandomProgramGenerator Gen(GetParam());
+  std::string Source = Gen.generate();
+  harness::Program P = build(Source.c_str());
+
+  harness::RunConfig Perfect;
+  Perfect.Transform.M = sampling::Mode::Exhaustive;
+  Perfect.Clients = {&CallEdges, &FieldAccesses, &BlockCounts};
+  auto PR = harness::runExperiment(P, 12, Perfect);
+  ASSERT_TRUE(PR.Stats.Ok);
+
+  harness::RunConfig Sampled = Perfect;
+  Sampled.Transform.M = sampling::Mode::FullDuplication;
+  Sampled.Engine.SampleInterval = 1;
+  auto SR = harness::runExperiment(P, 12, Sampled);
+  ASSERT_TRUE(SR.Stats.Ok);
+
+  EXPECT_EQ(PR.Profiles.CallEdges.counts(), SR.Profiles.CallEdges.counts())
+      << Source;
+  EXPECT_EQ(PR.Profiles.FieldAccesses.counts(),
+            SR.Profiles.FieldAccesses.counts());
+  EXPECT_EQ(PR.Profiles.BlockCounts.counts(),
+            SR.Profiles.BlockCounts.counts());
+}
+
+TEST_P(RandomProgramTest, DynamicProperty1Holds) {
+  RandomProgramGenerator Gen(GetParam());
+  std::string Source = Gen.generate();
+  harness::Program P = build(Source.c_str());
+  auto Base = harness::runBaseline(P, 12);
+  ASSERT_TRUE(Base.Stats.Ok);
+
+  harness::RunConfig Full;
+  Full.Transform.M = sampling::Mode::FullDuplication;
+  Full.Engine.SampleInterval = 17;
+  Full.Clients = {&CallEdges, &FieldAccesses, &BlockCounts};
+  auto RF = harness::runExperiment(P, 12, Full);
+  ASSERT_TRUE(RF.Stats.Ok);
+  EXPECT_EQ(RF.Stats.CheckExecs, Base.Stats.YieldpointExecs) << Source;
+
+  harness::RunConfig Part = Full;
+  Part.Transform.M = sampling::Mode::PartialDuplication;
+  auto RP = harness::runExperiment(P, 12, Part);
+  ASSERT_TRUE(RP.Stats.Ok);
+  EXPECT_LE(RP.Stats.CheckExecs, RF.Stats.CheckExecs) << Source;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Range(uint64_t(1), uint64_t(41)));
+
+} // namespace

@@ -1,0 +1,229 @@
+//===- tests/test_sampling.cpp - sampling runtime behaviour ---*- C++ -*-===//
+
+#include "instr/Clients.h"
+#include "profile/Overlap.h"
+#include "sampling/Transform.h"
+#include "workloads/Workloads.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ars;
+using ars::testutil::build;
+
+instr::CallEdgeInstrumentation CallEdges;
+instr::FieldAccessInstrumentation FieldAccesses;
+
+harness::ExperimentResult runMode(const harness::Program &P, int64_t Scale,
+                                  sampling::Mode M, int64_t Interval,
+                                  harness::RunConfig Extra = {}) {
+  Extra.Transform.M = M;
+  Extra.Engine.SampleInterval = Interval;
+  Extra.Clients = {&CallEdges, &FieldAccesses};
+  return harness::runExperiment(P, Scale, Extra);
+}
+
+const workloads::Workload &compressWorkload() {
+  return *workloads::workloadByName("compress");
+}
+
+TEST(Sampling, IntervalOneEqualsExhaustive) {
+  harness::Program P = build(compressWorkload().Source);
+  auto Perfect = runMode(P, 1, sampling::Mode::Exhaustive, 0);
+  auto Sampled = runMode(P, 1, sampling::Mode::FullDuplication, 1);
+  ASSERT_TRUE(Perfect.Stats.Ok && Sampled.Stats.Ok)
+      << Perfect.Stats.Error << Sampled.Stats.Error;
+
+  // At interval 1 every check fires, so all execution happens in the
+  // duplicated code and the profile is exactly the perfect profile.
+  EXPECT_EQ(Perfect.Profiles.FieldAccesses.total(),
+            Sampled.Profiles.FieldAccesses.total());
+  EXPECT_EQ(Perfect.Profiles.FieldAccesses.counts(),
+            Sampled.Profiles.FieldAccesses.counts());
+  EXPECT_EQ(Perfect.Profiles.CallEdges.total(),
+            Sampled.Profiles.CallEdges.total());
+  EXPECT_DOUBLE_EQ(
+      profile::overlapPercent(Perfect.Profiles.CallEdges,
+                              Sampled.Profiles.CallEdges),
+      100.0);
+  EXPECT_EQ(Sampled.Stats.CheckExecs, Sampled.Stats.SamplesTaken);
+}
+
+TEST(Sampling, NoDupIntervalOneEqualsExhaustive) {
+  harness::Program P = build(compressWorkload().Source);
+  auto Perfect = runMode(P, 1, sampling::Mode::Exhaustive, 0);
+  auto Sampled = runMode(P, 1, sampling::Mode::NoDuplication, 1);
+  ASSERT_TRUE(Perfect.Stats.Ok && Sampled.Stats.Ok);
+  EXPECT_EQ(Perfect.Profiles.FieldAccesses.counts(),
+            Sampled.Profiles.FieldAccesses.counts());
+  EXPECT_EQ(Perfect.Profiles.CallEdges.counts(),
+            Sampled.Profiles.CallEdges.counts());
+}
+
+TEST(Sampling, SampleCountTracksInterval) {
+  harness::Program P = build(compressWorkload().Source);
+  auto R = runMode(P, 2, sampling::Mode::FullDuplication, 100);
+  ASSERT_TRUE(R.Stats.Ok);
+  double Expected =
+      static_cast<double>(R.Stats.CheckExecs) / 100.0;
+  EXPECT_GT(R.Stats.SamplesTaken, 0u);
+  EXPECT_NEAR(static_cast<double>(R.Stats.SamplesTaken), Expected,
+              Expected * 0.25 + 8);
+}
+
+TEST(Sampling, NeverFiresWithIntervalZero) {
+  harness::Program P = build(compressWorkload().Source);
+  auto R = runMode(P, 1, sampling::Mode::FullDuplication, 0);
+  ASSERT_TRUE(R.Stats.Ok);
+  EXPECT_GT(R.Stats.CheckExecs, 0u);
+  EXPECT_EQ(R.Stats.SamplesTaken, 0u);
+  EXPECT_EQ(R.Profiles.FieldAccesses.total(), 0u);
+  EXPECT_EQ(R.Profiles.CallEdges.total(), 0u);
+}
+
+TEST(Sampling, OverlapDegradesWithInterval) {
+  harness::Program P = build(compressWorkload().Source);
+  auto Perfect = runMode(P, 2, sampling::Mode::Exhaustive, 0);
+  auto Fine = runMode(P, 2, sampling::Mode::FullDuplication, 10);
+  auto Coarse = runMode(P, 2, sampling::Mode::FullDuplication, 50000);
+  ASSERT_TRUE(Perfect.Stats.Ok && Fine.Stats.Ok && Coarse.Stats.Ok);
+
+  double FineOverlap = profile::overlapPercent(
+      Perfect.Profiles.FieldAccesses, Fine.Profiles.FieldAccesses);
+  double CoarseOverlap = profile::overlapPercent(
+      Perfect.Profiles.FieldAccesses, Coarse.Profiles.FieldAccesses);
+  EXPECT_GT(FineOverlap, 90.0);
+  EXPECT_GT(FineOverlap, CoarseOverlap);
+}
+
+TEST(Sampling, DeterministicProfiles) {
+  // The paper: "running a deterministic application twice will result in
+  // identical profiles".
+  harness::Program P = build(compressWorkload().Source);
+  auto R1 = runMode(P, 1, sampling::Mode::FullDuplication, 997);
+  auto R2 = runMode(P, 1, sampling::Mode::FullDuplication, 997);
+  ASSERT_TRUE(R1.Stats.Ok && R2.Stats.Ok);
+  EXPECT_EQ(R1.Stats.SamplesTaken, R2.Stats.SamplesTaken);
+  EXPECT_EQ(R1.Profiles.FieldAccesses.counts(),
+            R2.Profiles.FieldAccesses.counts());
+  EXPECT_EQ(R1.Profiles.CallEdges.counts(), R2.Profiles.CallEdges.counts());
+}
+
+TEST(Sampling, RandomJitterStillSamples) {
+  harness::Program P = build(compressWorkload().Source);
+  harness::RunConfig Extra;
+  Extra.Engine.RandomJitterPct = 50;
+  auto R = runMode(P, 1, sampling::Mode::FullDuplication, 200, Extra);
+  ASSERT_TRUE(R.Stats.Ok);
+  double Expected = static_cast<double>(R.Stats.CheckExecs) / 200.0;
+  EXPECT_NEAR(static_cast<double>(R.Stats.SamplesTaken), Expected,
+              Expected * 0.5 + 8);
+  // Same seed -> same jittered schedule.
+  auto R2 = runMode(P, 1, sampling::Mode::FullDuplication, 200, Extra);
+  EXPECT_EQ(R.Stats.SamplesTaken, R2.Stats.SamplesTaken);
+}
+
+TEST(Sampling, PerThreadCountersOnMultithreadedWorkload) {
+  harness::Program P = build(workloads::workloadByName("volano")->Source);
+  harness::RunConfig Extra;
+  Extra.Engine.PerThreadCounters = true;
+  auto R = runMode(P, 1, sampling::Mode::FullDuplication, 50, Extra);
+  ASSERT_TRUE(R.Stats.Ok) << R.Stats.Error;
+  EXPECT_GT(R.Stats.SamplesTaken, 0u);
+  EXPECT_GT(R.Profiles.CallEdges.total(), 0u);
+  EXPECT_GT(R.Profiles.FieldAccesses.total(), 0u);
+}
+
+TEST(Sampling, TimerTriggerSamples) {
+  harness::Program P = build(compressWorkload().Source);
+  harness::RunConfig Extra;
+  Extra.Engine.Trigger = runtime::TriggerKind::Timer;
+  Extra.Engine.TimerPeriodCycles = 20000;
+  auto R = runMode(P, 1, sampling::Mode::FullDuplication, 0, Extra);
+  ASSERT_TRUE(R.Stats.Ok);
+  EXPECT_GT(R.Stats.TimerFires, 0u);
+  EXPECT_GT(R.Stats.SamplesTaken, 0u);
+  EXPECT_LE(R.Stats.SamplesTaken, R.Stats.TimerFires)
+      << "each timer fire yields at most one sample";
+}
+
+TEST(Sampling, TimerLessAccurateThanCounter) {
+  // The section 4.6 experiment in miniature: field-access accuracy under a
+  // matched-rate timer trigger is below the counter trigger's.
+  harness::Program P = build(compressWorkload().Source);
+  auto Perfect = runMode(P, 2, sampling::Mode::Exhaustive, 0);
+
+  harness::RunConfig TimerCfg;
+  TimerCfg.Engine.Trigger = runtime::TriggerKind::Timer;
+  TimerCfg.Engine.TimerPeriodCycles = 60000;
+  auto Timer =
+      runMode(P, 2, sampling::Mode::FullDuplication, 0, TimerCfg);
+  ASSERT_TRUE(Timer.Stats.Ok);
+
+  // Match the number of samples with a counter interval.
+  uint64_t Samples = Timer.Stats.SamplesTaken;
+  ASSERT_GT(Samples, 10u);
+  int64_t MatchedInterval = static_cast<int64_t>(
+      Timer.Stats.CheckExecs / Samples);
+  auto Counter = runMode(P, 2, sampling::Mode::FullDuplication,
+                         MatchedInterval);
+  ASSERT_TRUE(Counter.Stats.Ok);
+
+  double TimerOverlap = profile::overlapPercent(
+      Perfect.Profiles.FieldAccesses, Timer.Profiles.FieldAccesses);
+  double CounterOverlap = profile::overlapPercent(
+      Perfect.Profiles.FieldAccesses, Counter.Profiles.FieldAccesses);
+  EXPECT_GE(CounterOverlap, TimerOverlap - 2.0)
+      << "counter trigger should not be clearly worse";
+}
+
+TEST(Sampling, BurstProfilesConsecutiveIterations) {
+  harness::Program P = build(compressWorkload().Source);
+  harness::RunConfig Extra;
+  Extra.Transform.BurstLength = 16;
+  auto Plain = runMode(P, 1, sampling::Mode::FullDuplication, 5000);
+  auto Burst = runMode(P, 1, sampling::Mode::FullDuplication, 5000, Extra);
+  ASSERT_TRUE(Plain.Stats.Ok && Burst.Stats.Ok);
+  EXPECT_GT(Burst.Stats.BurstIterations, 0u);
+  // A burst keeps execution in duplicated code for ~16 iterations per
+  // sample, so it collects more probe events per sample.
+  EXPECT_GT(Burst.Profiles.FieldAccesses.total(),
+            Plain.Profiles.FieldAccesses.total());
+}
+
+TEST(Sampling, GuardedProbesSampleProportionally) {
+  harness::Program P = build(compressWorkload().Source);
+  auto R = runMode(P, 1, sampling::Mode::NoDuplication, 50);
+  ASSERT_TRUE(R.Stats.Ok);
+  EXPECT_GT(R.Stats.GuardedProbeExecs, 0u);
+  double Expected =
+      static_cast<double>(R.Stats.GuardedProbeExecs) / 50.0;
+  EXPECT_NEAR(static_cast<double>(R.Stats.GuardedProbesTaken), Expected,
+              Expected * 0.25 + 8);
+  EXPECT_EQ(R.Stats.ProbeBodiesRun, R.Stats.GuardedProbesTaken);
+}
+
+TEST(Sampling, CheckCostMatchesModel) {
+  // Framework overhead of checks-only configurations is exactly the check
+  // (and yieldpoint bookkeeping) cost: measure a pure loop.
+  harness::Program P = build(R"(
+    int main(int n) {
+      int acc = 0;
+      for (int i = 0; i < n; i = i + 1) { acc = acc + i; }
+      return acc;
+    }
+  )");
+  auto Base = harness::runBaseline(P, 10000);
+  harness::RunConfig C;
+  C.Transform.M = sampling::Mode::FullDuplication;
+  auto Full = harness::runExperiment(P, 10000, C);
+  ASSERT_TRUE(Base.Stats.Ok && Full.Stats.Ok);
+  // Each iteration adds one 5-cycle check on the backedge; entry adds one.
+  uint64_t Extra = Full.Stats.Cycles - Base.Stats.Cycles;
+  EXPECT_EQ(Extra, 5u * (10000 + 1));
+}
+
+} // namespace

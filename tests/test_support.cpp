@@ -1,0 +1,132 @@
+//===- tests/test_support.cpp - support/ unit tests -----------*- C++ -*-===//
+
+#include "support/Support.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using namespace ars::support;
+
+TEST(Xorshift64, Deterministic) {
+  Xorshift64 A(42), B(42);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Xorshift64, DifferentSeedsDiverge) {
+  Xorshift64 A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 100; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 5);
+}
+
+TEST(Xorshift64, ZeroSeedIsUsable) {
+  Xorshift64 R(0);
+  EXPECT_NE(R.next(), 0u);
+}
+
+TEST(Xorshift64, NextBelowStaysInRange) {
+  Xorshift64 R(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(Xorshift64, NextInRangeInclusive) {
+  Xorshift64 R(7);
+  std::set<int64_t> Seen;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 7u) << "all values in [-3,3] should appear";
+}
+
+TEST(Xorshift64, ChanceExtremes) {
+  Xorshift64 R(9);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_TRUE(R.chance(5, 5));
+    EXPECT_FALSE(R.chance(0, 5));
+  }
+}
+
+TEST(FormatString, Basic) {
+  EXPECT_EQ(formatString("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(formatString("%.1f", 3.25), "3.2");
+  EXPECT_EQ(formatString("empty"), "empty");
+}
+
+TEST(FormatString, LongOutput) {
+  std::string Long(500, 'a');
+  EXPECT_EQ(formatString("%s", Long.c_str()).size(), 500u);
+}
+
+TEST(SplitString, KeepsEmptyFields) {
+  auto Parts = splitString("a,,b", ',');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[1], "");
+  EXPECT_EQ(Parts[2], "b");
+}
+
+TEST(SplitString, NoSeparator) {
+  auto Parts = splitString("abc", ',');
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(Parts[0], "abc");
+}
+
+TEST(PercentOver, Basics) {
+  EXPECT_DOUBLE_EQ(percentOver(100, 106), 6.0);
+  EXPECT_DOUBLE_EQ(percentOver(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(percentOver(200, 100), -50.0);
+  EXPECT_DOUBLE_EQ(percentOver(0, 50), 0.0);
+}
+
+TEST(Mean, Basics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+}
+
+TEST(TablePrinter, RendersAlignedColumns) {
+  TablePrinter T({"Name", "Value"});
+  T.beginRow();
+  T.cell("short");
+  T.cellPercent(4.95);
+  T.beginRow();
+  T.cell("a-much-longer-name");
+  T.cellInt(12);
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("| Name"), std::string::npos);
+  EXPECT_NE(Out.find("5.0"), std::string::npos) << "percent rounds to 5.0";
+  EXPECT_NE(Out.find("a-much-longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(Out.find("|---"), std::string::npos);
+}
+
+TEST(TablePrinter, CountFormatting) {
+  TablePrinter T({"N"});
+  T.beginRow();
+  T.cellCount(11000000.0);
+  EXPECT_NE(T.render().find("1.1e+07"), std::string::npos);
+  TablePrinter S({"N"});
+  S.beginRow();
+  S.cellCount(1137.0);
+  EXPECT_NE(S.render().find("1137"), std::string::npos);
+}
+
+TEST(HostTimer, MovesForward) {
+  HostTimer T;
+  volatile double Sink = 0;
+  for (int I = 0; I != 100000; ++I)
+    Sink = Sink + I;
+  EXPECT_GE(T.elapsedMs(), 0.0);
+}
+
+} // namespace

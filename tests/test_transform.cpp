@@ -1,0 +1,265 @@
+//===- tests/test_transform.cpp - sampling transform structure -*- C++ -*-===//
+
+#include "instr/Clients.h"
+#include "ir/IRPrinter.h"
+#include "ir/IRVerifier.h"
+#include "sampling/Property1.h"
+#include "sampling/Transform.h"
+#include "workloads/Workloads.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ars;
+using ars::testutil::build;
+
+/// A function with one loop nest (two backedges) and field/call traffic.
+const char *LoopySrc = R"(
+  class S { int v; }
+  int leaf(int x) { return x + 1; }
+  int main(int n) {
+    S s = new S;
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      for (int j = 0; j < 4; j = j + 1) {
+        s.v = s.v + j;
+        acc = acc + leaf(s.v);
+      }
+    }
+    return acc;
+  }
+)";
+
+instr::CallEdgeInstrumentation CallEdges;
+instr::FieldAccessInstrumentation FieldAccesses;
+
+harness::InstrumentedProgram instrument(const harness::Program &P,
+                                        sampling::Options Opts) {
+  return harness::instrumentProgram(P, {&CallEdges, &FieldAccesses}, Opts);
+}
+
+TEST(FullDuplication, DoublesBlocksAndVerifies) {
+  harness::Program P = build(LoopySrc);
+  sampling::Options Opts;
+  Opts.M = sampling::Mode::FullDuplication;
+  harness::InstrumentedProgram IP = instrument(P, Opts);
+
+  for (size_t F = 0; F != IP.Funcs.size(); ++F) {
+    const sampling::TransformStats &S = IP.Transforms[F].Stats;
+    EXPECT_TRUE(ir::verifyFunction(IP.Funcs[F]).empty())
+        << ir::printFunction(IP.Funcs[F]);
+    EXPECT_GE(S.FinalBlocks, 2 * S.OrigBlocks);
+    EXPECT_EQ(S.EntryChecks, 1);
+    EXPECT_EQ(S.BackedgeChecks, S.Backedges);
+    EXPECT_GE(S.FinalSize, 2 * S.OrigSize);
+  }
+  // main has two backedges.
+  const bytecode::FunctionDef *Main = P.M.functionByName("main");
+  EXPECT_EQ(IP.Transforms[Main->FuncId].Stats.Backedges, 2);
+}
+
+TEST(FullDuplication, ChecksOnlyBreakdownConfigs) {
+  harness::Program P = build(LoopySrc);
+  sampling::Options Entry;
+  Entry.M = sampling::Mode::FullDuplication;
+  Entry.DuplicateCode = false;
+  Entry.BackedgeChecks = false;
+  harness::InstrumentedProgram IP = harness::instrumentProgram(P, {}, Entry);
+  for (size_t F = 0; F != IP.Funcs.size(); ++F) {
+    EXPECT_TRUE(ir::verifyFunction(IP.Funcs[F]).empty());
+    EXPECT_EQ(IP.Transforms[F].Stats.EntryChecks, 1);
+    EXPECT_EQ(IP.Transforms[F].Stats.BackedgeChecks, 0);
+    for (sampling::BlockRole R : IP.Transforms[F].Roles)
+      EXPECT_NE(R, sampling::BlockRole::Duplicated)
+          << "no duplication in the breakdown configuration";
+  }
+}
+
+TEST(FullDuplication, YieldpointOptRemovesCheckingYieldpoints) {
+  harness::Program P = build(LoopySrc);
+  sampling::Options Opts;
+  Opts.M = sampling::Mode::FullDuplication;
+  Opts.YieldpointOpt = true;
+  harness::InstrumentedProgram IP = instrument(P, Opts);
+  for (size_t F = 0; F != IP.Funcs.size(); ++F) {
+    std::string Bad = sampling::checkProperty1Static(
+        IP.Funcs[F], IP.Transforms[F], Opts);
+    EXPECT_TRUE(Bad.empty()) << Bad;
+  }
+}
+
+TEST(NoDuplication, GuardsEveryProbe) {
+  harness::Program P = build(LoopySrc);
+  sampling::Options Opts;
+  Opts.M = sampling::Mode::NoDuplication;
+  harness::InstrumentedProgram IP = instrument(P, Opts);
+  int Guarded = 0, Plain = 0;
+  for (const ir::IRFunction &F : IP.Funcs) {
+    Guarded += sampling::countOps(F, ir::IROp::GuardedProbe);
+    Plain += sampling::countOps(F, ir::IROp::Probe);
+  }
+  EXPECT_GT(Guarded, 0);
+  EXPECT_EQ(Plain, 0);
+  EXPECT_EQ(Guarded, IP.Registry.size());
+}
+
+TEST(Exhaustive, PlantsUnguardedProbesInPlace) {
+  harness::Program P = build(LoopySrc);
+  sampling::Options Opts;
+  Opts.M = sampling::Mode::Exhaustive;
+  harness::InstrumentedProgram IP = instrument(P, Opts);
+  int Plain = 0;
+  for (const ir::IRFunction &F : IP.Funcs) {
+    Plain += sampling::countOps(F, ir::IROp::Probe);
+    EXPECT_EQ(sampling::countOps(F, ir::IROp::SampleCheck), 0);
+  }
+  EXPECT_EQ(Plain, IP.Registry.size());
+}
+
+TEST(PartialDuplication, RemovesUninstrumentedBlocks) {
+  harness::Program P = build(LoopySrc);
+  // Sparse instrumentation: only call edges (method entry), so all
+  // duplicated body blocks are removable.
+  sampling::Options Opts;
+  Opts.M = sampling::Mode::PartialDuplication;
+  harness::InstrumentedProgram IP =
+      harness::instrumentProgram(P, {&CallEdges}, Opts);
+  const bytecode::FunctionDef *Main = P.M.functionByName("main");
+  const sampling::TransformStats &S = IP.Transforms[Main->FuncId].Stats;
+  EXPECT_EQ(S.DupBlocksKept, 1)
+      << "entry probes keep only the duplicated entry node";
+  EXPECT_GT(S.DupBlocksRemoved, 0);
+  for (const ir::IRFunction &F : IP.Funcs)
+    EXPECT_TRUE(ir::verifyFunction(F).empty()) << ir::printFunction(F);
+}
+
+TEST(PartialDuplication, KeepsInstrumentedRegion) {
+  harness::Program P = build(LoopySrc);
+  sampling::Options Opts;
+  Opts.M = sampling::Mode::PartialDuplication;
+  harness::InstrumentedProgram IP =
+      harness::instrumentProgram(P, {&FieldAccesses}, Opts);
+  const bytecode::FunctionDef *Main = P.M.functionByName("main");
+  const sampling::TransformStats &S = IP.Transforms[Main->FuncId].Stats;
+  EXPECT_GT(S.DupBlocksKept, 0);
+  EXPECT_GT(S.DupBlocksRemoved, 0) << "prologue/epilogue are top/bottom";
+  EXPECT_LE(S.FinalSize, 2 * S.OrigSize + 16);
+}
+
+TEST(PartialDuplication, NeverBiggerThanFull) {
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    harness::Program P = build(W.Source);
+    sampling::Options Full, Part;
+    Full.M = sampling::Mode::FullDuplication;
+    Part.M = sampling::Mode::PartialDuplication;
+    harness::InstrumentedProgram FullIP = instrument(P, Full);
+    harness::InstrumentedProgram PartIP = instrument(P, Part);
+    EXPECT_LE(PartIP.CodeSizeAfter, FullIP.CodeSizeAfter) << W.Name;
+  }
+}
+
+TEST(Roles, CoverEveryBlock) {
+  harness::Program P = build(LoopySrc);
+  for (sampling::Mode M :
+       {sampling::Mode::FullDuplication, sampling::Mode::PartialDuplication,
+        sampling::Mode::NoDuplication, sampling::Mode::Exhaustive,
+        sampling::Mode::Baseline}) {
+    sampling::Options Opts;
+    Opts.M = M;
+    harness::InstrumentedProgram IP = instrument(P, Opts);
+    for (size_t F = 0; F != IP.Funcs.size(); ++F)
+      EXPECT_EQ(IP.Transforms[F].Roles.size(),
+                static_cast<size_t>(IP.Funcs[F].numBlocks()))
+          << sampling::modeName(M);
+  }
+}
+
+TEST(Burst, BoundedLoopSamplingStructure) {
+  harness::Program P = build(LoopySrc);
+  sampling::Options Opts;
+  Opts.M = sampling::Mode::FullDuplication;
+  Opts.BurstLength = 8;
+  harness::InstrumentedProgram IP = instrument(P, Opts);
+  int Bursts = 0;
+  for (const ir::IRFunction &F : IP.Funcs) {
+    Bursts += sampling::countOps(F, ir::IROp::BurstTransfer);
+    EXPECT_TRUE(ir::verifyFunction(F).empty());
+  }
+  EXPECT_GT(Bursts, 0);
+}
+
+// ---------------------------------------------------------------------
+// Semantic preservation: every mode and option combination computes the
+// same checksum as the baseline for every workload.
+// ---------------------------------------------------------------------
+
+struct ModeCase {
+  const char *Label;
+  sampling::Options Opts;
+  int64_t Interval;
+};
+
+std::vector<ModeCase> modeCases() {
+  std::vector<ModeCase> Cases;
+  auto add = [&](const char *Label, sampling::Mode M, int64_t Interval,
+                 bool YieldOpt = false, int Burst = 0) {
+    ModeCase C;
+    C.Label = Label;
+    C.Opts.M = M;
+    C.Opts.YieldpointOpt = YieldOpt;
+    C.Opts.BurstLength = Burst;
+    C.Interval = Interval;
+    Cases.push_back(C);
+  };
+  add("exhaustive", sampling::Mode::Exhaustive, 0);
+  add("fulldup-never", sampling::Mode::FullDuplication, 0);
+  add("fulldup-always", sampling::Mode::FullDuplication, 1);
+  add("fulldup-97", sampling::Mode::FullDuplication, 97);
+  add("fulldup-yieldopt", sampling::Mode::FullDuplication, 61, true);
+  add("fulldup-burst", sampling::Mode::FullDuplication, 97, false, 8);
+  add("partialdup-97", sampling::Mode::PartialDuplication, 97);
+  add("partialdup-always", sampling::Mode::PartialDuplication, 1);
+  add("nodup-97", sampling::Mode::NoDuplication, 97);
+  add("nodup-always", sampling::Mode::NoDuplication, 1);
+  return Cases;
+}
+
+class SemanticsTest
+    : public ::testing::TestWithParam<workloads::Workload> {};
+
+TEST_P(SemanticsTest, AllModesPreserveResults) {
+  const workloads::Workload &W = GetParam();
+  harness::Program P = build(W.Source);
+  harness::ExperimentResult Base =
+      harness::runBaseline(P, W.SmokeScale);
+  ASSERT_TRUE(Base.Stats.Ok) << Base.Stats.Error;
+
+  for (const ModeCase &C : modeCases()) {
+    harness::RunConfig RC;
+    RC.Transform = C.Opts;
+    RC.Engine.SampleInterval = C.Interval;
+    RC.Clients = {&CallEdges, &FieldAccesses};
+    harness::ExperimentResult R =
+        harness::runExperiment(P, W.SmokeScale, RC);
+    ASSERT_TRUE(R.Stats.Ok) << W.Name << "/" << C.Label << ": "
+                            << R.Stats.Error;
+    EXPECT_EQ(R.Stats.MainResult, Base.Stats.MainResult)
+        << W.Name << "/" << C.Label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SemanticsTest,
+    ::testing::ValuesIn(workloads::allWorkloads()),
+    [](const ::testing::TestParamInfo<workloads::Workload> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+} // namespace

@@ -1,0 +1,98 @@
+//===- tests/test_workloads.cpp - benchmark suite sanity ------*- C++ -*-===//
+
+#include "instr/Clients.h"
+#include "workloads/Workloads.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ars;
+using ars::testutil::build;
+
+instr::CallEdgeInstrumentation CallEdges;
+instr::FieldAccessInstrumentation FieldAccesses;
+
+TEST(Suite, HasTenWorkloadsInPaperOrder) {
+  const auto &All = workloads::allWorkloads();
+  ASSERT_EQ(All.size(), 10u);
+  EXPECT_STREQ(All[0].Name, "compress");
+  EXPECT_STREQ(All[9].Name, "volano");
+  EXPECT_NE(workloads::workloadByName("mpegaudio"), nullptr);
+  EXPECT_EQ(workloads::workloadByName("nope"), nullptr);
+}
+
+class WorkloadTest : public ::testing::TestWithParam<workloads::Workload> {};
+
+TEST_P(WorkloadTest, CompilesAndRuns) {
+  const workloads::Workload &W = GetParam();
+  harness::Program P = build(W.Source);
+  auto R = harness::runBaseline(P, W.SmokeScale);
+  ASSERT_TRUE(R.Stats.Ok) << W.Name << ": " << R.Stats.Error;
+  EXPECT_GT(R.Stats.Cycles, 1000u) << W.Name;
+}
+
+TEST_P(WorkloadTest, ChecksumIsDeterministic) {
+  const workloads::Workload &W = GetParam();
+  harness::Program P = build(W.Source);
+  auto R1 = harness::runBaseline(P, W.SmokeScale);
+  auto R2 = harness::runBaseline(P, W.SmokeScale);
+  ASSERT_TRUE(R1.Stats.Ok && R2.Stats.Ok);
+  EXPECT_EQ(R1.Stats.MainResult, R2.Stats.MainResult) << W.Name;
+  EXPECT_EQ(R1.Stats.Cycles, R2.Stats.Cycles) << W.Name;
+}
+
+TEST_P(WorkloadTest, ScaleIncreasesWork) {
+  const workloads::Workload &W = GetParam();
+  harness::Program P = build(W.Source);
+  auto Small = harness::runBaseline(P, W.SmokeScale);
+  auto Large = harness::runBaseline(P, W.SmokeScale * 3);
+  ASSERT_TRUE(Small.Stats.Ok && Large.Stats.Ok);
+  EXPECT_GT(Large.Stats.Cycles, 2 * Small.Stats.Cycles) << W.Name;
+}
+
+TEST_P(WorkloadTest, ExercisesBothInstrumentations) {
+  const workloads::Workload &W = GetParam();
+  harness::Program P = build(W.Source);
+  harness::RunConfig C;
+  C.Transform.M = sampling::Mode::Exhaustive;
+  C.Clients = {&CallEdges, &FieldAccesses};
+  auto R = harness::runExperiment(P, W.SmokeScale, C);
+  ASSERT_TRUE(R.Stats.Ok) << W.Name << ": " << R.Stats.Error;
+  EXPECT_GT(R.Profiles.CallEdges.total(), 0u)
+      << W.Name << " performs no calls";
+  EXPECT_GT(R.Profiles.FieldAccesses.total(), 0u)
+      << W.Name << " performs no field accesses";
+}
+
+TEST_P(WorkloadTest, HasLoopsForBackedgeChecks) {
+  const workloads::Workload &W = GetParam();
+  harness::Program P = build(W.Source);
+  auto R = harness::runBaseline(P, W.SmokeScale);
+  ASSERT_TRUE(R.Stats.Ok);
+  // Yieldpoints = entries + backedge traversals; must exceed pure entries.
+  EXPECT_GT(R.Stats.YieldpointExecs, R.Stats.Entries) << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadTest, ::testing::ValuesIn(workloads::allWorkloads()),
+    [](const ::testing::TestParamInfo<workloads::Workload> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+TEST(Volano, UsesMultipleThreads) {
+  const workloads::Workload *W = workloads::workloadByName("volano");
+  harness::Program P = build(W->Source);
+  auto R = harness::runBaseline(P, W->SmokeScale);
+  ASSERT_TRUE(R.Stats.Ok);
+  EXPECT_EQ(R.Stats.ThreadsSpawned, 4u);
+  EXPECT_GT(R.Stats.ThreadSwitches, 0u);
+}
+
+} // namespace

@@ -1,0 +1,338 @@
+//===- tools/arsc.cpp - Command-line driver -------------------*- C++ -*-===//
+///
+/// \file
+/// The `arsc` tool: compile and run MiniJ programs under any sampling
+/// configuration from the command line.
+///
+///   arsc run prog.mj --arg=1000 --mode=full --interval=1000
+///        --clients=call-edge,field-access --profiles
+///   arsc dump-bc prog.mj        # disassembled bytecode
+///   arsc dump-ir prog.mj        # baseline CFG IR
+///   arsc dump-transformed prog.mj --mode=full   # post-transform IR
+///   arsc overhead prog.mj --arg=1000 --mode=full --interval=1000
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Assembler.h"
+#include "bytecode/Disassembler.h"
+#include "harness/Experiment.h"
+#include "instr/Clients.h"
+#include "ir/IRPrinter.h"
+#include "lowering/Cleanup.h"
+#include "lowering/Lowering.h"
+#include "opt/Passes.h"
+#include "profile/Profiles.h"
+#include "support/Support.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace ars;
+
+namespace {
+
+struct CliOptions {
+  std::string Command;
+  std::string File;
+  int64_t Arg = 10;
+  sampling::Mode Mode = sampling::Mode::FullDuplication;
+  int64_t Interval = 1000;
+  bool TimerTrigger = false;
+  uint64_t TimerPeriod = 100000;
+  bool YieldpointOpt = false;
+  int Burst = 0;
+  bool PerThread = false;
+  uint32_t JitterPct = 0;
+  bool ShowProfiles = false;
+  bool Optimize = false;
+  std::vector<std::string> Clients = {"call-edge", "field-access"};
+};
+
+int usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s <command> <file.mj> [options]\n"
+      "commands:\n"
+      "  run               compile and execute, print result and stats\n"
+      "  overhead          run baseline + configured mode, print overhead\n"
+      "  dump-bc           print disassembled bytecode\n"
+      "  dump-ir           print baseline CFG IR\n"
+      "  dump-transformed  print IR after the sampling transform\n"
+      "options:\n"
+      "  --arg=<n>              main(n) argument (default 10)\n"
+      "  --mode=<m>             baseline|exhaustive|full|partial|nodup|"
+      "combined\n"
+      "  --interval=<n>         sample interval, 0 = never (default 1000)\n"
+      "  --trigger=timer        use the timer trigger\n"
+      "  --timer-period=<n>     timer period in cycles (default 100000)\n"
+      "  --clients=<a,b,..>     call-edge,field-access,block-count,value,\n"
+      "                         edge-count,path-profile\n"
+      "  --yieldpoint-opt       apply the section 4.5 optimization\n"
+      "  --burst=<n>            N-consecutive-iteration sampling\n"
+      "  --per-thread           per-thread sample counters\n"
+      "  --jitter=<pct>         randomized interval perturbation\n"
+      "  --profiles             print collected profiles\n"
+      "  --optimize             run the O2 optimizer before instrumenting\n",
+      Prog);
+  return 2;
+}
+
+bool parseMode(const std::string &Text, sampling::Mode *Out) {
+  if (Text == "baseline")   { *Out = sampling::Mode::Baseline; return true; }
+  if (Text == "exhaustive") { *Out = sampling::Mode::Exhaustive; return true; }
+  if (Text == "full")       { *Out = sampling::Mode::FullDuplication; return true; }
+  if (Text == "partial")    { *Out = sampling::Mode::PartialDuplication; return true; }
+  if (Text == "nodup")      { *Out = sampling::Mode::NoDuplication; return true; }
+  if (Text == "combined")   { *Out = sampling::Mode::Combined; return true; }
+  return false;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions *Opts) {
+  if (Argc < 3)
+    return false;
+  Opts->Command = Argv[1];
+  Opts->File = Argv[2];
+  for (int A = 3; A < Argc; ++A) {
+    std::string Arg = Argv[A];
+    auto valueOf = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
+    };
+    if (const char *V = valueOf("--arg=")) {
+      Opts->Arg = std::atoll(V);
+    } else if (const char *V = valueOf("--mode=")) {
+      if (!parseMode(V, &Opts->Mode))
+        return false;
+    } else if (const char *V = valueOf("--interval=")) {
+      Opts->Interval = std::atoll(V);
+    } else if (Arg == "--trigger=timer") {
+      Opts->TimerTrigger = true;
+    } else if (const char *V = valueOf("--timer-period=")) {
+      Opts->TimerPeriod = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = valueOf("--clients=")) {
+      Opts->Clients = support::splitString(V, ',');
+    } else if (Arg == "--yieldpoint-opt") {
+      Opts->YieldpointOpt = true;
+    } else if (const char *V = valueOf("--burst=")) {
+      Opts->Burst = std::atoi(V);
+    } else if (Arg == "--per-thread") {
+      Opts->PerThread = true;
+    } else if (const char *V = valueOf("--jitter=")) {
+      Opts->JitterPct = static_cast<uint32_t>(std::atoi(V));
+    } else if (Arg == "--profiles") {
+      Opts->ShowProfiles = true;
+    } else if (Arg == "--optimize") {
+      Opts->Optimize = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Owns the instrumentation client objects named on the command line.
+struct ClientSet {
+  instr::CallEdgeInstrumentation CallEdges;
+  instr::FieldAccessInstrumentation FieldAccesses;
+  instr::BlockCountInstrumentation BlockCounts;
+  instr::ValueProfileInstrumentation Values;
+  instr::EdgeCountInstrumentation EdgeCounts;
+  instr::PathProfileInstrumentation PathProfiles;
+
+  bool resolve(const std::vector<std::string> &Names,
+               std::vector<const instr::Instrumentation *> *Out) {
+    for (const std::string &Name : Names) {
+      if (Name == "call-edge")
+        Out->push_back(&CallEdges);
+      else if (Name == "field-access")
+        Out->push_back(&FieldAccesses);
+      else if (Name == "block-count")
+        Out->push_back(&BlockCounts);
+      else if (Name == "value")
+        Out->push_back(&Values);
+      else if (Name == "edge-count")
+        Out->push_back(&EdgeCounts);
+      else if (Name == "path-profile")
+        Out->push_back(&PathProfiles);
+      else if (!Name.empty()) {
+        std::fprintf(stderr, "unknown client: %s\n", Name.c_str());
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+bool readFile(const std::string &Path, std::string *Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  *Out = Buffer.str();
+  return true;
+}
+
+harness::RunConfig makeConfig(const CliOptions &Opts,
+                              std::vector<const instr::Instrumentation *>
+                                  Clients) {
+  harness::RunConfig C;
+  C.Transform.M = Opts.Mode;
+  C.Transform.YieldpointOpt = Opts.YieldpointOpt;
+  C.Transform.BurstLength = Opts.Burst;
+  C.Engine.SampleInterval = Opts.Interval;
+  if (Opts.TimerTrigger) {
+    C.Engine.Trigger = runtime::TriggerKind::Timer;
+    C.Engine.TimerPeriodCycles = Opts.TimerPeriod;
+  }
+  C.Engine.PerThreadCounters = Opts.PerThread;
+  C.Engine.RandomJitterPct = Opts.JitterPct;
+  C.Clients = std::move(Clients);
+  return C;
+}
+
+void printStats(const runtime::RunStats &S) {
+  std::printf("result          : %lld\n",
+              static_cast<long long>(S.MainResult));
+  std::printf("cycles          : %llu\n",
+              static_cast<unsigned long long>(S.Cycles));
+  std::printf("instructions    : %llu\n",
+              static_cast<unsigned long long>(S.Instructions));
+  std::printf("method entries  : %llu\n",
+              static_cast<unsigned long long>(S.Entries));
+  std::printf("checks executed : %llu (samples %llu)\n",
+              static_cast<unsigned long long>(S.CheckExecs),
+              static_cast<unsigned long long>(S.SamplesTaken));
+  std::printf("guarded probes  : %llu (taken %llu)\n",
+              static_cast<unsigned long long>(S.GuardedProbeExecs),
+              static_cast<unsigned long long>(S.GuardedProbesTaken));
+  std::printf("probe bodies    : %llu\n",
+              static_cast<unsigned long long>(S.ProbeBodiesRun));
+  std::printf("threads spawned : %llu\n",
+              static_cast<unsigned long long>(S.ThreadsSpawned));
+  if (!S.Trace.empty()) {
+    std::printf("trace           :");
+    for (size_t I = 0; I != S.Trace.size() && I != 32; ++I)
+      std::printf(" %lld", static_cast<long long>(S.Trace[I]));
+    if (S.Trace.size() > 32)
+      std::printf(" ... (%zu total)", S.Trace.size());
+    std::printf("\n");
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, &Opts))
+    return usage(Argv[0]);
+
+  std::string Source;
+  if (!readFile(Opts.File, &Source)) {
+    std::fprintf(stderr, "cannot read %s\n", Opts.File.c_str());
+    return 1;
+  }
+  harness::BuildResult Build;
+  bool IsAssembly = Opts.File.size() > 4 &&
+                    Opts.File.compare(Opts.File.size() - 4, 4, ".bca") == 0;
+  if (IsAssembly) {
+    // Textual bytecode: assemble, lower, clean (and optionally optimize).
+    bytecode::AssembleResult A = bytecode::assemble(Source);
+    if (!A.Ok) {
+      std::fprintf(stderr, "%s: %s\n", Opts.File.c_str(), A.Error.c_str());
+      return 1;
+    }
+    lowering::LowerModuleResult L = lowering::lowerModule(A.M);
+    if (!L.Ok) {
+      std::fprintf(stderr, "%s: %s\n", Opts.File.c_str(), L.Error.c_str());
+      return 1;
+    }
+    Build.P.M = std::move(A.M);
+    Build.P.Funcs = std::move(L.Funcs);
+    for (ir::IRFunction &F : Build.P.Funcs) {
+      lowering::cleanupFunction(F);
+      if (Opts.Optimize)
+        opt::optimizeFunction(F);
+    }
+    Build.Ok = true;
+  } else {
+    harness::BuildOptions BOpts;
+    BOpts.Optimize = Opts.Optimize;
+    Build = harness::buildProgram(Source, BOpts);
+  }
+  if (!Build.Ok) {
+    std::fprintf(stderr, "%s: %s\n", Opts.File.c_str(),
+                 Build.Error.c_str());
+    return 1;
+  }
+  const harness::Program &P = Build.P;
+
+  if (Opts.Command == "dump-bc") {
+    std::fputs(bytecode::disassembleModule(P.M).c_str(), stdout);
+    return 0;
+  }
+  if (Opts.Command == "dump-ir") {
+    for (const ir::IRFunction &F : P.Funcs)
+      std::fputs(ir::printFunction(F).c_str(), stdout);
+    return 0;
+  }
+
+  ClientSet Set;
+  std::vector<const instr::Instrumentation *> Clients;
+  if (!Set.resolve(Opts.Clients, &Clients))
+    return 2;
+
+  if (Opts.Command == "dump-transformed") {
+    sampling::Options TOpts;
+    TOpts.M = Opts.Mode;
+    TOpts.YieldpointOpt = Opts.YieldpointOpt;
+    TOpts.BurstLength = Opts.Burst;
+    harness::InstrumentedProgram IP =
+        harness::instrumentProgram(P, Clients, TOpts);
+    for (const ir::IRFunction &F : IP.Funcs)
+      std::fputs(ir::printFunction(F).c_str(), stdout);
+    std::printf("; code size %d -> %d instructions\n", IP.CodeSizeBefore,
+                IP.CodeSizeAfter);
+    return 0;
+  }
+
+  if (Opts.Command == "run" || Opts.Command == "overhead") {
+    harness::RunConfig Config = makeConfig(Opts, Clients);
+    harness::ExperimentResult R =
+        harness::runExperiment(P, Opts.Arg, Config);
+    if (!R.Stats.Ok) {
+      std::fprintf(stderr, "runtime error: %s\n", R.Stats.Error.c_str());
+      return 1;
+    }
+    if (Opts.Command == "overhead") {
+      harness::ExperimentResult Base = harness::runBaseline(P, Opts.Arg);
+      if (!Base.Stats.Ok) {
+        std::fprintf(stderr, "baseline error: %s\n",
+                     Base.Stats.Error.c_str());
+        return 1;
+      }
+      std::printf("mode            : %s\n", sampling::modeName(Opts.Mode));
+      std::printf("baseline cycles : %llu\n",
+                  static_cast<unsigned long long>(Base.Stats.Cycles));
+      std::printf("overhead        : %.2f%%\n",
+                  harness::overheadPct(Base, R));
+    }
+    printStats(R.Stats);
+    if (Opts.ShowProfiles) {
+      std::printf("\ncall edges:\n%s",
+                  profile::dumpCallEdges(P.M, R.Profiles.CallEdges, 20)
+                      .c_str());
+      std::printf("\nfield accesses:\n%s",
+                  profile::dumpFieldAccesses(P.M, R.Profiles.FieldAccesses)
+                      .c_str());
+    }
+    return 0;
+  }
+
+  return usage(Argv[0]);
+}
