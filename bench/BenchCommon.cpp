@@ -13,6 +13,13 @@ namespace bench {
 
 Context::Context(int Argc, char **Argv) {
   Suite = workloads::allWorkloads();
+  auto badUsage = [Argv](const char *Arg) {
+    std::fprintf(stderr, "unknown argument: %s\n", Arg);
+    std::fprintf(stderr,
+                 "usage: %s [--scale=<pct>] [--quick] [--jobs <n>]\n",
+                 Argv[0]);
+    std::exit(2);
+  };
   for (int A = 1; A < Argc; ++A) {
     const char *Arg = Argv[A];
     if (std::strncmp(Arg, "--scale=", 8) == 0) {
@@ -21,15 +28,21 @@ Context::Context(int Argc, char **Argv) {
         ScalePct = 1;
     } else if (std::strcmp(Arg, "--quick") == 0) {
       ScalePct = 15;
+    } else if (std::strncmp(Arg, "--jobs=", 7) == 0) {
+      Jobs = std::atoi(Arg + 7);
+    } else if (std::strcmp(Arg, "--jobs") == 0 && A + 1 < Argc) {
+      Jobs = std::atoi(Argv[++A]);
     } else {
-      std::fprintf(stderr, "unknown argument: %s\n", Arg);
-      std::fprintf(stderr, "usage: %s [--scale=<pct>] [--quick]\n", Argv[0]);
-      std::exit(2);
+      badUsage(Arg);
     }
   }
+  if (Jobs < 1)
+    Jobs = 1;
+  Runner = std::make_unique<harness::ParallelRunner>(Jobs);
 }
 
 const harness::Program &Context::program(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(CacheMu);
   auto It = Programs.find(Name);
   if (It != Programs.end())
     return It->second;
@@ -53,9 +66,12 @@ int64_t Context::scaleOf(const workloads::Workload &W) const {
 }
 
 const harness::ExperimentResult &Context::baseline(const std::string &Name) {
-  auto It = Baselines.find(Name);
-  if (It != Baselines.end())
-    return It->second;
+  {
+    std::lock_guard<std::mutex> Lock(CacheMu);
+    auto It = Baselines.find(Name);
+    if (It != Baselines.end())
+      return It->second;
+  }
   const workloads::Workload *W = workloads::workloadByName(Name);
   harness::ExperimentResult R =
       harness::runBaseline(program(Name), scaleOf(*W));
@@ -64,7 +80,24 @@ const harness::ExperimentResult &Context::baseline(const std::string &Name) {
                  R.Stats.Error.c_str());
     std::exit(1);
   }
+  std::lock_guard<std::mutex> Lock(CacheMu);
   return Baselines.emplace(Name, std::move(R)).first->second;
+}
+
+void Context::prefetchBaselines() {
+  std::vector<NamedCell> Cells;
+  for (const workloads::Workload &W : Suite) {
+    std::lock_guard<std::mutex> Lock(CacheMu);
+    if (!Baselines.count(W.Name)) {
+      harness::RunConfig C;
+      C.Transform.M = sampling::Mode::Baseline;
+      Cells.emplace_back(W.Name, C);
+    }
+  }
+  std::vector<harness::ExperimentResult> Results = runAll(Cells);
+  std::lock_guard<std::mutex> Lock(CacheMu);
+  for (size_t I = 0; I != Cells.size(); ++I)
+    Baselines.emplace(Cells[I].first, std::move(Results[I]));
 }
 
 harness::ExperimentResult
@@ -79,6 +112,34 @@ Context::runConfig(const std::string &Name,
     std::exit(1);
   }
   return R;
+}
+
+std::vector<harness::ExperimentResult>
+Context::runAll(const std::vector<NamedCell> &Cells) {
+  harness::RunMatrix M;
+  M.Cells.reserve(Cells.size());
+  for (const NamedCell &Cell : Cells) {
+    const workloads::Workload *W = workloads::workloadByName(Cell.first);
+    if (!W) {
+      std::fprintf(stderr, "unknown workload %s\n", Cell.first.c_str());
+      std::exit(1);
+    }
+    harness::MatrixCell MC;
+    MC.Prog = &program(Cell.first); // built serially, here
+    MC.ScaleArg = scaleOf(*W);
+    MC.Config = Cell.second;
+    M.Cells.push_back(std::move(MC));
+  }
+  std::vector<harness::ExperimentResult> Results = Runner->run(M);
+  for (size_t I = 0; I != Results.size(); ++I) {
+    if (!Results[I].Stats.Ok) {
+      std::fprintf(stderr, "run failed for %s: %s\n",
+                   Cells[I].first.c_str(),
+                   Results[I].Stats.Error.c_str());
+      std::exit(1);
+    }
+  }
+  return Results;
 }
 
 double Context::overheadPct(const std::string &Name,

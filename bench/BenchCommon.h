@@ -17,38 +17,61 @@
 #define ARS_BENCH_BENCHCOMMON_H
 
 #include "harness/Experiment.h"
+#include "harness/ParallelRunner.h"
 #include "instr/Clients.h"
 #include "support/TablePrinter.h"
 #include "workloads/Workloads.h"
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ars {
 namespace bench {
 
-/// Compiled workloads plus cached baseline runs.
+/// One named cell of a bench matrix: which workload, which configuration.
+using NamedCell = std::pair<std::string, harness::RunConfig>;
+
+/// Compiled workloads plus cached baseline runs and the parallel runner
+/// the matrix-shaped benches fan out on.
 class Context {
 public:
   /// Parses --scale=<pct> (percent of each workload's default scale,
-  /// default 100) and --quick (= --scale=15).
+  /// default 100), --quick (= --scale=15), and --jobs=<n> / --jobs <n>
+  /// (worker threads for matrix runs; default 1).  Results are
+  /// bit-identical for every --jobs value; only wall-clock time changes.
   Context(int Argc, char **Argv);
 
   const std::vector<workloads::Workload> &suite() const { return Suite; }
 
-  /// Compiled program for \p Name (built on first use).
+  int jobs() const { return Jobs; }
+
+  /// Compiled program for \p Name (built on first use; thread-safe).
   const harness::Program &program(const std::string &Name);
 
   /// Effective scale argument for \p W.
   int64_t scaleOf(const workloads::Workload &W) const;
 
-  /// Cached baseline (yieldpoints-only) run.
+  /// Cached baseline (yieldpoints-only) run (thread-safe).
   const harness::ExperimentResult &baseline(const std::string &Name);
+
+  /// Runs and caches the baselines of the whole suite through the
+  /// parallel runner.  Benches that print overheads call this once before
+  /// fanning out so baselines don't serialize behind the lazy cache.
+  void prefetchBaselines();
 
   /// Runs one configuration of workload \p Name.
   harness::ExperimentResult runConfig(const std::string &Name,
                                       const harness::RunConfig &Config);
+
+  /// Runs every cell on the shared parallel runner (instrumented modules
+  /// are shared through its transform cache) and returns results in cell
+  /// order.  Exits with a diagnostic if any run fails.
+  std::vector<harness::ExperimentResult>
+  runAll(const std::vector<NamedCell> &Cells);
 
   /// Overhead of \p R over the cached baseline of \p Name, in percent.
   double overheadPct(const std::string &Name,
@@ -57,6 +80,12 @@ public:
 private:
   std::vector<workloads::Workload> Suite;
   int ScalePct = 100;
+  int Jobs = 1;
+  std::unique_ptr<harness::ParallelRunner> Runner; ///< built after parsing
+  /// program()/baseline() caches are shared mutable state once runAll
+  /// fans out; the mutex makes the lazy fills reentrant.  (Node-stable
+  /// std::map keeps references valid across later insertions.)
+  std::mutex CacheMu;
   std::map<std::string, harness::Program> Programs;
   std::map<std::string, harness::ExperimentResult> Baselines;
 };

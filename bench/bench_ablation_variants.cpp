@@ -28,26 +28,43 @@ void runSet(bench::Context &Ctx, const char *Label,
                            "Dynamic Checks (M)", "Framework Overhead (%)",
                            "Accuracy@1000 (%)"});
 
-  for (sampling::Mode Mode : {sampling::Mode::FullDuplication,
-                              sampling::Mode::PartialDuplication,
-                              sampling::Mode::Combined,
-                              sampling::Mode::NoDuplication}) {
-    double SpaceSum = 0, ChecksSum = 0, OverheadSum = 0, AccSum = 0;
-    for (const workloads::Workload &W : Ctx.suite()) {
-      harness::RunConfig Perfect;
-      Perfect.Transform.M = sampling::Mode::Exhaustive;
-      Perfect.Clients = Clients;
-      auto PerfectRun = Ctx.runConfig(W.Name, Perfect);
+  const std::vector<sampling::Mode> Modes = {
+      sampling::Mode::FullDuplication, sampling::Mode::PartialDuplication,
+      sampling::Mode::Combined, sampling::Mode::NoDuplication};
+  const size_t NW = Ctx.suite().size();
 
+  // One matrix per set: a shared perfect-profile cell per workload, then
+  // (framework, sampled@1000) per mode x workload.  Fanned out over
+  // --jobs workers; results come back in cell order.
+  std::vector<bench::NamedCell> Cells;
+  for (const workloads::Workload &W : Ctx.suite()) {
+    harness::RunConfig Perfect;
+    Perfect.Transform.M = sampling::Mode::Exhaustive;
+    Perfect.Clients = Clients;
+    Cells.emplace_back(W.Name, Perfect);
+  }
+  for (sampling::Mode Mode : Modes) {
+    for (const workloads::Workload &W : Ctx.suite()) {
       harness::RunConfig Framework;
       Framework.Transform.M = Mode;
       Framework.Clients = Clients;
       Framework.Engine.SampleInterval = 0;
-      auto FrameworkRun = Ctx.runConfig(W.Name, Framework);
+      Cells.emplace_back(W.Name, Framework);
 
       harness::RunConfig Sampled = Framework;
       Sampled.Engine.SampleInterval = 1000;
-      auto SampledRun = Ctx.runConfig(W.Name, Sampled);
+      Cells.emplace_back(W.Name, Sampled);
+    }
+  }
+  auto Results = Ctx.runAll(Cells);
+
+  for (size_t M = 0; M != Modes.size(); ++M) {
+    double SpaceSum = 0, ChecksSum = 0, OverheadSum = 0, AccSum = 0;
+    for (size_t WI = 0; WI != NW; ++WI) {
+      const workloads::Workload &W = Ctx.suite()[WI];
+      const auto &PerfectRun = Results[WI];
+      const auto &FrameworkRun = Results[NW + (M * NW + WI) * 2];
+      const auto &SampledRun = Results[NW + (M * NW + WI) * 2 + 1];
 
       SpaceSum += support::percentOver(
           static_cast<double>(FrameworkRun.CodeSizeBefore),
@@ -58,9 +75,9 @@ void runSet(bench::Context &Ctx, const char *Label,
       AccSum += profile::overlapPercent(PerfectRun.Profiles.CallEdges,
                                         SampledRun.Profiles.CallEdges);
     }
-    double N = static_cast<double>(Ctx.suite().size());
+    double N = static_cast<double>(NW);
     T.beginRow();
-    T.cell(sampling::modeName(Mode));
+    T.cell(sampling::modeName(Modes[M]));
     T.cellPercent(SpaceSum / N);
     T.cellDouble(ChecksSum / N, 3);
     T.cellPercent(OverheadSum / N);
@@ -76,6 +93,7 @@ int main(int Argc, char **Argv) {
   bench::printBanner("Ablation: Full vs Partial vs No duplication",
                      "Section 3 design discussion (3.1, 3.2)");
 
+  Ctx.prefetchBaselines();
   runSet(Ctx, "dense (call-edge + field-access)", bench::bothClients());
   runSet(Ctx, "sparse (call-edge only)", {&bench::callEdgeClient()});
 

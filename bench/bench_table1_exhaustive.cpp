@@ -21,16 +21,27 @@ int main(int Argc, char **Argv) {
   support::TablePrinter T({"Benchmark", "Call-edge (%)", "Field-access (%)"});
   std::vector<double> CallOverheads, FieldOverheads;
 
+  // Two cells per workload (call-edge, field-access), fanned out over
+  // --jobs workers; results come back in cell order.
+  Ctx.prefetchBaselines();
+  std::vector<bench::NamedCell> Cells;
   for (const workloads::Workload &W : Ctx.suite()) {
     harness::RunConfig Call;
     Call.Transform.M = sampling::Mode::Exhaustive;
     Call.Clients = {&bench::callEdgeClient()};
-    double CallPct = Ctx.overheadPct(W.Name, Ctx.runConfig(W.Name, Call));
+    Cells.emplace_back(W.Name, Call);
 
     harness::RunConfig Field;
     Field.Transform.M = sampling::Mode::Exhaustive;
     Field.Clients = {&bench::fieldAccessClient()};
-    double FieldPct = Ctx.overheadPct(W.Name, Ctx.runConfig(W.Name, Field));
+    Cells.emplace_back(W.Name, Field);
+  }
+  auto Results = Ctx.runAll(Cells);
+
+  for (size_t WI = 0; WI != Ctx.suite().size(); ++WI) {
+    const workloads::Workload &W = Ctx.suite()[WI];
+    double CallPct = Ctx.overheadPct(W.Name, Results[WI * 2]);
+    double FieldPct = Ctx.overheadPct(W.Name, Results[WI * 2 + 1]);
 
     T.beginRow();
     T.cell(W.Name);

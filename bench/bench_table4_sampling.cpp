@@ -58,33 +58,54 @@ int main(int Argc, char **Argv) {
       "Table 4 (section 4.4)");
 
   const std::vector<int64_t> Intervals = {1, 10, 100, 1000, 10000, 100000};
+  const std::vector<sampling::Mode> Modes = {sampling::Mode::FullDuplication,
+                                             sampling::Mode::NoDuplication};
 
-  for (sampling::Mode Mode : {sampling::Mode::FullDuplication,
-                              sampling::Mode::NoDuplication}) {
-    std::vector<Row> Rows(Intervals.size());
-    for (size_t I = 0; I != Intervals.size(); ++I)
-      Rows[I].Interval = Intervals[I];
+  // The whole table is one declarative matrix fanned out over --jobs
+  // workers: per workload one exhaustive (perfect-profile) run, then per
+  // mode a framework-only run plus one run per interval.  Cell order is
+  // result order, so the printed table is identical for every --jobs.
+  Ctx.prefetchBaselines();
+  std::vector<bench::NamedCell> Cells;
+  const size_t PerMode = 1 + Intervals.size();
+  const size_t PerWorkload = 1 + Modes.size() * PerMode;
+  for (const workloads::Workload &W : Ctx.suite()) {
+    harness::RunConfig Perfect;
+    Perfect.Transform.M = sampling::Mode::Exhaustive;
+    Perfect.Clients = bench::bothClients();
+    Cells.emplace_back(W.Name, Perfect);
 
-    for (const workloads::Workload &W : Ctx.suite()) {
-      // Perfect profile for accuracy comparison.
-      harness::RunConfig Perfect;
-      Perfect.Transform.M = sampling::Mode::Exhaustive;
-      Perfect.Clients = bench::bothClients();
-      auto PerfectRun = Ctx.runConfig(W.Name, Perfect);
-
+    for (sampling::Mode Mode : Modes) {
       // Framework-only run: sampled-instrumentation overhead excludes it.
       harness::RunConfig FrameworkOnly;
       FrameworkOnly.Transform.M = Mode;
       FrameworkOnly.Clients = bench::bothClients();
       FrameworkOnly.Engine.SampleInterval = 0;
-      auto FrameworkRun = Ctx.runConfig(W.Name, FrameworkOnly);
+      Cells.emplace_back(W.Name, FrameworkOnly);
+
+      for (int64_t Interval : Intervals) {
+        harness::RunConfig C = FrameworkOnly;
+        C.Engine.SampleInterval = Interval;
+        Cells.emplace_back(W.Name, C);
+      }
+    }
+  }
+  auto Results = Ctx.runAll(Cells);
+
+  for (size_t M = 0; M != Modes.size(); ++M) {
+    std::vector<Row> Rows(Intervals.size());
+    for (size_t I = 0; I != Intervals.size(); ++I)
+      Rows[I].Interval = Intervals[I];
+
+    for (size_t WI = 0; WI != Ctx.suite().size(); ++WI) {
+      const workloads::Workload &W = Ctx.suite()[WI];
+      const auto &PerfectRun = Results[WI * PerWorkload];
+      const auto &FrameworkRun =
+          Results[WI * PerWorkload + 1 + M * PerMode];
 
       for (size_t I = 0; I != Intervals.size(); ++I) {
-        harness::RunConfig C;
-        C.Transform.M = Mode;
-        C.Clients = bench::bothClients();
-        C.Engine.SampleInterval = Intervals[I];
-        auto R = Ctx.runConfig(W.Name, C);
+        const auto &R =
+            Results[WI * PerWorkload + 1 + M * PerMode + 1 + I];
 
         Rows[I].NumSamples +=
             static_cast<double>(R.samplesTaken()) /
@@ -104,7 +125,7 @@ int main(int Argc, char **Argv) {
             static_cast<double>(Ctx.suite().size());
       }
     }
-    printRows(sampling::modeName(Mode), Rows);
+    printRows(sampling::modeName(Modes[M]), Rows);
   }
 
   std::printf("\nPaper shape: interval 1 approaches the exhaustive cost; "

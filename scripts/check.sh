@@ -1,12 +1,33 @@
 #!/usr/bin/env bash
 # Full verification: configure, build, test, and regenerate every
-# table/figure of the paper.  Usage: scripts/check.sh [--quick]
+# table/figure of the paper.  Usage: scripts/check.sh [--quick] [--tsan]
+#
+# --tsan builds a separate tree (build-tsan) with -DARS_SANITIZE=thread
+# and runs the thread-heavy test suites -- the parallel harness's
+# determinism and cache tests above all -- under ThreadSanitizer, then
+# exits.  It does not touch the regular build directory.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SCALE_ARG=""
-if [[ "${1:-}" == "--quick" ]]; then
-  SCALE_ARG="--quick"
+TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) SCALE_ARG="--quick" ;;
+    --tsan)  TSAN=1 ;;
+    *) echo "usage: $0 [--quick] [--tsan]" >&2; exit 2 ;;
+  esac
+done
+
+if [[ "$TSAN" == 1 ]]; then
+  cmake -B build-tsan -G Ninja -DARS_SANITIZE=thread
+  cmake --build build-tsan --target ars_tests
+  # The suites that exercise threads: the parallel harness (pool, cache,
+  # determinism), the multithreaded-workload sampling tests, and the
+  # random-program sweep that drives runMatrix on every seed.
+  build-tsan/tests/ars_tests \
+    --gtest_filter='ThreadPool.*:TransformCache.*:ParallelRunner.*:Sampling.*:AllWorkloads/*:Seeds/Property1RandomTest.*'
+  exit 0
 fi
 
 cmake -B build -G Ninja

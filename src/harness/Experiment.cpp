@@ -11,16 +11,20 @@ namespace harness {
 
 ExperimentResult runExperiment(const Program &P, int64_t ScaleArg,
                                const RunConfig &C) {
-  ExperimentResult Result;
+  InstrumentedProgram IP = instrumentProgram(P, C.Clients, C.Transform);
+  return runInstrumented(P, IP, ScaleArg, C);
+}
 
-  sampling::Options Opts = C.Transform;
-  InstrumentedProgram IP = instrumentProgram(P, C.Clients, Opts);
+ExperimentResult runInstrumented(const Program &P,
+                                 const InstrumentedProgram &IP,
+                                 int64_t ScaleArg, const RunConfig &C) {
+  ExperimentResult Result;
   Result.CodeSizeBefore = IP.CodeSizeBefore;
   Result.CodeSizeAfter = IP.CodeSizeAfter;
   Result.TransformMs = IP.TransformMs;
 
   runtime::EngineConfig EC = C.Engine;
-  EC.BurstLength = Opts.BurstLength; // keep runtime and transform in sync
+  EC.BurstLength = C.Transform.BurstLength; // keep runtime/transform in sync
   runtime::ExecutionEngine Engine(P.M, IP.Funcs, IP.Registry, EC);
 
   const bytecode::FunctionDef *Main = P.M.functionByName("main");

@@ -46,8 +46,36 @@ struct ExperimentResult {
 ExperimentResult runExperiment(const Program &P, int64_t ScaleArg,
                                const RunConfig &C);
 
+/// Runs \p P using the already-instrumented module \p IP (which must have
+/// been produced from \p P with \p C.Transform and \p C.Clients).  \p IP
+/// is only read, so one instrumented module can serve many concurrent
+/// runs — the TransformCache sharing path of the parallel harness.
+ExperimentResult runInstrumented(const Program &P,
+                                 const InstrumentedProgram &IP,
+                                 int64_t ScaleArg, const RunConfig &C);
+
 /// Convenience: a baseline (uninstrumented, yieldpoints-only) run.
 ExperimentResult runBaseline(const Program &P, int64_t ScaleArg);
+
+/// One cell of an experiment matrix.  \p Prog must outlive the matrix run
+/// (cells reference prebuilt programs; building is not part of a cell).
+struct MatrixCell {
+  const Program *Prog = nullptr;
+  int64_t ScaleArg = 0;
+  RunConfig Config;
+};
+
+/// A declarative batch of runs.  Cell order is the result order.
+struct RunMatrix {
+  std::vector<MatrixCell> Cells;
+};
+
+/// Runs every cell of \p M on \p Jobs worker threads (1 = serial) and
+/// returns results in cell order.  Simulated-cycle stats and profiles are
+/// bit-identical for every Jobs value; see harness/ParallelRunner.h,
+/// which this forwards to (use ParallelRunner directly to share its
+/// TransformCache across several matrices).
+std::vector<ExperimentResult> runMatrix(const RunMatrix &M, int Jobs = 1);
 
 /// Overhead of \p Measured relative to \p Baseline in percent.
 double overheadPct(const ExperimentResult &Baseline,

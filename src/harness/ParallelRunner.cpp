@@ -1,0 +1,38 @@
+//===- harness/ParallelRunner.cpp -----------------------------*- C++ -*-===//
+
+#include "harness/ParallelRunner.h"
+
+#include "support/ThreadPool.h"
+
+namespace ars {
+namespace harness {
+
+ParallelRunner::ParallelRunner(int Jobs) : Jobs(Jobs < 1 ? 1 : Jobs) {}
+
+std::vector<ExperimentResult> ParallelRunner::run(const RunMatrix &M) {
+  std::vector<ExperimentResult> Results(M.Cells.size());
+
+  support::ThreadPool Pool(Jobs);
+  for (size_t I = 0; I != M.Cells.size(); ++I) {
+    Pool.submit([this, &M, &Results, I] {
+      const MatrixCell &Cell = M.Cells[I];
+      if (!Cell.Prog) {
+        Results[I].Stats.Error = "matrix cell has no program";
+        return;
+      }
+      std::shared_ptr<const InstrumentedProgram> IP =
+          Cache.get(*Cell.Prog, Cell.Config.Clients, Cell.Config.Transform);
+      Results[I] =
+          runInstrumented(*Cell.Prog, *IP, Cell.ScaleArg, Cell.Config);
+    });
+  }
+  Pool.wait();
+  return Results;
+}
+
+std::vector<ExperimentResult> runMatrix(const RunMatrix &M, int Jobs) {
+  return ParallelRunner(Jobs).run(M);
+}
+
+} // namespace harness
+} // namespace ars

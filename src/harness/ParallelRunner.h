@@ -1,0 +1,53 @@
+//===- harness/ParallelRunner.h - Parallel experiment harness -*- C++ -*-===//
+///
+/// \file
+/// Fans a declarative RunMatrix of (workload program, transform options,
+/// engine config, clients) cells out across a fixed-size thread pool,
+/// sharing each instrumented module read-only through a TransformCache.
+///
+/// Determinism guarantee: the result vector is indexed by cell position,
+/// never by completion order, and every cell's simulated-cycle stats and
+/// profiles are bit-identical whatever the worker count — each run is a
+/// pure function of its cell (the engine keeps all run state per
+/// instance, the transform is deterministic, and cached modules are
+/// immutable).  Only host wall-clock time changes with Jobs; this is
+/// asserted by tests/test_parallel_harness.cpp and holds under
+/// ThreadSanitizer (scripts/check.sh --tsan).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_HARNESS_PARALLELRUNNER_H
+#define ARS_HARNESS_PARALLELRUNNER_H
+
+#include "harness/Experiment.h"
+#include "harness/TransformCache.h"
+
+namespace ars {
+namespace harness {
+
+/// Runs experiment matrices over a worker pool with a shared transform
+/// cache.  One runner (and so one cache) typically serves a whole bench
+/// binary; the cache lives as long as the runner.
+class ParallelRunner {
+public:
+  /// \p Jobs is the worker count; values below 1 are clamped to 1, which
+  /// is the serial reference configuration.
+  explicit ParallelRunner(int Jobs = 1);
+
+  /// Runs every cell of \p M and returns results in cell order.  A failed
+  /// run (engine error) is returned in place with Stats.Ok == false; it
+  /// never aborts the other cells.
+  std::vector<ExperimentResult> run(const RunMatrix &M);
+
+  int jobs() const { return Jobs; }
+  TransformCache &cache() { return Cache; }
+
+private:
+  int Jobs;
+  TransformCache Cache;
+};
+
+} // namespace harness
+} // namespace ars
+
+#endif // ARS_HARNESS_PARALLELRUNNER_H

@@ -2,7 +2,9 @@
 
 #include "harness/Pipeline.h"
 
+#include "bytecode/Disassembler.h"
 #include "frontend/Compiler.h"
+#include "ir/IRPrinter.h"
 #include "ir/IRVerifier.h"
 #include "lowering/Cleanup.h"
 #include "lowering/Lowering.h"
@@ -67,6 +69,47 @@ instrumentProgram(const Program &P,
   }
   Out.TransformMs = Timer.elapsedMs();
   return Out;
+}
+
+namespace {
+
+uint64_t fnv1a(uint64_t Hash, const std::string &Text) {
+  for (char C : Text) {
+    Hash ^= static_cast<unsigned char>(C);
+    Hash *= 0x100000001B3ULL;
+  }
+  return Hash;
+}
+
+} // namespace
+
+uint64_t programHash(const Program &P) {
+  // The disassembly and the IR printer render every semantically relevant
+  // bit of the program (opcodes, operands, block structure, symbol
+  // tables), so hashing their output is a content hash without a second
+  // serialization format to maintain.
+  uint64_t Hash = 0xCBF29CE484222325ULL;
+  Hash = fnv1a(Hash, bytecode::disassembleModule(P.M));
+  for (const ir::IRFunction &F : P.Funcs)
+    Hash = fnv1a(Hash, ir::printFunction(F));
+  return Hash;
+}
+
+std::string
+transformCacheKey(uint64_t ProgramHash,
+                  const std::vector<const instr::Instrumentation *> &Clients,
+                  const sampling::Options &Opts) {
+  std::string Key = support::formatString("p%016llx",
+      static_cast<unsigned long long>(ProgramHash));
+  for (const instr::Instrumentation *C : Clients)
+    Key += support::formatString("|%s@%p", C->name(),
+                                 static_cast<const void *>(C));
+  Key += support::formatString(
+      "|m%d:y%d:o%d:e%d:b%d:d%d:l%d:t%d", static_cast<int>(Opts.M),
+      Opts.InsertYieldpoints ? 1 : 0, Opts.YieldpointOpt ? 1 : 0,
+      Opts.EntryChecks ? 1 : 0, Opts.BackedgeChecks ? 1 : 0,
+      Opts.DuplicateCode ? 1 : 0, Opts.BurstLength, Opts.CombineThreshold);
+  return Key;
 }
 
 } // namespace harness

@@ -67,6 +67,21 @@ instrumentProgram(const Program &P,
                   const std::vector<const instr::Instrumentation *> &Clients,
                   const sampling::Options &Opts);
 
+/// Stable FNV-1a content hash of a compiled program (bytecode module plus
+/// cleaned IR).  Two programs with the same hash transform identically, so
+/// the hash anchors TransformCache keys.
+uint64_t programHash(const Program &P);
+
+/// Cache key for one (program, clients, options) transform.  The client
+/// part uses object identity (a client instance's placement decisions may
+/// depend on constructor parameters the interface cannot see), so keys are
+/// only meaningful within one process — exactly the lifetime of a
+/// TransformCache.
+std::string
+transformCacheKey(uint64_t ProgramHash,
+                  const std::vector<const instr::Instrumentation *> &Clients,
+                  const sampling::Options &Opts);
+
 } // namespace harness
 } // namespace ars
 

@@ -1,0 +1,63 @@
+//===- harness/TransformCache.cpp -----------------------------*- C++ -*-===//
+
+#include "harness/TransformCache.h"
+
+namespace ars {
+namespace harness {
+
+std::shared_ptr<const InstrumentedProgram>
+TransformCache::get(const Program &P,
+                    const std::vector<const instr::Instrumentation *> &Clients,
+                    const sampling::Options &Opts) {
+  std::unique_lock<std::mutex> Lock(Mu);
+
+  auto HashIt = HashMemo.find(&P);
+  if (HashIt == HashMemo.end()) {
+    // Hash outside the lock: rendering the module is the expensive part
+    // and needs no shared state.
+    Lock.unlock();
+    uint64_t Hash = programHash(P);
+    Lock.lock();
+    HashIt = HashMemo.emplace(&P, Hash).first;
+  }
+  std::string Key = transformCacheKey(HashIt->second, Clients, Opts);
+
+  auto It = Entries.find(Key);
+  if (It != Entries.end()) {
+    ++Hits;
+    EntryReady.wait(Lock, [&] { return It->second.Ready; });
+    return It->second.IP;
+  }
+
+  ++Misses;
+  It = Entries.emplace(Key, Entry()).first;
+  Lock.unlock();
+  auto IP = std::make_shared<const InstrumentedProgram>(
+      instrumentProgram(P, Clients, Opts));
+  Lock.lock();
+  It->second.IP = IP;
+  It->second.Ready = true;
+  EntryReady.notify_all();
+  return IP;
+}
+
+uint64_t TransformCache::hits() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Hits;
+}
+
+uint64_t TransformCache::misses() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Misses;
+}
+
+void TransformCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entries.clear();
+  HashMemo.clear();
+  Hits = 0;
+  Misses = 0;
+}
+
+} // namespace harness
+} // namespace ars

@@ -1,0 +1,78 @@
+//===- harness/TransformCache.h - Shared instrumented modules -*- C++ -*-===//
+///
+/// \file
+/// A content-keyed cache of transformed (instrumented) programs.  An
+/// experiment matrix re-runs the same instrumented module under many
+/// engine configurations — Table 4 alone runs one transform per
+/// (workload, mode) under seven sample intervals — so each module is
+/// built once and shared read-only across every run that uses it.
+///
+/// Sharing is safe because the execution engine treats the instrumented
+/// IR and the probe registry as immutable (all run state lives in the
+/// ExecutionEngine instance; see runtime/Engine.h), and the transform is
+/// deterministic, so a cached module is byte-for-byte the module a fresh
+/// transform would produce.  Both facts are covered by tests
+/// (tests/test_parallel_harness.cpp).
+///
+/// Lookups are single-flight: concurrent requests for the same key block
+/// until the first requester finishes transforming, rather than
+/// duplicating the work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_HARNESS_TRANSFORMCACHE_H
+#define ARS_HARNESS_TRANSFORMCACHE_H
+
+#include "harness/Pipeline.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace ars {
+namespace harness {
+
+/// Thread-safe, single-flight cache of instrumented programs keyed on
+/// (program content hash, clients, transform options).
+class TransformCache {
+public:
+  /// Returns the instrumented program for (\p P, \p Clients, \p Opts),
+  /// transforming on first use.  The returned pointer is shared and
+  /// immutable; it stays valid after the cache is cleared or destroyed.
+  std::shared_ptr<const InstrumentedProgram>
+  get(const Program &P,
+      const std::vector<const instr::Instrumentation *> &Clients,
+      const sampling::Options &Opts);
+
+  /// Requests served from an existing (or in-flight) entry.
+  uint64_t hits() const;
+  /// Requests that ran the transform.
+  uint64_t misses() const;
+
+  /// Drops every entry (shared pointers handed out survive).
+  void clear();
+
+private:
+  struct Entry {
+    bool Ready = false;
+    std::shared_ptr<const InstrumentedProgram> IP;
+  };
+
+  mutable std::mutex Mu;
+  std::condition_variable EntryReady;
+  std::map<std::string, Entry> Entries;
+  /// Program content hashes are memoized by address: hashing renders the
+  /// whole module, which would otherwise dwarf the cache's savings.  An
+  /// address maps to one content hash for the cache's lifetime because
+  /// matrix cells reference immutable prebuilt programs.
+  std::map<const Program *, uint64_t> HashMemo;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace harness
+} // namespace ars
+
+#endif // ARS_HARNESS_TRANSFORMCACHE_H

@@ -32,6 +32,71 @@ uint64_t ValueProfile::overflow(uint64_t SiteId) const {
   return It == Overflow.end() ? 0 : It->second;
 }
 
+std::string serializeBundle(const ProfileBundle &B) {
+  std::string Out;
+  auto count = [&Out](uint64_t Count) {
+    Out += formatString(":%llu", static_cast<unsigned long long>(Count));
+  };
+
+  Out += formatString("call-edges %llu\n",
+                      static_cast<unsigned long long>(B.CallEdges.total()));
+  for (const auto &[Key, Count] : B.CallEdges.counts()) {
+    Out += formatString("%d/%d/%d", Key.Caller, Key.Site, Key.Callee);
+    count(Count);
+    Out += '\n';
+  }
+
+  Out += formatString("field-accesses %llu\n",
+                      static_cast<unsigned long long>(
+                          B.FieldAccesses.total()));
+  for (size_t F = 0; F != B.FieldAccesses.counts().size(); ++F) {
+    Out += formatString("%zu", F);
+    count(B.FieldAccesses.counts()[F]);
+    Out += '\n';
+  }
+
+  Out += formatString("block-counts %llu\n",
+                      static_cast<unsigned long long>(B.BlockCounts.total()));
+  for (const auto &[Key, Count] : B.BlockCounts.counts()) {
+    Out += formatString("%d/%d", Key.first, Key.second);
+    count(Count);
+    Out += '\n';
+  }
+
+  Out += formatString("values %llu\n",
+                      static_cast<unsigned long long>(B.Values.total()));
+  for (const auto &[Site, Table] : B.Values.sites()) {
+    Out += formatString("site %llu ov",
+                        static_cast<unsigned long long>(Site));
+    count(B.Values.overflow(Site));
+    Out += '\n';
+    for (const auto &[Value, Count] : Table) {
+      Out += formatString("%lld", static_cast<long long>(Value));
+      count(Count);
+      Out += '\n';
+    }
+  }
+
+  Out += formatString("edges %llu\n",
+                      static_cast<unsigned long long>(B.Edges.total()));
+  for (const auto &[Key, Count] : B.Edges.counts()) {
+    Out += formatString("%d/%d/%d", std::get<0>(Key), std::get<1>(Key),
+                        std::get<2>(Key));
+    count(Count);
+    Out += '\n';
+  }
+
+  Out += formatString("paths %llu\n",
+                      static_cast<unsigned long long>(B.Paths.total()));
+  for (const auto &[Key, Count] : B.Paths.counts()) {
+    Out += formatString("%d/%lld", Key.first,
+                        static_cast<long long>(Key.second));
+    count(Count);
+    Out += '\n';
+  }
+  return Out;
+}
+
 std::string dumpCallEdges(const bytecode::Module &M,
                           const CallEdgeProfile &P, int TopK) {
   std::vector<std::pair<CallEdgeKey, uint64_t>> Edges(P.counts().begin(),

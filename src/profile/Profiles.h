@@ -206,6 +206,13 @@ struct ProfileBundle {
   }
 };
 
+/// Canonical byte serialization of every profile in \p B.  Two bundles
+/// serialize identically iff they hold identical counts, so this is the
+/// "bit-identical profiles" comparator used by the determinism tests of
+/// the parallel harness (all profile maps are ordered, so iteration — and
+/// therefore the byte stream — is deterministic).
+std::string serializeBundle(const ProfileBundle &B);
+
 /// Text dump of the top \p TopK call edges with names from \p M.
 std::string dumpCallEdges(const bytecode::Module &M,
                           const CallEdgeProfile &P, int TopK);

@@ -33,6 +33,31 @@ ExecutionEngine::ExecutionEngine(const bytecode::Module &M,
 
 ExecutionEngine::~ExecutionEngine() = default;
 
+std::string serializeStats(const RunStats &S) {
+  std::string Out = formatString(
+      "ok:%d err:%s cyc:%llu ins:%llu ent:%llu yp:%llu sw:%llu chk:%llu "
+      "smp:%llu gpe:%llu gpt:%llu pb:%llu bur:%llu tmr:%llu thr:%llu "
+      "res:%lld trace:",
+      S.Ok ? 1 : 0, S.Error.c_str(),
+      static_cast<unsigned long long>(S.Cycles),
+      static_cast<unsigned long long>(S.Instructions),
+      static_cast<unsigned long long>(S.Entries),
+      static_cast<unsigned long long>(S.YieldpointExecs),
+      static_cast<unsigned long long>(S.ThreadSwitches),
+      static_cast<unsigned long long>(S.CheckExecs),
+      static_cast<unsigned long long>(S.SamplesTaken),
+      static_cast<unsigned long long>(S.GuardedProbeExecs),
+      static_cast<unsigned long long>(S.GuardedProbesTaken),
+      static_cast<unsigned long long>(S.ProbeBodiesRun),
+      static_cast<unsigned long long>(S.BurstIterations),
+      static_cast<unsigned long long>(S.TimerFires),
+      static_cast<unsigned long long>(S.ThreadsSpawned),
+      static_cast<long long>(S.MainResult));
+  for (int64_t V : S.Trace)
+    Out += formatString("%lld,", static_cast<long long>(V));
+  return Out;
+}
+
 bool ExecutionEngine::fail(const std::string &Message) {
   if (Stats.Ok) {
     Stats.Ok = false;

@@ -13,6 +13,14 @@
 /// "running a deterministic application twice will result in identical
 /// profiles"); this is a unit test.
 ///
+/// Reentrancy: every piece of run state — profiles, heap, globals,
+/// green-thread stacks, the sample counter, the jitter RNG, the timer
+/// bit — lives in the ExecutionEngine instance, and the constructor-time
+/// inputs (module, IR functions, probe registry) are only ever read.
+/// Concurrent engines may therefore share one instrumented module, which
+/// is what the parallel harness's TransformCache relies on; the audit is
+/// pinned by tests/test_parallel_harness.cpp under ThreadSanitizer.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ARS_RUNTIME_ENGINE_H
@@ -107,6 +115,13 @@ struct RunStats {
   int64_t MainResult = 0;
   std::vector<int64_t> Trace; ///< values printed by Print
 };
+
+/// Canonical byte serialization of every deterministic field of \p S
+/// (everything except the host-independent fields is included; there are
+/// no host-time fields in RunStats).  Used by the parallel harness's
+/// determinism tests: two runs are "bit-identical" iff their serialized
+/// stats and profiles compare equal.
+std::string serializeStats(const RunStats &S);
 
 /// Interprets one compiled program.
 class ExecutionEngine {

@@ -1,0 +1,63 @@
+//===- support/ThreadPool.cpp ---------------------------------*- C++ -*-===//
+
+#include "support/ThreadPool.h"
+
+namespace ars {
+namespace support {
+
+ThreadPool::ThreadPool(int Workers) {
+  if (Workers < 1)
+    Workers = 1;
+  Threads.reserve(static_cast<size_t>(Workers));
+  for (int W = 0; W != Workers; ++W)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  JobReady.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Queue.push_back(std::move(Job));
+  }
+  JobReady.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  AllIdle.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+}
+
+int ThreadPool::defaultWorkers() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : static_cast<int>(N);
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  while (true) {
+    JobReady.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+    if (Queue.empty()) // Stopping, and nothing left to drain
+      return;
+    std::function<void()> Job = std::move(Queue.front());
+    Queue.pop_front();
+    ++Running;
+    Lock.unlock();
+    Job();
+    Lock.lock();
+    --Running;
+    if (Queue.empty() && Running == 0)
+      AllIdle.notify_all();
+  }
+}
+
+} // namespace support
+} // namespace ars

@@ -1,0 +1,74 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ----------*- C++ -*-===//
+///
+/// \file
+/// A fixed-size thread pool used by the parallel experiment harness
+/// (harness/ParallelRunner.h).  Jobs are opaque callables; the pool makes
+/// no ordering guarantee between them, so anything needing deterministic
+/// output must write into pre-assigned slots (the harness indexes results
+/// by matrix-cell position, never by completion order).
+///
+/// With one worker the pool degenerates to serial FIFO execution on a
+/// single background thread, which keeps the `--jobs 1` and `--jobs N`
+/// code paths identical except for the worker count — the determinism
+/// guarantee of the harness is "same bytes, different wall-clock".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_SUPPORT_THREADPOOL_H
+#define ARS_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ars {
+namespace support {
+
+/// Fixed-size pool of worker threads draining a FIFO job queue.
+class ThreadPool {
+public:
+  /// Spawns \p Workers threads (clamped to at least 1).
+  explicit ThreadPool(int Workers);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Job.  Jobs must not throw; a job that needs to report
+  /// failure writes into state it owns (the harness stores an error in the
+  /// job's result slot).
+  void submit(std::function<void()> Job);
+
+  /// Blocks until every submitted job has finished (queue empty and no job
+  /// running).  New jobs may be submitted afterwards; the pool stays up
+  /// until destruction.
+  void wait();
+
+  int workers() const { return static_cast<int>(Threads.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// permits returning 0 when the count is unknowable).
+  static int defaultWorkers();
+
+private:
+  void workerLoop();
+
+  std::mutex Mu;
+  std::condition_variable JobReady;  ///< signalled on submit / shutdown
+  std::condition_variable AllIdle;   ///< signalled when the pool drains
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Threads;
+  size_t Running = 0; ///< jobs currently executing
+  bool Stopping = false;
+};
+
+} // namespace support
+} // namespace ars
+
+#endif // ARS_SUPPORT_THREADPOOL_H

@@ -1,0 +1,362 @@
+//===- tests/test_parallel_harness.cpp - ParallelRunner tests -*- C++ -*-===//
+///
+/// The parallel harness's contract: a RunMatrix produces bit-identical
+/// simulated-cycle stats and profiles (compared as serialized bytes)
+/// whatever the worker count; the transform cache builds each
+/// instrumented module exactly once and shares it read-only; and the
+/// thread pool underneath executes and drains correctly.  These tests
+/// are the ones `scripts/check.sh --tsan` runs under ThreadSanitizer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/ParallelRunner.h"
+#include "instr/Clients.h"
+#include "ir/IRPrinter.h"
+#include "profile/Profiles.h"
+#include "runtime/Engine.h"
+#include "support/ThreadPool.h"
+#include "workloads/Workloads.h"
+
+#include "TestUtil.h"
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <thread>
+
+namespace {
+
+using namespace ars;
+using ars::testutil::build;
+
+instr::CallEdgeInstrumentation CallEdges;
+instr::FieldAccessInstrumentation FieldAccesses;
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  support::ThreadPool Pool(4);
+  EXPECT_EQ(Pool.workers(), 4);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  support::ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 1);
+  Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 3);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> Count{0};
+  {
+    support::ThreadPool Pool(1);
+    for (int I = 0; I != 50; ++I)
+      Pool.submit([&Count] { Count.fetch_add(1); });
+  }
+  EXPECT_EQ(Count.load(), 50);
+}
+
+TEST(ThreadPool, ClampsWorkerCount) {
+  support::ThreadPool Pool(0);
+  EXPECT_EQ(Pool.workers(), 1);
+  EXPECT_GE(support::ThreadPool::defaultWorkers(), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// TransformCache
+//===----------------------------------------------------------------------===//
+
+TEST(TransformCache, SameConfigurationTransformsOnce) {
+  harness::Program P =
+      build(workloads::workloadByName("compress")->Source);
+  harness::TransformCache Cache;
+  sampling::Options Opts;
+  Opts.M = sampling::Mode::FullDuplication;
+  std::vector<const instr::Instrumentation *> Clients = {&CallEdges,
+                                                         &FieldAccesses};
+
+  auto A = Cache.get(P, Clients, Opts);
+  auto B = Cache.get(P, Clients, Opts);
+  ASSERT_TRUE(A && B);
+  EXPECT_EQ(A.get(), B.get()) << "second lookup must share the module";
+  EXPECT_EQ(Cache.misses(), 1u);
+  EXPECT_EQ(Cache.hits(), 1u);
+}
+
+TEST(TransformCache, DistinctOptionsAreDistinctEntries) {
+  harness::Program P =
+      build(workloads::workloadByName("compress")->Source);
+  harness::TransformCache Cache;
+  std::vector<const instr::Instrumentation *> Clients = {&CallEdges};
+
+  sampling::Options Full;
+  Full.M = sampling::Mode::FullDuplication;
+  sampling::Options NoDup;
+  NoDup.M = sampling::Mode::NoDuplication;
+  sampling::Options FullBurst = Full;
+  FullBurst.BurstLength = 8;
+
+  auto A = Cache.get(P, Clients, Full);
+  auto B = Cache.get(P, Clients, NoDup);
+  auto C = Cache.get(P, Clients, FullBurst);
+  EXPECT_NE(A.get(), B.get());
+  EXPECT_NE(A.get(), C.get());
+  EXPECT_EQ(Cache.misses(), 3u);
+  EXPECT_EQ(Cache.hits(), 0u);
+
+  // Distinct client sets are distinct entries too.
+  auto D = Cache.get(P, {&CallEdges, &FieldAccesses}, Full);
+  EXPECT_NE(A.get(), D.get());
+  EXPECT_EQ(Cache.misses(), 4u);
+}
+
+TEST(TransformCache, ProgramsWithSameContentShareEntries) {
+  // Content-keyed, not address-keyed: two builds of the same source hash
+  // to the same key, so the second program's lookup is a hit.
+  const char *Source = workloads::workloadByName("db")->Source;
+  harness::Program P1 = build(Source);
+  harness::Program P2 = build(Source);
+  EXPECT_EQ(harness::programHash(P1), harness::programHash(P2));
+
+  harness::TransformCache Cache;
+  sampling::Options Opts;
+  Opts.M = sampling::Mode::FullDuplication;
+  auto A = Cache.get(P1, {&CallEdges}, Opts);
+  auto B = Cache.get(P2, {&CallEdges}, Opts);
+  EXPECT_EQ(A.get(), B.get());
+  EXPECT_EQ(Cache.misses(), 1u);
+  EXPECT_EQ(Cache.hits(), 1u);
+}
+
+TEST(TransformCache, CachedModuleEqualsFreshTransform) {
+  // The sharing argument rests on the transform being deterministic: a
+  // cache hit hands back exactly what a fresh transform would produce.
+  harness::Program P =
+      build(workloads::workloadByName("jess")->Source);
+  harness::TransformCache Cache;
+  sampling::Options Opts;
+  Opts.M = sampling::Mode::PartialDuplication;
+  std::vector<const instr::Instrumentation *> Clients = {&CallEdges,
+                                                         &FieldAccesses};
+  auto Cached = Cache.get(P, Clients, Opts);
+  harness::InstrumentedProgram Fresh =
+      harness::instrumentProgram(P, Clients, Opts);
+  ASSERT_EQ(Cached->Funcs.size(), Fresh.Funcs.size());
+  EXPECT_EQ(Cached->CodeSizeAfter, Fresh.CodeSizeAfter);
+  for (size_t I = 0; I != Fresh.Funcs.size(); ++I)
+    EXPECT_EQ(ir::printFunction(Cached->Funcs[I]),
+              ir::printFunction(Fresh.Funcs[I]));
+}
+
+TEST(TransformCache, SingleFlightUnderConcurrency) {
+  // Many threads asking for the same key must produce one transform; the
+  // rest block until it is ready and then share it.  (TSan target: this
+  // exercises the in-flight wait path.)
+  harness::Program P =
+      build(workloads::workloadByName("compress")->Source);
+  harness::TransformCache Cache;
+  sampling::Options Opts;
+  Opts.M = sampling::Mode::FullDuplication;
+  std::vector<const instr::Instrumentation *> Clients = {&CallEdges};
+
+  constexpr int N = 8;
+  std::vector<std::shared_ptr<const harness::InstrumentedProgram>> Got(N);
+  {
+    support::ThreadPool Pool(N);
+    for (int I = 0; I != N; ++I)
+      Pool.submit([&, I] { Got[I] = Cache.get(P, Clients, Opts); });
+    Pool.wait();
+  }
+  for (int I = 0; I != N; ++I)
+    EXPECT_EQ(Got[I].get(), Got[0].get());
+  EXPECT_EQ(Cache.misses(), 1u);
+  EXPECT_EQ(Cache.hits(), static_cast<uint64_t>(N - 1));
+}
+
+//===----------------------------------------------------------------------===//
+// ParallelRunner determinism
+//===----------------------------------------------------------------------===//
+
+/// A Table-4-shaped sub-matrix: two workloads x two framework modes x
+/// {framework-only, three intervals}, both clients, plus an exhaustive
+/// and a baseline cell per workload.
+harness::RunMatrix subMatrix(const std::vector<harness::Program> &Progs) {
+  harness::RunMatrix M;
+  for (const harness::Program &P : Progs) {
+    harness::MatrixCell Base;
+    Base.Prog = &P;
+    Base.ScaleArg = 1;
+    Base.Config.Transform.M = sampling::Mode::Baseline;
+    M.Cells.push_back(Base);
+
+    harness::MatrixCell Perfect = Base;
+    Perfect.Config.Transform.M = sampling::Mode::Exhaustive;
+    Perfect.Config.Clients = {&CallEdges, &FieldAccesses};
+    M.Cells.push_back(Perfect);
+
+    for (sampling::Mode Mode : {sampling::Mode::FullDuplication,
+                                sampling::Mode::NoDuplication})
+      for (int64_t Interval : {0, 1, 100, 10000}) {
+        harness::MatrixCell C = Perfect;
+        C.Config.Transform.M = Mode;
+        C.Config.Engine.SampleInterval = Interval;
+        M.Cells.push_back(C);
+      }
+  }
+  return M;
+}
+
+std::vector<harness::Program> subMatrixPrograms() {
+  std::vector<harness::Program> Progs;
+  Progs.push_back(build(workloads::workloadByName("compress")->Source));
+  Progs.push_back(build(workloads::workloadByName("db")->Source));
+  return Progs;
+}
+
+TEST(ParallelRunner, BitIdenticalAcrossWorkerCounts) {
+  std::vector<harness::Program> Progs = subMatrixPrograms();
+  harness::RunMatrix M = subMatrix(Progs);
+
+  harness::ParallelRunner Serial(1);
+  auto Reference = Serial.run(M);
+  ASSERT_EQ(Reference.size(), M.Cells.size());
+
+  int Wide = std::max(support::ThreadPool::defaultWorkers(), 4);
+  harness::ParallelRunner Parallel(Wide);
+  auto Threaded = Parallel.run(M);
+  ASSERT_EQ(Threaded.size(), M.Cells.size());
+
+  for (size_t I = 0; I != Reference.size(); ++I) {
+    ASSERT_TRUE(Reference[I].Stats.Ok) << Reference[I].Stats.Error;
+    ASSERT_TRUE(Threaded[I].Stats.Ok) << Threaded[I].Stats.Error;
+    EXPECT_EQ(runtime::serializeStats(Reference[I].Stats),
+              runtime::serializeStats(Threaded[I].Stats))
+        << "cell " << I << " stats differ between 1 and " << Wide
+        << " workers";
+    EXPECT_EQ(profile::serializeBundle(Reference[I].Profiles),
+              profile::serializeBundle(Threaded[I].Profiles))
+        << "cell " << I << " profiles differ between 1 and " << Wide
+        << " workers";
+  }
+}
+
+TEST(ParallelRunner, RepeatedParallelRunsAreIdentical) {
+  // Same matrix, same runner, run twice: the second pass is served from
+  // the transform cache and must still produce the same bytes.
+  std::vector<harness::Program> Progs = subMatrixPrograms();
+  harness::RunMatrix M = subMatrix(Progs);
+  harness::ParallelRunner Runner(4);
+  auto First = Runner.run(M);
+  uint64_t MissesAfterFirst = Runner.cache().misses();
+  auto Second = Runner.run(M);
+  EXPECT_EQ(Runner.cache().misses(), MissesAfterFirst)
+      << "second pass must be all cache hits";
+  ASSERT_EQ(First.size(), Second.size());
+  for (size_t I = 0; I != First.size(); ++I) {
+    EXPECT_EQ(runtime::serializeStats(First[I].Stats),
+              runtime::serializeStats(Second[I].Stats));
+    EXPECT_EQ(profile::serializeBundle(First[I].Profiles),
+              profile::serializeBundle(Second[I].Profiles));
+  }
+}
+
+TEST(ParallelRunner, SharesTransformsAcrossCells) {
+  // Table 4's economics: one transform per (workload, mode) serves every
+  // interval.  2 workloads x (1 exhaustive + 2 modes) = 6 transforms for
+  // 20 cells (baseline cells don't instrument -- they still cache).
+  std::vector<harness::Program> Progs = subMatrixPrograms();
+  harness::RunMatrix M = subMatrix(Progs);
+  harness::ParallelRunner Runner(4);
+  auto Results = Runner.run(M);
+  ASSERT_EQ(Results.size(), M.Cells.size());
+  EXPECT_EQ(Runner.cache().misses(), 8u)
+      << "2 workloads x {baseline, exhaustive, full, nodup}";
+  EXPECT_EQ(Runner.cache().hits(), M.Cells.size() - 8);
+}
+
+TEST(ParallelRunner, ResultsStayInCellOrder) {
+  // Interleave two easily distinguished configs; slot I must hold cell
+  // I's result whatever order the workers finished in.
+  harness::Program P =
+      build(workloads::workloadByName("compress")->Source);
+  harness::RunMatrix M;
+  for (int I = 0; I != 12; ++I) {
+    harness::MatrixCell C;
+    C.Prog = &P;
+    C.ScaleArg = 1;
+    C.Config.Transform.M = (I % 2 == 0) ? sampling::Mode::Baseline
+                                        : sampling::Mode::Exhaustive;
+    if (I % 2 == 1)
+      C.Config.Clients = {&CallEdges, &FieldAccesses};
+    M.Cells.push_back(C);
+  }
+  auto Results = harness::runMatrix(M, 4);
+  ASSERT_EQ(Results.size(), M.Cells.size());
+  for (int I = 0; I != 12; ++I) {
+    ASSERT_TRUE(Results[I].Stats.Ok);
+    if (I % 2 == 0)
+      EXPECT_EQ(Results[I].Profiles.CallEdges.total(), 0u) << I;
+    else
+      EXPECT_GT(Results[I].Profiles.CallEdges.total(), 0u) << I;
+  }
+}
+
+TEST(ParallelRunner, NullProgramReportsErrorInSlot) {
+  harness::Program P =
+      build(workloads::workloadByName("db")->Source);
+  harness::RunMatrix M;
+  harness::MatrixCell Good;
+  Good.Prog = &P;
+  Good.ScaleArg = 1;
+  M.Cells.push_back(Good);
+  harness::MatrixCell Bad; // Prog left null
+  M.Cells.push_back(Bad);
+  auto Results = harness::runMatrix(M, 2);
+  ASSERT_EQ(Results.size(), 2u);
+  EXPECT_TRUE(Results[0].Stats.Ok);
+  EXPECT_FALSE(Results[1].Stats.Ok);
+  EXPECT_FALSE(Results[1].Stats.Error.empty());
+}
+
+TEST(ParallelRunner, ConcurrentEnginesShareOneInstrumentedProgram) {
+  // Regression for the core sharing claim: many engines executing the
+  // same cached module concurrently must not disturb each other (the
+  // module and probe registry are read-only; all run state is engine-
+  // local).  Run the same cell 16 times in one matrix and demand 16
+  // byte-identical results.
+  harness::Program P =
+      build(workloads::workloadByName("jess")->Source);
+  harness::RunMatrix M;
+  for (int I = 0; I != 16; ++I) {
+    harness::MatrixCell C;
+    C.Prog = &P;
+    C.ScaleArg = 1;
+    C.Config.Transform.M = sampling::Mode::FullDuplication;
+    C.Config.Engine.SampleInterval = 37;
+    C.Config.Clients = {&CallEdges, &FieldAccesses};
+    M.Cells.push_back(C);
+  }
+  harness::ParallelRunner Runner(8);
+  auto Results = Runner.run(M);
+  EXPECT_EQ(Runner.cache().misses(), 1u);
+  std::string Stats0 = runtime::serializeStats(Results[0].Stats);
+  std::string Bundle0 = profile::serializeBundle(Results[0].Profiles);
+  EXPECT_FALSE(Bundle0.empty());
+  for (size_t I = 1; I != Results.size(); ++I) {
+    EXPECT_EQ(runtime::serializeStats(Results[I].Stats), Stats0) << I;
+    EXPECT_EQ(profile::serializeBundle(Results[I].Profiles), Bundle0) << I;
+  }
+}
+
+} // namespace

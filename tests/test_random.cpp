@@ -153,4 +153,81 @@ TEST_P(RandomProgramTest, DynamicProperty1Holds) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
                          ::testing::Range(uint64_t(1), uint64_t(41)));
 
+/// A wider, cheaper property sweep than RandomProgramTest: 200 fresh
+/// seeds, checking exactly Property 1 on every generated program --
+/// statically (checker over the transformed IR, which must also be
+/// reducible: the framework's placement argument assumes natural loops)
+/// and dynamically (checks executed bounded by the baseline's method
+/// entries + backedges, i.e. its yieldpoint executions) across the
+/// Full-Duplication, Partial-Duplication and Combined variants.  The
+/// dynamic runs go through runMatrix, so this also soaks the parallel
+/// harness on 200 distinct programs.
+class Property1RandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Property1RandomTest, StaticAndDynamicProperty1) {
+  RandomProgramGenerator Gen(GetParam());
+  std::string Source = Gen.generate();
+  harness::Program P = build(Source.c_str());
+  const std::vector<const instr::Instrumentation *> Clients = {
+      &CallEdges, &FieldAccesses};
+  const sampling::Mode Modes[] = {sampling::Mode::FullDuplication,
+                                  sampling::Mode::PartialDuplication,
+                                  sampling::Mode::Combined};
+
+  // Static half: transformed IR verifies, stays reducible, and passes
+  // the Property-1 placement checker in every mode.
+  for (sampling::Mode M : Modes) {
+    sampling::Options Opts;
+    Opts.M = M;
+    harness::InstrumentedProgram IP =
+        harness::instrumentProgram(P, Clients, Opts);
+    for (size_t F = 0; F != IP.Funcs.size(); ++F) {
+      EXPECT_TRUE(IP.Transforms[F].Stats.Reducible)
+          << sampling::modeName(M) << "\nsource:\n" << Source;
+      std::string Bad = sampling::checkProperty1Static(
+          IP.Funcs[F], IP.Transforms[F], Opts);
+      EXPECT_TRUE(Bad.empty())
+          << sampling::modeName(M) << ": " << Bad << "\nsource:\n"
+          << Source;
+    }
+  }
+
+  // Dynamic half, one matrix: baseline plus the three variants.
+  harness::RunMatrix M;
+  harness::MatrixCell Base;
+  Base.Prog = &P;
+  Base.ScaleArg = 9;
+  Base.Config.Transform.M = sampling::Mode::Baseline;
+  M.Cells.push_back(Base);
+  for (sampling::Mode Mode : Modes) {
+    harness::MatrixCell C = Base;
+    C.Config.Transform.M = Mode;
+    C.Config.Engine.SampleInterval = 23;
+    C.Config.Clients = Clients;
+    M.Cells.push_back(C);
+  }
+  auto Results = harness::runMatrix(M, 2);
+  ASSERT_TRUE(Results[0].Stats.Ok) << Results[0].Stats.Error;
+  uint64_t Bound = Results[0].Stats.YieldpointExecs; // entries + backedges
+
+  for (size_t I = 1; I != Results.size(); ++I) {
+    sampling::Mode Mode = M.Cells[I].Config.Transform.M;
+    ASSERT_TRUE(Results[I].Stats.Ok)
+        << sampling::modeName(Mode) << ": " << Results[I].Stats.Error;
+    if (Mode == sampling::Mode::Combined) {
+      // Combined guards its low-frequency probes individually (the paper
+      // allows "executing some additional checks" there), so only the
+      // framework checks are bounded by entries + backedges.
+      EXPECT_LE(Results[I].Stats.CheckExecs, Bound)
+          << sampling::modeName(Mode) << "\nsource:\n" << Source;
+    } else {
+      EXPECT_LE(Results[I].checksExecuted(), Bound)
+          << sampling::modeName(Mode) << "\nsource:\n" << Source;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Property1RandomTest,
+                         ::testing::Range(uint64_t(1000), uint64_t(1200)));
+
 } // namespace

@@ -63,6 +63,66 @@ TEST(Sampling, NoDupIntervalOneEqualsExhaustive) {
             Sampled.Profiles.CallEdges.counts());
 }
 
+class DifferentialWorkloadTest
+    : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(DifferentialWorkloadTest, IntervalOneMatchesExhaustiveEverywhere) {
+  // Differential check across the whole suite: at interval 1 every check
+  // fires, so Full-Duplication and No-Duplication must reproduce the
+  // exhaustive profile for both clients on every workload, not just the
+  // handpicked ones above.
+  const workloads::Workload *W = workloads::workloadByName(GetParam());
+  ASSERT_NE(W, nullptr);
+  harness::Program P = build(W->Source);
+  auto Perfect = runMode(P, 1, sampling::Mode::Exhaustive, 0);
+  ASSERT_TRUE(Perfect.Stats.Ok) << Perfect.Stats.Error;
+
+  for (sampling::Mode M : {sampling::Mode::FullDuplication,
+                           sampling::Mode::NoDuplication}) {
+    auto Sampled = runMode(P, 1, M, 1);
+    ASSERT_TRUE(Sampled.Stats.Ok)
+        << sampling::modeName(M) << ": " << Sampled.Stats.Error;
+    double CallOverlap = profile::overlapPercent(
+        Perfect.Profiles.CallEdges, Sampled.Profiles.CallEdges);
+    double FieldOverlap = profile::overlapPercent(
+        Perfect.Profiles.FieldAccesses, Sampled.Profiles.FieldAccesses);
+    if (std::string(W->Name) == "volano") {
+      // volano spawns threads that spin-wait on globals; the number of
+      // spin iterations depends on where yieldpoints fall, which the
+      // transform moves, so its field-access counts legitimately differ
+      // between configurations.  Overlap must still be near-perfect.
+      EXPECT_GT(CallOverlap, 95.0) << sampling::modeName(M);
+      EXPECT_GT(FieldOverlap, 90.0) << sampling::modeName(M);
+    } else {
+      EXPECT_DOUBLE_EQ(CallOverlap, 100.0) << sampling::modeName(M);
+      EXPECT_DOUBLE_EQ(FieldOverlap, 100.0) << sampling::modeName(M);
+      EXPECT_EQ(Perfect.Profiles.CallEdges.counts(),
+                Sampled.Profiles.CallEdges.counts())
+          << sampling::modeName(M);
+      EXPECT_EQ(Perfect.Profiles.FieldAccesses.counts(),
+                Sampled.Profiles.FieldAccesses.counts())
+          << sampling::modeName(M);
+    }
+  }
+}
+
+std::vector<const char *> allWorkloadNames() {
+  std::vector<const char *> Names;
+  for (const workloads::Workload &W : workloads::allWorkloads())
+    Names.push_back(W.Name);
+  return Names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, DifferentialWorkloadTest,
+                         ::testing::ValuesIn(allWorkloadNames()),
+                         [](const auto &Info) {
+                           std::string Name(Info.param);
+                           for (char &C : Name)
+                             if (!std::isalnum(static_cast<unsigned char>(C)))
+                               C = '_';
+                           return Name;
+                         });
+
 TEST(Sampling, SampleCountTracksInterval) {
   harness::Program P = build(compressWorkload().Source);
   auto R = runMode(P, 2, sampling::Mode::FullDuplication, 100);

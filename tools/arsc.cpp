@@ -10,6 +10,7 @@
 ///   arsc dump-ir prog.mj        # baseline CFG IR
 ///   arsc dump-transformed prog.mj --mode=full   # post-transform IR
 ///   arsc overhead prog.mj --arg=1000 --mode=full --interval=1000
+///   arsc sweep prog.mj --arg=1000 --jobs=4   # mode x interval matrix
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,8 +22,10 @@
 #include "lowering/Cleanup.h"
 #include "lowering/Lowering.h"
 #include "opt/Passes.h"
+#include "profile/Overlap.h"
 #include "profile/Profiles.h"
 #include "support/Support.h"
+#include "support/TablePrinter.h"
 
 #include <cstdio>
 #include <cstring>
@@ -49,6 +52,7 @@ struct CliOptions {
   uint32_t JitterPct = 0;
   bool ShowProfiles = false;
   bool Optimize = false;
+  int Jobs = 1;
   std::vector<std::string> Clients = {"call-edge", "field-access"};
 };
 
@@ -59,6 +63,8 @@ int usage(const char *Prog) {
       "commands:\n"
       "  run               compile and execute, print result and stats\n"
       "  overhead          run baseline + configured mode, print overhead\n"
+      "  sweep             run a mode x interval matrix, print overhead\n"
+      "                    and accuracy per cell (parallel with --jobs)\n"
       "  dump-bc           print disassembled bytecode\n"
       "  dump-ir           print baseline CFG IR\n"
       "  dump-transformed  print IR after the sampling transform\n"
@@ -76,7 +82,9 @@ int usage(const char *Prog) {
       "  --per-thread           per-thread sample counters\n"
       "  --jitter=<pct>         randomized interval perturbation\n"
       "  --profiles             print collected profiles\n"
-      "  --optimize             run the O2 optimizer before instrumenting\n",
+      "  --optimize             run the O2 optimizer before instrumenting\n"
+      "  --jobs=<n>             worker threads for matrix commands; results\n"
+      "                         are identical for every value (default 1)\n",
       Prog);
   return 2;
 }
@@ -127,6 +135,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions *Opts) {
       Opts->ShowProfiles = true;
     } else if (Arg == "--optimize") {
       Opts->Optimize = true;
+    } else if (const char *V = valueOf("--jobs=")) {
+      Opts->Jobs = std::atoi(V);
+      if (Opts->Jobs < 1)
+        Opts->Jobs = 1;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
       return false;
@@ -298,6 +310,64 @@ int main(int Argc, char **Argv) {
       std::fputs(ir::printFunction(F).c_str(), stdout);
     std::printf("; code size %d -> %d instructions\n", IP.CodeSizeBefore,
                 IP.CodeSizeAfter);
+    return 0;
+  }
+
+  if (Opts.Command == "sweep") {
+    // Mode x interval matrix driven through the parallel runner: cell 0
+    // is the baseline, cell 1 the exhaustive (perfect) profile, then one
+    // cell per (mode, interval).  Results are in cell order, so the
+    // printed table is identical for every --jobs value.
+    const std::vector<sampling::Mode> Modes = {
+        sampling::Mode::FullDuplication, sampling::Mode::PartialDuplication,
+        sampling::Mode::Combined, sampling::Mode::NoDuplication};
+    const std::vector<int64_t> Intervals = {0, 1, 10, 100, 1000, 10000};
+
+    harness::RunMatrix M;
+    auto addCell = [&](sampling::Mode Mode, int64_t Interval) {
+      CliOptions CellOpts = Opts;
+      CellOpts.Mode = Mode;
+      CellOpts.Interval = Interval;
+      harness::MatrixCell MC;
+      MC.Prog = &P;
+      MC.ScaleArg = Opts.Arg;
+      MC.Config = makeConfig(CellOpts, Clients);
+      M.Cells.push_back(std::move(MC));
+    };
+    addCell(sampling::Mode::Baseline, 0);
+    addCell(sampling::Mode::Exhaustive, 0);
+    for (sampling::Mode Mode : Modes)
+      for (int64_t Interval : Intervals)
+        addCell(Mode, Interval);
+
+    std::vector<harness::ExperimentResult> Results =
+        harness::runMatrix(M, Opts.Jobs);
+    for (const harness::ExperimentResult &R : Results)
+      if (!R.Stats.Ok) {
+        std::fprintf(stderr, "runtime error: %s\n", R.Stats.Error.c_str());
+        return 1;
+      }
+    const harness::ExperimentResult &Base = Results[0];
+    const harness::ExperimentResult &Perfect = Results[1];
+
+    std::printf("baseline cycles : %llu   (%zu cells, %d jobs)\n",
+                static_cast<unsigned long long>(Base.Stats.Cycles),
+                M.Cells.size(), Opts.Jobs);
+    support::TablePrinter T({"Mode", "Interval", "Overhead (%)",
+                             "Samples", "Call-Edge Acc (%)"});
+    for (size_t MI = 0; MI != Modes.size(); ++MI)
+      for (size_t II = 0; II != Intervals.size(); ++II) {
+        const harness::ExperimentResult &R =
+            Results[2 + MI * Intervals.size() + II];
+        T.beginRow();
+        T.cell(sampling::modeName(Modes[MI]));
+        T.cellInt(Intervals[II]);
+        T.cellPercent(harness::overheadPct(Base, R));
+        T.cellInt(static_cast<int64_t>(R.samplesTaken()));
+        T.cellPercent(profile::overlapPercent(Perfect.Profiles.CallEdges,
+                                              R.Profiles.CallEdges));
+      }
+    T.print();
     return 0;
   }
 
