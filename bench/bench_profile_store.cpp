@@ -1,0 +1,131 @@
+//===- bench/bench_profile_store.cpp - Profile store microbench -*- C++ -*-===//
+///
+/// Measures the profile store's serialization and merge machinery on real
+/// bundles (all six profile kinds populated by an exhaustive run):
+///
+///   * encode/decode throughput of the binary .arsp format,
+///   * bytes/entry of the binary format vs. the naive serializeBundle
+///     text rendering (the determinism comparator),
+///   * mergeBundle throughput (entries merged per second).
+///
+/// Host wall-clock measurements — like the other microbenches these stay
+/// meaningful only relative to each other, not vs. the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "profstore/ProfileIO.h"
+#include "profstore/ProfileStore.h"
+#include "support/Support.h"
+
+#include <cstdio>
+
+using namespace ars;
+
+namespace {
+
+size_t bundleEntries(const profile::ProfileBundle &B) {
+  size_t N = B.CallEdges.counts().size() + B.FieldAccesses.counts().size() +
+             B.BlockCounts.counts().size() + B.Edges.counts().size() +
+             B.Paths.counts().size();
+  for (const auto &[Site, Table] : B.Values.sites())
+    N += 1 + Table.size();
+  return N;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bench::Context Ctx(Argc, Argv);
+  bench::printBanner("Profile store microbench",
+                     "new experiment: .arsp serialize/merge throughput "
+                     "and bytes/entry vs. text");
+
+  // Exhaustive runs with every client populate all six sections.
+  static instr::BlockCountInstrumentation BlockCounts;
+  static instr::ValueProfileInstrumentation Values;
+  static instr::EdgeCountInstrumentation EdgeCounts;
+  static instr::PathProfileInstrumentation Paths;
+  std::vector<bench::NamedCell> Cells;
+  const std::vector<std::string> Names = {"javac", "db", "jess"};
+  for (const std::string &Name : Names) {
+    harness::RunConfig C;
+    C.Transform.M = sampling::Mode::Exhaustive;
+    C.Clients = bench::bothClients();
+    C.Clients.push_back(&BlockCounts);
+    C.Clients.push_back(&Values);
+    C.Clients.push_back(&EdgeCounts);
+    C.Clients.push_back(&Paths);
+    Cells.emplace_back(Name, C);
+  }
+  std::vector<harness::ExperimentResult> Results = Ctx.runAll(Cells);
+
+  support::TablePrinter T({"Workload", "Entries", "Binary B", "Text B",
+                           "B/entry", "Text ratio", "Enc MB/s", "Dec MB/s",
+                           "Merge Mentry/s"});
+  for (size_t I = 0; I != Names.size(); ++I) {
+    const profile::ProfileBundle &B = Results[I].Profiles;
+    size_t Entries = bundleEntries(B);
+    std::string Binary = profstore::encodeBundle(B, 0x1234);
+    std::string Text = profile::serializeBundle(B);
+
+    // Loop counts sized so each timed region runs a few hundred ms at
+    // default scale without dominating check.sh.
+    constexpr int EncodeIters = 200;
+    constexpr int DecodeIters = 100;
+    constexpr int MergeIters = 100;
+
+    support::HostTimer Enc;
+    size_t Sink = 0;
+    for (int K = 0; K != EncodeIters; ++K)
+      Sink += profstore::encodeBundle(B, 0x1234).size();
+    double EncMs = Enc.elapsedMs();
+
+    support::HostTimer Dec;
+    for (int K = 0; K != DecodeIters; ++K) {
+      profstore::DecodeResult R = profstore::decodeBundle(Binary);
+      if (!R.Ok) {
+        std::fprintf(stderr, "decode failed: %s\n", R.Error.c_str());
+        return 1;
+      }
+      Sink += R.Bundle.CallEdges.counts().size();
+    }
+    double DecMs = Dec.elapsedMs();
+
+    support::HostTimer Merge;
+    profile::ProfileBundle Acc;
+    for (int K = 0; K != MergeIters; ++K)
+      profstore::mergeBundle(Acc, B);
+    double MergeMs = Merge.elapsedMs();
+
+    auto MBps = [](double Bytes, double Ms) {
+      return Ms > 0 ? Bytes / 1e6 / (Ms / 1e3) : 0.0;
+    };
+    T.beginRow();
+    T.cell(Names[I]);
+    T.cellInt(static_cast<int64_t>(Entries));
+    T.cellInt(static_cast<int64_t>(Binary.size()));
+    T.cellInt(static_cast<int64_t>(Text.size()));
+    T.cellDouble(Entries ? static_cast<double>(Binary.size()) /
+                               static_cast<double>(Entries)
+                         : 0.0);
+    T.cellDouble(Binary.empty()
+                     ? 0.0
+                     : static_cast<double>(Text.size()) /
+                           static_cast<double>(Binary.size()));
+    T.cellDouble(MBps(static_cast<double>(Binary.size()) * EncodeIters,
+                      EncMs));
+    T.cellDouble(MBps(static_cast<double>(Binary.size()) * DecodeIters,
+                      DecMs));
+    T.cellDouble(MergeMs > 0 ? static_cast<double>(Entries) * MergeIters /
+                                   1e6 / (MergeMs / 1e3)
+                             : 0.0);
+    if (Sink == 0) // keep the loops from being optimized out
+      std::fprintf(stderr, "unexpected empty bundles\n");
+  }
+  T.print();
+  std::printf("\nRound-trip checked on every decode; \"Text ratio\" is the "
+              "size win over the naive text serializer.\n");
+  return 0;
+}

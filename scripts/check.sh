@@ -26,7 +26,7 @@ if [[ "$TSAN" == 1 ]]; then
   # determinism), the multithreaded-workload sampling tests, and the
   # random-program sweep that drives runMatrix on every seed.
   build-tsan/tests/ars_tests \
-    --gtest_filter='ThreadPool.*:TransformCache.*:ParallelRunner.*:Sampling.*:AllWorkloads/*:Seeds/Property1RandomTest.*'
+    --gtest_filter='ThreadPool.*:TransformCache.*:ParallelRunner.*:ProfileAggregator.*:Sampling.*:AllWorkloads/*:Seeds/Property1RandomTest.*'
   exit 0
 fi
 
@@ -34,8 +34,17 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Every bench understands --jobs (bench::Context): fan matrix cells out
+# across the cores.  Fail fast, naming the binary -- a wildcard loop that
+# dies mid-way otherwise leaves no hint which bench broke.
+JOBS="$(nproc)"
 for b in build/bench/bench_table* build/bench/bench_fig* \
-         build/bench/bench_ablation_variants; do
-  "$b" ${SCALE_ARG}
+         build/bench/bench_ablation_variants \
+         build/bench/bench_profile_store \
+         build/bench/bench_convergence_shards; do
+  if ! "$b" ${SCALE_ARG} --jobs "${JOBS}"; then
+    echo "FAILED: $b" >&2
+    exit 1
+  fi
 done
 build/bench/bench_micro_framework --benchmark_min_time=0.05

@@ -2,6 +2,7 @@
 
 #include "harness/ParallelRunner.h"
 
+#include "profstore/ProfileAggregator.h"
 #include "support/ThreadPool.h"
 
 namespace ars {
@@ -10,11 +11,16 @@ namespace harness {
 ParallelRunner::ParallelRunner(int Jobs) : Jobs(Jobs < 1 ? 1 : Jobs) {}
 
 std::vector<ExperimentResult> ParallelRunner::run(const RunMatrix &M) {
+  return run(M, nullptr);
+}
+
+std::vector<ExperimentResult>
+ParallelRunner::run(const RunMatrix &M, profstore::ProfileAggregator *Agg) {
   std::vector<ExperimentResult> Results(M.Cells.size());
 
   support::ThreadPool Pool(Jobs);
   for (size_t I = 0; I != M.Cells.size(); ++I) {
-    Pool.submit([this, &M, &Results, I] {
+    Pool.submit([this, &M, &Results, Agg, I] {
       const MatrixCell &Cell = M.Cells[I];
       if (!Cell.Prog) {
         Results[I].Stats.Error = "matrix cell has no program";
@@ -24,6 +30,8 @@ std::vector<ExperimentResult> ParallelRunner::run(const RunMatrix &M) {
           Cache.get(*Cell.Prog, Cell.Config.Clients, Cell.Config.Transform);
       Results[I] =
           runInstrumented(*Cell.Prog, *IP, Cell.ScaleArg, Cell.Config);
+      if (Agg && Results[I].Stats.Ok)
+        Agg->flush(I, Results[I].Profiles);
     });
   }
   Pool.wait();

@@ -23,6 +23,9 @@
 #include "harness/TransformCache.h"
 
 namespace ars {
+namespace profstore {
+class ProfileAggregator;
+}
 namespace harness {
 
 /// Runs experiment matrices over a worker pool with a shared transform
@@ -38,6 +41,14 @@ public:
   /// run (engine error) is returned in place with Stats.Ok == false; it
   /// never aborts the other cells.
   std::vector<ExperimentResult> run(const RunMatrix &M);
+
+  /// Like run(), but each worker additionally streams its cell's profile
+  /// bundle into \p Agg (keyed by cell index) as soon as the run
+  /// finishes — the streaming-aggregation path.  The aggregator's merged
+  /// bundle is byte-identical for every worker count (see
+  /// profstore/ProfileAggregator.h); failed cells flush nothing.
+  std::vector<ExperimentResult> run(const RunMatrix &M,
+                                    profstore::ProfileAggregator *Agg);
 
   int jobs() const { return Jobs; }
   TransformCache &cache() { return Cache; }

@@ -27,6 +27,17 @@ void ValueProfile::record(uint64_t SiteId, int64_t Value, uint64_t Count) {
   Table.emplace(Value, Count);
 }
 
+void ValueProfile::add(uint64_t SiteId, int64_t Value, uint64_t Count) {
+  Sites[SiteId][Value] += Count;
+  Total += Count;
+}
+
+void ValueProfile::addOverflow(uint64_t SiteId, uint64_t Count) {
+  Sites[SiteId]; // the overflow bucket belongs to a (possibly empty) site
+  Overflow[SiteId] += Count;
+  Total += Count;
+}
+
 uint64_t ValueProfile::overflow(uint64_t SiteId) const {
   auto It = Overflow.find(SiteId);
   return It == Overflow.end() ? 0 : It->second;

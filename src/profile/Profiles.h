@@ -19,6 +19,7 @@
 #ifndef ARS_PROFILE_PROFILES_H
 #define ARS_PROFILE_PROFILES_H
 
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -76,8 +77,17 @@ private:
 class FieldAccessProfile {
 public:
   void resize(int NumFieldIds) { Counts.assign(NumFieldIds, 0); }
+  /// Grows the counter vector on demand: a probe compiled against a stale
+  /// module (or a profile loaded from disk with more fields than the
+  /// engine resized for) must never index out of bounds.  Negative ids
+  /// are a caller bug and assert.
   void record(int FieldId, uint64_t Count = 1) {
-    Counts[FieldId] += Count;
+    assert(FieldId >= 0 && "FieldAccessProfile: negative field id");
+    if (FieldId < 0)
+      return;
+    if (static_cast<size_t>(FieldId) >= Counts.size())
+      Counts.resize(static_cast<size_t>(FieldId) + 1, 0);
+    Counts[static_cast<size_t>(FieldId)] += Count;
     Total += Count;
   }
 
@@ -168,6 +178,18 @@ public:
   static constexpr size_t MaxValuesPerSite = 32;
 
   void record(uint64_t SiteId, int64_t Value, uint64_t Count = 1);
+
+  /// Adds \p Count to (\p SiteId, \p Value) with no MaxValuesPerSite
+  /// fold.  The cap is a *collection-time* bound (it models the fixed
+  /// per-site table a runtime would allocate); profile merging and
+  /// deserialization sum tables that were already capped when recorded,
+  /// and must do so commutatively — re-folding here would make the result
+  /// depend on merge order.  Merged tables may therefore exceed the cap.
+  void add(uint64_t SiteId, int64_t Value, uint64_t Count);
+
+  /// Adds \p Count to \p SiteId's overflow ("other") bucket, creating the
+  /// site if needed.
+  void addOverflow(uint64_t SiteId, uint64_t Count);
 
   uint64_t total() const { return Total; }
   const std::map<uint64_t, std::map<int64_t, uint64_t>> &sites() const {

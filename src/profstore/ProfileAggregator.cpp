@@ -1,0 +1,52 @@
+//===- profstore/ProfileAggregator.cpp ------------------------*- C++ -*-===//
+
+#include "profstore/ProfileAggregator.h"
+
+#include "profstore/ProfileStore.h"
+
+namespace ars {
+namespace profstore {
+
+ProfileAggregator::ProfileAggregator(int Stripes) {
+  if (Stripes < 1)
+    Stripes = 16;
+  Shards.reserve(static_cast<size_t>(Stripes));
+  for (int I = 0; I != Stripes; ++I)
+    Shards.push_back(std::make_unique<Stripe>());
+}
+
+void ProfileAggregator::flush(size_t Key, const profile::ProfileBundle &B) {
+  Stripe &S = *Shards[Key % Shards.size()];
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  mergeBundle(S.B, B);
+  ++S.Flushes;
+}
+
+profile::ProfileBundle ProfileAggregator::merged() const {
+  profile::ProfileBundle Out;
+  for (const std::unique_ptr<Stripe> &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    mergeBundle(Out, S->B);
+  }
+  return Out;
+}
+
+uint64_t ProfileAggregator::flushes() const {
+  uint64_t Total = 0;
+  for (const std::unique_ptr<Stripe> &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    Total += S->Flushes;
+  }
+  return Total;
+}
+
+void ProfileAggregator::clear() {
+  for (const std::unique_ptr<Stripe> &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    S->B.clear();
+    S->Flushes = 0;
+  }
+}
+
+} // namespace profstore
+} // namespace ars

@@ -1,0 +1,68 @@
+//===- profstore/ProfileAggregator.h - Sharded aggregation ----*- C++ -*-===//
+///
+/// \file
+/// A thread-safe, lock-striped accumulator of ProfileBundles for the
+/// parallel harness: every finished RunMatrix cell flushes its bundle
+/// into one of N independently locked stripes, and merged() folds the
+/// stripes into one bundle.
+///
+/// Determinism does not come from the locking — workers flush in
+/// completion order, which varies with the worker count — but from the
+/// merge algebra: mergeBundle is commutative and associative with the
+/// empty bundle as identity (see ProfileStore.h), and every profile map
+/// is ordered, so any flush interleaving produces byte-identical
+/// serializeBundle output.  tests/test_profstore.cpp pins this across
+/// --jobs {1,2,8} and scripts/check.sh --tsan re-runs it under
+/// ThreadSanitizer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_PROFSTORE_PROFILEAGGREGATOR_H
+#define ARS_PROFSTORE_PROFILEAGGREGATOR_H
+
+#include "profile/Profiles.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace ars {
+namespace profstore {
+
+class ProfileAggregator {
+public:
+  /// \p Stripes is the lock-striping width; values below 1 select the
+  /// default (16).  More stripes = less contention when many workers
+  /// flush at once; any width yields the same merged bundle.
+  explicit ProfileAggregator(int Stripes = 0);
+
+  /// Merges \p B into stripe (\p Key % stripes()).  Any stable per-flush
+  /// key works; the parallel harness uses the matrix cell index.
+  void flush(size_t Key, const profile::ProfileBundle &B);
+
+  /// Folds all stripes (in stripe order) into one bundle.
+  profile::ProfileBundle merged() const;
+
+  /// Total flush() calls so far.
+  uint64_t flushes() const;
+
+  int stripes() const { return static_cast<int>(Shards.size()); }
+
+  /// Resets every stripe to empty.
+  void clear();
+
+private:
+  struct Stripe {
+    mutable std::mutex Mu;
+    profile::ProfileBundle B;
+    uint64_t Flushes = 0;
+  };
+  /// unique_ptrs, not values: Stripe holds a mutex and must not move.
+  std::vector<std::unique_ptr<Stripe>> Shards;
+};
+
+} // namespace profstore
+} // namespace ars
+
+#endif // ARS_PROFSTORE_PROFILEAGGREGATOR_H

@@ -1,0 +1,340 @@
+//===- profstore/ProfileIO.cpp --------------------------------*- C++ -*-===//
+
+#include "profstore/ProfileIO.h"
+
+#include "support/Binary.h"
+#include "support/Support.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace ars::support;
+
+namespace ars {
+namespace profstore {
+
+const char FormatMagic[4] = {'A', 'R', 'S', 'P'};
+
+namespace {
+
+// Header: magic(4) + version(4) + fingerprint(8); trailer: CRC32(4).
+constexpr size_t HeaderSize = 16;
+constexpr size_t TrailerSize = 4;
+
+//===----------------------------------------------------------------------===//
+// Encoding.  Every map iterates in key order, so per-component deltas are
+// small and the byte stream is canonical for a given bundle.
+//===----------------------------------------------------------------------===//
+
+void encodeCallEdges(std::string &Out, const profile::CallEdgeProfile &P) {
+  appendVarint(Out, P.counts().size());
+  profile::CallEdgeKey Prev;
+  Prev.Caller = Prev.Site = Prev.Callee = 0;
+  for (const auto &[Key, Count] : P.counts()) {
+    appendSignedVarint(Out, Key.Caller - Prev.Caller);
+    appendSignedVarint(Out, Key.Site - Prev.Site);
+    appendSignedVarint(Out, Key.Callee - Prev.Callee);
+    appendVarint(Out, Count);
+    Prev = Key;
+  }
+}
+
+void encodeFieldAccesses(std::string &Out,
+                         const profile::FieldAccessProfile &P) {
+  appendVarint(Out, P.counts().size());
+  for (uint64_t Count : P.counts())
+    appendVarint(Out, Count);
+}
+
+void encodeBlockCounts(std::string &Out,
+                       const profile::BlockCountProfile &P) {
+  appendVarint(Out, P.counts().size());
+  int PrevFunc = 0, PrevBlock = 0;
+  for (const auto &[Key, Count] : P.counts()) {
+    appendSignedVarint(Out, Key.first - PrevFunc);
+    appendSignedVarint(Out, Key.second - PrevBlock);
+    appendVarint(Out, Count);
+    PrevFunc = Key.first;
+    PrevBlock = Key.second;
+  }
+}
+
+void encodeValues(std::string &Out, const profile::ValueProfile &P) {
+  appendVarint(Out, P.sites().size());
+  uint64_t PrevSite = 0;
+  for (const auto &[Site, Table] : P.sites()) {
+    appendVarint(Out, Site - PrevSite); // sites ascend: unsigned delta
+    PrevSite = Site;
+    appendVarint(Out, P.overflow(Site));
+    appendVarint(Out, Table.size());
+    int64_t PrevValue = 0;
+    for (const auto &[Value, Count] : Table) {
+      appendSignedVarint(Out, Value - PrevValue);
+      appendVarint(Out, Count);
+      PrevValue = Value;
+    }
+  }
+}
+
+void encodeEdges(std::string &Out, const profile::EdgeCountProfile &P) {
+  appendVarint(Out, P.counts().size());
+  int PrevFunc = 0, PrevFrom = 0, PrevTo = 0;
+  for (const auto &[Key, Count] : P.counts()) {
+    appendSignedVarint(Out, std::get<0>(Key) - PrevFunc);
+    appendSignedVarint(Out, std::get<1>(Key) - PrevFrom);
+    appendSignedVarint(Out, std::get<2>(Key) - PrevTo);
+    appendVarint(Out, Count);
+    PrevFunc = std::get<0>(Key);
+    PrevFrom = std::get<1>(Key);
+    PrevTo = std::get<2>(Key);
+  }
+}
+
+void encodePaths(std::string &Out, const profile::PathProfile &P) {
+  appendVarint(Out, P.counts().size());
+  int PrevFunc = 0;
+  int64_t PrevPath = 0;
+  for (const auto &[Key, Count] : P.counts()) {
+    appendSignedVarint(Out, Key.first - PrevFunc);
+    appendSignedVarint(Out, Key.second - PrevPath);
+    appendVarint(Out, Count);
+    PrevFunc = Key.first;
+    PrevPath = Key.second;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Decoding.  Each section pre-checks its claimed entry count against the
+// bytes actually remaining (every entry is at least one byte), so a
+// corrupted count can never drive a huge allocation.
+//===----------------------------------------------------------------------===//
+
+bool countPlausible(ByteReader &R, uint64_t N, size_t MinBytesPerEntry) {
+  return N <= R.remaining() / MinBytesPerEntry + 1;
+}
+
+bool decodeCallEdges(ByteReader &R, profile::CallEdgeProfile *P) {
+  uint64_t N;
+  if (!R.readVarint(&N) || !countPlausible(R, N, 4))
+    return false;
+  profile::CallEdgeKey Key;
+  Key.Caller = Key.Site = Key.Callee = 0;
+  for (uint64_t I = 0; I != N; ++I) {
+    int64_t DCaller, DSite, DCallee;
+    uint64_t Count;
+    if (!R.readSignedVarint(&DCaller) || !R.readSignedVarint(&DSite) ||
+        !R.readSignedVarint(&DCallee) || !R.readVarint(&Count))
+      return false;
+    Key.Caller += static_cast<int>(DCaller);
+    Key.Site += static_cast<int>(DSite);
+    Key.Callee += static_cast<int>(DCallee);
+    P->record(Key, Count);
+  }
+  return true;
+}
+
+bool decodeFieldAccesses(ByteReader &R, profile::FieldAccessProfile *P) {
+  uint64_t N;
+  if (!R.readVarint(&N) || !countPlausible(R, N, 1))
+    return false;
+  P->resize(static_cast<int>(N));
+  for (uint64_t I = 0; I != N; ++I) {
+    uint64_t Count;
+    if (!R.readVarint(&Count))
+      return false;
+    if (Count)
+      P->record(static_cast<int>(I), Count);
+  }
+  return true;
+}
+
+bool decodeBlockCounts(ByteReader &R, profile::BlockCountProfile *P) {
+  uint64_t N;
+  if (!R.readVarint(&N) || !countPlausible(R, N, 3))
+    return false;
+  int Func = 0, Block = 0;
+  for (uint64_t I = 0; I != N; ++I) {
+    int64_t DFunc, DBlock;
+    uint64_t Count;
+    if (!R.readSignedVarint(&DFunc) || !R.readSignedVarint(&DBlock) ||
+        !R.readVarint(&Count))
+      return false;
+    Func += static_cast<int>(DFunc);
+    Block += static_cast<int>(DBlock);
+    P->record(Func, Block, Count);
+  }
+  return true;
+}
+
+bool decodeValues(ByteReader &R, profile::ValueProfile *P) {
+  uint64_t NumSites;
+  if (!R.readVarint(&NumSites) || !countPlausible(R, NumSites, 3))
+    return false;
+  uint64_t Site = 0;
+  for (uint64_t S = 0; S != NumSites; ++S) {
+    uint64_t DSite, OverflowCount, NumValues;
+    if (!R.readVarint(&DSite) || !R.readVarint(&OverflowCount) ||
+        !R.readVarint(&NumValues) || !countPlausible(R, NumValues, 2))
+      return false;
+    Site += DSite;
+    int64_t Value = 0;
+    for (uint64_t V = 0; V != NumValues; ++V) {
+      int64_t DValue;
+      uint64_t Count;
+      if (!R.readSignedVarint(&DValue) || !R.readVarint(&Count))
+        return false;
+      Value += DValue;
+      P->add(Site, Value, Count);
+    }
+    if (OverflowCount)
+      P->addOverflow(Site, OverflowCount);
+    else if (!NumValues)
+      P->addOverflow(Site, 0); // keep an entirely empty site alive
+  }
+  return true;
+}
+
+bool decodeEdges(ByteReader &R, profile::EdgeCountProfile *P) {
+  uint64_t N;
+  if (!R.readVarint(&N) || !countPlausible(R, N, 4))
+    return false;
+  int Func = 0, From = 0, To = 0;
+  for (uint64_t I = 0; I != N; ++I) {
+    int64_t DFunc, DFrom, DTo;
+    uint64_t Count;
+    if (!R.readSignedVarint(&DFunc) || !R.readSignedVarint(&DFrom) ||
+        !R.readSignedVarint(&DTo) || !R.readVarint(&Count))
+      return false;
+    Func += static_cast<int>(DFunc);
+    From += static_cast<int>(DFrom);
+    To += static_cast<int>(DTo);
+    P->record(Func, From, To, Count);
+  }
+  return true;
+}
+
+bool decodePaths(ByteReader &R, profile::PathProfile *P) {
+  uint64_t N;
+  if (!R.readVarint(&N) || !countPlausible(R, N, 3))
+    return false;
+  int Func = 0;
+  int64_t Path = 0;
+  for (uint64_t I = 0; I != N; ++I) {
+    int64_t DFunc, DPath;
+    uint64_t Count;
+    if (!R.readSignedVarint(&DFunc) || !R.readSignedVarint(&DPath) ||
+        !R.readVarint(&Count))
+      return false;
+    Func += static_cast<int>(DFunc);
+    Path += DPath;
+    P->record(Func, Path, Count);
+  }
+  return true;
+}
+
+DecodeResult failDecode(const std::string &Why) {
+  DecodeResult R;
+  R.Error = Why;
+  return R;
+}
+
+} // namespace
+
+std::string encodeBundle(const profile::ProfileBundle &B,
+                         uint64_t Fingerprint) {
+  std::string Out;
+  Out.append(FormatMagic, sizeof(FormatMagic));
+  appendFixed32(Out, FormatVersion);
+  appendFixed64(Out, Fingerprint);
+  encodeCallEdges(Out, B.CallEdges);
+  encodeFieldAccesses(Out, B.FieldAccesses);
+  encodeBlockCounts(Out, B.BlockCounts);
+  encodeValues(Out, B.Values);
+  encodeEdges(Out, B.Edges);
+  encodePaths(Out, B.Paths);
+  appendFixed32(Out, crc32(Out.data(), Out.size()));
+  return Out;
+}
+
+DecodeResult decodeBundle(const std::string &Bytes,
+                          uint64_t ExpectedFingerprint) {
+  if (Bytes.size() < HeaderSize + TrailerSize)
+    return failDecode(support::formatString(
+        "profile truncated: %zu bytes, need at least %zu", Bytes.size(),
+        HeaderSize + TrailerSize));
+  if (Bytes.compare(0, sizeof(FormatMagic), FormatMagic,
+                    sizeof(FormatMagic)) != 0)
+    return failDecode("not a profile file (bad magic; expected \"ARSP\")");
+
+  // Verify the CRC over everything before the trailer first: a mismatch
+  // means any later parse diagnosis would be of corrupted bytes.
+  ByteReader Trailer(Bytes.data() + Bytes.size() - TrailerSize,
+                     TrailerSize);
+  uint32_t StoredCrc = 0;
+  Trailer.readFixed32(&StoredCrc);
+  uint32_t ActualCrc = crc32(Bytes.data(), Bytes.size() - TrailerSize);
+  if (StoredCrc != ActualCrc)
+    return failDecode(support::formatString(
+        "profile corrupted: CRC32 mismatch (stored %08x, computed %08x)",
+        StoredCrc, ActualCrc));
+
+  ByteReader R(Bytes.data(), Bytes.size() - TrailerSize);
+  uint32_t Magic, Version;
+  uint64_t Fingerprint;
+  R.readFixed32(&Magic); // magic already validated; just advance
+  if (!R.readFixed32(&Version) || !R.readFixed64(&Fingerprint))
+    return failDecode("profile truncated inside the header");
+  if (Version != FormatVersion)
+    return failDecode(support::formatString(
+        "unsupported profile format version %u (this build reads %u)",
+        Version, FormatVersion));
+  if (ExpectedFingerprint && Fingerprint != ExpectedFingerprint)
+    return failDecode(support::formatString(
+        "profile was collected from a different module: fingerprint "
+        "%016llx, expected %016llx",
+        static_cast<unsigned long long>(Fingerprint),
+        static_cast<unsigned long long>(ExpectedFingerprint)));
+
+  DecodeResult Result;
+  Result.Fingerprint = Fingerprint;
+  if (!decodeCallEdges(R, &Result.Bundle.CallEdges) ||
+      !decodeFieldAccesses(R, &Result.Bundle.FieldAccesses) ||
+      !decodeBlockCounts(R, &Result.Bundle.BlockCounts) ||
+      !decodeValues(R, &Result.Bundle.Values) ||
+      !decodeEdges(R, &Result.Bundle.Edges) ||
+      !decodePaths(R, &Result.Bundle.Paths))
+    return failDecode(support::formatString(
+        "profile malformed near byte %zu", R.position()));
+  if (!R.atEnd())
+    return failDecode(support::formatString(
+        "profile has %zu trailing bytes after the last section",
+        R.remaining()));
+  Result.Ok = true;
+  return Result;
+}
+
+bool saveBundle(const std::string &Path, const profile::ProfileBundle &B,
+                uint64_t Fingerprint, std::string *Error) {
+  std::string Bytes = encodeBundle(B, Fingerprint);
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out || !Out.write(Bytes.data(),
+                         static_cast<std::streamsize>(Bytes.size()))) {
+    if (Error)
+      *Error = "cannot write " + Path;
+    return false;
+  }
+  return true;
+}
+
+DecodeResult loadBundle(const std::string &Path,
+                        uint64_t ExpectedFingerprint) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return failDecode("cannot read " + Path);
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return decodeBundle(Buffer.str(), ExpectedFingerprint);
+}
+
+} // namespace profstore
+} // namespace ars

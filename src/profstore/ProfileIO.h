@@ -1,0 +1,80 @@
+//===- profstore/ProfileIO.h - Persistent binary profiles -----*- C++ -*-===//
+///
+/// \file
+/// A versioned binary on-disk format for profile::ProfileBundle, so that
+/// sampled profiles — cheap enough to collect on every run, which is the
+/// paper's whole point — can outlive the ExecutionEngine that collected
+/// them and be accumulated, compared and replayed across runs and shards.
+///
+/// Layout (all multi-byte header/trailer fields little-endian, everything
+/// else LEB128 varints; signed values zigzag-encoded):
+///
+///   "ARSP"                magic, 4 bytes
+///   u32   format version  (currently 1)
+///   u64   module fingerprint — harness::programHash's FNV-1a content
+///         hash of the program the profile was collected from, so a
+///         profile can be validated against the module it is applied to
+///   6 sections, fixed order, each `varint entryCount` + entries with
+///         per-component delta-encoded keys:
+///     call-edges, field-accesses, block-counts, values, edges, paths
+///   u32   CRC32 of every preceding byte
+///
+/// decodeBundle rejects — with a diagnostic, never UB — bad magic, an
+/// unknown version, any truncation, CRC mismatch, trailing bytes, and
+/// (when the caller supplies one) a wrong module fingerprint.
+///
+/// Round-trip contract: for any bundle B,
+/// serializeBundle(decodeBundle(encodeBundle(B)).Bundle)
+/// == serializeBundle(B), byte for byte.  Totals are not stored; they are
+/// recomputed as the sum of entry counts, which record() keeps invariant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_PROFSTORE_PROFILEIO_H
+#define ARS_PROFSTORE_PROFILEIO_H
+
+#include "profile/Profiles.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ars {
+namespace profstore {
+
+/// Current format version; bumped on any incompatible layout change.
+constexpr uint32_t FormatVersion = 1;
+
+/// File magic ("ARSP").
+extern const char FormatMagic[4];
+
+/// Encodes \p B (collected from the program whose content hash is
+/// \p Fingerprint; pass 0 if unknown) into the format above.
+std::string encodeBundle(const profile::ProfileBundle &B,
+                         uint64_t Fingerprint);
+
+/// Outcome of decoding or loading a stored profile.
+struct DecodeResult {
+  bool Ok = false;
+  std::string Error;        ///< diagnostic when !Ok
+  uint64_t Fingerprint = 0; ///< module fingerprint from the header
+  profile::ProfileBundle Bundle;
+};
+
+/// Decodes \p Bytes.  When \p ExpectedFingerprint is nonzero the stored
+/// fingerprint must match it (profile-vs-module validation).
+DecodeResult decodeBundle(const std::string &Bytes,
+                          uint64_t ExpectedFingerprint = 0);
+
+/// Writes encodeBundle(\p B, \p Fingerprint) to \p Path.  Returns false
+/// and fills \p Error on IO failure.
+bool saveBundle(const std::string &Path, const profile::ProfileBundle &B,
+                uint64_t Fingerprint, std::string *Error);
+
+/// Reads and decodes \p Path.
+DecodeResult loadBundle(const std::string &Path,
+                        uint64_t ExpectedFingerprint = 0);
+
+} // namespace profstore
+} // namespace ars
+
+#endif // ARS_PROFSTORE_PROFILEIO_H

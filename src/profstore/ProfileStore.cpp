@@ -1,0 +1,225 @@
+//===- profstore/ProfileStore.cpp -----------------------------*- C++ -*-===//
+
+#include "profstore/ProfileStore.h"
+
+#include "profile/Overlap.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using ars::support::formatString;
+
+namespace ars {
+namespace profstore {
+
+namespace {
+
+uint64_t scaleCount(uint64_t Count, uint64_t Num, uint64_t Den) {
+  return static_cast<uint64_t>(static_cast<unsigned __int128>(Count) * Num /
+                               Den);
+}
+
+/// Flattens a ValueProfile into one ordered (site, value) -> count map so
+/// the generic overlap walk applies.  Overflow buckets are excluded: two
+/// "other" buckets holding different folded values are not the same key.
+std::map<std::pair<uint64_t, int64_t>, uint64_t>
+flattenValues(const profile::ValueProfile &P, uint64_t *TotalOut) {
+  std::map<std::pair<uint64_t, int64_t>, uint64_t> Flat;
+  uint64_t Total = 0;
+  for (const auto &[Site, Table] : P.sites())
+    for (const auto &[Value, Count] : Table) {
+      Flat[{Site, Value}] = Count;
+      Total += Count;
+    }
+  *TotalOut = Total;
+  return Flat;
+}
+
+} // namespace
+
+void mergeBundle(profile::ProfileBundle &Dst,
+                 const profile::ProfileBundle &Src) {
+  for (const auto &[Key, Count] : Src.CallEdges.counts())
+    Dst.CallEdges.record(Key, Count);
+  for (size_t F = 0; F != Src.FieldAccesses.counts().size(); ++F)
+    if (uint64_t Count = Src.FieldAccesses.counts()[F])
+      Dst.FieldAccesses.record(static_cast<int>(F), Count);
+  // record() only grows, so take the size union even when Src's tail is
+  // all zeros.
+  if (Src.FieldAccesses.counts().size() >
+      Dst.FieldAccesses.counts().size()) {
+    size_t Target = Src.FieldAccesses.counts().size();
+    if (Target)
+      Dst.FieldAccesses.record(static_cast<int>(Target - 1), 0);
+  }
+  for (const auto &[Key, Count] : Src.BlockCounts.counts())
+    Dst.BlockCounts.record(Key.first, Key.second, Count);
+  for (const auto &[Site, Table] : Src.Values.sites()) {
+    for (const auto &[Value, Count] : Table)
+      Dst.Values.add(Site, Value, Count);
+    Dst.Values.addOverflow(Site, Src.Values.overflow(Site));
+  }
+  for (const auto &[Key, Count] : Src.Edges.counts())
+    Dst.Edges.record(std::get<0>(Key), std::get<1>(Key), std::get<2>(Key),
+                     Count);
+  for (const auto &[Key, Count] : Src.Paths.counts())
+    Dst.Paths.record(Key.first, Key.second, Count);
+}
+
+void scaleBundle(profile::ProfileBundle &B, uint64_t Num, uint64_t Den) {
+  assert(Den != 0 && "scaleBundle: zero denominator");
+  profile::ProfileBundle Scaled;
+  for (const auto &[Key, Count] : B.CallEdges.counts())
+    if (uint64_t S = scaleCount(Count, Num, Den))
+      Scaled.CallEdges.record(Key, S);
+  Scaled.FieldAccesses.resize(
+      static_cast<int>(B.FieldAccesses.counts().size()));
+  for (size_t F = 0; F != B.FieldAccesses.counts().size(); ++F)
+    if (uint64_t S = scaleCount(B.FieldAccesses.counts()[F], Num, Den))
+      Scaled.FieldAccesses.record(static_cast<int>(F), S);
+  for (const auto &[Key, Count] : B.BlockCounts.counts())
+    if (uint64_t S = scaleCount(Count, Num, Den))
+      Scaled.BlockCounts.record(Key.first, Key.second, S);
+  for (const auto &[Site, Table] : B.Values.sites()) {
+    bool SiteAlive = false;
+    for (const auto &[Value, Count] : Table)
+      if (uint64_t S = scaleCount(Count, Num, Den)) {
+        Scaled.Values.add(Site, Value, S);
+        SiteAlive = true;
+      }
+    uint64_t ScaledOverflow = scaleCount(B.Values.overflow(Site), Num, Den);
+    if (ScaledOverflow || SiteAlive)
+      Scaled.Values.addOverflow(Site, ScaledOverflow);
+  }
+  for (const auto &[Key, Count] : B.Edges.counts())
+    if (uint64_t S = scaleCount(Count, Num, Den))
+      Scaled.Edges.record(std::get<0>(Key), std::get<1>(Key),
+                          std::get<2>(Key), S);
+  for (const auto &[Key, Count] : B.Paths.counts())
+    if (uint64_t S = scaleCount(Count, Num, Den))
+      Scaled.Paths.record(Key.first, Key.second, S);
+  B = std::move(Scaled);
+}
+
+void decayBundle(profile::ProfileBundle &B, uint32_t KeepPct) {
+  scaleBundle(B, KeepPct, 100);
+}
+
+BundleOverlap overlapBundle(const profile::ProfileBundle &A,
+                            const profile::ProfileBundle &B) {
+  BundleOverlap O;
+  O.CallEdges = profile::overlapPercent(A.CallEdges, B.CallEdges);
+  O.FieldAccesses =
+      profile::overlapPercent(A.FieldAccesses, B.FieldAccesses);
+  O.BlockCounts = profile::overlapPercent(A.BlockCounts, B.BlockCounts);
+  uint64_t TotalA = 0, TotalB = 0;
+  auto FlatA = flattenValues(A.Values, &TotalA);
+  auto FlatB = flattenValues(B.Values, &TotalB);
+  O.Values = profile::overlapPercentMaps(FlatA, FlatB,
+                                         static_cast<double>(TotalA),
+                                         static_cast<double>(TotalB));
+  O.Edges = profile::overlapPercentMaps(
+      A.Edges.counts(), B.Edges.counts(),
+      static_cast<double>(A.Edges.total()),
+      static_cast<double>(B.Edges.total()));
+  O.Paths = profile::overlapPercentMaps(
+      A.Paths.counts(), B.Paths.counts(),
+      static_cast<double>(A.Paths.total()),
+      static_cast<double>(B.Paths.total()));
+  return O;
+}
+
+std::string reportBundle(const profile::ProfileBundle &B, int TopK) {
+  size_t ValueEntries = 0;
+  for (const auto &[Site, Table] : B.Values.sites())
+    ValueEntries += Table.size();
+  std::string Out;
+  auto line = [&Out](const char *Kind, size_t Entries, uint64_t Total) {
+    Out += formatString("%-15s %8zu entries  total %llu\n", Kind, Entries,
+                        static_cast<unsigned long long>(Total));
+  };
+  line("call-edges", B.CallEdges.counts().size(), B.CallEdges.total());
+  line("field-accesses", B.FieldAccesses.counts().size(),
+       B.FieldAccesses.total());
+  line("block-counts", B.BlockCounts.counts().size(),
+       B.BlockCounts.total());
+  line("values", ValueEntries, B.Values.total());
+  line("edges", B.Edges.counts().size(), B.Edges.total());
+  line("paths", B.Paths.counts().size(), B.Paths.total());
+
+  std::vector<std::pair<profile::CallEdgeKey, uint64_t>> Edges(
+      B.CallEdges.counts().begin(), B.CallEdges.counts().end());
+  std::stable_sort(
+      Edges.begin(), Edges.end(),
+      [](const auto &L, const auto &R) { return L.second > R.second; });
+  if (TopK >= 0 && static_cast<size_t>(TopK) < Edges.size())
+    Edges.resize(static_cast<size_t>(TopK));
+  if (!Edges.empty())
+    Out += "top call edges (caller/site/callee : count):\n";
+  for (const auto &[Key, Count] : Edges) {
+    double Pct = B.CallEdges.total()
+                     ? 100.0 * static_cast<double>(Count) /
+                           static_cast<double>(B.CallEdges.total())
+                     : 0.0;
+    Out += formatString("  %d/%d/%d : %llu (%.2f%%)\n", Key.Caller,
+                        Key.Site, Key.Callee,
+                        static_cast<unsigned long long>(Count), Pct);
+  }
+  return Out;
+}
+
+std::string diffReport(const profile::ProfileBundle &A,
+                       const profile::ProfileBundle &B, int TopK) {
+  BundleOverlap O = overlapBundle(A, B);
+  std::string Out;
+  Out += formatString("overlap%%: call-edges %.2f  field-accesses %.2f  "
+                      "block-counts %.2f  values %.2f  edges %.2f  "
+                      "paths %.2f\n",
+                      O.CallEdges, O.FieldAccesses, O.BlockCounts,
+                      O.Values, O.Edges, O.Paths);
+
+  // Top movers: call edges ranked by |sample-percentage(A) - (B)|.
+  struct Mover {
+    profile::CallEdgeKey Key;
+    double APct, BPct;
+  };
+  double TotalA = static_cast<double>(A.CallEdges.total());
+  double TotalB = static_cast<double>(B.CallEdges.total());
+  std::map<profile::CallEdgeKey, std::pair<uint64_t, uint64_t>> Union;
+  for (const auto &[Key, Count] : A.CallEdges.counts())
+    Union[Key].first = Count;
+  for (const auto &[Key, Count] : B.CallEdges.counts())
+    Union[Key].second = Count;
+  std::vector<Mover> Movers;
+  Movers.reserve(Union.size());
+  for (const auto &[Key, Counts] : Union) {
+    Mover M;
+    M.Key = Key;
+    M.APct = TotalA > 0
+                 ? 100.0 * static_cast<double>(Counts.first) / TotalA
+                 : 0.0;
+    M.BPct = TotalB > 0
+                 ? 100.0 * static_cast<double>(Counts.second) / TotalB
+                 : 0.0;
+    Movers.push_back(M);
+  }
+  std::stable_sort(Movers.begin(), Movers.end(),
+                   [](const Mover &L, const Mover &R) {
+                     return std::abs(L.APct - L.BPct) >
+                            std::abs(R.APct - R.BPct);
+                   });
+  if (TopK >= 0 && static_cast<size_t>(TopK) < Movers.size())
+    Movers.resize(static_cast<size_t>(TopK));
+  if (!Movers.empty())
+    Out += "top call-edge movers (caller/site/callee : A% -> B%):\n";
+  for (const Mover &M : Movers)
+    Out += formatString("  %d/%d/%d : %.2f%% -> %.2f%% (%+.2f)\n",
+                        M.Key.Caller, M.Key.Site, M.Key.Callee, M.APct,
+                        M.BPct, M.BPct - M.APct);
+  return Out;
+}
+
+} // namespace profstore
+} // namespace ars

@@ -1,0 +1,72 @@
+//===- profstore/ProfileStore.h - Profile algebra -------------*- C++ -*-===//
+///
+/// \file
+/// Operations over stored profiles: count-wise merge (the basis of
+/// cross-run and cross-shard accumulation), scale/decay (weighting old
+/// epochs in a streaming aggregate), and diff/report (what changed
+/// between two profiles, and by how much, using the paper's section 4.4
+/// overlap metric).
+///
+/// mergeBundle is a commutative, associative monoid operation with the
+/// empty bundle as identity: every count map is summed key-wise, and
+/// ValueProfile overflow buckets sum rather than re-fold (the
+/// MaxValuesPerSite cap is applied at record time, not merge time).
+/// That algebra — not locking discipline — is what makes the sharded
+/// ProfileAggregator deterministic: any grouping and ordering of merges
+/// yields byte-identical serializeBundle output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_PROFSTORE_PROFILESTORE_H
+#define ARS_PROFSTORE_PROFILESTORE_H
+
+#include "profile/Profiles.h"
+
+#include <string>
+
+namespace ars {
+namespace profstore {
+
+/// Adds every count of \p Src into \p Dst, key-wise.
+void mergeBundle(profile::ProfileBundle &Dst,
+                 const profile::ProfileBundle &Src);
+
+/// Scales every count to count * Num / Den (128-bit intermediate, so no
+/// overflow for any realistic profile; truncating division).  Map entries
+/// that scale to zero are dropped; the field-access vector keeps its size
+/// (its zero slots are meaningful: "field never touched").  \p Den must
+/// be nonzero.
+void scaleBundle(profile::ProfileBundle &B, uint64_t Num, uint64_t Den);
+
+/// Exponential-decay convenience for epoch weighting: keep \p KeepPct
+/// percent of every count (scaleBundle(B, KeepPct, 100)).
+void decayBundle(profile::ProfileBundle &B, uint32_t KeepPct);
+
+/// Per-kind overlap percentages (section 4.4 metric; 100 = identical
+/// distributions) between two bundles.
+struct BundleOverlap {
+  double CallEdges = 0.0;
+  double FieldAccesses = 0.0;
+  double BlockCounts = 0.0;
+  double Values = 0.0;
+  double Edges = 0.0;
+  double Paths = 0.0;
+};
+BundleOverlap overlapBundle(const profile::ProfileBundle &A,
+                            const profile::ProfileBundle &B);
+
+/// One-bundle summary: entry counts and totals per kind, plus the top
+/// \p TopK call edges by count (ids, not names — a stored profile does
+/// not carry its module).
+std::string reportBundle(const profile::ProfileBundle &B, int TopK);
+
+/// Two-bundle comparison: per-kind overlap% plus the top \p TopK call-
+/// edge movers by absolute sample-percentage change between \p A and
+/// \p B.
+std::string diffReport(const profile::ProfileBundle &A,
+                       const profile::ProfileBundle &B, int TopK);
+
+} // namespace profstore
+} // namespace ars
+
+#endif // ARS_PROFSTORE_PROFILESTORE_H

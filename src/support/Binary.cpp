@@ -1,0 +1,110 @@
+//===- support/Binary.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/Binary.h"
+
+#include <array>
+
+namespace ars {
+namespace support {
+
+void appendVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<char>((V & 0x7F) | 0x80));
+    V >>= 7;
+  }
+  Out.push_back(static_cast<char>(V));
+}
+
+void appendSignedVarint(std::string &Out, int64_t V) {
+  appendVarint(Out, zigzagEncode(V));
+}
+
+void appendFixed32(std::string &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+void appendFixed64(std::string &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+namespace {
+
+std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t N = 0; N != 256; ++N) {
+    uint32_t C = N;
+    for (int K = 0; K != 8; ++K)
+      C = (C & 1) ? 0xEDB88320U ^ (C >> 1) : C >> 1;
+    Table[N] = C;
+  }
+  return Table;
+}
+
+} // namespace
+
+uint32_t crc32(const void *Data, size_t Size) {
+  static const std::array<uint32_t, 256> Table = makeCrcTable();
+  const unsigned char *Bytes = static_cast<const unsigned char *>(Data);
+  uint32_t C = 0xFFFFFFFFU;
+  for (size_t I = 0; I != Size; ++I)
+    C = Table[(C ^ Bytes[I]) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFU;
+}
+
+bool ByteReader::readVarint(uint64_t *Out) {
+  if (Failed)
+    return false;
+  uint64_t V = 0;
+  for (int Shift = 0; Shift < 64; Shift += 7) {
+    if (Pos == Size)
+      return fail();
+    unsigned char B = static_cast<unsigned char>(Data[Pos++]);
+    uint64_t Bits = static_cast<uint64_t>(B & 0x7F);
+    // The tenth byte may only contribute the single remaining bit.
+    if (Shift == 63 && Bits > 1)
+      return fail();
+    V |= Bits << Shift;
+    if (!(B & 0x80)) {
+      *Out = V;
+      return true;
+    }
+  }
+  return fail(); // continuation bit on the tenth byte: overlong encoding
+}
+
+bool ByteReader::readSignedVarint(int64_t *Out) {
+  uint64_t V;
+  if (!readVarint(&V))
+    return false;
+  *Out = zigzagDecode(V);
+  return true;
+}
+
+bool ByteReader::readFixed32(uint32_t *Out) {
+  if (Failed || Size - Pos < 4)
+    return fail();
+  uint32_t V = 0;
+  for (int I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(static_cast<unsigned char>(Data[Pos + I]))
+         << (8 * I);
+  Pos += 4;
+  *Out = V;
+  return true;
+}
+
+bool ByteReader::readFixed64(uint64_t *Out) {
+  if (Failed || Size - Pos < 8)
+    return fail();
+  uint64_t V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<unsigned char>(Data[Pos + I]))
+         << (8 * I);
+  Pos += 8;
+  *Out = V;
+  return true;
+}
+
+} // namespace support
+} // namespace ars

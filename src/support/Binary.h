@@ -1,0 +1,80 @@
+//===- support/Binary.h - Varint/CRC32 byte-stream helpers ----*- C++ -*-===//
+///
+/// \file
+/// The primitives the profile store's binary format is built from:
+/// unsigned LEB128 varints, zigzag signed encoding, IEEE CRC32, and a
+/// bounds-checked reader that turns truncated or malformed input into a
+/// clean failure instead of UB.  Everything is byte-order independent
+/// (varints) except the few fixed-width header fields, which are encoded
+/// little-endian explicitly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_SUPPORT_BINARY_H
+#define ARS_SUPPORT_BINARY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ars {
+namespace support {
+
+/// Appends \p V as an unsigned LEB128 varint (1..10 bytes).
+void appendVarint(std::string &Out, uint64_t V);
+
+/// Zigzag-maps a signed value to unsigned so small magnitudes of either
+/// sign encode in few varint bytes (-1 -> 1, 1 -> 2, ...).
+inline uint64_t zigzagEncode(int64_t V) {
+  return (static_cast<uint64_t>(V) << 1) ^
+         static_cast<uint64_t>(V >> 63);
+}
+inline int64_t zigzagDecode(uint64_t V) {
+  return static_cast<int64_t>(V >> 1) ^ -static_cast<int64_t>(V & 1);
+}
+
+/// Appends zigzag(\p V) as a varint.
+void appendSignedVarint(std::string &Out, int64_t V);
+
+/// Appends \p V little-endian in exactly 4/8 bytes.
+void appendFixed32(std::string &Out, uint32_t V);
+void appendFixed64(std::string &Out, uint64_t V);
+
+/// IEEE 802.3 CRC32 (polynomial 0xEDB88320) of \p Size bytes at \p Data.
+uint32_t crc32(const void *Data, size_t Size);
+
+/// A bounds-checked cursor over an immutable byte buffer.  Every read
+/// reports success; after the first failure the reader stays failed, so a
+/// parse loop can check once at the end.
+class ByteReader {
+public:
+  ByteReader(const char *Data, size_t Size) : Data(Data), Size(Size) {}
+  explicit ByteReader(const std::string &Bytes)
+      : ByteReader(Bytes.data(), Bytes.size()) {}
+
+  bool readVarint(uint64_t *Out);
+  bool readSignedVarint(int64_t *Out);
+  bool readFixed32(uint32_t *Out);
+  bool readFixed64(uint64_t *Out);
+
+  size_t position() const { return Pos; }
+  size_t remaining() const { return Failed ? 0 : Size - Pos; }
+  bool failed() const { return Failed; }
+  bool atEnd() const { return !Failed && Pos == Size; }
+
+private:
+  const char *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Failed = false;
+
+  bool fail() {
+    Failed = true;
+    return false;
+  }
+};
+
+} // namespace support
+} // namespace ars
+
+#endif // ARS_SUPPORT_BINARY_H

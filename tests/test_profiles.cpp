@@ -125,6 +125,57 @@ TEST(ValueProfileTest, CapsDistinctValuesPerSite) {
   EXPECT_EQ(P.sites().at(7).at(0), 6u);
 }
 
+TEST(FieldAccessProfileTest, GrowsOnDemand) {
+  // A probe compiled against a stale module (or a profile loaded from
+  // disk) may carry field ids past the resize() width; record() must
+  // grow rather than index out of bounds.
+  FieldAccessProfile P;
+  P.resize(2);
+  P.record(10, 3);
+  ASSERT_EQ(P.counts().size(), 11u);
+  EXPECT_EQ(P.counts()[10], 3u);
+  EXPECT_EQ(P.counts()[1], 0u);
+  EXPECT_EQ(P.total(), 3u);
+  P.record(0);
+  EXPECT_EQ(P.counts().size(), 11u);
+  EXPECT_EQ(P.total(), 4u);
+}
+
+TEST(SerializeBundleTest, EmptyBundleIsStable) {
+  ProfileBundle B;
+  std::string Text = serializeBundle(B);
+  EXPECT_EQ(Text, serializeBundle(B));
+  // Every section header appears even when empty.
+  for (const char *Kind : {"call-edges 0", "field-accesses 0",
+                           "block-counts 0", "values 0", "edges 0",
+                           "paths 0"})
+    EXPECT_NE(Text.find(Kind), std::string::npos) << Kind;
+}
+
+TEST(SerializeBundleTest, ValueProfileAtCapBoundary) {
+  // Exactly MaxValuesPerSite distinct values: full table, no overflow;
+  // one more value tips into the overflow bucket and the serialization
+  // must distinguish the two states.
+  ProfileBundle AtCap;
+  for (size_t V = 0; V != ValueProfile::MaxValuesPerSite; ++V)
+    AtCap.Values.record(1, static_cast<int64_t>(V));
+  ProfileBundle PastCap = AtCap;
+  PastCap.Values.record(1, 1000);
+
+  EXPECT_EQ(AtCap.Values.overflow(1), 0u);
+  EXPECT_EQ(PastCap.Values.overflow(1), 1u);
+  EXPECT_EQ(PastCap.Values.sites().at(1).size(),
+            ValueProfile::MaxValuesPerSite);
+  EXPECT_NE(serializeBundle(AtCap), serializeBundle(PastCap));
+}
+
+TEST(SerializeBundleTest, EntryCallerKeySerializes) {
+  ProfileBundle B;
+  B.CallEdges.record(edge(-1, -1, 0), 2);
+  std::string Text = serializeBundle(B);
+  EXPECT_NE(Text.find("-1/-1/0:2"), std::string::npos) << Text;
+}
+
 TEST(Dumps, ContainResolvedNames) {
   ars::bytecode::Module M;
   int C = M.addClass("Point");

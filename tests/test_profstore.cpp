@@ -1,0 +1,511 @@
+//===- tests/test_profstore.cpp - profstore/ unit tests -------*- C++ -*-===//
+///
+/// The profile store's three contracts:
+///
+///   * IO: encode/decode round-trips bit-identically (compared through
+///     serializeBundle) for every workload and sampling mode, and every
+///     corruption — bad magic, truncation at any point, a flipped byte,
+///     a wrong module fingerprint, trailing garbage — is rejected with a
+///     diagnostic, never UB.
+///   * Algebra: mergeBundle is a commutative, associative monoid with
+///     the empty bundle as identity, and overflow buckets sum rather
+///     than re-fold; scale/decay truncate per entry and drop zeros.
+///   * Aggregation: the lock-striped ProfileAggregator fed by the
+///     ParallelRunner yields byte-identical merged bundles for any
+///     worker count and stripe width.  The ProfileAggregator suites run
+///     under scripts/check.sh --tsan.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/ParallelRunner.h"
+#include "instr/Clients.h"
+#include "profile/Overlap.h"
+#include "profile/Profiles.h"
+#include "profstore/ProfileAggregator.h"
+#include "profstore/ProfileIO.h"
+#include "profstore/ProfileStore.h"
+#include "support/Binary.h"
+#include "workloads/Workloads.h"
+
+#include "TestUtil.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ars;
+using ars::testutil::build;
+
+instr::CallEdgeInstrumentation CallEdges;
+instr::FieldAccessInstrumentation FieldAccesses;
+instr::BlockCountInstrumentation BlockCounts;
+instr::ValueProfileInstrumentation Values;
+instr::EdgeCountInstrumentation EdgeCounts;
+instr::PathProfileInstrumentation Paths;
+
+std::vector<const instr::Instrumentation *> allClients() {
+  return {&CallEdges, &FieldAccesses, &BlockCounts,
+          &Values,    &EdgeCounts,    &Paths};
+}
+
+profile::CallEdgeKey edge(int Caller, int Site, int Callee) {
+  profile::CallEdgeKey K;
+  K.Caller = Caller;
+  K.Site = Site;
+  K.Callee = Callee;
+  return K;
+}
+
+/// A synthetic bundle exercising every section, negative keys, a capped
+/// value site with overflow, and a field vector with interior zeros.
+profile::ProfileBundle syntheticBundle() {
+  profile::ProfileBundle B;
+  B.CallEdges.record(edge(-1, 0, 2), 7); // -1 = program entry
+  B.CallEdges.record(edge(3, 9, 1), 1000000007);
+  B.FieldAccesses.record(0, 3);
+  B.FieldAccesses.record(5, 1); // slots 1..4 stay zero
+  B.BlockCounts.record(2, 11, 42);
+  B.BlockCounts.record(2, 12, 1);
+  for (int V = 0; V != 40; ++V) // 8 past the cap -> overflow bucket
+    B.Values.record(77, V - 20, static_cast<uint64_t>(V) + 1);
+  B.Values.record(78, -9000000000LL, 2);
+  B.Edges.record(1, 2, 3, 5);
+  B.Paths.record(4, 0x12345678abcdefLL, 6);
+  return B;
+}
+
+std::string roundTripped(const profile::ProfileBundle &B,
+                         uint64_t Fingerprint = 0xfeedULL) {
+  std::string Bytes = profstore::encodeBundle(B, Fingerprint);
+  profstore::DecodeResult R = profstore::decodeBundle(Bytes, Fingerprint);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Fingerprint, Fingerprint);
+  return profile::serializeBundle(R.Bundle);
+}
+
+//===----------------------------------------------------------------------===//
+// Round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(ProfStoreRoundTrip, EmptyBundle) {
+  profile::ProfileBundle B;
+  EXPECT_EQ(roundTripped(B), profile::serializeBundle(B));
+}
+
+TEST(ProfStoreRoundTrip, SyntheticBundleWithOverflowAndNegativeKeys) {
+  profile::ProfileBundle B = syntheticBundle();
+  ASSERT_EQ(B.Values.sites().at(77).size(),
+            profile::ValueProfile::MaxValuesPerSite);
+  ASSERT_GT(B.Values.overflow(77), 0u);
+  EXPECT_EQ(roundTripped(B), profile::serializeBundle(B));
+}
+
+TEST(ProfStoreRoundTrip, EmptyValueSiteSurvives) {
+  // A site whose every event overflowed (or that was created empty) must
+  // not vanish on a round-trip.
+  profile::ProfileBundle B;
+  B.Values.addOverflow(5, 9);
+  B.Values.addOverflow(6, 0);
+  EXPECT_EQ(roundTripped(B), profile::serializeBundle(B));
+}
+
+TEST(ProfStoreRoundTrip, EveryWorkloadAndSamplingMode) {
+  // Real bundles: every workload x {exhaustive, full-dup, no-dup}, all
+  // six clients, so every section sees real shapes.
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    harness::Program P = build(W.Source);
+    for (sampling::Mode Mode :
+         {sampling::Mode::Exhaustive, sampling::Mode::FullDuplication,
+          sampling::Mode::NoDuplication}) {
+      harness::RunConfig C;
+      C.Transform.M = Mode;
+      C.Clients = allClients();
+      if (Mode != sampling::Mode::Exhaustive)
+        C.Engine.SampleInterval = 100;
+      harness::ExperimentResult R = testutil::run(P, 1, C);
+      EXPECT_EQ(roundTripped(R.Profiles),
+                profile::serializeBundle(R.Profiles))
+          << W.Name << " mode " << static_cast<int>(Mode);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption
+//===----------------------------------------------------------------------===//
+
+/// Re-stamps the CRC32 trailer after a deliberate header patch, so the
+/// test reaches the check behind the CRC.
+void restampCrc(std::string &Bytes) {
+  uint32_t Crc = support::crc32(Bytes.data(), Bytes.size() - 4);
+  for (int I = 0; I != 4; ++I)
+    Bytes[Bytes.size() - 4 + static_cast<size_t>(I)] =
+        static_cast<char>((Crc >> (8 * I)) & 0xff);
+}
+
+TEST(ProfStoreCorruption, BadMagicIsRejected) {
+  std::string Bytes = profstore::encodeBundle(syntheticBundle(), 1);
+  Bytes[0] = 'X';
+  profstore::DecodeResult R = profstore::decodeBundle(Bytes);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("magic"), std::string::npos) << R.Error;
+}
+
+TEST(ProfStoreCorruption, EveryTruncationIsRejected) {
+  std::string Bytes = profstore::encodeBundle(syntheticBundle(), 1);
+  for (size_t Len = 0; Len != Bytes.size(); ++Len) {
+    profstore::DecodeResult R = profstore::decodeBundle(Bytes.substr(0, Len));
+    EXPECT_FALSE(R.Ok) << "decoded a " << Len << "-byte prefix of "
+                       << Bytes.size();
+    EXPECT_FALSE(R.Error.empty());
+  }
+}
+
+TEST(ProfStoreCorruption, EveryFlippedByteIsRejected) {
+  // CRC32 catches any single-byte corruption anywhere in the file.
+  std::string Bytes = profstore::encodeBundle(syntheticBundle(), 1);
+  for (size_t I = 0; I != Bytes.size(); ++I) {
+    std::string Bad = Bytes;
+    Bad[I] = static_cast<char>(Bad[I] ^ 0x40);
+    profstore::DecodeResult R = profstore::decodeBundle(Bad);
+    EXPECT_FALSE(R.Ok) << "byte " << I;
+  }
+}
+
+TEST(ProfStoreCorruption, TrailingBytesAreRejected) {
+  std::string Bytes = profstore::encodeBundle(syntheticBundle(), 1);
+  Bytes.push_back('\0');
+  EXPECT_FALSE(profstore::decodeBundle(Bytes).Ok);
+}
+
+TEST(ProfStoreCorruption, UnknownVersionIsRejected) {
+  std::string Bytes = profstore::encodeBundle(syntheticBundle(), 1);
+  Bytes[4] = 99; // version u32 LE at offset 4
+  restampCrc(Bytes);
+  profstore::DecodeResult R = profstore::decodeBundle(Bytes);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("version"), std::string::npos) << R.Error;
+}
+
+TEST(ProfStoreCorruption, WrongFingerprintIsRejected) {
+  std::string Bytes = profstore::encodeBundle(syntheticBundle(), 0xaaaa);
+  EXPECT_TRUE(profstore::decodeBundle(Bytes, 0xaaaa).Ok);
+  EXPECT_TRUE(profstore::decodeBundle(Bytes, 0).Ok) << "0 = don't check";
+  profstore::DecodeResult R = profstore::decodeBundle(Bytes, 0xbbbb);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("fingerprint"), std::string::npos) << R.Error;
+}
+
+TEST(ProfStoreCorruption, HugeClaimedCountIsRejectedWithoutAllocating) {
+  // A section claiming more entries than the remaining bytes could hold
+  // must fail plausibility, not attempt a giant allocation.
+  profile::ProfileBundle Empty;
+  std::string Bytes = profstore::encodeBundle(Empty, 1);
+  // First section's count varint is at offset 16; 0xff..x5 encodes a
+  // ~34-billion entry claim in 5 bytes.
+  std::string Bad = Bytes.substr(0, 16);
+  for (int I = 0; I != 4; ++I)
+    Bad.push_back(static_cast<char>(0xff));
+  Bad.push_back(0x7f);
+  Bad.append(Bytes.substr(17, Bytes.size() - 17 - 4));
+  Bad.append(4, '\0');
+  restampCrc(Bad);
+  EXPECT_FALSE(profstore::decodeBundle(Bad).Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Save / load
+//===----------------------------------------------------------------------===//
+
+TEST(ProfStoreFile, SaveLoadRoundTrip) {
+  std::string Path = testing::TempDir() + "ars_profstore_test.arsp";
+  profile::ProfileBundle B = syntheticBundle();
+  std::string Error;
+  ASSERT_TRUE(profstore::saveBundle(Path, B, 0x12345, &Error)) << Error;
+  profstore::DecodeResult R = profstore::loadBundle(Path, 0x12345);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(profile::serializeBundle(R.Bundle), profile::serializeBundle(B));
+  std::remove(Path.c_str());
+}
+
+TEST(ProfStoreFile, MissingFileIsAnError) {
+  profstore::DecodeResult R =
+      profstore::loadBundle(testing::TempDir() + "ars_no_such_file.arsp");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_FALSE(R.Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Merge algebra
+//===----------------------------------------------------------------------===//
+
+std::string bytes(const profile::ProfileBundle &B) {
+  return profile::serializeBundle(B);
+}
+
+profile::ProfileBundle merged(const profile::ProfileBundle &A,
+                              const profile::ProfileBundle &B) {
+  profile::ProfileBundle Out;
+  profstore::mergeBundle(Out, A);
+  profstore::mergeBundle(Out, B);
+  return Out;
+}
+
+TEST(ProfStoreMerge, SumsCounts) {
+  profile::ProfileBundle A, B;
+  A.CallEdges.record(edge(0, 1, 2), 3);
+  B.CallEdges.record(edge(0, 1, 2), 4);
+  B.CallEdges.record(edge(9, 9, 9), 1);
+  A.FieldAccesses.record(1, 5);
+  B.FieldAccesses.record(3, 7); // longer vector than A's
+  profile::ProfileBundle M = merged(A, B);
+  EXPECT_EQ(M.CallEdges.counts().at(edge(0, 1, 2)), 7u);
+  EXPECT_EQ(M.CallEdges.counts().at(edge(9, 9, 9)), 1u);
+  EXPECT_EQ(M.CallEdges.total(), 8u);
+  ASSERT_EQ(M.FieldAccesses.counts().size(), 4u);
+  EXPECT_EQ(M.FieldAccesses.counts()[1], 5u);
+  EXPECT_EQ(M.FieldAccesses.counts()[3], 7u);
+}
+
+TEST(ProfStoreMerge, EmptyBundleIsIdentity) {
+  profile::ProfileBundle A = syntheticBundle(), Empty;
+  EXPECT_EQ(bytes(merged(A, Empty)), bytes(A));
+  EXPECT_EQ(bytes(merged(Empty, A)), bytes(A));
+}
+
+TEST(ProfStoreMerge, CommutativeAndAssociative) {
+  profile::ProfileBundle A = syntheticBundle();
+  profile::ProfileBundle B;
+  B.CallEdges.record(edge(3, 9, 1), 13); // overlaps a key of A
+  for (int V = 0; V != 40; ++V)          // overflows the same site as A
+    B.Values.record(77, V + 100, 2);
+  B.FieldAccesses.record(9, 1);
+  profile::ProfileBundle C;
+  C.Values.addOverflow(77, 5);
+  C.Paths.record(4, 0x12345678abcdefLL, 1);
+
+  EXPECT_EQ(bytes(merged(A, B)), bytes(merged(B, A)));
+  EXPECT_EQ(bytes(merged(merged(A, B), C)), bytes(merged(A, merged(B, C))));
+}
+
+TEST(ProfStoreMerge, OverflowBucketsSumWithoutRefolding) {
+  profile::ProfileBundle A, B;
+  for (int V = 0; V != 40; ++V) { // each run capped at 32 + overflow 8
+    A.Values.record(7, V, 1);
+    B.Values.record(7, V + 8, 1); // 24 shared values, 8 new each side
+  }
+  profile::ProfileBundle M = merged(A, B);
+  // The merged table may exceed MaxValuesPerSite: the cap is collection-
+  // time only.  40 distinct values survive (0..31 from A, 16..47 from B).
+  EXPECT_EQ(M.Values.sites().at(7).size(), 40u);
+  EXPECT_EQ(M.Values.overflow(7), 16u);
+  EXPECT_EQ(M.Values.total(), A.Values.total() + B.Values.total());
+}
+
+//===----------------------------------------------------------------------===//
+// Scale / decay
+//===----------------------------------------------------------------------===//
+
+TEST(ProfStoreScale, HalvesTruncatingAndDropsZeros) {
+  profile::ProfileBundle B;
+  B.CallEdges.record(edge(0, 0, 1), 10);
+  B.CallEdges.record(edge(0, 0, 2), 1); // truncates to zero -> dropped
+  B.FieldAccesses.record(2, 3);
+  profstore::scaleBundle(B, 1, 2);
+  EXPECT_EQ(B.CallEdges.counts().at(edge(0, 0, 1)), 5u);
+  EXPECT_EQ(B.CallEdges.counts().count(edge(0, 0, 2)), 0u);
+  EXPECT_EQ(B.CallEdges.total(), 5u);
+  // The field vector keeps its size: zero slots mean "never touched".
+  ASSERT_EQ(B.FieldAccesses.counts().size(), 3u);
+  EXPECT_EQ(B.FieldAccesses.counts()[2], 1u);
+}
+
+TEST(ProfStoreScale, LargeCountsDoNotOverflow) {
+  profile::ProfileBundle B;
+  uint64_t Huge = 0xffffffffffffffffULL;
+  B.CallEdges.record(edge(0, 0, 1), Huge);
+  profstore::scaleBundle(B, 3, 4); // 128-bit intermediate
+  // floor((2^64-1) * 3 / 4): truncation happens after the multiply.
+  EXPECT_EQ(B.CallEdges.counts().at(edge(0, 0, 1)), 0xbfffffffffffffffULL);
+}
+
+TEST(ProfStoreScale, DecayKeepsPercent) {
+  profile::ProfileBundle B;
+  B.BlockCounts.record(0, 0, 200);
+  profstore::decayBundle(B, 75);
+  EXPECT_EQ(B.BlockCounts.counts().at({0, 0}), 150u);
+  profstore::decayBundle(B, 100); // identity
+  EXPECT_EQ(B.BlockCounts.counts().at({0, 0}), 150u);
+}
+
+TEST(ProfStoreScale, ScaledBundleRoundTrips) {
+  profile::ProfileBundle B = syntheticBundle();
+  profstore::scaleBundle(B, 1, 3);
+  EXPECT_EQ(roundTripped(B), profile::serializeBundle(B));
+}
+
+//===----------------------------------------------------------------------===//
+// Reports
+//===----------------------------------------------------------------------===//
+
+TEST(ProfStoreReport, OverlapOfIdenticalBundlesIs100) {
+  profile::ProfileBundle B = syntheticBundle();
+  profstore::BundleOverlap O = profstore::overlapBundle(B, B);
+  EXPECT_DOUBLE_EQ(O.CallEdges, 100.0);
+  EXPECT_DOUBLE_EQ(O.Values, 100.0);
+  EXPECT_DOUBLE_EQ(O.Paths, 100.0);
+}
+
+TEST(ProfStoreReport, ReportAndDiffMentionEveryKind) {
+  profile::ProfileBundle A = syntheticBundle(), B = syntheticBundle();
+  B.CallEdges.record(edge(3, 9, 1), 500);
+  std::string Report = profstore::reportBundle(A, 5);
+  std::string Diff = profstore::diffReport(A, B, 5);
+  for (const char *Kind : {"call-edges", "field-accesses", "block-counts",
+                           "values", "edges", "paths"}) {
+    EXPECT_NE(Report.find(Kind), std::string::npos) << Kind;
+    EXPECT_NE(Diff.find(Kind), std::string::npos) << Kind;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded aggregation (runs under check.sh --tsan)
+//===----------------------------------------------------------------------===//
+
+/// A small matrix of sampled cells over two workloads.
+harness::RunMatrix aggMatrix(const std::vector<harness::Program> &Progs) {
+  harness::RunMatrix M;
+  for (const harness::Program &P : Progs)
+    for (int64_t Interval : {1, 100, 10000}) {
+      harness::MatrixCell C;
+      C.Prog = &P;
+      C.ScaleArg = 1;
+      C.Config.Transform.M = sampling::Mode::FullDuplication;
+      C.Config.Clients = {&CallEdges, &FieldAccesses};
+      C.Config.Engine.SampleInterval = Interval;
+      M.Cells.push_back(C);
+    }
+  return M;
+}
+
+std::vector<harness::Program> aggPrograms() {
+  std::vector<harness::Program> Progs;
+  Progs.push_back(build(workloads::workloadByName("compress")->Source));
+  Progs.push_back(build(workloads::workloadByName("db")->Source));
+  return Progs;
+}
+
+TEST(ProfileAggregator, MergesFlushedBundles) {
+  profstore::ProfileAggregator Agg(4);
+  EXPECT_EQ(Agg.stripes(), 4);
+  profile::ProfileBundle A, B;
+  A.CallEdges.record(edge(0, 1, 2), 3);
+  B.CallEdges.record(edge(0, 1, 2), 4);
+  Agg.flush(0, A);
+  Agg.flush(5, B); // different stripe (5 % 4)
+  EXPECT_EQ(Agg.flushes(), 2u);
+  profile::ProfileBundle M = Agg.merged();
+  EXPECT_EQ(M.CallEdges.counts().at(edge(0, 1, 2)), 7u);
+  Agg.clear();
+  EXPECT_EQ(Agg.flushes(), 0u);
+  EXPECT_TRUE(Agg.merged().CallEdges.empty());
+}
+
+TEST(ProfileAggregator, ByteIdenticalAcrossWorkerCounts) {
+  std::vector<harness::Program> Progs = aggPrograms();
+  harness::RunMatrix M = aggMatrix(Progs);
+
+  std::string Reference;
+  for (int Jobs : {1, 2, 8}) {
+    profstore::ProfileAggregator Agg;
+    harness::ParallelRunner Runner(Jobs);
+    std::vector<harness::ExperimentResult> Results = Runner.run(M, &Agg);
+    for (const harness::ExperimentResult &R : Results)
+      ASSERT_TRUE(R.Stats.Ok) << R.Stats.Error;
+    EXPECT_EQ(Agg.flushes(), M.Cells.size());
+    std::string Bytes = profile::serializeBundle(Agg.merged());
+    if (Reference.empty())
+      Reference = Bytes;
+    else
+      EXPECT_EQ(Bytes, Reference) << "jobs=" << Jobs;
+  }
+  EXPECT_FALSE(Reference.empty());
+}
+
+TEST(ProfileAggregator, StripeWidthDoesNotChangeTheMerge) {
+  std::vector<harness::Program> Progs = aggPrograms();
+  harness::RunMatrix M = aggMatrix(Progs);
+
+  std::string Reference;
+  for (int Stripes : {1, 3, 16}) {
+    profstore::ProfileAggregator Agg(Stripes);
+    harness::ParallelRunner Runner(4);
+    Runner.run(M, &Agg);
+    std::string Bytes = profile::serializeBundle(Agg.merged());
+    if (Reference.empty())
+      Reference = Bytes;
+    else
+      EXPECT_EQ(Bytes, Reference) << "stripes=" << Stripes;
+  }
+}
+
+TEST(ProfileAggregator, MergedEqualsSequentialFold) {
+  // The aggregator's result is exactly the fold of the per-cell bundles
+  // in any order — pin it against a plain sequential merge.
+  std::vector<harness::Program> Progs = aggPrograms();
+  harness::RunMatrix M = aggMatrix(Progs);
+
+  profstore::ProfileAggregator Agg(3);
+  harness::ParallelRunner Runner(8);
+  std::vector<harness::ExperimentResult> Results = Runner.run(M, &Agg);
+
+  profile::ProfileBundle Sequential;
+  for (const harness::ExperimentResult &R : Results)
+    profstore::mergeBundle(Sequential, R.Profiles);
+  EXPECT_EQ(profile::serializeBundle(Agg.merged()),
+            profile::serializeBundle(Sequential));
+}
+
+//===----------------------------------------------------------------------===//
+// Convergence (small-scale pin of the bench_convergence_shards claim)
+//===----------------------------------------------------------------------===//
+
+TEST(ProfStoreConvergence, MergingShardsImprovesOverlap) {
+  harness::Program P = build(workloads::workloadByName("jess")->Source);
+
+  harness::RunConfig Perfect;
+  Perfect.Transform.M = sampling::Mode::Exhaustive;
+  Perfect.Clients = {&CallEdges};
+  profile::CallEdgeProfile Exhaustive =
+      testutil::run(P, 1, Perfect).Profiles.CallEdges;
+
+  constexpr int NumShards = 8;
+  std::vector<profile::ProfileBundle> Shards;
+  for (int S = 0; S != NumShards; ++S) {
+    harness::RunConfig C;
+    C.Transform.M = sampling::Mode::FullDuplication;
+    C.Clients = {&CallEdges};
+    C.Engine.SampleInterval =
+        static_cast<int64_t>(Exhaustive.total() / 40) + 1;
+    C.Engine.RandomJitterPct = 40;
+    C.Engine.RandomSeed = 0x415253 + static_cast<uint64_t>(S) * 977;
+    Shards.push_back(testutil::run(P, 1, C).Profiles);
+  }
+
+  // Average single-shard overlap vs. the merge of all shards: merging
+  // independent sampled runs must recover distribution mass no single
+  // run saw.
+  double SingleSum = 0.0;
+  profile::ProfileBundle Merged;
+  for (const profile::ProfileBundle &S : Shards) {
+    SingleSum += profile::overlapPercent(Exhaustive, S.CallEdges);
+    profstore::mergeBundle(Merged, S);
+  }
+  double Single = SingleSum / NumShards;
+  double All = profile::overlapPercent(Exhaustive, Merged.CallEdges);
+  EXPECT_GT(All, Single);
+  EXPECT_GT(All, 90.0);
+}
+
+} // namespace

@@ -11,6 +11,11 @@
 ///   arsc dump-transformed prog.mj --mode=full   # post-transform IR
 ///   arsc overhead prog.mj --arg=1000 --mode=full --interval=1000
 ///   arsc sweep prog.mj --arg=1000 --jobs=4   # mode x interval matrix
+///   arsc run prog.mj --profile-out=run.arsp  # persist the profile
+///   arsc profile report run.arsp             # inspect a stored profile
+///   arsc profile merge --out=all.arsp a.arsp b.arsp
+///   arsc profile diff a.arsp b.arsp          # overlap% + top movers
+///   arsc profile scale --out=o.arsp --keep=50 in.arsp
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +29,8 @@
 #include "opt/Passes.h"
 #include "profile/Overlap.h"
 #include "profile/Profiles.h"
+#include "profstore/ProfileIO.h"
+#include "profstore/ProfileStore.h"
 #include "support/Support.h"
 #include "support/TablePrinter.h"
 
@@ -50,9 +57,11 @@ struct CliOptions {
   int Burst = 0;
   bool PerThread = false;
   uint32_t JitterPct = 0;
+  uint64_t Seed = 0x415253; // EngineConfig::RandomSeed default
   bool ShowProfiles = false;
   bool Optimize = false;
   int Jobs = 1;
+  std::string ProfileOut;
   std::vector<std::string> Clients = {"call-edge", "field-access"};
 };
 
@@ -68,6 +77,11 @@ int usage(const char *Prog) {
       "  dump-bc           print disassembled bytecode\n"
       "  dump-ir           print baseline CFG IR\n"
       "  dump-transformed  print IR after the sampling transform\n"
+      "  profile <sub>     operate on stored .arsp profiles:\n"
+      "                    report <f> | diff <a> <b> |\n"
+      "                    merge --out=<f> <in...> |\n"
+      "                    scale --out=<f> (--keep=<pct> | --num=<n>\n"
+      "                    --den=<d>) <in>\n"
       "options:\n"
       "  --arg=<n>              main(n) argument (default 10)\n"
       "  --mode=<m>             baseline|exhaustive|full|partial|nodup|"
@@ -81,7 +95,11 @@ int usage(const char *Prog) {
       "  --burst=<n>            N-consecutive-iteration sampling\n"
       "  --per-thread           per-thread sample counters\n"
       "  --jitter=<pct>         randomized interval perturbation\n"
+      "  --seed=<n>             jitter RNG seed (decorrelates runs whose\n"
+      "                         profiles will be merged)\n"
       "  --profiles             print collected profiles\n"
+      "  --profile-out=<file>   save the collected profile bundle (binary\n"
+      "                         format, fingerprinted against the module)\n"
       "  --optimize             run the O2 optimizer before instrumenting\n"
       "  --jobs=<n>             worker threads for matrix commands; results\n"
       "                         are identical for every value (default 1)\n",
@@ -131,8 +149,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions *Opts) {
       Opts->PerThread = true;
     } else if (const char *V = valueOf("--jitter=")) {
       Opts->JitterPct = static_cast<uint32_t>(std::atoi(V));
+    } else if (const char *V = valueOf("--seed=")) {
+      Opts->Seed = std::strtoull(V, nullptr, 0);
     } else if (Arg == "--profiles") {
       Opts->ShowProfiles = true;
+    } else if (const char *V = valueOf("--profile-out=")) {
+      Opts->ProfileOut = V;
     } else if (Arg == "--optimize") {
       Opts->Optimize = true;
     } else if (const char *V = valueOf("--jobs=")) {
@@ -204,6 +226,7 @@ harness::RunConfig makeConfig(const CliOptions &Opts,
   }
   C.Engine.PerThreadCounters = Opts.PerThread;
   C.Engine.RandomJitterPct = Opts.JitterPct;
+  C.Engine.RandomSeed = Opts.Seed;
   C.Clients = std::move(Clients);
   return C;
 }
@@ -237,9 +260,147 @@ void printStats(const runtime::RunStats &S) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// `arsc profile <sub>` — operations on stored .arsp profiles.  Handled
+// before the generic parser: these commands take profile files, not
+// MiniJ sources.
+//===----------------------------------------------------------------------===//
+
+int profileUsage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s profile <subcommand> [options] <file...>\n"
+      "subcommands:\n"
+      "  report <f>             per-kind entry counts/totals + top call\n"
+      "                         edges of one stored profile\n"
+      "  diff <a> <b>           per-kind overlap%% and top call-edge\n"
+      "                         movers between two stored profiles\n"
+      "  merge --out=<f> <in..> count-wise sum of the inputs (all inputs\n"
+      "                         must share one module fingerprint)\n"
+      "  scale --out=<f> (--keep=<pct> | --num=<n> --den=<d>) <in>\n"
+      "                         scale every count by pct/100 or n/d\n"
+      "options:\n"
+      "  --top=<k>              rows in report/diff listings (default 10)\n",
+      Prog);
+  return 2;
+}
+
+profstore::DecodeResult loadOrDie(const std::string &Path,
+                                  uint64_t ExpectedFingerprint) {
+  profstore::DecodeResult R =
+      profstore::loadBundle(Path, ExpectedFingerprint);
+  if (!R.Ok) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(), R.Error.c_str());
+    std::exit(1);
+  }
+  return R;
+}
+
+int profileMain(int Argc, char **Argv) {
+  std::string Sub = Argc >= 3 ? Argv[2] : "";
+  std::vector<std::string> Inputs;
+  std::string OutPath;
+  int TopK = 10;
+  uint64_t Num = 0, Den = 0;
+  for (int A = 3; A < Argc; ++A) {
+    std::string Arg = Argv[A];
+    auto valueOf = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
+    };
+    if (const char *V = valueOf("--out=")) {
+      OutPath = V;
+    } else if (const char *V = valueOf("--top=")) {
+      TopK = std::atoi(V);
+    } else if (const char *V = valueOf("--keep=")) {
+      Num = std::strtoull(V, nullptr, 10);
+      Den = 100;
+    } else if (const char *V = valueOf("--num=")) {
+      Num = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = valueOf("--den=")) {
+      Den = std::strtoull(V, nullptr, 10);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
+      return profileUsage(Argv[0]);
+    } else {
+      Inputs.push_back(Arg);
+    }
+  }
+
+  if (Sub == "report") {
+    if (Inputs.size() != 1)
+      return profileUsage(Argv[0]);
+    profstore::DecodeResult R = loadOrDie(Inputs[0], 0);
+    std::printf("module fingerprint: %016llx\n",
+                static_cast<unsigned long long>(R.Fingerprint));
+    std::fputs(profstore::reportBundle(R.Bundle, TopK).c_str(), stdout);
+    return 0;
+  }
+
+  if (Sub == "diff") {
+    if (Inputs.size() != 2)
+      return profileUsage(Argv[0]);
+    profstore::DecodeResult A = loadOrDie(Inputs[0], 0);
+    profstore::DecodeResult B = loadOrDie(Inputs[1], 0);
+    if (A.Fingerprint != B.Fingerprint)
+      std::fprintf(stderr,
+                   "warning: profiles come from different modules "
+                   "(%016llx vs %016llx); the diff compares ids, not "
+                   "the same code\n",
+                   static_cast<unsigned long long>(A.Fingerprint),
+                   static_cast<unsigned long long>(B.Fingerprint));
+    std::fputs(profstore::diffReport(A.Bundle, B.Bundle, TopK).c_str(),
+               stdout);
+    return 0;
+  }
+
+  if (Sub == "merge") {
+    if (Inputs.empty() || OutPath.empty())
+      return profileUsage(Argv[0]);
+    profstore::DecodeResult First = loadOrDie(Inputs[0], 0);
+    profile::ProfileBundle Merged = std::move(First.Bundle);
+    for (size_t I = 1; I != Inputs.size(); ++I) {
+      // Later inputs must come from the same module as the first.
+      profstore::DecodeResult R = loadOrDie(Inputs[I], First.Fingerprint);
+      profstore::mergeBundle(Merged, R.Bundle);
+    }
+    std::string Error;
+    if (!profstore::saveBundle(OutPath, Merged, First.Fingerprint,
+                               &Error)) {
+      std::fprintf(stderr, "%s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("merged %zu profiles into %s (fingerprint %016llx)\n",
+                Inputs.size(), OutPath.c_str(),
+                static_cast<unsigned long long>(First.Fingerprint));
+    return 0;
+  }
+
+  if (Sub == "scale") {
+    if (Inputs.size() != 1 || OutPath.empty() || !Num || !Den)
+      return profileUsage(Argv[0]);
+    profstore::DecodeResult R = loadOrDie(Inputs[0], 0);
+    profstore::scaleBundle(R.Bundle, Num, Den);
+    std::string Error;
+    if (!profstore::saveBundle(OutPath, R.Bundle, R.Fingerprint, &Error)) {
+      std::fprintf(stderr, "%s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("scaled %s by %llu/%llu into %s\n", Inputs[0].c_str(),
+                static_cast<unsigned long long>(Num),
+                static_cast<unsigned long long>(Den), OutPath.c_str());
+    return 0;
+  }
+
+  return profileUsage(Argv[0]);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc >= 2 && std::strcmp(Argv[1], "profile") == 0)
+    return profileMain(Argc, Argv);
+
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, &Opts))
     return usage(Argv[0]);
@@ -393,6 +554,18 @@ int main(int Argc, char **Argv) {
                   harness::overheadPct(Base, R));
     }
     printStats(R.Stats);
+    if (!Opts.ProfileOut.empty()) {
+      std::string Error;
+      uint64_t Fingerprint = harness::programHash(P);
+      if (!profstore::saveBundle(Opts.ProfileOut, R.Profiles, Fingerprint,
+                                 &Error)) {
+        std::fprintf(stderr, "%s\n", Error.c_str());
+        return 1;
+      }
+      std::printf("profile written  : %s (fingerprint %016llx)\n",
+                  Opts.ProfileOut.c_str(),
+                  static_cast<unsigned long long>(Fingerprint));
+    }
     if (Opts.ShowProfiles) {
       std::printf("\ncall edges:\n%s",
                   profile::dumpCallEdges(P.M, R.Profiles.CallEdges, 20)
