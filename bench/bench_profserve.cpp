@@ -1,0 +1,125 @@
+//===- bench/bench_profserve.cpp - Collection service bench ---*- C++ -*-===//
+///
+/// Measures the profile collection server's sustained PUSH throughput
+/// (bundles/s and MB/s) as the number of concurrent pushers grows, over
+/// the in-memory loopback transport — so the numbers isolate protocol +
+/// server cost (framing, CRC, decode, striped merge) from the kernel's
+/// TCP stack.
+///
+/// Each pusher opens one connection and pushes the same real workload
+/// bundle in a loop; the server merges every shard.  After each run the
+/// merge counter is cross-checked against the number of acked pushes, so
+/// a silently dropped shard fails the bench rather than flattering it.
+///
+/// Host wall-clock measurements — meaningful relative to each other, not
+/// vs. the paper.  EXPERIMENTS.md records a reference run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "profserve/Client.h"
+#include "profserve/Server.h"
+#include "profstore/ProfileIO.h"
+#include "support/Support.h"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace ars;
+
+int main(int Argc, char **Argv) {
+  bench::Context Ctx(Argc, Argv);
+  bench::printBanner("Profile collection service bench",
+                     "new experiment: sustained push throughput vs. "
+                     "concurrent pusher count (loopback)");
+
+  // One real bundle (all six kinds) as the shard every pusher uploads.
+  static instr::BlockCountInstrumentation BlockCounts;
+  static instr::ValueProfileInstrumentation Values;
+  static instr::EdgeCountInstrumentation EdgeCounts;
+  static instr::PathProfileInstrumentation Paths;
+  harness::RunConfig C;
+  C.Transform.M = sampling::Mode::Exhaustive;
+  C.Clients = bench::bothClients();
+  C.Clients.push_back(&BlockCounts);
+  C.Clients.push_back(&Values);
+  C.Clients.push_back(&EdgeCounts);
+  C.Clients.push_back(&Paths);
+  harness::ExperimentResult R = Ctx.runConfig("javac", C);
+  const uint64_t Fingerprint = 0x70667365ULL; // constant: shards must match
+  const std::string Shard =
+      profstore::encodeBundle(R.Profiles, Fingerprint);
+  std::printf("shard: javac exhaustive, %zu bytes encoded\n\n",
+              Shard.size());
+
+  // --quick (scale < 100) trims the per-cell push count, like the other
+  // benches trim their workload scales.
+  const int PushesPerPusher = Ctx.scaleOf(Ctx.suite().front()) <
+                                      Ctx.suite().front().DefaultScale
+                                  ? 50
+                                  : 200;
+
+  support::TablePrinter T({"Pushers", "Pushes", "Wall ms", "Bundles/s",
+                           "MB/s", "us/push"});
+  for (int Pushers : {1, 2, 4, 8}) {
+    profserve::ServerConfig Config;
+    Config.Workers = Pushers; // a connection occupies a worker for life
+    Config.Fingerprint = Fingerprint;
+    profserve::LoopbackListener *L = new profserve::LoopbackListener();
+    profserve::ProfileServer Server(
+        std::unique_ptr<profserve::Listener>(L), Config);
+    Server.start();
+
+    std::atomic<uint64_t> Acked{0};
+    std::atomic<bool> Failed{false};
+    support::HostTimer Timer;
+    std::vector<std::thread> Threads;
+    for (int P = 0; P != Pushers; ++P)
+      Threads.emplace_back([&] {
+        profserve::ProfileClient Client(profserve::loopbackDialer(*L),
+                                        profserve::ClientConfig());
+        for (int I = 0; I != PushesPerPusher; ++I) {
+          profserve::ClientResult PR = Client.pushEncoded(Shard);
+          if (!PR.Ok) {
+            std::fprintf(stderr, "push failed: %s\n", PR.Error.c_str());
+            Failed = true;
+            return;
+          }
+          ++Acked;
+        }
+      });
+    for (std::thread &Th : Threads)
+      Th.join();
+    double WallMs = Timer.elapsedMs();
+    if (Failed)
+      return 1;
+
+    uint64_t Merges = Server.stats().Merges;
+    Server.stop();
+    if (Merges != Acked) {
+      std::fprintf(stderr,
+                   "merge counter (%llu) != acked pushes (%llu)\n",
+                   static_cast<unsigned long long>(Merges),
+                   static_cast<unsigned long long>(Acked.load()));
+      return 1;
+    }
+
+    double Pushes = static_cast<double>(Acked.load());
+    T.beginRow();
+    T.cellInt(Pushers);
+    T.cellInt(static_cast<int64_t>(Acked.load()));
+    T.cellDouble(WallMs);
+    T.cellDouble(WallMs > 0 ? Pushes / (WallMs / 1e3) : 0.0);
+    T.cellDouble(WallMs > 0 ? Pushes * static_cast<double>(Shard.size()) /
+                                  1e6 / (WallMs / 1e3)
+                            : 0.0);
+    T.cellDouble(Pushes > 0 ? WallMs * 1e3 / Pushes : 0.0);
+  }
+  T.print();
+  std::printf("\nEvery push is CRC-framed, CRC-checked, decoded and "
+              "merged; the merge counter is verified against acks.\n");
+  return 0;
+}

@@ -1,21 +1,28 @@
 #!/usr/bin/env bash
 # Full verification: configure, build, test, and regenerate every
 # table/figure of the paper.  Usage: scripts/check.sh [--quick] [--tsan]
+# [--asan]
 #
 # --tsan builds a separate tree (build-tsan) with -DARS_SANITIZE=thread
 # and runs the thread-heavy test suites -- the parallel harness's
-# determinism and cache tests above all -- under ThreadSanitizer, then
-# exits.  It does not touch the regular build directory.
+# determinism and cache tests, and the profile collection server's
+# concurrent-pusher suites -- under ThreadSanitizer, then exits.
+# --asan builds build-asan with -DARS_SANITIZE=address and runs the FULL
+# test suite under AddressSanitizer (the wire-corruption sweeps above
+# all: a heap overflow in frame or bundle decoding must fail loudly).
+# Neither touches the regular build directory.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SCALE_ARG=""
 TSAN=0
+ASAN=0
 for arg in "$@"; do
   case "$arg" in
     --quick) SCALE_ARG="--quick" ;;
     --tsan)  TSAN=1 ;;
-    *) echo "usage: $0 [--quick] [--tsan]" >&2; exit 2 ;;
+    --asan)  ASAN=1 ;;
+    *) echo "usage: $0 [--quick] [--tsan] [--asan]" >&2; exit 2 ;;
   esac
 done
 
@@ -23,10 +30,19 @@ if [[ "$TSAN" == 1 ]]; then
   cmake -B build-tsan -G Ninja -DARS_SANITIZE=thread
   cmake --build build-tsan --target ars_tests
   # The suites that exercise threads: the parallel harness (pool, cache,
-  # determinism), the multithreaded-workload sampling tests, and the
-  # random-program sweep that drives runMatrix on every seed.
+  # determinism), the multithreaded-workload sampling tests, the
+  # random-program sweep that drives runMatrix on every seed, and the
+  # collection service (concurrent pushers, server lifecycle, loopback
+  # transport).
   build-tsan/tests/ars_tests \
-    --gtest_filter='ThreadPool.*:TransformCache.*:ParallelRunner.*:ProfileAggregator.*:Sampling.*:AllWorkloads/*:Seeds/Property1RandomTest.*'
+    --gtest_filter='ThreadPool.*:TransformCache.*:ParallelRunner.*:ProfileAggregator.*:ProfServe*:Sampling.*:AllWorkloads/*:Seeds/Property1RandomTest.*'
+  exit 0
+fi
+
+if [[ "$ASAN" == 1 ]]; then
+  cmake -B build-asan -G Ninja -DARS_SANITIZE=address
+  cmake --build build-asan --target ars_tests
+  build-asan/tests/ars_tests
   exit 0
 fi
 
@@ -41,6 +57,7 @@ JOBS="$(nproc)"
 for b in build/bench/bench_table* build/bench/bench_fig* \
          build/bench/bench_ablation_variants \
          build/bench/bench_profile_store \
+         build/bench/bench_profserve \
          build/bench/bench_convergence_shards; do
   if ! "$b" ${SCALE_ARG} --jobs "${JOBS}"; then
     echo "FAILED: $b" >&2

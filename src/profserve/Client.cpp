@@ -1,0 +1,261 @@
+//===- profserve/Client.cpp -----------------------------------*- C++ -*-===//
+
+#include "profserve/Client.h"
+
+#include "profstore/ProfileIO.h"
+#include "support/Support.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace ars {
+namespace profserve {
+
+ProfileClient::ProfileClient(Dialer D, ClientConfig C)
+    : Dial(std::move(D)), Config(C) {}
+
+ProfileClient::~ProfileClient() { close(); }
+
+void ProfileClient::close() {
+  if (Conn) {
+    writeFrame(*Conn, MsgType::Bye, std::string()); // best effort
+    Conn->close();
+    Conn.reset();
+  }
+}
+
+void ProfileClient::backoff(int Attempt) {
+  // 50ms, 100ms, 200ms, ... capped so MaxRetries can't stall a caller
+  // for longer than ~2s per retry.
+  int64_t Ms = static_cast<int64_t>(Config.BackoffMs) << Attempt;
+  if (Ms > 2000)
+    Ms = 2000;
+  std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+ClientResult ProfileClient::connect() {
+  if (Conn)
+    return {true, ""};
+  std::string LastError = "dialer failed";
+  for (int Attempt = 0; Attempt <= Config.MaxRetries; ++Attempt) {
+    if (Attempt)
+      backoff(Attempt - 1);
+    ++DialAttempts;
+    std::string DialError;
+    std::unique_ptr<Transport> T = Dial(&DialError);
+    if (!T) {
+      LastError = DialError.empty() ? "dial failed" : DialError;
+      continue;
+    }
+    // Handshake on the fresh connection.
+    HelloMsg Hello;
+    Hello.Version = WireVersion;
+    Hello.Fingerprint = Config.Fingerprint;
+    Hello.ClientName = Config.Name;
+    IoResult IO = writeFrame(*T, MsgType::Hello, encodeHello(Hello));
+    if (!IO.ok()) {
+      LastError = "HELLO write failed: " + IO.Message;
+      T->close();
+      continue;
+    }
+    FrameResult FR =
+        readFrame(*T, Config.TimeoutMs, Config.MaxFramePayload);
+    if (!FR.ok()) {
+      LastError = "HELLO reply: " + FR.Error;
+      T->close();
+      continue;
+    }
+    if (FR.F.Type == MsgType::Error) {
+      std::string Why;
+      decodeText(FR.F.Payload, &Why);
+      // A deliberate server rejection (version/fingerprint mismatch)
+      // will not improve on retry.
+      return {false, "server rejected handshake: " + Why};
+    }
+    HelloAckMsg Ack;
+    if (FR.F.Type != MsgType::HelloAck ||
+        !decodeHelloAck(FR.F.Payload, &Ack)) {
+      LastError = "malformed HELLO_ACK";
+      T->close();
+      continue;
+    }
+    ServerFingerprint = Ack.Fingerprint;
+    Conn = std::move(T);
+    return {true, ""};
+  }
+  return {false, support::formatString("connect failed after %d attempts: "
+                                       "%s",
+                                       DialAttempts, LastError.c_str())};
+}
+
+ClientResult ProfileClient::exchange(MsgType ReqType,
+                                     const std::string &ReqPayload,
+                                     MsgType WantReply, Frame *Reply) {
+  IoResult IO = writeFrame(*Conn, ReqType, ReqPayload);
+  if (!IO.ok()) {
+    Conn->close();
+    Conn.reset();
+    return {false, std::string(msgTypeName(ReqType)) +
+                       " write failed: " + IO.Message};
+  }
+  FrameResult FR =
+      readFrame(*Conn, Config.TimeoutMs, Config.MaxFramePayload);
+  if (!FR.ok()) {
+    Conn->close();
+    Conn.reset();
+    return {false, std::string(msgTypeName(ReqType)) +
+                       " reply: " + FR.Error};
+  }
+  if (FR.F.Type == MsgType::Error) {
+    std::string Why;
+    decodeText(FR.F.Payload, &Why);
+    // The server replied coherently; the connection may still be usable.
+    return {false, "server: " + Why};
+  }
+  if (FR.F.Type != WantReply) {
+    Conn->close();
+    Conn.reset();
+    return {false, support::formatString("expected %s, got %s",
+                                         msgTypeName(WantReply),
+                                         msgTypeName(FR.F.Type))};
+  }
+  *Reply = std::move(FR.F);
+  return {true, ""};
+}
+
+ClientResult ProfileClient::exchangeRetry(MsgType ReqType,
+                                          const std::string &ReqPayload,
+                                          MsgType WantReply,
+                                          Frame *Reply) {
+  ClientResult Last;
+  for (int Attempt = 0; Attempt <= Config.MaxRetries; ++Attempt) {
+    if (Attempt)
+      backoff(Attempt - 1);
+    ClientResult C = connect();
+    if (!C.Ok) {
+      Last = C;
+      continue;
+    }
+    Last = exchange(ReqType, ReqPayload, WantReply, Reply);
+    if (Last.Ok)
+      return Last;
+    // A coherent server-side ERROR ("server: ...") is a final answer,
+    // not a flaky transport; don't hammer the server with retries.
+    if (Last.Error.compare(0, 8, "server: ") == 0)
+      return Last;
+  }
+  return Last;
+}
+
+ClientResult ProfileClient::pushEncoded(const std::string &ArspBytes) {
+  // Retries cover connection establishment only: once the PUSH frame
+  // starts onto the wire, a lost ack is indistinguishable from a lost
+  // request, and a blind resend could double-count the shard.
+  ClientResult C = connect();
+  if (!C.Ok)
+    return C;
+  Frame Reply;
+  ClientResult R =
+      exchange(MsgType::Push, ArspBytes, MsgType::PushAck, &Reply);
+  if (!R.Ok)
+    return R;
+  PushAckMsg Ack;
+  if (!decodePushAck(Reply.Payload, &Ack))
+    return {false, "malformed PUSH_ACK"};
+  LastMerges = Ack.Merges;
+  return {true, ""};
+}
+
+ClientResult ProfileClient::push(const profile::ProfileBundle &B,
+                                 uint64_t Fingerprint) {
+  return pushEncoded(profstore::encodeBundle(B, Fingerprint));
+}
+
+ProfileClient::PullResult ProfileClient::pull() {
+  PullResult Out;
+  Frame Reply;
+  ClientResult R = exchangeRetry(MsgType::Pull, std::string(),
+                                 MsgType::PullReply, &Reply);
+  if (!R.Ok) {
+    Out.Error = R.Error;
+    return Out;
+  }
+  profstore::DecodeResult D = profstore::decodeBundle(Reply.Payload);
+  if (!D.Ok) {
+    Out.Error = "server sent an undecodable bundle: " + D.Error;
+    return Out;
+  }
+  Out.Ok = true;
+  Out.Fingerprint = D.Fingerprint;
+  Out.Bundle = std::move(D.Bundle);
+  Out.RawBytes = std::move(Reply.Payload);
+  return Out;
+}
+
+ProfileClient::StatsResult ProfileClient::stats() {
+  StatsResult Out;
+  Frame Reply;
+  ClientResult R = exchangeRetry(MsgType::StatsReq, std::string(),
+                                 MsgType::StatsReply, &Reply);
+  if (!R.Ok) {
+    Out.Error = R.Error;
+    return Out;
+  }
+  if (!decodeStats(Reply.Payload, &Out.Stats)) {
+    Out.Error = "malformed STATS_REPLY";
+    return Out;
+  }
+  Out.Ok = true;
+  return Out;
+}
+
+ClientResult ProfileClient::snapshot(std::string *PathOut) {
+  Frame Reply;
+  ClientResult R = exchangeRetry(MsgType::SnapshotReq, std::string(),
+                                 MsgType::SnapshotAck, &Reply);
+  if (!R.Ok)
+    return R;
+  std::string Path;
+  if (!decodeText(Reply.Payload, &Path))
+    return {false, "malformed SNAPSHOT_ACK"};
+  if (PathOut)
+    *PathOut = Path;
+  return {true, ""};
+}
+
+bool parseHostPort(const std::string &Text, std::string *Host,
+                   uint16_t *Port) {
+  size_t Colon = Text.rfind(':');
+  if (Colon == std::string::npos || Colon + 1 == Text.size())
+    return false;
+  std::string PortText = Text.substr(Colon + 1);
+  char *End = nullptr;
+  unsigned long P = std::strtoul(PortText.c_str(), &End, 10);
+  if (*End != '\0' || P == 0 || P > 65535)
+    return false;
+  *Host = Colon ? Text.substr(0, Colon) : std::string();
+  if (Host->empty())
+    *Host = "127.0.0.1";
+  *Port = static_cast<uint16_t>(P);
+  return true;
+}
+
+Dialer tcpDialer(std::string Host, uint16_t Port, int TimeoutMs) {
+  return [Host = std::move(Host), Port,
+          TimeoutMs](std::string *Error) -> std::unique_ptr<Transport> {
+    return connectTcp(Host, Port, TimeoutMs, Error);
+  };
+}
+
+Dialer loopbackDialer(LoopbackListener &L) {
+  return [&L](std::string *Error) -> std::unique_ptr<Transport> {
+    std::unique_ptr<Transport> T = L.connect();
+    if (!T && Error)
+      *Error = "loopback listener is shut down";
+    return T;
+  };
+}
+
+} // namespace profserve
+} // namespace ars

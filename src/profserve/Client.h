@@ -1,0 +1,145 @@
+//===- profserve/Client.h - Collection client library ---------*- C++ -*-===//
+///
+/// \file
+/// The client side of the profile collection protocol: what an
+/// instrumented process (or `arsc push`/`pull`) uses to stream its
+/// profile to a collection server instead of — or in addition to —
+/// writing a file.
+///
+/// The client dials through a caller-supplied Dialer (a factory of
+/// Transports), so the same code drives TCP and the in-memory loopback.
+/// Connection establishment (dial + HELLO/HELLO_ACK) retries with
+/// bounded exponential backoff; every request runs under a deadline.
+///
+/// Retry semantics by operation:
+///
+///  * connect / pull / stats / snapshot-request — idempotent, retried up
+///    to MaxRetries times (reconnecting as needed).
+///  * push — retried only while establishing the connection.  Once the
+///    PUSH frame has started onto the wire a failure is REPORTED, never
+///    blindly retried: the server may have merged the shard before the
+///    ack was lost, and a resend would double-count it.  Callers that
+///    need at-least-once semantics re-push explicitly and accept the
+///    skew (the profile algebra tolerates it; exactness does not).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_PROFSERVE_CLIENT_H
+#define ARS_PROFSERVE_CLIENT_H
+
+#include "profserve/Protocol.h"
+#include "profserve/Transport.h"
+#include "profile/Profiles.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace ars {
+namespace profserve {
+
+/// Creates a fresh connection to the server, or nullptr + \p *Error.
+using Dialer =
+    std::function<std::unique_ptr<Transport>(std::string *Error)>;
+
+struct ClientConfig {
+  int TimeoutMs = 5000;   ///< per-request deadline (dial, write, reply)
+  int MaxRetries = 3;     ///< additional attempts after the first failure
+  int BackoffMs = 50;     ///< first retry delay; doubles per retry
+  std::string Name = "arsc"; ///< diagnostic label sent in HELLO
+  /// Module fingerprint announced in HELLO (0 = none).  The server
+  /// rejects the handshake if it is pinned to a different module.
+  uint64_t Fingerprint = 0;
+  size_t MaxFramePayload = DefaultMaxFramePayload;
+};
+
+struct ClientResult {
+  bool Ok = false;
+  std::string Error;
+};
+
+class ProfileClient {
+public:
+  ProfileClient(Dialer D, ClientConfig C);
+
+  /// Sends BYE (best effort) and closes.
+  ~ProfileClient();
+
+  ProfileClient(const ProfileClient &) = delete;
+  ProfileClient &operator=(const ProfileClient &) = delete;
+
+  /// Ensures a live, HELLO-negotiated connection (dial + handshake with
+  /// retry/backoff).  The other operations call this implicitly.
+  ClientResult connect();
+
+  /// Uploads one already-encoded .arsp shard (see retry caveat above).
+  ClientResult pushEncoded(const std::string &ArspBytes);
+
+  /// encodeBundle + pushEncoded.
+  ClientResult push(const profile::ProfileBundle &B, uint64_t Fingerprint);
+
+  struct PullResult {
+    bool Ok = false;
+    std::string Error;
+    uint64_t Fingerprint = 0;
+    profile::ProfileBundle Bundle;
+    std::string RawBytes; ///< the .arsp exactly as the server sent it
+  };
+  /// Downloads and decodes the merged bundle.
+  PullResult pull();
+
+  struct StatsResult {
+    bool Ok = false;
+    std::string Error;
+    StatsMsg Stats;
+  };
+  StatsResult stats();
+
+  /// Asks the server to snapshot now; \p *PathOut (optional) receives the
+  /// path the server reports.
+  ClientResult snapshot(std::string *PathOut);
+
+  /// Total merges the server reported in the last PUSH_ACK.
+  uint64_t lastServerMerges() const { return LastMerges; }
+
+  /// The server's pinned/adopted fingerprint from the last HELLO_ACK.
+  uint64_t serverFingerprint() const { return ServerFingerprint; }
+
+  /// Dial attempts made (for tests asserting the backoff path).
+  int dialAttempts() const { return DialAttempts; }
+
+  void close();
+
+private:
+  /// One request/reply exchange on the live connection; no reconnection.
+  ClientResult exchange(MsgType ReqType, const std::string &ReqPayload,
+                        MsgType WantReply, Frame *Reply);
+  /// exchange() with reconnect-and-retry for idempotent requests.
+  ClientResult exchangeRetry(MsgType ReqType,
+                             const std::string &ReqPayload,
+                             MsgType WantReply, Frame *Reply);
+  void backoff(int Attempt);
+
+  Dialer Dial;
+  ClientConfig Config;
+  std::unique_ptr<Transport> Conn;
+  uint64_t LastMerges = 0;
+  uint64_t ServerFingerprint = 0;
+  int DialAttempts = 0;
+};
+
+/// Parses "host:port" (host may be empty = 127.0.0.1).  False on a
+/// missing/invalid port.
+bool parseHostPort(const std::string &Text, std::string *Host,
+                   uint16_t *Port);
+
+/// Dialer for a TCP server at \p Host:\p Port.
+Dialer tcpDialer(std::string Host, uint16_t Port, int TimeoutMs);
+
+/// Dialer for an in-process LoopbackListener (which must outlive it).
+Dialer loopbackDialer(LoopbackListener &L);
+
+} // namespace profserve
+} // namespace ars
+
+#endif // ARS_PROFSERVE_CLIENT_H

@@ -1,0 +1,235 @@
+//===- profserve/Protocol.cpp ---------------------------------*- C++ -*-===//
+
+#include "profserve/Protocol.h"
+
+#include "support/Binary.h"
+#include "support/Support.h"
+
+using namespace ars::support;
+
+namespace ars {
+namespace profserve {
+
+const char *msgTypeName(MsgType T) {
+  switch (T) {
+  case MsgType::Hello:       return "HELLO";
+  case MsgType::HelloAck:    return "HELLO_ACK";
+  case MsgType::Push:        return "PUSH";
+  case MsgType::PushAck:     return "PUSH_ACK";
+  case MsgType::Pull:        return "PULL";
+  case MsgType::PullReply:   return "PULL_REPLY";
+  case MsgType::StatsReq:    return "STATS_REQ";
+  case MsgType::StatsReply:  return "STATS_REPLY";
+  case MsgType::SnapshotReq: return "SNAPSHOT_REQ";
+  case MsgType::SnapshotAck: return "SNAPSHOT_ACK";
+  case MsgType::Error:       return "ERROR";
+  case MsgType::Bye:         return "BYE";
+  }
+  return "?";
+}
+
+bool knownMsgType(uint8_t Raw) {
+  return Raw >= static_cast<uint8_t>(MsgType::Hello) &&
+         Raw <= static_cast<uint8_t>(MsgType::Bye);
+}
+
+std::string encodeFrame(MsgType Type, const std::string &Payload) {
+  std::string Out;
+  Out.reserve(FrameHeaderSize + Payload.size() + FrameTrailerSize);
+  appendFixed32(Out, static_cast<uint32_t>(Payload.size()));
+  Out.push_back(static_cast<char>(Type));
+  Out.append(Payload);
+  appendFixed32(Out, crc32(Out.data(), Out.size()));
+  return Out;
+}
+
+namespace {
+
+FrameResult failFrame(FrameStatus S, std::string Why) {
+  FrameResult R;
+  R.Status = S;
+  R.Error = std::move(Why);
+  return R;
+}
+
+} // namespace
+
+FrameResult readFrame(Transport &T, int TimeoutMs, size_t MaxPayload) {
+  char Header[FrameHeaderSize];
+  size_t Got = 0;
+  IoResult IO = T.readAll(Header, sizeof(Header), TimeoutMs, &Got);
+  if (!IO.ok()) {
+    if (IO.Status == IoStatus::Eof && Got == 0)
+      return failFrame(FrameStatus::Eof, "end of stream");
+    if (IO.Status == IoStatus::Timeout)
+      return failFrame(FrameStatus::Timeout,
+                       Got ? "frame header timed out mid-read"
+                           : "no frame within the deadline");
+    if (IO.Status == IoStatus::Eof)
+      return failFrame(FrameStatus::Malformed,
+                       support::formatString(
+                           "truncated frame header: %zu of %zu bytes",
+                           Got, sizeof(Header)));
+    return failFrame(FrameStatus::Transport, IO.Message);
+  }
+
+  ByteReader R(Header, sizeof(Header));
+  uint32_t Len = 0;
+  R.readFixed32(&Len);
+  uint8_t RawType = static_cast<uint8_t>(Header[4]);
+  // The length cap gates the allocation below: an oversized (or hostile)
+  // declared length is rejected from the 5 header bytes alone.
+  if (Len > MaxPayload)
+    return failFrame(FrameStatus::Oversized,
+                     support::formatString(
+                         "frame payload of %u bytes exceeds the %zu-byte "
+                         "cap",
+                         Len, MaxPayload));
+
+  std::string Rest(static_cast<size_t>(Len) + FrameTrailerSize, '\0');
+  Got = 0;
+  IO = T.readAll(Rest.data(), Rest.size(), TimeoutMs, &Got);
+  if (!IO.ok()) {
+    if (IO.Status == IoStatus::Timeout)
+      return failFrame(FrameStatus::Timeout, "frame body timed out");
+    if (IO.Status == IoStatus::Eof)
+      return failFrame(FrameStatus::Malformed,
+                       support::formatString(
+                           "truncated frame body: %zu of %zu bytes", Got,
+                           Rest.size()));
+    return failFrame(FrameStatus::Transport, IO.Message);
+  }
+
+  // The CRC spans header + payload; they were read into separate buffers,
+  // so stitch the frame image back together for the check.
+  std::string Image(Header, sizeof(Header));
+  Image.append(Rest, 0, Len);
+  uint32_t Computed = crc32(Image.data(), Image.size());
+  ByteReader Trailer(Rest.data() + Len, FrameTrailerSize);
+  uint32_t Stored = 0;
+  Trailer.readFixed32(&Stored);
+  if (Stored != Computed)
+    return failFrame(FrameStatus::Malformed,
+                     support::formatString(
+                         "frame CRC mismatch (stored %08x, computed %08x)",
+                         Stored, Computed));
+  if (!knownMsgType(RawType))
+    return failFrame(FrameStatus::Malformed,
+                     support::formatString("unknown message type %u",
+                                           RawType));
+
+  FrameResult Out;
+  Out.Status = FrameStatus::Ok;
+  Out.F.Type = static_cast<MsgType>(RawType);
+  Out.F.Payload.assign(Rest, 0, Len);
+  return Out;
+}
+
+IoResult writeFrame(Transport &T, MsgType Type,
+                    const std::string &Payload) {
+  std::string Bytes = encodeFrame(Type, Payload);
+  return T.writeAll(Bytes.data(), Bytes.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Message payloads
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint64_t MaxClientNameLen = 256;
+constexpr uint64_t MaxTextLen = 64u << 10;
+
+/// Every decoder shares the same tail contract: parsed cleanly, nothing
+/// left over.
+bool finish(ByteReader &R) { return !R.failed() && R.atEnd(); }
+
+} // namespace
+
+std::string encodeHello(const HelloMsg &M) {
+  std::string Out;
+  appendVarint(Out, M.Version);
+  appendFixed64(Out, M.Fingerprint);
+  appendVarint(Out, M.ClientName.size());
+  Out.append(M.ClientName);
+  return Out;
+}
+
+bool decodeHello(const std::string &Payload, HelloMsg *Out) {
+  ByteReader R(Payload);
+  uint64_t Version = 0;
+  if (!R.readVarint(&Version) || Version > UINT32_MAX ||
+      !R.readFixed64(&Out->Fingerprint) ||
+      !R.readLengthPrefixed(&Out->ClientName, MaxClientNameLen))
+    return false;
+  Out->Version = static_cast<uint32_t>(Version);
+  return finish(R);
+}
+
+std::string encodeHelloAck(const HelloAckMsg &M) {
+  std::string Out;
+  appendVarint(Out, M.Version);
+  appendFixed64(Out, M.Fingerprint);
+  return Out;
+}
+
+bool decodeHelloAck(const std::string &Payload, HelloAckMsg *Out) {
+  ByteReader R(Payload);
+  uint64_t Version = 0;
+  if (!R.readVarint(&Version) || Version > UINT32_MAX ||
+      !R.readFixed64(&Out->Fingerprint))
+    return false;
+  Out->Version = static_cast<uint32_t>(Version);
+  return finish(R);
+}
+
+std::string encodePushAck(const PushAckMsg &M) {
+  std::string Out;
+  appendVarint(Out, M.Merges);
+  appendFixed64(Out, M.Fingerprint);
+  return Out;
+}
+
+bool decodePushAck(const std::string &Payload, PushAckMsg *Out) {
+  ByteReader R(Payload);
+  return R.readVarint(&Out->Merges) && R.readFixed64(&Out->Fingerprint) &&
+         finish(R);
+}
+
+std::string encodeStats(const StatsMsg &M) {
+  std::string Out;
+  appendVarint(Out, M.Frames);
+  appendVarint(Out, M.Bytes);
+  appendVarint(Out, M.Merges);
+  appendVarint(Out, M.Rejects);
+  appendVarint(Out, M.ActiveConnections);
+  appendVarint(Out, M.Epochs);
+  appendVarint(Out, M.Snapshots);
+  appendVarint(Out, M.Pulls);
+  return Out;
+}
+
+bool decodeStats(const std::string &Payload, StatsMsg *Out) {
+  ByteReader R(Payload);
+  return R.readVarint(&Out->Frames) && R.readVarint(&Out->Bytes) &&
+         R.readVarint(&Out->Merges) && R.readVarint(&Out->Rejects) &&
+         R.readVarint(&Out->ActiveConnections) &&
+         R.readVarint(&Out->Epochs) && R.readVarint(&Out->Snapshots) &&
+         R.readVarint(&Out->Pulls) && finish(R);
+}
+
+std::string encodeText(const std::string &Text) {
+  std::string Out;
+  size_t N = Text.size() < MaxTextLen ? Text.size() : MaxTextLen;
+  appendVarint(Out, N);
+  Out.append(Text, 0, N);
+  return Out;
+}
+
+bool decodeText(const std::string &Payload, std::string *Out) {
+  ByteReader R(Payload);
+  return R.readLengthPrefixed(Out, MaxTextLen) && finish(R);
+}
+
+} // namespace profserve
+} // namespace ars

@@ -1,0 +1,155 @@
+//===- profserve/Protocol.h - Collection wire protocol --------*- C++ -*-===//
+///
+/// \file
+/// The length-prefix-framed, CRC-guarded wire protocol between
+/// instrumented processes and the profile collection server.
+///
+/// Frame layout (fixed fields little-endian, as in the .arsp format):
+///
+///   u32  payload length N     (capped; validated BEFORE any allocation)
+///   u8   message type
+///   N    payload bytes
+///   u32  CRC32 of every preceding byte of the frame
+///
+/// The CRC covers the header too, so a flipped bit anywhere — length,
+/// type or payload — is detected; CRC32 catches all single-bit and all
+/// single-byte errors.  A frame whose declared length exceeds the
+/// configured cap is rejected from the 5 header bytes alone, so a hostile
+/// length prefix can never drive a huge allocation (the same discipline
+/// as support::ByteReader::readLengthPrefixed).
+///
+/// Conversation: the client opens with HELLO (protocol version + module
+/// fingerprint); the server answers HELLO_ACK or ERROR.  Then any number
+/// of PUSH (an encoded .arsp bundle, itself fingerprinted and
+/// CRC-guarded), PULL, STATS_REQ and SNAPSHOT_REQ exchanges, closed by
+/// BYE or plain disconnect.  Every server reply to a broken request is an
+/// ERROR frame carrying a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_PROFSERVE_PROTOCOL_H
+#define ARS_PROFSERVE_PROTOCOL_H
+
+#include "profserve/Transport.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ars {
+namespace profserve {
+
+/// Bumped on any incompatible wire change; HELLO negotiation rejects a
+/// mismatch with a diagnostic naming both sides' versions.
+constexpr uint32_t WireVersion = 1;
+
+constexpr size_t FrameHeaderSize = 5;  ///< u32 length + u8 type
+constexpr size_t FrameTrailerSize = 4; ///< CRC32 of header+payload
+
+/// Default cap on one frame's payload.  Large enough for any realistic
+/// merged bundle, small enough that a hostile 4 GiB length prefix is
+/// rejected without being allocated.  Servers/clients can lower it.
+constexpr size_t DefaultMaxFramePayload = 64u << 20;
+
+enum class MsgType : uint8_t {
+  Hello = 1,    ///< client: version + fingerprint + name
+  HelloAck,     ///< server: version + adopted fingerprint (0 = none yet)
+  Push,         ///< client: one encoded .arsp bundle shard
+  PushAck,      ///< server: total merges + current fingerprint
+  Pull,         ///< client: request the merged bundle
+  PullReply,    ///< server: encoded .arsp of the merged bundle
+  StatsReq,     ///< client: request server counters
+  StatsReply,   ///< server: counters
+  SnapshotReq,  ///< client: force a snapshot to disk now
+  SnapshotAck,  ///< server: path the snapshot was written to
+  Error,        ///< server: diagnostic text
+  Bye,          ///< client: graceful close
+};
+
+const char *msgTypeName(MsgType T);
+bool knownMsgType(uint8_t Raw);
+
+struct Frame {
+  MsgType Type = MsgType::Error;
+  std::string Payload;
+};
+
+/// Frames \p Payload as \p Type: header + payload + CRC trailer.
+std::string encodeFrame(MsgType Type, const std::string &Payload);
+
+enum class FrameStatus : uint8_t {
+  Ok,
+  Eof,       ///< clean end of stream at a frame boundary
+  Timeout,   ///< peer too slow (or vanished without closing)
+  Malformed, ///< truncated mid-frame, CRC mismatch, unknown type
+  Oversized, ///< declared payload length above the cap
+  Transport, ///< transport-level failure; see Error
+};
+
+struct FrameResult {
+  FrameStatus Status = FrameStatus::Transport;
+  Frame F;
+  std::string Error; ///< diagnostic for every non-Ok status
+  bool ok() const { return Status == FrameStatus::Ok; }
+};
+
+/// Reads one whole frame from \p T, enforcing \p MaxPayload before the
+/// payload is allocated and \p TimeoutMs across the whole frame.
+/// Distinguishes a clean EOF between frames from a stream that died
+/// mid-frame (Malformed, "truncated").
+FrameResult readFrame(Transport &T, int TimeoutMs,
+                      size_t MaxPayload = DefaultMaxFramePayload);
+
+/// Frames and writes \p Payload; returns the transport's verdict.
+IoResult writeFrame(Transport &T, MsgType Type,
+                    const std::string &Payload);
+
+//===----------------------------------------------------------------------===//
+// Message payloads.  Varint/fixed encodings over support/Binary; every
+// decode* rejects truncation and trailing garbage.
+//===----------------------------------------------------------------------===//
+
+struct HelloMsg {
+  uint32_t Version = WireVersion;
+  uint64_t Fingerprint = 0; ///< module the client will push for; 0 = any
+  std::string ClientName;   ///< diagnostic label, capped at 256 bytes
+};
+std::string encodeHello(const HelloMsg &M);
+bool decodeHello(const std::string &Payload, HelloMsg *Out);
+
+struct HelloAckMsg {
+  uint32_t Version = WireVersion;
+  uint64_t Fingerprint = 0; ///< server's pinned/adopted fingerprint
+};
+std::string encodeHelloAck(const HelloAckMsg &M);
+bool decodeHelloAck(const std::string &Payload, HelloAckMsg *Out);
+
+struct PushAckMsg {
+  uint64_t Merges = 0;      ///< bundles merged since server start
+  uint64_t Fingerprint = 0; ///< fingerprint the shard was validated under
+};
+std::string encodePushAck(const PushAckMsg &M);
+bool decodePushAck(const std::string &Payload, PushAckMsg *Out);
+
+/// Server-side counters exposed through STATS.
+struct StatsMsg {
+  uint64_t Frames = 0;            ///< valid frames received
+  uint64_t Bytes = 0;             ///< wire bytes received in valid frames
+  uint64_t Merges = 0;            ///< shards merged into the aggregate
+  uint64_t Rejects = 0;           ///< frames/bundles/handshakes rejected
+  uint64_t ActiveConnections = 0; ///< accepted and not yet closed
+  uint64_t Epochs = 0;            ///< rotateEpoch() count
+  uint64_t Snapshots = 0;         ///< snapshots written
+  uint64_t Pulls = 0;             ///< PULL requests served
+};
+std::string encodeStats(const StatsMsg &M);
+bool decodeStats(const std::string &Payload, StatsMsg *Out);
+
+/// ERROR and SNAPSHOT_ACK carry one length-prefixed string (capped at
+/// 64 KiB on decode — a diagnostic, not a data channel).
+std::string encodeText(const std::string &Text);
+bool decodeText(const std::string &Payload, std::string *Out);
+
+} // namespace profserve
+} // namespace ars
+
+#endif // ARS_PROFSERVE_PROTOCOL_H

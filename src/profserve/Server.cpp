@@ -1,0 +1,318 @@
+//===- profserve/Server.cpp -----------------------------------*- C++ -*-===//
+
+#include "profserve/Server.h"
+
+#include "profstore/ProfileIO.h"
+#include "profstore/ProfileStore.h"
+#include "support/Support.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+namespace ars {
+namespace profserve {
+
+ProfileServer::ProfileServer(std::unique_ptr<Listener> L, ServerConfig C)
+    : L(std::move(L)), Config(C), Agg(C.Stripes) {
+  FingerprintValue = Config.Fingerprint;
+}
+
+ProfileServer::~ProfileServer() { stop(); }
+
+void ProfileServer::start() {
+  Pool = std::make_unique<support::ThreadPool>(Config.Workers);
+  Acceptor = std::thread([this] { acceptLoop(); });
+  if (Config.SnapshotIntervalMs > 0 && !Config.SnapshotPath.empty())
+    Snapshotter = std::thread([this] { snapshotLoop(); });
+  Started = true;
+}
+
+void ProfileServer::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(SnapMu);
+    if (Stopping)
+      return;
+    Stopping = true;
+    SnapCv.notify_all();
+  }
+  if (!Started)
+    return;
+  // Stop the intake first, then unblock every live handler by closing
+  // its transport; the pool then drains naturally — no connection leaks.
+  L->shutdown();
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    for (Transport *T : Active)
+      T->close();
+  }
+  if (Acceptor.joinable())
+    Acceptor.join();
+  Pool->wait();
+  if (Snapshotter.joinable())
+    Snapshotter.join();
+  // Final snapshot after the drain, so the last accepted pushes are in.
+  if (!Config.SnapshotPath.empty()) {
+    std::string Error;
+    if (!snapshotNow(&Error) && Config.LogToStderr)
+      std::fprintf(stderr, "profserve: final snapshot failed: %s\n",
+                   Error.c_str());
+  }
+  Pool.reset();
+}
+
+void ProfileServer::acceptLoop() {
+  for (;;) {
+    std::unique_ptr<Transport> T = L->accept();
+    if (!T)
+      return; // listener shut down
+    std::shared_ptr<Transport> Conn(std::move(T));
+    {
+      std::lock_guard<std::mutex> Lock(ConnMu);
+      Active.insert(Conn.get());
+    }
+    {
+      std::lock_guard<std::mutex> Lock(StateMu);
+      ++Stats.ActiveConnections;
+    }
+    Pool->submit([this, Conn] {
+      handleConnection(Conn.get());
+      Conn->close();
+      {
+        std::lock_guard<std::mutex> Lock(ConnMu);
+        Active.erase(Conn.get());
+      }
+      {
+        std::lock_guard<std::mutex> Lock(StateMu);
+        --Stats.ActiveConnections;
+      }
+    });
+  }
+}
+
+void ProfileServer::snapshotLoop() {
+  std::unique_lock<std::mutex> Lock(SnapMu);
+  while (!Stopping) {
+    SnapCv.wait_for(Lock,
+                    std::chrono::milliseconds(Config.SnapshotIntervalMs));
+    if (Stopping)
+      return;
+    Lock.unlock();
+    std::string Error;
+    if (!snapshotNow(&Error) && Config.LogToStderr)
+      std::fprintf(stderr, "profserve: snapshot failed: %s\n",
+                   Error.c_str());
+    Lock.lock();
+  }
+}
+
+void ProfileServer::bumpReject(const std::string &Why,
+                               const std::string &Peer) {
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    ++Stats.Rejects;
+  }
+  if (Config.LogToStderr)
+    std::fprintf(stderr, "profserve: rejected %s: %s\n", Peer.c_str(),
+                 Why.c_str());
+}
+
+void ProfileServer::handleConnection(Transport *T) {
+  bool SawHello = false;
+  for (;;) {
+    FrameResult FR =
+        readFrame(*T, Config.RecvTimeoutMs, Config.MaxFramePayload);
+    if (FR.Status == FrameStatus::Eof)
+      return; // clean disconnect (BYE is polite, EOF is legal)
+    if (!FR.ok()) {
+      // Timeout, truncation, CRC mismatch, oversized length, transport
+      // death: the byte stream can no longer be trusted to be framed, so
+      // answer with a diagnostic (best effort) and drop the connection.
+      bumpReject(FR.Error, T->peer());
+      writeFrame(*T, MsgType::Error, encodeText(FR.Error));
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(StateMu);
+      ++Stats.Frames;
+      Stats.Bytes +=
+          FrameHeaderSize + FR.F.Payload.size() + FrameTrailerSize;
+    }
+    if (!handleFrame(*T, FR.F, &SawHello))
+      return;
+  }
+}
+
+bool ProfileServer::handleFrame(Transport &T, const Frame &F,
+                                bool *SawHello) {
+  auto replyError = [&](const std::string &Why, bool KeepOpen) {
+    bumpReject(Why, T.peer());
+    IoResult IO = writeFrame(T, MsgType::Error, encodeText(Why));
+    return KeepOpen && IO.ok();
+  };
+
+  if (F.Type == MsgType::Hello) {
+    HelloMsg Hello;
+    if (!decodeHello(F.Payload, &Hello))
+      return replyError("malformed HELLO payload", false);
+    if (Hello.Version != WireVersion)
+      return replyError(
+          support::formatString(
+              "wire version mismatch: client speaks v%u, server v%u",
+              Hello.Version, WireVersion),
+          false);
+    uint64_t Pinned = fingerprint();
+    if (Hello.Fingerprint && Pinned && Hello.Fingerprint != Pinned)
+      return replyError(
+          support::formatString(
+              "module fingerprint mismatch: client %016llx, server "
+              "%016llx",
+              static_cast<unsigned long long>(Hello.Fingerprint),
+              static_cast<unsigned long long>(Pinned)),
+          false);
+    *SawHello = true;
+    HelloAckMsg Ack;
+    Ack.Version = WireVersion;
+    Ack.Fingerprint = Pinned;
+    return writeFrame(T, MsgType::HelloAck, encodeHelloAck(Ack)).ok();
+  }
+
+  if (!*SawHello)
+    return replyError(support::formatString(
+                          "expected HELLO before %s", msgTypeName(F.Type)),
+                      false);
+
+  switch (F.Type) {
+  case MsgType::Push: {
+    uint64_t Expect = fingerprint();
+    profstore::DecodeResult D = profstore::decodeBundle(F.Payload, Expect);
+    if (!D.Ok)
+      // The frame itself was intact, so the stream is still in sync:
+      // report the bad shard and keep serving this client.
+      return replyError("rejected shard: " + D.Error, true);
+    uint64_t Merges;
+    {
+      std::lock_guard<std::mutex> Lock(StateMu);
+      if (FingerprintValue == 0)
+        FingerprintValue = D.Fingerprint; // first shard pins the module
+      else if (D.Fingerprint != FingerprintValue) {
+        // Raced with another first-pusher for a different module.
+        ++Stats.Rejects;
+        return writeFrame(T, MsgType::Error,
+                          encodeText("rejected shard: fingerprint lost "
+                                     "the adoption race"))
+                   .ok();
+      }
+    }
+    Agg.flush(NextFlushKey.fetch_add(1, std::memory_order_relaxed),
+              D.Bundle);
+    {
+      std::lock_guard<std::mutex> Lock(StateMu);
+      Merges = ++Stats.Merges;
+    }
+    if (Config.RotateEveryMerges && Merges % Config.RotateEveryMerges == 0)
+      rotateEpoch();
+    PushAckMsg Ack;
+    Ack.Merges = Merges;
+    Ack.Fingerprint = D.Fingerprint;
+    return writeFrame(T, MsgType::PushAck, encodePushAck(Ack)).ok();
+  }
+
+  case MsgType::Pull: {
+    std::string Bytes = profstore::encodeBundle(merged(), fingerprint());
+    if (Bytes.size() > Config.MaxFramePayload)
+      return replyError(
+          support::formatString(
+              "merged profile (%zu bytes) exceeds the %zu-byte frame cap",
+              Bytes.size(), Config.MaxFramePayload),
+          true);
+    {
+      std::lock_guard<std::mutex> Lock(StateMu);
+      ++Stats.Pulls;
+    }
+    return writeFrame(T, MsgType::PullReply, Bytes).ok();
+  }
+
+  case MsgType::StatsReq:
+    return writeFrame(T, MsgType::StatsReply, encodeStats(stats())).ok();
+
+  case MsgType::SnapshotReq: {
+    std::string Error;
+    if (!snapshotNow(&Error))
+      return replyError("snapshot failed: " + Error, true);
+    return writeFrame(T, MsgType::SnapshotAck,
+                      encodeText(Config.SnapshotPath))
+        .ok();
+  }
+
+  case MsgType::Bye:
+    return false;
+
+  default:
+    // Server-bound streams must never carry server-to-client types.
+    return replyError(support::formatString("unexpected %s from a client",
+                                            msgTypeName(F.Type)),
+                      false);
+  }
+}
+
+ServerStats ProfileServer::stats() const {
+  std::lock_guard<std::mutex> Lock(StateMu);
+  return Stats;
+}
+
+uint64_t ProfileServer::fingerprint() const {
+  std::lock_guard<std::mutex> Lock(StateMu);
+  return FingerprintValue;
+}
+
+profile::ProfileBundle ProfileServer::merged() const {
+  profile::ProfileBundle Out;
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    Out = EpochBase;
+  }
+  profstore::mergeBundle(Out, Agg.merged());
+  return Out;
+}
+
+void ProfileServer::rotateEpoch() {
+  profile::ProfileBundle Drained = Agg.drain();
+  std::lock_guard<std::mutex> Lock(StateMu);
+  profstore::mergeBundle(EpochBase, Drained);
+  profstore::decayBundle(EpochBase, Config.EpochKeepPct);
+  ++Stats.Epochs;
+}
+
+bool ProfileServer::snapshotNow(std::string *Error) {
+  if (Config.SnapshotPath.empty()) {
+    if (Error)
+      *Error = "no snapshot path configured";
+    return false;
+  }
+  std::string Bytes = profstore::encodeBundle(merged(), fingerprint());
+  // Write-then-rename so a reader (or a crash) never sees a half profile.
+  std::string Tmp = Config.SnapshotPath + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out ||
+        !Out.write(Bytes.data(),
+                   static_cast<std::streamsize>(Bytes.size()))) {
+      if (Error)
+        *Error = "cannot write " + Tmp;
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Config.SnapshotPath.c_str()) != 0) {
+    if (Error)
+      *Error = "cannot rename " + Tmp + " to " + Config.SnapshotPath;
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  std::lock_guard<std::mutex> Lock(StateMu);
+  ++Stats.Snapshots;
+  return true;
+}
+
+} // namespace profserve
+} // namespace ars

@@ -1,0 +1,170 @@
+//===- profserve/Server.h - Profile collection daemon ---------*- C++ -*-===//
+///
+/// \file
+/// The collection tier between "many deployed instrumented runs" and one
+/// merged .arsp profile: a server that accepts concurrent pushers over
+/// any Listener (TCP or in-memory loopback), validates every shard
+/// (frame CRC, wire version, .arsp CRC, module fingerprint), feeds
+/// accepted shards into a lock-striped ProfileAggregator, and serves the
+/// merged bundle back over PULL.
+///
+/// Robustness contract: a malformed, truncated or oversized frame, a
+/// wrong fingerprint, a version-mismatched client, or a client that
+/// stalls mid-frame or vanishes is rejected or timed out with a
+/// diagnostic — the server never crashes and never leaks a connection.
+/// Frame-level corruption desynchronizes the stream, so the connection
+/// is closed; a well-framed but invalid bundle only earns an ERROR reply
+/// and the connection stays usable.
+///
+/// Epochs: rotateEpoch() drains the aggregator into an epoch base bundle
+/// and decays it by EpochKeepPct — the streaming "old runs matter less"
+/// weighting of the profile store, now applied on a live aggregate.  The
+/// merged view is always epoch base + current aggregator contents.
+///
+/// Snapshots: the merged profile is written to SnapshotPath atomically
+/// (temp file + rename) on an interval, on SNAPSHOT_REQ, and on graceful
+/// stop() — so a crash of the *collector* loses at most one interval.
+///
+/// Determinism: mergeBundle's commutative/associative algebra (see
+/// ProfileStore.h) makes the merged bundle byte-identical to a serial
+/// fold of the same shards, for any number of concurrent pushers, any
+/// worker count and any stripe width.  tests/test_profserve.cpp pins
+/// this for 1/4/16 pushers and runs under ThreadSanitizer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_PROFSERVE_SERVER_H
+#define ARS_PROFSERVE_SERVER_H
+
+#include "profserve/Protocol.h"
+#include "profserve/Transport.h"
+#include "profstore/ProfileAggregator.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+namespace ars {
+namespace profserve {
+
+struct ServerConfig {
+  /// Module fingerprint every shard must carry.  0 = adopt the first
+  /// pushed shard's fingerprint and pin it for the server's lifetime.
+  uint64_t Fingerprint = 0;
+
+  /// Where snapshots go; empty = no snapshots (merged state lives only
+  /// in memory and over PULL).
+  std::string SnapshotPath;
+
+  /// Snapshot every N ms while running (0 = only on request/stop).
+  int SnapshotIntervalMs = 0;
+
+  /// rotateEpoch() keeps this percent of every count (100 = no decay).
+  uint32_t EpochKeepPct = 100;
+
+  /// Auto-rotate after this many merges (0 = only explicit rotation).
+  uint64_t RotateEveryMerges = 0;
+
+  /// Connection-handler threads.  A connection occupies one worker for
+  /// its lifetime; excess accepted connections queue.
+  int Workers = 4;
+
+  /// Per-frame read deadline; a client idle or stalled longer is timed
+  /// out and its connection closed with a diagnostic.
+  int RecvTimeoutMs = 2000;
+
+  /// Frame payload cap (see Protocol.h).
+  size_t MaxFramePayload = DefaultMaxFramePayload;
+
+  /// Aggregator lock-striping width (0 = ProfileAggregator's default).
+  int Stripes = 0;
+
+  /// Log rejects and snapshot failures to stderr (the `arsc serve`
+  /// daemon turns this on; library users and tests keep it quiet).
+  bool LogToStderr = false;
+};
+
+/// Monotonic counters; readable at any time via stats() or STATS_REQ.
+using ServerStats = StatsMsg;
+
+class ProfileServer {
+public:
+  /// Takes ownership of \p L.  Call start() to begin serving.
+  ProfileServer(std::unique_ptr<Listener> L, ServerConfig C);
+
+  /// stop()s if still running.
+  ~ProfileServer();
+
+  ProfileServer(const ProfileServer &) = delete;
+  ProfileServer &operator=(const ProfileServer &) = delete;
+
+  /// Spawns the acceptor, the connection worker pool, and (when
+  /// configured) the snapshot timer.
+  void start();
+
+  /// Graceful shutdown: stop accepting, close every live connection,
+  /// drain the workers, write a final snapshot.  Idempotent.
+  void stop();
+
+  ServerStats stats() const;
+
+  /// Epoch base + everything aggregated since the last rotation.
+  profile::ProfileBundle merged() const;
+
+  /// The pinned/adopted module fingerprint (0 = nothing pushed yet).
+  uint64_t fingerprint() const;
+
+  /// Folds the aggregator into the epoch base and decays the base by
+  /// EpochKeepPct.  Shards pushed concurrently land in whichever side of
+  /// the boundary their flush reached first; none are lost or doubled.
+  void rotateEpoch();
+
+  /// Writes the merged bundle to SnapshotPath atomically (temp +
+  /// rename).  False + \p *Error when unconfigured or the write fails.
+  bool snapshotNow(std::string *Error);
+
+  const Listener &listener() const { return *L; }
+
+private:
+  void acceptLoop();
+  void snapshotLoop();
+  void handleConnection(Transport *T);
+  /// One request/reply step; returns false when the connection is done.
+  bool handleFrame(Transport &T, const Frame &F, bool *SawHello);
+  void bumpReject(const std::string &Why, const std::string &Peer);
+
+  std::unique_ptr<Listener> L;
+  ServerConfig Config;
+  profstore::ProfileAggregator Agg;
+
+  mutable std::mutex StateMu; ///< guards Stats, Fingerprint, EpochBase
+  ServerStats Stats;
+  uint64_t FingerprintValue = 0;
+  profile::ProfileBundle EpochBase;
+
+  /// Live-connection registry so stop() can close (and thereby unblock)
+  /// every handler.  Handlers own their transport via shared_ptr captured
+  /// in the pool job; the registry holds raw pointers only while the
+  /// handler runs.
+  std::mutex ConnMu;
+  std::set<Transport *> Active;
+  std::atomic<uint64_t> NextFlushKey{0}; ///< aggregator striping key
+
+  std::unique_ptr<support::ThreadPool> Pool;
+  std::thread Acceptor;
+  std::thread Snapshotter;
+  std::mutex SnapMu;
+  std::condition_variable SnapCv;
+  bool Stopping = false; ///< guarded by SnapMu; also gates stop() reentry
+  bool Started = false;
+};
+
+} // namespace profserve
+} // namespace ars
+
+#endif // ARS_PROFSERVE_SERVER_H

@@ -1,0 +1,458 @@
+//===- profserve/Transport.cpp --------------------------------*- C++ -*-===//
+
+#include "profserve/Transport.h"
+
+#include "support/Support.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <deque>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ars {
+namespace profserve {
+
+const char *ioStatusName(IoStatus S) {
+  switch (S) {
+  case IoStatus::Ok:      return "ok";
+  case IoStatus::Eof:     return "eof";
+  case IoStatus::Timeout: return "timeout";
+  case IoStatus::Closed:  return "closed";
+  case IoStatus::Error:   return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+IoResult makeError(IoStatus S, std::string Message) {
+  IoResult R;
+  R.Status = S;
+  R.Message = std::move(Message);
+  return R;
+}
+
+int remainingMs(Clock::time_point Deadline) {
+  auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  Deadline - Clock::now())
+                  .count();
+  return Left > 0 ? static_cast<int>(Left) : 0;
+}
+
+} // namespace
+
+IoResult Transport::readAll(char *Data, size_t Size, int TimeoutMs,
+                            size_t *Read) {
+  size_t Got = 0;
+  Clock::time_point Deadline =
+      Clock::now() + std::chrono::milliseconds(TimeoutMs > 0 ? TimeoutMs : 0);
+  while (Got != Size) {
+    int Left = TimeoutMs > 0 ? remainingMs(Deadline) : 0;
+    if (TimeoutMs > 0 && Left == 0) {
+      if (Read)
+        *Read = Got;
+      return makeError(IoStatus::Timeout, "read deadline expired");
+    }
+    size_t N = 0;
+    IoResult R = readSome(Data + Got, Size - Got, TimeoutMs > 0 ? Left : 0,
+                          &N);
+    Got += N;
+    if (!R.ok()) {
+      if (Read)
+        *Read = Got;
+      return R;
+    }
+  }
+  if (Read)
+    *Read = Got;
+  return IoResult();
+}
+
+//===----------------------------------------------------------------------===//
+// Loopback: two in-memory pipes.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One direction of a loopback connection.
+struct Pipe {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::string Buf;
+  size_t Off = 0; ///< consumed prefix of Buf (compacted when drained)
+  bool Closed = false;
+
+  void close() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Closed = true;
+    Cv.notify_all();
+  }
+};
+
+class LoopbackTransport : public Transport {
+public:
+  LoopbackTransport(std::shared_ptr<Pipe> In, std::shared_ptr<Pipe> Out)
+      : In(std::move(In)), Out(std::move(Out)) {}
+  ~LoopbackTransport() override { close(); }
+
+  IoResult writeAll(const char *Data, size_t Size) override {
+    std::lock_guard<std::mutex> Lock(Out->Mu);
+    if (Out->Closed)
+      return makeError(IoStatus::Closed, "loopback pipe closed");
+    Out->Buf.append(Data, Size);
+    Out->Cv.notify_all();
+    return IoResult();
+  }
+
+  IoResult readSome(char *Data, size_t Max, int TimeoutMs,
+                    size_t *Read) override {
+    *Read = 0;
+    std::unique_lock<std::mutex> Lock(In->Mu);
+    auto HaveDataOrClosed = [&] {
+      return In->Off != In->Buf.size() || In->Closed;
+    };
+    if (TimeoutMs > 0) {
+      if (!In->Cv.wait_for(Lock, std::chrono::milliseconds(TimeoutMs),
+                           HaveDataOrClosed))
+        return makeError(IoStatus::Timeout, "loopback read timed out");
+    } else {
+      In->Cv.wait(Lock, HaveDataOrClosed);
+    }
+    // Drain buffered bytes even after a close — a peer that wrote a reply
+    // and hung up must still be readable, like TCP.
+    size_t Avail = In->Buf.size() - In->Off;
+    if (Avail == 0)
+      return makeError(IoStatus::Eof, "loopback peer closed");
+    size_t N = Avail < Max ? Avail : Max;
+    std::memcpy(Data, In->Buf.data() + In->Off, N);
+    In->Off += N;
+    if (In->Off == In->Buf.size()) {
+      In->Buf.clear();
+      In->Off = 0;
+    }
+    *Read = N;
+    return IoResult();
+  }
+
+  void close() override {
+    In->close();
+    Out->close();
+  }
+
+  std::string peer() const override { return "loopback"; }
+
+private:
+  std::shared_ptr<Pipe> In, Out;
+};
+
+} // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+makeLoopbackPair() {
+  auto AtoB = std::make_shared<Pipe>();
+  auto BtoA = std::make_shared<Pipe>();
+  return {std::make_unique<LoopbackTransport>(BtoA, AtoB),
+          std::make_unique<LoopbackTransport>(AtoB, BtoA)};
+}
+
+struct LoopbackListener::Impl {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<std::unique_ptr<Transport>> Pending;
+  bool Shutdown = false;
+};
+
+LoopbackListener::LoopbackListener() : I(std::make_shared<Impl>()) {}
+LoopbackListener::~LoopbackListener() { shutdown(); }
+
+std::unique_ptr<Transport> LoopbackListener::accept() {
+  std::unique_lock<std::mutex> Lock(I->Mu);
+  I->Cv.wait(Lock, [&] { return !I->Pending.empty() || I->Shutdown; });
+  if (I->Pending.empty())
+    return nullptr;
+  std::unique_ptr<Transport> T = std::move(I->Pending.front());
+  I->Pending.pop_front();
+  return T;
+}
+
+void LoopbackListener::shutdown() {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  I->Shutdown = true;
+  I->Cv.notify_all();
+}
+
+std::unique_ptr<Transport> LoopbackListener::connect() {
+  auto [ClientEnd, ServerEnd] = makeLoopbackPair();
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  if (I->Shutdown)
+    return nullptr;
+  I->Pending.push_back(std::move(ServerEnd));
+  I->Cv.notify_all();
+  return std::move(ClientEnd);
+}
+
+//===----------------------------------------------------------------------===//
+// TCP: non-blocking sockets + poll, so reads and writes both honor
+// timeouts and a cross-thread close()/shutdown() wakes blocked callers.
+//===----------------------------------------------------------------------===//
+
+struct TcpShutdownFlag {
+  std::atomic<bool> Stop{false};
+};
+
+namespace {
+
+bool setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+std::string describePeer(const sockaddr_storage &Addr) {
+  char Host[INET6_ADDRSTRLEN] = "?";
+  uint16_t Port = 0;
+  if (Addr.ss_family == AF_INET) {
+    const auto *A = reinterpret_cast<const sockaddr_in *>(&Addr);
+    ::inet_ntop(AF_INET, &A->sin_addr, Host, sizeof(Host));
+    Port = ntohs(A->sin_port);
+  } else if (Addr.ss_family == AF_INET6) {
+    const auto *A = reinterpret_cast<const sockaddr_in6 *>(&Addr);
+    ::inet_ntop(AF_INET6, &A->sin6_addr, Host, sizeof(Host));
+    Port = ntohs(A->sin6_port);
+  }
+  return support::formatString("%s:%u", Host, Port);
+}
+
+class TcpTransport : public Transport {
+public:
+  TcpTransport(int Fd, std::string Peer)
+      : Fd(Fd), PeerName(std::move(Peer)) {}
+  ~TcpTransport() override {
+    close();
+    ::close(Fd);
+  }
+
+  IoResult writeAll(const char *Data, size_t Size) override {
+    size_t Sent = 0;
+    while (Sent != Size) {
+      if (ClosedFlag.load(std::memory_order_relaxed))
+        return makeError(IoStatus::Closed, "socket closed locally");
+      ssize_t N = ::send(Fd, Data + Sent, Size - Sent, MSG_NOSIGNAL);
+      if (N > 0) {
+        Sent += static_cast<size_t>(N);
+        continue;
+      }
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        pollfd P = {Fd, POLLOUT, 0};
+        int R = ::poll(&P, 1, WriteTimeoutMs);
+        if (R == 0)
+          return makeError(IoStatus::Timeout,
+                           "write to " + PeerName + " timed out");
+        if (R < 0 && errno != EINTR)
+          return makeError(IoStatus::Error,
+                           support::formatString("poll: %s",
+                                                 std::strerror(errno)));
+        continue;
+      }
+      if (N < 0 && (errno == EPIPE || errno == ECONNRESET))
+        return makeError(IoStatus::Eof, PeerName + " hung up");
+      return makeError(IoStatus::Error,
+                       support::formatString("send to %s: %s",
+                                             PeerName.c_str(),
+                                             std::strerror(errno)));
+    }
+    return IoResult();
+  }
+
+  IoResult readSome(char *Data, size_t Max, int TimeoutMs,
+                    size_t *Read) override {
+    *Read = 0;
+    Clock::time_point Deadline =
+        Clock::now() +
+        std::chrono::milliseconds(TimeoutMs > 0 ? TimeoutMs : 0);
+    for (;;) {
+      if (ClosedFlag.load(std::memory_order_relaxed))
+        return makeError(IoStatus::Closed, "socket closed locally");
+      ssize_t N = ::recv(Fd, Data, Max, 0);
+      if (N > 0) {
+        *Read = static_cast<size_t>(N);
+        return IoResult();
+      }
+      if (N == 0)
+        return makeError(IoStatus::Eof, PeerName + " closed the stream");
+      if (errno == EINTR)
+        continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK)
+        return makeError(IoStatus::Error,
+                         support::formatString("recv from %s: %s",
+                                               PeerName.c_str(),
+                                               std::strerror(errno)));
+      int Left = TimeoutMs > 0 ? remainingMs(Deadline) : -1;
+      if (TimeoutMs > 0 && Left == 0)
+        return makeError(IoStatus::Timeout,
+                         "read from " + PeerName + " timed out");
+      pollfd P = {Fd, POLLIN, 0};
+      int R = ::poll(&P, 1, Left);
+      if (R < 0 && errno != EINTR)
+        return makeError(IoStatus::Error,
+                         support::formatString("poll: %s",
+                                               std::strerror(errno)));
+    }
+  }
+
+  void close() override {
+    if (!ClosedFlag.exchange(true))
+      ::shutdown(Fd, SHUT_RDWR); // wakes poll() in other threads
+  }
+
+  std::string peer() const override { return PeerName; }
+
+private:
+  int Fd;
+  std::string PeerName;
+  std::atomic<bool> ClosedFlag{false};
+  /// Backstop so one stalled reader can't pin a server worker forever.
+  static constexpr int WriteTimeoutMs = 10000;
+};
+
+} // namespace
+
+TcpListener::~TcpListener() {
+  shutdown();
+  ::close(Fd);
+}
+
+std::unique_ptr<Transport> TcpListener::accept() {
+  for (;;) {
+    if (Stop->Stop.load(std::memory_order_relaxed))
+      return nullptr;
+    pollfd P = {Fd, POLLIN, 0};
+    // Short poll slices bound how long shutdown() can go unnoticed even
+    // on platforms where shutdown(2) on a listening fd does not wake poll.
+    int R = ::poll(&P, 1, 200);
+    if (Stop->Stop.load(std::memory_order_relaxed))
+      return nullptr;
+    if (R <= 0)
+      continue;
+    sockaddr_storage Addr;
+    socklen_t Len = sizeof(Addr);
+    int Conn = ::accept(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len);
+    if (Conn < 0)
+      continue; // transient (EAGAIN, ECONNABORTED, EINTR): keep serving
+    if (!setNonBlocking(Conn)) {
+      ::close(Conn);
+      continue;
+    }
+    return std::make_unique<TcpTransport>(Conn, describePeer(Addr));
+  }
+}
+
+void TcpListener::shutdown() {
+  if (!Stop->Stop.exchange(true))
+    ::shutdown(Fd, SHUT_RDWR);
+}
+
+std::string TcpListener::address() const {
+  return support::formatString("127.0.0.1:%u", Port);
+}
+
+std::unique_ptr<TcpListener> listenTcp(uint16_t Port, std::string *Error) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = support::formatString("socket: %s", std::strerror(errno));
+    return nullptr;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, 64) != 0 || !setNonBlocking(Fd)) {
+    if (Error)
+      *Error = support::formatString("bind/listen on port %u: %s", Port,
+                                     std::strerror(errno));
+    ::close(Fd);
+    return nullptr;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) == 0)
+    Port = ntohs(Addr.sin_port);
+  auto L = std::unique_ptr<TcpListener>(new TcpListener(Fd, Port));
+  L->Stop = std::make_shared<TcpShutdownFlag>();
+  return L;
+}
+
+std::unique_ptr<Transport> connectTcp(const std::string &Host,
+                                      uint16_t Port, int TimeoutMs,
+                                      std::string *Error) {
+  addrinfo Hints{};
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  addrinfo *Res = nullptr;
+  std::string PortText = support::formatString("%u", Port);
+  int G = ::getaddrinfo(Host.c_str(), PortText.c_str(), &Hints, &Res);
+  if (G != 0) {
+    if (Error)
+      *Error = support::formatString("resolve %s: %s", Host.c_str(),
+                                     ::gai_strerror(G));
+    return nullptr;
+  }
+  std::string LastError = "no addresses";
+  for (addrinfo *A = Res; A; A = A->ai_next) {
+    int Fd = ::socket(A->ai_family, A->ai_socktype, A->ai_protocol);
+    if (Fd < 0 || !setNonBlocking(Fd)) {
+      LastError = support::formatString("socket: %s", std::strerror(errno));
+      if (Fd >= 0)
+        ::close(Fd);
+      continue;
+    }
+    int C = ::connect(Fd, A->ai_addr, A->ai_addrlen);
+    if (C != 0 && errno == EINPROGRESS) {
+      pollfd P = {Fd, POLLOUT, 0};
+      int R = ::poll(&P, 1, TimeoutMs > 0 ? TimeoutMs : -1);
+      if (R > 0) {
+        int SoError = 0;
+        socklen_t Len = sizeof(SoError);
+        ::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SoError, &Len);
+        C = SoError == 0 ? 0 : -1;
+        errno = SoError;
+      } else {
+        C = -1;
+        errno = R == 0 ? ETIMEDOUT : errno;
+      }
+    }
+    if (C != 0) {
+      LastError = support::formatString("connect %s:%u: %s", Host.c_str(),
+                                        Port, std::strerror(errno));
+      ::close(Fd);
+      continue;
+    }
+    ::freeaddrinfo(Res);
+    return std::make_unique<TcpTransport>(
+        Fd, support::formatString("%s:%u", Host.c_str(), Port));
+  }
+  ::freeaddrinfo(Res);
+  if (Error)
+    *Error = LastError;
+  return nullptr;
+}
+
+} // namespace profserve
+} // namespace ars

@@ -1,0 +1,160 @@
+//===- profserve/Transport.h - Byte transports for profserve --*- C++ -*-===//
+///
+/// \file
+/// The byte-stream abstraction the profile collection protocol runs over,
+/// with two implementations:
+///
+///  * Loopback — an in-memory, socket-free pair of bounded byte pipes.
+///    Deterministic and dependency-free, so every protocol/server test
+///    (including the ThreadSanitizer suites) runs without touching the
+///    network stack.
+///  * TCP — POSIX sockets on 127.0.0.1/anywhere, non-blocking under the
+///    hood so every read AND write honors a timeout and a concurrent
+///    close() always unblocks a stalled peer.
+///
+/// Contract notes shared by both:
+///
+///  * writeAll delivers every byte or reports why it could not; partial
+///    writes are looped internally and never leak to the caller.
+///  * readSome returns at least one byte, or Timeout/Eof/Closed; readAll
+///    (non-virtual, built on readSome) reads exactly N bytes under one
+///    deadline and reports partial progress so framing code can tell a
+///    clean end-of-stream from a truncated frame.
+///  * close() is idempotent and thread-safe, and wakes any thread blocked
+///    in readSome/writeAll on the same transport — the server's shutdown
+///    path relies on this to never leak a connection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_PROFSERVE_TRANSPORT_H
+#define ARS_PROFSERVE_TRANSPORT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace ars {
+namespace profserve {
+
+enum class IoStatus : uint8_t {
+  Ok,
+  Eof,     ///< peer closed cleanly (no more bytes will arrive)
+  Timeout, ///< deadline expired before the requested bytes arrived
+  Closed,  ///< this endpoint was close()d (locally) mid-operation
+  Error,   ///< transport failure; see Message
+};
+
+struct IoResult {
+  IoStatus Status = IoStatus::Ok;
+  std::string Message; ///< diagnostic for Error (and some Eof) outcomes
+  bool ok() const { return Status == IoStatus::Ok; }
+};
+
+const char *ioStatusName(IoStatus S);
+
+/// A reliable, ordered, bidirectional byte stream.
+class Transport {
+public:
+  virtual ~Transport() = default;
+
+  /// Writes all \p Size bytes, looping over partial writes.  Blocks at
+  /// most the implementation's write timeout per progress step.
+  virtual IoResult writeAll(const char *Data, size_t Size) = 0;
+
+  /// Reads 1..\p Max bytes into \p Data, waiting up to \p TimeoutMs
+  /// (<= 0 = wait forever) for the first byte.  \p *Read is the byte
+  /// count actually delivered (0 on any non-Ok status).
+  virtual IoResult readSome(char *Data, size_t Max, int TimeoutMs,
+                            size_t *Read) = 0;
+
+  /// Shuts the stream down in both directions.  Idempotent; safe to call
+  /// from any thread; unblocks concurrent readSome/writeAll calls.
+  virtual void close() = 0;
+
+  /// Human-readable peer label for diagnostics ("loopback", "1.2.3.4:90").
+  virtual std::string peer() const = 0;
+
+  /// Reads exactly \p Size bytes under a single \p TimeoutMs deadline.
+  /// On failure \p *Read (when non-null) holds the bytes read before the
+  /// failure, letting framing code distinguish "clean EOF between frames"
+  /// (Eof with 0 read) from "stream died mid-frame".
+  IoResult readAll(char *Data, size_t Size, int TimeoutMs,
+                   size_t *Read = nullptr);
+};
+
+/// Accepts inbound connections for a server.
+class Listener {
+public:
+  virtual ~Listener() = default;
+
+  /// Blocks for the next connection; returns nullptr once shutdown() has
+  /// been called (and never a spurious nullptr before that).
+  virtual std::unique_ptr<Transport> accept() = 0;
+
+  /// Stops accept(): current and future calls return nullptr.
+  virtual void shutdown() = 0;
+
+  /// Where this listener can be reached ("loopback", "127.0.0.1:4817").
+  virtual std::string address() const = 0;
+};
+
+/// An in-process connection: two Transports joined by a pair of in-memory
+/// pipes.  first <-> second; bytes written to one are read from the other.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+makeLoopbackPair();
+
+/// In-memory listener: connect() hands the server end to accept() and
+/// returns the client end, with no sockets involved.
+class LoopbackListener : public Listener {
+public:
+  LoopbackListener();
+  ~LoopbackListener() override;
+
+  std::unique_ptr<Transport> accept() override;
+  void shutdown() override;
+  std::string address() const override { return "loopback"; }
+
+  /// Client side of a fresh connection; nullptr after shutdown().
+  std::unique_ptr<Transport> connect();
+
+private:
+  struct Impl;
+  std::shared_ptr<Impl> I;
+};
+
+/// TCP listener bound to 127.0.0.1:\p Port (0 = pick an ephemeral port,
+/// readable via port()).  Returns nullptr and fills \p Error on failure —
+/// e.g. in sandboxes that forbid sockets, which callers should treat as
+/// "TCP unavailable", not as a bug.
+class TcpListener : public Listener {
+public:
+  ~TcpListener() override;
+
+  std::unique_ptr<Transport> accept() override;
+  void shutdown() override;
+  std::string address() const override;
+  uint16_t port() const { return Port; }
+
+private:
+  friend std::unique_ptr<TcpListener> listenTcp(uint16_t, std::string *);
+  TcpListener(int Fd, uint16_t Port) : Fd(Fd), Port(Port) {}
+
+  int Fd;
+  uint16_t Port;
+  std::shared_ptr<struct TcpShutdownFlag> Stop;
+};
+
+std::unique_ptr<TcpListener> listenTcp(uint16_t Port, std::string *Error);
+
+/// Connects to \p Host:\p Port within \p TimeoutMs; nullptr + \p Error on
+/// failure.
+std::unique_ptr<Transport> connectTcp(const std::string &Host,
+                                      uint16_t Port, int TimeoutMs,
+                                      std::string *Error);
+
+} // namespace profserve
+} // namespace ars
+
+#endif // ARS_PROFSERVE_TRANSPORT_H

@@ -31,6 +31,22 @@ profile::ProfileBundle ProfileAggregator::merged() const {
   return Out;
 }
 
+profile::ProfileBundle ProfileAggregator::drain() {
+  profile::ProfileBundle Out;
+  for (const std::unique_ptr<Stripe> &S : Shards) {
+    profile::ProfileBundle Taken;
+    {
+      std::lock_guard<std::mutex> Lock(S->Mu);
+      Taken = std::move(S->B);
+      S->B.clear();
+    }
+    // Fold outside the stripe lock so concurrent flushes to this stripe
+    // are never blocked behind the (possibly large) merge.
+    mergeBundle(Out, Taken);
+  }
+  return Out;
+}
+
 uint64_t ProfileAggregator::flushes() const {
   uint64_t Total = 0;
   for (const std::unique_ptr<Stripe> &S : Shards) {

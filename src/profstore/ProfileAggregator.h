@@ -44,6 +44,13 @@ public:
   /// Folds all stripes (in stripe order) into one bundle.
   profile::ProfileBundle merged() const;
 
+  /// Folds all stripes into one bundle and resets them, without losing or
+  /// double-counting any flush: each stripe is moved out under its lock.
+  /// A flush racing with drain() lands either in the returned bundle or in
+  /// the post-drain state — the epoch-rotation semantics the profile
+  /// collection server relies on (see profserve/Server.h).
+  profile::ProfileBundle drain();
+
   /// Total flush() calls so far.
   uint64_t flushes() const;
 

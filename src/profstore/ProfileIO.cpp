@@ -137,6 +137,11 @@ bool decodeFieldAccesses(ByteReader &R, profile::FieldAccessProfile *P) {
   uint64_t N;
   if (!R.readVarint(&N) || !countPlausible(R, N, 1))
     return false;
+  // countPlausible bounds the allocation by the buffer size, but the cast
+  // below must also never truncate: a >2 GiB buffer could otherwise turn a
+  // huge declared count into a negative resize.
+  if (N > static_cast<uint64_t>(INT32_MAX))
+    return false;
   P->resize(static_cast<int>(N));
   for (uint64_t I = 0; I != N; ++I) {
     uint64_t Count;

@@ -82,6 +82,29 @@ bool ByteReader::readSignedVarint(int64_t *Out) {
   return true;
 }
 
+bool ByteReader::readBytes(const char **Out, size_t N) {
+  if (Failed || Size - Pos < N)
+    return fail();
+  *Out = Data + Pos;
+  Pos += N;
+  return true;
+}
+
+bool ByteReader::readLengthPrefixed(std::string *Out, uint64_t MaxLen) {
+  uint64_t Len;
+  if (!readVarint(&Len))
+    return false;
+  // Cap against remaining() before touching Out: the declared length is
+  // attacker-controlled, the buffer size is not.
+  if (Len > remaining() || (MaxLen && Len > MaxLen))
+    return fail();
+  const char *Bytes;
+  if (!readBytes(&Bytes, static_cast<size_t>(Len)))
+    return false;
+  Out->assign(Bytes, static_cast<size_t>(Len));
+  return true;
+}
+
 bool ByteReader::readFixed32(uint32_t *Out) {
   if (Failed || Size - Pos < 4)
     return fail();

@@ -57,6 +57,17 @@ public:
   bool readFixed32(uint32_t *Out);
   bool readFixed64(uint64_t *Out);
 
+  /// Points \p Out at the next \p N bytes in place (no copy, no
+  /// allocation) and advances.  Fails when fewer than N bytes remain.
+  bool readBytes(const char **Out, size_t N);
+
+  /// Reads a varint length followed by that many raw bytes into \p Out.
+  /// The declared length is validated against the bytes actually
+  /// remaining — and against \p MaxLen when nonzero — BEFORE any
+  /// allocation, so a hostile length prefix can never trigger a huge
+  /// allocation from a tiny buffer.
+  bool readLengthPrefixed(std::string *Out, uint64_t MaxLen = 0);
+
   size_t position() const { return Pos; }
   size_t remaining() const { return Failed ? 0 : Size - Pos; }
   bool failed() const { return Failed; }

@@ -29,6 +29,8 @@
 
 #include "TestUtil.h"
 
+#include <climits>
+#include <cstdint>
 #include <cstdio>
 #include <gtest/gtest.h>
 
@@ -506,6 +508,85 @@ TEST(ProfStoreConvergence, MergingShardsImprovesOverlap) {
   double All = profile::overlapPercent(Exhaustive, Merged.CallEdges);
   EXPECT_GT(All, Single);
   EXPECT_GT(All, 90.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Encoding edges: empty sections, maximum-width varints, cap boundaries
+//===----------------------------------------------------------------------===//
+
+TEST(ProfStoreEdge, EachSectionAloneRoundTrips) {
+  // One bundle per section kind: five of the six sections are empty in
+  // each, so every empty-section encoding path is exercised.
+  std::vector<profile::ProfileBundle> Bundles(6);
+  Bundles[0].CallEdges.record(edge(1, 2, 3), 4);
+  Bundles[1].FieldAccesses.record(2, 5);
+  Bundles[2].BlockCounts.record(1, 2, 6);
+  Bundles[3].Values.record(7, -8, 9);
+  Bundles[4].Edges.record(1, 0, 2, 10);
+  Bundles[5].Paths.record(3, 44, 11);
+  for (size_t I = 0; I != Bundles.size(); ++I)
+    EXPECT_EQ(roundTripped(Bundles[I]),
+              profile::serializeBundle(Bundles[I]))
+        << "only section " << I << " populated";
+}
+
+TEST(ProfStoreEdge, MaximumWidthVarintsRoundTrip) {
+  // UINT64_MAX counts need the full 10-byte varint; INT_MIN/INT_MAX keys
+  // and INT64_MIN/INT64_MAX values need the widest zigzag deltas (the
+  // delta INT_MAX - INT_MIN wraps; zigzag must still round-trip it).
+  profile::ProfileBundle B;
+  B.CallEdges.record(edge(INT_MIN, INT_MIN, INT_MIN), UINT64_MAX);
+  B.CallEdges.record(edge(INT_MAX, INT_MAX, INT_MAX), UINT64_MAX);
+  B.FieldAccesses.record(3, UINT64_MAX);
+  B.BlockCounts.record(INT_MIN, INT_MAX, UINT64_MAX);
+  B.Values.record(UINT64_MAX, INT64_MIN, UINT64_MAX);
+  B.Values.record(UINT64_MAX, INT64_MAX, 1);
+  B.Edges.record(INT_MAX, INT_MIN, INT_MAX, UINT64_MAX);
+  B.Paths.record(INT_MIN, INT64_MAX, UINT64_MAX);
+  B.Paths.record(INT_MAX, INT64_MIN, 2);
+  EXPECT_EQ(roundTripped(B), profile::serializeBundle(B));
+}
+
+TEST(ProfStoreEdge, MaxOverflowCountRoundTrips) {
+  profile::ProfileBundle B;
+  B.Values.addOverflow(1, UINT64_MAX);
+  EXPECT_EQ(roundTripped(B), profile::serializeBundle(B));
+}
+
+TEST(ProfStoreEdge, FieldCountAboveInt32CapIsRejected) {
+  // The field-access section resizes a vector to its claimed count, which
+  // is an int32 quantity: a claim above INT32_MAX must be rejected, never
+  // fed to resize(int).  (In a short stream the byte-plausibility check
+  // fires first; the explicit INT32_MAX guard backstops multi-GiB streams
+  // where it would not.)
+  profile::ProfileBundle Empty;
+  std::string Bytes = profstore::encodeBundle(Empty, 1);
+  // Sections follow the 16-byte header in order: call edges (offset 16),
+  // then field accesses (offset 17 in an empty bundle).
+  std::string Bad = Bytes.substr(0, 17);
+  uint64_t Claim = static_cast<uint64_t>(INT32_MAX) + 1;
+  support::appendVarint(Bad, Claim);
+  Bad.append(Bytes.substr(18, Bytes.size() - 18 - 4));
+  Bad.append(4, '\0');
+  restampCrc(Bad);
+  profstore::DecodeResult R = profstore::decodeBundle(Bad);
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(ProfStoreEdge, BundleAtFrameCapBoundaryEncodesPredictably) {
+  // The collection service caps frames; a pusher needs encodeBundle's
+  // size to be stable so "will it fit" can be answered before dialing.
+  // Pin that growing a bundle grows the encoding monotonically and that
+  // re-encoding the same bundle is byte-identical (canonical form).
+  profile::ProfileBundle B;
+  size_t PrevSize = profstore::encodeBundle(B, 7).size();
+  for (int I = 0; I != 64; ++I) {
+    B.CallEdges.record(edge(I * 1000, I, I * 7), UINT64_MAX - I);
+    std::string Once = profstore::encodeBundle(B, 7);
+    EXPECT_EQ(Once, profstore::encodeBundle(B, 7));
+    EXPECT_GT(Once.size(), PrevSize);
+    PrevSize = Once.size();
+  }
 }
 
 } // namespace

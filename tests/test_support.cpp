@@ -1,5 +1,6 @@
 //===- tests/test_support.cpp - support/ unit tests -----------*- C++ -*-===//
 
+#include "support/Binary.h"
 #include "support/Support.h"
 #include "support/TablePrinter.h"
 
@@ -127,6 +128,74 @@ TEST(HostTimer, MovesForward) {
   for (int I = 0; I != 100000; ++I)
     Sink = Sink + I;
   EXPECT_GE(T.elapsedMs(), 0.0);
+}
+
+TEST(ByteReader, ReadBytesInPlace) {
+  std::string Buf = "abcdef";
+  ByteReader R(Buf);
+  const char *P = nullptr;
+  ASSERT_TRUE(R.readBytes(&P, 4));
+  EXPECT_EQ(std::string(P, 4), "abcd");
+  EXPECT_EQ(R.remaining(), 2u);
+  EXPECT_FALSE(R.readBytes(&P, 3)); // only 2 left
+  EXPECT_TRUE(R.failed());          // sticky, like every other read
+}
+
+TEST(ByteReader, ReadBytesZeroIsFine) {
+  std::string Buf = "x";
+  ByteReader R(Buf);
+  const char *P = nullptr;
+  EXPECT_TRUE(R.readBytes(&P, 0));
+  EXPECT_FALSE(R.failed());
+}
+
+TEST(ByteReader, LengthPrefixedRoundTrip) {
+  std::string Buf;
+  appendVarint(Buf, 5);
+  Buf.append("hello");
+  ByteReader R(Buf);
+  std::string Out;
+  ASSERT_TRUE(R.readLengthPrefixed(&Out));
+  EXPECT_EQ(Out, "hello");
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(ByteReader, LengthPrefixedHostileLengthRejected) {
+  // A declared length far beyond the remaining bytes must fail before
+  // any allocation — this is the guard the wire protocol leans on.
+  std::string Buf;
+  appendVarint(Buf, UINT64_MAX);
+  Buf.append("xy");
+  ByteReader R(Buf);
+  std::string Out;
+  EXPECT_FALSE(R.readLengthPrefixed(&Out));
+  EXPECT_TRUE(R.failed());
+}
+
+TEST(ByteReader, LengthPrefixedHonorsMaxLen) {
+  std::string Buf;
+  appendVarint(Buf, 6);
+  Buf.append("sixsix");
+  {
+    ByteReader R(Buf);
+    std::string Out;
+    EXPECT_FALSE(R.readLengthPrefixed(&Out, /*MaxLen=*/5));
+  }
+  {
+    ByteReader R(Buf);
+    std::string Out;
+    EXPECT_TRUE(R.readLengthPrefixed(&Out, /*MaxLen=*/6));
+    EXPECT_EQ(Out, "sixsix");
+  }
+}
+
+TEST(ByteReader, LengthPrefixedTruncatedPayloadRejected) {
+  std::string Buf;
+  appendVarint(Buf, 10);
+  Buf.append("short"); // 5 of the declared 10 bytes
+  ByteReader R(Buf);
+  std::string Out;
+  EXPECT_FALSE(R.readLengthPrefixed(&Out));
 }
 
 } // namespace

@@ -17,6 +17,16 @@
 ///   arsc profile diff a.arsp b.arsp          # overlap% + top movers
 ///   arsc profile scale --out=o.arsp --keep=50 in.arsp
 ///
+/// Fleet-style collection (see DESIGN.md section 9): a daemon aggregates
+/// pushed profiles from many instrumented runs and serves the merged
+/// bundle back:
+///
+///   arsc serve --listen=4817 --snapshot-out=fleet.arsp
+///   arsc run prog.mj --arg=1000 --push-to=127.0.0.1:4817
+///   arsc push --to=127.0.0.1:4817 shard1.arsp shard2.arsp
+///   arsc pull --from=127.0.0.1:4817 --out=merged.arsp
+///   arsc pull --from=127.0.0.1:4817 --stats
+///
 //===----------------------------------------------------------------------===//
 
 #include "bytecode/Assembler.h"
@@ -29,16 +39,23 @@
 #include "opt/Passes.h"
 #include "profile/Overlap.h"
 #include "profile/Profiles.h"
+#include "profserve/Client.h"
+#include "profserve/Server.h"
+#include "profserve/Transport.h"
 #include "profstore/ProfileIO.h"
 #include "profstore/ProfileStore.h"
 #include "support/Support.h"
 #include "support/TablePrinter.h"
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace ars;
@@ -62,6 +79,7 @@ struct CliOptions {
   bool Optimize = false;
   int Jobs = 1;
   std::string ProfileOut;
+  std::string PushTo; ///< host:port of a collection server (run only)
   std::vector<std::string> Clients = {"call-edge", "field-access"};
 };
 
@@ -82,6 +100,11 @@ int usage(const char *Prog) {
       "                    merge --out=<f> <in...> |\n"
       "                    scale --out=<f> (--keep=<pct> | --num=<n>\n"
       "                    --den=<d>) <in>\n"
+      "  serve             run a profile collection daemon (run with no\n"
+      "                    further args for the option list)\n"
+      "  push              upload .arsp shards to a collection server\n"
+      "  pull              download the merged profile / server stats\n"
+      "  --version         print format, protocol and build info\n"
       "options:\n"
       "  --arg=<n>              main(n) argument (default 10)\n"
       "  --mode=<m>             baseline|exhaustive|full|partial|nodup|"
@@ -100,6 +123,8 @@ int usage(const char *Prog) {
       "  --profiles             print collected profiles\n"
       "  --profile-out=<file>   save the collected profile bundle (binary\n"
       "                         format, fingerprinted against the module)\n"
+      "  --push-to=<host:port>  stream the collected profile to a running\n"
+      "                         `arsc serve` collection daemon\n"
       "  --optimize             run the O2 optimizer before instrumenting\n"
       "  --jobs=<n>             worker threads for matrix commands; results\n"
       "                         are identical for every value (default 1)\n",
@@ -155,6 +180,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions *Opts) {
       Opts->ShowProfiles = true;
     } else if (const char *V = valueOf("--profile-out=")) {
       Opts->ProfileOut = V;
+    } else if (const char *V = valueOf("--push-to=")) {
+      Opts->PushTo = V;
     } else if (Arg == "--optimize") {
       Opts->Optimize = true;
     } else if (const char *V = valueOf("--jobs=")) {
@@ -355,8 +382,18 @@ int profileMain(int Argc, char **Argv) {
   }
 
   if (Sub == "merge") {
-    if (Inputs.empty() || OutPath.empty())
-      return profileUsage(Argv[0]);
+    // Be explicit about the two degenerate spellings: silently writing an
+    // empty bundle for zero inputs would look like a successful merge.
+    if (Inputs.empty()) {
+      std::fprintf(stderr,
+                   "profile merge: no input profiles given — nothing to "
+                   "merge\n");
+      return 2;
+    }
+    if (OutPath.empty()) {
+      std::fprintf(stderr, "profile merge: missing --out=<file>\n");
+      return 2;
+    }
     profstore::DecodeResult First = loadOrDie(Inputs[0], 0);
     profile::ProfileBundle Merged = std::move(First.Bundle);
     for (size_t I = 1; I != Inputs.size(); ++I) {
@@ -395,11 +432,308 @@ int profileMain(int Argc, char **Argv) {
   return profileUsage(Argv[0]);
 }
 
+//===----------------------------------------------------------------------===//
+// `arsc serve` / `arsc push` / `arsc pull` — the networked collection
+// tier (profserve).  Like `profile`, handled before the generic parser:
+// these commands take addresses and .arsp files, not MiniJ sources.
+//===----------------------------------------------------------------------===//
+
+std::atomic<bool> ServeInterrupted{false};
+
+void handleServeSignal(int) { ServeInterrupted.store(true); }
+
+int serveUsage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s serve [options]\n"
+      "Runs a profile collection daemon: accepts pushed .arsp shards,\n"
+      "merges them, serves the merged bundle over pull, and snapshots it\n"
+      "to disk.  Stops gracefully on SIGINT/SIGTERM (final snapshot\n"
+      "included).\n"
+      "options:\n"
+      "  --listen=<port>            TCP port on 127.0.0.1 (default 0 =\n"
+      "                             ephemeral; the chosen port is printed)\n"
+      "  --snapshot-out=<file>      write the merged profile here\n"
+      "  --snapshot-interval-ms=<n> also snapshot every n ms\n"
+      "  --keep=<pct>               epoch decay: percent kept per rotation\n"
+      "  --rotate-every=<n>         rotate an epoch every n merges\n"
+      "  --workers=<n>              connection handler threads (default 4)\n"
+      "  --recv-timeout-ms=<n>      per-frame client deadline (default\n"
+      "                             2000)\n"
+      "  --expect=<file.arsp>       pin the module fingerprint to this\n"
+      "                             profile's (default: first push wins)\n"
+      "  --serve-for-ms=<n>         exit after n ms (for scripts/demos)\n"
+      "  --quiet                    don't log rejects to stderr\n",
+      Prog);
+  return 2;
+}
+
+int serveMain(int Argc, char **Argv) {
+  profserve::ServerConfig Config;
+  Config.LogToStderr = true;
+  uint16_t Port = 0;
+  int64_t ServeForMs = -1;
+  for (int A = 2; A < Argc; ++A) {
+    std::string Arg = Argv[A];
+    auto valueOf = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
+    };
+    if (const char *V = valueOf("--listen=")) {
+      Port = static_cast<uint16_t>(std::atoi(V));
+    } else if (const char *V = valueOf("--snapshot-out=")) {
+      Config.SnapshotPath = V;
+    } else if (const char *V = valueOf("--snapshot-interval-ms=")) {
+      Config.SnapshotIntervalMs = std::atoi(V);
+    } else if (const char *V = valueOf("--keep=")) {
+      Config.EpochKeepPct = static_cast<uint32_t>(std::atoi(V));
+    } else if (const char *V = valueOf("--rotate-every=")) {
+      Config.RotateEveryMerges = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = valueOf("--workers=")) {
+      Config.Workers = std::atoi(V);
+    } else if (const char *V = valueOf("--recv-timeout-ms=")) {
+      Config.RecvTimeoutMs = std::atoi(V);
+    } else if (const char *V = valueOf("--expect=")) {
+      profstore::DecodeResult R = loadOrDie(V, 0);
+      Config.Fingerprint = R.Fingerprint;
+    } else if (const char *V = valueOf("--serve-for-ms=")) {
+      ServeForMs = std::atoll(V);
+    } else if (Arg == "--quiet") {
+      Config.LogToStderr = false;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
+      return serveUsage(Argv[0]);
+    }
+  }
+
+  std::string Error;
+  std::unique_ptr<profserve::TcpListener> L =
+      profserve::listenTcp(Port, &Error);
+  if (!L) {
+    std::fprintf(stderr, "serve: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("profserve listening on %s\n", L->address().c_str());
+  if (Config.Fingerprint)
+    std::printf("pinned module fingerprint: %016llx\n",
+                static_cast<unsigned long long>(Config.Fingerprint));
+  std::fflush(stdout);
+
+  profserve::ProfileServer Server(std::move(L), Config);
+  Server.start();
+  std::signal(SIGINT, handleServeSignal);
+  std::signal(SIGTERM, handleServeSignal);
+
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(ServeForMs);
+  while (!ServeInterrupted.load()) {
+    if (ServeForMs >= 0 && std::chrono::steady_clock::now() >= Deadline)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  Server.stop();
+
+  profserve::ServerStats S = Server.stats();
+  std::printf("profserve stopped: %llu frames, %llu bytes, %llu merges, "
+              "%llu rejects, %llu epochs, %llu snapshots, %llu pulls\n",
+              static_cast<unsigned long long>(S.Frames),
+              static_cast<unsigned long long>(S.Bytes),
+              static_cast<unsigned long long>(S.Merges),
+              static_cast<unsigned long long>(S.Rejects),
+              static_cast<unsigned long long>(S.Epochs),
+              static_cast<unsigned long long>(S.Snapshots),
+              static_cast<unsigned long long>(S.Pulls));
+  return 0;
+}
+
+/// Builds a TCP-backed client for --to=/--from= style options.
+bool makeClient(const std::string &Addr, int TimeoutMs, int Retries,
+                std::unique_ptr<profserve::ProfileClient> *Out,
+                const char *Flag) {
+  std::string Host;
+  uint16_t Port = 0;
+  if (!profserve::parseHostPort(Addr, &Host, &Port)) {
+    std::fprintf(stderr, "%s expects host:port, got \"%s\"\n", Flag,
+                 Addr.c_str());
+    return false;
+  }
+  profserve::ClientConfig C;
+  C.TimeoutMs = TimeoutMs;
+  C.MaxRetries = Retries;
+  *Out = std::make_unique<profserve::ProfileClient>(
+      profserve::tcpDialer(Host, Port, TimeoutMs), C);
+  return true;
+}
+
+int pushMain(int Argc, char **Argv) {
+  std::string To;
+  int TimeoutMs = 5000, Retries = 3;
+  std::vector<std::string> Inputs;
+  for (int A = 2; A < Argc; ++A) {
+    std::string Arg = Argv[A];
+    auto valueOf = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
+    };
+    if (const char *V = valueOf("--to="))
+      To = V;
+    else if (const char *V = valueOf("--timeout-ms="))
+      TimeoutMs = std::atoi(V);
+    else if (const char *V = valueOf("--retries="))
+      Retries = std::atoi(V);
+    else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s push --to=<host:port> [--timeout-ms=<n>] "
+                   "[--retries=<n>] <file.arsp...>\n",
+                   Argv[0]);
+      return 2;
+    } else
+      Inputs.push_back(Arg);
+  }
+  if (To.empty() || Inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s push --to=<host:port> <file.arsp...>\n",
+                 Argv[0]);
+    return 2;
+  }
+  std::unique_ptr<profserve::ProfileClient> Client;
+  if (!makeClient(To, TimeoutMs, Retries, &Client, "--to="))
+    return 2;
+  for (const std::string &Path : Inputs) {
+    // Validate locally first: a corrupt shard should fail here with the
+    // decoder's diagnostic, not travel to the server to be bounced.
+    profstore::DecodeResult R = loadOrDie(Path, 0);
+    profserve::ClientResult P =
+        Client->push(R.Bundle, R.Fingerprint);
+    if (!P.Ok) {
+      std::fprintf(stderr, "push %s: %s\n", Path.c_str(), P.Error.c_str());
+      return 1;
+    }
+    std::printf("pushed %s (server total: %llu shards)\n", Path.c_str(),
+                static_cast<unsigned long long>(
+                    Client->lastServerMerges()));
+  }
+  return 0;
+}
+
+int pullMain(int Argc, char **Argv) {
+  std::string From, OutPath;
+  bool ShowStats = false, RequestSnapshot = false;
+  int TimeoutMs = 5000, Retries = 3;
+  for (int A = 2; A < Argc; ++A) {
+    std::string Arg = Argv[A];
+    auto valueOf = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
+    };
+    if (const char *V = valueOf("--from="))
+      From = V;
+    else if (const char *V = valueOf("--out="))
+      OutPath = V;
+    else if (Arg == "--stats")
+      ShowStats = true;
+    else if (Arg == "--snapshot")
+      RequestSnapshot = true;
+    else if (const char *V = valueOf("--timeout-ms="))
+      TimeoutMs = std::atoi(V);
+    else if (const char *V = valueOf("--retries="))
+      Retries = std::atoi(V);
+    else {
+      std::fprintf(stderr,
+                   "usage: %s pull --from=<host:port> [--out=<f.arsp>] "
+                   "[--stats] [--snapshot]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+  if (From.empty() || (OutPath.empty() && !ShowStats && !RequestSnapshot)) {
+    std::fprintf(stderr,
+                 "usage: %s pull --from=<host:port> [--out=<f.arsp>] "
+                 "[--stats] [--snapshot]\n",
+                 Argv[0]);
+    return 2;
+  }
+  std::unique_ptr<profserve::ProfileClient> Client;
+  if (!makeClient(From, TimeoutMs, Retries, &Client, "--from="))
+    return 2;
+  if (!OutPath.empty()) {
+    profserve::ProfileClient::PullResult R = Client->pull();
+    if (!R.Ok) {
+      std::fprintf(stderr, "pull: %s\n", R.Error.c_str());
+      return 1;
+    }
+    std::ofstream Out(OutPath, std::ios::binary | std::ios::trunc);
+    if (!Out || !Out.write(R.RawBytes.data(),
+                           static_cast<std::streamsize>(
+                               R.RawBytes.size()))) {
+      std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
+      return 1;
+    }
+    std::printf("pulled merged profile into %s (fingerprint %016llx)\n",
+                OutPath.c_str(),
+                static_cast<unsigned long long>(R.Fingerprint));
+  }
+  if (RequestSnapshot) {
+    std::string Path;
+    profserve::ClientResult R = Client->snapshot(&Path);
+    if (!R.Ok) {
+      std::fprintf(stderr, "snapshot: %s\n", R.Error.c_str());
+      return 1;
+    }
+    std::printf("server snapshotted to %s\n", Path.c_str());
+  }
+  if (ShowStats) {
+    profserve::ProfileClient::StatsResult R = Client->stats();
+    if (!R.Ok) {
+      std::fprintf(stderr, "stats: %s\n", R.Error.c_str());
+      return 1;
+    }
+    const profserve::StatsMsg &S = R.Stats;
+    std::printf("frames             : %llu\n",
+                static_cast<unsigned long long>(S.Frames));
+    std::printf("bytes              : %llu\n",
+                static_cast<unsigned long long>(S.Bytes));
+    std::printf("merges             : %llu\n",
+                static_cast<unsigned long long>(S.Merges));
+    std::printf("rejects            : %llu\n",
+                static_cast<unsigned long long>(S.Rejects));
+    std::printf("active connections : %llu\n",
+                static_cast<unsigned long long>(S.ActiveConnections));
+    std::printf("epochs             : %llu\n",
+                static_cast<unsigned long long>(S.Epochs));
+    std::printf("snapshots          : %llu\n",
+                static_cast<unsigned long long>(S.Snapshots));
+    std::printf("pulls              : %llu\n",
+                static_cast<unsigned long long>(S.Pulls));
+  }
+  return 0;
+}
+
+int versionMain() {
+  std::printf("arsc — Arnold-Ryder instrumentation sampling framework\n");
+  std::printf(".arsp profile format version : %u\n",
+              profstore::FormatVersion);
+  std::printf("profserve wire version       : %u\n",
+              profserve::WireVersion);
+  std::printf("built with                   : %s (C++%ld)\n", __VERSION__,
+              (__cplusplus / 100) % 100);
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc >= 2 && (std::strcmp(Argv[1], "--version") == 0 ||
+                    std::strcmp(Argv[1], "version") == 0))
+    return versionMain();
   if (Argc >= 2 && std::strcmp(Argv[1], "profile") == 0)
     return profileMain(Argc, Argv);
+  if (Argc >= 2 && std::strcmp(Argv[1], "serve") == 0)
+    return serveMain(Argc, Argv);
+  if (Argc >= 2 && std::strcmp(Argv[1], "push") == 0)
+    return pushMain(Argc, Argv);
+  if (Argc >= 2 && std::strcmp(Argv[1], "pull") == 0)
+    return pullMain(Argc, Argv);
 
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, &Opts))
@@ -565,6 +899,22 @@ int main(int Argc, char **Argv) {
       std::printf("profile written  : %s (fingerprint %016llx)\n",
                   Opts.ProfileOut.c_str(),
                   static_cast<unsigned long long>(Fingerprint));
+    }
+    if (!Opts.PushTo.empty()) {
+      std::unique_ptr<profserve::ProfileClient> Client;
+      if (!makeClient(Opts.PushTo, 5000, 3, &Client, "--push-to="))
+        return 2;
+      profserve::ClientResult PR =
+          Client->push(R.Profiles, harness::programHash(P));
+      if (!PR.Ok) {
+        std::fprintf(stderr, "push to %s: %s\n", Opts.PushTo.c_str(),
+                     PR.Error.c_str());
+        return 1;
+      }
+      std::printf("profile pushed   : %s (server total: %llu shards)\n",
+                  Opts.PushTo.c_str(),
+                  static_cast<unsigned long long>(
+                      Client->lastServerMerges()));
     }
     if (Opts.ShowProfiles) {
       std::printf("\ncall edges:\n%s",
