@@ -3,6 +3,7 @@
 #include "BenchCommon.h"
 
 #include "support/Support.h"
+#include "telemetry/BenchMatrix.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,7 +17,8 @@ Context::Context(int Argc, char **Argv) {
   auto badUsage = [Argv](const char *Arg) {
     std::fprintf(stderr, "unknown argument: %s\n", Arg);
     std::fprintf(stderr,
-                 "usage: %s [--scale=<pct>] [--quick] [--jobs <n>]\n",
+                 "usage: %s [--scale=<pct>] [--quick] [--jobs <n>] "
+                 "[--json=<path>] [--reps=<n>]\n",
                  Argv[0]);
     std::exit(2);
   };
@@ -32,6 +34,12 @@ Context::Context(int Argc, char **Argv) {
       Jobs = std::atoi(Arg + 7);
     } else if (std::strcmp(Arg, "--jobs") == 0 && A + 1 < Argc) {
       Jobs = std::atoi(Argv[++A]);
+    } else if (std::strncmp(Arg, "--json=", 7) == 0) {
+      JsonPath = Arg + 7;
+    } else if (std::strncmp(Arg, "--reps=", 7) == 0) {
+      Reps = std::atoi(Arg + 7);
+      if (Reps < 2)
+        Reps = 2;
     } else {
       badUsage(Arg);
     }
@@ -39,6 +47,27 @@ Context::Context(int Argc, char **Argv) {
   if (Jobs < 1)
     Jobs = 1;
   Runner = std::make_unique<harness::ParallelRunner>(Jobs);
+  Report.setBenchName(telemetry::benchNameFromPath(
+      Argc > 0 && Argv[0] ? Argv[0] : "bench_unknown"));
+  Report.setEnv(telemetry::captureEnv(ScalePct, Jobs));
+}
+
+Context::~Context() {
+  if (JsonPath.empty())
+    return;
+  // One whole-bench wall-time sample: a single rep (the matrix already
+  // ran), so the gate's MAD term is zero and only the host floor
+  // applies — it documents trends rather than gating them.
+  Report.addHostMetric("bench_wall_ms", "ms",
+                       telemetry::Direction::LowerIsBetter,
+                       {WallTimer.elapsedMs()});
+  std::string Error;
+  if (!Report.writeFile(JsonPath, &Error)) {
+    std::fprintf(stderr, "cannot write bench report: %s\n", Error.c_str());
+    // Destructors cannot return an exit code; exiting here keeps a
+    // missing report from reading as a clean run in `arsc bench`.
+    std::_Exit(1);
+  }
 }
 
 const harness::Program &Context::program(const std::string &Name) {

@@ -19,7 +19,9 @@
 #include "harness/Experiment.h"
 #include "harness/ParallelRunner.h"
 #include "instr/Clients.h"
+#include "support/Support.h"
 #include "support/TablePrinter.h"
+#include "telemetry/BenchReport.h"
 #include "workloads/Workloads.h"
 
 #include <map>
@@ -40,14 +42,32 @@ using NamedCell = std::pair<std::string, harness::RunConfig>;
 class Context {
 public:
   /// Parses --scale=<pct> (percent of each workload's default scale,
-  /// default 100), --quick (= --scale=15), and --jobs=<n> / --jobs <n>
-  /// (worker threads for matrix runs; default 1).  Results are
-  /// bit-identical for every --jobs value; only wall-clock time changes.
+  /// default 100), --quick (= --scale=15), --jobs=<n> / --jobs <n>
+  /// (worker threads for matrix runs; default 1), --json=<path> (emit
+  /// the machine-readable telemetry report there on exit), and
+  /// --reps=<n> (repetitions for host wall-clock metrics, default 5,
+  /// clamped to >= 2).  Results are bit-identical for every --jobs
+  /// value; only wall-clock time changes.
   Context(int Argc, char **Argv);
+
+  /// Writes the telemetry report (when --json was given) stamped with a
+  /// whole-bench wall-time metric.  A write failure exits the process
+  /// nonzero: a perf job must never mistake a vanished report for a
+  /// clean run.
+  ~Context();
 
   const std::vector<workloads::Workload> &suite() const { return Suite; }
 
   int jobs() const { return Jobs; }
+  int scalePct() const { return ScalePct; }
+
+  /// Repetition count for host wall-clock measurements (--reps).
+  int reps() const { return Reps; }
+
+  /// The telemetry report every bench records its headline metrics
+  /// into (named after the binary: bench_table1_exhaustive ->
+  /// "table1_exhaustive").  Written on destruction when --json is set.
+  telemetry::BenchReport &report() { return Report; }
 
   /// Compiled program for \p Name (built on first use; thread-safe).
   const harness::Program &program(const std::string &Name);
@@ -81,6 +101,10 @@ private:
   std::vector<workloads::Workload> Suite;
   int ScalePct = 100;
   int Jobs = 1;
+  int Reps = 5;
+  std::string JsonPath; ///< empty = no report emission
+  telemetry::BenchReport Report;
+  support::HostTimer WallTimer; ///< whole-bench wall clock
   std::unique_ptr<harness::ParallelRunner> Runner; ///< built after parsing
   /// program()/baseline() caches are shared mutable state once runAll
   /// fans out; the mutex makes the lazy fills reentrant.  (Node-stable
@@ -101,6 +125,21 @@ std::vector<const instr::Instrumentation *> bothClients();
 /// Prints the standard banner naming the experiment and the paper
 /// reference.
 void printBanner(const char *Title, const char *PaperRef);
+
+/// Runs \p Body \p Reps times and returns each repetition's wall-clock
+/// milliseconds — the sample vector BenchReport::addHostMetric() wants
+/// for its min/median/MAD statistics.
+template <typename Fn>
+std::vector<double> timeRepsMs(int Reps, Fn &&Body) {
+  std::vector<double> Samples;
+  Samples.reserve(static_cast<size_t>(Reps < 1 ? 1 : Reps));
+  for (int R = 0; R < Reps || R == 0; ++R) {
+    support::HostTimer T;
+    Body();
+    Samples.push_back(T.elapsedMs());
+  }
+  return Samples;
+}
 
 /// Arithmetic mean helper for the "Average" row.
 double meanOf(const std::vector<double> &Values);

@@ -21,7 +21,7 @@ using namespace ars;
 
 namespace {
 
-void runSet(bench::Context &Ctx, const char *Label,
+void runSet(bench::Context &Ctx, const char *Label, const char *Key,
             const std::vector<const instr::Instrumentation *> &Clients) {
   std::printf("\n--- %s instrumentation ---\n", Label);
   support::TablePrinter T({"Variant", "Space Increase (%)",
@@ -82,6 +82,18 @@ void runSet(bench::Context &Ctx, const char *Label,
     T.cellDouble(ChecksSum / N, 3);
     T.cellPercent(OverheadSum / N);
     T.cellPercent(AccSum / N);
+
+    telemetry::BenchReport &Rep = Ctx.report();
+    const std::string Suffix =
+        std::string(Key) + "." + sampling::modeName(Modes[M]);
+    Rep.addSimMetric("space_pct." + Suffix, "pct",
+                     telemetry::Direction::LowerIsBetter, SpaceSum / N);
+    Rep.addSimMetric("dynamic_checks_m." + Suffix, "Mchecks",
+                     telemetry::Direction::LowerIsBetter, ChecksSum / N);
+    Rep.addSimMetric("framework_pct." + Suffix, "pct",
+                     telemetry::Direction::LowerIsBetter, OverheadSum / N);
+    Rep.addSimMetric("acc_pct_i1000." + Suffix, "pct",
+                     telemetry::Direction::HigherIsBetter, AccSum / N);
   }
   T.print();
 }
@@ -94,8 +106,10 @@ int main(int Argc, char **Argv) {
                      "Section 3 design discussion (3.1, 3.2)");
 
   Ctx.prefetchBaselines();
-  runSet(Ctx, "dense (call-edge + field-access)", bench::bothClients());
-  runSet(Ctx, "sparse (call-edge only)", {&bench::callEdgeClient()});
+  runSet(Ctx, "dense (call-edge + field-access)", "dense",
+         bench::bothClients());
+  runSet(Ctx, "sparse (call-edge only)", "sparse",
+         {&bench::callEdgeClient()});
 
   std::printf("\nExpected shape: Partial matches Full's accuracy with less "
               "space, and strictly less space for sparse instrumentation; "

@@ -99,6 +99,11 @@ int main(int Argc, char **Argv) {
         }
       }
       double Overlap = N == NumShards ? Sum : Sum / NumShards;
+      Ctx.report().addSimMetric("overlap_pct." + Names[W] + ".n" +
+                                    std::to_string(N),
+                                "pct",
+                                telemetry::Direction::HigherIsBetter,
+                                Overlap);
       T.cellPercent(Overlap);
       if (First < 0)
         First = Overlap;

@@ -58,6 +58,17 @@ int main(int Argc, char **Argv) {
                 std::string(static_cast<size_t>(SampledBar), 'o').c_str());
   }
 
+  telemetry::BenchReport &Rep = Ctx.report();
+  Rep.addSimMetric("javac_overlap_pct.i1000", "pct",
+                   telemetry::Direction::HigherIsBetter, Overlap);
+  Rep.addSimMetric("javac_samples.i1000", "count",
+                   telemetry::Direction::Info,
+                   static_cast<double>(SampledRun.samplesTaken()));
+  Rep.addSimMetric("javac_perfect_events", "count",
+                   telemetry::Direction::Info,
+                   static_cast<double>(
+                       PerfectRun.Profiles.CallEdges.total()));
+
   std::printf("\nOverlap percentage (interval 1000): %.1f%%\n", Overlap);
   std::printf("Samples taken: %llu; perfect events: %llu\n",
               static_cast<unsigned long long>(SampledRun.samplesTaken()),

@@ -50,6 +50,14 @@ int main(int Argc, char **Argv) {
   std::printf("\nTable (A): framework only, no samples taken\n");
   A.print();
 
+  telemetry::BenchReport &Rep = Ctx.report();
+  Rep.addSimMetric("framework_opt_pct.avg", "pct",
+                   telemetry::Direction::LowerIsBetter,
+                   bench::meanOf(OptOverheads));
+  Rep.addSimMetric("framework_plain_pct.avg", "pct",
+                   telemetry::Direction::LowerIsBetter,
+                   bench::meanOf(PlainOverheads));
+
   // Table (B): total sampling overhead per interval, averaged.
   std::printf("\nTable (B): total sampled-instrumentation overhead\n");
   support::TablePrinter B({"Sample Interval", "Total Overhead (%)"});
@@ -64,9 +72,12 @@ int main(int Argc, char **Argv) {
       C.Engine.SampleInterval = Interval;
       Sum += Ctx.overheadPct(W.Name, Ctx.runConfig(W.Name, C));
     }
+    double AvgPct = Sum / static_cast<double>(Ctx.suite().size());
+    Rep.addSimMetric("total_opt_pct.i" + std::to_string(Interval), "pct",
+                     telemetry::Direction::LowerIsBetter, AvgPct);
     B.beginRow();
     B.cellInt(Interval);
-    B.cellPercent(Sum / static_cast<double>(Ctx.suite().size()));
+    B.cellPercent(AvgPct);
   }
   B.print();
 

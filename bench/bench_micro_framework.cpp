@@ -9,9 +9,18 @@
 
 #include "harness/Experiment.h"
 #include "instr/Clients.h"
+#include "telemetry/BenchMatrix.h"
+#include "telemetry/BenchReport.h"
 #include "workloads/Workloads.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
 
 namespace {
 
@@ -106,6 +115,94 @@ void BM_InterpretFullDuplicationSampling(benchmark::State &State) {
 }
 BENCHMARK(BM_InterpretFullDuplicationSampling);
 
+/// Captures per-repetition real times while still printing the usual
+/// console table, so the telemetry report carries median + MAD per
+/// benchmark without a second pass.
+class TelemetryReporter : public benchmark::ConsoleReporter {
+public:
+  std::map<std::string, std::vector<double>> RealMsByBench;
+
+  void ReportRuns(const std::vector<Run> &Reports) override {
+    for (const Run &R : Reports) {
+      if (R.error_occurred || R.run_type != Run::RT_Iteration)
+        continue;
+      // GetAdjustedRealTime() is in the run's time unit (ns by default);
+      // the multiplier is units-per-second.
+      double Ms = R.GetAdjustedRealTime() /
+                  benchmark::GetTimeUnitMultiplier(R.time_unit) * 1e3;
+      RealMsByBench[R.benchmark_name()].push_back(Ms);
+    }
+    ConsoleReporter::ReportRuns(Reports);
+  }
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int Argc, char **Argv) {
+  // Accept the shared bench-harness flags (so `arsc bench` can drive this
+  // binary like the simulated-cycle benches) and forward the rest to
+  // google-benchmark.
+  std::string JsonPath;
+  int ScalePct = 100;
+  int Jobs = 1;
+  int Reps = 5;
+  std::vector<std::string> Forward;
+  Forward.push_back(Argv[0] ? Argv[0] : "bench_micro_framework");
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--json=", 7) == 0) {
+      JsonPath = Arg + 7;
+    } else if (std::strcmp(Arg, "--quick") == 0) {
+      ScalePct = 15;
+      Forward.push_back("--benchmark_min_time=0.05");
+    } else if (std::strncmp(Arg, "--scale=", 8) == 0) {
+      ScalePct = std::atoi(Arg + 8);
+      if (ScalePct < 1)
+        ScalePct = 1;
+    } else if (std::strncmp(Arg, "--reps=", 7) == 0) {
+      Reps = std::atoi(Arg + 7);
+      if (Reps < 2)
+        Reps = 2;
+    } else if (std::strcmp(Arg, "--jobs") == 0 && I + 1 < Argc) {
+      Jobs = std::atoi(Argv[++I]); // accepted for interface parity; the
+      if (Jobs < 1)                // micro benches are single-threaded
+        Jobs = 1;
+    } else if (std::strncmp(Arg, "--jobs=", 7) == 0) {
+      Jobs = std::atoi(Arg + 7);
+      if (Jobs < 1)
+        Jobs = 1;
+    } else {
+      Forward.push_back(Arg);
+    }
+  }
+  Forward.push_back("--benchmark_repetitions=" + std::to_string(Reps));
+
+  std::vector<char *> BenchArgv;
+  BenchArgv.reserve(Forward.size());
+  for (std::string &S : Forward)
+    BenchArgv.push_back(S.data());
+  int BenchArgc = static_cast<int>(BenchArgv.size());
+  benchmark::Initialize(&BenchArgc, BenchArgv.data());
+  if (benchmark::ReportUnrecognizedArguments(BenchArgc, BenchArgv.data()))
+    return 1;
+
+  TelemetryReporter Reporter;
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+
+  if (JsonPath.empty())
+    return 0;
+  telemetry::BenchReport Report;
+  Report.setBenchName(telemetry::benchNameFromPath(
+      Argv[0] ? Argv[0] : "bench_micro_framework"));
+  Report.setEnv(telemetry::captureEnv(ScalePct, Jobs));
+  for (const auto &[Name, Samples] : Reporter.RealMsByBench)
+    Report.addHostMetric("real_ms." + Name, "ms",
+                         telemetry::Direction::LowerIsBetter, Samples);
+  std::string Error;
+  if (!Report.writeFile(JsonPath, &Error)) {
+    std::fprintf(stderr, "cannot write bench report: %s\n", Error.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -71,37 +71,85 @@ int main(int Argc, char **Argv) {
     std::string Text = profile::serializeBundle(B);
 
     // Loop counts sized so each timed region runs a few hundred ms at
-    // default scale without dominating check.sh.
+    // default scale without dominating check.sh.  Each region repeats
+    // --reps times so the telemetry report carries median + MAD.
     constexpr int EncodeIters = 200;
     constexpr int DecodeIters = 100;
     constexpr int MergeIters = 100;
 
-    support::HostTimer Enc;
     size_t Sink = 0;
-    for (int K = 0; K != EncodeIters; ++K)
-      Sink += profstore::encodeBundle(B, 0x1234).size();
-    double EncMs = Enc.elapsedMs();
+    std::vector<double> EncSamples =
+        bench::timeRepsMs(Ctx.reps(), [&] {
+          for (int K = 0; K != EncodeIters; ++K)
+            Sink += profstore::encodeBundle(B, 0x1234).size();
+        });
 
-    support::HostTimer Dec;
-    for (int K = 0; K != DecodeIters; ++K) {
-      profstore::DecodeResult R = profstore::decodeBundle(Binary);
-      if (!R.Ok) {
-        std::fprintf(stderr, "decode failed: %s\n", R.Error.c_str());
-        return 1;
-      }
-      Sink += R.Bundle.CallEdges.counts().size();
-    }
-    double DecMs = Dec.elapsedMs();
+    bool DecodeOk = true;
+    std::vector<double> DecSamples =
+        bench::timeRepsMs(Ctx.reps(), [&] {
+          for (int K = 0; K != DecodeIters; ++K) {
+            profstore::DecodeResult R = profstore::decodeBundle(Binary);
+            if (!R.Ok) {
+              std::fprintf(stderr, "decode failed: %s\n", R.Error.c_str());
+              DecodeOk = false;
+              return;
+            }
+            Sink += R.Bundle.CallEdges.counts().size();
+          }
+        });
+    if (!DecodeOk)
+      return 1;
 
-    support::HostTimer Merge;
-    profile::ProfileBundle Acc;
-    for (int K = 0; K != MergeIters; ++K)
-      profstore::mergeBundle(Acc, B);
-    double MergeMs = Merge.elapsedMs();
+    std::vector<double> MergeSamples =
+        bench::timeRepsMs(Ctx.reps(), [&] {
+          profile::ProfileBundle Acc;
+          for (int K = 0; K != MergeIters; ++K)
+            profstore::mergeBundle(Acc, B);
+          Sink += Acc.CallEdges.counts().size();
+        });
+
+    double EncMs = telemetry::median(EncSamples);
+    double DecMs = telemetry::median(DecSamples);
+    double MergeMs = telemetry::median(MergeSamples);
 
     auto MBps = [](double Bytes, double Ms) {
       return Ms > 0 ? Bytes / 1e6 / (Ms / 1e3) : 0.0;
     };
+    auto Throughputs = [](const std::vector<double> &Ms,
+                          double PerRunUnits) {
+      std::vector<double> Out;
+      Out.reserve(Ms.size());
+      for (double M : Ms)
+        Out.push_back(M > 0 ? PerRunUnits / (M / 1e3) : 0.0);
+      return Out;
+    };
+
+    telemetry::BenchReport &Rep = Ctx.report();
+    Rep.addSimMetric("bytes_per_entry." + Names[I], "B",
+                     telemetry::Direction::LowerIsBetter,
+                     Entries ? static_cast<double>(Binary.size()) /
+                                   static_cast<double>(Entries)
+                             : 0.0);
+    Rep.addSimMetric("text_ratio." + Names[I], "x",
+                     telemetry::Direction::HigherIsBetter,
+                     Binary.empty() ? 0.0
+                                    : static_cast<double>(Text.size()) /
+                                          static_cast<double>(Binary.size()));
+    Rep.addHostMetric(
+        "enc_mb_s." + Names[I], "MB/s",
+        telemetry::Direction::HigherIsBetter,
+        Throughputs(EncSamples,
+                    static_cast<double>(Binary.size()) * EncodeIters / 1e6));
+    Rep.addHostMetric(
+        "dec_mb_s." + Names[I], "MB/s",
+        telemetry::Direction::HigherIsBetter,
+        Throughputs(DecSamples,
+                    static_cast<double>(Binary.size()) * DecodeIters / 1e6));
+    Rep.addHostMetric(
+        "merge_mentry_s." + Names[I], "Mentry/s",
+        telemetry::Direction::HigherIsBetter,
+        Throughputs(MergeSamples,
+                    static_cast<double>(Entries) * MergeIters / 1e6));
     T.beginRow();
     T.cell(Names[I]);
     T.cellInt(static_cast<int64_t>(Entries));

@@ -56,6 +56,23 @@ int main(int Argc, char **Argv) {
   T.cellPercent(bench::meanOf(CallOverheads));
   T.cellPercent(bench::meanOf(FieldOverheads));
   T.print();
+
+  telemetry::BenchReport &Rep = Ctx.report();
+  for (size_t WI = 0; WI != Ctx.suite().size(); ++WI) {
+    const std::string Name = Ctx.suite()[WI].Name;
+    Rep.addSimMetric("call_edge_pct." + Name, "pct",
+                     telemetry::Direction::LowerIsBetter,
+                     CallOverheads[WI]);
+    Rep.addSimMetric("field_access_pct." + Name, "pct",
+                     telemetry::Direction::LowerIsBetter,
+                     FieldOverheads[WI]);
+  }
+  Rep.addSimMetric("call_edge_pct.avg", "pct",
+                   telemetry::Direction::LowerIsBetter,
+                   bench::meanOf(CallOverheads));
+  Rep.addSimMetric("field_access_pct.avg", "pct",
+                   telemetry::Direction::LowerIsBetter,
+                   bench::meanOf(FieldOverheads));
   std::printf("\nPaper shape: call-edge avg 88.3%%, field-access avg "
               "60.4%%; db is the cheap outlier in both columns.\n");
   return 0;

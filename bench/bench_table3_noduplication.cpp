@@ -59,6 +59,23 @@ int main(int Argc, char **Argv) {
   T.cellPercent(bench::meanOf(CallOverheads));
   T.cellPercent(bench::meanOf(FieldOverheads));
   T.print();
+
+  telemetry::BenchReport &Rep = Ctx.report();
+  for (size_t WI = 0; WI != Ctx.suite().size(); ++WI) {
+    const std::string Name = Ctx.suite()[WI].Name;
+    Rep.addSimMetric("nodup_call_edge_pct." + Name, "pct",
+                     telemetry::Direction::LowerIsBetter,
+                     CallOverheads[WI]);
+    Rep.addSimMetric("nodup_field_access_pct." + Name, "pct",
+                     telemetry::Direction::LowerIsBetter,
+                     FieldOverheads[WI]);
+  }
+  Rep.addSimMetric("nodup_call_edge_pct.avg", "pct",
+                   telemetry::Direction::LowerIsBetter,
+                   bench::meanOf(CallOverheads));
+  Rep.addSimMetric("nodup_field_access_pct.avg", "pct",
+                   telemetry::Direction::LowerIsBetter,
+                   bench::meanOf(FieldOverheads));
   std::printf("\nPaper shape: call-edge avg 1.3%% (matches Table 2's "
               "method-entry column); field-access avg 51.1%%, close to "
               "Table 1's exhaustive cost because a guard costs about as "

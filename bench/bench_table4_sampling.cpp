@@ -126,6 +126,24 @@ int main(int Argc, char **Argv) {
       }
     }
     printRows(sampling::modeName(Modes[M]), Rows);
+
+    telemetry::BenchReport &Rep = Ctx.report();
+    const std::string Mode = sampling::modeName(Modes[M]);
+    for (const Row &R : Rows) {
+      const std::string Suffix =
+          Mode + ".i" + std::to_string(R.Interval);
+      Rep.addSimMetric("total_pct." + Suffix, "pct",
+                       telemetry::Direction::LowerIsBetter, R.TotalPct);
+      Rep.addSimMetric("sampled_instrum_pct." + Suffix, "pct",
+                       telemetry::Direction::LowerIsBetter,
+                       R.SampledInstrumPct);
+      Rep.addSimMetric("call_acc_pct." + Suffix, "pct",
+                       telemetry::Direction::HigherIsBetter, R.CallAcc);
+      Rep.addSimMetric("field_acc_pct." + Suffix, "pct",
+                       telemetry::Direction::HigherIsBetter, R.FieldAcc);
+      Rep.addSimMetric("num_samples." + Suffix, "count",
+                       telemetry::Direction::Info, R.NumSamples);
+    }
   }
 
   std::printf("\nPaper shape: interval 1 approaches the exhaustive cost; "

@@ -77,6 +77,21 @@ int main(int Argc, char **Argv) {
   T.cellPercent(bench::meanOf(CounterAcc));
   T.cell("");
   T.print();
+
+  telemetry::BenchReport &Rep = Ctx.report();
+  for (size_t WI = 0; WI != Ctx.suite().size(); ++WI) {
+    const std::string Name = Ctx.suite()[WI].Name;
+    Rep.addSimMetric("timer_acc_pct." + Name, "pct",
+                     telemetry::Direction::HigherIsBetter, TimeAcc[WI]);
+    Rep.addSimMetric("counter_acc_pct." + Name, "pct",
+                     telemetry::Direction::HigherIsBetter, CounterAcc[WI]);
+  }
+  Rep.addSimMetric("timer_acc_pct.avg", "pct",
+                   telemetry::Direction::HigherIsBetter,
+                   bench::meanOf(TimeAcc));
+  Rep.addSimMetric("counter_acc_pct.avg", "pct",
+                   telemetry::Direction::HigherIsBetter,
+                   bench::meanOf(CounterAcc));
   std::printf("\nPaper shape: counter-based (84%% avg) beats time-based "
               "(63%% avg); the gap is widest on workloads with "
               "long-latency regions (volano).\n");

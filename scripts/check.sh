@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full verification: configure, build, test, and regenerate every
-# table/figure of the paper.  Usage: scripts/check.sh [--quick] [--tsan]
-# [--asan]
+# table/figure of the paper through `arsc bench`, which also emits the
+# telemetry suite document build/bench-out/BENCH_<sha>.json.
+#
+# Usage: scripts/check.sh [--quick] [--jobs=<n>] [--tsan] [--asan] [--ubsan]
 #
 # --tsan builds a separate tree (build-tsan) with -DARS_SANITIZE=thread
 # and runs the thread-heavy test suites -- the parallel harness's
@@ -10,21 +12,37 @@
 # --asan builds build-asan with -DARS_SANITIZE=address and runs the FULL
 # test suite under AddressSanitizer (the wire-corruption sweeps above
 # all: a heap overflow in frame or bundle decoding must fail loudly).
-# Neither touches the regular build directory.
+# --ubsan builds build-ubsan with -DARS_SANITIZE=undefined and runs the
+# full test suite under UndefinedBehaviorSanitizer (halt-on-error, so a
+# silent overflow cannot scroll past as a warning).
+# None of the sanitizer trees touch the regular build directory.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SCALE_ARG=""
+usage() {
+  echo "usage: $0 [--quick] [--jobs=<n>] [--tsan] [--asan] [--ubsan]" >&2
+  exit 2
+}
+
+QUICK=0
 TSAN=0
 ASAN=0
+UBSAN=0
+JOBS="$(nproc)"
 for arg in "$@"; do
   case "$arg" in
-    --quick) SCALE_ARG="--quick" ;;
-    --tsan)  TSAN=1 ;;
-    --asan)  ASAN=1 ;;
-    *) echo "usage: $0 [--quick] [--tsan] [--asan]" >&2; exit 2 ;;
+    --quick)  QUICK=1 ;;
+    --jobs=*) JOBS="${arg#--jobs=}" ;;
+    --tsan)   TSAN=1 ;;
+    --asan)   ASAN=1 ;;
+    --ubsan)  UBSAN=1 ;;
+    -h|--help) usage ;;
+    *) echo "$0: unknown argument '$arg'" >&2; usage ;;
   esac
 done
+case "$JOBS" in
+  ''|*[!0-9]*) echo "$0: --jobs expects a positive integer" >&2; usage ;;
+esac
 
 if [[ "$TSAN" == 1 ]]; then
   cmake -B build-tsan -G Ninja -DARS_SANITIZE=thread
@@ -46,22 +64,25 @@ if [[ "$ASAN" == 1 ]]; then
   exit 0
 fi
 
+if [[ "$UBSAN" == 1 ]]; then
+  cmake -B build-ubsan -G Ninja -DARS_SANITIZE=undefined
+  cmake --build build-ubsan --target ars_tests
+  UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+    build-ubsan/tests/ars_tests
+  exit 0
+fi
+
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
-# Every bench understands --jobs (bench::Context): fan matrix cells out
-# across the cores.  Fail fast, naming the binary -- a wildcard loop that
-# dies mid-way otherwise leaves no hint which bench broke.
-JOBS="$(nproc)"
-for b in build/bench/bench_table* build/bench/bench_fig* \
-         build/bench/bench_ablation_variants \
-         build/bench/bench_profile_store \
-         build/bench/bench_profserve \
-         build/bench/bench_convergence_shards; do
-  if ! "$b" ${SCALE_ARG} --jobs "${JOBS}"; then
-    echo "FAILED: $b" >&2
-    exit 1
-  fi
-done
-build/bench/bench_micro_framework --benchmark_min_time=0.05
+# The bench matrix runs through `arsc bench`: it discovers every
+# build/bench/bench_* binary, fans each bench's matrix cells out across
+# --jobs workers, fails (exit 1) if ANY bench fails -- no wildcard loop
+# to die half-way silently -- and merges the per-bench telemetry into
+# build/bench-out/BENCH_<sha>.json.
+BENCH_ARGS=("--jobs=${JOBS}" --out-dir=build/bench-out)
+if [[ "$QUICK" == 1 ]]; then
+  BENCH_ARGS+=(--quick)
+fi
+build/tools/arsc bench "${BENCH_ARGS[@]}"

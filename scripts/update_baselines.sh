@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerate bench/baselines/quick.json, the committed baseline that the
+# CI perf gate compares every run against (`arsc bench compare`).
+#
+# Reproducibility: the simulated-cycle engine is deterministic (fixed
+# seeds baked into the benches), so every "sim" metric in the baseline is
+# bit-identical on any machine and for any --jobs. Host wall-clock
+# metrics do vary by machine; they are recorded for the record but the
+# gate skips them against a committed baseline unless --gate-host is
+# passed.  --jobs and --reps are still pinned here so regenerations are
+# comparable like-for-like.
+#
+# Usage: scripts/update_baselines.sh   (JOBS=<n> REPS=<n> to override)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-2}"
+REPS="${REPS:-5}"
+
+cmake -B build -G Ninja
+cmake --build build
+
+OUT=build/bench-baseline
+rm -rf "$OUT"
+build/tools/arsc bench --quick "--jobs=${JOBS}" "--reps=${REPS}" \
+  --out-dir="$OUT" --sha=baseline
+
+mkdir -p bench/baselines
+cp "$OUT/BENCH_baseline.json" bench/baselines/quick.json
+echo "wrote bench/baselines/quick.json"
+
+# Sanity: a fresh run must gate green against the baseline it just wrote.
+build/tools/perfgate bench/baselines/quick.json "$OUT/BENCH_baseline.json"

@@ -1,0 +1,79 @@
+//===- telemetry/BenchMatrix.cpp ------------------------------*- C++ -*-===//
+
+#include "telemetry/BenchMatrix.h"
+
+#include "support/Support.h"
+
+#include <algorithm>
+#include <cstring>
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace ars {
+namespace telemetry {
+
+std::string benchNameFromPath(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Base =
+      Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+  const char Prefix[] = "bench_";
+  if (Base.compare(0, sizeof(Prefix) - 1, Prefix) == 0)
+    return Base.substr(sizeof(Prefix) - 1);
+  return Base;
+}
+
+std::vector<BenchBinary> discoverBenches(const std::string &Dir,
+                                         std::string *Error) {
+  std::vector<BenchBinary> Benches;
+  DIR *D = opendir(Dir.c_str());
+  if (!D) {
+    *Error = support::formatString("cannot open bench directory %s",
+                                   Dir.c_str());
+    return Benches;
+  }
+  while (dirent *Entry = readdir(D)) {
+    if (std::strncmp(Entry->d_name, "bench_", 6) != 0)
+      continue;
+    std::string Path = Dir + "/" + Entry->d_name;
+    struct stat St;
+    // Regular + executable filters out CMake droppings like
+    // bench_foo.dir/ and non-built sources copied next to binaries.
+    if (stat(Path.c_str(), &St) != 0 || !S_ISREG(St.st_mode))
+      continue;
+    if (access(Path.c_str(), X_OK) != 0)
+      continue;
+    Benches.push_back({benchNameFromPath(Path), Path});
+  }
+  closedir(D);
+  std::sort(Benches.begin(), Benches.end(),
+            [](const BenchBinary &A, const BenchBinary &B) {
+              return A.Name < B.Name;
+            });
+  Error->clear();
+  return Benches;
+}
+
+bool mergeReports(const std::vector<BenchReport> &Reports,
+                  const std::string &Sha, const EnvFingerprint &Env,
+                  SuiteReport *Out, std::string *Error) {
+  *Out = SuiteReport();
+  Out->GitSha = Sha;
+  Out->Env = Env;
+  for (const BenchReport &R : Reports) {
+    if (R.benchName().empty()) {
+      *Error = "cannot merge a report with an empty bench name";
+      return false;
+    }
+    if (!Out->Benches.emplace(R.benchName(), R).second) {
+      *Error = support::formatString(
+          "duplicate bench report \"%s\" — two binaries map to one name",
+          R.benchName().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace telemetry
+} // namespace ars

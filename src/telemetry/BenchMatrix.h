@@ -1,0 +1,53 @@
+//===- telemetry/BenchMatrix.h - Bench binary discovery & merge -*- C++ -*-===//
+///
+/// \file
+/// The pieces of `arsc bench` that are pure enough to unit-test: finding
+/// the bench matrix (every executable named `bench_*` in the build's
+/// bench directory), deriving stable bench names from binary paths, and
+/// merging the per-bench JSON reports into the suite document
+/// `BENCH_<sha>.json`.  Actually *running* the binaries stays in the
+/// tool, where the subprocess plumbing lives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_TELEMETRY_BENCHMATRIX_H
+#define ARS_TELEMETRY_BENCHMATRIX_H
+
+#include "telemetry/BenchReport.h"
+
+#include <string>
+#include <vector>
+
+namespace ars {
+namespace telemetry {
+
+/// One discovered bench binary.
+struct BenchBinary {
+  std::string Name; ///< "table1_exhaustive" (bench_ prefix stripped)
+  std::string Path; ///< full path to the executable
+};
+
+/// Scans \p Dir for executable regular files named `bench_*` and
+/// returns them sorted by name, so the matrix order — and therefore the
+/// merged report — is stable whatever the directory order.  An empty
+/// result with a nonempty \p Error means the directory itself was
+/// unreadable; an empty result with an empty \p Error means it simply
+/// held no benches.
+std::vector<BenchBinary> discoverBenches(const std::string &Dir,
+                                         std::string *Error);
+
+/// "path/to/bench_table1_exhaustive" -> "table1_exhaustive";
+/// a basename without the bench_ prefix is returned unchanged.
+std::string benchNameFromPath(const std::string &Path);
+
+/// Merges per-bench reports (already parsed) into a suite stamped with
+/// \p Sha and \p Env.  Duplicate bench names fail: two binaries writing
+/// the same report name would silently shadow each other's metrics.
+bool mergeReports(const std::vector<BenchReport> &Reports,
+                  const std::string &Sha, const EnvFingerprint &Env,
+                  SuiteReport *Out, std::string *Error);
+
+} // namespace telemetry
+} // namespace ars
+
+#endif // ARS_TELEMETRY_BENCHMATRIX_H

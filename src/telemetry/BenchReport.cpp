@@ -1,0 +1,392 @@
+//===- telemetry/BenchReport.cpp ------------------------------*- C++ -*-===//
+
+#include "telemetry/BenchReport.h"
+
+#include "telemetry/Json.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sys/utsname.h>
+
+namespace ars {
+namespace telemetry {
+
+const char BenchSchemaName[] = "ars-bench-v1";
+const char SuiteSchemaName[] = "ars-bench-suite-v1";
+
+const char *directionName(Direction D) {
+  switch (D) {
+  case Direction::LowerIsBetter:  return "lower";
+  case Direction::HigherIsBetter: return "higher";
+  case Direction::Info:           return "info";
+  }
+  return "info";
+}
+
+const char *metricKindName(MetricKind K) {
+  return K == MetricKind::Sim ? "sim" : "host";
+}
+
+bool parseDirection(const std::string &Name, Direction *Out) {
+  if (Name == "lower")  { *Out = Direction::LowerIsBetter;  return true; }
+  if (Name == "higher") { *Out = Direction::HigherIsBetter; return true; }
+  if (Name == "info")   { *Out = Direction::Info;           return true; }
+  return false;
+}
+
+bool parseMetricKind(const std::string &Name, MetricKind *Out) {
+  if (Name == "sim")  { *Out = MetricKind::Sim;  return true; }
+  if (Name == "host") { *Out = MetricKind::Host; return true; }
+  return false;
+}
+
+double median(std::vector<double> Values) {
+  if (Values.empty())
+    return 0.0;
+  std::sort(Values.begin(), Values.end());
+  size_t Mid = Values.size() / 2;
+  if (Values.size() % 2)
+    return Values[Mid];
+  return (Values[Mid - 1] + Values[Mid]) / 2.0;
+}
+
+double medianAbsDeviation(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  double Center = median(Values);
+  std::vector<double> Deviations;
+  Deviations.reserve(Values.size());
+  for (double V : Values)
+    Deviations.push_back(std::fabs(V - Center));
+  return median(std::move(Deviations));
+}
+
+EnvFingerprint captureEnv(int ScalePct, int Jobs) {
+  EnvFingerprint Env;
+  Env.Compiler = __VERSION__;
+#ifdef ARS_BUILD_FLAVOR
+  Env.Flags = ARS_BUILD_FLAVOR;
+#else
+  Env.Flags = "unknown";
+#endif
+  struct utsname U;
+  if (uname(&U) == 0)
+    Env.Host = support::formatString("%s %s", U.sysname, U.machine);
+  else
+    Env.Host = "unknown";
+  Env.GitSha = gitSha();
+  Env.ScalePct = ScalePct;
+  Env.Jobs = Jobs;
+  return Env;
+}
+
+std::string gitSha() {
+  if (const char *Sha = std::getenv("ARS_GIT_SHA"))
+    if (*Sha)
+      return Sha;
+  // Benches run from arbitrary build directories; ask git itself rather
+  // than guessing at a .git path.
+  if (FILE *Pipe = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+    char Buf[64] = {0};
+    size_t Got = fread(Buf, 1, sizeof(Buf) - 1, Pipe);
+    int Status = pclose(Pipe);
+    std::string Sha(Buf, Got);
+    while (!Sha.empty() && (Sha.back() == '\n' || Sha.back() == '\r'))
+      Sha.pop_back();
+    if (Status == 0 && !Sha.empty() &&
+        Sha.find_first_not_of("0123456789abcdef") == std::string::npos)
+      return Sha;
+  }
+  return "nogit";
+}
+
+//===----------------------------------------------------------------------===//
+// BenchReport
+//===----------------------------------------------------------------------===//
+
+const Metric *BenchReport::findMetric(const std::string &MetricName) const {
+  for (const Metric &M : Metrics)
+    if (M.Name == MetricName)
+      return &M;
+  return nullptr;
+}
+
+void BenchReport::addSimMetric(const std::string &MetricName,
+                               const std::string &Unit, Direction Dir,
+                               double Value) {
+  Metric M;
+  M.Name = MetricName;
+  M.Unit = Unit;
+  M.Dir = Dir;
+  M.Kind = MetricKind::Sim;
+  M.Reps = 1;
+  M.Min = M.Median = Value;
+  M.Mad = 0.0;
+  Metrics.push_back(std::move(M));
+}
+
+void BenchReport::addHostMetric(const std::string &MetricName,
+                                const std::string &Unit, Direction Dir,
+                                const std::vector<double> &Samples) {
+  Metric M;
+  M.Name = MetricName;
+  M.Unit = Unit;
+  M.Dir = Dir;
+  M.Kind = MetricKind::Host;
+  M.Reps = static_cast<int>(Samples.size());
+  M.Min = Samples.empty()
+              ? 0.0
+              : *std::min_element(Samples.begin(), Samples.end());
+  M.Median = median(Samples);
+  M.Mad = medianAbsDeviation(Samples);
+  Metrics.push_back(std::move(M));
+}
+
+namespace {
+
+Json envToJson(const EnvFingerprint &Env) {
+  Json J = Json::object();
+  J.set("compiler", Json::str(Env.Compiler));
+  J.set("flags", Json::str(Env.Flags));
+  J.set("host", Json::str(Env.Host));
+  J.set("gitSha", Json::str(Env.GitSha));
+  J.set("scalePct", Json::number(Env.ScalePct));
+  J.set("jobs", Json::number(Env.Jobs));
+  return J;
+}
+
+EnvFingerprint envFromJson(const Json &J) {
+  EnvFingerprint Env;
+  Env.Compiler = J.stringAt("compiler", "unknown");
+  Env.Flags = J.stringAt("flags", "unknown");
+  Env.Host = J.stringAt("host", "unknown");
+  Env.GitSha = J.stringAt("gitSha", "nogit");
+  Env.ScalePct = static_cast<int>(J.numberAt("scalePct", 100));
+  Env.Jobs = static_cast<int>(J.numberAt("jobs", 1));
+  return Env;
+}
+
+Json metricToJson(const Metric &M) {
+  Json J = Json::object();
+  J.set("name", Json::str(M.Name));
+  J.set("unit", Json::str(M.Unit));
+  J.set("direction", Json::str(directionName(M.Dir)));
+  J.set("kind", Json::str(metricKindName(M.Kind)));
+  J.set("reps", Json::number(M.Reps));
+  J.set("min", Json::number(M.Min));
+  J.set("median", Json::number(M.Median));
+  J.set("mad", Json::number(M.Mad));
+  return J;
+}
+
+bool metricFromJson(const Json &J, Metric *Out, std::string *Error) {
+  if (!J.isObject()) {
+    *Error = "metric entry is not an object";
+    return false;
+  }
+  Out->Name = J.stringAt("name");
+  if (Out->Name.empty()) {
+    *Error = "metric with empty or missing name";
+    return false;
+  }
+  Out->Unit = J.stringAt("unit");
+  if (!parseDirection(J.stringAt("direction", "info"), &Out->Dir)) {
+    *Error = support::formatString("metric %s: unknown direction \"%s\"",
+                                   Out->Name.c_str(),
+                                   J.stringAt("direction").c_str());
+    return false;
+  }
+  if (!parseMetricKind(J.stringAt("kind", "sim"), &Out->Kind)) {
+    *Error = support::formatString("metric %s: unknown kind \"%s\"",
+                                   Out->Name.c_str(),
+                                   J.stringAt("kind").c_str());
+    return false;
+  }
+  Out->Reps = static_cast<int>(J.numberAt("reps", 1));
+  Out->Min = J.numberAt("min");
+  Out->Median = J.numberAt("median");
+  Out->Mad = J.numberAt("mad");
+  return true;
+}
+
+Json reportToJson(const BenchReport &R) {
+  Json J = Json::object();
+  J.set("schema", Json::str(BenchSchemaName));
+  J.set("schemaVersion", Json::number(ReportSchemaVersion));
+  J.set("bench", Json::str(R.benchName()));
+  J.set("env", envToJson(R.env()));
+  Json Metrics = Json::array();
+  for (const Metric &M : R.metrics())
+    Metrics.push(metricToJson(M));
+  J.set("metrics", std::move(Metrics));
+  return J;
+}
+
+bool reportFromJson(const Json &J, BenchReport *Out, std::string *Error) {
+  if (!J.isObject()) {
+    *Error = "bench report is not a JSON object";
+    return false;
+  }
+  if (J.stringAt("schema") != BenchSchemaName) {
+    *Error = support::formatString("unknown bench report schema \"%s\"",
+                                   J.stringAt("schema").c_str());
+    return false;
+  }
+  if (static_cast<int>(J.numberAt("schemaVersion")) != ReportSchemaVersion) {
+    *Error = support::formatString(
+        "unsupported bench report schemaVersion %g (want %d)",
+        J.numberAt("schemaVersion"), ReportSchemaVersion);
+    return false;
+  }
+  Out->setBenchName(J.stringAt("bench"));
+  if (Out->benchName().empty()) {
+    *Error = "bench report with empty or missing bench name";
+    return false;
+  }
+  if (const Json *Env = J.find("env"))
+    Out->setEnv(envFromJson(*Env));
+  const Json *Metrics = J.find("metrics");
+  if (!Metrics || !Metrics->isArray()) {
+    *Error = "bench report without a metrics array";
+    return false;
+  }
+  for (const Json &Entry : Metrics->items()) {
+    Metric M;
+    if (!metricFromJson(Entry, &M, Error))
+      return false;
+    Out->addMetric(std::move(M));
+  }
+  return true;
+}
+
+} // namespace
+
+std::string BenchReport::toJson() const { return reportToJson(*this).write(); }
+
+bool BenchReport::fromJson(const std::string &Text, BenchReport *Out,
+                           std::string *Error) {
+  JsonParseResult R = parseJson(Text);
+  if (!R.Ok) {
+    *Error = R.Error;
+    return false;
+  }
+  *Out = BenchReport();
+  return reportFromJson(R.Value, Out, Error);
+}
+
+bool BenchReport::writeFile(const std::string &Path,
+                            std::string *Error) const {
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    *Error = support::formatString("cannot open %s for writing",
+                                   Path.c_str());
+    return false;
+  }
+  std::string Text = toJson();
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  bool Ok = Written == Text.size() && std::fclose(F) == 0;
+  if (!Ok) {
+    *Error = support::formatString("short write to %s", Path.c_str());
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// SuiteReport
+//===----------------------------------------------------------------------===//
+
+std::string SuiteReport::toJson() const {
+  Json J = Json::object();
+  J.set("schema", Json::str(SuiteSchemaName));
+  J.set("schemaVersion", Json::number(ReportSchemaVersion));
+  J.set("gitSha", Json::str(GitSha));
+  J.set("env", envToJson(Env));
+  Json BenchesJson = Json::object();
+  for (const auto &[Name, Report] : Benches)
+    BenchesJson.set(Name, reportToJson(Report));
+  J.set("benches", std::move(BenchesJson));
+  return J.write();
+}
+
+bool SuiteReport::fromJson(const std::string &Text, SuiteReport *Out,
+                           std::string *Error) {
+  JsonParseResult R = parseJson(Text);
+  if (!R.Ok) {
+    *Error = R.Error;
+    return false;
+  }
+  *Out = SuiteReport();
+  const Json &J = R.Value;
+  if (!J.isObject()) {
+    *Error = "suite report is not a JSON object";
+    return false;
+  }
+  // A bare single-bench report wraps into a one-bench suite, so perfgate
+  // can also diff two per-bench files directly.
+  if (J.stringAt("schema") == BenchSchemaName) {
+    BenchReport Single;
+    if (!reportFromJson(J, &Single, Error))
+      return false;
+    Out->GitSha = Single.env().GitSha;
+    Out->Env = Single.env();
+    std::string Name = Single.benchName();
+    Out->Benches.emplace(Name, std::move(Single));
+    return true;
+  }
+  if (J.stringAt("schema") != SuiteSchemaName) {
+    *Error = support::formatString("unknown suite schema \"%s\"",
+                                   J.stringAt("schema").c_str());
+    return false;
+  }
+  if (static_cast<int>(J.numberAt("schemaVersion")) != ReportSchemaVersion) {
+    *Error = support::formatString(
+        "unsupported suite schemaVersion %g (want %d)",
+        J.numberAt("schemaVersion"), ReportSchemaVersion);
+    return false;
+  }
+  Out->GitSha = J.stringAt("gitSha", "nogit");
+  if (const Json *Env = J.find("env"))
+    Out->Env = envFromJson(*Env);
+  const Json *BenchesJson = J.find("benches");
+  if (!BenchesJson || !BenchesJson->isObject()) {
+    *Error = "suite report without a benches object";
+    return false;
+  }
+  for (const auto &[Name, Entry] : BenchesJson->members()) {
+    BenchReport Report;
+    if (!reportFromJson(Entry, &Report, Error)) {
+      *Error = support::formatString("bench \"%s\": %s", Name.c_str(),
+                                     Error->c_str());
+      return false;
+    }
+    Out->Benches.emplace(Name, std::move(Report));
+  }
+  return true;
+}
+
+bool SuiteReport::loadFile(const std::string &Path, SuiteReport *Out,
+                           std::string *Error) {
+  FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F) {
+    *Error = support::formatString("cannot open %s", Path.c_str());
+    return false;
+  }
+  std::string Text;
+  char Buf[4096];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, Got);
+  std::fclose(F);
+  if (!fromJson(Text, Out, Error)) {
+    *Error = support::formatString("%s: %s", Path.c_str(), Error->c_str());
+    return false;
+  }
+  return true;
+}
+
+} // namespace telemetry
+} // namespace ars

@@ -1,0 +1,164 @@
+//===- telemetry/BenchReport.h - Machine-readable bench results -*- C++ -*-===//
+///
+/// \file
+/// The benchmark telemetry data model.  Every bench binary routes its
+/// headline numbers through a BenchReport next to the human tables it
+/// already prints: each metric carries a unit, a regression *direction*
+/// (time and overhead regress upward, overlap and throughput regress
+/// downward), a *kind* separating deterministic simulated-cycle numbers
+/// from host wall-clock ones, and repetition statistics (min / median /
+/// MAD) so the perf gate can scale its thresholds to measured noise
+/// instead of guessing.
+///
+/// Reports serialize to versioned JSON (schema "ars-bench-v1"); `arsc
+/// bench` merges the per-bench files into one suite document
+/// (`BENCH_<sha>.json`, schema "ars-bench-suite-v1") stamped with an
+/// environment fingerprint — compiler, build flags, host, git sha — so
+/// a number can always be traced to the build that produced it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_TELEMETRY_BENCHREPORT_H
+#define ARS_TELEMETRY_BENCHREPORT_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ars {
+namespace telemetry {
+
+/// Report schema version; bumped on any incompatible layout change.
+constexpr int ReportSchemaVersion = 1;
+
+/// Schema tags embedded in the documents.
+extern const char BenchSchemaName[];  ///< "ars-bench-v1"
+extern const char SuiteSchemaName[];  ///< "ars-bench-suite-v1"
+
+/// Which way a metric regresses.
+enum class Direction {
+  LowerIsBetter,  ///< times, overhead %, bytes/entry: regress upward
+  HigherIsBetter, ///< overlap %, throughput: regress downward
+  Info,           ///< counts recorded for the record; never gated
+};
+
+/// Where a metric's numbers come from.
+enum class MetricKind {
+  Sim,  ///< deterministic simulated-cycle data: identical on every host
+  Host, ///< host wall-clock data: machine-dependent, gated only
+        ///< against same-host baselines (perfgate --gate-host)
+};
+
+const char *directionName(Direction D);
+const char *metricKindName(MetricKind K);
+bool parseDirection(const std::string &Name, Direction *Out);
+bool parseMetricKind(const std::string &Name, MetricKind *Out);
+
+/// One measured quantity with its repetition statistics.  Deterministic
+/// metrics have Reps == 1 and Mad == 0; host-timed metrics aggregate
+/// >= 5 repetitions through addHostMetric().
+struct Metric {
+  std::string Name;
+  std::string Unit; ///< "pct", "ms", "insts", "B/entry", "bundles/s", ...
+  Direction Dir = Direction::LowerIsBetter;
+  MetricKind Kind = MetricKind::Sim;
+  int Reps = 1;
+  double Min = 0.0;
+  double Median = 0.0;
+  double Mad = 0.0; ///< median absolute deviation around Median
+};
+
+/// Median of \p Values (mean of the middle pair for even sizes);
+/// 0 for an empty vector.
+double median(std::vector<double> Values);
+
+/// Median absolute deviation of \p Values around their median.
+double medianAbsDeviation(const std::vector<double> &Values);
+
+/// Build/host provenance stamped into every report.
+struct EnvFingerprint {
+  std::string Compiler; ///< __VERSION__ of the building compiler
+  std::string Flags;    ///< build flavour (ARS_BUILD_FLAVOR or "unknown")
+  std::string Host;     ///< uname sysname/machine
+  std::string GitSha;   ///< ARS_GIT_SHA env, else `git rev-parse`, else "nogit"
+  int ScalePct = 100;   ///< bench --scale in effect
+  int Jobs = 1;         ///< bench --jobs in effect
+};
+
+/// Captures the environment of the current process.  \p ScalePct and
+/// \p Jobs come from the bench command line.
+EnvFingerprint captureEnv(int ScalePct, int Jobs);
+
+/// The git revision for report stamping: $ARS_GIT_SHA if set, else
+/// `git rev-parse --short=12 HEAD`, else "nogit".
+std::string gitSha();
+
+/// One bench binary's results.
+class BenchReport {
+public:
+  BenchReport() = default;
+  explicit BenchReport(std::string BenchName, EnvFingerprint Env = {})
+      : Name(std::move(BenchName)), Env(std::move(Env)) {}
+
+  const std::string &benchName() const { return Name; }
+  void setBenchName(std::string N) { Name = std::move(N); }
+  const EnvFingerprint &env() const { return Env; }
+  void setEnv(EnvFingerprint E) { Env = std::move(E); }
+
+  const std::vector<Metric> &metrics() const { return Metrics; }
+  const Metric *findMetric(const std::string &MetricName) const;
+
+  /// Records a deterministic (simulated-cycle) value: one rep, zero MAD.
+  void addSimMetric(const std::string &MetricName, const std::string &Unit,
+                    Direction Dir, double Value);
+
+  /// Records a host wall-clock metric from repeated measurements,
+  /// computing min/median/MAD over \p Samples.
+  void addHostMetric(const std::string &MetricName, const std::string &Unit,
+                     Direction Dir, const std::vector<double> &Samples);
+
+  /// Full-control insert (parser and tests).
+  void addMetric(Metric M) { Metrics.push_back(std::move(M)); }
+
+  /// Serializes to schema-"ars-bench-v1" JSON.
+  std::string toJson() const;
+
+  /// Parses a report; returns false with a diagnostic on malformed input
+  /// or an unknown schema/version.
+  static bool fromJson(const std::string &Text, BenchReport *Out,
+                       std::string *Error);
+
+  /// Writes toJson() to \p Path (truncating).  False + diagnostic on IO
+  /// failure.
+  bool writeFile(const std::string &Path, std::string *Error) const;
+
+private:
+  std::string Name;
+  EnvFingerprint Env;
+  std::vector<Metric> Metrics;
+};
+
+/// The merged per-PR document: every bench's report under one git sha.
+struct SuiteReport {
+  std::string GitSha;
+  EnvFingerprint Env;                       ///< the merging process's env
+  std::map<std::string, BenchReport> Benches; ///< keyed by bench name
+
+  /// Serializes to schema-"ars-bench-suite-v1" JSON.
+  std::string toJson() const;
+
+  /// Parses either a suite document or — for convenience so perfgate can
+  /// diff two single-bench files — a bare bench report (wrapped as a
+  /// one-bench suite).
+  static bool fromJson(const std::string &Text, SuiteReport *Out,
+                       std::string *Error);
+
+  /// Loads fromJson() from \p Path.
+  static bool loadFile(const std::string &Path, SuiteReport *Out,
+                       std::string *Error);
+};
+
+} // namespace telemetry
+} // namespace ars
+
+#endif // ARS_TELEMETRY_BENCHREPORT_H

@@ -1,0 +1,468 @@
+//===- telemetry/Json.cpp -------------------------------------*- C++ -*-===//
+
+#include "telemetry/Json.h"
+
+#include "support/Support.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace ars {
+namespace telemetry {
+
+Json Json::boolean(bool V) {
+  Json J;
+  J.K = Kind::Bool;
+  J.Flag = V;
+  return J;
+}
+
+Json Json::number(double V) {
+  Json J;
+  J.K = Kind::Number;
+  J.Num = V;
+  return J;
+}
+
+Json Json::str(std::string V) {
+  Json J;
+  J.K = Kind::String;
+  J.Text = std::move(V);
+  return J;
+}
+
+Json Json::array() {
+  Json J;
+  J.K = Kind::Array;
+  return J;
+}
+
+Json Json::object() {
+  Json J;
+  J.K = Kind::Object;
+  return J;
+}
+
+void Json::set(const std::string &Key, Json V) {
+  for (auto &[K2, V2] : Members)
+    if (K2 == Key) {
+      V2 = std::move(V);
+      return;
+    }
+  Members.emplace_back(Key, std::move(V));
+}
+
+const Json *Json::find(const std::string &Key) const {
+  for (const auto &[K2, V2] : Members)
+    if (K2 == Key)
+      return &V2;
+  return nullptr;
+}
+
+double Json::numberAt(const std::string &Key, double Default) const {
+  const Json *V = find(Key);
+  return V && V->isNumber() ? V->asNumber() : Default;
+}
+
+std::string Json::stringAt(const std::string &Key,
+                           const std::string &Default) const {
+  const Json *V = find(Key);
+  return V && V->isString() ? V->asString() : Default;
+}
+
+std::string escapeJsonString(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size() + 8);
+  for (unsigned char C : Text) {
+    switch (C) {
+    case '"':  Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\b': Out += "\\b";  break;
+    case '\f': Out += "\\f";  break;
+    case '\n': Out += "\\n";  break;
+    case '\r': Out += "\\r";  break;
+    case '\t': Out += "\\t";  break;
+    default:
+      if (C < 0x20)
+        Out += support::formatString("\\u%04x", C);
+      else
+        Out += static_cast<char>(C);
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+void writeNumber(std::string &Out, double V) {
+  // Integral values print without an exponent or trailing ".0" so counts
+  // stay greppable; everything else gets round-trip precision.
+  if (std::floor(V) == V && std::fabs(V) < 1e15) {
+    Out += support::formatString("%.0f", V);
+    return;
+  }
+  Out += support::formatString("%.17g", V);
+}
+
+void indentTo(std::string &Out, int Indent, int Depth) {
+  if (Indent > 0) {
+    Out += '\n';
+    Out.append(static_cast<size_t>(Indent) * Depth, ' ');
+  }
+}
+
+} // namespace
+
+void Json::writeTo(std::string &Out, int Indent, int Depth) const {
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    return;
+  case Kind::Bool:
+    Out += Flag ? "true" : "false";
+    return;
+  case Kind::Number:
+    writeNumber(Out, Num);
+    return;
+  case Kind::String:
+    Out += '"';
+    Out += escapeJsonString(Text);
+    Out += '"';
+    return;
+  case Kind::Array: {
+    if (Items.empty()) {
+      Out += "[]";
+      return;
+    }
+    Out += '[';
+    for (size_t I = 0; I != Items.size(); ++I) {
+      if (I)
+        Out += ',';
+      indentTo(Out, Indent, Depth + 1);
+      Items[I].writeTo(Out, Indent, Depth + 1);
+    }
+    indentTo(Out, Indent, Depth);
+    Out += ']';
+    return;
+  }
+  case Kind::Object: {
+    if (Members.empty()) {
+      Out += "{}";
+      return;
+    }
+    Out += '{';
+    for (size_t I = 0; I != Members.size(); ++I) {
+      if (I)
+        Out += ',';
+      indentTo(Out, Indent, Depth + 1);
+      Out += '"';
+      Out += escapeJsonString(Members[I].first);
+      Out += Indent > 0 ? "\": " : "\":";
+      Members[I].second.writeTo(Out, Indent, Depth + 1);
+    }
+    indentTo(Out, Indent, Depth);
+    Out += '}';
+    return;
+  }
+  }
+}
+
+std::string Json::write(int Indent) const {
+  std::string Out;
+  writeTo(Out, Indent, 0);
+  if (Indent > 0)
+    Out += '\n';
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Strict recursive-descent parser over the input buffer.  Depth-limited
+/// so a pathological file cannot overflow the stack.
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  JsonParseResult run() {
+    JsonParseResult R;
+    skipWs();
+    if (!parseValue(R.Value, 0)) {
+      R.Error = Error;
+      return R;
+    }
+    skipWs();
+    if (Pos != Text.size()) {
+      R.Error = support::formatString(
+          "trailing characters after JSON value at offset %zu", Pos);
+      return R;
+    }
+    R.Ok = true;
+    return R;
+  }
+
+private:
+  static constexpr int MaxDepth = 64;
+
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Error;
+
+  bool fail(const std::string &Why) {
+    if (Error.empty())
+      Error = support::formatString("%s at offset %zu", Why.c_str(), Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::strlen(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return fail(support::formatString("expected \"%s\"", Word));
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(Json &Out, int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case 'n':
+      if (!literal("null"))
+        return false;
+      Out = Json::null();
+      return true;
+    case 't':
+      if (!literal("true"))
+        return false;
+      Out = Json::boolean(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return false;
+      Out = Json::boolean(false);
+      return true;
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Json::str(std::move(S));
+      return true;
+    }
+    case '[':
+      return parseArray(Out, Depth);
+    case '{':
+      return parseObject(Out, Depth);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseArray(Json &Out, int Depth) {
+    ++Pos; // '['
+    Out = Json::array();
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      Json Item;
+      skipWs();
+      if (!parseValue(Item, Depth + 1))
+        return false;
+      Out.push(std::move(Item));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated array");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseObject(Json &Out, int Depth) {
+    ++Pos; // '{'
+    Out = Json::object();
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected string key in object");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return fail("expected ':' after object key");
+      ++Pos;
+      skipWs();
+      Json Value;
+      if (!parseValue(Value, Depth + 1))
+        return false;
+      Out.set(Key, std::move(Value));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated object");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool hexNibble(char C, uint32_t *Out) {
+    if (C >= '0' && C <= '9')
+      *Out = static_cast<uint32_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      *Out = static_cast<uint32_t>(C - 'a' + 10);
+    else if (C >= 'A' && C <= 'F')
+      *Out = static_cast<uint32_t>(C - 'A' + 10);
+    else
+      return false;
+    return true;
+  }
+
+  bool parseEscape(std::string &Out) {
+    if (Pos >= Text.size())
+      return fail("unterminated escape");
+    char C = Text[Pos++];
+    switch (C) {
+    case '"':  Out += '"';  return true;
+    case '\\': Out += '\\'; return true;
+    case '/':  Out += '/';  return true;
+    case 'b':  Out += '\b'; return true;
+    case 'f':  Out += '\f'; return true;
+    case 'n':  Out += '\n'; return true;
+    case 'r':  Out += '\r'; return true;
+    case 't':  Out += '\t'; return true;
+    case 'u': {
+      if (Pos + 4 > Text.size())
+        return fail("truncated \\u escape");
+      uint32_t Code = 0;
+      for (int I = 0; I != 4; ++I) {
+        uint32_t Nibble;
+        if (!hexNibble(Text[Pos + static_cast<size_t>(I)], &Nibble))
+          return fail("bad hex digit in \\u escape");
+        Code = Code << 4 | Nibble;
+      }
+      Pos += 4;
+      // Encode the code point as UTF-8.  Surrogate pairs are not joined —
+      // the writer never emits them (it only \u-escapes control bytes) —
+      // but lone surrogates still round-trip as their raw encoding.
+      if (Code < 0x80) {
+        Out += static_cast<char>(Code);
+      } else if (Code < 0x800) {
+        Out += static_cast<char>(0xC0 | (Code >> 6));
+        Out += static_cast<char>(0x80 | (Code & 0x3F));
+      } else {
+        Out += static_cast<char>(0xE0 | (Code >> 12));
+        Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+        Out += static_cast<char>(0x80 | (Code & 0x3F));
+      }
+      return true;
+    }
+    default:
+      --Pos;
+      return fail("bad escape character");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // opening quote
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      unsigned char C = static_cast<unsigned char>(Text[Pos]);
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        ++Pos;
+        if (!parseEscape(Out))
+          return false;
+        continue;
+      }
+      if (C < 0x20)
+        return fail("raw control character in string");
+      Out += static_cast<char>(C);
+      ++Pos;
+    }
+  }
+
+  bool parseNumber(Json &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    if (Pos >= Text.size() ||
+        !(Text[Pos] >= '0' && Text[Pos] <= '9'))
+      return fail("bad JSON value");
+    if (Text[Pos] == '0') {
+      // JSON forbids leading zeros: "01" is two tokens, i.e. garbage.
+      ++Pos;
+      if (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        return fail("leading zero in number");
+    } else {
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      if (Pos >= Text.size() || !(Text[Pos] >= '0' && Text[Pos] <= '9'))
+        return fail("digit required after decimal point");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos >= Text.size() || !(Text[Pos] >= '0' && Text[Pos] <= '9'))
+        return fail("digit required in exponent");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    double V = std::strtod(Text.c_str() + Start, nullptr);
+    if (!std::isfinite(V))
+      return fail("number out of range");
+    Out = Json::number(V);
+    return true;
+  }
+};
+
+} // namespace
+
+JsonParseResult parseJson(const std::string &Text) {
+  return Parser(Text).run();
+}
+
+} // namespace telemetry
+} // namespace ars

@@ -1,0 +1,113 @@
+//===- telemetry/Json.h - Minimal JSON tree, writer, parser ---*- C++ -*-===//
+///
+/// \file
+/// A tiny self-contained JSON layer for the benchmark telemetry
+/// subsystem: a value tree, a writer with full string escaping, and a
+/// strict recursive-descent parser.  No external dependency — the repo
+/// rule is to vendor nothing — and no DOM cleverness: objects keep
+/// insertion order so emitted reports diff cleanly in version control,
+/// and numbers are written with enough digits ("%.17g") to round-trip
+/// IEEE doubles bit-for-bit through parse(write(x)).
+///
+/// The writer/parser pair is the wire format of `BENCH_<sha>.json` and
+/// `bench/baselines/`; its escaping and round-trip behaviour are pinned
+/// by tests/test_telemetry.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_TELEMETRY_JSON_H
+#define ARS_TELEMETRY_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ars {
+namespace telemetry {
+
+/// One JSON value.  Objects preserve insertion order (a vector of
+/// key/value pairs); lookup is linear, which is fine at report sizes
+/// (tens of benches x tens of metrics).
+class Json {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Json() : K(Kind::Null) {}
+  static Json null() { return Json(); }
+  static Json boolean(bool V);
+  static Json number(double V);
+  static Json str(std::string V);
+  static Json array();
+  static Json object();
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return Flag; }
+  double asNumber() const { return Num; }
+  const std::string &asString() const { return Text; }
+
+  /// Array access.
+  const std::vector<Json> &items() const { return Items; }
+  void push(Json V) { Items.push_back(std::move(V)); }
+
+  /// Object access.
+  const std::vector<std::pair<std::string, Json>> &members() const {
+    return Members;
+  }
+  /// Sets \p Key (replacing an existing member of the same name so a
+  /// set() loop cannot grow duplicates).
+  void set(const std::string &Key, Json V);
+  /// Member lookup; null when absent.
+  const Json *find(const std::string &Key) const;
+
+  /// Typed convenience getters for the report schema: return the default
+  /// when the key is missing or of the wrong kind.
+  double numberAt(const std::string &Key, double Default = 0.0) const;
+  std::string stringAt(const std::string &Key,
+                       const std::string &Default = std::string()) const;
+
+  /// Renders the tree.  \p Indent > 0 pretty-prints with that many
+  /// spaces per level (the style committed under bench/baselines/);
+  /// 0 renders compact single-line JSON.
+  std::string write(int Indent = 2) const;
+
+private:
+  Kind K;
+  bool Flag = false;
+  double Num = 0.0;
+  std::string Text;
+  std::vector<Json> Items;
+  std::vector<std::pair<std::string, Json>> Members;
+
+  void writeTo(std::string &Out, int Indent, int Depth) const;
+};
+
+/// Escapes \p Text as the *contents* of a JSON string literal
+/// (quotes, backslashes, and control characters; UTF-8 passes through).
+std::string escapeJsonString(const std::string &Text);
+
+/// Outcome of a parse.
+struct JsonParseResult {
+  bool Ok = false;
+  std::string Error; ///< diagnostic with byte offset when !Ok
+  Json Value;
+};
+
+/// Parses \p Text as one JSON document.  Strict: rejects trailing
+/// garbage, unterminated literals, bad escapes, and numbers JSON does
+/// not allow (NaN/Inf) — a truncated or hand-mangled report must fail
+/// loudly in the perf gate, never read as zeros.
+JsonParseResult parseJson(const std::string &Text);
+
+} // namespace telemetry
+} // namespace ars
+
+#endif // ARS_TELEMETRY_JSON_H

@@ -1,0 +1,263 @@
+//===- telemetry/PerfGate.cpp ---------------------------------*- C++ -*-===//
+
+#include "telemetry/PerfGate.h"
+
+#include "support/Support.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace ars {
+namespace telemetry {
+
+namespace {
+
+/// 1.4826 * MAD estimates a Gaussian sigma.
+constexpr double MadToSigma = 1.4826;
+
+MetricVerdict judge(const std::string &Bench, const Metric &Base,
+                    const Metric &Cur, const GateOptions &Opts) {
+  MetricVerdict V;
+  V.Bench = Bench;
+  V.Name = Base.Name;
+  V.Unit = Base.Unit;
+  V.Dir = Base.Dir;
+  V.Kind = Base.Kind;
+  V.Base = Base.Median;
+  V.Current = Cur.Median;
+  V.DeltaPct = support::percentOver(Base.Median, Cur.Median);
+
+  double Noise = MadToSigma * std::max(Base.Mad, Cur.Mad);
+  double FloorPct =
+      Base.Kind == MetricKind::Host ? Opts.HostRelFloorPct : Opts.RelFloorPct;
+  V.Threshold = std::max(Opts.MadK * Noise,
+                         FloorPct / 100.0 * std::fabs(Base.Median));
+
+  if (Base.Dir == Direction::Info) {
+    V.S = MetricVerdict::Status::Ok;
+    return V;
+  }
+  // Signed "how much worse": positive means regressing in this metric's
+  // bad direction.
+  double Worse = Base.Dir == Direction::LowerIsBetter
+                     ? Cur.Median - Base.Median
+                     : Base.Median - Cur.Median;
+  if (Worse > V.Threshold)
+    V.S = Base.Kind == MetricKind::Host && !Opts.GateHost
+              ? MetricVerdict::Status::HostSkipped
+              : MetricVerdict::Status::Regressed;
+  else if (Worse < -V.Threshold)
+    V.S = MetricVerdict::Status::Improved;
+  else
+    V.S = MetricVerdict::Status::Ok;
+  return V;
+}
+
+const char *statusTag(MetricVerdict::Status S) {
+  switch (S) {
+  case MetricVerdict::Status::Ok:          return "ok";
+  case MetricVerdict::Status::Improved:    return "IMPROVED";
+  case MetricVerdict::Status::Regressed:   return "REGRESSED";
+  case MetricVerdict::Status::HostSkipped: return "host-skip";
+  case MetricVerdict::Status::Missing:     return "MISSING";
+  case MetricVerdict::Status::New:         return "new";
+  }
+  return "?";
+}
+
+std::string verdictLine(const MetricVerdict &V) {
+  if (V.S == MetricVerdict::Status::Missing)
+    return support::formatString(
+        "  %-9s %s/%s: present in baseline (%.6g %s), absent from "
+        "current run\n",
+        statusTag(V.S), V.Bench.c_str(), V.Name.c_str(), V.Base,
+        V.Unit.c_str());
+  if (V.S == MetricVerdict::Status::New)
+    return support::formatString(
+        "  %-9s %s/%s: %.6g %s (no baseline)\n", statusTag(V.S),
+        V.Bench.c_str(), V.Name.c_str(), V.Current, V.Unit.c_str());
+  return support::formatString(
+      "  %-9s %s/%s [%s,%s]: %.6g -> %.6g %s (%+.2f%%, allowed "
+      "|delta| %.6g)\n",
+      statusTag(V.S), V.Bench.c_str(), V.Name.c_str(),
+      metricKindName(V.Kind), directionName(V.Dir), V.Base, V.Current,
+      V.Unit.c_str(), V.DeltaPct, V.Threshold);
+}
+
+} // namespace
+
+GateResult compareSuites(const SuiteReport &Baseline,
+                         const SuiteReport &Current,
+                         const GateOptions &Opts) {
+  GateResult R;
+  for (const auto &[BenchName, BaseReport] : Baseline.Benches) {
+    auto CurIt = Current.Benches.find(BenchName);
+    for (const Metric &BaseMetric : BaseReport.metrics()) {
+      const Metric *CurMetric =
+          CurIt == Current.Benches.end()
+              ? nullptr
+              : CurIt->second.findMetric(BaseMetric.Name);
+      if (!CurMetric) {
+        MetricVerdict V;
+        V.Bench = BenchName;
+        V.Name = BaseMetric.Name;
+        V.Unit = BaseMetric.Unit;
+        V.Dir = BaseMetric.Dir;
+        V.Kind = BaseMetric.Kind;
+        V.Base = BaseMetric.Median;
+        V.S = MetricVerdict::Status::Missing;
+        R.Verdicts.push_back(std::move(V));
+        continue;
+      }
+      R.Verdicts.push_back(judge(BenchName, BaseMetric, *CurMetric, Opts));
+    }
+  }
+  // Metrics (and whole benches) that exist only in the current run.
+  for (const auto &[BenchName, CurReport] : Current.Benches) {
+    auto BaseIt = Baseline.Benches.find(BenchName);
+    for (const Metric &CurMetric : CurReport.metrics()) {
+      if (BaseIt != Baseline.Benches.end() &&
+          BaseIt->second.findMetric(CurMetric.Name))
+        continue;
+      MetricVerdict V;
+      V.Bench = BenchName;
+      V.Name = CurMetric.Name;
+      V.Unit = CurMetric.Unit;
+      V.Dir = CurMetric.Dir;
+      V.Kind = CurMetric.Kind;
+      V.Current = CurMetric.Median;
+      V.S = MetricVerdict::Status::New;
+      R.Verdicts.push_back(std::move(V));
+    }
+  }
+
+  for (const MetricVerdict &V : R.Verdicts) {
+    switch (V.S) {
+    case MetricVerdict::Status::Regressed:   ++R.Regressions; break;
+    case MetricVerdict::Status::Improved:    ++R.Improvements; break;
+    case MetricVerdict::Status::HostSkipped: ++R.HostSkips; break;
+    case MetricVerdict::Status::Missing:     ++R.MissingMetrics; break;
+    case MetricVerdict::Status::New:         ++R.NewMetrics; break;
+    case MetricVerdict::Status::Ok:          break;
+    }
+  }
+  R.Ok = R.Regressions == 0 && R.MissingMetrics == 0;
+  return R;
+}
+
+std::string GateResult::render(bool Verbose) const {
+  std::string Out;
+  auto emit = [&](MetricVerdict::Status S) {
+    for (const MetricVerdict &V : Verdicts)
+      if (V.S == S)
+        Out += verdictLine(V);
+  };
+  if (Regressions + MissingMetrics > 0) {
+    Out += "perf gate FAILURES:\n";
+    emit(MetricVerdict::Status::Regressed);
+    emit(MetricVerdict::Status::Missing);
+  }
+  if (HostSkips > 0) {
+    Out += "host-dependent deltas beyond threshold (not gated; use "
+           "--gate-host for same-machine runs):\n";
+    emit(MetricVerdict::Status::HostSkipped);
+  }
+  if (Improvements > 0) {
+    Out += "improvements:\n";
+    emit(MetricVerdict::Status::Improved);
+  }
+  if (NewMetrics > 0 && Verbose) {
+    Out += "new metrics (no baseline yet):\n";
+    emit(MetricVerdict::Status::New);
+  }
+  if (Verbose) {
+    Out += "within threshold:\n";
+    emit(MetricVerdict::Status::Ok);
+  }
+  size_t OkCount = 0;
+  for (const MetricVerdict &V : Verdicts)
+    if (V.S == MetricVerdict::Status::Ok)
+      ++OkCount;
+  Out += support::formatString(
+      "perf gate: %s — %zu metric(s) compared, %zu ok, %zu regressed, "
+      "%zu missing, %zu improved, %zu host-skipped, %zu new\n",
+      Ok ? "PASS" : "FAIL", Verdicts.size() - NewMetrics, OkCount,
+      Regressions, MissingMetrics, Improvements, HostSkips, NewMetrics);
+  return Out;
+}
+
+int runPerfGateCli(const std::vector<std::string> &Args, const char *Prog) {
+  auto usage = [Prog] {
+    std::fprintf(
+        stderr,
+        "usage: %s <baseline.json> <current.json> [options]\n"
+        "Diffs a bench suite run against a baseline with noise-aware\n"
+        "thresholds and exits nonzero on regression.\n"
+        "options:\n"
+        "  --mad-k=<f>            sigmas of measured noise tolerated\n"
+        "                         (default 4.0)\n"
+        "  --rel-floor=<pct>      minimum relative threshold for\n"
+        "                         deterministic metrics (default 2%%)\n"
+        "  --host-rel-floor=<pct> minimum relative threshold for host\n"
+        "                         wall-clock metrics (default 25%%)\n"
+        "  --gate-host            gate host wall-clock metrics too (only\n"
+        "                         meaningful against a same-machine\n"
+        "                         baseline)\n"
+        "  --verbose              also list metrics within threshold\n",
+        Prog);
+    return 2;
+  };
+
+  GateOptions Opts;
+  bool Verbose = false;
+  std::vector<std::string> Files;
+  for (const std::string &Arg : Args) {
+    auto valueOf = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
+    };
+    if (const char *V = valueOf("--mad-k=")) {
+      Opts.MadK = std::atof(V);
+    } else if (const char *V = valueOf("--rel-floor=")) {
+      Opts.RelFloorPct = std::atof(V);
+    } else if (const char *V = valueOf("--host-rel-floor=")) {
+      Opts.HostRelFloorPct = std::atof(V);
+    } else if (Arg == "--gate-host") {
+      Opts.GateHost = true;
+    } else if (Arg == "--verbose") {
+      Verbose = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
+      return usage();
+    } else {
+      Files.push_back(Arg);
+    }
+  }
+  if (Files.size() != 2)
+    return usage();
+
+  SuiteReport Baseline, Current;
+  std::string Error;
+  if (!SuiteReport::loadFile(Files[0], &Baseline, &Error)) {
+    std::fprintf(stderr, "%s: %s\n", Prog, Error.c_str());
+    return 2;
+  }
+  if (!SuiteReport::loadFile(Files[1], &Current, &Error)) {
+    std::fprintf(stderr, "%s: %s\n", Prog, Error.c_str());
+    return 2;
+  }
+  if (Baseline.Env.ScalePct != Current.Env.ScalePct)
+    std::fprintf(stderr,
+                 "%s: warning: baseline ran at --scale=%d but current at "
+                 "--scale=%d; deterministic metrics will differ for scale "
+                 "reasons, not regressions\n",
+                 Prog, Baseline.Env.ScalePct, Current.Env.ScalePct);
+
+  GateResult R = compareSuites(Baseline, Current, Opts);
+  std::fputs(R.render(Verbose).c_str(), stdout);
+  return R.Ok ? 0 : 1;
+}
+
+} // namespace telemetry
+} // namespace ars

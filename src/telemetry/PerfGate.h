@@ -1,0 +1,107 @@
+//===- telemetry/PerfGate.h - Noise-aware perf-regression gate -*- C++ -*-===//
+///
+/// \file
+/// Diffs a bench suite run against a committed baseline and decides,
+/// metric by metric, whether the delta is a regression or noise.
+///
+/// Threshold model: per metric the gate allows
+///
+///   threshold = max(MadK * 1.4826 * max(MAD_base, MAD_cur),
+///                   relFloor * |median_base|)
+///
+/// 1.4826 * MAD is the consistent estimator of a Gaussian sigma, so
+/// MadK = 4 means "flag only deltas beyond ~4 sigma of the measured
+/// run-to-run noise".  The relative floor keeps deterministic metrics
+/// (MAD == 0) from tripping on sub-percent arithmetic drift, and host
+/// wall-clock metrics get a larger floor of their own.  Direction comes
+/// from the metric itself: time/overhead regress upward, overlap and
+/// throughput regress downward, "info" metrics are never gated.
+///
+/// Host-kind metrics are machine-dependent, so against a *committed*
+/// baseline (produced on some other machine) they are reported but not
+/// gated unless --gate-host is given — that flag is for same-machine
+/// comparisons, e.g. the regression-injection test and local A/B runs.
+///
+/// A metric present in the baseline but missing from the current run is
+/// always fatal: losing coverage must not read as a pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_TELEMETRY_PERFGATE_H
+#define ARS_TELEMETRY_PERFGATE_H
+
+#include "telemetry/BenchReport.h"
+
+#include <string>
+#include <vector>
+
+namespace ars {
+namespace telemetry {
+
+/// Gate tuning knobs (all overridable from the perfgate command line).
+struct GateOptions {
+  double MadK = 4.0;          ///< sigmas of measured noise tolerated
+  double RelFloorPct = 2.0;   ///< floor for sim metrics, % of baseline
+  double HostRelFloorPct = 25.0; ///< floor for host metrics, % of baseline
+  bool GateHost = false;      ///< gate host metrics (same-machine runs)
+};
+
+/// Per-metric outcome.
+struct MetricVerdict {
+  enum class Status {
+    Ok,          ///< within threshold
+    Improved,    ///< moved the good way by more than threshold
+    Regressed,   ///< moved the bad way by more than threshold — fatal
+    HostSkipped, ///< host metric beyond threshold, not gated (no
+                 ///< --gate-host); reported as a warning
+    Missing,     ///< in baseline, absent from current run — fatal
+    New,         ///< in current run only; informational
+  };
+
+  std::string Bench;
+  std::string Name;
+  std::string Unit;
+  Direction Dir = Direction::Info;
+  MetricKind Kind = MetricKind::Sim;
+  double Base = 0.0;      ///< baseline median
+  double Current = 0.0;   ///< current median
+  double DeltaPct = 0.0;  ///< signed change relative to baseline
+  double Threshold = 0.0; ///< allowed absolute delta
+  Status S = Status::Ok;
+};
+
+/// Whole-comparison outcome.
+struct GateResult {
+  bool Ok = true; ///< false iff any verdict is Regressed or Missing
+  std::vector<MetricVerdict> Verdicts;
+  size_t Regressions = 0;
+  size_t Improvements = 0;
+  size_t HostSkips = 0;
+  size_t MissingMetrics = 0;
+  size_t NewMetrics = 0;
+
+  /// Human-readable per-metric report (regressions first, then
+  /// warnings/improvements, then a summary line).
+  std::string render(bool Verbose = false) const;
+};
+
+/// Compares \p Current against \p Baseline metric by metric.
+GateResult compareSuites(const SuiteReport &Baseline,
+                         const SuiteReport &Current,
+                         const GateOptions &Opts = GateOptions());
+
+/// The `perfgate` / `arsc bench compare` command line:
+///
+///   compare <baseline.json> <current.json> [--mad-k=<f>]
+///     [--rel-floor=<pct>] [--host-rel-floor=<pct>] [--gate-host]
+///     [--verbose]
+///
+/// Prints the rendered report and returns the process exit code
+/// (0 pass, 1 regression, 2 usage/load error).  \p Prog names the tool
+/// in diagnostics.
+int runPerfGateCli(const std::vector<std::string> &Args, const char *Prog);
+
+} // namespace telemetry
+} // namespace ars
+
+#endif // ARS_TELEMETRY_PERFGATE_H

@@ -1,0 +1,447 @@
+//===- tests/test_telemetry.cpp - Bench telemetry + perf gate -*- C++ -*-===//
+///
+/// Pins the wire format and the gate math of the benchmark telemetry
+/// subsystem: JSON escaping and parse(write(x)) round-trips, the strict
+/// parser's rejection diagnostics, median/MAD statistics, report and
+/// suite (de)serialization, bench-binary discovery, and the perf gate's
+/// noise-aware thresholds — an injected 2x slowdown must be flagged
+/// while MAD-sized jitter must pass.
+///
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/BenchMatrix.h"
+#include "telemetry/BenchReport.h"
+#include "telemetry/Json.h"
+#include "telemetry/PerfGate.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace ars::telemetry;
+
+namespace {
+
+// --------------------------------------------------------------------------
+// JSON writer/parser
+// --------------------------------------------------------------------------
+
+TEST(TelemetryJson, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(escapeJsonString("plain"), "plain");
+  EXPECT_EQ(escapeJsonString("a\"b"), "a\\\"b");
+  EXPECT_EQ(escapeJsonString("a\\b"), "a\\\\b");
+  EXPECT_EQ(escapeJsonString("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(escapeJsonString(std::string("a\x01z", 3)), "a\\u0001z");
+  // UTF-8 passes through unescaped.
+  EXPECT_EQ(escapeJsonString("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(TelemetryJson, RoundTripsThroughParser) {
+  Json Doc = Json::object();
+  Doc.set("name", Json::str("bench \"quoted\" \n\t\\path"));
+  Doc.set("flag", Json::boolean(true));
+  Doc.set("nothing", Json::null());
+  Json Arr = Json::array();
+  for (double V : {0.0, -1.5, 1e-17, 12345678901234.0, 0.1 + 0.2})
+    Arr.push(Json::number(V));
+  Doc.set("values", Arr);
+
+  for (int Indent : {0, 2}) {
+    JsonParseResult R = parseJson(Doc.write(Indent));
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.Value.stringAt("name"), "bench \"quoted\" \n\t\\path");
+    ASSERT_NE(R.Value.find("flag"), nullptr);
+    EXPECT_TRUE(R.Value.find("flag")->asBool());
+    EXPECT_TRUE(R.Value.find("nothing")->isNull());
+    const Json *Vals = R.Value.find("values");
+    ASSERT_NE(Vals, nullptr);
+    ASSERT_EQ(Vals->items().size(), 5u);
+    // %.17g is enough digits for doubles to round-trip bit-for-bit.
+    EXPECT_EQ(Vals->items()[2].asNumber(), 1e-17);
+    EXPECT_EQ(Vals->items()[4].asNumber(), 0.1 + 0.2);
+  }
+}
+
+TEST(TelemetryJson, ParserRejectsMalformedDocuments) {
+  const char *Bad[] = {
+      "",             // empty
+      "{",            // unterminated object
+      "[1, 2",        // unterminated array
+      "{\"a\": }",    // missing value
+      "{\"a\": 1,}",  // trailing comma
+      "\"\\x41\"",    // bad escape
+      "\"unterminated", // unterminated string
+      "01",           // leading zero
+      "1 2",          // trailing garbage
+      "nan",          // not JSON
+      "{\"a\": 1 \"b\": 2}", // missing comma
+  };
+  for (const char *Text : Bad) {
+    JsonParseResult R = parseJson(Text);
+    EXPECT_FALSE(R.Ok) << "accepted: " << Text;
+    EXPECT_FALSE(R.Error.empty());
+  }
+  // A raw control character inside a string is invalid JSON.
+  JsonParseResult R = parseJson(std::string("\"a\nb\""));
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(TelemetryJson, ObjectSetReplacesExistingKey) {
+  Json Doc = Json::object();
+  Doc.set("k", Json::number(1));
+  Doc.set("k", Json::number(2));
+  ASSERT_EQ(Doc.members().size(), 1u);
+  EXPECT_EQ(Doc.numberAt("k"), 2.0);
+}
+
+// --------------------------------------------------------------------------
+// Statistics
+// --------------------------------------------------------------------------
+
+TEST(TelemetryStats, MedianAndMad) {
+  EXPECT_EQ(median({}), 0.0);
+  EXPECT_EQ(median({7.0}), 7.0);
+  EXPECT_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  // MAD of {1,2,3,4,100}: median 3, |x - 3| = {2,1,0,1,97}, median 1.
+  EXPECT_EQ(medianAbsDeviation({1.0, 2.0, 3.0, 4.0, 100.0}), 1.0);
+  EXPECT_EQ(medianAbsDeviation({5.0, 5.0, 5.0}), 0.0);
+}
+
+// --------------------------------------------------------------------------
+// Report round-trip
+// --------------------------------------------------------------------------
+
+EnvFingerprint testEnv() {
+  EnvFingerprint Env;
+  Env.Compiler = "testcc 1.0";
+  Env.Flags = "Release";
+  Env.Host = "Linux x86_64";
+  Env.GitSha = "abc123";
+  Env.ScalePct = 15;
+  Env.Jobs = 2;
+  return Env;
+}
+
+TEST(TelemetryReport, RoundTripsThroughJson) {
+  BenchReport Report("table1_exhaustive", testEnv());
+  Report.addSimMetric("overhead_pct.javac", "pct",
+                      Direction::LowerIsBetter, 71.25);
+  Report.addHostMetric("wall_ms", "ms", Direction::LowerIsBetter,
+                       {10.0, 12.0, 11.0, 11.5, 10.5});
+  Report.addSimMetric("overlap_pct", "pct", Direction::HigherIsBetter,
+                      93.8);
+  Report.addSimMetric("samples", "count", Direction::Info, 213.0);
+
+  BenchReport Parsed;
+  std::string Error;
+  ASSERT_TRUE(BenchReport::fromJson(Report.toJson(), &Parsed, &Error))
+      << Error;
+  EXPECT_EQ(Parsed.benchName(), "table1_exhaustive");
+  EXPECT_EQ(Parsed.env().GitSha, "abc123");
+  EXPECT_EQ(Parsed.env().ScalePct, 15);
+  ASSERT_EQ(Parsed.metrics().size(), 4u);
+
+  const Metric *Wall = Parsed.findMetric("wall_ms");
+  ASSERT_NE(Wall, nullptr);
+  EXPECT_EQ(Wall->Kind, MetricKind::Host);
+  EXPECT_EQ(Wall->Reps, 5);
+  EXPECT_EQ(Wall->Min, 10.0);
+  EXPECT_EQ(Wall->Median, 11.0);
+  EXPECT_EQ(Wall->Mad, 0.5);
+
+  const Metric *Overlap = Parsed.findMetric("overlap_pct");
+  ASSERT_NE(Overlap, nullptr);
+  EXPECT_EQ(Overlap->Dir, Direction::HigherIsBetter);
+  EXPECT_EQ(Overlap->Kind, MetricKind::Sim);
+  EXPECT_EQ(Overlap->Median, 93.8);
+  const Metric *Samples = Parsed.findMetric("samples");
+  ASSERT_NE(Samples, nullptr);
+  EXPECT_EQ(Samples->Dir, Direction::Info);
+}
+
+TEST(TelemetryReport, SuiteRoundTripAndBareReportWrapping) {
+  BenchReport A("alpha", testEnv());
+  A.addSimMetric("m", "pct", Direction::LowerIsBetter, 1.0);
+  BenchReport B("beta", testEnv());
+  B.addSimMetric("m", "pct", Direction::LowerIsBetter, 2.0);
+
+  SuiteReport Suite;
+  std::string Error;
+  ASSERT_TRUE(mergeReports({A, B}, "abc123", testEnv(), &Suite, &Error))
+      << Error;
+  EXPECT_EQ(Suite.GitSha, "abc123");
+  ASSERT_EQ(Suite.Benches.size(), 2u);
+
+  SuiteReport Parsed;
+  ASSERT_TRUE(SuiteReport::fromJson(Suite.toJson(), &Parsed, &Error))
+      << Error;
+  ASSERT_EQ(Parsed.Benches.size(), 2u);
+  EXPECT_EQ(Parsed.Benches.at("beta").findMetric("m")->Median, 2.0);
+
+  // A bare bench report parses as a one-bench suite, so perfgate can
+  // diff two single-bench files directly.
+  SuiteReport Wrapped;
+  ASSERT_TRUE(SuiteReport::fromJson(A.toJson(), &Wrapped, &Error)) << Error;
+  ASSERT_EQ(Wrapped.Benches.size(), 1u);
+  EXPECT_EQ(Wrapped.Benches.begin()->first, "alpha");
+
+  // Duplicate bench names must fail, not silently shadow.
+  EXPECT_FALSE(mergeReports({A, A}, "abc123", testEnv(), &Suite, &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(TelemetryReport, FromJsonRejectsGarbageAndWrongSchema) {
+  BenchReport Out;
+  std::string Error;
+  EXPECT_FALSE(BenchReport::fromJson("not json", &Out, &Error));
+  EXPECT_FALSE(BenchReport::fromJson("{}", &Out, &Error));
+  EXPECT_FALSE(BenchReport::fromJson(
+      "{\"schema\": \"something-else\", \"schemaVersion\": 1}", &Out,
+      &Error));
+}
+
+// --------------------------------------------------------------------------
+// Bench discovery
+// --------------------------------------------------------------------------
+
+class TempDir {
+public:
+  TempDir() {
+    char Template[] = "/tmp/ars_telemetry_test_XXXXXX";
+    Path = mkdtemp(Template);
+  }
+  ~TempDir() {
+    if (Path.empty())
+      return;
+    for (const std::string &F : Files)
+      ::unlink((Path + "/" + F).c_str());
+    ::rmdir(Path.c_str());
+  }
+  void addFile(const std::string &Name, bool Executable) {
+    std::ofstream Out(Path + "/" + Name);
+    Out << "#!/bin/sh\n";
+    Out.close();
+    ::chmod((Path + "/" + Name).c_str(), Executable ? 0755 : 0644);
+    Files.push_back(Name);
+  }
+  std::string Path;
+
+private:
+  std::vector<std::string> Files;
+};
+
+TEST(TelemetryMatrix, DiscoversExecutableBenchBinariesSorted) {
+  TempDir Dir;
+  ASSERT_FALSE(Dir.Path.empty());
+  Dir.addFile("bench_zeta", true);
+  Dir.addFile("bench_alpha", true);
+  Dir.addFile("bench_notexec", false);   // no exec bit: skipped
+  Dir.addFile("not_a_bench", true);      // wrong prefix: skipped
+  Dir.addFile("bench_mid.json", true);   // telemetry output: still a
+                                         // bench_* executable by name,
+                                         // but json files in out-dirs
+                                         // are not executable in real
+                                         // trees; keep it to pin the
+                                         // name-based contract
+  std::string Error;
+  std::vector<BenchBinary> Found = discoverBenches(Dir.Path, &Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+  ASSERT_EQ(Found.size(), 3u);
+  EXPECT_EQ(Found[0].Name, "alpha");
+  EXPECT_EQ(Found[1].Name, "mid.json");
+  EXPECT_EQ(Found[2].Name, "zeta");
+  EXPECT_EQ(Found[0].Path, Dir.Path + "/bench_alpha");
+}
+
+TEST(TelemetryMatrix, DiscoveryErrorsOnMissingDirectory) {
+  std::string Error;
+  std::vector<BenchBinary> Found =
+      discoverBenches("/nonexistent/ars/bench/dir", &Error);
+  EXPECT_TRUE(Found.empty());
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(TelemetryMatrix, BenchNameFromPath) {
+  EXPECT_EQ(benchNameFromPath("/a/b/bench_table1_exhaustive"),
+            "table1_exhaustive");
+  EXPECT_EQ(benchNameFromPath("bench_fig7"), "fig7");
+  EXPECT_EQ(benchNameFromPath("./bench/oddly_named"), "oddly_named");
+}
+
+// --------------------------------------------------------------------------
+// Perf gate
+// --------------------------------------------------------------------------
+
+SuiteReport suiteWith(const std::vector<Metric> &Metrics) {
+  BenchReport Report("bench", testEnv());
+  for (const Metric &M : Metrics)
+    Report.addMetric(M);
+  SuiteReport Suite;
+  Suite.GitSha = "abc123";
+  Suite.Env = testEnv();
+  Suite.Benches.emplace("bench", Report);
+  return Suite;
+}
+
+Metric simMetric(const std::string &Name, double Median,
+                 Direction Dir = Direction::LowerIsBetter) {
+  Metric M;
+  M.Name = Name;
+  M.Unit = "pct";
+  M.Dir = Dir;
+  M.Kind = MetricKind::Sim;
+  M.Reps = 1;
+  M.Min = Median;
+  M.Median = Median;
+  M.Mad = 0.0;
+  return M;
+}
+
+Metric hostMetric(const std::string &Name, double Median, double Mad,
+                  Direction Dir = Direction::LowerIsBetter) {
+  Metric M;
+  M.Name = Name;
+  M.Unit = "ms";
+  M.Dir = Dir;
+  M.Kind = MetricKind::Host;
+  M.Reps = 5;
+  M.Min = Median - Mad;
+  M.Median = Median;
+  M.Mad = Mad;
+  return M;
+}
+
+TEST(PerfGate, IdenticalSuitesPass) {
+  SuiteReport S = suiteWith({simMetric("overhead", 4.9),
+                             hostMetric("wall_ms", 120.0, 3.0)});
+  GateResult R = compareSuites(S, S);
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.Regressions, 0u);
+  EXPECT_NE(R.render().find("PASS"), std::string::npos);
+}
+
+TEST(PerfGate, FlagsInjectedTwoXSlowdown) {
+  SuiteReport Base = suiteWith({simMetric("overhead", 4.9)});
+  SuiteReport Cur = suiteWith({simMetric("overhead", 9.8)});
+  GateResult R = compareSuites(Base, Cur);
+  EXPECT_FALSE(R.Ok);
+  ASSERT_EQ(R.Regressions, 1u);
+  EXPECT_NE(R.render().find("REGRESSED"), std::string::npos);
+  EXPECT_NE(R.render().find("overhead"), std::string::npos);
+}
+
+TEST(PerfGate, SubFloorDriftOnSimMetricPasses) {
+  // Deterministic metrics have MAD 0; the 2% relative floor absorbs
+  // sub-percent arithmetic drift.
+  SuiteReport Base = suiteWith({simMetric("overhead", 100.0)});
+  SuiteReport Cur = suiteWith({simMetric("overhead", 101.0)});
+  EXPECT_TRUE(compareSuites(Base, Cur).Ok);
+  SuiteReport Beyond = suiteWith({simMetric("overhead", 103.0)});
+  EXPECT_FALSE(compareSuites(Base, Beyond).Ok);
+}
+
+TEST(PerfGate, MadSizedJitterPassesEvenWhenHostGated) {
+  // Noise model: MAD 3ms around 120ms. A wobble of ~1 MAD-sigma is
+  // jitter; MadK=4 with the 1.4826 sigma factor allows ~17.8ms.
+  SuiteReport Base = suiteWith({hostMetric("wall_ms", 120.0, 3.0)});
+  SuiteReport Jitter = suiteWith({hostMetric("wall_ms", 124.0, 3.0)});
+  GateOptions Opts;
+  Opts.GateHost = true;
+  GateResult R = compareSuites(Base, Jitter, Opts);
+  EXPECT_TRUE(R.Ok) << R.render(true);
+
+  // A genuine 2x host slowdown is beyond any noise allowance.
+  SuiteReport Slow = suiteWith({hostMetric("wall_ms", 240.0, 3.0)});
+  GateResult R2 = compareSuites(Base, Slow, Opts);
+  EXPECT_FALSE(R2.Ok);
+  EXPECT_EQ(R2.Regressions, 1u);
+}
+
+TEST(PerfGate, HostMetricsSkippedWithoutGateHost) {
+  // Against a committed (different-machine) baseline, even a 2x host
+  // delta is only a warning unless --gate-host.
+  SuiteReport Base = suiteWith({hostMetric("wall_ms", 120.0, 3.0)});
+  SuiteReport Slow = suiteWith({hostMetric("wall_ms", 240.0, 3.0)});
+  GateResult R = compareSuites(Base, Slow);
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.HostSkips, 1u);
+  EXPECT_NE(R.render().find("host-skipped"), std::string::npos);
+}
+
+TEST(PerfGate, HigherIsBetterRegressesDownward) {
+  SuiteReport Base = suiteWith(
+      {simMetric("overlap", 93.8, Direction::HigherIsBetter)});
+  SuiteReport Dropped = suiteWith(
+      {simMetric("overlap", 80.0, Direction::HigherIsBetter)});
+  EXPECT_FALSE(compareSuites(Base, Dropped).Ok);
+  // Moving up is an improvement, never a failure.
+  SuiteReport Raised = suiteWith(
+      {simMetric("overlap", 99.0, Direction::HigherIsBetter)});
+  GateResult R = compareSuites(Base, Raised);
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.Improvements, 1u);
+}
+
+TEST(PerfGate, InfoMetricsAreNeverGated) {
+  SuiteReport Base =
+      suiteWith({simMetric("samples", 100.0, Direction::Info)});
+  SuiteReport Wild =
+      suiteWith({simMetric("samples", 100000.0, Direction::Info)});
+  EXPECT_TRUE(compareSuites(Base, Wild).Ok);
+}
+
+TEST(PerfGate, MissingMetricIsFatalNewMetricIsNot) {
+  SuiteReport Base = suiteWith(
+      {simMetric("kept", 1.0), simMetric("dropped", 2.0)});
+  SuiteReport Cur =
+      suiteWith({simMetric("kept", 1.0), simMetric("added", 3.0)});
+  GateResult R = compareSuites(Base, Cur);
+  EXPECT_FALSE(R.Ok); // lost coverage must not read as a pass
+  EXPECT_EQ(R.MissingMetrics, 1u);
+  EXPECT_EQ(R.NewMetrics, 1u);
+  EXPECT_NE(R.render().find("MISSING"), std::string::npos);
+
+  // A whole missing bench is as fatal as a missing metric.
+  SuiteReport Empty;
+  Empty.GitSha = "abc123";
+  Empty.Env = testEnv();
+  GateResult R2 = compareSuites(Base, Empty);
+  EXPECT_FALSE(R2.Ok);
+  EXPECT_EQ(R2.MissingMetrics, 2u);
+}
+
+TEST(PerfGate, CliComparesFilesAndSignalsRegression) {
+  TempDir Dir;
+  ASSERT_FALSE(Dir.Path.empty());
+  SuiteReport Base = suiteWith({simMetric("overhead", 4.9)});
+  SuiteReport Slow = suiteWith({simMetric("overhead", 9.8)});
+
+  std::string BasePath = Dir.Path + "/base.json";
+  std::string SlowPath = Dir.Path + "/slow.json";
+  {
+    std::ofstream(BasePath) << Base.toJson();
+    std::ofstream(SlowPath) << Slow.toJson();
+  }
+
+  EXPECT_EQ(runPerfGateCli({BasePath, BasePath}, "perfgate-test"), 0);
+  EXPECT_EQ(runPerfGateCli({BasePath, SlowPath}, "perfgate-test"), 1);
+  // Usage and load errors are exit 2, distinct from regressions.
+  EXPECT_EQ(runPerfGateCli({BasePath}, "perfgate-test"), 2);
+  EXPECT_EQ(runPerfGateCli({BasePath, Dir.Path + "/absent.json"},
+                           "perfgate-test"),
+            2);
+  EXPECT_EQ(runPerfGateCli({BasePath, SlowPath, "--bogus-flag"},
+                           "perfgate-test"),
+            2);
+  ::unlink(BasePath.c_str());
+  ::unlink(SlowPath.c_str());
+}
+
+} // namespace

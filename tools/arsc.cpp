@@ -27,6 +27,13 @@
 ///   arsc pull --from=127.0.0.1:4817 --out=merged.arsp
 ///   arsc pull --from=127.0.0.1:4817 --stats
 ///
+/// Benchmark telemetry (see EXPERIMENTS.md): run the bench matrix, merge
+/// the per-bench JSON into BENCH_<sha>.json, and gate a run against a
+/// committed baseline with noise-aware thresholds:
+///
+///   arsc bench --quick --jobs=4 --out-dir=bench-out
+///   arsc bench compare bench/baselines/quick.json BENCH_<sha>.json
+///
 //===----------------------------------------------------------------------===//
 
 #include "bytecode/Assembler.h"
@@ -46,17 +53,25 @@
 #include "profstore/ProfileStore.h"
 #include "support/Support.h"
 #include "support/TablePrinter.h"
+#include "telemetry/BenchMatrix.h"
+#include "telemetry/BenchReport.h"
+#include "telemetry/PerfGate.h"
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
 
 using namespace ars;
 
@@ -709,6 +724,186 @@ int pullMain(int Argc, char **Argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// arsc bench: run the bench matrix, merge per-bench telemetry JSON into
+// BENCH_<sha>.json; `arsc bench compare` gates a run against a baseline.
+// ---------------------------------------------------------------------------
+
+int benchUsage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s bench [--quick] [--scale=<pct>] [--jobs=<n>] [--reps=<n>]\n"
+      "          [--bench-dir=<dir>] [--out-dir=<dir>] [--sha=<sha>]\n"
+      "          [--only=<substring>] [--list]\n"
+      "       %s bench compare <baseline.json> <current.json>\n"
+      "          [--mad-k=<f>] [--rel-floor=<pct>] [--host-rel-floor=<pct>]\n"
+      "          [--gate-host] [--verbose]\n",
+      Prog, Prog);
+  return 2;
+}
+
+/// Directory holding the bench binaries: --bench-dir if given, else
+/// `<dir-of-arsc>/../bench` (the build-tree layout).
+std::string defaultBenchDir(const char *Argv0) {
+  std::string Self = Argv0 ? Argv0 : "";
+  size_t Slash = Self.rfind('/');
+  if (Slash == std::string::npos)
+    return "bench";
+  return Self.substr(0, Slash) + "/../bench";
+}
+
+int benchMain(int Argc, char **Argv) {
+  const char *Prog = Argv[0];
+  if (Argc >= 3 && std::strcmp(Argv[2], "compare") == 0) {
+    std::vector<std::string> Args;
+    for (int I = 3; I < Argc; ++I)
+      Args.push_back(Argv[I]);
+    return telemetry::runPerfGateCli(Args, "arsc bench compare");
+  }
+
+  bool Quick = false, List = false;
+  int ScalePct = 100, Jobs = 1, Reps = 5;
+  std::string BenchDir = defaultBenchDir(Prog);
+  std::string OutDir = "bench-out";
+  std::string Sha = telemetry::gitSha();
+  std::string Only;
+  for (int I = 2; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "--quick") == 0) {
+      Quick = true;
+      ScalePct = 15;
+    } else if (std::strncmp(Arg, "--scale=", 8) == 0) {
+      ScalePct = std::atoi(Arg + 8);
+      if (ScalePct < 1)
+        ScalePct = 1;
+    } else if (std::strncmp(Arg, "--jobs=", 7) == 0) {
+      Jobs = std::atoi(Arg + 7);
+      if (Jobs < 1)
+        Jobs = 1;
+    } else if (std::strncmp(Arg, "--reps=", 7) == 0) {
+      Reps = std::atoi(Arg + 7);
+      if (Reps < 2)
+        Reps = 2;
+    } else if (std::strncmp(Arg, "--bench-dir=", 12) == 0) {
+      BenchDir = Arg + 12;
+    } else if (std::strncmp(Arg, "--out-dir=", 10) == 0) {
+      OutDir = Arg + 10;
+    } else if (std::strncmp(Arg, "--sha=", 6) == 0) {
+      Sha = Arg + 6;
+    } else if (std::strncmp(Arg, "--only=", 7) == 0) {
+      Only = Arg + 7;
+    } else if (std::strcmp(Arg, "--list") == 0) {
+      List = true;
+    } else {
+      std::fprintf(stderr, "%s bench: unknown argument '%s'\n", Prog, Arg);
+      return benchUsage(Prog);
+    }
+  }
+
+  std::string Error;
+  std::vector<telemetry::BenchBinary> Benches =
+      telemetry::discoverBenches(BenchDir, &Error);
+  if (!Error.empty()) {
+    std::fprintf(stderr, "%s bench: %s\n", Prog, Error.c_str());
+    return 2;
+  }
+  if (!Only.empty()) {
+    std::vector<telemetry::BenchBinary> Filtered;
+    for (telemetry::BenchBinary &B : Benches)
+      if (B.Name.find(Only) != std::string::npos)
+        Filtered.push_back(std::move(B));
+    Benches = std::move(Filtered);
+  }
+  if (Benches.empty()) {
+    std::fprintf(stderr, "%s bench: no bench binaries in %s%s\n", Prog,
+                 BenchDir.c_str(),
+                 Only.empty() ? "" : (" matching '" + Only + "'").c_str());
+    return 2;
+  }
+  if (List) {
+    for (const telemetry::BenchBinary &B : Benches)
+      std::printf("%-24s %s\n", B.Name.c_str(), B.Path.c_str());
+    return 0;
+  }
+
+  if (::mkdir(OutDir.c_str(), 0775) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "%s bench: cannot create %s: %s\n", Prog,
+                 OutDir.c_str(), std::strerror(errno));
+    return 2;
+  }
+
+  // Run the matrix sequentially — each bench fans its own cells out over
+  // --jobs workers through the ParallelRunner, so running two benches at
+  // once would just oversubscribe the machine and inflate host timings.
+  std::vector<telemetry::BenchReport> Reports;
+  int Failures = 0;
+  for (const telemetry::BenchBinary &B : Benches) {
+    std::string JsonPath = OutDir + "/" + B.Name + ".json";
+    std::string Cmd = "'" + B.Path + "'" +
+                      (Quick ? " --quick" : " --scale=" +
+                                                std::to_string(ScalePct)) +
+                      " --jobs=" + std::to_string(Jobs) +
+                      " --reps=" + std::to_string(Reps) + " --json='" +
+                      JsonPath + "'";
+    std::printf("=== [%s] %s\n", B.Name.c_str(), Cmd.c_str());
+    std::fflush(stdout);
+    int Rc = std::system(Cmd.c_str());
+    int Exit = WIFEXITED(Rc) ? WEXITSTATUS(Rc) : 128;
+    if (Exit != 0) {
+      std::fprintf(stderr, "%s bench: %s exited with %d\n", Prog,
+                   B.Name.c_str(), Exit);
+      ++Failures;
+      continue;
+    }
+    std::string Text;
+    if (!readFile(JsonPath, &Text)) {
+      std::fprintf(stderr, "%s bench: %s produced no report at %s\n", Prog,
+                   B.Name.c_str(), JsonPath.c_str());
+      ++Failures;
+      continue;
+    }
+    telemetry::BenchReport Report;
+    if (!telemetry::BenchReport::fromJson(Text, &Report, &Error)) {
+      std::fprintf(stderr, "%s bench: %s: %s\n", Prog, JsonPath.c_str(),
+                   Error.c_str());
+      ++Failures;
+      continue;
+    }
+    Reports.push_back(std::move(Report));
+  }
+  if (Failures != 0) {
+    std::fprintf(stderr, "%s bench: %d bench(es) failed; not writing the "
+                         "suite report\n",
+                 Prog, Failures);
+    return 1;
+  }
+
+  telemetry::SuiteReport Suite;
+  if (!telemetry::mergeReports(Reports, Sha,
+                               telemetry::captureEnv(ScalePct, Jobs),
+                               &Suite, &Error)) {
+    std::fprintf(stderr, "%s bench: %s\n", Prog, Error.c_str());
+    return 1;
+  }
+  std::string SuitePath = OutDir + "/BENCH_" + Sha + ".json";
+  std::ofstream Out(SuitePath, std::ios::binary | std::ios::trunc);
+  Out << Suite.toJson();
+  Out.flush();
+  if (!Out) {
+    std::fprintf(stderr, "%s bench: cannot write %s\n", Prog,
+                 SuitePath.c_str());
+    return 1;
+  }
+  size_t Metrics = 0;
+  for (const auto &[Name, Report] : Suite.Benches)
+    Metrics += Report.metrics().size();
+  std::printf("\nwrote %s: %zu benches, %zu metrics (sha %s, scale %d%%, "
+              "jobs %d, reps %d)\n",
+              SuitePath.c_str(), Suite.Benches.size(), Metrics, Sha.c_str(),
+              ScalePct, Jobs, Reps);
+  return 0;
+}
+
 int versionMain() {
   std::printf("arsc — Arnold-Ryder instrumentation sampling framework\n");
   std::printf(".arsp profile format version : %u\n",
@@ -734,6 +929,8 @@ int main(int Argc, char **Argv) {
     return pushMain(Argc, Argv);
   if (Argc >= 2 && std::strcmp(Argv[1], "pull") == 0)
     return pullMain(Argc, Argv);
+  if (Argc >= 2 && std::strcmp(Argv[1], "bench") == 0)
+    return benchMain(Argc, Argv);
 
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, &Opts))

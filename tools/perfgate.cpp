@@ -1,0 +1,27 @@
+//===- tools/perfgate.cpp - Standalone perf-regression gate ---*- C++ -*-===//
+///
+/// \file
+/// Thin wrapper over telemetry::runPerfGateCli so CI can diff two bench
+/// suite documents without going through `arsc bench compare`:
+///
+///   perfgate <baseline.json> <current.json> [--mad-k=<f>]
+///            [--rel-floor=<pct>] [--host-rel-floor=<pct>] [--gate-host]
+///            [--verbose]
+///
+/// Exit 0 on pass, 1 on regression (or lost metric coverage), 2 on
+/// usage or load errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/PerfGate.h"
+
+#include <string>
+#include <vector>
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Args;
+  for (int I = 1; I < Argc; ++I)
+    Args.push_back(Argv[I]);
+  return ars::telemetry::runPerfGateCli(Args, Argv[0] ? Argv[0]
+                                                      : "perfgate");
+}
