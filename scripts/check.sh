@@ -53,14 +53,19 @@ if [[ "$TSAN" == 1 ]]; then
   # collection service (concurrent pushers, server lifecycle, loopback
   # transport).
   build-tsan/tests/ars_tests \
-    --gtest_filter='ThreadPool.*:TransformCache.*:ParallelRunner.*:ProfileAggregator.*:ProfServe*:Sampling.*:AllWorkloads/*:Seeds/Property1RandomTest.*'
+    --gtest_filter='ThreadPool.*:TransformCache.*:ParallelRunner.*:ProfileAggregator.*:ProfServe*:FaultInject*:Chaos.*:Sampling.*:AllWorkloads/*:Seeds/Property1RandomTest.*'
   exit 0
 fi
 
 if [[ "$ASAN" == 1 ]]; then
   cmake -B build-asan -G Ninja -DARS_SANITIZE=address
   cmake --build build-asan --target ars_tests
+  cmake --build build-asan --target arsc
   build-asan/tests/ars_tests
+  # The seeded chaos sweep under ASan: injected bit flips, torn writes,
+  # and mid-frame drops must never turn into an out-of-bounds read while
+  # the server decodes what survived.
+  build-asan/tools/arsc chaos --fault-seed-sweep=32 --quick
   exit 0
 fi
 
@@ -75,6 +80,11 @@ fi
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
+
+# Seeded chaos sweep: the collection stack under fault injection must
+# merge byte-identically to the fault-free serial fold for every seed,
+# and every seed must replay the exact same fault trace.
+build/tools/arsc chaos --fault-seed-sweep=32 --quick
 
 # The bench matrix runs through `arsc bench`: it discovers every
 # build/bench/bench_* binary, fans each bench's matrix cells out across

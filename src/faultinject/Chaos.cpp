@@ -1,0 +1,323 @@
+//===- faultinject/Chaos.cpp ----------------------------------*- C++ -*-===//
+
+#include "faultinject/Chaos.h"
+
+#include "profserve/Client.h"
+#include "profserve/Server.h"
+#include "profstore/ProfileIO.h"
+#include "profstore/ProfileStore.h"
+#include "support/Support.h"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace ars {
+namespace faultinject {
+
+using profserve::ClientConfig;
+using profserve::ClientResult;
+using profserve::LoopbackListener;
+using profserve::ProfileClient;
+using profserve::ProfileServer;
+using profserve::ServerConfig;
+
+namespace {
+
+/// Every chaos run pins the same module fingerprint so shards, pulls,
+/// snapshots and recovery all validate against it.
+constexpr uint64_t ChaosFingerprint = 0xC4A05F00D5EED001ULL;
+
+/// Shard \p Seed: distinct counts in every section, so the merged sum is
+/// sensitive to any lost or doubled shard.
+profile::ProfileBundle chaosShard(int Seed) {
+  profile::ProfileBundle B;
+  profile::CallEdgeKey K;
+  K.Caller = Seed % 5;
+  K.Site = Seed % 3;
+  K.Callee = (Seed + 1) % 7;
+  B.CallEdges.record(K, static_cast<uint64_t>(Seed) * 37 + 1);
+  B.FieldAccesses.record(Seed % 4, static_cast<uint64_t>(Seed) + 2);
+  B.BlockCounts.record(1, Seed % 6, static_cast<uint64_t>(Seed) * 11 + 3);
+  B.Values.record(9, Seed % 8, static_cast<uint64_t>(Seed) + 5);
+  B.Edges.record(0, Seed % 2, (Seed + 1) % 2,
+                 static_cast<uint64_t>(Seed) + 7);
+  B.Paths.record(2, Seed * 1000003LL, static_cast<uint64_t>(Seed) + 9);
+  return B;
+}
+
+/// The fault-free serial reference: encodeBundle of the plain fold of
+/// shards [0, Shards).  Everything the chaos run produces must be
+/// byte-identical to this.
+std::string serialFoldBytes(int Shards) {
+  profile::ProfileBundle Acc;
+  for (int I = 0; I != Shards; ++I)
+    profstore::mergeBundle(Acc, chaosShard(I));
+  return profstore::encodeBundle(Acc, ChaosFingerprint);
+}
+
+void removeQuiet(const std::string &Path) { std::remove(Path.c_str()); }
+
+bool readFileBytes(const std::string &Path, std::string *Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Out->assign(std::istreambuf_iterator<char>(In),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+} // namespace
+
+ChaosReport runChaos(const ChaosConfig &C) {
+  ChaosReport R;
+  R.ExpectedShards =
+      static_cast<uint64_t>(C.Clients) * C.ShardsPerClient;
+  auto fail = [&R](std::string Why) {
+    R.Ok = false;
+    if (R.Error.empty())
+      R.Error = std::move(Why);
+    return R;
+  };
+  if (C.WorkDir.empty())
+    return fail("chaos: WorkDir is required");
+  if (C.Clients < 1 || C.ShardsPerClient < 1)
+    return fail("chaos: need at least one client and one shard");
+
+  const std::string Snap = C.WorkDir + "/chaos-snapshot.arsp";
+  removeQuiet(Snap);
+  removeQuiet(Snap + ".prev");
+  removeQuiet(Snap + ".tmp");
+  std::vector<std::string> SpillPaths;
+  for (int I = 0; I != C.Clients; ++I) {
+    SpillPaths.push_back(
+        support::formatString("%s/chaos-spill-%d.bin", C.WorkDir.c_str(),
+                              I));
+    removeQuiet(SpillPaths.back());
+  }
+
+  const std::string Expected =
+      serialFoldBytes(static_cast<int>(R.ExpectedShards));
+
+  ServerConfig SC;
+  SC.Fingerprint = ChaosFingerprint;
+  SC.SnapshotPath = Snap;
+  SC.SnapshotIntervalMs = 0; // snapshot faults run in a sequential phase
+  SC.Workers = C.ServerWorkers;
+  // No shedding during the determinism check: every push must land, and
+  // whether a push races into an admission bound depends on scheduling.
+  SC.MaxPendingConnections = 0;
+  SC.MaxActivePushes = 0;
+  SC.RecoverOnStart = false; // the run starts from an empty aggregate
+  // The whole run is over an in-memory loopback, so nothing legitimate
+  // waits more than a few ms (LatencyMaxMs).  The timeout still has to
+  // be generous relative to that, but not wall-clock generous: a bit
+  // flip landing in a frame's length header strands the reader waiting
+  // for payload bytes that never come, and recovery (both sides time
+  // out, the client reconnects and resends) costs exactly this long.
+  SC.RecvTimeoutMs = 500;
+  auto *L = new LoopbackListener();
+  ProfileServer Server(std::unique_ptr<profserve::Listener>(L), SC);
+  Server.start();
+
+  // One fault stream per client, created up front in client order so the
+  // concatenated trace has a deterministic layout.
+  std::vector<std::shared_ptr<FaultStream>> Streams;
+  for (int I = 0; I != C.Clients; ++I)
+    Streams.push_back(std::make_shared<FaultStream>(
+        C.Plan, C.FaultSeed, static_cast<uint64_t>(1000 + I),
+        support::formatString("client%d", I)));
+
+  std::vector<std::string> Errs(C.Clients);
+  std::vector<uint64_t> Spills(C.Clients, 0);
+  std::vector<std::thread> Threads;
+  for (int I = 0; I != C.Clients; ++I) {
+    Threads.emplace_back([&, I] {
+      ClientConfig CC;
+      CC.TimeoutMs = 500; // matches RecvTimeoutMs: see the note above
+      CC.MaxRetries = C.PushRetries;
+      CC.BackoffMs = 1; // keep chaos runs fast; jitter still exercised
+      CC.Fingerprint = ChaosFingerprint;
+      CC.SessionId = static_cast<uint64_t>(1000 + I);
+      CC.BreakerThreshold = 6;
+      CC.BreakerCooldownOps = 2; // deterministic, wall-clock-free
+      CC.SpillPath = SpillPaths[I];
+      ProfileClient Client(
+          faultyDialer(loopbackDialer(*L), Streams[I]), CC);
+      for (int J = 0; J != C.ShardsPerClient; ++J) {
+        int Global = I * C.ShardsPerClient + J;
+        ClientResult PR =
+            Client.push(chaosShard(Global), ChaosFingerprint);
+        if (PR.Spilled)
+          ++Spills[I];
+        else if (!PR.Ok) {
+          Errs[I] = support::formatString("client %d shard %d: %s", I,
+                                          Global, PR.Error.c_str());
+          return;
+        }
+      }
+      // Replay whatever spilled.  The fault budget means the stream goes
+      // clean, so a bounded number of rounds always drains the file.
+      for (int Round = 0; Round != 16 && Client.spillCount(); ++Round)
+        Client.replaySpill();
+      if (size_t Left = Client.spillCount())
+        Errs[I] = support::formatString(
+            "client %d: %zu shards still spilled after replay", I, Left);
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  for (const std::string &E : Errs)
+    if (!E.empty())
+      return fail(E);
+  for (uint64_t S : Spills)
+    R.Spills += S;
+
+  // The payoff check: pull through a clean client and compare bytes.
+  {
+    ClientConfig CC;
+    CC.Fingerprint = ChaosFingerprint;
+    ProfileClient Clean(loopbackDialer(*L), CC);
+    ProfileClient::PullResult P = Clean.pull();
+    if (!P.Ok)
+      return fail("chaos pull failed: " + P.Error);
+    if (P.RawBytes != Expected)
+      return fail(support::formatString(
+          "merged bundle differs from the fault-free serial fold "
+          "(%zu vs %zu bytes)",
+          P.RawBytes.size(), Expected.size()));
+  }
+  profserve::StatsMsg Stats = Server.stats();
+  R.Merges = Stats.Merges;
+  R.Duplicates = Stats.Duplicates;
+  if (Stats.Merges != R.ExpectedShards)
+    return fail(support::formatString(
+        "server merged %llu shards, expected exactly %llu",
+        static_cast<unsigned long long>(Stats.Merges),
+        static_cast<unsigned long long>(R.ExpectedShards)));
+
+  // Snapshot phase, sequential: two clean snapshots establish main and
+  // ".prev", then faulted attempts may fail but must never leave us
+  // without SOME loadable snapshot, then a clean save must restore the
+  // exact expected bytes.
+  std::string SnapErr;
+  if (!Server.snapshotNow(&SnapErr) || !Server.snapshotNow(&SnapErr))
+    return fail("clean snapshot failed: " + SnapErr);
+  auto snapValid = [&Snap] {
+    return profstore::loadBundle(Snap, ChaosFingerprint).Ok ||
+           profstore::loadBundle(Snap + ".prev", ChaosFingerprint).Ok;
+  };
+  std::shared_ptr<FaultStream> FileStream;
+  if (C.FileFaults) {
+    FileStream = std::make_shared<FaultStream>(C.Plan, C.FaultSeed,
+                                               0xF11EULL, "file");
+    FaultyFile Guard(FileStream);
+    for (int Attempt = 0; Attempt != 3; ++Attempt) {
+      Server.snapshotNow(&SnapErr); // failure is the point; ignore it
+      if (!snapValid())
+        return fail(support::formatString(
+            "faulted snapshot attempt %d left no loadable snapshot "
+            "(main or .prev)",
+            Attempt));
+    }
+  }
+  if (!Server.snapshotNow(&SnapErr))
+    return fail("post-fault clean snapshot failed: " + SnapErr);
+  std::string OnDisk;
+  if (!readFileBytes(Snap, &OnDisk))
+    return fail("cannot read final snapshot " + Snap);
+  if (OnDisk != Expected)
+    return fail("final snapshot differs from the fault-free fold");
+
+  Server.stop(); // writes one more clean snapshot; main stays Expected
+
+  if (C.CheckRecovery) {
+    // Tear the main snapshot as a crash mid-write would, and demand the
+    // restarted collector come back with the full merged profile via the
+    // ".prev" fallback.
+    {
+      std::ofstream Out(Snap, std::ios::binary | std::ios::trunc);
+      Out.write(Expected.data(),
+                static_cast<std::streamsize>(Expected.size() / 2));
+    }
+    ServerConfig RC = SC;
+    RC.RecoverOnStart = true;
+    ProfileServer Recovered(
+        std::unique_ptr<profserve::Listener>(new LoopbackListener()),
+        RC);
+    Recovered.start();
+    std::string Back = profstore::encodeBundle(Recovered.merged(),
+                                               ChaosFingerprint);
+    uint64_t RecCount = Recovered.stats().Recovered;
+    Recovered.stop();
+    if (RecCount != 1)
+      return fail(support::formatString(
+          "restart recovered %llu snapshots, expected 1",
+          static_cast<unsigned long long>(RecCount)));
+    if (Back != Expected)
+      return fail("recovered state differs from the fault-free fold");
+  }
+
+  for (const auto &S : Streams) {
+    R.Trace += S->trace();
+    R.FaultsInjected += S->faultsInjected();
+  }
+  if (FileStream) {
+    R.Trace += FileStream->trace();
+    R.FaultsInjected += FileStream->faultsInjected();
+  }
+  R.Ok = true;
+  return R;
+}
+
+bool chaosSweep(const ChaosConfig &Base, uint64_t Seeds, bool Verbose) {
+  bool AllOk = true;
+  for (uint64_t Seed = 0; Seed != Seeds; ++Seed) {
+    ChaosConfig C = Base;
+    C.FaultSeed = Seed;
+    ChaosReport First = runChaos(C);
+    if (!First.Ok) {
+      std::fprintf(stderr, "chaos seed %llu FAILED: %s\n",
+                   static_cast<unsigned long long>(Seed),
+                   First.Error.c_str());
+      AllOk = false;
+      continue;
+    }
+    ChaosReport Second = runChaos(C); // the replay must be identical
+    if (!Second.Ok) {
+      std::fprintf(stderr, "chaos seed %llu replay FAILED: %s\n",
+                   static_cast<unsigned long long>(Seed),
+                   Second.Error.c_str());
+      AllOk = false;
+      continue;
+    }
+    if (First.Trace != Second.Trace || First.Merges != Second.Merges ||
+        First.Duplicates != Second.Duplicates) {
+      std::fprintf(stderr,
+                   "chaos seed %llu NOT deterministic: traces %zu vs "
+                   "%zu bytes, merges %llu vs %llu, dups %llu vs %llu\n",
+                   static_cast<unsigned long long>(Seed),
+                   First.Trace.size(), Second.Trace.size(),
+                   static_cast<unsigned long long>(First.Merges),
+                   static_cast<unsigned long long>(Second.Merges),
+                   static_cast<unsigned long long>(First.Duplicates),
+                   static_cast<unsigned long long>(Second.Duplicates));
+      AllOk = false;
+      continue;
+    }
+    if (Verbose)
+      std::printf("chaos seed %llu ok: %llu merges, %llu faults, "
+                  "%llu dups, %llu spills\n",
+                  static_cast<unsigned long long>(Seed),
+                  static_cast<unsigned long long>(First.Merges),
+                  static_cast<unsigned long long>(First.FaultsInjected),
+                  static_cast<unsigned long long>(First.Duplicates),
+                  static_cast<unsigned long long>(First.Spills));
+  }
+  return AllOk;
+}
+
+} // namespace faultinject
+} // namespace ars

@@ -1,0 +1,69 @@
+//===- faultinject/Chaos.h - Seeded chaos runs over the stack ---*- C++ -*-===//
+///
+/// \file
+/// The end-to-end chaos harness behind `arsc chaos` and
+/// tests/test_faultinject.cpp: N hardened clients push distinct shards at
+/// one collection server while a seeded FaultPlan drops connections,
+/// tears and corrupts frames, delays ops and breaks snapshot I/O — and
+/// the run still must end with the server's merged bundle BYTE-IDENTICAL
+/// to the fault-free serial mergeBundle fold of every shard.  Zero lost,
+/// zero double-merged: the exactly-once PUSH protocol, spill replay and
+/// crash-safe snapshots are exactly the mechanisms under test.
+///
+/// Every run also produces a fault trace (the concatenated per-stream
+/// traces, in client order).  runChaos with the same config is required
+/// to reproduce the identical trace — chaosSweep checks both properties
+/// for every seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_FAULTINJECT_CHAOS_H
+#define ARS_FAULTINJECT_CHAOS_H
+
+#include "faultinject/FaultInject.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ars {
+namespace faultinject {
+
+struct ChaosConfig {
+  int Clients = 6;          ///< concurrent pusher threads
+  int ShardsPerClient = 12; ///< distinct shards each client pushes
+  uint64_t FaultSeed = 0;   ///< the single seed the whole run replays from
+  FaultPlan Plan;
+  /// Scratch directory for spill files and snapshots (required; the run
+  /// removes its own files on entry so seeds don't contaminate each
+  /// other).
+  std::string WorkDir;
+  int ServerWorkers = 4;
+  int PushRetries = 4;    ///< client MaxRetries per push attempt round
+  bool FileFaults = true; ///< run the faulted-snapshot phase
+  bool CheckRecovery = true; ///< tear the snapshot, restart, re-verify
+};
+
+struct ChaosReport {
+  bool Ok = false;
+  std::string Error; ///< first violated invariant (empty when Ok)
+  std::string Trace; ///< concatenated fault traces, client order
+  uint64_t ExpectedShards = 0;
+  uint64_t Merges = 0;
+  uint64_t Duplicates = 0;
+  uint64_t Spills = 0;          ///< pushes that went through the spill file
+  uint64_t FaultsInjected = 0;
+};
+
+/// One seeded run; see the file comment for the invariants checked.
+ChaosReport runChaos(const ChaosConfig &C);
+
+/// Runs seeds [0, Seeds) twice each: the second run must reproduce the
+/// first's trace (replay determinism) and every run must match the
+/// fault-free fold.  Prints one summary line per seed to stdout when
+/// \p Verbose, failures to stderr always.  True when every seed passed.
+bool chaosSweep(const ChaosConfig &Base, uint64_t Seeds, bool Verbose);
+
+} // namespace faultinject
+} // namespace ars
+
+#endif // ARS_FAULTINJECT_CHAOS_H

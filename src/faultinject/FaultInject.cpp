@@ -1,0 +1,309 @@
+//===- faultinject/FaultInject.cpp ----------------------------*- C++ -*-===//
+
+#include "faultinject/FaultInject.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace ars {
+namespace faultinject {
+
+using profserve::IoResult;
+using profserve::IoStatus;
+
+const char *faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::None:           return "none";
+  case FaultKind::Drop:           return "drop";
+  case FaultKind::PartialWrite:   return "partial-write";
+  case FaultKind::BitFlip:        return "bit-flip";
+  case FaultKind::Latency:        return "latency";
+  case FaultKind::FileShortWrite: return "file-short-write";
+  case FaultKind::FileFsyncFail:  return "file-fsync-fail";
+  case FaultKind::FileRenameFail: return "file-rename-fail";
+  }
+  return "?";
+}
+
+namespace {
+
+/// splitmix-style mixer so (Seed, Key) pairs that differ in one bit land
+/// far apart in the PRNG's state space.
+uint64_t mixSeed(uint64_t Seed, uint64_t Key) {
+  uint64_t Z = Seed + 0x9E3779B97F4A7C15ULL * (Key + 1);
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+bool harmfulWire(FaultKind K) {
+  return K == FaultKind::Drop || K == FaultKind::PartialWrite ||
+         K == FaultKind::BitFlip;
+}
+
+} // namespace
+
+FaultStream::FaultStream(const FaultPlan &Plan, uint64_t Seed,
+                         uint64_t Key, std::string Label)
+    : Plan(Plan), Rng(mixSeed(Seed, Key)), Label(std::move(Label)) {}
+
+std::shared_ptr<FaultStream> FaultStream::scripted(
+    std::vector<FaultEvent> Script, std::string Label) {
+  auto S = std::make_shared<FaultStream>(FaultPlan(), 0, 0,
+                                         std::move(Label));
+  S->Scripted = true;
+  S->Script = std::move(Script);
+  return S;
+}
+
+FaultEvent FaultStream::scriptedAt(uint64_t Op) {
+  FaultEvent E;
+  E.Op = Op;
+  for (const FaultEvent &S : Script)
+    if (S.Op == Op) {
+      E.Kind = S.Kind;
+      E.Arg = S.Arg;
+      break;
+    }
+  return E;
+}
+
+void FaultStream::record(const FaultEvent &E) {
+  if (E.Kind == FaultKind::None)
+    return;
+  Events.push_back(E);
+  if (harmfulWire(E.Kind))
+    ++WireFaultCount;
+  else if (E.Kind != FaultKind::Latency)
+    ++FileFaultCount;
+}
+
+FaultEvent FaultStream::decideWire(bool IsWrite, size_t Size) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t Op = NextOp++;
+  if (Scripted) {
+    FaultEvent E = scriptedAt(Op);
+    record(E);
+    return E;
+  }
+  FaultEvent E;
+  E.Op = Op;
+  bool Exhausted = Plan.MaxFaults && WireFaultCount >= Plan.MaxFaults;
+  // One decision draw per op, budget or not, so the op->draw mapping is
+  // stable and the trace of a replay cannot diverge.
+  uint64_t Draw = Rng.nextBelow(100);
+  uint32_t Band = Plan.DropPct;
+  if (Draw < Band)
+    E.Kind = FaultKind::Drop;
+  else if (Draw < (Band += Plan.PartialWritePct))
+    // Reads cannot tear their own bytes; degrade to a plain drop so the
+    // fault density stays comparable for both directions.
+    E.Kind = IsWrite ? FaultKind::PartialWrite : FaultKind::Drop;
+  else if (Draw < (Band += Plan.BitFlipPct))
+    E.Kind = FaultKind::BitFlip;
+  else if (Draw < (Band += Plan.LatencyPct))
+    E.Kind = FaultKind::Latency;
+
+  if (Exhausted && harmfulWire(E.Kind))
+    E.Kind = FaultKind::None;
+
+  switch (E.Kind) {
+  case FaultKind::PartialWrite:
+    if (Size >= 2)
+      E.Arg = 1 + Rng.nextBelow(Size - 1); // a nonempty strict prefix
+    else
+      E.Kind = FaultKind::Drop; // nothing to tear; same observable
+    break;
+  case FaultKind::BitFlip:
+    // For writes the size is known; for reads the raw draw is reduced
+    // modulo the bytes actually delivered, later.
+    E.Arg = IsWrite && Size ? Rng.nextBelow(Size * 8) : Rng.next();
+    break;
+  case FaultKind::Latency:
+    E.Arg = Plan.LatencyMaxMs ? 1 + Rng.nextBelow(Plan.LatencyMaxMs) : 0;
+    if (!E.Arg)
+      E.Kind = FaultKind::None;
+    break;
+  default:
+    break;
+  }
+  record(E);
+  return E;
+}
+
+FaultEvent FaultStream::decideFile(FaultKind Kind, uint32_t Pct,
+                                   size_t Size) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t Op = NextOp++;
+  if (Scripted) {
+    FaultEvent E = scriptedAt(Op);
+    record(E);
+    return E;
+  }
+  FaultEvent E;
+  E.Op = Op;
+  bool Exhausted =
+      Plan.FileMaxFaults && FileFaultCount >= Plan.FileMaxFaults;
+  uint64_t Draw = Rng.nextBelow(100);
+  if (!Exhausted && Draw < Pct) {
+    E.Kind = Kind;
+    if (Kind == FaultKind::FileShortWrite)
+      E.Arg = Size ? Rng.nextBelow(Size) : 0; // strict prefix
+  }
+  record(E);
+  return E;
+}
+
+FaultEvent FaultStream::onWrite(size_t Size) {
+  return decideWire(true, Size);
+}
+
+FaultEvent FaultStream::onRead(size_t Max) {
+  return decideWire(false, Max);
+}
+
+FaultEvent FaultStream::onFileWrite(size_t Size) {
+  return decideFile(FaultKind::FileShortWrite, Plan.FileShortWritePct,
+                    Size);
+}
+
+FaultEvent FaultStream::onFileFsync() {
+  return decideFile(FaultKind::FileFsyncFail, Plan.FileFsyncFailPct, 0);
+}
+
+FaultEvent FaultStream::onFileRename() {
+  return decideFile(FaultKind::FileRenameFail, Plan.FileRenameFailPct, 0);
+}
+
+std::string FaultStream::trace() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out;
+  for (const FaultEvent &E : Events)
+    Out += support::formatString(
+        "%s op=%llu %s arg=%llu\n", Label.c_str(),
+        static_cast<unsigned long long>(E.Op), faultKindName(E.Kind),
+        static_cast<unsigned long long>(E.Arg));
+  return Out;
+}
+
+size_t FaultStream::faultsInjected() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events.size();
+}
+
+//===----------------------------------------------------------------------===//
+// FaultyTransport
+//===----------------------------------------------------------------------===//
+
+FaultyTransport::FaultyTransport(
+    std::unique_ptr<profserve::Transport> Inner,
+    std::shared_ptr<FaultStream> Faults)
+    : Inner(std::move(Inner)), Faults(std::move(Faults)) {}
+
+void FaultyTransport::close() { Inner->close(); }
+
+std::string FaultyTransport::peer() const {
+  return "faulty:" + Inner->peer();
+}
+
+IoResult FaultyTransport::writeAll(const char *Data, size_t Size) {
+  FaultEvent E = Faults->onWrite(Size);
+  switch (E.Kind) {
+  case FaultKind::Drop: {
+    // As if the peer vanished: both directions die at once.
+    Inner->close();
+    IoResult R;
+    R.Status = IoStatus::Error;
+    R.Message = "injected connection drop";
+    return R;
+  }
+  case FaultKind::PartialWrite: {
+    size_t N = std::min<size_t>(E.Arg, Size ? Size - 1 : 0);
+    if (N)
+      Inner->writeAll(Data, N); // the torn prefix reaches the peer
+    Inner->close();
+    IoResult R;
+    R.Status = IoStatus::Error;
+    R.Message = support::formatString(
+        "injected partial write (%zu of %zu bytes)", N, Size);
+    return R;
+  }
+  case FaultKind::BitFlip: {
+    std::string Copy(Data, Size);
+    size_t Bit = Size ? static_cast<size_t>(E.Arg % (Size * 8)) : 0;
+    if (Size)
+      Copy[Bit / 8] ^= static_cast<char>(1u << (Bit % 8));
+    return Inner->writeAll(Copy.data(), Copy.size());
+  }
+  case FaultKind::Latency:
+    std::this_thread::sleep_for(std::chrono::milliseconds(E.Arg));
+    return Inner->writeAll(Data, Size);
+  default:
+    return Inner->writeAll(Data, Size);
+  }
+}
+
+IoResult FaultyTransport::readSome(char *Data, size_t Max, int TimeoutMs,
+                                   size_t *Read) {
+  FaultEvent E = Faults->onRead(Max);
+  if (E.Kind == FaultKind::Drop) {
+    Inner->close();
+    if (Read)
+      *Read = 0;
+    IoResult R;
+    R.Status = IoStatus::Closed;
+    R.Message = "injected connection drop";
+    return R;
+  }
+  if (E.Kind == FaultKind::Latency)
+    std::this_thread::sleep_for(std::chrono::milliseconds(E.Arg));
+  IoResult R = Inner->readSome(Data, Max, TimeoutMs, Read);
+  if (E.Kind == FaultKind::BitFlip && R.ok() && Read && *Read) {
+    // Which byte the flip lands in depends on the raw draw only; any
+    // flipped bit inside a frame trips the same CRC check, so the
+    // client-observable outcome is identical regardless of chunking.
+    size_t Bit = static_cast<size_t>(E.Arg % (*Read * 8));
+    Data[Bit / 8] ^= static_cast<char>(1u << (Bit % 8));
+  }
+  return R;
+}
+
+profserve::Dialer faultyDialer(profserve::Dialer Inner,
+                               std::shared_ptr<FaultStream> Faults) {
+  return [Inner = std::move(Inner), Faults](std::string *Error)
+             -> std::unique_ptr<profserve::Transport> {
+    std::unique_ptr<profserve::Transport> T = Inner(Error);
+    if (!T)
+      return nullptr;
+    return std::make_unique<FaultyTransport>(std::move(T), Faults);
+  };
+}
+
+//===----------------------------------------------------------------------===//
+// FaultyFile
+//===----------------------------------------------------------------------===//
+
+FaultyFile::FaultyFile(std::shared_ptr<FaultStream> Faults)
+    : Faults(std::move(Faults)) {
+  std::shared_ptr<FaultStream> S = this->Faults;
+  Hooks.OnWrite = [S](const std::string &, size_t Bytes) -> size_t {
+    FaultEvent E = S->onFileWrite(Bytes);
+    if (E.Kind == FaultKind::FileShortWrite)
+      return std::min<size_t>(static_cast<size_t>(E.Arg),
+                              Bytes ? Bytes - 1 : 0);
+    return Bytes;
+  };
+  Hooks.OnFsync = [S](const std::string &) {
+    return S->onFileFsync().Kind != FaultKind::FileFsyncFail;
+  };
+  Hooks.OnRename = [S](const std::string &, const std::string &) {
+    return S->onFileRename().Kind != FaultKind::FileRenameFail;
+  };
+  profstore::setFileFaults(&Hooks);
+}
+
+FaultyFile::~FaultyFile() { profstore::setFileFaults(nullptr); }
+
+} // namespace faultinject
+} // namespace ars

@@ -1,0 +1,187 @@
+//===- faultinject/FaultInject.h - Deterministic fault injection -*- C++ -*-===//
+///
+/// \file
+/// A seeded, replayable fault-injection layer for the profile collection
+/// stack.  The paper's accuracy claims only hold if collection survives
+/// real-world failure without losing or doubling shards; this layer makes
+/// that testable by injecting the failures on purpose, deterministically:
+///
+///  * FaultStream — a per-client schedule of faults.  In seeded mode the
+///    decisions are drawn from Xorshift64(mix(fault-seed, client-key)),
+///    one decision per transport/file operation, so the entire fault
+///    trace is a pure function of the seed — replaying the same seed
+///    reproduces byte-identical traces.  In scripted mode an explicit
+///    (op index -> fault) list fires, for pinning down single scenarios
+///    ("drop the connection right after the PUSH write").
+///  * FaultyTransport — a Transport decorator that injects connection
+///    drops, partial writes, single-bit flips and latency.  Faults are
+///    injected on the CLIENT side only, so op indices never depend on
+///    server thread timing.
+///  * FaultyFile — an RAII guard installing profstore file-fault hooks
+///    (short write, failed fsync, failed rename) under snapshot I/O.
+///
+/// Determinism rules the chaos harness (Chaos.h) relies on:
+///  * one FaultStream per client thread, keyed by client id — streams
+///    never share a PRNG across threads;
+///  * a fault budget (MaxFaults) after which the stream goes clean, so
+///    every run terminates with all shards delivered;
+///  * latency is bounded and everything else is decided by op COUNT,
+///    never wall-clock, so the trace is schedule-independent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_FAULTINJECT_FAULTINJECT_H
+#define ARS_FAULTINJECT_FAULTINJECT_H
+
+#include "profserve/Client.h"
+#include "profserve/Transport.h"
+#include "profstore/ProfileIO.h"
+#include "support/Support.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ars {
+namespace faultinject {
+
+enum class FaultKind : uint8_t {
+  None = 0,
+  Drop,           ///< close the connection instead of performing the op
+  PartialWrite,   ///< deliver a prefix of the bytes, then close (torn frame)
+  BitFlip,        ///< flip one bit of the op's bytes (CRC must catch it)
+  Latency,        ///< delay the op by Arg ms, then perform it cleanly
+  FileShortWrite, ///< cut a file write short after Arg bytes
+  FileFsyncFail,  ///< fail an fsync
+  FileRenameFail, ///< fail (and skip) a rename
+};
+const char *faultKindName(FaultKind K);
+
+/// The seeded schedule: per-operation fault probabilities (percent) and
+/// budgets.  One plan is shared by every stream of a chaos run; the
+/// per-client divergence comes from the stream key, not the plan.
+struct FaultPlan {
+  // Wire faults, percent per transport operation (one writeAll or
+  // readSome through FaultyTransport).
+  uint32_t DropPct = 6;
+  uint32_t PartialWritePct = 6;
+  uint32_t BitFlipPct = 6;
+  uint32_t LatencyPct = 8;
+  uint32_t LatencyMaxMs = 3;
+  /// Harmful wire faults (drop/partial/flip) injected per stream before
+  /// it goes permanently clean.  The budget is what guarantees chaos
+  /// runs terminate with every shard delivered.  0 = unlimited.
+  uint32_t MaxFaults = 6;
+
+  // File faults, percent per file operation (write/fsync/rename in
+  // profstore::atomicSaveFile).
+  uint32_t FileShortWritePct = 30;
+  uint32_t FileFsyncFailPct = 15;
+  uint32_t FileRenameFailPct = 15;
+  uint32_t FileMaxFaults = 3;
+};
+
+/// One decided fault (or None) at one operation index.
+struct FaultEvent {
+  uint64_t Op = 0;
+  FaultKind Kind = FaultKind::None;
+  uint64_t Arg = 0; ///< prefix length / raw bit index / delay ms
+};
+
+/// A deterministic sequence of fault decisions.  Thread-safe (the server
+/// never touches it, but RAII file hooks may outlive a test's scope).
+class FaultStream {
+public:
+  /// Seeded mode: decisions drawn from a PRNG seeded by (Seed, Key).
+  FaultStream(const FaultPlan &Plan, uint64_t Seed, uint64_t Key,
+              std::string Label);
+
+  /// Scripted mode: exactly the given events fire, each at its Op index;
+  /// all other ops are clean.  Budgets/percentages do not apply.
+  static std::shared_ptr<FaultStream> scripted(
+      std::vector<FaultEvent> Script, std::string Label = "scripted");
+
+  /// Decide the fate of the next transport write of \p Size bytes.
+  FaultEvent onWrite(size_t Size);
+  /// Decide the fate of the next transport read (up to \p Max bytes).
+  /// PartialWrite never fires here; BitFlip's Arg is a raw draw reduced
+  /// modulo the bytes actually read.
+  FaultEvent onRead(size_t Max);
+
+  /// File-operation decisions (driven by FaultyFile's hooks).
+  FaultEvent onFileWrite(size_t Size);
+  FaultEvent onFileFsync();
+  FaultEvent onFileRename();
+
+  /// Every injected (non-None) event so far, one per line:
+  ///   "<label> op=<n> <kind> arg=<v>"
+  /// Replaying the same seed must reproduce this byte-identically.
+  std::string trace() const;
+  size_t faultsInjected() const;
+  const std::string &label() const { return Label; }
+
+private:
+  FaultEvent decideWire(bool IsWrite, size_t Size);
+  FaultEvent decideFile(FaultKind Kind, uint32_t Pct, size_t Size);
+  FaultEvent scriptedAt(uint64_t Op);
+  void record(const FaultEvent &E);
+
+  mutable std::mutex Mu;
+  FaultPlan Plan;
+  support::Xorshift64 Rng;
+  bool Scripted = false;
+  std::vector<FaultEvent> Script;
+  std::string Label;
+  uint64_t NextOp = 0;
+  uint32_t WireFaultCount = 0;
+  uint32_t FileFaultCount = 0;
+  std::vector<FaultEvent> Events;
+};
+
+/// Transport decorator injecting the stream's wire faults.  Drop and
+/// PartialWrite close the inner transport (both directions, as a dead
+/// TCP peer would appear); BitFlip corrupts exactly one bit and lets the
+/// frame CRC do its job; Latency sleeps then proceeds.
+class FaultyTransport : public profserve::Transport {
+public:
+  FaultyTransport(std::unique_ptr<profserve::Transport> Inner,
+                  std::shared_ptr<FaultStream> Faults);
+
+  profserve::IoResult writeAll(const char *Data, size_t Size) override;
+  profserve::IoResult readSome(char *Data, size_t Max, int TimeoutMs,
+                               size_t *Read) override;
+  void close() override;
+  std::string peer() const override;
+
+private:
+  std::unique_ptr<profserve::Transport> Inner;
+  std::shared_ptr<FaultStream> Faults;
+};
+
+/// Wraps \p Inner so every dialed connection is decorated with
+/// \p Faults.  One stream spans reconnects — the op counter keeps
+/// running, which is what makes "drop, reconnect, retry" replayable.
+profserve::Dialer faultyDialer(profserve::Dialer Inner,
+                               std::shared_ptr<FaultStream> Faults);
+
+/// RAII guard routing profstore::atomicSaveFile through \p Faults for
+/// its lifetime.  Process-wide: do not overlap two instances.
+class FaultyFile {
+public:
+  explicit FaultyFile(std::shared_ptr<FaultStream> Faults);
+  ~FaultyFile();
+
+  FaultyFile(const FaultyFile &) = delete;
+  FaultyFile &operator=(const FaultyFile &) = delete;
+
+private:
+  std::shared_ptr<FaultStream> Faults;
+  profstore::FileFaults Hooks;
+};
+
+} // namespace faultinject
+} // namespace ars
+
+#endif // ARS_FAULTINJECT_FAULTINJECT_H

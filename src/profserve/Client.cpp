@@ -3,17 +3,75 @@
 #include "profserve/Client.h"
 
 #include "profstore/ProfileIO.h"
+#include "support/Binary.h"
 #include "support/Support.h"
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace ars {
 namespace profserve {
 
+namespace {
+
+ClientResult serverError(ErrCode Code, std::string Message) {
+  ClientResult R;
+  R.Error = std::move(Message);
+  R.ServerReply = true;
+  R.Code = Code;
+  return R;
+}
+
+/// Spill records reuse the PUSH payload encoding (varint seq + shard),
+/// wrapped in a length prefix and CRC so a crash mid-append only costs
+/// the torn tail record, never the earlier ones.
+std::string encodeSpillRecord(uint64_t Seq, const std::string &ArspBytes) {
+  std::string Rec = encodePush(Seq, ArspBytes);
+  std::string Out;
+  support::appendFixed32(Out, static_cast<uint32_t>(Rec.size()));
+  Out.append(Rec);
+  support::appendFixed32(Out, support::crc32(Rec.data(), Rec.size()));
+  return Out;
+}
+
+/// Parses every intact spill record; stops (without failing) at a
+/// truncated or CRC-damaged tail.
+std::vector<std::pair<uint64_t, std::string>>
+parseSpill(const std::string &Bytes) {
+  std::vector<std::pair<uint64_t, std::string>> Out;
+  support::ByteReader R(Bytes);
+  while (R.remaining() >= 8) {
+    uint32_t Len = 0;
+    if (!R.readFixed32(&Len) ||
+        R.remaining() < static_cast<uint64_t>(Len) + 4)
+      break;
+    const char *Data = nullptr;
+    uint32_t Stored = 0;
+    if (!R.readBytes(&Data, Len) || !R.readFixed32(&Stored))
+      break;
+    if (support::crc32(Data, Len) != Stored)
+      break;
+    uint64_t Seq = 0;
+    std::string Arsp;
+    if (!decodePush(std::string(Data, Len), &Seq, &Arsp))
+      break;
+    Out.emplace_back(Seq, std::move(Arsp));
+  }
+  return Out;
+}
+
+} // namespace
+
 ProfileClient::ProfileClient(Dialer D, ClientConfig C)
-    : Dial(std::move(D)), Config(C) {}
+    : Dial(std::move(D)), Config(C),
+      Jitter(C.JitterSeed ? C.JitterSeed
+                          : C.SessionId * 0x9E3779B97F4A7C15ULL + 1) {}
 
 ProfileClient::~ProfileClient() { close(); }
 
@@ -31,7 +89,52 @@ void ProfileClient::backoff(int Attempt) {
   int64_t Ms = static_cast<int64_t>(Config.BackoffMs) << Attempt;
   if (Ms > 2000)
     Ms = 2000;
+  if (Config.BackoffJitterPct && Ms > 0) {
+    // ±Pct% seeded jitter: a fleet of clients that failed together (one
+    // server restart) must not retry in lockstep and re-overload it.
+    int64_t Span = Ms * 2 * Config.BackoffJitterPct / 100;
+    if (Span > 0)
+      Ms += static_cast<int64_t>(
+                Jitter.nextBelow(static_cast<uint64_t>(Span) + 1)) -
+            Span / 2;
+  }
+  if (Ms < 1)
+    Ms = 1;
   std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+bool ProfileClient::breakerAllows() {
+  if (!Config.BreakerThreshold || !BreakerIsOpen)
+    return true;
+  if (Config.BreakerCooldownOps > 0) {
+    // Deterministic cooldown: deny this many operations, then probe.
+    if (CooldownOpsLeft > 0) {
+      --CooldownOpsLeft;
+      return false;
+    }
+    return true; // half-open probe
+  }
+  auto Elapsed = std::chrono::steady_clock::now() - BreakerOpenedAt;
+  return Elapsed >= std::chrono::milliseconds(Config.BreakerCooldownMs);
+}
+
+void ProfileClient::recordFailure() {
+  if (!Config.BreakerThreshold)
+    return;
+  if (++ConsecutiveFailures >= Config.BreakerThreshold && !BreakerIsOpen) {
+    BreakerIsOpen = true;
+    CooldownOpsLeft = Config.BreakerCooldownOps;
+    BreakerOpenedAt = std::chrono::steady_clock::now();
+  } else if (BreakerIsOpen) {
+    // A failed half-open probe re-arms the cooldown.
+    CooldownOpsLeft = Config.BreakerCooldownOps;
+    BreakerOpenedAt = std::chrono::steady_clock::now();
+  }
+}
+
+void ProfileClient::recordSuccess() {
+  ConsecutiveFailures = 0;
+  BreakerIsOpen = false;
 }
 
 ClientResult ProfileClient::connect() {
@@ -53,6 +156,7 @@ ClientResult ProfileClient::connect() {
     Hello.Version = WireVersion;
     Hello.Fingerprint = Config.Fingerprint;
     Hello.ClientName = Config.Name;
+    Hello.SessionId = Config.SessionId;
     IoResult IO = writeFrame(*T, MsgType::Hello, encodeHello(Hello));
     if (!IO.ok()) {
       LastError = "HELLO write failed: " + IO.Message;
@@ -67,11 +171,17 @@ ClientResult ProfileClient::connect() {
       continue;
     }
     if (FR.F.Type == MsgType::Error) {
-      std::string Why;
-      decodeText(FR.F.Payload, &Why);
-      // A deliberate server rejection (version/fingerprint mismatch)
-      // will not improve on retry.
-      return {false, "server rejected handshake: " + Why};
+      ErrorMsg E;
+      if (!decodeError(FR.F.Payload, &E))
+        E.Text = "malformed ERROR payload";
+      T->close();
+      // Shedding and stream damage are transient; a deliberate server
+      // rejection (version/fingerprint) will not improve on retry.
+      if (E.Code == ErrCode::RetryAfter || E.Code == ErrCode::BadFrame) {
+        LastError = "server: " + E.Text;
+        continue;
+      }
+      return serverError(E.Code, "server rejected handshake: " + E.Text);
     }
     HelloAckMsg Ack;
     if (FR.F.Type != MsgType::HelloAck ||
@@ -108,10 +218,20 @@ ClientResult ProfileClient::exchange(MsgType ReqType,
                        " reply: " + FR.Error};
   }
   if (FR.F.Type == MsgType::Error) {
-    std::string Why;
-    decodeText(FR.F.Payload, &Why);
-    // The server replied coherently; the connection may still be usable.
-    return {false, "server: " + Why};
+    ErrorMsg E;
+    if (!decodeError(FR.F.Payload, &E)) {
+      Conn->close();
+      Conn.reset();
+      return {false, "malformed ERROR payload"};
+    }
+    // The server replied coherently.  After BAD_FRAME it closes its end
+    // (the stream desynchronized), so drop ours too; other codes leave
+    // the connection usable.
+    if (E.Code == ErrCode::BadFrame) {
+      Conn->close();
+      Conn.reset();
+    }
+    return serverError(E.Code, "server: " + E.Text);
   }
   if (FR.F.Type != WantReply) {
     Conn->close();
@@ -140,36 +260,187 @@ ClientResult ProfileClient::exchangeRetry(MsgType ReqType,
     Last = exchange(ReqType, ReqPayload, WantReply, Reply);
     if (Last.Ok)
       return Last;
-    // A coherent server-side ERROR ("server: ...") is a final answer,
-    // not a flaky transport; don't hammer the server with retries.
-    if (Last.Error.compare(0, 8, "server: ") == 0)
+    // A coherent server-side ERROR is a final answer — except shedding
+    // (RETRY_AFTER) and stream damage (BAD_FRAME), which a retry on a
+    // fresh attempt can cure.
+    if (Last.ServerReply && Last.Code != ErrCode::RetryAfter &&
+        Last.Code != ErrCode::BadFrame)
       return Last;
   }
   return Last;
 }
 
+ClientResult ProfileClient::pushSequenced(uint64_t Seq,
+                                          const std::string &ArspBytes) {
+  std::string Payload = encodePush(Seq, ArspBytes);
+  ClientResult Last;
+  for (int Attempt = 0; Attempt <= Config.MaxRetries; ++Attempt) {
+    if (Attempt)
+      backoff(Attempt - 1);
+    if (!breakerAllows()) {
+      Last = {false, "circuit breaker open"};
+      continue;
+    }
+    ClientResult C = connect();
+    if (!C.Ok) {
+      if (!C.ServerReply)
+        recordFailure();
+      Last = C;
+      if (C.ServerReply)
+        return Last; // deliberate handshake rejection: final
+      continue;
+    }
+    Frame Reply;
+    Last = exchange(MsgType::Push, Payload, MsgType::PushAck, &Reply);
+    if (Last.Ok) {
+      PushAckMsg Ack;
+      if (!decodePushAck(Reply.Payload, &Ack)) {
+        // Wire damage on the ack; the retry is safe — the server
+        // deduplicates this (session, seq).
+        if (Conn) {
+          Conn->close();
+          Conn.reset();
+        }
+        recordFailure();
+        Last = {false, "malformed PUSH_ACK"};
+        continue;
+      }
+      LastMerges = Ack.Merges;
+      if (Ack.Duplicate)
+        ++DupAcks;
+      recordSuccess();
+      return {true, ""};
+    }
+    if (Last.ServerReply) {
+      if (Last.Code == ErrCode::RetryAfter)
+        continue; // deliberate shedding: back off, not a breaker strike
+      if (Last.Code == ErrCode::BadFrame) {
+        recordFailure(); // corruption en route; reconnect and retry
+        continue;
+      }
+      return Last; // BAD_SHARD etc.: retrying identical bytes cannot help
+    }
+    recordFailure(); // transport-level failure; retry is dedup-safe
+  }
+  return Last;
+}
+
 ClientResult ProfileClient::pushEncoded(const std::string &ArspBytes) {
-  // Retries cover connection establishment only: once the PUSH frame
-  // starts onto the wire, a lost ack is indistinguishable from a lost
-  // request, and a blind resend could double-count the shard.
-  ClientResult C = connect();
-  if (!C.Ok)
-    return C;
-  Frame Reply;
-  ClientResult R =
-      exchange(MsgType::Push, ArspBytes, MsgType::PushAck, &Reply);
-  if (!R.Ok)
-    return R;
-  PushAckMsg Ack;
-  if (!decodePushAck(Reply.Payload, &Ack))
-    return {false, "malformed PUSH_ACK"};
-  LastMerges = Ack.Merges;
-  return {true, ""};
+  if (Config.SessionId == 0) {
+    // Legacy sessionless path: retries cover connection establishment
+    // only.  Once the PUSH frame starts onto the wire, a lost ack is
+    // indistinguishable from a lost request, and without sequence
+    // numbers a blind resend could double-count the shard.
+    ClientResult C = connect();
+    if (!C.Ok)
+      return C;
+    Frame Reply;
+    ClientResult R = exchange(MsgType::Push, encodePush(0, ArspBytes),
+                              MsgType::PushAck, &Reply);
+    if (!R.Ok)
+      return R;
+    PushAckMsg Ack;
+    if (!decodePushAck(Reply.Payload, &Ack))
+      return {false, "malformed PUSH_ACK"};
+    LastMerges = Ack.Merges;
+    return {true, ""};
+  }
+
+  uint64_t Seq = ++NextSeq;
+  ClientResult R = pushSequenced(Seq, ArspBytes);
+  if (!R.Ok && !Config.SpillPath.empty()) {
+    std::string SpillError;
+    if (appendSpill(Seq, ArspBytes, &SpillError)) {
+      R.Spilled = true;
+      R.Error += " (shard spilled for replay)";
+    } else {
+      R.Error += "; spill also failed: " + SpillError;
+    }
+  }
+  return R;
 }
 
 ClientResult ProfileClient::push(const profile::ProfileBundle &B,
                                  uint64_t Fingerprint) {
   return pushEncoded(profstore::encodeBundle(B, Fingerprint));
+}
+
+bool ProfileClient::appendSpill(uint64_t Seq, const std::string &ArspBytes,
+                                std::string *Error) {
+  std::string Rec = encodeSpillRecord(Seq, ArspBytes);
+  std::ofstream Out(Config.SpillPath,
+                    std::ios::binary | std::ios::app);
+  if (!Out ||
+      !Out.write(Rec.data(), static_cast<std::streamsize>(Rec.size())) ||
+      !Out.flush()) {
+    if (Error)
+      *Error = "cannot append to " + Config.SpillPath;
+    return false;
+  }
+  return true;
+}
+
+size_t ProfileClient::spillCount() const {
+  if (Config.SpillPath.empty())
+    return 0;
+  std::ifstream In(Config.SpillPath, std::ios::binary);
+  if (!In)
+    return 0;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return parseSpill(Buffer.str()).size();
+}
+
+ClientResult ProfileClient::replaySpill() {
+  if (Config.SpillPath.empty() || Config.SessionId == 0)
+    return {true, ""};
+  std::string Bytes;
+  {
+    std::ifstream In(Config.SpillPath, std::ios::binary);
+    if (!In)
+      return {true, ""}; // nothing spilled
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Bytes = Buffer.str();
+  }
+  std::vector<std::pair<uint64_t, std::string>> Records =
+      parseSpill(Bytes);
+  // Sequence numbers must stay unique within the session even if more
+  // pushes follow the replay.
+  for (const auto &[Seq, Arsp] : Records)
+    if (Seq > NextSeq)
+      NextSeq = Seq;
+  std::vector<std::pair<uint64_t, std::string>> Left;
+  std::string LastError;
+  for (auto &[Seq, Arsp] : Records) {
+    ClientResult R = pushSequenced(Seq, Arsp);
+    if (!R.Ok) {
+      LastError = R.Error;
+      Left.emplace_back(Seq, std::move(Arsp));
+    }
+  }
+  if (Left.empty()) {
+    std::remove(Config.SpillPath.c_str());
+    return {true, ""};
+  }
+  // Rewrite the file with only the survivors (atomically, so a crash
+  // mid-rewrite cannot lose them).
+  std::string Out;
+  for (const auto &[Seq, Arsp] : Left)
+    Out += encodeSpillRecord(Seq, Arsp);
+  std::string SaveError;
+  if (!profstore::atomicSaveFile(Config.SpillPath, Out, &SaveError)) {
+    ClientResult R;
+    R.Error = "cannot rewrite spill file: " + SaveError;
+    R.Spilled = true;
+    return R;
+  }
+  ClientResult R;
+  R.Error = support::formatString(
+      "%zu spilled shards still unpushed: %s", Left.size(),
+      LastError.c_str());
+  R.Spilled = true;
+  return R;
 }
 
 ProfileClient::PullResult ProfileClient::pull() {

@@ -7,20 +7,38 @@
 /// writing a file.
 ///
 /// The client dials through a caller-supplied Dialer (a factory of
-/// Transports), so the same code drives TCP and the in-memory loopback.
-/// Connection establishment (dial + HELLO/HELLO_ACK) retries with
-/// bounded exponential backoff; every request runs under a deadline.
+/// Transports), so the same code drives TCP, the in-memory loopback, and
+/// the fault-injecting decorator (src/faultinject).  Connection
+/// establishment (dial + HELLO/HELLO_ACK) retries with bounded
+/// exponential backoff plus ±BackoffJitterPct seeded jitter, so a fleet
+/// of clients recovering from one server restart does not retry in
+/// lockstep; every request runs under a deadline.
 ///
 /// Retry semantics by operation:
 ///
 ///  * connect / pull / stats / snapshot-request — idempotent, retried up
 ///    to MaxRetries times (reconnecting as needed).
-///  * push — retried only while establishing the connection.  Once the
-///    PUSH frame has started onto the wire a failure is REPORTED, never
-///    blindly retried: the server may have merged the shard before the
-///    ack was lost, and a resend would double-count it.  Callers that
-///    need at-least-once semantics re-push explicitly and accept the
-///    skew (the profile algebra tolerates it; exactness does not).
+///  * push with SessionId == 0 (legacy) — retried only while
+///    establishing the connection.  Once the PUSH frame has started onto
+///    the wire a failure is REPORTED, never blindly retried: the server
+///    may have merged the shard before the ack was lost, and a resend
+///    would double-count it.
+///  * push with SessionId != 0 — exactly-once: every shard gets a fresh
+///    per-session sequence number, and the server deduplicates retried
+///    (session, seq) pairs, so a push whose ack was lost mid-wire IS
+///    retried and merges exactly once.  A server ERROR(RETRY_AFTER)
+///    (load shedding) is also retried after backoff.
+///
+/// Failure containment:
+///
+///  * Circuit breaker — after BreakerThreshold consecutive transport
+///    failures the client stops dialing for a cooldown (wall-clock ms,
+///    or a deterministic count of skipped operations for replayable
+///    tests), then probes again half-open.  0 disables it.
+///  * Spill file — a sequenced push that exhausts its retries (or hits
+///    an open breaker) is appended to SpillPath with its sequence number
+///    and replayed by replaySpill() on reconnect; the server's dedup
+///    makes the replay safe even when the original push half-landed.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,7 +48,9 @@
 #include "profserve/Protocol.h"
 #include "profserve/Transport.h"
 #include "profile/Profiles.h"
+#include "support/Support.h"
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <string>
@@ -46,16 +66,40 @@ struct ClientConfig {
   int TimeoutMs = 5000;   ///< per-request deadline (dial, write, reply)
   int MaxRetries = 3;     ///< additional attempts after the first failure
   int BackoffMs = 50;     ///< first retry delay; doubles per retry
+  /// Seeded jitter applied to every backoff sleep: the delay is drawn
+  /// uniformly from ±this percent around the exponential value.  0 =
+  /// lockstep (deterministic timing for tests that need it).
+  uint32_t BackoffJitterPct = 25;
+  /// Seed for the jitter PRNG; 0 derives one from SessionId so distinct
+  /// clients jitter differently by default.
+  uint64_t JitterSeed = 0;
   std::string Name = "arsc"; ///< diagnostic label sent in HELLO
   /// Module fingerprint announced in HELLO (0 = none).  The server
   /// rejects the handshake if it is pinned to a different module.
   uint64_t Fingerprint = 0;
+  /// Client-chosen session id announced in HELLO; nonzero enables
+  /// sequenced, exactly-once pushes (see file comment).  Must be stable
+  /// across reconnects of the same logical pusher.
+  uint64_t SessionId = 0;
+  /// Consecutive transport failures that open the circuit breaker
+  /// (0 = breaker disabled).
+  int BreakerThreshold = 0;
+  /// Wall-clock cooldown before a half-open probe.
+  int BreakerCooldownMs = 1000;
+  /// When nonzero, the cooldown is instead this many DENIED operations —
+  /// a deterministic, wall-clock-free policy for replayable chaos tests.
+  int BreakerCooldownOps = 0;
+  /// Where unpushable sequenced shards spill (empty = spilling off).
+  std::string SpillPath;
   size_t MaxFramePayload = DefaultMaxFramePayload;
 };
 
 struct ClientResult {
   bool Ok = false;
   std::string Error;
+  bool Spilled = false;     ///< the shard was saved to SpillPath
+  bool ServerReply = false; ///< Error came from a coherent server ERROR
+  ErrCode Code = ErrCode::Generic; ///< valid when ServerReply
 };
 
 class ProfileClient {
@@ -72,11 +116,22 @@ public:
   /// retry/backoff).  The other operations call this implicitly.
   ClientResult connect();
 
-  /// Uploads one already-encoded .arsp shard (see retry caveat above).
+  /// Uploads one already-encoded .arsp shard (see retry semantics in the
+  /// file comment; exactly-once when SessionId != 0).
   ClientResult pushEncoded(const std::string &ArspBytes);
 
   /// encodeBundle + pushEncoded.
   ClientResult push(const profile::ProfileBundle &B, uint64_t Fingerprint);
+
+  /// Re-pushes every shard in SpillPath (with its original sequence
+  /// number, so server-side dedup applies), rewriting the file with
+  /// whatever still cannot be pushed.  Ok when the spill is empty after
+  /// the pass.  No-op (Ok) when spilling is not configured.
+  ClientResult replaySpill();
+
+  /// Parses SpillPath and returns the number of spilled shards (0 when
+  /// missing/unconfigured; corrupt tail records are not counted).
+  size_t spillCount() const;
 
   struct PullResult {
     bool Ok = false;
@@ -108,6 +163,12 @@ public:
   /// Dial attempts made (for tests asserting the backoff path).
   int dialAttempts() const { return DialAttempts; }
 
+  /// PUSH_ACKs that reported Duplicate — retries the server deduplicated.
+  uint64_t duplicateAcks() const { return DupAcks; }
+
+  /// Whether the circuit breaker is currently open.
+  bool breakerOpen() const { return BreakerIsOpen; }
+
   void close();
 
 private:
@@ -118,14 +179,30 @@ private:
   ClientResult exchangeRetry(MsgType ReqType,
                              const std::string &ReqPayload,
                              MsgType WantReply, Frame *Reply);
+  /// The exactly-once retry loop for one sequenced shard.
+  ClientResult pushSequenced(uint64_t Seq, const std::string &ArspBytes);
+  bool appendSpill(uint64_t Seq, const std::string &ArspBytes,
+                   std::string *Error);
   void backoff(int Attempt);
+
+  // Circuit breaker bookkeeping.
+  bool breakerAllows();
+  void recordFailure();
+  void recordSuccess();
 
   Dialer Dial;
   ClientConfig Config;
   std::unique_ptr<Transport> Conn;
+  support::Xorshift64 Jitter;
   uint64_t LastMerges = 0;
   uint64_t ServerFingerprint = 0;
   int DialAttempts = 0;
+  uint64_t NextSeq = 0; ///< last assigned push sequence number
+  uint64_t DupAcks = 0;
+  int ConsecutiveFailures = 0;
+  bool BreakerIsOpen = false;
+  int CooldownOpsLeft = 0;
+  std::chrono::steady_clock::time_point BreakerOpenedAt;
 };
 
 /// Parses "host:port" (host may be empty = 127.0.0.1).  False on a

@@ -152,6 +152,7 @@ std::string encodeHello(const HelloMsg &M) {
   appendFixed64(Out, M.Fingerprint);
   appendVarint(Out, M.ClientName.size());
   Out.append(M.ClientName);
+  appendFixed64(Out, M.SessionId);
   return Out;
 }
 
@@ -160,7 +161,8 @@ bool decodeHello(const std::string &Payload, HelloMsg *Out) {
   uint64_t Version = 0;
   if (!R.readVarint(&Version) || Version > UINT32_MAX ||
       !R.readFixed64(&Out->Fingerprint) ||
-      !R.readLengthPrefixed(&Out->ClientName, MaxClientNameLen))
+      !R.readLengthPrefixed(&Out->ClientName, MaxClientNameLen) ||
+      !R.readFixed64(&Out->SessionId))
     return false;
   Out->Version = static_cast<uint32_t>(Version);
   return finish(R);
@@ -183,17 +185,41 @@ bool decodeHelloAck(const std::string &Payload, HelloAckMsg *Out) {
   return finish(R);
 }
 
+std::string encodePush(uint64_t Seq, const std::string &ArspBytes) {
+  std::string Out;
+  appendVarint(Out, Seq);
+  Out.append(ArspBytes);
+  return Out;
+}
+
+bool decodePush(const std::string &Payload, uint64_t *Seq,
+                std::string *ArspBytes) {
+  ByteReader R(Payload);
+  if (!R.readVarint(Seq))
+    return false;
+  // Everything after the sequence number is the shard, verbatim; its own
+  // magic/CRC validation happens in decodeBundle.
+  ArspBytes->assign(Payload, R.position(), std::string::npos);
+  return true;
+}
+
 std::string encodePushAck(const PushAckMsg &M) {
   std::string Out;
   appendVarint(Out, M.Merges);
   appendFixed64(Out, M.Fingerprint);
+  appendVarint(Out, M.Seq);
+  Out.push_back(M.Duplicate ? 1 : 0);
   return Out;
 }
 
 bool decodePushAck(const std::string &Payload, PushAckMsg *Out) {
   ByteReader R(Payload);
-  return R.readVarint(&Out->Merges) && R.readFixed64(&Out->Fingerprint) &&
-         finish(R);
+  const char *Flag = nullptr;
+  if (!R.readVarint(&Out->Merges) || !R.readFixed64(&Out->Fingerprint) ||
+      !R.readVarint(&Out->Seq) || !R.readBytes(&Flag, 1))
+    return false;
+  Out->Duplicate = *Flag != 0;
+  return finish(R);
 }
 
 std::string encodeStats(const StatsMsg &M) {
@@ -206,6 +232,9 @@ std::string encodeStats(const StatsMsg &M) {
   appendVarint(Out, M.Epochs);
   appendVarint(Out, M.Snapshots);
   appendVarint(Out, M.Pulls);
+  appendVarint(Out, M.Shed);
+  appendVarint(Out, M.Duplicates);
+  appendVarint(Out, M.Recovered);
   return Out;
 }
 
@@ -215,7 +244,40 @@ bool decodeStats(const std::string &Payload, StatsMsg *Out) {
          R.readVarint(&Out->Merges) && R.readVarint(&Out->Rejects) &&
          R.readVarint(&Out->ActiveConnections) &&
          R.readVarint(&Out->Epochs) && R.readVarint(&Out->Snapshots) &&
-         R.readVarint(&Out->Pulls) && finish(R);
+         R.readVarint(&Out->Pulls) && R.readVarint(&Out->Shed) &&
+         R.readVarint(&Out->Duplicates) && R.readVarint(&Out->Recovered) &&
+         finish(R);
+}
+
+const char *errCodeName(ErrCode C) {
+  switch (C) {
+  case ErrCode::Generic:      return "GENERIC";
+  case ErrCode::RetryAfter:   return "RETRY_AFTER";
+  case ErrCode::BadFrame:     return "BAD_FRAME";
+  case ErrCode::BadShard:     return "BAD_SHARD";
+  case ErrCode::BadHandshake: return "BAD_HANDSHAKE";
+  }
+  return "?";
+}
+
+std::string encodeError(ErrCode Code, const std::string &Text) {
+  std::string Out;
+  appendVarint(Out, static_cast<uint64_t>(Code));
+  size_t N = Text.size() < MaxTextLen ? Text.size() : MaxTextLen;
+  appendVarint(Out, N);
+  Out.append(Text, 0, N);
+  return Out;
+}
+
+bool decodeError(const std::string &Payload, ErrorMsg *Out) {
+  ByteReader R(Payload);
+  uint64_t Code = 0;
+  if (!R.readVarint(&Code) ||
+      Code > static_cast<uint64_t>(ErrCode::BadHandshake) ||
+      !R.readLengthPrefixed(&Out->Text, MaxTextLen))
+    return false;
+  Out->Code = static_cast<ErrCode>(Code);
+  return finish(R);
 }
 
 std::string encodeText(const std::string &Text) {

@@ -40,7 +40,10 @@ namespace profserve {
 
 /// Bumped on any incompatible wire change; HELLO negotiation rejects a
 /// mismatch with a diagnostic naming both sides' versions.
-constexpr uint32_t WireVersion = 1;
+/// v2: HELLO carries a session id, PUSH carries a per-session sequence
+/// number (exactly-once retries), ERROR carries a structured code, and
+/// STATS grew shed/duplicate/recovery counters.
+constexpr uint32_t WireVersion = 2;
 
 constexpr size_t FrameHeaderSize = 5;  ///< u32 length + u8 type
 constexpr size_t FrameTrailerSize = 4; ///< CRC32 of header+payload
@@ -112,6 +115,11 @@ struct HelloMsg {
   uint32_t Version = WireVersion;
   uint64_t Fingerprint = 0; ///< module the client will push for; 0 = any
   std::string ClientName;   ///< diagnostic label, capped at 256 bytes
+  /// Client-chosen id, stable across reconnects of the same logical
+  /// pusher.  Nonzero enables exactly-once PUSH retries: the server
+  /// remembers (SessionId, Seq) pairs and answers a replayed PUSH with a
+  /// duplicate ack instead of merging twice.  0 = legacy untracked.
+  uint64_t SessionId = 0;
 };
 std::string encodeHello(const HelloMsg &M);
 bool decodeHello(const std::string &Payload, HelloMsg *Out);
@@ -123,9 +131,18 @@ struct HelloAckMsg {
 std::string encodeHelloAck(const HelloAckMsg &M);
 bool decodeHelloAck(const std::string &Payload, HelloAckMsg *Out);
 
+/// PUSH payload: a varint sequence number followed by the raw encoded
+/// .arsp shard.  Seq 0 = unsequenced (legacy / sessionless) push; the
+/// server merges it unconditionally.
+std::string encodePush(uint64_t Seq, const std::string &ArspBytes);
+bool decodePush(const std::string &Payload, uint64_t *Seq,
+                std::string *ArspBytes);
+
 struct PushAckMsg {
   uint64_t Merges = 0;      ///< bundles merged since server start
   uint64_t Fingerprint = 0; ///< fingerprint the shard was validated under
+  uint64_t Seq = 0;         ///< echoed from the PUSH
+  bool Duplicate = false;   ///< retried shard was already merged; skipped
 };
 std::string encodePushAck(const PushAckMsg &M);
 bool decodePushAck(const std::string &Payload, PushAckMsg *Out);
@@ -140,12 +157,34 @@ struct StatsMsg {
   uint64_t Epochs = 0;            ///< rotateEpoch() count
   uint64_t Snapshots = 0;         ///< snapshots written
   uint64_t Pulls = 0;             ///< PULL requests served
+  uint64_t Shed = 0;              ///< requests refused under overload
+  uint64_t Duplicates = 0;        ///< retried PUSHes deduplicated
+  uint64_t Recovered = 0;         ///< snapshots recovered at startup
 };
 std::string encodeStats(const StatsMsg &M);
 bool decodeStats(const std::string &Payload, StatsMsg *Out);
 
-/// ERROR and SNAPSHOT_ACK carry one length-prefixed string (capped at
-/// 64 KiB on decode — a diagnostic, not a data channel).
+/// Machine-readable class of an ERROR reply, so clients can decide
+/// whether to retry without parsing diagnostic prose.
+enum class ErrCode : uint8_t {
+  Generic = 0,  ///< final: unclassified server-side failure
+  RetryAfter,   ///< transient: server is shedding load; back off + retry
+  BadFrame,     ///< stream desynchronized (CRC/truncation); reconnect
+  BadShard,     ///< final: the pushed bundle itself was rejected
+  BadHandshake, ///< final: version/fingerprint mismatch at HELLO
+};
+const char *errCodeName(ErrCode C);
+
+struct ErrorMsg {
+  ErrCode Code = ErrCode::Generic;
+  std::string Text; ///< human-readable diagnostic
+};
+/// ERROR payload: varint code + length-prefixed text.
+std::string encodeError(ErrCode Code, const std::string &Text);
+bool decodeError(const std::string &Payload, ErrorMsg *Out);
+
+/// SNAPSHOT_ACK carries one length-prefixed string (capped at 64 KiB on
+/// decode — a diagnostic, not a data channel).
 std::string encodeText(const std::string &Text);
 bool decodeText(const std::string &Payload, std::string *Out);
 

@@ -8,7 +8,7 @@
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
+#include <exception>
 
 namespace ars {
 namespace profserve {
@@ -21,6 +21,8 @@ ProfileServer::ProfileServer(std::unique_ptr<Listener> L, ServerConfig C)
 ProfileServer::~ProfileServer() { stop(); }
 
 void ProfileServer::start() {
+  if (Config.RecoverOnStart && !Config.SnapshotPath.empty())
+    recoverOnStart();
   Pool = std::make_unique<support::ThreadPool>(Config.Workers);
   Acceptor = std::thread([this] { acceptLoop(); });
   if (Config.SnapshotIntervalMs > 0 && !Config.SnapshotPath.empty())
@@ -61,11 +63,52 @@ void ProfileServer::stop() {
   Pool.reset();
 }
 
+void ProfileServer::recoverOnStart() {
+  // A crash mid-save can leave a stale tmp file; it is never valid state.
+  std::remove((Config.SnapshotPath + ".tmp").c_str());
+  const std::string Candidates[] = {Config.SnapshotPath,
+                                    Config.SnapshotPath + ".prev"};
+  for (const std::string &Path : Candidates) {
+    // loadBundle validates magic, CRC and (when pinned) the fingerprint;
+    // a torn or corrupt file falls through to the .prev copy.
+    profstore::DecodeResult D =
+        profstore::loadBundle(Path, Config.Fingerprint);
+    if (!D.Ok)
+      continue;
+    std::lock_guard<std::mutex> Lock(StateMu);
+    EpochBase = std::move(D.Bundle);
+    if (FingerprintValue == 0)
+      FingerprintValue = D.Fingerprint;
+    ++Stats.Recovered;
+    if (Config.LogToStderr)
+      std::fprintf(stderr, "profserve: recovered snapshot from %s\n",
+                   Path.c_str());
+    return;
+  }
+}
+
 void ProfileServer::acceptLoop() {
   for (;;) {
     std::unique_ptr<Transport> T = L->accept();
     if (!T)
       return; // listener shut down
+    if (Config.MaxPendingConnections > 0 &&
+        Pending.load(std::memory_order_acquire) >=
+            Config.MaxPendingConnections) {
+      // Every worker is busy and the backlog is full: refuse loudly now
+      // instead of letting queue depth (and every client's latency) grow
+      // without bound.  RETRY_AFTER tells the client it is transient.
+      {
+        std::lock_guard<std::mutex> Lock(StateMu);
+        ++Stats.Shed;
+      }
+      writeFrame(*T, MsgType::Error,
+                 encodeError(ErrCode::RetryAfter,
+                             "server overloaded: connection backlog full"));
+      T->close();
+      continue;
+    }
+    Pending.fetch_add(1, std::memory_order_acq_rel);
     std::shared_ptr<Transport> Conn(std::move(T));
     {
       std::lock_guard<std::mutex> Lock(ConnMu);
@@ -76,7 +119,15 @@ void ProfileServer::acceptLoop() {
       ++Stats.ActiveConnections;
     }
     Pool->submit([this, Conn] {
-      handleConnection(Conn.get());
+      Pending.fetch_sub(1, std::memory_order_acq_rel);
+      try {
+        handleConnection(Conn.get());
+      } catch (const std::exception &E) {
+        // Keep the bookkeeping below intact; ThreadPool::wait() would
+        // otherwise surface this from stop() with the connection leaked.
+        bumpReject(std::string("handler exception: ") + E.what(),
+                   Conn->peer());
+      }
       Conn->close();
       {
         std::lock_guard<std::mutex> Lock(ConnMu);
@@ -118,7 +169,7 @@ void ProfileServer::bumpReject(const std::string &Why,
 }
 
 void ProfileServer::handleConnection(Transport *T) {
-  bool SawHello = false;
+  ConnState Conn;
   for (;;) {
     FrameResult FR =
         readFrame(*T, Config.RecvTimeoutMs, Config.MaxFramePayload);
@@ -129,7 +180,8 @@ void ProfileServer::handleConnection(Transport *T) {
       // death: the byte stream can no longer be trusted to be framed, so
       // answer with a diagnostic (best effort) and drop the connection.
       bumpReject(FR.Error, T->peer());
-      writeFrame(*T, MsgType::Error, encodeText(FR.Error));
+      writeFrame(*T, MsgType::Error,
+                 encodeError(ErrCode::BadFrame, FR.Error));
       return;
     }
     {
@@ -138,25 +190,28 @@ void ProfileServer::handleConnection(Transport *T) {
       Stats.Bytes +=
           FrameHeaderSize + FR.F.Payload.size() + FrameTrailerSize;
     }
-    if (!handleFrame(*T, FR.F, &SawHello))
+    if (!handleFrame(*T, FR.F, Conn))
       return;
   }
 }
 
 bool ProfileServer::handleFrame(Transport &T, const Frame &F,
-                                bool *SawHello) {
-  auto replyError = [&](const std::string &Why, bool KeepOpen) {
+                                ConnState &Conn) {
+  auto replyError = [&](ErrCode Code, const std::string &Why,
+                        bool KeepOpen) {
     bumpReject(Why, T.peer());
-    IoResult IO = writeFrame(T, MsgType::Error, encodeText(Why));
+    IoResult IO = writeFrame(T, MsgType::Error, encodeError(Code, Why));
     return KeepOpen && IO.ok();
   };
 
   if (F.Type == MsgType::Hello) {
     HelloMsg Hello;
     if (!decodeHello(F.Payload, &Hello))
-      return replyError("malformed HELLO payload", false);
+      return replyError(ErrCode::BadHandshake, "malformed HELLO payload",
+                        false);
     if (Hello.Version != WireVersion)
       return replyError(
+          ErrCode::BadHandshake,
           support::formatString(
               "wire version mismatch: client speaks v%u, server v%u",
               Hello.Version, WireVersion),
@@ -164,33 +219,69 @@ bool ProfileServer::handleFrame(Transport &T, const Frame &F,
     uint64_t Pinned = fingerprint();
     if (Hello.Fingerprint && Pinned && Hello.Fingerprint != Pinned)
       return replyError(
+          ErrCode::BadHandshake,
           support::formatString(
               "module fingerprint mismatch: client %016llx, server "
               "%016llx",
               static_cast<unsigned long long>(Hello.Fingerprint),
               static_cast<unsigned long long>(Pinned)),
           false);
-    *SawHello = true;
+    Conn.SawHello = true;
+    Conn.SessionId = Hello.SessionId;
     HelloAckMsg Ack;
     Ack.Version = WireVersion;
     Ack.Fingerprint = Pinned;
     return writeFrame(T, MsgType::HelloAck, encodeHelloAck(Ack)).ok();
   }
 
-  if (!*SawHello)
-    return replyError(support::formatString(
-                          "expected HELLO before %s", msgTypeName(F.Type)),
+  if (!Conn.SawHello)
+    return replyError(ErrCode::BadHandshake,
+                      support::formatString("expected HELLO before %s",
+                                            msgTypeName(F.Type)),
                       false);
 
   switch (F.Type) {
   case MsgType::Push: {
+    uint64_t Seq = 0;
+    std::string Arsp;
+    if (!decodePush(F.Payload, &Seq, &Arsp))
+      // The frame was intact, so the stream is still in sync.
+      return replyError(ErrCode::BadShard, "malformed PUSH payload", true);
+    if (Config.MaxActivePushes &&
+        ActivePushes.fetch_add(1, std::memory_order_acq_rel) >=
+            Config.MaxActivePushes) {
+      ActivePushes.fetch_sub(1, std::memory_order_acq_rel);
+      {
+        std::lock_guard<std::mutex> Lock(StateMu);
+        ++Stats.Shed;
+      }
+      // Deliberate shedding, not a protocol failure: no reject counted,
+      // connection stays open, client backs off and retries.
+      return writeFrame(T, MsgType::Error,
+                        encodeError(ErrCode::RetryAfter,
+                                    "server overloaded: too many "
+                                    "concurrent pushes"))
+          .ok();
+    }
+    struct PushGate {
+      std::atomic<uint64_t> *C;
+      ~PushGate() {
+        if (C)
+          C->fetch_sub(1, std::memory_order_acq_rel);
+      }
+    } Gate{Config.MaxActivePushes ? &ActivePushes : nullptr};
+
     uint64_t Expect = fingerprint();
-    profstore::DecodeResult D = profstore::decodeBundle(F.Payload, Expect);
+    profstore::DecodeResult D = profstore::decodeBundle(Arsp, Expect);
     if (!D.Ok)
       // The frame itself was intact, so the stream is still in sync:
       // report the bad shard and keep serving this client.
-      return replyError("rejected shard: " + D.Error, true);
+      return replyError(ErrCode::BadShard, "rejected shard: " + D.Error,
+                        true);
     uint64_t Merges;
+    bool AdoptionRace = false;
+    bool Duplicate = false;
+    PushAckMsg DupAck;
     {
       std::lock_guard<std::mutex> Lock(StateMu);
       if (FingerprintValue == 0)
@@ -198,12 +289,29 @@ bool ProfileServer::handleFrame(Transport &T, const Frame &F,
       else if (D.Fingerprint != FingerprintValue) {
         // Raced with another first-pusher for a different module.
         ++Stats.Rejects;
-        return writeFrame(T, MsgType::Error,
-                          encodeText("rejected shard: fingerprint lost "
-                                     "the adoption race"))
-                   .ok();
+        AdoptionRace = true;
+      } else if (Conn.SessionId && Seq &&
+                 !AppliedSeqs[Conn.SessionId].insert(Seq).second) {
+        // A retry of a shard that already merged (the original ack was
+        // lost mid-wire).  Acknowledge without merging — exactly-once.
+        // Registration-before-merge means a racing retry on another
+        // connection always lands here rather than double-merging.
+        ++Stats.Duplicates;
+        Duplicate = true;
+        DupAck.Merges = Stats.Merges;
+        DupAck.Fingerprint = FingerprintValue;
+        DupAck.Seq = Seq;
+        DupAck.Duplicate = true;
       }
     }
+    if (AdoptionRace)
+      return writeFrame(T, MsgType::Error,
+                        encodeError(ErrCode::BadShard,
+                                    "rejected shard: fingerprint lost "
+                                    "the adoption race"))
+          .ok();
+    if (Duplicate)
+      return writeFrame(T, MsgType::PushAck, encodePushAck(DupAck)).ok();
     Agg.flush(NextFlushKey.fetch_add(1, std::memory_order_relaxed),
               D.Bundle);
     {
@@ -215,6 +323,7 @@ bool ProfileServer::handleFrame(Transport &T, const Frame &F,
     PushAckMsg Ack;
     Ack.Merges = Merges;
     Ack.Fingerprint = D.Fingerprint;
+    Ack.Seq = Seq;
     return writeFrame(T, MsgType::PushAck, encodePushAck(Ack)).ok();
   }
 
@@ -222,6 +331,7 @@ bool ProfileServer::handleFrame(Transport &T, const Frame &F,
     std::string Bytes = profstore::encodeBundle(merged(), fingerprint());
     if (Bytes.size() > Config.MaxFramePayload)
       return replyError(
+          ErrCode::Generic,
           support::formatString(
               "merged profile (%zu bytes) exceeds the %zu-byte frame cap",
               Bytes.size(), Config.MaxFramePayload),
@@ -239,7 +349,8 @@ bool ProfileServer::handleFrame(Transport &T, const Frame &F,
   case MsgType::SnapshotReq: {
     std::string Error;
     if (!snapshotNow(&Error))
-      return replyError("snapshot failed: " + Error, true);
+      return replyError(ErrCode::Generic, "snapshot failed: " + Error,
+                        true);
     return writeFrame(T, MsgType::SnapshotAck,
                       encodeText(Config.SnapshotPath))
         .ok();
@@ -250,7 +361,8 @@ bool ProfileServer::handleFrame(Transport &T, const Frame &F,
 
   default:
     // Server-bound streams must never carry server-to-client types.
-    return replyError(support::formatString("unexpected %s from a client",
+    return replyError(ErrCode::Generic,
+                      support::formatString("unexpected %s from a client",
                                             msgTypeName(F.Type)),
                       false);
   }
@@ -291,24 +403,12 @@ bool ProfileServer::snapshotNow(std::string *Error) {
     return false;
   }
   std::string Bytes = profstore::encodeBundle(merged(), fingerprint());
-  // Write-then-rename so a reader (or a crash) never sees a half profile.
-  std::string Tmp = Config.SnapshotPath + ".tmp";
-  {
-    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-    if (!Out ||
-        !Out.write(Bytes.data(),
-                   static_cast<std::streamsize>(Bytes.size()))) {
-      if (Error)
-        *Error = "cannot write " + Tmp;
-      return false;
-    }
-  }
-  if (std::rename(Tmp.c_str(), Config.SnapshotPath.c_str()) != 0) {
-    if (Error)
-      *Error = "cannot rename " + Tmp + " to " + Config.SnapshotPath;
-    std::remove(Tmp.c_str());
+  // Crash-safe write: tmp + fsync(file) + fsync(dir) + rename, keeping
+  // the displaced snapshot as ".prev" so that even a crash between the
+  // two renames leaves a recoverable copy (see atomicSaveFile).
+  if (!profstore::atomicSaveFile(Config.SnapshotPath, Bytes, Error,
+                                 /*KeepPrevious=*/true))
     return false;
-  }
   std::lock_guard<std::mutex> Lock(StateMu);
   ++Stats.Snapshots;
   return true;

@@ -21,9 +21,17 @@
 /// weighting of the profile store, now applied on a live aggregate.  The
 /// merged view is always epoch base + current aggregator contents.
 ///
-/// Snapshots: the merged profile is written to SnapshotPath atomically
-/// (temp file + rename) on an interval, on SNAPSHOT_REQ, and on graceful
-/// stop() — so a crash of the *collector* loses at most one interval.
+/// Snapshots: the merged profile is written to SnapshotPath crash-safely
+/// (temp file, fsync of file and directory, previous copy kept as
+/// ".prev", rename) on an interval, on SNAPSHOT_REQ, and on graceful
+/// stop() — so a crash of the *collector* loses at most one interval,
+/// and start() recovers the newest valid snapshot (falling back to
+/// ".prev" when the main file is torn or CRC-corrupt).
+///
+/// Overload: the accept backlog and concurrent PUSH admission are
+/// bounded (MaxPendingConnections / MaxActivePushes); excess work is
+/// shed with ERROR(RETRY_AFTER), which well-behaved clients treat as
+/// "back off and retry", rather than queueing without bound.
 ///
 /// Determinism: mergeBundle's commutative/associative algebra (see
 /// ProfileStore.h) makes the merged bundle byte-identical to a serial
@@ -43,6 +51,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -73,6 +82,23 @@ struct ServerConfig {
   /// Connection-handler threads.  A connection occupies one worker for
   /// its lifetime; excess accepted connections queue.
   int Workers = 4;
+
+  /// Load-shedding bound on the accept backlog: connections accepted but
+  /// not yet picked up by a worker.  Beyond it a fresh connection is
+  /// refused immediately with ERROR(RETRY_AFTER) instead of growing the
+  /// ThreadPool queue without bound.  0 = unbounded (chaos tests use this
+  /// to keep shedding out of determinism checks).
+  int MaxPendingConnections = 256;
+
+  /// Admission bound on PUSHes being decoded/merged at once; one beyond
+  /// it earns ERROR(RETRY_AFTER) and the connection stays open.  0 =
+  /// unbounded.
+  uint64_t MaxActivePushes = 0;
+
+  /// Load the newest valid snapshot (SnapshotPath, then its ".prev"
+  /// fallback) into the epoch base on start(), so a restarted collector
+  /// resumes from its last durable state instead of an empty profile.
+  bool RecoverOnStart = true;
 
   /// Per-frame read deadline; a client idle or stalled longer is timed
   /// out and its connection closed with a diagnostic.
@@ -124,28 +150,49 @@ public:
   /// the boundary their flush reached first; none are lost or doubled.
   void rotateEpoch();
 
-  /// Writes the merged bundle to SnapshotPath atomically (temp +
-  /// rename).  False + \p *Error when unconfigured or the write fails.
+  /// Writes the merged bundle to SnapshotPath crash-safely (temp file,
+  /// fsync file + directory, keep the displaced copy as ".prev", rename;
+  /// see profstore::atomicSaveFile).  False + \p *Error when unconfigured
+  /// or the write fails — a failed write never damages the previous
+  /// snapshot.
   bool snapshotNow(std::string *Error);
 
   const Listener &listener() const { return *L; }
 
 private:
+  /// Per-connection protocol state.
+  struct ConnState {
+    bool SawHello = false;
+    uint64_t SessionId = 0; ///< from HELLO; 0 = untracked legacy client
+  };
+
+  void recoverOnStart();
   void acceptLoop();
   void snapshotLoop();
   void handleConnection(Transport *T);
   /// One request/reply step; returns false when the connection is done.
-  bool handleFrame(Transport &T, const Frame &F, bool *SawHello);
+  bool handleFrame(Transport &T, const Frame &F, ConnState &Conn);
   void bumpReject(const std::string &Why, const std::string &Peer);
 
   std::unique_ptr<Listener> L;
   ServerConfig Config;
   profstore::ProfileAggregator Agg;
 
-  mutable std::mutex StateMu; ///< guards Stats, Fingerprint, EpochBase
+  mutable std::mutex StateMu; ///< guards Stats, Fingerprint, EpochBase,
+                              ///< AppliedSeqs
   ServerStats Stats;
   uint64_t FingerprintValue = 0;
   profile::ProfileBundle EpochBase;
+
+  /// Idempotency ledger: per session, the PUSH sequence numbers already
+  /// merged.  A retried PUSH whose (session, seq) is present is answered
+  /// with a duplicate ack and NOT merged again — this is what makes a
+  /// client retry after a mid-wire fault exactly-once instead of
+  /// at-least-once.  Registration happens before the merge, so a racing
+  /// retry on a second connection can never double-merge.  Memory is
+  /// bounded by real pushes (sessions are client-chosen but each seq is
+  /// one shard actually pushed).
+  std::map<uint64_t, std::set<uint64_t>> AppliedSeqs;
 
   /// Live-connection registry so stop() can close (and thereby unblock)
   /// every handler.  Handlers own their transport via shared_ptr captured
@@ -154,6 +201,8 @@ private:
   std::mutex ConnMu;
   std::set<Transport *> Active;
   std::atomic<uint64_t> NextFlushKey{0}; ///< aggregator striping key
+  std::atomic<int> Pending{0};           ///< accepted, no worker yet
+  std::atomic<uint64_t> ActivePushes{0}; ///< PUSHes in decode/merge
 
   std::unique_ptr<support::ThreadPool> Pool;
   std::thread Acceptor;

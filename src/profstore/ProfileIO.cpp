@@ -5,8 +5,16 @@
 #include "support/Binary.h"
 #include "support/Support.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 using namespace ars::support;
 
@@ -26,14 +34,28 @@ constexpr size_t TrailerSize = 4;
 // small and the byte stream is canonical for a given bundle.
 //===----------------------------------------------------------------------===//
 
+/// Component deltas are computed and re-applied in two's-complement
+/// (unsigned) arithmetic: INT_MAX - INT_MIN or INT64_MAX - INT64_MIN
+/// does not fit the signed type, but the zigzag varint stores the
+/// wrapped delta and the decoder's wrapping add reverses it exactly.
+int64_t wrapDelta(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+
+int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+
 void encodeCallEdges(std::string &Out, const profile::CallEdgeProfile &P) {
   appendVarint(Out, P.counts().size());
   profile::CallEdgeKey Prev;
   Prev.Caller = Prev.Site = Prev.Callee = 0;
   for (const auto &[Key, Count] : P.counts()) {
-    appendSignedVarint(Out, Key.Caller - Prev.Caller);
-    appendSignedVarint(Out, Key.Site - Prev.Site);
-    appendSignedVarint(Out, Key.Callee - Prev.Callee);
+    appendSignedVarint(Out, wrapDelta(Key.Caller, Prev.Caller));
+    appendSignedVarint(Out, wrapDelta(Key.Site, Prev.Site));
+    appendSignedVarint(Out, wrapDelta(Key.Callee, Prev.Callee));
     appendVarint(Out, Count);
     Prev = Key;
   }
@@ -51,8 +73,8 @@ void encodeBlockCounts(std::string &Out,
   appendVarint(Out, P.counts().size());
   int PrevFunc = 0, PrevBlock = 0;
   for (const auto &[Key, Count] : P.counts()) {
-    appendSignedVarint(Out, Key.first - PrevFunc);
-    appendSignedVarint(Out, Key.second - PrevBlock);
+    appendSignedVarint(Out, wrapDelta(Key.first, PrevFunc));
+    appendSignedVarint(Out, wrapDelta(Key.second, PrevBlock));
     appendVarint(Out, Count);
     PrevFunc = Key.first;
     PrevBlock = Key.second;
@@ -69,7 +91,7 @@ void encodeValues(std::string &Out, const profile::ValueProfile &P) {
     appendVarint(Out, Table.size());
     int64_t PrevValue = 0;
     for (const auto &[Value, Count] : Table) {
-      appendSignedVarint(Out, Value - PrevValue);
+      appendSignedVarint(Out, wrapDelta(Value, PrevValue));
       appendVarint(Out, Count);
       PrevValue = Value;
     }
@@ -80,9 +102,9 @@ void encodeEdges(std::string &Out, const profile::EdgeCountProfile &P) {
   appendVarint(Out, P.counts().size());
   int PrevFunc = 0, PrevFrom = 0, PrevTo = 0;
   for (const auto &[Key, Count] : P.counts()) {
-    appendSignedVarint(Out, std::get<0>(Key) - PrevFunc);
-    appendSignedVarint(Out, std::get<1>(Key) - PrevFrom);
-    appendSignedVarint(Out, std::get<2>(Key) - PrevTo);
+    appendSignedVarint(Out, wrapDelta(std::get<0>(Key), PrevFunc));
+    appendSignedVarint(Out, wrapDelta(std::get<1>(Key), PrevFrom));
+    appendSignedVarint(Out, wrapDelta(std::get<2>(Key), PrevTo));
     appendVarint(Out, Count);
     PrevFunc = std::get<0>(Key);
     PrevFrom = std::get<1>(Key);
@@ -95,8 +117,8 @@ void encodePaths(std::string &Out, const profile::PathProfile &P) {
   int PrevFunc = 0;
   int64_t PrevPath = 0;
   for (const auto &[Key, Count] : P.counts()) {
-    appendSignedVarint(Out, Key.first - PrevFunc);
-    appendSignedVarint(Out, Key.second - PrevPath);
+    appendSignedVarint(Out, wrapDelta(Key.first, PrevFunc));
+    appendSignedVarint(Out, wrapDelta(Key.second, PrevPath));
     appendVarint(Out, Count);
     PrevFunc = Key.first;
     PrevPath = Key.second;
@@ -125,9 +147,9 @@ bool decodeCallEdges(ByteReader &R, profile::CallEdgeProfile *P) {
     if (!R.readSignedVarint(&DCaller) || !R.readSignedVarint(&DSite) ||
         !R.readSignedVarint(&DCallee) || !R.readVarint(&Count))
       return false;
-    Key.Caller += static_cast<int>(DCaller);
-    Key.Site += static_cast<int>(DSite);
-    Key.Callee += static_cast<int>(DCallee);
+    Key.Caller = static_cast<int>(wrapAdd(Key.Caller, DCaller));
+    Key.Site = static_cast<int>(wrapAdd(Key.Site, DSite));
+    Key.Callee = static_cast<int>(wrapAdd(Key.Callee, DCallee));
     P->record(Key, Count);
   }
   return true;
@@ -164,8 +186,8 @@ bool decodeBlockCounts(ByteReader &R, profile::BlockCountProfile *P) {
     if (!R.readSignedVarint(&DFunc) || !R.readSignedVarint(&DBlock) ||
         !R.readVarint(&Count))
       return false;
-    Func += static_cast<int>(DFunc);
-    Block += static_cast<int>(DBlock);
+    Func = static_cast<int>(wrapAdd(Func, DFunc));
+    Block = static_cast<int>(wrapAdd(Block, DBlock));
     P->record(Func, Block, Count);
   }
   return true;
@@ -188,7 +210,7 @@ bool decodeValues(ByteReader &R, profile::ValueProfile *P) {
       uint64_t Count;
       if (!R.readSignedVarint(&DValue) || !R.readVarint(&Count))
         return false;
-      Value += DValue;
+      Value = wrapAdd(Value, DValue);
       P->add(Site, Value, Count);
     }
     if (OverflowCount)
@@ -210,9 +232,9 @@ bool decodeEdges(ByteReader &R, profile::EdgeCountProfile *P) {
     if (!R.readSignedVarint(&DFunc) || !R.readSignedVarint(&DFrom) ||
         !R.readSignedVarint(&DTo) || !R.readVarint(&Count))
       return false;
-    Func += static_cast<int>(DFunc);
-    From += static_cast<int>(DFrom);
-    To += static_cast<int>(DTo);
+    Func = static_cast<int>(wrapAdd(Func, DFunc));
+    From = static_cast<int>(wrapAdd(From, DFrom));
+    To = static_cast<int>(wrapAdd(To, DTo));
     P->record(Func, From, To, Count);
   }
   return true;
@@ -230,8 +252,8 @@ bool decodePaths(ByteReader &R, profile::PathProfile *P) {
     if (!R.readSignedVarint(&DFunc) || !R.readSignedVarint(&DPath) ||
         !R.readVarint(&Count))
       return false;
-    Func += static_cast<int>(DFunc);
-    Path += DPath;
+    Func = static_cast<int>(wrapAdd(Func, DFunc));
+    Path = wrapAdd(Path, DPath);
     P->record(Func, Path, Count);
   }
   return true;
@@ -318,17 +340,122 @@ DecodeResult decodeBundle(const std::string &Bytes,
   return Result;
 }
 
-bool saveBundle(const std::string &Path, const profile::ProfileBundle &B,
-                uint64_t Fingerprint, std::string *Error) {
-  std::string Bytes = encodeBundle(B, Fingerprint);
-  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
-  if (!Out || !Out.write(Bytes.data(),
-                         static_cast<std::streamsize>(Bytes.size()))) {
+//===----------------------------------------------------------------------===//
+// Crash-safe writes.  POSIX fds rather than iostreams: durability needs
+// fsync on the file AND its directory, which streams cannot express.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::atomic<const FileFaults *> ActiveFileFaults{nullptr};
+
+bool failIo(std::string *Error, const std::string &What) {
+  if (Error)
+    *Error = What + ": " + std::strerror(errno ? errno : EIO);
+  return false;
+}
+
+/// write(2) loop honoring the OnWrite fault hook; false once the hook (or
+/// the OS) cuts the write short.
+bool writeAllFd(int Fd, const std::string &Path, const std::string &Bytes,
+                const FileFaults *F, std::string *Error) {
+  size_t Allowed = Bytes.size();
+  if (F && F->OnWrite)
+    Allowed = std::min(Allowed, F->OnWrite(Path, Bytes.size()));
+  size_t Off = 0;
+  while (Off < Allowed) {
+    ssize_t N = ::write(Fd, Bytes.data() + Off, Allowed - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return failIo(Error, "cannot write " + Path);
+    }
+    Off += static_cast<size_t>(N);
+  }
+  if (Allowed < Bytes.size()) {
     if (Error)
-      *Error = "cannot write " + Path;
+      *Error = support::formatString(
+          "short write to %s: %zu of %zu bytes (injected)", Path.c_str(),
+          Allowed, Bytes.size());
     return false;
   }
   return true;
+}
+
+bool fsyncPath(int Fd, const std::string &Path, const FileFaults *F,
+               std::string *Error) {
+  if (F && F->OnFsync && !F->OnFsync(Path)) {
+    if (Error)
+      *Error = "fsync " + Path + " failed (injected)";
+    return false;
+  }
+  if (::fsync(Fd) != 0)
+    return failIo(Error, "cannot fsync " + Path);
+  return true;
+}
+
+bool renamePath(const std::string &From, const std::string &To,
+                const FileFaults *F, std::string *Error) {
+  if (F && F->OnRename && !F->OnRename(From, To)) {
+    if (Error)
+      *Error = "rename " + From + " -> " + To + " failed (injected)";
+    return false;
+  }
+  if (std::rename(From.c_str(), To.c_str()) != 0)
+    return failIo(Error, "cannot rename " + From + " to " + To);
+  return true;
+}
+
+std::string parentDir(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  if (Slash == std::string::npos)
+    return ".";
+  return Slash == 0 ? "/" : Path.substr(0, Slash);
+}
+
+bool fsyncDir(const std::string &Dir, const FileFaults *F,
+              std::string *Error) {
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd < 0)
+    return failIo(Error, "cannot open directory " + Dir);
+  bool Ok = fsyncPath(Fd, Dir, F, Error);
+  ::close(Fd);
+  return Ok;
+}
+
+} // namespace
+
+void setFileFaults(const FileFaults *F) {
+  ActiveFileFaults.store(F, std::memory_order_release);
+}
+
+bool atomicSaveFile(const std::string &Path, const std::string &Bytes,
+                    std::string *Error, bool KeepPrevious) {
+  const FileFaults *F = ActiveFileFaults.load(std::memory_order_acquire);
+  std::string Tmp = Path + ".tmp";
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return failIo(Error, "cannot create " + Tmp);
+  bool Ok = writeAllFd(Fd, Tmp, Bytes, F, Error) &&
+            fsyncPath(Fd, Tmp, F, Error);
+  ::close(Fd);
+  std::string Dir = parentDir(Path);
+  Ok = Ok && fsyncDir(Dir, F, Error);
+  // Keep the last good copy reachable across the visibility switch: a
+  // crash (or injected fault) between the two renames leaves it under
+  // .prev, which recovery code tries after the main path.
+  if (Ok && KeepPrevious && ::access(Path.c_str(), F_OK) == 0)
+    Ok = renamePath(Path, Path + ".prev", F, Error);
+  Ok = Ok && renamePath(Tmp, Path, F, Error);
+  Ok = Ok && fsyncDir(Dir, F, Error);
+  if (!Ok)
+    std::remove(Tmp.c_str());
+  return Ok;
+}
+
+bool saveBundle(const std::string &Path, const profile::ProfileBundle &B,
+                uint64_t Fingerprint, std::string *Error) {
+  return atomicSaveFile(Path, encodeBundle(B, Fingerprint), Error);
 }
 
 DecodeResult loadBundle(const std::string &Path,

@@ -36,6 +36,7 @@
 #include "profile/Profiles.h"
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace ars {
@@ -65,14 +66,54 @@ struct DecodeResult {
 DecodeResult decodeBundle(const std::string &Bytes,
                           uint64_t ExpectedFingerprint = 0);
 
-/// Writes encodeBundle(\p B, \p Fingerprint) to \p Path.  Returns false
-/// and fills \p Error on IO failure.
+/// Writes encodeBundle(\p B, \p Fingerprint) to \p Path atomically (see
+/// atomicSaveFile).  Returns false and fills \p Error on IO failure.
 bool saveBundle(const std::string &Path, const profile::ProfileBundle &B,
                 uint64_t Fingerprint, std::string *Error);
 
 /// Reads and decodes \p Path.
 DecodeResult loadBundle(const std::string &Path,
                         uint64_t ExpectedFingerprint = 0);
+
+//===----------------------------------------------------------------------===//
+// Crash-safe file writes + fault-injection seam
+//===----------------------------------------------------------------------===//
+
+/// Injection hooks under every atomicSaveFile step, so a fault harness
+/// (src/faultinject) can simulate short writes, failed fsyncs and failed
+/// renames without patching the filesystem.  Null members = no fault.
+/// All hooks must be thread-safe; they run on whatever thread saves.
+struct FileFaults {
+  /// Called before each write of \p Bytes bytes to \p Path; returns how
+  /// many bytes may actually be written.  A short count fails the save
+  /// after writing that prefix (a torn write, as a crash would leave).
+  std::function<size_t(const std::string &Path, size_t Bytes)> OnWrite;
+  /// Returns false to fail the fsync of \p Path (file or directory).
+  std::function<bool(const std::string &Path)> OnFsync;
+  /// Returns false to fail (and skip) the rename \p From -> \p To.
+  std::function<bool(const std::string &From, const std::string &To)>
+      OnRename;
+};
+
+/// Installs \p F as the process-wide fault hooks (pass nullptr to clear).
+/// The pointer must stay valid until cleared; tests use an RAII guard.
+void setFileFaults(const FileFaults *F);
+
+/// Writes \p Bytes to \p Path so that a crash at ANY step leaves either
+/// the old contents, the old contents under \p Path + ".prev" (only with
+/// \p KeepPrevious, between the two renames), or the new contents — never
+/// a torn file:
+///
+///   1. write \p Path + ".tmp"
+///   2. fsync the tmp file (data durable before it becomes visible)
+///   3. fsync the parent directory
+///   4. with \p KeepPrevious: rename \p Path -> \p Path + ".prev"
+///   5. rename tmp -> \p Path
+///   6. fsync the parent directory (the renames durable)
+///
+/// Returns false + \p *Error on any failure, removing the tmp file.
+bool atomicSaveFile(const std::string &Path, const std::string &Bytes,
+                    std::string *Error, bool KeepPrevious = false);
 
 } // namespace profstore
 } // namespace ars

@@ -34,6 +34,12 @@ void ThreadPool::submit(std::function<void()> Job) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> Lock(Mu);
   AllIdle.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+  if (FirstError) {
+    std::exception_ptr E = FirstError;
+    FirstError = nullptr; // the pool stays usable after a catch
+    Lock.unlock();
+    std::rethrow_exception(E);
+  }
 }
 
 int ThreadPool::defaultWorkers() {
@@ -51,8 +57,15 @@ void ThreadPool::workerLoop() {
     Queue.pop_front();
     ++Running;
     Lock.unlock();
-    Job();
+    std::exception_ptr Raised;
+    try {
+      Job();
+    } catch (...) {
+      Raised = std::current_exception();
+    }
     Lock.lock();
+    if (Raised && !FirstError)
+      FirstError = Raised;
     --Running;
     if (Queue.empty() && Running == 0)
       AllIdle.notify_all();

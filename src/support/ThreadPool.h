@@ -20,6 +20,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -40,14 +41,18 @@ public:
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
-  /// Enqueues \p Job.  Jobs must not throw; a job that needs to report
-  /// failure writes into state it owns (the harness stores an error in the
+  /// Enqueues \p Job.  A job that throws does not kill the worker (or the
+  /// process): the first exception is captured and rethrown from the next
+  /// wait(); later jobs keep running.  Jobs that need richer reporting
+  /// still write into state they own (the harness stores an error in the
   /// job's result slot).
   void submit(std::function<void()> Job);
 
   /// Blocks until every submitted job has finished (queue empty and no job
-  /// running).  New jobs may be submitted afterwards; the pool stays up
-  /// until destruction.
+  /// running), then rethrows the first exception any job raised since the
+  /// last wait() (clearing it, so the pool is reusable after a catch).
+  /// New jobs may be submitted afterwards; the pool stays up until
+  /// destruction.
   void wait();
 
   int workers() const { return static_cast<int>(Threads.size()); }
@@ -66,6 +71,7 @@ private:
   std::vector<std::thread> Threads;
   size_t Running = 0; ///< jobs currently executing
   bool Stopping = false;
+  std::exception_ptr FirstError; ///< first job throw since the last wait()
 };
 
 } // namespace support

@@ -1,0 +1,428 @@
+//===- tests/test_faultinject.cpp - Fault injection + chaos ---*- C++ -*-===//
+///
+/// The robustness acceptance gates: seeded fault streams replay
+/// byte-identical traces; scripted faults pin down each failure mode
+/// (ack lost, push lost, torn file write) and its exactly-once /
+/// crash-safety contract; and the end-to-end chaos harness proves that a
+/// collection run under injected faults still merges byte-identically to
+/// the fault-free serial fold — for every seed, twice.
+///
+//===----------------------------------------------------------------------===//
+
+#include "faultinject/Chaos.h"
+#include "faultinject/FaultInject.h"
+#include "profserve/Client.h"
+#include "profserve/Server.h"
+#include "profstore/ProfileIO.h"
+#include "profstore/ProfileStore.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include <sys/stat.h>
+
+namespace {
+
+using namespace ars;
+using namespace ars::faultinject;
+using profserve::ClientConfig;
+using profserve::ClientResult;
+using profserve::Dialer;
+using profserve::LoopbackListener;
+using profserve::ProfileClient;
+using profserve::ProfileServer;
+using profserve::ServerConfig;
+using profserve::Transport;
+
+constexpr uint64_t Fp = 0xabcdef0123456789ULL;
+
+profile::ProfileBundle shard(int Seed) {
+  profile::ProfileBundle B;
+  B.FieldAccesses.record(Seed % 4, static_cast<uint64_t>(Seed) * 13 + 1);
+  B.BlockCounts.record(1, Seed % 6, static_cast<uint64_t>(Seed) + 2);
+  return B;
+}
+
+std::string serialFold(int Shards) {
+  profile::ProfileBundle Acc;
+  for (int I = 0; I != Shards; ++I)
+    profstore::mergeBundle(Acc, shard(I));
+  return profile::serializeBundle(Acc);
+}
+
+/// A loopback server with the chaos-style pinned fingerprint.
+struct TestServer {
+  LoopbackListener *L;
+  ProfileServer Server;
+
+  explicit TestServer(ServerConfig C = TestServer::config())
+      : L(new LoopbackListener()),
+        Server(std::unique_ptr<profserve::Listener>(L), C) {
+    Server.start();
+  }
+  ~TestServer() { Server.stop(); }
+
+  static ServerConfig config() {
+    ServerConfig C;
+    C.Workers = 2;
+    C.RecvTimeoutMs = 2000;
+    C.Fingerprint = Fp;
+    return C;
+  }
+};
+
+std::string readFileOrEmpty(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::string();
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+bool fileExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0;
+}
+
+//===----------------------------------------------------------------------===//
+// FaultStream: seeded determinism
+//===----------------------------------------------------------------------===//
+
+std::string driveStream(FaultStream &S) {
+  for (int I = 0; I != 200; ++I) {
+    S.onWrite(64 + I % 7);
+    S.onRead(512);
+  }
+  return S.trace();
+}
+
+TEST(FaultInjectStream, SameSeedSameKeyReplaysIdenticalTrace) {
+  FaultPlan Plan;
+  FaultStream A(Plan, /*Seed=*/7, /*Key=*/1, "a");
+  FaultStream B(Plan, /*Seed=*/7, /*Key=*/1, "a");
+  std::string TA = driveStream(A);
+  EXPECT_EQ(TA, driveStream(B));
+  EXPECT_FALSE(TA.empty()) << "default plan injected nothing in 400 ops";
+}
+
+TEST(FaultInjectStream, DifferentKeysDiverge) {
+  FaultPlan Plan;
+  FaultStream A(Plan, 7, /*Key=*/1, "x");
+  FaultStream B(Plan, 7, /*Key=*/2, "x");
+  EXPECT_NE(driveStream(A), driveStream(B));
+}
+
+TEST(FaultInjectStream, HarmfulFaultBudgetIsRespected) {
+  FaultPlan Plan;
+  Plan.DropPct = 40;
+  Plan.PartialWritePct = 20;
+  Plan.BitFlipPct = 20;
+  Plan.MaxFaults = 3;
+  FaultStream S(Plan, 11, 0, "budget");
+  for (int I = 0; I != 500; ++I)
+    S.onWrite(128);
+  std::string Trace = S.trace();
+  int Harmful = 0;
+  for (const char *Kind : {"drop", "partial-write", "bit-flip"})
+    for (size_t At = Trace.find(Kind); At != std::string::npos;
+         At = Trace.find(Kind, At + 1))
+      ++Harmful;
+  EXPECT_EQ(Harmful, 3) << Trace; // exhausted, then permanently clean
+}
+
+//===----------------------------------------------------------------------===//
+// FaultyTransport: scripted single faults
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjectTransport, ScriptedDropFailsWriteAndClosesBothWays) {
+  auto Pair = profserve::makeLoopbackPair();
+  FaultyTransport T(std::move(Pair.first),
+                    FaultStream::scripted({{0, FaultKind::Drop, 0}}));
+  profserve::IoResult R = T.writeAll("hello", 5);
+  EXPECT_EQ(R.Status, profserve::IoStatus::Error);
+  EXPECT_NE(R.Message.find("injected"), std::string::npos);
+  char Buf[8];
+  size_t N = 0;
+  EXPECT_EQ(Pair.second->readSome(Buf, sizeof(Buf), 100, &N).Status,
+            profserve::IoStatus::Eof);
+}
+
+TEST(FaultInjectTransport, ScriptedPartialWriteDeliversStrictPrefix) {
+  auto Pair = profserve::makeLoopbackPair();
+  FaultyTransport T(
+      std::move(Pair.first),
+      FaultStream::scripted({{0, FaultKind::PartialWrite, 3}}));
+  EXPECT_EQ(T.writeAll("0123456789", 10).Status,
+            profserve::IoStatus::Error);
+  char Buf[16];
+  size_t N = 0;
+  ASSERT_TRUE(Pair.second->readSome(Buf, sizeof(Buf), 100, &N).ok());
+  EXPECT_EQ(std::string(Buf, N), "012"); // the torn prefix, then EOF
+  EXPECT_EQ(Pair.second->readSome(Buf, sizeof(Buf), 100, &N).Status,
+            profserve::IoStatus::Eof);
+}
+
+TEST(FaultInjectTransport, ScriptedBitFlipIsCaughtByFrameCrc) {
+  auto Pair = profserve::makeLoopbackPair();
+  FaultyTransport T(
+      std::move(Pair.first),
+      FaultStream::scripted({{0, FaultKind::BitFlip, 77}}));
+  // The flipped frame still arrives in full — but its CRC must refuse it.
+  ASSERT_TRUE(
+      profserve::writeFrame(T, profserve::MsgType::Push, "payload").ok());
+  profserve::FrameResult FR = profserve::readFrame(*Pair.second, 1000);
+  EXPECT_EQ(FR.Status, profserve::FrameStatus::Malformed) << FR.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-safe file writes under scripted file faults
+//===----------------------------------------------------------------------===//
+
+/// Per atomicSaveFile, one save is ops: write(0), fsync file(1), fsync
+/// dir(2), [rename to .prev], rename tmp(3 or 4), fsync dir.
+TEST(FaultInjectFile, ShortWriteFailsSaveAndKeepsOldContents) {
+  std::string Path = ::testing::TempDir() + "fi_shortwrite.bin";
+  std::string Error;
+  ASSERT_TRUE(profstore::atomicSaveFile(Path, "old-contents", &Error))
+      << Error;
+  {
+    FaultyFile Guard(
+        FaultStream::scripted({{0, FaultKind::FileShortWrite, 2}}));
+    EXPECT_FALSE(profstore::atomicSaveFile(Path, "new-contents", &Error));
+    EXPECT_NE(Error.find("short"), std::string::npos) << Error;
+  }
+  EXPECT_EQ(readFileOrEmpty(Path), "old-contents");
+  EXPECT_FALSE(fileExists(Path + ".tmp")); // failed save cleans up
+  ASSERT_TRUE(profstore::atomicSaveFile(Path, "new-contents", &Error))
+      << Error;
+  EXPECT_EQ(readFileOrEmpty(Path), "new-contents");
+  std::remove(Path.c_str());
+}
+
+TEST(FaultInjectFile, FsyncFailureFailsSaveAndKeepsOldContents) {
+  std::string Path = ::testing::TempDir() + "fi_fsync.bin";
+  std::string Error;
+  ASSERT_TRUE(profstore::atomicSaveFile(Path, "old", &Error)) << Error;
+  {
+    FaultyFile Guard(
+        FaultStream::scripted({{1, FaultKind::FileFsyncFail, 0}}));
+    EXPECT_FALSE(profstore::atomicSaveFile(Path, "new", &Error));
+  }
+  EXPECT_EQ(readFileOrEmpty(Path), "old");
+  std::remove(Path.c_str());
+}
+
+TEST(FaultInjectFile, RenameCrashWindowLeavesPrevAsFallback) {
+  std::string Path = ::testing::TempDir() + "fi_rename.bin";
+  std::string Error;
+  std::remove((Path + ".prev").c_str());
+  ASSERT_TRUE(
+      profstore::atomicSaveFile(Path, "v1", &Error, /*KeepPrevious=*/true))
+      << Error;
+  // Fail the tmp->main rename AFTER main was moved aside: the one state
+  // where the main file is legitimately missing — its contents must
+  // survive under .prev (ops: write 0, fsync 1, fsync 2, rename-to-prev
+  // 3, rename-tmp 4).
+  {
+    FaultyFile Guard(
+        FaultStream::scripted({{4, FaultKind::FileRenameFail, 0}}));
+    EXPECT_FALSE(
+        profstore::atomicSaveFile(Path, "v2", &Error, true));
+  }
+  EXPECT_FALSE(fileExists(Path));
+  EXPECT_EQ(readFileOrEmpty(Path + ".prev"), "v1");
+  // The recovery write restores the main file.
+  ASSERT_TRUE(profstore::atomicSaveFile(Path, "v2", &Error, true))
+      << Error;
+  EXPECT_EQ(readFileOrEmpty(Path), "v2");
+  std::remove(Path.c_str());
+  std::remove((Path + ".prev").c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Exactly-once pushes under scripted wire faults
+//===----------------------------------------------------------------------===//
+
+/// Client op indices on its fault stream: HELLO write(0), ack reads
+/// (1,2), PUSH write(3), ack reads (4,5); a reconnect repeats the
+/// pattern at the next indices.
+ClientConfig sequencedConfig() {
+  ClientConfig C;
+  C.TimeoutMs = 2000;
+  C.MaxRetries = 3;
+  C.BackoffMs = 1;
+  C.Fingerprint = Fp;
+  C.SessionId = 42;
+  return C;
+}
+
+TEST(FaultInjectExactlyOnce, LostAckRetriesAndServerDeduplicates) {
+  TestServer S;
+  // Drop the connection while READING the push ack: the server already
+  // merged, so the blind retry must be recognized as a duplicate.
+  auto Faults =
+      FaultStream::scripted({{4, FaultKind::Drop, 0}}, "lost-ack");
+  ProfileClient C(faultyDialer(profserve::loopbackDialer(*S.L), Faults),
+                  sequencedConfig());
+  ClientResult R = C.push(shard(0), Fp);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(C.duplicateAcks(), 1u);
+  EXPECT_EQ(S.Server.stats().Merges, 1u);
+  EXPECT_EQ(S.Server.stats().Duplicates, 1u);
+  EXPECT_EQ(profile::serializeBundle(S.Server.merged()), serialFold(1));
+}
+
+TEST(FaultInjectExactlyOnce, LostPushRetriesAndMergesExactlyOnce) {
+  TestServer S;
+  // Drop the PUSH write itself: the shard never reached the server, so
+  // the retry is a first delivery, not a duplicate.
+  auto Faults =
+      FaultStream::scripted({{3, FaultKind::Drop, 0}}, "lost-push");
+  ProfileClient C(faultyDialer(profserve::loopbackDialer(*S.L), Faults),
+                  sequencedConfig());
+  ClientResult R = C.push(shard(0), Fp);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(C.duplicateAcks(), 0u);
+  EXPECT_EQ(S.Server.stats().Merges, 1u);
+  EXPECT_EQ(S.Server.stats().Duplicates, 0u);
+  EXPECT_EQ(profile::serializeBundle(S.Server.merged()), serialFold(1));
+}
+
+//===----------------------------------------------------------------------===//
+// Spill + replay
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjectSpill, UnpushableShardsSpillAndReplayOnReconnect) {
+  TestServer S;
+  std::string SpillPath = ::testing::TempDir() + "fi_spill.bin";
+  std::remove(SpillPath.c_str());
+
+  std::atomic<bool> Down{true};
+  Dialer Flaky = [&](std::string *Error) -> std::unique_ptr<Transport> {
+    if (Down.load()) {
+      *Error = "server down";
+      return nullptr;
+    }
+    return S.L->connect();
+  };
+  ClientConfig CC = sequencedConfig();
+  CC.MaxRetries = 1;
+  CC.SpillPath = SpillPath;
+  ProfileClient C(Flaky, CC);
+
+  ClientResult R = C.push(shard(0), Fp);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.Spilled);
+  EXPECT_NE(R.Error.find("spilled"), std::string::npos) << R.Error;
+  EXPECT_FALSE(C.push(shard(1), Fp).Ok);
+  EXPECT_EQ(C.spillCount(), 2u);
+  EXPECT_EQ(S.Server.stats().Merges, 0u);
+
+  Down.store(false); // the server is back
+  ClientResult Replay = C.replaySpill();
+  EXPECT_TRUE(Replay.Ok) << Replay.Error;
+  EXPECT_EQ(C.spillCount(), 0u);
+  EXPECT_FALSE(fileExists(SpillPath)); // drained spill file is removed
+
+  // Later pushes keep their sequence numbers unique past the replay.
+  ASSERT_TRUE(C.push(shard(2), Fp).Ok);
+  EXPECT_EQ(S.Server.stats().Merges, 3u);
+  EXPECT_EQ(S.Server.stats().Duplicates, 0u);
+  EXPECT_EQ(profile::serializeBundle(S.Server.merged()), serialFold(3));
+}
+
+//===----------------------------------------------------------------------===//
+// Circuit breaker
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjectBreaker, OpensAfterThresholdAndClosesOnProbeSuccess) {
+  TestServer S;
+  std::atomic<bool> Down{true};
+  std::atomic<int> Dials{0};
+  Dialer Flaky = [&](std::string *Error) -> std::unique_ptr<Transport> {
+    ++Dials;
+    if (Down.load()) {
+      *Error = "server down";
+      return nullptr;
+    }
+    return S.L->connect();
+  };
+  ClientConfig CC = sequencedConfig();
+  CC.MaxRetries = 0; // one attempt per push: deterministic op counting
+  CC.BreakerThreshold = 2;
+  CC.BreakerCooldownOps = 3;
+  ProfileClient C(Flaky, CC);
+
+  EXPECT_FALSE(C.push(shard(0), Fp).Ok); // strike one
+  EXPECT_FALSE(C.breakerOpen());
+  EXPECT_FALSE(C.push(shard(0), Fp).Ok); // strike two: open
+  EXPECT_TRUE(C.breakerOpen());
+  EXPECT_EQ(Dials.load(), 2);
+
+  // Three denied operations burn the cooldown without dialing at all.
+  for (int I = 0; I != 3; ++I) {
+    ClientResult R = C.push(shard(0), Fp);
+    EXPECT_FALSE(R.Ok);
+    EXPECT_NE(R.Error.find("breaker"), std::string::npos) << R.Error;
+  }
+  EXPECT_EQ(Dials.load(), 2);
+
+  // Half-open probe while still down: one dial, then re-armed.
+  EXPECT_FALSE(C.push(shard(0), Fp).Ok);
+  EXPECT_EQ(Dials.load(), 3);
+  EXPECT_TRUE(C.breakerOpen());
+
+  // Burn the re-armed cooldown, then probe against a healthy server.
+  Down.store(false);
+  for (int I = 0; I != 3; ++I)
+    EXPECT_FALSE(C.push(shard(0), Fp).Ok);
+  EXPECT_EQ(Dials.load(), 3);
+  EXPECT_TRUE(C.push(shard(0), Fp).Ok);
+  EXPECT_FALSE(C.breakerOpen());
+  EXPECT_EQ(S.Server.stats().Merges, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Chaos: end-to-end seeded runs
+//===----------------------------------------------------------------------===//
+
+ChaosConfig quickChaos() {
+  ChaosConfig C;
+  C.Clients = 3;
+  C.ShardsPerClient = 3;
+  C.WorkDir = ::testing::TempDir() + "fi_chaos";
+  ::mkdir(C.WorkDir.c_str(), 0755);
+  return C;
+}
+
+TEST(Chaos, SeededRunMatchesSerialFoldAndReplaysIdentically) {
+  ChaosConfig C = quickChaos();
+  C.FaultSeed = 3;
+  ChaosReport First = runChaos(C);
+  ASSERT_TRUE(First.Ok) << First.Error;
+  EXPECT_EQ(First.Merges, First.ExpectedShards);
+  ChaosReport Second = runChaos(C);
+  ASSERT_TRUE(Second.Ok) << Second.Error;
+  EXPECT_EQ(First.Trace, Second.Trace);
+  EXPECT_EQ(First.Duplicates, Second.Duplicates);
+  EXPECT_EQ(First.Spills, Second.Spills);
+}
+
+TEST(Chaos, SmallSweepPasses) {
+  EXPECT_TRUE(chaosSweep(quickChaos(), /*Seeds=*/4, /*Verbose=*/false));
+}
+
+TEST(Chaos, RejectsMissingWorkDir) {
+  ChaosConfig C;
+  C.WorkDir.clear();
+  ChaosReport R = runChaos(C);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_FALSE(R.Error.empty());
+}
+
+} // namespace

@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <gtest/gtest.h>
+#include <stdexcept>
 #include <thread>
 
 namespace {
@@ -71,6 +72,44 @@ TEST(ThreadPool, ClampsWorkerCount) {
   support::ThreadPool Pool(0);
   EXPECT_EQ(Pool.workers(), 1);
   EXPECT_GE(support::ThreadPool::defaultWorkers(), 1);
+}
+
+/// A job that throws must not kill the worker thread; the first
+/// exception is rethrown from wait() so failures surface to the code
+/// that submitted the work instead of vanishing (or aborting).
+TEST(ThreadPool, JobExceptionRethrownFromWait) {
+  support::ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  Pool.submit([] { throw std::runtime_error("job blew up"); });
+  for (int I = 0; I != 20; ++I)
+    Pool.submit([&Count] { Count.fetch_add(1); });
+  try {
+    Pool.wait();
+    FAIL() << "wait() swallowed the job's exception";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "job blew up");
+  }
+  // Every other job still ran: the throwing job did not take its worker
+  // down with it.
+  EXPECT_EQ(Count.load(), 20);
+
+  // The error is cleared once delivered; the pool remains usable.
+  Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 21);
+}
+
+TEST(ThreadPool, OnlyFirstExceptionIsKept) {
+  support::ThreadPool Pool(1); // serial: deterministic first thrower
+  Pool.submit([] { throw std::runtime_error("first"); });
+  Pool.submit([] { throw std::runtime_error("second"); });
+  try {
+    Pool.wait();
+    FAIL() << "wait() swallowed the jobs' exceptions";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "first");
+  }
+  Pool.wait(); // second error was dropped, not queued for replay
 }
 
 //===----------------------------------------------------------------------===//

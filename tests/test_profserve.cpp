@@ -254,12 +254,14 @@ TEST(ProfServeCodec, HelloRoundTripAndGarbage) {
   H.Version = WireVersion;
   H.Fingerprint = TestFingerprint;
   H.ClientName = "unit-test";
+  H.SessionId = 0xfeedf00d;
   std::string Bytes = encodeHello(H);
   HelloMsg Out;
   ASSERT_TRUE(decodeHello(Bytes, &Out));
   EXPECT_EQ(Out.Version, H.Version);
   EXPECT_EQ(Out.Fingerprint, H.Fingerprint);
   EXPECT_EQ(Out.ClientName, H.ClientName);
+  EXPECT_EQ(Out.SessionId, H.SessionId);
 
   EXPECT_FALSE(decodeHello(Bytes + "x", &Out)); // trailing garbage
   EXPECT_FALSE(decodeHello(Bytes.substr(0, Bytes.size() - 1), &Out));
@@ -276,10 +278,16 @@ TEST(ProfServeCodec, StatsRoundTrip) {
   S.Epochs = 6;
   S.Snapshots = 7;
   S.Pulls = UINT64_MAX;
+  S.Shed = 8;
+  S.Duplicates = 9;
+  S.Recovered = 10;
   StatsMsg Out;
   ASSERT_TRUE(decodeStats(encodeStats(S), &Out));
   EXPECT_EQ(Out.Bytes, S.Bytes);
   EXPECT_EQ(Out.Pulls, UINT64_MAX);
+  EXPECT_EQ(Out.Shed, 8u);
+  EXPECT_EQ(Out.Duplicates, 9u);
+  EXPECT_EQ(Out.Recovered, 10u);
   EXPECT_FALSE(decodeStats("", &Out));
 }
 
@@ -296,6 +304,39 @@ TEST(ProfServeCodec, TextCapped) {
   support::appendVarint(Raw, 65537);
   Raw.append(65537, 'd');
   EXPECT_FALSE(decodeText(Raw, &Out));
+}
+
+TEST(ProfServeCodec, ErrorRoundTripAndBadCode) {
+  for (ErrCode Code :
+       {ErrCode::Generic, ErrCode::RetryAfter, ErrCode::BadFrame,
+        ErrCode::BadShard, ErrCode::BadHandshake}) {
+    ErrorMsg Out;
+    ASSERT_TRUE(decodeError(encodeError(Code, "why"), &Out));
+    EXPECT_EQ(Out.Code, Code);
+    EXPECT_EQ(Out.Text, "why");
+  }
+  // An unknown code byte is a malformed payload, not a silent Generic.
+  std::string Raw;
+  support::appendVarint(Raw, 200);
+  support::appendVarint(Raw, 2);
+  Raw += "xx";
+  ErrorMsg Out;
+  EXPECT_FALSE(decodeError(Raw, &Out));
+  EXPECT_FALSE(decodeError(std::string(), &Out));
+}
+
+TEST(ProfServeCodec, PushRoundTripSeqAndBytes) {
+  const std::string Arsp = encodedShard(7);
+  std::string Payload = encodePush(42, Arsp);
+  uint64_t Seq = 0;
+  std::string Bytes;
+  ASSERT_TRUE(decodePush(Payload, &Seq, &Bytes));
+  EXPECT_EQ(Seq, 42u);
+  EXPECT_EQ(Bytes, Arsp);
+  ASSERT_TRUE(decodePush(encodePush(0, std::string()), &Seq, &Bytes));
+  EXPECT_EQ(Seq, 0u);
+  EXPECT_TRUE(Bytes.empty());
+  EXPECT_FALSE(decodePush(std::string(), &Seq, &Bytes));
 }
 
 //===----------------------------------------------------------------------===//
@@ -438,17 +479,21 @@ TEST(ProfServeRobust, CorruptShardInValidFrameKeepsConnection) {
 
   std::string Shard = encodedShard(1);
   Shard[Shard.size() / 2] ^= 0x5A; // break the .arsp CRC, not the frame
-  ASSERT_TRUE(writeFrame(*T, MsgType::Push, Shard).ok());
+  ASSERT_TRUE(writeFrame(*T, MsgType::Push, encodePush(0, Shard)).ok());
   FrameResult FR = readFrame(*T, 2000);
   ASSERT_TRUE(FR.ok()) << FR.Error;
   ASSERT_EQ(FR.F.Type, MsgType::Error);
-  std::string Why;
-  ASSERT_TRUE(decodeText(FR.F.Payload, &Why));
-  EXPECT_NE(Why.find("rejected shard"), std::string::npos) << Why;
+  ErrorMsg Why;
+  ASSERT_TRUE(decodeError(FR.F.Payload, &Why));
+  EXPECT_EQ(Why.Code, ErrCode::BadShard);
+  EXPECT_NE(Why.Text.find("rejected shard"), std::string::npos)
+      << Why.Text;
 
   // The stream was never desynced, so a valid push on the SAME
   // connection must now succeed.
-  ASSERT_TRUE(writeFrame(*T, MsgType::Push, encodedShard(1)).ok());
+  ASSERT_TRUE(
+      writeFrame(*T, MsgType::Push, encodePush(0, encodedShard(1)))
+          .ok());
   FR = readFrame(*T, 2000);
   ASSERT_TRUE(FR.ok()) << FR.Error;
   EXPECT_EQ(FR.F.Type, MsgType::PushAck);
@@ -533,9 +578,11 @@ TEST(ProfServeRobust, VersionMismatchRefused) {
   FrameResult FR = readFrame(*T, 2000);
   ASSERT_TRUE(FR.ok()) << FR.Error;
   ASSERT_EQ(FR.F.Type, MsgType::Error);
-  std::string Why;
-  ASSERT_TRUE(decodeText(FR.F.Payload, &Why));
-  EXPECT_NE(Why.find("version mismatch"), std::string::npos) << Why;
+  ErrorMsg Why;
+  ASSERT_TRUE(decodeError(FR.F.Payload, &Why));
+  EXPECT_EQ(Why.Code, ErrCode::BadHandshake);
+  EXPECT_NE(Why.Text.find("version mismatch"), std::string::npos)
+      << Why.Text;
 }
 
 TEST(ProfServeRobust, PushBeforeHelloRefused) {
@@ -578,6 +625,56 @@ TEST(ProfServeRobust, ServerToClientTypeFromClientRefused) {
 }
 
 //===----------------------------------------------------------------------===//
+// Server: overload shedding
+//===----------------------------------------------------------------------===//
+
+/// One worker, accept backlog of one: the third connection must be shed
+/// with a machine-readable ERROR(RETRY_AFTER) — and the shard pushed over
+/// a surviving connection still merges byte-identically.
+TEST(ProfServeOverload, BacklogShedsWithRetryAfter) {
+  ServerConfig Config = quietConfig();
+  Config.Workers = 1;
+  Config.MaxPendingConnections = 1;
+  LoopbackServer S(Config);
+
+  // A occupies the only worker; the completed handshake proves the
+  // worker picked it up (so the pending counter is back to zero).
+  std::unique_ptr<Transport> A = S.L->connect();
+  ASSERT_TRUE(A);
+  rawHello(*A);
+
+  // B is accepted but queued: the backlog is now full.
+  std::unique_ptr<Transport> B = S.L->connect();
+  ASSERT_TRUE(B);
+
+  // C must be refused up front with RETRY_AFTER, before any handshake.
+  std::unique_ptr<Transport> C = S.L->connect();
+  ASSERT_TRUE(C);
+  FrameResult FR = readFrame(*C, 2000);
+  ASSERT_TRUE(FR.ok()) << FR.Error;
+  ASSERT_EQ(FR.F.Type, MsgType::Error);
+  ErrorMsg E;
+  ASSERT_TRUE(decodeError(FR.F.Payload, &E));
+  EXPECT_EQ(E.Code, ErrCode::RetryAfter);
+  FR = readFrame(*C, 2000);
+  EXPECT_NE(FR.Status, FrameStatus::Ok); // and closed
+
+  // Free the worker; the queued B proceeds normally and its shard lands.
+  A->close();
+  rawHello(*B);
+  ASSERT_TRUE(
+      writeFrame(*B, MsgType::Push, encodePush(0, encodedShard(0)))
+          .ok());
+  FR = readFrame(*B, 2000);
+  ASSERT_TRUE(FR.ok()) << FR.Error;
+  EXPECT_EQ(FR.F.Type, MsgType::PushAck);
+
+  EXPECT_GE(S.Server.stats().Shed, 1u);
+  EXPECT_EQ(S.Server.stats().Merges, 1u);
+  EXPECT_EQ(profile::serializeBundle(S.Server.merged()), serialFold(1));
+}
+
+//===----------------------------------------------------------------------===//
 // Server: epochs and snapshots
 //===----------------------------------------------------------------------===//
 
@@ -613,9 +710,18 @@ TEST(ProfServeEpoch, AutoRotateEveryNMerges) {
   EXPECT_EQ(profile::serializeBundle(S.Server.merged()), serialFold(6));
 }
 
+/// Snapshots rotate the old file to `.prev` and a fresh server recovers
+/// from it (RecoverOnStart defaults on), so a test that reuses a path
+/// must scrub all three names or a previous run's state leaks in.
+void removeSnapshotFiles(const std::string &Path) {
+  std::remove(Path.c_str());
+  std::remove((Path + ".prev").c_str());
+  std::remove((Path + ".tmp").c_str());
+}
+
 TEST(ProfServeSnapshot, OnRequestAndOnShutdown) {
   std::string Path = ::testing::TempDir() + "profserve_snap.arsp";
-  std::remove(Path.c_str());
+  removeSnapshotFiles(Path);
   ServerConfig Config = quietConfig();
   Config.SnapshotPath = Path;
   {
@@ -636,12 +742,12 @@ TEST(ProfServeSnapshot, OnRequestAndOnShutdown) {
   ASSERT_TRUE(Final.Ok) << Final.Error;
   EXPECT_EQ(Final.Fingerprint, TestFingerprint);
   EXPECT_EQ(profile::serializeBundle(Final.Bundle), serialFold(2));
-  std::remove(Path.c_str());
+  removeSnapshotFiles(Path);
 }
 
 TEST(ProfServeSnapshot, IntervalSnapshotsHappen) {
   std::string Path = ::testing::TempDir() + "profserve_interval.arsp";
-  std::remove(Path.c_str());
+  removeSnapshotFiles(Path);
   ServerConfig Config = quietConfig();
   Config.SnapshotPath = Path;
   Config.SnapshotIntervalMs = 20;
@@ -654,7 +760,7 @@ TEST(ProfServeSnapshot, IntervalSnapshotsHappen) {
   EXPECT_GE(S.Server.stats().Snapshots, 1u);
   S.Server.stop();
   EXPECT_TRUE(profstore::loadBundle(Path, 0).Ok);
-  std::remove(Path.c_str());
+  removeSnapshotFiles(Path);
 }
 
 //===----------------------------------------------------------------------===//
@@ -726,6 +832,43 @@ TEST(ProfServeClient, GivesUpAfterMaxRetries) {
   ASSERT_FALSE(R.Ok);
   EXPECT_EQ(C.dialAttempts(), 3); // 1 try + 2 retries
   EXPECT_NE(R.Error.find("nobody home"), std::string::npos) << R.Error;
+}
+
+/// A server ERROR(RETRY_AFTER) during the handshake is transient: the
+/// client must back off and dial again, not report a failure.
+TEST(ProfServeClient, RetryAfterFromServerIsRetried) {
+  LoopbackListener L;
+  std::thread Srv([&] {
+    // First connection: shed the handshake and hang up.
+    std::unique_ptr<Transport> T1 = L.accept();
+    if (!T1)
+      return;
+    FrameResult FR = readFrame(*T1, 2000);
+    EXPECT_EQ(FR.F.Type, MsgType::Hello);
+    writeFrame(*T1, MsgType::Error,
+               encodeError(ErrCode::RetryAfter, "shedding load"));
+    T1->close();
+    // Second connection: serve the handshake properly.
+    std::unique_ptr<Transport> T2 = L.accept();
+    if (!T2)
+      return;
+    FR = readFrame(*T2, 2000);
+    EXPECT_EQ(FR.F.Type, MsgType::Hello);
+    HelloAckMsg Ack;
+    Ack.Fingerprint = TestFingerprint;
+    writeFrame(*T2, MsgType::HelloAck, encodeHelloAck(Ack));
+    readFrame(*T2, 2000); // drain the client's BYE
+  });
+  ClientConfig CC;
+  CC.MaxRetries = 3;
+  CC.BackoffMs = 1;
+  ProfileClient C(loopbackDialer(L), CC);
+  ClientResult R = C.connect();
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(C.dialAttempts(), 2); // shed once, succeeded on the retry
+  C.close();
+  Srv.join();
+  L.shutdown();
 }
 
 TEST(ProfServeClient, TimesOutOnSilentServer) {

@@ -27,6 +27,13 @@
 ///   arsc pull --from=127.0.0.1:4817 --out=merged.arsp
 ///   arsc pull --from=127.0.0.1:4817 --stats
 ///
+/// Chaos testing (see DESIGN.md section 10): drive the whole collection
+/// stack under seeded, replayable fault injection and require the merged
+/// result to stay byte-identical to the fault-free fold:
+///
+///   arsc chaos --fault-seed=7 --trace
+///   arsc chaos --fault-seed-sweep 32 --quick
+///
 /// Benchmark telemetry (see EXPERIMENTS.md): run the bench matrix, merge
 /// the per-bench JSON into BENCH_<sha>.json, and gate a run against a
 /// committed baseline with noise-aware thresholds:
@@ -38,6 +45,7 @@
 
 #include "bytecode/Assembler.h"
 #include "bytecode/Disassembler.h"
+#include "faultinject/Chaos.h"
 #include "harness/Experiment.h"
 #include "instr/Clients.h"
 #include "ir/IRPrinter.h"
@@ -72,6 +80,7 @@
 
 #include <sys/stat.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 using namespace ars;
 
@@ -119,6 +128,8 @@ int usage(const char *Prog) {
       "                    further args for the option list)\n"
       "  push              upload .arsp shards to a collection server\n"
       "  pull              download the merged profile / server stats\n"
+      "  chaos             run the collection stack under seeded fault\n"
+      "                    injection (run with no args for options)\n"
       "  --version         print format, protocol and build info\n"
       "options:\n"
       "  --arg=<n>              main(n) argument (default 10)\n"
@@ -550,13 +561,17 @@ int serveMain(int Argc, char **Argv) {
 
   profserve::ServerStats S = Server.stats();
   std::printf("profserve stopped: %llu frames, %llu bytes, %llu merges, "
-              "%llu rejects, %llu epochs, %llu snapshots, %llu pulls\n",
+              "%llu rejects, %llu shed, %llu duplicates, %llu epochs, "
+              "%llu snapshots, %llu recovered, %llu pulls\n",
               static_cast<unsigned long long>(S.Frames),
               static_cast<unsigned long long>(S.Bytes),
               static_cast<unsigned long long>(S.Merges),
               static_cast<unsigned long long>(S.Rejects),
+              static_cast<unsigned long long>(S.Shed),
+              static_cast<unsigned long long>(S.Duplicates),
               static_cast<unsigned long long>(S.Epochs),
               static_cast<unsigned long long>(S.Snapshots),
+              static_cast<unsigned long long>(S.Recovered),
               static_cast<unsigned long long>(S.Pulls));
   return 0;
 }
@@ -712,6 +727,12 @@ int pullMain(int Argc, char **Argv) {
                 static_cast<unsigned long long>(S.Merges));
     std::printf("rejects            : %llu\n",
                 static_cast<unsigned long long>(S.Rejects));
+    std::printf("shed               : %llu\n",
+                static_cast<unsigned long long>(S.Shed));
+    std::printf("duplicates         : %llu\n",
+                static_cast<unsigned long long>(S.Duplicates));
+    std::printf("recovered          : %llu\n",
+                static_cast<unsigned long long>(S.Recovered));
     std::printf("active connections : %llu\n",
                 static_cast<unsigned long long>(S.ActiveConnections));
     std::printf("epochs             : %llu\n",
@@ -722,6 +743,115 @@ int pullMain(int Argc, char **Argv) {
                 static_cast<unsigned long long>(S.Pulls));
   }
   return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// `arsc chaos` — the seeded fault-injection harness (src/faultinject)
+// from the command line, for CI and for replaying a failing seed.
+//===----------------------------------------------------------------------===//
+
+int chaosUsage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s chaos [options]\n"
+      "Drives N hardened clients against a collection server while a\n"
+      "seeded fault plan drops connections, tears and corrupts frames and\n"
+      "breaks snapshot I/O, then checks the merged bundle is\n"
+      "byte-identical to the fault-free serial fold and that the same\n"
+      "seed replays the identical fault trace.\n"
+      "options:\n"
+      "  --fault-seed=<n>        run one seed and print its report\n"
+      "  --fault-seed-sweep=<n>  run seeds 0..n-1, each twice (replay\n"
+      "                          determinism check); default 8\n"
+      "  --clients=<n>           concurrent pusher threads (default 6)\n"
+      "  --shards=<n>            shards per client (default 12)\n"
+      "  --quick                 smaller run (3 clients x 4 shards)\n"
+      "  --trace                 print the fault trace (single-seed mode)\n"
+      "  --workdir=<dir>         scratch dir for spill/snapshot files\n"
+      "                          (default: a fresh dir under /tmp)\n"
+      "Both --opt=value and --opt value forms are accepted.\n",
+      Prog);
+  return 2;
+}
+
+int chaosMain(int Argc, char **Argv) {
+  faultinject::ChaosConfig C;
+  bool Sweep = true, Trace = false;
+  uint64_t SweepSeeds = 8;
+  for (int A = 2; A < Argc; ++A) {
+    std::string Arg = Argv[A];
+    // Accept both `--opt=value` and `--opt value`.
+    auto valueOf = [&](const char *Name) -> const char * {
+      size_t Len = std::strlen(Name);
+      if (Arg.compare(0, Len, Name) != 0)
+        return nullptr;
+      if (Arg.size() > Len && Arg[Len] == '=')
+        return Arg.c_str() + Len + 1;
+      if (Arg.size() == Len && A + 1 < Argc)
+        return Argv[++A];
+      return nullptr;
+    };
+    if (const char *V = valueOf("--fault-seed")) {
+      C.FaultSeed = std::strtoull(V, nullptr, 10);
+      Sweep = false;
+    } else if (const char *V = valueOf("--fault-seed-sweep")) {
+      SweepSeeds = std::strtoull(V, nullptr, 10);
+      Sweep = true;
+    } else if (const char *V = valueOf("--clients")) {
+      C.Clients = std::atoi(V);
+    } else if (const char *V = valueOf("--shards")) {
+      C.ShardsPerClient = std::atoi(V);
+    } else if (const char *V = valueOf("--workdir")) {
+      C.WorkDir = V;
+    } else if (Arg == "--quick") {
+      C.Clients = 3;
+      C.ShardsPerClient = 4;
+    } else if (Arg == "--trace") {
+      Trace = true;
+    } else {
+      if (Arg != "--help")
+        std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
+      return chaosUsage(Argv[0]);
+    }
+  }
+  if (Argc < 3)
+    return chaosUsage(Argv[0]);
+  if (C.WorkDir.empty()) {
+    // A per-process scratch dir so concurrent chaos runs (ctest, CI
+    // shards) never fight over spill/snapshot file names.
+    C.WorkDir = support::formatString(
+        "/tmp/arsc-chaos-%ld", static_cast<long>(::getpid()));
+    if (::mkdir(C.WorkDir.c_str(), 0755) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "chaos: cannot create %s: %s\n",
+                   C.WorkDir.c_str(), std::strerror(errno));
+      return 1;
+    }
+  }
+
+  if (Sweep) {
+    std::printf("chaos sweep: %llu seeds x 2 runs, %d clients x %d "
+                "shards, workdir %s\n",
+                static_cast<unsigned long long>(SweepSeeds), C.Clients,
+                C.ShardsPerClient, C.WorkDir.c_str());
+    std::fflush(stdout);
+    bool Ok = faultinject::chaosSweep(C, SweepSeeds, /*Verbose=*/true);
+    std::printf("chaos sweep: %s\n", Ok ? "ALL SEEDS PASSED" : "FAILED");
+    return Ok ? 0 : 1;
+  }
+
+  faultinject::ChaosReport R = faultinject::runChaos(C);
+  if (Trace)
+    std::fputs(R.Trace.c_str(), stdout);
+  std::printf("chaos seed %llu: %s — %llu/%llu shards merged, %llu "
+              "faults injected, %llu duplicate acks, %llu spills\n",
+              static_cast<unsigned long long>(C.FaultSeed),
+              R.Ok ? "ok" : R.Error.c_str(),
+              static_cast<unsigned long long>(R.Merges),
+              static_cast<unsigned long long>(R.ExpectedShards),
+              static_cast<unsigned long long>(R.FaultsInjected),
+              static_cast<unsigned long long>(R.Duplicates),
+              static_cast<unsigned long long>(R.Spills));
+  return R.Ok ? 0 : 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -929,6 +1059,8 @@ int main(int Argc, char **Argv) {
     return pushMain(Argc, Argv);
   if (Argc >= 2 && std::strcmp(Argv[1], "pull") == 0)
     return pullMain(Argc, Argv);
+  if (Argc >= 2 && std::strcmp(Argv[1], "chaos") == 0)
+    return chaosMain(Argc, Argv);
   if (Argc >= 2 && std::strcmp(Argv[1], "bench") == 0)
     return benchMain(Argc, Argv);
 
