@@ -23,6 +23,7 @@
 #include "profstore/ProfileIO.h"
 #include "support/Support.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <thread>
@@ -57,10 +58,9 @@ int main(int Argc, char **Argv) {
 
   // --quick (scale < 100) trims the per-cell push count, like the other
   // benches trim their workload scales.
-  const int PushesPerPusher = Ctx.scaleOf(Ctx.suite().front()) <
-                                      Ctx.suite().front().DefaultScale
-                                  ? 50
-                                  : 200;
+  const bool Quick = Ctx.scaleOf(Ctx.suite().front()) <
+                     Ctx.suite().front().DefaultScale;
+  const int PushesPerPusher = Quick ? 50 : 200;
 
   support::TablePrinter T({"Pushers", "Pushes", "Wall ms", "Bundles/s",
                            "MB/s", "us/push"});
@@ -71,7 +71,7 @@ int main(int Argc, char **Argv) {
     uint64_t LastAcked = 0;
     for (int Rep = 0; Rep != Ctx.reps(); ++Rep) {
       profserve::ServerConfig Config;
-      Config.Workers = Pushers; // a connection occupies a worker for life
+      Config.Workers = Pushers; // one reactor per pusher: no mux stalls
       Config.Fingerprint = Fingerprint;
       profserve::LoopbackListener *L = new profserve::LoopbackListener();
       profserve::ProfileServer Server(
@@ -142,5 +142,140 @@ int main(int Argc, char **Argv) {
   T.print();
   std::printf("\nEvery push is CRC-framed, CRC-checked, decoded and "
               "merged; the merge counter is verified against acks.\n");
+
+  // Scenario 2: high fan-in through one relay level.  1024 clients (8
+  // driver threads x 128 clients) each connect, upload their shards as
+  // wire-v3 PUSH_BATCH frames at a relay, and disconnect; the relay
+  // merges locally and drains epoch deltas upstream to a root server.
+  // This is the topology the event loop exists for: a handful of
+  // reactor threads multiplexing a connection count that would need a
+  // thousand threads under thread-per-connection.
+  const int FanClients = 1024;
+  const int FanDrivers = 8;
+  const int ShardsPerBatch = 4;
+  const int BatchesPerClient = Quick ? 1 : 2;
+  auto percentile = [](std::vector<double> V, double P) {
+    if (V.empty())
+      return 0.0;
+    std::sort(V.begin(), V.end());
+    size_t I = static_cast<size_t>(P * static_cast<double>(V.size() - 1));
+    return V[I];
+  };
+
+  std::printf("\nhigh fan-in: %d clients -> 1 relay -> 1 root, "
+              "%d batches x %d shards per client\n",
+              FanClients, BatchesPerClient, ShardsPerBatch);
+  support::TablePrinter FT({"Clients", "Shards", "Wall ms", "Bundles/s",
+                            "p50 us/batch", "p99 us/batch"});
+  std::vector<double> FanRates, FanP50, FanP99, FanWall;
+  uint64_t FanShards = 0;
+  for (int Rep = 0; Rep != Ctx.reps(); ++Rep) {
+    profserve::ServerConfig RootC;
+    RootC.Workers = 2;
+    RootC.Fingerprint = Fingerprint;
+    RootC.MaxConnections = 0;
+    profserve::LoopbackListener *RootL = new profserve::LoopbackListener();
+    profserve::ProfileServer Root(
+        std::unique_ptr<profserve::Listener>(RootL), RootC);
+    Root.start();
+
+    profserve::ServerConfig RelayC;
+    RelayC.Workers = 4;
+    RelayC.Fingerprint = Fingerprint;
+    RelayC.MaxConnections = 0; // the whole point: unbounded fan-in
+    RelayC.Relay.Dial = profserve::loopbackDialer(*RootL);
+    RelayC.Relay.Client.Fingerprint = Fingerprint;
+    RelayC.Relay.Client.SessionId = 0xBE7C4EDULL;
+    RelayC.Relay.FlushIntervalMs = 25; // drain concurrently with pushes
+    profserve::LoopbackListener *RelayL = new profserve::LoopbackListener();
+    profserve::ProfileServer Relay(
+        std::unique_ptr<profserve::Listener>(RelayL), RelayC);
+    Relay.start();
+
+    std::atomic<uint64_t> Acked{0};
+    std::atomic<bool> Failed{false};
+    std::vector<std::vector<double>> BatchMs(FanDrivers);
+    support::HostTimer Timer;
+    std::vector<std::thread> Drivers;
+    for (int D = 0; D != FanDrivers; ++D)
+      Drivers.emplace_back([&, D] {
+        std::vector<std::string> Batch(ShardsPerBatch, Shard);
+        for (int K = 0; K != FanClients / FanDrivers; ++K) {
+          profserve::ClientConfig CC;
+          CC.Fingerprint = Fingerprint;
+          CC.SessionId = 0xFA0000ULL + static_cast<uint64_t>(D) * 1000 +
+                         static_cast<uint64_t>(K);
+          profserve::ProfileClient Client(
+              profserve::loopbackDialer(*RelayL), CC);
+          for (int B = 0; B != BatchesPerClient; ++B) {
+            support::HostTimer BT;
+            profserve::ClientResult PR = Client.pushBatch(Batch);
+            if (!PR.Ok) {
+              std::fprintf(stderr, "batch push failed: %s\n",
+                           PR.Error.c_str());
+              Failed = true;
+              return;
+            }
+            BatchMs[D].push_back(BT.elapsedMs());
+            Acked += ShardsPerBatch;
+          }
+        }
+      });
+    for (std::thread &Th : Drivers)
+      Th.join();
+    double WallMs = Timer.elapsedMs();
+    if (Failed)
+      return 1;
+
+    profserve::StatsMsg RelayStats = Relay.stats();
+    Relay.stop(); // final upstream flush happens here
+    profserve::StatsMsg RootStats = Root.stats();
+    Root.stop();
+    if (RelayStats.Merges != Acked) {
+      std::fprintf(stderr,
+                   "relay merge counter (%llu) != acked shards (%llu)\n",
+                   static_cast<unsigned long long>(RelayStats.Merges),
+                   static_cast<unsigned long long>(Acked.load()));
+      return 1;
+    }
+    if (Relay.stats().RelayFailures != 0 || RootStats.Merges == 0) {
+      std::fprintf(stderr, "relay drain failed: %llu failures, "
+                           "%llu root merges\n",
+                   static_cast<unsigned long long>(
+                       Relay.stats().RelayFailures),
+                   static_cast<unsigned long long>(RootStats.Merges));
+      return 1;
+    }
+
+    std::vector<double> AllBatch;
+    for (const std::vector<double> &V : BatchMs)
+      AllBatch.insert(AllBatch.end(), V.begin(), V.end());
+    FanShards = Acked.load();
+    double Shards = static_cast<double>(FanShards);
+    FanWall.push_back(WallMs);
+    FanRates.push_back(WallMs > 0 ? Shards / (WallMs / 1e3) : 0.0);
+    FanP50.push_back(percentile(AllBatch, 0.50) * 1e3);
+    FanP99.push_back(percentile(AllBatch, 0.99) * 1e3);
+  }
+
+  FT.beginRow();
+  FT.cellInt(FanClients);
+  FT.cellInt(static_cast<int64_t>(FanShards));
+  FT.cellDouble(telemetry::median(FanWall));
+  FT.cellDouble(telemetry::median(FanRates));
+  FT.cellDouble(telemetry::median(FanP50));
+  FT.cellDouble(telemetry::median(FanP99));
+  FT.print();
+  Ctx.report().addHostMetric("fan_in_bundles_per_s", "bundles/s",
+                             telemetry::Direction::HigherIsBetter,
+                             FanRates);
+  Ctx.report().addHostMetric("fan_in_p50_batch_us", "us",
+                             telemetry::Direction::LowerIsBetter, FanP50);
+  Ctx.report().addHostMetric("fan_in_p99_batch_us", "us",
+                             telemetry::Direction::LowerIsBetter, FanP99);
+  std::printf("\n%d connections multiplexed over %d relay reactors; the "
+              "relay's merge counter is verified against acked shards and "
+              "every epoch delta drained upstream.\n",
+              FanClients, 4);
   return 0;
 }

@@ -52,8 +52,10 @@ if [[ "$TSAN" == 1 ]]; then
   # random-program sweep that drives runMatrix on every seed, and the
   # collection service (concurrent pushers, server lifecycle, loopback
   # transport).
+  # transport).  EventLoop* pins the reactor (slow-loris reaping, write
+  # backpressure, mid-frame shutdown) and Relay* the aggregation trees.
   build-tsan/tests/ars_tests \
-    --gtest_filter='ThreadPool.*:TransformCache.*:ParallelRunner.*:ProfileAggregator.*:ProfServe*:FaultInject*:Chaos.*:Sampling.*:AllWorkloads/*:Seeds/Property1RandomTest.*'
+    --gtest_filter='ThreadPool.*:TransformCache.*:ParallelRunner.*:ProfileAggregator.*:ProfServe*:EventLoop*:Relay*:FaultInject*:Chaos.*:Sampling.*:AllWorkloads/*:Seeds/Property1RandomTest.*'
   exit 0
 fi
 
@@ -66,6 +68,7 @@ if [[ "$ASAN" == 1 ]]; then
   # and mid-frame drops must never turn into an out-of-bounds read while
   # the server decodes what survived.
   build-asan/tools/arsc chaos --fault-seed-sweep=32 --quick
+  build-asan/tools/arsc chaos --fault-seed-sweep=32 --quick --topology=relay
   exit 0
 fi
 
@@ -83,8 +86,11 @@ ctest --test-dir build --output-on-failure
 
 # Seeded chaos sweep: the collection stack under fault injection must
 # merge byte-identically to the fault-free serial fold for every seed,
-# and every seed must replay the exact same fault trace.
+# and every seed must replay the exact same fault trace.  The relay
+# topology repeats the sweep with an aggregation relay between the
+# clients and the root, faults injected on both hops.
 build/tools/arsc chaos --fault-seed-sweep=32 --quick
+build/tools/arsc chaos --fault-seed-sweep=32 --quick --topology=relay
 
 # The bench matrix runs through `arsc bench`: it discovers every
 # build/bench/bench_* binary, fans each bench's matrix cells out across

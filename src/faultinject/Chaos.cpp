@@ -86,10 +86,13 @@ ChaosReport runChaos(const ChaosConfig &C) {
   if (C.Clients < 1 || C.ShardsPerClient < 1)
     return fail("chaos: need at least one client and one shard");
 
+  const bool Relayed = C.Topo == Topology::Relay;
   const std::string Snap = C.WorkDir + "/chaos-snapshot.arsp";
+  const std::string RelaySpill = C.WorkDir + "/chaos-relay-spill.bin";
   removeQuiet(Snap);
   removeQuiet(Snap + ".prev");
   removeQuiet(Snap + ".tmp");
+  removeQuiet(RelaySpill);
   std::vector<std::string> SpillPaths;
   for (int I = 0; I != C.Clients; ++I) {
     SpillPaths.push_back(
@@ -108,8 +111,7 @@ ChaosReport runChaos(const ChaosConfig &C) {
   SC.Workers = C.ServerWorkers;
   // No shedding during the determinism check: every push must land, and
   // whether a push races into an admission bound depends on scheduling.
-  SC.MaxPendingConnections = 0;
-  SC.MaxActivePushes = 0;
+  SC.MaxConnections = 0;
   SC.RecoverOnStart = false; // the run starts from an empty aggregate
   // The whole run is over an in-memory loopback, so nothing legitimate
   // waits more than a few ms (LatencyMaxMs).  The timeout still has to
@@ -117,10 +119,55 @@ ChaosReport runChaos(const ChaosConfig &C) {
   // flip landing in a frame's length header strands the reader waiting
   // for payload bytes that never come, and recovery (both sides time
   // out, the client reconnects and resends) costs exactly this long.
-  SC.RecvTimeoutMs = 500;
+  //
+  // Relay topology: server-side idle reaping is DISABLED (0).  Between
+  // waves a leaf connection sits idle for however long the faulted
+  // upstream flush takes, so whether the 500ms reaper fires before the
+  // next wave would be a wall-clock race — and every reap changes the
+  // client's subsequent op sequence (reconnect = an extra dial on the
+  // fault stream), destroying trace replay determinism.  Recovery then
+  // rests purely on CLIENT-side timeouts plus stream close events,
+  // both of which are functions of the seed alone.
+  SC.RecvTimeoutMs = Relayed ? 0 : 500;
   auto *L = new LoopbackListener();
   ProfileServer Server(std::unique_ptr<profserve::Listener>(L), SC);
   Server.start();
+
+  // Topology::Relay interposes an interior aggregation node: clients
+  // push at the relay, the relay merges and drains deltas upstream to
+  // the root through its own faulted ProfileClient.  Flushing is ONLY
+  // harness-driven (no timer, no merge trigger): a timer flush would
+  // make each delta's contents scheduling-dependent and destroy trace
+  // replay determinism.
+  std::shared_ptr<FaultStream> UpFaults;
+  std::unique_ptr<ProfileServer> Relay;
+  LoopbackListener *RelayL = nullptr;
+  if (Relayed) {
+    UpFaults = std::make_shared<FaultStream>(C.Plan, C.FaultSeed,
+                                             2000ULL, "relay-up");
+    ServerConfig RSC;
+    RSC.Fingerprint = ChaosFingerprint;
+    RSC.Workers = C.ServerWorkers;
+    RSC.MaxConnections = 0;
+    RSC.RecoverOnStart = false;
+    RSC.RecvTimeoutMs = 0; // no idle reaping: see the note on SC above
+    RSC.Relay.Dial = faultyDialer(loopbackDialer(*L), UpFaults);
+    RSC.Relay.Client.TimeoutMs = 500;
+    RSC.Relay.Client.MaxRetries = C.PushRetries;
+    RSC.Relay.Client.BackoffMs = 1;
+    RSC.Relay.Client.Fingerprint = ChaosFingerprint;
+    RSC.Relay.Client.SessionId = 0x5E1AULL;
+    RSC.Relay.Client.BreakerThreshold = 6;
+    RSC.Relay.Client.BreakerCooldownOps = 2;
+    RSC.Relay.Client.SpillPath = RelaySpill;
+    RSC.Relay.FlushIntervalMs = 0;  // harness-driven only; see above
+    RSC.Relay.FlushEveryMerges = 0;
+    RelayL = new LoopbackListener();
+    Relay = std::make_unique<ProfileServer>(
+        std::unique_ptr<profserve::Listener>(RelayL), RSC);
+    Relay->start();
+  }
+  LoopbackListener *PushL = Relayed ? RelayL : L;
 
   // One fault stream per client, created up front in client order so the
   // concatenated trace has a deterministic layout.
@@ -132,48 +179,127 @@ ChaosReport runChaos(const ChaosConfig &C) {
 
   std::vector<std::string> Errs(C.Clients);
   std::vector<uint64_t> Spills(C.Clients, 0);
-  std::vector<std::thread> Threads;
-  for (int I = 0; I != C.Clients; ++I) {
-    Threads.emplace_back([&, I] {
-      ClientConfig CC;
-      CC.TimeoutMs = 500; // matches RecvTimeoutMs: see the note above
-      CC.MaxRetries = C.PushRetries;
-      CC.BackoffMs = 1; // keep chaos runs fast; jitter still exercised
-      CC.Fingerprint = ChaosFingerprint;
-      CC.SessionId = static_cast<uint64_t>(1000 + I);
-      CC.BreakerThreshold = 6;
-      CC.BreakerCooldownOps = 2; // deterministic, wall-clock-free
-      CC.SpillPath = SpillPaths[I];
-      ProfileClient Client(
-          faultyDialer(loopbackDialer(*L), Streams[I]), CC);
-      for (int J = 0; J != C.ShardsPerClient; ++J) {
-        int Global = I * C.ShardsPerClient + J;
-        ClientResult PR =
-            Client.push(chaosShard(Global), ChaosFingerprint);
-        if (PR.Spilled)
-          ++Spills[I];
-        else if (!PR.Ok) {
-          Errs[I] = support::formatString("client %d shard %d: %s", I,
-                                          Global, PR.Error.c_str());
+  auto makeClient = [&](int I) {
+    ClientConfig CC;
+    CC.TimeoutMs = 500; // matches RecvTimeoutMs: see the note above
+    CC.MaxRetries = C.PushRetries;
+    CC.BackoffMs = 1; // keep chaos runs fast; jitter still exercised
+    CC.Fingerprint = ChaosFingerprint;
+    CC.SessionId = static_cast<uint64_t>(1000 + I);
+    CC.BreakerThreshold = 6;
+    CC.BreakerCooldownOps = 2; // deterministic, wall-clock-free
+    CC.SpillPath = SpillPaths[I];
+    return std::make_unique<ProfileClient>(
+        faultyDialer(loopbackDialer(*PushL), Streams[I]), CC);
+  };
+  auto pushShard = [&](ProfileClient &Client, int I, int J) {
+    int Global = I * C.ShardsPerClient + J;
+    ClientResult PR = Client.push(chaosShard(Global), ChaosFingerprint);
+    if (PR.Spilled)
+      ++Spills[I];
+    else if (!PR.Ok)
+      Errs[I] = support::formatString("client %d shard %d: %s", I,
+                                      Global, PR.Error.c_str());
+  };
+
+  if (!Relayed) {
+    std::vector<std::thread> Threads;
+    for (int I = 0; I != C.Clients; ++I) {
+      Threads.emplace_back([&, I] {
+        std::unique_ptr<ProfileClient> Client = makeClient(I);
+        for (int J = 0; J != C.ShardsPerClient && Errs[I].empty(); ++J)
+          pushShard(*Client, I, J);
+        if (!Errs[I].empty())
           return;
-        }
-      }
-      // Replay whatever spilled.  The fault budget means the stream goes
-      // clean, so a bounded number of rounds always drains the file.
-      for (int Round = 0; Round != 16 && Client.spillCount(); ++Round)
-        Client.replaySpill();
-      if (size_t Left = Client.spillCount())
-        Errs[I] = support::formatString(
-            "client %d: %zu shards still spilled after replay", I, Left);
-    });
+        // Replay whatever spilled.  The fault budget means the stream
+        // goes clean, so a bounded number of rounds drains the file.
+        for (int Round = 0; Round != 16 && Client->spillCount(); ++Round)
+          Client->replaySpill();
+        if (size_t Left = Client->spillCount())
+          Errs[I] = support::formatString(
+              "client %d: %zu shards still spilled after replay", I,
+              Left);
+      });
+    }
+    for (std::thread &T : Threads)
+      T.join();
+  } else {
+    // Wave-structured pushes: every client pushes its J-th shard, the
+    // wave JOINS, and only then does the harness flush the relay.  The
+    // join makes "which shards the relay holds at flush time" — and so
+    // every upstream delta's bytes and every upstream fault decision —
+    // a pure function of the seed.  Clients persist across waves so
+    // their (session, seq) numbering stays monotonic; recreating one
+    // would reuse sequence numbers and alias the dedup ledger.
+    std::vector<std::unique_ptr<ProfileClient>> Clients;
+    for (int I = 0; I != C.Clients; ++I)
+      Clients.push_back(makeClient(I));
+    for (int J = 0; J != C.ShardsPerClient; ++J) {
+      std::vector<std::thread> Wave;
+      for (int I = 0; I != C.Clients; ++I)
+        Wave.emplace_back([&, I, J] {
+          if (Errs[I].empty())
+            pushShard(*Clients[I], I, J);
+        });
+      for (std::thread &T : Wave)
+        T.join();
+      std::string FlushErr;
+      Relay->flushUpstream(&FlushErr); // a failed delta spills; the
+                                       // post-push drain replays it
+    }
+    // Drain client spills (joined rounds, same determinism argument).
+    for (int Round = 0; Round != 16; ++Round) {
+      std::vector<std::thread> Wave;
+      for (int I = 0; I != C.Clients; ++I)
+        Wave.emplace_back([&, I] {
+          if (Errs[I].empty() && Clients[I]->spillCount())
+            Clients[I]->replaySpill();
+        });
+      for (std::thread &T : Wave)
+        T.join();
+      bool AnyLeft = false;
+      for (int I = 0; I != C.Clients; ++I)
+        AnyLeft = AnyLeft || Clients[I]->spillCount();
+      if (!AnyLeft)
+        break;
+    }
+    for (int I = 0; I != C.Clients; ++I)
+      if (Errs[I].empty())
+        if (size_t Left = Clients[I]->spillCount())
+          Errs[I] = support::formatString(
+              "client %d: %zu shards still spilled after replay", I,
+              Left);
+    Clients.clear(); // deterministic BYEs before the relay drains
+    // Late-replayed shards sit in the relay; drain until the faulted
+    // uplink goes clean (true = spill replayed empty + delta landed).
+    std::string FlushErr;
+    bool Drained = false;
+    for (int Round = 0; Round != 16 && !Drained; ++Round)
+      Drained = Relay->flushUpstream(&FlushErr);
+    if (!Drained)
+      return fail("relay upstream never drained: " + FlushErr);
   }
-  for (std::thread &T : Threads)
-    T.join();
   for (const std::string &E : Errs)
     if (!E.empty())
       return fail(E);
   for (uint64_t S : Spills)
     R.Spills += S;
+
+  if (Relayed) {
+    // Every leaf shard must have merged at the relay exactly once, and
+    // the relay must now be fully drained — stop() it so its final
+    // (empty) flush and connection teardown happen before the root is
+    // inspected.
+    profserve::StatsMsg RelayStats = Relay->stats();
+    R.Merges = RelayStats.Merges;
+    R.Duplicates = RelayStats.Duplicates;
+    Relay->stop();
+    if (RelayStats.Merges != R.ExpectedShards)
+      return fail(support::formatString(
+          "relay merged %llu shards, expected exactly %llu",
+          static_cast<unsigned long long>(RelayStats.Merges),
+          static_cast<unsigned long long>(R.ExpectedShards)));
+  }
 
   // The payoff check: pull through a clean client and compare bytes.
   {
@@ -190,13 +316,21 @@ ChaosReport runChaos(const ChaosConfig &C) {
           P.RawBytes.size(), Expected.size()));
   }
   profserve::StatsMsg Stats = Server.stats();
-  R.Merges = Stats.Merges;
-  R.Duplicates = Stats.Duplicates;
-  if (Stats.Merges != R.ExpectedShards)
-    return fail(support::formatString(
-        "server merged %llu shards, expected exactly %llu",
-        static_cast<unsigned long long>(Stats.Merges),
-        static_cast<unsigned long long>(R.ExpectedShards)));
+  if (Relayed) {
+    // The root sees upstream DELTAS, not leaf shards, so its merge
+    // count is topology-shaped — but it must still replay identically
+    // (the sweep compares it run-to-run).
+    R.RootMerges = Stats.Merges;
+    R.RootDuplicates = Stats.Duplicates;
+  } else {
+    R.Merges = Stats.Merges;
+    R.Duplicates = Stats.Duplicates;
+    if (Stats.Merges != R.ExpectedShards)
+      return fail(support::formatString(
+          "server merged %llu shards, expected exactly %llu",
+          static_cast<unsigned long long>(Stats.Merges),
+          static_cast<unsigned long long>(R.ExpectedShards)));
+  }
 
   // Snapshot phase, sequential: two clean snapshots establish main and
   // ".prev", then faulted attempts may fail but must never leave us
@@ -264,6 +398,10 @@ ChaosReport runChaos(const ChaosConfig &C) {
     R.Trace += S->trace();
     R.FaultsInjected += S->faultsInjected();
   }
+  if (UpFaults) {
+    R.Trace += UpFaults->trace();
+    R.FaultsInjected += UpFaults->faultsInjected();
+  }
   if (FileStream) {
     R.Trace += FileStream->trace();
     R.FaultsInjected += FileStream->faultsInjected();
@@ -294,7 +432,9 @@ bool chaosSweep(const ChaosConfig &Base, uint64_t Seeds, bool Verbose) {
       continue;
     }
     if (First.Trace != Second.Trace || First.Merges != Second.Merges ||
-        First.Duplicates != Second.Duplicates) {
+        First.Duplicates != Second.Duplicates ||
+        First.RootMerges != Second.RootMerges ||
+        First.RootDuplicates != Second.RootDuplicates) {
       std::fprintf(stderr,
                    "chaos seed %llu NOT deterministic: traces %zu vs "
                    "%zu bytes, merges %llu vs %llu, dups %llu vs %llu\n",

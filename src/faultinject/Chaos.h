@@ -28,10 +28,23 @@
 namespace ars {
 namespace faultinject {
 
+/// How the collection tier is wired for a chaos run.
+enum class Topology {
+  Direct, ///< clients push straight at the collection server
+  /// clients -> relay server -> root server, with fault injection on
+  /// BOTH hops: each client's transport to the relay is faulted AND the
+  /// relay's upstream ProfileClient dials the root through a faulted
+  /// transport.  Pushes run in joined waves and the harness flushes the
+  /// relay after each wave, so every upstream delta's contents — and
+  /// therefore the whole fault trace — replays deterministically.
+  Relay,
+};
+
 struct ChaosConfig {
   int Clients = 6;          ///< concurrent pusher threads
   int ShardsPerClient = 12; ///< distinct shards each client pushes
   uint64_t FaultSeed = 0;   ///< the single seed the whole run replays from
+  Topology Topo = Topology::Direct;
   FaultPlan Plan;
   /// Scratch directory for spill files and snapshots (required; the run
   /// removes its own files on entry so seeds don't contaminate each
@@ -48,10 +61,17 @@ struct ChaosReport {
   std::string Error; ///< first violated invariant (empty when Ok)
   std::string Trace; ///< concatenated fault traces, client order
   uint64_t ExpectedShards = 0;
+  /// Merges/Duplicates of the server the CLIENTS push at (the relay in
+  /// Topology::Relay) — Merges must equal ExpectedShards either way.
   uint64_t Merges = 0;
   uint64_t Duplicates = 0;
   uint64_t Spills = 0;          ///< pushes that went through the spill file
   uint64_t FaultsInjected = 0;
+  /// Topology::Relay only: the root's counters.  RootMerges counts
+  /// upstream delta shards (not leaf shards) and RootDuplicates the
+  /// deduped retries of half-landed deltas; both must replay identically.
+  uint64_t RootMerges = 0;
+  uint64_t RootDuplicates = 0;
 };
 
 /// One seeded run; see the file comment for the invariants checked.

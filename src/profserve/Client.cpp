@@ -190,6 +190,15 @@ ClientResult ProfileClient::connect() {
       T->close();
       continue;
     }
+    if (Ack.Version < MinWireVersion || Ack.Version > WireVersion) {
+      // The ack must echo a dialect we actually speak; anything else is
+      // a confused (or hostile) server.
+      LastError = support::formatString(
+          "server negotiated unsupported wire v%u", Ack.Version);
+      T->close();
+      continue;
+    }
+    Negotiated = Ack.Version;
     ServerFingerprint = Ack.Fingerprint;
     Conn = std::move(T);
     return {true, ""};
@@ -363,6 +372,121 @@ ClientResult ProfileClient::pushEncoded(const std::string &ArspBytes) {
 ClientResult ProfileClient::push(const profile::ProfileBundle &B,
                                  uint64_t Fingerprint) {
   return pushEncoded(profstore::encodeBundle(B, Fingerprint));
+}
+
+ClientResult
+ProfileClient::pushBatchSequenced(const std::vector<BatchShard> &Batch) {
+  std::string Payload = encodePushBatch(Batch);
+  ClientResult Last;
+  for (int Attempt = 0; Attempt <= Config.MaxRetries; ++Attempt) {
+    if (Attempt)
+      backoff(Attempt - 1);
+    if (!breakerAllows()) {
+      Last = {false, "circuit breaker open"};
+      continue;
+    }
+    ClientResult C = connect();
+    if (!C.Ok) {
+      if (!C.ServerReply)
+        recordFailure();
+      Last = C;
+      if (C.ServerReply)
+        return Last; // deliberate handshake rejection: final
+      continue;
+    }
+    if (Negotiated < 3) {
+      // v2 server: degrade to per-shard sequenced pushes.  The sequence
+      // numbers were assigned up front, so shards that already landed
+      // through an earlier (half-acked) batch attempt deduplicate.
+      Last = {true, ""};
+      for (const BatchShard &S : Batch) {
+        ClientResult R1 = pushSequenced(S.Seq, S.Arsp);
+        if (!R1.Ok) {
+          Last = R1;
+          break;
+        }
+      }
+      return Last;
+    }
+    Frame Reply;
+    Last = exchange(MsgType::PushBatch, Payload, MsgType::PushBatchAck,
+                    &Reply);
+    if (Last.Ok) {
+      PushBatchAckMsg Ack;
+      if (!decodePushBatchAck(Reply.Payload, &Ack)) {
+        // Wire damage on the ack; the retry is safe — the server
+        // deduplicates every (session, seq) in the batch.
+        if (Conn) {
+          Conn->close();
+          Conn.reset();
+        }
+        recordFailure();
+        Last = {false, "malformed PUSH_BATCH_ACK"};
+        continue;
+      }
+      LastMerges = Ack.Merges;
+      DupAcks += Ack.Duplicates;
+      recordSuccess();
+      if (Ack.Rejected)
+        return serverError(
+            ErrCode::BadShard,
+            support::formatString(
+                "%llu of %llu batched shards rejected: %s",
+                static_cast<unsigned long long>(Ack.Rejected),
+                static_cast<unsigned long long>(Ack.Count),
+                Ack.FirstError.c_str()));
+      return {true, ""};
+    }
+    if (Last.ServerReply) {
+      if (Last.Code == ErrCode::RetryAfter)
+        continue; // deliberate shedding: back off, not a breaker strike
+      if (Last.Code == ErrCode::BadFrame) {
+        recordFailure(); // corruption en route; reconnect and retry
+        continue;
+      }
+      return Last; // BAD_SHARD etc.: retrying identical bytes cannot help
+    }
+    recordFailure(); // transport-level failure; retry is dedup-safe
+  }
+  return Last;
+}
+
+ClientResult
+ProfileClient::pushBatch(const std::vector<std::string> &ArspShards) {
+  if (ArspShards.empty())
+    return {true, ""};
+  if (Config.SessionId == 0) {
+    // Sessionless pushes cannot be deduplicated server-side, so a batch
+    // retry could double-count a half-landed prefix; fall back to the
+    // conservative one-at-a-time legacy path.
+    for (const std::string &S : ArspShards) {
+      ClientResult R = pushEncoded(S);
+      if (!R.Ok)
+        return R;
+    }
+    return {true, ""};
+  }
+  // Stable sequence numbers across every retry of this batch.
+  std::vector<BatchShard> Batch;
+  Batch.reserve(ArspShards.size());
+  for (const std::string &S : ArspShards)
+    Batch.push_back({++NextSeq, S});
+  ClientResult R = pushBatchSequenced(Batch);
+  if (!R.Ok && !Config.SpillPath.empty()) {
+    size_t Spilled = 0;
+    std::string SpillError;
+    for (const BatchShard &S : Batch)
+      if (appendSpill(S.Seq, S.Arsp, &SpillError))
+        ++Spilled;
+    if (Spilled == Batch.size()) {
+      // Replays that already merged just earn duplicate acks.
+      R.Spilled = true;
+      R.Error += " (batch spilled for replay)";
+    } else {
+      R.Error += "; spill also failed: " + SpillError;
+    }
+  }
+  return R;
 }
 
 bool ProfileClient::appendSpill(uint64_t Seq, const std::string &ArspBytes,

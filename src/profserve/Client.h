@@ -54,6 +54,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace ars {
 namespace profserve {
@@ -123,6 +124,16 @@ public:
   /// encodeBundle + pushEncoded.
   ClientResult push(const profile::ProfileBundle &B, uint64_t Fingerprint);
 
+  /// Uploads many encoded shards in one wire-v3 PUSH_BATCH frame (one
+  /// cumulative ack — round trips amortize over the batch).  Sequence
+  /// numbers are assigned up front and stable across retries, so the
+  /// server's (session, seq) dedup keeps a retried batch whose prefix
+  /// half-landed exactly-once.  Against a server that negotiated wire v2
+  /// the batch transparently degrades to per-shard sequenced pushes with
+  /// the same sequence numbers.  Ok iff every shard merged or
+  /// deduplicated; on failure the whole batch spills for replaySpill().
+  ClientResult pushBatch(const std::vector<std::string> &ArspShards);
+
   /// Re-pushes every shard in SpillPath (with its original sequence
   /// number, so server-side dedup applies), rewriting the file with
   /// whatever still cannot be pushed.  Ok when the spill is empty after
@@ -160,6 +171,10 @@ public:
   /// The server's pinned/adopted fingerprint from the last HELLO_ACK.
   uint64_t serverFingerprint() const { return ServerFingerprint; }
 
+  /// Wire version the server echoed in the last HELLO_ACK (the session's
+  /// dialect); 0 before the first successful handshake.
+  uint32_t negotiatedVersion() const { return Negotiated; }
+
   /// Dial attempts made (for tests asserting the backoff path).
   int dialAttempts() const { return DialAttempts; }
 
@@ -181,6 +196,8 @@ private:
                              MsgType WantReply, Frame *Reply);
   /// The exactly-once retry loop for one sequenced shard.
   ClientResult pushSequenced(uint64_t Seq, const std::string &ArspBytes);
+  /// The exactly-once retry loop for one already-sequenced batch.
+  ClientResult pushBatchSequenced(const std::vector<BatchShard> &Batch);
   bool appendSpill(uint64_t Seq, const std::string &ArspBytes,
                    std::string *Error);
   void backoff(int Attempt);
@@ -196,6 +213,7 @@ private:
   support::Xorshift64 Jitter;
   uint64_t LastMerges = 0;
   uint64_t ServerFingerprint = 0;
+  uint32_t Negotiated = 0;
   int DialAttempts = 0;
   uint64_t NextSeq = 0; ///< last assigned push sequence number
   uint64_t DupAcks = 0;

@@ -1,0 +1,464 @@
+//===- profserve/EventLoop.cpp --------------------------------*- C++ -*-===//
+
+#include "profserve/EventLoop.h"
+
+#include "support/Support.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+namespace ars {
+namespace profserve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+} // namespace
+
+/// One reactor thread's world.  Conns/FreeSlots are touched only by the
+/// owning thread; Incoming/ReadySlots/Stop cross threads under QueueMu;
+/// the wake pipe makes poll() interruptible from anywhere.
+struct Reactor::Shard {
+  std::mutex QueueMu;
+  std::deque<std::unique_ptr<Transport>> Incoming;
+  std::vector<size_t> ReadySlots;
+  bool Stop = false;
+  int WakeRead = -1, WakeWrite = -1;
+  std::thread Th;
+
+  // Owning-thread-only state.
+  std::vector<std::unique_ptr<Conn>> Conns;
+  std::vector<size_t> FreeSlots;
+
+  ~Shard() {
+    if (WakeRead >= 0)
+      ::close(WakeRead);
+    if (WakeWrite >= 0)
+      ::close(WakeWrite);
+  }
+
+  void wake() {
+    if (WakeWrite >= 0) {
+      char B = 'w';
+      // A full pipe already guarantees a pending wakeup.
+      (void)!::write(WakeWrite, &B, 1);
+    }
+  }
+};
+
+Reactor::Phase Reactor::Conn::phase() const {
+  if (CloseAfterFlush)
+    return Phase::Closing;
+  if (outPending())
+    return Phase::Write;
+  return In.size() - InOff >= FrameHeaderSize ? Phase::ReadBody
+                                              : Phase::ReadHeader;
+}
+
+Reactor::Reactor(Config C, Hooks Hs) : Cfg(C), H(std::move(Hs)) {
+  if (Cfg.Threads < 1)
+    Cfg.Threads = 1;
+  for (int I = 0; I != Cfg.Threads; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+Reactor::~Reactor() { stop(); }
+
+void Reactor::start() {
+  if (Started)
+    return;
+  for (auto &SP : Shards) {
+    int Fds[2];
+    if (::pipe(Fds) == 0) {
+      ::fcntl(Fds[0], F_SETFL, O_NONBLOCK);
+      ::fcntl(Fds[1], F_SETFL, O_NONBLOCK);
+      SP->WakeRead = Fds[0];
+      SP->WakeWrite = Fds[1];
+    } // else: the loop falls back to short poll slices
+    Shard *S = SP.get();
+    SP->Th = std::thread([this, S] { runShard(*S); });
+  }
+  Started = true;
+}
+
+void Reactor::stop() {
+  if (Stopped.exchange(true))
+    return;
+  if (!Started)
+    return;
+  for (auto &SP : Shards) {
+    {
+      std::lock_guard<std::mutex> Lock(SP->QueueMu);
+      SP->Stop = true;
+    }
+    SP->wake();
+  }
+  for (auto &SP : Shards)
+    if (SP->Th.joinable())
+      SP->Th.join();
+}
+
+void Reactor::adopt(std::unique_ptr<Transport> T) {
+  if (!T)
+    return;
+  if (!Started || Stopped.load(std::memory_order_acquire)) {
+    T->close();
+    return;
+  }
+  Shard &S = *Shards[NextShard.fetch_add(1, std::memory_order_relaxed) %
+                     Shards.size()];
+  {
+    std::lock_guard<std::mutex> Lock(S.QueueMu);
+    if (S.Stop) {
+      T->close();
+      return;
+    }
+    ActiveConns.fetch_add(1, std::memory_order_acq_rel);
+    S.Incoming.push_back(std::move(T));
+  }
+  S.wake();
+}
+
+void Reactor::finish(Conn &C) {
+  if (C.Dead)
+    return;
+  C.Dead = true;
+  if (H.OnClose)
+    H.OnClose(C);
+  C.T->close();
+  ActiveConns.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Reactor::streamError(Conn &C, FrameStatus St,
+                          const std::string &Why) {
+  if (C.Dead)
+    return;
+  std::string Farewell;
+  if (H.OnStreamError)
+    Farewell = H.OnStreamError(C, St, Why);
+  // On a transport-level death the stream cannot carry a farewell; and
+  // an empty farewell means "just close".
+  if (Farewell.empty() || St == FrameStatus::Transport) {
+    finish(C);
+    return;
+  }
+  C.Out.append(Farewell);
+  if (Cfg.SendTimeoutMs > 0 && !C.HasWriteDeadline) {
+    C.HasWriteDeadline = true;
+    C.WriteDeadline =
+        Clock::now() + std::chrono::milliseconds(Cfg.SendTimeoutMs);
+  }
+  C.CloseAfterFlush = true;
+  flushOut(C); // often completes (and closes) right here
+}
+
+void Reactor::flushOut(Conn &C) {
+  while (!C.Dead && C.outPending()) {
+    size_t W = 0;
+    IoResult R =
+        C.T->writeNow(C.Out.data() + C.OutOff, C.outPending(), &W);
+    C.OutOff += W;
+    if (W && Cfg.SendTimeoutMs > 0) {
+      // Progress re-arms the stall deadline: "stalled" means the peer
+      // took nothing for SendTimeoutMs, not "the reply was large".
+      C.HasWriteDeadline = true;
+      C.WriteDeadline =
+          Clock::now() + std::chrono::milliseconds(Cfg.SendTimeoutMs);
+    }
+    if (R.Status == IoStatus::Ok)
+      continue;
+    if (R.Status == IoStatus::WouldBlock)
+      return; // poll/signal re-arms us when the peer drains
+    finish(C); // Eof/Closed/Error: the reply can no longer be delivered
+    return;
+  }
+  if (C.Dead)
+    return;
+  C.Out.clear();
+  C.OutOff = 0;
+  C.HasWriteDeadline = false;
+  if (C.CloseAfterFlush)
+    finish(C);
+}
+
+bool Reactor::parseAvailable(Conn &C) {
+  while (!C.Dead && !C.CloseAfterFlush) {
+    FrameParse P = parseFrameBytes(C.In.data() + C.InOff,
+                                   C.In.size() - C.InOff,
+                                   Cfg.MaxFramePayload);
+    if (P.NeedMore)
+      break;
+    if (P.Status != FrameStatus::Ok) {
+      streamError(C, P.Status, P.Error);
+      return false;
+    }
+    C.InOff += P.Consumed;
+    if (Cfg.RecvTimeoutMs > 0) {
+      // The whole-frame deadline restarts at every frame boundary, same
+      // contract as the blocking readFrame loop it replaces.
+      C.HasReadDeadline = true;
+      C.ReadDeadline =
+          Clock::now() + std::chrono::milliseconds(Cfg.RecvTimeoutMs);
+    }
+    FrameAction A =
+        H.OnFrame ? H.OnFrame(C, std::move(P.F)) : FrameAction{};
+    if (!A.Reply.empty()) {
+      if (!C.outPending() && Cfg.SendTimeoutMs > 0) {
+        C.HasWriteDeadline = true;
+        C.WriteDeadline =
+            Clock::now() + std::chrono::milliseconds(Cfg.SendTimeoutMs);
+      }
+      C.Out.append(A.Reply);
+    }
+    if (A.Close)
+      C.CloseAfterFlush = true;
+  }
+  // Compact the consumed prefix so a pipelining client cannot grow the
+  // buffer without bound.
+  if (C.InOff == C.In.size()) {
+    C.In.clear();
+    C.InOff = 0;
+  } else if (C.InOff > 4096) {
+    C.In.erase(0, C.InOff);
+    C.InOff = 0;
+  }
+  return !C.Dead;
+}
+
+void Reactor::serviceConn(Shard &, Conn &C) {
+  if (C.Dead)
+    return;
+  if (C.outPending()) {
+    flushOut(C);
+    if (C.Dead)
+      return;
+  }
+  if (C.CloseAfterFlush) {
+    if (!C.outPending())
+      finish(C);
+    return;
+  }
+  if (C.outPending())
+    return; // backpressure: no new requests while a reply is queued
+  for (;;) {
+    char Buf[16384];
+    size_t N = 0;
+    IoResult R = C.T->readNow(Buf, sizeof(Buf), &N);
+    if (R.Status == IoStatus::Ok) {
+      C.In.append(Buf, N);
+      if (!parseAvailable(C))
+        return;
+      flushOut(C);
+      if (C.Dead)
+        return;
+      if (C.CloseAfterFlush) {
+        if (!C.outPending())
+          finish(C);
+        return;
+      }
+      if (C.outPending())
+        return; // wait for writability before consuming more input
+      continue;
+    }
+    if (R.Status == IoStatus::WouldBlock)
+      return;
+    if (R.Status == IoStatus::Eof) {
+      if (C.In.size() != C.InOff)
+        streamError(C, FrameStatus::Malformed,
+                    support::formatString(
+                        "truncated frame: stream ended with %zu "
+                        "buffered bytes",
+                        C.In.size() - C.InOff));
+      else
+        finish(C); // clean disconnect at a frame boundary
+      return;
+    }
+    if (R.Status == IoStatus::Closed) {
+      finish(C); // closed locally (shutdown)
+      return;
+    }
+    streamError(C, FrameStatus::Transport, R.Message);
+    return;
+  }
+}
+
+void Reactor::runShard(Shard &S) {
+  std::vector<pollfd> P;
+  std::vector<size_t> PollSlots;
+  std::vector<size_t> Ready;
+  std::deque<std::unique_ptr<Transport>> Fresh;
+
+  auto reapDead = [&S] {
+    for (auto &CP : S.Conns)
+      if (CP && CP->Dead) {
+        S.FreeSlots.push_back(CP->Slot);
+        CP.reset();
+      }
+  };
+
+  for (;;) {
+    bool Stopping;
+    Ready.clear();
+    Fresh.clear();
+    {
+      std::lock_guard<std::mutex> Lock(S.QueueMu);
+      Stopping = S.Stop;
+      std::swap(Fresh, S.Incoming);
+      std::swap(Ready, S.ReadySlots);
+    }
+    if (Stopping)
+      break;
+
+    // Adopt fresh connections into free slots.
+    for (auto &T : Fresh) {
+      size_t Slot;
+      if (!S.FreeSlots.empty()) {
+        Slot = S.FreeSlots.back();
+        S.FreeSlots.pop_back();
+      } else {
+        Slot = S.Conns.size();
+        S.Conns.emplace_back();
+      }
+      auto C = std::make_unique<Conn>();
+      C->T = std::move(T);
+      C->Slot = Slot;
+      if (Cfg.RecvTimeoutMs > 0) {
+        C->HasReadDeadline = true;
+        C->ReadDeadline =
+            Clock::now() + std::chrono::milliseconds(Cfg.RecvTimeoutMs);
+      }
+      if (C->T->pollFd() < 0) {
+        // Signal-driven transport (loopback): any state change marks the
+        // slot ready and pokes the wake pipe.  The signal touches only
+        // the shard queue — never transport or reactor internals — so it
+        // is safe to fire from any thread, even under a pipe lock.
+        C->Signal = std::make_shared<std::function<void()>>(
+            [&S, Slot] {
+              {
+                std::lock_guard<std::mutex> Lock(S.QueueMu);
+                if (S.Stop)
+                  return;
+                S.ReadySlots.push_back(Slot);
+              }
+              S.wake();
+            });
+        C->T->watch(C->Signal);
+      }
+      S.Conns[Slot] = std::move(C);
+      Ready.push_back(Slot); // initial service pass
+    }
+
+    // Service signaled slots (deduplication is harmless but cheap).
+    std::sort(Ready.begin(), Ready.end());
+    Ready.erase(std::unique(Ready.begin(), Ready.end()), Ready.end());
+    for (size_t Slot : Ready)
+      if (Slot < S.Conns.size() && S.Conns[Slot])
+        serviceConn(S, *S.Conns[Slot]);
+    reapDead();
+
+    // Build the poll set: wake pipe + every fd-backed connection.
+    P.clear();
+    PollSlots.clear();
+    P.push_back({S.WakeRead, POLLIN, 0});
+    bool HasDeadline = false;
+    Clock::time_point MinDeadline{};
+    for (auto &CP : S.Conns) {
+      if (!CP)
+        continue;
+      Conn &C = *CP;
+      int Fd = C.T->pollFd();
+      if (Fd >= 0) {
+        short Ev = POLLIN;
+        if (C.outPending())
+          Ev |= POLLOUT;
+        P.push_back({Fd, Ev, 0});
+        PollSlots.push_back(C.Slot);
+      }
+      auto consider = [&](Clock::time_point D) {
+        if (!HasDeadline || D < MinDeadline) {
+          HasDeadline = true;
+          MinDeadline = D;
+        }
+      };
+      if (C.outPending() && C.HasWriteDeadline)
+        consider(C.WriteDeadline);
+      else if (C.HasReadDeadline && !C.CloseAfterFlush)
+        consider(C.ReadDeadline);
+    }
+    int TimeoutMs = -1;
+    if (HasDeadline) {
+      auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      MinDeadline - Clock::now())
+                      .count();
+      TimeoutMs = Left < 0 ? 0 : static_cast<int>(Left) + 1;
+    }
+    if (S.WakeRead < 0 && (TimeoutMs < 0 || TimeoutMs > 50))
+      TimeoutMs = 50; // no wake pipe: fall back to short slices
+    ::poll(P.data(), static_cast<nfds_t>(P.size()), TimeoutMs);
+
+    if (S.WakeRead >= 0 && (P[0].revents & POLLIN)) {
+      char Drain[256];
+      while (::read(S.WakeRead, Drain, sizeof(Drain)) > 0) {
+      }
+    }
+    for (size_t I = 1; I < P.size(); ++I)
+      if (P[I].revents) {
+        size_t Slot = PollSlots[I - 1];
+        if (S.Conns[Slot])
+          serviceConn(S, *S.Conns[Slot]);
+      }
+
+    // Deadlines: reap write-stalled and frame-stalled connections.
+    Clock::time_point Now = Clock::now();
+    for (auto &CP : S.Conns) {
+      if (!CP || CP->Dead)
+        continue;
+      Conn &C = *CP;
+      if (C.outPending() && C.HasWriteDeadline && Now >= C.WriteDeadline) {
+        // The peer stopped reading; its pipe is full, so no farewell —
+        // the hook just gets to record the reject.
+        if (H.OnStreamError)
+          H.OnStreamError(C, FrameStatus::Timeout,
+                          "reply stalled: peer stopped reading");
+        finish(C);
+        continue;
+      }
+      if (!C.CloseAfterFlush && !C.outPending() && C.HasReadDeadline &&
+          Now >= C.ReadDeadline)
+        streamError(C, FrameStatus::Timeout,
+                    C.In.size() != C.InOff
+                        ? "frame stalled mid-read"
+                        : "no frame within the deadline");
+    }
+    reapDead();
+  }
+
+  // Shutdown: every connection — in whatever state — is closed, its
+  // OnClose runs, nothing leaks.  Late arrivals in the incoming queue
+  // were counted at adopt() and are uncounted here.
+  for (auto &CP : S.Conns)
+    if (CP)
+      finish(*CP);
+  reapDead();
+  Fresh.clear();
+  {
+    std::lock_guard<std::mutex> Lock(S.QueueMu);
+    std::swap(Fresh, S.Incoming);
+  }
+  for (auto &T : Fresh) {
+    T->close();
+    ActiveConns.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+} // namespace profserve
+} // namespace ars

@@ -1,0 +1,163 @@
+//===- profserve/EventLoop.h - Readiness-driven connection reactor -*- C++ -*-===//
+///
+/// \file
+/// The event loop under the profile collection server: N reactor threads
+/// own many non-blocking connections each, instead of one thread-pool
+/// worker per connection.  Each connection is an explicit state machine
+///
+///   ReadHeader -> ReadBody -> (frame hook runs inline) -> Write -> ...
+///                                                     \-> Closing
+///
+/// driven purely by readiness: TCP transports are poll(2)ed through
+/// Transport::pollFd(), loopback transports fire a ready-signal
+/// (Transport::watch()) that wakes the owning reactor thread through a
+/// self-pipe.  Bytes are accumulated per connection and parsed
+/// incrementally with parseFrameBytes, so a client may pipeline any
+/// number of frames back-to-back (the wire-v3 batching path relies on
+/// this) and a slow-loris client trickling one byte at a time costs a
+/// buffer, never a blocked thread.
+///
+/// Deadlines: a whole frame must arrive within RecvTimeoutMs of the
+/// previous one (slow-loris reaping, same contract as the old blocking
+/// readFrame loop), and a queued reply must drain within SendTimeoutMs
+/// once the peer stops reading (write-backpressure reaping).  Expired
+/// connections get a best-effort farewell from the OnStreamError hook
+/// and are closed — never leaked, exactly like transport errors.
+///
+/// Threading: every connection is owned by exactly one reactor thread;
+/// hooks run on that thread, so per-connection state needs no locks.
+/// Cross-thread inputs (adopt(), ready-signals, stop()) only touch a
+/// tiny queue mutex and the self-pipe — never transport internals — so
+/// the lock order is trivially acyclic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_PROFSERVE_EVENTLOOP_H
+#define ARS_PROFSERVE_EVENTLOOP_H
+
+#include "profserve/Protocol.h"
+#include "profserve/Transport.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ars {
+namespace profserve {
+
+class Reactor {
+public:
+  struct Config {
+    int Threads = 2;         ///< reactor threads (clamped to >= 1)
+    int RecvTimeoutMs = 2000; ///< whole-frame deadline (<= 0 = none)
+    int SendTimeoutMs = 10000; ///< queued-reply drain deadline
+    size_t MaxFramePayload = DefaultMaxFramePayload;
+  };
+
+  /// Where a connection's state machine currently is (introspection for
+  /// tests and diagnostics; the reactor itself derives behavior from the
+  /// buffers, not from this label).
+  enum class Phase : uint8_t {
+    ReadHeader, ///< waiting for (more of) a 5-byte frame header
+    ReadBody,   ///< header buffered; waiting for payload + CRC
+    Write,      ///< a reply is queued and not yet fully flushed
+    Closing,    ///< farewell queued; close once it drains
+  };
+
+  class Conn {
+  public:
+    /// Protocol scratch owned by the hooks (the reactor never reads it).
+    bool SawHello = false;
+    uint64_t SessionId = 0;
+    uint32_t Negotiated = 0; ///< wire version agreed at HELLO; 0 before
+
+    Phase phase() const;
+    std::string peer() const { return T->peer(); }
+
+  private:
+    friend class Reactor;
+    std::unique_ptr<Transport> T;
+    ReadySignal Signal;      ///< keeps the watch() registration alive
+    std::string In;          ///< unparsed inbound bytes
+    size_t InOff = 0;        ///< consumed prefix of In
+    std::string Out;         ///< queued reply bytes
+    size_t OutOff = 0;       ///< flushed prefix of Out
+    bool CloseAfterFlush = false;
+    bool Dead = false;
+    bool HasReadDeadline = false;
+    bool HasWriteDeadline = false;
+    std::chrono::steady_clock::time_point ReadDeadline, WriteDeadline;
+    size_t Slot = 0; ///< index in the owning shard's table
+
+    size_t outPending() const { return Out.size() - OutOff; }
+  };
+
+  /// What the frame hook tells the reactor to do next.
+  struct FrameAction {
+    std::string Reply; ///< already-encoded frame bytes; empty = none
+    bool Close = false; ///< flush Reply, then close the connection
+  };
+
+  struct Hooks {
+    /// A complete, CRC-valid frame arrived.  Runs inline on the reactor
+    /// thread — keep it bounded (merging a shard is fine; blocking on
+    /// another server is not).
+    std::function<FrameAction(Conn &, Frame &&)> OnFrame;
+    /// The stream died: Timeout (frame deadline), Malformed/Oversized
+    /// (framing violation), or Transport.  Returns the farewell bytes to
+    /// attempt (an encoded ERROR frame; empty = none); the connection
+    /// closes either way.  May be null.
+    std::function<std::string(Conn &, FrameStatus, const std::string &)>
+        OnStreamError;
+    /// Exactly once per adopted connection, on its owning reactor
+    /// thread, after which the Conn is destroyed.  May be null.
+    std::function<void(Conn &)> OnClose;
+  };
+
+  Reactor(Config C, Hooks H);
+  ~Reactor(); ///< stop()s if still running
+
+  Reactor(const Reactor &) = delete;
+  Reactor &operator=(const Reactor &) = delete;
+
+  void start();
+  /// Closes every connection (running OnClose for each) and joins the
+  /// reactor threads.  Idempotent.
+  void stop();
+
+  /// Hands a fresh connection to the least-loaded-by-rotation reactor
+  /// thread.  Safe from any thread; a post-stop() adopt just closes \p T.
+  void adopt(std::unique_ptr<Transport> T);
+
+  /// Connections adopted and not yet closed.
+  size_t active() const {
+    return ActiveConns.load(std::memory_order_acquire);
+  }
+
+private:
+  struct Shard;
+
+  void runShard(Shard &S);
+  void serviceConn(Shard &S, Conn &C);
+  void flushOut(Conn &C);
+  bool parseAvailable(Conn &C);
+  void streamError(Conn &C, FrameStatus St, const std::string &Why);
+  void finish(Conn &C);
+
+  Config Cfg;
+  Hooks H;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  std::atomic<size_t> NextShard{0};
+  std::atomic<size_t> ActiveConns{0};
+  std::atomic<bool> Stopped{false};
+  bool Started = false;
+};
+
+} // namespace profserve
+} // namespace ars
+
+#endif // ARS_PROFSERVE_EVENTLOOP_H

@@ -22,15 +22,17 @@ const char *msgTypeName(MsgType T) {
   case MsgType::StatsReply:  return "STATS_REPLY";
   case MsgType::SnapshotReq: return "SNAPSHOT_REQ";
   case MsgType::SnapshotAck: return "SNAPSHOT_ACK";
-  case MsgType::Error:       return "ERROR";
-  case MsgType::Bye:         return "BYE";
+  case MsgType::Error:        return "ERROR";
+  case MsgType::Bye:          return "BYE";
+  case MsgType::PushBatch:    return "PUSH_BATCH";
+  case MsgType::PushBatchAck: return "PUSH_BATCH_ACK";
   }
   return "?";
 }
 
 bool knownMsgType(uint8_t Raw) {
   return Raw >= static_cast<uint8_t>(MsgType::Hello) &&
-         Raw <= static_cast<uint8_t>(MsgType::Bye);
+         Raw <= static_cast<uint8_t>(MsgType::PushBatchAck);
 }
 
 std::string encodeFrame(MsgType Type, const std::string &Payload) {
@@ -131,6 +133,56 @@ IoResult writeFrame(Transport &T, MsgType Type,
   return T.writeAll(Bytes.data(), Bytes.size());
 }
 
+FrameParse parseFrameBytes(const char *Data, size_t Size,
+                           size_t MaxPayload) {
+  FrameParse Out;
+  if (Size < FrameHeaderSize) {
+    Out.NeedMore = true;
+    return Out;
+  }
+  ByteReader R(Data, FrameHeaderSize);
+  uint32_t Len = 0;
+  R.readFixed32(&Len);
+  uint8_t RawType = static_cast<uint8_t>(Data[4]);
+  // Same discipline as readFrame: the cap gates everything below, so a
+  // hostile length prefix is rejected from the 5 header bytes alone and
+  // can never make the caller buffer gigabytes waiting for "more".
+  if (Len > MaxPayload) {
+    Out.Status = FrameStatus::Oversized;
+    Out.Error = support::formatString(
+        "frame payload of %u bytes exceeds the %zu-byte cap", Len,
+        MaxPayload);
+    return Out;
+  }
+  size_t Whole =
+      FrameHeaderSize + static_cast<size_t>(Len) + FrameTrailerSize;
+  if (Size < Whole) {
+    Out.NeedMore = true;
+    return Out;
+  }
+  uint32_t Computed = crc32(Data, FrameHeaderSize + Len);
+  ByteReader Trailer(Data + FrameHeaderSize + Len, FrameTrailerSize);
+  uint32_t Stored = 0;
+  Trailer.readFixed32(&Stored);
+  if (Stored != Computed) {
+    Out.Status = FrameStatus::Malformed;
+    Out.Error = support::formatString(
+        "frame CRC mismatch (stored %08x, computed %08x)", Stored,
+        Computed);
+    return Out;
+  }
+  if (!knownMsgType(RawType)) {
+    Out.Status = FrameStatus::Malformed;
+    Out.Error = support::formatString("unknown message type %u", RawType);
+    return Out;
+  }
+  Out.Status = FrameStatus::Ok;
+  Out.F.Type = static_cast<MsgType>(RawType);
+  Out.F.Payload.assign(Data + FrameHeaderSize, Len);
+  Out.Consumed = Whole;
+  return Out;
+}
+
 //===----------------------------------------------------------------------===//
 // Message payloads
 //===----------------------------------------------------------------------===//
@@ -222,7 +274,61 @@ bool decodePushAck(const std::string &Payload, PushAckMsg *Out) {
   return finish(R);
 }
 
-std::string encodeStats(const StatsMsg &M) {
+std::string encodePushBatch(const std::vector<BatchShard> &Shards) {
+  std::string Out;
+  appendVarint(Out, Shards.size());
+  for (const BatchShard &S : Shards) {
+    appendVarint(Out, S.Seq);
+    appendVarint(Out, S.Arsp.size());
+    Out.append(S.Arsp);
+  }
+  return Out;
+}
+
+bool decodePushBatch(const std::string &Payload,
+                     std::vector<BatchShard> *Out) {
+  ByteReader R(Payload);
+  uint64_t Count = 0;
+  if (!R.readVarint(&Count) || Count > MaxBatchShards)
+    return false;
+  Out->clear();
+  Out->reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; I != Count; ++I) {
+    BatchShard S;
+    // Each shard's length is implicitly capped by the already-validated
+    // frame payload; Payload.size() is the tightest honest bound.
+    if (!R.readVarint(&S.Seq) ||
+        !R.readLengthPrefixed(&S.Arsp, Payload.size()))
+      return false;
+    Out->push_back(std::move(S));
+  }
+  return finish(R);
+}
+
+std::string encodePushBatchAck(const PushBatchAckMsg &M) {
+  std::string Out;
+  appendVarint(Out, M.Merges);
+  appendFixed64(Out, M.Fingerprint);
+  appendVarint(Out, M.Count);
+  appendVarint(Out, M.Merged);
+  appendVarint(Out, M.Duplicates);
+  appendVarint(Out, M.Rejected);
+  size_t N = M.FirstError.size() < MaxTextLen ? M.FirstError.size()
+                                              : MaxTextLen;
+  appendVarint(Out, N);
+  Out.append(M.FirstError, 0, N);
+  return Out;
+}
+
+bool decodePushBatchAck(const std::string &Payload, PushBatchAckMsg *Out) {
+  ByteReader R(Payload);
+  return R.readVarint(&Out->Merges) && R.readFixed64(&Out->Fingerprint) &&
+         R.readVarint(&Out->Count) && R.readVarint(&Out->Merged) &&
+         R.readVarint(&Out->Duplicates) && R.readVarint(&Out->Rejected) &&
+         R.readLengthPrefixed(&Out->FirstError, MaxTextLen) && finish(R);
+}
+
+std::string encodeStats(const StatsMsg &M, uint32_t Version) {
   std::string Out;
   appendVarint(Out, M.Frames);
   appendVarint(Out, M.Bytes);
@@ -235,18 +341,27 @@ std::string encodeStats(const StatsMsg &M) {
   appendVarint(Out, M.Shed);
   appendVarint(Out, M.Duplicates);
   appendVarint(Out, M.Recovered);
+  if (Version >= 3) {
+    appendVarint(Out, M.Batches);
+    appendVarint(Out, M.RelayFlushes);
+    appendVarint(Out, M.RelayFailures);
+  }
   return Out;
 }
 
 bool decodeStats(const std::string &Payload, StatsMsg *Out) {
   ByteReader R(Payload);
-  return R.readVarint(&Out->Frames) && R.readVarint(&Out->Bytes) &&
-         R.readVarint(&Out->Merges) && R.readVarint(&Out->Rejects) &&
-         R.readVarint(&Out->ActiveConnections) &&
-         R.readVarint(&Out->Epochs) && R.readVarint(&Out->Snapshots) &&
-         R.readVarint(&Out->Pulls) && R.readVarint(&Out->Shed) &&
-         R.readVarint(&Out->Duplicates) && R.readVarint(&Out->Recovered) &&
-         finish(R);
+  if (!(R.readVarint(&Out->Frames) && R.readVarint(&Out->Bytes) &&
+        R.readVarint(&Out->Merges) && R.readVarint(&Out->Rejects) &&
+        R.readVarint(&Out->ActiveConnections) &&
+        R.readVarint(&Out->Epochs) && R.readVarint(&Out->Snapshots) &&
+        R.readVarint(&Out->Pulls) && R.readVarint(&Out->Shed) &&
+        R.readVarint(&Out->Duplicates) && R.readVarint(&Out->Recovered)))
+    return false;
+  if (R.atEnd())
+    return true; // v2 payload: batch/relay counters default to 0
+  return R.readVarint(&Out->Batches) && R.readVarint(&Out->RelayFlushes) &&
+         R.readVarint(&Out->RelayFailures) && finish(R);
 }
 
 const char *errCodeName(ErrCode C) {

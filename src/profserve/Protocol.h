@@ -34,16 +34,29 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace ars {
 namespace profserve {
 
-/// Bumped on any incompatible wire change; HELLO negotiation rejects a
-/// mismatch with a diagnostic naming both sides' versions.
+/// Bumped on any incompatible wire change.  HELLO now NEGOTIATES: the
+/// server accepts any client version in [MinWireVersion, WireVersion]
+/// and echoes the client's version in HELLO_ACK, so the session runs at
+/// the client's dialect; only a version outside the window is rejected
+/// with a diagnostic naming both sides' versions.
 /// v2: HELLO carries a session id, PUSH carries a per-session sequence
 /// number (exactly-once retries), ERROR carries a structured code, and
 /// STATS grew shed/duplicate/recovery counters.
-constexpr uint32_t WireVersion = 2;
+/// v3: PUSH_BATCH carries M sequenced shards in one frame with one
+/// cumulative PUSH_BATCH_ACK (client round-trips amortize over the
+/// batch), and STATS grew batch/relay counters.
+constexpr uint32_t WireVersion = 3;
+
+/// Oldest client dialect the server still speaks.
+constexpr uint32_t MinWireVersion = 2;
+
+/// Cap on shards in one PUSH_BATCH (alongside the frame payload cap).
+constexpr size_t MaxBatchShards = 4096;
 
 constexpr size_t FrameHeaderSize = 5;  ///< u32 length + u8 type
 constexpr size_t FrameTrailerSize = 4; ///< CRC32 of header+payload
@@ -66,6 +79,8 @@ enum class MsgType : uint8_t {
   SnapshotAck,  ///< server: path the snapshot was written to
   Error,        ///< server: diagnostic text
   Bye,          ///< client: graceful close
+  PushBatch,    ///< client (v3): M sequenced shards in one frame
+  PushBatchAck, ///< server (v3): one cumulative ack for the batch
 };
 
 const char *msgTypeName(MsgType T);
@@ -105,6 +120,26 @@ FrameResult readFrame(Transport &T, int TimeoutMs,
 /// Frames and writes \p Payload; returns the transport's verdict.
 IoResult writeFrame(Transport &T, MsgType Type,
                     const std::string &Payload);
+
+/// Outcome of an incremental parse over an accumulated byte buffer (the
+/// event loop's per-connection input buffer; see EventLoop.h).
+struct FrameParse {
+  /// Meaningful only when !NeedMore: Ok, Malformed or Oversized.
+  FrameStatus Status = FrameStatus::Ok;
+  /// Too few bytes buffered to decide; read more and re-parse.
+  bool NeedMore = false;
+  Frame F;            ///< valid when Status == Ok and !NeedMore
+  size_t Consumed = 0; ///< bytes of the buffer consumed by this frame
+  std::string Error;
+};
+
+/// Examines the first frame in [\p Data, \p Data + \p Size) without
+/// blocking: same validation order as readFrame (length cap from the 5
+/// header bytes alone, then CRC, then type), but over bytes already in
+/// memory.  Never consumes bytes on NeedMore, so callers re-parse the
+/// same buffer as more bytes arrive.
+FrameParse parseFrameBytes(const char *Data, size_t Size,
+                           size_t MaxPayload = DefaultMaxFramePayload);
 
 //===----------------------------------------------------------------------===//
 // Message payloads.  Varint/fixed encodings over support/Binary; every
@@ -147,6 +182,34 @@ struct PushAckMsg {
 std::string encodePushAck(const PushAckMsg &M);
 bool decodePushAck(const std::string &Payload, PushAckMsg *Out);
 
+/// One shard of a PUSH_BATCH: its per-session sequence number (0 =
+/// unsequenced) and the raw encoded .arsp bytes.
+struct BatchShard {
+  uint64_t Seq = 0;
+  std::string Arsp;
+};
+
+/// PUSH_BATCH payload: varint shard count, then per shard a varint
+/// sequence number and the length-prefixed .arsp bytes.  decode rejects
+/// counts above MaxBatchShards, truncation and trailing garbage.
+std::string encodePushBatch(const std::vector<BatchShard> &Shards);
+bool decodePushBatch(const std::string &Payload,
+                     std::vector<BatchShard> *Out);
+
+/// One cumulative ack for a whole PUSH_BATCH: every shard is accounted
+/// for as merged, deduplicated or rejected (Count = sum of the three).
+struct PushBatchAckMsg {
+  uint64_t Merges = 0;      ///< server-lifetime merges after this batch
+  uint64_t Fingerprint = 0; ///< the server's pinned/adopted fingerprint
+  uint64_t Count = 0;       ///< shards in the batch as the server saw it
+  uint64_t Merged = 0;      ///< newly merged from this batch
+  uint64_t Duplicates = 0;  ///< (session, seq) pairs already applied
+  uint64_t Rejected = 0;    ///< undecodable / fingerprint-mismatched
+  std::string FirstError;   ///< diagnostic for the first rejected shard
+};
+std::string encodePushBatchAck(const PushBatchAckMsg &M);
+bool decodePushBatchAck(const std::string &Payload, PushBatchAckMsg *Out);
+
 /// Server-side counters exposed through STATS.
 struct StatsMsg {
   uint64_t Frames = 0;            ///< valid frames received
@@ -160,8 +223,16 @@ struct StatsMsg {
   uint64_t Shed = 0;              ///< requests refused under overload
   uint64_t Duplicates = 0;        ///< retried PUSHes deduplicated
   uint64_t Recovered = 0;         ///< snapshots recovered at startup
+  // v3 additions — absent from the wire when a v2 session asks (the
+  // encoder omits them; the decoder defaults them to 0 on a short tail):
+  uint64_t Batches = 0;       ///< PUSH_BATCH frames accepted
+  uint64_t RelayFlushes = 0;  ///< upstream epoch deltas pushed (relay)
+  uint64_t RelayFailures = 0; ///< upstream flushes that failed/spilled
 };
-std::string encodeStats(const StatsMsg &M);
+/// \p Version selects the dialect: a v2 payload stops at Recovered so a
+/// v2 client's strict no-trailing-garbage decoder still accepts it.
+std::string encodeStats(const StatsMsg &M,
+                        uint32_t Version = WireVersion);
 bool decodeStats(const std::string &Payload, StatsMsg *Out);
 
 /// Machine-readable class of an ERROR reply, so clients can decide

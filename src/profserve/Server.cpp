@@ -4,6 +4,7 @@
 
 #include "profstore/ProfileIO.h"
 #include "profstore/ProfileStore.h"
+#include "support/Binary.h"
 #include "support/Support.h"
 
 #include <chrono>
@@ -23,10 +24,66 @@ ProfileServer::~ProfileServer() { stop(); }
 void ProfileServer::start() {
   if (Config.RecoverOnStart && !Config.SnapshotPath.empty())
     recoverOnStart();
-  Pool = std::make_unique<support::ThreadPool>(Config.Workers);
+
+  if (Config.Relay.enabled()) {
+    ClientConfig CC = Config.Relay.Client;
+    if (CC.Fingerprint == 0)
+      CC.Fingerprint = Config.Fingerprint;
+    if (CC.SessionId == 0)
+      // Derive a stable nonzero id.  Siblings under one parent must not
+      // collide (dedup keys on it), so real deployments configure it;
+      // the derivation covers single-relay setups.
+      CC.SessionId =
+          0xA5A5000000000000ULL |
+          support::crc32(Config.SnapshotPath.data(),
+                         Config.SnapshotPath.size());
+    if (CC.SpillPath.empty())
+      // Exactly-once needs the spill: a delta whose push half-landed may
+      // only be retried under its ORIGINAL sequence number.
+      CC.SpillPath = Config.SnapshotPath.empty()
+                         ? "arsc-relay.spill"
+                         : Config.SnapshotPath + ".relay-spill";
+    Upstream = std::make_unique<ProfileClient>(Config.Relay.Dial, CC);
+  }
+
+  Reactor::Config RC;
+  RC.Threads = Config.Workers;
+  RC.RecvTimeoutMs = Config.RecvTimeoutMs;
+  RC.SendTimeoutMs = Config.SendTimeoutMs;
+  RC.MaxFramePayload = Config.MaxFramePayload;
+  Reactor::Hooks H;
+  H.OnFrame = [this](Reactor::Conn &C, Frame &&F) -> Reactor::FrameAction {
+    try {
+      return handleFrame(C, std::move(F));
+    } catch (const std::exception &E) {
+      // Never let a handler exception take a reactor thread (and every
+      // connection it owns) down with it.
+      std::string Why = std::string("handler exception: ") + E.what();
+      bumpReject(Why, C.peer());
+      Reactor::FrameAction A;
+      A.Reply =
+          encodeFrame(MsgType::Error, encodeError(ErrCode::Generic, Why));
+      A.Close = true;
+      return A;
+    }
+  };
+  H.OnStreamError = [this](Reactor::Conn &C, FrameStatus,
+                           const std::string &Why) {
+    // Timeout, truncation, CRC mismatch, oversized length, transport
+    // death: the byte stream can no longer be trusted to be framed, so
+    // answer with a diagnostic (best effort) and drop the connection.
+    bumpReject(Why, C.peer());
+    return encodeFrame(MsgType::Error, encodeError(ErrCode::BadFrame, Why));
+  };
+  R = std::make_unique<Reactor>(RC, std::move(H));
+  R->start();
+
   Acceptor = std::thread([this] { acceptLoop(); });
   if (Config.SnapshotIntervalMs > 0 && !Config.SnapshotPath.empty())
     Snapshotter = std::thread([this] { snapshotLoop(); });
+  if (Upstream && (Config.Relay.FlushIntervalMs > 0 ||
+                   Config.Relay.FlushEveryMerges > 0))
+    Flusher = std::thread([this] { flusherLoop(); });
   Started = true;
 }
 
@@ -40,19 +97,32 @@ void ProfileServer::stop() {
   }
   if (!Started)
     return;
-  // Stop the intake first, then unblock every live handler by closing
-  // its transport; the pool then drains naturally — no connection leaks.
+  // Intake first, then the reactors (closing every live connection with
+  // its OnClose bookkeeping), then the background threads.
   L->shutdown();
-  {
-    std::lock_guard<std::mutex> Lock(ConnMu);
-    for (Transport *T : Active)
-      T->close();
-  }
   if (Acceptor.joinable())
     Acceptor.join();
-  Pool->wait();
+  if (R)
+    R->stop();
+  {
+    std::lock_guard<std::mutex> Lock(FlushMu);
+    FlushStop = true;
+  }
+  FlushCv.notify_all();
+  if (Flusher.joinable())
+    Flusher.join();
   if (Snapshotter.joinable())
     Snapshotter.join();
+  // Relay: push whatever the reactors merged since the last flush, so a
+  // graceful shutdown never strands a delta below the root.
+  if (Upstream) {
+    std::string Error;
+    if (!flushUpstream(&Error) && Config.LogToStderr)
+      std::fprintf(stderr, "profserve: final upstream flush failed: %s\n",
+                   Error.c_str());
+    std::lock_guard<std::mutex> Lock(UpstreamMu);
+    Upstream->close();
+  }
   // Final snapshot after the drain, so the last accepted pushes are in.
   if (!Config.SnapshotPath.empty()) {
     std::string Error;
@@ -60,7 +130,6 @@ void ProfileServer::stop() {
       std::fprintf(stderr, "profserve: final snapshot failed: %s\n",
                    Error.c_str());
   }
-  Pool.reset();
 }
 
 void ProfileServer::recoverOnStart() {
@@ -92,12 +161,11 @@ void ProfileServer::acceptLoop() {
     std::unique_ptr<Transport> T = L->accept();
     if (!T)
       return; // listener shut down
-    if (Config.MaxPendingConnections > 0 &&
-        Pending.load(std::memory_order_acquire) >=
-            Config.MaxPendingConnections) {
-      // Every worker is busy and the backlog is full: refuse loudly now
-      // instead of letting queue depth (and every client's latency) grow
-      // without bound.  RETRY_AFTER tells the client it is transient.
+    if (Config.MaxConnections > 0 &&
+        R->active() >= static_cast<size_t>(Config.MaxConnections)) {
+      // The live-connection budget is spent: refuse loudly now instead
+      // of admitting unbounded per-connection state.  RETRY_AFTER tells
+      // the client it is transient.
       {
         std::lock_guard<std::mutex> Lock(StateMu);
         ++Stats.Shed;
@@ -108,36 +176,7 @@ void ProfileServer::acceptLoop() {
       T->close();
       continue;
     }
-    Pending.fetch_add(1, std::memory_order_acq_rel);
-    std::shared_ptr<Transport> Conn(std::move(T));
-    {
-      std::lock_guard<std::mutex> Lock(ConnMu);
-      Active.insert(Conn.get());
-    }
-    {
-      std::lock_guard<std::mutex> Lock(StateMu);
-      ++Stats.ActiveConnections;
-    }
-    Pool->submit([this, Conn] {
-      Pending.fetch_sub(1, std::memory_order_acq_rel);
-      try {
-        handleConnection(Conn.get());
-      } catch (const std::exception &E) {
-        // Keep the bookkeeping below intact; ThreadPool::wait() would
-        // otherwise surface this from stop() with the connection leaked.
-        bumpReject(std::string("handler exception: ") + E.what(),
-                   Conn->peer());
-      }
-      Conn->close();
-      {
-        std::lock_guard<std::mutex> Lock(ConnMu);
-        Active.erase(Conn.get());
-      }
-      {
-        std::lock_guard<std::mutex> Lock(StateMu);
-        --Stats.ActiveConnections;
-      }
-    });
+    R->adopt(std::move(T));
   }
 }
 
@@ -157,6 +196,28 @@ void ProfileServer::snapshotLoop() {
   }
 }
 
+void ProfileServer::flusherLoop() {
+  std::unique_lock<std::mutex> Lock(FlushMu);
+  for (;;) {
+    if (Config.Relay.FlushIntervalMs > 0)
+      // A timeout here is the interval trigger: flush anyway.
+      FlushCv.wait_for(Lock,
+                       std::chrono::milliseconds(Config.Relay.FlushIntervalMs),
+                       [this] { return FlushStop || FlushAsked; });
+    else
+      FlushCv.wait(Lock, [this] { return FlushStop || FlushAsked; });
+    if (FlushStop)
+      return;
+    FlushAsked = false;
+    Lock.unlock();
+    std::string Error;
+    if (!flushUpstream(&Error) && Config.LogToStderr)
+      std::fprintf(stderr, "profserve: upstream flush failed: %s\n",
+                   Error.c_str());
+    Lock.lock();
+  }
+}
+
 void ProfileServer::bumpReject(const std::string &Why,
                                const std::string &Peer) {
   {
@@ -168,40 +229,80 @@ void ProfileServer::bumpReject(const std::string &Why,
                  Why.c_str());
 }
 
-void ProfileServer::handleConnection(Transport *T) {
-  ConnState Conn;
-  for (;;) {
-    FrameResult FR =
-        readFrame(*T, Config.RecvTimeoutMs, Config.MaxFramePayload);
-    if (FR.Status == FrameStatus::Eof)
-      return; // clean disconnect (BYE is polite, EOF is legal)
-    if (!FR.ok()) {
-      // Timeout, truncation, CRC mismatch, oversized length, transport
-      // death: the byte stream can no longer be trusted to be framed, so
-      // answer with a diagnostic (best effort) and drop the connection.
-      bumpReject(FR.Error, T->peer());
-      writeFrame(*T, MsgType::Error,
-                 encodeError(ErrCode::BadFrame, FR.Error));
-      return;
+int ProfileServer::mergeShard(uint64_t SessionId, uint64_t Seq,
+                              const profstore::DecodeResult &D,
+                              uint64_t *MergesOut) {
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    if (FingerprintValue == 0)
+      FingerprintValue = D.Fingerprint; // first shard pins the module
+    else if (D.Fingerprint != FingerprintValue) {
+      // Raced with another first-pusher for a different module.
+      ++Stats.Rejects;
+      *MergesOut = Stats.Merges;
+      return 2;
     }
-    {
-      std::lock_guard<std::mutex> Lock(StateMu);
-      ++Stats.Frames;
-      Stats.Bytes +=
-          FrameHeaderSize + FR.F.Payload.size() + FrameTrailerSize;
+    // Dedup runs even for the fingerprint-pinning first shard — a lost
+    // ack on shard #1 retries like any other and must not double-merge.
+    if (SessionId && Seq && !AppliedSeqs[SessionId].insert(Seq).second) {
+      // A retry of a shard that already merged (the original ack was
+      // lost mid-wire).  Acknowledge without merging — exactly-once.
+      // Registration-before-merge means a racing retry on another
+      // connection always lands here rather than double-merging.
+      ++Stats.Duplicates;
+      *MergesOut = Stats.Merges;
+      return 1;
     }
-    if (!handleFrame(*T, FR.F, Conn))
-      return;
   }
+  Agg.flush(NextFlushKey.fetch_add(1, std::memory_order_relaxed),
+            D.Bundle);
+  uint64_t Merges;
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    Merges = ++Stats.Merges;
+  }
+  if (Config.RotateEveryMerges && Merges % Config.RotateEveryMerges == 0)
+    rotateEpoch();
+  MergesSinceFlush.fetch_add(1, std::memory_order_acq_rel);
+  *MergesOut = Merges;
+  return 0;
 }
 
-bool ProfileServer::handleFrame(Transport &T, const Frame &F,
-                                ConnState &Conn) {
+void ProfileServer::maybeTriggerRelayFlush() {
+  if (!Upstream || !Config.Relay.FlushEveryMerges)
+    return;
+  uint64_t N = MergesSinceFlush.load(std::memory_order_acquire);
+  if (N < Config.Relay.FlushEveryMerges)
+    return;
+  if (!MergesSinceFlush.compare_exchange_strong(
+          N, 0, std::memory_order_acq_rel))
+    return; // another reactor thread claimed this trigger
+  {
+    std::lock_guard<std::mutex> Lock(FlushMu);
+    FlushAsked = true;
+  }
+  FlushCv.notify_all();
+}
+
+Reactor::FrameAction ProfileServer::handleFrame(Reactor::Conn &Conn,
+                                                Frame &&F) {
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    ++Stats.Frames;
+    Stats.Bytes += FrameHeaderSize + F.Payload.size() + FrameTrailerSize;
+  }
+
+  auto reply = [](MsgType Type, const std::string &Payload,
+                  bool Close = false) {
+    Reactor::FrameAction A;
+    A.Reply = encodeFrame(Type, Payload);
+    A.Close = Close;
+    return A;
+  };
   auto replyError = [&](ErrCode Code, const std::string &Why,
                         bool KeepOpen) {
-    bumpReject(Why, T.peer());
-    IoResult IO = writeFrame(T, MsgType::Error, encodeError(Code, Why));
-    return KeepOpen && IO.ok();
+    bumpReject(Why, Conn.peer());
+    return reply(MsgType::Error, encodeError(Code, Why), !KeepOpen);
   };
 
   if (F.Type == MsgType::Hello) {
@@ -209,12 +310,13 @@ bool ProfileServer::handleFrame(Transport &T, const Frame &F,
     if (!decodeHello(F.Payload, &Hello))
       return replyError(ErrCode::BadHandshake, "malformed HELLO payload",
                         false);
-    if (Hello.Version != WireVersion)
+    if (Hello.Version < MinWireVersion || Hello.Version > WireVersion)
       return replyError(
           ErrCode::BadHandshake,
           support::formatString(
-              "wire version mismatch: client speaks v%u, server v%u",
-              Hello.Version, WireVersion),
+              "wire version mismatch: client speaks v%u, server v%u "
+              "(accepts v%u..v%u)",
+              Hello.Version, WireVersion, MinWireVersion, WireVersion),
           false);
     uint64_t Pinned = fingerprint();
     if (Hello.Fingerprint && Pinned && Hello.Fingerprint != Pinned)
@@ -228,10 +330,12 @@ bool ProfileServer::handleFrame(Transport &T, const Frame &F,
           false);
     Conn.SawHello = true;
     Conn.SessionId = Hello.SessionId;
+    Conn.Negotiated = Hello.Version;
     HelloAckMsg Ack;
-    Ack.Version = WireVersion;
+    // Echo the client's version: the session runs at ITS dialect.
+    Ack.Version = Hello.Version;
     Ack.Fingerprint = Pinned;
-    return writeFrame(T, MsgType::HelloAck, encodeHelloAck(Ack)).ok();
+    return reply(MsgType::HelloAck, encodeHelloAck(Ack));
   }
 
   if (!Conn.SawHello)
@@ -241,91 +345,11 @@ bool ProfileServer::handleFrame(Transport &T, const Frame &F,
                       false);
 
   switch (F.Type) {
-  case MsgType::Push: {
-    uint64_t Seq = 0;
-    std::string Arsp;
-    if (!decodePush(F.Payload, &Seq, &Arsp))
-      // The frame was intact, so the stream is still in sync.
-      return replyError(ErrCode::BadShard, "malformed PUSH payload", true);
-    if (Config.MaxActivePushes &&
-        ActivePushes.fetch_add(1, std::memory_order_acq_rel) >=
-            Config.MaxActivePushes) {
-      ActivePushes.fetch_sub(1, std::memory_order_acq_rel);
-      {
-        std::lock_guard<std::mutex> Lock(StateMu);
-        ++Stats.Shed;
-      }
-      // Deliberate shedding, not a protocol failure: no reject counted,
-      // connection stays open, client backs off and retries.
-      return writeFrame(T, MsgType::Error,
-                        encodeError(ErrCode::RetryAfter,
-                                    "server overloaded: too many "
-                                    "concurrent pushes"))
-          .ok();
-    }
-    struct PushGate {
-      std::atomic<uint64_t> *C;
-      ~PushGate() {
-        if (C)
-          C->fetch_sub(1, std::memory_order_acq_rel);
-      }
-    } Gate{Config.MaxActivePushes ? &ActivePushes : nullptr};
+  case MsgType::Push:
+    return handlePush(Conn, F);
 
-    uint64_t Expect = fingerprint();
-    profstore::DecodeResult D = profstore::decodeBundle(Arsp, Expect);
-    if (!D.Ok)
-      // The frame itself was intact, so the stream is still in sync:
-      // report the bad shard and keep serving this client.
-      return replyError(ErrCode::BadShard, "rejected shard: " + D.Error,
-                        true);
-    uint64_t Merges;
-    bool AdoptionRace = false;
-    bool Duplicate = false;
-    PushAckMsg DupAck;
-    {
-      std::lock_guard<std::mutex> Lock(StateMu);
-      if (FingerprintValue == 0)
-        FingerprintValue = D.Fingerprint; // first shard pins the module
-      else if (D.Fingerprint != FingerprintValue) {
-        // Raced with another first-pusher for a different module.
-        ++Stats.Rejects;
-        AdoptionRace = true;
-      } else if (Conn.SessionId && Seq &&
-                 !AppliedSeqs[Conn.SessionId].insert(Seq).second) {
-        // A retry of a shard that already merged (the original ack was
-        // lost mid-wire).  Acknowledge without merging — exactly-once.
-        // Registration-before-merge means a racing retry on another
-        // connection always lands here rather than double-merging.
-        ++Stats.Duplicates;
-        Duplicate = true;
-        DupAck.Merges = Stats.Merges;
-        DupAck.Fingerprint = FingerprintValue;
-        DupAck.Seq = Seq;
-        DupAck.Duplicate = true;
-      }
-    }
-    if (AdoptionRace)
-      return writeFrame(T, MsgType::Error,
-                        encodeError(ErrCode::BadShard,
-                                    "rejected shard: fingerprint lost "
-                                    "the adoption race"))
-          .ok();
-    if (Duplicate)
-      return writeFrame(T, MsgType::PushAck, encodePushAck(DupAck)).ok();
-    Agg.flush(NextFlushKey.fetch_add(1, std::memory_order_relaxed),
-              D.Bundle);
-    {
-      std::lock_guard<std::mutex> Lock(StateMu);
-      Merges = ++Stats.Merges;
-    }
-    if (Config.RotateEveryMerges && Merges % Config.RotateEveryMerges == 0)
-      rotateEpoch();
-    PushAckMsg Ack;
-    Ack.Merges = Merges;
-    Ack.Fingerprint = D.Fingerprint;
-    Ack.Seq = Seq;
-    return writeFrame(T, MsgType::PushAck, encodePushAck(Ack)).ok();
-  }
+  case MsgType::PushBatch:
+    return handlePushBatch(Conn, F);
 
   case MsgType::Pull: {
     std::string Bytes = profstore::encodeBundle(merged(), fingerprint());
@@ -340,24 +364,29 @@ bool ProfileServer::handleFrame(Transport &T, const Frame &F,
       std::lock_guard<std::mutex> Lock(StateMu);
       ++Stats.Pulls;
     }
-    return writeFrame(T, MsgType::PullReply, Bytes).ok();
+    return reply(MsgType::PullReply, Bytes);
   }
 
   case MsgType::StatsReq:
-    return writeFrame(T, MsgType::StatsReply, encodeStats(stats())).ok();
+    // A v2 session gets a v2-shaped payload (its decoder rejects
+    // trailing bytes); v3 sessions see the batch/relay counters too.
+    return reply(MsgType::StatsReply,
+                 encodeStats(stats(), Conn.Negotiated ? Conn.Negotiated
+                                                      : WireVersion));
 
   case MsgType::SnapshotReq: {
     std::string Error;
     if (!snapshotNow(&Error))
       return replyError(ErrCode::Generic, "snapshot failed: " + Error,
                         true);
-    return writeFrame(T, MsgType::SnapshotAck,
-                      encodeText(Config.SnapshotPath))
-        .ok();
+    return reply(MsgType::SnapshotAck, encodeText(Config.SnapshotPath));
   }
 
-  case MsgType::Bye:
-    return false;
+  case MsgType::Bye: {
+    Reactor::FrameAction A;
+    A.Close = true;
+    return A;
+  }
 
   default:
     // Server-bound streams must never carry server-to-client types.
@@ -368,9 +397,140 @@ bool ProfileServer::handleFrame(Transport &T, const Frame &F,
   }
 }
 
+Reactor::FrameAction ProfileServer::handlePush(Reactor::Conn &Conn,
+                                               const Frame &F) {
+  auto reply = [](MsgType Type, const std::string &Payload,
+                  bool Close = false) {
+    Reactor::FrameAction A;
+    A.Reply = encodeFrame(Type, Payload);
+    A.Close = Close;
+    return A;
+  };
+  auto replyError = [&](ErrCode Code, const std::string &Why,
+                        bool KeepOpen) {
+    bumpReject(Why, Conn.peer());
+    return reply(MsgType::Error, encodeError(Code, Why), !KeepOpen);
+  };
+
+  uint64_t Seq = 0;
+  std::string Arsp;
+  if (!decodePush(F.Payload, &Seq, &Arsp))
+    // The frame was intact, so the stream is still in sync.
+    return replyError(ErrCode::BadShard, "malformed PUSH payload", true);
+  profstore::DecodeResult D = profstore::decodeBundle(Arsp, fingerprint());
+  if (!D.Ok)
+    // The frame itself was intact, so the stream is still in sync:
+    // report the bad shard and keep serving this client.
+    return replyError(ErrCode::BadShard, "rejected shard: " + D.Error,
+                      true);
+  uint64_t Merges = 0;
+  switch (mergeShard(Conn.SessionId, Seq, D, &Merges)) {
+  case 2:
+    return reply(MsgType::Error,
+                 encodeError(ErrCode::BadShard,
+                             "rejected shard: fingerprint lost the "
+                             "adoption race"));
+  case 1: {
+    PushAckMsg Ack;
+    Ack.Merges = Merges;
+    Ack.Fingerprint = fingerprint();
+    Ack.Seq = Seq;
+    Ack.Duplicate = true;
+    return reply(MsgType::PushAck, encodePushAck(Ack));
+  }
+  default: {
+    maybeTriggerRelayFlush();
+    PushAckMsg Ack;
+    Ack.Merges = Merges;
+    Ack.Fingerprint = D.Fingerprint;
+    Ack.Seq = Seq;
+    return reply(MsgType::PushAck, encodePushAck(Ack));
+  }
+  }
+}
+
+Reactor::FrameAction
+ProfileServer::handlePushBatch(Reactor::Conn &Conn, const Frame &F) {
+  auto reply = [](MsgType Type, const std::string &Payload,
+                  bool Close = false) {
+    Reactor::FrameAction A;
+    A.Reply = encodeFrame(Type, Payload);
+    A.Close = Close;
+    return A;
+  };
+  auto replyError = [&](ErrCode Code, const std::string &Why,
+                        bool KeepOpen) {
+    bumpReject(Why, Conn.peer());
+    return reply(MsgType::Error, encodeError(Code, Why), !KeepOpen);
+  };
+
+  if (Conn.Negotiated != 0 && Conn.Negotiated < 3)
+    return replyError(
+        ErrCode::BadShard,
+        support::formatString(
+            "PUSH_BATCH requires wire v3; session negotiated v%u",
+            Conn.Negotiated),
+        true);
+  std::vector<BatchShard> Shards;
+  if (!decodePushBatch(F.Payload, &Shards))
+    return replyError(ErrCode::BadShard, "malformed PUSH_BATCH payload",
+                      true);
+
+  PushBatchAckMsg Ack;
+  Ack.Count = Shards.size();
+  uint64_t Merges = 0;
+  bool SawMerge = false;
+  for (const BatchShard &S : Shards) {
+    profstore::DecodeResult D =
+        profstore::decodeBundle(S.Arsp, fingerprint());
+    if (!D.Ok) {
+      ++Ack.Rejected;
+      if (Ack.FirstError.empty())
+        Ack.FirstError = "rejected shard: " + D.Error;
+      bumpReject("rejected batched shard: " + D.Error, Conn.peer());
+      continue;
+    }
+    switch (mergeShard(Conn.SessionId, S.Seq, D, &Merges)) {
+    case 0:
+      ++Ack.Merged;
+      SawMerge = true;
+      break;
+    case 1:
+      ++Ack.Duplicates;
+      SawMerge = true;
+      break;
+    default:
+      ++Ack.Rejected;
+      if (Ack.FirstError.empty())
+        Ack.FirstError =
+            "rejected shard: fingerprint lost the adoption race";
+      break;
+    }
+  }
+  if (!SawMerge) {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    Merges = Stats.Merges;
+  }
+  Ack.Merges = Merges;
+  Ack.Fingerprint = fingerprint();
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    ++Stats.Batches;
+  }
+  maybeTriggerRelayFlush();
+  return reply(MsgType::PushBatchAck, encodePushBatchAck(Ack));
+}
+
 ServerStats ProfileServer::stats() const {
-  std::lock_guard<std::mutex> Lock(StateMu);
-  return Stats;
+  ServerStats Out;
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    Out = Stats;
+  }
+  // Live connections are the reactor's truth, sampled rather than
+  // double-counted here.
+  Out.ActiveConnections = R ? R->active() : 0;
+  return Out;
 }
 
 uint64_t ProfileServer::fingerprint() const {
@@ -394,6 +554,45 @@ void ProfileServer::rotateEpoch() {
   profstore::mergeBundle(EpochBase, Drained);
   profstore::decayBundle(EpochBase, Config.EpochKeepPct);
   ++Stats.Epochs;
+}
+
+bool ProfileServer::flushUpstream(std::string *Error) {
+  if (!Upstream)
+    return true; // not a relay: nothing upstream of the root
+  std::lock_guard<std::mutex> Lock(UpstreamMu);
+  bool Ok = true;
+  std::string Err;
+  // Earlier spilled deltas go first, with their original sequence
+  // numbers — the parent's dedup makes this safe even when the original
+  // push half-landed before the fault.
+  if (Upstream->spillCount() > 0) {
+    ClientResult RS = Upstream->replaySpill();
+    if (!RS.Ok) {
+      Ok = false;
+      Err = RS.Error;
+    }
+  }
+  MergesSinceFlush.store(0, std::memory_order_release);
+  profile::ProfileBundle Delta = Agg.drain();
+  static const std::string EmptyBundleBytes =
+      profile::serializeBundle(profile::ProfileBundle());
+  if (profile::serializeBundle(Delta) != EmptyBundleBytes) {
+    ClientResult RP = Upstream->push(Delta, fingerprint());
+    {
+      std::lock_guard<std::mutex> SLock(StateMu);
+      if (RP.Ok)
+        ++Stats.RelayFlushes;
+      else
+        ++Stats.RelayFailures;
+    }
+    if (!RP.Ok) {
+      Ok = false;
+      Err = RP.Error;
+    }
+  }
+  if (!Ok && Error)
+    *Error = Err;
+  return Ok;
 }
 
 bool ProfileServer::snapshotNow(std::string *Error) {

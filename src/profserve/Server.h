@@ -8,13 +8,38 @@
 /// accepted shards into a lock-striped ProfileAggregator, and serves the
 /// merged bundle back over PULL.
 ///
+/// Concurrency model: connections are NOT one-thread-each.  A small set
+/// of reactor threads (see EventLoop.h) owns every connection as a
+/// nonblocking state machine, so thousands of idle or slow pushers cost
+/// buffers, not threads, and a slow-loris client trickling bytes cannot
+/// occupy a worker.  Frame handling (decode, validate, merge, ack) runs
+/// inline on the owning reactor thread; the aggregator's lock striping
+/// keeps reactor threads from serializing on one mutex.
+///
+/// Wire v3 batching: PUSH_BATCH carries M sequenced shards in one frame
+/// and earns one cumulative PUSH_BATCH_ACK, so a high-fan-in deployment
+/// amortizes round trips.  v2 clients are still served: HELLO negotiates
+/// the session down to the client's dialect (see Protocol.h).
+///
+/// Relay mode: when Config.Relay.Dial is set, this server is an interior
+/// node of an aggregation tree.  It accepts PUSHes exactly like a leaf
+/// server, merges locally, and periodically drains the aggregated delta
+/// upstream through a ProfileClient — reusing the client's sequenced
+/// exactly-once retries, spill/replay and circuit breaker, so a faulted
+/// uplink never loses or doubles a shard.  mergeBundle's commutative/
+/// associative algebra makes the root of ANY relay topology
+/// byte-identical to a serial fold of the leaves' shards
+/// (tests/test_relay.cpp pins chain, star, balanced-tree and random
+/// topologies against the serial fold).
+///
 /// Robustness contract: a malformed, truncated or oversized frame, a
 /// wrong fingerprint, a version-mismatched client, or a client that
 /// stalls mid-frame or vanishes is rejected or timed out with a
 /// diagnostic — the server never crashes and never leaks a connection.
 /// Frame-level corruption desynchronizes the stream, so the connection
 /// is closed; a well-framed but invalid bundle only earns an ERROR reply
-/// and the connection stays usable.
+/// and the connection stays usable.  A peer that stops reading its own
+/// replies is reaped by the event loop's write deadline.
 ///
 /// Epochs: rotateEpoch() drains the aggregator into an epoch base bundle
 /// and decays it by EpochKeepPct — the streaming "old runs matter less"
@@ -28,26 +53,28 @@
 /// and start() recovers the newest valid snapshot (falling back to
 /// ".prev" when the main file is torn or CRC-corrupt).
 ///
-/// Overload: the accept backlog and concurrent PUSH admission are
-/// bounded (MaxPendingConnections / MaxActivePushes); excess work is
-/// shed with ERROR(RETRY_AFTER), which well-behaved clients treat as
-/// "back off and retry", rather than queueing without bound.
+/// Overload: the live-connection count is bounded (MaxConnections);
+/// beyond it a fresh connection is refused with ERROR(RETRY_AFTER),
+/// which well-behaved clients treat as "back off and retry", rather than
+/// admitting connections without bound.
 ///
-/// Determinism: mergeBundle's commutative/associative algebra (see
-/// ProfileStore.h) makes the merged bundle byte-identical to a serial
-/// fold of the same shards, for any number of concurrent pushers, any
-/// worker count and any stripe width.  tests/test_profserve.cpp pins
-/// this for 1/4/16 pushers and runs under ThreadSanitizer.
+/// Determinism: mergeBundle's algebra makes the merged bundle
+/// byte-identical to a serial fold of the same shards, for any number of
+/// concurrent pushers, any reactor thread count and any stripe width.
+/// tests/test_profserve.cpp pins this for 1/4/16 pushers and runs under
+/// ThreadSanitizer.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ARS_PROFSERVE_SERVER_H
 #define ARS_PROFSERVE_SERVER_H
 
+#include "profserve/Client.h"
+#include "profserve/EventLoop.h"
 #include "profserve/Protocol.h"
 #include "profserve/Transport.h"
 #include "profstore/ProfileAggregator.h"
-#include "support/ThreadPool.h"
+#include "profstore/ProfileIO.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -60,6 +87,30 @@
 
 namespace ars {
 namespace profserve {
+
+/// Upstream half of an aggregation-tree interior node.
+struct RelayConfig {
+  /// Connection factory for the upstream (parent) server.  Null = this
+  /// server is a leaf/root collector, not a relay.
+  Dialer Dial;
+
+  /// Client config for the upstream session.  SessionId should be a
+  /// stable nonzero id unique among the parent's children (exactly-once
+  /// dedup keys on it); start() derives one from this server's identity
+  /// when left 0.  SpillPath is derived from SnapshotPath when empty, so
+  /// an unreachable parent spills deltas instead of dropping them.
+  ClientConfig Client;
+
+  /// Flush the aggregated delta upstream after this many local merges
+  /// (0 = no merge-count trigger).
+  uint64_t FlushEveryMerges = 0;
+
+  /// Periodic upstream flush (0 = only on merge trigger, explicit
+  /// flushUpstream() calls, and stop()).
+  int FlushIntervalMs = 0;
+
+  bool enabled() const { return static_cast<bool>(Dial); }
+};
 
 struct ServerConfig {
   /// Module fingerprint every shard must carry.  0 = adopt the first
@@ -79,21 +130,17 @@ struct ServerConfig {
   /// Auto-rotate after this many merges (0 = only explicit rotation).
   uint64_t RotateEveryMerges = 0;
 
-  /// Connection-handler threads.  A connection occupies one worker for
-  /// its lifetime; excess accepted connections queue.
+  /// Reactor (event loop) threads.  Each owns a share of the
+  /// connections; none ever blocks on a peer, so this is sized for CPU
+  /// (merging), not for connection count.
   int Workers = 4;
 
-  /// Load-shedding bound on the accept backlog: connections accepted but
-  /// not yet picked up by a worker.  Beyond it a fresh connection is
-  /// refused immediately with ERROR(RETRY_AFTER) instead of growing the
-  /// ThreadPool queue without bound.  0 = unbounded (chaos tests use this
-  /// to keep shedding out of determinism checks).
-  int MaxPendingConnections = 256;
-
-  /// Admission bound on PUSHes being decoded/merged at once; one beyond
-  /// it earns ERROR(RETRY_AFTER) and the connection stays open.  0 =
-  /// unbounded.
-  uint64_t MaxActivePushes = 0;
+  /// Load-shedding bound on LIVE connections (adopted and not yet
+  /// closed).  Beyond it a fresh connection is refused immediately with
+  /// ERROR(RETRY_AFTER) instead of admitting unbounded connection state.
+  /// 0 = unbounded (chaos tests use this to keep shedding out of
+  /// determinism checks).
+  int MaxConnections = 256;
 
   /// Load the newest valid snapshot (SnapshotPath, then its ".prev"
   /// fallback) into the epoch base on start(), so a restarted collector
@@ -101,8 +148,12 @@ struct ServerConfig {
   bool RecoverOnStart = true;
 
   /// Per-frame read deadline; a client idle or stalled longer is timed
-  /// out and its connection closed with a diagnostic.
+  /// out and its connection closed with a diagnostic.  <= 0 disables.
   int RecvTimeoutMs = 2000;
+
+  /// Queued-reply drain deadline; a peer that takes nothing for this
+  /// long while a reply is pending is reaped (write backpressure).
+  int SendTimeoutMs = 10000;
 
   /// Frame payload cap (see Protocol.h).
   size_t MaxFramePayload = DefaultMaxFramePayload;
@@ -113,6 +164,9 @@ struct ServerConfig {
   /// Log rejects and snapshot failures to stderr (the `arsc serve`
   /// daemon turns this on; library users and tests keep it quiet).
   bool LogToStderr = false;
+
+  /// Upstream aggregation-tree edge; see RelayConfig.
+  RelayConfig Relay;
 };
 
 /// Monotonic counters; readable at any time via stats() or STATS_REQ.
@@ -129,12 +183,13 @@ public:
   ProfileServer(const ProfileServer &) = delete;
   ProfileServer &operator=(const ProfileServer &) = delete;
 
-  /// Spawns the acceptor, the connection worker pool, and (when
-  /// configured) the snapshot timer.
+  /// Spawns the acceptor, the reactor threads, and (when configured) the
+  /// snapshot timer and the relay flusher.
   void start();
 
   /// Graceful shutdown: stop accepting, close every live connection,
-  /// drain the workers, write a final snapshot.  Idempotent.
+  /// join the reactors, push any remaining relay delta upstream, write a
+  /// final snapshot.  Idempotent.
   void stop();
 
   ServerStats stats() const;
@@ -157,21 +212,35 @@ public:
   /// snapshot.
   bool snapshotNow(std::string *Error);
 
+  /// Relay only: drains the aggregated delta and pushes it upstream as
+  /// one sequenced shard (replaying any earlier spilled deltas first).
+  /// Exactly-once end to end: a failed push spills with its sequence
+  /// number preserved, so the retry can never double-merge upstream.
+  /// No-op (true) on a non-relay server; false + \p *Error when the
+  /// upstream stays unreachable (the delta is spilled, not lost).
+  bool flushUpstream(std::string *Error);
+
+  bool isRelay() const { return Config.Relay.enabled(); }
+
   const Listener &listener() const { return *L; }
 
 private:
-  /// Per-connection protocol state.
-  struct ConnState {
-    bool SawHello = false;
-    uint64_t SessionId = 0; ///< from HELLO; 0 = untracked legacy client
-  };
-
   void recoverOnStart();
   void acceptLoop();
   void snapshotLoop();
-  void handleConnection(Transport *T);
-  /// One request/reply step; returns false when the connection is done.
-  bool handleFrame(Transport &T, const Frame &F, ConnState &Conn);
+  void flusherLoop();
+  /// The reactor's OnFrame hook: one complete validated frame in, the
+  /// encoded reply (and close verdict) out.
+  Reactor::FrameAction handleFrame(Reactor::Conn &Conn, Frame &&F);
+  Reactor::FrameAction handlePush(Reactor::Conn &Conn, const Frame &F);
+  Reactor::FrameAction handlePushBatch(Reactor::Conn &Conn,
+                                       const Frame &F);
+  /// Fingerprint-pin / dedup / merge for one decoded shard.  Returns
+  /// 0 = merged, 1 = duplicate, 2 = adoption race.  \p MergesOut gets
+  /// the post-merge lifetime merge count (or the current one).
+  int mergeShard(uint64_t SessionId, uint64_t Seq,
+                 const profstore::DecodeResult &D, uint64_t *MergesOut);
+  void maybeTriggerRelayFlush();
   void bumpReject(const std::string &Why, const std::string &Peer);
 
   std::unique_ptr<Listener> L;
@@ -194,23 +263,28 @@ private:
   /// one shard actually pushed).
   std::map<uint64_t, std::set<uint64_t>> AppliedSeqs;
 
-  /// Live-connection registry so stop() can close (and thereby unblock)
-  /// every handler.  Handlers own their transport via shared_ptr captured
-  /// in the pool job; the registry holds raw pointers only while the
-  /// handler runs.
-  std::mutex ConnMu;
-  std::set<Transport *> Active;
   std::atomic<uint64_t> NextFlushKey{0}; ///< aggregator striping key
-  std::atomic<int> Pending{0};           ///< accepted, no worker yet
-  std::atomic<uint64_t> ActivePushes{0}; ///< PUSHes in decode/merge
 
-  std::unique_ptr<support::ThreadPool> Pool;
+  std::unique_ptr<Reactor> R;
   std::thread Acceptor;
   std::thread Snapshotter;
   std::mutex SnapMu;
   std::condition_variable SnapCv;
   bool Stopping = false; ///< guarded by SnapMu; also gates stop() reentry
   bool Started = false;
+
+  /// Relay plumbing.  Upstream (the ProfileClient) is single-threaded by
+  /// contract, so every use — flusher thread, explicit flushUpstream(),
+  /// final flush in stop() — serializes on UpstreamMu.  Reactor threads
+  /// never touch it; they only bump MergesSinceFlush and poke FlushCv.
+  std::unique_ptr<ProfileClient> Upstream;
+  std::mutex UpstreamMu;
+  std::mutex FlushMu;
+  std::condition_variable FlushCv;
+  bool FlushAsked = false; ///< guarded by FlushMu
+  bool FlushStop = false;  ///< guarded by FlushMu
+  std::thread Flusher;
+  std::atomic<uint64_t> MergesSinceFlush{0};
 };
 
 } // namespace profserve

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <mutex>
 #include <deque>
+#include <vector>
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -25,11 +26,12 @@ namespace profserve {
 
 const char *ioStatusName(IoStatus S) {
   switch (S) {
-  case IoStatus::Ok:      return "ok";
-  case IoStatus::Eof:     return "eof";
-  case IoStatus::Timeout: return "timeout";
-  case IoStatus::Closed:  return "closed";
-  case IoStatus::Error:   return "error";
+  case IoStatus::Ok:         return "ok";
+  case IoStatus::Eof:        return "eof";
+  case IoStatus::Timeout:    return "timeout";
+  case IoStatus::Closed:     return "closed";
+  case IoStatus::Error:      return "error";
+  case IoStatus::WouldBlock: return "would-block";
   }
   return "?";
 }
@@ -53,6 +55,18 @@ int remainingMs(Clock::time_point Deadline) {
 }
 
 } // namespace
+
+IoResult Transport::readNow(char *, size_t, size_t *Read) {
+  *Read = 0;
+  return makeError(IoStatus::Error,
+                   "non-blocking read unsupported by this transport");
+}
+
+IoResult Transport::writeNow(const char *, size_t, size_t *Written) {
+  *Written = 0;
+  return makeError(IoStatus::Error,
+                   "non-blocking write unsupported by this transport");
+}
 
 IoResult Transport::readAll(char *Data, size_t Size, int TimeoutMs,
                             size_t *Read) {
@@ -87,18 +101,58 @@ IoResult Transport::readAll(char *Data, size_t Size, int TimeoutMs,
 
 namespace {
 
+/// Fired after the pipe lock is released — a watcher may grab unrelated
+/// (reactor) locks of its own, and must never be invoked under Mu while
+/// a reactor thread holds its own lock and waits for Mu.
+using WatcherFires = std::vector<std::shared_ptr<std::function<void()>>>;
+
+void fireAll(const WatcherFires &Fires) {
+  for (const auto &F : Fires)
+    if (*F)
+      (*F)();
+}
+
 /// One direction of a loopback connection.
 struct Pipe {
   std::mutex Mu;
   std::condition_variable Cv;
   std::string Buf;
-  size_t Off = 0; ///< consumed prefix of Buf (compacted when drained)
+  size_t Off = 0;  ///< consumed prefix of Buf (compacted when drained)
+  size_t Cap = 0;  ///< max buffered bytes; 0 = unbounded
   bool Closed = false;
+  /// Ready-signals of both endpoints (weak: an endpoint that died simply
+  /// stops being notified; see ReadySignal in Transport.h).
+  std::vector<std::weak_ptr<std::function<void()>>> Watchers;
+
+  size_t buffered() const { return Buf.size() - Off; }
+
+  /// Locks every live watcher (pruning the expired) — call under Mu,
+  /// invoke the result after unlocking.
+  WatcherFires snapshotWatchers() {
+    WatcherFires Live;
+    size_t Keep = 0;
+    for (size_t I = 0; I != Watchers.size(); ++I)
+      if (auto S = Watchers[I].lock()) {
+        Live.push_back(std::move(S));
+        if (Keep != I) // guard: self-move-assignment empties a weak_ptr
+          Watchers[Keep] = std::move(Watchers[I]);
+        ++Keep;
+      }
+    Watchers.resize(Keep);
+    return Live;
+  }
 
   void close() {
-    std::lock_guard<std::mutex> Lock(Mu);
-    Closed = true;
-    Cv.notify_all();
+    WatcherFires Fires;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Closed)
+        return;
+      Closed = true;
+      Cv.notify_all();
+      Fires = snapshotWatchers();
+    }
+    fireAll(Fires);
   }
 };
 
@@ -109,42 +163,138 @@ public:
   ~LoopbackTransport() override { close(); }
 
   IoResult writeAll(const char *Data, size_t Size) override {
-    std::lock_guard<std::mutex> Lock(Out->Mu);
-    if (Out->Closed)
-      return makeError(IoStatus::Closed, "loopback pipe closed");
-    Out->Buf.append(Data, Size);
-    Out->Cv.notify_all();
+    size_t Done = 0;
+    while (Done != Size) {
+      WatcherFires Fires;
+      {
+        std::unique_lock<std::mutex> Lock(Out->Mu);
+        if (Out->Closed)
+          return makeError(IoStatus::Closed, "loopback pipe closed");
+        if (Out->Cap) {
+          // Bounded pipe: genuine backpressure.  Wait for the reader to
+          // drain below the cap (or for a close), bounded like TCP's
+          // write timeout so one stalled reader can't pin us forever.
+          if (!Out->Cv.wait_for(Lock,
+                                std::chrono::milliseconds(WriteTimeoutMs),
+                                [&] {
+                                  return Out->Closed ||
+                                         Out->buffered() < Out->Cap;
+                                }))
+            return makeError(IoStatus::Timeout,
+                             "loopback write timed out (pipe full)");
+          if (Out->Closed)
+            return makeError(IoStatus::Closed, "loopback pipe closed");
+          size_t Space = Out->Cap - Out->buffered();
+          size_t N = Space < Size - Done ? Space : Size - Done;
+          Out->Buf.append(Data + Done, N);
+          Done += N;
+        } else {
+          Out->Buf.append(Data + Done, Size - Done);
+          Done = Size;
+        }
+        Out->Cv.notify_all();
+        Fires = Out->snapshotWatchers();
+      }
+      fireAll(Fires);
+    }
+    return IoResult();
+  }
+
+  IoResult writeNow(const char *Data, size_t Size,
+                    size_t *Written) override {
+    *Written = 0;
+    WatcherFires Fires;
+    {
+      std::lock_guard<std::mutex> Lock(Out->Mu);
+      if (Out->Closed)
+        return makeError(IoStatus::Closed, "loopback pipe closed");
+      size_t Space =
+          Out->Cap ? Out->Cap - std::min(Out->Cap, Out->buffered()) : Size;
+      if (Space == 0)
+        return makeError(IoStatus::WouldBlock, "loopback pipe full");
+      size_t N = Space < Size ? Space : Size;
+      Out->Buf.append(Data, N);
+      *Written = N;
+      Out->Cv.notify_all();
+      Fires = Out->snapshotWatchers();
+    }
+    fireAll(Fires);
     return IoResult();
   }
 
   IoResult readSome(char *Data, size_t Max, int TimeoutMs,
                     size_t *Read) override {
     *Read = 0;
-    std::unique_lock<std::mutex> Lock(In->Mu);
-    auto HaveDataOrClosed = [&] {
-      return In->Off != In->Buf.size() || In->Closed;
-    };
-    if (TimeoutMs > 0) {
-      if (!In->Cv.wait_for(Lock, std::chrono::milliseconds(TimeoutMs),
-                           HaveDataOrClosed))
-        return makeError(IoStatus::Timeout, "loopback read timed out");
-    } else {
-      In->Cv.wait(Lock, HaveDataOrClosed);
+    WatcherFires Fires;
+    IoResult Result;
+    {
+      std::unique_lock<std::mutex> Lock(In->Mu);
+      auto HaveDataOrClosed = [&] {
+        return In->Off != In->Buf.size() || In->Closed;
+      };
+      if (TimeoutMs > 0) {
+        if (!In->Cv.wait_for(Lock, std::chrono::milliseconds(TimeoutMs),
+                             HaveDataOrClosed))
+          return makeError(IoStatus::Timeout, "loopback read timed out");
+      } else {
+        In->Cv.wait(Lock, HaveDataOrClosed);
+      }
+      // Drain buffered bytes even after a close — a peer that wrote a
+      // reply and hung up must still be readable, like TCP.
+      size_t Avail = In->buffered();
+      if (Avail == 0)
+        return makeError(IoStatus::Eof, "loopback peer closed");
+      size_t N = Avail < Max ? Avail : Max;
+      std::memcpy(Data, In->Buf.data() + In->Off, N);
+      In->Off += N;
+      if (In->Off == In->Buf.size()) {
+        In->Buf.clear();
+        In->Off = 0;
+      }
+      *Read = N;
+      if (In->Cap) {
+        // Space freed in a bounded pipe: wake writers blocked on the cap.
+        In->Cv.notify_all();
+        Fires = In->snapshotWatchers();
+      }
     }
-    // Drain buffered bytes even after a close — a peer that wrote a reply
-    // and hung up must still be readable, like TCP.
-    size_t Avail = In->Buf.size() - In->Off;
-    if (Avail == 0)
-      return makeError(IoStatus::Eof, "loopback peer closed");
-    size_t N = Avail < Max ? Avail : Max;
-    std::memcpy(Data, In->Buf.data() + In->Off, N);
-    In->Off += N;
-    if (In->Off == In->Buf.size()) {
-      In->Buf.clear();
-      In->Off = 0;
+    fireAll(Fires);
+    return Result;
+  }
+
+  IoResult readNow(char *Data, size_t Max, size_t *Read) override {
+    *Read = 0;
+    WatcherFires Fires;
+    {
+      std::lock_guard<std::mutex> Lock(In->Mu);
+      size_t Avail = In->buffered();
+      if (Avail == 0) {
+        if (In->Closed)
+          return makeError(IoStatus::Eof, "loopback peer closed");
+        return makeError(IoStatus::WouldBlock, "loopback pipe empty");
+      }
+      size_t N = Avail < Max ? Avail : Max;
+      std::memcpy(Data, In->Buf.data() + In->Off, N);
+      In->Off += N;
+      if (In->Off == In->Buf.size()) {
+        In->Buf.clear();
+        In->Off = 0;
+      }
+      *Read = N;
+      if (In->Cap) {
+        In->Cv.notify_all();
+        Fires = In->snapshotWatchers();
+      }
     }
-    *Read = N;
+    fireAll(Fires);
     return IoResult();
+  }
+
+  void watch(const ReadySignal &Signal) override {
+    for (Pipe *P : {In.get(), Out.get()}) {
+      std::lock_guard<std::mutex> Lock(P->Mu);
+      P->Watchers.push_back(Signal);
+    }
   }
 
   void close() override {
@@ -156,14 +306,19 @@ public:
 
 private:
   std::shared_ptr<Pipe> In, Out;
+  /// Backstop matching TCP's: a bounded pipe whose reader vanished must
+  /// not pin a writer forever.
+  static constexpr int WriteTimeoutMs = 10000;
 };
 
 } // namespace
 
 std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
-makeLoopbackPair() {
+makeLoopbackPair(size_t CapBytes) {
   auto AtoB = std::make_shared<Pipe>();
   auto BtoA = std::make_shared<Pipe>();
+  AtoB->Cap = CapBytes;
+  BtoA->Cap = CapBytes;
   return {std::make_unique<LoopbackTransport>(BtoA, AtoB),
           std::make_unique<LoopbackTransport>(AtoB, BtoA)};
 }
@@ -173,6 +328,7 @@ struct LoopbackListener::Impl {
   std::condition_variable Cv;
   std::deque<std::unique_ptr<Transport>> Pending;
   bool Shutdown = false;
+  size_t CapBytes = 0;
 };
 
 LoopbackListener::LoopbackListener() : I(std::make_shared<Impl>()) {}
@@ -194,8 +350,20 @@ void LoopbackListener::shutdown() {
   I->Cv.notify_all();
 }
 
+void LoopbackListener::setPipeCapacity(size_t CapBytes) {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  I->CapBytes = CapBytes;
+}
+
 std::unique_ptr<Transport> LoopbackListener::connect() {
-  auto [ClientEnd, ServerEnd] = makeLoopbackPair();
+  size_t Cap;
+  {
+    std::lock_guard<std::mutex> Lock(I->Mu);
+    if (I->Shutdown)
+      return nullptr;
+    Cap = I->CapBytes;
+  }
+  auto [ClientEnd, ServerEnd] = makeLoopbackPair(Cap);
   std::lock_guard<std::mutex> Lock(I->Mu);
   if (I->Shutdown)
     return nullptr;
@@ -278,6 +446,35 @@ public:
     return IoResult();
   }
 
+  IoResult writeNow(const char *Data, size_t Size,
+                    size_t *Written) override {
+    *Written = 0;
+    while (*Written != Size) {
+      if (ClosedFlag.load(std::memory_order_relaxed))
+        return makeError(IoStatus::Closed, "socket closed locally");
+      ssize_t N =
+          ::send(Fd, Data + *Written, Size - *Written, MSG_NOSIGNAL);
+      if (N > 0) {
+        *Written += static_cast<size_t>(N);
+        continue;
+      }
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (*Written)
+          return IoResult(); // partial progress is Ok; caller re-arms
+        return makeError(IoStatus::WouldBlock, "send buffer full");
+      }
+      if (N < 0 && (errno == EPIPE || errno == ECONNRESET))
+        return makeError(IoStatus::Eof, PeerName + " hung up");
+      return makeError(IoStatus::Error,
+                       support::formatString("send to %s: %s",
+                                             PeerName.c_str(),
+                                             std::strerror(errno)));
+    }
+    return IoResult();
+  }
+
   IoResult readSome(char *Data, size_t Max, int TimeoutMs,
                     size_t *Read) override {
     *Read = 0;
@@ -313,6 +510,31 @@ public:
                                                std::strerror(errno)));
     }
   }
+
+  IoResult readNow(char *Data, size_t Max, size_t *Read) override {
+    *Read = 0;
+    for (;;) {
+      if (ClosedFlag.load(std::memory_order_relaxed))
+        return makeError(IoStatus::Closed, "socket closed locally");
+      ssize_t N = ::recv(Fd, Data, Max, 0);
+      if (N > 0) {
+        *Read = static_cast<size_t>(N);
+        return IoResult();
+      }
+      if (N == 0)
+        return makeError(IoStatus::Eof, PeerName + " closed the stream");
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return makeError(IoStatus::WouldBlock, "no bytes available");
+      return makeError(IoStatus::Error,
+                       support::formatString("recv from %s: %s",
+                                             PeerName.c_str(),
+                                             std::strerror(errno)));
+    }
+  }
+
+  int pollFd() const override { return Fd; }
 
   void close() override {
     if (!ClosedFlag.exchange(true))

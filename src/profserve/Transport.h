@@ -24,6 +24,13 @@
 ///    in readSome/writeAll on the same transport — the server's shutdown
 ///    path relies on this to never leak a connection.
 ///
+/// Reactor interface (see EventLoop.h): in addition to the blocking
+/// calls, both implementations expose non-blocking readNow/writeNow that
+/// report WouldBlock instead of waiting, plus one of two readiness
+/// mechanisms — a pollable fd (TCP) or a ready-signal callback fired on
+/// any state change (loopback).  A transport that supports neither (the
+/// base-class defaults) cannot be driven by the event loop.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ARS_PROFSERVE_TRANSPORT_H
@@ -31,6 +38,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -40,10 +48,11 @@ namespace profserve {
 
 enum class IoStatus : uint8_t {
   Ok,
-  Eof,     ///< peer closed cleanly (no more bytes will arrive)
-  Timeout, ///< deadline expired before the requested bytes arrived
-  Closed,  ///< this endpoint was close()d (locally) mid-operation
-  Error,   ///< transport failure; see Message
+  Eof,        ///< peer closed cleanly (no more bytes will arrive)
+  Timeout,    ///< deadline expired before the requested bytes arrived
+  Closed,     ///< this endpoint was close()d (locally) mid-operation
+  Error,      ///< transport failure; see Message
+  WouldBlock, ///< non-blocking op made no progress; try again when ready
 };
 
 struct IoResult {
@@ -53,6 +62,15 @@ struct IoResult {
 };
 
 const char *ioStatusName(IoStatus S);
+
+/// Fired (from any thread, possibly while transport-internal locks are
+/// held) whenever a transport MAY have become readable, writable or
+/// closed.  Spurious fires are allowed; the receiver re-polls with
+/// readNow/writeNow.  Implementations must not call back into the
+/// transport from the signal.  Held by shared_ptr so a peer that
+/// outlives the watched endpoint fires into an expired weak_ptr, never
+/// a dangling callback.
+using ReadySignal = std::shared_ptr<std::function<void()>>;
 
 /// A reliable, ordered, bidirectional byte stream.
 class Transport {
@@ -68,6 +86,25 @@ public:
   /// count actually delivered (0 on any non-Ok status).
   virtual IoResult readSome(char *Data, size_t Max, int TimeoutMs,
                             size_t *Read) = 0;
+
+  /// Non-blocking read: delivers 1..\p Max immediately-available bytes
+  /// (Ok), or WouldBlock/Eof/Closed/Error without waiting.
+  virtual IoResult readNow(char *Data, size_t Max, size_t *Read);
+
+  /// Non-blocking write: accepts as many of the \p Size bytes as fit
+  /// right now.  Ok with \p *Written in [1, Size] on any progress
+  /// (possibly partial); WouldBlock with 0 written when nothing fits.
+  virtual IoResult writeNow(const char *Data, size_t Size,
+                            size_t *Written);
+
+  /// Readiness fd for poll(2); -1 when this transport signals readiness
+  /// through watch() instead (or supports neither).
+  virtual int pollFd() const { return -1; }
+
+  /// Registers \p Signal to fire on any readability/writability/close
+  /// transition.  The transport holds only a weak reference; dropping
+  /// the shared_ptr unregisters.  Default: unsupported no-op.
+  virtual void watch(const ReadySignal &Signal) { (void)Signal; }
 
   /// Shuts the stream down in both directions.  Idempotent; safe to call
   /// from any thread; unblocks concurrent readSome/writeAll calls.
@@ -102,8 +139,11 @@ public:
 
 /// An in-process connection: two Transports joined by a pair of in-memory
 /// pipes.  first <-> second; bytes written to one are read from the other.
+/// \p CapBytes bounds each pipe's buffered bytes (0 = unbounded): a full
+/// pipe blocks writeAll (up to its write timeout) and turns writeNow into
+/// WouldBlock — how tests exercise real write-backpressure in memory.
 std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
-makeLoopbackPair();
+makeLoopbackPair(size_t CapBytes = 0);
 
 /// In-memory listener: connect() hands the server end to accept() and
 /// returns the client end, with no sockets involved.
@@ -118,6 +158,11 @@ public:
 
   /// Client side of a fresh connection; nullptr after shutdown().
   std::unique_ptr<Transport> connect();
+
+  /// Pipe capacity for connections made after this call (0 = unbounded;
+  /// see makeLoopbackPair).  Backpressure tests set a tiny cap so a
+  /// reply larger than the pipe genuinely blocks the server's writer.
+  void setPipeCapacity(size_t CapBytes);
 
 private:
   struct Impl;

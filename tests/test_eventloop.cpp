@@ -1,0 +1,419 @@
+//===- tests/test_eventloop.cpp - Reactor event-loop tests ----*- C++ -*-===//
+///
+/// The nonblocking reactor's contracts (see EventLoop.h), pinned through
+/// a real ProfileServer over the loopback transport:
+///
+///   * Slow-loris: a client trickling a frame one byte at a time either
+///     completes within the per-frame deadline (and is served — the
+///     incremental parser handles any read fragmentation) or is reaped
+///     with a diagnostic farewell; it can never occupy a worker thread.
+///   * Mid-frame disconnect: a stream that dies inside a header or a
+///     body is closed with a "truncated frame" reject, leaks nothing,
+///     and the server keeps serving.
+///   * Write backpressure: a peer that requests a reply bigger than the
+///     transport can buffer and then stops reading is reaped by the send
+///     deadline; a peer that merely reads slowly gets every byte.
+///   * Shutdown: stop() completes promptly with connections parked in
+///     every phase (idle, mid-frame, write-blocked).
+///   * One reactor thread multiplexes many concurrent pushers and still
+///     merges byte-identically to the serial fold.
+///
+/// Suites are named EventLoop* so scripts/check.sh --tsan runs them
+/// under ThreadSanitizer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "profserve/Client.h"
+#include "profserve/Protocol.h"
+#include "profserve/Server.h"
+#include "profserve/Transport.h"
+#include "profstore/ProfileIO.h"
+#include "profstore/ProfileStore.h"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ars;
+using namespace ars::profserve;
+
+constexpr uint64_t TestFingerprint = 0xEE77E100FEED5EEDULL;
+
+profile::ProfileBundle shardBundle(int Seed) {
+  profile::ProfileBundle B;
+  profile::CallEdgeKey K;
+  K.Caller = Seed % 5;
+  K.Site = Seed % 3;
+  K.Callee = (Seed + 1) % 7;
+  B.CallEdges.record(K, static_cast<uint64_t>(Seed) * 37 + 1);
+  B.FieldAccesses.record(Seed % 4, static_cast<uint64_t>(Seed) + 2);
+  B.BlockCounts.record(1, Seed % 6, static_cast<uint64_t>(Seed) * 11 + 3);
+  return B;
+}
+
+std::string serialFold(int Shards) {
+  profile::ProfileBundle Acc;
+  for (int I = 0; I != Shards; ++I)
+    profstore::mergeBundle(Acc, shardBundle(I));
+  return profile::serializeBundle(Acc);
+}
+
+/// A bundle whose encoded form dwarfs the tiny pipe capacities the
+/// backpressure tests use, so a PULL reply genuinely cannot fit.
+profile::ProfileBundle bigBundle() {
+  profile::ProfileBundle B;
+  for (int I = 0; I != 2000; ++I)
+    B.BlockCounts.record(I % 7, I, static_cast<uint64_t>(I) * 13 + 1);
+  return B;
+}
+
+struct LoopbackServer {
+  LoopbackListener *L;
+  ProfileServer Server;
+
+  explicit LoopbackServer(ServerConfig C)
+      : L(new LoopbackListener()),
+        Server(std::unique_ptr<Listener>(L), C) {
+    Server.start();
+  }
+  ~LoopbackServer() { Server.stop(); }
+};
+
+ServerConfig config(int RecvTimeoutMs = 2000, int SendTimeoutMs = 10000,
+                    int Workers = 2) {
+  ServerConfig C;
+  C.Workers = Workers;
+  C.RecvTimeoutMs = RecvTimeoutMs;
+  C.SendTimeoutMs = SendTimeoutMs;
+  return C;
+}
+
+void rawHello(Transport &T) {
+  HelloMsg H;
+  H.Fingerprint = TestFingerprint;
+  H.ClientName = "raw";
+  ASSERT_TRUE(writeFrame(T, MsgType::Hello, encodeHello(H)).ok());
+  FrameResult FR = readFrame(T, 2000);
+  ASSERT_TRUE(FR.ok()) << FR.Error;
+  ASSERT_EQ(FR.F.Type, MsgType::HelloAck);
+}
+
+/// Spins until \p Pred or ~\p Ms elapsed.
+template <typename Pred> bool waitFor(Pred P, int Ms) {
+  for (int Spin = 0; Spin != Ms / 5 + 1; ++Spin) {
+    if (P())
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return P();
+}
+
+void trickle(Transport &T, const std::string &Bytes, int GapMs) {
+  for (char C : Bytes) {
+    ASSERT_TRUE(T.writeAll(&C, 1).ok());
+    if (GapMs)
+      std::this_thread::sleep_for(std::chrono::milliseconds(GapMs));
+    else
+      std::this_thread::yield();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Slow-loris
+//===----------------------------------------------------------------------===//
+
+/// A frame fed one byte at a time, fast enough to beat the deadline, is
+/// parsed and served exactly like a burst write — the reactor's
+/// incremental parser must tolerate any fragmentation.
+TEST(EventLoopSlowLoris, ByteAtATimeWithinDeadlineIsServed) {
+  LoopbackServer S(config(/*RecvTimeoutMs=*/2000));
+  std::unique_ptr<Transport> T = S.L->connect();
+  ASSERT_TRUE(T);
+
+  HelloMsg H;
+  H.Fingerprint = TestFingerprint;
+  H.ClientName = "loris";
+  trickle(*T, encodeFrame(MsgType::Hello, encodeHello(H)), 0);
+  if (::testing::Test::HasFatalFailure())
+    return;
+  FrameResult Ack = readFrame(*T, 2000);
+  ASSERT_TRUE(Ack.ok()) << Ack.Error;
+  ASSERT_EQ(Ack.F.Type, MsgType::HelloAck);
+
+  std::string Arsp = profstore::encodeBundle(shardBundle(1),
+                                             TestFingerprint);
+  trickle(*T, encodeFrame(MsgType::Push, encodePush(0, Arsp)), 0);
+  if (::testing::Test::HasFatalFailure())
+    return;
+  FrameResult PA = readFrame(*T, 2000);
+  ASSERT_TRUE(PA.ok()) << PA.Error;
+  ASSERT_EQ(PA.F.Type, MsgType::PushAck);
+  EXPECT_EQ(profile::serializeBundle(S.Server.merged()),
+            profile::serializeBundle(shardBundle(1)))
+      << "trickled shard was not merged";
+  T->close();
+}
+
+/// A client that stalls mid-frame past the deadline is reaped with a
+/// diagnostic ERROR farewell, and the reactor thread it would have
+/// blocked keeps serving other clients throughout.
+TEST(EventLoopSlowLoris, MidFrameStallIsReapedWithDiagnostic) {
+  LoopbackServer S(config(/*RecvTimeoutMs=*/150, /*SendTimeoutMs=*/10000,
+                          /*Workers=*/1));
+  std::unique_ptr<Transport> Loris = S.L->connect();
+  ASSERT_TRUE(Loris);
+  rawHello(*Loris);
+  if (::testing::Test::HasFatalFailure())
+    return;
+
+  // First bytes of a PUSH frame, then silence past the deadline.
+  std::string Wire = encodeFrame(
+      MsgType::Push,
+      encodePush(0, profstore::encodeBundle(shardBundle(7),
+                                            TestFingerprint)));
+  ASSERT_TRUE(Loris->writeAll(Wire.data(), 10).ok());
+
+  // The single reactor thread must still serve a well-behaved client
+  // while the loris stalls.
+  ClientConfig CC;
+  CC.Fingerprint = TestFingerprint;
+  CC.SessionId = 42;
+  ProfileClient Good(loopbackDialer(*S.L), CC);
+  ASSERT_TRUE(Good.push(shardBundle(1), TestFingerprint).Ok);
+
+  FrameResult Farewell = readFrame(*Loris, 2000);
+  ASSERT_TRUE(Farewell.ok()) << Farewell.Error;
+  ASSERT_EQ(Farewell.F.Type, MsgType::Error);
+  ErrorMsg E;
+  ASSERT_TRUE(decodeError(Farewell.F.Payload, &E));
+  EXPECT_NE(E.Text.find("stalled"), std::string::npos) << E.Text;
+  EXPECT_EQ(readFrame(*Loris, 2000).Status, FrameStatus::Eof);
+  EXPECT_TRUE(waitFor(
+      [&] { return S.Server.stats().ActiveConnections == 0; }, 2000));
+  EXPECT_GE(S.Server.stats().Rejects, 1u);
+}
+
+/// An idle connection (no frame at all) times out too — vanished
+/// clients cannot accumulate connection state forever.
+TEST(EventLoopSlowLoris, SilentConnectionTimesOut) {
+  LoopbackServer S(config(/*RecvTimeoutMs=*/100));
+  std::unique_ptr<Transport> T = S.L->connect();
+  ASSERT_TRUE(T);
+  EXPECT_TRUE(waitFor(
+      [&] { return S.Server.stats().ActiveConnections == 0; }, 3000));
+  FrameResult FR = readFrame(*T, 1000);
+  // The farewell names the deadline; a race with close is also fine.
+  if (FR.ok()) {
+    EXPECT_EQ(FR.F.Type, MsgType::Error);
+    ErrorMsg E;
+    ASSERT_TRUE(decodeError(FR.F.Payload, &E));
+    EXPECT_NE(E.Text.find("deadline"), std::string::npos) << E.Text;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Mid-frame disconnect
+//===----------------------------------------------------------------------===//
+
+/// Disconnects inside the frame header and inside the body: both must
+/// surface as a "truncated frame" reject, drain the connection, and
+/// leave the server fully functional.
+TEST(EventLoopDisconnect, MidHeaderAndMidBodyAreRejectedCleanly) {
+  LoopbackServer S(config());
+  std::string Wire = encodeFrame(
+      MsgType::Push,
+      encodePush(0, profstore::encodeBundle(shardBundle(3),
+                                            TestFingerprint)));
+
+  // Die after 3 header bytes, and again halfway through the body.
+  for (size_t Cut : {size_t(3), Wire.size() / 2}) {
+    std::unique_ptr<Transport> T = S.L->connect();
+    ASSERT_TRUE(T);
+    rawHello(*T);
+    if (::testing::Test::HasFatalFailure())
+      return;
+    ASSERT_TRUE(T->writeAll(Wire.data(), Cut).ok());
+    T->close();
+  }
+  EXPECT_TRUE(waitFor(
+      [&] { return S.Server.stats().ActiveConnections == 0; }, 3000));
+  EXPECT_GE(S.Server.stats().Rejects, 2u);
+
+  // Nothing half-merged, and the server still serves.
+  EXPECT_EQ(S.Server.stats().Merges, 0u);
+  ClientConfig CC;
+  CC.Fingerprint = TestFingerprint;
+  CC.SessionId = 7;
+  ProfileClient Good(loopbackDialer(*S.L), CC);
+  ASSERT_TRUE(Good.push(shardBundle(0), TestFingerprint).Ok);
+  EXPECT_EQ(profile::serializeBundle(S.Server.merged()), serialFold(1));
+}
+
+//===----------------------------------------------------------------------===//
+// Write backpressure
+//===----------------------------------------------------------------------===//
+
+/// The peer asks for a reply far larger than the pipe, then never reads:
+/// the send deadline must reap it instead of letting the reply buffer sit
+/// forever (or a blocking write occupy a reactor thread).
+TEST(EventLoopBackpressure, StalledReaderIsReaped) {
+  LoopbackServer S(config(/*RecvTimeoutMs=*/0, /*SendTimeoutMs=*/200,
+                          /*Workers=*/1));
+  {
+    ClientConfig CC;
+    CC.Fingerprint = TestFingerprint;
+    CC.SessionId = 9;
+    ProfileClient Seed(loopbackDialer(*S.L), CC);
+    ASSERT_TRUE(Seed.push(bigBundle(), TestFingerprint).Ok);
+  }
+
+  S.L->setPipeCapacity(256); // replies can no longer fit in the pipe
+  std::unique_ptr<Transport> T = S.L->connect();
+  ASSERT_TRUE(T);
+  rawHello(*T);
+  if (::testing::Test::HasFatalFailure())
+    return;
+  ASSERT_TRUE(writeFrame(*T, MsgType::Pull, std::string()).ok());
+  // ...and never read a byte of the multi-KiB PULL_REPLY.
+  EXPECT_TRUE(waitFor(
+      [&] { return S.Server.stats().ActiveConnections == 0; }, 3000))
+      << "write-stalled connection was never reaped";
+
+  // The reactor thread survived to serve a well-behaved client.
+  S.L->setPipeCapacity(0);
+  ClientConfig CC;
+  CC.Fingerprint = TestFingerprint;
+  ProfileClient Good(loopbackDialer(*S.L), CC);
+  ProfileClient::PullResult P = Good.pull();
+  ASSERT_TRUE(P.Ok) << P.Error;
+  EXPECT_EQ(profile::serializeBundle(P.Bundle),
+            profile::serializeBundle(S.Server.merged()));
+}
+
+/// A peer that reads slowly (but does read) must receive the whole
+/// reply: the reactor resumes the flush every time the pipe drains
+/// instead of giving up on the first WouldBlock.
+TEST(EventLoopBackpressure, SlowReaderGetsWholeReply) {
+  LoopbackServer S(config());
+  {
+    ClientConfig CC;
+    CC.Fingerprint = TestFingerprint;
+    CC.SessionId = 11;
+    ProfileClient Seed(loopbackDialer(*S.L), CC);
+    ASSERT_TRUE(Seed.push(bigBundle(), TestFingerprint).Ok);
+  }
+
+  S.L->setPipeCapacity(256);
+  std::unique_ptr<Transport> T = S.L->connect();
+  ASSERT_TRUE(T);
+  rawHello(*T);
+  if (::testing::Test::HasFatalFailure())
+    return;
+  ASSERT_TRUE(writeFrame(*T, MsgType::Pull, std::string()).ok());
+  FrameResult FR = readFrame(*T, 10000); // reads in small pipe-fulls
+  ASSERT_TRUE(FR.ok()) << FR.Error;
+  ASSERT_EQ(FR.F.Type, MsgType::PullReply);
+  EXPECT_EQ(FR.F.Payload,
+            profstore::encodeBundle(S.Server.merged(), TestFingerprint));
+  EXPECT_GT(FR.F.Payload.size(), 256u)
+      << "reply fit the pipe; backpressure was never exercised";
+}
+
+//===----------------------------------------------------------------------===//
+// Shutdown
+//===----------------------------------------------------------------------===//
+
+/// stop() with connections parked in every reactor phase — idle between
+/// frames, mid-frame, and write-blocked on a full pipe — must terminate
+/// promptly and close every one of them.
+TEST(EventLoopShutdown, StopWithConnectionsInEveryState) {
+  auto S = std::make_unique<LoopbackServer>(
+      config(/*RecvTimeoutMs=*/0, /*SendTimeoutMs=*/60000));
+  {
+    ClientConfig CC;
+    CC.Fingerprint = TestFingerprint;
+    CC.SessionId = 13;
+    ProfileClient Seed(loopbackDialer(*S->L), CC);
+    ASSERT_TRUE(Seed.push(bigBundle(), TestFingerprint).Ok);
+  }
+
+  // Idle: HELLO done, waiting between frames.
+  std::unique_ptr<Transport> Idle = S->L->connect();
+  ASSERT_TRUE(Idle);
+  rawHello(*Idle);
+
+  // Mid-frame: a partial header, never completed.
+  std::unique_ptr<Transport> Partial = S->L->connect();
+  ASSERT_TRUE(Partial);
+  rawHello(*Partial);
+  std::string Wire = encodeFrame(MsgType::Pull, std::string());
+  ASSERT_TRUE(Partial->writeAll(Wire.data(), 3).ok());
+
+  // Write-blocked: a PULL reply stuck in a tiny pipe, never read.
+  S->L->setPipeCapacity(64);
+  std::unique_ptr<Transport> Blocked = S->L->connect();
+  ASSERT_TRUE(Blocked);
+  rawHello(*Blocked);
+  ASSERT_TRUE(writeFrame(*Blocked, MsgType::Pull, std::string()).ok());
+  ASSERT_TRUE(waitFor(
+      [&] { return S->Server.stats().ActiveConnections == 3; }, 2000));
+  // Give the reactor a beat to park the reply in the full pipe.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // The whole point: this must not hang or crash.
+  S->Server.stop();
+
+  // Every parked connection was closed.
+  char Byte;
+  size_t Got = 0;
+  IoResult R = Idle->readSome(&Byte, 1, 1000, &Got);
+  EXPECT_NE(R.Status, IoStatus::Timeout);
+  R = Partial->readSome(&Byte, 1, 1000, &Got);
+  EXPECT_NE(R.Status, IoStatus::Timeout);
+  S.reset(); // double-stop via the destructor must be a no-op
+}
+
+//===----------------------------------------------------------------------===//
+// Multiplexing
+//===----------------------------------------------------------------------===//
+
+/// One reactor thread, many concurrent pushers: connections cost
+/// buffers, not threads, and the merge stays byte-identical to the
+/// serial fold.
+TEST(EventLoopMux, SingleReactorServesManyConcurrentPushers) {
+  LoopbackServer S(config(/*RecvTimeoutMs=*/5000,
+                          /*SendTimeoutMs=*/10000, /*Workers=*/1));
+  const int Pushers = 16, PerPusher = 4;
+  std::vector<std::thread> Threads;
+  std::vector<std::string> Errs(Pushers);
+  for (int I = 0; I != Pushers; ++I)
+    Threads.emplace_back([&, I] {
+      ClientConfig CC;
+      CC.Fingerprint = TestFingerprint;
+      CC.SessionId = 100 + static_cast<uint64_t>(I);
+      ProfileClient C(loopbackDialer(*S.L), CC);
+      for (int J = 0; J != PerPusher; ++J) {
+        ClientResult PR =
+            C.push(shardBundle(I * PerPusher + J), TestFingerprint);
+        if (!PR.Ok && Errs[I].empty())
+          Errs[I] = PR.Error;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (const std::string &E : Errs)
+    ASSERT_TRUE(E.empty()) << E;
+  EXPECT_EQ(S.Server.stats().Merges,
+            static_cast<uint64_t>(Pushers * PerPusher));
+  EXPECT_EQ(profile::serializeBundle(S.Server.merged()),
+            serialFold(Pushers * PerPusher));
+  EXPECT_TRUE(waitFor(
+      [&] { return S.Server.stats().ActiveConnections == 0; }, 3000));
+}
+
+} // namespace

@@ -628,24 +628,25 @@ TEST(ProfServeRobust, ServerToClientTypeFromClientRefused) {
 // Server: overload shedding
 //===----------------------------------------------------------------------===//
 
-/// One worker, accept backlog of one: the third connection must be shed
-/// with a machine-readable ERROR(RETRY_AFTER) — and the shard pushed over
-/// a surviving connection still merges byte-identically.
-TEST(ProfServeOverload, BacklogShedsWithRetryAfter) {
+/// One reactor thread, a live-connection budget of two: the third
+/// connection must be shed with a machine-readable ERROR(RETRY_AFTER) —
+/// and once a slot frees, a fresh connection's shard still merges
+/// byte-identically.  (Two connections on ONE reactor thread also proves
+/// the event loop multiplexes; a blocking one-thread server would wedge.)
+TEST(ProfServeOverload, ConnectionCapShedsWithRetryAfter) {
   ServerConfig Config = quietConfig();
   Config.Workers = 1;
-  Config.MaxPendingConnections = 1;
+  Config.MaxConnections = 2;
   LoopbackServer S(Config);
 
-  // A occupies the only worker; the completed handshake proves the
-  // worker picked it up (so the pending counter is back to zero).
+  // A and B fill the budget; both handshakes complete concurrently on
+  // the single reactor thread.
   std::unique_ptr<Transport> A = S.L->connect();
   ASSERT_TRUE(A);
   rawHello(*A);
-
-  // B is accepted but queued: the backlog is now full.
   std::unique_ptr<Transport> B = S.L->connect();
   ASSERT_TRUE(B);
+  rawHello(*B);
 
   // C must be refused up front with RETRY_AFTER, before any handshake.
   std::unique_ptr<Transport> C = S.L->connect();
@@ -659,13 +660,20 @@ TEST(ProfServeOverload, BacklogShedsWithRetryAfter) {
   FR = readFrame(*C, 2000);
   EXPECT_NE(FR.Status, FrameStatus::Ok); // and closed
 
-  // Free the worker; the queued B proceeds normally and its shard lands.
+  // Free a slot and wait for the reactor to reap it; a fresh connection
+  // then proceeds normally and its shard lands.
   A->close();
-  rawHello(*B);
+  for (int Tries = 0;
+       Tries != 200 && S.Server.stats().ActiveConnections > 1; ++Tries)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_LE(S.Server.stats().ActiveConnections, 1u);
+  std::unique_ptr<Transport> D = S.L->connect();
+  ASSERT_TRUE(D);
+  rawHello(*D);
   ASSERT_TRUE(
-      writeFrame(*B, MsgType::Push, encodePush(0, encodedShard(0)))
+      writeFrame(*D, MsgType::Push, encodePush(0, encodedShard(0)))
           .ok());
-  FR = readFrame(*B, 2000);
+  FR = readFrame(*D, 2000);
   ASSERT_TRUE(FR.ok()) << FR.Error;
   EXPECT_EQ(FR.F.Type, MsgType::PushAck);
 
@@ -927,6 +935,353 @@ TEST(ProfServeTcp, PushPullOverRealSockets) {
   C.close();
   Server.stop();
   EXPECT_EQ(Server.stats().Merges, 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Wire v3: batched PUSH and version negotiation
+//===----------------------------------------------------------------------===//
+
+std::vector<BatchShard> sampleBatch(int Shards, uint64_t FirstSeq = 1) {
+  std::vector<BatchShard> B;
+  for (int I = 0; I != Shards; ++I)
+    B.push_back({FirstSeq + static_cast<uint64_t>(I), encodedShard(I)});
+  return B;
+}
+
+TEST(ProfServeWireV3, BatchPayloadRoundTrips) {
+  std::vector<BatchShard> In = sampleBatch(5, 42);
+  std::vector<BatchShard> Out;
+  ASSERT_TRUE(decodePushBatch(encodePushBatch(In), &Out));
+  ASSERT_EQ(Out.size(), In.size());
+  for (size_t I = 0; I != In.size(); ++I) {
+    EXPECT_EQ(Out[I].Seq, In[I].Seq);
+    EXPECT_EQ(Out[I].Arsp, In[I].Arsp);
+  }
+  PushBatchAckMsg Ack;
+  Ack.Merges = 7;
+  Ack.Fingerprint = TestFingerprint;
+  Ack.Count = 5;
+  Ack.Merged = 3;
+  Ack.Duplicates = 1;
+  Ack.Rejected = 1;
+  Ack.FirstError = "shard 4: bad crc";
+  PushBatchAckMsg Back;
+  ASSERT_TRUE(decodePushBatchAck(encodePushBatchAck(Ack), &Back));
+  EXPECT_EQ(Back.Merged, 3u);
+  EXPECT_EQ(Back.Duplicates, 1u);
+  EXPECT_EQ(Back.Rejected, 1u);
+  EXPECT_EQ(Back.FirstError, Ack.FirstError);
+}
+
+/// Flip every byte of a framed PUSH_BATCH: the frame CRC must catch
+/// each one (length-field flips may instead surface as Oversized or a
+/// stalled read — any non-Ok, non-Eof outcome passes; silently
+/// accepting a corrupt batch is what is banned).
+TEST(ProfServeWireV3, BatchEveryByteFlipRejected) {
+  const std::string Wire =
+      encodeFrame(MsgType::PushBatch, encodePushBatch(sampleBatch(3)));
+  for (size_t I = 0; I != Wire.size(); ++I) {
+    std::string Bad = Wire;
+    Bad[I] = static_cast<char>(Bad[I] ^ 0xFF);
+    auto Pair = makeLoopbackPair();
+    ASSERT_TRUE(Pair.first->writeAll(Bad.data(), Bad.size()).ok());
+    Pair.first->close();
+    FrameResult FR = readFrame(*Pair.second, 200);
+    EXPECT_FALSE(FR.ok()) << "flipped byte " << I << " was accepted";
+    EXPECT_NE(FR.Status, FrameStatus::Eof) << "flipped byte " << I;
+    EXPECT_FALSE(FR.Error.empty()) << "no diagnostic for byte " << I;
+  }
+}
+
+/// Truncate the framed batch at every point: mid-frame death must be
+/// Malformed, never a partial decode.
+TEST(ProfServeWireV3, BatchEveryTruncationRejected) {
+  const std::string Wire =
+      encodeFrame(MsgType::PushBatch, encodePushBatch(sampleBatch(3)));
+  for (size_t Len = 0; Len != Wire.size(); ++Len) {
+    auto Pair = makeLoopbackPair();
+    if (Len)
+      ASSERT_TRUE(Pair.first->writeAll(Wire.data(), Len).ok());
+    Pair.first->close();
+    FrameResult FR = readFrame(*Pair.second, 1000);
+    if (Len == 0) {
+      EXPECT_EQ(FR.Status, FrameStatus::Eof);
+    } else {
+      EXPECT_EQ(FR.Status, FrameStatus::Malformed)
+          << "truncation at " << Len << ": " << FR.Error;
+    }
+  }
+}
+
+/// The payload decoder itself, past the frame CRC: every byte flip and
+/// every truncation of the raw PUSH_BATCH payload either fails to
+/// decode or decodes to something observably different — and never
+/// crashes (the ASan job leans on this sweep).
+TEST(ProfServeWireV3, BatchPayloadDecoderSurvivesCorruptionSweep) {
+  const std::string Payload = encodePushBatch(sampleBatch(3));
+  std::vector<BatchShard> Reference;
+  ASSERT_TRUE(decodePushBatch(Payload, &Reference));
+  auto sameAsReference = [&](const std::vector<BatchShard> &Got) {
+    if (Got.size() != Reference.size())
+      return false;
+    for (size_t I = 0; I != Got.size(); ++I)
+      if (Got[I].Seq != Reference[I].Seq ||
+          Got[I].Arsp != Reference[I].Arsp)
+        return false;
+    return true;
+  };
+  for (size_t I = 0; I != Payload.size(); ++I) {
+    std::string Bad = Payload;
+    Bad[I] = static_cast<char>(Bad[I] ^ 0xFF);
+    std::vector<BatchShard> Out;
+    if (decodePushBatch(Bad, &Out))
+      EXPECT_FALSE(sameAsReference(Out))
+          << "flipped byte " << I << " decoded back to the original";
+  }
+  for (size_t Len = 0; Len != Payload.size(); ++Len) {
+    std::vector<BatchShard> Out;
+    EXPECT_FALSE(decodePushBatch(Payload.substr(0, Len), &Out))
+        << "truncation at " << Len << " decoded";
+  }
+}
+
+TEST(ProfServeWireV3, BatchShardCountCapEnforced) {
+  std::vector<BatchShard> Huge(MaxBatchShards + 1);
+  std::vector<BatchShard> Out;
+  EXPECT_FALSE(decodePushBatch(encodePushBatch(Huge), &Out));
+  std::vector<BatchShard> AtCap(MaxBatchShards);
+  EXPECT_TRUE(decodePushBatch(encodePushBatch(AtCap), &Out));
+}
+
+/// A v3 ProfileClient batches: one PUSH_BATCH frame, one cumulative
+/// ack, every shard merged, fold preserved.
+TEST(ProfServeWireV3, ClientBatchMergesAndFoldMatches) {
+  LoopbackServer S;
+  ClientConfig CC;
+  CC.Fingerprint = TestFingerprint;
+  CC.SessionId = 77;
+  ProfileClient C = S.client(CC);
+  std::vector<std::string> Shards;
+  for (int I = 0; I != 6; ++I)
+    Shards.push_back(encodedShard(I));
+  ClientResult R = C.pushBatch(Shards);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(C.negotiatedVersion(), WireVersion);
+  EXPECT_EQ(C.lastServerMerges(), 6u);
+  ServerStats St = S.Server.stats();
+  EXPECT_EQ(St.Merges, 6u);
+  EXPECT_EQ(St.Batches, 1u);
+  EXPECT_EQ(St.Duplicates, 0u);
+  EXPECT_EQ(profile::serializeBundle(S.Server.merged()), serialFold(6));
+}
+
+/// Retrying an identical batch (stable sequence numbers) deduplicates
+/// every shard instead of double-merging — the exactly-once contract
+/// extends to batches.
+TEST(ProfServeWireV3, RetriedBatchDeduplicatesAllShards) {
+  LoopbackServer S;
+  std::unique_ptr<Transport> T = S.L->connect();
+  ASSERT_TRUE(T);
+  HelloMsg H;
+  H.Fingerprint = TestFingerprint;
+  H.SessionId = 501;
+  ASSERT_TRUE(writeFrame(*T, MsgType::Hello, encodeHello(H)).ok());
+  FrameResult FR = readFrame(*T, 2000);
+  ASSERT_TRUE(FR.ok()) << FR.Error;
+  ASSERT_EQ(FR.F.Type, MsgType::HelloAck);
+
+  const std::string Payload = encodePushBatch(sampleBatch(4));
+  for (int Round = 0; Round != 2; ++Round) {
+    ASSERT_TRUE(writeFrame(*T, MsgType::PushBatch, Payload).ok());
+    FrameResult AckF = readFrame(*T, 2000);
+    ASSERT_TRUE(AckF.ok()) << AckF.Error;
+    ASSERT_EQ(AckF.F.Type, MsgType::PushBatchAck);
+    PushBatchAckMsg Ack;
+    ASSERT_TRUE(decodePushBatchAck(AckF.F.Payload, &Ack));
+    EXPECT_EQ(Ack.Count, 4u);
+    if (Round == 0) {
+      EXPECT_EQ(Ack.Merged, 4u);
+      EXPECT_EQ(Ack.Duplicates, 0u);
+    } else {
+      EXPECT_EQ(Ack.Merged, 0u);
+      EXPECT_EQ(Ack.Duplicates, 4u);
+    }
+    EXPECT_EQ(Ack.Rejected, 0u);
+  }
+  EXPECT_EQ(S.Server.stats().Merges, 4u);
+  EXPECT_EQ(profile::serializeBundle(S.Server.merged()), serialFold(4));
+}
+
+/// A corrupt shard inside a valid PUSH_BATCH frame is rejected and
+/// reported in the cumulative ack; the good shards still merge and the
+/// connection stays open.
+TEST(ProfServeWireV3, BadShardInBatchRejectedOthersMerge) {
+  LoopbackServer S;
+  std::unique_ptr<Transport> T = S.L->connect();
+  ASSERT_TRUE(T);
+  rawHello(*T);
+
+  std::vector<BatchShard> Batch = sampleBatch(3);
+  Batch[1].Arsp[Batch[1].Arsp.size() / 2] ^= 0x20; // corrupt one shard
+  ASSERT_TRUE(
+      writeFrame(*T, MsgType::PushBatch, encodePushBatch(Batch)).ok());
+  FrameResult AckF = readFrame(*T, 2000);
+  ASSERT_TRUE(AckF.ok()) << AckF.Error;
+  ASSERT_EQ(AckF.F.Type, MsgType::PushBatchAck);
+  PushBatchAckMsg Ack;
+  ASSERT_TRUE(decodePushBatchAck(AckF.F.Payload, &Ack));
+  EXPECT_EQ(Ack.Merged, 2u);
+  EXPECT_EQ(Ack.Rejected, 1u);
+  EXPECT_FALSE(Ack.FirstError.empty());
+
+  // Still open: a clean follow-up push on the same connection works.
+  ASSERT_TRUE(writeFrame(*T, MsgType::Push,
+                         encodePush(0, encodedShard(9))).ok());
+  FrameResult PA = readFrame(*T, 2000);
+  ASSERT_TRUE(PA.ok()) << PA.Error;
+  EXPECT_EQ(PA.F.Type, MsgType::PushAck);
+  EXPECT_EQ(S.Server.stats().Merges, 3u);
+}
+
+/// A v2 client is negotiated down and fully served: HELLO_ACK echoes
+/// v2, plain PUSH works, and STATS comes back in the v2 shape its
+/// strict decoder accepts.  PUSH_BATCH on the v2 session is refused
+/// with a diagnostic naming the required version — without closing the
+/// connection.
+TEST(ProfServeV3Negotiation, V2ClientInteroperatesWithV3Server) {
+  LoopbackServer S;
+  std::unique_ptr<Transport> T = S.L->connect();
+  ASSERT_TRUE(T);
+  HelloMsg H;
+  H.Version = 2;
+  H.Fingerprint = TestFingerprint;
+  H.ClientName = "legacy";
+  ASSERT_TRUE(writeFrame(*T, MsgType::Hello, encodeHello(H)).ok());
+  FrameResult FR = readFrame(*T, 2000);
+  ASSERT_TRUE(FR.ok()) << FR.Error;
+  ASSERT_EQ(FR.F.Type, MsgType::HelloAck);
+  HelloAckMsg Ack;
+  ASSERT_TRUE(decodeHelloAck(FR.F.Payload, &Ack));
+  EXPECT_EQ(Ack.Version, 2u) << "server must echo the client's dialect";
+
+  ASSERT_TRUE(writeFrame(*T, MsgType::Push,
+                         encodePush(0, encodedShard(0))).ok());
+  FrameResult PA = readFrame(*T, 2000);
+  ASSERT_TRUE(PA.ok()) << PA.Error;
+  ASSERT_EQ(PA.F.Type, MsgType::PushAck);
+
+  // A batch on a v2 session is refused but not fatal.
+  ASSERT_TRUE(writeFrame(*T, MsgType::PushBatch,
+                         encodePushBatch(sampleBatch(2))).ok());
+  FrameResult EF = readFrame(*T, 2000);
+  ASSERT_TRUE(EF.ok()) << EF.Error;
+  ASSERT_EQ(EF.F.Type, MsgType::Error);
+  ErrorMsg Why;
+  ASSERT_TRUE(decodeError(EF.F.Payload, &Why));
+  EXPECT_NE(Why.Text.find("wire v3"), std::string::npos) << Why.Text;
+
+  // STATS on the v2 session: the v2-shaped payload still decodes, and
+  // the connection survived the refused batch.
+  ASSERT_TRUE(writeFrame(*T, MsgType::StatsReq, std::string()).ok());
+  FrameResult SF = readFrame(*T, 2000);
+  ASSERT_TRUE(SF.ok()) << SF.Error;
+  ASSERT_EQ(SF.F.Type, MsgType::StatsReply);
+  StatsMsg St;
+  ASSERT_TRUE(decodeStats(SF.F.Payload, &St));
+  EXPECT_EQ(St.Merges, 1u);
+  EXPECT_EQ(St.Batches, 0u) << "v2 payload carries no v3 counters";
+  // The v2 dialect really is shorter than the v3 one.
+  StatsMsg Full = S.Server.stats();
+  EXPECT_LT(SF.F.Payload.size(), encodeStats(Full, 3).size());
+
+  ASSERT_TRUE(writeFrame(*T, MsgType::Push,
+                         encodePush(0, encodedShard(1))).ok());
+  FrameResult PA2 = readFrame(*T, 2000);
+  ASSERT_TRUE(PA2.ok()) << PA2.Error;
+  EXPECT_EQ(PA2.F.Type, MsgType::PushAck);
+  EXPECT_EQ(profile::serializeBundle(S.Server.merged()), serialFold(2));
+}
+
+/// Below the negotiation window is still a hard refusal.
+TEST(ProfServeV3Negotiation, PrehistoricClientRefused) {
+  LoopbackServer S;
+  std::unique_ptr<Transport> T = S.L->connect();
+  ASSERT_TRUE(T);
+  HelloMsg H;
+  H.Version = MinWireVersion - 1;
+  ASSERT_TRUE(writeFrame(*T, MsgType::Hello, encodeHello(H)).ok());
+  FrameResult FR = readFrame(*T, 2000);
+  ASSERT_TRUE(FR.ok()) << FR.Error;
+  ASSERT_EQ(FR.F.Type, MsgType::Error);
+  ErrorMsg Why;
+  ASSERT_TRUE(decodeError(FR.F.Payload, &Why));
+  EXPECT_EQ(Why.Code, ErrCode::BadHandshake);
+  EXPECT_NE(Why.Text.find("version mismatch"), std::string::npos);
+}
+
+/// pushBatch against a server that only speaks v2 degrades to
+/// per-shard sequenced pushes: the fake server sees only PUSH frames,
+/// never a PUSH_BATCH, and the client still reports success.
+TEST(ProfServeV3Negotiation, BatchDegradesToPerShardPushOnV2Server) {
+  LoopbackListener L;
+  std::atomic<int> Pushes{0}, Batches{0};
+  std::thread FakeV2([&] {
+    std::unique_ptr<Transport> T = L.accept();
+    if (!T)
+      return;
+    for (;;) {
+      FrameResult FR = readFrame(*T, 5000);
+      if (!FR.ok())
+        return;
+      switch (FR.F.Type) {
+      case MsgType::Hello: {
+        HelloAckMsg Ack;
+        Ack.Version = 2; // the whole point: an old server
+        Ack.Fingerprint = TestFingerprint;
+        writeFrame(*T, MsgType::HelloAck, encodeHelloAck(Ack));
+        break;
+      }
+      case MsgType::Push: {
+        ++Pushes;
+        uint64_t Seq = 0;
+        std::string Arsp;
+        ASSERT_TRUE(decodePush(FR.F.Payload, &Seq, &Arsp));
+        PushAckMsg Ack;
+        Ack.Merges = static_cast<uint64_t>(Pushes.load());
+        Ack.Fingerprint = TestFingerprint;
+        Ack.Seq = Seq;
+        writeFrame(*T, MsgType::PushAck, encodePushAck(Ack));
+        break;
+      }
+      case MsgType::PushBatch:
+        ++Batches;
+        writeFrame(*T, MsgType::Error,
+                   encodeError(ErrCode::BadFrame, "no batches in v2"));
+        break;
+      case MsgType::Bye:
+        return;
+      default:
+        writeFrame(*T, MsgType::Error,
+                   encodeError(ErrCode::Generic, "unexpected"));
+      }
+    }
+  });
+
+  ClientConfig CC;
+  CC.Fingerprint = TestFingerprint;
+  CC.SessionId = 88;
+  ProfileClient C(loopbackDialer(L), CC);
+  std::vector<std::string> Shards;
+  for (int I = 0; I != 3; ++I)
+    Shards.push_back(encodedShard(I));
+  ClientResult R = C.pushBatch(Shards);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(C.negotiatedVersion(), 2u);
+  C.close();
+  L.shutdown();
+  FakeV2.join();
+  EXPECT_EQ(Pushes.load(), 3);
+  EXPECT_EQ(Batches.load(), 0) << "client sent PUSH_BATCH to a v2 server";
 }
 
 TEST(ProfServeTcp, ConnectToNobodyFailsWithDiagnostic) {

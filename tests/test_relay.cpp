@@ -1,0 +1,395 @@
+//===- tests/test_relay.cpp - Relay-tree aggregation tests ----*- C++ -*-===//
+///
+/// Topology-differential tests for relay-mode collection servers (see
+/// Server.h "Relay mode"): wire N ProfileServers into an aggregation
+/// tree — chain, star, balanced binary, and seeded-random shapes, 2..16
+/// nodes — push distinct shards at every node with 1 or 4 concurrent
+/// pusher threads, flush the tree bottom-up, and require the ROOT's
+/// merged bundle to be BYTE-IDENTICAL (serializeBundle) to a serial
+/// mergeBundle fold of all the shards.  mergeBundle's commutative/
+/// associative algebra is exactly what makes every topology equivalent;
+/// these tests pin that the relay plumbing (delta drain, upstream
+/// sequenced pushes, per-node sessions) preserves it.
+///
+/// Also pinned: an unreachable parent spills deltas instead of dropping
+/// them and replays them exactly-once when the uplink returns.
+///
+/// All suites are named Relay* so scripts/check.sh --tsan runs this
+/// file under ThreadSanitizer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "profserve/Client.h"
+#include "profserve/Server.h"
+#include "profserve/Transport.h"
+#include "profstore/ProfileStore.h"
+#include "support/Support.h"
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+namespace {
+
+using namespace ars;
+using namespace ars::profserve;
+
+constexpr uint64_t TestFingerprint = 0x7E1ECA57000000FAULL;
+
+/// Distinct counts in every section so the fold is sensitive to any
+/// lost, doubled or misrouted shard.
+profile::ProfileBundle shardBundle(int Seed) {
+  profile::ProfileBundle B;
+  profile::CallEdgeKey K;
+  K.Caller = Seed % 5;
+  K.Site = Seed % 3;
+  K.Callee = (Seed + 1) % 7;
+  B.CallEdges.record(K, static_cast<uint64_t>(Seed) * 37 + 1);
+  B.FieldAccesses.record(Seed % 4, static_cast<uint64_t>(Seed) + 2);
+  B.BlockCounts.record(1, Seed % 6, static_cast<uint64_t>(Seed) * 11 + 3);
+  B.Values.record(9, Seed % 8, static_cast<uint64_t>(Seed) + 5);
+  B.Edges.record(0, Seed % 2, (Seed + 1) % 2, static_cast<uint64_t>(Seed) + 7);
+  B.Paths.record(2, Seed * 1000003LL, static_cast<uint64_t>(Seed) + 9);
+  return B;
+}
+
+/// The serial reference every topology must reproduce byte-for-byte.
+std::string serialFold(int Shards) {
+  profile::ProfileBundle Acc;
+  for (int I = 0; I != Shards; ++I)
+    profstore::mergeBundle(Acc, shardBundle(I));
+  return profile::serializeBundle(Acc);
+}
+
+/// An aggregation tree described by a parent array: node 0 is the root,
+/// node I > 0 relays its aggregate to node Parent[I] (< I).
+struct RelayTree {
+  std::vector<LoopbackListener *> Ls;              // owned by the servers
+  std::vector<std::unique_ptr<ProfileServer>> Nodes;
+  std::vector<int> Parent;
+  std::vector<int> Depth;
+
+  explicit RelayTree(const std::vector<int> &ParentArr)
+      : Parent(ParentArr), Depth(ParentArr.size(), 0) {
+    int N = static_cast<int>(Parent.size());
+    Ls.resize(N);
+    for (int I = 0; I != N; ++I)
+      Ls[I] = new LoopbackListener();
+    for (int I = 1; I != N; ++I) {
+      EXPECT_TRUE(Parent[I] >= 0 && Parent[I] < I)
+          << "parent array must be topologically ordered";
+      Depth[I] = Depth[Parent[I]] + 1;
+    }
+    for (int I = 0; I != N; ++I) {
+      ServerConfig C;
+      C.Workers = 2;
+      C.RecvTimeoutMs = 2000;
+      C.MaxConnections = 0;
+      if (I != 0) {
+        C.Relay.Dial = loopbackDialer(*Ls[Parent[I]]);
+        C.Relay.Client.SessionId = 0xE1A0ULL + static_cast<uint64_t>(I);
+        C.Relay.Client.Fingerprint = TestFingerprint;
+        C.Relay.Client.SpillPath = support::formatString(
+            "/tmp/ars-relay-test-%ld-%d.spill",
+            static_cast<long>(::getpid()), I);
+        std::remove(C.Relay.Client.SpillPath.c_str());
+        C.Relay.FlushIntervalMs = 0;  // harness flushes explicitly
+        C.Relay.FlushEveryMerges = 0;
+      }
+      Nodes.push_back(std::make_unique<ProfileServer>(
+          std::unique_ptr<Listener>(Ls[I]), C));
+      Nodes.back()->start();
+    }
+  }
+
+  /// Pushes shards [0, Total) round-robin across every node (interior
+  /// nodes and the root receive direct pushes too — the algebra doesn't
+  /// care) with \p Jobs concurrent pusher threads.
+  void pushAll(int Total, int Jobs) {
+    int N = static_cast<int>(Nodes.size());
+    std::atomic<int> NextShard{0};
+    std::vector<std::thread> Pushers;
+    std::vector<std::string> Errs(Jobs);
+    for (int T = 0; T != Jobs; ++T)
+      Pushers.emplace_back([&, T] {
+        // One client per target node, so sequence numbers per session
+        // stay monotonic across this thread's pushes.
+        std::vector<std::unique_ptr<ProfileClient>> Clients(N);
+        for (;;) {
+          int Shard = NextShard.fetch_add(1);
+          if (Shard >= Total)
+            return;
+          int Node = Shard % N;
+          if (!Clients[Node]) {
+            ClientConfig CC;
+            CC.Fingerprint = TestFingerprint;
+            CC.SessionId = 0xC11E000ULL +
+                           static_cast<uint64_t>(T) * 1000 + Node;
+            Clients[Node] = std::make_unique<ProfileClient>(
+                loopbackDialer(*Ls[Node]), CC);
+          }
+          ClientResult PR = Clients[Node]->push(shardBundle(Shard),
+                                                TestFingerprint);
+          if (!PR.Ok && Errs[T].empty())
+            Errs[T] = support::formatString("shard %d -> node %d: %s",
+                                            Shard, Node,
+                                            PR.Error.c_str());
+        }
+      });
+    for (std::thread &P : Pushers)
+      P.join();
+    for (const std::string &E : Errs)
+      ASSERT_TRUE(E.empty()) << E;
+  }
+
+  /// Flushes deepest nodes first so every level's delta cascades toward
+  /// the root in one pass.
+  void flushBottomUp() {
+    int MaxDepth = 0;
+    for (int D : Depth)
+      MaxDepth = std::max(MaxDepth, D);
+    for (int D = MaxDepth; D >= 1; --D)
+      for (size_t I = 1; I != Nodes.size(); ++I)
+        if (Depth[I] == D) {
+          std::string E;
+          ASSERT_TRUE(Nodes[I]->flushUpstream(&E))
+              << "node " << I << ": " << E;
+        }
+  }
+
+  /// Stops children before parents (a stopping relay pushes one final
+  /// delta, so its parent must still be accepting).
+  void stopAll() {
+    int MaxDepth = 0;
+    for (int D : Depth)
+      MaxDepth = std::max(MaxDepth, D);
+    for (int D = MaxDepth; D >= 0; --D)
+      for (size_t I = 0; I != Nodes.size(); ++I)
+        if (Depth[I] == D)
+          Nodes[I]->stop();
+  }
+
+  std::string rootBytes() {
+    return profile::serializeBundle(Nodes[0]->merged());
+  }
+};
+
+/// The differential harness: build the tree, push, flush bottom-up, and
+/// demand the root's bytes equal the serial fold.
+void checkTopology(const std::vector<int> &Parent, int Jobs,
+                   int ShardsPerNode = 3) {
+  RelayTree Tree(Parent);
+  if (::testing::Test::HasFatalFailure())
+    return;
+  int Total = ShardsPerNode * static_cast<int>(Parent.size());
+  Tree.pushAll(Total, Jobs);
+  if (::testing::Test::HasFatalFailure())
+    return;
+  Tree.flushBottomUp();
+  EXPECT_EQ(Tree.rootBytes(), serialFold(Total))
+      << "root bundle differs from the serial fold ("
+      << Parent.size() << " nodes, " << Jobs << " jobs)";
+  // Every relay drained: re-flushing is a no-op and the root is stable.
+  Tree.flushBottomUp();
+  EXPECT_EQ(Tree.rootBytes(), serialFold(Total));
+  Tree.stopAll();
+}
+
+std::vector<int> chainParents(int N) {
+  std::vector<int> P(N, 0);
+  for (int I = 1; I != N; ++I)
+    P[I] = I - 1;
+  return P;
+}
+
+std::vector<int> starParents(int N) { return std::vector<int>(N, 0); }
+
+std::vector<int> balancedParents(int N) {
+  std::vector<int> P(N, 0);
+  for (int I = 1; I != N; ++I)
+    P[I] = (I - 1) / 2;
+  return P;
+}
+
+std::vector<int> randomParents(int N, uint64_t Seed) {
+  support::Xorshift64 Rng(Seed);
+  std::vector<int> P(N, 0);
+  for (int I = 1; I != N; ++I)
+    P[I] = static_cast<int>(Rng.nextBelow(static_cast<uint64_t>(I)));
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Topology differentials
+//===----------------------------------------------------------------------===//
+
+TEST(RelayTopology, ChainMatchesSerialFold) {
+  for (int N : {2, 4, 8, 16})
+    for (int Jobs : {1, 4})
+      checkTopology(chainParents(N), Jobs);
+}
+
+TEST(RelayTopology, StarMatchesSerialFold) {
+  for (int N : {3, 8, 16})
+    for (int Jobs : {1, 4})
+      checkTopology(starParents(N), Jobs);
+}
+
+TEST(RelayTopology, BalancedTreeMatchesSerialFold) {
+  for (int N : {7, 15})
+    for (int Jobs : {1, 4})
+      checkTopology(balancedParents(N), Jobs);
+}
+
+TEST(RelayTopology, RandomTreesMatchSerialFold) {
+  for (uint64_t Seed : {11ULL, 22ULL, 33ULL})
+    for (int Jobs : {1, 4})
+      checkTopology(randomParents(10, Seed), Jobs);
+}
+
+//===----------------------------------------------------------------------===//
+// Relay mechanics
+//===----------------------------------------------------------------------===//
+
+/// A two-node chain where the uplink starts dead: deltas spill to disk,
+/// nothing is lost, and the replay after the uplink returns leaves the
+/// root byte-identical to the fold with zero duplicate merges.
+TEST(RelayMechanics, UnreachableParentSpillsThenReplays) {
+  auto *RootL = new LoopbackListener();
+  ServerConfig RootC;
+  RootC.Workers = 2;
+  ProfileServer Root(std::unique_ptr<Listener>(RootL), RootC);
+  Root.start();
+
+  std::string Spill = support::formatString(
+      "/tmp/ars-relay-test-%ld-spill.bin", static_cast<long>(::getpid()));
+  std::remove(Spill.c_str());
+
+  std::atomic<bool> Up{false};
+  auto *RelayL = new LoopbackListener();
+  ServerConfig RelayC;
+  RelayC.Workers = 2;
+  RelayC.Relay.Dial = [&](std::string *Error) -> std::unique_ptr<Transport> {
+    if (!Up.load()) {
+      if (Error)
+        *Error = "uplink down (test)";
+      return nullptr;
+    }
+    return loopbackDialer(*RootL)(Error);
+  };
+  RelayC.Relay.Client.SessionId = 0xE1A1ULL;
+  RelayC.Relay.Client.Fingerprint = TestFingerprint;
+  RelayC.Relay.Client.SpillPath = Spill;
+  RelayC.Relay.Client.MaxRetries = 1;
+  RelayC.Relay.Client.BackoffMs = 1;
+  RelayC.Relay.FlushIntervalMs = 0;
+  ProfileServer Relay(std::unique_ptr<Listener>(RelayL), RelayC);
+  Relay.start();
+
+  ClientConfig CC;
+  CC.Fingerprint = TestFingerprint;
+  CC.SessionId = 0xC11EULL;
+  ProfileClient Leaf(loopbackDialer(*RelayL), CC);
+  for (int I = 0; I != 4; ++I)
+    ASSERT_TRUE(Leaf.push(shardBundle(I), TestFingerprint).Ok);
+
+  // Uplink down: the flush fails but the delta is preserved on disk.
+  std::string E;
+  EXPECT_FALSE(Relay.flushUpstream(&E));
+  EXPECT_FALSE(E.empty());
+  EXPECT_EQ(Relay.stats().RelayFailures, 1u);
+  EXPECT_EQ(profile::serializeBundle(Root.merged()),
+            profile::serializeBundle(profile::ProfileBundle()));
+
+  // More pushes while down, another failed flush: two spilled deltas.
+  for (int I = 4; I != 8; ++I)
+    ASSERT_TRUE(Leaf.push(shardBundle(I), TestFingerprint).Ok);
+  EXPECT_FALSE(Relay.flushUpstream(&E));
+
+  // Uplink returns: one flush replays both spilled deltas exactly-once.
+  Up.store(true);
+  ASSERT_TRUE(Relay.flushUpstream(&E)) << E;
+  EXPECT_EQ(Relay.stats().RelayFailures, 2u);
+  EXPECT_EQ(Root.stats().Duplicates, 0u);
+  EXPECT_EQ(profile::serializeBundle(Root.merged()), serialFold(8));
+
+  Relay.stop();
+  Root.stop();
+  std::remove(Spill.c_str());
+}
+
+/// FlushEveryMerges drives the upstream drain with no explicit calls:
+/// after enough pushes the root catches up on its own.
+TEST(RelayMechanics, MergeCountTriggerFlushesWithoutExplicitCalls) {
+  auto *RootL = new LoopbackListener();
+  ServerConfig RootC;
+  RootC.Workers = 2;
+  ProfileServer Root(std::unique_ptr<Listener>(RootL), RootC);
+  Root.start();
+
+  auto *RelayL = new LoopbackListener();
+  ServerConfig RelayC;
+  RelayC.Workers = 2;
+  RelayC.Relay.Dial = loopbackDialer(*RootL);
+  RelayC.Relay.Client.SessionId = 0xE1A2ULL;
+  RelayC.Relay.Client.Fingerprint = TestFingerprint;
+  RelayC.Relay.FlushEveryMerges = 2; // flush every 2 merges
+  RelayC.Relay.FlushIntervalMs = 0;
+  ProfileServer Relay(std::unique_ptr<Listener>(RelayL), RelayC);
+  Relay.start();
+
+  ClientConfig CC;
+  CC.Fingerprint = TestFingerprint;
+  CC.SessionId = 0xC11FULL;
+  ProfileClient Leaf(loopbackDialer(*RelayL), CC);
+  for (int I = 0; I != 6; ++I)
+    ASSERT_TRUE(Leaf.push(shardBundle(I), TestFingerprint).Ok);
+
+  // The flusher thread runs asynchronously; poll for the root to see at
+  // least the first triggered delta, then stop() drains the remainder.
+  for (int Spin = 0; Spin != 400 && Root.stats().Merges == 0; ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(Root.stats().Merges, 0u) << "merge-count trigger never fired";
+  Relay.stop();
+  EXPECT_EQ(profile::serializeBundle(Root.merged()), serialFold(6));
+  Root.stop();
+}
+
+/// stop() on a relay with an undrained aggregate pushes the final delta
+/// upstream before shutting down — no shard left behind.
+TEST(RelayMechanics, StopFlushesRemainingDelta) {
+  auto *RootL = new LoopbackListener();
+  ServerConfig RootC;
+  RootC.Workers = 2;
+  ProfileServer Root(std::unique_ptr<Listener>(RootL), RootC);
+  Root.start();
+
+  auto *RelayL = new LoopbackListener();
+  ServerConfig RelayC;
+  RelayC.Workers = 2;
+  RelayC.Relay.Dial = loopbackDialer(*RootL);
+  RelayC.Relay.Client.SessionId = 0xE1A3ULL;
+  RelayC.Relay.Client.Fingerprint = TestFingerprint;
+  ProfileServer Relay(std::unique_ptr<Listener>(RelayL), RelayC);
+  Relay.start();
+
+  ClientConfig CC;
+  CC.Fingerprint = TestFingerprint;
+  CC.SessionId = 0xC120ULL;
+  ProfileClient Leaf(loopbackDialer(*RelayL), CC);
+  for (int I = 0; I != 5; ++I)
+    ASSERT_TRUE(Leaf.push(shardBundle(I), TestFingerprint).Ok);
+
+  Relay.stop(); // final flush happens here
+  EXPECT_EQ(profile::serializeBundle(Root.merged()), serialFold(5));
+  EXPECT_EQ(Root.stats().Duplicates, 0u);
+  Root.stop();
+}
+
+} // namespace

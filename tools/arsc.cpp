@@ -59,6 +59,7 @@
 #include "profserve/Transport.h"
 #include "profstore/ProfileIO.h"
 #include "profstore/ProfileStore.h"
+#include "support/Binary.h"
 #include "support/Support.h"
 #include "support/TablePrinter.h"
 #include "telemetry/BenchMatrix.h"
@@ -483,9 +484,21 @@ int serveUsage(const char *Prog) {
       "  --snapshot-interval-ms=<n> also snapshot every n ms\n"
       "  --keep=<pct>               epoch decay: percent kept per rotation\n"
       "  --rotate-every=<n>         rotate an epoch every n merges\n"
-      "  --workers=<n>              connection handler threads (default 4)\n"
+      "  --workers=<n>              reactor (event loop) threads (default\n"
+      "                             4)\n"
       "  --recv-timeout-ms=<n>      per-frame client deadline (default\n"
       "                             2000)\n"
+      "  --relay-to=<host:port>     act as an aggregation-tree relay:\n"
+      "                             accept pushes like a leaf collector,\n"
+      "                             merge locally, and drain the delta\n"
+      "                             upstream to this parent server\n"
+      "  --relay-flush-interval-ms=<n>  upstream flush period (default\n"
+      "                             1000; 0 = flush only on --relay-\n"
+      "                             flush-every and shutdown)\n"
+      "  --relay-flush-every=<n>    also flush after n local merges\n"
+      "  --relay-spill=<file>       spill file when the parent is\n"
+      "                             unreachable (default derives from\n"
+      "                             --snapshot-out)\n"
       "  --expect=<file.arsp>       pin the module fingerprint to this\n"
       "                             profile's (default: first push wins)\n"
       "  --serve-for-ms=<n>         exit after n ms (for scripts/demos)\n"
@@ -499,6 +512,10 @@ int serveMain(int Argc, char **Argv) {
   Config.LogToStderr = true;
   uint16_t Port = 0;
   int64_t ServeForMs = -1;
+  std::string RelayTo;
+  int RelayFlushIntervalMs = 1000;
+  uint64_t RelayFlushEvery = 0;
+  std::string RelaySpill;
   for (int A = 2; A < Argc; ++A) {
     std::string Arg = Argv[A];
     auto valueOf = [&](const char *Prefix) -> const char * {
@@ -522,6 +539,14 @@ int serveMain(int Argc, char **Argv) {
     } else if (const char *V = valueOf("--expect=")) {
       profstore::DecodeResult R = loadOrDie(V, 0);
       Config.Fingerprint = R.Fingerprint;
+    } else if (const char *V = valueOf("--relay-to=")) {
+      RelayTo = V;
+    } else if (const char *V = valueOf("--relay-flush-interval-ms=")) {
+      RelayFlushIntervalMs = std::atoi(V);
+    } else if (const char *V = valueOf("--relay-flush-every=")) {
+      RelayFlushEvery = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = valueOf("--relay-spill=")) {
+      RelaySpill = V;
     } else if (const char *V = valueOf("--serve-for-ms=")) {
       ServeForMs = std::atoll(V);
     } else if (Arg == "--quiet") {
@@ -540,6 +565,32 @@ int serveMain(int Argc, char **Argv) {
     return 1;
   }
   std::printf("profserve listening on %s\n", L->address().c_str());
+
+  if (!RelayTo.empty()) {
+    std::string Host;
+    uint16_t UpPort = 0;
+    if (!profserve::parseHostPort(RelayTo, &Host, &UpPort)) {
+      std::fprintf(stderr, "--relay-to expects host:port, got \"%s\"\n",
+                   RelayTo.c_str());
+      return 1;
+    }
+    Config.Relay.Dial = profserve::tcpDialer(Host, UpPort, 5000);
+    Config.Relay.Client.Name = "arsc-relay";
+    // Dedup upstream keys on the session id, so it must be stable for
+    // this relay and unique among the parent's children: derive it from
+    // the bound listen address (stable when --listen is explicit).
+    std::string Addr = L->address();
+    Config.Relay.Client.SessionId =
+        0x5E1A000000000000ULL | support::crc32(Addr.data(), Addr.size());
+    Config.Relay.Client.SpillPath = RelaySpill;
+    Config.Relay.FlushIntervalMs = RelayFlushIntervalMs;
+    Config.Relay.FlushEveryMerges = RelayFlushEvery;
+    std::printf("relaying upstream to %s (flush: every %llu merges / "
+                "%d ms)\n",
+                RelayTo.c_str(),
+                static_cast<unsigned long long>(RelayFlushEvery),
+                RelayFlushIntervalMs);
+  }
   if (Config.Fingerprint)
     std::printf("pinned module fingerprint: %016llx\n",
                 static_cast<unsigned long long>(Config.Fingerprint));
@@ -573,6 +624,12 @@ int serveMain(int Argc, char **Argv) {
               static_cast<unsigned long long>(S.Snapshots),
               static_cast<unsigned long long>(S.Recovered),
               static_cast<unsigned long long>(S.Pulls));
+  if (Server.isRelay())
+    std::printf("relay: %llu batches, %llu upstream flushes, "
+                "%llu upstream failures\n",
+                static_cast<unsigned long long>(S.Batches),
+                static_cast<unsigned long long>(S.RelayFlushes),
+                static_cast<unsigned long long>(S.RelayFailures));
   return 0;
 }
 
@@ -766,6 +823,10 @@ int chaosUsage(const char *Prog) {
       "  --clients=<n>           concurrent pusher threads (default 6)\n"
       "  --shards=<n>            shards per client (default 12)\n"
       "  --quick                 smaller run (3 clients x 4 shards)\n"
+      "  --topology=<t>          direct (default): clients push straight\n"
+      "                          at the server; relay: clients -> relay\n"
+      "                          -> root with faults on BOTH hops, root\n"
+      "                          must still match the serial fold\n"
       "  --trace                 print the fault trace (single-seed mode)\n"
       "  --workdir=<dir>         scratch dir for spill/snapshot files\n"
       "                          (default: a fresh dir under /tmp)\n"
@@ -803,6 +864,16 @@ int chaosMain(int Argc, char **Argv) {
       C.ShardsPerClient = std::atoi(V);
     } else if (const char *V = valueOf("--workdir")) {
       C.WorkDir = V;
+    } else if (const char *V = valueOf("--topology")) {
+      std::string T = V;
+      if (T == "direct") {
+        C.Topo = faultinject::Topology::Direct;
+      } else if (T == "relay") {
+        C.Topo = faultinject::Topology::Relay;
+      } else {
+        std::fprintf(stderr, "unknown topology: %s\n", T.c_str());
+        return chaosUsage(Argv[0]);
+      }
     } else if (Arg == "--quick") {
       C.Clients = 3;
       C.ShardsPerClient = 4;
@@ -851,6 +922,11 @@ int chaosMain(int Argc, char **Argv) {
               static_cast<unsigned long long>(R.FaultsInjected),
               static_cast<unsigned long long>(R.Duplicates),
               static_cast<unsigned long long>(R.Spills));
+  if (C.Topo == faultinject::Topology::Relay)
+    std::printf("  relay root: %llu delta merges, %llu duplicate "
+                "deltas\n",
+                static_cast<unsigned long long>(R.RootMerges),
+                static_cast<unsigned long long>(R.RootDuplicates));
   return R.Ok ? 0 : 1;
 }
 
