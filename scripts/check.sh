@@ -55,7 +55,7 @@ if [[ "$TSAN" == 1 ]]; then
   # transport).  EventLoop* pins the reactor (slow-loris reaping, write
   # backpressure, mid-frame shutdown) and Relay* the aggregation trees.
   build-tsan/tests/ars_tests \
-    --gtest_filter='ThreadPool.*:TransformCache.*:ParallelRunner.*:ProfileAggregator.*:ProfServe*:EventLoop*:Relay*:FaultInject*:Chaos.*:Sampling.*:AllWorkloads/*:Seeds/Property1RandomTest.*'
+    --gtest_filter='ThreadPool.*:TransformCache.*:ParallelRunner.*:ProfileAggregator.*:ProfServe*:EventLoop*:Relay*:FaultInject*:Chaos.*:Shmem.*:Sampling.*:AllWorkloads/*:Seeds/Property1RandomTest.*'
   exit 0
 fi
 
@@ -69,6 +69,7 @@ if [[ "$ASAN" == 1 ]]; then
   # the server decodes what survived.
   build-asan/tools/arsc chaos --fault-seed-sweep=32 --quick
   build-asan/tools/arsc chaos --fault-seed-sweep=32 --quick --topology=relay
+  build-asan/tools/arsc chaos --fault-seed-sweep=16 --quick --transport=shm
   exit 0
 fi
 
@@ -91,6 +92,9 @@ ctest --test-dir build --output-on-failure
 # clients and the root, faults injected on both hops.
 build/tools/arsc chaos --fault-seed-sweep=32 --quick
 build/tools/arsc chaos --fault-seed-sweep=32 --quick --topology=relay
+# The same sweep over the shared-memory ring transport: torn cells and
+# abandoned segments instead of dropped TCP frames.
+build/tools/arsc chaos --fault-seed-sweep=16 --quick --transport=shm
 
 # The bench matrix runs through `arsc bench`: it discovers every
 # build/bench/bench_* binary, fans each bench's matrix cells out across

@@ -4,6 +4,7 @@
 
 #include "profserve/Client.h"
 #include "profserve/Server.h"
+#include "shmem/ShmRing.h"
 #include "profstore/ProfileIO.h"
 #include "profstore/ProfileStore.h"
 #include "support/Support.h"
@@ -87,6 +88,14 @@ ChaosReport runChaos(const ChaosConfig &C) {
     return fail("chaos: need at least one client and one shard");
 
   const bool Relayed = C.Topo == Topology::Relay;
+  const bool Shm = C.Transport == ChaosTransport::Shm;
+  // The relay's interior hop is a ProfileClient like any other and WOULD
+  // dial shm fine, but two rendezvous directories (leaf->relay and
+  // relay->root) complicate the stale-sweep story for no extra coverage:
+  // every ring-fault path is already exercised by the Direct topology.
+  if (Shm && Relayed)
+    return fail("chaos: the shm transport supports Topology::Direct only");
+  const std::string ShmDir = C.WorkDir + "/chaos-shm";
   const std::string Snap = C.WorkDir + "/chaos-snapshot.arsp";
   const std::string RelaySpill = C.WorkDir + "/chaos-relay-spill.bin";
   removeQuiet(Snap);
@@ -129,8 +138,25 @@ ChaosReport runChaos(const ChaosConfig &C) {
   // rests purely on CLIENT-side timeouts plus stream close events,
   // both of which are functions of the seed alone.
   SC.RecvTimeoutMs = Relayed ? 0 : 500;
-  auto *L = new LoopbackListener();
-  ProfileServer Server(std::unique_ptr<profserve::Listener>(L), SC);
+  // The main listener + the dialer that reaches it.  Shm runs rendezvous
+  // through ShmDir (listenShm sweeps any stale segments a previous seed
+  // or a crashed run left behind); loopback runs keep the raw pointer so
+  // the relay's upstream hop can dial it.
+  LoopbackListener *L = nullptr;
+  std::unique_ptr<profserve::Listener> MainL;
+  profserve::Dialer MainDial;
+  if (Shm) {
+    std::string LErr;
+    MainL = shmem::listenShm(ShmDir, &LErr);
+    if (!MainL)
+      return fail("chaos: " + LErr);
+    MainDial = shmem::shmDialer(ShmDir);
+  } else {
+    L = new LoopbackListener();
+    MainL.reset(L);
+    MainDial = loopbackDialer(*L);
+  }
+  ProfileServer Server(std::move(MainL), SC);
   Server.start();
 
   // Topology::Relay interposes an interior aggregation node: clients
@@ -151,7 +177,7 @@ ChaosReport runChaos(const ChaosConfig &C) {
     RSC.MaxConnections = 0;
     RSC.RecoverOnStart = false;
     RSC.RecvTimeoutMs = 0; // no idle reaping: see the note on SC above
-    RSC.Relay.Dial = faultyDialer(loopbackDialer(*L), UpFaults);
+    RSC.Relay.Dial = faultyDialer(MainDial, UpFaults);
     RSC.Relay.Client.TimeoutMs = 500;
     RSC.Relay.Client.MaxRetries = C.PushRetries;
     RSC.Relay.Client.BackoffMs = 1;
@@ -167,7 +193,8 @@ ChaosReport runChaos(const ChaosConfig &C) {
         std::unique_ptr<profserve::Listener>(RelayL), RSC);
     Relay->start();
   }
-  LoopbackListener *PushL = Relayed ? RelayL : L;
+  profserve::Dialer PushDial =
+      Relayed ? loopbackDialer(*RelayL) : MainDial;
 
   // One fault stream per client, created up front in client order so the
   // concatenated trace has a deterministic layout.
@@ -190,7 +217,7 @@ ChaosReport runChaos(const ChaosConfig &C) {
     CC.BreakerCooldownOps = 2; // deterministic, wall-clock-free
     CC.SpillPath = SpillPaths[I];
     return std::make_unique<ProfileClient>(
-        faultyDialer(loopbackDialer(*PushL), Streams[I]), CC);
+        faultyDialer(PushDial, Streams[I]), CC);
   };
   auto pushShard = [&](ProfileClient &Client, int I, int J) {
     int Global = I * C.ShardsPerClient + J;
@@ -305,7 +332,7 @@ ChaosReport runChaos(const ChaosConfig &C) {
   {
     ClientConfig CC;
     CC.Fingerprint = ChaosFingerprint;
-    ProfileClient Clean(loopbackDialer(*L), CC);
+    ProfileClient Clean(MainDial, CC);
     ProfileClient::PullResult P = Clean.pull();
     if (!P.Ok)
       return fail("chaos pull failed: " + P.Error);

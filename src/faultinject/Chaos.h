@@ -40,11 +40,22 @@ enum class Topology {
   Relay,
 };
 
+/// The wire between pushers and the server they push at.
+enum class ChaosTransport {
+  Loopback, ///< in-memory pipe pair (default; runs anywhere)
+  /// Shared-memory ring segments (shmem/ShmRing.h) under WorkDir/shm.
+  /// Direct topology only.  This is the configuration that exercises the
+  /// ring-only fault kinds (RingTear / RingAbandon) — enable them in the
+  /// plan; they are inert on loopback runs (bands default to 0%).
+  Shm,
+};
+
 struct ChaosConfig {
   int Clients = 6;          ///< concurrent pusher threads
   int ShardsPerClient = 12; ///< distinct shards each client pushes
   uint64_t FaultSeed = 0;   ///< the single seed the whole run replays from
   Topology Topo = Topology::Direct;
+  ChaosTransport Transport = ChaosTransport::Loopback;
   FaultPlan Plan;
   /// Scratch directory for spill files and snapshots (required; the run
   /// removes its own files on entry so seeds don't contaminate each

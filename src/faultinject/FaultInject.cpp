@@ -2,6 +2,8 @@
 
 #include "faultinject/FaultInject.h"
 
+#include "shmem/ShmRing.h"
+
 #include <algorithm>
 #include <chrono>
 #include <thread>
@@ -22,6 +24,8 @@ const char *faultKindName(FaultKind K) {
   case FaultKind::FileShortWrite: return "file-short-write";
   case FaultKind::FileFsyncFail:  return "file-fsync-fail";
   case FaultKind::FileRenameFail: return "file-rename-fail";
+  case FaultKind::RingTear:       return "ring-tear";
+  case FaultKind::RingAbandon:    return "ring-abandon";
   }
   return "?";
 }
@@ -39,7 +43,8 @@ uint64_t mixSeed(uint64_t Seed, uint64_t Key) {
 
 bool harmfulWire(FaultKind K) {
   return K == FaultKind::Drop || K == FaultKind::PartialWrite ||
-         K == FaultKind::BitFlip;
+         K == FaultKind::BitFlip || K == FaultKind::RingTear ||
+         K == FaultKind::RingAbandon;
 }
 
 } // namespace
@@ -104,6 +109,14 @@ FaultEvent FaultStream::decideWire(bool IsWrite, size_t Size) {
     E.Kind = FaultKind::BitFlip;
   else if (Draw < (Band += Plan.LatencyPct))
     E.Kind = FaultKind::Latency;
+  // Ring bands come last and default to 0%, so plans that never enable
+  // them produce byte-identical traces to pre-ring builds.
+  else if (Draw < (Band += Plan.RingTearPct))
+    // A read cannot tear a cell it does not write; keep density parity
+    // the same way PartialWrite does.
+    E.Kind = IsWrite ? FaultKind::RingTear : FaultKind::Drop;
+  else if (Draw < (Band += Plan.RingAbandonPct))
+    E.Kind = FaultKind::RingAbandon;
 
   if (Exhausted && harmfulWire(E.Kind))
     E.Kind = FaultKind::None;
@@ -199,7 +212,11 @@ size_t FaultStream::faultsInjected() const {
 FaultyTransport::FaultyTransport(
     std::unique_ptr<profserve::Transport> Inner,
     std::shared_ptr<FaultStream> Faults)
-    : Inner(std::move(Inner)), Faults(std::move(Faults)) {}
+    : Inner(std::move(Inner)), Faults(std::move(Faults)) {
+  // Ring-only faults need the concrete type; on every other transport
+  // they degrade to Drop below, so the decision stream stays shared.
+  Ring = dynamic_cast<shmem::ShmRingTransport *>(this->Inner.get());
+}
 
 void FaultyTransport::close() { Inner->close(); }
 
@@ -209,7 +226,31 @@ std::string FaultyTransport::peer() const {
 
 IoResult FaultyTransport::writeAll(const char *Data, size_t Size) {
   FaultEvent E = Faults->onWrite(Size);
+  // Ring faults degrade to Drop off-ring (keeps seeded fault density
+  // comparable across --transport values).
+  if (!Ring &&
+      (E.Kind == FaultKind::RingTear || E.Kind == FaultKind::RingAbandon))
+    E.Kind = FaultKind::Drop;
   switch (E.Kind) {
+  case FaultKind::RingTear:
+    // The write "succeeds" from the producer's point of view — exactly
+    // what a writer crashing mid-commit observes — but the first cell's
+    // commit word is poisoned, so the consumer reports a torn cell and
+    // the connection dies server-side.  The client discovers it on a
+    // later op and retries through the normal reconnect path; wire-v3
+    // sequence dedup keeps the redelivered bundle single-counted.
+    Ring->tearNextWrite();
+    return Inner->writeAll(Data, Size);
+  case FaultKind::RingAbandon: {
+    // A crashed writer: the mapping dies locally but shared ring state is
+    // left exactly as-is, so the server must reap the segment via its
+    // idle deadline rather than any cooperative close flag.
+    Ring->abandon();
+    IoResult R;
+    R.Status = IoStatus::Error;
+    R.Message = "injected ring abandon (crashed writer)";
+    return R;
+  }
   case FaultKind::Drop: {
     // As if the peer vanished: both directions die at once.
     Inner->close();
@@ -247,6 +288,18 @@ IoResult FaultyTransport::writeAll(const char *Data, size_t Size) {
 IoResult FaultyTransport::readSome(char *Data, size_t Max, int TimeoutMs,
                                    size_t *Read) {
   FaultEvent E = Faults->onRead(Max);
+  if (E.Kind == FaultKind::RingAbandon) {
+    if (Ring) {
+      Ring->abandon();
+      if (Read)
+        *Read = 0;
+      IoResult R;
+      R.Status = IoStatus::Error;
+      R.Message = "injected ring abandon (crashed writer)";
+      return R;
+    }
+    E.Kind = FaultKind::Drop;
+  }
   if (E.Kind == FaultKind::Drop) {
     Inner->close();
     if (Read)

@@ -45,6 +45,10 @@
 #include <vector>
 
 namespace ars {
+namespace shmem {
+class ShmRingTransport;
+} // namespace shmem
+
 namespace faultinject {
 
 enum class FaultKind : uint8_t {
@@ -56,6 +60,10 @@ enum class FaultKind : uint8_t {
   FileShortWrite, ///< cut a file write short after Arg bytes
   FileFsyncFail,  ///< fail an fsync
   FileRenameFail, ///< fail (and skip) a rename
+  RingTear,       ///< poison a shm ring cell mid-commit (torn shared-memory
+                  ///< write; degrades to Drop on non-ring transports)
+  RingAbandon,    ///< abandon the shm segment without closing (crashed
+                  ///< writer; degrades to Drop on non-ring transports)
 };
 const char *faultKindName(FaultKind K);
 
@@ -70,9 +78,14 @@ struct FaultPlan {
   uint32_t BitFlipPct = 6;
   uint32_t LatencyPct = 8;
   uint32_t LatencyMaxMs = 3;
-  /// Harmful wire faults (drop/partial/flip) injected per stream before
-  /// it goes permanently clean.  The budget is what guarantees chaos
-  /// runs terminate with every shard delivered.  0 = unlimited.
+  // Shared-memory ring faults, percent per transport operation.  Default
+  // 0 so the decision bands — and therefore every existing seeded trace —
+  // are byte-identical unless a run opts in (chaos --transport=shm does).
+  uint32_t RingTearPct = 0;
+  uint32_t RingAbandonPct = 0;
+  /// Harmful wire faults (drop/partial/flip/ring) injected per stream
+  /// before it goes permanently clean.  The budget is what guarantees
+  /// chaos runs terminate with every shard delivered.  0 = unlimited.
   uint32_t MaxFaults = 6;
 
   // File faults, percent per file operation (write/fsync/rename in
@@ -143,7 +156,13 @@ private:
 /// Transport decorator injecting the stream's wire faults.  Drop and
 /// PartialWrite close the inner transport (both directions, as a dead
 /// TCP peer would appear); BitFlip corrupts exactly one bit and lets the
-/// frame CRC do its job; Latency sleeps then proceeds.
+/// frame CRC do its job; Latency sleeps then proceeds.  On a shared-
+/// memory ring (shmem/ShmRing.h) RingTear poisons the next committed
+/// cell — the torn-write shape unique to shared memory, which no byte-
+/// stream fault can produce — and RingAbandon kills the client without
+/// touching shared ring state, as a crashed writer would; on any other
+/// transport both degrade to Drop so seeded fault density is comparable
+/// across transports.
 class FaultyTransport : public profserve::Transport {
 public:
   FaultyTransport(std::unique_ptr<profserve::Transport> Inner,
@@ -158,6 +177,8 @@ public:
 private:
   std::unique_ptr<profserve::Transport> Inner;
   std::shared_ptr<FaultStream> Faults;
+  /// Non-null when Inner is a shm ring: enables the ring-only faults.
+  shmem::ShmRingTransport *Ring = nullptr;
 };
 
 /// Wraps \p Inner so every dialed connection is decorated with

@@ -12,30 +12,35 @@ using ars::support::formatString;
 namespace ars {
 namespace profile {
 
+// All value counters add saturating (see support::saturatingAdd): a
+// fleet-wide merge of arbitrarily many sessions must stay a monoid even
+// at the uint64 ceiling, and a wrapped counter would order-depend.
+
 void ValueProfile::record(uint64_t SiteId, int64_t Value, uint64_t Count) {
-  Total += Count;
+  Total = support::saturatingAdd(Total, Count);
   auto &Table = Sites[SiteId];
   auto It = Table.find(Value);
   if (It != Table.end()) {
-    It->second += Count;
+    It->second = support::saturatingAdd(It->second, Count);
     return;
   }
   if (Table.size() >= MaxValuesPerSite) {
-    Overflow[SiteId] += Count;
+    Overflow[SiteId] = support::saturatingAdd(Overflow[SiteId], Count);
     return;
   }
   Table.emplace(Value, Count);
 }
 
 void ValueProfile::add(uint64_t SiteId, int64_t Value, uint64_t Count) {
-  Sites[SiteId][Value] += Count;
-  Total += Count;
+  uint64_t &Cell = Sites[SiteId][Value];
+  Cell = support::saturatingAdd(Cell, Count);
+  Total = support::saturatingAdd(Total, Count);
 }
 
 void ValueProfile::addOverflow(uint64_t SiteId, uint64_t Count) {
   Sites[SiteId]; // the overflow bucket belongs to a (possibly empty) site
-  Overflow[SiteId] += Count;
-  Total += Count;
+  Overflow[SiteId] = support::saturatingAdd(Overflow[SiteId], Count);
+  Total = support::saturatingAdd(Total, Count);
 }
 
 uint64_t ValueProfile::overflow(uint64_t SiteId) const {

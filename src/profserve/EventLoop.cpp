@@ -403,7 +403,18 @@ void Reactor::runShard(Shard &S) {
     }
     if (S.WakeRead < 0 && (TimeoutMs < 0 || TimeoutMs > 50))
       TimeoutMs = 50; // no wake pipe: fall back to short slices
-    ::poll(P.data(), static_cast<nfds_t>(P.size()), TimeoutMs);
+    // EINTR is a normal wakeup (chaos runs deliver signals), not a poll
+    // failure: retry with the same timeout — deadlines are re-checked
+    // against the clock below, so a shortened sleep only costs an extra
+    // loop.  Any other failure leaves revents undefined, so scrub them
+    // rather than servicing connections off garbage.
+    int PollRc;
+    do {
+      PollRc = ::poll(P.data(), static_cast<nfds_t>(P.size()), TimeoutMs);
+    } while (PollRc < 0 && errno == EINTR);
+    if (PollRc < 0)
+      for (pollfd &Pf : P)
+        Pf.revents = 0;
 
     if (S.WakeRead >= 0 && (P[0].revents & POLLIN)) {
       char Drain[256];

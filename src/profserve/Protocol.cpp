@@ -189,8 +189,10 @@ FrameParse parseFrameBytes(const char *Data, size_t Size,
 
 namespace {
 
+/// Tighter semantic bound than the shared support::MaxLengthPrefixedText
+/// cap: a client name is an identifier, not a diagnostic blob.
 constexpr uint64_t MaxClientNameLen = 256;
-constexpr uint64_t MaxTextLen = 64u << 10;
+constexpr uint64_t MaxTextLen = support::MaxLengthPrefixedText;
 
 /// Every decoder shares the same tail contract: parsed cleanly, nothing
 /// left over.

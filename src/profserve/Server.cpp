@@ -5,6 +5,7 @@
 #include "profstore/ProfileIO.h"
 #include "profstore/ProfileStore.h"
 #include "support/Binary.h"
+#include "support/Compress.h"
 #include "support/Support.h"
 
 #include <chrono>
@@ -602,6 +603,10 @@ bool ProfileServer::snapshotNow(std::string *Error) {
     return false;
   }
   std::string Bytes = profstore::encodeBundle(merged(), fingerprint());
+  if (Config.CompressSnapshots)
+    // loadBundle / recoverOnStart detect the ARSZ container by magic, so
+    // flipping this flag never invalidates snapshots already on disk.
+    Bytes = support::compressBlocks(Bytes);
   // Crash-safe write: tmp + fsync(file) + fsync(dir) + rename, keeping
   // the displaced snapshot as ".prev" so that even a crash between the
   // two renames leaves a recoverable copy (see atomicSaveFile).

@@ -81,7 +81,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <set>
+#include <unordered_set>
 #include <string>
 #include <thread>
 
@@ -123,6 +123,12 @@ struct ServerConfig {
 
   /// Snapshot every N ms while running (0 = only on request/stop).
   int SnapshotIntervalMs = 0;
+
+  /// Wrap snapshots in the ARSZ compressed-block container
+  /// (support/Compress.h).  Loading — including RecoverOnStart and the
+  /// ".prev" fallback — detects the container by magic, so compressed
+  /// and raw snapshots interoperate; only the on-disk bytes change.
+  bool CompressSnapshots = false;
 
   /// rotateEpoch() keeps this percent of every count (100 = no decay).
   uint32_t EpochKeepPct = 100;
@@ -260,8 +266,9 @@ private:
   /// at-least-once.  Registration happens before the merge, so a racing
   /// retry on a second connection can never double-merge.  Memory is
   /// bounded by real pushes (sessions are client-chosen but each seq is
-  /// one shard actually pushed).
-  std::map<uint64_t, std::set<uint64_t>> AppliedSeqs;
+  /// one shard actually pushed).  Hashed, not ordered: the ledger is
+  /// membership-only and sits on every push's ack path.
+  std::map<uint64_t, std::unordered_set<uint64_t>> AppliedSeqs;
 
   std::atomic<uint64_t> NextFlushKey{0}; ///< aggregator striping key
 

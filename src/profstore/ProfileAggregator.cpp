@@ -3,6 +3,7 @@
 #include "profstore/ProfileAggregator.h"
 
 #include "profstore/ProfileStore.h"
+#include "profstore/Summary.h"
 
 namespace ars {
 namespace profstore {
@@ -43,6 +44,23 @@ profile::ProfileBundle ProfileAggregator::drain() {
     // Fold outside the stripe lock so concurrent flushes to this stripe
     // are never blocked behind the (possibly large) merge.
     mergeBundle(Out, Taken);
+  }
+  return Out;
+}
+
+ProfileSummary ProfileAggregator::drainSummary(uint32_t K) {
+  ProfileSummary Out = summarizeBundle(profile::ProfileBundle(), K);
+  for (const std::unique_ptr<Stripe> &S : Shards) {
+    profile::ProfileBundle Taken;
+    {
+      std::lock_guard<std::mutex> Lock(S->Mu);
+      Taken = std::move(S->B);
+      S->B.clear();
+    }
+    // Summarize per stripe, then summary-merge: the retained state is
+    // bounded by K per structure, never by the fleet's key space.
+    ProfileSummary Part = summarizeBundle(Taken, K);
+    mergeSummary(Out, Part); // same K by construction: cannot fail
   }
   return Out;
 }

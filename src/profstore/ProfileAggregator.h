@@ -30,6 +30,8 @@
 namespace ars {
 namespace profstore {
 
+struct ProfileSummary;
+
 class ProfileAggregator {
 public:
   /// \p Stripes is the lock-striping width; values below 1 select the
@@ -50,6 +52,13 @@ public:
   /// the post-drain state — the epoch-rotation semantics the profile
   /// collection server relies on (see profserve/Server.h).
   profile::ProfileBundle drain();
+
+  /// drain(), but folded stripe-by-stripe into a bounded ProfileSummary
+  /// (profstore/Summary.h) instead of an exact bundle: the transient
+  /// memory high-water mark is one stripe's bundle plus O(K) summary
+  /// state, not the union of every stripe's key space.  Same
+  /// epoch-rotation guarantee as drain().
+  ProfileSummary drainSummary(uint32_t K);
 
   /// Total flush() calls so far.
   uint64_t flushes() const;

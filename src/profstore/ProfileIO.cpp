@@ -3,6 +3,7 @@
 #include "profstore/ProfileIO.h"
 
 #include "support/Binary.h"
+#include "support/Compress.h"
 #include "support/Support.h"
 
 #include <algorithm>
@@ -454,8 +455,11 @@ bool atomicSaveFile(const std::string &Path, const std::string &Bytes,
 }
 
 bool saveBundle(const std::string &Path, const profile::ProfileBundle &B,
-                uint64_t Fingerprint, std::string *Error) {
-  return atomicSaveFile(Path, encodeBundle(B, Fingerprint), Error);
+                uint64_t Fingerprint, std::string *Error, bool Compress) {
+  std::string Bytes = encodeBundle(B, Fingerprint);
+  if (Compress)
+    Bytes = support::compressBlocks(Bytes);
+  return atomicSaveFile(Path, Bytes, Error);
 }
 
 DecodeResult loadBundle(const std::string &Path,
@@ -465,7 +469,14 @@ DecodeResult loadBundle(const std::string &Path,
     return failDecode("cannot read " + Path);
   std::ostringstream Buffer;
   Buffer << In.rdbuf();
-  return decodeBundle(Buffer.str(), ExpectedFingerprint);
+  std::string Bytes = Buffer.str();
+  if (support::looksCompressed(Bytes)) {
+    std::string Raw, Err;
+    if (!support::decompressBlocks(Bytes, &Raw, &Err))
+      return failDecode(Path + ": " + Err);
+    Bytes = std::move(Raw);
+  }
+  return decodeBundle(Bytes, ExpectedFingerprint);
 }
 
 } // namespace profstore

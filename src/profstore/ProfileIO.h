@@ -68,10 +68,15 @@ DecodeResult decodeBundle(const std::string &Bytes,
 
 /// Writes encodeBundle(\p B, \p Fingerprint) to \p Path atomically (see
 /// atomicSaveFile).  Returns false and fills \p Error on IO failure.
+/// With \p Compress the bytes are wrapped in the ARSZ block container
+/// (support/Compress.h): big snapshots shrink, and each block carries
+/// its own CRC so corruption is detected before the bundle CRC runs.
 bool saveBundle(const std::string &Path, const profile::ProfileBundle &B,
-                uint64_t Fingerprint, std::string *Error);
+                uint64_t Fingerprint, std::string *Error,
+                bool Compress = false);
 
-/// Reads and decodes \p Path.
+/// Reads and decodes \p Path, transparently unwrapping ARSZ-compressed
+/// files.
 DecodeResult loadBundle(const std::string &Path,
                         uint64_t ExpectedFingerprint = 0);
 

@@ -1,0 +1,432 @@
+//===- profstore/Summary.cpp - Bounded-memory profile summaries -*- C++ -*-===//
+
+#include "profstore/Summary.h"
+
+#include "profstore/ProfileIO.h"
+#include "support/Binary.h"
+#include "support/Compress.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using ars::support::appendFixed32;
+using ars::support::appendFixed64;
+using ars::support::appendSignedVarint;
+using ars::support::appendVarint;
+using ars::support::ByteReader;
+using ars::support::saturatingAdd;
+
+namespace ars {
+namespace profstore {
+
+namespace {
+
+// Header: magic(4) + version(4) + fingerprint(8); trailer: CRC32(4).
+// Same envelope as the v1 bundle format so version sniffing is uniform.
+constexpr size_t HeaderSize = 16;
+constexpr size_t TrailerSize = 4;
+
+constexpr uint32_t MaxSketchDepth = 8;
+constexpr uint32_t MaxSketchWidth = 1u << 20;
+
+uint64_t mix64(uint64_t X) {
+  // splitmix64 finalizer: full-avalanche, cheap, and stable across
+  // processes — sketch cells must line up for cross-host merges.
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
+uint64_t edgeKeyHash(const profile::CallEdgeKey &Key) {
+  uint64_t H =
+      mix64(static_cast<uint64_t>(static_cast<int64_t>(Key.Caller)));
+  H = mix64(H ^ static_cast<uint64_t>(static_cast<int64_t>(Key.Site)));
+  H = mix64(H ^ static_cast<uint64_t>(static_cast<int64_t>(Key.Callee)));
+  return H;
+}
+
+size_t cellIndex(uint64_t KeyHash, uint32_t Row, uint32_t Width) {
+  uint64_t RowHash = mix64(KeyHash ^ (0xA24BAED4963EE407ull * (Row + 1)));
+  return static_cast<size_t>(Row) * Width +
+         static_cast<size_t>(RowHash & (Width - 1));
+}
+
+int64_t wrapDelta(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+
+int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+
+bool countPlausible(ByteReader &R, uint64_t N, size_t MinBytesPerEntry) {
+  return N <= R.remaining() / MinBytesPerEntry + 1;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CallEdgeSummary
+//===----------------------------------------------------------------------===//
+
+CallEdgeSummary CallEdgeSummary::make(uint32_t K) {
+  CallEdgeSummary S;
+  S.K = K;
+  S.Depth = 4;
+  uint64_t Target = std::max<uint64_t>(64, 8ull * K);
+  uint32_t W = 64;
+  while (W < Target && W < MaxSketchWidth)
+    W <<= 1;
+  S.Width = W;
+  S.Cells.assign(static_cast<size_t>(S.Depth) * S.Width, 0);
+  S.TopK.K = K;
+  return S;
+}
+
+void CallEdgeSummary::addExact(const profile::CallEdgeKey &Key,
+                               uint64_t Count) {
+  if (!Count)
+    return;
+  Total = saturatingAdd(Total, Count);
+  uint64_t H = edgeKeyHash(Key);
+  for (uint32_t Row = 0; Row != Depth; ++Row) {
+    uint64_t &Cell = Cells[cellIndex(H, Row, Width)];
+    Cell = saturatingAdd(Cell, Count);
+  }
+  TopK.addExact(Key, Count);
+}
+
+uint64_t
+CallEdgeSummary::sketchEstimate(const profile::CallEdgeKey &Key) const {
+  if (!Depth)
+    return 0;
+  uint64_t H = edgeKeyHash(Key);
+  uint64_t Est = UINT64_MAX;
+  for (uint32_t Row = 0; Row != Depth; ++Row)
+    Est = std::min(Est, Cells[cellIndex(H, Row, Width)]);
+  return Est;
+}
+
+uint64_t CallEdgeSummary::estimate(const profile::CallEdgeKey &Key) const {
+  return std::min(sketchEstimate(Key), TopK.estimate(Key));
+}
+
+//===----------------------------------------------------------------------===//
+// summarize / merge
+//===----------------------------------------------------------------------===//
+
+ProfileSummary summarizeBundle(const profile::ProfileBundle &B,
+                               uint32_t K) {
+  ProfileSummary S;
+  S.K = std::max<uint32_t>(1, K);
+  S.CallEdges = CallEdgeSummary::make(S.K);
+  for (const auto &[Key, Count] : B.CallEdges.counts())
+    S.CallEdges.addExact(Key, Count);
+  S.CallEdges.TopK.prune();
+
+  for (const auto &[Site, Table] : B.Values.sites()) {
+    ValueSiteSummary &V = S.Values[Site];
+    V.SS.K = S.K;
+    for (const auto &[Value, Count] : Table)
+      V.SS.addExact(Value, Count);
+    V.SS.prune();
+    V.Overflow = B.Values.overflow(Site);
+  }
+  S.ValuesTotal = B.Values.total();
+  return S;
+}
+
+bool mergeSummary(ProfileSummary &Dst, const ProfileSummary &Src,
+                  std::string *Error) {
+  if (Src.empty())
+    return true;
+  if (Dst.empty()) {
+    Dst = Src;
+    return true;
+  }
+  if (Dst.K != Src.K || Dst.CallEdges.Depth != Src.CallEdges.Depth ||
+      Dst.CallEdges.Width != Src.CallEdges.Width) {
+    if (Error)
+      *Error = support::formatString(
+          "summary geometry mismatch: K %u/%u", Dst.K, Src.K);
+    return false;
+  }
+  CallEdgeSummary &DE = Dst.CallEdges;
+  const CallEdgeSummary &SE = Src.CallEdges;
+  DE.Total = saturatingAdd(DE.Total, SE.Total);
+  for (size_t I = 0; I != DE.Cells.size(); ++I)
+    DE.Cells[I] = saturatingAdd(DE.Cells[I], SE.Cells[I]);
+  DE.TopK.merge(SE.TopK);
+
+  for (const auto &[Site, SV] : Src.Values) {
+    ValueSiteSummary &DV = Dst.Values[Site];
+    if (DV.SS.K == 0)
+      DV.SS.K = Dst.K;
+    DV.SS.merge(SV.SS);
+    DV.Overflow = saturatingAdd(DV.Overflow, SV.Overflow);
+  }
+  Dst.ValuesTotal = saturatingAdd(Dst.ValuesTotal, Src.ValuesTotal);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// On-disk format (.arsp v2)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string encodeCallEdgeSection(const CallEdgeSummary &S) {
+  std::string Out;
+  appendVarint(Out, S.K);
+  appendVarint(Out, S.Depth);
+  appendVarint(Out, S.Width);
+  appendVarint(Out, S.Total);
+  for (uint64_t Cell : S.Cells)
+    appendVarint(Out, Cell);
+  appendVarint(Out, S.TopK.Floor);
+  appendVarint(Out, S.TopK.Counts.size());
+  profile::CallEdgeKey Prev;
+  Prev.Caller = Prev.Site = Prev.Callee = 0;
+  for (const auto &[Key, Count] : S.TopK.Counts) {
+    appendSignedVarint(Out, wrapDelta(Key.Caller, Prev.Caller));
+    appendSignedVarint(Out, wrapDelta(Key.Site, Prev.Site));
+    appendSignedVarint(Out, wrapDelta(Key.Callee, Prev.Callee));
+    appendVarint(Out, Count);
+    Prev = Key;
+  }
+  return Out;
+}
+
+bool decodeCallEdgeSection(ByteReader &R, uint32_t *KOut,
+                           CallEdgeSummary *S) {
+  uint64_t K = 0, Depth = 0, Width = 0;
+  if (!R.readVarint(&K) || !K || K > UINT32_MAX ||
+      !R.readVarint(&Depth) || !Depth || Depth > MaxSketchDepth ||
+      !R.readVarint(&Width) || !Width || Width > MaxSketchWidth ||
+      (Width & (Width - 1)) != 0 || !R.readVarint(&S->Total))
+    return false;
+  uint64_t NumCells = Depth * Width;
+  if (!countPlausible(R, NumCells, 1))
+    return false;
+  S->K = static_cast<uint32_t>(K);
+  S->Depth = static_cast<uint32_t>(Depth);
+  S->Width = static_cast<uint32_t>(Width);
+  S->Cells.assign(static_cast<size_t>(NumCells), 0);
+  for (uint64_t &Cell : S->Cells)
+    if (!R.readVarint(&Cell))
+      return false;
+  uint64_t N = 0;
+  if (!R.readVarint(&S->TopK.Floor) || !R.readVarint(&N) || N > K ||
+      !countPlausible(R, N, 4))
+    return false;
+  S->TopK.K = static_cast<uint32_t>(K);
+  profile::CallEdgeKey Key;
+  Key.Caller = Key.Site = Key.Callee = 0;
+  for (uint64_t I = 0; I != N; ++I) {
+    int64_t DCaller = 0, DSite = 0, DCallee = 0;
+    uint64_t Count = 0;
+    if (!R.readSignedVarint(&DCaller) || !R.readSignedVarint(&DSite) ||
+        !R.readSignedVarint(&DCallee) || !R.readVarint(&Count))
+      return false;
+    Key.Caller = static_cast<int>(wrapAdd(Key.Caller, DCaller));
+    Key.Site = static_cast<int>(wrapAdd(Key.Site, DSite));
+    Key.Callee = static_cast<int>(wrapAdd(Key.Callee, DCallee));
+    if (Count)
+      S->TopK.Counts[Key] = Count;
+  }
+  *KOut = static_cast<uint32_t>(K);
+  return true;
+}
+
+std::string encodeValueSection(const ProfileSummary &S) {
+  std::string Out;
+  appendVarint(Out, S.K);
+  appendVarint(Out, S.ValuesTotal);
+  appendVarint(Out, S.Values.size());
+  uint64_t PrevSite = 0;
+  for (const auto &[Site, V] : S.Values) {
+    appendVarint(Out, Site - PrevSite);
+    appendVarint(Out, V.Overflow);
+    appendVarint(Out, V.SS.Floor);
+    appendVarint(Out, V.SS.Counts.size());
+    int64_t PrevValue = 0;
+    for (const auto &[Value, Count] : V.SS.Counts) {
+      appendSignedVarint(Out, wrapDelta(Value, PrevValue));
+      appendVarint(Out, Count);
+      PrevValue = Value;
+    }
+    PrevSite = Site;
+  }
+  return Out;
+}
+
+bool decodeValueSection(ByteReader &R, uint32_t *KOut,
+                        ProfileSummary *S) {
+  uint64_t K = 0, NumSites = 0;
+  if (!R.readVarint(&K) || !K || K > UINT32_MAX ||
+      !R.readVarint(&S->ValuesTotal) || !R.readVarint(&NumSites) ||
+      !countPlausible(R, NumSites, 4))
+    return false;
+  uint64_t Site = 0;
+  for (uint64_t I = 0; I != NumSites; ++I) {
+    uint64_t DSite = 0, N = 0;
+    ValueSiteSummary V;
+    V.SS.K = static_cast<uint32_t>(K);
+    if (!R.readVarint(&DSite) || !R.readVarint(&V.Overflow) ||
+        !R.readVarint(&V.SS.Floor) || !R.readVarint(&N) || N > K ||
+        !countPlausible(R, N, 2))
+      return false;
+    Site += DSite;
+    int64_t Value = 0;
+    for (uint64_t J = 0; J != N; ++J) {
+      int64_t DValue = 0;
+      uint64_t Count = 0;
+      if (!R.readSignedVarint(&DValue) || !R.readVarint(&Count))
+        return false;
+      Value = wrapAdd(Value, DValue);
+      if (Count)
+        V.SS.Counts[Value] = Count;
+    }
+    S->Values[Site] = std::move(V);
+  }
+  *KOut = static_cast<uint32_t>(K);
+  return true;
+}
+
+SummaryDecodeResult decodeFail(std::string Error) {
+  SummaryDecodeResult R;
+  R.Error = std::move(Error);
+  return R;
+}
+
+} // namespace
+
+std::string encodeSummary(const ProfileSummary &S, uint64_t Fingerprint) {
+  std::string Out;
+  Out.append(FormatMagic, 4);
+  appendFixed32(Out, SummaryFormatVersion);
+  appendFixed64(Out, Fingerprint);
+  std::string Edges = encodeCallEdgeSection(S.CallEdges);
+  std::string Vals = encodeValueSection(S);
+  appendVarint(Out, 2); // section count
+  Out.push_back(static_cast<char>(SummarySection::CallEdgeSketch));
+  appendVarint(Out, Edges.size());
+  Out.append(Edges);
+  Out.push_back(static_cast<char>(SummarySection::ValueTopK));
+  appendVarint(Out, Vals.size());
+  Out.append(Vals);
+  appendFixed32(Out, support::crc32(Out.data(), Out.size()));
+  return Out;
+}
+
+SummaryDecodeResult decodeSummary(const std::string &Bytes,
+                                  uint64_t ExpectedFingerprint) {
+  if (Bytes.size() < HeaderSize + TrailerSize)
+    return decodeFail("truncated summary: shorter than header + trailer");
+  // CRC first: any other diagnostic on a corrupted file would be a guess.
+  ByteReader Trailer(Bytes.data() + Bytes.size() - TrailerSize,
+                     TrailerSize);
+  uint32_t StoredCrc = 0;
+  Trailer.readFixed32(&StoredCrc);
+  if (StoredCrc !=
+      support::crc32(Bytes.data(), Bytes.size() - TrailerSize))
+    return decodeFail("summary CRC mismatch: file corrupted");
+
+  ByteReader R(Bytes.data(), Bytes.size() - TrailerSize);
+  const char *Magic;
+  if (!R.readBytes(&Magic, 4) || std::memcmp(Magic, FormatMagic, 4) != 0)
+    return decodeFail("bad magic: not a profile file");
+  uint32_t Version = 0;
+  if (!R.readFixed32(&Version) || Version != SummaryFormatVersion)
+    return decodeFail(support::formatString(
+        "unsupported summary version %u (want %u)", Version,
+        SummaryFormatVersion));
+  SummaryDecodeResult Out;
+  if (!R.readFixed64(&Out.Fingerprint))
+    return decodeFail("truncated summary header");
+  if (ExpectedFingerprint && Out.Fingerprint != ExpectedFingerprint)
+    return decodeFail(support::formatString(
+        "module fingerprint mismatch: profile %016llx vs module %016llx",
+        static_cast<unsigned long long>(Out.Fingerprint),
+        static_cast<unsigned long long>(ExpectedFingerprint)));
+
+  uint64_t NumSections = 0;
+  if (!R.readVarint(&NumSections) || !countPlausible(R, NumSections, 2))
+    return decodeFail("malformed summary section table");
+  uint32_t K = 0;
+  for (uint64_t I = 0; I != NumSections; ++I) {
+    const char *KindByte;
+    uint64_t Len = 0;
+    if (!R.readBytes(&KindByte, 1) || !R.readVarint(&Len) ||
+        Len > R.remaining())
+      return decodeFail("truncated summary section");
+    const char *Payload;
+    if (!R.readBytes(&Payload, static_cast<size_t>(Len)))
+      return decodeFail("truncated summary section");
+    ByteReader Section(Payload, static_cast<size_t>(Len));
+    uint32_t SectionK = 0;
+    switch (static_cast<uint8_t>(*KindByte)) {
+    case static_cast<uint8_t>(SummarySection::CallEdgeSketch):
+      if (!decodeCallEdgeSection(Section, &SectionK,
+                                 &Out.Summary.CallEdges) ||
+          !Section.atEnd())
+        return decodeFail("malformed call-edge summary section");
+      break;
+    case static_cast<uint8_t>(SummarySection::ValueTopK):
+      if (!decodeValueSection(Section, &SectionK, &Out.Summary) ||
+          !Section.atEnd())
+        return decodeFail("malformed value summary section");
+      break;
+    default:
+      // Unknown kinds are skippable by construction: that is the point
+      // of tagged, length-prefixed sections.
+      continue;
+    }
+    if (K && SectionK && K != SectionK)
+      return decodeFail("summary sections disagree on K");
+    if (SectionK)
+      K = SectionK;
+  }
+  if (!R.atEnd())
+    return decodeFail("trailing bytes after summary sections");
+  if (!K)
+    return decodeFail("summary carries no known sections");
+  Out.Summary.K = K;
+  Out.Ok = true;
+  return Out;
+}
+
+bool saveSummary(const std::string &Path, const ProfileSummary &S,
+                 uint64_t Fingerprint, std::string *Error,
+                 bool Compress) {
+  std::string Bytes = encodeSummary(S, Fingerprint);
+  if (Compress)
+    Bytes = support::compressBlocks(Bytes);
+  return atomicSaveFile(Path, Bytes, Error);
+}
+
+SummaryDecodeResult loadSummary(const std::string &Path,
+                                uint64_t ExpectedFingerprint) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return decodeFail(
+        support::formatString("cannot open %s", Path.c_str()));
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Bytes = Buf.str();
+  if (support::looksCompressed(Bytes)) {
+    std::string Raw, Err;
+    if (!support::decompressBlocks(Bytes, &Raw, &Err))
+      return decodeFail(
+          support::formatString("%s: %s", Path.c_str(), Err.c_str()));
+    Bytes = std::move(Raw);
+  }
+  return decodeSummary(Bytes, ExpectedFingerprint);
+}
+
+} // namespace profstore
+} // namespace ars

@@ -1,0 +1,239 @@
+//===- profstore/Summary.h - Bounded-memory profile summaries -*- C++ -*-===//
+///
+/// \file
+/// Bounded-memory counterparts of the exact profile monoid, for the root
+/// aggregator that holds millions of sessions and cannot keep exact
+/// per-tenant maps: a space-saving (Misra-Gries + floor) top-K summary
+/// for value profiles, and a count-min-sketch-backed call-edge summary
+/// with a space-saving heavy-hitter list for enumeration.
+///
+/// Every structure carries its error bound explicitly, and every
+/// estimate is a one-sided *upper* bound on the exact merged count:
+///
+///  * SpaceSaving keeps at most K counters plus a scalar Floor.  The
+///    invariant (K+1)*Floor + sum(Counts) <= TotalMass holds under both
+///    construction from exact tables and summary-summary merges, so for
+///    any merge tree:  exact <= estimate <= exact + Floor, with
+///    Floor <= TotalMass / (K + 1).   (Proof sketch in DESIGN.md §12;
+///    this is the Misra-Gries merge bound of Agarwal et al.,
+///    "Mergeable Summaries".)
+///  * The count-min sketch never under-counts by construction (each cell
+///    is a sum over a superset of the key's occurrences) and merges
+///    cell-wise, so its merge is byte-exact commutative AND associative.
+///    Its over-count is probabilistic: expected collision mass per row
+///    is Total / Width (cmsRowBound()), driven below any target by
+///    widening — unlike the space-saving floor it is not a worst-case
+///    bound, which is why the enumerable top-K list rides alongside.
+///
+/// Merging is commutative byte-for-byte (all maps ordered, all ops
+/// symmetric).  Associativity is byte-exact for the sketch and for
+/// space-saving whenever no pruning triggers (K >= distinct keys); under
+/// pruning it remains associative *semantically*: the one-sided bound
+/// above holds for every merge order, which is what the randomized
+/// merge-algebra test in test_profstore pins.
+///
+/// Collection-time value-profile overflow buckets (values folded at the
+/// MaxValuesPerSite cap before any summary existed) carry no per-key
+/// structure, so their mass is tracked separately per site: it raises
+/// estimates for *absent* values but is excluded from the Floor bound,
+/// keeping the Floor <= Total/(K+1) claim honest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_PROFSTORE_SUMMARY_H
+#define ARS_PROFSTORE_SUMMARY_H
+
+#include "profile/Profiles.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ars {
+namespace profstore {
+
+/// Misra-Gries summary with an explicit over-count floor.  Counts are
+/// lower bounds on the exact mass of each kept key; estimate() adds the
+/// floor to make every answer a one-sided upper bound (absent keys
+/// estimate as Floor alone).
+template <typename KeyT> struct SpaceSaving {
+  uint32_t K = 0;
+  /// Max over-count of any estimate; <= total mass / (K + 1).
+  uint64_t Floor = 0;
+  /// At most K entries, every count nonzero.
+  std::map<KeyT, uint64_t> Counts;
+
+  uint64_t estimate(const KeyT &Key) const {
+    auto It = Counts.find(Key);
+    return support::saturatingAdd(
+        It == Counts.end() ? 0 : It->second, Floor);
+  }
+
+  /// Enforces |Counts| <= K: subtracts the (K+1)-th largest count from
+  /// every entry, dropping the ones that reach zero, and adds it to the
+  /// floor.  At least K+1 entries each shrink by the full amount, which
+  /// is exactly what keeps (K+1)*Floor + sum(Counts) <= total mass.
+  void prune() {
+    if (K == 0) {
+      for (const auto &[Key, Count] : Counts)
+        Floor = support::saturatingAdd(Floor, Count);
+      Counts.clear();
+      return;
+    }
+    if (Counts.size() <= K)
+      return;
+    std::vector<uint64_t> Ranked;
+    Ranked.reserve(Counts.size());
+    for (const auto &[Key, Count] : Counts)
+      Ranked.push_back(Count);
+    std::nth_element(Ranked.begin(), Ranked.begin() + K, Ranked.end(),
+                     std::greater<uint64_t>());
+    uint64_t D = Ranked[K];
+    Floor = support::saturatingAdd(Floor, D);
+    for (auto It = Counts.begin(); It != Counts.end();) {
+      if (It->second > D) {
+        It->second -= D;
+        ++It;
+      } else {
+        It = Counts.erase(It);
+      }
+    }
+  }
+
+  /// Adds one exactly-counted key (used when building from an exact
+  /// table; call prune() once after the last add).
+  void addExact(const KeyT &Key, uint64_t Count) {
+    if (!Count)
+      return;
+    uint64_t &Cell = Counts[Key];
+    Cell = support::saturatingAdd(Cell, Count);
+  }
+
+  /// Summary-summary merge: floors add, counters add key-wise, then one
+  /// prune restores the K bound.  Symmetric, hence byte-exact
+  /// commutative; never under-counts for any merge tree.
+  void merge(const SpaceSaving &O) {
+    Floor = support::saturatingAdd(Floor, O.Floor);
+    for (const auto &[Key, Count] : O.Counts) {
+      uint64_t &Cell = Counts[Key];
+      Cell = support::saturatingAdd(Cell, Count);
+    }
+    prune();
+  }
+};
+
+/// Count-min sketch + enumerable top-K over call edges.
+struct CallEdgeSummary {
+  uint32_t K = 0;
+  uint32_t Depth = 0;
+  uint32_t Width = 0; // power of two
+  uint64_t Total = 0;
+  std::vector<uint64_t> Cells; // Depth x Width, saturating counters
+  SpaceSaving<profile::CallEdgeKey> TopK;
+
+  /// Geometry for a given K: depth 4, width the power of two >= 8*K
+  /// (>= 64), so the expected per-row collision mass Total/Width shrinks
+  /// as the caller asks for more retained detail.
+  static CallEdgeSummary make(uint32_t K);
+
+  void addExact(const profile::CallEdgeKey &Key, uint64_t Count);
+
+  /// Upper bound on the exact merged count of \p Key: the smaller of the
+  /// sketch estimate and the top-K estimate (both are upper bounds).
+  uint64_t estimate(const profile::CallEdgeKey &Key) const;
+
+  /// Sketch-only estimate (min over rows).
+  uint64_t sketchEstimate(const profile::CallEdgeKey &Key) const;
+
+  /// Expected collision mass added to any single estimate by one sketch
+  /// row; the explicit (probabilistic) error bound carried by the
+  /// sketch.  The worst-case bound is TopK.Floor via estimate().
+  uint64_t cmsRowBound() const { return Width ? Total / Width : 0; }
+};
+
+/// Per-site bounded value summary.  Overflow carries the collection-time
+/// overflow-bucket mass (see file comment) — an upper bound on any value
+/// that was folded before summarization.
+struct ValueSiteSummary {
+  SpaceSaving<int64_t> SS;
+  uint64_t Overflow = 0;
+
+  /// Upper bound on the exact merged count of \p Value at this site.
+  uint64_t estimate(int64_t Value) const {
+    return support::saturatingAdd(SS.estimate(Value), Overflow);
+  }
+
+  /// Worst-case over-count of any estimate at this site.
+  uint64_t maxOvercount() const {
+    return support::saturatingAdd(SS.Floor, Overflow);
+  }
+};
+
+/// The bounded counterpart of a ProfileBundle for the two profile kinds
+/// whose key spaces are unbounded per tenant: call edges and value
+/// profiles.  (Block/edge/path counts are keyed by the finite program
+/// structure and need no bounding.)
+struct ProfileSummary {
+  uint32_t K = 0;
+  CallEdgeSummary CallEdges;
+  std::map<uint64_t, ValueSiteSummary> Values;
+  uint64_t ValuesTotal = 0;
+
+  bool empty() const { return K == 0; }
+};
+
+/// Builds the bounded summary of \p B with at most \p K retained entries
+/// per structure (K >= 1).
+ProfileSummary summarizeBundle(const profile::ProfileBundle &B,
+                               uint32_t K);
+
+/// Merges \p Src into \p Dst.  Summaries must agree on K (and therefore
+/// sketch geometry); returns false + \p Error on a mismatch.  Merging
+/// into an empty (default) summary adopts Src wholesale.
+bool mergeSummary(ProfileSummary &Dst, const ProfileSummary &Src,
+                  std::string *Error = nullptr);
+
+//===----------------------------------------------------------------------===//
+// On-disk format (.arsp version 2: tagged summary sections)
+//===----------------------------------------------------------------------===//
+
+/// Format version for summary files.  Version 1 is the exact-bundle
+/// format (ProfileIO.h); version 2 introduces tagged, length-prefixed
+/// sections so readers can skip kinds they do not know.
+constexpr uint32_t SummaryFormatVersion = 2;
+
+/// Section kind tags in a version-2 file.
+enum class SummarySection : uint8_t {
+  CallEdgeSketch = 1,
+  ValueTopK = 2,
+};
+
+std::string encodeSummary(const ProfileSummary &S, uint64_t Fingerprint);
+
+struct SummaryDecodeResult {
+  bool Ok = false;
+  std::string Error;
+  uint64_t Fingerprint = 0;
+  ProfileSummary Summary;
+};
+
+SummaryDecodeResult decodeSummary(const std::string &Bytes,
+                                  uint64_t ExpectedFingerprint = 0);
+
+/// Atomic save / load, mirroring saveBundle/loadBundle.  \p Compress
+/// wraps the encoding in the ARSZ block container (support/Compress.h);
+/// loadSummary unwraps it transparently.
+bool saveSummary(const std::string &Path, const ProfileSummary &S,
+                 uint64_t Fingerprint, std::string *Error,
+                 bool Compress = false);
+SummaryDecodeResult loadSummary(const std::string &Path,
+                                uint64_t ExpectedFingerprint = 0);
+
+} // namespace profstore
+} // namespace ars
+
+#endif // ARS_PROFSTORE_SUMMARY_H

@@ -1,0 +1,968 @@
+//===- shmem/ShmRing.cpp - Shared-memory ring transport -------*- C++ -*-===//
+
+#include "shmem/ShmRing.h"
+
+#include "support/Binary.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <climits>
+#include <cstring>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#endif
+
+using ars::profserve::IoResult;
+using ars::profserve::IoStatus;
+using ars::support::formatString;
+
+namespace ars {
+namespace shmem {
+
+namespace {
+
+IoResult makeError(IoStatus S, std::string Msg) {
+  IoResult R;
+  R.Status = S;
+  R.Message = std::move(Msg);
+  return R;
+}
+
+using Clock = std::chrono::steady_clock;
+
+/// A commit word with this bit set marks a cell whose writer died between
+/// publishing the cell and finishing the commit: a torn write.
+constexpr uint64_t CommitPoison = 1ull << 63;
+
+/// Longest single sleep while blocked: close flags and deadlines are
+/// re-checked at least this often even if a wakeup is lost.
+constexpr int MaxWaitSliceMs = 100;
+
+/// writeAll's per-progress-step backstop, mirroring the loopback pipes:
+/// a consumer that stops draining for this long is treated as dead.
+constexpr int WriteStallTimeoutMs = 10000;
+
+/// Bounded sched_yield budget before falling back to the futex/bell
+/// sleep.  A sync push's reply normally lands within a couple of
+/// scheduler handoffs; while either side is still yielding its waiting
+/// flag stays clear, so the peer skips the wake syscall and the steady
+/// state exchanges frames with no kernel calls at all.  The budget caps
+/// the cost of guessing wrong (an idle edge) at one short yield burst.
+constexpr int SpinYields = 48;
+
+/// One direction of the segment.  Head/Tail are free-running sequence
+/// numbers (cell index = seq % CellCount); DataSeq/SpaceSeq are 32-bit
+/// futex words bumped on every commit / tail advance, and the waiting
+/// flags gate the corresponding wake syscalls so the pipelined steady
+/// state stays syscall-free.
+struct alignas(64) RingSide {
+  std::atomic<uint64_t> Head; // producer cursor (diagnostic only)
+  char Pad0[56];
+  std::atomic<uint64_t> Tail; // consumer cursor
+  char Pad1[56];
+  std::atomic<uint32_t> DataSeq;
+  std::atomic<uint32_t> SpaceSeq;
+  std::atomic<uint32_t> ConsumerWaiting;
+  std::atomic<uint32_t> ProducerWaiting;
+  char Pad2[48];
+};
+
+struct SegmentHeader {
+  char Magic[4]; // "ARSM"
+  uint32_t Version;
+  uint32_t Cells;
+  uint32_t CellBytes;
+  uint32_t HeaderBytes;
+  uint32_t GeometryCrc; // crc32 of the 20 bytes above
+  std::atomic<uint32_t> ClientClosed;
+  std::atomic<uint32_t> ServerClosed;
+  /// Set by the server end just before it goes to sleep in poll(2);
+  /// tells the client a bell ring is needed (see the Dekker handshake in
+  /// readNow/notifyPeer).
+  std::atomic<uint32_t> ServerSleeping;
+  uint32_t Reserved;
+  RingSide C2S;
+  RingSide S2C;
+};
+
+static_assert(std::is_standard_layout_v<SegmentHeader>,
+              "segment header is shared across processes");
+static_assert(std::atomic<uint64_t>::is_always_lock_free &&
+                  std::atomic<uint32_t>::is_always_lock_free,
+              "ring atomics must be lock-free to live in shared memory");
+static_assert(sizeof(SegmentHeader) <= 4096, "header must fit one page");
+
+constexpr uint32_t HeaderPage = 4096;
+constexpr size_t GeometryBytes = 20;
+
+uint32_t geometryCrc(const SegmentHeader &H) {
+  return support::crc32(&H, GeometryBytes);
+}
+
+#ifdef __linux__
+void futexWait(std::atomic<uint32_t> *Word, uint32_t Expected,
+               int TimeoutMs) {
+  timespec Ts;
+  timespec *TsP = nullptr;
+  if (TimeoutMs > 0) {
+    Ts.tv_sec = TimeoutMs / 1000;
+    Ts.tv_nsec = static_cast<long>(TimeoutMs % 1000) * 1000000L;
+    TsP = &Ts;
+  }
+  ::syscall(SYS_futex, reinterpret_cast<uint32_t *>(Word), FUTEX_WAIT,
+            Expected, TsP, nullptr, 0);
+}
+
+void futexWake(std::atomic<uint32_t> *Word) {
+  ::syscall(SYS_futex, reinterpret_cast<uint32_t *>(Word), FUTEX_WAKE,
+            INT_MAX, nullptr, nullptr, 0);
+}
+#else
+void futexWait(std::atomic<uint32_t> *Word, uint32_t Expected,
+               int TimeoutMs) {
+  // No futex: sleep-poll.  The word is re-checked by the caller's loop.
+  (void)Word;
+  (void)Expected;
+  int SliceUs = TimeoutMs > 0 ? std::min(TimeoutMs * 1000, 200) : 200;
+  std::this_thread::sleep_for(std::chrono::microseconds(SliceUs));
+}
+
+void futexWake(std::atomic<uint32_t> *Word) { (void)Word; }
+#endif
+
+/// Process-unique nonce for segment file names.
+std::string freshSegmentName() {
+  static std::atomic<uint64_t> Counter{0};
+  static const uint64_t Salt = [] {
+    std::random_device Rd;
+    return (static_cast<uint64_t>(Rd()) << 32) ^ Rd() ^
+           (static_cast<uint64_t>(::getpid()) << 16);
+  }();
+  uint64_t N = Counter.fetch_add(1);
+  return formatString("c%016llx-%llu.arsm",
+                      static_cast<unsigned long long>(Salt),
+                      static_cast<unsigned long long>(N));
+}
+
+bool endsWith(const std::string &S, const char *Suffix) {
+  size_t N = std::strlen(Suffix);
+  return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
+}
+
+std::string bellPathFor(const std::string &SegPath) {
+  return SegPath + ".bell";
+}
+
+bool makeDirs(const std::string &Path) {
+  // mkdir -p, POSIX-style: create each prefix in turn.
+  std::string Partial;
+  for (size_t I = 0; I <= Path.size(); ++I) {
+    if (I < Path.size() && Path[I] != '/') {
+      Partial += Path[I];
+      continue;
+    }
+    if (I < Path.size())
+      Partial += '/';
+    if (Partial.empty() || Partial == "/")
+      continue;
+    if (::mkdir(Partial.c_str(), 0777) != 0 && errno != EEXIST)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+size_t segmentBytes() {
+  return static_cast<size_t>(HeaderPage) +
+         2 * static_cast<size_t>(CellCount) * CellSize;
+}
+
+//===----------------------------------------------------------------------===//
+// Transport impl
+//===----------------------------------------------------------------------===//
+
+struct ShmRingTransport::Impl {
+  bool IsClient = false;
+  int SegFd = -1;
+  int BellFd = -1;     // client: O_RDWR ring end; server: O_RDWR holder
+  int BellPollFd = -1; // server only: O_RDONLY end handed to poll(2)
+  void *Map = nullptr;
+  SegmentHeader *H = nullptr;
+  char *CellBase = nullptr;
+  std::string SegPath; // client end keeps paths for unlink-on-destroy
+  std::string BellPath;
+  std::string Label;
+
+  std::atomic<bool> LocalClosed{false};
+  std::atomic<bool> Abandoned{false};
+  std::atomic<bool> TearNext{false};
+
+  /// Server only: the client rings the bell exclusively after observing
+  /// ServerSleeping == 1, so while the flag has stayed 0 since the last
+  /// drain the FIFO is provably empty and the drain syscall can be
+  /// skipped.  Set before every ServerSleeping raise (under RdMu or
+  /// WrMu, hence atomic); cleared only after a drain that observed the
+  /// flag still 0.
+  std::atomic<bool> MaybeBellPending{true};
+
+  // The rings are SPSC per direction, but each *end* may see concurrent
+  // calls (close vs. a blocked read, tests hammering both ops), so the
+  // local cursors are guarded per direction.
+  std::mutex RdMu, WrMu;
+  size_t ReadCellOff = 0; // bytes already consumed from the Tail cell
+  bool SpinArmed = false; // last readNow delivered data (guarded by RdMu)
+
+  RingSide *writeRing() { return IsClient ? &H->C2S : &H->S2C; }
+  RingSide *readRing() { return IsClient ? &H->S2C : &H->C2S; }
+  char *writeCells() {
+    return CellBase + (IsClient ? 0 : CellCount * CellSize);
+  }
+  char *readCells() {
+    return CellBase + (IsClient ? CellCount * CellSize : 0);
+  }
+  std::atomic<uint32_t> *peerClosedFlag() {
+    return IsClient ? &H->ServerClosed : &H->ClientClosed;
+  }
+  std::atomic<uint32_t> *ownClosedFlag() {
+    return IsClient ? &H->ClientClosed : &H->ServerClosed;
+  }
+
+  static std::atomic<uint64_t> *commitWord(char *Cells, uint64_t Seq) {
+    return reinterpret_cast<std::atomic<uint64_t> *>(
+        Cells + (Seq % CellCount) * CellSize);
+  }
+
+  void ringBell() {
+    if (BellFd < 0)
+      return;
+    char B = 1;
+    // EAGAIN means the bell already holds unread rings: wakeup pending.
+    (void)!::write(BellFd, &B, 1);
+  }
+
+  void drainBell() {
+    int Fd = IsClient ? -1 : BellPollFd;
+    if (Fd < 0)
+      return;
+    if (!MaybeBellPending.load(std::memory_order_acquire))
+      return;
+    char Buf[256];
+    while (::read(Fd, Buf, sizeof(Buf)) > 0) {
+    }
+    // Only a flag observed at 0 proves no ring can still be in flight:
+    // a client that already saw 1 may ring after this drain.
+    if (H->ServerSleeping.load(std::memory_order_seq_cst) == 0)
+      MaybeBellPending.store(false, std::memory_order_release);
+  }
+
+  /// Producer-side post-commit notification.  The DataSeq bump is always
+  /// done by the committer; this only decides which (if any) wake
+  /// syscall is owed.  The seq_cst fence pairs with the consumer's
+  /// flag-store / recheck fence: either we see its waiting flag, or it
+  /// sees our commit.
+  void notifyDataWritten() {
+    RingSide *R = writeRing();
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (R->ConsumerWaiting.load(std::memory_order_relaxed))
+      futexWake(&R->DataSeq);
+    if (IsClient && H->ServerSleeping.load(std::memory_order_relaxed))
+      ringBell();
+  }
+
+  /// Consumer-side post-tail-advance notification (space freed).
+  void notifySpaceFreed() {
+    RingSide *R = readRing();
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (R->ProducerWaiting.load(std::memory_order_relaxed))
+      futexWake(&R->SpaceSeq);
+    if (IsClient && H->ServerSleeping.load(std::memory_order_relaxed))
+      ringBell();
+  }
+
+  /// Tries to append one cell of at most CellPayload bytes.  Returns the
+  /// byte count written (0 when the ring is full).
+  size_t tryWriteCell(const char *Data, size_t Size, bool Poison) {
+    RingSide *R = writeRing();
+    uint64_t S = R->Head.load(std::memory_order_relaxed);
+    if (S - R->Tail.load(std::memory_order_acquire) >= CellCount)
+      return 0;
+    char *Cell = writeCells() + (S % CellCount) * CellSize;
+    uint32_t Len = static_cast<uint32_t>(
+        Size < CellPayload ? Size : CellPayload);
+    std::memcpy(Cell + 8, &Len, sizeof(Len));
+    std::memcpy(Cell + 16, Data, Len);
+    uint64_t Commit = S + 1;
+    if (Poison)
+      Commit |= CommitPoison;
+    commitWord(writeCells(), S)->store(Commit, std::memory_order_release);
+    R->Head.store(S + 1, std::memory_order_relaxed);
+    R->DataSeq.fetch_add(1, std::memory_order_release);
+    return Len;
+  }
+
+  enum class CellState { Ready, Empty, Torn, Corrupt };
+
+  CellState peekCell(uint32_t *LenOut, const char **PayloadOut) {
+    RingSide *R = readRing();
+    uint64_t S = R->Tail.load(std::memory_order_relaxed);
+    uint64_t C =
+        commitWord(readCells(), S)->load(std::memory_order_acquire);
+    if (C == ((S + 1) | CommitPoison))
+      return CellState::Torn;
+    if (C != S + 1)
+      return CellState::Empty;
+    char *Cell = readCells() + (S % CellCount) * CellSize;
+    uint32_t Len;
+    std::memcpy(&Len, Cell + 8, sizeof(Len));
+    if (Len > CellPayload)
+      return CellState::Corrupt;
+    *LenOut = Len;
+    *PayloadOut = Cell + 16;
+    return CellState::Ready;
+  }
+
+  /// Copies immediately-available bytes into [Data, Data+Max).  Caller
+  /// holds RdMu.  Returns bytes copied; *Torn set on a poisoned cell.
+  size_t copyAvailable(char *Data, size_t Max, bool *Torn,
+                       bool *Corrupt) {
+    *Torn = false;
+    *Corrupt = false;
+    size_t Got = 0;
+    RingSide *R = readRing();
+    while (Got < Max) {
+      uint32_t Len;
+      const char *Payload;
+      CellState St = peekCell(&Len, &Payload);
+      if (St == CellState::Torn) {
+        *Torn = true;
+        break;
+      }
+      if (St == CellState::Corrupt) {
+        *Corrupt = true;
+        break;
+      }
+      if (St == CellState::Empty)
+        break;
+      size_t Left = Len - ReadCellOff;
+      size_t Take = std::min(Left, Max - Got);
+      std::memcpy(Data + Got, Payload + ReadCellOff, Take);
+      Got += Take;
+      ReadCellOff += Take;
+      if (ReadCellOff == Len) {
+        ReadCellOff = 0;
+        R->Tail.fetch_add(1, std::memory_order_release);
+        R->SpaceSeq.fetch_add(1, std::memory_order_release);
+        notifySpaceFreed();
+      }
+    }
+    return Got;
+  }
+
+  /// True when the next unread cell is committed (no mutex; used only as
+  /// a hint by the blocking/Dekker rechecks — a stale answer just costs
+  /// one spurious loop iteration).
+  bool dataLooksReady() {
+    RingSide *R = readRing();
+    uint64_t S = R->Tail.load(std::memory_order_acquire);
+    uint64_t C =
+        commitWord(readCells(), S)->load(std::memory_order_acquire);
+    return C == S + 1 || C == ((S + 1) | CommitPoison);
+  }
+
+  bool spaceLooksFree() {
+    RingSide *R = writeRing();
+    return R->Head.load(std::memory_order_relaxed) -
+               R->Tail.load(std::memory_order_acquire) <
+           CellCount;
+  }
+};
+
+ShmRingTransport::ShmRingTransport(std::unique_ptr<Impl> I)
+    : I(std::move(I)) {}
+
+ShmRingTransport::~ShmRingTransport() {
+  close();
+  if (I->Map)
+    ::munmap(I->Map, segmentBytes());
+  if (I->SegFd >= 0)
+    ::close(I->SegFd);
+  if (I->BellFd >= 0)
+    ::close(I->BellFd);
+  if (I->BellPollFd >= 0)
+    ::close(I->BellPollFd);
+  if (I->IsClient) {
+    // Normally the listener unlinked these on adoption; if no server
+    // ever came, clean up after ourselves.
+    ::unlink(I->SegPath.c_str());
+    ::unlink(I->BellPath.c_str());
+  }
+}
+
+int ShmRingTransport::pollFd() const {
+  return I->IsClient ? -1 : I->BellPollFd;
+}
+
+std::string ShmRingTransport::peer() const { return I->Label; }
+
+void ShmRingTransport::tearNextWrite() { I->TearNext.store(true); }
+
+void ShmRingTransport::abandon() {
+  // A crashed writer leaves no trace in the segment: no close flag, no
+  // wakeup.  Only local state changes so the peer must detect the death
+  // by timeout.
+  I->Abandoned.store(true);
+  I->LocalClosed.store(true);
+}
+
+void ShmRingTransport::close() {
+  if (I->LocalClosed.exchange(true))
+    return;
+  if (I->Abandoned.load())
+    return;
+  I->ownClosedFlag()->store(1, std::memory_order_release);
+  // Unconditional wakes: close is rare, lost wakeups here are deadlocks.
+  I->H->C2S.DataSeq.fetch_add(1, std::memory_order_release);
+  I->H->C2S.SpaceSeq.fetch_add(1, std::memory_order_release);
+  I->H->S2C.DataSeq.fetch_add(1, std::memory_order_release);
+  I->H->S2C.SpaceSeq.fetch_add(1, std::memory_order_release);
+  futexWake(&I->H->C2S.DataSeq);
+  futexWake(&I->H->C2S.SpaceSeq);
+  futexWake(&I->H->S2C.DataSeq);
+  futexWake(&I->H->S2C.SpaceSeq);
+  if (I->IsClient)
+    I->ringBell();
+}
+
+IoResult ShmRingTransport::readNow(char *Data, size_t Max, size_t *Read) {
+  *Read = 0;
+  if (Max == 0)
+    return IoResult();
+  std::lock_guard<std::mutex> Lock(I->RdMu);
+  if (I->Abandoned.load())
+    return makeError(IoStatus::Error, "abandoned (simulated crash)");
+  if (I->LocalClosed.load())
+    return makeError(IoStatus::Closed, "transport closed");
+  if (!I->IsClient) {
+    I->drainBell();
+    I->H->ServerSleeping.store(0, std::memory_order_relaxed);
+  }
+  bool Torn, Corrupt;
+  size_t Got = I->copyAvailable(Data, Max, &Torn, &Corrupt);
+  if (Got) {
+    I->SpinArmed = true;
+    *Read = Got;
+    return IoResult();
+  }
+  if (Torn)
+    return makeError(IoStatus::Error, "torn ring cell");
+  if (Corrupt)
+    return makeError(IoStatus::Error, "corrupt ring cell length");
+  if (I->peerClosedFlag()->load(std::memory_order_acquire))
+    return makeError(IoStatus::Eof, "");
+  if (!I->IsClient && I->SpinArmed) {
+    // The previous call delivered data, so the client is mid-exchange
+    // and its next frame is likely a scheduler handoff away.  Yield for
+    // it instead of paying the poll-sleep + bell round trip; while we
+    // spin ServerSleeping stays 0, so the client skips the bell write.
+    for (int S = 0; S != SpinYields; ++S) {
+      std::this_thread::yield();
+      if (I->LocalClosed.load())
+        return makeError(IoStatus::Closed, "transport closed");
+      if (I->dataLooksReady()) {
+        Got = I->copyAvailable(Data, Max, &Torn, &Corrupt);
+        if (Got) {
+          *Read = Got;
+          return IoResult();
+        }
+        if (Torn)
+          return makeError(IoStatus::Error, "torn ring cell");
+        if (Corrupt)
+          return makeError(IoStatus::Error, "corrupt ring cell length");
+      }
+      if (I->peerClosedFlag()->load(std::memory_order_acquire))
+        return makeError(IoStatus::Eof, "");
+    }
+    I->SpinArmed = false;
+  }
+  if (!I->IsClient) {
+    // About to report "nothing to read" to the reactor, which will go to
+    // sleep in poll(2).  Declare that first, then re-check: either the
+    // client sees the flag and rings the bell, or we see its commit.
+    I->MaybeBellPending.store(true, std::memory_order_release);
+    I->H->ServerSleeping.store(1, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    Got = I->copyAvailable(Data, Max, &Torn, &Corrupt);
+    if (Got) {
+      *Read = Got;
+      return IoResult();
+    }
+    if (Torn)
+      return makeError(IoStatus::Error, "torn ring cell");
+    if (I->peerClosedFlag()->load(std::memory_order_acquire))
+      return makeError(IoStatus::Eof, "");
+  }
+  return makeError(IoStatus::WouldBlock, "");
+}
+
+IoResult ShmRingTransport::writeNow(const char *Data, size_t Size,
+                                    size_t *Written) {
+  *Written = 0;
+  if (Size == 0)
+    return IoResult();
+  std::lock_guard<std::mutex> Lock(I->WrMu);
+  if (I->Abandoned.load())
+    return makeError(IoStatus::Error, "abandoned (simulated crash)");
+  if (I->LocalClosed.load())
+    return makeError(IoStatus::Closed, "transport closed");
+  if (I->peerClosedFlag()->load(std::memory_order_acquire))
+    return makeError(IoStatus::Error, "peer closed");
+  size_t Off = 0;
+  while (Off < Size) {
+    size_t N = I->tryWriteCell(Data + Off, Size - Off, false);
+    if (!N)
+      break;
+    Off += N;
+  }
+  if (Off) {
+    I->notifyDataWritten();
+    *Written = Off;
+    return IoResult();
+  }
+  if (!I->IsClient) {
+    // Same Dekker dance as readNow, for the "reply ring full" case: the
+    // client rings the bell after freeing space if it sees the flag.
+    I->MaybeBellPending.store(true, std::memory_order_release);
+    I->H->ServerSleeping.store(1, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (I->spaceLooksFree()) {
+      size_t N = I->tryWriteCell(Data, Size, false);
+      if (N) {
+        I->notifyDataWritten();
+        *Written = N;
+        return IoResult();
+      }
+    }
+  }
+  return makeError(IoStatus::WouldBlock, "");
+}
+
+IoResult ShmRingTransport::readSome(char *Data, size_t Max, int TimeoutMs,
+                                    size_t *Read) {
+  *Read = 0;
+  if (Max == 0)
+    return IoResult();
+  bool HasDeadline = TimeoutMs > 0;
+  Clock::time_point Deadline =
+      Clock::now() + std::chrono::milliseconds(TimeoutMs);
+  RingSide *R = I->readRing();
+  bool SpunOnce = false;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> Lock(I->RdMu);
+      if (I->Abandoned.load())
+        return makeError(IoStatus::Error, "abandoned (simulated crash)");
+      if (I->LocalClosed.load())
+        return makeError(IoStatus::Closed, "transport closed");
+      if (!I->IsClient)
+        I->drainBell();
+      bool Torn, Corrupt;
+      size_t Got = I->copyAvailable(Data, Max, &Torn, &Corrupt);
+      if (Got) {
+        *Read = Got;
+        return IoResult();
+      }
+      if (Torn)
+        return makeError(IoStatus::Error, "torn ring cell");
+      if (Corrupt)
+        return makeError(IoStatus::Error, "corrupt ring cell length");
+      if (I->peerClosedFlag()->load(std::memory_order_acquire))
+        return makeError(IoStatus::Eof, "");
+    }
+
+    // First miss: the reply to a just-sent frame usually lands within a
+    // few scheduler handoffs, so yield for it before sleeping.  While we
+    // spin ConsumerWaiting stays 0 and the producer skips its wake
+    // syscall; the dataLooksReady hint needs no lock.
+    if (!SpunOnce) {
+      SpunOnce = true;
+      bool Ready = false;
+      for (int S = 0; S != SpinYields && !Ready; ++S) {
+        std::this_thread::yield();
+        Ready = I->dataLooksReady() || I->LocalClosed.load() ||
+                I->peerClosedFlag()->load(std::memory_order_acquire);
+      }
+      if (Ready)
+        continue;
+    }
+
+    // Sleep until the producer commits.  Snapshot DataSeq, re-check,
+    // then wait on the snapshot: any commit in between bumps the word
+    // and turns the wait into an immediate EAGAIN.
+    R->ConsumerWaiting.store(1, std::memory_order_seq_cst);
+    uint32_t V = R->DataSeq.load(std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    bool Skip = I->dataLooksReady() || I->LocalClosed.load() ||
+                I->peerClosedFlag()->load(std::memory_order_acquire);
+    if (!Skip) {
+      int Slice = MaxWaitSliceMs;
+      if (HasDeadline) {
+        auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        Deadline - Clock::now())
+                        .count();
+        if (Left <= 0) {
+          R->ConsumerWaiting.store(0, std::memory_order_relaxed);
+          return makeError(IoStatus::Timeout, "");
+        }
+        Slice = std::min<int>(Slice, static_cast<int>(Left) + 1);
+      }
+      futexWait(&R->DataSeq, V, Slice);
+    }
+    R->ConsumerWaiting.store(0, std::memory_order_relaxed);
+    if (HasDeadline && Clock::now() >= Deadline && !I->dataLooksReady() &&
+        !I->peerClosedFlag()->load(std::memory_order_acquire) &&
+        !I->LocalClosed.load())
+      return makeError(IoStatus::Timeout, "");
+  }
+}
+
+IoResult ShmRingTransport::writeAll(const char *Data, size_t Size) {
+  size_t Off = 0;
+  RingSide *R = I->writeRing();
+  Clock::time_point StallDeadline =
+      Clock::now() + std::chrono::milliseconds(WriteStallTimeoutMs);
+  while (Off < Size) {
+    bool Progress = false;
+    {
+      std::lock_guard<std::mutex> Lock(I->WrMu);
+      if (I->Abandoned.load())
+        return makeError(IoStatus::Error, "abandoned (simulated crash)");
+      if (I->LocalClosed.load())
+        return makeError(IoStatus::Closed, "transport closed");
+      if (I->peerClosedFlag()->load(std::memory_order_acquire))
+        return makeError(IoStatus::Error, "peer closed");
+      if (I->TearNext.exchange(false)) {
+        // Simulated mid-commit death: poison one cell, drop the rest of
+        // the buffer on the floor, and report success — exactly what a
+        // writer that crashed after the syscall-free fast path would
+        // leave behind.
+        while (!I->tryWriteCell(Data + Off, Size - Off, true)) {
+          // Ring full: wait briefly for space so the poison lands.
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          if (I->peerClosedFlag()->load(std::memory_order_acquire) ||
+              I->LocalClosed.load())
+            break;
+        }
+        I->notifyDataWritten();
+        return IoResult();
+      }
+      while (Off < Size) {
+        size_t N = I->tryWriteCell(Data + Off, Size - Off, false);
+        if (!N)
+          break;
+        Off += N;
+        Progress = true;
+      }
+      if (Progress)
+        I->notifyDataWritten();
+    }
+    if (Off == Size)
+      break;
+    if (Progress) {
+      StallDeadline =
+          Clock::now() + std::chrono::milliseconds(WriteStallTimeoutMs);
+      continue;
+    }
+    // Ring full: sleep until the consumer frees a cell.
+    R->ProducerWaiting.store(1, std::memory_order_seq_cst);
+    uint32_t V = R->SpaceSeq.load(std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    bool Skip = I->spaceLooksFree() || I->LocalClosed.load() ||
+                I->peerClosedFlag()->load(std::memory_order_acquire);
+    if (!Skip)
+      futexWait(&R->SpaceSeq, V, MaxWaitSliceMs);
+    R->ProducerWaiting.store(0, std::memory_order_relaxed);
+    if (Clock::now() >= StallDeadline)
+      return makeError(IoStatus::Error,
+                       "write stalled: peer stopped reading");
+  }
+  return IoResult();
+}
+
+//===----------------------------------------------------------------------===//
+// Segment creation / adoption
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct MappedSegment {
+  int Fd = -1;
+  void *Map = nullptr;
+  SegmentHeader *H = nullptr;
+
+  ~MappedSegment() {
+    if (Map)
+      ::munmap(Map, segmentBytes());
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+  void release() {
+    Fd = -1;
+    Map = nullptr;
+    H = nullptr;
+  }
+};
+
+bool mapSegmentFile(const std::string &Path, bool MustValidate,
+                    MappedSegment *Out, std::string *Error) {
+  Out->Fd = ::open(Path.c_str(), O_RDWR | O_CLOEXEC);
+  if (Out->Fd < 0) {
+    *Error = formatString("open %s: %s", Path.c_str(),
+                          std::strerror(errno));
+    return false;
+  }
+  struct stat St;
+  if (::fstat(Out->Fd, &St) != 0 ||
+      static_cast<size_t>(St.st_size) != segmentBytes()) {
+    *Error = formatString("%s: bad segment size", Path.c_str());
+    return false;
+  }
+  Out->Map = ::mmap(nullptr, segmentBytes(), PROT_READ | PROT_WRITE,
+                    MAP_SHARED, Out->Fd, 0);
+  if (Out->Map == MAP_FAILED) {
+    Out->Map = nullptr;
+    *Error = formatString("mmap %s: %s", Path.c_str(),
+                          std::strerror(errno));
+    return false;
+  }
+  Out->H = static_cast<SegmentHeader *>(Out->Map);
+  if (!MustValidate)
+    return true;
+  SegmentHeader *H = Out->H;
+  if (std::memcmp(H->Magic, "ARSM", 4) != 0 ||
+      H->Version != SegmentVersion || H->Cells != CellCount ||
+      H->CellBytes != CellSize || H->HeaderBytes != HeaderPage ||
+      H->GeometryCrc != geometryCrc(*H)) {
+    *Error = formatString("%s: bad segment header", Path.c_str());
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+std::unique_ptr<profserve::Transport> shmConnect(const std::string &Dir,
+                                                 std::string *Error) {
+  std::string Err;
+  if (!makeDirs(Dir)) {
+    if (Error)
+      *Error = formatString("mkdir %s: %s", Dir.c_str(),
+                            std::strerror(errno));
+    return nullptr;
+  }
+  std::string Name = freshSegmentName();
+  std::string SegPath = Dir + "/" + Name;
+  std::string TmpPath = SegPath + ".tmp";
+  std::string BellPath = bellPathFor(SegPath);
+
+  int Fd = ::open(TmpPath.c_str(), O_RDWR | O_CREAT | O_EXCL | O_CLOEXEC,
+                  0666);
+  if (Fd < 0) {
+    if (Error)
+      *Error = formatString("create %s: %s", TmpPath.c_str(),
+                            std::strerror(errno));
+    return nullptr;
+  }
+  auto Fail = [&](std::string Msg) -> std::unique_ptr<profserve::Transport> {
+    ::close(Fd);
+    ::unlink(TmpPath.c_str());
+    ::unlink(BellPath.c_str());
+    if (Error)
+      *Error = std::move(Msg);
+    return nullptr;
+  };
+  if (::ftruncate(Fd, static_cast<off_t>(segmentBytes())) != 0)
+    return Fail(formatString("ftruncate: %s", std::strerror(errno)));
+  void *Map = ::mmap(nullptr, segmentBytes(), PROT_READ | PROT_WRITE,
+                     MAP_SHARED, Fd, 0);
+  if (Map == MAP_FAILED)
+    return Fail(formatString("mmap: %s", std::strerror(errno)));
+
+  auto *H = static_cast<SegmentHeader *>(Map);
+  std::memcpy(H->Magic, "ARSM", 4);
+  H->Version = SegmentVersion;
+  H->Cells = CellCount;
+  H->CellBytes = CellSize;
+  H->HeaderBytes = HeaderPage;
+  H->GeometryCrc = geometryCrc(*H);
+
+  // The bell must exist before the segment becomes visible so an
+  // adopting listener never races its open.  Our own O_RDWR end both
+  // rings it and keeps a reader alive (no SIGPIPE, no ENXIO).
+  if (::mkfifo(BellPath.c_str(), 0666) != 0 && errno != EEXIST) {
+    ::munmap(Map, segmentBytes());
+    return Fail(formatString("mkfifo: %s", std::strerror(errno)));
+  }
+  int BellFd = ::open(BellPath.c_str(),
+                      O_RDWR | O_NONBLOCK | O_CLOEXEC);
+  if (BellFd < 0) {
+    ::munmap(Map, segmentBytes());
+    return Fail(formatString("open bell: %s", std::strerror(errno)));
+  }
+  if (::rename(TmpPath.c_str(), SegPath.c_str()) != 0) {
+    ::munmap(Map, segmentBytes());
+    ::close(BellFd);
+    return Fail(formatString("rename: %s", std::strerror(errno)));
+  }
+
+  auto Impl = std::make_unique<ShmRingTransport::Impl>();
+  Impl->IsClient = true;
+  Impl->SegFd = Fd;
+  Impl->BellFd = BellFd;
+  Impl->Map = Map;
+  Impl->H = H;
+  Impl->CellBase = static_cast<char *>(Map) + HeaderPage;
+  Impl->SegPath = SegPath;
+  Impl->BellPath = BellPath;
+  Impl->Label = "shm:" + Name;
+  return std::unique_ptr<profserve::Transport>(
+      new ShmRingTransport(std::move(Impl)));
+}
+
+profserve::Dialer shmDialer(std::string Dir) {
+  return [Dir](std::string *Error) {
+    return shmConnect(Dir, Error);
+  };
+}
+
+//===----------------------------------------------------------------------===//
+// Listener
+//===----------------------------------------------------------------------===//
+
+struct ShmListener::Impl {
+  std::string Dir;
+  std::atomic<bool> Stop{false};
+};
+
+ShmListener::ShmListener(std::unique_ptr<Impl> I) : I(std::move(I)) {}
+ShmListener::~ShmListener() { shutdown(); }
+
+void ShmListener::shutdown() { I->Stop.store(true); }
+
+std::string ShmListener::address() const { return "shm:" + I->Dir; }
+
+std::unique_ptr<profserve::Transport> ShmListener::accept() {
+  while (!I->Stop.load()) {
+    DIR *D = ::opendir(I->Dir.c_str());
+    if (!D) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    std::string Found;
+    while (dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (endsWith(Name, ".arsm")) {
+        Found = Name;
+        break;
+      }
+    }
+    ::closedir(D);
+    if (Found.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;
+    }
+
+    std::string SegPath = I->Dir + "/" + Found;
+    std::string BellPath = bellPathFor(SegPath);
+    MappedSegment Seg;
+    std::string Err;
+    if (!mapSegmentFile(SegPath, /*MustValidate=*/true, &Seg, &Err)) {
+      // Alien or torn file: remove it so the scan is not stuck forever.
+      ::unlink(SegPath.c_str());
+      ::unlink(BellPath.c_str());
+      continue;
+    }
+    // Two bell fds: the O_RDONLY end goes to poll(2) (a read end never
+    // reports POLLOUT, so an output-armed reactor cannot spin on it);
+    // the O_RDWR end is never polled and exists only to pin a writer so
+    // the poll end cannot see POLLHUP when the client goes away.
+    int PollFd = ::open(BellPath.c_str(),
+                        O_RDONLY | O_NONBLOCK | O_CLOEXEC);
+    int HoldFd = ::open(BellPath.c_str(),
+                        O_RDWR | O_NONBLOCK | O_CLOEXEC);
+    if (PollFd < 0 || HoldFd < 0) {
+      if (PollFd >= 0)
+        ::close(PollFd);
+      if (HoldFd >= 0)
+        ::close(HoldFd);
+      ::unlink(SegPath.c_str());
+      ::unlink(BellPath.c_str());
+      continue;
+    }
+    // Adopted: drop the directory entries; the fds and mapping keep the
+    // underlying objects alive until both ends are done.
+    ::unlink(SegPath.c_str());
+    ::unlink(BellPath.c_str());
+
+    auto Impl = std::make_unique<ShmRingTransport::Impl>();
+    Impl->IsClient = false;
+    Impl->SegFd = Seg.Fd;
+    Impl->BellFd = HoldFd;
+    Impl->BellPollFd = PollFd;
+    Impl->Map = Seg.Map;
+    Impl->H = Seg.H;
+    Impl->CellBase = static_cast<char *>(Seg.Map) + HeaderPage;
+    Impl->Label = "shm:" + Found;
+    Seg.release();
+    return std::unique_ptr<profserve::Transport>(
+        new ShmRingTransport(std::move(Impl)));
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ShmListener> listenShm(const std::string &Dir,
+                                       std::string *Error) {
+  if (!makeDirs(Dir)) {
+    if (Error)
+      *Error = formatString("mkdir %s: %s", Dir.c_str(),
+                            std::strerror(errno));
+    return nullptr;
+  }
+  // Sweep leftovers from a previous run (crashed clients, aborted
+  // sweeps): anything still named *.arsm/*.bell is unowned by now.
+  if (DIR *D = ::opendir(Dir.c_str())) {
+    std::vector<std::string> Stale;
+    while (dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (endsWith(Name, ".arsm") || endsWith(Name, ".bell") ||
+          endsWith(Name, ".tmp"))
+        Stale.push_back(Name);
+    }
+    ::closedir(D);
+    for (const std::string &Name : Stale)
+      ::unlink((Dir + "/" + Name).c_str());
+  }
+  auto Impl = std::make_unique<ShmListener::Impl>();
+  Impl->Dir = Dir;
+  return std::unique_ptr<ShmListener>(new ShmListener(std::move(Impl)));
+}
+
+} // namespace shmem
+} // namespace ars

@@ -1,0 +1,147 @@
+//===- shmem/ShmRing.h - Shared-memory ring transport ---------*- C++ -*-===//
+///
+/// \file
+/// A same-host Transport backend over a file-backed mmap segment: two
+/// lock-free SPSC rings (client->server and server->client) of fixed-size
+/// cells, each cell guarded by a seqlock-style commit word.  The paper's
+/// deployment story (engine pushing to a sidecar collector on the same
+/// host) makes TCP framing and socket copies pure overhead; here the
+/// payload bytes move through shared pages and the steady state needs no
+/// syscalls at all.
+///
+/// Segment anatomy (one file per connection, created by the client):
+///
+///   [SegmentHeader]  magic "ARSM", version, cell geometry, geometry CRC,
+///                    close flags, per-ring head/tail + futex words
+///   [c2s cells]      CellCount cells of CellSize bytes
+///   [s2c cells]      CellCount cells of CellSize bytes
+///
+/// Each cell = { commit word (u64), length (u32), payload }.  A producer
+/// fills payload + length, then release-stores commit = seq + 1; the
+/// consumer acquire-loads commit and treats exactly seq + 1 as ready.
+/// Because the expected value is unique per lap, stale commits from the
+/// previous lap read as "not ready" with no consumer write-back — the
+/// seqlock idea applied to an SPSC ring.  A commit word with the poison
+/// bit set models a writer that died mid-commit ("torn write"); the
+/// consumer surfaces it as a hard transport error.
+///
+/// Wakeup paths:
+///  * client blocking on data/space: futex on per-ring 32-bit counters
+///    (Linux; a short sleep-poll elsewhere), gated by waiter flags so the
+///    pipelined steady state does zero wake syscalls;
+///  * server reactor: a FIFO "bell" next to the segment gives the event
+///    loop a real pollFd(); the client rings it only when the server has
+///    declared (via a Dekker-fenced flag) that it is about to sleep.
+///
+/// Connection establishment is rendezvous-by-directory: the client
+/// creates and initializes `<dir>/c<nonce>.arsm` (+ `.bell`), renaming it
+/// into place so the listener only ever sees fully-initialized segments;
+/// the listener scans the directory, validates the header, and unlinks
+/// both files on adoption (the mapping keeps them alive).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_SHMEM_SHMRING_H
+#define ARS_SHMEM_SHMRING_H
+
+#include "profserve/Client.h"
+#include "profserve/Transport.h"
+
+#include <memory>
+#include <string>
+
+namespace ars {
+namespace shmem {
+
+/// Fixed geometry of a v1 segment.  Cells hold a u64 commit word and a
+/// u32 length before the payload.
+constexpr uint32_t SegmentVersion = 1;
+constexpr uint32_t CellSize = 4096;
+constexpr uint32_t CellPayload = CellSize - 16;
+constexpr uint32_t CellCount = 64; // per ring
+
+/// Total on-disk size of a segment file with the default geometry.
+size_t segmentBytes();
+
+/// One end of a shared-memory ring connection.  Created via shmConnect
+/// (client end) or ShmListener::accept (server end); not constructible
+/// directly.  The server end exposes pollFd() so the reactor can drive
+/// it; the client end blocks on futexes.
+class ShmRingTransport : public profserve::Transport {
+public:
+  ~ShmRingTransport() override;
+
+  profserve::IoResult writeAll(const char *Data, size_t Size) override;
+  profserve::IoResult readSome(char *Data, size_t Max, int TimeoutMs,
+                               size_t *Read) override;
+  profserve::IoResult readNow(char *Data, size_t Max,
+                              size_t *Read) override;
+  profserve::IoResult writeNow(const char *Data, size_t Size,
+                               size_t *Written) override;
+  int pollFd() const override;
+  void close() override;
+  std::string peer() const override;
+
+  /// Fault hooks for chaos testing (client end only).
+  ///
+  /// tearNextWrite: the next writeAll commits its first cell with the
+  /// poison bit set and silently discards the rest of the buffer —
+  /// modelling a writer that died mid-commit.  The server reads the
+  /// poisoned cell as a hard "torn ring cell" error and drops the
+  /// connection.
+  void tearNextWrite();
+
+  /// abandon: this end stops touching the shared segment entirely — no
+  /// close flag, no final wakeup — modelling a crashed writer process.
+  /// The server only learns via its idle-read deadline.  All subsequent
+  /// local ops fail with Error.
+  void abandon();
+
+  struct Impl;
+
+private:
+  friend class ShmListener;
+  friend std::unique_ptr<profserve::Transport>
+  shmConnect(const std::string &Dir, std::string *Error);
+  explicit ShmRingTransport(std::unique_ptr<Impl> I);
+  std::unique_ptr<Impl> I;
+};
+
+/// Accepts shm connections by scanning \p Dir for client-created
+/// segments.  The directory is created if missing.
+class ShmListener : public profserve::Listener {
+public:
+  ~ShmListener() override;
+
+  std::unique_ptr<profserve::Transport> accept() override;
+  void shutdown() override;
+  std::string address() const override;
+
+  struct Impl;
+
+private:
+  friend std::unique_ptr<ShmListener> listenShm(const std::string &Dir,
+                                                std::string *Error);
+  explicit ShmListener(std::unique_ptr<Impl> I);
+  std::unique_ptr<Impl> I;
+};
+
+/// Creates the rendezvous directory (if needed) and returns a listener
+/// over it; nullptr + \p Error on failure.
+std::unique_ptr<ShmListener> listenShm(const std::string &Dir,
+                                       std::string *Error);
+
+/// Client end: creates, initializes and publishes a fresh segment in
+/// \p Dir.  Returns nullptr + \p Error when the directory is unusable.
+/// Note the returned transport is connected as soon as the listener
+/// adopts the segment; bytes written before that simply wait in the ring.
+std::unique_ptr<profserve::Transport> shmConnect(const std::string &Dir,
+                                                 std::string *Error);
+
+/// Dialer over shmConnect, for ProfileClient / chaos harness use.
+profserve::Dialer shmDialer(std::string Dir);
+
+} // namespace shmem
+} // namespace ars
+
+#endif // ARS_SHMEM_SHMRING_H

@@ -43,6 +43,21 @@ void appendFixed64(std::string &Out, uint64_t V);
 /// IEEE 802.3 CRC32 (polynomial 0xEDB88320) of \p Size bytes at \p Data.
 uint32_t crc32(const void *Data, size_t Size);
 
+/// Shared pre-allocation cap for readLengthPrefixed on variable-length
+/// text fields (diagnostics, error strings, names) in the wire protocol
+/// and on-disk formats.
+///
+/// Threat model: the length prefix arrives from an untrusted byte stream
+/// *before* the bytes it describes, so a decoder that trusts it can be
+/// made to reserve gigabytes from a ten-byte frame.  readLengthPrefixed
+/// already refuses lengths beyond the bytes actually present, but a
+/// hostile peer can still legitimately ship a frame-sized string; this
+/// cap bounds what any single human-readable field may claim, far below
+/// the 64 MiB frame payload limit.  Fields with a tighter semantic bound
+/// (e.g. client names) should declare their own stricter limit; this is
+/// the ceiling, not the default.
+constexpr uint64_t MaxLengthPrefixedText = 64u << 10;
+
 /// A bounds-checked cursor over an immutable byte buffer.  Every read
 /// reports success; after the first failure the reader stays failed, so a
 /// parse loop can check once at the end.

@@ -1,0 +1,186 @@
+//===- support/Compress.cpp - ARSZ block compression ----------*- C++ -*-===//
+
+#include "support/Compress.h"
+
+#include "support/Binary.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace ars {
+namespace support {
+
+namespace {
+
+constexpr uint8_t ContainerVersion = 1;
+constexpr uint8_t MethodStored = 0;
+constexpr uint8_t MethodLz = 1;
+
+constexpr size_t MinMatch = 4;
+constexpr size_t MaxDist = 64u << 10;
+constexpr size_t HashBits = 15;
+constexpr size_t HashSize = 1u << HashBits;
+
+uint32_t hash4(const char *P) {
+  uint32_t V;
+  std::memcpy(&V, P, 4);
+  return (V * 2654435761u) >> (32 - HashBits);
+}
+
+/// Greedy hash-head LZ of one block.  Token stream as documented in the
+/// header.  Returns an empty string when the "compressed" form would not
+/// be smaller (caller stores the block verbatim instead).
+std::string lzCompressBlock(const char *Data, size_t Size) {
+  std::string Out;
+  Out.reserve(Size);
+  std::vector<uint32_t> Head(HashSize, UINT32_MAX);
+  size_t Pos = 0, LitStart = 0;
+  auto flushToken = [&](size_t MatchLen, size_t Dist) {
+    appendVarint(Out, Pos - LitStart);
+    Out.append(Data + LitStart, Pos - LitStart);
+    appendVarint(Out, MatchLen);
+    if (MatchLen)
+      appendVarint(Out, Dist);
+  };
+  while (Pos + MinMatch <= Size) {
+    uint32_t H = hash4(Data + Pos);
+    uint32_t Cand = Head[H];
+    Head[H] = static_cast<uint32_t>(Pos);
+    size_t MatchLen = 0;
+    if (Cand != UINT32_MAX && Pos - Cand <= MaxDist &&
+        std::memcmp(Data + Cand, Data + Pos, MinMatch) == 0) {
+      size_t Limit = Size - Pos;
+      MatchLen = MinMatch;
+      while (MatchLen < Limit &&
+             Data[Cand + MatchLen] == Data[Pos + MatchLen])
+        ++MatchLen;
+    }
+    if (MatchLen >= MinMatch) {
+      size_t Dist = Pos - Cand;
+      flushToken(MatchLen, Dist);
+      // Seed the table through the match so later data can reference it.
+      size_t End = Pos + MatchLen;
+      for (size_t P = Pos + 1; P + MinMatch <= End; ++P)
+        Head[hash4(Data + P)] = static_cast<uint32_t>(P);
+      Pos = End;
+      LitStart = Pos;
+      if (Out.size() >= Size)
+        return std::string(); // not shrinking; bail early
+    } else {
+      ++Pos;
+    }
+  }
+  Pos = Size;
+  if (Pos != LitStart || Out.empty())
+    flushToken(0, 0);
+  return Out.size() < Size ? Out : std::string();
+}
+
+bool lzDecompressBlock(const char *Data, size_t Size, size_t RawLen,
+                       std::string *Out) {
+  ByteReader R(Data, Size);
+  size_t Base = Out->size();
+  size_t Produced = 0;
+  while (Produced < RawLen || !R.atEnd()) {
+    uint64_t LitLen = 0;
+    if (!R.readVarint(&LitLen) || LitLen > RawLen - Produced)
+      return false;
+    const char *Lits;
+    if (!R.readBytes(&Lits, static_cast<size_t>(LitLen)))
+      return false;
+    Out->append(Lits, static_cast<size_t>(LitLen));
+    Produced += static_cast<size_t>(LitLen);
+    uint64_t MatchLen = 0;
+    if (!R.readVarint(&MatchLen))
+      return false;
+    if (!MatchLen)
+      continue;
+    uint64_t Dist = 0;
+    if (!R.readVarint(&Dist) || Dist == 0 || Dist > Produced ||
+        MatchLen > RawLen - Produced)
+      return false;
+    // Byte-wise copy: overlapping matches (run encoding) are the point.
+    size_t Src = Out->size() - static_cast<size_t>(Dist);
+    for (uint64_t J = 0; J != MatchLen; ++J)
+      Out->push_back((*Out)[Src + J]);
+    Produced += static_cast<size_t>(MatchLen);
+  }
+  return Produced == RawLen && Out->size() == Base + RawLen;
+}
+
+} // namespace
+
+bool looksCompressed(const std::string &Bytes) {
+  return Bytes.size() >= 4 && std::memcmp(Bytes.data(), "ARSZ", 4) == 0;
+}
+
+std::string compressBlocks(const std::string &Raw) {
+  std::string Out;
+  Out.append("ARSZ", 4);
+  Out.push_back(static_cast<char>(ContainerVersion));
+  size_t Pos = 0;
+  do {
+    size_t N = std::min(static_cast<size_t>(BlockRawBytes),
+                        Raw.size() - Pos);
+    std::string Lz = lzCompressBlock(Raw.data() + Pos, N);
+    appendVarint(Out, N);
+    const char *Payload = Lz.empty() ? Raw.data() + Pos : Lz.data();
+    size_t PayloadLen = Lz.empty() ? N : Lz.size();
+    Out.push_back(static_cast<char>(Lz.empty() ? MethodStored : MethodLz));
+    appendVarint(Out, PayloadLen);
+    Out.append(Payload, PayloadLen);
+    appendFixed32(Out, crc32(Payload, PayloadLen));
+    Pos += N;
+  } while (Pos < Raw.size());
+  return Out;
+}
+
+bool decompressBlocks(const std::string &Framed, std::string *Out,
+                      std::string *Error) {
+  Out->clear();
+  auto Fail = [&](const char *Msg) {
+    *Error = Msg;
+    return false;
+  };
+  if (!looksCompressed(Framed))
+    return Fail("not an ARSZ container");
+  ByteReader R(Framed.data() + 4, Framed.size() - 4);
+  const char *VerByte;
+  if (!R.readBytes(&VerByte, 1))
+    return Fail("truncated ARSZ header");
+  if (static_cast<uint8_t>(*VerByte) != ContainerVersion)
+    return Fail("unsupported ARSZ version");
+  while (!R.atEnd()) {
+    uint64_t RawLen = 0, CompLen = 0;
+    const char *MethodByte;
+    if (!R.readVarint(&RawLen) || RawLen > BlockRawBytes ||
+        !R.readBytes(&MethodByte, 1) || !R.readVarint(&CompLen) ||
+        CompLen > R.remaining())
+      return Fail("truncated or oversized ARSZ block");
+    const char *Payload;
+    if (!R.readBytes(&Payload, static_cast<size_t>(CompLen)))
+      return Fail("truncated ARSZ block payload");
+    uint32_t Crc = 0;
+    if (!R.readFixed32(&Crc))
+      return Fail("truncated ARSZ block CRC");
+    if (Crc != crc32(Payload, static_cast<size_t>(CompLen)))
+      return Fail("ARSZ block CRC mismatch");
+    uint8_t Method = static_cast<uint8_t>(*MethodByte);
+    if (Method == MethodStored) {
+      if (CompLen != RawLen)
+        return Fail("stored ARSZ block length mismatch");
+      Out->append(Payload, static_cast<size_t>(RawLen));
+    } else if (Method == MethodLz) {
+      if (!lzDecompressBlock(Payload, static_cast<size_t>(CompLen),
+                             static_cast<size_t>(RawLen), Out))
+        return Fail("malformed ARSZ token stream");
+    } else {
+      return Fail("unknown ARSZ block method");
+    }
+  }
+  return true;
+}
+
+} // namespace support
+} // namespace ars

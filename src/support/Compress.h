@@ -1,0 +1,60 @@
+//===- support/Compress.h - ARSZ block compression ------------*- C++ -*-===//
+///
+/// \file
+/// A dependency-free LZ77-family block compressor and its "ARSZ" framing
+/// container, used to shrink on-disk profile snapshots (million-session
+/// aggregates are dominated by long runs of near-identical varint
+/// sections).  Not a general-purpose codec: ratios are modest, but the
+/// decoder is small, allocation-bounded, and every block carries its own
+/// CRC so corruption is localized and always detected.
+///
+/// Container layout:
+///
+///   "ARSZ"             magic, 4 bytes
+///   u8    version      (currently 1)
+///   blocks until end of input, each:
+///     varint rawLen    (<= BlockRawBytes — enforced before allocation)
+///     u8     method    (0 = stored, 1 = LZ)
+///     varint compLen
+///     compLen bytes    payload
+///     u32    CRC32     of the payload bytes (little-endian)
+///
+/// LZ payload: a sequence of (litLen varint, literals, matchLen varint,
+/// dist varint) tokens; matchLen 0 terminates literals-only tails, and
+/// matches copy matchLen (>= MinMatch) bytes from dist bytes back in the
+/// output, overlap allowed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_SUPPORT_COMPRESS_H
+#define ARS_SUPPORT_COMPRESS_H
+
+#include <cstdint>
+#include <string>
+
+namespace ars {
+namespace support {
+
+/// Maximum raw bytes per block: bounds the decoder's per-block
+/// allocation no matter what a hostile length prefix claims.
+constexpr uint64_t BlockRawBytes = 256u << 10;
+
+/// Wraps \p Raw in the ARSZ container, compressing each block (blocks
+/// that do not shrink are stored verbatim, so the result is never much
+/// larger than the input).
+std::string compressBlocks(const std::string &Raw);
+
+/// Unwraps an ARSZ container.  Returns false + \p Error on bad magic,
+/// unknown version, truncation, per-block CRC mismatch, or a malformed
+/// token stream — never UB, never unbounded allocation.
+bool decompressBlocks(const std::string &Framed, std::string *Out,
+                      std::string *Error);
+
+/// True when \p Bytes starts with the ARSZ magic (cheap container
+/// auto-detection for loaders).
+bool looksCompressed(const std::string &Bytes);
+
+} // namespace support
+} // namespace ars
+
+#endif // ARS_SUPPORT_COMPRESS_H

@@ -68,6 +68,15 @@ std::vector<std::string> splitString(const std::string &Text, char Sep);
 /// (e.g. base 100, measured 106 -> 6.0).  Returns 0 for a zero base.
 double percentOver(double Base, double Measured);
 
+/// A + B clamped at UINT64_MAX.  Profile counters merge counters from an
+/// unbounded number of sessions; pinning at the ceiling keeps the merge
+/// monoid commutative/associative where wrapping would silently shrink a
+/// hot count to nearly zero.
+constexpr uint64_t saturatingAdd(uint64_t A, uint64_t B) {
+  uint64_t S = A + B;
+  return S < A ? UINT64_MAX : S;
+}
+
 /// Wall-clock stopwatch for host-side measurements (compile-time columns of
 /// Table 2).  Simulated-cycle measurements never use this class.
 class HostTimer {

@@ -24,15 +24,21 @@
 #include "profstore/ProfileAggregator.h"
 #include "profstore/ProfileIO.h"
 #include "profstore/ProfileStore.h"
+#include "profstore/Summary.h"
 #include "support/Binary.h"
+#include "support/Compress.h"
 #include "workloads/Workloads.h"
 
 #include "TestUtil.h"
 
 #include <climits>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <gtest/gtest.h>
+#include <iterator>
+#include <vector>
 
 namespace {
 
@@ -587,6 +593,406 @@ TEST(ProfStoreEdge, BundleAtFrameCapBoundaryEncodesPredictably) {
     EXPECT_GT(Once.size(), PrevSize);
     PrevSize = Once.size();
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Value-counter saturation (support::saturatingAdd in profile/Profiles.cpp)
+//===----------------------------------------------------------------------===//
+
+TEST(ProfStoreSaturation, ValueCountersSaturateAtCeiling) {
+  profile::ValueProfile P;
+  P.record(1, 7, UINT64_MAX - 2);
+  P.record(1, 7, 100); // would wrap; must pin at the ceiling
+  EXPECT_EQ(P.sites().at(1).at(7), UINT64_MAX);
+
+  // Fill a second site to the cap, then pour mass into its overflow
+  // bucket until that saturates too.
+  for (size_t V = 0; V != profile::ValueProfile::MaxValuesPerSite; ++V)
+    P.record(2, static_cast<int64_t>(V), 1);
+  P.record(2, 9999, UINT64_MAX - 1);
+  P.record(2, 9999, 5);
+  EXPECT_EQ(P.overflow(2), UINT64_MAX);
+
+  P.addOverflow(3, UINT64_MAX - 3);
+  P.addOverflow(3, UINT64_MAX);
+  EXPECT_EQ(P.overflow(3), UINT64_MAX);
+  EXPECT_EQ(P.total(), UINT64_MAX);
+
+  profile::ValueProfile Q;
+  Q.add(4, -8, UINT64_MAX);
+  Q.add(4, -8, UINT64_MAX);
+  EXPECT_EQ(Q.sites().at(4).at(-8), UINT64_MAX);
+}
+
+TEST(ProfStoreSaturation, OverflowAndExactCollisionOnMergeSaturates) {
+  // A session that saw value 5 exactly collides on merge with a session
+  // where the same site's mass went to the overflow bucket; both the
+  // exact bucket and the overflow bucket must saturate (not wrap), and
+  // the result must not depend on merge order.
+  profile::ProfileBundle A, B;
+  A.Values.add(9, 5, UINT64_MAX - 100);
+  A.Values.addOverflow(9, UINT64_MAX - 50);
+  B.Values.add(9, 5, 200);
+  B.Values.addOverflow(9, 200);
+
+  profile::ProfileBundle AB = A, BA = B;
+  profstore::mergeBundle(AB, B);
+  profstore::mergeBundle(BA, A);
+  EXPECT_EQ(profile::serializeBundle(AB), profile::serializeBundle(BA));
+  EXPECT_EQ(AB.Values.sites().at(9).at(5), UINT64_MAX);
+  EXPECT_EQ(AB.Values.overflow(9), UINT64_MAX);
+  // Saturated counters still round-trip the v1 format bit-identically.
+  EXPECT_EQ(roundTripped(AB), profile::serializeBundle(AB));
+}
+
+//===----------------------------------------------------------------------===//
+// Bounded summaries (profstore/Summary.h)
+//===----------------------------------------------------------------------===//
+
+uint64_t nextRand(uint64_t &State) {
+  State ^= State << 13;
+  State ^= State >> 7;
+  State ^= State << 17;
+  return State;
+}
+
+/// Random bundle over a deliberately small key space so independently
+/// seeded bundles collide on keys and merges exercise the count-summing
+/// paths, not just disjoint unions.  At most 256 distinct call edges and
+/// 41 distinct values per site, so K = 1024 never prunes.
+profile::ProfileBundle randomSummaryInput(uint64_t Seed) {
+  uint64_t S = Seed * 0x9E3779B97F4A7C15ull + 1;
+  profile::ProfileBundle B;
+  int Edges = 20 + static_cast<int>(nextRand(S) % 40);
+  for (int I = 0; I != Edges; ++I) {
+    int Caller = static_cast<int>(nextRand(S) % 8);
+    int Site = static_cast<int>(nextRand(S) % 4);
+    int Callee = static_cast<int>(nextRand(S) % 8);
+    B.CallEdges.record(edge(Caller, Site, Callee),
+                       1 + nextRand(S) % 1000);
+  }
+  int ValueOps = 30 + static_cast<int>(nextRand(S) % 50);
+  for (int I = 0; I != ValueOps; ++I) {
+    uint64_t Site = 1 + nextRand(S) % 5;
+    int64_t Value = static_cast<int64_t>(nextRand(S) % 41) - 20;
+    B.Values.record(Site, Value, 1 + nextRand(S) % 100);
+  }
+  B.Values.addOverflow(2, nextRand(S) % 64);
+  return B;
+}
+
+std::string summaryBytes(const profstore::ProfileSummary &S) {
+  return profstore::encodeSummary(S, 0xfeedULL);
+}
+
+/// The documented one-sided error contract, checked against the exact
+/// fold: exact <= estimate <= exact + Floor for every key that exists,
+/// Floor <= mass / (K + 1), and lossless side data (totals, overflow).
+void expectSummaryBounds(const profstore::ProfileSummary &S,
+                         const profile::ProfileBundle &Exact,
+                         uint32_t K) {
+  for (const auto &[Key, Count] : Exact.CallEdges.counts()) {
+    uint64_t Est = S.CallEdges.estimate(Key);
+    EXPECT_GE(Est, Count) << "under-count: edge " << Key.Caller << "/"
+                          << Key.Site << "/" << Key.Callee;
+    EXPECT_LE(Est, Count + S.CallEdges.TopK.Floor);
+  }
+  EXPECT_LE(S.CallEdges.TopK.Floor, S.CallEdges.Total / (K + 1));
+  EXPECT_EQ(S.CallEdges.Total, Exact.CallEdges.total());
+  for (const auto &[Site, Table] : Exact.Values.sites()) {
+    auto It = S.Values.find(Site);
+    ASSERT_NE(It, S.Values.end()) << "site " << Site << " missing";
+    uint64_t SiteMass = 0;
+    for (const auto &[Value, Count] : Table) {
+      SiteMass += Count;
+      uint64_t Est = It->second.SS.estimate(Value);
+      EXPECT_GE(Est, Count)
+          << "under-count: site " << Site << " value " << Value;
+      EXPECT_LE(Est, Count + It->second.SS.Floor);
+    }
+    EXPECT_LE(It->second.SS.Floor, SiteMass / (K + 1));
+    EXPECT_EQ(It->second.Overflow, Exact.Values.overflow(Site));
+  }
+}
+
+TEST(SummaryAlgebra, MergeIsByteExactCommutative) {
+  for (uint32_t K : {4u, 64u, 1024u}) {
+    profstore::ProfileSummary SA =
+        profstore::summarizeBundle(randomSummaryInput(1), K);
+    profstore::ProfileSummary SB =
+        profstore::summarizeBundle(randomSummaryInput(2), K);
+    profstore::ProfileSummary AB = SA, BA = SB;
+    ASSERT_TRUE(profstore::mergeSummary(AB, SB));
+    ASSERT_TRUE(profstore::mergeSummary(BA, SA));
+    EXPECT_EQ(summaryBytes(AB), summaryBytes(BA)) << "K = " << K;
+  }
+}
+
+TEST(SummaryAlgebra, SketchMergeIsByteExactAssociative) {
+  // The count-min cells and all scalar totals merge cell-wise, so even
+  // at a K small enough that top-K pruning fires (where the retained
+  // *list* is only semantically associative), the sketch half must be
+  // byte-identical across association orders.
+  const uint32_t K = 4;
+  std::vector<profstore::ProfileSummary> S;
+  for (uint64_t Seed = 1; Seed != 4; ++Seed)
+    S.push_back(profstore::summarizeBundle(randomSummaryInput(Seed), K));
+  profstore::ProfileSummary L = S[0], LR = S[1], R = S[0];
+  ASSERT_TRUE(profstore::mergeSummary(L, S[1]));
+  ASSERT_TRUE(profstore::mergeSummary(L, S[2]));
+  ASSERT_TRUE(profstore::mergeSummary(LR, S[2]));
+  ASSERT_TRUE(profstore::mergeSummary(R, LR));
+  EXPECT_EQ(L.CallEdges.Cells, R.CallEdges.Cells);
+  EXPECT_EQ(L.CallEdges.Total, R.CallEdges.Total);
+  EXPECT_EQ(L.ValuesTotal, R.ValuesTotal);
+}
+
+TEST(SummaryAlgebra, MergeIsFullyByteExactWithoutPruning) {
+  // K = 1024 exceeds every distinct-key count randomSummaryInput can
+  // produce, so no prune triggers and the whole summary — not just the
+  // sketch — is byte-exact associative AND equal to summarizing the
+  // exact fold directly.
+  const uint32_t K = 1024;
+  profile::ProfileBundle Fold;
+  std::vector<profstore::ProfileSummary> S;
+  for (uint64_t Seed = 1; Seed != 4; ++Seed) {
+    profile::ProfileBundle B = randomSummaryInput(Seed);
+    profstore::mergeBundle(Fold, B);
+    S.push_back(profstore::summarizeBundle(B, K));
+  }
+  profstore::ProfileSummary L = S[0], LR = S[1], R = S[0];
+  ASSERT_TRUE(profstore::mergeSummary(L, S[1]));
+  ASSERT_TRUE(profstore::mergeSummary(L, S[2]));
+  ASSERT_TRUE(profstore::mergeSummary(LR, S[2]));
+  ASSERT_TRUE(profstore::mergeSummary(R, LR));
+  EXPECT_EQ(summaryBytes(L), summaryBytes(R));
+  EXPECT_EQ(summaryBytes(L),
+            summaryBytes(profstore::summarizeBundle(Fold, K)));
+}
+
+TEST(SummaryAlgebra, NeverUnderCountsForAnyMergeTreeAndK) {
+  // The acceptance-gate property: for K in {4, 64, 1024} and arbitrary
+  // merge trees over 8 summaries, every estimate is a one-sided upper
+  // bound on the exact fold and the floor obeys mass / (K + 1).
+  const int N = 8;
+  profile::ProfileBundle Exact;
+  std::vector<profile::ProfileBundle> Inputs;
+  for (uint64_t Seed = 10; Seed != 10 + N; ++Seed) {
+    Inputs.push_back(randomSummaryInput(Seed));
+    profstore::mergeBundle(Exact, Inputs.back());
+  }
+  uint64_t Rng = 0xD1B54A32D192ED03ull;
+  for (uint32_t K : {4u, 64u, 1024u}) {
+    for (int Trial = 0; Trial != 5; ++Trial) {
+      std::vector<profstore::ProfileSummary> Parts;
+      for (const profile::ProfileBundle &B : Inputs)
+        Parts.push_back(profstore::summarizeBundle(B, K));
+      // Random binary merge tree: repeatedly merge a random pair until
+      // one summary remains.
+      while (Parts.size() > 1) {
+        size_t A = nextRand(Rng) % Parts.size();
+        size_t B = nextRand(Rng) % (Parts.size() - 1);
+        if (B >= A)
+          ++B;
+        std::string Err;
+        ASSERT_TRUE(profstore::mergeSummary(Parts[A], Parts[B], &Err))
+            << Err;
+        Parts.erase(Parts.begin() + static_cast<std::ptrdiff_t>(B));
+      }
+      expectSummaryBounds(Parts[0], Exact, K);
+    }
+  }
+}
+
+TEST(SummaryAlgebra, GeometryMismatchIsRejectedAndEmptyIsIdentity) {
+  profstore::ProfileSummary S4 =
+      profstore::summarizeBundle(randomSummaryInput(1), 4);
+  profstore::ProfileSummary S64 =
+      profstore::summarizeBundle(randomSummaryInput(1), 64);
+  std::string Err;
+  EXPECT_FALSE(profstore::mergeSummary(S4, S64, &Err));
+  EXPECT_NE(Err.find("mismatch"), std::string::npos) << Err;
+
+  profstore::ProfileSummary Empty;
+  std::string Before = summaryBytes(S64);
+  ASSERT_TRUE(profstore::mergeSummary(S64, Empty)); // right identity
+  EXPECT_EQ(summaryBytes(S64), Before);
+  ASSERT_TRUE(profstore::mergeSummary(Empty, S64)); // left: adopts
+  EXPECT_EQ(summaryBytes(Empty), Before);
+}
+
+TEST(SummaryFormat, EncodeDecodeRoundTripsByteExactly) {
+  profstore::ProfileSummary S =
+      profstore::summarizeBundle(randomSummaryInput(3), 8);
+  std::string Bytes = profstore::encodeSummary(S, 0x1234);
+  profstore::SummaryDecodeResult R =
+      profstore::decodeSummary(Bytes, 0x1234);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Fingerprint, 0x1234u);
+  EXPECT_EQ(profstore::encodeSummary(R.Summary, R.Fingerprint), Bytes);
+
+  profstore::SummaryDecodeResult Wrong =
+      profstore::decodeSummary(Bytes, 0x9999);
+  ASSERT_FALSE(Wrong.Ok);
+  EXPECT_NE(Wrong.Error.find("fingerprint"), std::string::npos);
+}
+
+TEST(SummaryFormat, EveryByteFlipAndTruncationIsRejected) {
+  profstore::ProfileSummary S =
+      profstore::summarizeBundle(randomSummaryInput(4), 4);
+  std::string Bytes = profstore::encodeSummary(S, 1);
+  for (size_t I = 0; I != Bytes.size(); ++I) {
+    std::string Bad = Bytes;
+    Bad[I] = static_cast<char>(Bad[I] ^ 0x40);
+    EXPECT_FALSE(profstore::decodeSummary(Bad).Ok) << "flip at " << I;
+  }
+  for (size_t Len : {size_t(0), size_t(3), size_t(15), size_t(19),
+                     Bytes.size() - 1})
+    EXPECT_FALSE(profstore::decodeSummary(Bytes.substr(0, Len)).Ok)
+        << "truncated to " << Len;
+}
+
+TEST(SummaryFormat, UnknownSectionsAreSkipped) {
+  // A reader must skip section kinds it does not know — that is the
+  // point of the tagged, length-prefixed v2 layout.  Splice a junk
+  // section in front of the real ones and expect an identical decode.
+  profstore::ProfileSummary S =
+      profstore::summarizeBundle(randomSummaryInput(5), 8);
+  std::string Bytes = profstore::encodeSummary(S, 1);
+  // Layout: header(16) + varint sectionCount + sections + crc(4).  The
+  // section count 2 encodes in one byte.
+  ASSERT_EQ(Bytes[16], 2);
+  std::string Patched = Bytes.substr(0, 16);
+  Patched.push_back(3); // section count
+  Patched.push_back(0x7f); // unknown kind
+  support::appendVarint(Patched, 5);
+  Patched.append("JUNK!", 5);
+  Patched.append(Bytes.substr(17, Bytes.size() - 17 - 4));
+  Patched.append(4, '\0');
+  restampCrc(Patched);
+  profstore::SummaryDecodeResult R = profstore::decodeSummary(Patched);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(profstore::encodeSummary(R.Summary, R.Fingerprint), Bytes);
+}
+
+TEST(SummaryFormat, SaveLoadRoundTripsRawAndCompressed) {
+  profstore::ProfileSummary S =
+      profstore::summarizeBundle(randomSummaryInput(6), 16);
+  std::string Raw = ::testing::TempDir() + "summary_raw.arsp";
+  std::string Comp = ::testing::TempDir() + "summary_comp.arsp";
+  std::string Err;
+  ASSERT_TRUE(profstore::saveSummary(Raw, S, 7, &Err, false)) << Err;
+  ASSERT_TRUE(profstore::saveSummary(Comp, S, 7, &Err, true)) << Err;
+
+  for (const std::string &Path : {Raw, Comp}) {
+    profstore::SummaryDecodeResult R = profstore::loadSummary(Path, 7);
+    ASSERT_TRUE(R.Ok) << Path << ": " << R.Error;
+    EXPECT_EQ(profstore::encodeSummary(R.Summary, 7),
+              profstore::encodeSummary(S, 7));
+  }
+  // The compressed flavor is a genuine ARSZ container on disk.
+  std::ifstream In(Comp, std::ios::binary);
+  std::string OnDisk((std::istreambuf_iterator<char>(In)),
+                     std::istreambuf_iterator<char>());
+  EXPECT_TRUE(support::looksCompressed(OnDisk));
+  std::remove(Raw.c_str());
+  std::remove(Comp.c_str());
+}
+
+TEST(ProfileAggregator, DrainSummaryMatchesFoldAtLargeK) {
+  // At a K no prune can reach, stripe-by-stripe summarize-and-merge must
+  // be byte-identical to summarizing the exact drain — and must leave
+  // the aggregator empty, same epoch semantics as drain().
+  profstore::ProfileAggregator Agg(4);
+  profile::ProfileBundle Exact;
+  for (uint64_t I = 0; I != 8; ++I) {
+    profile::ProfileBundle B = randomSummaryInput(100 + I);
+    profstore::mergeBundle(Exact, B);
+    Agg.flush(I, B);
+  }
+  profstore::ProfileSummary S = Agg.drainSummary(1024);
+  EXPECT_EQ(summaryBytes(S),
+            summaryBytes(profstore::summarizeBundle(Exact, 1024)));
+  EXPECT_EQ(profile::serializeBundle(Agg.merged()),
+            profile::serializeBundle(profile::ProfileBundle()));
+  EXPECT_EQ(Agg.flushes(), 8u);
+}
+
+TEST(ProfileAggregator, DrainSummaryBoundsHoldAtSmallK) {
+  profstore::ProfileAggregator Agg(3);
+  profile::ProfileBundle Exact;
+  for (uint64_t I = 0; I != 8; ++I) {
+    profile::ProfileBundle B = randomSummaryInput(200 + I);
+    profstore::mergeBundle(Exact, B);
+    Agg.flush(I, B);
+  }
+  expectSummaryBounds(Agg.drainSummary(4), Exact, 4);
+}
+
+//===----------------------------------------------------------------------===//
+// ARSZ block compression (support/Compress.h)
+//===----------------------------------------------------------------------===//
+
+std::string arszRoundTrip(const std::string &Raw) {
+  std::string Framed = support::compressBlocks(Raw);
+  EXPECT_TRUE(support::looksCompressed(Framed));
+  std::string Out, Err;
+  EXPECT_TRUE(support::decompressBlocks(Framed, &Out, &Err)) << Err;
+  return Out;
+}
+
+TEST(ArszContainer, RoundTripsEmptyCompressibleAndIncompressible) {
+  EXPECT_EQ(arszRoundTrip(""), "");
+
+  // ~600 KiB of periodic text: spans three 256 KiB blocks and must
+  // actually shrink.
+  std::string Periodic;
+  while (Periodic.size() < 600u << 10)
+    Periodic += "callEdge 17 -> 23 count 4096; ";
+  EXPECT_EQ(arszRoundTrip(Periodic), Periodic);
+  EXPECT_LT(support::compressBlocks(Periodic).size(),
+            Periodic.size() / 2);
+
+  // ~300 KiB of PRNG bytes: incompressible, so blocks are stored
+  // verbatim and the container adds only bounded framing overhead.
+  std::string Noise(300u << 10, '\0');
+  uint64_t S = 42;
+  for (char &C : Noise)
+    C = static_cast<char>(nextRand(S));
+  EXPECT_EQ(arszRoundTrip(Noise), Noise);
+  EXPECT_LT(support::compressBlocks(Noise).size(), Noise.size() + 1024);
+}
+
+TEST(ArszContainer, CorruptionAndTruncationAreDetected) {
+  std::string Raw;
+  uint64_t S = 7;
+  for (int I = 0; I != 5000; ++I) {
+    Raw += "block ";
+    Raw += std::to_string(nextRand(S) % 1000);
+  }
+  std::string Framed = support::compressBlocks(Raw);
+  // One bit flipped anywhere — magic, lengths, payload, CRC — must fail
+  // decode; sample a spread of offsets instead of all of them.
+  for (size_t I : {size_t(0), size_t(4), size_t(5), size_t(8),
+                   Framed.size() / 2, Framed.size() - 2}) {
+    std::string Bad = Framed;
+    Bad[I] = static_cast<char>(Bad[I] ^ 0x01);
+    std::string Out, Err;
+    EXPECT_FALSE(support::decompressBlocks(Bad, &Out, &Err))
+        << "flip at " << I;
+    EXPECT_FALSE(Err.empty());
+  }
+  // Note size 5 is absent: a bare "ARSZ" + version header is a valid
+  // *empty* container (it is what compressBlocks("") shrinks to), so the
+  // smallest must-fail truncation cuts into the first block header.
+  for (size_t Len : {size_t(0), size_t(3), size_t(6), Framed.size() - 1}) {
+    std::string Out, Err;
+    EXPECT_FALSE(
+        support::decompressBlocks(Framed.substr(0, Len), &Out, &Err))
+        << "truncated to " << Len;
+  }
+  std::string Out, Err;
+  EXPECT_FALSE(support::decompressBlocks(Raw, &Out, &Err)); // no magic
 }
 
 } // namespace

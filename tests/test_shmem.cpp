@@ -1,0 +1,427 @@
+//===- tests/test_shmem.cpp - Shared-memory ring transport ----*- C++ -*-===//
+///
+/// The same-host transport's contracts, bottom up:
+///
+///   * Ring mechanics: bytes round-trip both directions, transfers far
+///     larger than the ring wrap correctly, empty-ring reads time out,
+///     close() unblocks a parked reader, and a peer's close drains
+///     buffered bytes before reporting Eof.
+///   * Rendezvous: the listener sweeps stale segment files on startup and
+///     adopts only fully-published segments.
+///   * Service integration: a ProfileServer behind ShmListener merges
+///     concurrent shm pushers byte-identically to the serial fold — the
+///     whole wire protocol (HELLO, batching, dedup) rides the ring
+///     unchanged.
+///   * Chaos: the ring-only fault shapes — a cell poisoned mid-commit
+///     (torn write) and a writer that vanishes without closing (crashed
+///     writer) — are survived with exactly-once merging, and seeded shm
+///     chaos runs replay deterministically.
+///
+/// Every suite is named Shmem so scripts/check.sh --tsan can pick up the
+/// file with a single Shmem.* filter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "faultinject/Chaos.h"
+#include "faultinject/FaultInject.h"
+#include "profserve/Client.h"
+#include "profserve/Server.h"
+#include "profstore/ProfileIO.h"
+#include "profstore/ProfileStore.h"
+#include "shmem/ShmRing.h"
+#include "support/Support.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+namespace {
+
+using namespace ars;
+using namespace ars::shmem;
+using profserve::ClientConfig;
+using profserve::ClientResult;
+using profserve::IoResult;
+using profserve::IoStatus;
+using profserve::ProfileClient;
+using profserve::ProfileServer;
+using profserve::ServerConfig;
+using profserve::Transport;
+
+constexpr uint64_t Fp = 0xabcdef0123456789ULL;
+
+/// A fresh rendezvous directory per test, so stale segments from one
+/// test can never be adopted by another's listener.
+std::string freshDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "shmem_" + Name;
+  ::mkdir(Dir.c_str(), 0755);
+  return Dir;
+}
+
+profile::ProfileBundle shard(int Seed) {
+  profile::ProfileBundle B;
+  profile::CallEdgeKey K;
+  K.Caller = Seed % 5;
+  K.Site = Seed % 3;
+  K.Callee = (Seed + 1) % 7;
+  B.CallEdges.record(K, static_cast<uint64_t>(Seed) * 37 + 1);
+  B.FieldAccesses.record(Seed % 4, static_cast<uint64_t>(Seed) + 2);
+  B.Values.record(9, Seed % 8, static_cast<uint64_t>(Seed) + 5);
+  return B;
+}
+
+std::string serialFold(int Shards) {
+  profile::ProfileBundle Acc;
+  for (int I = 0; I != Shards; ++I)
+    profstore::mergeBundle(Acc, shard(I));
+  return profstore::encodeBundle(Acc, Fp);
+}
+
+/// A connected (client end, server end) pair over a fresh directory.
+struct RingPair {
+  std::string Dir;
+  std::unique_ptr<ShmListener> L;
+  std::unique_ptr<Transport> Client;
+  std::unique_ptr<Transport> Server;
+};
+
+RingPair makePair(const std::string &Name) {
+  RingPair P;
+  P.Dir = freshDir(Name);
+  std::string Err;
+  P.L = listenShm(P.Dir, &Err);
+  EXPECT_NE(P.L, nullptr) << Err;
+  if (!P.L)
+    return P;
+  P.Client = shmConnect(P.Dir, &Err);
+  EXPECT_NE(P.Client, nullptr) << Err;
+  P.Server = P.L->accept(); // blocks until the published segment appears
+  EXPECT_NE(P.Server, nullptr);
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Ring mechanics
+//===----------------------------------------------------------------------===//
+
+TEST(Shmem, SegmentGeometry) {
+  EXPECT_EQ(segmentBytes(),
+            4096u + 2u * static_cast<size_t>(CellCount) * CellSize);
+  EXPECT_EQ(CellPayload + 16u, CellSize);
+}
+
+TEST(Shmem, RoundTripBothDirections) {
+  RingPair P = makePair("roundtrip");
+  ASSERT_TRUE(P.Client && P.Server);
+
+  ASSERT_TRUE(P.Client->writeAll("ping", 4).ok());
+  char Buf[16];
+  size_t N = 0;
+  ASSERT_TRUE(P.Server->readSome(Buf, sizeof(Buf), 2000, &N).ok());
+  EXPECT_EQ(std::string(Buf, N), "ping");
+
+  ASSERT_TRUE(P.Server->writeAll("pong!", 5).ok());
+  ASSERT_TRUE(P.Client->readSome(Buf, sizeof(Buf), 2000, &N).ok());
+  EXPECT_EQ(std::string(Buf, N), "pong!");
+}
+
+TEST(Shmem, LargeTransferWrapsRing) {
+  RingPair P = makePair("wrap");
+  ASSERT_TRUE(P.Client && P.Server);
+
+  // ~4x the ring capacity, so the producer must block on space and every
+  // cell is reused several times; content is position-dependent so any
+  // reorder, loss or duplication shows up in the comparison.
+  std::string Sent(4u * CellCount * CellPayload + 12345, '\0');
+  support::Xorshift64 Rng(42);
+  for (char &C : Sent)
+    C = static_cast<char>(Rng.next());
+
+  std::thread Writer([&] {
+    EXPECT_TRUE(P.Client->writeAll(Sent.data(), Sent.size()).ok());
+  });
+  std::string Got(Sent.size(), '\0');
+  IoResult R = P.Server->readAll(&Got[0], Got.size(), 10000, nullptr);
+  Writer.join();
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_TRUE(Got == Sent) << "payload corrupted crossing the ring";
+}
+
+TEST(Shmem, EmptyRingReadTimesOut) {
+  RingPair P = makePair("timeout");
+  ASSERT_TRUE(P.Client && P.Server);
+  char Buf[8];
+  size_t N = 7;
+  IoResult R = P.Client->readSome(Buf, sizeof(Buf), 50, &N);
+  EXPECT_EQ(R.Status, IoStatus::Timeout);
+  EXPECT_EQ(N, 0u);
+}
+
+TEST(Shmem, CloseUnblocksBlockedReader) {
+  RingPair P = makePair("unblock");
+  ASSERT_TRUE(P.Client && P.Server);
+  std::atomic<bool> Done{false};
+  std::thread Reader([&] {
+    char Buf[8];
+    size_t N = 0;
+    IoResult R = P.Client->readSome(Buf, sizeof(Buf), 30000, &N);
+    EXPECT_NE(R.Status, IoStatus::Ok);
+    Done.store(true);
+  });
+  // Give the reader time to park on the futex, then close locally: the
+  // reader must come back without waiting out its 30s budget.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  P.Client->close();
+  Reader.join();
+  EXPECT_TRUE(Done.load());
+}
+
+TEST(Shmem, PeerCloseDrainsBufferedBytesThenEof) {
+  RingPair P = makePair("drain");
+  ASSERT_TRUE(P.Client && P.Server);
+  ASSERT_TRUE(P.Client->writeAll("tail", 4).ok());
+  P.Client->close();
+  char Buf[8];
+  size_t N = 0;
+  ASSERT_TRUE(P.Server->readSome(Buf, sizeof(Buf), 2000, &N).ok());
+  EXPECT_EQ(std::string(Buf, N), "tail"); // buffered data outlives close
+  IoResult R = P.Server->readSome(Buf, sizeof(Buf), 2000, &N);
+  EXPECT_TRUE(R.Status == IoStatus::Eof || R.Status == IoStatus::Closed);
+}
+
+//===----------------------------------------------------------------------===//
+// Rendezvous
+//===----------------------------------------------------------------------===//
+
+TEST(Shmem, ListenerSweepsStaleSegmentFiles) {
+  std::string Dir = freshDir("sweep");
+  for (const char *Name : {"/dead.arsm", "/dead.bell", "/half.arsm.tmp"}) {
+    std::ofstream Out(Dir + Name, std::ios::binary);
+    Out << "stale";
+  }
+  std::string Err;
+  std::unique_ptr<ShmListener> L = listenShm(Dir, &Err);
+  ASSERT_NE(L, nullptr) << Err;
+  struct stat St;
+  EXPECT_NE(::stat((Dir + "/dead.arsm").c_str(), &St), 0);
+  EXPECT_NE(::stat((Dir + "/dead.bell").c_str(), &St), 0);
+  EXPECT_NE(::stat((Dir + "/half.arsm.tmp").c_str(), &St), 0);
+}
+
+TEST(Shmem, AdoptedSegmentFilesAreUnlinked) {
+  RingPair P = makePair("unlink");
+  ASSERT_TRUE(P.Client && P.Server);
+  // After adoption the directory holds no files: the mappings keep the
+  // segment alive, so a crashed process leaks nothing on disk.
+  ::DIR *D = ::opendir(P.Dir.c_str());
+  ASSERT_NE(D, nullptr);
+  int Entries = 0;
+  while (struct dirent *E = ::readdir(D))
+    if (E->d_name[0] != '.')
+      ++Entries;
+  ::closedir(D);
+  EXPECT_EQ(Entries, 0) << "segment files survived adoption";
+}
+
+//===----------------------------------------------------------------------===//
+// Service integration: the full wire protocol over the ring
+//===----------------------------------------------------------------------===//
+
+ServerConfig shmServerConfig() {
+  ServerConfig C;
+  C.Workers = 2;
+  C.RecvTimeoutMs = 2000;
+  C.Fingerprint = Fp;
+  return C;
+}
+
+TEST(Shmem, ServerMergesConcurrentShmPushers) {
+  std::string Dir = freshDir("serve");
+  std::string Err;
+  std::unique_ptr<ShmListener> L = listenShm(Dir, &Err);
+  ASSERT_NE(L, nullptr) << Err;
+  ProfileServer Server(std::move(L), shmServerConfig());
+  Server.start();
+
+  constexpr int Pushers = 4, PerPusher = 8;
+  std::vector<std::thread> Threads;
+  std::atomic<int> Failures{0};
+  for (int I = 0; I != Pushers; ++I)
+    Threads.emplace_back([&, I] {
+      ClientConfig CC;
+      CC.Fingerprint = Fp;
+      CC.SessionId = static_cast<uint64_t>(100 + I);
+      ProfileClient C(shmDialer(Dir), CC);
+      for (int J = 0; J != PerPusher; ++J)
+        if (!C.push(shard(I * PerPusher + J), Fp).Ok)
+          Failures.fetch_add(1);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_EQ(Server.stats().Merges,
+            static_cast<uint64_t>(Pushers) * PerPusher);
+
+  // Pull through a clean shm client: the (multi-cell) merged bundle must
+  // be byte-identical to the serial fold.
+  ClientConfig CC;
+  CC.Fingerprint = Fp;
+  ProfileClient Clean(shmDialer(Dir), CC);
+  ProfileClient::PullResult P = Clean.pull();
+  ASSERT_TRUE(P.Ok) << P.Error;
+  EXPECT_EQ(P.RawBytes, serialFold(Pushers * PerPusher));
+  Server.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Ring-only faults
+//===----------------------------------------------------------------------===//
+
+TEST(Shmem, TornCellSurfacesAsHardReadError) {
+  RingPair P = makePair("torn");
+  ASSERT_TRUE(P.Client && P.Server);
+  auto *Ring = dynamic_cast<ShmRingTransport *>(P.Client.get());
+  ASSERT_NE(Ring, nullptr);
+  Ring->tearNextWrite();
+  // The producer sees success — it "died" after this commit — but the
+  // consumer must refuse the poisoned cell as corruption, not data.
+  EXPECT_TRUE(P.Client->writeAll("doomed", 6).ok());
+  char Buf[8];
+  size_t N = 0;
+  IoResult R = P.Server->readSome(Buf, sizeof(Buf), 2000, &N);
+  EXPECT_EQ(R.Status, IoStatus::Error);
+  EXPECT_NE(R.Message.find("torn"), std::string::npos) << R.Message;
+}
+
+TEST(Shmem, AbandonedEndFailsLocallyWithoutTouchingSharedState) {
+  RingPair P = makePair("abandon");
+  ASSERT_TRUE(P.Client && P.Server);
+  auto *Ring = dynamic_cast<ShmRingTransport *>(P.Client.get());
+  ASSERT_NE(Ring, nullptr);
+  Ring->abandon();
+  EXPECT_EQ(P.Client->writeAll("x", 1).Status, IoStatus::Error);
+  // No close flag was set, so the server sees silence, not Eof — exactly
+  // a crashed writer.  (The reactor's idle deadline is what reaps it.)
+  char Buf[8];
+  size_t N = 0;
+  EXPECT_EQ(P.Server->readSome(Buf, sizeof(Buf), 100, &N).Status,
+            IoStatus::Timeout);
+}
+
+/// A plan whose ONLY fault is one ring event, so the recovery path under
+/// test fires exactly once and the run is otherwise clean.
+faultinject::FaultPlan oneRingFaultPlan(bool Tear) {
+  faultinject::FaultPlan Plan;
+  Plan.DropPct = Plan.PartialWritePct = Plan.BitFlipPct = 0;
+  Plan.LatencyPct = 0;
+  Plan.RingTearPct = Tear ? 100 : 0;
+  Plan.RingAbandonPct = Tear ? 0 : 100;
+  Plan.MaxFaults = 1;
+  return Plan;
+}
+
+TEST(Shmem, TornPushRetriesToExactlyOneMerge) {
+  std::string Dir = freshDir("tear_e2e");
+  std::string Err;
+  std::unique_ptr<ShmListener> L = listenShm(Dir, &Err);
+  ASSERT_NE(L, nullptr) << Err;
+  ServerConfig SC = shmServerConfig();
+  SC.RecvTimeoutMs = 500; // reap the connection the tear killed
+  ProfileServer Server(std::move(L), SC);
+  Server.start();
+
+  auto Faults = std::make_shared<faultinject::FaultStream>(
+      oneRingFaultPlan(/*Tear=*/true), /*Seed=*/1, /*Key=*/1, "tear");
+  ClientConfig CC;
+  CC.Fingerprint = Fp;
+  CC.TimeoutMs = 500;
+  CC.MaxRetries = 4;
+  CC.BackoffMs = 1;
+  ProfileClient C(faultinject::faultyDialer(shmDialer(Dir), Faults), CC);
+  EXPECT_TRUE(C.push(shard(0), Fp).Ok);
+
+  EXPECT_NE(Faults->trace().find("ring-tear"), std::string::npos)
+      << Faults->trace();
+  EXPECT_EQ(Server.stats().Merges, 1u);
+  EXPECT_EQ(profile::serializeBundle(Server.merged()),
+            profile::serializeBundle(shard(0)));
+  Server.stop();
+}
+
+TEST(Shmem, CrashedWriterIsReapedAndRetrySucceeds) {
+  std::string Dir = freshDir("abandon_e2e");
+  std::string Err;
+  std::unique_ptr<ShmListener> L = listenShm(Dir, &Err);
+  ASSERT_NE(L, nullptr) << Err;
+  ServerConfig SC = shmServerConfig();
+  SC.RecvTimeoutMs = 300; // the ONLY way the server learns of the crash
+  ProfileServer Server(std::move(L), SC);
+  Server.start();
+
+  auto Faults = std::make_shared<faultinject::FaultStream>(
+      oneRingFaultPlan(/*Tear=*/false), /*Seed=*/1, /*Key=*/1, "crash");
+  ClientConfig CC;
+  CC.Fingerprint = Fp;
+  CC.TimeoutMs = 500;
+  CC.MaxRetries = 4;
+  CC.BackoffMs = 1;
+  ProfileClient C(faultinject::faultyDialer(shmDialer(Dir), Faults), CC);
+  EXPECT_TRUE(C.push(shard(3), Fp).Ok);
+
+  EXPECT_NE(Faults->trace().find("ring-abandon"), std::string::npos)
+      << Faults->trace();
+  EXPECT_EQ(Server.stats().Merges, 1u);
+  Server.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Chaos over shm
+//===----------------------------------------------------------------------===//
+
+faultinject::ChaosConfig shmChaos() {
+  faultinject::ChaosConfig C;
+  C.Clients = 3;
+  C.ShardsPerClient = 3;
+  C.Transport = faultinject::ChaosTransport::Shm;
+  C.Plan.RingTearPct = 4;
+  C.Plan.RingAbandonPct = 3;
+  C.WorkDir = ::testing::TempDir() + "shmem_chaos";
+  ::mkdir(C.WorkDir.c_str(), 0755);
+  return C;
+}
+
+TEST(Shmem, ChaosRunMatchesSerialFoldAndReplays) {
+  faultinject::ChaosConfig C = shmChaos();
+  C.FaultSeed = 5;
+  faultinject::ChaosReport First = runChaos(C);
+  ASSERT_TRUE(First.Ok) << First.Error;
+  EXPECT_EQ(First.Merges, First.ExpectedShards);
+  faultinject::ChaosReport Second = runChaos(C);
+  ASSERT_TRUE(Second.Ok) << Second.Error;
+  EXPECT_EQ(First.Trace, Second.Trace);
+  EXPECT_EQ(First.Duplicates, Second.Duplicates);
+}
+
+TEST(Shmem, ChaosSmallSweepPasses) {
+  EXPECT_TRUE(
+      faultinject::chaosSweep(shmChaos(), /*Seeds=*/2, /*Verbose=*/false));
+}
+
+TEST(Shmem, ChaosRejectsRelayTopology) {
+  faultinject::ChaosConfig C = shmChaos();
+  C.Topo = faultinject::Topology::Relay;
+  faultinject::ChaosReport R = runChaos(C);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("Direct"), std::string::npos);
+}
+
+} // namespace

@@ -59,6 +59,7 @@
 #include "profserve/Transport.h"
 #include "profstore/ProfileIO.h"
 #include "profstore/ProfileStore.h"
+#include "shmem/ShmRing.h"
 #include "support/Binary.h"
 #include "support/Support.h"
 #include "support/TablePrinter.h"
@@ -104,7 +105,8 @@ struct CliOptions {
   bool Optimize = false;
   int Jobs = 1;
   std::string ProfileOut;
-  std::string PushTo; ///< host:port of a collection server (run only)
+  std::string PushTo;  ///< host:port of a collection server (run only)
+  std::string PushShm; ///< shm rendezvous dir of a same-host collector
   std::vector<std::string> Clients = {"call-edge", "field-access"};
 };
 
@@ -152,6 +154,8 @@ int usage(const char *Prog) {
       "                         format, fingerprinted against the module)\n"
       "  --push-to=<host:port>  stream the collected profile to a running\n"
       "                         `arsc serve` collection daemon\n"
+      "  --push-shm=<dir>       same, over the same-host shared-memory\n"
+      "                         transport (`arsc serve --listen-shm=<dir>`)\n"
       "  --optimize             run the O2 optimizer before instrumenting\n"
       "  --jobs=<n>             worker threads for matrix commands; results\n"
       "                         are identical for every value (default 1)\n",
@@ -209,6 +213,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions *Opts) {
       Opts->ProfileOut = V;
     } else if (const char *V = valueOf("--push-to=")) {
       Opts->PushTo = V;
+    } else if (const char *V = valueOf("--push-shm=")) {
+      Opts->PushShm = V;
     } else if (Arg == "--optimize") {
       Opts->Optimize = true;
     } else if (const char *V = valueOf("--jobs=")) {
@@ -480,8 +486,14 @@ int serveUsage(const char *Prog) {
       "options:\n"
       "  --listen=<port>            TCP port on 127.0.0.1 (default 0 =\n"
       "                             ephemeral; the chosen port is printed)\n"
+      "  --listen-shm=<dir>         accept same-host clients over shared-\n"
+      "                             memory ring segments rendezvoused in\n"
+      "                             <dir> instead of TCP (see `run\n"
+      "                             --push-shm` / `push --shm`)\n"
       "  --snapshot-out=<file>      write the merged profile here\n"
       "  --snapshot-interval-ms=<n> also snapshot every n ms\n"
+      "  --compress-snapshots       wrap snapshots in the ARSZ compressed\n"
+      "                             container (loads transparently)\n"
       "  --keep=<pct>               epoch decay: percent kept per rotation\n"
       "  --rotate-every=<n>         rotate an epoch every n merges\n"
       "  --workers=<n>              reactor (event loop) threads (default\n"
@@ -511,6 +523,7 @@ int serveMain(int Argc, char **Argv) {
   profserve::ServerConfig Config;
   Config.LogToStderr = true;
   uint16_t Port = 0;
+  std::string ListenShm;
   int64_t ServeForMs = -1;
   std::string RelayTo;
   int RelayFlushIntervalMs = 1000;
@@ -524,10 +537,14 @@ int serveMain(int Argc, char **Argv) {
     };
     if (const char *V = valueOf("--listen=")) {
       Port = static_cast<uint16_t>(std::atoi(V));
+    } else if (const char *V = valueOf("--listen-shm=")) {
+      ListenShm = V;
     } else if (const char *V = valueOf("--snapshot-out=")) {
       Config.SnapshotPath = V;
     } else if (const char *V = valueOf("--snapshot-interval-ms=")) {
       Config.SnapshotIntervalMs = std::atoi(V);
+    } else if (Arg == "--compress-snapshots") {
+      Config.CompressSnapshots = true;
     } else if (const char *V = valueOf("--keep=")) {
       Config.EpochKeepPct = static_cast<uint32_t>(std::atoi(V));
     } else if (const char *V = valueOf("--rotate-every=")) {
@@ -558,8 +575,11 @@ int serveMain(int Argc, char **Argv) {
   }
 
   std::string Error;
-  std::unique_ptr<profserve::TcpListener> L =
-      profserve::listenTcp(Port, &Error);
+  std::unique_ptr<profserve::Listener> L;
+  if (!ListenShm.empty())
+    L = shmem::listenShm(ListenShm, &Error);
+  else
+    L = profserve::listenTcp(Port, &Error);
   if (!L) {
     std::fprintf(stderr, "serve: %s\n", Error.c_str());
     return 1;
@@ -653,7 +673,7 @@ bool makeClient(const std::string &Addr, int TimeoutMs, int Retries,
 }
 
 int pushMain(int Argc, char **Argv) {
-  std::string To;
+  std::string To, Shm;
   int TimeoutMs = 5000, Retries = 3;
   std::vector<std::string> Inputs;
   for (int A = 2; A < Argc; ++A) {
@@ -664,27 +684,36 @@ int pushMain(int Argc, char **Argv) {
     };
     if (const char *V = valueOf("--to="))
       To = V;
+    else if (const char *V = valueOf("--shm="))
+      Shm = V;
     else if (const char *V = valueOf("--timeout-ms="))
       TimeoutMs = std::atoi(V);
     else if (const char *V = valueOf("--retries="))
       Retries = std::atoi(V);
     else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr,
-                   "usage: %s push --to=<host:port> [--timeout-ms=<n>] "
-                   "[--retries=<n>] <file.arsp...>\n",
+                   "usage: %s push --to=<host:port>|--shm=<dir> "
+                   "[--timeout-ms=<n>] [--retries=<n>] <file.arsp...>\n",
                    Argv[0]);
       return 2;
     } else
       Inputs.push_back(Arg);
   }
-  if (To.empty() || Inputs.empty()) {
+  if ((To.empty() == Shm.empty()) || Inputs.empty()) {
     std::fprintf(stderr,
-                 "usage: %s push --to=<host:port> <file.arsp...>\n",
+                 "usage: %s push --to=<host:port>|--shm=<dir> "
+                 "<file.arsp...>\n",
                  Argv[0]);
     return 2;
   }
   std::unique_ptr<profserve::ProfileClient> Client;
-  if (!makeClient(To, TimeoutMs, Retries, &Client, "--to="))
+  if (!Shm.empty()) {
+    profserve::ClientConfig C;
+    C.TimeoutMs = TimeoutMs;
+    C.MaxRetries = Retries;
+    Client = std::make_unique<profserve::ProfileClient>(
+        shmem::shmDialer(Shm), C);
+  } else if (!makeClient(To, TimeoutMs, Retries, &Client, "--to="))
     return 2;
   for (const std::string &Path : Inputs) {
     // Validate locally first: a corrupt shard should fail here with the
@@ -827,6 +856,11 @@ int chaosUsage(const char *Prog) {
       "                          at the server; relay: clients -> relay\n"
       "                          -> root with faults on BOTH hops, root\n"
       "                          must still match the serial fold\n"
+      "  --transport=<t>         loopback (default) or shm: push over\n"
+      "                          shared-memory ring segments and enable\n"
+      "                          the ring-only faults (torn cell commits,\n"
+      "                          crashed/abandoned writers); direct\n"
+      "                          topology only\n"
       "  --trace                 print the fault trace (single-seed mode)\n"
       "  --workdir=<dir>         scratch dir for spill/snapshot files\n"
       "                          (default: a fresh dir under /tmp)\n"
@@ -872,6 +906,20 @@ int chaosMain(int Argc, char **Argv) {
         C.Topo = faultinject::Topology::Relay;
       } else {
         std::fprintf(stderr, "unknown topology: %s\n", T.c_str());
+        return chaosUsage(Argv[0]);
+      }
+    } else if (const char *V = valueOf("--transport")) {
+      std::string T = V;
+      if (T == "loopback") {
+        C.Transport = faultinject::ChaosTransport::Loopback;
+      } else if (T == "shm") {
+        C.Transport = faultinject::ChaosTransport::Shm;
+        // The point of a shm chaos run is the ring-only failure shapes;
+        // give them real probability mass alongside the generic faults.
+        C.Plan.RingTearPct = 4;
+        C.Plan.RingAbandonPct = 3;
+      } else {
+        std::fprintf(stderr, "unknown transport: %s\n", T.c_str());
         return chaosUsage(Argv[0]);
       }
     } else if (Arg == "--quick") {
@@ -1305,19 +1353,27 @@ int main(int Argc, char **Argv) {
                   Opts.ProfileOut.c_str(),
                   static_cast<unsigned long long>(Fingerprint));
     }
-    if (!Opts.PushTo.empty()) {
+    if (!Opts.PushTo.empty() || !Opts.PushShm.empty()) {
+      const std::string &Dest =
+          Opts.PushShm.empty() ? Opts.PushTo : Opts.PushShm;
       std::unique_ptr<profserve::ProfileClient> Client;
-      if (!makeClient(Opts.PushTo, 5000, 3, &Client, "--push-to="))
+      if (!Opts.PushShm.empty()) {
+        profserve::ClientConfig CC;
+        CC.TimeoutMs = 5000;
+        CC.MaxRetries = 3;
+        Client = std::make_unique<profserve::ProfileClient>(
+            shmem::shmDialer(Opts.PushShm), CC);
+      } else if (!makeClient(Opts.PushTo, 5000, 3, &Client, "--push-to="))
         return 2;
       profserve::ClientResult PR =
           Client->push(R.Profiles, harness::programHash(P));
       if (!PR.Ok) {
-        std::fprintf(stderr, "push to %s: %s\n", Opts.PushTo.c_str(),
+        std::fprintf(stderr, "push to %s: %s\n", Dest.c_str(),
                      PR.Error.c_str());
         return 1;
       }
       std::printf("profile pushed   : %s (server total: %llu shards)\n",
-                  Opts.PushTo.c_str(),
+                  Dest.c_str(),
                   static_cast<unsigned long long>(
                       Client->lastServerMerges()));
     }
