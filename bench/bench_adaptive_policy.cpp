@@ -1,0 +1,254 @@
+//===- bench/bench_adaptive_policy.cpp - Accuracy per cycle ---*- C++ -*-===//
+///
+/// The closed adaptive loop's headline claim: a convergence watcher that
+/// widens the sampling interval of methods whose profile has stopped
+/// changing buys the SAME per-method accuracy for a fraction of the
+/// instrumentation cycles.  Static intervals keep paying full price for
+/// methods whose profiles saturated rounds ago; the policy loop reclaims
+/// exactly that spend.
+///
+/// Setup per workload: one exhaustive run (the perfect profile) plus
+/// jitter-decorrelated profiling rounds under two arms.
+///
+///  * static arm: 10 rounds at the base interval, merged.
+///  * adaptive arm: 11 rounds through the full push-down machinery —
+///    leaf client -> relay -> root server, the root's ConvergenceWatcher
+///    deciding after every epoch rotation, POLICY frames flowing back
+///    down the tree into a live PolicyTable the engine reads between
+///    rounds.  The measured aggregate is the ROOT's merged bundle, i.e.
+///    what the collection tier actually owns.
+///
+/// The cost metric is *instrumentation* cycles: instrumented minus
+/// baseline simulated cycles, minus the fixed per-check framework cost
+/// (CostModel::Check x CheckExecs).  That is the paper's section 4.3
+/// decomposition — checks are the framework's fixed price and execute
+/// identically under every policy (Property 1); the duplicated-code
+/// entries and probe bodies are the part sampling policy can actually
+/// reclaim.  Accuracy is per-method overlap vs. the exhaustive profile,
+/// the watcher's own decision metric.
+///
+/// The pinned claim: the adaptive arm — despite running MORE rounds —
+/// spends <= 60% of the static arm's instrumentation cycles and ends at
+/// an overlap >= the static arm's.  Converged (hot) methods get widened
+/// or retired, so the extra rounds are nearly free and go entirely to
+/// the methods that still need samples.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "policy/Policy.h"
+#include "profserve/Client.h"
+#include "profserve/Protocol.h"
+#include "profserve/Server.h"
+#include "profserve/Transport.h"
+#include "profstore/ProfileStore.h"
+#include "runtime/CostModel.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace ars;
+using namespace ars::profserve;
+
+namespace {
+
+constexpr int StaticRounds = 10;
+constexpr int AdaptiveRounds = 11;
+constexpr uint64_t Fp = 0xada9e7f011c4ULL;
+
+/// Instrumentation cycles of one run: total overhead over the baseline
+/// minus the fixed check (framework) component.
+uint64_t instrCycles(const harness::ExperimentResult &R,
+                     uint64_t BaseCycles) {
+  uint64_t Delta = R.Stats.Cycles - BaseCycles;
+  uint64_t CheckCost = R.Stats.CheckExecs * runtime::CostModel().Check;
+  return Delta > CheckCost ? Delta - CheckCost : 0;
+}
+
+harness::RunConfig shardConfig(int64_t Interval, int Round) {
+  harness::RunConfig C;
+  C.Transform.M = sampling::Mode::FullDuplication;
+  C.Clients = bench::bothClients();
+  C.Engine.SampleInterval = Interval;
+  C.Engine.RandomJitterPct = 40;
+  C.Engine.RandomSeed = 0x415253 + static_cast<uint64_t>(Round) * 977;
+  return C;
+}
+
+ServerConfig rootConfig(int64_t BaseInterval) {
+  ServerConfig C;
+  C.Workers = 2;
+  C.RecvTimeoutMs = 0; // harness-paced; no idle reaping
+  C.Policy.Enabled = true;
+  // Widen only methods whose epoch-over-epoch overlap is genuinely
+  // stable; retire only near-identical deltas (or the cap).  BaseInterval
+  // anchors the first widening at 2x the static interval.
+  C.Policy.Watcher.WidenThresholdPct = 90.0;
+  C.Policy.Watcher.RetireThresholdPct = 99.9;
+  C.Policy.Watcher.StableEpochs = 1;
+  C.Policy.Watcher.WidenFactor = 2;
+  C.Policy.Watcher.BaseInterval = BaseInterval;
+  C.Policy.Watcher.MaxInterval = BaseInterval * 16;
+  return C;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bench::Context Ctx(Argc, Argv);
+  bench::printBanner("Adaptive policy accuracy per cycle",
+                     "new experiment: closed-loop server-driven interval "
+                     "widening (src/policy) vs. static intervals — "
+                     "profile accuracy per simulated instrumentation "
+                     "cycle");
+
+  const std::vector<std::string> Names = {"javac", "jess", "db"};
+
+  // Phase 1: perfect profiles (interval derivation + overlap reference).
+  std::vector<bench::NamedCell> PerfectCells;
+  for (const std::string &Name : Names) {
+    harness::RunConfig Perfect;
+    Perfect.Transform.M = sampling::Mode::Exhaustive;
+    Perfect.Clients = bench::bothClients();
+    PerfectCells.emplace_back(Name, Perfect);
+  }
+  std::vector<harness::ExperimentResult> Perfects = Ctx.runAll(PerfectCells);
+  Ctx.prefetchBaselines();
+
+  support::TablePrinter T({"Workload", "Interval", "Static ov (%)",
+                           "Adaptive ov (%)", "Static Kcyc", "Adaptive Kcyc",
+                           "Cycle ratio (%)", "Widened", "Retired"});
+  bool AccuracyHolds = true;
+  bool BudgetHolds = true;
+  for (size_t W = 0; W != Names.size(); ++W) {
+    const std::string &Name = Names[W];
+    uint64_t BaseCycles = Ctx.baseline(Name).Stats.Cycles;
+    int64_t Interval =
+        static_cast<int64_t>(Perfects[W].Profiles.CallEdges.total() / 1000);
+    if (Interval < 19)
+      Interval = 19;
+
+    // Static arm: independent rounds at the base interval.
+    std::vector<bench::NamedCell> Cells;
+    for (int R = 0; R != StaticRounds; ++R)
+      Cells.emplace_back(Name, shardConfig(Interval, R));
+    std::vector<harness::ExperimentResult> Static = Ctx.runAll(Cells);
+    profile::ProfileBundle StaticBundle;
+    uint64_t StaticCycles = 0;
+    for (const harness::ExperimentResult &R : Static) {
+      profstore::mergeBundle(StaticBundle, R.Profiles);
+      StaticCycles += instrCycles(R, BaseCycles);
+    }
+    double StaticOverlap =
+        policy::perMethodOverlapPct(Perfects[W].Profiles, StaticBundle);
+
+    // Adaptive arm: the same rounds, wired through root <- relay <- leaf
+    // with the watcher at the root.
+    auto *RootL = new LoopbackListener();
+    ProfileServer Root(std::unique_ptr<Listener>(RootL),
+                       rootConfig(Interval));
+    Root.start();
+    ServerConfig RC;
+    RC.Workers = 2;
+    RC.RecvTimeoutMs = 0;
+    RC.Relay.Dial = loopbackDialer(*RootL);
+    RC.Relay.Client.Fingerprint = Fp;
+    RC.Relay.Client.SessionId = 0x5E1A;
+    RC.Relay.FlushIntervalMs = 0; // harness-paced flushes only
+    RC.Relay.FlushEveryMerges = 0;
+    auto *RelayL = new LoopbackListener();
+    ProfileServer Relay(std::unique_ptr<Listener>(RelayL), RC);
+    Relay.start();
+
+    auto Table = std::make_shared<policy::PolicyTable>(
+        Ctx.program(Name).Funcs.size());
+    ClientConfig CC;
+    CC.Fingerprint = Fp;
+    CC.SessionId = 7;
+    ProfileClient Leaf(loopbackDialer(*RelayL), CC);
+    Leaf.onPolicy([&Table](const PolicyMsg &M) {
+      std::vector<policy::Decision> Ds;
+      Ds.reserve(M.Entries.size());
+      for (const PolicyEntry &E : M.Entries)
+        Ds.push_back({static_cast<int>(E.Method),
+                      static_cast<int64_t>(E.Interval)});
+      Table->applyVersioned(M.PolicyVersion, Ds);
+    });
+
+    uint64_t AdaptiveCycles = 0;
+    std::string FlushErr;
+    for (int R = 0; R != AdaptiveRounds; ++R) {
+      harness::RunConfig Shard = shardConfig(Interval, R);
+      Shard.Engine.Policy = Table; // live table: widened rounds sample less
+      harness::ExperimentResult Res = Ctx.runConfig(Name, Shard);
+      if (!Res.Stats.Ok) {
+        std::fprintf(stderr, "adaptive round %d failed on %s: %s\n", R,
+                     Name.c_str(), Res.Stats.Error.c_str());
+        return 1;
+      }
+      AdaptiveCycles += instrCycles(Res, BaseCycles);
+      if (!Leaf.push(Res.Profiles, Fp).Ok ||
+          !Relay.flushUpstream(&FlushErr)) {
+        std::fprintf(stderr, "push-down failed on %s round %d: %s\n",
+                     Name.c_str(), R, FlushErr.c_str());
+        return 1;
+      }
+      Root.rotateEpoch();           // watcher observes this round's delta
+      Root.pushPolicy(/*Wait=*/true);  // table reaches the relay...
+      Relay.pushPolicy(/*Wait=*/true); // ...and the forwarded copy the leaf
+      Leaf.pollPolicy(/*TimeoutMs=*/200);
+    }
+    profile::ProfileBundle AdaptiveBundle = Root.merged();
+    double AdaptiveOverlap =
+        policy::perMethodOverlapPct(Perfects[W].Profiles, AdaptiveBundle);
+    PolicyMsg Final = Root.currentPolicy();
+    int Widened = 0, Retired = 0;
+    for (const PolicyEntry &E : Final.Entries)
+      (E.Interval == 0 ? Retired : Widened) += 1;
+    Leaf.close();
+    Relay.stop();
+    Root.stop();
+
+    double Ratio = StaticCycles == 0
+                       ? 100.0
+                       : 100.0 * static_cast<double>(AdaptiveCycles) /
+                             static_cast<double>(StaticCycles);
+    if (AdaptiveOverlap + 1e-9 < StaticOverlap)
+      AccuracyHolds = false;
+    if (Ratio > 60.0)
+      BudgetHolds = false;
+
+    Ctx.report().addSimMetric("per_method_overlap_pct.static." + Name,
+                              "pct", telemetry::Direction::HigherIsBetter,
+                              StaticOverlap);
+    Ctx.report().addSimMetric("per_method_overlap_pct.adaptive." + Name,
+                              "pct", telemetry::Direction::HigherIsBetter,
+                              AdaptiveOverlap);
+    Ctx.report().addSimMetric("instr_cycle_ratio_pct." + Name, "pct",
+                              telemetry::Direction::LowerIsBetter, Ratio);
+
+    T.beginRow();
+    T.cell(Name);
+    T.cellInt(Interval);
+    T.cellPercent(StaticOverlap);
+    T.cellPercent(AdaptiveOverlap);
+    T.cellInt(static_cast<int64_t>(StaticCycles / 1000));
+    T.cellInt(static_cast<int64_t>(AdaptiveCycles / 1000));
+    T.cellPercent(Ratio);
+    T.cellInt(Widened);
+    T.cellInt(Retired);
+  }
+  T.print();
+  std::printf(
+      "\nper-method overlap%% vs. the exhaustive profile (static arm: %d "
+      "rounds, adaptive arm: %d rounds);\ninstrumentation cycles = "
+      "instrumented minus baseline simulated cycles minus the fixed\n"
+      "per-check framework cost (section 4.3's decomposition), summed "
+      "over rounds.\nVerdict: adaptive accuracy %s the static arm's on "
+      "every workload, at %s 60%% of its instrumentation cycles.\n",
+      StaticRounds, AdaptiveRounds,
+      AccuracyHolds ? "matches or beats" : "FALLS BELOW (!)",
+      BudgetHolds ? "<=" : "MORE THAN (!)");
+  return AccuracyHolds && BudgetHolds ? 0 : 1;
+}

@@ -55,7 +55,7 @@ if [[ "$TSAN" == 1 ]]; then
   # transport).  EventLoop* pins the reactor (slow-loris reaping, write
   # backpressure, mid-frame shutdown) and Relay* the aggregation trees.
   build-tsan/tests/ars_tests \
-    --gtest_filter='ThreadPool.*:TransformCache.*:ParallelRunner.*:ProfileAggregator.*:ProfServe*:EventLoop*:Relay*:FaultInject*:Chaos.*:Shmem.*:Sampling.*:AllWorkloads/*:Seeds/Property1RandomTest.*'
+    --gtest_filter='ThreadPool.*:TransformCache.*:ParallelRunner.*:ProfileAggregator.*:ProfServe*:EventLoop*:Relay*:FaultInject*:Chaos.*:Shmem.*:Policy*:Sampling.*:AllWorkloads/*:Seeds/Property1RandomTest.*'
   exit 0
 fi
 
@@ -70,6 +70,11 @@ if [[ "$ASAN" == 1 ]]; then
   build-asan/tools/arsc chaos --fault-seed-sweep=32 --quick
   build-asan/tools/arsc chaos --fault-seed-sweep=32 --quick --topology=relay
   build-asan/tools/arsc chaos --fault-seed-sweep=16 --quick --transport=shm
+  # Policy push-down under fire: corrupt POLICY frames must degrade
+  # clients to their static interval, never crash the decode path.
+  build-asan/tools/arsc chaos --fault-seed-sweep=16 --quick --policy
+  build-asan/tools/arsc chaos --fault-seed-sweep=16 --quick --policy \
+    --topology=relay
   exit 0
 fi
 
@@ -95,6 +100,12 @@ build/tools/arsc chaos --fault-seed-sweep=32 --quick --topology=relay
 # The same sweep over the shared-memory ring transport: torn cells and
 # abandoned segments instead of dropped TCP frames.
 build/tools/arsc chaos --fault-seed-sweep=16 --quick --transport=shm
+# Policy push-down under fire (DESIGN.md §13): faulted POLICY frames
+# may only ever degrade a client to its static interval — the final
+# aggregate must stay byte-identical to the policy-free serial fold,
+# and frame counts and applied table versions must replay per seed.
+build/tools/arsc chaos --fault-seed-sweep=16 --quick --policy
+build/tools/arsc chaos --fault-seed-sweep=16 --quick --policy --topology=relay
 
 # The bench matrix runs through `arsc bench`: it discovers every
 # build/bench/bench_* binary, fans each bench's matrix cells out across

@@ -2,6 +2,7 @@
 
 #include "faultinject/Chaos.h"
 
+#include "policy/Policy.h"
 #include "profserve/Client.h"
 #include "profserve/Server.h"
 #include "shmem/ShmRing.h"
@@ -95,6 +96,12 @@ ChaosReport runChaos(const ChaosConfig &C) {
   // every ring-fault path is already exercised by the Direct topology.
   if (Shm && Relayed)
     return fail("chaos: the shm transport supports Topology::Direct only");
+  // The waited policy broadcast relies on flushOut completing in one
+  // write, which the unbounded loopback pipe guarantees and a bounded
+  // shm ring does not — a partially flushed frame would drain on reactor
+  // timing and race the client's poll ops.
+  if (C.Policy && Shm)
+    return fail("chaos: --policy supports the loopback transport only");
   const std::string ShmDir = C.WorkDir + "/chaos-shm";
   const std::string Snap = C.WorkDir + "/chaos-snapshot.arsp";
   const std::string RelaySpill = C.WorkDir + "/chaos-relay-spill.bin";
@@ -137,7 +144,23 @@ ChaosReport runChaos(const ChaosConfig &C) {
   // fault stream), destroying trace replay determinism.  Recovery then
   // rests purely on CLIENT-side timeouts plus stream close events,
   // both of which are functions of the seed alone.
-  SC.RecvTimeoutMs = Relayed ? 0 : 500;
+  // Policy mode runs wave-structured with idle windows between waves, so
+  // it disables reaping for the same reason the relay topology does.
+  SC.RecvTimeoutMs = (Relayed || C.Policy) ? 0 : 500;
+  if (C.Policy) {
+    // The watcher lives on the MAIN server (the root in Topology::Relay,
+    // so frames exercise the relay's forwarding path on the way down).
+    // Thresholds are set so every observed epoch qualifies: one widen
+    // decision per method per rotation keeps a steady supply of POLICY
+    // frames in front of the fault lanes.  Retire only ever happens via
+    // the interval cap — the threshold is unreachable (overlap <= 100).
+    SC.Policy.Enabled = true;
+    SC.Policy.Watcher.WidenThresholdPct = 0.0;
+    SC.Policy.Watcher.RetireThresholdPct = 1000.0;
+    SC.Policy.Watcher.StableEpochs = 1;
+    SC.Policy.Watcher.WidenFactor = 2;
+    SC.Policy.Watcher.BaseInterval = 1000;
+  }
   // The main listener + the dialer that reaches it.  Shm runs rendezvous
   // through ShmDir (listenShm sweeps any stale segments a previous seed
   // or a crashed run left behind); loopback runs keep the raw pointer so
@@ -206,6 +229,13 @@ ChaosReport runChaos(const ChaosConfig &C) {
 
   std::vector<std::string> Errs(C.Clients);
   std::vector<uint64_t> Spills(C.Clients, 0);
+  // Policy mode: each client maintains its own runtime interval table,
+  // fed only by whatever POLICY frames survive its fault lane.  Sized
+  // past every method id chaosShard() can produce.
+  std::vector<std::shared_ptr<policy::PolicyTable>> Tables;
+  if (C.Policy)
+    for (int I = 0; I != C.Clients; ++I)
+      Tables.push_back(std::make_shared<policy::PolicyTable>(16));
   auto makeClient = [&](int I) {
     ClientConfig CC;
     CC.TimeoutMs = 500; // matches RecvTimeoutMs: see the note above
@@ -216,8 +246,20 @@ ChaosReport runChaos(const ChaosConfig &C) {
     CC.BreakerThreshold = 6;
     CC.BreakerCooldownOps = 2; // deterministic, wall-clock-free
     CC.SpillPath = SpillPaths[I];
-    return std::make_unique<ProfileClient>(
+    auto Client = std::make_unique<ProfileClient>(
         faultyDialer(PushDial, Streams[I]), CC);
+    if (C.Policy) {
+      std::shared_ptr<policy::PolicyTable> T = Tables[I];
+      Client->onPolicy([T](const profserve::PolicyMsg &M) {
+        std::vector<policy::Decision> Ds;
+        Ds.reserve(M.Entries.size());
+        for (const profserve::PolicyEntry &E : M.Entries)
+          Ds.push_back({static_cast<int>(E.Method),
+                        static_cast<int64_t>(E.Interval)});
+        T->applyVersioned(M.PolicyVersion, Ds);
+      });
+    }
+    return Client;
   };
   auto pushShard = [&](ProfileClient &Client, int I, int J) {
     int Global = I * C.ShardsPerClient + J;
@@ -229,7 +271,7 @@ ChaosReport runChaos(const ChaosConfig &C) {
                                       Global, PR.Error.c_str());
   };
 
-  if (!Relayed) {
+  if (!Relayed && !C.Policy) {
     std::vector<std::thread> Threads;
     for (int I = 0; I != C.Clients; ++I) {
       Threads.emplace_back([&, I] {
@@ -258,6 +300,16 @@ ChaosReport runChaos(const ChaosConfig &C) {
     // a pure function of the seed.  Clients persist across waves so
     // their (session, seq) numbering stays monotonic; recreating one
     // would reuse sequence numbers and alias the dedup ledger.
+    //
+    // Policy mode reuses the same wave skeleton (also for
+    // Topology::Direct): only at a wave barrier is no client op in
+    // flight, so that is the one place a broadcast can be injected
+    // without its arrival racing the clients' fault-op numbering.  The
+    // harness rotates the main server's epoch (the watcher decides,
+    // broadcasting asynchronously), then pushes the table with
+    // Wait=true; the waited broadcast is queued per shard BEHIND the
+    // async one, so when it returns every frame is in the transport
+    // buffers and the clients' poll wave reads them deterministically.
     std::vector<std::unique_ptr<ProfileClient>> Clients;
     for (int I = 0; I != C.Clients; ++I)
       Clients.push_back(makeClient(I));
@@ -270,9 +322,25 @@ ChaosReport runChaos(const ChaosConfig &C) {
         });
       for (std::thread &T : Wave)
         T.join();
-      std::string FlushErr;
-      Relay->flushUpstream(&FlushErr); // a failed delta spills; the
-                                       // post-push drain replays it
+      if (Relayed) {
+        std::string FlushErr;
+        Relay->flushUpstream(&FlushErr); // a failed delta spills; the
+                                         // post-push drain replays it
+      }
+      if (C.Policy) {
+        Server.rotateEpoch();    // watcher observes; async broadcast
+        Server.pushPolicy(true); // ...now guaranteed flushed
+        if (Relayed)
+          Relay->pushPolicy(true); // flush the forwarded table downhill
+        std::vector<std::thread> Poll;
+        for (int I = 0; I != C.Clients; ++I)
+          Poll.emplace_back([&, I] {
+            if (Errs[I].empty())
+              Clients[I]->pollPolicy(/*TimeoutMs=*/50);
+          });
+        for (std::thread &T : Poll)
+          T.join();
+      }
     }
     // Drain client spills (joined rounds, same determinism argument).
     for (int Round = 0; Round != 16; ++Round) {
@@ -296,15 +364,36 @@ ChaosReport runChaos(const ChaosConfig &C) {
           Errs[I] = support::formatString(
               "client %d: %zu shards still spilled after replay", I,
               Left);
+    if (C.Policy) {
+      // A client whose fault lane dropped or corrupted POLICY frames
+      // must simply have applied FEWER versions — never an invented or
+      // future one.  (Applying fewer means effectiveInterval() falls
+      // back toward the static interval; that IS the degradation
+      // contract.)  The counts also feed the sweep's replay check.
+      uint64_t FinalVersion = Server.currentPolicy().PolicyVersion;
+      for (int I = 0; I != C.Clients; ++I) {
+        R.PolicyFrames += Clients[I]->policyFramesSeen();
+        uint64_t Applied = Tables[I]->appliedVersion();
+        R.PolicyApplied += Applied;
+        if (Applied > FinalVersion)
+          return fail(support::formatString(
+              "client %d applied policy version %llu, but the watcher "
+              "only ever published %llu",
+              I, static_cast<unsigned long long>(Applied),
+              static_cast<unsigned long long>(FinalVersion)));
+      }
+    }
     Clients.clear(); // deterministic BYEs before the relay drains
-    // Late-replayed shards sit in the relay; drain until the faulted
-    // uplink goes clean (true = spill replayed empty + delta landed).
-    std::string FlushErr;
-    bool Drained = false;
-    for (int Round = 0; Round != 16 && !Drained; ++Round)
-      Drained = Relay->flushUpstream(&FlushErr);
-    if (!Drained)
-      return fail("relay upstream never drained: " + FlushErr);
+    if (Relayed) {
+      // Late-replayed shards sit in the relay; drain until the faulted
+      // uplink goes clean (true = spill replayed empty + delta landed).
+      std::string FlushErr;
+      bool Drained = false;
+      for (int Round = 0; Round != 16 && !Drained; ++Round)
+        Drained = Relay->flushUpstream(&FlushErr);
+      if (!Drained)
+        return fail("relay upstream never drained: " + FlushErr);
+    }
   }
   for (const std::string &E : Errs)
     if (!E.empty())
@@ -320,6 +409,7 @@ ChaosReport runChaos(const ChaosConfig &C) {
     profserve::StatsMsg RelayStats = Relay->stats();
     R.Merges = RelayStats.Merges;
     R.Duplicates = RelayStats.Duplicates;
+    R.PolicyPushes += RelayStats.PolicyPushes;
     Relay->stop();
     if (RelayStats.Merges != R.ExpectedShards)
       return fail(support::formatString(
@@ -343,6 +433,8 @@ ChaosReport runChaos(const ChaosConfig &C) {
           P.RawBytes.size(), Expected.size()));
   }
   profserve::StatsMsg Stats = Server.stats();
+  R.PolicyPushes += Stats.PolicyPushes;
+  R.PolicyDecisions = Stats.PolicyDecisions;
   if (Relayed) {
     // The root sees upstream DELTAS, not leaf shards, so its merge
     // count is topology-shaped — but it must still replay identically
@@ -461,7 +553,11 @@ bool chaosSweep(const ChaosConfig &Base, uint64_t Seeds, bool Verbose) {
     if (First.Trace != Second.Trace || First.Merges != Second.Merges ||
         First.Duplicates != Second.Duplicates ||
         First.RootMerges != Second.RootMerges ||
-        First.RootDuplicates != Second.RootDuplicates) {
+        First.RootDuplicates != Second.RootDuplicates ||
+        First.PolicyPushes != Second.PolicyPushes ||
+        First.PolicyDecisions != Second.PolicyDecisions ||
+        First.PolicyFrames != Second.PolicyFrames ||
+        First.PolicyApplied != Second.PolicyApplied) {
       std::fprintf(stderr,
                    "chaos seed %llu NOT deterministic: traces %zu vs "
                    "%zu bytes, merges %llu vs %llu, dups %llu vs %llu\n",
@@ -474,14 +570,21 @@ bool chaosSweep(const ChaosConfig &Base, uint64_t Seeds, bool Verbose) {
       AllOk = false;
       continue;
     }
-    if (Verbose)
+    if (Verbose) {
       std::printf("chaos seed %llu ok: %llu merges, %llu faults, "
-                  "%llu dups, %llu spills\n",
+                  "%llu dups, %llu spills",
                   static_cast<unsigned long long>(Seed),
                   static_cast<unsigned long long>(First.Merges),
                   static_cast<unsigned long long>(First.FaultsInjected),
                   static_cast<unsigned long long>(First.Duplicates),
                   static_cast<unsigned long long>(First.Spills));
+      if (Base.Policy)
+        std::printf(", %llu policy frames (%llu pushes, %llu applied)",
+                    static_cast<unsigned long long>(First.PolicyFrames),
+                    static_cast<unsigned long long>(First.PolicyPushes),
+                    static_cast<unsigned long long>(First.PolicyApplied));
+      std::printf("\n");
+    }
   }
   return AllOk;
 }

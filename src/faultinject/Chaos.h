@@ -65,6 +65,19 @@ struct ChaosConfig {
   int PushRetries = 4;    ///< client MaxRetries per push attempt round
   bool FileFaults = true; ///< run the faulted-snapshot phase
   bool CheckRecovery = true; ///< tear the snapshot, restart, re-verify
+  /// Run the closed-loop policy push-down (src/policy) under fire.  The
+  /// run switches to wave-structured pushes; after each joined wave the
+  /// harness rotates the main server's epoch (its convergence watcher is
+  /// configured to decide every epoch), broadcasts the policy table with
+  /// a waited push, and the clients drain POLICY frames through their
+  /// faulted transports into per-client PolicyTables.  Faults landing on
+  /// POLICY frames (drops, bit flips, latency) must only ever degrade a
+  /// client to its static interval — the final aggregate must still be
+  /// byte-identical to the policy-free serial fold, and the fault trace,
+  /// frame counts and applied policy versions must all replay.  In
+  /// Topology::Relay the watcher sits at the ROOT and frames reach the
+  /// leaves through the relay's forwarding path.  Loopback only.
+  bool Policy = false;
 };
 
 struct ChaosReport {
@@ -83,6 +96,11 @@ struct ChaosReport {
   /// deduped retries of half-landed deltas; both must replay identically.
   uint64_t RootMerges = 0;
   uint64_t RootDuplicates = 0;
+  /// ChaosConfig::Policy only; all four must replay identically.
+  uint64_t PolicyPushes = 0;    ///< POLICY broadcasts (root + relay)
+  uint64_t PolicyDecisions = 0; ///< watcher decision entries emitted
+  uint64_t PolicyFrames = 0;    ///< frames the clients decoded intact
+  uint64_t PolicyApplied = 0;   ///< sum of final applied table versions
 };
 
 /// One seeded run; see the file comment for the invariants checked.

@@ -1,0 +1,149 @@
+//===- policy/Policy.cpp - Closed-loop sampling policy --------------------===//
+
+#include "policy/Policy.h"
+
+#include "profile/Overlap.h"
+
+#include <algorithm>
+
+namespace ars {
+namespace policy {
+
+PolicyTable::PolicyTable(size_t NumMethods) : Intervals(NumMethods) {
+  for (std::atomic<int64_t> &V : Intervals)
+    V.store(NoOverride, std::memory_order_relaxed);
+}
+
+bool PolicyTable::applyVersioned(uint64_t Version,
+                                 const std::vector<Decision> &Ds) {
+  std::lock_guard<std::mutex> Lock(WriteMu);
+  if (Version <= AppliedVersion.load(std::memory_order_relaxed))
+    return false;
+  for (const Decision &D : Ds) {
+    if (D.Method < 0 || static_cast<size_t>(D.Method) >= Intervals.size())
+      continue;
+    Intervals[static_cast<size_t>(D.Method)].store(D.Interval,
+                                                   std::memory_order_relaxed);
+  }
+  AppliedVersion.store(Version, std::memory_order_release);
+  return true;
+}
+
+std::vector<Decision> PolicyTable::snapshot() const {
+  std::vector<Decision> Out;
+  for (size_t I = 0; I != Intervals.size(); ++I) {
+    int64_t V = Intervals[I].load(std::memory_order_relaxed);
+    if (V != NoOverride)
+      Out.push_back({static_cast<int>(I), V});
+  }
+  return Out;
+}
+
+std::map<int, MethodSlice> sliceByMethod(const profile::ProfileBundle &B) {
+  std::map<int, MethodSlice> Out;
+  for (const auto &KV : B.BlockCounts.counts()) {
+    MethodSlice &S = Out[KV.first.first];
+    S.Blocks[KV.first.second] += KV.second;
+    S.BlockTotal += KV.second;
+  }
+  for (const auto &KV : B.CallEdges.counts()) {
+    MethodSlice &S = Out[KV.first.Callee];
+    S.InEdges[{KV.first.Caller, KV.first.Site}] += KV.second;
+    S.EdgeTotal += KV.second;
+  }
+  return Out;
+}
+
+double methodOverlapPct(const MethodSlice &Perfect,
+                        const MethodSlice &Sampled) {
+  double Weighted = 0;
+  uint64_t Weight = 0;
+  if (Perfect.BlockTotal > 0 && Sampled.BlockTotal > 0) {
+    Weighted += Perfect.BlockTotal *
+                profile::overlapPercentMaps(Perfect.Blocks, Sampled.Blocks,
+                                            Perfect.BlockTotal,
+                                            Sampled.BlockTotal);
+    Weight += Perfect.BlockTotal;
+  }
+  if (Perfect.EdgeTotal > 0 && Sampled.EdgeTotal > 0) {
+    Weighted += Perfect.EdgeTotal *
+                profile::overlapPercentMaps(Perfect.InEdges, Sampled.InEdges,
+                                            Perfect.EdgeTotal,
+                                            Sampled.EdgeTotal);
+    Weight += Perfect.EdgeTotal;
+  }
+  return Weight == 0 ? 0.0 : Weighted / Weight;
+}
+
+double perMethodOverlapPct(const profile::ProfileBundle &Perfect,
+                           const profile::ProfileBundle &Sampled) {
+  std::map<int, MethodSlice> P = sliceByMethod(Perfect);
+  std::map<int, MethodSlice> S = sliceByMethod(Sampled);
+  double Weighted = 0;
+  uint64_t Weight = 0;
+  for (const auto &KV : P) {
+    uint64_t W = KV.second.BlockTotal + KV.second.EdgeTotal;
+    if (W == 0)
+      continue;
+    auto It = S.find(KV.first);
+    // A method the sampled side never saw scores 0 at full weight.
+    double O = It == S.end() ? 0.0 : methodOverlapPct(KV.second, It->second);
+    Weighted += W * O;
+    Weight += W;
+  }
+  return Weight == 0 ? 0.0 : Weighted / Weight;
+}
+
+std::vector<Decision>
+ConvergenceWatcher::observeEpoch(const profile::ProfileBundle &Delta) {
+  std::vector<Decision> Out;
+  std::map<int, MethodSlice> Slices = sliceByMethod(Delta);
+  for (auto &KV : Slices) {
+    MethodState &St = Methods[KV.first];
+    if (St.Retired)
+      continue;
+    if (St.HavePrev && !KV.second.empty()) {
+      double O = methodOverlapPct(St.Prev, KV.second);
+      St.WidenStreak = O >= Config.WidenThresholdPct ? St.WidenStreak + 1 : 0;
+      St.RetireStreak =
+          O >= Config.RetireThresholdPct ? St.RetireStreak + 1 : 0;
+      if (St.RetireStreak >= Config.StableEpochs ||
+          (St.WidenStreak >= Config.StableEpochs &&
+           St.Interval >= Config.MaxInterval)) {
+        St.Retired = true;
+        St.Interval = 0;
+        Out.push_back({KV.first, 0});
+      } else if (St.WidenStreak >= Config.StableEpochs) {
+        int64_t Base = St.Interval > 0 ? St.Interval : Config.BaseInterval;
+        St.Interval = std::min<int64_t>(
+            Base * static_cast<int64_t>(Config.WidenFactor),
+            Config.MaxInterval);
+        St.WidenStreak = 0;
+        Out.push_back({KV.first, St.Interval});
+      }
+    }
+    St.Prev = std::move(KV.second);
+    St.HavePrev = true;
+  }
+  if (!Out.empty())
+    ++Version;
+  return Out;
+}
+
+std::vector<Decision> ConvergenceWatcher::currentPolicy() const {
+  std::vector<Decision> Out;
+  for (const auto &KV : Methods)
+    if (KV.second.Retired || KV.second.Interval > 0)
+      Out.push_back({KV.first, KV.second.Retired ? 0 : KV.second.Interval});
+  return Out;
+}
+
+int ConvergenceWatcher::retiredCount() const {
+  int N = 0;
+  for (const auto &KV : Methods)
+    N += KV.second.Retired ? 1 : 0;
+  return N;
+}
+
+} // namespace policy
+} // namespace ars

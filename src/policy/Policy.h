@@ -1,0 +1,208 @@
+//===- policy/Policy.h - Closed-loop sampling policy ----------*- C++ -*-===//
+///
+/// \file
+/// The closed-loop half of the adaptive-sampling story: today the
+/// transform freezes one sample interval into the code, so a method whose
+/// profile converged in the first minute keeps paying full check+sample
+/// cost forever.  This subsystem lets the collection tier observe
+/// convergence and dial instrumentation down at runtime, per method:
+///
+///  * PolicyTable — the runtime-settable, atomics-backed per-method
+///    interval table the engine's counter-check trigger consults.  An
+///    entry of 0 RETIRES the method: the sample condition is permanently
+///    false, so the duplicated body is never entered again and the method
+///    runs checking-only — the cheapest configuration short of
+///    re-transforming, reachable without a restart.  Property 1 is
+///    unaffected: check placement (entries/backedges only) is a static
+///    property of the transform, and the dynamic bound
+///    CheckExecs <= Entries + Backedges holds a fortiori when fewer (or
+///    no) checks fire (tests/test_policy.cpp re-verifies both halves
+///    after widening and after retire).
+///
+///  * ConvergenceWatcher — the server-side decision maker.  It observes
+///    successive epoch deltas of the aggregate (profserve rotateEpoch),
+///    slices them per method, and scores each method's epoch-over-epoch
+///    self-overlap with the paper's section 4.4 metric: when two
+///    consecutive deltas of a method have (near-)identical distributions,
+///    new samples are no longer buying information.  Overlap >= the widen
+///    threshold for W consecutive epochs widens the method's interval by
+///    factor F (capped); overlap >= the retire threshold for W epochs
+///    retires it.  Decisions are published as a monotonically versioned
+///    table (profserve wire v4 POLICY frames) so reordered or
+///    relay-duplicated frames can never roll a receiver back.
+///
+/// The slicing/overlap helpers are exposed because the accuracy bench
+/// (bench_adaptive_policy) and `arsc profile overlap` score results with
+/// the same per-method metric the watcher decides with.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_POLICY_POLICY_H
+#define ARS_POLICY_POLICY_H
+
+#include "profile/Profiles.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace ars {
+namespace policy {
+
+/// One per-method decision: the new counter interval for \p Method.
+/// Interval 0 retires the method (checking-only, no duplicated-body
+/// entry); positive values replace the static interval.
+struct Decision {
+  int Method = -1;
+  int64_t Interval = 0;
+};
+
+/// The runtime-settable per-method interval table.  Readers (the engine's
+/// sample-condition check, once per method entry/backedge) are lock-free
+/// relaxed atomic loads; writers (a POLICY frame arriving on a client
+/// thread) serialize on a mutex and publish under a monotonic version, so
+/// a stale or replayed frame is a no-op.  Sized once at construction —
+/// method ids outside [0, size) are ignored on apply and fall back to the
+/// static interval on read.
+class PolicyTable {
+public:
+  /// Sentinel interval meaning "no override; use the static interval".
+  static constexpr int64_t NoOverride = -1;
+
+  explicit PolicyTable(size_t NumMethods);
+
+  size_t size() const { return Intervals.size(); }
+
+  /// The interval the counter trigger must use for \p Method:
+  /// \p StaticInterval when the table holds no override, the override
+  /// otherwise (0 = retired = never fire).
+  int64_t effectiveInterval(int Method, int64_t StaticInterval) const {
+    if (Method < 0 || static_cast<size_t>(Method) >= Intervals.size())
+      return StaticInterval;
+    int64_t V = Intervals[static_cast<size_t>(Method)].load(
+        std::memory_order_relaxed);
+    return V == NoOverride ? StaticInterval : V;
+  }
+
+  /// True when \p Method is currently retired (override interval 0).
+  bool isRetired(int Method) const {
+    return effectiveInterval(Method, NoOverride) == 0;
+  }
+
+  /// Applies \p Ds if \p Version is strictly newer than the last applied
+  /// version.  Returns false (and changes nothing) for stale or replayed
+  /// versions — the receiver-side monotonicity guard for POLICY frames.
+  bool applyVersioned(uint64_t Version, const std::vector<Decision> &Ds);
+
+  uint64_t appliedVersion() const {
+    return AppliedVersion.load(std::memory_order_acquire);
+  }
+
+  /// Every method with an override, as decisions (diagnostics/tests).
+  std::vector<Decision> snapshot() const;
+
+private:
+  std::vector<std::atomic<int64_t>> Intervals;
+  std::atomic<uint64_t> AppliedVersion{0};
+  std::mutex WriteMu; ///< serializes applyVersioned
+};
+
+/// A per-method slice of a bundle: the distributions the watcher scores.
+/// Blocks are the method's own basic-block counts; InEdges are the call
+/// edges INTO the method, keyed (caller, site) — between them every
+/// workload shape (block-count client, call-edge client, both) yields a
+/// usable per-method signal.
+struct MethodSlice {
+  std::map<int, uint64_t> Blocks; ///< block id -> count
+  std::map<std::pair<int, int>, uint64_t> InEdges;
+  uint64_t BlockTotal = 0;
+  uint64_t EdgeTotal = 0;
+
+  bool empty() const { return BlockTotal == 0 && EdgeTotal == 0; }
+};
+
+/// Groups \p B per method: BlockCounts by owning function, CallEdges by
+/// callee.
+std::map<int, MethodSlice> sliceByMethod(const profile::ProfileBundle &B);
+
+/// Section 4.4 overlap of two slices of the SAME method: per available
+/// kind (blocks, in-edges), weighted by the perfect side's event counts.
+/// 0 when either side is empty.
+double methodOverlapPct(const MethodSlice &Perfect,
+                        const MethodSlice &Sampled);
+
+/// Mean per-method overlap of \p Sampled vs \p Perfect, weighting each
+/// method by its share of \p Perfect's events — the accuracy metric
+/// bench_adaptive_policy pins (a retired-too-early method drags the mean
+/// down in proportion to how much it mattered).
+double perMethodOverlapPct(const profile::ProfileBundle &Perfect,
+                           const profile::ProfileBundle &Sampled);
+
+/// Watcher tuning.
+struct WatcherConfig {
+  /// Overlap (percent) two consecutive epoch deltas of a method must
+  /// reach, for StableEpochs epochs, before its interval is widened.
+  double WidenThresholdPct = 97.0;
+
+  /// Overlap at which the method is considered fully converged and is
+  /// retired to checking-only (must be >= WidenThresholdPct to mean
+  /// anything).
+  double RetireThresholdPct = 99.5;
+
+  /// Consecutive qualifying epochs before a decision fires (the paper's
+  /// guard against one lucky epoch).
+  int StableEpochs = 2;
+
+  /// Interval multiplier per widen decision.
+  uint32_t WidenFactor = 4;
+
+  /// The static interval the engines were deployed with; the first widen
+  /// starts from here.
+  int64_t BaseInterval = 1000;
+
+  /// Widening cap: beyond this the next qualifying decision retires
+  /// instead (an interval this sparse buys nothing over checking-only).
+  int64_t MaxInterval = int64_t(1) << 22;
+};
+
+/// The server-side decision maker.  NOT thread-safe: the owner (the
+/// collection server's epoch rotation) serializes calls.
+class ConvergenceWatcher {
+public:
+  explicit ConvergenceWatcher(WatcherConfig C) : Config(C) {}
+
+  /// Observes one epoch delta and returns the decisions it triggered
+  /// (empty when nothing changed).  Any nonempty return bumps
+  /// policyVersion().
+  std::vector<Decision> observeEpoch(const profile::ProfileBundle &Delta);
+
+  /// Monotonic version of the current table; bumped per decision batch.
+  uint64_t policyVersion() const { return Version; }
+
+  /// The full current table (for late-joining connections).
+  std::vector<Decision> currentPolicy() const;
+
+  /// Methods currently retired (diagnostics).
+  int retiredCount() const;
+
+private:
+  struct MethodState {
+    MethodSlice Prev;
+    bool HavePrev = false;
+    int WidenStreak = 0;
+    int RetireStreak = 0;
+    int64_t Interval = 0; ///< 0 = still at the static interval
+    bool Retired = false;
+  };
+
+  WatcherConfig Config;
+  std::map<int, MethodState> Methods;
+  uint64_t Version = 0;
+};
+
+} // namespace policy
+} // namespace ars
+
+#endif // ARS_POLICY_POLICY_H

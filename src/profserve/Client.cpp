@@ -218,8 +218,18 @@ ClientResult ProfileClient::exchange(MsgType ReqType,
     return {false, std::string(msgTypeName(ReqType)) +
                        " write failed: " + IO.Message};
   }
-  FrameResult FR =
-      readFrame(*Conn, Config.TimeoutMs, Config.MaxFramePayload);
+  FrameResult FR;
+  for (;;) {
+    FR = readFrame(*Conn, Config.TimeoutMs, Config.MaxFramePayload);
+    if (FR.ok() && FR.F.Type == MsgType::Policy) {
+      // A server-initiated POLICY push (wire v4) queued ahead of our
+      // reply: apply it (corrupt payloads are dropped — degrade to the
+      // static interval) and keep waiting for the reply proper.
+      handlePolicyPayload(FR.F.Payload);
+      continue;
+    }
+    break;
+  }
   if (!FR.ok()) {
     Conn->close();
     Conn.reset();
@@ -617,6 +627,49 @@ ClientResult ProfileClient::snapshot(std::string *PathOut) {
   if (PathOut)
     *PathOut = Path;
   return {true, ""};
+}
+
+void ProfileClient::onPolicy(
+    std::function<void(const PolicyMsg &)> Handler) {
+  PolicyHandler = std::move(Handler);
+}
+
+bool ProfileClient::handlePolicyPayload(const std::string &Payload) {
+  PolicyMsg M;
+  if (!decodePolicy(Payload, &M))
+    return false; // corrupt: keep the current intervals
+  ++PolicyFrames;
+  if (PolicyHandler)
+    PolicyHandler(M);
+  return true;
+}
+
+int ProfileClient::pollPolicy(int TimeoutMs) {
+  if (!Conn || Negotiated < 4)
+    return 0;
+  int Seen = 0;
+  for (;;) {
+    FrameResult FR = readFrame(*Conn, TimeoutMs, Config.MaxFramePayload);
+    if (!FR.ok()) {
+      // Silence is the normal end of a poll; anything else (EOF, frame
+      // damage, transport death) means the stream is no longer usable.
+      if (FR.Status != FrameStatus::Timeout) {
+        Conn->close();
+        Conn.reset();
+      }
+      return Seen;
+    }
+    if (FR.F.Type == MsgType::Policy) {
+      if (handlePolicyPayload(FR.F.Payload))
+        ++Seen;
+      continue;
+    }
+    // No request is outstanding, so any other type desynchronizes the
+    // request/reply rhythm; reconnect lazily on the next operation.
+    Conn->close();
+    Conn.reset();
+    return Seen;
+  }
 }
 
 bool parseHostPort(const std::string &Text, std::string *Host,

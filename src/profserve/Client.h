@@ -165,6 +165,28 @@ public:
   /// path the server reports.
   ClientResult snapshot(std::string *PathOut);
 
+  /// Registers the handler for unsolicited POLICY frames (wire v4, the
+  /// closed-loop sampling push-down).  The handler runs inline on
+  /// whatever thread is reading the connection — during any exchange
+  /// that finds a POLICY frame queued ahead of its reply, and during
+  /// pollPolicy().  A POLICY frame whose payload fails to decode is
+  /// dropped without invoking the handler: the receiver silently keeps
+  /// its current (static) intervals — corruption degrades, never
+  /// misconfigures.
+  void onPolicy(std::function<void(const PolicyMsg &)> Handler);
+
+  /// Drains server-initiated POLICY frames queued on the live
+  /// connection, invoking the onPolicy handler per well-formed frame,
+  /// until a read deadline of \p TimeoutMs passes with nothing to read.
+  /// Returns the number of well-formed POLICY frames seen.  Any other
+  /// frame type here is unsolicited and desynchronizing, so the
+  /// connection is dropped (the next operation reconnects).  No-op (0)
+  /// when disconnected or the session negotiated below v4.
+  int pollPolicy(int TimeoutMs);
+
+  /// Well-formed POLICY frames received over the client's lifetime.
+  uint64_t policyFramesSeen() const { return PolicyFrames; }
+
   /// Total merges the server reported in the last PUSH_ACK.
   uint64_t lastServerMerges() const { return LastMerges; }
 
@@ -201,6 +223,9 @@ private:
   bool appendSpill(uint64_t Seq, const std::string &ArspBytes,
                    std::string *Error);
   void backoff(int Attempt);
+  /// Decodes and dispatches one POLICY payload; false = corrupt
+  /// (silently dropped — the degrade-to-static contract).
+  bool handlePolicyPayload(const std::string &Payload);
 
   // Circuit breaker bookkeeping.
   bool breakerAllows();
@@ -217,6 +242,8 @@ private:
   int DialAttempts = 0;
   uint64_t NextSeq = 0; ///< last assigned push sequence number
   uint64_t DupAcks = 0;
+  std::function<void(const PolicyMsg &)> PolicyHandler;
+  uint64_t PolicyFrames = 0;
   int ConsecutiveFailures = 0;
   bool BreakerIsOpen = false;
   int CooldownOpsLeft = 0;

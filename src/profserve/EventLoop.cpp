@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <thread>
@@ -24,6 +25,35 @@ using Clock = std::chrono::steady_clock;
 
 } // namespace
 
+/// Completion rendezvous for a waited broadcast: one decrement per shard
+/// once that shard has executed (or discarded) the enqueue.
+struct BroadcastSync {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  int Remaining = 0;
+  size_t Delivered = 0;
+};
+
+/// One cross-thread broadcast request, as queued per shard.
+struct BroadcastOp {
+  std::shared_ptr<const std::string> Bytes;
+  std::shared_ptr<std::function<bool(const Reactor::Conn &)>> Pred;
+  std::shared_ptr<BroadcastSync> Sync; ///< null when the caller isn't waiting
+};
+
+namespace {
+
+void completeBroadcast(const BroadcastOp &Op, size_t Delivered) {
+  if (!Op.Sync)
+    return;
+  std::lock_guard<std::mutex> Lock(Op.Sync->Mu);
+  Op.Sync->Delivered += Delivered;
+  if (--Op.Sync->Remaining == 0)
+    Op.Sync->Cv.notify_all();
+}
+
+} // namespace
+
 /// One reactor thread's world.  Conns/FreeSlots are touched only by the
 /// owning thread; Incoming/ReadySlots/Stop cross threads under QueueMu;
 /// the wake pipe makes poll() interruptible from anywhere.
@@ -31,6 +61,7 @@ struct Reactor::Shard {
   std::mutex QueueMu;
   std::deque<std::unique_ptr<Transport>> Incoming;
   std::vector<size_t> ReadySlots;
+  std::vector<BroadcastOp> Broadcasts;
   bool Stop = false;
   int WakeRead = -1, WakeWrite = -1;
   std::thread Th;
@@ -126,6 +157,41 @@ void Reactor::adopt(std::unique_ptr<Transport> T) {
     S.Incoming.push_back(std::move(T));
   }
   S.wake();
+}
+
+size_t Reactor::broadcast(const std::string &Bytes,
+                          std::function<bool(const Conn &)> Pred,
+                          bool Wait) {
+  if (!Started || Stopped.load(std::memory_order_acquire))
+    return 0;
+  BroadcastOp Op;
+  Op.Bytes = std::make_shared<const std::string>(Bytes);
+  if (Pred)
+    Op.Pred = std::make_shared<std::function<bool(const Conn &)>>(
+        std::move(Pred));
+  if (Wait) {
+    Op.Sync = std::make_shared<BroadcastSync>();
+    Op.Sync->Remaining = static_cast<int>(Shards.size());
+  }
+  for (auto &SP : Shards) {
+    bool Enqueued = false;
+    {
+      std::lock_guard<std::mutex> Lock(SP->QueueMu);
+      if (!SP->Stop) {
+        SP->Broadcasts.push_back(Op);
+        Enqueued = true;
+      }
+    }
+    if (Enqueued)
+      SP->wake();
+    else
+      completeBroadcast(Op, 0); // shard already shut down
+  }
+  if (!Op.Sync)
+    return 0;
+  std::unique_lock<std::mutex> Lock(Op.Sync->Mu);
+  Op.Sync->Cv.wait(Lock, [&] { return Op.Sync->Remaining == 0; });
+  return Op.Sync->Delivered;
 }
 
 void Reactor::finish(Conn &C) {
@@ -296,6 +362,7 @@ void Reactor::runShard(Shard &S) {
   std::vector<size_t> PollSlots;
   std::vector<size_t> Ready;
   std::deque<std::unique_ptr<Transport>> Fresh;
+  std::vector<BroadcastOp> Casts;
 
   auto reapDead = [&S] {
     for (auto &CP : S.Conns)
@@ -309,14 +376,20 @@ void Reactor::runShard(Shard &S) {
     bool Stopping;
     Ready.clear();
     Fresh.clear();
+    Casts.clear();
     {
       std::lock_guard<std::mutex> Lock(S.QueueMu);
       Stopping = S.Stop;
       std::swap(Fresh, S.Incoming);
       std::swap(Ready, S.ReadySlots);
+      std::swap(Casts, S.Broadcasts);
     }
-    if (Stopping)
+    if (Stopping) {
+      // Waiters must never hang on a shard that is going away.
+      for (const BroadcastOp &Op : Casts)
+        completeBroadcast(Op, 0);
       break;
+    }
 
     // Adopt fresh connections into free slots.
     for (auto &T : Fresh) {
@@ -356,6 +429,31 @@ void Reactor::runShard(Shard &S) {
       S.Conns[Slot] = std::move(C);
       Ready.push_back(Slot); // initial service pass
     }
+
+    // Execute queued broadcasts on the owning thread: same deadline
+    // arming and flush as a hook reply, so a POLICY frame can never
+    // interleave mid-frame with one.
+    for (const BroadcastOp &Op : Casts) {
+      size_t Delivered = 0;
+      for (auto &CP : S.Conns) {
+        if (!CP || CP->Dead || CP->CloseAfterFlush)
+          continue;
+        Conn &C = *CP;
+        if (Op.Pred && !(*Op.Pred)(C))
+          continue;
+        if (!C.outPending() && Cfg.SendTimeoutMs > 0) {
+          C.HasWriteDeadline = true;
+          C.WriteDeadline =
+              Clock::now() + std::chrono::milliseconds(Cfg.SendTimeoutMs);
+        }
+        C.Out.append(*Op.Bytes);
+        flushOut(C);
+        if (!C.Dead)
+          ++Delivered;
+      }
+      completeBroadcast(Op, Delivered);
+    }
+    reapDead();
 
     // Service signaled slots (deduplication is harmless but cheap).
     std::sort(Ready.begin(), Ready.end());

@@ -133,6 +133,24 @@ public:
   /// thread.  Safe from any thread; a post-stop() adopt just closes \p T.
   void adopt(std::unique_ptr<Transport> T);
 
+  /// Appends \p Bytes (already-encoded frame bytes) to the outbound
+  /// stream of every live connection for which \p Pred returns true
+  /// (null = all) — the server-initiated send path under the POLICY
+  /// push-down.  Like adopt(), this only touches the shard queues and
+  /// wake pipes; the actual enqueue runs on each connection's owning
+  /// reactor thread, so it serializes naturally against replies on the
+  /// same connection and needs no transport locks.  Safe from any
+  /// thread; a no-op after stop().
+  ///
+  /// When \p Wait is true the call blocks until every reactor thread has
+  /// executed the enqueue (the bytes are handed to the transports, or
+  /// dropped with the connection), and returns the number of connections
+  /// written — the deterministic hand-off the chaos harness and tests
+  /// rely on.  When false it returns 0 immediately.
+  size_t broadcast(const std::string &Bytes,
+                   std::function<bool(const Conn &)> Pred,
+                   bool Wait = false);
+
   /// Connections adopted and not yet closed.
   size_t active() const {
     return ActiveConns.load(std::memory_order_acquire);

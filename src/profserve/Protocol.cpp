@@ -26,13 +26,14 @@ const char *msgTypeName(MsgType T) {
   case MsgType::Bye:          return "BYE";
   case MsgType::PushBatch:    return "PUSH_BATCH";
   case MsgType::PushBatchAck: return "PUSH_BATCH_ACK";
+  case MsgType::Policy:       return "POLICY";
   }
   return "?";
 }
 
 bool knownMsgType(uint8_t Raw) {
   return Raw >= static_cast<uint8_t>(MsgType::Hello) &&
-         Raw <= static_cast<uint8_t>(MsgType::PushBatchAck);
+         Raw <= static_cast<uint8_t>(MsgType::Policy);
 }
 
 std::string encodeFrame(MsgType Type, const std::string &Payload) {
@@ -330,6 +331,34 @@ bool decodePushBatchAck(const std::string &Payload, PushBatchAckMsg *Out) {
          R.readLengthPrefixed(&Out->FirstError, MaxTextLen) && finish(R);
 }
 
+std::string encodePolicy(const PolicyMsg &M) {
+  std::string Out;
+  appendVarint(Out, M.PolicyVersion);
+  appendVarint(Out, M.Entries.size());
+  for (const PolicyEntry &E : M.Entries) {
+    appendVarint(Out, E.Method);
+    appendVarint(Out, E.Interval);
+  }
+  return Out;
+}
+
+bool decodePolicy(const std::string &Payload, PolicyMsg *Out) {
+  ByteReader R(Payload);
+  uint64_t Count = 0;
+  if (!R.readVarint(&Out->PolicyVersion) || !R.readVarint(&Count) ||
+      Count > MaxPolicyEntries)
+    return false;
+  Out->Entries.clear();
+  Out->Entries.reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; I != Count; ++I) {
+    PolicyEntry E;
+    if (!R.readVarint(&E.Method) || !R.readVarint(&E.Interval))
+      return false;
+    Out->Entries.push_back(E);
+  }
+  return finish(R);
+}
+
 std::string encodeStats(const StatsMsg &M, uint32_t Version) {
   std::string Out;
   appendVarint(Out, M.Frames);
@@ -348,6 +377,10 @@ std::string encodeStats(const StatsMsg &M, uint32_t Version) {
     appendVarint(Out, M.RelayFlushes);
     appendVarint(Out, M.RelayFailures);
   }
+  if (Version >= 4) {
+    appendVarint(Out, M.PolicyPushes);
+    appendVarint(Out, M.PolicyDecisions);
+  }
   return Out;
 }
 
@@ -362,8 +395,13 @@ bool decodeStats(const std::string &Payload, StatsMsg *Out) {
     return false;
   if (R.atEnd())
     return true; // v2 payload: batch/relay counters default to 0
-  return R.readVarint(&Out->Batches) && R.readVarint(&Out->RelayFlushes) &&
-         R.readVarint(&Out->RelayFailures) && finish(R);
+  if (!(R.readVarint(&Out->Batches) && R.readVarint(&Out->RelayFlushes) &&
+        R.readVarint(&Out->RelayFailures)))
+    return false;
+  if (R.atEnd())
+    return true; // v3 payload: policy counters default to 0
+  return R.readVarint(&Out->PolicyPushes) &&
+         R.readVarint(&Out->PolicyDecisions) && finish(R);
 }
 
 const char *errCodeName(ErrCode C) {

@@ -50,13 +50,22 @@ namespace profserve {
 /// v3: PUSH_BATCH carries M sequenced shards in one frame with one
 /// cumulative PUSH_BATCH_ACK (client round-trips amortize over the
 /// batch), and STATS grew batch/relay counters.
-constexpr uint32_t WireVersion = 3;
+/// v4: POLICY carries a server-initiated per-method sampling-interval
+/// table (the closed-loop adaptive-sampling push-down; see
+/// policy/Policy.h).  POLICY is only ever SENT on sessions negotiated at
+/// v4 — a v2/v3 peer simply never receives one, so negotiation needs no
+/// new handshake fields.
+constexpr uint32_t WireVersion = 4;
 
 /// Oldest client dialect the server still speaks.
 constexpr uint32_t MinWireVersion = 2;
 
 /// Cap on shards in one PUSH_BATCH (alongside the frame payload cap).
 constexpr size_t MaxBatchShards = 4096;
+
+/// Cap on per-method entries in one POLICY frame.  Far above any real
+/// module's method count, far below what a hostile varint could demand.
+constexpr size_t MaxPolicyEntries = 65536;
 
 constexpr size_t FrameHeaderSize = 5;  ///< u32 length + u8 type
 constexpr size_t FrameTrailerSize = 4; ///< CRC32 of header+payload
@@ -81,6 +90,7 @@ enum class MsgType : uint8_t {
   Bye,          ///< client: graceful close
   PushBatch,    ///< client (v3): M sequenced shards in one frame
   PushBatchAck, ///< server (v3): one cumulative ack for the batch
+  Policy,       ///< server (v4): per-method sampling-interval decisions
 };
 
 const char *msgTypeName(MsgType T);
@@ -210,6 +220,27 @@ struct PushBatchAckMsg {
 std::string encodePushBatchAck(const PushBatchAckMsg &M);
 bool decodePushBatchAck(const std::string &Payload, PushBatchAckMsg *Out);
 
+/// One per-method decision inside a POLICY frame.
+struct PolicyEntry {
+  uint64_t Method = 0;   ///< FuncId the decision applies to
+  uint64_t Interval = 0; ///< new sample interval; 0 = retire (checking-only)
+};
+
+/// POLICY payload (v4, server -> client): the watcher's current
+/// per-method interval table.  PolicyVersion is monotonic per emitting
+/// server; receivers apply a frame only when its version is NEWER than
+/// the last one applied, so reordered or relay-duplicated frames can
+/// never roll a table back.
+struct PolicyMsg {
+  uint64_t PolicyVersion = 0;
+  std::vector<PolicyEntry> Entries;
+};
+/// POLICY payload: varint policy version, varint entry count, then per
+/// entry a varint method id and a varint interval.  decode rejects
+/// counts above MaxPolicyEntries, truncation and trailing garbage.
+std::string encodePolicy(const PolicyMsg &M);
+bool decodePolicy(const std::string &Payload, PolicyMsg *Out);
+
 /// Server-side counters exposed through STATS.
 struct StatsMsg {
   uint64_t Frames = 0;            ///< valid frames received
@@ -228,6 +259,9 @@ struct StatsMsg {
   uint64_t Batches = 0;       ///< PUSH_BATCH frames accepted
   uint64_t RelayFlushes = 0;  ///< upstream epoch deltas pushed (relay)
   uint64_t RelayFailures = 0; ///< upstream flushes that failed/spilled
+  // v4 additions, same short-tail rule:
+  uint64_t PolicyPushes = 0;    ///< POLICY broadcasts sent downstream
+  uint64_t PolicyDecisions = 0; ///< watcher decisions emitted (entries)
 };
 /// \p Version selects the dialect: a v2 payload stops at Recovered so a
 /// v2 client's strict no-trailing-garbage decoder still accepts it.

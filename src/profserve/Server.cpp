@@ -26,6 +26,10 @@ void ProfileServer::start() {
   if (Config.RecoverOnStart && !Config.SnapshotPath.empty())
     recoverOnStart();
 
+  if (Config.Policy.Enabled)
+    Watcher =
+        std::make_unique<policy::ConvergenceWatcher>(Config.Policy.Watcher);
+
   if (Config.Relay.enabled()) {
     ClientConfig CC = Config.Relay.Client;
     if (CC.Fingerprint == 0)
@@ -45,6 +49,13 @@ void ProfileServer::start() {
                          ? "arsc-relay.spill"
                          : Config.SnapshotPath + ".relay-spill";
     Upstream = std::make_unique<ProfileClient>(Config.Relay.Dial, CC);
+    // Relay-tree push-down: POLICY frames the parent sends during our
+    // upstream flushes are re-broadcast to our own children.  The
+    // handler runs on whatever thread drives the upstream client (the
+    // flusher, or stop()'s final flush) — forwardPolicy only takes
+    // PolicyMu and the reactor's queue locks, so there is no cycle.
+    Upstream->onPolicy(
+        [this](const PolicyMsg &M) { forwardPolicy(M); });
   }
 
   Reactor::Config RC;
@@ -336,7 +347,19 @@ Reactor::FrameAction ProfileServer::handleFrame(Reactor::Conn &Conn,
     // Echo the client's version: the session runs at ITS dialect.
     Ack.Version = Hello.Version;
     Ack.Fingerprint = Pinned;
-    return reply(MsgType::HelloAck, encodeHelloAck(Ack));
+    Reactor::FrameAction A =
+        reply(MsgType::HelloAck, encodeHelloAck(Ack));
+    if (Conn.Negotiated >= 4) {
+      // Late joiner on a policy-pushing server: the current table rides
+      // right behind the ack, so an engine that connects after
+      // convergence starts at the decided intervals instead of the
+      // static one.  v2/v3 sessions never reach here — negotiation IS
+      // the policy gate.
+      PolicyMsg Current = currentPolicy();
+      if (Current.PolicyVersion != 0)
+        A.Reply += encodeFrame(MsgType::Policy, encodePolicy(Current));
+    }
+    return A;
   }
 
   if (!Conn.SawHello)
@@ -551,10 +574,82 @@ profile::ProfileBundle ProfileServer::merged() const {
 
 void ProfileServer::rotateEpoch() {
   profile::ProfileBundle Drained = Agg.drain();
-  std::lock_guard<std::mutex> Lock(StateMu);
-  profstore::mergeBundle(EpochBase, Drained);
-  profstore::decayBundle(EpochBase, Config.EpochKeepPct);
-  ++Stats.Epochs;
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    profstore::mergeBundle(EpochBase, Drained);
+    profstore::decayBundle(EpochBase, Config.EpochKeepPct);
+    ++Stats.Epochs;
+  }
+  // The pre-decay delta is exactly one epoch's worth of new samples —
+  // the watcher's unit of observation.
+  if (Watcher)
+    observePolicyEpoch(Drained);
+}
+
+void ProfileServer::observePolicyEpoch(
+    const profile::ProfileBundle &Delta) {
+  PolicyMsg ToSend;
+  size_t NewDecisions = 0;
+  {
+    std::lock_guard<std::mutex> Lock(PolicyMu);
+    NewDecisions = Watcher->observeEpoch(Delta).size();
+    if (NewDecisions == 0)
+      return;
+    // Broadcast the FULL table, not the diff: a frame is droppable
+    // (chaos does drop them), so each one must be a complete statement
+    // a receiver at any older version can apply alone.
+    LastPolicy.PolicyVersion = Watcher->policyVersion();
+    LastPolicy.Entries.clear();
+    for (const policy::Decision &D : Watcher->currentPolicy())
+      LastPolicy.Entries.push_back(
+          {static_cast<uint64_t>(D.Method),
+           static_cast<uint64_t>(D.Interval)});
+    ToSend = LastPolicy;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    Stats.PolicyDecisions += NewDecisions;
+  }
+  broadcastPolicy(ToSend, /*Wait=*/false);
+}
+
+void ProfileServer::forwardPolicy(const PolicyMsg &M) {
+  {
+    std::lock_guard<std::mutex> Lock(PolicyMu);
+    // A local watcher is authoritative for this subtree; and an
+    // upstream version not strictly newer than what we already hold is
+    // a reorder/duplicate.
+    if (Watcher || M.PolicyVersion <= LastPolicy.PolicyVersion)
+      return;
+    LastPolicy = M;
+  }
+  broadcastPolicy(M, /*Wait=*/false);
+}
+
+size_t ProfileServer::broadcastPolicy(const PolicyMsg &M, bool Wait) {
+  if (!R || M.PolicyVersion == 0)
+    return 0;
+  std::string Bytes = encodeFrame(MsgType::Policy, encodePolicy(M));
+  size_t Delivered = R->broadcast(
+      Bytes,
+      [](const Reactor::Conn &C) {
+        return C.SawHello && C.Negotiated >= 4;
+      },
+      Wait);
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    ++Stats.PolicyPushes;
+  }
+  return Delivered;
+}
+
+PolicyMsg ProfileServer::currentPolicy() const {
+  std::lock_guard<std::mutex> Lock(PolicyMu);
+  return LastPolicy;
+}
+
+size_t ProfileServer::pushPolicy(bool Wait) {
+  return broadcastPolicy(currentPolicy(), Wait);
 }
 
 bool ProfileServer::flushUpstream(std::string *Error) {

@@ -69,6 +69,7 @@
 #ifndef ARS_PROFSERVE_SERVER_H
 #define ARS_PROFSERVE_SERVER_H
 
+#include "policy/Policy.h"
 #include "profserve/Client.h"
 #include "profserve/EventLoop.h"
 #include "profserve/Protocol.h"
@@ -110,6 +111,21 @@ struct RelayConfig {
   int FlushIntervalMs = 0;
 
   bool enabled() const { return static_cast<bool>(Dial); }
+};
+
+/// Closed-loop sampling policy (wire v4; `arsc serve --policy`).  When
+/// enabled, every epoch rotation feeds the drained delta to a
+/// ConvergenceWatcher, and any new decisions are broadcast as a POLICY
+/// frame to every connection negotiated at v4 (v2/v3 sessions simply
+/// never receive one) and forwarded down the relay tree.  A relay
+/// WITHOUT its own watcher still forwards upstream POLICY frames to its
+/// children, so one watcher at the root steers an entire tree; enabling
+/// the watcher on an interior relay makes the relay authoritative for
+/// its subtree (upstream frames are then ignored — two version
+/// sequences must never interleave at one receiver).
+struct PolicyPushConfig {
+  bool Enabled = false;
+  policy::WatcherConfig Watcher;
 };
 
 struct ServerConfig {
@@ -173,6 +189,9 @@ struct ServerConfig {
 
   /// Upstream aggregation-tree edge; see RelayConfig.
   RelayConfig Relay;
+
+  /// Closed-loop sampling policy push-down; see PolicyPushConfig.
+  PolicyPushConfig Policy;
 };
 
 /// Monotonic counters; readable at any time via stats() or STATS_REQ.
@@ -228,6 +247,18 @@ public:
 
   bool isRelay() const { return Config.Relay.enabled(); }
 
+  /// The policy table as last broadcast (local watcher decisions when
+  /// the watcher is enabled, else whatever the upstream pushed down).
+  /// Entries empty + PolicyVersion 0 = nothing decided yet.
+  PolicyMsg currentPolicy() const;
+
+  /// (Re)broadcasts the current policy to every v4 session.  With
+  /// \p Wait the call returns only after every reactor thread has
+  /// handed the frame to its transports, and the return value is the
+  /// number of connections written — the deterministic hand-off the
+  /// chaos harness and tests use.  No-op (0) when no policy exists yet.
+  size_t pushPolicy(bool Wait = false);
+
   const Listener &listener() const { return *L; }
 
 private:
@@ -248,6 +279,14 @@ private:
                  const profstore::DecodeResult &D, uint64_t *MergesOut);
   void maybeTriggerRelayFlush();
   void bumpReject(const std::string &Why, const std::string &Peer);
+  /// Feeds one epoch delta to the watcher; broadcasts on new decisions.
+  void observePolicyEpoch(const profile::ProfileBundle &Delta);
+  /// Adopts an upstream POLICY frame (relay) and re-broadcasts it
+  /// downstream.  Ignored when stale or when the local watcher is
+  /// authoritative.
+  void forwardPolicy(const PolicyMsg &M);
+  /// Broadcasts \p M to every v4 session (see pushPolicy).
+  size_t broadcastPolicy(const PolicyMsg &M, bool Wait);
 
   std::unique_ptr<Listener> L;
   ServerConfig Config;
@@ -292,6 +331,13 @@ private:
   bool FlushStop = false;  ///< guarded by FlushMu
   std::thread Flusher;
   std::atomic<uint64_t> MergesSinceFlush{0};
+
+  /// Closed-loop policy state.  PolicyMu guards the watcher (rotations
+  /// may race) and the last-broadcast table; it is never held across a
+  /// broadcast or any reactor call.
+  mutable std::mutex PolicyMu;
+  std::unique_ptr<policy::ConvergenceWatcher> Watcher; ///< null unless enabled
+  PolicyMsg LastPolicy; ///< guarded by PolicyMu
 };
 
 } // namespace profserve

@@ -67,7 +67,10 @@ bool ExecutionEngine::fail(const std::string &Message) {
 }
 
 int64_t ExecutionEngine::nextResetValue() {
-  int64_t Interval = Config.SampleInterval;
+  return nextResetValue(Config.SampleInterval);
+}
+
+int64_t ExecutionEngine::nextResetValue(int64_t Interval) {
   if (Config.RandomJitterPct == 0)
     return Interval;
   int64_t Spread = Interval * static_cast<int64_t>(Config.RandomJitterPct) /
@@ -78,11 +81,31 @@ int64_t ExecutionEngine::nextResetValue() {
   return Value < 1 ? 1 : Value;
 }
 
-bool ExecutionEngine::sampleConditionFires(Thread &T) {
+bool ExecutionEngine::sampleConditionFires(Thread &T, int FuncId) {
   if (Config.Trigger == TriggerKind::Timer) {
     if (!SampleBit)
       return false;
     SampleBit = false;
+    return true;
+  }
+  if (!PolicyCounters.empty() && FuncId >= 0 &&
+      static_cast<size_t>(FuncId) < PolicyCounters.size()) {
+    // Closed-loop policy: one countdown per method, at the table's
+    // effective interval.  A retired method (effective interval 0)
+    // never fires — the duplicated body is unreachable from here on,
+    // i.e. checking-only semantics without a restart.  An interval
+    // change takes effect at the next re-arm; the in-flight countdown
+    // finishes at its old pace.
+    int64_t Interval =
+        Config.Policy->effectiveInterval(FuncId, Config.SampleInterval);
+    if (Interval <= 0)
+      return false;
+    int64_t &Counter = PolicyCounters[static_cast<size_t>(FuncId)];
+    if (Counter <= 0)
+      Counter = Interval; // first arm, jitter-free like GlobalCounter's
+    if (--Counter > 0)
+      return false;
+    Counter = nextResetValue(Interval);
     return true;
   }
   if (Config.SampleInterval <= 0)
@@ -454,7 +477,7 @@ bool ExecutionEngine::stepThread(Thread &T) {
 
     case IROp::SampleCheck: {
       ++Stats.CheckExecs;
-      bool Fires = sampleConditionFires(T);
+      bool Fires = sampleConditionFires(T, Fr.Func->FuncId);
       if (Fires) {
         ++Stats.SamplesTaken;
         Stats.Cycles += Costs.CheckTakenExtra;
@@ -480,7 +503,7 @@ bool ExecutionEngine::stepThread(Thread &T) {
     }
     case IROp::GuardedProbe: {
       ++Stats.GuardedProbeExecs;
-      if (sampleConditionFires(T)) {
+      if (sampleConditionFires(T, Fr.Func->FuncId)) {
         ++Stats.GuardedProbesTaken;
         const instr::ProbeEntry &P = Probes.entry(static_cast<int>(I.Imm));
         Stats.Cycles += P.CostCycles;
@@ -509,6 +532,7 @@ RunStats ExecutionEngine::run(int EntryFunc,
   Threads.clear();
   Rng = support::Xorshift64(Config.RandomSeed);
   GlobalCounter = Config.SampleInterval > 0 ? Config.SampleInterval : 0;
+  PolicyCounters.assign(Config.Policy ? Funcs.size() : 0, 0);
   SampleBit = false;
   NextTimerFire = Config.TimerPeriodCycles;
   LastSwitchCycles = 0;

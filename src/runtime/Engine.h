@@ -29,6 +29,7 @@
 #include "bytecode/Module.h"
 #include "instr/Probe.h"
 #include "ir/IR.h"
+#include "policy/Policy.h"
 #include "profile/Profiles.h"
 #include "runtime/CostModel.h"
 #include "runtime/Heap.h"
@@ -73,6 +74,21 @@ struct EngineConfig {
 
   /// Burst length for BurstTransfer (must match the transform option).
   int BurstLength = 0;
+
+  /// Runtime-settable per-method interval table — the receiving end of
+  /// the closed-loop policy push-down (policy/Policy.h).  Null (the
+  /// default) leaves the engine bit-identical to one without this
+  /// field.  When attached, the Counter trigger keeps one countdown per
+  /// method: a method with no override counts at SampleInterval; a
+  /// widened method counts at its override; a RETIRED method (override
+  /// 0) never fires, so its duplicated body is never entered again —
+  /// checking-only semantics without restart or re-transform.  The
+  /// table may be written concurrently (a POLICY frame arriving on a
+  /// client thread); the engine only ever loads atomics from it.
+  /// Property 1 is unaffected: checks still execute at every method
+  /// entry and loop backedge, so CheckExecs <= Entries + Backedges
+  /// holds no matter what the table says.
+  std::shared_ptr<policy::PolicyTable> Policy;
 
   /// Thread scheduler time slice, polled at yieldpoints.
   uint64_t YieldQuantumCycles = 200000;
@@ -177,13 +193,18 @@ private:
   RunStats Stats;
   support::Xorshift64 Rng;
   int64_t GlobalCounter = 0;
+  /// Per-method countdowns, indexed by FuncId; sized only when a policy
+  /// table is attached (empty otherwise, keeping the no-policy path
+  /// untouched).  0 = not yet armed for the effective interval.
+  std::vector<int64_t> PolicyCounters;
   bool SampleBit = false;
   uint64_t NextTimerFire = 0;
   uint64_t LastSwitchCycles = 0;
 
   bool fail(const std::string &Message);
   int64_t nextResetValue();
-  bool sampleConditionFires(Thread &T);
+  int64_t nextResetValue(int64_t Interval);
+  bool sampleConditionFires(Thread &T, int FuncId);
   void runProbeBody(const instr::ProbeEntry &P, Thread &T);
   /// Runs \p T until it blocks on a yield, finishes, or the run fails.
   /// Returns false when the whole run must stop.

@@ -1,0 +1,607 @@
+//===- tests/test_policy.cpp - Closed-loop sampling policy ----*- C++ -*-===//
+///
+/// The policy subsystem end to end: PolicyTable semantics (monotonic
+/// versions, retire, out-of-range), the ConvergenceWatcher's decision
+/// logic, the per-method overlap metric, the engine's runtime interval
+/// table — with Property 1 re-verified after widening and after a
+/// retire/re-transform-free swap — and the server → (relay →) client
+/// push-down over live connections.
+///
+/// All suites are named Policy* so scripts/check.sh --tsan runs the file
+/// under ThreadSanitizer (the table is read lock-free by the engine while
+/// a client thread may be writing it).
+///
+//===----------------------------------------------------------------------===//
+
+#include "policy/Policy.h"
+
+#include "instr/Clients.h"
+#include "profserve/Client.h"
+#include "profserve/Protocol.h"
+#include "profserve/Server.h"
+#include "profserve/Transport.h"
+#include "sampling/Property1.h"
+
+#include "TestUtil.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ars;
+using ars::testutil::build;
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+instr::CallEdgeInstrumentation CallEdges;
+instr::FieldAccessInstrumentation FieldAccesses;
+instr::BlockCountInstrumentation AllBlocks(4, /*Stride=*/1);
+
+/// Two-function workload: `hot` dominates the profile, `cold` barely
+/// shows up — the shape per-method decisions exist for.
+const char *TwoMethodSrc = R"(
+  int hot(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) s = s + i * 3 - (s / 7);
+    return s;
+  }
+  int cold(int n) { return n * 5 + 1; }
+  int main(int n) {
+    int a = 0;
+    for (int r = 0; r < 8; r = r + 1) {
+      a = a + hot(n);
+      a = a + cold(r);
+    }
+    return a;
+  }
+)";
+
+int funcIdOf(const harness::Program &P, const char *Name) {
+  for (const ir::IRFunction &F : P.Funcs)
+    if (F.Name == Name)
+      return F.FuncId;
+  ADD_FAILURE() << "no function named " << Name;
+  return -1;
+}
+
+std::vector<policy::Decision> sameForAll(size_t N, int64_t Interval) {
+  std::vector<policy::Decision> Ds;
+  for (size_t I = 0; I != N; ++I)
+    Ds.push_back({static_cast<int>(I), Interval});
+  return Ds;
+}
+
+/// A bundle whose per-method slices are fully determined by \p Variant:
+/// blocks for method 3 and call edges into method 5.
+profile::ProfileBundle epochDelta(int Variant) {
+  profile::ProfileBundle B;
+  for (int Blk = 0; Blk != 4; ++Blk)
+    B.BlockCounts.record(3, Blk + Variant * 10, 100 + Blk);
+  profile::CallEdgeKey K;
+  K.Caller = 1;
+  K.Site = 2 + Variant * 10;
+  K.Callee = 5;
+  B.CallEdges.record(K, 500);
+  return B;
+}
+
+//===----------------------------------------------------------------------===//
+// PolicyTable
+//===----------------------------------------------------------------------===//
+
+TEST(PolicyTable, DefaultsToStaticInterval) {
+  policy::PolicyTable T(4);
+  EXPECT_EQ(T.size(), 4u);
+  EXPECT_EQ(T.appliedVersion(), 0u);
+  for (int M = 0; M != 4; ++M) {
+    EXPECT_EQ(T.effectiveInterval(M, 1000), 1000);
+    EXPECT_FALSE(T.isRetired(M));
+  }
+  // Out of range (including negative) always reads as static.
+  EXPECT_EQ(T.effectiveInterval(4, 1000), 1000);
+  EXPECT_EQ(T.effectiveInterval(-1, 1000), 1000);
+  EXPECT_TRUE(T.snapshot().empty());
+}
+
+TEST(PolicyTable, VersionGuardIsMonotonic) {
+  policy::PolicyTable T(4);
+  ASSERT_TRUE(T.applyVersioned(3, {{1, 8000}}));
+  EXPECT_EQ(T.appliedVersion(), 3u);
+  EXPECT_EQ(T.effectiveInterval(1, 1000), 8000);
+
+  // Stale and replayed versions are no-ops — the relay-duplicate guard.
+  EXPECT_FALSE(T.applyVersioned(3, {{1, 16000}}));
+  EXPECT_FALSE(T.applyVersioned(2, {{1, 0}}));
+  EXPECT_EQ(T.effectiveInterval(1, 1000), 8000);
+
+  // A newer version applies, including a retire.
+  ASSERT_TRUE(T.applyVersioned(4, {{1, 0}, {2, 32000}}));
+  EXPECT_TRUE(T.isRetired(1));
+  EXPECT_EQ(T.effectiveInterval(1, 1000), 0);
+  EXPECT_EQ(T.effectiveInterval(2, 1000), 32000);
+  EXPECT_EQ(T.snapshot().size(), 2u);
+}
+
+TEST(PolicyTable, OutOfRangeMethodsIgnoredOnApply) {
+  policy::PolicyTable T(2);
+  ASSERT_TRUE(T.applyVersioned(1, {{-1, 0}, {7, 0}, {0, 4000}}));
+  EXPECT_EQ(T.effectiveInterval(0, 1000), 4000);
+  EXPECT_EQ(T.effectiveInterval(1, 1000), 1000);
+  EXPECT_EQ(T.effectiveInterval(7, 1000), 1000);
+}
+
+//===----------------------------------------------------------------------===//
+// Slicing and the per-method overlap metric
+//===----------------------------------------------------------------------===//
+
+TEST(PolicySlice, GroupsBlocksByFunctionAndEdgesByCallee) {
+  std::map<int, policy::MethodSlice> S =
+      policy::sliceByMethod(epochDelta(0));
+  ASSERT_EQ(S.size(), 2u);
+  ASSERT_TRUE(S.count(3));
+  EXPECT_EQ(S[3].Blocks.size(), 4u);
+  EXPECT_GT(S[3].BlockTotal, 0u);
+  EXPECT_EQ(S[3].EdgeTotal, 0u);
+  ASSERT_TRUE(S.count(5));
+  EXPECT_EQ(S[5].InEdges.size(), 1u);
+  EXPECT_EQ(S[5].EdgeTotal, 500u);
+  EXPECT_FALSE(S[3].empty());
+}
+
+TEST(PolicySlice, OverlapScoresIdenticalAndDisjointSlices) {
+  std::map<int, policy::MethodSlice> A =
+      policy::sliceByMethod(epochDelta(0));
+  std::map<int, policy::MethodSlice> B =
+      policy::sliceByMethod(epochDelta(1)); // disjoint block ids
+  EXPECT_DOUBLE_EQ(policy::methodOverlapPct(A[3], A[3]), 100.0);
+  EXPECT_DOUBLE_EQ(policy::methodOverlapPct(A[3], B[3]), 0.0);
+  EXPECT_DOUBLE_EQ(policy::methodOverlapPct(A[3], policy::MethodSlice()),
+                   0.0);
+}
+
+TEST(PolicySlice, PerMethodOverlapPenalizesMissingMethods) {
+  profile::ProfileBundle Perfect = epochDelta(0);
+  EXPECT_DOUBLE_EQ(policy::perMethodOverlapPct(Perfect, Perfect), 100.0);
+
+  // Sampled bundle missing method 5 entirely: the mean drops by method
+  // 5's share of the perfect side's events, no more and no less.
+  profile::ProfileBundle Partial;
+  for (int Blk = 0; Blk != 4; ++Blk)
+    Partial.BlockCounts.record(3, Blk, 100 + Blk);
+  double Got = policy::perMethodOverlapPct(Perfect, Partial);
+  EXPECT_LT(Got, 100.0);
+  EXPECT_GT(Got, 0.0);
+
+  EXPECT_DOUBLE_EQ(
+      policy::perMethodOverlapPct(Perfect, profile::ProfileBundle()), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// ConvergenceWatcher
+//===----------------------------------------------------------------------===//
+
+TEST(PolicyWatcher, WidensAfterStableEpochsOnly) {
+  policy::WatcherConfig C;
+  C.WidenThresholdPct = 90.0;
+  C.RetireThresholdPct = 1000.0; // unreachable: widen path only
+  C.StableEpochs = 2;
+  C.WidenFactor = 4;
+  C.BaseInterval = 1000;
+  policy::ConvergenceWatcher W(C);
+
+  // Epoch 1 primes; epoch 2 starts the streak; epoch 3 completes it.
+  EXPECT_TRUE(W.observeEpoch(epochDelta(0)).empty());
+  EXPECT_TRUE(W.observeEpoch(epochDelta(0)).empty());
+  EXPECT_EQ(W.policyVersion(), 0u);
+  std::vector<policy::Decision> Ds = W.observeEpoch(epochDelta(0));
+  ASSERT_EQ(Ds.size(), 2u) << "methods 3 and 5 both converged";
+  EXPECT_EQ(W.policyVersion(), 1u);
+  for (const policy::Decision &D : Ds)
+    EXPECT_EQ(D.Interval, 4000) << "method " << D.Method;
+
+  // The streak resets after a decision: two more epochs, another x4.
+  EXPECT_TRUE(W.observeEpoch(epochDelta(0)).empty());
+  Ds = W.observeEpoch(epochDelta(0));
+  ASSERT_EQ(Ds.size(), 2u);
+  EXPECT_EQ(Ds[0].Interval, 16000);
+  EXPECT_EQ(W.policyVersion(), 2u);
+  EXPECT_EQ(W.currentPolicy().size(), 2u);
+}
+
+TEST(PolicyWatcher, RetiresAtRetireThreshold) {
+  policy::WatcherConfig C;
+  C.WidenThresholdPct = 90.0;
+  C.RetireThresholdPct = 99.5; // identical deltas hit this immediately
+  C.StableEpochs = 2;
+  policy::ConvergenceWatcher W(C);
+  W.observeEpoch(epochDelta(0));
+  W.observeEpoch(epochDelta(0));
+  std::vector<policy::Decision> Ds = W.observeEpoch(epochDelta(0));
+  ASSERT_EQ(Ds.size(), 2u);
+  for (const policy::Decision &D : Ds)
+    EXPECT_EQ(D.Interval, 0) << "method " << D.Method;
+  EXPECT_EQ(W.retiredCount(), 2);
+  // Retired methods are out of the game: further epochs decide nothing.
+  EXPECT_TRUE(W.observeEpoch(epochDelta(0)).empty());
+  EXPECT_TRUE(W.observeEpoch(epochDelta(0)).empty());
+  EXPECT_EQ(W.policyVersion(), 1u);
+}
+
+TEST(PolicyWatcher, WideningCapConvertsToRetire) {
+  policy::WatcherConfig C;
+  C.WidenThresholdPct = 0.0;
+  C.RetireThresholdPct = 1000.0;
+  C.StableEpochs = 1;
+  C.WidenFactor = 4;
+  C.BaseInterval = 1000;
+  C.MaxInterval = 4000; // one widen reaches the cap
+  policy::ConvergenceWatcher W(C);
+  W.observeEpoch(epochDelta(0)); // prime
+  std::vector<policy::Decision> Ds = W.observeEpoch(epochDelta(0));
+  ASSERT_EQ(Ds.size(), 2u);
+  EXPECT_EQ(Ds[0].Interval, 4000) << "clamped at MaxInterval";
+  Ds = W.observeEpoch(epochDelta(0));
+  ASSERT_EQ(Ds.size(), 2u);
+  for (const policy::Decision &D : Ds)
+    EXPECT_EQ(D.Interval, 0) << "at the cap, the next decision retires";
+  EXPECT_EQ(W.retiredCount(), 2);
+}
+
+TEST(PolicyWatcher, UnstableMethodsAreLeftAlone) {
+  policy::WatcherConfig C;
+  C.StableEpochs = 1; // as twitchy as it gets; content must still gate
+  policy::ConvergenceWatcher W(C);
+  for (int E = 0; E != 6; ++E)
+    EXPECT_TRUE(W.observeEpoch(epochDelta(E % 2)).empty())
+        << "alternating disjoint deltas must never converge (epoch " << E
+        << ")";
+  EXPECT_EQ(W.policyVersion(), 0u);
+  EXPECT_TRUE(W.currentPolicy().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Engine: the receiving end
+//===----------------------------------------------------------------------===//
+
+TEST(PolicyEngine, WideningCutsSamplesButNeverChecks) {
+  harness::Program P = build(TwoMethodSrc);
+  auto Base = harness::runBaseline(P, 64);
+  ASSERT_TRUE(Base.Stats.Ok);
+
+  harness::RunConfig C;
+  C.Transform.M = sampling::Mode::FullDuplication;
+  C.Engine.SampleInterval = 20;
+  C.Clients = {&CallEdges, &FieldAccesses, &AllBlocks};
+
+  C.Engine.Policy = std::make_shared<policy::PolicyTable>(P.Funcs.size());
+  auto Narrow = harness::runExperiment(P, 64, C);
+  ASSERT_TRUE(Narrow.Stats.Ok) << Narrow.Stats.Error;
+
+  C.Engine.Policy = std::make_shared<policy::PolicyTable>(P.Funcs.size());
+  ASSERT_TRUE(C.Engine.Policy->applyVersioned(
+      1, sameForAll(P.Funcs.size(), 160)));
+  auto Wide = harness::runExperiment(P, 64, C);
+  ASSERT_TRUE(Wide.Stats.Ok) << Wide.Stats.Error;
+
+  // Fewer samples...
+  EXPECT_LT(Wide.Stats.SamplesTaken, Narrow.Stats.SamplesTaken);
+  EXPECT_GT(Wide.Stats.SamplesTaken, 0u);
+  // ...but the checks themselves are untouched (Property 1, dynamic
+  // half: Full-Duplication checks sit exactly on entries+backedges, the
+  // baseline's yieldpoint count).
+  EXPECT_EQ(Wide.Stats.CheckExecs, Narrow.Stats.CheckExecs);
+  EXPECT_EQ(Wide.Stats.CheckExecs, Base.Stats.YieldpointExecs);
+}
+
+TEST(PolicyEngine, RetireIsCheckingOnlyWithoutRestart) {
+  harness::Program P = build(TwoMethodSrc);
+  int HotId = funcIdOf(P, "hot");
+  ASSERT_GE(HotId, 0);
+
+  sampling::Options Opts;
+  Opts.M = sampling::Mode::FullDuplication;
+  std::vector<const instr::Instrumentation *> Clients = {
+      &CallEdges, &FieldAccesses, &AllBlocks};
+  // ONE instrumented module for both runs: retiring must need no
+  // re-transform, only a table write.
+  harness::InstrumentedProgram IP =
+      harness::instrumentProgram(P, Clients, Opts);
+
+  harness::RunConfig C;
+  C.Transform = Opts;
+  C.Clients = Clients;
+  // Small enough that the NON-hot methods (few checks each) still fire
+  // samples after hot is retired.
+  C.Engine.SampleInterval = 3;
+  auto Table = std::make_shared<policy::PolicyTable>(P.Funcs.size());
+  C.Engine.Policy = Table;
+
+  auto Before = harness::runInstrumented(P, IP, 64, C);
+  ASSERT_TRUE(Before.Stats.Ok) << Before.Stats.Error;
+  std::map<int, policy::MethodSlice> SlicesBefore =
+      policy::sliceByMethod(Before.Profiles);
+  ASSERT_TRUE(SlicesBefore.count(HotId))
+      << "the hot method must show up before it is retired";
+
+  // The swap: one versioned write against the shared table.
+  ASSERT_TRUE(Table->applyVersioned(1, {{HotId, 0}}));
+  ASSERT_TRUE(Table->isRetired(HotId));
+
+  auto After = harness::runInstrumented(P, IP, 64, C);
+  ASSERT_TRUE(After.Stats.Ok) << After.Stats.Error;
+
+  // The retired method's duplicated body never runs: no block counts for
+  // it, no call edges into it; other methods still profile.
+  std::map<int, policy::MethodSlice> SlicesAfter =
+      policy::sliceByMethod(After.Profiles);
+  EXPECT_FALSE(SlicesAfter.count(HotId))
+      << "retired method still produced profile data";
+  EXPECT_FALSE(SlicesAfter.empty())
+      << "non-retired methods must keep profiling";
+
+  // Checks still execute at every entry/backedge (that IS checking-only),
+  // and Property 1's static half re-verifies on the unchanged IR.
+  EXPECT_EQ(After.Stats.CheckExecs, Before.Stats.CheckExecs);
+  EXPECT_LE(After.Stats.SamplesTaken, Before.Stats.SamplesTaken);
+  for (size_t F = 0; F != IP.Funcs.size(); ++F)
+    EXPECT_TRUE(sampling::checkProperty1Static(IP.Funcs[F],
+                                               IP.Transforms[F], Opts)
+                    .empty())
+        << "Property 1 static invariant broken post-swap in function " << F;
+}
+
+TEST(PolicyEngine, AllRetiredCollectsNothing) {
+  harness::Program P = build(TwoMethodSrc);
+  harness::RunConfig C;
+  C.Transform.M = sampling::Mode::FullDuplication;
+  C.Engine.SampleInterval = 20;
+  C.Clients = {&CallEdges, &FieldAccesses, &AllBlocks};
+  C.Engine.Policy = std::make_shared<policy::PolicyTable>(P.Funcs.size());
+  ASSERT_TRUE(
+      C.Engine.Policy->applyVersioned(1, sameForAll(P.Funcs.size(), 0)));
+
+  auto R = harness::runExperiment(P, 64, C);
+  ASSERT_TRUE(R.Stats.Ok) << R.Stats.Error;
+  EXPECT_EQ(R.Stats.SamplesTaken, 0u);
+  EXPECT_EQ(R.Stats.ProbeBodiesRun, 0u)
+      << "a retired method entered its duplicated body";
+  EXPECT_TRUE(policy::sliceByMethod(R.Profiles).empty());
+  // The program still runs to the right answer with checks in place.
+  auto Plain = harness::runBaseline(P, 64);
+  EXPECT_EQ(R.Stats.MainResult, Plain.Stats.MainResult);
+  EXPECT_GT(R.Stats.CheckExecs, 0u);
+}
+
+TEST(PolicyEngine, ConcurrentTableWritesAreCleanUnderTsan) {
+  harness::Program P = build(TwoMethodSrc);
+  auto Table = std::make_shared<policy::PolicyTable>(P.Funcs.size());
+  harness::RunConfig C;
+  C.Transform.M = sampling::Mode::FullDuplication;
+  C.Engine.SampleInterval = 20;
+  C.Clients = {&CallEdges, &AllBlocks};
+  C.Engine.Policy = Table;
+
+  // The shape the subsystem ships: an engine reading the table lock-free
+  // while a "client thread" applies successive POLICY versions.  The
+  // result is timing-dependent; the absence of races (TSan) and Property
+  // 1's bound are not.
+  std::atomic<bool> Stop{false};
+  std::thread Writer([&] {
+    uint64_t V = 0;
+    while (!Stop.load(std::memory_order_relaxed)) {
+      ++V;
+      Table->applyVersioned(V,
+                            sameForAll(P.Funcs.size(), 20 + (V % 5) * 40));
+      std::this_thread::yield();
+    }
+  });
+  auto R = harness::runExperiment(P, 256, C);
+  Stop.store(true);
+  Writer.join();
+  ASSERT_TRUE(R.Stats.Ok) << R.Stats.Error;
+  auto Base = harness::runBaseline(P, 256);
+  EXPECT_EQ(R.Stats.MainResult, Base.Stats.MainResult);
+  EXPECT_LE(R.Stats.CheckExecs, Base.Stats.YieldpointExecs);
+}
+
+//===----------------------------------------------------------------------===//
+// Push-down over live connections
+//===----------------------------------------------------------------------===//
+
+using namespace ars::profserve;
+
+constexpr uint64_t Fp = 0xabcdef0123456789ULL;
+
+ServerConfig watcherConfig() {
+  ServerConfig C;
+  C.Workers = 2;
+  C.RecvTimeoutMs = 2000;
+  C.Policy.Enabled = true;
+  C.Policy.Watcher.WidenThresholdPct = 90.0;
+  C.Policy.Watcher.RetireThresholdPct = 1000.0;
+  C.Policy.Watcher.StableEpochs = 1;
+  C.Policy.Watcher.WidenFactor = 4;
+  C.Policy.Watcher.BaseInterval = 1000;
+  return C;
+}
+
+TEST(PolicyPushdown, ServerDecidesClientApplies) {
+  auto *L = new LoopbackListener();
+  ProfileServer Server(std::unique_ptr<Listener>(L), watcherConfig());
+  Server.start();
+
+  auto Table = std::make_shared<policy::PolicyTable>(16);
+  ClientConfig CC;
+  CC.Fingerprint = Fp;
+  CC.SessionId = 11;
+  ProfileClient C(loopbackDialer(*L), CC);
+  C.onPolicy([&](const PolicyMsg &M) {
+    std::vector<policy::Decision> Ds;
+    for (const PolicyEntry &E : M.Entries)
+      Ds.push_back({static_cast<int>(E.Method),
+                    static_cast<int64_t>(E.Interval)});
+    Table->applyVersioned(M.PolicyVersion, Ds);
+  });
+
+  // Two identical epochs converge both observed methods.
+  ASSERT_TRUE(C.push(epochDelta(0), Fp).Ok);
+  Server.rotateEpoch();
+  ASSERT_TRUE(C.push(epochDelta(0), Fp).Ok);
+  Server.rotateEpoch();
+  PolicyMsg Published = Server.currentPolicy();
+  ASSERT_NE(Published.PolicyVersion, 0u);
+  ASSERT_EQ(Published.Entries.size(), 2u);
+
+  EXPECT_EQ(Server.pushPolicy(/*Wait=*/true), 1u);
+  EXPECT_GE(C.pollPolicy(200), 1);
+  EXPECT_EQ(Table->appliedVersion(), Published.PolicyVersion);
+  EXPECT_EQ(Table->effectiveInterval(3, 77), 4000)
+      << "method 3's widened interval must have replaced the static one";
+  EXPECT_EQ(Table->effectiveInterval(9, 77), 77)
+      << "undecided methods stay at the static interval";
+  C.close();
+  Server.stop();
+}
+
+TEST(PolicyPushdown, RelayForwardsPolicyDownTree) {
+  // Root (watcher) <- relay <- leaf client.
+  auto *RootL = new LoopbackListener();
+  ProfileServer Root(std::unique_ptr<Listener>(RootL), watcherConfig());
+  Root.start();
+
+  ServerConfig RC;
+  RC.Workers = 2;
+  RC.RecvTimeoutMs = 2000;
+  RC.Relay.Dial = loopbackDialer(*RootL);
+  RC.Relay.Client.Fingerprint = Fp;
+  RC.Relay.Client.SessionId = 0x5E1A;
+  RC.Relay.FlushIntervalMs = 0; // harness-driven flushes only
+  RC.Relay.FlushEveryMerges = 0;
+  auto *RelayL = new LoopbackListener();
+  ProfileServer Relay(std::unique_ptr<Listener>(RelayL), RC);
+  Relay.start();
+
+  auto Table = std::make_shared<policy::PolicyTable>(16);
+  ClientConfig CC;
+  CC.Fingerprint = Fp;
+  CC.SessionId = 21;
+  ProfileClient Leaf(loopbackDialer(*RelayL), CC);
+  Leaf.onPolicy([&](const PolicyMsg &M) {
+    std::vector<policy::Decision> Ds;
+    for (const PolicyEntry &E : M.Entries)
+      Ds.push_back({static_cast<int>(E.Method),
+                    static_cast<int64_t>(E.Interval)});
+    Table->applyVersioned(M.PolicyVersion, Ds);
+  });
+
+  std::string FlushErr;
+  // Wave 1/2: deltas climb the tree, the root's watcher converges.
+  ASSERT_TRUE(Leaf.push(epochDelta(0), Fp).Ok);
+  ASSERT_TRUE(Relay.flushUpstream(&FlushErr)) << FlushErr;
+  Root.rotateEpoch();
+  ASSERT_TRUE(Leaf.push(epochDelta(0), Fp).Ok);
+  ASSERT_TRUE(Relay.flushUpstream(&FlushErr)) << FlushErr;
+  Root.rotateEpoch();
+  PolicyMsg Published = Root.currentPolicy();
+  ASSERT_NE(Published.PolicyVersion, 0u);
+  ASSERT_EQ(Root.pushPolicy(/*Wait=*/true), 1u)
+      << "the relay's upstream session is the root's one v4 peer";
+
+  // Wave 3: the relay reads the buffered POLICY during its next upstream
+  // exchange and re-broadcasts it downstream; the waited push then
+  // guarantees the leaf's bytes are in flight before it polls.
+  ASSERT_TRUE(Leaf.push(epochDelta(0), Fp).Ok);
+  ASSERT_TRUE(Relay.flushUpstream(&FlushErr)) << FlushErr;
+  EXPECT_EQ(Relay.pushPolicy(/*Wait=*/true), 1u);
+  EXPECT_GE(Leaf.pollPolicy(200), 1);
+  EXPECT_EQ(Table->appliedVersion(), Published.PolicyVersion);
+  EXPECT_EQ(Table->effectiveInterval(3, 77), 4000);
+
+  Leaf.close();
+  Relay.stop();
+  Root.stop();
+}
+
+TEST(PolicyPushdown, CorruptPolicyFrameDegradesToStatic) {
+  // A hand-rolled v4 server interleaves POLICY frames — one of them
+  // corrupt past the frame CRC — around a push reply.  The client must
+  // apply the intact tables, silently drop the corrupt payload (keeping
+  // whatever intervals it had), and keep the connection.
+  LoopbackListener L;
+  std::thread Fake([&] {
+    std::unique_ptr<Transport> T = L.accept();
+    if (!T)
+      return;
+    for (;;) {
+      FrameResult FR = readFrame(*T, 5000);
+      if (!FR.ok())
+        return;
+      if (FR.F.Type == MsgType::Hello) {
+        HelloAckMsg Ack;
+        Ack.Version = WireVersion;
+        Ack.Fingerprint = Fp;
+        writeFrame(*T, MsgType::HelloAck, encodeHelloAck(Ack));
+      } else if (FR.F.Type == MsgType::Push) {
+        uint64_t Seq = 0;
+        std::string Arsp;
+        ASSERT_TRUE(decodePush(FR.F.Payload, &Seq, &Arsp));
+        PolicyMsg V1;
+        V1.PolicyVersion = 1;
+        V1.Entries.push_back({3, 4000});
+        PolicyMsg V2;
+        V2.PolicyVersion = 2;
+        V2.Entries.push_back({3, 0});
+        std::string Corrupt = encodePolicy(V2);
+        Corrupt.resize(Corrupt.size() - 1); // truncated payload, valid CRC
+        PolicyMsg V3;
+        V3.PolicyVersion = 3;
+        V3.Entries.push_back({4, 16000});
+        std::string Burst = encodeFrame(MsgType::Policy, encodePolicy(V1));
+        Burst += encodeFrame(MsgType::Policy, Corrupt);
+        Burst += encodeFrame(MsgType::Policy, encodePolicy(V3));
+        PushAckMsg Ack;
+        Ack.Merges = 1;
+        Ack.Fingerprint = Fp;
+        Ack.Seq = Seq;
+        Burst += encodeFrame(MsgType::PushAck, encodePushAck(Ack));
+        T->writeAll(Burst.data(), Burst.size());
+      } else if (FR.F.Type == MsgType::Bye) {
+        return;
+      }
+    }
+  });
+
+  auto Table = std::make_shared<policy::PolicyTable>(16);
+  ClientConfig CC;
+  CC.Fingerprint = Fp;
+  CC.SessionId = 31;
+  ProfileClient C(loopbackDialer(L), CC);
+  C.onPolicy([&](const PolicyMsg &M) {
+    std::vector<policy::Decision> Ds;
+    for (const PolicyEntry &E : M.Entries)
+      Ds.push_back({static_cast<int>(E.Method),
+                    static_cast<int64_t>(E.Interval)});
+    Table->applyVersioned(M.PolicyVersion, Ds);
+  });
+
+  ASSERT_TRUE(C.push(epochDelta(0), Fp).Ok)
+      << "interleaved POLICY frames must not break the push exchange";
+  EXPECT_EQ(C.policyFramesSeen(), 2u)
+      << "exactly the two intact frames count";
+  EXPECT_EQ(Table->appliedVersion(), 3u);
+  EXPECT_EQ(Table->effectiveInterval(3, 77), 4000)
+      << "the corrupt v2 retire must NOT have applied";
+  EXPECT_FALSE(Table->isRetired(3));
+  EXPECT_EQ(Table->effectiveInterval(4, 77), 16000);
+  C.close();
+  L.shutdown();
+  Fake.join();
+}
+
+} // namespace

@@ -1284,6 +1284,276 @@ TEST(ProfServeV3Negotiation, BatchDegradesToPerShardPushOnV2Server) {
   EXPECT_EQ(Batches.load(), 0) << "client sent PUSH_BATCH to a v2 server";
 }
 
+//===----------------------------------------------------------------------===//
+// Wire v4: the POLICY frame and its negotiation story
+//===----------------------------------------------------------------------===//
+
+PolicyMsg samplePolicy(int N) {
+  PolicyMsg M;
+  M.PolicyVersion = 7;
+  for (int I = 0; I != N; ++I) {
+    PolicyEntry E;
+    E.Method = static_cast<uint64_t>(I * 3 + 1);
+    E.Interval = (I % 3 == 0) ? 0 // retire
+                              : static_cast<uint64_t>(1000) << (I % 8);
+    M.Entries.push_back(E);
+  }
+  return M;
+}
+
+/// A server whose convergence watcher decides on every observed epoch,
+/// so two identical epochs are enough to publish a policy version.
+ServerConfig policyConfig() {
+  ServerConfig C = quietConfig();
+  C.Policy.Enabled = true;
+  C.Policy.Watcher.WidenThresholdPct = 0.0;
+  C.Policy.Watcher.StableEpochs = 1;
+  return C;
+}
+
+/// Drives \p S to a nonzero policy version: two identical epoch deltas
+/// give every observed method a perfect overlap, which policyConfig()
+/// turns into widen decisions at the second rotation.
+void publishFirstPolicy(LoopbackServer &S) {
+  ClientConfig CC;
+  CC.Fingerprint = TestFingerprint;
+  CC.SessionId = 4242;
+  ProfileClient C = S.client(CC);
+  ASSERT_TRUE(C.push(shardBundle(0), TestFingerprint).Ok);
+  S.Server.rotateEpoch();
+  ASSERT_TRUE(C.push(shardBundle(0), TestFingerprint).Ok);
+  S.Server.rotateEpoch();
+  C.close();
+  ASSERT_NE(S.Server.currentPolicy().PolicyVersion, 0u);
+}
+
+TEST(ProfServeWireV4, PolicyPayloadRoundTrips) {
+  PolicyMsg In = samplePolicy(9);
+  PolicyMsg Out;
+  ASSERT_TRUE(decodePolicy(encodePolicy(In), &Out));
+  EXPECT_EQ(Out.PolicyVersion, In.PolicyVersion);
+  ASSERT_EQ(Out.Entries.size(), In.Entries.size());
+  for (size_t I = 0; I != In.Entries.size(); ++I) {
+    EXPECT_EQ(Out.Entries[I].Method, In.Entries[I].Method);
+    EXPECT_EQ(Out.Entries[I].Interval, In.Entries[I].Interval);
+  }
+  PolicyMsg Empty; // version 0, no entries: legal on the wire
+  ASSERT_TRUE(decodePolicy(encodePolicy(Empty), &Out));
+  EXPECT_EQ(Out.PolicyVersion, 0u);
+  EXPECT_TRUE(Out.Entries.empty());
+}
+
+/// Flip every byte of a framed POLICY broadcast: the frame CRC must
+/// catch each one (same contract as the PUSH_BATCH sweep).
+TEST(ProfServeWireV4, PolicyFrameEveryByteFlipRejected) {
+  const std::string Wire =
+      encodeFrame(MsgType::Policy, encodePolicy(samplePolicy(5)));
+  for (size_t I = 0; I != Wire.size(); ++I) {
+    std::string Bad = Wire;
+    Bad[I] = static_cast<char>(Bad[I] ^ 0xFF);
+    auto Pair = makeLoopbackPair();
+    ASSERT_TRUE(Pair.first->writeAll(Bad.data(), Bad.size()).ok());
+    Pair.first->close();
+    FrameResult FR = readFrame(*Pair.second, 200);
+    EXPECT_FALSE(FR.ok()) << "flipped byte " << I << " was accepted";
+    EXPECT_NE(FR.Status, FrameStatus::Eof) << "flipped byte " << I;
+  }
+}
+
+/// Truncate the framed POLICY broadcast at every point: mid-frame death
+/// must be Malformed, never a partial decode.
+TEST(ProfServeWireV4, PolicyFrameEveryTruncationRejected) {
+  const std::string Wire =
+      encodeFrame(MsgType::Policy, encodePolicy(samplePolicy(5)));
+  for (size_t Len = 0; Len != Wire.size(); ++Len) {
+    auto Pair = makeLoopbackPair();
+    if (Len)
+      ASSERT_TRUE(Pair.first->writeAll(Wire.data(), Len).ok());
+    Pair.first->close();
+    FrameResult FR = readFrame(*Pair.second, 1000);
+    if (Len == 0) {
+      EXPECT_EQ(FR.Status, FrameStatus::Eof);
+    } else {
+      EXPECT_EQ(FR.Status, FrameStatus::Malformed)
+          << "truncation at " << Len << ": " << FR.Error;
+    }
+  }
+}
+
+/// The payload decoder itself, past the frame CRC: every byte flip and
+/// every truncation of the raw POLICY payload either fails to decode or
+/// decodes to something observably different — and never crashes.  This
+/// is the decoder a client trusts before touching its interval table,
+/// so "corrupt but decodes to the original" is the one banned outcome.
+TEST(ProfServeWireV4, PolicyPayloadDecoderSurvivesCorruptionSweep) {
+  const std::string Payload = encodePolicy(samplePolicy(5));
+  PolicyMsg Reference;
+  ASSERT_TRUE(decodePolicy(Payload, &Reference));
+  auto sameAsReference = [&](const PolicyMsg &Got) {
+    if (Got.PolicyVersion != Reference.PolicyVersion ||
+        Got.Entries.size() != Reference.Entries.size())
+      return false;
+    for (size_t I = 0; I != Got.Entries.size(); ++I)
+      if (Got.Entries[I].Method != Reference.Entries[I].Method ||
+          Got.Entries[I].Interval != Reference.Entries[I].Interval)
+        return false;
+    return true;
+  };
+  for (size_t I = 0; I != Payload.size(); ++I) {
+    std::string Bad = Payload;
+    Bad[I] = static_cast<char>(Bad[I] ^ 0xFF);
+    PolicyMsg Out;
+    if (decodePolicy(Bad, &Out))
+      EXPECT_FALSE(sameAsReference(Out))
+          << "flipped byte " << I << " decoded back to the original";
+  }
+  for (size_t Len = 0; Len != Payload.size(); ++Len) {
+    PolicyMsg Out;
+    EXPECT_FALSE(decodePolicy(Payload.substr(0, Len), &Out))
+        << "truncation at " << Len << " decoded";
+  }
+}
+
+/// The v4 STATS tail (policy counters) is version-gated like the v3
+/// tail before it: a v3-shaped payload still decodes, counters default.
+TEST(ProfServeWireV4, StatsPolicyCountersVersionGated) {
+  StatsMsg S;
+  S.Merges = 3;
+  S.PolicyPushes = 11;
+  S.PolicyDecisions = 29;
+  StatsMsg Out;
+  ASSERT_TRUE(decodeStats(encodeStats(S, 4), &Out));
+  EXPECT_EQ(Out.PolicyPushes, 11u);
+  EXPECT_EQ(Out.PolicyDecisions, 29u);
+  StatsMsg V3;
+  ASSERT_TRUE(decodeStats(encodeStats(S, 3), &V3));
+  EXPECT_EQ(V3.Merges, 3u);
+  EXPECT_EQ(V3.PolicyPushes, 0u) << "v3 payload carries no v4 counters";
+  EXPECT_EQ(V3.PolicyDecisions, 0u);
+  EXPECT_LT(encodeStats(S, 3).size(), encodeStats(S, 4).size());
+}
+
+TEST(ProfServeWireV4, PolicyEntryCountCapEnforced) {
+  PolicyMsg Huge;
+  Huge.PolicyVersion = 1;
+  Huge.Entries.resize(MaxPolicyEntries + 1);
+  PolicyMsg Out;
+  EXPECT_FALSE(decodePolicy(encodePolicy(Huge), &Out));
+  PolicyMsg AtCap;
+  AtCap.PolicyVersion = 1;
+  AtCap.Entries.resize(MaxPolicyEntries);
+  EXPECT_TRUE(decodePolicy(encodePolicy(AtCap), &Out));
+}
+
+/// A v4 peer that joins AFTER the watcher first published gets the
+/// current table immediately: one POLICY frame rides directly behind
+/// the HELLO_ACK, so a late engine never waits for the next decision.
+TEST(ProfServeV4Negotiation, LateJoinerGetsTableBehindHelloAck) {
+  LoopbackServer S(policyConfig());
+  publishFirstPolicy(S);
+  PolicyMsg Published = S.Server.currentPolicy();
+
+  std::unique_ptr<Transport> T = S.L->connect();
+  ASSERT_TRUE(T);
+  rawHello(*T); // v4 by default
+  FrameResult PF = readFrame(*T, 2000);
+  ASSERT_TRUE(PF.ok()) << PF.Error;
+  ASSERT_EQ(PF.F.Type, MsgType::Policy);
+  PolicyMsg Got;
+  ASSERT_TRUE(decodePolicy(PF.F.Payload, &Got));
+  EXPECT_EQ(Got.PolicyVersion, Published.PolicyVersion);
+  EXPECT_EQ(Got.Entries.size(), Published.Entries.size());
+  EXPECT_FALSE(Got.Entries.empty());
+}
+
+/// Version negotiation gates the POLICY frame per session: a peer that
+/// negotiated v2 or v3 must NEVER receive one — not behind its
+/// HELLO_ACK and not from a later broadcast — and its connection stays
+/// fully serviceable throughout.
+void policyNeverSentToOldPeer(uint32_t PeerVersion) {
+  LoopbackServer S(policyConfig());
+  publishFirstPolicy(S);
+
+  std::unique_ptr<Transport> T = S.L->connect();
+  ASSERT_TRUE(T);
+  HelloMsg H;
+  H.Version = PeerVersion;
+  H.Fingerprint = TestFingerprint;
+  H.ClientName = "old-dialect";
+  ASSERT_TRUE(writeFrame(*T, MsgType::Hello, encodeHello(H)).ok());
+  FrameResult FR = readFrame(*T, 2000);
+  ASSERT_TRUE(FR.ok()) << FR.Error;
+  ASSERT_EQ(FR.F.Type, MsgType::HelloAck);
+  HelloAckMsg Ack;
+  ASSERT_TRUE(decodeHelloAck(FR.F.Payload, &Ack));
+  EXPECT_EQ(Ack.Version, PeerVersion);
+
+  // Nothing rides behind the ack on an old session...
+  FrameResult Trailing = readFrame(*T, 300);
+  EXPECT_EQ(Trailing.Status, FrameStatus::Timeout)
+      << "a v" << PeerVersion << " peer received an unsolicited frame";
+
+  // ...and a waited broadcast skips it too (0 = no v4 sessions exist).
+  EXPECT_EQ(S.Server.pushPolicy(/*Wait=*/true), 0u);
+  FrameResult AfterPush = readFrame(*T, 300);
+  EXPECT_EQ(AfterPush.Status, FrameStatus::Timeout)
+      << "a v" << PeerVersion << " peer received a POLICY broadcast";
+
+  // The session is still fully alive.
+  ASSERT_TRUE(writeFrame(*T, MsgType::Push,
+                         encodePush(0, encodedShard(3))).ok());
+  FrameResult PA = readFrame(*T, 2000);
+  ASSERT_TRUE(PA.ok()) << PA.Error;
+  EXPECT_EQ(PA.F.Type, MsgType::PushAck);
+}
+
+TEST(ProfServeV4Negotiation, PolicyNeverSentToV2Peer) {
+  policyNeverSentToOldPeer(2);
+}
+
+TEST(ProfServeV4Negotiation, PolicyNeverSentToV3Peer) {
+  policyNeverSentToOldPeer(3);
+}
+
+/// Both dialects on one server at once: the broadcast reaches exactly
+/// the v4 session while the v3 session sees nothing, and both keep
+/// pushing afterwards.
+TEST(ProfServeV4Negotiation, MixedFleetGetsPolicySelectively) {
+  LoopbackServer S(policyConfig());
+  publishFirstPolicy(S);
+
+  std::unique_ptr<Transport> V4 = S.L->connect();
+  ASSERT_TRUE(V4);
+  rawHello(*V4);
+  FrameResult Seed = readFrame(*V4, 2000); // late-joiner table
+  ASSERT_TRUE(Seed.ok()) << Seed.Error;
+  ASSERT_EQ(Seed.F.Type, MsgType::Policy);
+
+  std::unique_ptr<Transport> V3 = S.L->connect();
+  ASSERT_TRUE(V3);
+  HelloMsg H;
+  H.Version = 3;
+  H.Fingerprint = TestFingerprint;
+  ASSERT_TRUE(writeFrame(*V3, MsgType::Hello, encodeHello(H)).ok());
+  FrameResult HA = readFrame(*V3, 2000);
+  ASSERT_TRUE(HA.ok()) << HA.Error;
+  ASSERT_EQ(HA.F.Type, MsgType::HelloAck);
+
+  EXPECT_EQ(S.Server.pushPolicy(/*Wait=*/true), 1u)
+      << "exactly the v4 session should be written";
+  FrameResult OnV4 = readFrame(*V4, 2000);
+  ASSERT_TRUE(OnV4.ok()) << OnV4.Error;
+  EXPECT_EQ(OnV4.F.Type, MsgType::Policy);
+  FrameResult OnV3 = readFrame(*V3, 300);
+  EXPECT_EQ(OnV3.Status, FrameStatus::Timeout);
+
+  ASSERT_TRUE(writeFrame(*V3, MsgType::Push,
+                         encodePush(0, encodedShard(4))).ok());
+  FrameResult PA = readFrame(*V3, 2000);
+  ASSERT_TRUE(PA.ok()) << PA.Error;
+  EXPECT_EQ(PA.F.Type, MsgType::PushAck);
+}
+
 TEST(ProfServeTcp, ConnectToNobodyFailsWithDiagnostic) {
   std::string Error;
   // Bind-then-close to find a port with no listener.

@@ -52,6 +52,7 @@
 #include "lowering/Cleanup.h"
 #include "lowering/Lowering.h"
 #include "opt/Passes.h"
+#include "policy/Policy.h"
 #include "profile/Overlap.h"
 #include "profile/Profiles.h"
 #include "profserve/Client.h"
@@ -339,6 +340,11 @@ int profileUsage(const char *Prog) {
       "                         must share one module fingerprint)\n"
       "  scale --out=<f> (--keep=<pct> | --num=<n> --den=<d>) <in>\n"
       "                         scale every count by pct/100 or n/d\n"
+      "  overlap <a> <b>        per-kind, combined and per-method overlap\n"
+      "                         of <b> against <a> (a = the reference,\n"
+      "                         e.g. an exhaustive profile) — the metric\n"
+      "                         the policy watcher decides with, for\n"
+      "                         tuning --policy thresholds offline\n"
       "options:\n"
       "  --top=<k>              rows in report/diff listings (default 10)\n",
       Prog);
@@ -446,6 +452,58 @@ int profileMain(int Argc, char **Argv) {
     return 0;
   }
 
+  if (Sub == "overlap") {
+    if (Inputs.size() != 2)
+      return profileUsage(Argv[0]);
+    profstore::DecodeResult A = loadOrDie(Inputs[0], 0);
+    profstore::DecodeResult B = loadOrDie(Inputs[1], 0);
+    if (A.Fingerprint != B.Fingerprint)
+      std::fprintf(stderr,
+                   "warning: profiles come from different modules "
+                   "(%016llx vs %016llx); overlap compares ids, not the "
+                   "same code\n",
+                   static_cast<unsigned long long>(A.Fingerprint),
+                   static_cast<unsigned long long>(B.Fingerprint));
+    struct Kind {
+      const char *Name;
+      double Overlap;
+      uint64_t Weight; ///< reference-side event count
+    };
+    const Kind Kinds[] = {
+        {"call-edges",
+         profile::overlapPercent(A.Bundle.CallEdges, B.Bundle.CallEdges),
+         A.Bundle.CallEdges.total()},
+        {"field-accesses",
+         profile::overlapPercent(A.Bundle.FieldAccesses,
+                                 B.Bundle.FieldAccesses),
+         A.Bundle.FieldAccesses.total()},
+        {"block-counts",
+         profile::overlapPercent(A.Bundle.BlockCounts,
+                                 B.Bundle.BlockCounts),
+         A.Bundle.BlockCounts.total()},
+    };
+    double Weighted = 0;
+    uint64_t Weight = 0;
+    for (const Kind &K : Kinds) {
+      if (K.Weight == 0) {
+        std::printf("%-16s      (empty in %s)\n", K.Name,
+                    Inputs[0].c_str());
+        continue;
+      }
+      std::printf("%-16s %6.2f%%  (%llu reference events)\n", K.Name,
+                  K.Overlap, static_cast<unsigned long long>(K.Weight));
+      Weighted += K.Overlap * static_cast<double>(K.Weight);
+      Weight += K.Weight;
+    }
+    std::printf("combined         %6.2f%%  (weighted by reference "
+                "events)\n",
+                Weight ? Weighted / static_cast<double>(Weight) : 0.0);
+    std::printf("per-method       %6.2f%%  (the policy watcher's "
+                "decision metric)\n",
+                policy::perMethodOverlapPct(A.Bundle, B.Bundle));
+    return 0;
+  }
+
   if (Sub == "scale") {
     if (Inputs.size() != 1 || OutPath.empty() || !Num || !Den)
       return profileUsage(Argv[0]);
@@ -513,6 +571,24 @@ int serveUsage(const char *Prog) {
       "                             --snapshot-out)\n"
       "  --expect=<file.arsp>       pin the module fingerprint to this\n"
       "                             profile's (default: first push wins)\n"
+      "  --policy                   closed-loop adaptive sampling (wire\n"
+      "                             v4): watch per-method convergence\n"
+      "                             across epoch rotations and push\n"
+      "                             interval-widening/retire decisions to\n"
+      "                             connected v4 engines (and down the\n"
+      "                             relay tree); needs --rotate-every or\n"
+      "                             explicit rotations to observe epochs\n"
+      "  --policy-widen-pct=<f>     overlap%% threshold to widen a\n"
+      "                             method's interval (default 97)\n"
+      "  --policy-retire-pct=<f>    overlap%% threshold to retire a\n"
+      "                             method to checking-only (default\n"
+      "                             99.5)\n"
+      "  --policy-epochs=<n>        consecutive qualifying epochs before\n"
+      "                             a decision fires (default 2)\n"
+      "  --policy-widen-factor=<n>  interval multiplier per widen\n"
+      "                             decision (default 4)\n"
+      "  --policy-base-interval=<n> the static interval engines deployed\n"
+      "                             with (default 1000)\n"
       "  --serve-for-ms=<n>         exit after n ms (for scripts/demos)\n"
       "  --quiet                    don't log rejects to stderr\n",
       Prog);
@@ -564,6 +640,24 @@ int serveMain(int Argc, char **Argv) {
       RelayFlushEvery = std::strtoull(V, nullptr, 10);
     } else if (const char *V = valueOf("--relay-spill=")) {
       RelaySpill = V;
+    } else if (Arg == "--policy") {
+      Config.Policy.Enabled = true;
+    } else if (const char *V = valueOf("--policy-widen-pct=")) {
+      Config.Policy.Enabled = true;
+      Config.Policy.Watcher.WidenThresholdPct = std::atof(V);
+    } else if (const char *V = valueOf("--policy-retire-pct=")) {
+      Config.Policy.Enabled = true;
+      Config.Policy.Watcher.RetireThresholdPct = std::atof(V);
+    } else if (const char *V = valueOf("--policy-epochs=")) {
+      Config.Policy.Enabled = true;
+      Config.Policy.Watcher.StableEpochs = std::atoi(V);
+    } else if (const char *V = valueOf("--policy-widen-factor=")) {
+      Config.Policy.Enabled = true;
+      Config.Policy.Watcher.WidenFactor =
+          static_cast<uint32_t>(std::atoi(V));
+    } else if (const char *V = valueOf("--policy-base-interval=")) {
+      Config.Policy.Enabled = true;
+      Config.Policy.Watcher.BaseInterval = std::atoll(V);
     } else if (const char *V = valueOf("--serve-for-ms=")) {
       ServeForMs = std::atoll(V);
     } else if (Arg == "--quiet") {
@@ -614,6 +708,15 @@ int serveMain(int Argc, char **Argv) {
   if (Config.Fingerprint)
     std::printf("pinned module fingerprint: %016llx\n",
                 static_cast<unsigned long long>(Config.Fingerprint));
+  if (Config.Policy.Enabled)
+    std::printf("policy push-down enabled (wire v4): widen at %.2f%%, "
+                "retire at %.2f%%, %d stable epochs, factor %u, base "
+                "interval %lld\n",
+                Config.Policy.Watcher.WidenThresholdPct,
+                Config.Policy.Watcher.RetireThresholdPct,
+                Config.Policy.Watcher.StableEpochs,
+                static_cast<unsigned>(Config.Policy.Watcher.WidenFactor),
+                static_cast<long long>(Config.Policy.Watcher.BaseInterval));
   std::fflush(stdout);
 
   profserve::ProfileServer Server(std::move(L), Config);
@@ -650,6 +753,10 @@ int serveMain(int Argc, char **Argv) {
                 static_cast<unsigned long long>(S.Batches),
                 static_cast<unsigned long long>(S.RelayFlushes),
                 static_cast<unsigned long long>(S.RelayFailures));
+  if (Config.Policy.Enabled)
+    std::printf("policy: %llu decisions, %llu pushes\n",
+                static_cast<unsigned long long>(S.PolicyDecisions),
+                static_cast<unsigned long long>(S.PolicyPushes));
   return 0;
 }
 
@@ -861,6 +968,15 @@ int chaosUsage(const char *Prog) {
       "                          the ring-only faults (torn cell commits,\n"
       "                          crashed/abandoned writers); direct\n"
       "                          topology only\n"
+      "  --policy                closed-loop policy push-down under fire:\n"
+      "                          wave-structured pushes, the watcher\n"
+      "                          decides every epoch and POLICY frames\n"
+      "                          ride the same faulted transports; a\n"
+      "                          dropped/corrupt frame must only degrade\n"
+      "                          a client to its static interval, the\n"
+      "                          aggregate must still match the serial\n"
+      "                          fold and frame/version counts must\n"
+      "                          replay (loopback transport only)\n"
       "  --trace                 print the fault trace (single-seed mode)\n"
       "  --workdir=<dir>         scratch dir for spill/snapshot files\n"
       "                          (default: a fresh dir under /tmp)\n"
@@ -922,6 +1038,8 @@ int chaosMain(int Argc, char **Argv) {
         std::fprintf(stderr, "unknown transport: %s\n", T.c_str());
         return chaosUsage(Argv[0]);
       }
+    } else if (Arg == "--policy") {
+      C.Policy = true;
     } else if (Arg == "--quick") {
       C.Clients = 3;
       C.ShardsPerClient = 4;
