@@ -1,0 +1,245 @@
+//===- bench/bench_dispatch.cpp - dispatch + coalescing microbench --------===//
+///
+/// Framework-engineering bench (no paper table): measures the two engine
+/// optimizations this repo adds on top of the paper's design.
+///
+///  * Host half: interpreter throughput of the computed-goto threaded
+///    loop vs the portable switch loop on an engine-bound workload
+///    (`engine_ops_per_sec`, `engine_ops_per_sec_switch`, and their
+///    ratio `dispatch_speedup`).  Host wall-clock numbers are
+///    machine-dependent and therefore informational in CI.
+///
+///  * Sim half: what the check-coalescing / loop-hoisting transform pass
+///    saves under No-Duplication with sampling off — the configuration
+///    where every surviving guard is pure overhead.  These numbers come
+///    from the deterministic cycle model, so `checks_coalesced`,
+///    `checks_hoisted`, and `check_cycles_saved` are gated through
+///    perfgate: a change that silently stops the pass from firing shows
+///    up as those metrics collapsing to zero.
+///
+/// The bench self-checks the sim half (coalesced runs must cost strictly
+/// fewer simulated cycles and match the plain runs' results) and exits
+/// nonzero on violation, so the nightly full-scale run re-proves the
+/// invariant even before perfgate diffs the numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "harness/Pipeline.h"
+
+#include <cstdio>
+
+using namespace ars;
+
+namespace {
+
+/// Per-rep interpreter throughput: same deterministic instruction count
+/// every run, divided by that rep's wall time.
+std::vector<double> opsPerSec(uint64_t Instructions,
+                              const std::vector<double> &Ms) {
+  std::vector<double> Ops;
+  Ops.reserve(Ms.size());
+  for (double M : Ms)
+    Ops.push_back(M > 0.0 ? static_cast<double>(Instructions) / (M / 1e3)
+                          : 0.0);
+  return Ops;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bench::Context Ctx(Argc, Argv);
+  bench::printBanner("Dispatch and check-coalescing microbench",
+                     "framework engineering (no paper table)");
+  telemetry::BenchReport &Rep = Ctx.report();
+
+  // ---- Host half: threaded vs switch interpreter throughput. --------
+  // compress is the most engine-bound workload (tight loops, few calls),
+  // so dispatch overhead dominates its runtime.
+  const std::string Hot = "compress";
+  const workloads::Workload *HotW = nullptr;
+  for (const workloads::Workload &W : Ctx.suite())
+    if (Hot == W.Name)
+      HotW = &W;
+  if (!HotW) {
+    std::fprintf(stderr, "bench_dispatch: workload %s missing from suite\n",
+                 Hot.c_str());
+    return 1;
+  }
+  const harness::Program &P = Ctx.program(Hot);
+  int64_t Scale = Ctx.scaleOf(*HotW);
+
+  harness::RunConfig HotC;
+  HotC.Transform.M = sampling::Mode::FullDuplication;
+  HotC.Engine.SampleInterval = 31;
+  HotC.Clients = bench::bothClients();
+  // Instrument once outside the timed region: the host metric is
+  // interpreter throughput, not transform time.
+  harness::InstrumentedProgram IP =
+      harness::instrumentProgram(P, HotC.Clients, HotC.Transform);
+
+  auto TimeMode = [&](runtime::DispatchMode D) {
+    harness::RunConfig C = HotC;
+    C.Engine.Dispatch = D;
+    harness::ExperimentResult Warm = harness::runInstrumented(P, IP, Scale, C);
+    if (!Warm.Stats.Ok) {
+      std::fprintf(stderr, "bench_dispatch: %s run failed: %s\n", Hot.c_str(),
+                   Warm.Stats.Error.c_str());
+      std::exit(1);
+    }
+    std::vector<double> Ms = bench::timeRepsMs(Ctx.reps(), [&] {
+      harness::runInstrumented(P, IP, Scale, C);
+    });
+    return std::make_pair(Warm.Stats.Instructions, Ms);
+  };
+
+  auto [Insts, ThreadedMs] = TimeMode(runtime::DispatchMode::Threaded);
+  auto SwitchTimed = TimeMode(runtime::DispatchMode::Switch);
+  const std::vector<double> &SwitchMs = SwitchTimed.second;
+
+  std::vector<double> ThreadedOps = opsPerSec(Insts, ThreadedMs);
+  std::vector<double> SwitchOps = opsPerSec(Insts, SwitchMs);
+  // Pairwise per-rep speedups give addHostMetric a real sample vector
+  // (min/median/MAD) instead of a single derived ratio.
+  std::vector<double> Speedups;
+  for (size_t I = 0; I != ThreadedMs.size() && I != SwitchMs.size(); ++I)
+    if (ThreadedMs[I] > 0.0)
+      Speedups.push_back(SwitchMs[I] / ThreadedMs[I]);
+
+  support::TablePrinter Host({"Dispatch", "Median ms", "Mops/s"});
+  Host.beginRow();
+  Host.cell(runtime::threadedDispatchCompiled() ? "threaded (computed goto)"
+                                                : "threaded (fallback=switch)");
+  Host.cellDouble(telemetry::median(ThreadedMs));
+  Host.cellDouble(telemetry::median(ThreadedOps) / 1e6);
+  Host.beginRow();
+  Host.cell("switch");
+  Host.cellDouble(telemetry::median(SwitchMs));
+  Host.cellDouble(telemetry::median(SwitchOps) / 1e6);
+  Host.print();
+  std::printf("Speedup (switch ms / threaded ms, median of %zu reps): "
+              "%.2fx on %s (%llu instructions/run)\n\n",
+              Speedups.size(), telemetry::median(Speedups), Hot.c_str(),
+              static_cast<unsigned long long>(Insts));
+
+  Rep.addHostMetric("engine_ops_per_sec", "ops/s",
+                    telemetry::Direction::HigherIsBetter, ThreadedOps);
+  Rep.addHostMetric("engine_ops_per_sec_switch", "ops/s",
+                    telemetry::Direction::HigherIsBetter, SwitchOps);
+  Rep.addHostMetric("dispatch_speedup", "x", telemetry::Direction::Info,
+                    Speedups);
+
+  // ---- Sim half: coalescing savings under No-Duplication. ------------
+  // Sampling off (interval 0) makes every surviving guard pure cost;
+  // coalescing + hoisting must cut simulated cycles without changing any
+  // result.
+  harness::RunConfig Plain;
+  Plain.Transform.M = sampling::Mode::NoDuplication;
+  Plain.Engine.SampleInterval = 0;
+  Plain.Clients = bench::bothClients();
+  harness::RunConfig Coal = Plain;
+  Coal.Transform.CoalesceChecks = true;
+  Coal.Transform.HoistLoopProbes = true;
+
+  std::vector<bench::NamedCell> Cells;
+  for (const workloads::Workload &W : Ctx.suite()) {
+    Cells.emplace_back(W.Name, Plain);
+    Cells.emplace_back(W.Name, Coal);
+  }
+  std::vector<harness::ExperimentResult> Runs = Ctx.runAll(Cells);
+
+  int64_t Coalesced = 0, Hoisted = 0, ProbesHoisted = 0, ProbesDropped = 0;
+  uint64_t PlainCycles = 0, CoalCycles = 0;
+  uint64_t PlainGuards = 0, CoalGuards = 0;
+  support::TablePrinter Sim({"Benchmark", "Coalesced", "Hoisted",
+                             "Guard execs (plain/coal)", "Cycles saved (%)"});
+  for (size_t WI = 0; WI != Ctx.suite().size(); ++WI) {
+    const workloads::Workload &W = Ctx.suite()[WI];
+    const harness::ExperimentResult &RP = Runs[2 * WI];
+    const harness::ExperimentResult &RC = Runs[2 * WI + 1];
+    if (RP.Stats.MainResult != RC.Stats.MainResult ||
+        RC.Stats.Cycles > RP.Stats.Cycles) {
+      std::fprintf(stderr,
+                   "bench_dispatch: coalescing broke %s (result %lld vs "
+                   "%lld, cycles %llu vs %llu)\n",
+                   W.Name, static_cast<long long>(RP.Stats.MainResult),
+                   static_cast<long long>(RC.Stats.MainResult),
+                   static_cast<unsigned long long>(RP.Stats.Cycles),
+                   static_cast<unsigned long long>(RC.Stats.Cycles));
+      return 1;
+    }
+
+    harness::InstrumentedProgram CIP = harness::instrumentProgram(
+        Ctx.program(W.Name), Coal.Clients, Coal.Transform);
+    int64_t WCoalesced = 0, WHoisted = 0;
+    for (const sampling::TransformResult &T : CIP.Transforms) {
+      WCoalesced += T.Stats.ChecksCoalesced;
+      WHoisted += T.Stats.ChecksHoisted;
+      ProbesHoisted += T.Stats.ProbesHoisted;
+      ProbesDropped += T.Stats.ProbesDropped;
+    }
+    Coalesced += WCoalesced;
+    Hoisted += WHoisted;
+    PlainCycles += RP.Stats.Cycles;
+    CoalCycles += RC.Stats.Cycles;
+    PlainGuards += RP.Stats.GuardedProbeExecs;
+    CoalGuards += RC.Stats.GuardedProbeExecs;
+
+    Sim.beginRow();
+    Sim.cell(W.Name);
+    Sim.cellInt(WCoalesced);
+    Sim.cellInt(WHoisted);
+    Sim.cell(support::formatString(
+        "%llu/%llu",
+        static_cast<unsigned long long>(RP.Stats.GuardedProbeExecs),
+        static_cast<unsigned long long>(RC.Stats.GuardedProbeExecs)));
+    Sim.cellPercent(RP.Stats.Cycles
+                        ? 100.0 *
+                              static_cast<double>(RP.Stats.Cycles -
+                                                  RC.Stats.Cycles) /
+                              static_cast<double>(RP.Stats.Cycles)
+                        : 0.0);
+  }
+  Sim.print();
+
+  if (CoalCycles >= PlainCycles || Coalesced <= 0 || Hoisted <= 0) {
+    std::fprintf(stderr,
+                 "bench_dispatch: coalescing must save cycles on the suite "
+                 "and fire on loop-heavy workloads (coalesced=%lld "
+                 "hoisted=%lld cycles %llu -> %llu)\n",
+                 static_cast<long long>(Coalesced),
+                 static_cast<long long>(Hoisted),
+                 static_cast<unsigned long long>(PlainCycles),
+                 static_cast<unsigned long long>(CoalCycles));
+    return 1;
+  }
+  std::printf("\nSuite totals: %lld checks coalesced, %lld checks hoisted "
+              "(%lld probes moved, %lld dead probes dropped); guard execs "
+              "%llu -> %llu; %llu simulated cycles saved (%.1f%%).\n",
+              static_cast<long long>(Coalesced),
+              static_cast<long long>(Hoisted),
+              static_cast<long long>(ProbesHoisted),
+              static_cast<long long>(ProbesDropped),
+              static_cast<unsigned long long>(PlainGuards),
+              static_cast<unsigned long long>(CoalGuards),
+              static_cast<unsigned long long>(PlainCycles - CoalCycles),
+              100.0 * static_cast<double>(PlainCycles - CoalCycles) /
+                  static_cast<double>(PlainCycles));
+
+  Rep.addSimMetric("checks_coalesced", "checks",
+                   telemetry::Direction::HigherIsBetter,
+                   static_cast<double>(Coalesced));
+  Rep.addSimMetric("checks_hoisted", "checks",
+                   telemetry::Direction::HigherIsBetter,
+                   static_cast<double>(Hoisted));
+  Rep.addSimMetric("check_cycles_saved", "cycles",
+                   telemetry::Direction::HigherIsBetter,
+                   static_cast<double>(PlainCycles - CoalCycles));
+  Rep.addSimMetric("guard_execs_saved", "execs",
+                   telemetry::Direction::HigherIsBetter,
+                   static_cast<double>(PlainGuards - CoalGuards));
+  Rep.addSimMetric("probes_hoisted", "probes", telemetry::Direction::Info,
+                   static_cast<double>(ProbesHoisted));
+  return 0;
+}

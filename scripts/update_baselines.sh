@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
-# Regenerate bench/baselines/quick.json, the committed baseline that the
-# CI perf gate compares every run against (`arsc bench compare`).
+# Regenerate the committed perf baselines the CI gates compare against
+# (`arsc bench compare`):
+#
+#   bench/baselines/quick.json  --quick scale (15%), gated on every PR
+#   bench/baselines/full.json   full scale (100%), gated by the nightly
+#                               workflow (skipped with QUICK_ONLY=1)
 #
 # Reproducibility: the simulated-cycle engine is deterministic (fixed
 # seeds baked into the benches), so every "sim" metric in the baseline is
@@ -10,24 +14,36 @@
 # passed.  --jobs and --reps are still pinned here so regenerations are
 # comparable like-for-like.
 #
-# Usage: scripts/update_baselines.sh   (JOBS=<n> REPS=<n> to override)
+# Usage: scripts/update_baselines.sh
+#        (JOBS=<n> REPS=<n> QUICK_ONLY=1 to override)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-2}"
 REPS="${REPS:-5}"
+QUICK_ONLY="${QUICK_ONLY:-0}"
 
 cmake -B build -G Ninja
 cmake --build build
+
+mkdir -p bench/baselines
 
 OUT=build/bench-baseline
 rm -rf "$OUT"
 build/tools/arsc bench --quick "--jobs=${JOBS}" "--reps=${REPS}" \
   --out-dir="$OUT" --sha=baseline
-
-mkdir -p bench/baselines
 cp "$OUT/BENCH_baseline.json" bench/baselines/quick.json
 echo "wrote bench/baselines/quick.json"
 
 # Sanity: a fresh run must gate green against the baseline it just wrote.
 build/tools/perfgate bench/baselines/quick.json "$OUT/BENCH_baseline.json"
+
+if [[ "$QUICK_ONLY" != 1 ]]; then
+  OUT=build/bench-baseline-full
+  rm -rf "$OUT"
+  build/tools/arsc bench "--jobs=${JOBS}" "--reps=${REPS}" \
+    --out-dir="$OUT" --sha=baseline
+  cp "$OUT/BENCH_baseline.json" bench/baselines/full.json
+  echo "wrote bench/baselines/full.json"
+  build/tools/perfgate bench/baselines/full.json "$OUT/BENCH_baseline.json"
+fi

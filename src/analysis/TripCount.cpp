@@ -1,0 +1,342 @@
+//===- analysis/TripCount.cpp ---------------------------------*- C++ -*-===//
+
+#include "analysis/TripCount.h"
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+namespace ars {
+namespace analysis {
+
+using ir::BasicBlock;
+using ir::IRInst;
+using ir::IROp;
+
+namespace {
+
+bool addOverflows(int64_t A, int64_t B) {
+  if (B > 0)
+    return A > std::numeric_limits<int64_t>::max() - B;
+  return A < std::numeric_limits<int64_t>::min() - B;
+}
+
+bool mulOverflows(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return false;
+  if (A == -1)
+    return B == std::numeric_limits<int64_t>::min();
+  if (B == -1)
+    return A == std::numeric_limits<int64_t>::min();
+  int64_t P = A * B;
+  return P / B != A;
+}
+
+/// Constant interpreter over one block: register -> known value, with
+/// every unsupported operation (loads, calls, float ops...) clobbering
+/// its destination.  The lowering materializes loop tests through Mov /
+/// MovImm / Cmp chains, so this is exactly the evaluator that recovers
+/// them.
+class ConstEval {
+public:
+  explicit ConstEval(int NumRegs) : Regs(static_cast<size_t>(NumRegs)) {}
+
+  void set(int Reg, int64_t V) { Regs[static_cast<size_t>(Reg)] = V; }
+  std::optional<int64_t> get(int Reg) const {
+    if (Reg < 0 || static_cast<size_t>(Reg) >= Regs.size())
+      return std::nullopt;
+    return Regs[static_cast<size_t>(Reg)];
+  }
+
+  /// Applies \p I to the state.  Returns false on arithmetic the engine
+  /// would fault or wrap on (division, overflow) — callers must then
+  /// treat the whole block as unanalyzable rather than guess.
+  bool step(const IRInst &I) {
+    auto Clobber = [&] {
+      if (I.Dst >= 0 && static_cast<size_t>(I.Dst) < Regs.size())
+        Regs[static_cast<size_t>(I.Dst)] = std::nullopt;
+    };
+    auto A = get(I.A), B = get(I.B);
+    switch (I.Op) {
+    case IROp::MovImm:
+      set(I.Dst, I.Imm);
+      return true;
+    case IROp::Mov:
+      if (A)
+        set(I.Dst, *A);
+      else
+        Clobber();
+      return true;
+    case IROp::Add:
+      if (A && B) {
+        if (addOverflows(*A, *B))
+          return false;
+        set(I.Dst, *A + *B);
+      } else
+        Clobber();
+      return true;
+    case IROp::Sub:
+      if (A && B) {
+        if (*B == std::numeric_limits<int64_t>::min() ||
+            addOverflows(*A, -*B))
+          return false;
+        set(I.Dst, *A - *B);
+      } else
+        Clobber();
+      return true;
+    case IROp::Mul:
+      if (A && B) {
+        if (mulOverflows(*A, *B))
+          return false;
+        set(I.Dst, *A * *B);
+      } else
+        Clobber();
+      return true;
+    case IROp::Neg:
+      if (A) {
+        if (*A == std::numeric_limits<int64_t>::min())
+          return false;
+        set(I.Dst, -*A);
+      } else
+        Clobber();
+      return true;
+    case IROp::CmpEq:
+    case IROp::CmpNe:
+    case IROp::CmpLt:
+    case IROp::CmpLe:
+    case IROp::CmpGt:
+    case IROp::CmpGe:
+      if (A && B)
+        set(I.Dst, cmp(I.Op, *A, *B));
+      else
+        Clobber();
+      return true;
+    default:
+      Clobber();
+      return true;
+    }
+  }
+
+private:
+  static int64_t cmp(IROp Op, int64_t A, int64_t B) {
+    switch (Op) {
+    case IROp::CmpEq:
+      return A == B;
+    case IROp::CmpNe:
+      return A != B;
+    case IROp::CmpLt:
+      return A < B;
+    case IROp::CmpLe:
+      return A <= B;
+    case IROp::CmpGt:
+      return A > B;
+    default:
+      return A >= B;
+    }
+  }
+
+  std::vector<std::optional<int64_t>> Regs;
+};
+
+/// Value as an affine function of the candidate induction variable:
+/// Iv + C (HasIv) or the constant C.
+struct Affine {
+  bool HasIv = false;
+  int64_t C = 0;
+};
+
+/// Derives the per-iteration update of register \p IvReg from the block
+/// defining it: evaluates \p BB with IvReg = Iv + 0 and loop-invariant
+/// constants from \p Invariants, in the domain {unknown, const, Iv + c}.
+/// Returns the step on success (Iv_next = Iv + step).
+std::optional<int64_t> affineStep(const BasicBlock &BB, int IvReg,
+                                  int NumRegs,
+                                  const ConstEval &Invariants) {
+  std::vector<std::optional<Affine>> Regs(static_cast<size_t>(NumRegs));
+  for (int R = 0; R != NumRegs; ++R)
+    if (auto V = Invariants.get(R))
+      Regs[static_cast<size_t>(R)] = Affine{false, *V};
+  Regs[static_cast<size_t>(IvReg)] = Affine{true, 0};
+
+  auto Get = [&](int R) -> std::optional<Affine> {
+    if (R < 0 || static_cast<size_t>(R) >= Regs.size())
+      return std::nullopt;
+    return Regs[static_cast<size_t>(R)];
+  };
+  std::optional<Affine> Result;
+  for (const IRInst &I : BB.Insts) {
+    std::optional<Affine> Val;
+    auto A = Get(I.A), B = Get(I.B);
+    switch (I.Op) {
+    case IROp::MovImm:
+      Val = Affine{false, I.Imm};
+      break;
+    case IROp::Mov:
+      Val = A;
+      break;
+    case IROp::Add:
+      if (A && B && !(A->HasIv && B->HasIv) && !addOverflows(A->C, B->C))
+        Val = Affine{A->HasIv || B->HasIv, A->C + B->C};
+      break;
+    case IROp::Sub:
+      if (A && B && !B->HasIv &&
+          B->C != std::numeric_limits<int64_t>::min() &&
+          !addOverflows(A->C, -B->C))
+        Val = Affine{A->HasIv, A->C - B->C};
+      break;
+    default:
+      break;
+    }
+    if (I.Dst >= 0 && static_cast<size_t>(I.Dst) < Regs.size()) {
+      Regs[static_cast<size_t>(I.Dst)] = Val;
+      if (I.Dst == IvReg)
+        Result = Val; // the (single) in-loop definition of the IV
+    }
+  }
+  if (!Result || !Result->HasIv || Result->C == 0)
+    return std::nullopt;
+  return Result->C;
+}
+
+} // namespace
+
+TripCount computeTripCount(const ir::IRFunction &F, const CFG &Graph,
+                           const DominatorTree &Dom, const Loop &L) {
+  TripCount TC;
+  if (L.Latches.size() != 1)
+    return TC;
+  auto InLoop = [&](int B) { return L.contains(B); };
+
+  // Exits only from the header, and no cycle strictly inside the loop
+  // avoiding the header (an inner loop would make non-header blocks run
+  // more than once per iteration).  Inner cycles show up as an in-loop
+  // edge whose target dominates its source, other than the latch edge.
+  for (int B : L.Blocks) {
+    if (!Graph.isReachable(B))
+      return TC;
+    for (int S : Graph.successors(B)) {
+      if (!InLoop(S) && B != L.Header)
+        return TC;
+      if (InLoop(S) && Dom.dominates(S, B) &&
+          !(B == L.Latches[0] && S == L.Header))
+        return TC;
+    }
+  }
+
+  // Unique entry edge: its source re-establishes the induction variable's
+  // initial value on every entry, which makes the count exact per entry
+  // (including re-entries from an enclosing loop).
+  const BasicBlock *EntryBB = nullptr;
+  for (int P : Graph.predecessors(L.Header)) {
+    if (InLoop(P))
+      continue;
+    if (EntryBB)
+      return TC; // multiple entry edges
+    EntryBB = &F.Blocks[P];
+  }
+  if (!EntryBB)
+    return TC;
+
+  // Constant-evaluate the entry block: whatever is a known constant at
+  // its end is the value on loop entry.
+  ConstEval Entry(F.NumRegs);
+  for (const IRInst &I : EntryBB->Insts)
+    if (!Entry.step(I))
+      return TC;
+
+  // Loop-invariant constants: registers never defined inside the loop
+  // whose entry value is known.
+  std::vector<char> DefinedInLoop(static_cast<size_t>(F.NumRegs), 0);
+  std::vector<int> DefCount(static_cast<size_t>(F.NumRegs), 0);
+  std::vector<int> DefBlock(static_cast<size_t>(F.NumRegs), -1);
+  for (int B : L.Blocks)
+    for (const IRInst &I : F.Blocks[B].Insts)
+      if (I.Dst >= 0 && I.Dst < F.NumRegs) {
+        DefinedInLoop[static_cast<size_t>(I.Dst)] = 1;
+        ++DefCount[static_cast<size_t>(I.Dst)];
+        DefBlock[static_cast<size_t>(I.Dst)] = B;
+      }
+  ConstEval Invariants(F.NumRegs);
+  for (int R = 0; R != F.NumRegs; ++R)
+    if (!DefinedInLoop[static_cast<size_t>(R)])
+      if (auto V = Entry.get(R))
+        Invariants.set(R, *V);
+
+  const BasicBlock &Header = F.Blocks[L.Header];
+  const IRInst &Term = Header.terminator();
+  if (Term.Op != IROp::Branch)
+    return TC;
+  bool TakenIn = InLoop(static_cast<int>(Term.Imm));
+  bool FallIn = InLoop(Term.Aux);
+  if (TakenIn == FallIn)
+    return TC; // not the exit test
+
+  // Candidate induction variables: defined exactly once inside the loop,
+  // in a non-header block that runs exactly once per completed iteration
+  // (dominates the latch), with an affine Iv + step update and a known
+  // initial value on entry.  For each candidate, simulate the header's
+  // exit test iteration by iteration; the first candidate the test is a
+  // pure function of wins.
+  for (int IvReg = 0; IvReg != F.NumRegs; ++IvReg) {
+    if (DefCount[static_cast<size_t>(IvReg)] != 1)
+      continue;
+    int IncBlock = DefBlock[static_cast<size_t>(IvReg)];
+    if (IncBlock == L.Header || !Dom.dominates(IncBlock, L.Latches[0]))
+      continue;
+    std::optional<int64_t> Step =
+        affineStep(F.Blocks[IncBlock], IvReg, F.NumRegs, Invariants);
+    if (!Step)
+      continue;
+    std::optional<int64_t> Init = Entry.get(IvReg);
+    if (!Init)
+      continue;
+
+    // Simulate.  Capped both in iterations and in total header
+    // instructions evaluated, so hostile inputs cost bounded work; a
+    // loop that long is not worth hoisting blind anyway.
+    const uint64_t IterCap = uint64_t(1) << 22;
+    uint64_t InstBudget = uint64_t(1) << 24;
+    int64_t Iv = *Init;
+    uint64_t Body = 0;
+    bool Exact = true;
+    while (true) {
+      ConstEval State = Invariants;
+      State.set(IvReg, Iv);
+      bool Evaluated = true;
+      for (const IRInst &I : Header.Insts) {
+        if (&I == &Term)
+          break;
+        if (InstBudget == 0 || !State.step(I)) {
+          Evaluated = false;
+          break;
+        }
+        --InstBudget;
+      }
+      std::optional<int64_t> Cond =
+          Evaluated ? State.get(Term.A) : std::nullopt;
+      if (!Cond) {
+        Exact = false; // exit test not a pure function of this candidate
+        break;
+      }
+      bool Stay = *Cond != 0 ? TakenIn : FallIn;
+      if (!Stay)
+        break;
+      if (Body + 1 > IterCap || addOverflows(Iv, *Step)) {
+        Exact = false;
+        break;
+      }
+      Iv += *Step;
+      ++Body;
+    }
+    if (!Exact)
+      continue;
+    TC.Exact = true;
+    TC.BodyExecs = Body;
+    TC.HeaderExecs = Body + 1;
+    return TC;
+  }
+  return TC;
+}
+
+} // namespace analysis
+} // namespace ars

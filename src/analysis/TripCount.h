@@ -1,0 +1,57 @@
+//===- analysis/TripCount.h - Exact trip counts of counted loops *- C++ -*-===//
+///
+/// \file
+/// Recognizes exactly-counted loops — a single-latch natural loop whose
+/// only exit is a header branch comparing a constant-step induction
+/// variable against a constant bound, with the initial value established
+/// in the loop's unique outside predecessor — and computes the exact
+/// number of header and body executions *per loop entry* by simulating
+/// the induction arithmetic.
+///
+/// The check-coalescing pass (sampling/Coalesce.h) uses this to hoist
+/// instrumentation out of such loops: a probe in a block that executes
+/// once per iteration can be replaced by one pre-loop probe recording
+/// BodyExecs events.  Every condition here is chosen so the count is
+/// exact on *every* entry to the loop, not just the first:
+///
+///  * the initial value is the last definition in the unique outside
+///    predecessor, so re-entering the loop (an enclosing loop iterating)
+///    re-establishes it;
+///  * the bound and step are rematerialized inside the loop (or constant
+///    along the entry path with no definitions inside), so they cannot
+///    drift between iterations;
+///  * the loop has no inner loops and exits only at the header, so every
+///    block dominating the latch runs exactly once per completed
+///    iteration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_ANALYSIS_TRIPCOUNT_H
+#define ARS_ANALYSIS_TRIPCOUNT_H
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+
+#include <cstdint>
+
+namespace ars {
+namespace analysis {
+
+/// Result of the exactly-counted-loop analysis, per loop entry.
+struct TripCount {
+  bool Exact = false;
+  uint64_t HeaderExecs = 0; ///< header visits: BodyExecs + the exit test
+  uint64_t BodyExecs = 0;   ///< completed iterations
+};
+
+/// Computes the exact trip count of \p L, or Exact = false when any
+/// eligibility condition fails.  Simulation is capped (loops beyond ~4M
+/// iterations report inexact), so this is safe on hostile input.
+TripCount computeTripCount(const ir::IRFunction &F, const CFG &Graph,
+                           const DominatorTree &Dom, const Loop &L);
+
+} // namespace analysis
+} // namespace ars
+
+#endif // ARS_ANALYSIS_TRIPCOUNT_H

@@ -465,7 +465,9 @@ ExprPtr Parser::parseBinary(int MinPrec) {
 ExprPtr Parser::parseUnary() {
   if (cur().Kind == TokKind::Minus || cur().Kind == TokKind::Not) {
     ExprPtr Node = makeExpr(Expr::Kind::Unary);
-    Node->Op = cur().Kind == TokKind::Minus ? "-" : "!";
+    // Assign a char, not a ternary of literals: GCC 12's -Wrestrict
+    // false-positives on the strlen+memcpy path at -O3 (PR105329).
+    Node->Op = cur().Kind == TokKind::Minus ? '-' : '!';
     advance();
     ExprPtr Operand = parseUnary();
     if (!Operand)

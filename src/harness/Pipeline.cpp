@@ -9,6 +9,7 @@
 #include "lowering/Cleanup.h"
 #include "lowering/Lowering.h"
 #include "opt/Passes.h"
+#include "sampling/Coalesce.h"
 #include "support/Support.h"
 
 namespace ars {
@@ -65,6 +66,10 @@ instrumentProgram(const Program &P,
         instr::planFunction(F, P.M, Clients, Out.Registry);
     Out.Transforms.push_back(
         sampling::transformFunction(F, Plan, Opts));
+    // The check optimizer runs here rather than inside transformFunction
+    // because it needs the probe registry (probe kinds decide what is
+    // safe to hoist or merge), which the transform never sees.
+    sampling::coalesceChecks(F, Out.Registry, Opts, Out.Transforms.back());
     Out.CodeSizeAfter += F.codeSize();
   }
   Out.TransformMs = Timer.elapsedMs();
@@ -105,10 +110,11 @@ transformCacheKey(uint64_t ProgramHash,
     Key += support::formatString("|%s@%p", C->name(),
                                  static_cast<const void *>(C));
   Key += support::formatString(
-      "|m%d:y%d:o%d:e%d:b%d:d%d:l%d:t%d", static_cast<int>(Opts.M),
+      "|m%d:y%d:o%d:e%d:b%d:d%d:l%d:t%d:c%d:h%d", static_cast<int>(Opts.M),
       Opts.InsertYieldpoints ? 1 : 0, Opts.YieldpointOpt ? 1 : 0,
       Opts.EntryChecks ? 1 : 0, Opts.BackedgeChecks ? 1 : 0,
-      Opts.DuplicateCode ? 1 : 0, Opts.BurstLength, Opts.CombineThreshold);
+      Opts.DuplicateCode ? 1 : 0, Opts.BurstLength, Opts.CombineThreshold,
+      Opts.CoalesceChecks ? 1 : 0, Opts.HoistLoopProbes ? 1 : 0);
   return Key;
 }
 

@@ -100,6 +100,11 @@ enum class IROp : uint8_t {
                 ///< frame burst counter is positive, else goto Aux
 };
 
+/// Number of IROp values (BurstTransfer is last).  Sizes the engine's
+/// computed-goto jump table and any per-op cost cache; keep in sync with
+/// the enum.
+constexpr unsigned NumIROps = static_cast<unsigned>(IROp::BurstTransfer) + 1;
+
 /// Mnemonic for \p Op.
 const char *irOpName(IROp Op);
 
@@ -115,8 +120,15 @@ struct IRInst {
   int C = -1;
   int64_t Imm = 0;
   double FImm = 0.0;
-  int Aux = 0;  ///< second branch target / call-site id / probe payload
-  std::vector<int> Args; ///< call arguments (registers)
+  /// Second branch target / call-site id / probe payload.  On Probe and
+  /// GuardedProbe a value > 1 is the check-coalescing pass's static check
+  /// weight: a GuardedProbe decrements the sample counter by Aux instead
+  /// of 1, and each of its bodies records Aux / (1 + Args.size()) events
+  /// when it fires (sampling/Coalesce.h).
+  int Aux = 0;
+  /// Call arguments (registers) — except on Probe/GuardedProbe, where
+  /// Args are the extra probe ids a coalesced check guards.
+  std::vector<int> Args;
 
   IRInst() = default;
   explicit IRInst(IROp Op) : Op(Op) {}

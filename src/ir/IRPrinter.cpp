@@ -105,9 +105,16 @@ std::string printInst(const IRInst &I) {
     return formatString("bursttransfer dup=bb%lld check=bb%d",
                         static_cast<long long>(I.Imm), I.Aux);
   case IROp::Probe:
-    return formatString("probe #%lld", static_cast<long long>(I.Imm));
-  case IROp::GuardedProbe:
-    return formatString("guardedprobe #%lld", static_cast<long long>(I.Imm));
+  case IROp::GuardedProbe: {
+    Out = formatString("%s #%lld",
+                       I.Op == IROp::Probe ? "probe" : "guardedprobe",
+                       static_cast<long long>(I.Imm));
+    for (int Extra : I.Args)
+      Out += formatString(" #%d", Extra);
+    if (I.Aux > 1)
+      Out += formatString(" w=%d", I.Aux);
+    return Out;
+  }
   default:
     return Out;
   }

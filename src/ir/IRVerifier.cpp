@@ -18,8 +18,42 @@ void collectRegs(const IRInst &I, std::vector<int> &Regs) {
   for (int R : {I.A, I.B, I.C})
     if (R != -1)
       Regs.push_back(R);
+  // On Probe/GuardedProbe the Args are coalesced probe ids, not registers
+  // (ir/IR.h); checkProbeEncoding validates them instead.
+  if (I.Op == IROp::Probe || I.Op == IROp::GuardedProbe)
+    return;
   for (int R : I.Args)
     Regs.push_back(R);
+}
+
+/// Validates the check-coalescing encoding on probe instructions: weights
+/// are non-negative, coalesced bodies only appear on GuardedProbe, and
+/// the combined weight splits evenly over the bodies (the engine recovers
+/// the per-body multiplicity as Aux / (1 + Args.size())).
+std::string checkProbeEncoding(const IRFunction &F, const IRInst &Inst,
+                               int Block, size_t Idx) {
+  if (Inst.Imm < 0)
+    return formatString("%s bb%d@%zu: negative probe id", F.Name.c_str(),
+                        Block, Idx);
+  if (Inst.Aux < 0)
+    return formatString("%s bb%d@%zu: negative probe weight",
+                        F.Name.c_str(), Block, Idx);
+  if (Inst.Args.empty())
+    return std::string();
+  if (Inst.Op == IROp::Probe)
+    return formatString("%s bb%d@%zu: coalesced bodies on an unguarded "
+                        "probe",
+                        F.Name.c_str(), Block, Idx);
+  for (int Id : Inst.Args)
+    if (Id < 0)
+      return formatString("%s bb%d@%zu: negative coalesced probe id",
+                          F.Name.c_str(), Block, Idx);
+  int Bodies = 1 + static_cast<int>(Inst.Args.size());
+  if (Inst.Aux < Bodies || Inst.Aux % Bodies != 0)
+    return formatString("%s bb%d@%zu: coalesced weight %d is not a "
+                        "positive multiple of %d bodies",
+                        F.Name.c_str(), Block, Idx, Inst.Aux, Bodies);
+  return std::string();
 }
 
 } // namespace
@@ -50,6 +84,11 @@ std::string verifyFunction(const IRFunction &F) {
         if (R < 0 || R >= F.NumRegs)
           return formatString("%s bb%d@%zu: register r%d out of range",
                               F.Name.c_str(), B, I, R);
+      if (Inst.Op == IROp::Probe || Inst.Op == IROp::GuardedProbe) {
+        std::string Bad = checkProbeEncoding(F, Inst, B, I);
+        if (!Bad.empty())
+          return Bad;
+      }
     }
     int Targets[2];
     int Count = 0;

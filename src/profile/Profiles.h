@@ -60,6 +60,16 @@ public:
     Total += Count;
   }
 
+  /// Interning support for the engine's hot record path: the counter
+  /// cell for \p Key (inserted at zero if absent).  std::map nodes are
+  /// stable under insertion, so the pointer stays valid until clear();
+  /// bump it through addAt so Total stays consistent.
+  uint64_t *slot(const CallEdgeKey &Key) { return &Counts[Key]; }
+  void addAt(uint64_t *Slot, uint64_t Count) {
+    *Slot += Count;
+    Total += Count;
+  }
+
   uint64_t total() const { return Total; }
   const std::map<CallEdgeKey, uint64_t> &counts() const { return Counts; }
   bool empty() const { return Counts.empty(); }
@@ -111,6 +121,14 @@ public:
     Total += Count;
   }
 
+  /// Counter cell for (\p FuncId, \p Block); stable until clear() (see
+  /// CallEdgeProfile::slot).
+  uint64_t *slot(int FuncId, int Block) { return &Counts[{FuncId, Block}]; }
+  void addAt(uint64_t *Slot, uint64_t Count) {
+    *Slot += Count;
+    Total += Count;
+  }
+
   uint64_t total() const { return Total; }
   const std::map<std::pair<int, int>, uint64_t> &counts() const {
     return Counts;
@@ -133,6 +151,16 @@ public:
 
   void record(int FuncId, int From, int To, uint64_t Count = 1) {
     Counts[{FuncId, From, To}] += Count;
+    Total += Count;
+  }
+
+  /// Counter cell for the edge; stable until clear() (see
+  /// CallEdgeProfile::slot).
+  uint64_t *slot(int FuncId, int From, int To) {
+    return &Counts[{FuncId, From, To}];
+  }
+  void addAt(uint64_t *Slot, uint64_t Count) {
+    *Slot += Count;
     Total += Count;
   }
 

@@ -14,6 +14,10 @@ namespace runtime {
 using ir::IRInst;
 using ir::IROp;
 
+bool threadedDispatchCompiled() {
+  return ARS_THREADED_DISPATCH_AVAILABLE != 0;
+}
+
 ExecutionEngine::ExecutionEngine(const bytecode::Module &M,
                                  const std::vector<ir::IRFunction> &Funcs,
                                  const instr::ProbeRegistry &Probes,
@@ -29,6 +33,28 @@ ExecutionEngine::ExecutionEngine(const bytecode::Module &M,
           static_cast<int>(F);
   Globals.assign(static_cast<size_t>(M.numGlobals()), Cell());
   Profiles.FieldAccesses.resize(M.numFieldIds());
+
+  // Flatten per-instruction costs.  A frame's Optimized flag is a pure
+  // function of its FuncId (pushFrame and Spawn both derive it from
+  // Config.OptimizedFuncs), so the optimized scale folds into the table
+  // and the dispatch loops charge one load per instruction.
+  InstCosts.resize(Funcs.size());
+  for (size_t F = 0; F != Funcs.size(); ++F) {
+    const ir::IRFunction &Fn = Funcs[F];
+    FuncCostTable &CT = InstCosts[F];
+    bool Optimized = F < Config.OptimizedFuncs.size() &&
+                     Config.OptimizedFuncs[F];
+    CT.BlockBase.reserve(Fn.Blocks.size());
+    for (const ir::BasicBlock &BB : Fn.Blocks) {
+      CT.BlockBase.push_back(CT.Costs.size());
+      for (const ir::IRInst &I : BB.Insts) {
+        uint32_t Cost = Config.Costs.costOf(I);
+        if (Optimized)
+          Cost = Cost * Config.OptimizedCostPct / 100;
+        CT.Costs.push_back(Cost);
+      }
+    }
+  }
 }
 
 ExecutionEngine::~ExecutionEngine() = default;
@@ -81,7 +107,8 @@ int64_t ExecutionEngine::nextResetValue(int64_t Interval) {
   return Value < 1 ? 1 : Value;
 }
 
-bool ExecutionEngine::sampleConditionFires(Thread &T, int FuncId) {
+bool ExecutionEngine::sampleConditionFires(Thread &T, int FuncId,
+                                           int64_t Weight) {
   if (Config.Trigger == TriggerKind::Timer) {
     if (!SampleBit)
       return false;
@@ -103,7 +130,8 @@ bool ExecutionEngine::sampleConditionFires(Thread &T, int FuncId) {
     int64_t &Counter = PolicyCounters[static_cast<size_t>(FuncId)];
     if (Counter <= 0)
       Counter = Interval; // first arm, jitter-free like GlobalCounter's
-    if (--Counter > 0)
+    Counter -= Weight;
+    if (Counter > 0)
       return false;
     Counter = nextResetValue(Interval);
     return true;
@@ -111,47 +139,67 @@ bool ExecutionEngine::sampleConditionFires(Thread &T, int FuncId) {
   if (Config.SampleInterval <= 0)
     return false;
   int64_t &Counter = Config.PerThreadCounters ? T.Counter : GlobalCounter;
-  if (--Counter > 0)
+  Counter -= Weight;
+  if (Counter > 0)
     return false;
   Counter = nextResetValue();
   return true;
 }
 
-void ExecutionEngine::runProbeBody(const instr::ProbeEntry &P, Thread &T) {
-  ++Stats.ProbeBodiesRun;
+void ExecutionEngine::runProbeBody(const instr::ProbeEntry &P, Thread &T,
+                                   uint64_t Count) {
+  Stats.ProbeBodiesRun += Count;
   switch (P.Kind) {
   case instr::ProbeKind::CallEdge: {
     const Frame &Fr = T.Frames.back();
-    profile::CallEdgeKey Key;
-    Key.Caller = Fr.CallerFuncId;
-    Key.Site = Fr.CallSite;
-    Key.Callee = Fr.Func->FuncId;
-    Profiles.CallEdges.record(Key);
+    ProbeMemo &Mm = ProbeMemos[static_cast<size_t>(P.Id)];
+    // The callee half of the key is the function the probe is planted
+    // in, fixed per probe id; the memo revalidates the frame half.
+    if (!Mm.Slot || Mm.Caller != Fr.CallerFuncId || Mm.Site != Fr.CallSite) {
+      profile::CallEdgeKey Key;
+      Key.Caller = Fr.CallerFuncId;
+      Key.Site = Fr.CallSite;
+      Key.Callee = Fr.Func->FuncId;
+      Mm.Slot = Profiles.CallEdges.slot(Key);
+      Mm.Caller = Fr.CallerFuncId;
+      Mm.Site = Fr.CallSite;
+    }
+    Profiles.CallEdges.addAt(Mm.Slot, Count);
     return;
   }
   case instr::ProbeKind::FieldAccess:
-    Profiles.FieldAccesses.record(P.Payload);
+    Profiles.FieldAccesses.record(P.Payload, Count);
     return;
-  case instr::ProbeKind::BlockCount:
-    Profiles.BlockCounts.record(P.FuncId, P.Payload);
-    return;
-  case instr::ProbeKind::Value: {
-    const Frame &Fr = T.Frames.back();
-    Profiles.Values.record(P.SiteId, T.Regs[Fr.RegBase + P.ValueReg].I);
+  case instr::ProbeKind::BlockCount: {
+    ProbeMemo &Mm = ProbeMemos[static_cast<size_t>(P.Id)];
+    if (!Mm.Slot)
+      Mm.Slot = Profiles.BlockCounts.slot(P.FuncId, P.Payload);
+    Profiles.BlockCounts.addAt(Mm.Slot, Count);
     return;
   }
-  case instr::ProbeKind::EdgeCount:
-    Profiles.Edges.record(P.FuncId, P.Payload, P.Payload2);
+  case instr::ProbeKind::Value: {
+    const Frame &Fr = T.Frames.back();
+    Profiles.Values.record(P.SiteId, T.Regs[Fr.RegBase + P.ValueReg].I,
+                           Count);
     return;
+  }
+  case instr::ProbeKind::EdgeCount: {
+    ProbeMemo &Mm = ProbeMemos[static_cast<size_t>(P.Id)];
+    if (!Mm.Slot)
+      Mm.Slot = Profiles.Edges.slot(P.FuncId, P.Payload, P.Payload2);
+    Profiles.Edges.addAt(Mm.Slot, Count);
+    return;
+  }
   case instr::ProbeKind::PathReset:
     T.Frames.back().PathSum = 0;
     return;
   case instr::ProbeKind::PathAdd:
-    T.Frames.back().PathSum += P.Payload;
+    T.Frames.back().PathSum +=
+        static_cast<int64_t>(P.Payload) * static_cast<int64_t>(Count);
     return;
   case instr::ProbeKind::PathEnd: {
     Frame &Fr = T.Frames.back();
-    Profiles.Paths.record(P.FuncId, Fr.PathSum);
+    Profiles.Paths.record(P.FuncId, Fr.PathSum, Count);
     Fr.PathSum = 0;
     return;
   }
@@ -194,6 +242,18 @@ bool ExecutionEngine::pushFrame(Thread &T, int FuncId,
 }
 
 bool ExecutionEngine::stepThread(Thread &T) {
+#if ARS_THREADED_DISPATCH_AVAILABLE
+  if (UseThreaded)
+    return stepThreadThreaded(T);
+#endif
+  return stepThreadSwitch(T);
+}
+
+// The portable reference loop.  Kept deliberately simple (re-derives the
+// frame on every instruction); the threaded loop below must stay
+// semantically bit-identical to it, which tests/test_dispatch.cpp pins
+// across the workload matrix.
+bool ExecutionEngine::stepThreadSwitch(Thread &T) {
   const CostModel &Costs = Config.Costs;
   bool MultiThreaded = Threads.size() > 1;
 
@@ -498,16 +558,29 @@ bool ExecutionEngine::stepThread(Thread &T) {
     case IROp::Probe: {
       const instr::ProbeEntry &P = Probes.entry(static_cast<int>(I.Imm));
       Stats.Cycles += P.CostCycles;
-      runProbeBody(P, T);
+      // Aux > 1 = hoist multiplicity (sampling/Coalesce.h): one body
+      // execution records the whole loop's events.
+      runProbeBody(P, T, I.Aux > 1 ? static_cast<uint64_t>(I.Aux) : 1);
       break;
     }
     case IROp::GuardedProbe: {
       ++Stats.GuardedProbeExecs;
-      if (sampleConditionFires(T, Fr.Func->FuncId)) {
+      // Aux > 1 = coalesced check weight; the one check stands in for
+      // Weight original checks and, when it fires, every guarded body
+      // records Weight / #bodies events.
+      uint64_t Weight = I.Aux > 1 ? static_cast<uint64_t>(I.Aux) : 1;
+      if (sampleConditionFires(T, Fr.Func->FuncId,
+                               static_cast<int64_t>(Weight))) {
         ++Stats.GuardedProbesTaken;
+        uint64_t Mult = Weight / (1 + I.Args.size());
         const instr::ProbeEntry &P = Probes.entry(static_cast<int>(I.Imm));
         Stats.Cycles += P.CostCycles;
-        runProbeBody(P, T);
+        runProbeBody(P, T, Mult);
+        for (int Extra : I.Args) {
+          const instr::ProbeEntry &PE = Probes.entry(Extra);
+          Stats.Cycles += PE.CostCycles;
+          runProbeBody(PE, T, Mult);
+        }
       }
       break;
     }
@@ -522,12 +595,420 @@ bool ExecutionEngine::stepThread(Thread &T) {
   }
 }
 
+#if ARS_THREADED_DISPATCH_AVAILABLE
+
+// The computed-goto loop.  Three things make it fast relative to the
+// switch loop, none of which may change semantics:
+//
+//  * direct-threaded dispatch with the indirect branch replicated into
+//    every handler (one BTB entry per opcode pair instead of one shared
+//    dispatch site);
+//  * the frame, block, instruction and register-window pointers live in
+//    locals and are only re-derived at the three events that can
+//    invalidate them (frame push/pop: ARS_REFRESH; intra-frame control
+//    transfer: ARS_BLOCK; everything else falls through ARS_NEXT);
+//  * per-instruction cost is one load from the constructor-built
+//    InstCosts row (costOf + the optimized scale are baked in).
+//
+// Any mutation of T.Frames or T.Regs storage (Call, Ret, RetVal) must go
+// through ARS_REFRESH; Spawn only appends to the Threads deque, which
+// never moves existing threads, so its cached pointers stay valid.
+bool ExecutionEngine::stepThreadThreaded(Thread &T) {
+  const CostModel &Costs = Config.Costs;
+  const bool TimerMode = Config.Trigger == TriggerKind::Timer;
+  const uint64_t MaxCyc = Config.MaxCycles;
+  const uint64_t TimerPeriod = Config.TimerPeriodCycles;
+  const uint64_t YieldQuantum = Config.YieldQuantumCycles;
+  bool MultiThreaded = Threads.size() > 1;
+
+  // Indexed by IROp, in enum order; non-static so no init guard runs per
+  // dispatch (stepThread itself is called once per scheduler slice).
+  const void *const JumpTable[] = {
+      &&L_Nop,      &&L_MovImm,   &&L_MovFImm, &&L_Mov,     &&L_Add,
+      &&L_Sub,      &&L_Mul,      &&L_Div,     &&L_Rem,     &&L_Neg,
+      &&L_And,      &&L_Or,       &&L_Xor,     &&L_Shl,     &&L_Shr,
+      &&L_FAdd,     &&L_FSub,     &&L_FMul,    &&L_FDiv,    &&L_FNeg,
+      &&L_F2I,      &&L_I2F,      &&L_CmpEq,   &&L_CmpNe,   &&L_CmpLt,
+      &&L_CmpLe,    &&L_CmpGt,    &&L_CmpGe,   &&L_FCmpLt,  &&L_FCmpLe,
+      &&L_FCmpEq,   &&L_Call,     &&L_Spawn,   &&L_New,     &&L_GetField,
+      &&L_PutField, &&L_GetGlobal, &&L_PutGlobal, &&L_NewArray,
+      &&L_ALoad,    &&L_AStore,   &&L_ALen,    &&L_IOWait,  &&L_Print,
+      &&L_Jump,     &&L_Branch,   &&L_Ret,     &&L_RetVal,
+      &&L_Yieldpoint, &&L_SampleCheck, &&L_Probe, &&L_GuardedProbe,
+      &&L_BurstTransfer};
+  static_assert(sizeof(JumpTable) / sizeof(JumpTable[0]) == ir::NumIROps,
+                "jump table out of sync with IROp");
+
+  Frame *FrP;
+  const ir::BasicBlock *BBP;
+  const IRInst *IP;
+  Cell *R;
+  const uint32_t *CostRow;
+
+// Per-instruction prologue: identical, statement for statement, to the
+// head of the switch loop (cost charge, budget rail, timer bit).
+#define ARS_PROLOGUE()                                                       \
+  do {                                                                       \
+    ++Stats.Instructions;                                                    \
+    Stats.Cycles += CostRow[FrP->Pc];                                        \
+    if (Stats.Cycles > MaxCyc)                                               \
+      return fail("cycle budget exhausted (runaway program?)");              \
+    if (TimerMode && Stats.Cycles >= NextTimerFire) {                        \
+      SampleBit = true;                                                      \
+      do {                                                                   \
+        ++Stats.TimerFires;                                                  \
+        NextTimerFire += TimerPeriod;                                        \
+      } while (Stats.Cycles >= NextTimerFire);                               \
+    }                                                                        \
+  } while (0)
+
+// Fall through to the next instruction of the current block (replicated
+// dispatch: prologue + indirect branch inlined into every handler).
+#define ARS_NEXT                                                             \
+  do {                                                                       \
+    ++FrP->Pc;                                                               \
+    ++IP;                                                                    \
+    ARS_PROLOGUE();                                                          \
+    goto *JumpTable[static_cast<unsigned>(IP->Op)];                          \
+  } while (0)
+
+// Re-enter after an intra-frame control transfer (FrP/R still valid).
+#define ARS_BLOCK goto ArsBlock
+
+// Re-enter after a frame push/pop (everything re-derived).
+#define ARS_REFRESH goto ArsRefresh
+
+ArsRefresh:
+  if (T.Frames.empty()) {
+    T.Done = true;
+    return true;
+  }
+  FrP = &T.Frames.back();
+  R = T.Regs.data() + FrP->RegBase;
+
+ArsBlock : {
+  const FuncCostTable &CT =
+      InstCosts[static_cast<size_t>(FrP->Func->FuncId)];
+  BBP = &FrP->Func->Blocks[FrP->Block];
+  CostRow = CT.Costs.data() + CT.BlockBase[static_cast<size_t>(FrP->Block)];
+}
+  assert(FrP->Pc < static_cast<int>(BBP->Insts.size()) && "pc ran off block");
+  IP = BBP->Insts.data() + FrP->Pc;
+  ARS_PROLOGUE();
+  goto *JumpTable[static_cast<unsigned>(IP->Op)];
+
+L_Nop:
+  ARS_NEXT;
+L_MovImm:
+  R[IP->Dst].I = IP->Imm;
+  ARS_NEXT;
+L_MovFImm:
+  R[IP->Dst].F = IP->FImm;
+  ARS_NEXT;
+L_Mov:
+  R[IP->Dst] = R[IP->A];
+  ARS_NEXT;
+L_Add:
+  R[IP->Dst].I = R[IP->A].I + R[IP->B].I;
+  ARS_NEXT;
+L_Sub:
+  R[IP->Dst].I = R[IP->A].I - R[IP->B].I;
+  ARS_NEXT;
+L_Mul:
+  R[IP->Dst].I = R[IP->A].I * R[IP->B].I;
+  ARS_NEXT;
+L_Div:
+  if (R[IP->B].I == 0)
+    return fail(formatString("division by zero in %s",
+                             FrP->Func->Name.c_str()));
+  R[IP->Dst].I = R[IP->A].I / R[IP->B].I;
+  ARS_NEXT;
+L_Rem:
+  if (R[IP->B].I == 0)
+    return fail(formatString("remainder by zero in %s",
+                             FrP->Func->Name.c_str()));
+  R[IP->Dst].I = R[IP->A].I % R[IP->B].I;
+  ARS_NEXT;
+L_Neg:
+  R[IP->Dst].I = -R[IP->A].I;
+  ARS_NEXT;
+L_And:
+  R[IP->Dst].I = R[IP->A].I & R[IP->B].I;
+  ARS_NEXT;
+L_Or:
+  R[IP->Dst].I = R[IP->A].I | R[IP->B].I;
+  ARS_NEXT;
+L_Xor:
+  R[IP->Dst].I = R[IP->A].I ^ R[IP->B].I;
+  ARS_NEXT;
+L_Shl:
+  R[IP->Dst].I = R[IP->A].I << (R[IP->B].I & 63);
+  ARS_NEXT;
+L_Shr:
+  R[IP->Dst].I = R[IP->A].I >> (R[IP->B].I & 63);
+  ARS_NEXT;
+L_FAdd:
+  R[IP->Dst].F = R[IP->A].F + R[IP->B].F;
+  ARS_NEXT;
+L_FSub:
+  R[IP->Dst].F = R[IP->A].F - R[IP->B].F;
+  ARS_NEXT;
+L_FMul:
+  R[IP->Dst].F = R[IP->A].F * R[IP->B].F;
+  ARS_NEXT;
+L_FDiv:
+  R[IP->Dst].F = R[IP->A].F / R[IP->B].F;
+  ARS_NEXT;
+L_FNeg:
+  R[IP->Dst].F = -R[IP->A].F;
+  ARS_NEXT;
+L_F2I:
+  R[IP->Dst].I = static_cast<int64_t>(R[IP->A].F);
+  ARS_NEXT;
+L_I2F:
+  R[IP->Dst].F = static_cast<double>(R[IP->A].I);
+  ARS_NEXT;
+L_CmpEq:
+  R[IP->Dst].I = R[IP->A].I == R[IP->B].I;
+  ARS_NEXT;
+L_CmpNe:
+  R[IP->Dst].I = R[IP->A].I != R[IP->B].I;
+  ARS_NEXT;
+L_CmpLt:
+  R[IP->Dst].I = R[IP->A].I < R[IP->B].I;
+  ARS_NEXT;
+L_CmpLe:
+  R[IP->Dst].I = R[IP->A].I <= R[IP->B].I;
+  ARS_NEXT;
+L_CmpGt:
+  R[IP->Dst].I = R[IP->A].I > R[IP->B].I;
+  ARS_NEXT;
+L_CmpGe:
+  R[IP->Dst].I = R[IP->A].I >= R[IP->B].I;
+  ARS_NEXT;
+L_FCmpLt:
+  R[IP->Dst].I = R[IP->A].F < R[IP->B].F;
+  ARS_NEXT;
+L_FCmpLe:
+  R[IP->Dst].I = R[IP->A].F <= R[IP->B].F;
+  ARS_NEXT;
+L_FCmpEq:
+  R[IP->Dst].I = R[IP->A].F == R[IP->B].F;
+  ARS_NEXT;
+
+L_New: {
+  int ClassId = static_cast<int>(IP->Imm);
+  int NumFields = static_cast<int>(M.classAt(ClassId).Fields.size());
+  int64_t Ref = TheHeap.allocObject(ClassId, NumFields);
+  if (!Ref)
+    return fail("heap exhausted");
+  R[IP->Dst].I = Ref;
+  ARS_NEXT;
+}
+L_GetField: {
+  int64_t Ref = R[IP->A].I;
+  if (!TheHeap.valid(Ref))
+    return fail(formatString("null or bad reference in %s",
+                             FrP->Func->Name.c_str()));
+  int Offset = FieldOffset[static_cast<size_t>(IP->Imm)];
+  R[IP->Dst] = TheHeap.cell(Ref, Offset);
+  ARS_NEXT;
+}
+L_PutField: {
+  int64_t Ref = R[IP->A].I;
+  if (!TheHeap.valid(Ref))
+    return fail(formatString("null or bad reference in %s",
+                             FrP->Func->Name.c_str()));
+  int Offset = FieldOffset[static_cast<size_t>(IP->Imm)];
+  TheHeap.cell(Ref, Offset) = R[IP->B];
+  ARS_NEXT;
+}
+L_GetGlobal:
+  R[IP->Dst] = Globals[static_cast<size_t>(IP->Imm)];
+  ARS_NEXT;
+L_PutGlobal:
+  Globals[static_cast<size_t>(IP->Imm)] = R[IP->A];
+  ARS_NEXT;
+L_NewArray: {
+  int64_t Ref = TheHeap.allocArray(R[IP->A].I);
+  if (!Ref)
+    return fail("heap exhausted or negative array length");
+  R[IP->Dst].I = Ref;
+  ARS_NEXT;
+}
+L_ALoad: {
+  int64_t Ref = R[IP->A].I;
+  int64_t Idx = R[IP->B].I;
+  if (!TheHeap.valid(Ref) || Idx < 0 || Idx >= TheHeap.length(Ref))
+    return fail(formatString("array access out of bounds in %s",
+                             FrP->Func->Name.c_str()));
+  R[IP->Dst] = TheHeap.cell(Ref, Idx);
+  ARS_NEXT;
+}
+L_AStore: {
+  int64_t Ref = R[IP->A].I;
+  int64_t Idx = R[IP->B].I;
+  if (!TheHeap.valid(Ref) || Idx < 0 || Idx >= TheHeap.length(Ref))
+    return fail(formatString("array access out of bounds in %s",
+                             FrP->Func->Name.c_str()));
+  TheHeap.cell(Ref, Idx) = R[IP->C];
+  ARS_NEXT;
+}
+L_ALen: {
+  int64_t Ref = R[IP->A].I;
+  if (!TheHeap.valid(Ref))
+    return fail("null or bad reference");
+  R[IP->Dst].I = TheHeap.length(Ref);
+  ARS_NEXT;
+}
+L_IOWait:
+  ARS_NEXT; // the cost model already charged Imm cycles
+L_Print:
+  if (Stats.Trace.size() < Config.MaxTraceEntries)
+    Stats.Trace.push_back(R[IP->A].I);
+  ARS_NEXT;
+
+L_Call: {
+  int64_t RetSlot =
+      IP->Dst >= 0 ? static_cast<int64_t>(FrP->RegBase) + IP->Dst : -1;
+  ++FrP->Pc; // resume after the call on return
+  if (!pushFrame(T, static_cast<int>(IP->Imm), IP, FrP->Func->FuncId))
+    return false;
+  T.Frames.back().RetSlot = RetSlot;
+  ARS_REFRESH; // frame and register storage moved
+}
+L_Spawn: {
+  Thread NewThread;
+  NewThread.Counter = Config.SampleInterval > 0 ? nextResetValue() : 0;
+  // Build the spawned frame manually so argument cells come from the
+  // spawning thread's registers.
+  const ir::IRFunction &Callee = Funcs[static_cast<int>(IP->Imm)];
+  if (static_cast<int>(IP->Args.size()) != Callee.NumParams)
+    return fail("spawn argument count mismatch");
+  Frame SF;
+  SF.Func = &Callee;
+  SF.Block = Callee.Entry;
+  SF.Pc = 0;
+  SF.RegBase = 0;
+  SF.CallerFuncId = FrP->Func->FuncId;
+  SF.CallSite = IP->Aux;
+  SF.Optimized =
+      static_cast<size_t>(IP->Imm) < Config.OptimizedFuncs.size() &&
+      Config.OptimizedFuncs[static_cast<size_t>(IP->Imm)];
+  NewThread.Regs.resize(static_cast<size_t>(Callee.NumRegs));
+  for (size_t A = 0; A != IP->Args.size(); ++A)
+    NewThread.Regs[A] = R[IP->Args[A]];
+  NewThread.Frames.push_back(SF);
+  Threads.push_back(std::move(NewThread)); // deque: T's storage is stable
+  ++Stats.ThreadsSpawned;
+  ++Stats.Entries;
+  MultiThreaded = true;
+  ARS_NEXT;
+}
+L_Ret:
+L_RetVal: {
+  Cell Result;
+  if (IP->Op == IROp::RetVal)
+    Result = R[IP->A];
+  int64_t RetSlot = FrP->RetSlot;
+  size_t RegBase = FrP->RegBase;
+  T.Frames.pop_back();
+  T.Regs.resize(RegBase);
+  if (T.Frames.empty()) {
+    if (IP->Op == IROp::RetVal && &T == &Threads[0])
+      Stats.MainResult = Result.I;
+    T.Done = true;
+    return true;
+  }
+  if (IP->Op == IROp::RetVal && RetSlot >= 0)
+    T.Regs[static_cast<size_t>(RetSlot)] = Result;
+  ARS_REFRESH;
+}
+
+L_Jump:
+  FrP->Block = static_cast<int>(IP->Imm);
+  FrP->Pc = 0;
+  ARS_BLOCK;
+L_Branch:
+  FrP->Block = R[IP->A].I != 0 ? static_cast<int>(IP->Imm) : IP->Aux;
+  FrP->Pc = 0;
+  ARS_BLOCK;
+
+L_Yieldpoint:
+  ++Stats.YieldpointExecs;
+  if (MultiThreaded && Stats.Cycles - LastSwitchCycles >= YieldQuantum) {
+    ++FrP->Pc;
+    return true; // scheduler rotates threads
+  }
+  ARS_NEXT;
+
+L_SampleCheck: {
+  ++Stats.CheckExecs;
+  bool Fires = sampleConditionFires(T, FrP->Func->FuncId);
+  if (Fires) {
+    ++Stats.SamplesTaken;
+    Stats.Cycles += Costs.CheckTakenExtra;
+    if (Config.BurstLength > 0)
+      T.BurstRemaining = Config.BurstLength;
+    FrP->Block = static_cast<int>(IP->Imm);
+  } else {
+    FrP->Block = IP->Aux;
+  }
+  FrP->Pc = 0;
+  // The check subsumes the yield test (always safe; required when the
+  // yieldpoint optimization removed checking-code yieldpoints).
+  if (MultiThreaded && Stats.Cycles - LastSwitchCycles >= YieldQuantum)
+    return true;
+  ARS_BLOCK;
+}
+L_Probe: {
+  const instr::ProbeEntry &P = Probes.entry(static_cast<int>(IP->Imm));
+  Stats.Cycles += P.CostCycles;
+  runProbeBody(P, T, IP->Aux > 1 ? static_cast<uint64_t>(IP->Aux) : 1);
+  ARS_NEXT;
+}
+L_GuardedProbe: {
+  ++Stats.GuardedProbeExecs;
+  uint64_t Weight = IP->Aux > 1 ? static_cast<uint64_t>(IP->Aux) : 1;
+  if (sampleConditionFires(T, FrP->Func->FuncId,
+                           static_cast<int64_t>(Weight))) {
+    ++Stats.GuardedProbesTaken;
+    uint64_t Mult = Weight / (1 + IP->Args.size());
+    const instr::ProbeEntry &P = Probes.entry(static_cast<int>(IP->Imm));
+    Stats.Cycles += P.CostCycles;
+    runProbeBody(P, T, Mult);
+    for (int Extra : IP->Args) {
+      const instr::ProbeEntry &PE = Probes.entry(Extra);
+      Stats.Cycles += PE.CostCycles;
+      runProbeBody(PE, T, Mult);
+    }
+  }
+  ARS_NEXT;
+}
+L_BurstTransfer:
+  ++Stats.BurstIterations;
+  FrP->Block = --T.BurstRemaining > 0 ? static_cast<int>(IP->Imm) : IP->Aux;
+  FrP->Pc = 0;
+  ARS_BLOCK;
+
+#undef ARS_PROLOGUE
+#undef ARS_NEXT
+#undef ARS_BLOCK
+#undef ARS_REFRESH
+}
+
+#endif // ARS_THREADED_DISPATCH_AVAILABLE
+
 RunStats ExecutionEngine::run(int EntryFunc,
                               const std::vector<int64_t> &Args) {
   Stats = RunStats();
   Stats.Ok = true;
   Profiles.clear();
   Profiles.FieldAccesses.resize(M.numFieldIds());
+  // Interned counter slots point into the maps just cleared.
+  ProbeMemos.assign(static_cast<size_t>(Probes.size()), ProbeMemo());
+  UseThreaded = threadedDispatchCompiled() &&
+                Config.Dispatch != DispatchMode::Switch;
   Globals.assign(Globals.size(), Cell());
   Threads.clear();
   Rng = support::Xorshift64(Config.RandomSeed);

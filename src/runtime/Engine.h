@@ -40,6 +40,19 @@
 #include <string>
 #include <vector>
 
+/// Compile-time switch for the computed-goto interpreter loop.  CMake's
+/// ARS_THREADED_DISPATCH option (default ON) defines this to 0 to force
+/// the portable switch build; the GNU label-address extension gates it to
+/// GCC/Clang regardless.
+#ifndef ARS_THREADED_DISPATCH
+#define ARS_THREADED_DISPATCH 1
+#endif
+#if ARS_THREADED_DISPATCH && (defined(__GNUC__) || defined(__clang__))
+#define ARS_THREADED_DISPATCH_AVAILABLE 1
+#else
+#define ARS_THREADED_DISPATCH_AVAILABLE 0
+#endif
+
 namespace ars {
 namespace runtime {
 
@@ -49,9 +62,26 @@ enum class TriggerKind : uint8_t {
   Timer    ///< a bit set every TimerPeriodCycles, polled by the next check
 };
 
+/// Which interpreter loop runs the program.  Both produce bit-identical
+/// stats and profiles (pinned by tests/test_dispatch.cpp); Threaded is the
+/// computed-goto loop with cached frame/cost pointers, Switch the portable
+/// re-derive-everything loop.
+enum class DispatchMode : uint8_t {
+  Auto,    ///< threaded when compiled in, switch otherwise
+  Switch,  ///< force the portable switch loop
+  Threaded ///< request the threaded loop (falls back to Switch when the
+           ///< build has no computed-goto support)
+};
+
+/// True when this build carries the computed-goto loop.
+bool threadedDispatchCompiled();
+
 /// Engine configuration.
 struct EngineConfig {
   TriggerKind Trigger = TriggerKind::Counter;
+
+  /// Interpreter loop selection; semantics are identical either way.
+  DispatchMode Dispatch = DispatchMode::Auto;
 
   /// Counter reset value; a sample fires when the counter reaches zero.
   /// 0 means "never sample" (the framework-overhead configurations).
@@ -180,6 +210,32 @@ private:
   const instr::ProbeRegistry &Probes;
   EngineConfig Config;
 
+  /// Per-function flattened instruction costs, indexed by FuncId; one row
+  /// per block (BlockBase[Block] + Pc).  The optimized-function cost scale
+  /// is a pure function of FuncId, so it is baked in here: the dispatch
+  /// loops charge CostRow[Pc] instead of recomputing costOf + scaling per
+  /// instruction.
+  struct FuncCostTable {
+    std::vector<uint32_t> Costs;
+    std::vector<size_t> BlockBase;
+  };
+  std::vector<FuncCostTable> InstCosts;
+
+  /// Per-probe interned profile-counter slot, so hot record paths stop
+  /// re-hashing their (static) keys on every execution.  Slot pointers
+  /// reach into the profile maps, which are node-stable under insertion;
+  /// run() resets the memos together with the profiles.  CallEdge probes
+  /// key on the frame, so their memo also remembers the (caller, site)
+  /// pair it was formed under.
+  struct ProbeMemo {
+    uint64_t *Slot = nullptr;
+    int Caller = -2; ///< -2 = no memo (valid caller ids start at -1)
+    int Site = -2;
+  };
+  std::vector<ProbeMemo> ProbeMemos;
+
+  bool UseThreaded = false;
+
   profile::ProfileBundle Profiles;
   Heap TheHeap;
   std::vector<Cell> Globals;
@@ -204,11 +260,24 @@ private:
   bool fail(const std::string &Message);
   int64_t nextResetValue();
   int64_t nextResetValue(int64_t Interval);
-  bool sampleConditionFires(Thread &T, int FuncId);
-  void runProbeBody(const instr::ProbeEntry &P, Thread &T);
+  /// Decrements the active sample counter by \p Weight (a coalesced
+  /// check stands in for Weight original checks); fires when it reaches
+  /// zero.  Weight 1 is the plain per-check semantics.
+  bool sampleConditionFires(Thread &T, int FuncId, int64_t Weight = 1);
+  /// Executes \p P's body \p Count times in one step (Count > 1 comes
+  /// from probes hoisted out of exactly-counted loops); all counter
+  /// kinds record Count in one bump.
+  void runProbeBody(const instr::ProbeEntry &P, Thread &T,
+                    uint64_t Count = 1);
   /// Runs \p T until it blocks on a yield, finishes, or the run fails.
-  /// Returns false when the whole run must stop.
+  /// Returns false when the whole run must stop.  Dispatches to the
+  /// selected interpreter loop; the two loops are semantically identical
+  /// (bit-identical stats and profiles).
   bool stepThread(Thread &T);
+  bool stepThreadSwitch(Thread &T);
+#if ARS_THREADED_DISPATCH_AVAILABLE
+  bool stepThreadThreaded(Thread &T);
+#endif
   bool pushFrame(Thread &T, int FuncId, const ir::IRInst *CallInst,
                  int CallerFuncId);
 };

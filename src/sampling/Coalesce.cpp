@@ -1,0 +1,222 @@
+//===- sampling/Coalesce.cpp ----------------------------------*- C++ -*-===//
+
+#include "sampling/Coalesce.h"
+
+#include "analysis/Backedges.h"
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/TripCount.h"
+
+#include <limits>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace ars {
+namespace sampling {
+
+using analysis::BackedgeInfo;
+using analysis::CFG;
+using analysis::DominatorTree;
+using analysis::Loop;
+using analysis::LoopInfo;
+using analysis::TripCount;
+using ir::BasicBlock;
+using ir::IRInst;
+using ir::IROp;
+
+namespace {
+
+/// Kinds whose bodies are frame-static: what they record does not depend
+/// on *when* inside the frame they run, so they can be replayed with a
+/// multiplicity or reordered within a block.  Value probes read a live
+/// register and the path kinds mutate ordered frame state, so both stay
+/// where the client anchored them.
+bool isMultiplicitySafe(instr::ProbeKind K) {
+  switch (K) {
+  case instr::ProbeKind::CallEdge:
+  case instr::ProbeKind::FieldAccess:
+  case instr::ProbeKind::BlockCount:
+  case instr::ProbeKind::EdgeCount:
+    return true;
+  case instr::ProbeKind::Value:
+  case instr::ProbeKind::PathReset:
+  case instr::ProbeKind::PathAdd:
+  case instr::ProbeKind::PathEnd:
+    return false;
+  }
+  return false;
+}
+
+/// An unweighted, uncoalesced probe instruction of a safe kind.
+bool isHoistCandidate(const IRInst &I, const instr::ProbeRegistry &Probes) {
+  if (I.Op != IROp::Probe && I.Op != IROp::GuardedProbe)
+    return false;
+  if (I.Aux > 1 || !I.Args.empty())
+    return false;
+  return isMultiplicitySafe(Probes.entry(static_cast<int>(I.Imm)).Kind);
+}
+
+/// Hoists eligible probes out of \p L into a new preheader block on the
+/// loop's unique entry edge.  Returns true when \p F was modified (the
+/// caller must recompute analyses before touching another loop).
+bool hoistOneLoop(ir::IRFunction &F, const instr::ProbeRegistry &Probes,
+                  const CFG &Graph, const DominatorTree &Dom, const Loop &L,
+                  TransformResult &Result) {
+  TripCount TC = analysis::computeTripCount(F, Graph, Dom, L);
+  if (!TC.Exact)
+    return false;
+  if (TC.BodyExecs >
+      static_cast<uint64_t>(std::numeric_limits<int>::max()))
+    return false; // weight must fit IRInst::Aux
+
+  // computeTripCount guarantees a unique outside predecessor.
+  int EntryPred = -1;
+  for (int P : Graph.predecessors(L.Header))
+    if (!L.contains(P))
+      EntryPred = P;
+  if (EntryPred < 0)
+    return false;
+
+  // Collect the probes to move.  A block qualifies when it executes a
+  // statically known number of times per entry: the header (BodyExecs + 1
+  // visits) or any block dominating the single latch (BodyExecs visits).
+  std::vector<IRInst> Moved;
+  bool Modified = false;
+  for (int B : L.Blocks) {
+    bool IsHeader = B == L.Header;
+    if (!IsHeader && !Dom.dominates(B, L.Latches[0]))
+      continue;
+    uint64_t Mult = IsHeader ? TC.HeaderExecs : TC.BodyExecs;
+    if (Mult == 1)
+      continue; // one execution either way; leave it anchored
+    std::vector<IRInst> &Insts = F.Blocks[B].Insts;
+    std::vector<IRInst> Kept;
+    Kept.reserve(Insts.size());
+    for (IRInst &I : Insts) {
+      if (!isHoistCandidate(I, Probes)) {
+        Kept.push_back(std::move(I));
+        continue;
+      }
+      Modified = true;
+      if (Mult == 0) {
+        // The body never runs on any entry; the probe records nothing.
+        ++Result.Stats.ProbesDropped;
+        continue;
+      }
+      IRInst H = std::move(I);
+      H.Aux = static_cast<int>(Mult);
+      if (H.Op == IROp::GuardedProbe)
+        ++Result.Stats.ChecksHoisted;
+      else
+        ++Result.Stats.ProbesHoisted;
+      Moved.push_back(std::move(H));
+    }
+    Insts = std::move(Kept);
+  }
+  if (Moved.empty())
+    return Modified;
+
+  // Preheader on the entry edge, so the hoisted probes run exactly once
+  // per loop entry (and never when the loop is skipped entirely).
+  int NewB = F.addBlock();
+  BasicBlock &PB = F.Blocks[NewB];
+  PB.Insts = std::move(Moved);
+  IRInst Jump(IROp::Jump);
+  Jump.Imm = L.Header;
+  PB.Insts.push_back(Jump);
+  ir::retargetTerminator(F.Blocks[EntryPred].terminator(), L.Header, NewB);
+  Result.Roles.push_back(BlockRole::Checking);
+  return true;
+}
+
+void hoistLoopProbes(ir::IRFunction &F, const instr::ProbeRegistry &Probes,
+                     TransformResult &Result) {
+  // Hoisting one loop edits the CFG, so analyses are recomputed after
+  // every modification and each header is visited at most once.  Block
+  // ids are stable (the pass only appends blocks), so header ids key the
+  // visited set soundly across recomputations.
+  std::set<int> Visited;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    CFG Graph(F);
+    DominatorTree Dom(Graph);
+    BackedgeInfo BI = analysis::findBackedges(Graph, Dom);
+    if (!BI.Reducible)
+      return;
+    LoopInfo LI(Graph, BI);
+    for (const Loop &L : LI.loops()) {
+      if (!Visited.insert(L.Header).second)
+        continue;
+      if (hoistOneLoop(F, Probes, Graph, Dom, L, Result)) {
+        Changed = true;
+        break;
+      }
+    }
+  }
+}
+
+/// Merges same-weight GuardedProbes of \p BB into single weighted checks.
+void coalesceBlock(BasicBlock &BB, const instr::ProbeRegistry &Probes,
+                   TransformResult &Result) {
+  // Group candidate checks by body multiplicity; merging requires equal
+  // multiplicity so the combined weight stays divisible: k bodies at
+  // weight w merge into one check of weight k*w, and the engine recovers
+  // w = Aux / (1 + Args.size()) per body.
+  std::map<int, std::vector<size_t>> Groups;
+  for (size_t I = 0; I != BB.Insts.size(); ++I) {
+    const IRInst &Inst = BB.Insts[I];
+    if (Inst.Op != IROp::GuardedProbe || !Inst.Args.empty())
+      continue;
+    if (!isMultiplicitySafe(Probes.entry(static_cast<int>(Inst.Imm)).Kind))
+      continue;
+    Groups[Inst.Aux > 1 ? Inst.Aux : 1].push_back(I);
+  }
+  std::vector<char> Remove(BB.Insts.size(), 0);
+  bool Any = false;
+  for (auto &[Weight, Members] : Groups) {
+    int K = static_cast<int>(Members.size());
+    if (K < 2)
+      continue;
+    if (Weight > std::numeric_limits<int>::max() / K)
+      continue; // combined weight would overflow Aux
+    IRInst &First = BB.Insts[Members[0]];
+    for (size_t M = 1; M != Members.size(); ++M) {
+      First.Args.push_back(static_cast<int>(BB.Insts[Members[M]].Imm));
+      Remove[Members[M]] = 1;
+    }
+    First.Aux = Weight * K;
+    Result.Stats.ChecksCoalesced += K - 1;
+    Any = true;
+  }
+  if (!Any)
+    return;
+  std::vector<IRInst> Kept;
+  Kept.reserve(BB.Insts.size());
+  for (size_t I = 0; I != BB.Insts.size(); ++I)
+    if (!Remove[I])
+      Kept.push_back(std::move(BB.Insts[I]));
+  BB.Insts = std::move(Kept);
+}
+
+} // namespace
+
+void coalesceChecks(ir::IRFunction &F, const instr::ProbeRegistry &Probes,
+                    const Options &Opts, TransformResult &Result) {
+  if (!Opts.CoalesceChecks && !Opts.HoistLoopProbes)
+    return;
+  // Hoist first: probes landing together in a preheader are exactly the
+  // groups coalescing then merges into one check.
+  if (Opts.HoistLoopProbes)
+    hoistLoopProbes(F, Probes, Result);
+  if (Opts.CoalesceChecks)
+    for (BasicBlock &BB : F.Blocks)
+      coalesceBlock(BB, Probes, Result);
+  Result.Stats.FinalBlocks = F.numBlocks();
+  Result.Stats.FinalSize = F.codeSize();
+}
+
+} // namespace sampling
+} // namespace ars

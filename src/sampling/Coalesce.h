@@ -1,0 +1,52 @@
+//===- sampling/Coalesce.h - Check coalescing and probe hoisting *- C++ -*-===//
+///
+/// \file
+/// Post-transform pass that cuts the number of dynamic sample checks
+/// without changing what gets recorded:
+///
+///  * Check coalescing - several GuardedProbes in the same basic block
+///    whose bodies have equal multiplicity merge into one GuardedProbe
+///    that decrements the sample counter by the group's combined static
+///    weight and, when it fires, runs every body.  k checks become 1.
+///
+///  * Loop probe hoisting - a probe in an exactly-counted loop (see
+///    analysis/TripCount.h) moves to a new preheader on the loop's entry
+///    edge, with its check weight set to the trip count: one execution
+///    records trip-count-many events.
+///
+/// Both are exact at sample interval 1 (a weighted decrement of W >= 1
+/// drives a counter at 1 nonpositive, exactly as W unit decrements fire W
+/// times) and only ever *reduce* CheckExecs, so Property 1 is preserved.
+/// At larger intervals the sampled profile remains an unbiased weighting
+/// of the same events; only the clustering of samples changes.
+///
+/// The pass runs on transformed IR.  Duplicated code is acyclic after
+/// duplication and Full/Partial-Duplication checking loops carry
+/// SampleCheck exits on their backedges, so hoisting naturally applies
+/// only to Exhaustive probes and No-Duplication/Combined guarded probes
+/// in checking code; it never touches the duplicated-code invariants the
+/// Property-1 checker enforces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_SAMPLING_COALESCE_H
+#define ARS_SAMPLING_COALESCE_H
+
+#include "ir/IR.h"
+#include "sampling/Transform.h"
+
+namespace ars {
+namespace sampling {
+
+/// Applies the check optimizer to \p F in place, honouring
+/// \p Opts.CoalesceChecks and \p Opts.HoistLoopProbes.  Updates
+/// \p Result's statistics (ChecksCoalesced / ChecksHoisted /
+/// ProbesHoisted / ProbesDropped) and extends Result.Roles for any
+/// preheader blocks it creates.  No-op when both options are off.
+void coalesceChecks(ir::IRFunction &F, const instr::ProbeRegistry &Probes,
+                    const Options &Opts, TransformResult &Result);
+
+} // namespace sampling
+} // namespace ars
+
+#endif // ARS_SAMPLING_COALESCE_H

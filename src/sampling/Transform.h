@@ -85,6 +85,15 @@ struct Options {
   /// guarded in place.  Method-entry probes always go to the duplicated
   /// side.
   int CombineThreshold = 3;
+
+  /// Post-transform check optimizer (sampling/Coalesce.h).  CoalesceChecks
+  /// merges same-block guarded-probe checks of equal multiplicity into one
+  /// check decrementing by the group's static weight; HoistLoopProbes
+  /// moves probes out of exactly-counted loops, one execution recording
+  /// trip-count-many events.  Both preserve Property 1 and are exact at
+  /// sample interval 1; off by default.
+  bool CoalesceChecks = false;
+  bool HoistLoopProbes = false;
 };
 
 /// What the transform did (per function).
@@ -102,6 +111,12 @@ struct TransformStats {
   int DupBlocksRemoved = 0;
   int Backedges = 0;
   bool Reducible = true;
+  // Check-optimizer counters (sampling/Coalesce.h); all stay zero unless
+  // Options::CoalesceChecks / HoistLoopProbes are set.
+  int ChecksCoalesced = 0; ///< guarded checks merged away (k-1 per group)
+  int ChecksHoisted = 0;   ///< guarded probes moved out of counted loops
+  int ProbesHoisted = 0;   ///< unguarded probes moved out of counted loops
+  int ProbesDropped = 0;   ///< probes removed from zero-trip loop bodies
 };
 
 /// Role of each final block, used by the Property-1 checker and tests.

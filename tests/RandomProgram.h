@@ -50,7 +50,9 @@ private:
   int CallBudget = 0;
 
   std::string freshVar() {
-    return "v" + std::to_string(TmpCounter++);
+    // 'v' not "v": prepending a literal trips GCC 12's -Wrestrict
+    // false-positive at -O3 (PR105329); the char overload does not.
+    return 'v' + std::to_string(TmpCounter++);
   }
 
   /// An int expression over the in-scope int variables \p Vars.
@@ -91,7 +93,7 @@ RandomProgramGenerator::helperCall(const std::vector<std::string> &Vars) {
   if (FuncCount == 0)
     return intExpr(Vars, 1);
   int Callee = static_cast<int>(Rng.nextBelow(FuncCount));
-  return "f" + std::to_string(Callee) + "(" + intExpr(Vars, 1) + ", " +
+  return 'f' + std::to_string(Callee) + "(" + intExpr(Vars, 1) + ", " +
          intExpr(Vars, 1) + ")";
 }
 

@@ -19,7 +19,7 @@ using analysis::LoopInfo;
 /// One target -> Jump; two -> Branch on register 0; zero -> Ret.
 ir::IRFunction makeGraph(const std::vector<std::vector<int>> &Succs) {
   ir::IRFunction F;
-  F.Name = "g";
+  F.Name = 'g'; // char assign: GCC 12 -Wrestrict false-positive (PR105329)
   F.NumRegs = 1;
   for (size_t B = 0; B != Succs.size(); ++B)
     F.addBlock();

@@ -1,0 +1,283 @@
+//===- tests/test_coalesce.cpp - check coalescing and hoisting -*- C++ -*-===//
+///
+/// The check-coalescing pass (sampling/Coalesce.h) must reduce dynamic
+/// checks without changing what the profiles say: identical profiles at
+/// interval 1 (where sampling is exhaustive by construction), identical
+/// program results everywhere, strictly fewer check executions and
+/// simulated cycles on loop-heavy code, and clean Property-1 structure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "instr/Clients.h"
+#include "ir/IRPrinter.h"
+#include "ir/IRVerifier.h"
+#include "sampling/Property1.h"
+#include "workloads/Workloads.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ars;
+using ars::testutil::build;
+
+instr::CallEdgeInstrumentation CallEdges;
+instr::FieldAccessInstrumentation FieldAccesses;
+
+/// Constant-trip inner loop with field traffic: the hoisting candidate.
+const char *CountedLoopSrc = R"(
+  class S { int v; int w; }
+  int leaf(int x) { return x + 1; }
+  int main(int n) {
+    S s = new S;
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      for (int j = 0; j < 16; j = j + 1) {
+        s.v = s.v + j;
+        s.w = s.w + 1;
+        acc = acc + leaf(s.v);
+      }
+    }
+    return acc;
+  }
+)";
+
+/// Straight-line block dense in field accesses: the coalescing candidate.
+const char *DenseBlockSrc = R"(
+  class S { int a; int b; int c; int d; }
+  int main(int n) {
+    S s = new S;
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      s.a = s.a + 1;
+      s.b = s.b + 2;
+      s.c = s.c + 3;
+      s.d = s.d + i;
+      acc = acc + s.a + s.d;
+    }
+    return acc;
+  }
+)";
+
+/// A loop whose bound makes it never run.
+const char *ZeroTripSrc = R"(
+  class S { int v; }
+  int main(int n) {
+    S s = new S;
+    for (int i = 0; i < 0; i = i + 1) {
+      s.v = s.v + 1;
+    }
+    return s.v + n;
+  }
+)";
+
+harness::RunConfig config(sampling::Mode M, int64_t Interval, bool Coalesce,
+                          bool Hoist) {
+  harness::RunConfig C;
+  C.Transform.M = M;
+  C.Transform.CoalesceChecks = Coalesce;
+  C.Transform.HoistLoopProbes = Hoist;
+  C.Engine.SampleInterval = Interval;
+  C.Clients = {&CallEdges, &FieldAccesses};
+  return C;
+}
+
+int statSum(const harness::InstrumentedProgram &IP,
+            int sampling::TransformStats::*Field) {
+  int Sum = 0;
+  for (const sampling::TransformResult &R : IP.Transforms)
+    Sum += R.Stats.*Field;
+  return Sum;
+}
+
+harness::InstrumentedProgram instrument(const harness::Program &P,
+                                        const harness::RunConfig &C) {
+  return harness::instrumentProgram(P, C.Clients, C.Transform);
+}
+
+/// Every function verifies, has a consistent role map, and passes the
+/// Property-1 placement checker.
+void expectClean(const harness::InstrumentedProgram &IP,
+                 const sampling::Options &Opts) {
+  for (size_t F = 0; F != IP.Funcs.size(); ++F) {
+    EXPECT_TRUE(ir::verifyFunction(IP.Funcs[F]).empty())
+        << ir::printFunction(IP.Funcs[F]);
+    std::string Bad =
+        sampling::checkProperty1Static(IP.Funcs[F], IP.Transforms[F], Opts);
+    EXPECT_TRUE(Bad.empty()) << Bad;
+  }
+}
+
+TEST(Hoist, MovesExhaustiveProbesOutOfCountedLoops) {
+  harness::Program P = build(CountedLoopSrc);
+  harness::RunConfig Plain = config(sampling::Mode::Exhaustive, 0, false,
+                                    false);
+  harness::RunConfig Hoisted = config(sampling::Mode::Exhaustive, 0, false,
+                                      true);
+
+  harness::InstrumentedProgram IP = instrument(P, Hoisted);
+  EXPECT_GT(statSum(IP, &sampling::TransformStats::ProbesHoisted), 0);
+  expectClean(IP, Hoisted.Transform);
+
+  auto Base = harness::runExperiment(P, 50, Plain);
+  auto Opt = harness::runExperiment(P, 50, Hoisted);
+  ASSERT_TRUE(Base.Stats.Ok && Opt.Stats.Ok)
+      << Base.Stats.Error << Opt.Stats.Error;
+
+  // Same answer, same profiles, same number of recorded events -- but
+  // the events arrive in bulk, so the instrumented run is cheaper.
+  EXPECT_EQ(Base.Stats.MainResult, Opt.Stats.MainResult);
+  EXPECT_EQ(Base.Profiles.FieldAccesses.counts(),
+            Opt.Profiles.FieldAccesses.counts());
+  EXPECT_EQ(Base.Profiles.CallEdges.counts(),
+            Opt.Profiles.CallEdges.counts());
+  EXPECT_EQ(Base.Stats.ProbeBodiesRun, Opt.Stats.ProbeBodiesRun);
+  EXPECT_LT(Opt.Stats.Cycles, Base.Stats.Cycles);
+}
+
+TEST(Hoist, NoDuplicationIntervalOneStaysExact) {
+  harness::Program P = build(CountedLoopSrc);
+  auto Perfect = harness::runExperiment(
+      P, 40, config(sampling::Mode::Exhaustive, 0, false, false));
+  ASSERT_TRUE(Perfect.Stats.Ok) << Perfect.Stats.Error;
+
+  harness::RunConfig Optimized =
+      config(sampling::Mode::NoDuplication, 1, true, true);
+  harness::InstrumentedProgram IP = instrument(P, Optimized);
+  EXPECT_GT(statSum(IP, &sampling::TransformStats::ChecksHoisted), 0);
+  expectClean(IP, Optimized.Transform);
+
+  auto Opt = harness::runExperiment(P, 40, Optimized);
+  ASSERT_TRUE(Opt.Stats.Ok) << Opt.Stats.Error;
+  EXPECT_EQ(Perfect.Profiles.FieldAccesses.counts(),
+            Opt.Profiles.FieldAccesses.counts());
+  EXPECT_EQ(Perfect.Profiles.CallEdges.counts(),
+            Opt.Profiles.CallEdges.counts());
+
+  // Property 1 can only improve: fewer guards executed than the
+  // unoptimized No-Duplication configuration.
+  auto Plain = harness::runExperiment(
+      P, 40, config(sampling::Mode::NoDuplication, 1, false, false));
+  ASSERT_TRUE(Plain.Stats.Ok);
+  EXPECT_LT(Opt.checksExecuted(), Plain.checksExecuted());
+}
+
+TEST(Coalesce, MergesSameBlockChecks) {
+  harness::Program P = build(DenseBlockSrc);
+  harness::RunConfig Merged =
+      config(sampling::Mode::NoDuplication, 1, true, false);
+  harness::InstrumentedProgram IP = instrument(P, Merged);
+  EXPECT_GT(statSum(IP, &sampling::TransformStats::ChecksCoalesced), 0);
+  expectClean(IP, Merged.Transform);
+
+  auto Perfect = harness::runExperiment(
+      P, 60, config(sampling::Mode::Exhaustive, 0, false, false));
+  auto Opt = harness::runExperiment(P, 60, Merged);
+  auto Plain = harness::runExperiment(
+      P, 60, config(sampling::Mode::NoDuplication, 1, false, false));
+  ASSERT_TRUE(Perfect.Stats.Ok && Opt.Stats.Ok && Plain.Stats.Ok);
+
+  EXPECT_EQ(Perfect.Profiles.FieldAccesses.counts(),
+            Opt.Profiles.FieldAccesses.counts());
+  EXPECT_EQ(Perfect.Profiles.CallEdges.counts(),
+            Opt.Profiles.CallEdges.counts());
+  EXPECT_EQ(Opt.Stats.MainResult, Plain.Stats.MainResult);
+  EXPECT_LT(Opt.Stats.GuardedProbeExecs, Plain.Stats.GuardedProbeExecs);
+}
+
+TEST(Coalesce, CheaperWhenSamplingIsOff) {
+  // Interval 0 never fires a guard, isolating pure check overhead: the
+  // coalesced configuration must be strictly cheaper in simulated cycles
+  // and must record exactly nothing, like the unoptimized one.
+  harness::Program P = build(CountedLoopSrc);
+  auto Plain = harness::runExperiment(
+      P, 60, config(sampling::Mode::NoDuplication, 0, false, false));
+  auto Opt = harness::runExperiment(
+      P, 60, config(sampling::Mode::NoDuplication, 0, true, true));
+  ASSERT_TRUE(Plain.Stats.Ok && Opt.Stats.Ok);
+  EXPECT_EQ(Plain.Stats.MainResult, Opt.Stats.MainResult);
+  EXPECT_EQ(Plain.Stats.SamplesTaken + Plain.Stats.GuardedProbesTaken, 0u);
+  EXPECT_EQ(Opt.Stats.SamplesTaken + Opt.Stats.GuardedProbesTaken, 0u);
+  EXPECT_EQ(Opt.Profiles.FieldAccesses.total(), 0u);
+  EXPECT_LT(Opt.Stats.GuardedProbeExecs, Plain.Stats.GuardedProbeExecs);
+  EXPECT_LT(Opt.Stats.Cycles, Plain.Stats.Cycles);
+}
+
+TEST(Hoist, ZeroTripLoopBodyProbesAreDropped) {
+  harness::Program P = build(ZeroTripSrc);
+  harness::RunConfig Hoisted =
+      config(sampling::Mode::Exhaustive, 0, false, true);
+  harness::InstrumentedProgram IP = instrument(P, Hoisted);
+  EXPECT_GT(statSum(IP, &sampling::TransformStats::ProbesDropped), 0);
+  expectClean(IP, Hoisted.Transform);
+
+  auto Base = harness::runExperiment(
+      P, 7, config(sampling::Mode::Exhaustive, 0, false, false));
+  auto Opt = harness::runExperiment(P, 7, Hoisted);
+  ASSERT_TRUE(Base.Stats.Ok && Opt.Stats.Ok);
+  EXPECT_EQ(Base.Stats.MainResult, Opt.Stats.MainResult);
+  EXPECT_EQ(Base.Profiles.FieldAccesses.counts(),
+            Opt.Profiles.FieldAccesses.counts());
+}
+
+TEST(Coalesce, WeightedGuardFiresMultipleIntervalsWorth) {
+  // At interval 5, a coalesced-and-hoisted guard of weight 16k decrements
+  // past several reset points at once; the engine must treat that as one
+  // taken sample (counter semantics), yet record all 16k-weighted events.
+  // The run must still satisfy Property 1 relative to the unoptimized
+  // configuration and agree on the program result.
+  harness::Program P = build(CountedLoopSrc);
+  auto Plain = harness::runExperiment(
+      P, 30, config(sampling::Mode::NoDuplication, 5, false, false));
+  auto Opt = harness::runExperiment(
+      P, 30, config(sampling::Mode::NoDuplication, 5, true, true));
+  ASSERT_TRUE(Plain.Stats.Ok && Opt.Stats.Ok);
+  EXPECT_EQ(Plain.Stats.MainResult, Opt.Stats.MainResult);
+  EXPECT_LE(Opt.checksExecuted(), Plain.checksExecuted());
+  EXPECT_GT(Opt.samplesTaken(), 0u);
+  EXPECT_GT(Opt.Profiles.FieldAccesses.total(), 0u);
+}
+
+TEST(Coalesce, PassIsIdleOnDuplicationModes) {
+  // Duplicated code is acyclic and its checking loops keep SampleCheck
+  // exits on their backedges, so the optimizer must find nothing to do --
+  // and in particular must not perturb the duplication invariants.
+  harness::Program P = build(CountedLoopSrc);
+  for (sampling::Mode M : {sampling::Mode::FullDuplication,
+                           sampling::Mode::PartialDuplication}) {
+    harness::RunConfig C = config(M, 7, true, true);
+    harness::InstrumentedProgram IP = instrument(P, C);
+    EXPECT_EQ(statSum(IP, &sampling::TransformStats::ChecksCoalesced), 0)
+        << sampling::modeName(M);
+    EXPECT_EQ(statSum(IP, &sampling::TransformStats::ChecksHoisted), 0)
+        << sampling::modeName(M);
+    expectClean(IP, C.Transform);
+  }
+}
+
+TEST(Coalesce, WorkloadSuiteStaysExactAtIntervalOne) {
+  // The interval-1 differential across the whole workload suite, with
+  // the optimizer on: still bit-identical to the exhaustive profile
+  // (volano excepted; its spin-waits legitimately vary, see
+  // test_sampling.cpp).
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    if (std::string(W.Name) == "volano")
+      continue;
+    harness::Program P = build(W.Source);
+    auto Perfect = harness::runExperiment(
+        P, 1, config(sampling::Mode::Exhaustive, 0, false, false));
+    auto Opt = harness::runExperiment(
+        P, 1, config(sampling::Mode::NoDuplication, 1, true, true));
+    ASSERT_TRUE(Perfect.Stats.Ok && Opt.Stats.Ok) << W.Name;
+    EXPECT_EQ(Perfect.Profiles.FieldAccesses.counts(),
+              Opt.Profiles.FieldAccesses.counts())
+        << W.Name;
+    EXPECT_EQ(Perfect.Profiles.CallEdges.counts(),
+              Opt.Profiles.CallEdges.counts())
+        << W.Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,252 @@
+//===- tests/test_dispatch.cpp - threaded vs switch dispatch --*- C++ -*-===//
+///
+/// The engine carries two interpreter loops: the portable switch loop and
+/// the computed-goto threaded loop (runtime/Engine.cpp).  They must be
+/// semantically bit-identical — same stats, same profiles, same failure
+/// messages — across the workload suite, every sampling mode, both
+/// trigger kinds, and the engine's guarded failure rails.  These tests
+/// pin that; under a -DARS_THREADED_DISPATCH=OFF build the threaded
+/// requests fall back to the switch loop and every comparison is
+/// trivially satisfied.
+///
+//===----------------------------------------------------------------------===//
+
+#include "instr/Clients.h"
+#include "runtime/Engine.h"
+#include "workloads/Workloads.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ars;
+using ars::testutil::build;
+
+instr::CallEdgeInstrumentation CallEdges;
+instr::FieldAccessInstrumentation FieldAccesses;
+
+harness::ExperimentResult runWith(const harness::Program &P, int64_t Scale,
+                                  harness::RunConfig C,
+                                  runtime::DispatchMode D) {
+  C.Engine.Dispatch = D;
+  return harness::runExperiment(P, Scale, C);
+}
+
+/// One differential point: the two dispatchers agree byte for byte.
+void expectIdentical(const harness::Program &P, int64_t Scale,
+                     const harness::RunConfig &C, const char *What) {
+  auto Sw = runWith(P, Scale, C, runtime::DispatchMode::Switch);
+  auto Th = runWith(P, Scale, C, runtime::DispatchMode::Threaded);
+  ASSERT_EQ(Sw.Stats.Ok, Th.Stats.Ok) << What;
+  EXPECT_EQ(Sw.Stats.Error, Th.Stats.Error) << What;
+  EXPECT_EQ(runtime::serializeStats(Sw.Stats),
+            runtime::serializeStats(Th.Stats))
+      << What;
+  EXPECT_EQ(profile::serializeBundle(Sw.Profiles),
+            profile::serializeBundle(Th.Profiles))
+      << What;
+}
+
+std::vector<harness::RunConfig> dispatchConfigs() {
+  std::vector<harness::RunConfig> Configs;
+
+  harness::RunConfig Baseline;
+  Configs.push_back(Baseline);
+
+  harness::RunConfig Exhaustive;
+  Exhaustive.Transform.M = sampling::Mode::Exhaustive;
+  Exhaustive.Clients = {&CallEdges, &FieldAccesses};
+  Configs.push_back(Exhaustive);
+
+  harness::RunConfig Full = Exhaustive;
+  Full.Transform.M = sampling::Mode::FullDuplication;
+  Full.Engine.SampleInterval = 7;
+  Configs.push_back(Full);
+
+  harness::RunConfig Burst = Full;
+  Burst.Transform.BurstLength = 4;
+  Burst.Engine.BurstLength = 4;
+  Burst.Engine.SampleInterval = 13;
+  Configs.push_back(Burst);
+
+  harness::RunConfig NoDup = Exhaustive;
+  NoDup.Transform.M = sampling::Mode::NoDuplication;
+  NoDup.Transform.CoalesceChecks = true;
+  NoDup.Transform.HoistLoopProbes = true;
+  NoDup.Engine.SampleInterval = 7;
+  Configs.push_back(NoDup);
+
+  harness::RunConfig Combined = Exhaustive;
+  Combined.Transform.M = sampling::Mode::Combined;
+  Combined.Engine.SampleInterval = 11;
+  Configs.push_back(Combined);
+
+  harness::RunConfig Timer = Full;
+  Timer.Engine.Trigger = runtime::TriggerKind::Timer;
+  Timer.Engine.TimerPeriodCycles = 5000;
+  Configs.push_back(Timer);
+
+  return Configs;
+}
+
+class DispatchWorkloadTest : public ::testing::TestWithParam<const char *> {
+};
+
+TEST_P(DispatchWorkloadTest, BitIdenticalAcrossConfigs) {
+  const workloads::Workload *W = workloads::workloadByName(GetParam());
+  ASSERT_NE(W, nullptr);
+  harness::Program P = build(W->Source);
+  std::vector<harness::RunConfig> Configs = dispatchConfigs();
+  for (size_t I = 0; I != Configs.size(); ++I)
+    expectIdentical(P, 2, Configs[I],
+                    support::formatString("%s config %zu", W->Name, I)
+                        .c_str());
+}
+
+std::vector<const char *> allWorkloadNames() {
+  std::vector<const char *> Names;
+  for (const workloads::Workload &W : workloads::allWorkloads())
+    Names.push_back(W.Name);
+  return Names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, DispatchWorkloadTest,
+                         ::testing::ValuesIn(allWorkloadNames()),
+                         [](const auto &Info) {
+                           std::string Name(Info.param);
+                           for (char &C : Name)
+                             if (C == '-')
+                               C = '_';
+                           return Name;
+                         });
+
+/// Deep recursion forces Frames reallocation on every growth step; both
+/// loops must re-derive their frame state at the invalidation points
+/// (the switch loop's "Fr is invalidated" restart, the threaded loop's
+/// ARS_REFRESH) rather than touching stale pointers.
+TEST(Dispatch, DeepRecursionReallocatesFrames) {
+  const char *Src = R"(
+    class S { int v; }
+    int down(int n) {
+      if (n <= 0) { return 0; }
+      return n + down(n - 1);
+    }
+    int main(int n) {
+      S s = new S;
+      s.v = down(n);
+      return s.v;
+    }
+  )";
+  harness::Program P = build(Src);
+  harness::RunConfig C;
+  C.Transform.M = sampling::Mode::FullDuplication;
+  C.Engine.SampleInterval = 3;
+  C.Clients = {&CallEdges, &FieldAccesses};
+  auto Sw = runWith(P, 3000, C, runtime::DispatchMode::Switch);
+  auto Th = runWith(P, 3000, C, runtime::DispatchMode::Threaded);
+  ASSERT_TRUE(Sw.Stats.Ok && Th.Stats.Ok)
+      << Sw.Stats.Error << Th.Stats.Error;
+  EXPECT_EQ(Sw.Stats.MainResult, 3000 * 3001 / 2);
+  EXPECT_EQ(runtime::serializeStats(Sw.Stats),
+            runtime::serializeStats(Th.Stats));
+  EXPECT_EQ(profile::serializeBundle(Sw.Profiles),
+            profile::serializeBundle(Th.Profiles));
+}
+
+/// The guarded failure rails must fire identically: same Ok flag, same
+/// message, under both dispatchers.
+TEST(Dispatch, FailureRailsMatch) {
+  struct Case {
+    const char *Name;
+    const char *Source;
+    int64_t Scale;
+    uint64_t MaxCycles;
+    size_t MaxCallDepth;
+  };
+  const Case Cases[] = {
+      {"division by zero",
+       "int main(int n) { return 1 / (n - n); }", 5, 0, 0},
+      {"stack overflow",
+       "int f(int n) { return f(n + 1); } int main(int n) { return f(n); }",
+       0, 0, 200},
+      {"cycle budget",
+       "int main(int n) { int a = 0; while (n < 1) { a = a + 1; } "
+       "return a; }",
+       0, 20000, 0},
+  };
+  for (const Case &C : Cases) {
+    harness::Program P = build(C.Source);
+    harness::RunConfig RC;
+    if (C.MaxCycles)
+      RC.Engine.MaxCycles = C.MaxCycles;
+    if (C.MaxCallDepth)
+      RC.Engine.MaxCallDepth = C.MaxCallDepth;
+    auto Sw = runWith(P, C.Scale, RC, runtime::DispatchMode::Switch);
+    auto Th = runWith(P, C.Scale, RC, runtime::DispatchMode::Threaded);
+    EXPECT_FALSE(Sw.Stats.Ok) << C.Name;
+    EXPECT_FALSE(Th.Stats.Ok) << C.Name;
+    EXPECT_EQ(Sw.Stats.Error, Th.Stats.Error) << C.Name;
+    EXPECT_EQ(runtime::serializeStats(Sw.Stats),
+              runtime::serializeStats(Th.Stats))
+        << C.Name;
+  }
+}
+
+/// A call to a function id outside the module — the kind of corruption a
+/// truncated or hand-altered instruction stream produces — must be
+/// caught by the call rail, not crash, in both loops.
+TEST(Dispatch, BadFunctionIdIsCaught) {
+  const char *Src = R"(
+    int leaf(int x) { return x + 1; }
+    int main(int n) { return leaf(n); }
+  )";
+  harness::Program P = build(Src);
+  std::vector<ir::IRFunction> Funcs = P.Funcs;
+  bool Corrupted = false;
+  for (ir::IRFunction &F : Funcs) {
+    if (F.Name != "main")
+      continue;
+    for (ir::BasicBlock &BB : F.Blocks)
+      for (ir::IRInst &I : BB.Insts)
+        if (I.Op == ir::IROp::Call) {
+          I.Imm = 9999; // dangling callee id
+          Corrupted = true;
+        }
+  }
+  ASSERT_TRUE(Corrupted);
+  int MainId = -1;
+  for (const ir::IRFunction &F : Funcs)
+    if (F.Name == "main")
+      MainId = F.FuncId;
+  ASSERT_GE(MainId, 0);
+
+  instr::ProbeRegistry NoProbes;
+  std::string Errors[2];
+  int Mode = 0;
+  for (runtime::DispatchMode D :
+       {runtime::DispatchMode::Switch, runtime::DispatchMode::Threaded}) {
+    runtime::EngineConfig EC;
+    EC.Dispatch = D;
+    runtime::ExecutionEngine E(P.M, Funcs, NoProbes, EC);
+    runtime::RunStats S = E.run(MainId, {1});
+    EXPECT_FALSE(S.Ok);
+    Errors[Mode++] = S.Error;
+  }
+  EXPECT_EQ(Errors[0], Errors[1]);
+  EXPECT_NE(Errors[0].find("bad function id"), std::string::npos)
+      << Errors[0];
+}
+
+/// The build records whether the threaded loop was compiled in; Auto must
+/// resolve to it exactly then.  (Smokes the CMake option plumbing.)
+TEST(Dispatch, CompiledFlagMatchesBuild) {
+#if ARS_THREADED_DISPATCH && (defined(__GNUC__) || defined(__clang__))
+  EXPECT_TRUE(runtime::threadedDispatchCompiled());
+#else
+  EXPECT_FALSE(runtime::threadedDispatchCompiled());
+#endif
+}
+
+} // namespace

@@ -172,8 +172,9 @@ TEST(ProfServeFraming, EveryTruncationRejected) {
   const std::string Wire = encodeFrame(MsgType::Push, encodedShard(5));
   for (size_t Len = 0; Len != Wire.size(); ++Len) {
     auto Pair = makeLoopbackPair();
-    if (Len)
+    if (Len) {
       ASSERT_TRUE(Pair.first->writeAll(Wire.data(), Len).ok());
+    }
     Pair.first->close();
     FrameResult FR = readFrame(*Pair.second, 1000);
     if (Len == 0) {
@@ -1000,8 +1001,9 @@ TEST(ProfServeWireV3, BatchEveryTruncationRejected) {
       encodeFrame(MsgType::PushBatch, encodePushBatch(sampleBatch(3)));
   for (size_t Len = 0; Len != Wire.size(); ++Len) {
     auto Pair = makeLoopbackPair();
-    if (Len)
+    if (Len) {
       ASSERT_TRUE(Pair.first->writeAll(Wire.data(), Len).ok());
+    }
     Pair.first->close();
     FrameResult FR = readFrame(*Pair.second, 1000);
     if (Len == 0) {
@@ -1034,9 +1036,10 @@ TEST(ProfServeWireV3, BatchPayloadDecoderSurvivesCorruptionSweep) {
     std::string Bad = Payload;
     Bad[I] = static_cast<char>(Bad[I] ^ 0xFF);
     std::vector<BatchShard> Out;
-    if (decodePushBatch(Bad, &Out))
+    if (decodePushBatch(Bad, &Out)) {
       EXPECT_FALSE(sameAsReference(Out))
           << "flipped byte " << I << " decoded back to the original";
+    }
   }
   for (size_t Len = 0; Len != Payload.size(); ++Len) {
     std::vector<BatchShard> Out;
@@ -1367,8 +1370,9 @@ TEST(ProfServeWireV4, PolicyFrameEveryTruncationRejected) {
       encodeFrame(MsgType::Policy, encodePolicy(samplePolicy(5)));
   for (size_t Len = 0; Len != Wire.size(); ++Len) {
     auto Pair = makeLoopbackPair();
-    if (Len)
+    if (Len) {
       ASSERT_TRUE(Pair.first->writeAll(Wire.data(), Len).ok());
+    }
     Pair.first->close();
     FrameResult FR = readFrame(*Pair.second, 1000);
     if (Len == 0) {
@@ -1403,9 +1407,10 @@ TEST(ProfServeWireV4, PolicyPayloadDecoderSurvivesCorruptionSweep) {
     std::string Bad = Payload;
     Bad[I] = static_cast<char>(Bad[I] ^ 0xFF);
     PolicyMsg Out;
-    if (decodePolicy(Bad, &Out))
+    if (decodePolicy(Bad, &Out)) {
       EXPECT_FALSE(sameAsReference(Out))
           << "flipped byte " << I << " decoded back to the original";
+    }
   }
   for (size_t Len = 0; Len != Payload.size(); ++Len) {
     PolicyMsg Out;

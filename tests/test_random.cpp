@@ -126,6 +126,24 @@ TEST_P(RandomProgramTest, IntervalOneMatchesExhaustiveProfiles) {
             SR.Profiles.FieldAccesses.counts());
   EXPECT_EQ(PR.Profiles.BlockCounts.counts(),
             SR.Profiles.BlockCounts.counts());
+
+  // With the check optimizer on, a weighted guard at interval 1 must
+  // still fire every time and replay the exact event multiplicities.
+  harness::RunConfig Coalesced = Perfect;
+  Coalesced.Transform.M = sampling::Mode::NoDuplication;
+  Coalesced.Transform.CoalesceChecks = true;
+  Coalesced.Transform.HoistLoopProbes = true;
+  Coalesced.Engine.SampleInterval = 1;
+  auto CR = harness::runExperiment(P, 12, Coalesced);
+  ASSERT_TRUE(CR.Stats.Ok);
+  EXPECT_EQ(PR.Profiles.CallEdges.counts(), CR.Profiles.CallEdges.counts())
+      << Source;
+  EXPECT_EQ(PR.Profiles.FieldAccesses.counts(),
+            CR.Profiles.FieldAccesses.counts())
+      << Source;
+  EXPECT_EQ(PR.Profiles.BlockCounts.counts(),
+            CR.Profiles.BlockCounts.counts())
+      << Source;
 }
 
 TEST_P(RandomProgramTest, DynamicProperty1Holds) {
@@ -175,20 +193,28 @@ TEST_P(Property1RandomTest, StaticAndDynamicProperty1) {
                                   sampling::Mode::Combined};
 
   // Static half: transformed IR verifies, stays reducible, and passes
-  // the Property-1 placement checker in every mode.
-  for (sampling::Mode M : Modes) {
-    sampling::Options Opts;
-    Opts.M = M;
-    harness::InstrumentedProgram IP =
-        harness::instrumentProgram(P, Clients, Opts);
-    for (size_t F = 0; F != IP.Funcs.size(); ++F) {
-      EXPECT_TRUE(IP.Transforms[F].Stats.Reducible)
-          << sampling::modeName(M) << "\nsource:\n" << Source;
-      std::string Bad = sampling::checkProperty1Static(
-          IP.Funcs[F], IP.Transforms[F], Opts);
-      EXPECT_TRUE(Bad.empty())
-          << sampling::modeName(M) << ": " << Bad << "\nsource:\n"
-          << Source;
+  // the Property-1 placement checker in every mode — with the check
+  // optimizer both off and on (coalescing/hoisting must never disturb
+  // the placement invariants, in any mode).
+  for (bool Optimize : {false, true}) {
+    for (sampling::Mode M : Modes) {
+      sampling::Options Opts;
+      Opts.M = M;
+      Opts.CoalesceChecks = Optimize;
+      Opts.HoistLoopProbes = Optimize;
+      harness::InstrumentedProgram IP =
+          harness::instrumentProgram(P, Clients, Opts);
+      for (size_t F = 0; F != IP.Funcs.size(); ++F) {
+        EXPECT_TRUE(IP.Transforms[F].Stats.Reducible)
+            << sampling::modeName(M) << "\nsource:\n" << Source;
+        EXPECT_TRUE(ir::verifyFunction(IP.Funcs[F]).empty())
+            << sampling::modeName(M) << " coalesce=" << Optimize;
+        std::string Bad = sampling::checkProperty1Static(
+            IP.Funcs[F], IP.Transforms[F], Opts);
+        EXPECT_TRUE(Bad.empty())
+            << sampling::modeName(M) << " coalesce=" << Optimize << ": "
+            << Bad << "\nsource:\n" << Source;
+      }
     }
   }
 
@@ -206,11 +232,33 @@ TEST_P(Property1RandomTest, StaticAndDynamicProperty1) {
     C.Config.Clients = Clients;
     M.Cells.push_back(C);
   }
+  // A No-Duplication pair, check optimizer off/on: coalescing must only
+  // ever reduce the number of executed checks (Property 1 is monotone
+  // under the optimization).
+  size_t PlainNoDup = M.Cells.size();
+  {
+    harness::MatrixCell C = Base;
+    C.Config.Transform.M = sampling::Mode::NoDuplication;
+    C.Config.Engine.SampleInterval = 23;
+    C.Config.Clients = Clients;
+    M.Cells.push_back(C);
+    C.Config.Transform.CoalesceChecks = true;
+    C.Config.Transform.HoistLoopProbes = true;
+    M.Cells.push_back(C);
+  }
   auto Results = harness::runMatrix(M, 2);
   ASSERT_TRUE(Results[0].Stats.Ok) << Results[0].Stats.Error;
   uint64_t Bound = Results[0].Stats.YieldpointExecs; // entries + backedges
 
-  for (size_t I = 1; I != Results.size(); ++I) {
+  ASSERT_TRUE(Results[PlainNoDup].Stats.Ok)
+      << Results[PlainNoDup].Stats.Error;
+  ASSERT_TRUE(Results[PlainNoDup + 1].Stats.Ok)
+      << Results[PlainNoDup + 1].Stats.Error;
+  EXPECT_LE(Results[PlainNoDup + 1].checksExecuted(),
+            Results[PlainNoDup].checksExecuted())
+      << "source:\n" << Source;
+
+  for (size_t I = 1; I != PlainNoDup; ++I) {
     sampling::Mode Mode = M.Cells[I].Config.Transform.M;
     ASSERT_TRUE(Results[I].Stats.Ok)
         << sampling::modeName(Mode) << ": " << Results[I].Stats.Error;
