@@ -20,6 +20,7 @@
 
 #include "profserve/Client.h"
 #include "profserve/Server.h"
+#include "profstore/Journal.h"
 #include "profstore/ProfileIO.h"
 #include "support/Support.h"
 
@@ -277,5 +278,104 @@ int main(int Argc, char **Argv) {
               "relay's merge counter is verified against acked shards and "
               "every epoch delta drained upstream.\n",
               FanClients, 4);
+
+  // Scenario 3: the durability tax.  One serial sequenced session
+  // uploads PUSH_BATCH frames against a journal-off and a journal-on
+  // server; the wall-clock delta is the write-ahead journal's whole
+  // cost.  Group commit is what keeps that cost one fsync per BATCH
+  // rather than one per shard, and the fsyncs/batch ratio is exact for
+  // a serial pusher — so it gates deterministically at 1.0 while the
+  // wall-clock columns stay host-only.
+  const int JournalBatches = Quick ? 8 : 32;
+  const int JournalShardsPerBatch = 8;
+  std::printf("\ndurability: %d batches x %d shards, serial session, "
+              "journal off vs on (group commit)\n",
+              JournalBatches, JournalShardsPerBatch);
+  support::TablePrinter JT({"Journal", "Shards", "Wall ms", "us/push",
+                            "fsyncs/batch"});
+  double FsyncsPerBatch = 0.0;
+  for (int On = 0; On != 2; ++On) {
+    const std::string JournalBase = support::formatString(
+        "/tmp/ars-bench-profserve-%ld.arsj", (long)::getpid());
+    std::vector<double> Wall, UsPer;
+    for (int Rep = 0; Rep != Ctx.reps(); ++Rep) {
+      profserve::ServerConfig Config;
+      Config.Workers = 1;
+      Config.Fingerprint = Fingerprint;
+      if (On) {
+        profstore::Journal::wipe(JournalBase);
+        Config.JournalPath = JournalBase;
+      }
+      profserve::LoopbackListener *L = new profserve::LoopbackListener();
+      profserve::ProfileServer Server(
+          std::unique_ptr<profserve::Listener>(L), Config);
+      Server.start();
+      if (On && Server.stats().JournalFailures != 0) {
+        std::fprintf(stderr, "journal failed to open at %s\n",
+                     JournalBase.c_str());
+        return 1;
+      }
+      // open() settles the fresh segment header with its own fsync;
+      // only the per-batch group commits count against the ratio.
+      const uint64_t SyncsAtStart = On ? Server.stats().JournalSyncs : 0;
+
+      profserve::ClientConfig CC;
+      CC.Fingerprint = Fingerprint;
+      CC.SessionId = 0x3A11ULL;
+      profserve::ProfileClient Client(profserve::loopbackDialer(*L), CC);
+      std::vector<std::string> Batch(JournalShardsPerBatch, Shard);
+      support::HostTimer Timer;
+      for (int B = 0; B != JournalBatches; ++B) {
+        profserve::ClientResult PR = Client.pushBatch(Batch);
+        if (!PR.Ok) {
+          std::fprintf(stderr, "journaled push failed: %s\n",
+                       PR.Error.c_str());
+          return 1;
+        }
+      }
+      double Ms = Timer.elapsedMs();
+      profserve::StatsMsg St = Server.stats();
+      Server.stop();
+      const uint64_t Expect =
+          static_cast<uint64_t>(JournalBatches) * JournalShardsPerBatch;
+      if (St.Merges != Expect) {
+        std::fprintf(stderr, "merge counter (%llu) != pushed (%llu)\n",
+                     static_cast<unsigned long long>(St.Merges),
+                     static_cast<unsigned long long>(Expect));
+        return 1;
+      }
+      if (On) {
+        FsyncsPerBatch = static_cast<double>(St.JournalSyncs -
+                                             SyncsAtStart) /
+                         static_cast<double>(JournalBatches);
+        if (St.JournalRecords != Expect) {
+          std::fprintf(stderr, "journal records (%llu) != pushed (%llu)\n",
+                       static_cast<unsigned long long>(St.JournalRecords),
+                       static_cast<unsigned long long>(Expect));
+          return 1;
+        }
+        profstore::Journal::wipe(JournalBase);
+      }
+      Wall.push_back(Ms);
+      UsPer.push_back(Expect > 0 ? Ms * 1e3 / static_cast<double>(Expect)
+                                 : 0.0);
+    }
+    JT.beginRow();
+    JT.cell(On ? "on" : "off");
+    JT.cellInt(JournalBatches * JournalShardsPerBatch);
+    JT.cellDouble(telemetry::median(Wall));
+    JT.cellDouble(telemetry::median(UsPer));
+    JT.cellDouble(On ? FsyncsPerBatch : 0.0);
+    const std::string Suffix = On ? ".wal" : ".nowal";
+    Ctx.report().addHostMetric("durable_us_per_push" + Suffix, "us",
+                               telemetry::Direction::LowerIsBetter, UsPer);
+  }
+  JT.print();
+  // Exact for a serial pusher: one group commit per PUSH_BATCH frame.
+  Ctx.report().addSimMetric("journal_fsyncs_per_batch", "fsyncs",
+                            telemetry::Direction::LowerIsBetter,
+                            FsyncsPerBatch);
+  std::printf("\njournal on: every shard is CRC-framed into the WAL and "
+              "group-committed (one fsync per batch) before its ack.\n");
   return 0;
 }

@@ -55,7 +55,7 @@ if [[ "$TSAN" == 1 ]]; then
   # transport).  EventLoop* pins the reactor (slow-loris reaping, write
   # backpressure, mid-frame shutdown) and Relay* the aggregation trees.
   build-tsan/tests/ars_tests \
-    --gtest_filter='ThreadPool.*:TransformCache.*:ParallelRunner.*:ProfileAggregator.*:ProfServe*:EventLoop*:Relay*:FaultInject*:Chaos.*:Shmem.*:Policy*:Sampling.*:AllWorkloads/*:Seeds/Property1RandomTest.*'
+    --gtest_filter='ThreadPool.*:TransformCache.*:ParallelRunner.*:ProfileAggregator.*:ProfServe*:EventLoop*:Relay*:FaultInject*:Chaos.*:Shmem.*:Policy*:Sampling.*:Wal.*:Failover.*:AllWorkloads/*:Seeds/Property1RandomTest.*'
   exit 0
 fi
 
@@ -75,6 +75,11 @@ if [[ "$ASAN" == 1 ]]; then
   build-asan/tools/arsc chaos --fault-seed-sweep=16 --quick --policy
   build-asan/tools/arsc chaos --fault-seed-sweep=16 --quick --policy \
     --topology=relay
+  # Crash/restart recovery under ASan: journal replay parses segments a
+  # previous incarnation wrote (possibly torn mid-frame) — exactly the
+  # kind of reader a heap overflow hides in.
+  build-asan/tools/arsc chaos --crash --fault-seed-sweep=16 --quick \
+    --workdir=/tmp/arsc-asan-crash
   exit 0
 fi
 
@@ -106,6 +111,16 @@ build/tools/arsc chaos --fault-seed-sweep=16 --quick --transport=shm
 # and frame counts and applied table versions must replay per seed.
 build/tools/arsc chaos --fault-seed-sweep=16 --quick --policy
 build/tools/arsc chaos --fault-seed-sweep=16 --quick --policy --topology=relay
+# Crash/restart mode (DESIGN.md §15): kill the root mid-sweep, restart
+# it over its snapshot + write-ahead journal, and demand the recovered
+# aggregate still fold byte-identically.  Kill timing is wall-clock, so
+# crash runs are checked once per seed rather than trace-replayed.
+build/tools/arsc chaos --crash --fault-seed-sweep=16 --quick \
+  --workdir=/tmp/arsc-crash-direct
+build/tools/arsc chaos --crash --fault-seed-sweep=16 --quick \
+  --topology=relay --workdir=/tmp/arsc-crash-relay
+build/tools/arsc chaos --crash --fault-seed-sweep=16 --quick \
+  --transport=shm --workdir=/tmp/arsc-crash-shm
 
 # The bench matrix runs through `arsc bench`: it discovers every
 # build/bench/bench_* binary, fans each bench's matrix cells out across

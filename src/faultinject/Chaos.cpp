@@ -6,15 +6,21 @@
 #include "profserve/Client.h"
 #include "profserve/Server.h"
 #include "shmem/ShmRing.h"
+#include "profstore/Journal.h"
 #include "profstore/ProfileIO.h"
 #include "profstore/ProfileStore.h"
 #include "support/Support.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
+
+#include <cerrno>
+#include <sys/stat.h>
 
 namespace ars {
 namespace faultinject {
@@ -71,9 +77,437 @@ bool readFileBytes(const std::string &Path, std::string *Out) {
   return true;
 }
 
+/// ChaosConfig::Crash: the kill-and-restart harness (contract in
+/// Chaos.h).  Wave-structured like the relay/policy modes — the barrier
+/// is the one moment no client op is in flight, so that is where a dead
+/// root can be swapped for a recovered one without racing a push.
+ChaosReport runCrashChaos(const ChaosConfig &C) {
+  ChaosReport R;
+  R.ExpectedShards =
+      static_cast<uint64_t>(C.Clients) * C.ShardsPerClient;
+  auto fail = [&R](std::string Why) {
+    R.Ok = false;
+    if (R.Error.empty())
+      R.Error = std::move(Why);
+    return R;
+  };
+  if (C.WorkDir.empty())
+    return fail("chaos: WorkDir is required");
+  if (::mkdir(C.WorkDir.c_str(), 0755) != 0 && errno != EEXIST)
+    return fail("chaos: cannot create workdir " + C.WorkDir);
+  if (C.Clients < 1 || C.ShardsPerClient < 1)
+    return fail("chaos: need at least one client and one shard");
+  if (C.Policy)
+    return fail("chaos: --crash and --policy are mutually exclusive");
+  const bool Relayed = C.Topo == Topology::Relay;
+  const bool Shm = C.Transport == ChaosTransport::Shm;
+  if (Shm && Relayed)
+    return fail("chaos: the shm transport supports Topology::Direct only");
+  const std::string ShmDir = C.WorkDir + "/chaos-shm";
+  const std::string Snap = C.WorkDir + "/chaos-snapshot.arsp";
+  const std::string Wal = C.WorkDir + "/chaos-wal.arsj";
+  const std::string RelaySpill = C.WorkDir + "/chaos-relay-spill.bin";
+  removeQuiet(Snap);
+  removeQuiet(Snap + ".prev");
+  removeQuiet(Snap + ".tmp");
+  removeQuiet(RelaySpill);
+  profstore::Journal::wipe(Wal);
+  std::vector<std::string> SpillPaths;
+  for (int I = 0; I != C.Clients; ++I) {
+    SpillPaths.push_back(support::formatString(
+        "%s/chaos-spill-%d.bin", C.WorkDir.c_str(), I));
+    removeQuiet(SpillPaths.back());
+  }
+  const std::string Expected =
+      serialFoldBytes(static_cast<int>(R.ExpectedShards));
+
+  // The seeded crash schedule: which journal point fires, after how many
+  // hits, and how many kill cycles the run takes.
+  struct CrashEntry {
+    const char *Point;
+    int Countdown;
+  };
+  static const char *const Points[] = {
+      "wal.append.before", "wal.append.after", "wal.rotate.mid",
+      "wal.checkpoint.mid"};
+  support::Xorshift64 Rng(C.FaultSeed * 0x9E3779B97F4A7C15ULL +
+                          0xC7A54ULL);
+  std::vector<CrashEntry> Schedule;
+  int Cycles = 1 + static_cast<int>(Rng.nextBelow(2));
+  for (int I = 0; I != Cycles; ++I)
+    Schedule.push_back({Points[Rng.nextBelow(4)],
+                        1 + static_cast<int>(Rng.nextBelow(6))});
+
+  // The armed entry.  The hook fires once (latching Fired); the frozen
+  // journal then answers every push with RETRY_AFTER until the harness
+  // notices at the next barrier and does the kill-and-restart.
+  struct CrashState {
+    std::mutex Mu;
+    const char *Point = nullptr;
+    int Countdown = 0;
+    bool Fired = false;
+  };
+  auto State = std::make_shared<CrashState>();
+  auto arm = [&State, &Schedule](size_t I) {
+    std::lock_guard<std::mutex> Lock(State->Mu);
+    State->Fired = false;
+    State->Point = I < Schedule.size() ? Schedule[I].Point : nullptr;
+    State->Countdown = I < Schedule.size() ? Schedule[I].Countdown : 0;
+  };
+  auto crashPending = [&State] {
+    std::lock_guard<std::mutex> Lock(State->Mu);
+    return State->Fired;
+  };
+  arm(0);
+
+  // The indirection that makes restart invisible to the clients: every
+  // dial reads the CURRENT incarnation's dialer, so the same
+  // ProfileClient objects (same sessions, monotonic sequence numbers)
+  // carry straight on against the recovered server.
+  struct DialSlot {
+    std::mutex Mu;
+    profserve::Dialer D;
+  };
+  auto Slot = std::make_shared<DialSlot>();
+  profserve::Dialer SlotDial =
+      [Slot](std::string *Error) -> std::unique_ptr<profserve::Transport> {
+    profserve::Dialer D;
+    {
+      std::lock_guard<std::mutex> Lock(Slot->Mu);
+      D = Slot->D;
+    }
+    if (!D) {
+      if (Error)
+        *Error = "root is down";
+      return nullptr;
+    }
+    return D(Error);
+  };
+
+  int Incarnation = 0;
+  std::string MakeErr;
+  auto makeRoot = [&](bool Recover) -> std::unique_ptr<ProfileServer> {
+    ServerConfig SC;
+    SC.Fingerprint = ChaosFingerprint;
+    SC.SnapshotPath = Snap;
+    SC.SnapshotIntervalMs = 0; // checkpoints are harness-driven
+    SC.JournalPath = Wal;
+    // Small segments force rotations, so "wal.rotate.mid" is reachable.
+    SC.JournalMaxSegmentBytes = 4096;
+    SC.Workers = C.ServerWorkers;
+    SC.MaxConnections = 0;
+    SC.RecoverOnStart = Recover;
+    SC.RecvTimeoutMs = 0; // wave barriers leave idle windows: no reaping
+    SC.CrashHook = [State](const char *Point) {
+      std::lock_guard<std::mutex> Lock(State->Mu);
+      if (State->Fired || !State->Point ||
+          std::strcmp(Point, State->Point) != 0)
+        return false;
+      if (--State->Countdown > 0)
+        return false;
+      State->Fired = true;
+      return true;
+    };
+    std::unique_ptr<profserve::Listener> Lst;
+    profserve::Dialer D;
+    if (Shm) {
+      // A fresh rendezvous directory per incarnation: clients repoint
+      // through the slot, and a ring half-attached to the dead server
+      // can never be mistaken for a live one.
+      std::string Dir =
+          support::formatString("%s-%d", ShmDir.c_str(), Incarnation);
+      std::string LErr;
+      Lst = shmem::listenShm(Dir, &LErr);
+      if (!Lst) {
+        MakeErr = LErr;
+        return nullptr;
+      }
+      D = shmem::shmDialer(Dir);
+    } else {
+      auto *LL = new LoopbackListener();
+      Lst.reset(LL);
+      D = loopbackDialer(*LL);
+    }
+    auto S = std::make_unique<ProfileServer>(std::move(Lst), SC);
+    S->start();
+    {
+      std::lock_guard<std::mutex> Lock(Slot->Mu);
+      Slot->D = D;
+    }
+    ++Incarnation;
+    return S;
+  };
+
+  std::unique_ptr<ProfileServer> Root = makeRoot(false);
+  if (!Root)
+    return fail("chaos: " + MakeErr);
+  // A server whose journal failed to open keeps serving (deliberate
+  // degradation), but a journal-less crash run would "pass" by never
+  // exercising recovery — refuse instead.
+  if (Root->stats().JournalFailures != 0)
+    return fail("chaos: root journal failed to open under " + C.WorkDir);
+  // Retired incarnations stay alive (listeners shut down; a dial that
+  // copied the old dialer just fails cleanly and retries through the
+  // slot) until the run ends.
+  std::vector<std::unique_ptr<ProfileServer>> Graveyard;
+  // Exactly-once accounting across incarnations: a replayed shard was
+  // already counted by the incarnation that first applied it, so the sum
+  // of (Merges - JournalReplayed) is the distinct application count.
+  uint64_t CumMerges = 0, CumDups = 0;
+  auto retire = [&](bool Graceful) {
+    profserve::StatsMsg St = Root->stats();
+    CumMerges += St.Merges - St.JournalReplayed;
+    CumDups += St.Duplicates;
+    R.Replayed += St.JournalReplayed;
+    if (Graceful)
+      Root->stop();
+    else
+      Root->kill();
+    Graveyard.push_back(std::move(Root));
+  };
+  size_t NextCrash = 0;
+  auto restartRoot = [&]() -> bool {
+    retire(/*Graceful=*/false);
+    Root = makeRoot(/*Recover=*/true);
+    if (!Root)
+      return false;
+    ++R.Crashes;
+    ++NextCrash;
+    arm(NextCrash);
+    return true;
+  };
+
+  // Relay topology: the relay is NEVER crashed (hard-crash exactly-once
+  // for journaled relays is out of contract — DESIGN §15); it rides out
+  // the root's deaths on its spill + session dedup, dialing each new
+  // incarnation through the slot.
+  std::shared_ptr<FaultStream> UpFaults;
+  std::unique_ptr<ProfileServer> Relay;
+  LoopbackListener *RelayL = nullptr;
+  if (Relayed) {
+    UpFaults = std::make_shared<FaultStream>(C.Plan, C.FaultSeed, 2000ULL,
+                                             "relay-up");
+    ServerConfig RSC;
+    RSC.Fingerprint = ChaosFingerprint;
+    RSC.Workers = C.ServerWorkers;
+    RSC.MaxConnections = 0;
+    RSC.RecoverOnStart = false;
+    RSC.RecvTimeoutMs = 0;
+    RSC.Relay.Dial = faultyDialer(SlotDial, UpFaults);
+    RSC.Relay.Client.TimeoutMs = 500;
+    RSC.Relay.Client.MaxRetries = C.PushRetries;
+    RSC.Relay.Client.BackoffMs = 1;
+    RSC.Relay.Client.Fingerprint = ChaosFingerprint;
+    RSC.Relay.Client.SessionId = 0x5E1AULL;
+    RSC.Relay.Client.BreakerThreshold = 6;
+    RSC.Relay.Client.BreakerCooldownOps = 2;
+    RSC.Relay.Client.SpillPath = RelaySpill;
+    RSC.Relay.FlushIntervalMs = 0; // harness-driven only
+    RSC.Relay.FlushEveryMerges = 0;
+    RelayL = new LoopbackListener();
+    Relay = std::make_unique<ProfileServer>(
+        std::unique_ptr<profserve::Listener>(RelayL), RSC);
+    Relay->start();
+  }
+  profserve::Dialer PushDial =
+      Relayed ? loopbackDialer(*RelayL) : SlotDial;
+
+  std::vector<std::shared_ptr<FaultStream>> Streams;
+  for (int I = 0; I != C.Clients; ++I)
+    Streams.push_back(std::make_shared<FaultStream>(
+        C.Plan, C.FaultSeed, static_cast<uint64_t>(1000 + I),
+        support::formatString("client%d", I)));
+
+  std::vector<std::string> Errs(C.Clients);
+  std::vector<uint64_t> Spills(C.Clients, 0);
+  std::vector<std::unique_ptr<ProfileClient>> Clients;
+  for (int I = 0; I != C.Clients; ++I) {
+    ClientConfig CC;
+    CC.TimeoutMs = 500;
+    CC.MaxRetries = C.PushRetries;
+    CC.BackoffMs = 1;
+    CC.Fingerprint = ChaosFingerprint;
+    CC.SessionId = static_cast<uint64_t>(1000 + I);
+    CC.BreakerThreshold = 6;
+    CC.BreakerCooldownOps = 2;
+    CC.SpillPath = SpillPaths[I];
+    Clients.push_back(std::make_unique<ProfileClient>(
+        faultyDialer(PushDial, Streams[I]), CC));
+  }
+  auto pushShard = [&](int I, int J) {
+    int Global = I * C.ShardsPerClient + J;
+    ClientResult PR =
+        Clients[I]->push(chaosShard(Global), ChaosFingerprint);
+    if (PR.Spilled)
+      ++Spills[I];
+    else if (!PR.Ok)
+      Errs[I] = support::formatString("client %d shard %d: %s", I, Global,
+                                      PR.Error.c_str());
+  };
+
+  for (int J = 0; J != C.ShardsPerClient; ++J) {
+    std::vector<std::thread> Wave;
+    for (int I = 0; I != C.Clients; ++I)
+      Wave.emplace_back([&, I, J] {
+        if (Errs[I].empty())
+          pushShard(I, J);
+      });
+    for (std::thread &T : Wave)
+      T.join();
+    if (Relayed) {
+      std::string FlushErr;
+      Relay->flushUpstream(&FlushErr); // failures spill; drained later
+    }
+    // Checkpoint pressure: snapshot every other wave, so mid-checkpoint
+    // crashes and checkpoint-truncation both happen under load.
+    if (J % 2 == 1) {
+      std::string SnapErr;
+      Root->snapshotNow(&SnapErr); // frozen-journal failure is the point
+    }
+    if (crashPending() && !restartRoot())
+      return fail("chaos: root restart failed: " + MakeErr);
+  }
+
+  // Drain the spills (joined rounds).  A crash can fire mid-drain too —
+  // keep watching the barrier.
+  for (int Round = 0; Round != 16; ++Round) {
+    std::vector<std::thread> Wave;
+    for (int I = 0; I != C.Clients; ++I)
+      Wave.emplace_back([&, I] {
+        if (Errs[I].empty() && Clients[I]->spillCount())
+          Clients[I]->replaySpill();
+      });
+    for (std::thread &T : Wave)
+      T.join();
+    if (Relayed) {
+      std::string FlushErr;
+      Relay->flushUpstream(&FlushErr);
+    }
+    if (crashPending() && !restartRoot())
+      return fail("chaos: root restart failed: " + MakeErr);
+    bool AnyLeft = false;
+    for (int I = 0; I != C.Clients; ++I)
+      AnyLeft = AnyLeft || Clients[I]->spillCount();
+    if (!AnyLeft)
+      break;
+  }
+  for (int I = 0; I != C.Clients; ++I)
+    if (Errs[I].empty())
+      if (size_t Left = Clients[I]->spillCount())
+        Errs[I] = support::formatString(
+            "client %d: %zu shards still spilled after replay", I, Left);
+  for (const std::string &E : Errs)
+    if (!E.empty())
+      return fail(E);
+  for (uint64_t S : Spills)
+    R.Spills += S;
+
+  // A seed whose scheduled point was never reached still owes us one
+  // plain kill-and-restart, so EVERY seed exercises recovery.
+  if (R.Crashes == 0 && !restartRoot())
+    return fail("chaos: root restart failed: " + MakeErr);
+
+  Clients.clear(); // deterministic BYEs before the relay drains
+  if (Relayed) {
+    std::string FlushErr;
+    bool Drained = false;
+    for (int Round = 0; Round != 16 && !Drained; ++Round) {
+      Drained = Relay->flushUpstream(&FlushErr);
+      if (crashPending() && !restartRoot())
+        return fail("chaos: root restart failed: " + MakeErr);
+    }
+    if (!Drained)
+      return fail("relay upstream never drained: " + FlushErr);
+    profserve::StatsMsg RelayStats = Relay->stats();
+    R.Merges = RelayStats.Merges;
+    R.Duplicates = RelayStats.Duplicates;
+    Relay->stop();
+    if (RelayStats.Merges != R.ExpectedShards)
+      return fail(support::formatString(
+          "relay merged %llu shards, expected exactly %llu",
+          static_cast<unsigned long long>(RelayStats.Merges),
+          static_cast<unsigned long long>(R.ExpectedShards)));
+  }
+
+  // The payoff: the recovered, retried, restarted root must hold exactly
+  // the fault-free serial fold.
+  {
+    ClientConfig CC;
+    CC.Fingerprint = ChaosFingerprint;
+    ProfileClient Clean(SlotDial, CC);
+    ProfileClient::PullResult P = Clean.pull();
+    if (!P.Ok)
+      return fail("chaos pull failed: " + P.Error);
+    if (P.RawBytes != Expected)
+      return fail(support::formatString(
+          "merged bundle differs from the fault-free serial fold "
+          "(%zu vs %zu bytes)",
+          P.RawBytes.size(), Expected.size()));
+  }
+  {
+    // Distinct-application accounting: leaf shards at the tier the
+    // clients push at, summed across incarnations for the (restarted)
+    // direct case.
+    profserve::StatsMsg St = Root->stats();
+    if (!Relayed) {
+      CumMerges += St.Merges - St.JournalReplayed;
+      CumDups += St.Duplicates;
+      R.Replayed += St.JournalReplayed;
+      R.Merges = CumMerges;
+      R.Duplicates = CumDups;
+      // Upper bound only: a record made durable by a crash that fired
+      // AFTER its append freezes the ack, so its replay is really its
+      // FIRST application — Merges-minus-Replayed then undercounts by
+      // one.  Zero-lost is proved by the byte comparison above; this
+      // guards zero-DOUBLED on the counting side.
+      if (CumMerges > R.ExpectedShards)
+        return fail(support::formatString(
+            "distinct merges across incarnations %llu exceed the %llu "
+            "pushed shards: something merged twice",
+            static_cast<unsigned long long>(CumMerges),
+            static_cast<unsigned long long>(R.ExpectedShards)));
+    } else {
+      R.RootMerges = St.Merges;
+      R.RootDuplicates = St.Duplicates;
+      R.Replayed += St.JournalReplayed;
+    }
+  }
+
+  // Farewell: a graceful stop checkpoints, and one more recovery must
+  // come back exact with nothing left in the journal tail.
+  arm(Schedule.size()); // disarm — the farewell is not a crash window
+  retire(/*Graceful=*/true);
+  Root = makeRoot(/*Recover=*/true);
+  if (!Root)
+    return fail("chaos: post-stop recovery failed: " + MakeErr);
+  std::string Back =
+      profstore::encodeBundle(Root->merged(), ChaosFingerprint);
+  profserve::StatsMsg Fin = Root->stats();
+  Root->stop();
+  if (Back != Expected)
+    return fail("post-stop recovery differs from the fault-free fold");
+  if (Fin.JournalReplayed != 0)
+    return fail(support::formatString(
+        "graceful stop left %llu records in the journal tail",
+        static_cast<unsigned long long>(Fin.JournalReplayed)));
+
+  for (const auto &S : Streams) {
+    R.Trace += S->trace();
+    R.FaultsInjected += S->faultsInjected();
+  }
+  if (UpFaults) {
+    R.Trace += UpFaults->trace();
+    R.FaultsInjected += UpFaults->faultsInjected();
+  }
+  R.Ok = true;
+  return R;
+}
+
 } // namespace
 
 ChaosReport runChaos(const ChaosConfig &C) {
+  if (C.Crash)
+    return runCrashChaos(C);
   ChaosReport R;
   R.ExpectedShards =
       static_cast<uint64_t>(C.Clients) * C.ShardsPerClient;
@@ -540,6 +974,23 @@ bool chaosSweep(const ChaosConfig &Base, uint64_t Seeds, bool Verbose) {
                    static_cast<unsigned long long>(Seed),
                    First.Error.c_str());
       AllOk = false;
+      continue;
+    }
+    if (Base.Crash) {
+      // Kill-and-restart runs are checked against the fault-free fold
+      // only: how many retries land before the replacement root is up is
+      // wall-clock, so the trace does not replay (Chaos.h).
+      if (Verbose)
+        std::printf("chaos seed %llu ok: %llu merges, %llu faults, "
+                    "%llu dups, %llu spills, %llu crashes, %llu "
+                    "replayed\n",
+                    static_cast<unsigned long long>(Seed),
+                    static_cast<unsigned long long>(First.Merges),
+                    static_cast<unsigned long long>(First.FaultsInjected),
+                    static_cast<unsigned long long>(First.Duplicates),
+                    static_cast<unsigned long long>(First.Spills),
+                    static_cast<unsigned long long>(First.Crashes),
+                    static_cast<unsigned long long>(First.Replayed));
       continue;
     }
     ChaosReport Second = runChaos(C); // the replay must be identical

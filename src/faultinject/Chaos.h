@@ -78,6 +78,28 @@ struct ChaosConfig {
   /// Topology::Relay the watcher sits at the ROOT and frames reach the
   /// leaves through the relay's forwarding path.  Loopback only.
   bool Policy = false;
+  /// Kill-and-restart chaos (`arsc chaos --crash`): the ROOT server runs
+  /// with a write-ahead journal, and a seeded crash schedule fires at
+  /// the journal's crash points (before/after a shard append, mid
+  /// segment rotation, mid checkpoint).  When a point fires the journal
+  /// freezes — every later append fails, so pushes bounce with
+  /// RETRY_AFTER exactly as if the process had lost its disk — and at
+  /// the next wave barrier the harness kill()s the server (no drain, no
+  /// farewell snapshot) and starts a fresh one over the SAME snapshot +
+  /// journal paths with RecoverOnStart.  Clients keep their session ids
+  /// and sequence numbers across the restart and reach the new
+  /// incarnation through an indirect dialer, so their retries and spill
+  /// replays run straight into the recovered dedup table.  The run must
+  /// still end byte-identical to the fault-free serial fold, with the
+  /// distinct merge count (merges minus journal replays, summed over
+  /// incarnations) exactly ExpectedShards.  Topology::Relay keeps the
+  /// relay alive (journaled relays are exactly-once for graceful stops
+  /// only — DESIGN §15) and crashes the root out from under the relay's
+  /// resumed deltas.  Crash runs are NOT trace-replayable — restart
+  /// timing is wall-clock — so chaosSweep checks each seed once against
+  /// the fold instead of twice against itself.  Incompatible with
+  /// Policy.
+  bool Crash = false;
 };
 
 struct ChaosReport {
@@ -101,6 +123,9 @@ struct ChaosReport {
   uint64_t PolicyDecisions = 0; ///< watcher decision entries emitted
   uint64_t PolicyFrames = 0;    ///< frames the clients decoded intact
   uint64_t PolicyApplied = 0;   ///< sum of final applied table versions
+  /// ChaosConfig::Crash only.
+  uint64_t Crashes = 0;  ///< kill-and-restart cycles the root survived
+  uint64_t Replayed = 0; ///< journaled shards re-applied across recoveries
 };
 
 /// One seeded run; see the file comment for the invariants checked.

@@ -40,28 +40,49 @@ std::string encodeSpillRecord(uint64_t Seq, const std::string &ArspBytes) {
   return Out;
 }
 
-/// Parses every intact spill record; stops (without failing) at a
-/// truncated or CRC-damaged tail.
+/// Parses every intact spill record.  A record whose CRC or payload does
+/// not check out is skipped by resynchronizing one byte at a time until
+/// the next parseable record, so one corrupt entry never strands the
+/// valid records appended after it; each contiguous corrupt stretch
+/// counts once into \p *CorruptRuns.  A cleanly truncated tail (the torn
+/// final record of a crashed append) still just stops the scan, exactly
+/// as before — torn tails are expected, not corruption.
 std::vector<std::pair<uint64_t, std::string>>
-parseSpill(const std::string &Bytes) {
+parseSpill(const std::string &Bytes, uint64_t *CorruptRuns) {
   std::vector<std::pair<uint64_t, std::string>> Out;
-  support::ByteReader R(Bytes);
-  while (R.remaining() >= 8) {
+  size_t Off = 0;
+  bool InBadRun = false;
+  while (Bytes.size() - Off >= 8) {
+    support::ByteReader R(Bytes.data() + Off, Bytes.size() - Off);
     uint32_t Len = 0;
-    if (!R.readFixed32(&Len) ||
-        R.remaining() < static_cast<uint64_t>(Len) + 4)
-      break;
-    const char *Data = nullptr;
-    uint32_t Stored = 0;
-    if (!R.readBytes(&Data, Len) || !R.readFixed32(&Stored))
-      break;
-    if (support::crc32(Data, Len) != Stored)
-      break;
     uint64_t Seq = 0;
     std::string Arsp;
-    if (!decodePush(std::string(Data, Len), &Seq, &Arsp))
+    bool RecordOk = false;
+    if (R.readFixed32(&Len) &&
+        R.remaining() >= static_cast<uint64_t>(Len) + 4) {
+      const char *Data = nullptr;
+      uint32_t Stored = 0;
+      if (R.readBytes(&Data, Len) && R.readFixed32(&Stored) &&
+          support::crc32(Data, Len) == Stored &&
+          decodePush(std::string(Data, Len), &Seq, &Arsp))
+        RecordOk = true;
+    } else if (!InBadRun) {
+      // The length prefix claims more bytes than the file holds.  With
+      // no damage seen yet this is the ordinary torn tail of a crashed
+      // append: stop quietly.  Mid-resync it is just more garbage to
+      // slide past.
       break;
-    Out.emplace_back(Seq, std::move(Arsp));
+    }
+    if (RecordOk) {
+      Off += 8 + Len;
+      Out.emplace_back(Seq, std::move(Arsp));
+      InBadRun = false;
+      continue;
+    }
+    if (!InBadRun && CorruptRuns)
+      ++*CorruptRuns;
+    InBadRun = true;
+    ++Off; // resync: slide one byte and rescan
   }
   return Out;
 }
@@ -69,9 +90,15 @@ parseSpill(const std::string &Bytes) {
 } // namespace
 
 ProfileClient::ProfileClient(Dialer D, ClientConfig C)
-    : Dial(std::move(D)), Config(C),
-      Jitter(C.JitterSeed ? C.JitterSeed
-                          : C.SessionId * 0x9E3779B97F4A7C15ULL + 1) {}
+    : ProfileClient(std::vector<Dialer>(), std::move(C)) {
+  Dials.push_back(std::move(D));
+}
+
+ProfileClient::ProfileClient(std::vector<Dialer> D, ClientConfig C)
+    : Dials(std::move(D)), Config(std::move(C)),
+      Jitter(Config.JitterSeed
+                 ? Config.JitterSeed
+                 : Config.SessionId * 0x9E3779B97F4A7C15ULL + 1) {}
 
 ProfileClient::~ProfileClient() { close(); }
 
@@ -137,18 +164,33 @@ void ProfileClient::recordSuccess() {
   BreakerIsOpen = false;
 }
 
+void ProfileClient::advanceParent() {
+  if (Dials.size() < 2)
+    return;
+  ActiveDial = (ActiveDial + 1) % Dials.size();
+  ++Failovers;
+}
+
 ClientResult ProfileClient::connect() {
   if (Conn)
     return {true, ""};
+  if (Dials.empty())
+    return {false, "no dialers configured"};
   std::string LastError = "dialer failed";
-  for (int Attempt = 0; Attempt <= Config.MaxRetries; ++Attempt) {
+  // Every configured parent deserves at least one try, even when the
+  // caller set MaxRetries below the parent count.
+  int MaxAttempts = Config.MaxRetries + 1;
+  if (static_cast<size_t>(MaxAttempts) < Dials.size())
+    MaxAttempts = static_cast<int>(Dials.size());
+  for (int Attempt = 0; Attempt < MaxAttempts; ++Attempt) {
     if (Attempt)
       backoff(Attempt - 1);
     ++DialAttempts;
     std::string DialError;
-    std::unique_ptr<Transport> T = Dial(&DialError);
+    std::unique_ptr<Transport> T = Dials[ActiveDial](&DialError);
     if (!T) {
       LastError = DialError.empty() ? "dial failed" : DialError;
+      advanceParent();
       continue;
     }
     // Handshake on the fresh connection.
@@ -161,6 +203,7 @@ ClientResult ProfileClient::connect() {
     if (!IO.ok()) {
       LastError = "HELLO write failed: " + IO.Message;
       T->close();
+      advanceParent();
       continue;
     }
     FrameResult FR =
@@ -168,6 +211,7 @@ ClientResult ProfileClient::connect() {
     if (!FR.ok()) {
       LastError = "HELLO reply: " + FR.Error;
       T->close();
+      advanceParent();
       continue;
     }
     if (FR.F.Type == MsgType::Error) {
@@ -179,6 +223,7 @@ ClientResult ProfileClient::connect() {
       // rejection (version/fingerprint) will not improve on retry.
       if (E.Code == ErrCode::RetryAfter || E.Code == ErrCode::BadFrame) {
         LastError = "server: " + E.Text;
+        advanceParent(); // a shedding parent: try a backup
         continue;
       }
       return serverError(E.Code, "server rejected handshake: " + E.Text);
@@ -188,6 +233,7 @@ ClientResult ProfileClient::connect() {
         !decodeHelloAck(FR.F.Payload, &Ack)) {
       LastError = "malformed HELLO_ACK";
       T->close();
+      advanceParent();
       continue;
     }
     if (Ack.Version < MinWireVersion || Ack.Version > WireVersion) {
@@ -196,10 +242,19 @@ ClientResult ProfileClient::connect() {
       LastError = support::formatString(
           "server negotiated unsupported wire v%u", Ack.Version);
       T->close();
+      advanceParent();
       continue;
     }
     Negotiated = Ack.Version;
     ServerFingerprint = Ack.Fingerprint;
+    // v5 sequence continuity: never assign a sequence number at or below
+    // what this server already applied for our session.  A failover to a
+    // parent that saw our earlier pushes — or a restart of this client
+    // against a server that recovered its dedup table from the journal —
+    // must not reuse sequence numbers, or the dedup table would silently
+    // swallow the brand-new shard as a "duplicate".
+    if (Config.SessionId && Ack.LastSeq > NextSeq)
+      NextSeq = Ack.LastSeq;
     Conn = std::move(T);
     return {true, ""};
   }
@@ -261,6 +316,17 @@ ClientResult ProfileClient::exchange(MsgType ReqType,
   }
   *Reply = std::move(FR.F);
   return {true, ""};
+}
+
+ClientResult ProfileClient::connectGated() {
+  if (Conn)
+    return {true, ""};
+  if (!breakerAllows())
+    return {false, "circuit breaker open"};
+  ClientResult C = connect();
+  if (!C.Ok && !C.ServerReply)
+    recordFailure();
+  return C;
 }
 
 ClientResult ProfileClient::exchangeRetry(MsgType ReqType,
@@ -365,8 +431,15 @@ ClientResult ProfileClient::pushEncoded(const std::string &ArspBytes) {
     return {true, ""};
   }
 
+  // Establish the session BEFORE numbering the shard: the v5 HELLO_ACK
+  // LastSeq floor adjusts NextSeq during the handshake, and a seq fixed
+  // ahead of it would reuse a number the server already applied — the
+  // shard would be silently swallowed as a duplicate.  (When the
+  // connect fails, the shard still gets a seq so it can spill; the
+  // floor re-applies on the reconnect that replays it.)
+  ClientResult C = connectGated();
   uint64_t Seq = ++NextSeq;
-  ClientResult R = pushSequenced(Seq, ArspBytes);
+  ClientResult R = C.Ok ? pushSequenced(Seq, ArspBytes) : C;
   if (!R.Ok && !Config.SpillPath.empty()) {
     std::string SpillError;
     if (appendSpill(Seq, ArspBytes, &SpillError)) {
@@ -476,12 +549,14 @@ ProfileClient::pushBatch(const std::vector<std::string> &ArspShards) {
     }
     return {true, ""};
   }
-  // Stable sequence numbers across every retry of this batch.
+  // Session first, then stable sequence numbers across every retry of
+  // this batch (same LastSeq-floor ordering as pushEncoded).
+  ClientResult C = connectGated();
   std::vector<BatchShard> Batch;
   Batch.reserve(ArspShards.size());
   for (const std::string &S : ArspShards)
     Batch.push_back({++NextSeq, S});
-  ClientResult R = pushBatchSequenced(Batch);
+  ClientResult R = C.Ok ? pushBatchSequenced(Batch) : C;
   if (!R.Ok && !Config.SpillPath.empty()) {
     size_t Spilled = 0;
     std::string SpillError;
@@ -522,7 +597,7 @@ size_t ProfileClient::spillCount() const {
     return 0;
   std::ostringstream Buffer;
   Buffer << In.rdbuf();
-  return parseSpill(Buffer.str()).size();
+  return parseSpill(Buffer.str(), &SpillCorrupt).size();
 }
 
 ClientResult ProfileClient::replaySpill() {
@@ -538,7 +613,7 @@ ClientResult ProfileClient::replaySpill() {
     Bytes = Buffer.str();
   }
   std::vector<std::pair<uint64_t, std::string>> Records =
-      parseSpill(Bytes);
+      parseSpill(Bytes, &SpillCorrupt);
   // Sequence numbers must stay unique within the session even if more
   // pushes follow the replay.
   for (const auto &[Seq, Arsp] : Records)

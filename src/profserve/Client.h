@@ -107,6 +107,15 @@ class ProfileClient {
 public:
   ProfileClient(Dialer D, ClientConfig C);
 
+  /// Multi-homed client: \p Dials is an ordered parent list.  connect()
+  /// always tries the current parent first (sticky on success) and
+  /// advances to the next — wrapping — whenever a dial or handshake
+  /// fails, so a client survives the death of its parent by failing over
+  /// to a backup.  Sequence numbers continue across parents: the v5
+  /// HELLO_ACK LastSeq floor (below) plus server-side (session, seq)
+  /// dedup keep the failover exactly-once.
+  ProfileClient(std::vector<Dialer> Dials, ClientConfig C);
+
   /// Sends BYE (best effort) and closes.
   ~ProfileClient();
 
@@ -116,6 +125,13 @@ public:
   /// Ensures a live, HELLO-negotiated connection (dial + handshake with
   /// retry/backoff).  The other operations call this implicitly.
   ClientResult connect();
+
+  /// connect() behind the circuit breaker: denied while the breaker is
+  /// cooling down, and a transport-level failure counts as a strike.
+  /// The session-before-seq paths (pushEncoded/pushBatch) use this so a
+  /// dead server can't be dialed past the breaker just because the
+  /// handshake now happens ahead of sequence numbering.
+  ClientResult connectGated();
 
   /// Uploads one already-encoded .arsp shard (see retry semantics in the
   /// file comment; exactly-once when SessionId != 0).
@@ -200,6 +216,18 @@ public:
   /// Dial attempts made (for tests asserting the backoff path).
   int dialAttempts() const { return DialAttempts; }
 
+  /// Times connect() advanced to a different parent after a dial or
+  /// handshake failure (multi-homed clients only).
+  uint64_t failovers() const { return Failovers; }
+
+  /// Index into the parent list of the parent currently in use.
+  size_t activeParent() const { return ActiveDial; }
+
+  /// Spill-file records dropped because their CRC did not match
+  /// (replaySpill/spillCount resync past them instead of aborting the
+  /// replay — one corrupt record never strands the valid ones after it).
+  uint64_t spillCorrupt() const { return SpillCorrupt; }
+
   /// PUSH_ACKs that reported Duplicate — retries the server deduplicated.
   uint64_t duplicateAcks() const { return DupAcks; }
 
@@ -222,6 +250,9 @@ private:
   ClientResult pushBatchSequenced(const std::vector<BatchShard> &Batch);
   bool appendSpill(uint64_t Seq, const std::string &ArspBytes,
                    std::string *Error);
+  /// Rotates ActiveDial to the next parent after a failed attempt
+  /// (no-op for single-homed clients).
+  void advanceParent();
   void backoff(int Attempt);
   /// Decodes and dispatches one POLICY payload; false = corrupt
   /// (silently dropped — the degrade-to-static contract).
@@ -232,7 +263,11 @@ private:
   void recordFailure();
   void recordSuccess();
 
-  Dialer Dial;
+  /// Ordered parent list (size 1 for the single-homed ctor).  ActiveDial
+  /// indexes the parent in use; it only moves on failure (sticky).
+  std::vector<Dialer> Dials;
+  size_t ActiveDial = 0;
+  uint64_t Failovers = 0;
   ClientConfig Config;
   std::unique_ptr<Transport> Conn;
   support::Xorshift64 Jitter;
@@ -242,6 +277,9 @@ private:
   int DialAttempts = 0;
   uint64_t NextSeq = 0; ///< last assigned push sequence number
   uint64_t DupAcks = 0;
+  /// mutable: spillCount() is a const observer but still tallies the
+  /// corrupt records it resyncs past.
+  mutable uint64_t SpillCorrupt = 0;
   std::function<void(const PolicyMsg &)> PolicyHandler;
   uint64_t PolicyFrames = 0;
   int ConsecutiveFailures = 0;

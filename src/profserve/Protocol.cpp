@@ -227,6 +227,11 @@ std::string encodeHelloAck(const HelloAckMsg &M) {
   std::string Out;
   appendVarint(Out, M.Version);
   appendFixed64(Out, M.Fingerprint);
+  // M.Version is the SESSION's negotiated dialect (the server echoes
+  // the client's version), so a pre-v5 client — whose decoder rejects
+  // trailing bytes — never sees the tail.
+  if (M.Version >= 5)
+    appendVarint(Out, M.LastSeq);
   return Out;
 }
 
@@ -237,7 +242,9 @@ bool decodeHelloAck(const std::string &Payload, HelloAckMsg *Out) {
       !R.readFixed64(&Out->Fingerprint))
     return false;
   Out->Version = static_cast<uint32_t>(Version);
-  return finish(R);
+  if (R.atEnd())
+    return true; // pre-v5 ack: LastSeq defaults to 0
+  return R.readVarint(&Out->LastSeq) && finish(R);
 }
 
 std::string encodePush(uint64_t Seq, const std::string &ArspBytes) {
@@ -381,6 +388,12 @@ std::string encodeStats(const StatsMsg &M, uint32_t Version) {
     appendVarint(Out, M.PolicyPushes);
     appendVarint(Out, M.PolicyDecisions);
   }
+  if (Version >= 5) {
+    appendVarint(Out, M.JournalRecords);
+    appendVarint(Out, M.JournalSyncs);
+    appendVarint(Out, M.JournalReplayed);
+    appendVarint(Out, M.JournalFailures);
+  }
   return Out;
 }
 
@@ -400,8 +413,15 @@ bool decodeStats(const std::string &Payload, StatsMsg *Out) {
     return false;
   if (R.atEnd())
     return true; // v3 payload: policy counters default to 0
-  return R.readVarint(&Out->PolicyPushes) &&
-         R.readVarint(&Out->PolicyDecisions) && finish(R);
+  if (!(R.readVarint(&Out->PolicyPushes) &&
+        R.readVarint(&Out->PolicyDecisions)))
+    return false;
+  if (R.atEnd())
+    return true; // v4 payload: journal counters default to 0
+  return R.readVarint(&Out->JournalRecords) &&
+         R.readVarint(&Out->JournalSyncs) &&
+         R.readVarint(&Out->JournalReplayed) &&
+         R.readVarint(&Out->JournalFailures) && finish(R);
 }
 
 const char *errCodeName(ErrCode C) {

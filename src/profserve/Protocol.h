@@ -55,7 +55,12 @@ namespace profserve {
 /// policy/Policy.h).  POLICY is only ever SENT on sessions negotiated at
 /// v4 — a v2/v3 peer simply never receives one, so negotiation needs no
 /// new handshake fields.
-constexpr uint32_t WireVersion = 4;
+/// v5: HELLO_ACK carries LastSeq — the highest sequence number the
+/// server has already applied for the client's session — so a restarted
+/// pusher (a relay whose process died and recovered, say) resumes its
+/// numbering past what the server remembers instead of colliding with
+/// its own history; and STATS grew the write-ahead-journal counters.
+constexpr uint32_t WireVersion = 5;
 
 /// Oldest client dialect the server still speaks.
 constexpr uint32_t MinWireVersion = 2;
@@ -172,6 +177,13 @@ bool decodeHello(const std::string &Payload, HelloMsg *Out);
 struct HelloAckMsg {
   uint32_t Version = WireVersion;
   uint64_t Fingerprint = 0; ///< server's pinned/adopted fingerprint
+  /// v5: the highest sequence number already applied for the client's
+  /// SessionId (0 = none, or pre-v5 server).  A reconnecting client
+  /// resumes numbering at max(own, LastSeq) + 1, so a pusher that lost
+  /// its in-memory counter (crash + restart with a durable session id)
+  /// never reuses a sequence number the server would silently dedup.
+  /// Encoded only on v5 sessions; the decoder accepts the short tail.
+  uint64_t LastSeq = 0;
 };
 std::string encodeHelloAck(const HelloAckMsg &M);
 bool decodeHelloAck(const std::string &Payload, HelloAckMsg *Out);
@@ -262,6 +274,11 @@ struct StatsMsg {
   // v4 additions, same short-tail rule:
   uint64_t PolicyPushes = 0;    ///< POLICY broadcasts sent downstream
   uint64_t PolicyDecisions = 0; ///< watcher decisions emitted (entries)
+  // v5 additions (write-ahead journal), same short-tail rule:
+  uint64_t JournalRecords = 0;  ///< shard/epoch records appended
+  uint64_t JournalSyncs = 0;    ///< group-commit fsyncs issued
+  uint64_t JournalReplayed = 0; ///< shards replayed at startup
+  uint64_t JournalFailures = 0; ///< journal appends/syncs/opens failed
 };
 /// \p Version selects the dialect: a v2 payload stops at Recovered so a
 /// v2 client's strict no-trailing-garbage decoder still accepts it.

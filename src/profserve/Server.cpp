@@ -8,6 +8,7 @@
 #include "support/Compress.h"
 #include "support/Support.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <exception>
@@ -23,8 +24,38 @@ ProfileServer::ProfileServer(std::unique_ptr<Listener> L, ServerConfig C)
 ProfileServer::~ProfileServer() { stop(); }
 
 void ProfileServer::start() {
-  if (Config.RecoverOnStart && !Config.SnapshotPath.empty())
+  if (Config.RecoverOnStart &&
+      (!Config.SnapshotPath.empty() || !Config.JournalPath.empty()))
     recoverOnStart();
+
+  if (!Config.JournalPath.empty()) {
+    if (!Config.RecoverOnStart)
+      // A fresh-state server must not later replay another lifetime's
+      // records on top of state they are not relative to.
+      profstore::Journal::wipe(Config.JournalPath);
+    profstore::Journal::Config JC;
+    JC.BasePath = Config.JournalPath;
+    JC.MaxSegmentBytes = Config.JournalMaxSegmentBytes;
+    JC.Fsync = Config.JournalFsync;
+    JC.CrashHook = Config.CrashHook;
+    Wal = std::make_unique<profstore::Journal>(JC);
+    std::string JErr;
+    profstore::AppliedSeqMap Applied;
+    {
+      std::lock_guard<std::mutex> Lock(StateMu);
+      Applied = AppliedSeqs;
+    }
+    if (!Wal->open(RecoveredSnapHash, Applied, &JErr)) {
+      // Serving without the journal beats not serving; the operator
+      // sees the degradation in STATS (JournalFailures) and stderr.
+      if (Config.LogToStderr)
+        std::fprintf(stderr, "profserve: journal open failed: %s\n",
+                     JErr.c_str());
+      std::lock_guard<std::mutex> Lock(StateMu);
+      ++Stats.JournalFailures;
+      Wal.reset();
+    }
+  }
 
   if (Config.Policy.Enabled)
     Watcher =
@@ -48,7 +79,11 @@ void ProfileServer::start() {
       CC.SpillPath = Config.SnapshotPath.empty()
                          ? "arsc-relay.spill"
                          : Config.SnapshotPath + ".relay-spill";
-    Upstream = std::make_unique<ProfileClient>(Config.Relay.Dial, CC);
+    std::vector<Dialer> Parents;
+    Parents.push_back(Config.Relay.Dial);
+    Parents.insert(Parents.end(), Config.Relay.BackupDials.begin(),
+                   Config.Relay.BackupDials.end());
+    Upstream = std::make_unique<ProfileClient>(std::move(Parents), CC);
     // Relay-tree push-down: POLICY frames the parent sends during our
     // upstream flushes are re-broadcast to our own children.  The
     // handler runs on whatever thread drives the upstream client (the
@@ -135,37 +170,151 @@ void ProfileServer::stop() {
     std::lock_guard<std::mutex> Lock(UpstreamMu);
     Upstream->close();
   }
-  // Final snapshot after the drain, so the last accepted pushes are in.
+  // Final snapshot (with a journal: also checkpoint + truncate) after
+  // the drain, so the last accepted pushes are in.
   if (!Config.SnapshotPath.empty()) {
     std::string Error;
     if (!snapshotNow(&Error) && Config.LogToStderr)
       std::fprintf(stderr, "profserve: final snapshot failed: %s\n",
                    Error.c_str());
   }
+  if (Wal)
+    Wal->close();
+}
+
+void ProfileServer::kill() {
+  {
+    std::lock_guard<std::mutex> Lock(SnapMu);
+    if (Stopping)
+      return;
+    Stopping = true;
+    SnapCv.notify_all();
+  }
+  if (!Started)
+    return;
+  L->shutdown();
+  if (Acceptor.joinable())
+    Acceptor.join();
+  if (R)
+    R->stop();
+  {
+    std::lock_guard<std::mutex> Lock(FlushMu);
+    FlushStop = true;
+  }
+  FlushCv.notify_all();
+  if (Flusher.joinable())
+    Flusher.join();
+  if (Snapshotter.joinable())
+    Snapshotter.join();
+  // No drain, no farewell, no snapshot, no checkpoint: what the journal
+  // and snapshot files hold right now is all a successor gets.
+  if (Upstream) {
+    std::lock_guard<std::mutex> Lock(UpstreamMu);
+    Upstream->close();
+  }
+  if (Wal)
+    Wal->close();
 }
 
 void ProfileServer::recoverOnStart() {
-  // A crash mid-save can leave a stale tmp file; it is never valid state.
-  std::remove((Config.SnapshotPath + ".tmp").c_str());
-  const std::string Candidates[] = {Config.SnapshotPath,
-                                    Config.SnapshotPath + ".prev"};
-  for (const std::string &Path : Candidates) {
-    // loadBundle validates magic, CRC and (when pinned) the fingerprint;
-    // a torn or corrupt file falls through to the .prev copy.
-    profstore::DecodeResult D =
-        profstore::loadBundle(Path, Config.Fingerprint);
-    if (!D.Ok)
-      continue;
-    std::lock_guard<std::mutex> Lock(StateMu);
-    EpochBase = std::move(D.Bundle);
-    if (FingerprintValue == 0)
-      FingerprintValue = D.Fingerprint;
-    ++Stats.Recovered;
+  if (!Config.SnapshotPath.empty()) {
+    // A crash mid-save can leave a stale tmp file; never valid state.
+    std::remove((Config.SnapshotPath + ".tmp").c_str());
+    const std::string Candidates[] = {Config.SnapshotPath,
+                                      Config.SnapshotPath + ".prev"};
+    for (const std::string &Path : Candidates) {
+      // loadBundle validates magic, CRC and (when pinned) the
+      // fingerprint; a torn or corrupt file falls through to .prev.
+      profstore::DecodeResult D =
+          profstore::loadBundle(Path, Config.Fingerprint);
+      if (!D.Ok)
+        continue;
+      // The journal's checkpoints name snapshots by the CRC of their
+      // raw file bytes; remember which one we actually loaded so the
+      // replay starts at the matching checkpoint.
+      std::string Raw;
+      if (profstore::ioutil::readFileRaw(Path, &Raw))
+        // fnv1a64, not crc32: the snapshot's own CRC trailer makes
+        // crc32-of-file the constant residue 0x2144DF1C for EVERY valid
+        // snapshot, which would match every checkpoint record (see
+        // Journal.h).
+        RecoveredSnapHash = support::fnv1a64(Raw.data(), Raw.size());
+      std::lock_guard<std::mutex> Lock(StateMu);
+      EpochBase = std::move(D.Bundle);
+      if (FingerprintValue == 0)
+        FingerprintValue = D.Fingerprint;
+      ++Stats.Recovered;
+      if (Config.LogToStderr)
+        std::fprintf(stderr, "profserve: recovered snapshot from %s\n",
+                     Path.c_str());
+      break;
+    }
+  }
+
+  if (Config.JournalPath.empty())
+    return;
+  profstore::Journal::Recovery Rec =
+      profstore::Journal::recover(Config.JournalPath, RecoveredSnapHash);
+  if (!Rec.HadSegments)
+    return;
+  if (!Rec.Matched) {
+    // The journal does not correspond to the snapshot we loaded (e.g.
+    // the snapshot survived a wiped journal, or vice versa).  Replaying
+    // unrelated records would corrupt the aggregate; drop the journal
+    // and continue from the snapshot alone.
     if (Config.LogToStderr)
-      std::fprintf(stderr, "profserve: recovered snapshot from %s\n",
-                   Path.c_str());
+      std::fprintf(stderr,
+                   "profserve: journal at %s matches no loaded snapshot "
+                   "(%s); discarding it\n",
+                   Config.JournalPath.c_str(), Rec.Error.c_str());
+    profstore::Journal::wipe(Config.JournalPath);
+    std::lock_guard<std::mutex> Lock(StateMu);
+    ++Stats.JournalFailures;
     return;
   }
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    AppliedSeqs = Rec.Applied;
+  }
+  for (const profstore::Journal::Record &R : Rec.Records) {
+    if (R.RecKind == profstore::Journal::Record::Kind::Epoch) {
+      // Re-apply the decay in journaled order, exactly where the
+      // original rotation fell between the replayed shards.
+      profile::ProfileBundle Drained = Agg.drain();
+      std::lock_guard<std::mutex> Lock(StateMu);
+      profstore::mergeBundle(EpochBase, Drained);
+      profstore::decayBundle(EpochBase, R.KeepPct);
+      ++Stats.Epochs;
+      continue;
+    }
+    profstore::DecodeResult D = profstore::decodeBundle(R.Arsp, 0);
+    if (!D.Ok) {
+      // The record's frame CRC held but the shard doesn't decode: it
+      // could never have been merged originally either.
+      std::lock_guard<std::mutex> Lock(StateMu);
+      ++Stats.JournalFailures;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(StateMu);
+      if (FingerprintValue == 0)
+        FingerprintValue = D.Fingerprint;
+      else if (D.Fingerprint != FingerprintValue) {
+        ++Stats.JournalFailures;
+        continue;
+      }
+    }
+    Agg.flush(NextFlushKey.fetch_add(1, std::memory_order_relaxed),
+              D.Bundle);
+    std::lock_guard<std::mutex> Lock(StateMu);
+    ++Stats.Merges;
+    ++Stats.JournalReplayed;
+  }
+  if (Config.LogToStderr)
+    std::fprintf(stderr,
+                 "profserve: replayed %llu journaled shard(s) from %s\n",
+                 static_cast<unsigned long long>(Rec.Records.size()),
+                 Config.JournalPath.c_str());
 }
 
 void ProfileServer::acceptLoop() {
@@ -241,31 +390,43 @@ void ProfileServer::bumpReject(const std::string &Why,
                  Why.c_str());
 }
 
-int ProfileServer::mergeShard(uint64_t SessionId, uint64_t Seq,
-                              const profstore::DecodeResult &D,
-                              uint64_t *MergesOut) {
-  {
-    std::lock_guard<std::mutex> Lock(StateMu);
-    if (FingerprintValue == 0)
-      FingerprintValue = D.Fingerprint; // first shard pins the module
-    else if (D.Fingerprint != FingerprintValue) {
-      // Raced with another first-pusher for a different module.
-      ++Stats.Rejects;
-      *MergesOut = Stats.Merges;
-      return 2;
-    }
-    // Dedup runs even for the fingerprint-pinning first shard — a lost
-    // ack on shard #1 retries like any other and must not double-merge.
-    if (SessionId && Seq && !AppliedSeqs[SessionId].insert(Seq).second) {
-      // A retry of a shard that already merged (the original ack was
-      // lost mid-wire).  Acknowledge without merging — exactly-once.
-      // Registration-before-merge means a racing retry on another
-      // connection always lands here rather than double-merging.
-      ++Stats.Duplicates;
-      *MergesOut = Stats.Merges;
-      return 1;
-    }
+int ProfileServer::registerShard(uint64_t SessionId, uint64_t Seq,
+                                 const profstore::DecodeResult &D,
+                                 uint64_t *MergesOut) {
+  std::lock_guard<std::mutex> Lock(StateMu);
+  if (FingerprintValue == 0)
+    FingerprintValue = D.Fingerprint; // first shard pins the module
+  else if (D.Fingerprint != FingerprintValue) {
+    // Raced with another first-pusher for a different module.
+    ++Stats.Rejects;
+    *MergesOut = Stats.Merges;
+    return 2;
   }
+  // Dedup runs even for the fingerprint-pinning first shard — a lost
+  // ack on shard #1 retries like any other and must not double-merge.
+  if (SessionId && Seq && !AppliedSeqs[SessionId].insert(Seq).second) {
+    // A retry of a shard that already merged (the original ack was
+    // lost mid-wire).  Acknowledge without merging — exactly-once.
+    // Registration-before-merge means a racing retry on another
+    // connection always lands here rather than double-merging.
+    ++Stats.Duplicates;
+    *MergesOut = Stats.Merges;
+    return 1;
+  }
+  return 0;
+}
+
+void ProfileServer::unregisterShard(uint64_t SessionId, uint64_t Seq) {
+  if (!SessionId || !Seq)
+    return;
+  std::lock_guard<std::mutex> Lock(StateMu);
+  auto It = AppliedSeqs.find(SessionId);
+  if (It != AppliedSeqs.end())
+    It->second.erase(Seq);
+}
+
+bool ProfileServer::applyShard(const profstore::DecodeResult &D,
+                               uint64_t *MergesOut) {
   Agg.flush(NextFlushKey.fetch_add(1, std::memory_order_relaxed),
             D.Bundle);
   uint64_t Merges;
@@ -273,10 +434,60 @@ int ProfileServer::mergeShard(uint64_t SessionId, uint64_t Seq,
     std::lock_guard<std::mutex> Lock(StateMu);
     Merges = ++Stats.Merges;
   }
-  if (Config.RotateEveryMerges && Merges % Config.RotateEveryMerges == 0)
-    rotateEpoch();
   MergesSinceFlush.fetch_add(1, std::memory_order_acq_rel);
   *MergesOut = Merges;
+  return Config.RotateEveryMerges &&
+         Merges % Config.RotateEveryMerges == 0;
+}
+
+bool ProfileServer::journalSync() {
+  if (!Wal)
+    return true;
+  std::string Error;
+  if (Wal->sync(&Error))
+    return true;
+  if (Config.LogToStderr)
+    std::fprintf(stderr, "profserve: journal commit failed: %s\n",
+                 Error.c_str());
+  return false;
+}
+
+int ProfileServer::mergeShard(uint64_t SessionId, uint64_t Seq,
+                              const std::string &Arsp,
+                              const profstore::DecodeResult &D,
+                              uint64_t *MergesOut, bool SyncJournal) {
+  bool RotateDue = false;
+  {
+    // Shared: many pushes journal + merge concurrently; a checkpoint
+    // (snapshotNow) or epoch record (rotateEpoch) excludes them all so
+    // the journal can never be truncated past an unmerged record.
+    std::shared_lock<std::shared_mutex> Gate(ApplyGate);
+    int Registered = registerShard(SessionId, Seq, D, MergesOut);
+    if (Registered != 0)
+      return Registered;
+    if (Wal) {
+      std::string Error;
+      bool Ok = Wal->appendShard(SessionId, Seq, Arsp, &Error) &&
+                (!SyncJournal || Wal->sync(&Error));
+      if (!Ok) {
+        // Durability failed, so the shard must not be merged or acked:
+        // roll the registration back and make the client retry (or
+        // spill) — it can land once the journal heals or the restarted
+        // server replays whatever did reach the disk.
+        unregisterShard(SessionId, Seq);
+        if (Config.LogToStderr)
+          std::fprintf(stderr, "profserve: journal append failed: %s\n",
+                       Error.c_str());
+        std::lock_guard<std::mutex> Lock(StateMu);
+        *MergesOut = Stats.Merges;
+        return 3;
+      }
+    }
+    RotateDue = applyShard(D, MergesOut);
+  }
+  // Rotation re-takes the gate exclusively, so it must run outside it.
+  if (RotateDue)
+    rotateEpoch();
   return 0;
 }
 
@@ -347,6 +558,17 @@ Reactor::FrameAction ProfileServer::handleFrame(Reactor::Conn &Conn,
     // Echo the client's version: the session runs at ITS dialect.
     Ack.Version = Hello.Version;
     Ack.Fingerprint = Pinned;
+    if (Hello.Version >= 5 && Hello.SessionId) {
+      // Sequence continuity for restarted pushers: tell the session the
+      // highest seq we already applied (journal recovery repopulates
+      // the ledger, so this survives OUR restarts too), and the client
+      // resumes past it instead of colliding with its own history.
+      std::lock_guard<std::mutex> Lock(StateMu);
+      auto It = AppliedSeqs.find(Hello.SessionId);
+      if (It != AppliedSeqs.end())
+        for (uint64_t Seq : It->second)
+          Ack.LastSeq = std::max(Ack.LastSeq, Seq);
+    }
     Reactor::FrameAction A =
         reply(MsgType::HelloAck, encodeHelloAck(Ack));
     if (Conn.Negotiated >= 4) {
@@ -448,12 +670,18 @@ Reactor::FrameAction ProfileServer::handlePush(Reactor::Conn &Conn,
     return replyError(ErrCode::BadShard, "rejected shard: " + D.Error,
                       true);
   uint64_t Merges = 0;
-  switch (mergeShard(Conn.SessionId, Seq, D, &Merges)) {
+  switch (mergeShard(Conn.SessionId, Seq, Arsp, D, &Merges)) {
   case 2:
     return reply(MsgType::Error,
                  encodeError(ErrCode::BadShard,
                              "rejected shard: fingerprint lost the "
                              "adoption race"));
+  case 3:
+    // Journal write failed: the shard is NOT durable and was not
+    // merged.  RETRY_AFTER makes the client retry (or spill) under the
+    // same sequence number — exactly-once either way.
+    return replyError(ErrCode::RetryAfter,
+                      "shard not durable: journal write failed", true);
   case 1: {
     PushAckMsg Ack;
     Ack.Merges = Merges;
@@ -504,32 +732,86 @@ ProfileServer::handlePushBatch(Reactor::Conn &Conn, const Frame &F) {
   Ack.Count = Shards.size();
   uint64_t Merges = 0;
   bool SawMerge = false;
-  for (const BatchShard &S : Shards) {
-    profstore::DecodeResult D =
-        profstore::decodeBundle(S.Arsp, fingerprint());
-    if (!D.Ok) {
-      ++Ack.Rejected;
-      if (Ack.FirstError.empty())
-        Ack.FirstError = "rejected shard: " + D.Error;
-      bumpReject("rejected batched shard: " + D.Error, Conn.peer());
-      continue;
+  {
+    // The whole batch applies under one shared gate hold, and — the
+    // point of group commit — its journal records share ONE fsync:
+    // every shard is appended unsynced, then a single journalSync()
+    // makes the batch durable before any of it is merged or acked.
+    std::shared_lock<std::shared_mutex> Gate(ApplyGate);
+    struct PendingShard {
+      uint64_t Seq = 0;
+      profstore::DecodeResult D;
+    };
+    std::vector<PendingShard> Pending;
+    Pending.reserve(Shards.size());
+    bool JournalFailed = false;
+    for (const BatchShard &S : Shards) {
+      profstore::DecodeResult D =
+          profstore::decodeBundle(S.Arsp, fingerprint());
+      if (!D.Ok) {
+        ++Ack.Rejected;
+        if (Ack.FirstError.empty())
+          Ack.FirstError = "rejected shard: " + D.Error;
+        bumpReject("rejected batched shard: " + D.Error, Conn.peer());
+        continue;
+      }
+      switch (registerShard(Conn.SessionId, S.Seq, D, &Merges)) {
+      case 1:
+        ++Ack.Duplicates;
+        SawMerge = true;
+        continue;
+      case 2:
+        ++Ack.Rejected;
+        if (Ack.FirstError.empty())
+          Ack.FirstError =
+              "rejected shard: fingerprint lost the adoption race";
+        continue;
+      default:
+        break;
+      }
+      if (Wal) {
+        std::string Error;
+        if (!Wal->appendShard(Conn.SessionId, S.Seq, S.Arsp, &Error)) {
+          if (Config.LogToStderr)
+            std::fprintf(stderr,
+                         "profserve: journal append failed: %s\n",
+                         Error.c_str());
+          unregisterShard(Conn.SessionId, S.Seq);
+          JournalFailed = true;
+          break;
+        }
+      }
+      Pending.push_back({S.Seq, std::move(D)});
     }
-    switch (mergeShard(Conn.SessionId, S.Seq, D, &Merges)) {
-    case 0:
+    if (!JournalFailed && !journalSync())
+      JournalFailed = true;
+    if (JournalFailed) {
+      // None of the registered-but-unmerged shards is durable; roll
+      // them all back and fail the whole batch so the client retries
+      // it under the same sequence numbers (duplicates dedup away).
+      for (const PendingShard &P : Pending)
+        unregisterShard(Conn.SessionId, P.Seq);
+      return replyError(ErrCode::RetryAfter,
+                        "batch not durable: journal write failed", true);
+    }
+    for (const PendingShard &P : Pending) {
+      applyShard(P.D, &Merges);
       ++Ack.Merged;
       SawMerge = true;
-      break;
-    case 1:
-      ++Ack.Duplicates;
-      SawMerge = true;
-      break;
-    default:
-      ++Ack.Rejected;
-      if (Ack.FirstError.empty())
-        Ack.FirstError =
-            "rejected shard: fingerprint lost the adoption race";
-      break;
     }
+  }
+  if (Config.RotateEveryMerges) {
+    // Rotation checks ran nowhere above (the gate was held); catch up
+    // on any boundary the batch crossed.
+    uint64_t Now;
+    {
+      std::lock_guard<std::mutex> Lock(StateMu);
+      Now = Stats.Merges;
+    }
+    if (Ack.Merged &&
+        Now / Config.RotateEveryMerges !=
+            (Now - Ack.Merged) / Config.RotateEveryMerges)
+      rotateEpoch();
   }
   if (!SawMerge) {
     std::lock_guard<std::mutex> Lock(StateMu);
@@ -552,8 +834,14 @@ ServerStats ProfileServer::stats() const {
     Out = Stats;
   }
   // Live connections are the reactor's truth, sampled rather than
-  // double-counted here.
+  // double-counted here; ditto the journal's own counters.
   Out.ActiveConnections = R ? R->active() : 0;
+  if (Wal) {
+    profstore::JournalStats J = Wal->stats();
+    Out.JournalRecords = J.Records;
+    Out.JournalSyncs = J.Syncs;
+    Out.JournalFailures += J.Failures;
+  }
   return Out;
 }
 
@@ -573,6 +861,26 @@ profile::ProfileBundle ProfileServer::merged() const {
 }
 
 void ProfileServer::rotateEpoch() {
+  // Exclusive: no shard may sit journaled-but-unmerged while the decay
+  // record lands, or replay would decay it on the wrong side of the
+  // boundary.  (Only taken when a journal exists — rotation is already
+  // racy-by-design about which side concurrent shards land on.)
+  std::unique_lock<std::shared_mutex> Gate(ApplyGate, std::defer_lock);
+  if (Wal) {
+    Gate.lock();
+    std::string Error;
+    if (!Wal->appendEpoch(Config.EpochKeepPct, &Error) ||
+        !Wal->sync(&Error)) {
+      // Skip the decay rather than apply one that replay would miss:
+      // counts stay a little stale, but recovery stays byte-identical.
+      if (Config.LogToStderr)
+        std::fprintf(stderr,
+                     "profserve: journal epoch record failed, rotation "
+                     "skipped: %s\n",
+                     Error.c_str());
+      return;
+    }
+  }
   profile::ProfileBundle Drained = Agg.drain();
   {
     std::lock_guard<std::mutex> Lock(StateMu);
@@ -697,17 +1005,48 @@ bool ProfileServer::snapshotNow(std::string *Error) {
       *Error = "no snapshot path configured";
     return false;
   }
-  std::string Bytes = profstore::encodeBundle(merged(), fingerprint());
-  if (Config.CompressSnapshots)
-    // loadBundle / recoverOnStart detect the ARSZ container by magic, so
-    // flipping this flag never invalidates snapshots already on disk.
-    Bytes = support::compressBlocks(Bytes);
+  std::string Bytes;
+  if (Wal) {
+    // Checkpoint-then-truncate.  The exclusive gate freezes the
+    // journal/aggregate pair, so the checkpoint record (snapshot CRC +
+    // dedup ledger) describes EXACTLY the bundle encoded here; recovery
+    // matches the snapshot it loads against a checkpoint by that CRC
+    // and replays only the records behind it.  The snapshot write and
+    // the truncation run after the gate drops — a crash in any window
+    // recovers to either this state (new snapshot ↔ new checkpoint) or
+    // the previous one (old/.prev snapshot ↔ old checkpoint + longer
+    // replay), never a torn mix.
+    std::unique_lock<std::shared_mutex> Gate(ApplyGate);
+    Bytes = profstore::encodeBundle(merged(), fingerprint());
+    if (Config.CompressSnapshots)
+      Bytes = support::compressBlocks(Bytes);
+    profstore::AppliedSeqMap Applied;
+    {
+      std::lock_guard<std::mutex> Lock(StateMu);
+      Applied = AppliedSeqs;
+    }
+    if (!Wal->checkpoint(support::fnv1a64(Bytes.data(), Bytes.size()),
+                         Applied, Error))
+      return false;
+  } else {
+    Bytes = profstore::encodeBundle(merged(), fingerprint());
+    if (Config.CompressSnapshots)
+      // loadBundle / recoverOnStart detect the ARSZ container by magic,
+      // so flipping this flag never invalidates snapshots on disk.
+      Bytes = support::compressBlocks(Bytes);
+  }
   // Crash-safe write: tmp + fsync(file) + fsync(dir) + rename, keeping
   // the displaced snapshot as ".prev" so that even a crash between the
   // two renames leaves a recoverable copy (see atomicSaveFile).
   if (!profstore::atomicSaveFile(Config.SnapshotPath, Bytes, Error,
                                  /*KeepPrevious=*/true))
     return false;
+  if (Wal) {
+    // The snapshot is durable; the segments it checkpointed are dead
+    // weight now.  Failure here only delays reclamation.
+    std::string TruncErr;
+    Wal->truncate(&TruncErr);
+  }
   std::lock_guard<std::mutex> Lock(StateMu);
   ++Stats.Snapshots;
   return true;

@@ -74,6 +74,7 @@
 #include "profserve/EventLoop.h"
 #include "profserve/Protocol.h"
 #include "profserve/Transport.h"
+#include "profstore/Journal.h"
 #include "profstore/ProfileAggregator.h"
 #include "profstore/ProfileIO.h"
 
@@ -82,9 +83,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_set>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace ars {
 namespace profserve {
@@ -94,6 +97,13 @@ struct RelayConfig {
   /// Connection factory for the upstream (parent) server.  Null = this
   /// server is a leaf/root collector, not a relay.
   Dialer Dial;
+
+  /// Backup parents, tried in order when Dial's parent is unreachable
+  /// (`arsc serve --relay-to=primary,backup`).  The upstream client
+  /// fails over breaker-style and re-establishes its session with
+  /// sequence continuity, so a parent death never strands this subtree
+  /// and the new parent's dedup keeps the hand-off exactly-once.
+  std::vector<Dialer> BackupDials;
 
   /// Client config for the upstream session.  SessionId should be a
   /// stable nonzero id unique among the parent's children (exactly-once
@@ -192,6 +202,28 @@ struct ServerConfig {
 
   /// Closed-loop sampling policy push-down; see PolicyPushConfig.
   PolicyPushConfig Policy;
+
+  /// Write-ahead journal base path (segments at JournalPath + ".NNNNNN";
+  /// `arsc serve --journal=<path>`).  Empty = no journal: the server is
+  /// crash-safe only at snapshot boundaries, as before.  With a journal,
+  /// every accepted PUSH is CRC-framed and group-committed to disk
+  /// BEFORE it is merged or acked, start() replays the tail past the
+  /// last checkpointed snapshot (restoring the dedup ledger too, so
+  /// post-restart retries stay exactly-once), and every snapshot doubles
+  /// as a checkpoint that truncates the replayed-into segments.
+  std::string JournalPath;
+
+  /// Journal segment rotation threshold.
+  uint64_t JournalMaxSegmentBytes = 4u << 20;
+
+  /// fsync journal group commits (off only to isolate framing cost in
+  /// benches; a real deployment keeps it on).
+  bool JournalFsync = true;
+
+  /// Chaos seam forwarded to the journal (see Journal::Config::CrashHook):
+  /// returning true at a named crash point simulates this server's
+  /// process dying there.
+  std::function<bool(const char *Point)> CrashHook;
 };
 
 /// Monotonic counters; readable at any time via stats() or STATS_REQ.
@@ -216,6 +248,13 @@ public:
   /// join the reactors, push any remaining relay delta upstream, write a
   /// final snapshot.  Idempotent.
   void stop();
+
+  /// Abrupt shutdown for crash tests: tears the threads down like stop()
+  /// but skips the final upstream flush, the farewell, the final
+  /// snapshot and the journal checkpoint — on-disk state is left exactly
+  /// as the "crash" found it, so a successor server must reconstruct the
+  /// aggregate from snapshot + journal alone.  Idempotent with stop().
+  void kill();
 
   ServerStats stats() const;
 
@@ -272,11 +311,29 @@ private:
   Reactor::FrameAction handlePush(Reactor::Conn &Conn, const Frame &F);
   Reactor::FrameAction handlePushBatch(Reactor::Conn &Conn,
                                        const Frame &F);
-  /// Fingerprint-pin / dedup / merge for one decoded shard.  Returns
-  /// 0 = merged, 1 = duplicate, 2 = adoption race.  \p MergesOut gets
-  /// the post-merge lifetime merge count (or the current one).
-  int mergeShard(uint64_t SessionId, uint64_t Seq,
-                 const profstore::DecodeResult &D, uint64_t *MergesOut);
+  /// Fingerprint-pin / dedup / journal / merge for one decoded shard
+  /// (\p Arsp is its raw encoded form, what the journal records).
+  /// Returns 0 = merged, 1 = duplicate, 2 = adoption race, 3 = journal
+  /// write failed (the shard was unregistered again; the caller answers
+  /// RETRY_AFTER so the client retries or spills — never a silent loss).
+  /// With \p SyncJournal false the journal record is appended but not
+  /// yet committed: the batch path appends M shards and pays one group
+  /// commit via journalSync() before acking.
+  int mergeShard(uint64_t SessionId, uint64_t Seq, const std::string &Arsp,
+                 const profstore::DecodeResult &D, uint64_t *MergesOut,
+                 bool SyncJournal = true);
+  /// Dedup-checks and registers (session, seq) and pins the fingerprint.
+  /// Same 0/1/2 returns as mergeShard; called under a shared ApplyGate.
+  int registerShard(uint64_t SessionId, uint64_t Seq,
+                    const profstore::DecodeResult &D, uint64_t *MergesOut);
+  /// Rolls back a registration whose journal write failed.
+  void unregisterShard(uint64_t SessionId, uint64_t Seq);
+  /// Aggregates one registered (and journaled) shard; returns true when
+  /// the merge count crossed a RotateEveryMerges boundary (the caller
+  /// rotates after releasing the apply gate).
+  bool applyShard(const profstore::DecodeResult &D, uint64_t *MergesOut);
+  /// Group commit of everything journaled so far; true without a journal.
+  bool journalSync();
   void maybeTriggerRelayFlush();
   void bumpReject(const std::string &Why, const std::string &Peer);
   /// Feeds one epoch delta to the watcher; broadcasts on new decisions.
@@ -310,6 +367,17 @@ private:
   std::map<uint64_t, std::unordered_set<uint64_t>> AppliedSeqs;
 
   std::atomic<uint64_t> NextFlushKey{0}; ///< aggregator striping key
+
+  /// Write-ahead journal (null when unconfigured).  The ApplyGate keeps
+  /// journal records and aggregate mutations consistent with
+  /// checkpoints: every push path holds it SHARED from registration
+  /// through merge, and snapshotNow's checkpoint (plus rotateEpoch's
+  /// decay record) holds it EXCLUSIVE — so a checkpoint can never
+  /// capture a dedup entry whose shard is journaled before the
+  /// checkpoint but merged after it, which truncation would then lose.
+  std::unique_ptr<profstore::Journal> Wal;
+  std::shared_mutex ApplyGate;
+  uint64_t RecoveredSnapHash = 0; ///< fnv1a64 of the snapshot loaded
 
   std::unique_ptr<Reactor> R;
   std::thread Acceptor;

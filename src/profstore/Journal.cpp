@@ -1,0 +1,578 @@
+//===- profstore/Journal.cpp ----------------------------------*- C++ -*-===//
+
+#include "profstore/Journal.h"
+
+#include "profstore/ProfileIO.h"
+#include "support/Binary.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace ars::support;
+
+namespace ars {
+namespace profstore {
+
+namespace {
+
+constexpr char SegmentMagic[4] = {'A', 'R', 'S', 'J'};
+constexpr size_t SegmentHeaderSize = 16; // magic + version + index
+constexpr size_t FrameOverhead = 8;      // u32 length + u32 CRC
+
+enum RecordType : uint8_t {
+  RecShard = 1,
+  RecCheckpoint = 2,
+  RecEpoch = 3,
+};
+
+bool failJournal(std::string *Error, const std::string &What) {
+  if (Error)
+    *Error = What + ": " + std::strerror(errno ? errno : EIO);
+  return false;
+}
+
+std::string encodeSegmentHeader(uint64_t Index) {
+  std::string Out;
+  Out.append(SegmentMagic, sizeof(SegmentMagic));
+  appendFixed32(Out, JournalFormatVersion);
+  appendFixed64(Out, Index);
+  return Out;
+}
+
+void encodeApplied(std::string &Out, const AppliedSeqMap &Applied) {
+  appendVarint(Out, Applied.size());
+  for (const auto &[Session, Seqs] : Applied) {
+    std::vector<uint64_t> Sorted(Seqs.begin(), Seqs.end());
+    std::sort(Sorted.begin(), Sorted.end());
+    // Watermark: longest contiguous prefix 1..W, stored once; only the
+    // (rare, fault-induced) gaps above it are listed individually.
+    uint64_t W = 0;
+    size_t I = 0;
+    while (I < Sorted.size() && Sorted[I] == W + 1) {
+      ++W;
+      ++I;
+    }
+    appendVarint(Out, Session);
+    appendVarint(Out, W);
+    appendVarint(Out, Sorted.size() - I);
+    uint64_t Prev = W;
+    for (; I < Sorted.size(); ++I) {
+      appendVarint(Out, Sorted[I] - Prev);
+      Prev = Sorted[I];
+    }
+  }
+}
+
+bool decodeApplied(ByteReader &R, AppliedSeqMap *Out) {
+  uint64_t NumSessions;
+  if (!R.readVarint(&NumSessions) || NumSessions > R.remaining() + 1)
+    return false;
+  for (uint64_t S = 0; S != NumSessions; ++S) {
+    uint64_t Session, W, NumExtras;
+    if (!R.readVarint(&Session) || !R.readVarint(&W) ||
+        !R.readVarint(&NumExtras) || NumExtras > R.remaining() + 1)
+      return false;
+    auto &Set = (*Out)[Session];
+    // A watermark corrupted upward would drive an unbounded loop of
+    // inserts; the checkpoint frame CRC already vouches for the bytes,
+    // so W is trusted only after that check upstream.
+    for (uint64_t Seq = 1; Seq <= W; ++Seq)
+      Set.insert(Seq);
+    uint64_t Prev = W;
+    for (uint64_t I = 0; I != NumExtras; ++I) {
+      uint64_t Delta;
+      if (!R.readVarint(&Delta))
+        return false;
+      Prev += Delta;
+      Set.insert(Prev);
+    }
+  }
+  return true;
+}
+
+struct ParsedRecord {
+  uint8_t Type = 0;
+  std::string Body; // payload minus the type byte
+};
+
+/// Splits \p Bytes (one segment, header included) into clean frames.
+/// Stops — without error — at the first torn or CRC-bad frame: that is
+/// the tail a crash left behind.  Returns false only when the segment
+/// header itself is unusable.  \p CleanEnd gets the offset just past
+/// the last valid frame (the append point for reopening).
+bool parseSegment(const std::string &Bytes, uint64_t ExpectIndex,
+                  std::vector<ParsedRecord> *Records, size_t *CleanEnd) {
+  if (Bytes.size() < SegmentHeaderSize ||
+      Bytes.compare(0, sizeof(SegmentMagic), SegmentMagic,
+                    sizeof(SegmentMagic)) != 0)
+    return false;
+  ByteReader H(Bytes.data() + 4, SegmentHeaderSize - 4);
+  uint32_t Version = 0;
+  uint64_t Index = 0;
+  H.readFixed32(&Version);
+  H.readFixed64(&Index);
+  if (Version != JournalFormatVersion || Index != ExpectIndex)
+    return false;
+  size_t Off = SegmentHeaderSize;
+  while (Bytes.size() - Off >= FrameOverhead) {
+    ByteReader R(Bytes.data() + Off, Bytes.size() - Off);
+    uint32_t Len = 0;
+    R.readFixed32(&Len);
+    if (Len == 0 || Len > Bytes.size() - Off - FrameOverhead)
+      break; // torn length or truncated payload
+    const char *Payload = nullptr;
+    R.readBytes(&Payload, Len);
+    uint32_t Stored = 0;
+    R.readFixed32(&Stored);
+    if (support::crc32(Payload, Len) != Stored)
+      break; // torn payload
+    ParsedRecord Rec;
+    Rec.Type = static_cast<uint8_t>(Payload[0]);
+    Rec.Body.assign(Payload + 1, Len - 1);
+    Records->push_back(std::move(Rec));
+    Off += FrameOverhead + Len;
+  }
+  if (CleanEnd)
+    *CleanEnd = Off;
+  return true;
+}
+
+} // namespace
+
+std::string Journal::segmentPath(const std::string &BasePath,
+                                 uint64_t Index) {
+  return support::formatString("%s.%06llu", BasePath.c_str(),
+                               static_cast<unsigned long long>(Index));
+}
+
+std::vector<uint64_t> Journal::listSegments(const std::string &BasePath) {
+  std::vector<uint64_t> Out;
+  size_t Slash = BasePath.find_last_of('/');
+  std::string Dir = Slash == std::string::npos
+                        ? "."
+                        : (Slash == 0 ? "/" : BasePath.substr(0, Slash));
+  std::string Stem =
+      (Slash == std::string::npos ? BasePath : BasePath.substr(Slash + 1)) +
+      ".";
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return Out;
+  while (struct dirent *E = ::readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name.size() != Stem.size() + 6 || Name.compare(0, Stem.size(), Stem))
+      continue;
+    uint64_t Index = 0;
+    bool Numeric = true;
+    for (size_t I = Stem.size(); I < Name.size(); ++I) {
+      if (Name[I] < '0' || Name[I] > '9') {
+        Numeric = false;
+        break;
+      }
+      Index = Index * 10 + static_cast<uint64_t>(Name[I] - '0');
+    }
+    if (Numeric && Index)
+      Out.push_back(Index);
+  }
+  ::closedir(D);
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+void Journal::wipe(const std::string &BasePath) {
+  for (uint64_t Index : listSegments(BasePath))
+    std::remove(segmentPath(BasePath, Index).c_str());
+}
+
+bool Journal::crashPointLocked(const char *Point) {
+  if (!Frozen && C.CrashHook && C.CrashHook(Point))
+    Frozen = true;
+  return Frozen;
+}
+
+bool Journal::writeFrameLocked(uint8_t Type, const std::string &Body,
+                               std::string *Error) {
+  std::string Payload;
+  Payload.push_back(static_cast<char>(Type));
+  Payload += Body;
+  std::string Frame;
+  appendFixed32(Frame, static_cast<uint32_t>(Payload.size()));
+  Frame += Payload;
+  appendFixed32(Frame, support::crc32(Payload.data(), Payload.size()));
+  std::string Path = segmentPath(C.BasePath, SegIndex);
+  if (!ioutil::writeAllFd(Fd, Path, Frame, Error)) {
+    // Scrub the partial frame so the journal never carries a corrupt
+    // middle: recovery only tolerates tears at the very end.
+    if (::ftruncate(Fd, static_cast<off_t>(AppendOff)) != 0)
+      Frozen = true; // cannot restore a clean tail: stop appending
+    ++S.Failures;
+    return false;
+  }
+  AppendOff += Frame.size();
+  return true;
+}
+
+bool Journal::syncFdLocked(std::string *Error) {
+  if (!C.Fsync)
+    return true;
+  std::string Path = segmentPath(C.BasePath, SegIndex);
+  if (!ioutil::fsyncFd(Fd, Path, Error)) {
+    ++S.Failures;
+    return false;
+  }
+  ++S.Syncs;
+  return true;
+}
+
+bool Journal::rotateLocked(std::string *Error) {
+  // Settle the outgoing segment before the new one becomes the append
+  // target; anything buffered there is durable from here on.
+  if (!syncFdLocked(Error))
+    return false;
+  ::close(Fd);
+  Fd = -1;
+  ++SegIndex;
+  std::string Path = segmentPath(C.BasePath, SegIndex);
+  int NewFd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (NewFd < 0)
+    return failJournal(Error, "cannot create journal segment " + Path);
+  Fd = NewFd;
+  AppendOff = 0;
+  if (!ioutil::writeAllFd(Fd, Path, encodeSegmentHeader(SegIndex), Error))
+    return false;
+  AppendOff = SegmentHeaderSize;
+  if (crashPointLocked("wal.rotate.mid")) {
+    if (Error)
+      *Error = "crash injected at wal.rotate.mid";
+    return false;
+  }
+  if (!syncFdLocked(Error) ||
+      (C.Fsync && !ioutil::fsyncDirOf(Path, Error)))
+    return false;
+  SyncedLsn = WrittenLsn;
+  return true;
+}
+
+bool Journal::open(uint64_t SnapshotHash, const AppliedSeqMap &Applied,
+                   std::string *Error) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (Fd >= 0) {
+    if (Error)
+      *Error = "journal already open";
+    return false;
+  }
+  std::vector<uint64_t> Segs = listSegments(C.BasePath);
+  if (Segs.empty()) {
+    SegIndex = FirstSeg = CheckpointSeg = 1;
+    std::string Path = segmentPath(C.BasePath, SegIndex);
+    Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND,
+                0644);
+    if (Fd < 0)
+      return failJournal(Error, "cannot create journal segment " + Path);
+    AppendOff = 0;
+    if (!ioutil::writeAllFd(Fd, Path, encodeSegmentHeader(SegIndex),
+                            Error))
+      return false;
+    AppendOff = SegmentHeaderSize;
+    std::string Body;
+    appendFixed64(Body, SnapshotHash);
+    encodeApplied(Body, Applied);
+    if (!writeFrameLocked(RecCheckpoint, Body, Error) ||
+        !syncFdLocked(Error) ||
+        (C.Fsync && !ioutil::fsyncDirOf(Path, Error)))
+      return false;
+    ++S.Checkpoints;
+    return true;
+  }
+  // Continue after the last clean frame of the last segment; the
+  // recovery anchor (the checkpoint recover() matched) stays in place
+  // until the next checkpoint() rotates past it.
+  FirstSeg = Segs.front();
+  SegIndex = Segs.back();
+  CheckpointSeg = FirstSeg;
+  std::string Path = segmentPath(C.BasePath, SegIndex);
+  std::string Bytes;
+  if (!ioutil::readFileRaw(Path, &Bytes))
+    return failJournal(Error, "cannot read journal segment " + Path);
+  std::vector<ParsedRecord> Records;
+  size_t CleanEnd = 0;
+  if (!parseSegment(Bytes, SegIndex, &Records, &CleanEnd)) {
+    if (Error)
+      *Error = "journal segment " + Path + " has an unusable header";
+    return false;
+  }
+  Fd = ::open(Path.c_str(), O_WRONLY | O_APPEND, 0644);
+  if (Fd < 0)
+    return failJournal(Error, "cannot open journal segment " + Path);
+  if (CleanEnd < Bytes.size() &&
+      ::ftruncate(Fd, static_cast<off_t>(CleanEnd)) != 0) {
+    ::close(Fd);
+    Fd = -1;
+    return failJournal(Error, "cannot trim torn tail of " + Path);
+  }
+  AppendOff = CleanEnd;
+  (void)SnapshotHash;
+  return true;
+}
+
+void Journal::close() {
+  std::lock_guard<std::mutex> L(Mu);
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Journal::appendShard(uint64_t SessionId, uint64_t Seq,
+                          const std::string &Arsp, std::string *Error) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (Fd < 0) {
+    if (Error)
+      *Error = "journal is not open";
+    return false;
+  }
+  if (crashPointLocked("wal.append.before")) {
+    if (Error)
+      *Error = "crash injected at wal.append.before";
+    ++S.Failures;
+    return false;
+  }
+  if (AppendOff >= C.MaxSegmentBytes && !rotateLocked(Error))
+    return false;
+  std::string Body;
+  appendVarint(Body, SessionId);
+  appendVarint(Body, Seq);
+  Body += Arsp;
+  if (!writeFrameLocked(RecShard, Body, Error))
+    return false;
+  ++S.Records;
+  ++WrittenLsn;
+  if (crashPointLocked("wal.append.after")) {
+    // The record is on disk (recovery will replay it); the simulated
+    // process died before merging or acking, so the caller must treat
+    // the push as failed.
+    if (Error)
+      *Error = "crash injected at wal.append.after";
+    ++S.Failures;
+    return false;
+  }
+  return true;
+}
+
+bool Journal::appendEpoch(uint32_t KeepPct, std::string *Error) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (Fd < 0 || Frozen) {
+    if (Error)
+      *Error = Fd < 0 ? "journal is not open" : "journal is frozen";
+    ++S.Failures;
+    return false;
+  }
+  if (AppendOff >= C.MaxSegmentBytes && !rotateLocked(Error))
+    return false;
+  std::string Body;
+  appendVarint(Body, KeepPct);
+  if (!writeFrameLocked(RecEpoch, Body, Error))
+    return false;
+  ++S.Records;
+  ++WrittenLsn;
+  return true;
+}
+
+bool Journal::sync(std::string *Error) {
+  std::unique_lock<std::mutex> L(Mu);
+  if (Fd < 0) {
+    if (Error)
+      *Error = "journal is not open";
+    return false;
+  }
+  uint64_t Target = WrittenLsn;
+  while (SyncedLsn < Target) {
+    if (Frozen) {
+      if (Error)
+        *Error = "journal is frozen";
+      ++S.Failures;
+      return false;
+    }
+    if (!Syncing) {
+      // This thread drives the group commit; everything written up to
+      // Covers rides the one fsync, and waiters below observe the
+      // advanced SyncedLsn instead of issuing their own.
+      Syncing = true;
+      uint64_t Covers = WrittenLsn;
+      int LocalFd = Fd;
+      std::string Path = segmentPath(C.BasePath, SegIndex);
+      bool Ok = true;
+      std::string SyncErr;
+      if (C.Fsync) {
+        L.unlock();
+        Ok = ioutil::fsyncFd(LocalFd, Path, &SyncErr);
+        L.lock();
+      }
+      Syncing = false;
+      if (Ok) {
+        SyncedLsn = std::max(SyncedLsn, Covers);
+        if (C.Fsync)
+          ++S.Syncs;
+      }
+      SyncCv.notify_all();
+      if (!Ok) {
+        ++S.Failures;
+        if (Error)
+          *Error = SyncErr;
+        return false;
+      }
+    } else {
+      SyncCv.wait(L);
+    }
+  }
+  return true;
+}
+
+bool Journal::checkpoint(uint64_t SnapshotHash,
+                         const AppliedSeqMap &Applied, std::string *Error) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (Fd < 0 || Frozen) {
+    if (Error)
+      *Error = Fd < 0 ? "journal is not open" : "journal is frozen";
+    ++S.Failures;
+    return false;
+  }
+  if (!rotateLocked(Error))
+    return false;
+  std::string Body;
+  appendFixed64(Body, SnapshotHash);
+  encodeApplied(Body, Applied);
+  if (!writeFrameLocked(RecCheckpoint, Body, Error))
+    return false;
+  ++WrittenLsn;
+  if (crashPointLocked("wal.checkpoint.mid")) {
+    // The checkpoint record exists but the matching snapshot was never
+    // written: recovery will match the *previous* checkpoint via the
+    // old snapshot's CRC and replay through this one harmlessly.
+    if (Error)
+      *Error = "crash injected at wal.checkpoint.mid";
+    ++S.Failures;
+    return false;
+  }
+  if (!syncFdLocked(Error))
+    return false;
+  SyncedLsn = WrittenLsn;
+  ++S.Checkpoints;
+  CheckpointSeg = SegIndex;
+  return true;
+}
+
+bool Journal::truncate(std::string *Error) {
+  std::lock_guard<std::mutex> L(Mu);
+  bool Ok = true;
+  for (; FirstSeg < CheckpointSeg; ++FirstSeg) {
+    std::string Path = segmentPath(C.BasePath, FirstSeg);
+    if (std::remove(Path.c_str()) != 0 && errno != ENOENT)
+      Ok = failJournal(Error, "cannot remove journal segment " + Path);
+  }
+  return Ok;
+}
+
+JournalStats Journal::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return S;
+}
+
+Journal::Recovery Journal::recover(const std::string &BasePath,
+                                   uint64_t SnapshotHash) {
+  Recovery Out;
+  std::vector<uint64_t> Segs = listSegments(BasePath);
+  if (Segs.empty())
+    return Out;
+  Out.HadSegments = true;
+  // Flatten every clean frame across segments, remembering where each
+  // checkpoint sits so the replay tail can start right after the one
+  // that matches the loaded snapshot.
+  std::vector<ParsedRecord> All;
+  std::vector<std::pair<size_t, uint64_t>> Checkpoints; // index, hash
+  for (uint64_t Index : Segs) {
+    std::string Bytes;
+    std::string Path = segmentPath(BasePath, Index);
+    if (!ioutil::readFileRaw(Path, &Bytes)) {
+      Out.Error = "cannot read journal segment " + Path;
+      break;
+    }
+    std::vector<ParsedRecord> Records;
+    if (!parseSegment(Bytes, Index, &Records, nullptr)) {
+      // A headerless segment is the tail of a crashed rotation; it can
+      // only be the last segment and carries nothing replayable.
+      Out.Error = "journal segment " + Path + " has an unusable header";
+      break;
+    }
+    for (auto &Rec : Records) {
+      if (Rec.Type == RecCheckpoint) {
+        ByteReader R(Rec.Body.data(), Rec.Body.size());
+        uint64_t Hash = 0;
+        if (R.readFixed64(&Hash))
+          Checkpoints.emplace_back(All.size(), Hash);
+      }
+      All.push_back(std::move(Rec));
+    }
+  }
+  // Latest matching checkpoint wins: repeated checkpoints of an
+  // unchanged snapshot share a hash, and the newest one has the shortest
+  // (correct) replay tail.
+  size_t Start = All.size();
+  for (auto It = Checkpoints.rbegin(); It != Checkpoints.rend(); ++It) {
+    if (It->second == SnapshotHash) {
+      ByteReader R(All[It->first].Body.data(), All[It->first].Body.size());
+      uint64_t Hash = 0;
+      R.readFixed64(&Hash);
+      AppliedSeqMap Applied;
+      if (!decodeApplied(R, &Applied))
+        continue; // hash collision with garbage: try an older one
+      Out.Matched = true;
+      Out.Applied = std::move(Applied);
+      Start = It->first + 1;
+      break;
+    }
+  }
+  if (!Out.Matched)
+    return Out;
+  for (size_t I = Start; I < All.size(); ++I) {
+    const ParsedRecord &Rec = All[I];
+    ByteReader R(Rec.Body.data(), Rec.Body.size());
+    if (Rec.Type == RecShard) {
+      Record Replay;
+      Replay.RecKind = Record::Kind::Shard;
+      if (!R.readVarint(&Replay.SessionId) || !R.readVarint(&Replay.Seq))
+        continue;
+      // A failed group commit can leave the same (session, seq) in the
+      // journal twice (append ok, fsync failed, client retried); the
+      // dedup table that replay rebuilds also dedups the replay itself.
+      if (Replay.SessionId && Replay.Seq &&
+          !Out.Applied[Replay.SessionId].insert(Replay.Seq).second)
+        continue;
+      Replay.Arsp.assign(Rec.Body.data() + R.position(),
+                         Rec.Body.size() - R.position());
+      Out.Records.push_back(std::move(Replay));
+    } else if (Rec.Type == RecEpoch) {
+      uint64_t KeepPct = 0;
+      if (!R.readVarint(&KeepPct))
+        continue;
+      Record Replay;
+      Replay.RecKind = Record::Kind::Epoch;
+      Replay.KeepPct = static_cast<uint32_t>(KeepPct);
+      Out.Records.push_back(std::move(Replay));
+    }
+    // Later checkpoint records are just markers; the matched one's
+    // Applied table plus the replayed registrations reconstruct the
+    // full dedup state.
+  }
+  return Out;
+}
+
+} // namespace profstore
+} // namespace ars

@@ -1,0 +1,218 @@
+//===- profstore/Journal.h - Write-ahead shard journal --------*- C++ -*-===//
+///
+/// \file
+/// A CRC-framed, fsync-batched append-only write-ahead journal for the
+/// collection server (DESIGN.md §15).  Every accepted PUSH is recorded
+/// here — (session, seq, shard bytes) — *before* it is merged into the
+/// in-memory aggregate, so a crash between two snapshots loses neither
+/// merged deltas nor the (session, seq) dedup table: on restart the
+/// server loads the last good snapshot and replays the journal tail,
+/// after which post-restart retries of already-journaled sequence
+/// numbers are detected as duplicates exactly as before the crash.
+///
+/// On-disk layout.  The journal is a sequence of segment files
+/// `<base>.arsj.<NNNNNN>` with monotonically increasing indices; each
+/// segment starts with a 16-byte header
+///
+///   "ARSJ"  magic, 4 bytes
+///   u32     journal format version (currently 1)
+///   u64     segment index
+///
+/// followed by length-prefixed records:
+///
+///   u32     payload length
+///   payload u8 record type + type-specific body
+///   u32     CRC32 of the payload
+///
+/// Record types:
+///   Shard (1)      varint session, varint seq, rest = raw .arsp bytes
+///   Checkpoint (2) fixed64 FNV-1a hash of the snapshot file bytes this
+///                  checkpoint corresponds to, then the compact
+///                  AppliedSeqs encoding (per session: varint id,
+///                  varint contiguous-prefix watermark, varint extra
+///                  count, ascending-delta varint extras)
+///   Epoch (3)      varint keep-percentage of an epoch rotation, so
+///                  replay re-applies decay in the journaled order
+///
+/// A torn or CRC-bad frame ends the scan of a segment (the tail a crash
+/// left mid-write); appends that fail restore the previous file size
+/// via ftruncate so the journal never accretes a corrupt middle.
+///
+/// Group commit: append*() only buffers into the OS file, sync() makes
+/// everything appended so far durable with a single fsync that
+/// concurrent committers piggyback on — the sync-push hot path pays one
+/// fsync per frame *batch*, not per shard.
+///
+/// Checkpoint-then-truncate: checkpoint() rotates to a fresh segment
+/// whose first record is a Checkpoint carrying the identity hash of the
+/// snapshot bytes about to be written; once the caller has durably
+/// written that snapshot it calls truncate() to delete all older
+/// segments.  Recovery (recover()) hashes the snapshot bytes it
+/// actually managed to load, finds the matching Checkpoint record, and
+/// replays everything after it — so every crash window lands on either
+/// the old state (old snapshot + old checkpoint + longer replay) or
+/// the new one, never a torn mix.
+///
+/// The identity hash is support::fnv1a64, NOT crc32: snapshot files end
+/// with their own CRC32 trailer, and crc32 of any such file is the
+/// fixed residue 0x2144DF1C — under crc32 every checkpoint would
+/// "match" every snapshot, so recovery would anchor at a torn
+/// checkpoint whose snapshot never hit the disk and silently drop the
+/// replay tail.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARS_PROFSTORE_JOURNAL_H
+#define ARS_PROFSTORE_JOURNAL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace ars {
+namespace profstore {
+
+/// Journal format version; bumped on any incompatible layout change.
+constexpr uint32_t JournalFormatVersion = 1;
+
+/// The server's exactly-once dedup table: session id -> applied seqs.
+using AppliedSeqMap = std::map<uint64_t, std::unordered_set<uint64_t>>;
+
+/// Counters exposed through server STATS (wire v5).
+struct JournalStats {
+  uint64_t Records = 0;     ///< shard + epoch records appended
+  uint64_t Syncs = 0;       ///< fsyncs actually issued (group commit)
+  uint64_t Checkpoints = 0; ///< checkpoint records written
+  uint64_t Failures = 0;    ///< failed appends / syncs / checkpoints
+};
+
+class Journal {
+public:
+  struct Config {
+    /// Segment files live at BasePath + ".NNNNNN".  Required.
+    std::string BasePath;
+    /// Rotate to a new segment once the current one exceeds this.
+    uint64_t MaxSegmentBytes = 4u << 20;
+    /// fsync on sync()/checkpoint().  Off only for benches isolating
+    /// the framing cost from the durability cost.
+    bool Fsync = true;
+    /// Chaos seam: called at named crash points ("wal.append.before",
+    /// "wal.append.after", "wal.rotate.mid", "wal.checkpoint.mid").
+    /// Returning true simulates the process dying there: the journal
+    /// freezes (every later operation fails) and the op reports
+    /// failure, exactly as if no code ran past that instant.
+    std::function<bool(const char *Point)> CrashHook;
+  };
+
+  /// One replayable journal record.
+  struct Record {
+    enum class Kind { Shard, Epoch };
+    Kind RecKind = Kind::Shard;
+    uint64_t SessionId = 0; ///< Shard
+    uint64_t Seq = 0;       ///< Shard
+    std::string Arsp;       ///< Shard: raw encoded bundle bytes
+    uint32_t KeepPct = 100; ///< Epoch
+  };
+
+  /// What recover() reconstructed from the segments on disk.
+  struct Recovery {
+    /// A checkpoint matching the snapshot hash was found; Records and
+    /// Applied are meaningful.  When false the journal does not
+    /// correspond to the loaded snapshot (e.g. the snapshot outlived a
+    /// wiped journal) — the caller should wipe and start fresh rather
+    /// than replay unrelated records.
+    bool Matched = false;
+    bool HadSegments = false; ///< any segment file existed at all
+    std::string Error;        ///< diagnostic (scan always best-effort)
+    std::vector<Record> Records; ///< replay these, in order
+    AppliedSeqMap Applied;       ///< dedup table: checkpoint + replay
+  };
+
+  explicit Journal(Config C) : C(std::move(C)) {}
+  ~Journal() { close(); }
+  Journal(const Journal &) = delete;
+  Journal &operator=(const Journal &) = delete;
+
+  /// Opens for appending.  With existing segments, continues after the
+  /// last clean frame of the last segment (truncating any torn tail).
+  /// With none, creates segment 1 and writes an initial Checkpoint
+  /// record describing the state the caller starts from: \p SnapshotHash
+  /// is the fnv1a64 of the snapshot file bytes it loaded (0 when
+  /// starting empty) and \p Applied its dedup table.
+  bool open(uint64_t SnapshotHash, const AppliedSeqMap &Applied,
+            std::string *Error);
+  void close();
+
+  /// Appends one shard record (no fsync; call sync() to commit).
+  bool appendShard(uint64_t SessionId, uint64_t Seq,
+                   const std::string &Arsp, std::string *Error);
+  /// Appends one epoch-rotation record.
+  bool appendEpoch(uint32_t KeepPct, std::string *Error);
+
+  /// Group commit: everything appended before this call is durable when
+  /// it returns true.  Concurrent callers share one fsync.
+  bool sync(std::string *Error);
+
+  /// Rotates to a fresh segment headed by a Checkpoint record for the
+  /// snapshot bytes whose fnv1a64 is \p SnapshotHash, and makes it
+  /// durable.  Call with no appenders in flight (the server holds its
+  /// apply gate exclusively), then durably write the snapshot, then
+  /// truncate().
+  bool checkpoint(uint64_t SnapshotHash, const AppliedSeqMap &Applied,
+                  std::string *Error);
+
+  /// Deletes all segments older than the last checkpoint()'s segment.
+  /// Only call after the matching snapshot write succeeded.
+  bool truncate(std::string *Error);
+
+  JournalStats stats() const;
+
+  /// Scans the segments at \p BasePath and reconstructs the replay tail
+  /// for a snapshot whose raw file bytes hash (fnv1a64) to
+  /// \p SnapshotHash (0 = no snapshot was loaded).  Static: runs before
+  /// the journal is opened.
+  static Recovery recover(const std::string &BasePath,
+                          uint64_t SnapshotHash);
+
+  /// Removes every segment at \p BasePath (fresh start).
+  static void wipe(const std::string &BasePath);
+
+  /// Path of segment \p Index ("<base>.NNNNNN").
+  static std::string segmentPath(const std::string &BasePath,
+                                 uint64_t Index);
+
+  /// Ascending indices of the segments present at \p BasePath.
+  static std::vector<uint64_t> listSegments(const std::string &BasePath);
+
+private:
+  bool crashPointLocked(const char *Point);
+  bool rotateLocked(std::string *Error);
+  bool writeFrameLocked(uint8_t Type, const std::string &Body,
+                        std::string *Error);
+  bool syncFdLocked(std::string *Error);
+
+  Config C;
+
+  mutable std::mutex Mu;
+  std::condition_variable SyncCv;
+  int Fd = -1;               ///< current segment, O_APPEND
+  uint64_t SegIndex = 0;     ///< current segment index
+  uint64_t FirstSeg = 0;     ///< oldest retained segment
+  uint64_t CheckpointSeg = 0;///< segment holding the last checkpoint
+  uint64_t AppendOff = 0;    ///< clean end of the current segment
+  uint64_t WrittenLsn = 0;   ///< records appended
+  uint64_t SyncedLsn = 0;    ///< records known durable
+  bool Syncing = false;      ///< a group-commit fsync is in flight
+  bool Frozen = false;       ///< simulated crash: fail everything
+  JournalStats S;
+};
+
+} // namespace profstore
+} // namespace ars
+
+#endif // ARS_PROFSTORE_JOURNAL_H

@@ -430,6 +430,37 @@ void setFileFaults(const FileFaults *F) {
   ActiveFileFaults.store(F, std::memory_order_release);
 }
 
+namespace ioutil {
+
+bool writeAllFd(int Fd, const std::string &Path, const std::string &Bytes,
+                std::string *Error) {
+  return profstore::writeAllFd(
+      Fd, Path, Bytes, ActiveFileFaults.load(std::memory_order_acquire),
+      Error);
+}
+
+bool fsyncFd(int Fd, const std::string &Path, std::string *Error) {
+  return fsyncPath(Fd, Path,
+                   ActiveFileFaults.load(std::memory_order_acquire), Error);
+}
+
+bool fsyncDirOf(const std::string &Path, std::string *Error) {
+  return fsyncDir(parentDir(Path),
+                  ActiveFileFaults.load(std::memory_order_acquire), Error);
+}
+
+bool readFileRaw(const std::string &Path, std::string *Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  *Out = Buffer.str();
+  return true;
+}
+
+} // namespace ioutil
+
 bool atomicSaveFile(const std::string &Path, const std::string &Bytes,
                     std::string *Error, bool KeepPrevious) {
   const FileFaults *F = ActiveFileFaults.load(std::memory_order_acquire);

@@ -120,6 +120,21 @@ void setFileFaults(const FileFaults *F);
 bool atomicSaveFile(const std::string &Path, const std::string &Bytes,
                     std::string *Error, bool KeepPrevious = false);
 
+/// Low-level helpers shared between atomicSaveFile and the write-ahead
+/// journal (Journal.h).  All honor the setFileFaults hooks, so the fault
+/// harness drives journal IO through the same seam as snapshot IO.
+namespace ioutil {
+/// write(2) loop on an open fd; false on failure or injected short write.
+bool writeAllFd(int Fd, const std::string &Path, const std::string &Bytes,
+                std::string *Error);
+/// fsync(2) on an open fd.
+bool fsyncFd(int Fd, const std::string &Path, std::string *Error);
+/// fsync of the directory containing \p Path (rename/create durability).
+bool fsyncDirOf(const std::string &Path, std::string *Error);
+/// Slurps \p Path verbatim (no decompression, no decoding).
+bool readFileRaw(const std::string &Path, std::string *Out);
+} // namespace ioutil
+
 } // namespace profstore
 } // namespace ars
 

@@ -53,6 +53,16 @@ uint32_t crc32(const void *Data, size_t Size) {
   return C ^ 0xFFFFFFFFU;
 }
 
+uint64_t fnv1a64(const void *Data, size_t Size) {
+  const unsigned char *Bytes = static_cast<const unsigned char *>(Data);
+  uint64_t H = 0xCBF29CE484222325ULL;
+  for (size_t I = 0; I != Size; ++I) {
+    H ^= Bytes[I];
+    H *= 0x100000001B3ULL;
+  }
+  return H;
+}
+
 bool ByteReader::readVarint(uint64_t *Out) {
   if (Failed)
     return false;

@@ -43,6 +43,15 @@ void appendFixed64(std::string &Out, uint64_t V);
 /// IEEE 802.3 CRC32 (polynomial 0xEDB88320) of \p Size bytes at \p Data.
 uint32_t crc32(const void *Data, size_t Size);
 
+/// FNV-1a 64-bit hash of \p Size bytes at \p Data.
+///
+/// Exists for content *identity* where crc32 is degenerate: a file that
+/// ends with its own CRC32 trailer (every .arsp snapshot does) CRCs to
+/// the fixed residue 0x2144DF1C regardless of content, so crc32 of such
+/// a file cannot distinguish two snapshots.  Use this for identity and
+/// keep crc32 for wire/frame corruption checks.
+uint64_t fnv1a64(const void *Data, size_t Size);
+
 /// Shared pre-allocation cap for readLengthPrefixed on variable-length
 /// text fields (diagnostics, error strings, names) in the wire protocol
 /// and on-disk formats.

@@ -97,8 +97,21 @@ std::string gitSha() {
     while (!Sha.empty() && (Sha.back() == '\n' || Sha.back() == '\r'))
       Sha.pop_back();
     if (Status == 0 && !Sha.empty() &&
-        Sha.find_first_not_of("0123456789abcdef") == std::string::npos)
+        Sha.find_first_not_of("0123456789abcdef") == std::string::npos) {
+      // A bare sha claims "this tree IS that commit"; uncommitted edits
+      // make that a lie, and baseline comparisons against such a run
+      // are untraceable.  Mark it.
+      if (FILE *DirtyPipe =
+              popen("git status --porcelain 2>/dev/null", "r")) {
+        char DirtyBuf[8] = {0};
+        size_t DirtyGot =
+            fread(DirtyBuf, 1, sizeof(DirtyBuf) - 1, DirtyPipe);
+        int DirtyStatus = pclose(DirtyPipe);
+        if (DirtyStatus == 0 && DirtyGot > 0)
+          Sha += "-dirty";
+      }
       return Sha;
+    }
   }
   return "nogit";
 }

@@ -1,0 +1,709 @@
+//===- tests/test_wal.cpp - Journal, recovery and failover tests -*- C++ -*-===//
+///
+/// Unit and restart tests for the durability layer added in DESIGN §15:
+/// the write-ahead journal (profstore/Journal.h), the server's
+/// crash/restart recovery (snapshot + journal-tail replay + dedup-table
+/// reconstruction), and the multi-homed client's parent failover.
+///
+/// Suites are named Wal* and Failover* so scripts/check.sh --tsan runs
+/// this file under ThreadSanitizer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "profserve/Client.h"
+#include "profserve/Server.h"
+#include "profserve/Transport.h"
+#include "profstore/Journal.h"
+#include "profstore/ProfileIO.h"
+#include "profstore/ProfileStore.h"
+#include "support/Binary.h"
+#include "support/Support.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+namespace {
+
+using namespace ars;
+using namespace ars::profserve;
+using profstore::AppliedSeqMap;
+using profstore::Journal;
+
+constexpr uint64_t TestFingerprint = 0x7E57000000000A17ULL;
+
+profile::ProfileBundle shardBundle(int Seed) {
+  profile::ProfileBundle B;
+  profile::CallEdgeKey K;
+  K.Caller = Seed % 5;
+  K.Site = Seed % 3;
+  K.Callee = (Seed + 1) % 7;
+  B.CallEdges.record(K, static_cast<uint64_t>(Seed) * 37 + 1);
+  B.FieldAccesses.record(Seed % 4, static_cast<uint64_t>(Seed) + 2);
+  B.BlockCounts.record(1, Seed % 6, static_cast<uint64_t>(Seed) * 11 + 3);
+  B.Values.record(9, Seed % 8, static_cast<uint64_t>(Seed) + 5);
+  B.Edges.record(0, Seed % 2, (Seed + 1) % 2, static_cast<uint64_t>(Seed) + 7);
+  B.Paths.record(2, Seed * 1000003LL, static_cast<uint64_t>(Seed) + 9);
+  return B;
+}
+
+std::string encodedShard(int Seed) {
+  return profstore::encodeBundle(shardBundle(Seed), TestFingerprint);
+}
+
+/// The serial reference a recovered server must reproduce byte-for-byte.
+std::string serialFold(int Shards) {
+  profile::ProfileBundle Acc;
+  for (int I = 0; I != Shards; ++I)
+    profstore::mergeBundle(Acc, shardBundle(I));
+  return profile::serializeBundle(Acc);
+}
+
+/// A fresh per-test journal base path (segments are <base>.NNNNNN).
+std::string walPath(const char *Tag) {
+  std::string P = support::formatString("%swal_%s_%ld.arsj",
+                                        ::testing::TempDir().c_str(), Tag,
+                                        static_cast<long>(::getpid()));
+  Journal::wipe(P);
+  return P;
+}
+
+std::string snapPath(const char *Tag) {
+  std::string P = support::formatString("%swal_%s_%ld.arsp",
+                                        ::testing::TempDir().c_str(), Tag,
+                                        static_cast<long>(::getpid()));
+  std::remove(P.c_str());
+  std::remove((P + ".prev").c_str());
+  std::remove((P + ".tmp").c_str());
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Journal unit tests
+//===----------------------------------------------------------------------===//
+
+TEST(Wal, FreshJournalRoundTrip) {
+  Journal::Config JC;
+  JC.BasePath = walPath("roundtrip");
+  std::string Err;
+  {
+    Journal J(JC);
+    ASSERT_TRUE(J.open(0, AppliedSeqMap(), &Err)) << Err;
+    for (int I = 0; I != 5; ++I)
+      ASSERT_TRUE(J.appendShard(7, static_cast<uint64_t>(I) + 1,
+                                encodedShard(I), &Err))
+          << Err;
+    ASSERT_TRUE(J.sync(&Err)) << Err;
+  }
+  Journal::Recovery R = Journal::recover(JC.BasePath, 0);
+  EXPECT_TRUE(R.HadSegments);
+  ASSERT_TRUE(R.Matched);
+  ASSERT_EQ(R.Records.size(), 5u);
+  for (int I = 0; I != 5; ++I) {
+    EXPECT_EQ(R.Records[I].SessionId, 7u);
+    EXPECT_EQ(R.Records[I].Seq, static_cast<uint64_t>(I) + 1);
+    EXPECT_EQ(R.Records[I].Arsp, encodedShard(I));
+  }
+  // The replayed registrations are in the reconstructed dedup table.
+  EXPECT_EQ(R.Applied[7].count(3), 1u);
+  Journal::wipe(JC.BasePath);
+}
+
+TEST(Wal, GroupCommitIssuesOneFsyncPerBatch) {
+  Journal::Config JC;
+  JC.BasePath = walPath("groupcommit");
+  Journal J(JC);
+  std::string Err;
+  ASSERT_TRUE(J.open(0, AppliedSeqMap(), &Err)) << Err;
+  uint64_t Before = J.stats().Syncs;
+  for (int I = 0; I != 16; ++I)
+    ASSERT_TRUE(J.appendShard(1, static_cast<uint64_t>(I) + 1,
+                              encodedShard(I % 4), &Err))
+        << Err;
+  ASSERT_TRUE(J.sync(&Err)) << Err;
+  EXPECT_EQ(J.stats().Syncs, Before + 1);
+  EXPECT_EQ(J.stats().Records, 16u);
+  J.close();
+  Journal::wipe(JC.BasePath);
+}
+
+TEST(Wal, SegmentRotationPreservesEveryRecord) {
+  Journal::Config JC;
+  JC.BasePath = walPath("rotate");
+  JC.MaxSegmentBytes = 256; // force a rotation every couple of shards
+  Journal J(JC);
+  std::string Err;
+  ASSERT_TRUE(J.open(0, AppliedSeqMap(), &Err)) << Err;
+  const int N = 12;
+  for (int I = 0; I != N; ++I)
+    ASSERT_TRUE(J.appendShard(3, static_cast<uint64_t>(I) + 1,
+                              encodedShard(I), &Err))
+        << Err;
+  ASSERT_TRUE(J.sync(&Err)) << Err;
+  J.close();
+  EXPECT_GT(Journal::listSegments(JC.BasePath).size(), 1u);
+  Journal::Recovery R = Journal::recover(JC.BasePath, 0);
+  ASSERT_TRUE(R.Matched);
+  ASSERT_EQ(R.Records.size(), static_cast<size_t>(N));
+  for (int I = 0; I != N; ++I)
+    EXPECT_EQ(R.Records[I].Arsp, encodedShard(I));
+  Journal::wipe(JC.BasePath);
+}
+
+TEST(Wal, CheckpointTruncateLeavesOnlyTheReplayTail) {
+  Journal::Config JC;
+  JC.BasePath = walPath("ckpt");
+  Journal J(JC);
+  std::string Err;
+  ASSERT_TRUE(J.open(0, AppliedSeqMap(), &Err)) << Err;
+  ASSERT_TRUE(J.appendShard(5, 1, encodedShard(0), &Err)) << Err;
+  ASSERT_TRUE(J.appendShard(5, 2, encodedShard(1), &Err)) << Err;
+  ASSERT_TRUE(J.sync(&Err)) << Err;
+  AppliedSeqMap Applied;
+  Applied[5] = {1, 2};
+  const uint64_t SnapHash = 0xFEEDFACECAFEBEEFULL;
+  ASSERT_TRUE(J.checkpoint(SnapHash, Applied, &Err)) << Err;
+  ASSERT_TRUE(J.truncate(&Err)) << Err;
+  ASSERT_TRUE(J.appendShard(5, 3, encodedShard(2), &Err)) << Err;
+  ASSERT_TRUE(J.sync(&Err)) << Err;
+  J.close();
+  // The tail for the checkpointed snapshot is exactly the post-ckpt
+  // record, with the dedup table restored from the checkpoint body.
+  Journal::Recovery R = Journal::recover(JC.BasePath, SnapHash);
+  ASSERT_TRUE(R.Matched);
+  ASSERT_EQ(R.Records.size(), 1u);
+  EXPECT_EQ(R.Records[0].Arsp, encodedShard(2));
+  EXPECT_EQ(R.Applied[5].count(1), 1u);
+  EXPECT_EQ(R.Applied[5].count(3), 1u);
+  // The pre-checkpoint anchor (hash 0) was truncated away: a caller
+  // that somehow loads the older state must get Matched=false (wipe and
+  // start fresh), never an unrelated replay.
+  EXPECT_FALSE(Journal::recover(JC.BasePath, 0).Matched);
+  Journal::wipe(JC.BasePath);
+}
+
+TEST(Wal, DuplicateJournaledSeqCollapsesOnRecover) {
+  // append ok + fsync failed + client retried = the same (session, seq)
+  // twice in the journal; replay must apply it once.
+  Journal::Config JC;
+  JC.BasePath = walPath("dup");
+  Journal J(JC);
+  std::string Err;
+  ASSERT_TRUE(J.open(0, AppliedSeqMap(), &Err)) << Err;
+  ASSERT_TRUE(J.appendShard(9, 1, encodedShard(0), &Err)) << Err;
+  ASSERT_TRUE(J.appendShard(9, 1, encodedShard(0), &Err)) << Err;
+  ASSERT_TRUE(J.appendShard(9, 2, encodedShard(1), &Err)) << Err;
+  ASSERT_TRUE(J.sync(&Err)) << Err;
+  J.close();
+  Journal::Recovery R = Journal::recover(JC.BasePath, 0);
+  ASSERT_TRUE(R.Matched);
+  ASSERT_EQ(R.Records.size(), 2u);
+  EXPECT_EQ(R.Records[0].Seq, 1u);
+  EXPECT_EQ(R.Records[1].Seq, 2u);
+  Journal::wipe(JC.BasePath);
+}
+
+TEST(Wal, TornTailIsTrimmedOnReopen) {
+  Journal::Config JC;
+  JC.BasePath = walPath("torn");
+  std::string Err;
+  {
+    Journal J(JC);
+    ASSERT_TRUE(J.open(0, AppliedSeqMap(), &Err)) << Err;
+    ASSERT_TRUE(J.appendShard(4, 1, encodedShard(0), &Err)) << Err;
+    ASSERT_TRUE(J.sync(&Err)) << Err;
+  }
+  // A crash mid-append leaves a torn frame at the end of the segment.
+  std::vector<uint64_t> Segs = Journal::listSegments(JC.BasePath);
+  ASSERT_EQ(Segs.size(), 1u);
+  {
+    std::ofstream Out(Journal::segmentPath(JC.BasePath, Segs[0]),
+                      std::ios::binary | std::ios::app);
+    Out.write("\x40\x00\x00\x00torn", 8);
+  }
+  {
+    Journal J(JC);
+    ASSERT_TRUE(J.open(0, AppliedSeqMap(), &Err)) << Err;
+    ASSERT_TRUE(J.appendShard(4, 2, encodedShard(1), &Err)) << Err;
+    ASSERT_TRUE(J.sync(&Err)) << Err;
+  }
+  Journal::Recovery R = Journal::recover(JC.BasePath, 0);
+  ASSERT_TRUE(R.Matched);
+  ASSERT_EQ(R.Records.size(), 2u);
+  EXPECT_EQ(R.Records[1].Arsp, encodedShard(1));
+  Journal::wipe(JC.BasePath);
+}
+
+TEST(Wal, SnapshotIdentityHashIsNotTheCrcResidue) {
+  // Regression pin for a real data-loss bug: .arsp files end with their
+  // own CRC32 trailer, so crc32 of ANY valid snapshot is the fixed
+  // residue 0x2144DF1C — as a checkpoint identity it matched torn
+  // checkpoints whose snapshot never reached the disk and recovery
+  // dropped the replay tail.  The identity must be fnv1a64.
+  std::string A = profstore::encodeBundle(shardBundle(1), TestFingerprint);
+  profile::ProfileBundle M = shardBundle(1);
+  profstore::mergeBundle(M, shardBundle(2));
+  std::string B = profstore::encodeBundle(M, TestFingerprint);
+  ASSERT_NE(A, B);
+  EXPECT_EQ(support::crc32(A.data(), A.size()), 0x2144DF1Cu);
+  EXPECT_EQ(support::crc32(B.data(), B.size()), 0x2144DF1Cu);
+  EXPECT_NE(support::fnv1a64(A.data(), A.size()),
+            support::fnv1a64(B.data(), B.size()));
+}
+
+//===----------------------------------------------------------------------===//
+// Server crash/restart recovery
+//===----------------------------------------------------------------------===//
+
+struct WalServerPaths {
+  std::string Snap;
+  std::string Wal;
+  explicit WalServerPaths(const char *Tag)
+      : Snap(snapPath(Tag)), Wal(walPath(Tag)) {}
+  ~WalServerPaths() {
+    std::remove(Snap.c_str());
+    std::remove((Snap + ".prev").c_str());
+    Journal::wipe(Wal);
+  }
+};
+
+ServerConfig walConfig(const WalServerPaths &P) {
+  ServerConfig C;
+  C.Workers = 2;
+  C.RecvTimeoutMs = 2000;
+  C.Fingerprint = TestFingerprint;
+  C.SnapshotPath = P.Snap;
+  C.SnapshotIntervalMs = 0; // tests snapshot explicitly
+  C.JournalPath = P.Wal;
+  return C;
+}
+
+/// Server + listener, restartable over the same snapshot/journal paths.
+struct WalServer {
+  LoopbackListener *L;
+  std::unique_ptr<ProfileServer> Server;
+
+  explicit WalServer(const ServerConfig &C)
+      : L(new LoopbackListener()),
+        Server(std::make_unique<ProfileServer>(std::unique_ptr<Listener>(L),
+                                               C)) {
+    Server->start();
+  }
+
+  ProfileClient client(uint64_t Session) {
+    ClientConfig CC;
+    CC.Fingerprint = TestFingerprint;
+    CC.SessionId = Session;
+    return ProfileClient(loopbackDialer(*L), CC);
+  }
+};
+
+TEST(Wal, ServerRestartReplaysJournalTail) {
+  WalServerPaths P("restart");
+  ServerConfig C = walConfig(P);
+  {
+    WalServer S(C);
+    ProfileClient Cl = S.client(0xABC);
+    for (int I = 0; I != 3; ++I)
+      ASSERT_TRUE(Cl.push(shardBundle(I), TestFingerprint).Ok);
+    std::string Err;
+    ASSERT_TRUE(S.Server->snapshotNow(&Err)) << Err;
+    for (int I = 3; I != 6; ++I)
+      ASSERT_TRUE(Cl.push(shardBundle(I), TestFingerprint).Ok);
+    S.Server->kill(); // hard crash: no drain, no farewell snapshot
+  }
+  WalServer S2(C);
+  ServerStats St = S2.Server->stats();
+  EXPECT_EQ(St.JournalReplayed, 3u); // the post-snapshot tail
+  EXPECT_EQ(St.Merges, 3u);
+  EXPECT_EQ(profile::serializeBundle(S2.Server->merged()), serialFold(6));
+  S2.Server->stop();
+}
+
+TEST(Wal, RestartWithNoSnapshotReplaysFromEmpty) {
+  WalServerPaths P("nosnap");
+  ServerConfig C = walConfig(P);
+  {
+    WalServer S(C);
+    ProfileClient Cl = S.client(0x111);
+    for (int I = 0; I != 4; ++I)
+      ASSERT_TRUE(Cl.push(shardBundle(I), TestFingerprint).Ok);
+    S.Server->kill(); // died before any snapshot was ever written
+  }
+  WalServer S2(C);
+  EXPECT_EQ(S2.Server->stats().JournalReplayed, 4u);
+  EXPECT_EQ(profile::serializeBundle(S2.Server->merged()), serialFold(4));
+  S2.Server->stop();
+}
+
+TEST(Wal, RestartRetryOfJournaledSeqMergesNothing) {
+  // The acceptance invariant: a shard journaled+acked before the crash,
+  // retried by its client against the restarted server under the SAME
+  // (session, seq), must dedup against the recovered table — zero
+  // additional merges.
+  WalServerPaths P("dedup");
+  ServerConfig C = walConfig(P);
+  {
+    WalServer S(C);
+    ProfileClient Cl = S.client(0xD0D);
+    for (int I = 0; I != 3; ++I)
+      ASSERT_TRUE(Cl.push(shardBundle(I), TestFingerprint).Ok);
+    S.Server->kill();
+  }
+  WalServer S2(C);
+  ASSERT_EQ(S2.Server->stats().JournalReplayed, 3u);
+  uint64_t MergesAfterReplay = S2.Server->stats().Merges;
+  // A fresh v5 client would resume past the replayed seqs via the
+  // HELLO_ACK LastSeq floor, so replay the old seq by hand.
+  auto T = loopbackDialer(*S2.L)(nullptr);
+  ASSERT_TRUE(T != nullptr);
+  HelloMsg H;
+  H.Fingerprint = TestFingerprint;
+  H.SessionId = 0xD0D;
+  ASSERT_TRUE(writeFrame(*T, MsgType::Hello, encodeHello(H)).ok());
+  FrameResult FR = readFrame(*T, 2000);
+  ASSERT_TRUE(FR.ok()) << FR.Error;
+  HelloAckMsg Ack;
+  ASSERT_TRUE(decodeHelloAck(FR.F.Payload, &Ack));
+  EXPECT_EQ(Ack.LastSeq, 3u); // the recovered dedup table, via wire v5
+  ASSERT_TRUE(
+      writeFrame(*T, MsgType::Push, encodePush(2, encodedShard(1))).ok());
+  FrameResult PR = readFrame(*T, 2000);
+  ASSERT_TRUE(PR.ok()) << PR.Error;
+  ASSERT_EQ(PR.F.Type, MsgType::PushAck);
+  PushAckMsg PA;
+  ASSERT_TRUE(decodePushAck(PR.F.Payload, &PA));
+  EXPECT_TRUE(PA.Duplicate);
+  EXPECT_EQ(S2.Server->stats().Merges, MergesAfterReplay);
+  EXPECT_EQ(S2.Server->stats().Duplicates, 1u);
+  EXPECT_EQ(profile::serializeBundle(S2.Server->merged()), serialFold(3));
+  S2.Server->stop();
+}
+
+TEST(Wal, CrashMidCheckpointRecoversPreviousState) {
+  // The window behind the regression pinned above: the checkpoint
+  // record hits the journal but the process dies before the snapshot
+  // file is written.  Recovery must anchor at the PREVIOUS checkpoint
+  // (the one matching the snapshot actually on disk) and replay the
+  // records in between — losing them was the bug.
+  WalServerPaths P("midckpt");
+  ServerConfig C = walConfig(P);
+  {
+    WalServer S(C);
+    ProfileClient Cl = S.client(0xCC1);
+    for (int I = 0; I != 2; ++I)
+      ASSERT_TRUE(Cl.push(shardBundle(I), TestFingerprint).Ok);
+    std::string Err;
+    ASSERT_TRUE(S.Server->snapshotNow(&Err)) << Err; // on-disk state: 2
+    for (int I = 2; I != 5; ++I)
+      ASSERT_TRUE(Cl.push(shardBundle(I), TestFingerprint).Ok);
+    S.Server->kill();
+  }
+  // Simulate the torn second checkpoint: a fresh checkpoint record for
+  // a snapshot whose bytes never reached the disk.
+  {
+    Journal::Config JC;
+    JC.BasePath = P.Wal;
+    Journal J(JC);
+    std::string Err;
+    ASSERT_TRUE(J.open(0, AppliedSeqMap(), &Err)) << Err;
+    ASSERT_TRUE(J.checkpoint(0xDEADBEEFDEADBEEFULL, AppliedSeqMap(), &Err))
+        << Err;
+    // No truncate(), no snapshot write: the crash happened here.
+  }
+  WalServer S2(C);
+  EXPECT_EQ(S2.Server->stats().JournalReplayed, 3u);
+  EXPECT_EQ(profile::serializeBundle(S2.Server->merged()), serialFold(5));
+  S2.Server->stop();
+}
+
+TEST(Wal, CrashWindowsLandOnOldOrNewStateNeverTorn) {
+  // Drive every injected crash point with a PERSISTENT client (same
+  // session object and seq counter across the restart, dialing through
+  // a slot — the chaos harness's contract): acked shards survive via
+  // snapshot/journal, failed ones spill and replay under their original
+  // seqs, and the recovered fold is exact for every window.
+  const char *Points[] = {"wal.append.before", "wal.append.after",
+                          "wal.rotate.mid", "wal.checkpoint.mid"};
+  int Tag = 0;
+  for (const char *Point : Points) {
+    SCOPED_TRACE(Point);
+    WalServerPaths P(support::formatString("window%d", Tag++).c_str());
+    std::string Spill = P.Wal + ".spill";
+    std::remove(Spill.c_str());
+    ServerConfig C = walConfig(P);
+    C.JournalMaxSegmentBytes = 512; // make rotation points reachable
+    bool Armed = false;
+    C.CrashHook = [&Armed, Point](const char *At) {
+      if (!Armed || std::string(At) != Point)
+        return false;
+      Armed = false;
+      return true;
+    };
+    auto Slot = std::make_shared<WalServer *>(nullptr);
+    Dialer SlotDial =
+        [Slot](std::string *Error) -> std::unique_ptr<Transport> {
+      if (!*Slot) {
+        if (Error)
+          *Error = "root is down";
+        return nullptr;
+      }
+      return loopbackDialer(*(*Slot)->L)(Error);
+    };
+    ClientConfig CC;
+    CC.Fingerprint = TestFingerprint;
+    CC.SessionId = 0x333;
+    CC.SpillPath = Spill;
+    CC.MaxRetries = 1;
+    CC.BackoffMs = 1;
+    ProfileClient Cl(SlotDial, CC);
+    auto First = std::make_unique<WalServer>(C);
+    *Slot = First.get();
+    for (int I = 0; I != 3; ++I)
+      ASSERT_TRUE(Cl.push(shardBundle(I), TestFingerprint).Ok);
+    std::string Err;
+    ASSERT_TRUE(First->Server->snapshotNow(&Err)) << Err;
+    Armed = true; // somewhere in the next pushes/snapshot, we "die"
+    for (int I = 3; I != 8; ++I) {
+      ClientResult R = Cl.push(shardBundle(I), TestFingerprint);
+      EXPECT_TRUE(R.Ok || R.Spilled) << R.Error;
+    }
+    First->Server->snapshotNow(nullptr); // may fail under the crash point
+    First->Server->kill();
+    ServerConfig C2 = walConfig(P); // no crash hook in the successor
+    WalServer S2(C2);
+    *Slot = &S2;
+    // Replay the spilled shards under their original seqs: already-
+    // journaled ones dedup, lost ones land — exactly once either way.
+    ClientResult RR = Cl.replaySpill();
+    EXPECT_TRUE(RR.Ok) << RR.Error;
+    EXPECT_EQ(profile::serializeBundle(S2.Server->merged()), serialFold(8));
+    *Slot = nullptr;
+    S2.Server->stop();
+    std::remove(Spill.c_str());
+  }
+}
+
+TEST(Wal, PrevSnapshotRotationAcrossCheckpoints) {
+  // snapshot -> snapshot -> crash: the displaced .prev stays the OLD
+  // snapshot, the journal anchors at the NEW one, and recovery uses the
+  // newest valid pair.  Tearing the newest snapshot file must then fall
+  // back cleanly (the journal no longer matches .prev, so the server
+  // restarts from the .prev bundle alone and counts a failure) instead
+  // of replaying an unrelated tail.
+  WalServerPaths P("prevrot");
+  ServerConfig C = walConfig(P);
+  {
+    WalServer S(C);
+    ProfileClient Cl = S.client(0x777);
+    ASSERT_TRUE(Cl.push(shardBundle(0), TestFingerprint).Ok);
+    std::string Err;
+    ASSERT_TRUE(S.Server->snapshotNow(&Err)) << Err;
+    ASSERT_TRUE(Cl.push(shardBundle(1), TestFingerprint).Ok);
+    ASSERT_TRUE(S.Server->snapshotNow(&Err)) << Err;
+    ASSERT_TRUE(Cl.push(shardBundle(2), TestFingerprint).Ok);
+    S.Server->kill();
+  }
+  // .prev holds fold(1), the live snapshot fold(2), the journal shard 2.
+  std::string PrevBytes, MainBytes;
+  ASSERT_TRUE(profstore::ioutil::readFileRaw(P.Snap + ".prev", &PrevBytes));
+  ASSERT_TRUE(profstore::ioutil::readFileRaw(P.Snap, &MainBytes));
+  ASSERT_NE(PrevBytes, MainBytes);
+  {
+    WalServer S2(C);
+    EXPECT_EQ(S2.Server->stats().JournalReplayed, 1u);
+    EXPECT_EQ(profile::serializeBundle(S2.Server->merged()), serialFold(3));
+    S2.Server->kill(); // leave the on-disk pair untouched for phase two
+  }
+  // Phase two: tear the newest snapshot; the loader falls back to .prev
+  // whose checkpoint was truncated away — the journal must be wiped
+  // (JournalFailures), never replayed against the wrong base.
+  {
+    std::ofstream Out(P.Snap, std::ios::binary | std::ios::trunc);
+    Out.write(MainBytes.data(),
+              static_cast<std::streamsize>(MainBytes.size() / 2));
+  }
+  WalServer S3(C);
+  ServerStats St = S3.Server->stats();
+  EXPECT_EQ(St.JournalReplayed, 0u);
+  EXPECT_GE(St.JournalFailures, 1u);
+  EXPECT_EQ(profile::serializeBundle(S3.Server->merged()), serialFold(1));
+  S3.Server->stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-homed client failover
+//===----------------------------------------------------------------------===//
+
+Dialer deadDialer() {
+  return [](std::string *Error) -> std::unique_ptr<Transport> {
+    if (Error)
+      *Error = "parent is down";
+    return nullptr;
+  };
+}
+
+ServerConfig plainConfig() {
+  ServerConfig C;
+  C.Workers = 2;
+  C.RecvTimeoutMs = 2000;
+  C.Fingerprint = TestFingerprint;
+  return C;
+}
+
+TEST(Failover, RotatesPastDeadParentAndSticks) {
+  LoopbackListener *L = new LoopbackListener();
+  ProfileServer Live(std::unique_ptr<Listener>(L), plainConfig());
+  Live.start();
+  ClientConfig CC;
+  CC.Fingerprint = TestFingerprint;
+  CC.SessionId = 0xF01;
+  CC.MaxRetries = 1;
+  std::vector<Dialer> Dials;
+  Dials.push_back(deadDialer());
+  Dials.push_back(loopbackDialer(*L));
+  ProfileClient Cl(std::move(Dials), CC);
+  for (int I = 0; I != 4; ++I)
+    ASSERT_TRUE(Cl.push(shardBundle(I), TestFingerprint).Ok);
+  EXPECT_GE(Cl.failovers(), 1u);
+  EXPECT_EQ(Cl.activeParent(), 1u); // sticky once a parent works
+  EXPECT_EQ(Live.stats().Merges, 4u);
+  EXPECT_EQ(profile::serializeBundle(Live.merged()), serialFold(4));
+  Live.stop();
+}
+
+TEST(Failover, ParentDeathMidStreamLosesNothing) {
+  LoopbackListener *LA = new LoopbackListener();
+  LoopbackListener *LB = new LoopbackListener();
+  auto A = std::make_unique<ProfileServer>(std::unique_ptr<Listener>(LA),
+                                           plainConfig());
+  ProfileServer B(std::unique_ptr<Listener>(LB), plainConfig());
+  A->start();
+  B.start();
+  ClientConfig CC;
+  CC.Fingerprint = TestFingerprint;
+  CC.SessionId = 0xF02;
+  CC.MaxRetries = 2;
+  // LA dies with A, so its dialer must stop touching it first: a real
+  // dial to a dead parent is refused by the kernel, not use-after-free.
+  auto ADead = std::make_shared<std::atomic<bool>>(false);
+  Dialer DialA = [LA, ADead](std::string *Error) -> std::unique_ptr<Transport> {
+    if (ADead->load()) {
+      if (Error)
+        *Error = "parent A is dead";
+      return nullptr;
+    }
+    return loopbackDialer(*LA)(Error);
+  };
+  std::vector<Dialer> Dials;
+  Dials.push_back(std::move(DialA));
+  Dials.push_back(loopbackDialer(*LB));
+  ProfileClient Cl(std::move(Dials), CC);
+  for (int I = 0; I != 3; ++I)
+    ASSERT_TRUE(Cl.push(shardBundle(I), TestFingerprint).Ok);
+  profile::ProfileBundle FromA = A->merged();
+  ADead->store(true);
+  A->stop();
+  A.reset(); // dials to A now fail; pushes must fail over to B
+  for (int I = 3; I != 6; ++I)
+    ASSERT_TRUE(Cl.push(shardBundle(I), TestFingerprint).Ok);
+  EXPECT_GE(Cl.failovers(), 1u);
+  // Exactly-once across the pair: A's early shards + B's late shards
+  // fold to the full reference with nothing doubled.
+  profile::ProfileBundle All = FromA;
+  profstore::mergeBundle(All, B.merged());
+  EXPECT_EQ(profile::serializeBundle(All), serialFold(6));
+  B.stop();
+}
+
+TEST(Failover, LastSeqFloorPreventsSilentDedupAfterCounterLoss) {
+  // A pusher that lost its in-memory seq counter (process restart with a
+  // durable session id) reconnects; the v5 HELLO_ACK LastSeq floor must
+  // move it past the seqs the server already applied, or its fresh
+  // shards would be swallowed as duplicates.
+  LoopbackListener *L = new LoopbackListener();
+  ProfileServer S(std::unique_ptr<Listener>(L), plainConfig());
+  S.start();
+  ClientConfig CC;
+  CC.Fingerprint = TestFingerprint;
+  CC.SessionId = 0xF03;
+  {
+    ProfileClient Cl(loopbackDialer(*L), CC);
+    for (int I = 0; I != 3; ++I)
+      ASSERT_TRUE(Cl.push(shardBundle(I), TestFingerprint).Ok);
+  }
+  // "Restarted" pusher: same session, counter reset to zero.
+  ProfileClient Cl2(loopbackDialer(*L), CC);
+  ASSERT_TRUE(Cl2.push(shardBundle(3), TestFingerprint).Ok);
+  ServerStats St = S.stats();
+  EXPECT_EQ(St.Merges, 4u);
+  EXPECT_EQ(St.Duplicates, 0u);
+  EXPECT_EQ(profile::serializeBundle(S.merged()), serialFold(4));
+  S.stop();
+}
+
+TEST(Failover, CorruptSpillRecordIsSkippedNotFatal) {
+  // Satellite: replaySpill resynchronizes past a CRC-bad record and
+  // still delivers every intact one, counting the corruption instead of
+  // aborting the replay.
+  std::string Spill = support::formatString(
+      "%swal_spill_%ld.bin", ::testing::TempDir().c_str(),
+      static_cast<long>(::getpid()));
+  std::remove(Spill.c_str());
+  ClientConfig CC;
+  CC.Fingerprint = TestFingerprint;
+  CC.SessionId = 0xF04;
+  CC.SpillPath = Spill;
+  CC.MaxRetries = 0;
+  CC.BackoffMs = 1;
+  {
+    ProfileClient Down(deadDialer(), CC);
+    for (int I = 0; I != 4; ++I) {
+      ClientResult R = Down.push(shardBundle(I), TestFingerprint);
+      EXPECT_FALSE(R.Ok);
+      EXPECT_TRUE(R.Spilled);
+    }
+    EXPECT_EQ(Down.spillCount(), 4u);
+  }
+  // Flip one byte in the middle of the second record's payload.
+  {
+    std::fstream F(Spill,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(F.good());
+    F.seekg(0, std::ios::end);
+    auto Size = static_cast<long>(F.tellg());
+    long Target = Size * 3 / 8; // inside record 2 of 4
+    F.seekp(Target);
+    char Byte = 0;
+    F.seekg(Target);
+    F.read(&Byte, 1);
+    Byte = static_cast<char>(Byte ^ 0x5A);
+    F.seekp(Target);
+    F.write(&Byte, 1);
+  }
+  LoopbackListener *L = new LoopbackListener();
+  ProfileServer S(std::unique_ptr<Listener>(L), plainConfig());
+  S.start();
+  ProfileClient Up(loopbackDialer(*L), CC);
+  EXPECT_LE(Up.spillCount(), 3u);
+  EXPECT_GE(Up.spillCorrupt(), 1u);
+  ClientResult RR = Up.replaySpill();
+  EXPECT_TRUE(RR.Ok) << RR.Error;
+  // Every record the scan could still parse was delivered exactly once.
+  ServerStats St = S.stats();
+  EXPECT_GE(St.Merges, 2u);
+  EXPECT_LE(St.Merges, 3u);
+  EXPECT_EQ(St.Duplicates, 0u);
+  EXPECT_EQ(Up.spillCount(), 0u);
+  std::remove(Spill.c_str());
+  S.stop();
+}
+
+} // namespace

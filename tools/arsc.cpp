@@ -530,8 +530,12 @@ int profileMain(int Argc, char **Argv) {
 //===----------------------------------------------------------------------===//
 
 std::atomic<bool> ServeInterrupted{false};
+std::atomic<int> ServeSignal{0};
 
-void handleServeSignal(int) { ServeInterrupted.store(true); }
+void handleServeSignal(int Sig) {
+  ServeSignal.store(Sig);
+  ServeInterrupted.store(true);
+}
 
 int serveUsage(const char *Prog) {
   std::fprintf(
@@ -550,6 +554,16 @@ int serveUsage(const char *Prog) {
       "                             --push-shm` / `push --shm`)\n"
       "  --snapshot-out=<file>      write the merged profile here\n"
       "  --snapshot-interval-ms=<n> also snapshot every n ms\n"
+      "  --journal=<file>           write-ahead journal: every shard is\n"
+      "                             made durable (CRC-framed, group-\n"
+      "                             commit fsync) BEFORE it merges, and a\n"
+      "                             restart replays the tail on top of\n"
+      "                             the last snapshot — crash-safe\n"
+      "                             exactly-once, dedup table included\n"
+      "  --journal-max-segment=<b>  rotate journal segments at b bytes\n"
+      "                             (default 4194304)\n"
+      "  --no-journal-fsync         journal without fsync (benchmarks\n"
+      "                             only; a crash may lose the tail)\n"
       "  --compress-snapshots       wrap snapshots in the ARSZ compressed\n"
       "                             container (loads transparently)\n"
       "  --keep=<pct>               epoch decay: percent kept per rotation\n"
@@ -558,10 +572,15 @@ int serveUsage(const char *Prog) {
       "                             4)\n"
       "  --recv-timeout-ms=<n>      per-frame client deadline (default\n"
       "                             2000)\n"
-      "  --relay-to=<host:port>     act as an aggregation-tree relay:\n"
+      "  --relay-to=<a[,b,...]>     act as an aggregation-tree relay:\n"
       "                             accept pushes like a leaf collector,\n"
       "                             merge locally, and drain the delta\n"
-      "                             upstream to this parent server\n"
+      "                             upstream to the first host:port; any\n"
+      "                             further comma-separated parents are\n"
+      "                             ordered backups the relay fails over\n"
+      "                             to when the current parent dies\n"
+      "                             (sequence numbers continue, so the\n"
+      "                             move is exactly-once)\n"
       "  --relay-flush-interval-ms=<n>  upstream flush period (default\n"
       "                             1000; 0 = flush only on --relay-\n"
       "                             flush-every and shutdown)\n"
@@ -590,6 +609,13 @@ int serveUsage(const char *Prog) {
       "  --policy-base-interval=<n> the static interval engines deployed\n"
       "                             with (default 1000)\n"
       "  --serve-for-ms=<n>         exit after n ms (for scripts/demos)\n"
+      "  --drain-on-term            SIGTERM drains gracefully (flush\n"
+      "                             upstream, snapshot, checkpoint) even\n"
+      "                             with --journal; the journaled default\n"
+      "                             is an abrupt stop — fast, and safe\n"
+      "                             because restart replays the journal.\n"
+      "                             Without --journal SIGTERM always\n"
+      "                             drains.  SIGINT always drains.\n"
       "  --quiet                    don't log rejects to stderr\n",
       Prog);
   return 2;
@@ -605,6 +631,7 @@ int serveMain(int Argc, char **Argv) {
   int RelayFlushIntervalMs = 1000;
   uint64_t RelayFlushEvery = 0;
   std::string RelaySpill;
+  bool DrainOnTerm = false;
   for (int A = 2; A < Argc; ++A) {
     std::string Arg = Argv[A];
     auto valueOf = [&](const char *Prefix) -> const char * {
@@ -619,6 +646,23 @@ int serveMain(int Argc, char **Argv) {
       Config.SnapshotPath = V;
     } else if (const char *V = valueOf("--snapshot-interval-ms=")) {
       Config.SnapshotIntervalMs = std::atoi(V);
+      if (Config.SnapshotIntervalMs < 0) {
+        std::fprintf(stderr,
+                     "--snapshot-interval-ms must be >= 0, got %s\n", V);
+        return serveUsage(Argv[0]);
+      }
+    } else if (const char *V = valueOf("--journal=")) {
+      Config.JournalPath = V;
+    } else if (const char *V = valueOf("--journal-max-segment=")) {
+      Config.JournalMaxSegmentBytes = std::strtoull(V, nullptr, 10);
+      if (Config.JournalMaxSegmentBytes == 0) {
+        std::fprintf(stderr, "--journal-max-segment must be > 0\n");
+        return serveUsage(Argv[0]);
+      }
+    } else if (Arg == "--no-journal-fsync") {
+      Config.JournalFsync = false;
+    } else if (Arg == "--drain-on-term") {
+      DrainOnTerm = true;
     } else if (Arg == "--compress-snapshots") {
       Config.CompressSnapshots = true;
     } else if (const char *V = valueOf("--keep=")) {
@@ -627,8 +671,17 @@ int serveMain(int Argc, char **Argv) {
       Config.RotateEveryMerges = std::strtoull(V, nullptr, 10);
     } else if (const char *V = valueOf("--workers=")) {
       Config.Workers = std::atoi(V);
+      if (Config.Workers < 1) {
+        std::fprintf(stderr, "--workers must be >= 1, got %s\n", V);
+        return serveUsage(Argv[0]);
+      }
     } else if (const char *V = valueOf("--recv-timeout-ms=")) {
       Config.RecvTimeoutMs = std::atoi(V);
+      if (Config.RecvTimeoutMs < 0) {
+        std::fprintf(stderr, "--recv-timeout-ms must be >= 0, got %s\n",
+                     V);
+        return serveUsage(Argv[0]);
+      }
     } else if (const char *V = valueOf("--expect=")) {
       profstore::DecodeResult R = loadOrDie(V, 0);
       Config.Fingerprint = R.Fingerprint;
@@ -636,8 +689,21 @@ int serveMain(int Argc, char **Argv) {
       RelayTo = V;
     } else if (const char *V = valueOf("--relay-flush-interval-ms=")) {
       RelayFlushIntervalMs = std::atoi(V);
+      if (RelayFlushIntervalMs < 0) {
+        std::fprintf(stderr,
+                     "--relay-flush-interval-ms must be >= 0, got %s\n",
+                     V);
+        return serveUsage(Argv[0]);
+      }
     } else if (const char *V = valueOf("--relay-flush-every=")) {
       RelayFlushEvery = std::strtoull(V, nullptr, 10);
+      if (RelayFlushEvery == 0) {
+        // 0 is the internal "disabled" sentinel; an operator typing it
+        // explicitly meant SOMETHING, and silently disabling the flush
+        // trigger is the worst possible reading.
+        std::fprintf(stderr, "--relay-flush-every must be > 0\n");
+        return serveUsage(Argv[0]);
+      }
     } else if (const char *V = valueOf("--relay-spill=")) {
       RelaySpill = V;
     } else if (Arg == "--policy") {
@@ -681,14 +747,34 @@ int serveMain(int Argc, char **Argv) {
   std::printf("profserve listening on %s\n", L->address().c_str());
 
   if (!RelayTo.empty()) {
-    std::string Host;
-    uint16_t UpPort = 0;
-    if (!profserve::parseHostPort(RelayTo, &Host, &UpPort)) {
-      std::fprintf(stderr, "--relay-to expects host:port, got \"%s\"\n",
-                   RelayTo.c_str());
-      return 1;
+    // Comma-separated ordered parent list: first is the primary, the
+    // rest are failover backups (Client.h: the relay's upstream client
+    // sticks to one parent and rotates on dial/handshake failure).
+    std::vector<std::string> ParentAddrs;
+    size_t Start = 0;
+    while (Start <= RelayTo.size()) {
+      size_t Comma = RelayTo.find(',', Start);
+      if (Comma == std::string::npos)
+        Comma = RelayTo.size();
+      ParentAddrs.push_back(RelayTo.substr(Start, Comma - Start));
+      Start = Comma + 1;
     }
-    Config.Relay.Dial = profserve::tcpDialer(Host, UpPort, 5000);
+    std::vector<profserve::Dialer> ParentDials;
+    for (const std::string &Addr : ParentAddrs) {
+      std::string Host;
+      uint16_t UpPort = 0;
+      if (!profserve::parseHostPort(Addr, &Host, &UpPort)) {
+        std::fprintf(stderr,
+                     "--relay-to expects host:port[,host:port...], got "
+                     "\"%s\"\n",
+                     RelayTo.c_str());
+        return 1;
+      }
+      ParentDials.push_back(profserve::tcpDialer(Host, UpPort, 5000));
+    }
+    Config.Relay.Dial = ParentDials.front();
+    Config.Relay.BackupDials.assign(ParentDials.begin() + 1,
+                                    ParentDials.end());
     Config.Relay.Client.Name = "arsc-relay";
     // Dedup upstream keys on the session id, so it must be stable for
     // this relay and unique among the parent's children: derive it from
@@ -699,15 +785,21 @@ int serveMain(int Argc, char **Argv) {
     Config.Relay.Client.SpillPath = RelaySpill;
     Config.Relay.FlushIntervalMs = RelayFlushIntervalMs;
     Config.Relay.FlushEveryMerges = RelayFlushEvery;
-    std::printf("relaying upstream to %s (flush: every %llu merges / "
-                "%d ms)\n",
-                RelayTo.c_str(),
+    std::printf("relaying upstream to %s (%zu backup parent(s); flush: "
+                "every %llu merges / %d ms)\n",
+                ParentAddrs.front().c_str(), ParentDials.size() - 1,
                 static_cast<unsigned long long>(RelayFlushEvery),
                 RelayFlushIntervalMs);
   }
   if (Config.Fingerprint)
     std::printf("pinned module fingerprint: %016llx\n",
                 static_cast<unsigned long long>(Config.Fingerprint));
+  if (!Config.JournalPath.empty())
+    std::printf("write-ahead journal at %s (segments of %llu bytes%s)\n",
+                Config.JournalPath.c_str(),
+                static_cast<unsigned long long>(
+                    Config.JournalMaxSegmentBytes),
+                Config.JournalFsync ? "" : ", fsync OFF");
   if (Config.Policy.Enabled)
     std::printf("policy push-down enabled (wire v4): widen at %.2f%%, "
                 "retire at %.2f%%, %d stable epochs, factor %u, base "
@@ -731,7 +823,18 @@ int serveMain(int Argc, char **Argv) {
       break;
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
-  Server.stop();
+  if (ServeSignal.load() == SIGTERM && !DrainOnTerm &&
+      !Config.JournalPath.empty()) {
+    // Journaled default: every acked shard is already durable, so the
+    // fastest correct SIGTERM is the abrupt one — the successor replays
+    // the tail.  Orchestrators that want the farewell flush + snapshot
+    // pass --drain-on-term.
+    std::printf("SIGTERM: abrupt stop (the journal covers the tail; "
+                "--drain-on-term drains instead)\n");
+    Server.kill();
+  } else {
+    Server.stop();
+  }
 
   profserve::ServerStats S = Server.stats();
   std::printf("profserve stopped: %llu frames, %llu bytes, %llu merges, "
@@ -747,6 +850,13 @@ int serveMain(int Argc, char **Argv) {
               static_cast<unsigned long long>(S.Snapshots),
               static_cast<unsigned long long>(S.Recovered),
               static_cast<unsigned long long>(S.Pulls));
+  if (!Config.JournalPath.empty())
+    std::printf("journal: %llu records, %llu syncs, %llu replayed, "
+                "%llu failures\n",
+                static_cast<unsigned long long>(S.JournalRecords),
+                static_cast<unsigned long long>(S.JournalSyncs),
+                static_cast<unsigned long long>(S.JournalReplayed),
+                static_cast<unsigned long long>(S.JournalFailures));
   if (Server.isRelay())
     std::printf("relay: %llu batches, %llu upstream flushes, "
                 "%llu upstream failures\n",
@@ -977,6 +1087,16 @@ int chaosUsage(const char *Prog) {
       "                          aggregate must still match the serial\n"
       "                          fold and frame/version counts must\n"
       "                          replay (loopback transport only)\n"
+      "  --crash                 kill-and-restart chaos: the root runs\n"
+      "                          with a write-ahead journal and a seeded\n"
+      "                          crash schedule kills it at journal crash\n"
+      "                          points (before/after append, mid\n"
+      "                          rotation, mid checkpoint); a recovered\n"
+      "                          replacement takes over mid-sweep and the\n"
+      "                          final bundle must still match the fold\n"
+      "                          exactly (each seed runs once: restart\n"
+      "                          timing is wall-clock, traces don't\n"
+      "                          replay); not with --policy\n"
       "  --trace                 print the fault trace (single-seed mode)\n"
       "  --workdir=<dir>         scratch dir for spill/snapshot files\n"
       "                          (default: a fresh dir under /tmp)\n"
@@ -1040,6 +1160,8 @@ int chaosMain(int Argc, char **Argv) {
       }
     } else if (Arg == "--policy") {
       C.Policy = true;
+    } else if (Arg == "--crash") {
+      C.Crash = true;
     } else if (Arg == "--quick") {
       C.Clients = 3;
       C.ShardsPerClient = 4;
@@ -1053,23 +1175,25 @@ int chaosMain(int Argc, char **Argv) {
   }
   if (Argc < 3)
     return chaosUsage(Argv[0]);
-  if (C.WorkDir.empty()) {
+  if (C.WorkDir.empty())
     // A per-process scratch dir so concurrent chaos runs (ctest, CI
     // shards) never fight over spill/snapshot file names.
     C.WorkDir = support::formatString(
         "/tmp/arsc-chaos-%ld", static_cast<long>(::getpid()));
-    if (::mkdir(C.WorkDir.c_str(), 0755) != 0 && errno != EEXIST) {
-      std::fprintf(stderr, "chaos: cannot create %s: %s\n",
-                   C.WorkDir.c_str(), std::strerror(errno));
-      return 1;
-    }
+  // User-supplied dirs too: a missing workdir would silently strand
+  // every spill/snapshot/journal write and void what the run checks.
+  if (::mkdir(C.WorkDir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "chaos: cannot create %s: %s\n",
+                 C.WorkDir.c_str(), std::strerror(errno));
+    return 1;
   }
 
   if (Sweep) {
-    std::printf("chaos sweep: %llu seeds x 2 runs, %d clients x %d "
+    std::printf("chaos sweep: %llu seeds x %d runs%s, %d clients x %d "
                 "shards, workdir %s\n",
-                static_cast<unsigned long long>(SweepSeeds), C.Clients,
-                C.ShardsPerClient, C.WorkDir.c_str());
+                static_cast<unsigned long long>(SweepSeeds),
+                C.Crash ? 1 : 2, C.Crash ? " (crash/restart)" : "",
+                C.Clients, C.ShardsPerClient, C.WorkDir.c_str());
     std::fflush(stdout);
     bool Ok = faultinject::chaosSweep(C, SweepSeeds, /*Verbose=*/true);
     std::printf("chaos sweep: %s\n", Ok ? "ALL SEEDS PASSED" : "FAILED");
@@ -1093,6 +1217,11 @@ int chaosMain(int Argc, char **Argv) {
                 "deltas\n",
                 static_cast<unsigned long long>(R.RootMerges),
                 static_cast<unsigned long long>(R.RootDuplicates));
+  if (C.Crash)
+    std::printf("  crash: %llu kill/restart cycles, %llu journaled "
+                "shards replayed\n",
+                static_cast<unsigned long long>(R.Crashes),
+                static_cast<unsigned long long>(R.Replayed));
   return R.Ok ? 0 : 1;
 }
 
